@@ -1,0 +1,66 @@
+//! Criterion benchmarks for ensemble-level operations: soft-voting
+//! prediction as the member count grows, the Eq. 2/7 diversity measure, and
+//! β-knowledge transfer.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use edde_core::diversity::ensemble_diversity;
+use edde_core::transfer::transfer_partial;
+use edde_core::EnsembleModel;
+use edde_nn::models::mlp;
+use edde_tensor::ops::softmax_rows;
+use edde_tensor::rng::rand_uniform;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_soft_voting(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0);
+    let features = rand_uniform(&[200, 16], -1.0, 1.0, &mut rng);
+    let mut group = c.benchmark_group("ensemble_predict");
+    group.sample_size(20);
+    for &members in &[2usize, 8] {
+        let mut model = EnsembleModel::new();
+        for m in 0..members {
+            model.push(mlp(&[16, 32, 10], 0.0, &mut rng), 1.0, format!("m{m}"));
+        }
+        group.bench_function(format!("soft_vote_{members}_members"), |bench| {
+            bench.iter_batched(
+                || model.clone(),
+                |mut m| m.soft_targets(black_box(&features)).unwrap(),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_diversity(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    // 8 members x [500, 20] soft targets, the Fig. 8 scale
+    let probs: Vec<_> = (0..8)
+        .map(|_| softmax_rows(&rand_uniform(&[500, 20], -2.0, 2.0, &mut rng)).unwrap())
+        .collect();
+    c.bench_function("ensemble_diversity_8x500x20", |bench| {
+        bench.iter(|| ensemble_diversity(black_box(&probs)).unwrap())
+    });
+}
+
+fn bench_transfer(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let teacher = mlp(&[64, 128, 64, 10], 0.0, &mut rng);
+    let student = mlp(&[64, 128, 64, 10], 0.0, &mut rng);
+    c.bench_function("beta_transfer_0.7", |bench| {
+        bench.iter_batched(
+            || (teacher.clone(), student.clone()),
+            |(mut t, mut s)| transfer_partial(&mut t, &mut s, 0.7).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_soft_voting, bench_diversity, bench_transfer
+}
+criterion_main!(benches);

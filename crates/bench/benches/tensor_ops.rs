@@ -1,0 +1,79 @@
+//! Criterion micro-benchmarks for the tensor substrate: matrix multiply,
+//! convolution (forward and backward), softmax, and pooling — the kernels
+//! every training epoch is built from.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use edde_tensor::ops::{
+    conv2d, conv2d_backward, matmul, matmul_a_bt, matmul_at_b, max_pool2d, softmax_rows,
+};
+use edde_tensor::rng::rand_uniform;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut group = c.benchmark_group("matmul");
+    for &n in &[32usize, 128] {
+        let a = rand_uniform(&[n, n], -1.0, 1.0, &mut rng);
+        let b = rand_uniform(&[n, n], -1.0, 1.0, &mut rng);
+        group.bench_function(format!("square_{n}"), |bench| {
+            bench.iter(|| matmul(black_box(&a), black_box(&b)).unwrap())
+        });
+    }
+    // the transposed variants used by backprop
+    let a = rand_uniform(&[128, 64], -1.0, 1.0, &mut rng);
+    let b = rand_uniform(&[128, 32], -1.0, 1.0, &mut rng);
+    group.bench_function("at_b_128x64x32", |bench| {
+        bench.iter(|| matmul_at_b(black_box(&a), black_box(&b)).unwrap())
+    });
+    let c2 = rand_uniform(&[64, 128], -1.0, 1.0, &mut rng);
+    let d = rand_uniform(&[32, 128], -1.0, 1.0, &mut rng);
+    group.bench_function("a_bt_64x128x32", |bench| {
+        bench.iter(|| matmul_a_bt(black_box(&c2), black_box(&d)).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_conv(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut group = c.benchmark_group("conv2d");
+    // one training-batch-like workload: 32 samples, 12ch, 12x12, 3x3 kernel
+    let input = rand_uniform(&[32, 12, 12, 12], -1.0, 1.0, &mut rng);
+    let weight = rand_uniform(&[12, 12, 3, 3], -0.5, 0.5, &mut rng);
+    group.bench_function("forward_b32_c12_12x12", |bench| {
+        bench.iter(|| conv2d(black_box(&input), black_box(&weight), None, 1, 1).unwrap())
+    });
+    let out = conv2d(&input, &weight, None, 1, 1).unwrap();
+    let grad = rand_uniform(out.dims(), -1.0, 1.0, &mut rng);
+    group.bench_function("backward_b32_c12_12x12", |bench| {
+        bench.iter(|| {
+            conv2d_backward(black_box(&input), black_box(&weight), black_box(&grad), 1, 1)
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_softmax_and_pool(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let logits = rand_uniform(&[256, 20], -3.0, 3.0, &mut rng);
+    c.bench_function("softmax_rows_256x20", |bench| {
+        bench.iter(|| softmax_rows(black_box(&logits)).unwrap())
+    });
+    let input = rand_uniform(&[32, 12, 12, 12], -1.0, 1.0, &mut rng);
+    c.bench_function("max_pool2d_b32", |bench| {
+        bench.iter_batched(
+            || input.clone(),
+            |t| max_pool2d(&t, 2, 2).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_matmul, bench_conv, bench_softmax_and_pool
+}
+criterion_main!(benches);

@@ -1,0 +1,121 @@
+//! Criterion benchmarks for whole training steps (forward + loss + backward
+//! plus SGD) on each of the paper's architectures, and the diversity-driven
+//! loss against plain cross-entropy — quantifying the overhead of EDDE's
+//! objective (it should be negligible, as the paper asserts).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use edde_nn::loss::{CrossEntropy, DiversityDriven};
+use edde_nn::models::{densenet, resnet, textcnn, DenseNetConfig, ResNetConfig, TextCnnConfig};
+use edde_nn::optim::Sgd;
+use edde_nn::{Mode, Network};
+use edde_tensor::rng::rand_uniform;
+use edde_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::hint::black_box;
+
+fn step(net: &mut Network, opt: &mut Sgd, x: &Tensor, labels: &[usize]) {
+    let ce = CrossEntropy::new();
+    net.zero_grad();
+    let logits = net.forward(x, Mode::Train).unwrap();
+    let out = ce.compute(&logits, labels, None).unwrap();
+    net.backward(&out.grad_logits).unwrap();
+    opt.step(net).unwrap();
+}
+
+fn bench_architectures(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut group = c.benchmark_group("train_step");
+    group.sample_size(10);
+
+    // ResNet-8 on a 16-sample image batch
+    let net = resnet(
+        &ResNetConfig {
+            depth: 8,
+            width: 12,
+            in_channels: 3,
+            num_classes: 10,
+        },
+        &mut rng,
+    )
+    .unwrap();
+    let x = rand_uniform(&[16, 3, 12, 12], -1.0, 1.0, &mut rng);
+    let labels: Vec<usize> = (0..16).map(|_| rng.random_range(0..10)).collect();
+    group.bench_function("resnet8_b16", |bench| {
+        bench.iter_batched(
+            || (net.clone(), Sgd::new(0.1, 0.9, 1e-4)),
+            |(mut n, mut o)| step(&mut n, &mut o, black_box(&x), &labels),
+            BatchSize::SmallInput,
+        )
+    });
+
+    // DenseNet on the same batch
+    let dnet = densenet(
+        &DenseNetConfig {
+            layers_per_block: 3,
+            blocks: 2,
+            growth: 10,
+            stem_channels: 10,
+            in_channels: 3,
+            num_classes: 10,
+        },
+        &mut rng,
+    )
+    .unwrap();
+    group.bench_function("densenet_b16", |bench| {
+        bench.iter_batched(
+            || (dnet.clone(), Sgd::new(0.2, 0.9, 1e-4)),
+            |(mut n, mut o)| step(&mut n, &mut o, black_box(&x), &labels),
+            BatchSize::SmallInput,
+        )
+    });
+
+    // Text-CNN on a 32-sequence batch
+    let tnet = textcnn(&TextCnnConfig::small(300, 2), &mut rng).unwrap();
+    let mut ids = Tensor::zeros(&[32, 20]);
+    for v in ids.data_mut() {
+        *v = rng.random_range(0..300) as f32;
+    }
+    let tlabels: Vec<usize> = (0..32).map(|i| i % 2).collect();
+    group.bench_function("textcnn_b32", |bench| {
+        bench.iter_batched(
+            || (tnet.clone(), Sgd::new(0.1, 0.9, 1e-4)),
+            |(mut n, mut o)| step(&mut n, &mut o, black_box(&ids), &tlabels),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_loss_overhead(c: &mut Criterion) {
+    // The diversity-driven loss vs plain CE on identical logits: the paper
+    // claims the extra cost of the ensemble machinery is trivial.
+    let mut rng = StdRng::seed_from_u64(1);
+    let logits = rand_uniform(&[64, 20], -2.0, 2.0, &mut rng);
+    let labels: Vec<usize> = (0..64).map(|_| rng.random_range(0..20)).collect();
+    let ensemble = edde_tensor::ops::softmax_rows(&rand_uniform(&[64, 20], -1.0, 1.0, &mut rng))
+        .unwrap();
+    let mut group = c.benchmark_group("loss");
+    group.bench_function("cross_entropy_64x20", |bench| {
+        bench.iter(|| {
+            CrossEntropy::new()
+                .compute(black_box(&logits), &labels, None)
+                .unwrap()
+        })
+    });
+    group.bench_function("diversity_driven_64x20", |bench| {
+        bench.iter(|| {
+            DiversityDriven::new(0.1)
+                .compute(black_box(&logits), &labels, None, &ensemble)
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_architectures, bench_loss_overhead
+}
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Regenerates **Figure 1** — the bias/variance position of each method's
+//! base models at an equal training budget on the CIFAR-100 stand-in.
+//!
+//! Expected shape: Snapshot low bias / low variance; AdaBoost.NC high
+//! variance / high bias; BANs in between; EDDE low bias *and* high
+//! variance.
+
+use edde_bench::harness::run_method;
+use edde_bench::workloads::{
+    cifar100_env, CvArch, Scale, CV_BETA, CV_CYCLE, CV_EDDE_LATER, CV_EDDE_MEMBERS, CV_GAMMA,
+    CV_MEMBERS,
+};
+use edde_core::bias_variance::bias_variance;
+use edde_core::methods::{AdaBoostNc, Bans, Edde, EnsembleMethod, Snapshot};
+use edde_core::report::Table;
+
+fn main() {
+    let scale = Scale::from_args();
+    let env = cifar100_env(CvArch::ResNet, 42);
+    let cycle = scale.epochs(CV_CYCLE);
+    let members = scale.members(CV_MEMBERS);
+    let methods: Vec<Box<dyn EnsembleMethod>> = vec![
+        Box::new(AdaBoostNc::new(members, cycle)),
+        Box::new(Bans::new(members, cycle)),
+        Box::new(Snapshot::new(members, cycle)),
+        Box::new(Edde::new(
+            scale.members(CV_EDDE_MEMBERS),
+            cycle,
+            scale.epochs(CV_EDDE_LATER),
+            CV_GAMMA,
+            CV_BETA,
+        )),
+    ];
+    println!("== Figure 1: bias and variance of each method's base models ==");
+    println!("(equal training budget; both axes per DESIGN.md definitions)\n");
+    let mut table = Table::new(&["Method", "Bias", "Variance", "Epochs"]);
+    for method in &methods {
+        let (s, mut run) = run_method(method.as_ref(), &env).expect("fig1 run");
+        let bv = bias_variance(&mut run.model, &env.data.test).expect("bias/variance");
+        table.add_row(&[
+            s.name.clone(),
+            format!("{:.4}", bv.bias),
+            format!("{:.4}", bv.variance),
+            s.total_epochs.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+}

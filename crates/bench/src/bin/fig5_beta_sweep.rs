@@ -1,0 +1,51 @@
+//! Regenerates **Figure 5** — the β-selection probe of §IV-B: the student's
+//! mean early-epoch accuracy on the fold its teacher saw (fold n−1) versus
+//! the fold nobody saw (fold n), as β sweeps from 1.0 down to 0.1, for both
+//! CV architectures. Also prints the β the adaptive rule would select.
+
+use edde_bench::workloads::{cifar100_env, CvArch, Scale};
+use edde_core::report::Table;
+use edde_core::transfer::{beta_probe, select_beta, BetaProbeConfig};
+use edde_data::KFold;
+
+fn main() {
+    let scale = Scale::from_args();
+    println!("== Figure 5: student accuracy on the seen vs unseen fold as beta varies ==");
+    println!("(6 folds as in the paper's CIFAR-100 experiment)\n");
+    for arch in [CvArch::ResNet, CvArch::DenseNet] {
+        let env = cifar100_env(arch, 42);
+        let mut rng = env.rng(0xBE7A);
+        // the paper splits the *training set* into 6 folds
+        let kfold = KFold::new(env.data.train.len(), 6, &mut rng);
+        let split = kfold.beta_split(&env.data.train).expect("beta split");
+        let config = BetaProbeConfig {
+            teacher_epochs: scale.epochs(20),
+            probe_epochs: scale.epochs(5),
+            lr: env.base_lr / 2.0,
+            betas: vec![1.0, 0.9, 0.8, 0.7, 0.6, 0.5, 0.4, 0.3, 0.2, 0.1],
+            gap_threshold: 0.02,
+        };
+        let factory = env.factory.clone();
+        let points = beta_probe(
+            &move |rng| (factory)(rng),
+            &split,
+            &env.trainer,
+            &config,
+            &mut rng,
+        )
+        .expect("beta probe");
+        println!("--- {} ---", arch.name());
+        let mut table = Table::new(&["beta", "acc on fold n-1 (seen)", "acc on fold n (unseen)", "gap"]);
+        for p in &points {
+            table.add_row(&[
+                format!("{:.1}", p.beta),
+                format!("{:.4}", p.seen_acc),
+                format!("{:.4}", p.unseen_acc),
+                format!("{:+.4}", p.seen_acc - p.unseen_acc),
+            ]);
+        }
+        println!("{}", table.render());
+        let chosen = select_beta(&points, config.gap_threshold).expect("select beta");
+        println!("adaptive rule selects beta = {chosen:.1}\n");
+    }
+}

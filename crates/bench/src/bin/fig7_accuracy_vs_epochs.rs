@@ -1,0 +1,40 @@
+//! Regenerates **Figure 7** — ensemble test accuracy as a function of
+//! cumulative training epochs, on the CIFAR-100 stand-in, for both
+//! architectures. Each method's accuracy is re-evaluated every time a
+//! member/snapshot lands, exactly the series the paper plots.
+
+use edde_bench::harness::{cv_methods, run_method};
+use edde_bench::workloads::{cifar100_env, CvArch, Scale};
+use edde_core::methods::SingleModel;
+
+fn main() {
+    let scale = Scale::from_args();
+    println!("== Figure 7: ensemble accuracy vs cumulative training epochs ==");
+    println!("(SynthCIFAR-100; series printed as epoch:accuracy pairs)\n");
+    let args: Vec<String> = std::env::args().collect();
+    let only_resnet = args.iter().any(|a| a == "--resnet-only");
+    for arch in [CvArch::ResNet, CvArch::DenseNet] {
+        if only_resnet && arch == CvArch::DenseNet {
+            continue;
+        }
+        let env = cifar100_env(arch, 42);
+        eprintln!("[{}]", arch.name());
+        println!("--- {} ---", arch.name());
+        let mut methods = cv_methods(scale);
+        // give the single model a per-epoch curve like the paper's plot
+        methods[0] = Box::new(SingleModel {
+            epochs: scale.epochs(edde_bench::workloads::CV_CYCLE)
+                * scale.members(edde_bench::workloads::CV_MEMBERS),
+            trace_every: scale.epochs(4),
+        });
+        for method in &methods {
+            let (_, run) = run_method(method.as_ref(), &env).expect("fig7 run");
+            print!("{:<24}", method.name());
+            for p in &run.trace {
+                print!(" {}:{:.4}", p.cumulative_epochs, p.test_accuracy);
+            }
+            println!();
+        }
+        println!();
+    }
+}

@@ -1,0 +1,31 @@
+//! Regenerates **Table II** — ensemble test accuracy on the CV task, for
+//! both architectures on both image datasets, every method at an equal
+//! epoch budget per group.
+
+use edde_bench::harness::{cv_methods, run_lineup};
+use edde_bench::workloads::{cifar10_env, cifar100_env, CvArch, Scale};
+use edde_core::report::summary_table;
+
+fn main() {
+    let scale = Scale::from_args();
+    let args: Vec<String> = std::env::args().collect();
+    let only_resnet = args.iter().any(|a| a == "--resnet-only");
+    let only_densenet = args.iter().any(|a| a == "--densenet-only");
+    println!("== Table II: test accuracy on the CV task ==");
+    println!("(SynthCIFAR stands in for CIFAR; budgets are equal per group — see DESIGN.md)\n");
+    for arch in [CvArch::ResNet, CvArch::DenseNet] {
+        if (only_resnet && arch == CvArch::DenseNet) || (only_densenet && arch == CvArch::ResNet) {
+            continue;
+        }
+        for (dataset, env) in [
+            ("SynthC10", cifar10_env(arch, 42)),
+            ("SynthC100", cifar100_env(arch, 42)),
+        ] {
+            eprintln!("[{} / {dataset}]", arch.name());
+            let methods = cv_methods(scale);
+            let summaries = run_lineup(&methods, &env).expect("table II lineup");
+            println!("--- {} on {dataset} ---", arch.name());
+            println!("{}", summary_table(&summaries));
+        }
+    }
+}

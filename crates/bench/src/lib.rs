@@ -1,0 +1,27 @@
+//! # edde-bench
+//!
+//! The benchmark harness that regenerates every table and figure of the
+//! EDDE paper's evaluation (§V), plus criterion micro-benchmarks for the
+//! substrate.
+//!
+//! Each paper artifact has one binary:
+//!
+//! | Paper artifact | Binary |
+//! |---|---|
+//! | Fig. 1 (bias/variance plane) | `fig1_bias_variance` |
+//! | Fig. 5 (β sweep, seen vs unseen fold) | `fig5_beta_sweep` |
+//! | Fig. 7 (accuracy vs epochs) | `fig7_accuracy_vs_epochs` |
+//! | Fig. 8 (pairwise similarity heatmaps) | `fig8_similarity` |
+//! | Table II (CV accuracy) | `table2_cv` |
+//! | Table III (NLP accuracy) | `table3_nlp` |
+//! | Table IV (diversity influence) | `table4_diversity` |
+//! | Table V (γ sweep) | `table5_gamma` |
+//! | Table VI (ablation) | `table6_ablation` |
+//!
+//! Run any of them with `cargo run --release -p edde-bench --bin <name>`.
+//! Pass `--quick` for a reduced-budget smoke run.
+//!
+//! Workload construction is shared through [`workloads`].
+
+pub mod harness;
+pub mod workloads;

@@ -1,0 +1,150 @@
+//! The bias/variance analysis behind Figure 1.
+//!
+//! The paper frames the methods on a bias–variance plane: a good ensemble
+//! wants base models with **low bias** (each is individually accurate) and
+//! **high variance** (they disagree with each other, i.e. are diverse).
+//! Using the paper's own soft-target quantities:
+//!
+//! * **bias** — the mean of `Bias_t(x) = √2/2·‖h_t(x) − y‖₂` (Eq. 13) over
+//!   all members and evaluation samples;
+//! * **variance** — the mean of `√2/2·‖h_t(x) − h̄(x)‖₂` over members and
+//!   samples, where `h̄(x)` is the unweighted mean member soft target.
+//!
+//! Both lie in `[0, 1]`, matching the axes of Figure 1.
+
+use crate::ensemble::EnsembleModel;
+use crate::error::{EnsembleError, Result};
+use edde_data::Dataset;
+
+/// A point on the bias–variance plane of Figure 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BiasVariance {
+    /// Mean member bias (lower = individually stronger models).
+    pub bias: f32,
+    /// Mean member spread around the ensemble mean (higher = more diverse).
+    pub variance: f32,
+}
+
+/// Computes the bias/variance point of a trained ensemble on `data`.
+pub fn bias_variance(model: &mut EnsembleModel, data: &Dataset) -> Result<BiasVariance> {
+    let t = model.len();
+    if t == 0 {
+        return Err(EnsembleError::EmptyEnsemble);
+    }
+    let member_probs = model.member_soft_targets(data.features())?;
+    let (n, k) = (data.len(), data.num_classes());
+    if n == 0 {
+        return Err(EnsembleError::DataMismatch("empty evaluation set".into()));
+    }
+    // mean member soft target per sample
+    let mut mean = vec![0.0f32; n * k];
+    for probs in &member_probs {
+        for (m, &p) in mean.iter_mut().zip(probs.data().iter()) {
+            *m += p;
+        }
+    }
+    for m in &mut mean {
+        *m /= t as f32;
+    }
+
+    let half_sqrt2 = std::f32::consts::FRAC_1_SQRT_2;
+    let mut bias_total = 0.0f64;
+    let mut var_total = 0.0f64;
+    for probs in &member_probs {
+        for i in 0..n {
+            let row = &probs.data()[i * k..(i + 1) * k];
+            let y = data.labels()[i];
+            // ‖h_t(x) − y‖₂ with one-hot y
+            let mut d_bias = 0.0f32;
+            for (c, &p) in row.iter().enumerate() {
+                let target = if c == y { 1.0 } else { 0.0 };
+                d_bias += (p - target) * (p - target);
+            }
+            bias_total += f64::from(half_sqrt2 * d_bias.sqrt());
+            // ‖h_t(x) − h̄(x)‖₂
+            let mrow = &mean[i * k..(i + 1) * k];
+            let mut d_var = 0.0f32;
+            for (&p, &m) in row.iter().zip(mrow.iter()) {
+                d_var += (p - m) * (p - m);
+            }
+            var_total += f64::from(half_sqrt2 * d_var.sqrt());
+        }
+    }
+    let denom = (t * n) as f64;
+    Ok(BiasVariance {
+        bias: (bias_total / denom) as f32,
+        variance: (var_total / denom) as f32,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edde_nn::models::mlp;
+    use edde_nn::Network;
+    use edde_tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn toy_data() -> Dataset {
+        let features =
+            Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0], &[3, 2]).unwrap();
+        Dataset::new(features, vec![0, 1, 0], 2).unwrap()
+    }
+
+    fn net(seed: u64) -> Network {
+        let mut r = StdRng::seed_from_u64(seed);
+        mlp(&[2, 6, 2], 0.0, &mut r)
+    }
+
+    #[test]
+    fn identical_members_have_zero_variance() {
+        let mut ens = EnsembleModel::new();
+        let base = net(0);
+        ens.push(base.clone(), 1.0, "a");
+        ens.push(base, 1.0, "b");
+        let bv = bias_variance(&mut ens, &toy_data()).unwrap();
+        assert!(bv.variance < 1e-6);
+        assert!(bv.bias > 0.0);
+    }
+
+    #[test]
+    fn different_members_have_positive_variance() {
+        let mut ens = EnsembleModel::new();
+        ens.push(net(1), 1.0, "a");
+        ens.push(net(2), 1.0, "b");
+        let bv = bias_variance(&mut ens, &toy_data()).unwrap();
+        assert!(bv.variance > 0.0);
+        assert!((0.0..=1.0).contains(&bv.bias));
+        assert!((0.0..=1.0).contains(&bv.variance));
+    }
+
+    #[test]
+    fn perfect_model_has_zero_bias() {
+        // a "network" that outputs huge logits on the right class:
+        // emulate by training? simpler: bias is near zero when members are
+        // confident and correct. Use a hand-weighted linear layer.
+        let mut r = StdRng::seed_from_u64(3);
+        let mut m = mlp(&[2, 2], 0.0, &mut r);
+        // feature [1,0] -> class 0, [0,1] -> class 1, [1,1] -> class 0
+        // weight matrix [ [40, 0], [0, 40] ] biases [10, 0] does it:
+        m.visit_params(&mut |name, p| {
+            if name.ends_with("weight") {
+                p.value = Tensor::from_vec(vec![40.0, 0.0, 0.0, 40.0], &[2, 2]).unwrap();
+            } else {
+                p.value = Tensor::from_slice(&[10.0, 0.0]);
+            }
+        });
+        let mut ens = EnsembleModel::new();
+        ens.push(m, 1.0, "perfect");
+        let bv = bias_variance(&mut ens, &toy_data()).unwrap();
+        assert!(bv.bias < 0.01, "bias {}", bv.bias);
+        assert_eq!(bv.variance, 0.0); // single member
+    }
+
+    #[test]
+    fn empty_ensemble_is_an_error() {
+        let mut ens = EnsembleModel::new();
+        assert!(bias_variance(&mut ens, &toy_data()).is_err());
+    }
+}

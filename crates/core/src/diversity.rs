@@ -1,0 +1,167 @@
+//! The paper's soft-target diversity measure (§IV-C, Eq. 2/3/7).
+
+use crate::ensemble::EnsembleModel;
+use crate::error::{EnsembleError, Result};
+use edde_tensor::Tensor;
+
+/// Pairwise diversity between two soft-target matrices (Eq. 2):
+///
+/// ```text
+/// Div(h_j, h_k) = √2/2 · 1/N · Σ_i ‖h_j(x_i) − h_k(x_i)‖₂
+/// ```
+///
+/// Both inputs must be `[N, k]` probability matrices; the result lies in
+/// `[0, 1]` (the √2/2 factor normalizes the maximum distance between two
+/// probability vectors, Eq. 4–6).
+pub fn pairwise_diversity(a: &Tensor, b: &Tensor) -> Result<f32> {
+    if a.dims() != b.dims() || a.rank() != 2 {
+        return Err(EnsembleError::DataMismatch(format!(
+            "soft-target matrices must be equal-shaped [N, k]: {:?} vs {:?}",
+            a.dims(),
+            b.dims()
+        )));
+    }
+    let (n, k) = (a.dims()[0], a.dims()[1]);
+    if n == 0 {
+        return Err(EnsembleError::DataMismatch(
+            "diversity over zero samples".into(),
+        ));
+    }
+    let mut total = 0.0f64;
+    for i in 0..n {
+        let ra = &a.data()[i * k..(i + 1) * k];
+        let rb = &b.data()[i * k..(i + 1) * k];
+        let dist: f32 = ra
+            .iter()
+            .zip(rb.iter())
+            .map(|(x, y)| (x - y) * (x - y))
+            .sum::<f32>()
+            .sqrt();
+        total += f64::from(dist);
+    }
+    Ok((std::f64::consts::FRAC_1_SQRT_2 * total / n as f64) as f32)
+}
+
+/// Pairwise similarity (Eq. 3): `Sim = 1 − Div`.
+pub fn pairwise_similarity(a: &Tensor, b: &Tensor) -> Result<f32> {
+    Ok(1.0 - pairwise_diversity(a, b)?)
+}
+
+/// The full `T × T` pairwise similarity matrix over member soft targets —
+/// the heatmap of Figure 8. The diagonal is 1 by construction.
+#[allow(clippy::needless_range_loop)]
+pub fn similarity_matrix(member_probs: &[Tensor]) -> Result<Vec<Vec<f32>>> {
+    let t = member_probs.len();
+    let mut m = vec![vec![1.0f32; t]; t];
+    for i in 0..t {
+        for j in (i + 1)..t {
+            let s = pairwise_similarity(&member_probs[i], &member_probs[j])?;
+            m[i][j] = s;
+            m[j][i] = s;
+        }
+    }
+    Ok(m)
+}
+
+/// Ensemble diversity (Eq. 7): the mean pairwise diversity over all
+/// unordered member pairs,
+///
+/// ```text
+/// Div_H = 2/(T(T−1)) · Σ_{j<k} Div(h_j, h_k)
+/// ```
+pub fn ensemble_diversity(member_probs: &[Tensor]) -> Result<f32> {
+    let t = member_probs.len();
+    if t < 2 {
+        return Err(EnsembleError::BadConfig(
+            "ensemble diversity needs at least two members".into(),
+        ));
+    }
+    let mut total = 0.0f64;
+    for i in 0..t {
+        for j in (i + 1)..t {
+            total += f64::from(pairwise_diversity(&member_probs[i], &member_probs[j])?);
+        }
+    }
+    Ok((2.0 * total / (t * (t - 1)) as f64) as f32)
+}
+
+/// Convenience: Eq. 7 evaluated for a trained [`EnsembleModel`] on a
+/// feature tensor.
+pub fn model_diversity(model: &mut EnsembleModel, features: &Tensor) -> Result<f32> {
+    let probs = model.member_soft_targets(features)?;
+    ensemble_diversity(&probs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn probs(rows: &[[f32; 3]]) -> Tensor {
+        let flat: Vec<f32> = rows.iter().flatten().copied().collect();
+        Tensor::from_vec(flat, &[rows.len(), 3]).unwrap()
+    }
+
+    #[test]
+    fn identical_models_have_zero_diversity_and_unit_similarity() {
+        let a = probs(&[[0.7, 0.2, 0.1], [0.1, 0.8, 0.1]]);
+        assert_eq!(pairwise_diversity(&a, &a).unwrap(), 0.0);
+        assert_eq!(pairwise_similarity(&a, &a).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn maximally_different_one_hots_reach_diversity_one() {
+        let a = probs(&[[1.0, 0.0, 0.0]]);
+        let b = probs(&[[0.0, 1.0, 0.0]]);
+        let d = pairwise_diversity(&a, &b).unwrap();
+        assert!((d - 1.0).abs() < 1e-6, "d = {d}"); // √2/2 · √2 = 1
+    }
+
+    #[test]
+    fn diversity_is_bounded_and_symmetric() {
+        let a = probs(&[[0.5, 0.3, 0.2], [0.2, 0.2, 0.6]]);
+        let b = probs(&[[0.1, 0.1, 0.8], [0.9, 0.05, 0.05]]);
+        let dab = pairwise_diversity(&a, &b).unwrap();
+        let dba = pairwise_diversity(&b, &a).unwrap();
+        assert_eq!(dab, dba);
+        assert!((0.0..=1.0).contains(&dab));
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn similarity_matrix_shape_and_diagonal() {
+        let members = vec![
+            probs(&[[1.0, 0.0, 0.0]]),
+            probs(&[[0.0, 1.0, 0.0]]),
+            probs(&[[1.0, 0.0, 0.0]]),
+        ];
+        let m = similarity_matrix(&members).unwrap();
+        assert_eq!(m.len(), 3);
+        for i in 0..3 {
+            assert_eq!(m[i][i], 1.0);
+        }
+        assert!((m[0][1] - 0.0).abs() < 1e-6);
+        assert!((m[0][2] - 1.0).abs() < 1e-6);
+        assert_eq!(m[1][2], m[2][1]);
+    }
+
+    #[test]
+    fn ensemble_diversity_averages_pairs() {
+        // three members: two identical, one orthogonal
+        let members = vec![
+            probs(&[[1.0, 0.0, 0.0]]),
+            probs(&[[1.0, 0.0, 0.0]]),
+            probs(&[[0.0, 1.0, 0.0]]),
+        ];
+        // pairs: (0,1)=0, (0,2)=1, (1,2)=1 -> mean 2/3
+        let d = ensemble_diversity(&members).unwrap();
+        assert!((d - 2.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn needs_two_members_and_equal_shapes() {
+        let a = probs(&[[1.0, 0.0, 0.0]]);
+        assert!(ensemble_diversity(std::slice::from_ref(&a)).is_err());
+        let b = Tensor::zeros(&[2, 3]);
+        assert!(pairwise_diversity(&a, &b).is_err());
+    }
+}

@@ -1,0 +1,254 @@
+//! The weighted soft-voting ensemble model (paper Eq. 16).
+
+use crate::error::{EnsembleError, Result};
+use edde_data::Dataset;
+use edde_nn::metrics::accuracy;
+use edde_nn::Network;
+use edde_tensor::Tensor;
+
+/// Evaluation batch size used when scoring large feature tensors; bounds
+/// the im2col working set without affecting results.
+const EVAL_BATCH: usize = 256;
+
+/// One base model with its ensemble weight `α_t`.
+#[derive(Clone)]
+pub struct EnsembleMember {
+    /// The trained base network `h_t`.
+    pub network: Network,
+    /// Ensemble weight `α_t` (Eq. 15). Uniform methods use 1.0.
+    pub alpha: f32,
+    /// Human-readable tag, e.g. `"edde-3"` or `"snapshot-cycle-2"`.
+    pub label: String,
+}
+
+/// The ensemble `H_T = Σ_t α_t h_t` (Eq. 16): prediction is the α-weighted
+/// average of the members' softmax outputs, renormalized so the result is a
+/// probability vector (required for the paper's `Sim`/`Div` quantities to
+/// stay inside `[0, 1]`).
+#[derive(Clone, Default)]
+pub struct EnsembleModel {
+    members: Vec<EnsembleMember>,
+}
+
+impl EnsembleModel {
+    /// An empty ensemble.
+    pub fn new() -> Self {
+        EnsembleModel {
+            members: Vec::new(),
+        }
+    }
+
+    /// Adds a member.
+    pub fn push(&mut self, network: Network, alpha: f32, label: impl Into<String>) {
+        self.members.push(EnsembleMember {
+            network,
+            alpha,
+            label: label.into(),
+        });
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True when the ensemble has no members.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// The members, in training order.
+    pub fn members(&self) -> &[EnsembleMember] {
+        &self.members
+    }
+
+    /// Mutable access to the members (needed because forward passes cache).
+    pub fn members_mut(&mut self) -> &mut [EnsembleMember] {
+        &mut self.members
+    }
+
+    /// Batched eval-mode softmax output of a single network.
+    pub fn network_soft_targets(net: &mut Network, features: &Tensor) -> Result<Tensor> {
+        let n = features.dims()[0];
+        let mut outputs = Vec::new();
+        let mut start = 0usize;
+        while start < n {
+            let end = (start + EVAL_BATCH).min(n);
+            let idx: Vec<usize> = (start..end).collect();
+            let batch = features.index_select0(&idx)?;
+            outputs.push(net.predict_proba(&batch)?);
+            start = end;
+        }
+        let refs: Vec<&Tensor> = outputs.iter().collect();
+        Ok(Tensor::concat0(&refs)?)
+    }
+
+    /// Ensemble soft target `H_t(x)` for every row of `features`, using the
+    /// first `prefix` members (pass `self.len()` for the full ensemble).
+    pub fn soft_targets_prefix(&mut self, features: &Tensor, prefix: usize) -> Result<Tensor> {
+        if prefix == 0 || prefix > self.members.len() {
+            return Err(EnsembleError::EmptyEnsemble);
+        }
+        let mut acc: Option<Tensor> = None;
+        let mut alpha_sum = 0.0f32;
+        for member in &mut self.members[..prefix] {
+            let probs = Self::network_soft_targets(&mut member.network, features)?;
+            let weighted = probs.map(|v| v * member.alpha);
+            alpha_sum += member.alpha;
+            acc = Some(match acc {
+                None => weighted,
+                Some(a) => a.zip_map(&weighted, |x, y| x + y)?,
+            });
+        }
+        if alpha_sum <= 0.0 {
+            return Err(EnsembleError::BadConfig(
+                "member weights sum to zero".into(),
+            ));
+        }
+        Ok(acc.expect("prefix >= 1").map(|v| v / alpha_sum))
+    }
+
+    /// Ensemble soft target `H_T(x)` over all members.
+    pub fn soft_targets(&mut self, features: &Tensor) -> Result<Tensor> {
+        self.soft_targets_prefix(features, self.members.len())
+    }
+
+    /// Hard predictions of the full ensemble.
+    pub fn predict(&mut self, features: &Tensor) -> Result<Vec<usize>> {
+        let probs = self.soft_targets(features)?;
+        Ok(edde_tensor::ops::argmax_rows(&probs)?)
+    }
+
+    /// Ensemble test accuracy.
+    pub fn accuracy(&mut self, data: &Dataset) -> Result<f32> {
+        let probs = self.soft_targets(data.features())?;
+        Ok(accuracy(&probs, data.labels())?)
+    }
+
+    /// Ensemble accuracy using only the first `prefix` members — the
+    /// quantity Fig. 7 plots against cumulative training epochs.
+    pub fn accuracy_prefix(&mut self, data: &Dataset, prefix: usize) -> Result<f32> {
+        let probs = self.soft_targets_prefix(data.features(), prefix)?;
+        Ok(accuracy(&probs, data.labels())?)
+    }
+
+    /// Mean *individual* member accuracy — the "Average accuracy" column of
+    /// Tables IV and VI.
+    pub fn average_member_accuracy(&mut self, data: &Dataset) -> Result<f32> {
+        if self.members.is_empty() {
+            return Err(EnsembleError::EmptyEnsemble);
+        }
+        let mut total = 0.0f32;
+        let m = self.members.len();
+        for member in &mut self.members {
+            let probs = Self::network_soft_targets(&mut member.network, data.features())?;
+            total += accuracy(&probs, data.labels())?;
+        }
+        Ok(total / m as f32)
+    }
+
+    /// Each member's soft-target matrix on `features` — the raw input to the
+    /// diversity measure (Eq. 2) and the pairwise similarity heatmap (Fig. 8).
+    pub fn member_soft_targets(&mut self, features: &Tensor) -> Result<Vec<Tensor>> {
+        self.members
+            .iter_mut()
+            .map(|m| Self::network_soft_targets(&mut m.network, features))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edde_nn::models::mlp;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn toy_data() -> Dataset {
+        let features =
+            Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0, 0.0, 0.0], &[4, 2]).unwrap();
+        Dataset::new(features, vec![0, 1, 0, 1], 2).unwrap()
+    }
+
+    fn member(seed: u64) -> Network {
+        let mut r = StdRng::seed_from_u64(seed);
+        mlp(&[2, 8, 2], 0.0, &mut r)
+    }
+
+    #[test]
+    fn soft_targets_are_probabilities() {
+        let mut ens = EnsembleModel::new();
+        ens.push(member(0), 1.0, "a");
+        ens.push(member(1), 2.0, "b");
+        let d = toy_data();
+        let probs = ens.soft_targets(d.features()).unwrap();
+        assert_eq!(probs.dims(), &[4, 2]);
+        for i in 0..4 {
+            let s: f32 = probs.row(i).unwrap().iter().sum();
+            assert!((s - 1.0).abs() < 1e-5, "row {i} sums to {s}");
+        }
+    }
+
+    #[test]
+    fn alpha_weighting_biases_toward_heavy_member() {
+        let d = toy_data();
+        let mut a = member(3);
+        let mut b = member(4);
+        let pa = EnsembleModel::network_soft_targets(&mut a, d.features()).unwrap();
+        let pb = EnsembleModel::network_soft_targets(&mut b, d.features()).unwrap();
+        let mut ens = EnsembleModel::new();
+        ens.push(a, 9.0, "heavy");
+        ens.push(b, 1.0, "light");
+        let mix = ens.soft_targets(d.features()).unwrap();
+        for i in 0..mix.len() {
+            let expect = (9.0 * pa.data()[i] + pb.data()[i]) / 10.0;
+            assert!((mix.data()[i] - expect).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn prefix_uses_only_early_members() {
+        let d = toy_data();
+        let mut ens = EnsembleModel::new();
+        ens.push(member(5), 1.0, "a");
+        ens.push(member(6), 1.0, "b");
+        let first_only = ens.soft_targets_prefix(d.features(), 1).unwrap();
+        let mut solo = member(5);
+        let expect = EnsembleModel::network_soft_targets(&mut solo, d.features()).unwrap();
+        assert_eq!(first_only.data(), expect.data());
+    }
+
+    #[test]
+    fn empty_ensemble_errors() {
+        let mut ens = EnsembleModel::new();
+        let d = toy_data();
+        assert!(ens.soft_targets(d.features()).is_err());
+        assert!(ens.average_member_accuracy(&d).is_err());
+    }
+
+    #[test]
+    fn accuracy_and_average_accuracy_run() {
+        let mut ens = EnsembleModel::new();
+        ens.push(member(7), 1.0, "a");
+        ens.push(member(8), 1.0, "b");
+        let d = toy_data();
+        let acc = ens.accuracy(&d).unwrap();
+        assert!((0.0..=1.0).contains(&acc));
+        let avg = ens.average_member_accuracy(&d).unwrap();
+        assert!((0.0..=1.0).contains(&avg));
+    }
+
+    #[test]
+    fn batched_eval_matches_unbatched() {
+        // more rows than EVAL_BATCH to exercise the batching path
+        let n = EVAL_BATCH + 10;
+        let mut r = StdRng::seed_from_u64(9);
+        let features = edde_tensor::rng::rand_uniform(&[n, 2], -1.0, 1.0, &mut r);
+        let mut net = member(10);
+        let batched = EnsembleModel::network_soft_targets(&mut net, &features).unwrap();
+        let direct = net.predict_proba(&features).unwrap();
+        for (a, b) in batched.data().iter().zip(direct.data().iter()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! The experiment environment ensemble methods run inside.
+
+use crate::error::Result;
+use crate::trainer::Trainer;
+use edde_data::TrainTest;
+use edde_nn::Network;
+use rand::rngs::StdRng;
+use std::sync::Arc;
+
+/// Builds a freshly initialized base network. Every ensemble method calls
+/// this whenever it needs a new random initialization, so all methods share
+/// one architecture per experiment — exactly the paper's protocol ("we train
+/// each base model with the same network structures and dataset").
+pub type ModelFactory = Arc<dyn Fn(&mut StdRng) -> Result<Network> + Send + Sync>;
+
+/// Everything an [`crate::methods::EnsembleMethod`] needs to run: data, an
+/// architecture, a trainer, and a seed.
+#[derive(Clone)]
+pub struct ExperimentEnv {
+    /// Train/test datasets.
+    pub data: TrainTest,
+    /// Fresh-model builder.
+    pub factory: ModelFactory,
+    /// Shared training hyper-parameters (batch size, momentum, decay,
+    /// augmentation).
+    pub trainer: Trainer,
+    /// Base learning rate handed to each method's schedule.
+    pub base_lr: f32,
+    /// Master seed; methods derive their own `StdRng` from it so different
+    /// methods on the same env are independently reproducible.
+    pub seed: u64,
+}
+
+impl ExperimentEnv {
+    /// A new environment.
+    pub fn new(
+        data: TrainTest,
+        factory: ModelFactory,
+        trainer: Trainer,
+        base_lr: f32,
+        seed: u64,
+    ) -> Self {
+        ExperimentEnv {
+            data,
+            factory,
+            trainer,
+            base_lr,
+            seed,
+        }
+    }
+
+    /// A deterministic RNG for a method, offset by a method-specific salt so
+    /// two methods never share a stream.
+    pub fn rng(&self, salt: u64) -> StdRng {
+        use rand::SeedableRng;
+        StdRng::seed_from_u64(self.seed.wrapping_mul(0x9E37_79B9).wrapping_add(salt))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edde_data::synth::{gaussian_blobs, GaussianBlobsConfig};
+    use edde_nn::models::mlp;
+    use rand::RngExt;
+
+    #[test]
+    fn env_rngs_are_reproducible_and_salted() {
+        let data = gaussian_blobs(&GaussianBlobsConfig::default(), 0);
+        let factory: ModelFactory = Arc::new(|r| Ok(mlp(&[8, 4, 3], 0.0, r)));
+        let env = ExperimentEnv::new(data, factory, Trainer::default(), 0.1, 42);
+        let mut a = env.rng(1);
+        let mut b = env.rng(1);
+        let mut c = env.rng(2);
+        let (x, y, z): (u64, u64, u64) = (a.random(), b.random(), c.random());
+        assert_eq!(x, y);
+        assert_ne!(x, z);
+    }
+
+    #[test]
+    fn factory_builds_models() {
+        let data = gaussian_blobs(&GaussianBlobsConfig::default(), 0);
+        let factory: ModelFactory = Arc::new(|r| Ok(mlp(&[8, 4, 3], 0.0, r)));
+        let env = ExperimentEnv::new(data, factory, Trainer::default(), 0.1, 1);
+        let mut rng = env.rng(0);
+        let mut net = (env.factory)(&mut rng).unwrap();
+        assert_eq!(net.num_classes(), 3);
+        assert!(net.param_count() > 0);
+    }
+}

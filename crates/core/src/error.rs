@@ -1,0 +1,79 @@
+//! Error type for ensemble training.
+
+use edde_nn::NnError;
+use edde_tensor::TensorError;
+use std::fmt;
+
+/// Convenience alias used by every fallible operation in this crate.
+pub type Result<T> = std::result::Result<T, EnsembleError>;
+
+/// Errors raised while constructing or training ensembles.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EnsembleError {
+    /// A neural-network-level error bubbled up from `edde-nn`.
+    Nn(NnError),
+    /// A tensor-level error bubbled up from `edde-tensor`.
+    Tensor(TensorError),
+    /// A method was configured inconsistently (zero members, bad γ, ...).
+    BadConfig(String),
+    /// An operation required a non-empty ensemble.
+    EmptyEnsemble,
+    /// Datasets passed to an experiment disagree (class counts, shapes).
+    DataMismatch(String),
+    /// Training diverged (non-finite loss) and could not be recovered.
+    Diverged(String),
+}
+
+impl fmt::Display for EnsembleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EnsembleError::Nn(e) => write!(f, "model error: {e}"),
+            EnsembleError::Tensor(e) => write!(f, "tensor error: {e}"),
+            EnsembleError::BadConfig(msg) => write!(f, "bad ensemble config: {msg}"),
+            EnsembleError::EmptyEnsemble => write!(f, "ensemble has no members"),
+            EnsembleError::DataMismatch(msg) => write!(f, "data mismatch: {msg}"),
+            EnsembleError::Diverged(msg) => write!(f, "training diverged: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EnsembleError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EnsembleError::Nn(e) => Some(e),
+            EnsembleError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NnError> for EnsembleError {
+    fn from(e: NnError) -> Self {
+        EnsembleError::Nn(e)
+    }
+}
+
+impl From<TensorError> for EnsembleError {
+    fn from(e: TensorError) -> Self {
+        EnsembleError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_work() {
+        let ne: EnsembleError = NnError::NonFinite("loss").into();
+        assert!(matches!(ne, EnsembleError::Nn(_)));
+        let te: EnsembleError = TensorError::Empty("x").into();
+        assert!(matches!(te, EnsembleError::Tensor(_)));
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let e = EnsembleError::BadConfig("gamma must be >= 0".into());
+        assert!(e.to_string().contains("gamma"));
+    }
+}

@@ -1,0 +1,122 @@
+//! Experiment-level evaluation: per-method summaries (Tables II–VI rows)
+//! built from trained ensembles.
+
+use crate::diversity::model_diversity;
+use crate::ensemble::EnsembleModel;
+use crate::error::Result;
+use crate::methods::RunResult;
+use edde_data::Dataset;
+
+/// One row of the paper's comparison tables.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MethodSummary {
+    /// Method display name.
+    pub name: String,
+    /// Total training epochs consumed.
+    pub total_epochs: usize,
+    /// Number of ensemble members.
+    pub members: usize,
+    /// Ensemble test accuracy (the headline number of Tables II/III).
+    pub ensemble_accuracy: f32,
+    /// Mean individual member accuracy (Tables IV/VI).
+    pub average_accuracy: f32,
+    /// `ensemble − average` (the "Increased accuracy" column of Table IV).
+    pub increased_accuracy: f32,
+    /// Ensemble diversity per Eq. 7 (`None` for single-member ensembles,
+    /// where pairwise diversity is undefined).
+    pub diversity: Option<f32>,
+}
+
+/// Builds a summary row for a completed run.
+pub fn summarize(name: impl Into<String>, run: &mut RunResult, test: &Dataset) -> Result<MethodSummary> {
+    let ensemble_accuracy = run.model.accuracy(test)?;
+    let average_accuracy = run.model.average_member_accuracy(test)?;
+    let diversity = if run.model.len() >= 2 {
+        Some(model_diversity(&mut run.model, test.features())?)
+    } else {
+        None
+    };
+    Ok(MethodSummary {
+        name: name.into(),
+        total_epochs: run.total_epochs,
+        members: run.model.len(),
+        ensemble_accuracy,
+        average_accuracy,
+        increased_accuracy: ensemble_accuracy - average_accuracy,
+        diversity,
+    })
+}
+
+/// Ensemble accuracy after each member, re-evaluated from a trained model
+/// (used when a caller wants a trace at a different granularity than the
+/// one recorded during training).
+pub fn prefix_accuracies(model: &mut EnsembleModel, test: &Dataset) -> Result<Vec<f32>> {
+    (1..=model.len())
+        .map(|t| model.accuracy_prefix(test, t))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::{ExperimentEnv, ModelFactory};
+    use crate::methods::{Bagging, EnsembleMethod};
+    use crate::trainer::Trainer;
+    use edde_data::synth::{gaussian_blobs, GaussianBlobsConfig};
+    use edde_nn::models::mlp;
+    use std::sync::Arc;
+
+    fn env() -> ExperimentEnv {
+        let data = gaussian_blobs(
+            &GaussianBlobsConfig {
+                classes: 3,
+                dim: 6,
+                train_per_class: 30,
+                test_per_class: 15,
+                spread: 0.7,
+            },
+            61,
+        );
+        let factory: ModelFactory = Arc::new(|r| Ok(mlp(&[6, 16, 3], 0.0, r)));
+        ExperimentEnv::new(
+            data,
+            factory,
+            Trainer {
+                batch_size: 16,
+                momentum: 0.9,
+                weight_decay: 0.0,
+                augment: None,
+            },
+            0.1,
+            67,
+        )
+    }
+
+    #[test]
+    fn summary_fields_are_consistent() {
+        let e = env();
+        let mut run = Bagging::new(3, 6).run(&e).unwrap();
+        let s = summarize("Bagging", &mut run, &e.data.test).unwrap();
+        assert_eq!(s.members, 3);
+        assert_eq!(s.total_epochs, 18);
+        assert!((s.increased_accuracy - (s.ensemble_accuracy - s.average_accuracy)).abs() < 1e-6);
+        assert!(s.diversity.is_some());
+    }
+
+    #[test]
+    fn single_member_has_no_diversity() {
+        let e = env();
+        let mut run = crate::methods::SingleModel::new(6).run(&e).unwrap();
+        let s = summarize("Single", &mut run, &e.data.test).unwrap();
+        assert!(s.diversity.is_none());
+    }
+
+    #[test]
+    fn prefix_accuracies_lengths() {
+        let e = env();
+        let mut run = Bagging::new(3, 5).run(&e).unwrap();
+        let accs = prefix_accuracies(&mut run.model, &e.data.test).unwrap();
+        assert_eq!(accs.len(), 3);
+        assert!(accs.iter().all(|a| (0.0..=1.0).contains(a)));
+    }
+}

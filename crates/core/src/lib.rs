@@ -1,0 +1,58 @@
+//! # edde-core
+//!
+//! The primary contribution of *Efficient Diversity-Driven Ensemble for Deep
+//! Neural Networks* (Zhang, Jiang, Shao, Cui — ICDE 2020), plus every
+//! baseline the paper compares against, behind one interface.
+//!
+//! ## What EDDE is
+//!
+//! EDDE (Algorithm 1 of the paper) trains an ensemble of neural networks
+//! under a tight epoch budget by combining three mechanisms:
+//!
+//! 1. **β-knowledge transfer** ([`transfer`]): each new base model is
+//!    initialized from the lower (generic) `β` fraction of the previous
+//!    model's parameters, with the upper (task-specific) layers
+//!    re-initialized — accelerating convergence *without* collapsing
+//!    diversity the way full-weight transfer (Snapshot Ensemble) does.
+//!    The β value itself is selected by the seen-fold/unseen-fold probe of
+//!    §IV-B ([`transfer::select_beta`]).
+//! 2. **Diversity-driven optimization** ([`edde_nn::loss::DiversityDriven`],
+//!    driven by [`trainer`]): the loss `CE − γ‖h(x) − H(x)‖₂` explicitly
+//!    pushes each model's soft target away from the running ensemble's.
+//! 3. **A Boosting-based pipeline** ([`methods::Edde`]): sample weights are
+//!    rebuilt each round from `Sim_t` and `Bias_t` (Eq. 12–14) and member
+//!    weights `α_t` follow Eq. 15; prediction is α-weighted soft voting
+//!    (Eq. 16).
+//!
+//! ## Baselines
+//!
+//! [`methods`] also implements Single Model, Bagging, AdaBoost.M1,
+//! AdaBoost.NC (Wang, Chen & Yao 2010), Snapshot Ensemble (Huang et al.
+//! 2017), and Born-Again Networks (Furlanello et al. 2018) — everything in
+//! the paper's Tables II–VI and Figures 1/7/8.
+//!
+//! ## Measurement
+//!
+//! [`diversity`] is the paper's soft-target diversity measure (Eq. 2/3/7),
+//! [`bias_variance`] the bias/variance analysis behind Figure 1, and
+//! [`evaluate`] the accuracy-versus-budget traces behind Figure 7.
+
+pub mod bias_variance;
+pub mod diversity;
+pub mod ensemble;
+pub mod env;
+pub mod error;
+pub mod evaluate;
+pub mod methods;
+pub mod report;
+pub mod trainer;
+pub mod transfer;
+
+pub use ensemble::{EnsembleMember, EnsembleModel};
+pub use env::{ExperimentEnv, ModelFactory};
+pub use error::{EnsembleError, Result};
+pub use methods::{
+    AdaBoostM1, AdaBoostNc, Bagging, Bans, Edde, EnsembleMethod, Ncl, RunResult, SingleModel,
+    Snapshot, TracePoint,
+};
+pub use trainer::{LossSpec, Trainer};

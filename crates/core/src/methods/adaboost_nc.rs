@@ -1,0 +1,251 @@
+//! AdaBoost.NC (Wang, Chen & Yao, IJCNN 2010): boosting with an ambiguity
+//! penalty that promotes diversity through the *sample weights* — the
+//! diversity-driven baseline the paper contrasts EDDE with (§II-B, §IV-C).
+//!
+//! Per round `t`:
+//!
+//! 1. train `h_t` on a weight-proportional resample (random init — unless
+//!    the Table VI ablation enables transfer);
+//! 2. compute the ambiguity `amb_t(x) = 1/t · Σ_{τ≤t} 1[h_τ(x) ≠ H_t(x)]`,
+//!    i.e. how much the members disagree with the current ensemble, and the
+//!    penalty `p_t(x) = 1 − amb_t(x)`;
+//! 3. update weights `w ∝ w · p_t(x)^λ · exp(α_t·1[h_t(x) ≠ y])` — samples
+//!    the ensemble already disagrees on (low penalty) are *down*-weighted,
+//!    pushing later members toward them differently;
+//! 4. `α_t = ½·ln((1−ε_t)/ε_t)` from the penalized weighted error.
+
+use super::{clamped_half_log_odds, record_trace, EnsembleMethod, RunResult};
+use crate::ensemble::EnsembleModel;
+use crate::env::ExperimentEnv;
+use crate::error::{EnsembleError, Result};
+use crate::trainer::LossSpec;
+use crate::transfer::transfer_partial;
+use edde_data::sampler::{normalize_weights, weighted_indices};
+use edde_nn::metrics::correctness;
+use edde_nn::optim::LrSchedule;
+use edde_tensor::ops::argmax_rows;
+
+/// The AdaBoost.NC baseline.
+#[derive(Debug, Clone)]
+pub struct AdaBoostNc {
+    /// Number of members.
+    pub members: usize,
+    /// Epoch budget per member.
+    pub epochs_per_member: usize,
+    /// Penalty strength λ (Wang et al. recommend small integers; 2 here).
+    pub lambda: f32,
+    /// Table VI ablation: initialize each member from the full weights of
+    /// the previous one ("AdaBoost.NC (transfer)").
+    pub transfer: bool,
+}
+
+impl AdaBoostNc {
+    /// The standard configuration (λ = 2, no transfer).
+    pub fn new(members: usize, epochs_per_member: usize) -> Self {
+        AdaBoostNc {
+            members,
+            epochs_per_member,
+            lambda: 2.0,
+            transfer: false,
+        }
+    }
+
+    /// The "AdaBoost.NC (transfer)" ablation of Table VI.
+    pub fn with_transfer(members: usize, epochs_per_member: usize) -> Self {
+        AdaBoostNc {
+            transfer: true,
+            ..AdaBoostNc::new(members, epochs_per_member)
+        }
+    }
+}
+
+impl EnsembleMethod for AdaBoostNc {
+    fn name(&self) -> String {
+        if self.transfer {
+            "AdaBoost.NC (transfer)".into()
+        } else {
+            "AdaBoost.NC".into()
+        }
+    }
+
+    fn run(&self, env: &ExperimentEnv) -> Result<RunResult> {
+        if self.members == 0 {
+            return Err(EnsembleError::BadConfig(
+                "adaboost.nc needs members >= 1".into(),
+            ));
+        }
+        if self.lambda < 0.0 {
+            return Err(EnsembleError::BadConfig("lambda must be >= 0".into()));
+        }
+        let mut rng = env.rng(0xA0C);
+        let train = &env.data.train;
+        let n = train.len();
+        let mut weights = vec![1.0f32 / n as f32; n];
+        let mut model = EnsembleModel::new();
+        let mut trace = Vec::new();
+        // hard predictions of every member so far, for the ambiguity term
+        let mut member_preds: Vec<Vec<usize>> = Vec::new();
+        let schedule = LrSchedule::paper_step(env.base_lr, self.epochs_per_member);
+
+        for t in 0..self.members {
+            let idx = weighted_indices(&weights, n, &mut rng);
+            let resampled = train.select(&idx)?;
+            let mut net = (env.factory)(&mut rng)?;
+            if self.transfer {
+                if let Some(prev) = model.members_mut().last_mut() {
+                    transfer_partial(&mut prev.network, &mut net, 1.0)?;
+                }
+            }
+            env.trainer.train(
+                &mut net,
+                &resampled,
+                &schedule,
+                self.epochs_per_member,
+                None,
+                &LossSpec::CrossEntropy,
+                &mut rng,
+            )?;
+            let probs = EnsembleModel::network_soft_targets(&mut net, train.features())?;
+            let correct = correctness(&probs, train.labels())?;
+            member_preds.push(argmax_rows(&probs)?);
+            model.push(net, 1.0, format!("adaboost-nc-{t}"));
+
+            // ensemble prediction including the new member
+            let ens_probs = model.soft_targets(train.features())?;
+            let ens_preds = argmax_rows(&ens_probs)?;
+            // ambiguity and penalty per sample
+            let t_now = member_preds.len() as f32;
+            let penalties: Vec<f32> = (0..n)
+                .map(|i| {
+                    let disagree = member_preds
+                        .iter()
+                        .filter(|preds| preds[i] != ens_preds[i])
+                        .count() as f32;
+                    1.0 - disagree / t_now
+                })
+                .collect();
+
+            // penalized weighted error of the new member
+            let mut eps_num = 0.0f64;
+            let mut eps_den = 0.0f64;
+            for i in 0..n {
+                let pw = f64::from(weights[i]) * f64::from(penalties[i].powf(self.lambda));
+                eps_den += pw;
+                if !correct[i] {
+                    eps_num += pw;
+                }
+            }
+            let eps = if eps_den > 0.0 { eps_num / eps_den } else { 0.5 };
+            let alpha = clamped_half_log_odds(1.0 - eps, eps.max(1e-9));
+            model.members_mut().last_mut().expect("just pushed").alpha = alpha;
+
+            // weight update: penalty^lambda * exp(alpha * misclassified)
+            for i in 0..n {
+                let mut w = weights[i] * penalties[i].powf(self.lambda);
+                if !correct[i] {
+                    w *= (2.0 * alpha).exp();
+                }
+                weights[i] = w.max(1e-12);
+            }
+            normalize_weights(&mut weights, 1.0);
+
+            record_trace(
+                &mut model,
+                &env.data.test,
+                (t + 1) * self.epochs_per_member,
+                &mut trace,
+            )?;
+        }
+        Ok(RunResult {
+            model,
+            trace,
+            total_epochs: self.members * self.epochs_per_member,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::ModelFactory;
+    use crate::trainer::Trainer;
+    use edde_data::synth::{gaussian_blobs, GaussianBlobsConfig};
+    use edde_nn::models::mlp;
+    use std::sync::Arc;
+
+    fn env() -> ExperimentEnv {
+        let data = gaussian_blobs(
+            &GaussianBlobsConfig {
+                classes: 3,
+                dim: 6,
+                train_per_class: 40,
+                test_per_class: 20,
+                spread: 0.8,
+            },
+            17,
+        );
+        let factory: ModelFactory = Arc::new(|r| Ok(mlp(&[6, 20, 3], 0.0, r)));
+        ExperimentEnv::new(
+            data,
+            factory,
+            Trainer {
+                batch_size: 16,
+                momentum: 0.9,
+                weight_decay: 0.0,
+                augment: None,
+            },
+            0.1,
+            23,
+        )
+    }
+
+    #[test]
+    fn nc_trains_and_scores() {
+        let result = AdaBoostNc::new(3, 8).run(&env()).unwrap();
+        assert_eq!(result.model.len(), 3);
+        let acc = result.trace.last().unwrap().test_accuracy;
+        assert!(acc > 0.7, "accuracy {acc}");
+    }
+
+    #[test]
+    fn transfer_variant_has_name_and_runs() {
+        let m = AdaBoostNc::with_transfer(2, 5);
+        assert_eq!(m.name(), "AdaBoost.NC (transfer)");
+        let result = m.run(&env()).unwrap();
+        assert_eq!(result.model.len(), 2);
+    }
+
+    #[test]
+    fn both_variants_produce_valid_diversity() {
+        // The paper's Table VI ordering (plain NC more diverse than the
+        // transfer variant) is a property of under-trained CNNs on hard
+        // image data; on these easy blobs the ordering is not stable, so
+        // here we only verify both variants run and produce well-formed
+        // diversity values. The image-scale ordering is exercised by the
+        // table6 benchmark harness.
+        let e = env();
+        let mut plain = AdaBoostNc::new(3, 2).run(&e).unwrap();
+        let mut transferred = AdaBoostNc::with_transfer(3, 2).run(&e).unwrap();
+        let d_plain = crate::diversity::model_diversity(
+            &mut plain.model,
+            e.data.test.features(),
+        )
+        .unwrap();
+        let d_transfer = crate::diversity::model_diversity(
+            &mut transferred.model,
+            e.data.test.features(),
+        )
+        .unwrap();
+        assert!((0.0..=1.0).contains(&d_plain));
+        assert!((0.0..=1.0).contains(&d_transfer));
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let mut m = AdaBoostNc::new(0, 5);
+        assert!(m.run(&env()).is_err());
+        m = AdaBoostNc::new(1, 5);
+        m.lambda = -1.0;
+        assert!(m.run(&env()).is_err());
+    }
+}

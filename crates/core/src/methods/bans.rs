@@ -1,0 +1,167 @@
+//! Born-Again Networks (Furlanello et al., ICML 2018): each generation is a
+//! freshly initialized network trained to match the previous generation's
+//! full softmax distribution (knowledge distillation), and the generations
+//! are ensembled by soft voting.
+
+use super::{record_trace, soft_targets_with_temperature, EnsembleMethod, RunResult};
+use crate::ensemble::EnsembleModel;
+use crate::env::ExperimentEnv;
+use crate::error::{EnsembleError, Result};
+use crate::trainer::LossSpec;
+use edde_nn::optim::LrSchedule;
+
+/// The BANs baseline. Generation 1 trains with plain cross-entropy; every
+/// later generation distills from its predecessor ("trained from the
+/// supervision of the earlier fitted model").
+#[derive(Debug, Clone)]
+pub struct Bans {
+    /// Number of generations (= ensemble members).
+    pub generations: usize,
+    /// Epoch budget per generation.
+    pub epochs_per_generation: usize,
+    /// Weight of the soft-target term in the distillation loss.
+    pub lambda: f32,
+    /// Distillation temperature.
+    pub temperature: f32,
+}
+
+impl Bans {
+    /// The standard configuration (λ = 0.5, τ = 2).
+    pub fn new(generations: usize, epochs_per_generation: usize) -> Self {
+        Bans {
+            generations,
+            epochs_per_generation,
+            lambda: 0.5,
+            temperature: 2.0,
+        }
+    }
+}
+
+impl EnsembleMethod for Bans {
+    fn name(&self) -> String {
+        "BANs".into()
+    }
+
+    fn run(&self, env: &ExperimentEnv) -> Result<RunResult> {
+        if self.generations == 0 {
+            return Err(EnsembleError::BadConfig(
+                "bans needs generations >= 1".into(),
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.lambda) || self.temperature <= 0.0 {
+            return Err(EnsembleError::BadConfig(
+                "bans needs lambda in [0,1] and temperature > 0".into(),
+            ));
+        }
+        let mut rng = env.rng(0xBA2);
+        let train = &env.data.train;
+        let schedule = LrSchedule::paper_step(env.base_lr, self.epochs_per_generation);
+        let mut model = EnsembleModel::new();
+        let mut trace = Vec::new();
+        for g in 0..self.generations {
+            let mut net = (env.factory)(&mut rng)?;
+            if g == 0 {
+                env.trainer.train(
+                    &mut net,
+                    train,
+                    &schedule,
+                    self.epochs_per_generation,
+                    None,
+                    &LossSpec::CrossEntropy,
+                    &mut rng,
+                )?;
+            } else {
+                let teacher = &mut model
+                    .members_mut()
+                    .last_mut()
+                    .expect("generation g-1 exists")
+                    .network;
+                let teacher_soft = soft_targets_with_temperature(
+                    teacher,
+                    train.features(),
+                    self.temperature,
+                )?;
+                env.trainer.train(
+                    &mut net,
+                    train,
+                    &schedule,
+                    self.epochs_per_generation,
+                    None,
+                    &LossSpec::Distill {
+                        lambda: self.lambda,
+                        temperature: self.temperature,
+                        teacher_soft: &teacher_soft,
+                    },
+                    &mut rng,
+                )?;
+            }
+            model.push(net, 1.0, format!("ban-gen-{g}"));
+            record_trace(
+                &mut model,
+                &env.data.test,
+                (g + 1) * self.epochs_per_generation,
+                &mut trace,
+            )?;
+        }
+        Ok(RunResult {
+            model,
+            trace,
+            total_epochs: self.generations * self.epochs_per_generation,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::ModelFactory;
+    use crate::trainer::Trainer;
+    use edde_data::synth::{gaussian_blobs, GaussianBlobsConfig};
+    use edde_nn::models::mlp;
+    use std::sync::Arc;
+
+    fn env() -> ExperimentEnv {
+        let data = gaussian_blobs(
+            &GaussianBlobsConfig {
+                classes: 3,
+                dim: 6,
+                train_per_class: 40,
+                test_per_class: 20,
+                spread: 0.7,
+            },
+            41,
+        );
+        let factory: ModelFactory = Arc::new(|r| Ok(mlp(&[6, 20, 3], 0.0, r)));
+        ExperimentEnv::new(
+            data,
+            factory,
+            Trainer {
+                batch_size: 16,
+                momentum: 0.9,
+                weight_decay: 0.0,
+                augment: None,
+            },
+            0.1,
+            43,
+        )
+    }
+
+    #[test]
+    fn bans_builds_generations() {
+        let result = Bans::new(3, 8).run(&env()).unwrap();
+        assert_eq!(result.model.len(), 3);
+        let acc = result.trace.last().unwrap().test_accuracy;
+        assert!(acc > 0.75, "accuracy {acc}");
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        let mut m = Bans::new(2, 5);
+        m.lambda = 1.5;
+        assert!(m.run(&env()).is_err());
+        let mut m2 = Bans::new(2, 5);
+        m2.temperature = 0.0;
+        assert!(m2.run(&env()).is_err());
+        assert!(Bans::new(0, 5).run(&env()).is_err());
+    }
+}

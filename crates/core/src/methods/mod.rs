@@ -1,0 +1,154 @@
+//! The ensemble methods the paper evaluates: EDDE plus six baselines.
+//!
+//! Every method implements [`EnsembleMethod`] against one
+//! [`crate::env::ExperimentEnv`], producing an [`crate::EnsembleModel`] and
+//! a test-accuracy trace (the raw series behind Figure 7).
+
+mod adaboost_m1;
+mod adaboost_nc;
+mod bagging;
+mod bans;
+mod edde;
+mod ncl;
+mod single;
+mod snapshot;
+
+pub use adaboost_m1::AdaBoostM1;
+pub use adaboost_nc::AdaBoostNc;
+pub use bagging::Bagging;
+pub use bans::Bans;
+pub use edde::{Edde, TransferMode};
+pub use ncl::Ncl;
+pub use single::SingleModel;
+pub use snapshot::Snapshot;
+
+use crate::ensemble::EnsembleModel;
+use crate::env::ExperimentEnv;
+use crate::error::Result;
+use edde_data::Dataset;
+use edde_nn::Network;
+use edde_tensor::ops::softmax_rows;
+use edde_tensor::Tensor;
+
+/// One point of an ensemble-accuracy-versus-budget trace (Fig. 7).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TracePoint {
+    /// Total training epochs spent so far (across all members).
+    pub cumulative_epochs: usize,
+    /// Members in the ensemble at this point.
+    pub members: usize,
+    /// Ensemble accuracy on the test set.
+    pub test_accuracy: f32,
+}
+
+/// The output of one ensemble training run.
+pub struct RunResult {
+    /// The trained ensemble.
+    pub model: EnsembleModel,
+    /// Accuracy after each member/snapshot was added.
+    pub trace: Vec<TracePoint>,
+    /// Total epochs consumed — the paper's unit of training cost.
+    pub total_epochs: usize,
+}
+
+/// An ensemble training method.
+pub trait EnsembleMethod {
+    /// Display name, matching the paper's tables ("EDDE", "Snapshot", ...).
+    fn name(&self) -> String;
+
+    /// Trains an ensemble in the given environment.
+    fn run(&self, env: &ExperimentEnv) -> Result<RunResult>;
+}
+
+/// Records a trace point for the current ensemble prefix.
+pub(crate) fn record_trace(
+    model: &mut EnsembleModel,
+    test: &Dataset,
+    cumulative_epochs: usize,
+    trace: &mut Vec<TracePoint>,
+) -> Result<()> {
+    let acc = model.accuracy(test)?;
+    trace.push(TracePoint {
+        cumulative_epochs,
+        members: model.len(),
+        test_accuracy: acc,
+    });
+    Ok(())
+}
+
+/// Evaluation-mode softmax at temperature `tau` — the τ-softened teacher
+/// targets BANs distills from.
+pub(crate) fn soft_targets_with_temperature(
+    net: &mut Network,
+    features: &Tensor,
+    tau: f32,
+) -> Result<Tensor> {
+    let n = features.dims()[0];
+    let mut outputs = Vec::new();
+    let mut start = 0usize;
+    const BATCH: usize = 256;
+    while start < n {
+        let end = (start + BATCH).min(n);
+        let idx: Vec<usize> = (start..end).collect();
+        let batch = features.index_select0(&idx)?;
+        let logits = net.forward(&batch, edde_nn::Mode::Eval)?;
+        let softened = logits.map(|z| z / tau);
+        outputs.push(softmax_rows(&softened)?);
+        start = end;
+    }
+    let refs: Vec<&Tensor> = outputs.iter().collect();
+    Ok(Tensor::concat0(&refs)?)
+}
+
+/// Clamp range for member weights α. Boosting's log-odds formulas explode
+/// on near-perfect or near-useless members; clamping keeps the soft vote
+/// well-conditioned, and the floor keeps every trained member in play (the
+/// paper's EDDE never discards a model).
+pub(crate) const ALPHA_MIN: f32 = 0.05;
+pub(crate) const ALPHA_MAX: f32 = 4.0;
+
+/// `½·ln(pos/neg)` clamped to `[ALPHA_MIN, ALPHA_MAX]`, handling the
+/// zero-denominator (perfect member) and zero-numerator (useless member)
+/// corners.
+pub(crate) fn clamped_half_log_odds(pos: f64, neg: f64) -> f32 {
+    if pos <= 0.0 {
+        return ALPHA_MIN;
+    }
+    if neg <= 0.0 {
+        return ALPHA_MAX;
+    }
+    (0.5 * (pos / neg).ln()).clamp(f64::from(ALPHA_MIN), f64::from(ALPHA_MAX)) as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clamped_log_odds_corners() {
+        assert_eq!(clamped_half_log_odds(0.0, 1.0), ALPHA_MIN);
+        assert_eq!(clamped_half_log_odds(1.0, 0.0), ALPHA_MAX);
+        let mid = clamped_half_log_odds(std::f64::consts::E.powi(2), 1.0);
+        assert!((mid - 1.0).abs() < 1e-6);
+        // symmetric case
+        assert!((clamped_half_log_odds(1.0, 1.0) - ALPHA_MIN).abs() < 1e-6);
+    }
+
+    #[test]
+    fn temperature_softening_flattens() {
+        use edde_nn::models::mlp;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut r = StdRng::seed_from_u64(0);
+        let mut net = mlp(&[2, 4, 3], 0.0, &mut r);
+        let x = edde_tensor::rng::rand_uniform(&[4, 2], -1.0, 1.0, &mut r);
+        let sharp = soft_targets_with_temperature(&mut net, &x, 1.0).unwrap();
+        let soft = soft_targets_with_temperature(&mut net, &x, 4.0).unwrap();
+        // higher temperature -> closer to uniform -> lower max prob
+        for i in 0..4 {
+            let max_sharp = sharp.row(i).unwrap().iter().copied().fold(0.0f32, f32::max);
+            let max_soft = soft.row(i).unwrap().iter().copied().fold(0.0f32, f32::max);
+            assert!(max_soft <= max_sharp + 1e-6);
+        }
+    }
+}

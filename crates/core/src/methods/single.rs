@@ -1,0 +1,143 @@
+//! The Single Model baseline: one network, full budget, no ensemble.
+
+use super::{EnsembleMethod, RunResult, TracePoint};
+use crate::ensemble::EnsembleModel;
+use crate::env::ExperimentEnv;
+use crate::error::Result;
+use crate::trainer::LossSpec;
+use edde_nn::optim::LrSchedule;
+
+/// Trains a single network with the paper's step schedule and reports it as
+/// a one-member "ensemble" (the first row of Tables II/III).
+#[derive(Debug, Clone)]
+pub struct SingleModel {
+    /// Epoch budget.
+    pub epochs: usize,
+    /// Record a trace point every this many epochs (0 = only at the end).
+    /// Fig. 7 plots the single model as a curve, so the harness sets this.
+    pub trace_every: usize,
+}
+
+impl SingleModel {
+    /// A single model trained for `epochs`, traced only at the end.
+    pub fn new(epochs: usize) -> Self {
+        SingleModel {
+            epochs,
+            trace_every: 0,
+        }
+    }
+}
+
+impl EnsembleMethod for SingleModel {
+    fn name(&self) -> String {
+        "Single Model".into()
+    }
+
+    fn run(&self, env: &ExperimentEnv) -> Result<RunResult> {
+        let mut rng = env.rng(0x51);
+        let mut net = (env.factory)(&mut rng)?;
+        let schedule = LrSchedule::paper_step(env.base_lr, self.epochs);
+        let mut trace: Vec<TracePoint> = Vec::new();
+        let test = &env.data.test;
+        let trace_every = self.trace_every;
+        env.trainer.train_traced(
+            &mut net,
+            &env.data.train,
+            &schedule,
+            self.epochs,
+            None,
+            &LossSpec::CrossEntropy,
+            &mut rng,
+            |net, epoch| {
+                if trace_every > 0 && (epoch + 1) % trace_every == 0 {
+                    let probs = EnsembleModel::network_soft_targets(net, test.features())?;
+                    let acc = edde_nn::metrics::accuracy(&probs, test.labels())?;
+                    trace.push(TracePoint {
+                        cumulative_epochs: epoch + 1,
+                        members: 1,
+                        test_accuracy: acc,
+                    });
+                }
+                Ok(())
+            },
+        )?;
+        let mut model = EnsembleModel::new();
+        model.push(net, 1.0, "single");
+        if trace.is_empty() {
+            super::record_trace(&mut model, test, self.epochs, &mut trace)?;
+        }
+        Ok(RunResult {
+            model,
+            trace,
+            total_epochs: self.epochs,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::ModelFactory;
+    use crate::trainer::Trainer;
+    use edde_data::synth::{gaussian_blobs, GaussianBlobsConfig};
+    use edde_nn::models::mlp;
+    use std::sync::Arc;
+
+    fn env() -> ExperimentEnv {
+        let data = gaussian_blobs(
+            &GaussianBlobsConfig {
+                classes: 3,
+                dim: 6,
+                train_per_class: 40,
+                test_per_class: 20,
+                spread: 0.6,
+            },
+            3,
+        );
+        let factory: ModelFactory = Arc::new(|r| Ok(mlp(&[6, 24, 3], 0.0, r)));
+        ExperimentEnv::new(
+            data,
+            factory,
+            Trainer {
+                batch_size: 16,
+                momentum: 0.9,
+                weight_decay: 0.0,
+                augment: None,
+            },
+            0.1,
+            7,
+        )
+    }
+
+    #[test]
+    fn single_model_learns_the_blobs() {
+        let result = SingleModel::new(15).run(&env()).unwrap();
+        assert_eq!(result.model.len(), 1);
+        assert_eq!(result.total_epochs, 15);
+        let final_acc = result.trace.last().unwrap().test_accuracy;
+        assert!(final_acc > 0.8, "accuracy {final_acc}");
+    }
+
+    #[test]
+    fn trace_every_produces_a_curve() {
+        let method = SingleModel {
+            epochs: 10,
+            trace_every: 2,
+        };
+        let result = method.run(&env()).unwrap();
+        assert_eq!(result.trace.len(), 5);
+        assert_eq!(result.trace[0].cumulative_epochs, 2);
+        assert_eq!(result.trace[4].cumulative_epochs, 10);
+    }
+
+    #[test]
+    fn is_deterministic_under_env_seed() {
+        let e = env();
+        let a = SingleModel::new(5).run(&e).unwrap();
+        let b = SingleModel::new(5).run(&e).unwrap();
+        assert_eq!(
+            a.trace.last().unwrap().test_accuracy,
+            b.trace.last().unwrap().test_accuracy
+        );
+    }
+}

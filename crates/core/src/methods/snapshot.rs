@@ -1,0 +1,149 @@
+//! Snapshot Ensemble (Huang et al., ICLR 2017): one optimization run with a
+//! cosine-annealing warm-restart schedule; the model is snapshotted at the
+//! end of each cycle and the snapshots are soft-vote averaged.
+
+use super::{record_trace, EnsembleMethod, RunResult};
+use crate::ensemble::EnsembleModel;
+use crate::env::ExperimentEnv;
+use crate::error::{EnsembleError, Result};
+use crate::trainer::LossSpec;
+use edde_nn::optim::LrSchedule;
+
+/// Snapshot Ensemble: "Train 1, get M for free". Because each cycle starts
+/// from the previous cycle's weights, training is cheap — and diversity is
+/// low, which is exactly the weakness EDDE targets.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// Number of cosine cycles (= snapshots).
+    pub cycles: usize,
+    /// Epochs per cycle.
+    pub epochs_per_cycle: usize,
+}
+
+impl Snapshot {
+    /// A snapshot ensemble.
+    pub fn new(cycles: usize, epochs_per_cycle: usize) -> Self {
+        Snapshot {
+            cycles,
+            epochs_per_cycle,
+        }
+    }
+}
+
+impl EnsembleMethod for Snapshot {
+    fn name(&self) -> String {
+        "Snapshot".into()
+    }
+
+    fn run(&self, env: &ExperimentEnv) -> Result<RunResult> {
+        if self.cycles == 0 || self.epochs_per_cycle == 0 {
+            return Err(EnsembleError::BadConfig(
+                "snapshot needs cycles >= 1 and epochs_per_cycle >= 1".into(),
+            ));
+        }
+        let mut rng = env.rng(0x55);
+        let mut net = (env.factory)(&mut rng)?;
+        let schedule = LrSchedule::CosineRestarts {
+            base: env.base_lr,
+            cycle_epochs: self.epochs_per_cycle,
+        };
+        let mut model = EnsembleModel::new();
+        let mut trace = Vec::new();
+        for cycle in 0..self.cycles {
+            // Each cycle is one `train` call with the cosine schedule; the
+            // restart (lr back to base) happens naturally because epochs
+            // restart from 0. The warm start is the carried-over `net`.
+            env.trainer.train(
+                &mut net,
+                &env.data.train,
+                &schedule,
+                self.epochs_per_cycle,
+                None,
+                &LossSpec::CrossEntropy,
+                &mut rng,
+            )?;
+            model.push(net.clone(), 1.0, format!("snapshot-cycle-{cycle}"));
+            record_trace(
+                &mut model,
+                &env.data.test,
+                (cycle + 1) * self.epochs_per_cycle,
+                &mut trace,
+            )?;
+        }
+        Ok(RunResult {
+            model,
+            trace,
+            total_epochs: self.cycles * self.epochs_per_cycle,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::ModelFactory;
+    use crate::trainer::Trainer;
+    use edde_data::synth::{gaussian_blobs, GaussianBlobsConfig};
+    use edde_nn::models::mlp;
+    use std::sync::Arc;
+
+    fn env() -> ExperimentEnv {
+        let data = gaussian_blobs(
+            &GaussianBlobsConfig {
+                classes: 3,
+                dim: 6,
+                train_per_class: 40,
+                test_per_class: 20,
+                spread: 0.7,
+            },
+            31,
+        );
+        let factory: ModelFactory = Arc::new(|r| Ok(mlp(&[6, 20, 3], 0.0, r)));
+        ExperimentEnv::new(
+            data,
+            factory,
+            Trainer {
+                batch_size: 16,
+                momentum: 0.9,
+                weight_decay: 0.0,
+                augment: None,
+            },
+            0.1,
+            37,
+        )
+    }
+
+    #[test]
+    fn snapshots_accumulate_per_cycle() {
+        let result = Snapshot::new(4, 5).run(&env()).unwrap();
+        assert_eq!(result.model.len(), 4);
+        assert_eq!(result.total_epochs, 20);
+        let acc = result.trace.last().unwrap().test_accuracy;
+        assert!(acc > 0.8, "accuracy {acc}");
+    }
+
+    #[test]
+    fn snapshot_members_are_correlated() {
+        // Warm-started snapshots should be much more similar to each other
+        // than independently initialized bagging members — the paper's core
+        // observation about Snapshot's low diversity (Fig. 8). The contrast
+        // is visible under a *short* budget, before every method converges
+        // to the same function on this easy task.
+        let e = env();
+        let mut snap = Snapshot::new(3, 2).run(&e).unwrap();
+        let mut bag = crate::methods::Bagging::new(3, 2).run(&e).unwrap();
+        let d_snap =
+            crate::diversity::model_diversity(&mut snap.model, e.data.test.features()).unwrap();
+        let d_bag =
+            crate::diversity::model_diversity(&mut bag.model, e.data.test.features()).unwrap();
+        assert!(
+            d_snap < d_bag,
+            "snapshot {d_snap} should be below bagging {d_bag}"
+        );
+    }
+
+    #[test]
+    fn zero_cycles_rejected() {
+        assert!(Snapshot::new(0, 5).run(&env()).is_err());
+    }
+}

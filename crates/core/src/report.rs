@@ -1,0 +1,181 @@
+//! Plain-text table rendering for the benchmark harness — the tables are
+//! printed in the same row/column layout as the paper's.
+
+use crate::evaluate::MethodSummary;
+
+/// A simple fixed-width text table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row. Short rows are padded with empty cells; long rows are
+    /// truncated to the header width.
+    pub fn add_row(&mut self, cells: &[String]) {
+        let mut row: Vec<String> = cells.iter().take(self.headers.len()).cloned().collect();
+        row.resize(self.headers.len(), String::new());
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with aligned columns and a header rule.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row.iter()) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for i in 0..cols {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{:<width$}", cells[i], width = widths[i]));
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a fraction as a percentage with two decimals, as the paper does.
+pub fn pct(v: f32) -> String {
+    format!("{:.2}%", 100.0 * v)
+}
+
+/// Renders a list of method summaries as a Table II/III-style table.
+pub fn summary_table(summaries: &[MethodSummary]) -> String {
+    let mut table = Table::new(&[
+        "Method",
+        "Epochs",
+        "Members",
+        "Ensemble acc",
+        "Average acc",
+        "Increased acc",
+        "Diversity",
+    ]);
+    for s in summaries {
+        table.add_row(&[
+            s.name.clone(),
+            s.total_epochs.to_string(),
+            s.members.to_string(),
+            pct(s.ensemble_accuracy),
+            pct(s.average_accuracy),
+            pct(s.increased_accuracy),
+            s.diversity.map_or("-".into(), |d| format!("{d:.4}")),
+        ]);
+    }
+    table.render()
+}
+
+/// Renders a similarity matrix (Fig. 8) as text, one row per member.
+pub fn matrix_table(matrix: &[Vec<f32>], label: &str) -> String {
+    let t = matrix.len();
+    let mut out = format!("Pairwise similarity — {label}\n");
+    out.push_str("      ");
+    for j in 0..t {
+        out.push_str(&format!("  h{:<4}", j + 1));
+    }
+    out.push('\n');
+    for (i, row) in matrix.iter().enumerate() {
+        out.push_str(&format!("h{:<4} ", i + 1));
+        for v in row {
+            out.push_str(&format!("  {v:.3}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment_and_padding() {
+        let mut t = Table::new(&["Method", "Acc"]);
+        t.add_row(&["EDDE".into(), "74.38%".into()]);
+        t.add_row(&["a-very-long-method-name".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4); // header, rule, 2 rows
+        assert!(lines[0].starts_with("Method"));
+        assert!(lines[2].contains("74.38%"));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn pct_formats_like_the_paper() {
+        assert_eq!(pct(0.7438), "74.38%");
+        assert_eq!(pct(1.0), "100.00%");
+    }
+
+    #[test]
+    fn summary_table_renders_all_rows() {
+        use crate::evaluate::MethodSummary;
+        let rows = vec![
+            MethodSummary {
+                name: "EDDE".into(),
+                total_epochs: 200,
+                members: 6,
+                ensemble_accuracy: 0.7438,
+                average_accuracy: 0.6791,
+                increased_accuracy: 0.0647,
+                diversity: Some(0.1743),
+            },
+            MethodSummary {
+                name: "Single Model".into(),
+                total_epochs: 200,
+                members: 1,
+                ensemble_accuracy: 0.6911,
+                average_accuracy: 0.6911,
+                increased_accuracy: 0.0,
+                diversity: None,
+            },
+        ];
+        let s = summary_table(&rows);
+        assert!(s.contains("EDDE"));
+        assert!(s.contains("74.38%"));
+        assert!(s.contains("0.1743"));
+        assert!(s.contains("-"));
+    }
+
+    #[test]
+    fn matrix_table_renders_square() {
+        let m = vec![vec![1.0, 0.5], vec![0.5, 1.0]];
+        let s = matrix_table(&m, "test");
+        assert!(s.contains("h1"));
+        assert!(s.contains("0.500"));
+    }
+}

@@ -1,0 +1,371 @@
+//! β-knowledge transfer (§IV-B): copy the lower (generic) fraction of a
+//! teacher network's parameters into a freshly initialized student, and
+//! select β adaptively with the seen-fold/unseen-fold probe of Fig. 4/5.
+
+use crate::ensemble::EnsembleModel;
+use crate::error::{EnsembleError, Result};
+use crate::trainer::{LossSpec, Trainer};
+use edde_data::kfold::BetaSplit;
+use edde_data::Dataset;
+use edde_nn::metrics::accuracy;
+use edde_nn::optim::LrSchedule;
+use edde_nn::Network;
+use edde_tensor::Tensor;
+use rand::rngs::StdRng;
+use std::collections::{HashMap, HashSet};
+
+/// What a [`transfer_partial`] call actually copied.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransferReport {
+    /// Parameter tensors copied (in topological order).
+    pub transferred_params: Vec<String>,
+    /// Scalars copied, as a fraction of the total parameter count — the
+    /// *effective* β after rounding to whole tensors.
+    pub effective_beta: f32,
+}
+
+/// Copies the first (input-side) parameter tensors of `teacher` into
+/// `student` until at least `beta` of the total scalar parameter count has
+/// been transferred; the remaining (output-side) tensors keep the student's
+/// fresh random initialization. Batch-norm running statistics travel with
+/// their layer: a layer's buffers are copied iff any of its parameters
+/// were.
+///
+/// `beta = 1.0` transfers everything (Snapshot-style); `beta = 0.0`
+/// transfers nothing (independent training).
+///
+/// Both networks must share an architecture (same parameter names/shapes).
+pub fn transfer_partial(
+    teacher: &mut Network,
+    student: &mut Network,
+    beta: f32,
+) -> Result<TransferReport> {
+    if !(0.0..=1.0).contains(&beta) {
+        return Err(EnsembleError::BadConfig(format!(
+            "beta must be in [0, 1], got {beta}"
+        )));
+    }
+    let layout = teacher.param_layout();
+    let total: usize = layout.iter().map(|(_, n)| n).sum();
+    if total == 0 {
+        return Err(EnsembleError::BadConfig("teacher has no parameters".into()));
+    }
+    // choose the prefix of tensors covering >= beta of all scalars
+    // Ceil, not round: the effective (whole-tensor) beta must never fall
+    // below the requested one.
+    let budget = (beta as f64 * total as f64).ceil() as usize;
+    let mut selected: HashSet<String> = HashSet::new();
+    let mut covered = 0usize;
+    for (name, n) in &layout {
+        if covered >= budget {
+            break;
+        }
+        selected.insert(name.clone());
+        covered += n;
+    }
+    // export teacher state once, then copy selected params + their layers'
+    // buffers into the student
+    let state: HashMap<String, Tensor> = teacher.export_state().into_iter().collect();
+    let layer_prefixes: HashSet<String> = selected
+        .iter()
+        .filter_map(|name| name.rsplit_once('.').map(|(l, _)| l.to_string()))
+        .collect();
+    let mut copy_err: Option<EnsembleError> = None;
+    let mut transferred = Vec::new();
+    student.visit_params(&mut |name, p| {
+        if copy_err.is_some() || !selected.contains(name) {
+            return;
+        }
+        match state.get(name) {
+            Some(t) if t.dims() == p.value.dims() => {
+                p.value = t.clone();
+                transferred.push(name.to_string());
+            }
+            _ => {
+                copy_err = Some(EnsembleError::DataMismatch(format!(
+                    "teacher/student architecture mismatch at {name}"
+                )));
+            }
+        }
+    });
+    student.visit_buffers(&mut |name, buf| {
+        if copy_err.is_some() {
+            return;
+        }
+        let belongs = name
+            .rsplit_once('.')
+            .map(|(l, _)| layer_prefixes.contains(l))
+            .unwrap_or(false);
+        if !belongs {
+            return;
+        }
+        match state.get(name) {
+            Some(t) if t.dims() == buf.dims() => *buf = t.clone(),
+            _ => {
+                copy_err = Some(EnsembleError::DataMismatch(format!(
+                    "teacher/student architecture mismatch at buffer {name}"
+                )));
+            }
+        }
+    });
+    if let Some(e) = copy_err {
+        return Err(e);
+    }
+    Ok(TransferReport {
+        transferred_params: transferred,
+        effective_beta: covered.min(total) as f32 / total as f32,
+    })
+}
+
+/// One row of the Fig. 5 sweep: student accuracy on the fold the teacher
+/// saw versus the fold nobody saw, after a few fine-tuning epochs at a
+/// given β.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BetaProbePoint {
+    /// The β that was probed.
+    pub beta: f32,
+    /// Mean early-epoch accuracy on fold `n−1` (seen by the teacher).
+    pub seen_acc: f32,
+    /// Mean early-epoch accuracy on fold `n` (unseen by both).
+    pub unseen_acc: f32,
+}
+
+/// Configuration of the β probe (§IV-B).
+#[derive(Debug, Clone)]
+pub struct BetaProbeConfig {
+    /// Epochs used to pre-train the teacher on folds `1..n−1`.
+    pub teacher_epochs: usize,
+    /// Fine-tuning epochs per probe; the paper averages accuracy over the
+    /// first 5 epochs.
+    pub probe_epochs: usize,
+    /// Learning rate for both phases.
+    pub lr: f32,
+    /// β values to sweep, highest first (the paper starts at 1 and decays).
+    pub betas: Vec<f32>,
+    /// Accept β once `seen_acc − unseen_acc` falls below this gap.
+    pub gap_threshold: f32,
+}
+
+impl Default for BetaProbeConfig {
+    fn default() -> Self {
+        BetaProbeConfig {
+            teacher_epochs: 12,
+            probe_epochs: 5,
+            lr: 0.05,
+            betas: vec![1.0, 0.9, 0.8, 0.7, 0.6, 0.5, 0.4, 0.3, 0.2, 0.1],
+            gap_threshold: 0.02,
+        }
+    }
+}
+
+/// Runs the full Fig. 5 sweep: trains a teacher on the teacher split, then
+/// for each β initializes a student by partial transfer, fine-tunes it on
+/// the student split, and records mean accuracy on the seen and unseen
+/// probe folds over the first `probe_epochs` epochs.
+pub fn beta_probe(
+    factory: &dyn Fn(&mut StdRng) -> Result<Network>,
+    split: &BetaSplit,
+    trainer: &Trainer,
+    config: &BetaProbeConfig,
+    rng: &mut StdRng,
+) -> Result<Vec<BetaProbePoint>> {
+    let mut teacher = factory(rng)?;
+    let schedule = LrSchedule::paper_step(config.lr, config.teacher_epochs);
+    trainer.train(
+        &mut teacher,
+        &split.teacher_train,
+        &schedule,
+        config.teacher_epochs,
+        None,
+        &LossSpec::CrossEntropy,
+        rng,
+    )?;
+
+    let probe_schedule = LrSchedule::Constant { base: config.lr };
+    let mut points = Vec::with_capacity(config.betas.len());
+    for &beta in &config.betas {
+        let mut student = factory(rng)?;
+        transfer_partial(&mut teacher, &mut student, beta)?;
+        let mut seen_sum = 0.0f32;
+        let mut unseen_sum = 0.0f32;
+        for _ in 0..config.probe_epochs {
+            trainer.train(
+                &mut student,
+                &split.student_train,
+                &probe_schedule,
+                1,
+                None,
+                &LossSpec::CrossEntropy,
+                rng,
+            )?;
+            seen_sum += dataset_accuracy(&mut student, &split.seen_fold)?;
+            unseen_sum += dataset_accuracy(&mut student, &split.unseen_fold)?;
+        }
+        let e = config.probe_epochs.max(1) as f32;
+        points.push(BetaProbePoint {
+            beta,
+            seen_acc: seen_sum / e,
+            unseen_acc: unseen_sum / e,
+        });
+    }
+    Ok(points)
+}
+
+/// Picks the largest β whose seen/unseen gap is below the threshold —
+/// "start from β = 1 and gradually reduce it, until h_t performs similarly
+/// on the two datasets". Falls back to the smallest probed β when no point
+/// satisfies the gap.
+pub fn select_beta(points: &[BetaProbePoint], gap_threshold: f32) -> Result<f32> {
+    if points.is_empty() {
+        return Err(EnsembleError::BadConfig("no beta probe points".into()));
+    }
+    let mut sorted: Vec<&BetaProbePoint> = points.iter().collect();
+    // highest beta first (fastest training wins among acceptable gaps)
+    sorted.sort_by(|a, b| b.beta.partial_cmp(&a.beta).unwrap());
+    for p in &sorted {
+        if (p.seen_acc - p.unseen_acc) <= gap_threshold {
+            return Ok(p.beta);
+        }
+    }
+    Ok(sorted.last().unwrap().beta)
+}
+
+fn dataset_accuracy(net: &mut Network, data: &Dataset) -> Result<f32> {
+    let probs = EnsembleModel::network_soft_targets(net, data.features())?;
+    Ok(accuracy(&probs, data.labels())?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edde_nn::models::mlp;
+    use edde_nn::Mode;
+    use rand::SeedableRng;
+
+    fn net(seed: u64) -> Network {
+        let mut r = StdRng::seed_from_u64(seed);
+        mlp(&[4, 8, 6, 3], 0.0, &mut r)
+    }
+
+    #[test]
+    fn beta_one_copies_everything() {
+        let mut teacher = net(0);
+        let mut student = net(1);
+        let report = transfer_partial(&mut teacher, &mut student, 1.0).unwrap();
+        assert_eq!(report.effective_beta, 1.0);
+        let x = Tensor::ones(&[2, 4]);
+        assert_eq!(
+            teacher.forward(&x, Mode::Eval).unwrap().data(),
+            student.forward(&x, Mode::Eval).unwrap().data()
+        );
+    }
+
+    #[test]
+    fn beta_zero_copies_nothing() {
+        let mut teacher = net(0);
+        let mut student = net(1);
+        let before = student.export_state();
+        let report = transfer_partial(&mut teacher, &mut student, 0.0).unwrap();
+        assert!(report.transferred_params.is_empty());
+        assert_eq!(report.effective_beta, 0.0);
+        let after = student.export_state();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn partial_beta_copies_an_input_side_prefix() {
+        let mut teacher = net(0);
+        let mut student = net(1);
+        // mlp [4,8,6,3]: fc0.w (32) fc0.b (8) fc1.w (48) fc1.b (6) fc2.w (18) fc2.b (3)
+        // total 115; beta=0.5 -> budget 57.5 -> 58 -> fc0.w + fc0.b + fc1.w = 88
+        let report = transfer_partial(&mut teacher, &mut student, 0.5).unwrap();
+        assert_eq!(
+            report.transferred_params,
+            vec!["fc0.weight", "fc0.bias", "fc1.weight"]
+        );
+        assert!(report.effective_beta > 0.5);
+        // fc0 weights equal, fc2 weights differ
+        let t_state: HashMap<String, Tensor> = teacher.export_state().into_iter().collect();
+        let s_state: HashMap<String, Tensor> = student.export_state().into_iter().collect();
+        assert_eq!(t_state["fc0.weight"], s_state["fc0.weight"]);
+        assert_ne!(t_state["fc2.weight"], s_state["fc2.weight"]);
+    }
+
+    #[test]
+    fn beta_is_monotone_in_transferred_count() {
+        let mut prev = 0usize;
+        for beta in [0.0f32, 0.25, 0.5, 0.75, 1.0] {
+            let mut teacher = net(0);
+            let mut student = net(1);
+            let r = transfer_partial(&mut teacher, &mut student, beta).unwrap();
+            assert!(r.transferred_params.len() >= prev);
+            prev = r.transferred_params.len();
+        }
+    }
+
+    #[test]
+    fn architecture_mismatch_is_detected() {
+        let mut teacher = net(0);
+        let mut r = StdRng::seed_from_u64(2);
+        let mut student = mlp(&[4, 16, 3], 0.0, &mut r);
+        assert!(transfer_partial(&mut teacher, &mut student, 0.8).is_err());
+    }
+
+    #[test]
+    fn invalid_beta_rejected() {
+        let mut teacher = net(0);
+        let mut student = net(1);
+        assert!(transfer_partial(&mut teacher, &mut student, 1.5).is_err());
+        assert!(transfer_partial(&mut teacher, &mut student, -0.1).is_err());
+    }
+
+    #[test]
+    fn select_beta_prefers_largest_acceptable() {
+        let points = vec![
+            BetaProbePoint {
+                beta: 1.0,
+                seen_acc: 0.8,
+                unseen_acc: 0.6,
+            },
+            BetaProbePoint {
+                beta: 0.7,
+                seen_acc: 0.7,
+                unseen_acc: 0.69,
+            },
+            BetaProbePoint {
+                beta: 0.4,
+                seen_acc: 0.65,
+                unseen_acc: 0.66,
+            },
+        ];
+        assert_eq!(select_beta(&points, 0.02).unwrap(), 0.7);
+        // impossible threshold -> smallest beta
+        assert_eq!(select_beta(&points, -1.0).unwrap(), 0.4);
+        assert!(select_beta(&[], 0.1).is_err());
+    }
+
+    #[test]
+    fn bn_buffers_travel_with_their_layer() {
+        use edde_nn::models::{resnet, ResNetConfig};
+        let mut r = StdRng::seed_from_u64(5);
+        let cfg = ResNetConfig::small(3, 4);
+        let mut teacher = resnet(&cfg, &mut r).unwrap();
+        // give the teacher distinctive running stats
+        teacher.visit_buffers(&mut |_, t| t.data_mut().fill(0.123));
+        let mut student = resnet(&cfg, &mut r).unwrap();
+        transfer_partial(&mut teacher, &mut student, 0.5).unwrap();
+        // some buffers copied (stem bn is in the transferred prefix),
+        // some left at defaults
+        let mut copied = 0;
+        let mut kept = 0;
+        student.visit_buffers(&mut |_, t| {
+            if t.data().iter().all(|&v| (v - 0.123).abs() < 1e-6) {
+                copied += 1;
+            } else {
+                kept += 1;
+            }
+        });
+        assert!(copied > 0, "no buffers copied");
+        assert!(kept > 0, "all buffers copied at beta=0.5");
+    }
+}

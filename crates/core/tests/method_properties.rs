@@ -1,0 +1,203 @@
+//! Behavioural properties of the ensemble methods, checked on a small
+//! Gaussian-blob environment (fast, deterministic).
+
+use edde_core::methods::{
+    AdaBoostM1, AdaBoostNc, Bagging, Bans, Edde, EnsembleMethod, Ncl, SingleModel, Snapshot,
+    TransferMode,
+};
+use edde_core::{EnsembleModel, ExperimentEnv, ModelFactory, Trainer};
+use edde_data::synth::{gaussian_blobs, GaussianBlobsConfig};
+use edde_nn::models::mlp;
+use std::sync::Arc;
+
+fn env(seed: u64) -> ExperimentEnv {
+    let data = gaussian_blobs(
+        &GaussianBlobsConfig {
+            classes: 3,
+            dim: 6,
+            train_per_class: 35,
+            test_per_class: 15,
+            spread: 0.9,
+        },
+        seed,
+    );
+    let factory: ModelFactory = Arc::new(|r| Ok(mlp(&[6, 20, 3], 0.0, r)));
+    ExperimentEnv::new(
+        data,
+        factory,
+        Trainer {
+            batch_size: 16,
+            momentum: 0.9,
+            weight_decay: 0.0,
+            augment: None,
+        },
+        0.1,
+        seed,
+    )
+}
+
+#[test]
+fn every_method_reports_its_paper_name() {
+    let names: Vec<String> = vec![
+        SingleModel::new(1).name(),
+        Bans::new(1, 1).name(),
+        Bagging::new(1, 1).name(),
+        AdaBoostM1::new(1, 1).name(),
+        AdaBoostNc::new(1, 1).name(),
+        Snapshot::new(1, 1).name(),
+        Edde::new(1, 1, 1, 0.1, 0.7).name(),
+        Ncl::new(2, 1, 1, 0.1).name(),
+    ];
+    assert_eq!(
+        names,
+        vec![
+            "Single Model",
+            "BANs",
+            "Bagging",
+            "AdaBoost.M1",
+            "AdaBoost.NC",
+            "Snapshot",
+            "EDDE",
+            "NCL"
+        ]
+    );
+}
+
+#[test]
+fn all_methods_respect_their_total_epoch_accounting() {
+    let e = env(80);
+    let cases: Vec<(Box<dyn EnsembleMethod>, usize)> = vec![
+        (Box::new(SingleModel::new(7)), 7),
+        (Box::new(Bagging::new(3, 4)), 12),
+        (Box::new(AdaBoostM1::new(2, 5)), 10),
+        (Box::new(AdaBoostNc::new(2, 5)), 10),
+        (Box::new(Snapshot::new(3, 4)), 12),
+        (Box::new(Bans::new(2, 6)), 12),
+        (Box::new(Edde::new(3, 6, 4, 0.1, 0.7)), 14),
+        (Box::new(Ncl::new(2, 2, 3, 0.2)), 12),
+    ];
+    for (method, expect) in cases {
+        let run = method.run(&e).unwrap();
+        assert_eq!(run.total_epochs, expect, "{}", method.name());
+        assert_eq!(
+            run.trace.last().unwrap().cumulative_epochs,
+            expect,
+            "{} trace end",
+            method.name()
+        );
+    }
+}
+
+#[test]
+fn ensembles_beat_chance_and_track_their_members() {
+    let e = env(81);
+    for method in [
+        Box::new(Bagging::new(3, 6)) as Box<dyn EnsembleMethod>,
+        Box::new(Snapshot::new(3, 6)),
+        Box::new(Edde::new(3, 6, 5, 0.1, 0.7)),
+    ] {
+        let mut run = method.run(&e).unwrap();
+        let ens = run.model.accuracy(&e.data.test).unwrap();
+        let avg = run.model.average_member_accuracy(&e.data.test).unwrap();
+        assert!(ens > 0.5, "{} ensemble at {ens}", method.name());
+        // soft voting should not collapse far below the mean member —
+        // allow slack for alpha-weighting quirks at tiny scale
+        assert!(
+            ens >= avg - 0.1,
+            "{}: ensemble {ens} far below member mean {avg}",
+            method.name()
+        );
+    }
+}
+
+#[test]
+fn edde_transfer_none_matches_bagging_style_independence() {
+    // with transfer disabled and boosting off, EDDE's members are
+    // independent models trained with a (diversity-regularized) loss —
+    // their pairwise similarity should be clearly below Snapshot's members.
+    let e = env(82);
+    let mut edde_none = Edde {
+        transfer: TransferMode::None,
+        boosting: false,
+        ..Edde::new(3, 4, 4, 0.0, 0.7)
+    }
+    .run(&e)
+    .unwrap();
+    let mut snap = Snapshot::new(3, 4).run(&e).unwrap();
+    let d_none =
+        edde_core::diversity::model_diversity(&mut edde_none.model, e.data.test.features())
+            .unwrap();
+    let d_snap =
+        edde_core::diversity::model_diversity(&mut snap.model, e.data.test.features()).unwrap();
+    assert!(
+        d_none > d_snap,
+        "independent members ({d_none}) should out-diversify snapshots ({d_snap})"
+    );
+}
+
+#[test]
+fn bans_generations_drift_from_generation_one() {
+    let e = env(83);
+    let mut run = Bans::new(3, 5).run(&e).unwrap();
+    let probs = run
+        .model
+        .member_soft_targets(e.data.test.features())
+        .unwrap();
+    // generation 3 differs from generation 1 (distillation is not cloning)
+    let d13 = edde_core::diversity::pairwise_diversity(&probs[0], &probs[2]).unwrap();
+    assert!(d13 > 0.0);
+}
+
+#[test]
+fn member_alpha_weights_shape_the_vote() {
+    // manually build an ensemble with a deliberately wrong member; raising
+    // the good member's alpha must not lower accuracy
+    let e = env(84);
+    let mut good = SingleModel::new(10).run(&e).unwrap();
+    let good_net = good.model.members_mut()[0].network.clone();
+    let mut rng = e.rng(123);
+    let bad_net = (e.factory)(&mut rng).unwrap(); // untrained
+
+    let mut balanced = EnsembleModel::new();
+    balanced.push(good_net.clone(), 1.0, "good");
+    balanced.push(bad_net.clone(), 1.0, "bad");
+    let mut weighted = EnsembleModel::new();
+    weighted.push(good_net, 3.0, "good");
+    weighted.push(bad_net, 0.1, "bad");
+
+    let acc_balanced = balanced.accuracy(&e.data.test).unwrap();
+    let acc_weighted = weighted.accuracy(&e.data.test).unwrap();
+    assert!(
+        acc_weighted >= acc_balanced,
+        "upweighting the good member lowered accuracy: {acc_weighted} < {acc_balanced}"
+    );
+}
+
+#[test]
+fn single_model_equals_one_member_snapshot() {
+    // a Snapshot with one cycle and a SingleModel with the same budget and
+    // schedule family should produce comparably accurate models
+    let e = env(85);
+    let s1 = SingleModel::new(8).run(&e).unwrap();
+    let s2 = Snapshot::new(1, 8).run(&e).unwrap();
+    let a1 = s1.trace.last().unwrap().test_accuracy;
+    let a2 = s2.trace.last().unwrap().test_accuracy;
+    assert!((a1 - a2).abs() < 0.2, "single {a1} vs 1-cycle snapshot {a2}");
+}
+
+#[test]
+fn config_types_are_serde_serializable() {
+    // serde is in the sanctioned dependency set so downstream users can
+    // persist experiment configs with the format crate of their choice;
+    // this pins the trait impls at compile time.
+    fn assert_serde<T: serde::Serialize + serde::de::DeserializeOwned>() {}
+    assert_serde::<Edde>();
+    assert_serde::<TransferMode>();
+    assert_serde::<edde_data::synth::SynthImagesConfig>();
+    assert_serde::<edde_data::synth::SynthTextConfig>();
+    assert_serde::<edde_data::augment::AugmentConfig>();
+    assert_serde::<edde_nn::models::ResNetConfig>();
+    assert_serde::<edde_nn::models::DenseNetConfig>();
+    assert_serde::<edde_nn::models::TextCnnConfig>();
+    assert_serde::<edde_nn::optim::LrSchedule>();
+}

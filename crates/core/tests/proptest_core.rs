@@ -1,0 +1,121 @@
+//! Property-based tests for the ensemble layer: the diversity measure's
+//! metric-like properties, soft-vote convexity, and β-transfer invariants.
+
+use edde_core::diversity::{ensemble_diversity, pairwise_diversity, pairwise_similarity};
+use edde_core::transfer::transfer_partial;
+use edde_core::EnsembleModel;
+use edde_nn::models::mlp;
+use edde_tensor::ops::softmax_rows;
+use edde_tensor::Tensor;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Strategy: an `[n, k]` probability matrix.
+fn prob_matrix(n: usize, k: usize) -> impl Strategy<Value = Tensor> {
+    prop::collection::vec(-4.0f32..4.0, n * k).prop_map(move |raw| {
+        softmax_rows(&Tensor::from_vec(raw, &[n, k]).unwrap()).unwrap()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn diversity_is_symmetric_bounded_and_reflexive(
+        a in prob_matrix(6, 4),
+        b in prob_matrix(6, 4),
+    ) {
+        let dab = pairwise_diversity(&a, &b).unwrap();
+        let dba = pairwise_diversity(&b, &a).unwrap();
+        prop_assert_eq!(dab, dba);
+        prop_assert!((0.0..=1.0).contains(&dab));
+        prop_assert_eq!(pairwise_diversity(&a, &a).unwrap(), 0.0);
+        prop_assert!((pairwise_similarity(&a, &b).unwrap() - (1.0 - dab)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn diversity_satisfies_triangle_inequality(
+        a in prob_matrix(5, 3),
+        b in prob_matrix(5, 3),
+        c in prob_matrix(5, 3),
+    ) {
+        // Eq. 2 is a scaled mean of L2 distances, hence a pseudometric
+        let ab = pairwise_diversity(&a, &b).unwrap();
+        let bc = pairwise_diversity(&b, &c).unwrap();
+        let ac = pairwise_diversity(&a, &c).unwrap();
+        prop_assert!(ac <= ab + bc + 1e-5);
+    }
+
+    #[test]
+    fn ensemble_diversity_is_permutation_invariant(
+        a in prob_matrix(4, 3),
+        b in prob_matrix(4, 3),
+        c in prob_matrix(4, 3),
+    ) {
+        let d1 = ensemble_diversity(&[a.clone(), b.clone(), c.clone()]).unwrap();
+        let d2 = ensemble_diversity(&[c, a, b]).unwrap();
+        prop_assert!((d1 - d2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn adding_a_duplicate_member_lowers_mean_diversity(
+        a in prob_matrix(4, 3),
+        b in prob_matrix(4, 3),
+    ) {
+        let dab = pairwise_diversity(&a, &b).unwrap();
+        prop_assume!(dab > 1e-4);
+        let two = ensemble_diversity(&[a.clone(), b.clone()]).unwrap();
+        // duplicating `a` adds a zero-diversity pair, dragging the mean down
+        let three = ensemble_diversity(&[a.clone(), a, b]).unwrap();
+        prop_assert!(three < two);
+    }
+
+    #[test]
+    fn soft_vote_stays_inside_member_hull(seed in 0u64..30, alpha1 in 0.1f32..3.0, alpha2 in 0.1f32..3.0) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut model = EnsembleModel::new();
+        model.push(mlp(&[3, 8, 4], 0.0, &mut rng), alpha1, "a");
+        model.push(mlp(&[3, 8, 4], 0.0, &mut rng), alpha2, "b");
+        let x = edde_tensor::rng::rand_uniform(&[6, 3], -1.0, 1.0, &mut rng);
+        let mix = model.soft_targets(&x).unwrap();
+        let members = model.member_soft_targets(&x).unwrap();
+        for i in 0..mix.len() {
+            let lo = members[0].data()[i].min(members[1].data()[i]);
+            let hi = members[0].data()[i].max(members[1].data()[i]);
+            prop_assert!(mix.data()[i] >= lo - 1e-5 && mix.data()[i] <= hi + 1e-5);
+        }
+        // and each row remains a distribution
+        for i in 0..6 {
+            let s: f32 = mix.row(i).unwrap().iter().sum();
+            prop_assert!((s - 1.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn transfer_effective_beta_bounds_requested(seed in 0u64..20, beta in 0.0f32..=1.0) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut teacher = mlp(&[6, 10, 8, 4], 0.0, &mut rng);
+        let mut student = mlp(&[6, 10, 8, 4], 0.0, &mut rng);
+        let report = transfer_partial(&mut teacher, &mut student, beta).unwrap();
+        // whole-tensor rounding always covers at least the requested beta
+        prop_assert!(report.effective_beta + 1e-6 >= beta.min(1.0)
+            || report.transferred_params.is_empty() && beta == 0.0);
+        prop_assert!(report.effective_beta <= 1.0);
+    }
+
+    #[test]
+    fn transfer_prefix_is_nested(seed in 0u64..20, lo in 0.1f32..0.5, hi in 0.5f32..1.0) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut teacher = mlp(&[6, 10, 8, 4], 0.0, &mut rng);
+        let mut s1 = mlp(&[6, 10, 8, 4], 0.0, &mut rng);
+        let mut s2 = mlp(&[6, 10, 8, 4], 0.0, &mut rng);
+        let r_lo = transfer_partial(&mut teacher, &mut s1, lo).unwrap();
+        let r_hi = transfer_partial(&mut teacher, &mut s2, hi).unwrap();
+        // the low-beta tensor set is a prefix of the high-beta one
+        prop_assert!(r_lo.transferred_params.len() <= r_hi.transferred_params.len());
+        for (a, b) in r_lo.transferred_params.iter().zip(r_hi.transferred_params.iter()) {
+            prop_assert_eq!(a, b);
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! Mini-batch iteration.
+
+use crate::dataset::Dataset;
+use edde_tensor::rng::permutation;
+use edde_tensor::Tensor;
+use rand::Rng;
+
+/// One mini-batch: features, labels, and the *original dataset indices* of
+/// its samples (needed so training loops can look up per-sample boosting
+/// weights and ensemble soft targets).
+#[derive(Debug, Clone)]
+pub struct Batch {
+    /// Feature tensor `[B, ...]`.
+    pub features: Tensor,
+    /// Labels, length `B`.
+    pub labels: Vec<usize>,
+    /// Original dataset indices, length `B`.
+    pub indices: Vec<usize>,
+}
+
+/// Produces shuffled mini-batches over a dataset, one epoch at a time.
+#[derive(Debug, Clone)]
+pub struct Batcher {
+    batch_size: usize,
+}
+
+impl Batcher {
+    /// A batcher with the given batch size (> 0).
+    pub fn new(batch_size: usize) -> Self {
+        assert!(batch_size > 0, "batch size must be positive");
+        Batcher { batch_size }
+    }
+
+    /// The configured batch size.
+    pub fn batch_size(&self) -> usize {
+        self.batch_size
+    }
+
+    /// One epoch of shuffled batches. The last batch may be smaller.
+    pub fn epoch(&self, data: &Dataset, rng: &mut impl Rng) -> Vec<Batch> {
+        let order = permutation(data.len(), rng);
+        self.batches_in_order(data, &order)
+    }
+
+    /// Batches following a fixed index order (no shuffling) — used for
+    /// deterministic evaluation passes.
+    pub fn sequential(&self, data: &Dataset) -> Vec<Batch> {
+        let order: Vec<usize> = (0..data.len()).collect();
+        self.batches_in_order(data, &order)
+    }
+
+    fn batches_in_order(&self, data: &Dataset, order: &[usize]) -> Vec<Batch> {
+        order
+            .chunks(self.batch_size)
+            .map(|chunk| {
+                let features = data
+                    .features()
+                    .index_select0(chunk)
+                    .expect("indices come from a permutation of the dataset");
+                let labels = chunk.iter().map(|&i| data.labels()[i]).collect();
+                Batch {
+                    features,
+                    labels,
+                    indices: chunk.to_vec(),
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn toy(n: usize) -> Dataset {
+        let features =
+            Tensor::from_vec((0..n).map(|v| v as f32).collect(), &[n, 1]).unwrap();
+        let labels = (0..n).map(|i| i % 2).collect();
+        Dataset::new(features, labels, 2).unwrap()
+    }
+
+    #[test]
+    fn epoch_covers_every_sample_once() {
+        let d = toy(10);
+        let mut r = StdRng::seed_from_u64(0);
+        let batches = Batcher::new(3).epoch(&d, &mut r);
+        assert_eq!(batches.len(), 4); // 3+3+3+1
+        let mut seen: Vec<usize> = batches.iter().flat_map(|b| b.indices.clone()).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..10).collect::<Vec<_>>());
+        assert_eq!(batches[3].labels.len(), 1);
+    }
+
+    #[test]
+    fn batch_features_match_indices() {
+        let d = toy(6);
+        let mut r = StdRng::seed_from_u64(1);
+        for b in Batcher::new(2).epoch(&d, &mut r) {
+            for (row, &idx) in b.indices.iter().enumerate() {
+                assert_eq!(b.features.at(&[row, 0]).unwrap(), idx as f32);
+                assert_eq!(b.labels[row], idx % 2);
+            }
+        }
+    }
+
+    #[test]
+    fn sequential_is_in_order() {
+        let d = toy(5);
+        let batches = Batcher::new(2).sequential(&d);
+        let seen: Vec<usize> = batches.iter().flat_map(|b| b.indices.clone()).collect();
+        assert_eq!(seen, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size")]
+    fn zero_batch_size_panics() {
+        Batcher::new(0);
+    }
+}

@@ -1,0 +1,202 @@
+//! In-memory labeled datasets.
+
+use edde_tensor::{Result, Tensor, TensorError};
+use rand::Rng;
+
+/// A labeled, in-memory dataset: a feature tensor whose first axis indexes
+/// samples, plus one integer label per sample.
+///
+/// Images are `[N, C, H, W]`, token sequences `[N, L]`, tabular data
+/// `[N, D]` — the container does not care.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    features: Tensor,
+    labels: Vec<usize>,
+    num_classes: usize,
+}
+
+/// A train/test split of a dataset.
+#[derive(Debug, Clone)]
+pub struct TrainTest {
+    /// Training portion.
+    pub train: Dataset,
+    /// Held-out test portion.
+    pub test: Dataset,
+}
+
+impl Dataset {
+    /// Builds a dataset, validating that labels match the feature count and
+    /// fall inside `[0, num_classes)`.
+    pub fn new(features: Tensor, labels: Vec<usize>, num_classes: usize) -> Result<Self> {
+        if features.rank() == 0 {
+            return Err(TensorError::RankMismatch {
+                expected: 1,
+                actual: 0,
+            });
+        }
+        if features.dims()[0] != labels.len() {
+            return Err(TensorError::LengthMismatch {
+                expected: features.dims()[0],
+                actual: labels.len(),
+            });
+        }
+        if let Some(&bad) = labels.iter().find(|&&y| y >= num_classes) {
+            return Err(TensorError::IndexOutOfBounds {
+                index: vec![bad],
+                shape: vec![num_classes],
+            });
+        }
+        Ok(Dataset {
+            features,
+            labels,
+            num_classes,
+        })
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True when the dataset holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// The full feature tensor (`[N, ...]`).
+    pub fn features(&self) -> &Tensor {
+        &self.features
+    }
+
+    /// All labels.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Shape of one sample (feature dims without the leading `N`).
+    pub fn sample_dims(&self) -> &[usize] {
+        &self.features.dims()[1..]
+    }
+
+    /// Gathers the samples at `indices` (repetition allowed — this is how
+    /// bootstrap resampling materializes).
+    pub fn select(&self, indices: &[usize]) -> Result<Dataset> {
+        let features = self.features.index_select0(indices)?;
+        let labels = indices.iter().map(|&i| self.labels[i]).collect();
+        Ok(Dataset {
+            features,
+            labels,
+            num_classes: self.num_classes,
+        })
+    }
+
+    /// Splits into `n_folds` contiguous folds of near-equal size, returning
+    /// the sample indices of each fold. Use a prior shuffle for random folds.
+    pub fn fold_indices(&self, n_folds: usize) -> Vec<Vec<usize>> {
+        assert!(n_folds > 0, "need at least one fold");
+        let n = self.len();
+        let base = n / n_folds;
+        let extra = n % n_folds;
+        let mut folds = Vec::with_capacity(n_folds);
+        let mut start = 0;
+        for f in 0..n_folds {
+            let size = base + usize::from(f < extra);
+            folds.push((start..start + size).collect());
+            start += size;
+        }
+        folds
+    }
+
+    /// Randomly shuffles and splits the dataset, keeping `train_fraction` of
+    /// samples for training.
+    pub fn split(&self, train_fraction: f32, rng: &mut impl Rng) -> Result<TrainTest> {
+        assert!(
+            (0.0..=1.0).contains(&train_fraction),
+            "train fraction must be in [0,1]"
+        );
+        let perm = edde_tensor::rng::permutation(self.len(), rng);
+        let n_train = ((self.len() as f32) * train_fraction).round() as usize;
+        let train = self.select(&perm[..n_train])?;
+        let test = self.select(&perm[n_train..])?;
+        Ok(TrainTest { train, test })
+    }
+
+    /// Per-class sample counts — useful for verifying generator balance.
+    pub fn class_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.num_classes];
+        for &y in &self.labels {
+            counts[y] += 1;
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn toy() -> Dataset {
+        let features = Tensor::from_vec((0..12).map(|v| v as f32).collect(), &[6, 2]).unwrap();
+        Dataset::new(features, vec![0, 1, 2, 0, 1, 2], 3).unwrap()
+    }
+
+    #[test]
+    fn construction_validates() {
+        let f = Tensor::zeros(&[3, 2]);
+        assert!(Dataset::new(f.clone(), vec![0, 1], 2).is_err()); // count
+        assert!(Dataset::new(f.clone(), vec![0, 1, 2], 2).is_err()); // range
+        assert!(Dataset::new(f, vec![0, 1, 1], 2).is_ok());
+    }
+
+    #[test]
+    fn select_gathers_features_and_labels() {
+        let d = toy();
+        let s = d.select(&[5, 0, 5]).unwrap();
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.labels(), &[2, 0, 2]);
+        assert_eq!(s.features().row(1).unwrap(), &[0.0, 1.0]);
+    }
+
+    #[test]
+    fn fold_indices_partition_everything() {
+        let d = toy();
+        let folds = d.fold_indices(4);
+        assert_eq!(folds.len(), 4);
+        let mut all: Vec<usize> = folds.concat();
+        all.sort_unstable();
+        assert_eq!(all, (0..6).collect::<Vec<_>>());
+        // sizes differ by at most one
+        let sizes: Vec<usize> = folds.iter().map(|f| f.len()).collect();
+        assert_eq!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap(), 1);
+    }
+
+    #[test]
+    fn split_respects_fraction_and_is_a_partition() {
+        let d = toy();
+        let mut r = StdRng::seed_from_u64(0);
+        let tt = d.split(2.0 / 3.0, &mut r).unwrap();
+        assert_eq!(tt.train.len(), 4);
+        assert_eq!(tt.test.len(), 2);
+        assert_eq!(tt.train.num_classes(), 3);
+    }
+
+    #[test]
+    fn class_counts() {
+        let d = toy();
+        assert_eq!(d.class_counts(), vec![2, 2, 2]);
+    }
+
+    #[test]
+    fn sample_dims_strip_batch_axis() {
+        let f = Tensor::zeros(&[4, 3, 8, 8]);
+        let d = Dataset::new(f, vec![0; 4], 1).unwrap();
+        assert_eq!(d.sample_dims(), &[3, 8, 8]);
+    }
+}

@@ -1,0 +1,42 @@
+//! Label encoding helpers.
+
+use edde_tensor::{Result, Tensor, TensorError};
+
+/// One-hot encodes `labels` into an `[N, k]` tensor — the `y_i` vectors of
+/// the paper's notation (Table I).
+pub fn one_hot(labels: &[usize], k: usize) -> Result<Tensor> {
+    let mut t = Tensor::zeros(&[labels.len(), k]);
+    for (i, &y) in labels.iter().enumerate() {
+        if y >= k {
+            return Err(TensorError::IndexOutOfBounds {
+                index: vec![y],
+                shape: vec![k],
+            });
+        }
+        t.data_mut()[i * k + y] = 1.0;
+    }
+    Ok(t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encodes_each_row() {
+        let t = one_hot(&[0, 2, 1], 3).unwrap();
+        assert_eq!(t.dims(), &[3, 3]);
+        assert_eq!(t.data(), &[1.0, 0.0, 0.0, 0.0, 0.0, 1.0, 0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        assert!(one_hot(&[3], 3).is_err());
+    }
+
+    #[test]
+    fn empty_input_gives_empty_tensor() {
+        let t = one_hot(&[], 4).unwrap();
+        assert_eq!(t.dims(), &[0, 4]);
+    }
+}

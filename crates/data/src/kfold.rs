@@ -1,0 +1,158 @@
+//! K-fold splitting, including the paper's β-selection layout (§IV-B,
+//! Fig. 4): train the teacher on folds `1..n−1`, the student on `1..n−2`,
+//! and compare student accuracy on fold `n−1` (seen by the teacher) vs
+//! fold `n` (seen by nobody).
+
+use crate::dataset::Dataset;
+use edde_tensor::rng::permutation;
+use edde_tensor::Result;
+use rand::Rng;
+
+/// A random partition of a dataset into `k` folds.
+#[derive(Debug, Clone)]
+pub struct KFold {
+    folds: Vec<Vec<usize>>,
+}
+
+/// The three datasets the β-selection probe of §IV-B trains/evaluates on.
+#[derive(Debug, Clone)]
+pub struct BetaSplit {
+    /// Folds `1..n−1` — the teacher's training set.
+    pub teacher_train: Dataset,
+    /// Folds `1..n−2` — the student's training set.
+    pub student_train: Dataset,
+    /// Fold `n−1` — seen by the teacher but not the student.
+    pub seen_fold: Dataset,
+    /// Fold `n` — seen by neither model.
+    pub unseen_fold: Dataset,
+}
+
+impl KFold {
+    /// Shuffles `0..n` and cuts it into `k` near-equal folds.
+    pub fn new(n: usize, k: usize, rng: &mut impl Rng) -> Self {
+        assert!(k >= 2, "need at least two folds");
+        assert!(n >= k, "need at least one sample per fold");
+        let perm = permutation(n, rng);
+        let base = n / k;
+        let extra = n % k;
+        let mut folds = Vec::with_capacity(k);
+        let mut start = 0;
+        for f in 0..k {
+            let size = base + usize::from(f < extra);
+            folds.push(perm[start..start + size].to_vec());
+            start += size;
+        }
+        KFold { folds }
+    }
+
+    /// Number of folds.
+    pub fn k(&self) -> usize {
+        self.folds.len()
+    }
+
+    /// The sample indices of fold `f`.
+    pub fn fold(&self, f: usize) -> &[usize] {
+        &self.folds[f]
+    }
+
+    /// `(train_indices, val_indices)` for cross-validation round `f`
+    /// (fold `f` is validation, the rest train).
+    pub fn round(&self, f: usize) -> (Vec<usize>, Vec<usize>) {
+        assert!(f < self.folds.len(), "fold index out of range");
+        let val = self.folds[f].clone();
+        let train = self
+            .folds
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != f)
+            .flat_map(|(_, fold)| fold.iter().copied())
+            .collect();
+        (train, val)
+    }
+
+    /// Materializes the paper's β-selection split (§IV-B): with folds
+    /// `0..k`, the teacher trains on `0..k−1`, the student on `0..k−2`,
+    /// fold `k−2` is the *seen* probe and fold `k−1` the *unseen* probe.
+    pub fn beta_split(&self, data: &Dataset) -> Result<BetaSplit> {
+        assert!(self.k() >= 3, "beta split needs at least three folds");
+        let k = self.k();
+        let teacher_idx: Vec<usize> = self.folds[..k - 1].concat();
+        let student_idx: Vec<usize> = self.folds[..k - 2].concat();
+        Ok(BetaSplit {
+            teacher_train: data.select(&teacher_idx)?,
+            student_train: data.select(&student_idx)?,
+            seen_fold: data.select(&self.folds[k - 2])?,
+            unseen_fold: data.select(&self.folds[k - 1])?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edde_tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn toy(n: usize) -> Dataset {
+        let features = Tensor::from_vec((0..n).map(|v| v as f32).collect(), &[n, 1]).unwrap();
+        Dataset::new(features, vec![0; n], 1).unwrap()
+    }
+
+    #[test]
+    fn folds_partition_the_range() {
+        let mut r = StdRng::seed_from_u64(0);
+        let kf = KFold::new(17, 5, &mut r);
+        let mut all: Vec<usize> = (0..5).flat_map(|f| kf.fold(f).to_vec()).collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..17).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn round_separates_train_and_val() {
+        let mut r = StdRng::seed_from_u64(1);
+        let kf = KFold::new(10, 5, &mut r);
+        let (train, val) = kf.round(2);
+        assert_eq!(train.len(), 8);
+        assert_eq!(val.len(), 2);
+        assert!(val.iter().all(|v| !train.contains(v)));
+    }
+
+    #[test]
+    fn beta_split_sizes_match_paper_layout() {
+        // 6 folds like the paper's CIFAR-100 experiment (n = 6)
+        let mut r = StdRng::seed_from_u64(2);
+        let d = toy(60);
+        let kf = KFold::new(60, 6, &mut r);
+        let split = kf.beta_split(&d).unwrap();
+        assert_eq!(split.teacher_train.len(), 50); // folds 0..5
+        assert_eq!(split.student_train.len(), 40); // folds 0..4
+        assert_eq!(split.seen_fold.len(), 10);
+        assert_eq!(split.unseen_fold.len(), 10);
+    }
+
+    #[test]
+    fn seen_fold_is_inside_teacher_but_not_student() {
+        let mut r = StdRng::seed_from_u64(3);
+        let d = toy(30);
+        let kf = KFold::new(30, 3, &mut r);
+        let split = kf.beta_split(&d).unwrap();
+        // features are the original index, so membership is testable
+        let student: Vec<f32> = split.student_train.features().data().to_vec();
+        let teacher: Vec<f32> = split.teacher_train.features().data().to_vec();
+        for &v in split.seen_fold.features().data() {
+            assert!(teacher.contains(&v));
+            assert!(!student.contains(&v));
+        }
+        for &v in split.unseen_fold.features().data() {
+            assert!(!teacher.contains(&v));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "two folds")]
+    fn rejects_single_fold() {
+        let mut r = StdRng::seed_from_u64(0);
+        KFold::new(10, 1, &mut r);
+    }
+}

@@ -1,0 +1,110 @@
+//! Resampling utilities: bootstrap and weighted sampling with replacement.
+//!
+//! Bagging trains each member on a uniform bootstrap; AdaBoost.M1 and
+//! AdaBoost.NC train on *weight-proportional* resamples of the training set.
+
+use rand::{Rng, RngExt};
+
+/// `n` indices drawn uniformly with replacement from `0..n` — a classic
+/// bootstrap sample.
+pub fn bootstrap_indices(n: usize, rng: &mut impl Rng) -> Vec<usize> {
+    assert!(n > 0, "cannot bootstrap an empty set");
+    (0..n).map(|_| rng.random_range(0..n)).collect()
+}
+
+/// `count` indices drawn with replacement from `0..weights.len()` with
+/// probability proportional to `weights` (inverse-CDF sampling over the
+/// cumulative weight vector).
+///
+/// # Panics
+///
+/// Panics if `weights` is empty, contains a negative/non-finite value, or
+/// sums to zero.
+pub fn weighted_indices(weights: &[f32], count: usize, rng: &mut impl Rng) -> Vec<usize> {
+    assert!(!weights.is_empty(), "cannot sample from empty weights");
+    let mut cumulative = Vec::with_capacity(weights.len());
+    let mut total = 0.0f64;
+    for &w in weights {
+        assert!(w.is_finite() && w >= 0.0, "weights must be finite and >= 0");
+        total += f64::from(w);
+        cumulative.push(total);
+    }
+    assert!(total > 0.0, "weights must not all be zero");
+    (0..count)
+        .map(|_| {
+            let u = rng.random::<f64>() * total;
+            // first cumulative element >= u
+            match cumulative.binary_search_by(|c| c.partial_cmp(&u).unwrap()) {
+                Ok(i) => i,
+                Err(i) => i.min(weights.len() - 1),
+            }
+        })
+        .collect()
+}
+
+/// Normalizes a weight vector so it sums to `target_sum` (boosting keeps the
+/// sum equal to N so the mean weight stays 1).
+pub fn normalize_weights(weights: &mut [f32], target_sum: f32) {
+    let total: f64 = weights.iter().map(|&w| f64::from(w)).sum();
+    assert!(total > 0.0, "cannot normalize all-zero weights");
+    let scale = (f64::from(target_sum) / total) as f32;
+    for w in weights.iter_mut() {
+        *w *= scale;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn bootstrap_has_right_size_and_range() {
+        let mut r = StdRng::seed_from_u64(0);
+        let idx = bootstrap_indices(50, &mut r);
+        assert_eq!(idx.len(), 50);
+        assert!(idx.iter().all(|&i| i < 50));
+        // a bootstrap of 50 almost surely repeats something
+        let mut sorted = idx.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert!(sorted.len() < 50);
+    }
+
+    #[test]
+    fn weighted_sampling_tracks_weights() {
+        let mut r = StdRng::seed_from_u64(1);
+        let weights = [1.0f32, 0.0, 3.0];
+        let idx = weighted_indices(&weights, 40_000, &mut r);
+        let c0 = idx.iter().filter(|&&i| i == 0).count() as f32;
+        let c1 = idx.iter().filter(|&&i| i == 1).count();
+        let c2 = idx.iter().filter(|&&i| i == 2).count() as f32;
+        assert_eq!(c1, 0);
+        let ratio = c2 / c0;
+        assert!((2.5..3.5).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn normalize_weights_hits_target() {
+        let mut w = vec![1.0, 2.0, 3.0];
+        normalize_weights(&mut w, 3.0);
+        let sum: f32 = w.iter().sum();
+        assert!((sum - 3.0).abs() < 1e-5);
+        assert!((w[2] / w[0] - 3.0).abs() < 1e-5); // ratios preserved
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_weights_panic() {
+        let mut r = StdRng::seed_from_u64(0);
+        weighted_indices(&[], 1, &mut r);
+    }
+
+    #[test]
+    #[should_panic(expected = "all be zero")]
+    fn zero_weights_panic() {
+        let mut r = StdRng::seed_from_u64(0);
+        weighted_indices(&[0.0, 0.0], 1, &mut r);
+    }
+}

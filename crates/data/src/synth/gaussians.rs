@@ -1,0 +1,119 @@
+//! Gaussian-blob tabular data for quick demos and tests.
+
+use crate::dataset::{Dataset, TrainTest};
+use edde_tensor::rng::normal_deviate;
+use edde_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Configuration for [`gaussian_blobs`].
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct GaussianBlobsConfig {
+    /// Number of classes (one blob each).
+    pub classes: usize,
+    /// Feature dimension.
+    pub dim: usize,
+    /// Training samples per class.
+    pub train_per_class: usize,
+    /// Test samples per class.
+    pub test_per_class: usize,
+    /// Within-class standard deviation (higher = more overlap).
+    pub spread: f32,
+}
+
+impl Default for GaussianBlobsConfig {
+    fn default() -> Self {
+        GaussianBlobsConfig {
+            classes: 3,
+            dim: 8,
+            train_per_class: 50,
+            test_per_class: 20,
+            spread: 0.8,
+        }
+    }
+}
+
+/// Generates `classes` Gaussian clusters with unit-scale random centers.
+pub fn gaussian_blobs(config: &GaussianBlobsConfig, seed: u64) -> TrainTest {
+    assert!(config.classes >= 2, "need at least two classes");
+    assert!(config.dim >= 1, "need at least one feature");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let centers: Vec<Vec<f32>> = (0..config.classes)
+        .map(|_| (0..config.dim).map(|_| 2.0 * normal_deviate(&mut rng)).collect())
+        .collect();
+    let render = |per_class: usize, rng: &mut StdRng| -> Dataset {
+        let n = per_class * config.classes;
+        let mut features = Tensor::zeros(&[n, config.dim]);
+        let mut labels = Vec::with_capacity(n);
+        let mut i = 0usize;
+        for (class, center) in centers.iter().enumerate() {
+            for _ in 0..per_class {
+                for (d, &c) in center.iter().enumerate() {
+                    features.data_mut()[i * config.dim + d] =
+                        c + config.spread * normal_deviate(rng);
+                }
+                labels.push(class);
+                i += 1;
+            }
+        }
+        Dataset::new(features, labels, config.classes).expect("consistent shapes")
+    };
+    let train = render(config.train_per_class, &mut rng);
+    let test = render(config.test_per_class, &mut rng);
+    TrainTest { train, test }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_and_determinism() {
+        let cfg = GaussianBlobsConfig::default();
+        let a = gaussian_blobs(&cfg, 4);
+        assert_eq!(a.train.len(), 150);
+        assert_eq!(a.test.len(), 60);
+        assert_eq!(a.train.sample_dims(), &[8]);
+        let b = gaussian_blobs(&cfg, 4);
+        assert_eq!(a.train.features(), b.train.features());
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn tight_blobs_are_nearly_separable() {
+        let cfg = GaussianBlobsConfig {
+            spread: 0.1,
+            ..Default::default()
+        };
+        let data = gaussian_blobs(&cfg, 5);
+        // nearest-centroid on train centroids classifies test nearly perfectly
+        let dim = cfg.dim;
+        let mut centroids = vec![vec![0.0f32; dim]; cfg.classes];
+        for (i, &y) in data.train.labels().iter().enumerate() {
+            for d in 0..dim {
+                centroids[y][d] += data.train.features().data()[i * dim + d];
+            }
+        }
+        for c in &mut centroids {
+            for v in c.iter_mut() {
+                *v /= cfg.train_per_class as f32;
+            }
+        }
+        let mut correct = 0;
+        for (i, &y) in data.test.labels().iter().enumerate() {
+            let row = &data.test.features().data()[i * dim..(i + 1) * dim];
+            let best = centroids
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| {
+                    let da: f32 = row.iter().zip(a.iter()).map(|(x, y)| (x - y) * (x - y)).sum();
+                    let db: f32 = row.iter().zip(b.iter()).map(|(x, y)| (x - y) * (x - y)).sum();
+                    da.partial_cmp(&db).unwrap()
+                })
+                .map(|(k, _)| k)
+                .unwrap();
+            correct += usize::from(best == y);
+        }
+        assert!(correct as f32 / data.test.len() as f32 > 0.95);
+    }
+}

@@ -1,0 +1,15 @@
+//! Synthetic dataset generators standing in for the paper's datasets.
+//!
+//! | Paper dataset | Generator | Task shape preserved |
+//! |---|---|---|
+//! | CIFAR-10/100 | [`SynthImages`] | multi-class images, intra-class variation, overfittable noise |
+//! | IMDB / MR | [`SynthText`] | binary token-sequence sentiment with distributional class signal |
+//! | (unit tests / demos) | [`gaussian_blobs`] | linearly-separable-ish tabular clusters |
+
+mod gaussians;
+mod images;
+mod text;
+
+pub use gaussians::{gaussian_blobs, GaussianBlobsConfig};
+pub use images::{SynthImages, SynthImagesConfig};
+pub use text::{SynthText, SynthTextConfig};

@@ -1,0 +1,233 @@
+//! An IMDB/MR stand-in text generator ("SynthIMDB" / "SynthMR").
+//!
+//! Sentences are token-id sequences. Every class shares a Zipf-like
+//! background vocabulary; each class additionally owns a small set of
+//! *marker* tokens that appear with class-dependent probability — the
+//! distributional analogue of sentiment-bearing words. Sequences have
+//! variable length and are zero-padded/truncated exactly like the paper's
+//! IMDB preprocessing (max length 120, top-5000 vocabulary).
+
+use crate::dataset::{Dataset, TrainTest};
+use edde_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Configuration for [`SynthText::generate`].
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SynthTextConfig {
+    /// Number of classes (2 for sentiment).
+    pub classes: usize,
+    /// Vocabulary size, including the padding token 0.
+    pub vocab: usize,
+    /// Maximum (padded) sequence length.
+    pub max_len: usize,
+    /// Minimum true sequence length, before padding.
+    pub min_len: usize,
+    /// Marker tokens per class.
+    pub markers_per_class: usize,
+    /// Probability that a position emits a class marker instead of a
+    /// background token (higher = easier).
+    pub marker_prob: f32,
+    /// Training samples per class.
+    pub train_per_class: usize,
+    /// Test samples per class.
+    pub test_per_class: usize,
+}
+
+impl SynthTextConfig {
+    /// A tiny configuration for unit tests.
+    pub fn tiny() -> Self {
+        SynthTextConfig {
+            classes: 2,
+            vocab: 60,
+            max_len: 16,
+            min_len: 8,
+            markers_per_class: 3,
+            marker_prob: 0.15,
+            train_per_class: 30,
+            test_per_class: 10,
+        }
+    }
+
+    /// The IMDB stand-in (longer reviews, larger vocabulary).
+    pub fn imdb_like() -> Self {
+        SynthTextConfig {
+            classes: 2,
+            vocab: 400,
+            max_len: 40,
+            min_len: 20,
+            markers_per_class: 8,
+            marker_prob: 0.10,
+            train_per_class: 400,
+            test_per_class: 150,
+        }
+    }
+
+    /// The MR stand-in (one-sentence reviews: shorter, noisier).
+    pub fn mr_like() -> Self {
+        SynthTextConfig {
+            classes: 2,
+            vocab: 300,
+            max_len: 20,
+            min_len: 8,
+            markers_per_class: 6,
+            marker_prob: 0.08,
+            train_per_class: 300,
+            test_per_class: 120,
+        }
+    }
+}
+
+/// The text stand-in generator. See the module docs.
+pub struct SynthText;
+
+impl SynthText {
+    /// Generates a deterministic train/test pair. Features are `[N, max_len]`
+    /// token-id tensors (padding id 0).
+    pub fn generate(config: &SynthTextConfig, seed: u64) -> TrainTest {
+        assert!(config.classes >= 2, "need at least two classes");
+        assert!(
+            config.vocab > 1 + config.classes * config.markers_per_class,
+            "vocabulary too small for the marker sets"
+        );
+        assert!(
+            config.min_len >= 1 && config.min_len <= config.max_len,
+            "need 1 <= min_len <= max_len"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        // token 0 = PAD; tokens 1..=classes*markers are class markers
+        let marker_sets: Vec<Vec<usize>> = (0..config.classes)
+            .map(|c| {
+                (0..config.markers_per_class)
+                    .map(|m| 1 + c * config.markers_per_class + m)
+                    .collect()
+            })
+            .collect();
+        let background_start = 1 + config.classes * config.markers_per_class;
+
+        let train = Self::render_split(config, &marker_sets, background_start, config.train_per_class, &mut rng);
+        let test = Self::render_split(config, &marker_sets, background_start, config.test_per_class, &mut rng);
+        TrainTest { train, test }
+    }
+
+    /// Draws a background token with a Zipf-ish (1/rank) profile.
+    fn background_token(start: usize, vocab: usize, rng: &mut StdRng) -> usize {
+        let span = vocab - start;
+        // inverse-CDF of a truncated 1/(r+1) distribution, cheap approximation:
+        let u: f32 = rng.random();
+        let r = ((span as f32 + 1.0).powf(u) - 1.0) as usize;
+        start + r.min(span - 1)
+    }
+
+    fn render_split(
+        config: &SynthTextConfig,
+        marker_sets: &[Vec<usize>],
+        background_start: usize,
+        per_class: usize,
+        rng: &mut StdRng,
+    ) -> Dataset {
+        let n = per_class * config.classes;
+        let mut features = Tensor::zeros(&[n, config.max_len]);
+        let mut labels = Vec::with_capacity(n);
+        let mut sample = 0usize;
+        for class in 0..config.classes {
+            for _ in 0..per_class {
+                let len = rng.random_range(config.min_len..=config.max_len);
+                for t in 0..len {
+                    let token = if rng.random::<f32>() < config.marker_prob {
+                        marker_sets[class][rng.random_range(0..marker_sets[class].len())]
+                    } else {
+                        Self::background_token(background_start, config.vocab, rng)
+                    };
+                    features.data_mut()[sample * config.max_len + t] = token as f32;
+                }
+                labels.push(class);
+                sample += 1;
+            }
+        }
+        Dataset::new(features, labels, config.classes)
+            .expect("generator produces consistent shapes")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_balance_and_padding() {
+        let cfg = SynthTextConfig::tiny();
+        let data = SynthText::generate(&cfg, 1);
+        assert_eq!(data.train.len(), 60);
+        assert_eq!(data.test.len(), 20);
+        assert_eq!(data.train.sample_dims(), &[16]);
+        assert_eq!(data.train.class_counts(), vec![30, 30]);
+        // every sequence ends in padding or a valid token; all ids in range
+        assert!(data
+            .train
+            .features()
+            .data()
+            .iter()
+            .all(|&v| v >= 0.0 && (v as usize) < cfg.vocab && v.fract() == 0.0));
+    }
+
+    #[test]
+    fn sequences_have_variable_length() {
+        let cfg = SynthTextConfig::tiny();
+        let data = SynthText::generate(&cfg, 2);
+        let lens: Vec<usize> = (0..data.train.len())
+            .map(|i| {
+                let row = &data.train.features().data()[i * 16..(i + 1) * 16];
+                row.iter().take_while(|&&v| v != 0.0).count()
+            })
+            .collect();
+        let min = *lens.iter().min().unwrap();
+        let max = *lens.iter().max().unwrap();
+        assert!(min >= 8 && max <= 16 && min < max, "lens {min}..{max}");
+    }
+
+    #[test]
+    fn markers_separate_the_classes() {
+        let cfg = SynthTextConfig::tiny();
+        let data = SynthText::generate(&cfg, 3);
+        // count class-0 markers (tokens 1..=3) per class
+        let count_markers = |class: usize| -> (usize, usize) {
+            let mut c0 = 0;
+            let mut c1 = 0;
+            for (i, &y) in data.train.labels().iter().enumerate() {
+                if y != class {
+                    continue;
+                }
+                for &v in &data.train.features().data()[i * 16..(i + 1) * 16] {
+                    let t = v as usize;
+                    if (1..=3).contains(&t) {
+                        c0 += 1;
+                    } else if (4..=6).contains(&t) {
+                        c1 += 1;
+                    }
+                }
+            }
+            (c0, c1)
+        };
+        let (a0, a1) = count_markers(0);
+        let (b0, b1) = count_markers(1);
+        assert!(a0 > 10 && a1 == 0, "class 0 markers {a0}/{a1}");
+        assert!(b1 > 10 && b0 == 0, "class 1 markers {b0}/{b1}");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let cfg = SynthTextConfig::tiny();
+        let a = SynthText::generate(&cfg, 9);
+        let b = SynthText::generate(&cfg, 9);
+        assert_eq!(a.train.features(), b.train.features());
+    }
+
+    #[test]
+    #[should_panic(expected = "vocabulary too small")]
+    fn rejects_vocab_smaller_than_markers() {
+        let mut cfg = SynthTextConfig::tiny();
+        cfg.vocab = 5;
+        SynthText::generate(&cfg, 0);
+    }
+}

@@ -1,0 +1,158 @@
+//! Property-based tests for dataset handling, sampling, and generators.
+
+use edde_data::encode::one_hot;
+use edde_data::sampler::{bootstrap_indices, normalize_weights, weighted_indices};
+use edde_data::synth::{SynthImages, SynthImagesConfig, SynthText, SynthTextConfig};
+use edde_data::{Batcher, Dataset, KFold};
+use edde_tensor::Tensor;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn dataset(n: usize, k: usize) -> Dataset {
+    let features = Tensor::from_vec((0..n * 2).map(|v| v as f32).collect(), &[n, 2]).unwrap();
+    let labels = (0..n).map(|i| i % k).collect();
+    Dataset::new(features, labels, k).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn batcher_epochs_partition_the_dataset(n in 1usize..60, bs in 1usize..16, seed in 0u64..50) {
+        let d = dataset(n, 2.min(n));
+        let mut rng = StdRng::seed_from_u64(seed);
+        let batches = Batcher::new(bs).epoch(&d, &mut rng);
+        let mut seen: Vec<usize> = batches.iter().flat_map(|b| b.indices.clone()).collect();
+        seen.sort_unstable();
+        prop_assert_eq!(seen, (0..n).collect::<Vec<_>>());
+        for b in &batches {
+            prop_assert!(b.features.dims()[0] == b.labels.len());
+            prop_assert!(b.labels.len() <= bs);
+        }
+    }
+
+    #[test]
+    fn kfold_rounds_partition(n in 6usize..80, k in 2usize..6, seed in 0u64..50) {
+        prop_assume!(n >= k);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let kf = KFold::new(n, k, &mut rng);
+        for f in 0..k {
+            let (train, val) = kf.round(f);
+            prop_assert_eq!(train.len() + val.len(), n);
+            let mut all: Vec<usize> = train.iter().chain(val.iter()).copied().collect();
+            all.sort_unstable();
+            prop_assert_eq!(all, (0..n).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn bootstrap_stays_in_range(n in 1usize..200, seed in 0u64..50) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let idx = bootstrap_indices(n, &mut rng);
+        prop_assert_eq!(idx.len(), n);
+        prop_assert!(idx.iter().all(|&i| i < n));
+    }
+
+    #[test]
+    fn weighted_sampling_never_picks_zero_weight(
+        weights in prop::collection::vec(0.0f32..5.0, 2..20),
+        seed in 0u64..50,
+    ) {
+        prop_assume!(weights.iter().any(|&w| w > 0.0));
+        let mut rng = StdRng::seed_from_u64(seed);
+        let idx = weighted_indices(&weights, 200, &mut rng);
+        for &i in &idx {
+            prop_assert!(weights[i] > 0.0, "picked index {i} with zero weight");
+        }
+    }
+
+    #[test]
+    fn normalize_weights_preserves_ratios(
+        mut weights in prop::collection::vec(0.01f32..5.0, 2..12),
+        target in 0.5f32..50.0,
+    ) {
+        let ratio_before = weights[1] / weights[0];
+        normalize_weights(&mut weights, target);
+        let sum: f32 = weights.iter().sum();
+        prop_assert!((sum - target).abs() < 1e-3 * target);
+        let ratio_after = weights[1] / weights[0];
+        prop_assert!((ratio_before - ratio_after).abs() < 1e-3 * (1.0 + ratio_before.abs()));
+    }
+
+    #[test]
+    fn one_hot_rows_are_unit_vectors(labels in prop::collection::vec(0usize..7, 1..30)) {
+        let t = one_hot(&labels, 7).unwrap();
+        for (i, &y) in labels.iter().enumerate() {
+            let row = &t.data()[i * 7..(i + 1) * 7];
+            prop_assert_eq!(row.iter().sum::<f32>(), 1.0);
+            prop_assert_eq!(row[y], 1.0);
+        }
+    }
+
+    #[test]
+    fn dataset_select_preserves_labels(n in 2usize..40, seed in 0u64..50) {
+        let d = dataset(n, 2);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let idx = bootstrap_indices(n, &mut rng);
+        let s = d.select(&idx).unwrap();
+        for (pos, &i) in idx.iter().enumerate() {
+            prop_assert_eq!(s.labels()[pos], d.labels()[i]);
+        }
+    }
+
+    #[test]
+    fn image_generator_is_seed_deterministic(seed in 0u64..30) {
+        let cfg = SynthImagesConfig::tiny(3);
+        let a = SynthImages::generate(&cfg, seed);
+        let b = SynthImages::generate(&cfg, seed);
+        prop_assert_eq!(a.train.features(), b.train.features());
+        prop_assert_eq!(a.test.labels(), b.test.labels());
+        prop_assert!(a.train.features().all_finite());
+    }
+
+    #[test]
+    fn text_generator_ids_are_always_in_vocab(seed in 0u64..30) {
+        let cfg = SynthTextConfig::tiny();
+        let data = SynthText::generate(&cfg, seed);
+        for &v in data.train.features().data() {
+            prop_assert!(v >= 0.0 && (v as usize) < cfg.vocab && v.fract() == 0.0);
+        }
+    }
+
+    #[test]
+    fn fine_grained_families_share_base_statistics(seed in 0u64..10) {
+        // classes in the same family share base color; verify via channel
+        // means being closer within families than across, on average
+        let cfg = SynthImagesConfig {
+            classes: 4,
+            size: 8,
+            channels: 3,
+            train_per_class: 10,
+            test_per_class: 2,
+            noise: 0.05,
+            jitter: 0,
+            families: Some(2),
+        };
+        let data = SynthImages::generate(&cfg, seed);
+        let dim: usize = data.train.sample_dims().iter().product();
+        let mean_of = |class: usize| -> f32 {
+            let mut sum = 0.0;
+            let mut count = 0;
+            for (i, &y) in data.train.labels().iter().enumerate() {
+                if y == class {
+                    sum += data.train.features().data()[i * dim..(i + 1) * dim]
+                        .iter()
+                        .sum::<f32>();
+                    count += dim;
+                }
+            }
+            sum / count as f32
+        };
+        // classes 0,1 = family A; classes 2,3 = family B
+        let within = (mean_of(0) - mean_of(1)).abs() + (mean_of(2) - mean_of(3)).abs();
+        let across = (mean_of(0) - mean_of(2)).abs() + (mean_of(1) - mean_of(3)).abs();
+        // weak statistical property: hold on average, allow slack per seed
+        prop_assert!(within <= across + 0.15, "within {within} vs across {across}");
+    }
+}

@@ -1,0 +1,217 @@
+//! DenseNet building blocks (Huang et al., 2017): densely connected layers
+//! that concatenate their input with newly produced feature maps, and
+//! transition layers that compress and downsample between dense blocks.
+
+use super::{concat_channels, split_channels};
+use crate::error::{NnError, Result};
+use crate::layer::{join_path, Layer};
+use crate::layers::{BatchNorm2d, Conv2d, Relu};
+use crate::param::{Mode, Param};
+use edde_tensor::ops::{add, avg_pool2d, avg_pool2d_backward};
+use edde_tensor::Tensor;
+use rand::Rng;
+
+/// One dense layer: `out = concat(x, conv3x3(relu(bn(x))))`.
+///
+/// Produces `growth` new channels on top of the incoming ones.
+#[derive(Clone)]
+pub struct DenseLayer {
+    bn: BatchNorm2d,
+    relu: Relu,
+    conv: Conv2d,
+    in_channels: usize,
+}
+
+impl DenseLayer {
+    /// `in_channels → in_channels + growth`.
+    pub fn new(in_channels: usize, growth: usize, rng_: &mut impl Rng) -> Self {
+        DenseLayer {
+            bn: BatchNorm2d::new(in_channels),
+            relu: Relu::new(),
+            conv: Conv2d::new(in_channels, growth, 3, 1, 1, false, rng_),
+            in_channels,
+        }
+    }
+}
+
+impl Layer for DenseLayer {
+    fn kind(&self) -> &'static str {
+        "dense_layer"
+    }
+
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+        let mut new = self.bn.forward(input, mode)?;
+        new = self.relu.forward(&new, mode)?;
+        new = self.conv.forward(&new, mode)?;
+        concat_channels(input, &new)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let (g_direct, g_new) = split_channels(grad_out, self.in_channels)?;
+        let mut g = self.conv.backward(&g_new)?;
+        g = self.relu.backward(&g)?;
+        let g_path = self.bn.backward(&g)?;
+        Ok(add(&g_direct, &g_path)?)
+    }
+
+    fn visit_params(&mut self, prefix: &str, f: &mut dyn FnMut(&str, &mut Param)) {
+        self.bn.visit_params(&join_path(prefix, "bn"), f);
+        self.conv.visit_params(&join_path(prefix, "conv"), f);
+    }
+
+    fn visit_buffers(&mut self, prefix: &str, f: &mut dyn FnMut(&str, &mut Tensor)) {
+        self.bn.visit_buffers(&join_path(prefix, "bn"), f);
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+/// A transition layer: `bn → relu → conv1x1 → 2×2 average pool`, halving both
+/// channels (typically) and spatial resolution.
+#[derive(Clone)]
+pub struct Transition {
+    bn: BatchNorm2d,
+    relu: Relu,
+    conv: Conv2d,
+    cache_pre_pool_dims: Option<Vec<usize>>,
+}
+
+impl Transition {
+    /// `in_channels → out_channels`, spatial size halved.
+    pub fn new(in_channels: usize, out_channels: usize, rng_: &mut impl Rng) -> Self {
+        Transition {
+            bn: BatchNorm2d::new(in_channels),
+            relu: Relu::new(),
+            conv: Conv2d::new(in_channels, out_channels, 1, 1, 0, false, rng_),
+            cache_pre_pool_dims: None,
+        }
+    }
+}
+
+impl Layer for Transition {
+    fn kind(&self) -> &'static str {
+        "transition"
+    }
+
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+        let mut x = self.bn.forward(input, mode)?;
+        x = self.relu.forward(&x, mode)?;
+        x = self.conv.forward(&x, mode)?;
+        self.cache_pre_pool_dims = Some(x.dims().to_vec());
+        Ok(avg_pool2d(&x, 2, 2)?)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let dims = self
+            .cache_pre_pool_dims
+            .take()
+            .ok_or(NnError::MissingForwardCache("Transition"))?;
+        let g = avg_pool2d_backward(&dims, grad_out, 2, 2)?;
+        let g = self.conv.backward(&g)?;
+        let g = self.relu.backward(&g)?;
+        self.bn.backward(&g)
+    }
+
+    fn visit_params(&mut self, prefix: &str, f: &mut dyn FnMut(&str, &mut Param)) {
+        self.bn.visit_params(&join_path(prefix, "bn"), f);
+        self.conv.visit_params(&join_path(prefix, "conv"), f);
+    }
+
+    fn visit_buffers(&mut self, prefix: &str, f: &mut dyn FnMut(&str, &mut Tensor)) {
+        self.bn.visit_buffers(&join_path(prefix, "bn"), f);
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edde_tensor::rng::rand_uniform;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn dense_layer_grows_channels() {
+        let mut r = StdRng::seed_from_u64(0);
+        let mut layer = DenseLayer::new(8, 4, &mut r);
+        let x = rand_uniform(&[2, 8, 4, 4], -1.0, 1.0, &mut r);
+        let y = layer.forward(&x, Mode::Train).unwrap();
+        assert_eq!(y.dims(), &[2, 12, 4, 4]);
+        // first 8 channels are the input, untouched
+        let (head, _) = split_channels(&y, 8).unwrap();
+        assert_eq!(head, x);
+    }
+
+    #[test]
+    fn dense_layer_backward_shape_and_direct_path() {
+        let mut r = StdRng::seed_from_u64(1);
+        let mut layer = DenseLayer::new(4, 2, &mut r);
+        let x = rand_uniform(&[1, 4, 4, 4], -1.0, 1.0, &mut r);
+        let y = layer.forward(&x, Mode::Train).unwrap();
+        // gradient only on the pass-through channels: must reach the input
+        // unchanged (plus the bn path contribution from zero grads = 0)
+        let mut g = Tensor::zeros(y.dims());
+        for v in g.data_mut()[..4 * 16].iter_mut() {
+            *v = 1.0;
+        }
+        let gx = layer.backward(&g).unwrap();
+        assert_eq!(gx.dims(), x.dims());
+        // conv receives zero gradient => path contribution is zero
+        assert!(gx.data().iter().all(|&v| (v - 1.0).abs() < 1e-5));
+    }
+
+    #[test]
+    fn transition_halves_spatial_and_sets_channels() {
+        let mut r = StdRng::seed_from_u64(2);
+        let mut t = Transition::new(8, 4, &mut r);
+        let x = rand_uniform(&[2, 8, 8, 8], -1.0, 1.0, &mut r);
+        let y = t.forward(&x, Mode::Train).unwrap();
+        assert_eq!(y.dims(), &[2, 4, 4, 4]);
+        let g = t.backward(&Tensor::ones(y.dims())).unwrap();
+        assert_eq!(g.dims(), x.dims());
+        assert!(g.all_finite());
+    }
+
+    #[test]
+    fn dense_layer_gradient_check() {
+        let mut r = StdRng::seed_from_u64(3);
+        let layer = DenseLayer::new(2, 2, &mut r);
+        let x = rand_uniform(&[1, 2, 3, 3], -1.0, 1.0, &mut r);
+        let gout = rand_uniform(&[1, 4, 3, 3], -1.0, 1.0, &mut r);
+
+        let mut l2 = layer.clone();
+        l2.forward(&x, Mode::Train).unwrap();
+        let gx = l2.backward(&gout).unwrap();
+
+        let loss = |inp: &Tensor| -> f32 {
+            let mut l = layer.clone();
+            let y = l.forward(inp, Mode::Train).unwrap();
+            y.data()
+                .iter()
+                .zip(gout.data().iter())
+                .map(|(a, b)| a * b)
+                .sum()
+        };
+        let eps = 1e-2f32;
+        for &i in &[0usize, 7, 17] {
+            let mut p = x.clone();
+            p.data_mut()[i] += eps;
+            let mut m = x.clone();
+            m.data_mut()[i] -= eps;
+            let num = (loss(&p) - loss(&m)) / (2.0 * eps);
+            assert!((num - gx.data()[i]).abs() < 6e-2, "x[{i}]");
+        }
+    }
+
+    #[test]
+    fn transition_backward_requires_forward() {
+        let mut r = StdRng::seed_from_u64(4);
+        let mut t = Transition::new(2, 2, &mut r);
+        assert!(t.backward(&Tensor::zeros(&[1, 2, 2, 2])).is_err());
+    }
+}

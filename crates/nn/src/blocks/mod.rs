@@ -1,0 +1,91 @@
+//! Composite building blocks: residual blocks (ResNet) and dense blocks
+//! (DenseNet).
+
+pub mod densenet;
+pub mod residual;
+
+pub use densenet::{DenseLayer, Transition};
+pub use residual::BasicBlock;
+
+use crate::error::{NnError, Result};
+use edde_tensor::Tensor;
+
+/// Concatenates two `[N,C,H,W]` tensors along the channel axis.
+pub(crate) fn concat_channels(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    if a.rank() != 4 || b.rank() != 4 {
+        return Err(NnError::BadInput {
+            layer: "concat_channels",
+            expected: "[N,C,H,W]".into(),
+            got: if a.rank() != 4 { a.dims().to_vec() } else { b.dims().to_vec() },
+        });
+    }
+    let (n, ca, h, w) = (a.dims()[0], a.dims()[1], a.dims()[2], a.dims()[3]);
+    let (nb, cb, hb, wb) = (b.dims()[0], b.dims()[1], b.dims()[2], b.dims()[3]);
+    if n != nb || h != hb || w != wb {
+        return Err(NnError::BadInput {
+            layer: "concat_channels",
+            expected: format!("[{n}, *, {h}, {w}]"),
+            got: b.dims().to_vec(),
+        });
+    }
+    let plane = h * w;
+    let mut out = Tensor::zeros(&[n, ca + cb, h, w]);
+    for s in 0..n {
+        let dst = &mut out.data_mut()[s * (ca + cb) * plane..][..(ca + cb) * plane];
+        dst[..ca * plane].copy_from_slice(&a.data()[s * ca * plane..][..ca * plane]);
+        dst[ca * plane..].copy_from_slice(&b.data()[s * cb * plane..][..cb * plane]);
+    }
+    Ok(out)
+}
+
+/// Splits a `[N, CA+CB, H, W]` gradient into the `[N,CA,H,W]` and
+/// `[N,CB,H,W]` parts matching a prior [`concat_channels`].
+pub(crate) fn split_channels(g: &Tensor, ca: usize) -> Result<(Tensor, Tensor)> {
+    if g.rank() != 4 || g.dims()[1] < ca {
+        return Err(NnError::BadInput {
+            layer: "split_channels",
+            expected: format!("[N, >={ca}, H, W]"),
+            got: g.dims().to_vec(),
+        });
+    }
+    let (n, c, h, w) = (g.dims()[0], g.dims()[1], g.dims()[2], g.dims()[3]);
+    let cb = c - ca;
+    let plane = h * w;
+    let mut ga = Tensor::zeros(&[n, ca, h, w]);
+    let mut gb = Tensor::zeros(&[n, cb, h, w]);
+    for s in 0..n {
+        let src = &g.data()[s * c * plane..][..c * plane];
+        ga.data_mut()[s * ca * plane..][..ca * plane].copy_from_slice(&src[..ca * plane]);
+        gb.data_mut()[s * cb * plane..][..cb * plane].copy_from_slice(&src[ca * plane..]);
+    }
+    Ok((ga, gb))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn concat_then_split_round_trips() {
+        let a = Tensor::from_vec((0..8).map(|v| v as f32).collect(), &[1, 2, 2, 2]).unwrap();
+        let b = Tensor::from_vec((100..104).map(|v| v as f32).collect(), &[1, 1, 2, 2]).unwrap();
+        let c = concat_channels(&a, &b).unwrap();
+        assert_eq!(c.dims(), &[1, 3, 2, 2]);
+        let (ga, gb) = split_channels(&c, 2).unwrap();
+        assert_eq!(ga, a);
+        assert_eq!(gb, b);
+    }
+
+    #[test]
+    fn concat_rejects_mismatched_spatial() {
+        let a = Tensor::zeros(&[1, 1, 2, 2]);
+        let b = Tensor::zeros(&[1, 1, 3, 3]);
+        assert!(concat_channels(&a, &b).is_err());
+    }
+
+    #[test]
+    fn split_rejects_undersized_channel_axis() {
+        let g = Tensor::zeros(&[1, 2, 2, 2]);
+        assert!(split_channels(&g, 3).is_err());
+    }
+}

@@ -1,0 +1,234 @@
+//! The pre-activation-free "basic block" used by CIFAR ResNets
+//! (He et al., 2016): conv–bn–relu–conv–bn plus a (possibly projected)
+//! shortcut, followed by a final ReLU.
+
+use crate::error::Result;
+use crate::layer::{join_path, Layer};
+use crate::layers::{BatchNorm2d, Conv2d, Relu};
+use crate::param::{Mode, Param};
+use edde_tensor::ops::add;
+use edde_tensor::Tensor;
+use rand::Rng;
+
+/// A two-convolution residual block.
+///
+/// When `stride > 1` or the channel count changes, the shortcut becomes a
+/// 1×1 strided convolution with batch norm (option B in the ResNet paper);
+/// otherwise it is the identity.
+#[derive(Clone)]
+pub struct BasicBlock {
+    conv1: Conv2d,
+    bn1: BatchNorm2d,
+    relu1: Relu,
+    conv2: Conv2d,
+    bn2: BatchNorm2d,
+    shortcut: Option<(Conv2d, BatchNorm2d)>,
+    relu_out: Relu,
+}
+
+impl BasicBlock {
+    /// Builds a block mapping `in_channels` to `out_channels` with the given
+    /// stride on the first convolution.
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        stride: usize,
+        rng_: &mut impl Rng,
+    ) -> Self {
+        let conv1 = Conv2d::new(in_channels, out_channels, 3, stride, 1, false, rng_);
+        let bn1 = BatchNorm2d::new(out_channels);
+        let conv2 = Conv2d::new(out_channels, out_channels, 3, 1, 1, false, rng_);
+        let bn2 = BatchNorm2d::new(out_channels);
+        let shortcut = if stride != 1 || in_channels != out_channels {
+            Some((
+                Conv2d::new(in_channels, out_channels, 1, stride, 0, false, rng_),
+                BatchNorm2d::new(out_channels),
+            ))
+        } else {
+            None
+        };
+        BasicBlock {
+            conv1,
+            bn1,
+            relu1: Relu::new(),
+            conv2,
+            bn2,
+            shortcut,
+            relu_out: Relu::new(),
+        }
+    }
+}
+
+impl Layer for BasicBlock {
+    fn kind(&self) -> &'static str {
+        "basic_block"
+    }
+
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+        let mut main = self.conv1.forward(input, mode)?;
+        main = self.bn1.forward(&main, mode)?;
+        main = self.relu1.forward(&main, mode)?;
+        main = self.conv2.forward(&main, mode)?;
+        main = self.bn2.forward(&main, mode)?;
+        let short = match &mut self.shortcut {
+            Some((conv, bn)) => {
+                let s = conv.forward(input, mode)?;
+                bn.forward(&s, mode)?
+            }
+            None => input.clone(),
+        };
+        let sum = add(&main, &short)?;
+        self.relu_out.forward(&sum, mode)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let g_sum = self.relu_out.backward(grad_out)?;
+        // main path
+        let mut g = self.bn2.backward(&g_sum)?;
+        g = self.conv2.backward(&g)?;
+        g = self.relu1.backward(&g)?;
+        g = self.bn1.backward(&g)?;
+        let g_main_in = self.conv1.backward(&g)?;
+        // shortcut path
+        let g_short_in = match &mut self.shortcut {
+            Some((conv, bn)) => {
+                let gs = bn.backward(&g_sum)?;
+                conv.backward(&gs)?
+            }
+            None => g_sum,
+        };
+        Ok(add(&g_main_in, &g_short_in)?)
+    }
+
+    fn visit_params(&mut self, prefix: &str, f: &mut dyn FnMut(&str, &mut Param)) {
+        self.conv1.visit_params(&join_path(prefix, "conv1"), f);
+        self.bn1.visit_params(&join_path(prefix, "bn1"), f);
+        self.conv2.visit_params(&join_path(prefix, "conv2"), f);
+        self.bn2.visit_params(&join_path(prefix, "bn2"), f);
+        if let Some((conv, bn)) = &mut self.shortcut {
+            conv.visit_params(&join_path(prefix, "shortcut.conv"), f);
+            bn.visit_params(&join_path(prefix, "shortcut.bn"), f);
+        }
+    }
+
+    fn visit_buffers(&mut self, prefix: &str, f: &mut dyn FnMut(&str, &mut Tensor)) {
+        self.bn1.visit_buffers(&join_path(prefix, "bn1"), f);
+        self.bn2.visit_buffers(&join_path(prefix, "bn2"), f);
+        if let Some((_, bn)) = &mut self.shortcut {
+            bn.visit_buffers(&join_path(prefix, "shortcut.bn"), f);
+        }
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edde_tensor::rng::rand_uniform;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn identity_shortcut_preserves_shape() {
+        let mut r = StdRng::seed_from_u64(0);
+        let mut block = BasicBlock::new(8, 8, 1, &mut r);
+        let x = rand_uniform(&[2, 8, 6, 6], -1.0, 1.0, &mut r);
+        let y = block.forward(&x, Mode::Train).unwrap();
+        assert_eq!(y.dims(), x.dims());
+    }
+
+    #[test]
+    fn strided_block_downsamples_and_widens() {
+        let mut r = StdRng::seed_from_u64(1);
+        let mut block = BasicBlock::new(8, 16, 2, &mut r);
+        let x = rand_uniform(&[2, 8, 8, 8], -1.0, 1.0, &mut r);
+        let y = block.forward(&x, Mode::Train).unwrap();
+        assert_eq!(y.dims(), &[2, 16, 4, 4]);
+    }
+
+    #[test]
+    fn backward_returns_input_shaped_gradient() {
+        let mut r = StdRng::seed_from_u64(2);
+        let mut block = BasicBlock::new(4, 8, 2, &mut r);
+        let x = rand_uniform(&[1, 4, 8, 8], -1.0, 1.0, &mut r);
+        let y = block.forward(&x, Mode::Train).unwrap();
+        let g = block.backward(&Tensor::ones(y.dims())).unwrap();
+        assert_eq!(g.dims(), x.dims());
+        assert!(g.all_finite());
+    }
+
+    #[test]
+    fn identity_skip_passes_gradient_directly() {
+        // With all conv weights zeroed, the block computes relu(0 + x) = relu(x)
+        // and the gradient must flow through the skip untouched (for x > 0).
+        let mut r = StdRng::seed_from_u64(3);
+        let mut block = BasicBlock::new(2, 2, 1, &mut r);
+        block.visit_params("", &mut |_, p| p.value.data_mut().fill(0.0));
+        // restore BN gamma to 1 so the main path stays exactly zero
+        block.visit_params("", &mut |name, p| {
+            if name.contains("gamma") {
+                p.value.data_mut().fill(1.0);
+            }
+        });
+        let x = Tensor::full(&[1, 2, 3, 3], 2.0);
+        let y = block.forward(&x, Mode::Train).unwrap();
+        assert_eq!(y.data(), x.data());
+        let g = block.backward(&Tensor::ones(y.dims())).unwrap();
+        // conv1 weights are zero => main-path input grad is zero; skip passes 1.
+        assert!(g.data().iter().all(|&v| (v - 1.0).abs() < 1e-5));
+    }
+
+    #[test]
+    fn param_paths_include_shortcut_only_when_projected() {
+        let mut r = StdRng::seed_from_u64(4);
+        let mut plain = BasicBlock::new(4, 4, 1, &mut r);
+        let mut names = Vec::new();
+        plain.visit_params("b", &mut |n, _| names.push(n.to_string()));
+        assert!(names.iter().all(|n| !n.contains("shortcut")));
+        assert_eq!(names.len(), 6); // 2 conv weights + 2×(gamma, beta) — conv has no bias
+
+        let mut proj = BasicBlock::new(4, 8, 2, &mut r);
+        names.clear();
+        proj.visit_params("b", &mut |n, _| names.push(n.to_string()));
+        assert!(names.iter().any(|n| n.contains("shortcut.conv")));
+    }
+
+    #[test]
+    fn gradient_check_through_whole_block() {
+        let mut r = StdRng::seed_from_u64(5);
+        let block = BasicBlock::new(2, 2, 1, &mut r);
+        let x = rand_uniform(&[1, 2, 4, 4], -1.0, 1.0, &mut r);
+        let gout = rand_uniform(&[1, 2, 4, 4], -1.0, 1.0, &mut r);
+
+        let mut b2 = block.clone();
+        b2.forward(&x, Mode::Train).unwrap();
+        let gx = b2.backward(&gout).unwrap();
+
+        let loss = |inp: &Tensor| -> f32 {
+            let mut b = block.clone();
+            let y = b.forward(inp, Mode::Train).unwrap();
+            y.data()
+                .iter()
+                .zip(gout.data().iter())
+                .map(|(a, b)| a * b)
+                .sum()
+        };
+        let eps = 1e-2f32;
+        for &i in &[0usize, 9, 21, 31] {
+            let mut p = x.clone();
+            p.data_mut()[i] += eps;
+            let mut m = x.clone();
+            m.data_mut()[i] -= eps;
+            let num = (loss(&p) - loss(&m)) / (2.0 * eps);
+            let ana = gx.data()[i];
+            // ReLU kinks make finite differences noisy; use a loose tolerance
+            assert!(
+                (num - ana).abs() < 6e-2,
+                "x[{i}]: num {num} vs ana {ana}"
+            );
+        }
+    }
+}

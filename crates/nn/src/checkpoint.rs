@@ -1,0 +1,97 @@
+//! Saving and restoring network state to disk.
+//!
+//! Uses the compact binary format of [`edde_tensor::serialize`]; a
+//! checkpoint is the network's full `export_state` (parameters followed by
+//! batch-norm buffers).
+
+use crate::error::{NnError, Result};
+use crate::network::Network;
+use bytes::Bytes;
+use std::fs;
+use std::path::Path;
+
+/// Serializes a network's state into bytes.
+pub fn to_bytes(net: &mut Network) -> Bytes {
+    edde_tensor::serialize::encode_params(&net.export_state())
+}
+
+/// Restores a network's state from bytes produced by [`to_bytes`].
+pub fn from_bytes(net: &mut Network, bytes: Bytes) -> Result<()> {
+    let state = edde_tensor::serialize::decode_params(bytes)
+        .map_err(NnError::Tensor)?;
+    net.import_state(&state)
+}
+
+/// Writes a checkpoint file.
+pub fn save(net: &mut Network, path: impl AsRef<Path>) -> Result<()> {
+    let bytes = to_bytes(net);
+    fs::write(path.as_ref(), &bytes).map_err(|e| {
+        NnError::StateMismatch(format!("cannot write checkpoint: {e}"))
+    })
+}
+
+/// Loads a checkpoint file into an architecture-compatible network.
+pub fn load(net: &mut Network, path: impl AsRef<Path>) -> Result<()> {
+    let bytes = fs::read(path.as_ref()).map_err(|e| {
+        NnError::StateMismatch(format!("cannot read checkpoint: {e}"))
+    })?;
+    from_bytes(net, Bytes::from(bytes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::mlp;
+    use crate::param::Mode;
+    use edde_tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn byte_round_trip_preserves_outputs() {
+        let mut r = StdRng::seed_from_u64(11);
+        let mut a = mlp(&[3, 5, 2], 0.0, &mut r);
+        let mut b = mlp(&[3, 5, 2], 0.0, &mut r); // different init
+        let x = Tensor::ones(&[2, 3]);
+        let ya = a.forward(&x, Mode::Eval).unwrap();
+
+        let bytes = to_bytes(&mut a);
+        from_bytes(&mut b, bytes).unwrap();
+        let yb = b.forward(&x, Mode::Eval).unwrap();
+        assert_eq!(ya.data(), yb.data());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("edde_ckpt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("net.edt");
+        let mut r = StdRng::seed_from_u64(12);
+        let mut a = mlp(&[2, 4, 2], 0.0, &mut r);
+        save(&mut a, &path).unwrap();
+        let mut b = mlp(&[2, 4, 2], 0.0, &mut r);
+        load(&mut b, &path).unwrap();
+        let x = Tensor::ones(&[1, 2]);
+        assert_eq!(
+            a.forward(&x, Mode::Eval).unwrap().data(),
+            b.forward(&x, Mode::Eval).unwrap().data()
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn load_into_wrong_architecture_fails() {
+        let mut r = StdRng::seed_from_u64(13);
+        let mut a = mlp(&[2, 4, 2], 0.0, &mut r);
+        let bytes = to_bytes(&mut a);
+        let mut wrong = mlp(&[2, 8, 2], 0.0, &mut r);
+        assert!(from_bytes(&mut wrong, bytes).is_err());
+    }
+
+    #[test]
+    fn missing_file_is_a_clean_error() {
+        let mut r = StdRng::seed_from_u64(14);
+        let mut a = mlp(&[2, 2], 0.0, &mut r);
+        assert!(load(&mut a, "/nonexistent/path/net.edt").is_err());
+    }
+}

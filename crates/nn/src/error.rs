@@ -1,0 +1,89 @@
+//! Error type for the neural-network framework.
+
+use edde_tensor::TensorError;
+use std::fmt;
+
+/// Convenience alias used by every fallible operation in this crate.
+pub type Result<T> = std::result::Result<T, NnError>;
+
+/// Errors raised by model construction, forward/backward passes, and
+/// optimization.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NnError {
+    /// A tensor-level error bubbled up from `edde-tensor`.
+    Tensor(TensorError),
+    /// `backward` was called before `forward` populated the layer's cache.
+    MissingForwardCache(&'static str),
+    /// A layer received an input of unexpected shape.
+    BadInput {
+        layer: &'static str,
+        expected: String,
+        got: Vec<usize>,
+    },
+    /// Model configuration is invalid (e.g. a ResNet depth that doesn't fit
+    /// the `6n+2` family).
+    BadConfig(String),
+    /// Loss computation received inconsistent batch sizes or class counts.
+    BadLossInput(String),
+    /// Parameter import failed (name or shape mismatch).
+    StateMismatch(String),
+    /// A non-finite value was produced where one is not allowed.
+    NonFinite(&'static str),
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::Tensor(e) => write!(f, "tensor error: {e}"),
+            NnError::MissingForwardCache(layer) => {
+                write!(f, "{layer}: backward called before forward")
+            }
+            NnError::BadInput {
+                layer,
+                expected,
+                got,
+            } => write!(f, "{layer}: expected input {expected}, got {got:?}"),
+            NnError::BadConfig(msg) => write!(f, "bad model config: {msg}"),
+            NnError::BadLossInput(msg) => write!(f, "bad loss input: {msg}"),
+            NnError::StateMismatch(msg) => write!(f, "state mismatch: {msg}"),
+            NnError::NonFinite(what) => write!(f, "non-finite value in {what}"),
+        }
+    }
+}
+
+impl std::error::Error for NnError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NnError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for NnError {
+    fn from(e: TensorError) -> Self {
+        NnError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tensor_errors_convert() {
+        let te = TensorError::Empty("x");
+        let ne: NnError = te.clone().into();
+        assert_eq!(ne, NnError::Tensor(te));
+    }
+
+    #[test]
+    fn display_mentions_layer() {
+        let e = NnError::BadInput {
+            layer: "Dense",
+            expected: "[N, 4]".into(),
+            got: vec![2, 3],
+        };
+        assert!(e.to_string().contains("Dense"));
+    }
+}

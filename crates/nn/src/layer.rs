@@ -1,0 +1,252 @@
+//! The [`Layer`] trait and the [`Sequential`] container.
+
+use crate::error::Result;
+use crate::param::{Mode, Param};
+use edde_tensor::Tensor;
+
+/// One differentiable computation stage.
+///
+/// A layer owns its parameters and whatever forward-pass state its backward
+/// pass needs. The contract is strict and simple:
+///
+/// 1. `forward(x, mode)` caches what backward will need and returns the
+///    output;
+/// 2. `backward(grad_out)` consumes the cached state, **accumulates**
+///    parameter gradients, and returns the gradient with respect to its
+///    input;
+/// 3. gradients accumulate across calls until [`Layer::zero_grad`].
+///
+/// Composite layers (residual blocks, dense blocks, whole models) implement
+/// the same trait, so a [`crate::network::Network`] is just a named root
+/// layer.
+pub trait Layer: Send {
+    /// Short human-readable layer kind, e.g. `"dense"` or `"conv2d"`.
+    fn kind(&self) -> &'static str;
+
+    /// Computes this layer's output, caching backward state.
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor>;
+
+    /// Propagates `grad_out` through the layer, accumulating parameter
+    /// gradients and returning the input gradient.
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor>;
+
+    /// Visits every trainable parameter in definition (input→output) order,
+    /// passing a dotted path such as `"stage1.block0.conv1.weight"`.
+    /// Layers without parameters use the default no-op.
+    fn visit_params(&mut self, _prefix: &str, _f: &mut dyn FnMut(&str, &mut Param)) {}
+
+    /// Visits non-trainable state that still belongs in checkpoints and
+    /// knowledge transfer (batch-norm running statistics).
+    fn visit_buffers(&mut self, _prefix: &str, _f: &mut dyn FnMut(&str, &mut Tensor)) {}
+
+    /// Clones the layer behind a box. Needed because ensemble methods
+    /// snapshot whole member networks.
+    fn clone_box(&self) -> Box<dyn Layer>;
+
+    /// Zeroes all accumulated gradients.
+    fn zero_grad(&mut self) {
+        self.visit_params("", &mut |_, p| p.zero_grad());
+    }
+}
+
+impl Clone for Box<dyn Layer> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
+/// Joins a prefix and a component into a dotted parameter path.
+pub(crate) fn join_path(prefix: &str, name: &str) -> String {
+    if prefix.is_empty() {
+        name.to_string()
+    } else {
+        format!("{prefix}.{name}")
+    }
+}
+
+/// A linear chain of layers applied in order.
+#[derive(Clone)]
+pub struct Sequential {
+    layers: Vec<(String, Box<dyn Layer>)>,
+}
+
+impl Sequential {
+    /// An empty chain.
+    pub fn new() -> Self {
+        Sequential { layers: Vec::new() }
+    }
+
+    /// Appends a named layer; names become path components in parameter
+    /// paths, so keep them short and unique within the chain.
+    pub fn push(&mut self, name: impl Into<String>, layer: Box<dyn Layer>) -> &mut Self {
+        self.layers.push((name.into(), layer));
+        self
+    }
+
+    /// Builder-style [`Sequential::push`].
+    pub fn with(mut self, name: impl Into<String>, layer: Box<dyn Layer>) -> Self {
+        self.push(name, layer);
+        self
+    }
+
+    /// Number of direct child layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// True when the chain has no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+}
+
+impl Default for Sequential {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Layer for Sequential {
+    fn kind(&self) -> &'static str {
+        "sequential"
+    }
+
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+        let mut x = input.clone();
+        for (_, layer) in &mut self.layers {
+            x = layer.forward(&x, mode)?;
+        }
+        Ok(x)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let mut g = grad_out.clone();
+        for (_, layer) in self.layers.iter_mut().rev() {
+            g = layer.backward(&g)?;
+        }
+        Ok(g)
+    }
+
+    fn visit_params(&mut self, prefix: &str, f: &mut dyn FnMut(&str, &mut Param)) {
+        for (name, layer) in &mut self.layers {
+            let path = join_path(prefix, name);
+            layer.visit_params(&path, f);
+        }
+    }
+
+    fn visit_buffers(&mut self, prefix: &str, f: &mut dyn FnMut(&str, &mut Tensor)) {
+        for (name, layer) in &mut self.layers {
+            let path = join_path(prefix, name);
+            layer.visit_buffers(&path, f);
+        }
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// y = a*x, with a trainable scalar — small enough to verify Sequential's
+    /// plumbing exactly.
+    #[derive(Clone)]
+    struct ScaleLayer {
+        a: Param,
+        cache: Option<Tensor>,
+    }
+
+    impl ScaleLayer {
+        fn new(a: f32) -> Self {
+            ScaleLayer {
+                a: Param::new(Tensor::scalar(a)),
+                cache: None,
+            }
+        }
+    }
+
+    impl Layer for ScaleLayer {
+        fn kind(&self) -> &'static str {
+            "scale"
+        }
+        fn forward(&mut self, input: &Tensor, _mode: Mode) -> Result<Tensor> {
+            self.cache = Some(input.clone());
+            let a = self.a.value.item()?;
+            Ok(input.map(|v| a * v))
+        }
+        fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+            let x = self
+                .cache
+                .take()
+                .ok_or(crate::error::NnError::MissingForwardCache("scale"))?;
+            let da: f32 = x
+                .data()
+                .iter()
+                .zip(grad_out.data().iter())
+                .map(|(xv, gv)| xv * gv)
+                .sum();
+            self.a.accumulate_grad(&Tensor::scalar(da));
+            let a = self.a.value.item()?;
+            Ok(grad_out.map(|v| a * v))
+        }
+        fn visit_params(&mut self, prefix: &str, f: &mut dyn FnMut(&str, &mut Param)) {
+            f(&join_path(prefix, "a"), &mut self.a);
+        }
+        fn clone_box(&self) -> Box<dyn Layer> {
+            Box::new(self.clone())
+        }
+    }
+
+    #[test]
+    fn sequential_chains_forward_and_backward() {
+        let mut seq = Sequential::new()
+            .with("s1", Box::new(ScaleLayer::new(2.0)))
+            .with("s2", Box::new(ScaleLayer::new(3.0)));
+        let x = Tensor::from_slice(&[1.0, -1.0]);
+        let y = seq.forward(&x, Mode::Train).unwrap();
+        assert_eq!(y.data(), &[6.0, -6.0]);
+
+        let g = seq.backward(&Tensor::from_slice(&[1.0, 1.0])).unwrap();
+        // dL/dx = a1*a2 = 6 on both coordinates
+        assert_eq!(g.data(), &[6.0, 6.0]);
+    }
+
+    #[test]
+    fn sequential_param_paths_are_dotted() {
+        let mut seq = Sequential::new()
+            .with("s1", Box::new(ScaleLayer::new(2.0)))
+            .with("s2", Box::new(ScaleLayer::new(3.0)));
+        let mut names = Vec::new();
+        seq.visit_params("net", &mut |name, _| names.push(name.to_string()));
+        assert_eq!(names, vec!["net.s1.a", "net.s2.a"]);
+    }
+
+    #[test]
+    fn zero_grad_clears_every_param() {
+        let mut seq = Sequential::new().with("s1", Box::new(ScaleLayer::new(2.0)));
+        let x = Tensor::from_slice(&[1.0]);
+        seq.forward(&x, Mode::Train).unwrap();
+        seq.backward(&Tensor::from_slice(&[1.0])).unwrap();
+        let mut grads = Vec::new();
+        seq.visit_params("", &mut |_, p| grads.push(p.grad.data()[0]));
+        assert_eq!(grads, vec![1.0]);
+        seq.zero_grad();
+        grads.clear();
+        seq.visit_params("", &mut |_, p| grads.push(p.grad.data()[0]));
+        assert_eq!(grads, vec![0.0]);
+    }
+
+    #[test]
+    fn boxed_layer_clones_independently() {
+        let boxed: Box<dyn Layer> = Box::new(ScaleLayer::new(5.0));
+        let mut copy = boxed.clone();
+        let mut names = 0;
+        copy.visit_params("", &mut |_, p| {
+            p.value = Tensor::scalar(1.0);
+            names += 1;
+        });
+        assert_eq!(names, 1);
+    }
+}

@@ -1,0 +1,209 @@
+//! Activation layers.
+
+use crate::error::{NnError, Result};
+use crate::layer::Layer;
+use crate::param::Mode;
+use edde_tensor::Tensor;
+
+/// Rectified linear unit, `y = max(0, x)`.
+#[derive(Clone, Default)]
+pub struct Relu {
+    /// 1.0 where the input was positive, 0.0 elsewhere.
+    mask: Option<Tensor>,
+}
+
+impl Relu {
+    /// A fresh ReLU layer.
+    pub fn new() -> Self {
+        Relu { mask: None }
+    }
+}
+
+impl Layer for Relu {
+    fn kind(&self) -> &'static str {
+        "relu"
+    }
+
+    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Result<Tensor> {
+        let mask = input.map(|v| if v > 0.0 { 1.0 } else { 0.0 });
+        let out = input.zip_map(&mask, |x, m| x * m)?;
+        self.mask = Some(mask);
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let mask = self
+            .mask
+            .take()
+            .ok_or(NnError::MissingForwardCache("Relu"))?;
+        Ok(grad_out.zip_map(&mask, |g, m| g * m)?)
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+
+/// Logistic sigmoid, `y = 1/(1 + e^{-x})`.
+///
+/// Not used by the paper's architectures (which are all ReLU), but provided
+/// for downstream users building their own base models.
+#[derive(Clone, Default)]
+pub struct Sigmoid {
+    /// The forward output, cached for `y' = y(1-y)`.
+    out: Option<Tensor>,
+}
+
+impl Sigmoid {
+    /// A fresh sigmoid layer.
+    pub fn new() -> Self {
+        Sigmoid { out: None }
+    }
+}
+
+impl Layer for Sigmoid {
+    fn kind(&self) -> &'static str {
+        "sigmoid"
+    }
+
+    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Result<Tensor> {
+        let out = input.map(|v| 1.0 / (1.0 + (-v).exp()));
+        self.out = Some(out.clone());
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let y = self
+            .out
+            .take()
+            .ok_or(NnError::MissingForwardCache("Sigmoid"))?;
+        Ok(grad_out.zip_map(&y, |g, yv| g * yv * (1.0 - yv))?)
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+/// Hyperbolic tangent activation.
+#[derive(Clone, Default)]
+pub struct Tanh {
+    out: Option<Tensor>,
+}
+
+impl Tanh {
+    /// A fresh tanh layer.
+    pub fn new() -> Self {
+        Tanh { out: None }
+    }
+}
+
+impl Layer for Tanh {
+    fn kind(&self) -> &'static str {
+        "tanh"
+    }
+
+    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Result<Tensor> {
+        let out = input.map(f32::tanh);
+        self.out = Some(out.clone());
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let y = self
+            .out
+            .take()
+            .ok_or(NnError::MissingForwardCache("Tanh"))?;
+        Ok(grad_out.zip_map(&y, |g, yv| g * (1.0 - yv * yv))?)
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_clamps_negatives() {
+        let mut relu = Relu::new();
+        let x = Tensor::from_slice(&[-1.0, 0.0, 2.0]);
+        let y = relu.forward(&x, Mode::Train).unwrap();
+        assert_eq!(y.data(), &[0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn backward_gates_gradient() {
+        let mut relu = Relu::new();
+        let x = Tensor::from_slice(&[-1.0, 0.5, 0.0]);
+        relu.forward(&x, Mode::Train).unwrap();
+        let g = relu.backward(&Tensor::from_slice(&[7.0, 7.0, 7.0])).unwrap();
+        // zero is treated as inactive (subgradient choice)
+        assert_eq!(g.data(), &[0.0, 7.0, 0.0]);
+    }
+
+    #[test]
+    fn backward_without_forward_errors() {
+        let mut relu = Relu::new();
+        assert!(relu.backward(&Tensor::zeros(&[1])).is_err());
+    }
+
+
+    #[test]
+    fn sigmoid_forward_and_gradient() {
+        let mut s = Sigmoid::new();
+        let x = Tensor::from_slice(&[0.0, 100.0, -100.0]);
+        let y = s.forward(&x, Mode::Train).unwrap();
+        assert!((y.data()[0] - 0.5).abs() < 1e-6);
+        assert!(y.data()[1] > 0.999 && y.data()[2] < 1e-3);
+        let g = s.backward(&Tensor::ones(&[3])).unwrap();
+        assert!((g.data()[0] - 0.25).abs() < 1e-6); // y(1-y) at 0.5
+        assert!(g.data()[1] < 1e-3); // saturated
+    }
+
+    #[test]
+    fn tanh_forward_and_gradient() {
+        let mut t = Tanh::new();
+        let x = Tensor::from_slice(&[0.0, 1.0]);
+        let y = t.forward(&x, Mode::Train).unwrap();
+        assert_eq!(y.data()[0], 0.0);
+        assert!((y.data()[1] - 1.0f32.tanh()).abs() < 1e-6);
+        let g = t.backward(&Tensor::ones(&[2])).unwrap();
+        assert!((g.data()[0] - 1.0).abs() < 1e-6); // 1 - tanh^2(0)
+    }
+
+    #[test]
+    fn sigmoid_tanh_gradient_matches_numerical() {
+        for which in ["sigmoid", "tanh"] {
+            let x = Tensor::from_slice(&[0.3, -0.7, 1.2]);
+            let gout = Tensor::from_slice(&[1.0, -0.5, 2.0]);
+            let (y_fn, mut fwd): (fn(f32) -> f32, Box<dyn Layer>) = match which {
+                "sigmoid" => ((|v: f32| 1.0 / (1.0 + (-v).exp())) as fn(f32) -> f32, Box::new(Sigmoid::new())),
+                _ => (f32::tanh as fn(f32) -> f32, Box::new(Tanh::new())),
+            };
+            fwd.forward(&x, Mode::Train).unwrap();
+            let ana = fwd.backward(&gout).unwrap();
+            let eps = 1e-3f32;
+            for i in 0..3 {
+                let mut p = x.clone();
+                p.data_mut()[i] += eps;
+                let mut m = x.clone();
+                m.data_mut()[i] -= eps;
+                let lp: f32 = p.data().iter().zip(gout.data()).map(|(&v, &g)| y_fn(v) * g).sum();
+                let lm: f32 = m.data().iter().zip(gout.data()).map(|(&v, &g)| y_fn(v) * g).sum();
+                let num = (lp - lm) / (2.0 * eps);
+                assert!((num - ana.data()[i]).abs() < 1e-3, "{which}[{i}]");
+            }
+        }
+    }
+    #[test]
+    fn has_no_params() {
+        let mut relu = Relu::new();
+        let mut count = 0;
+        relu.visit_params("", &mut |_, _| count += 1);
+        assert_eq!(count, 0);
+    }
+}

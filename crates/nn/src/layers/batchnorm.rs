@@ -1,0 +1,303 @@
+//! Batch normalization over the channel axis of `[N, C, H, W]` tensors.
+
+use crate::error::{NnError, Result};
+use crate::layer::{join_path, Layer};
+use crate::param::{Mode, Param};
+use edde_tensor::Tensor;
+
+/// Per-channel batch normalization.
+///
+/// Training mode normalizes with batch statistics and updates the running
+/// mean/variance with exponential momentum; evaluation mode normalizes with
+/// the running statistics. The running statistics are exposed as *buffers*
+/// so knowledge transfer and checkpoints carry them along with the affine
+/// parameters.
+#[derive(Clone)]
+pub struct BatchNorm2d {
+    gamma: Param,
+    beta: Param,
+    running_mean: Tensor,
+    running_var: Tensor,
+    channels: usize,
+    momentum: f32,
+    eps: f32,
+    cache: Option<BnCache>,
+}
+
+#[derive(Clone)]
+struct BnCache {
+    x_hat: Tensor,
+    inv_std: Vec<f32>, // per channel
+    dims: Vec<usize>,
+}
+
+impl BatchNorm2d {
+    /// A batch-norm layer for `channels` feature maps with the standard
+    /// momentum (0.1) and epsilon (1e-5).
+    pub fn new(channels: usize) -> Self {
+        BatchNorm2d {
+            gamma: Param::new(Tensor::ones(&[channels])),
+            beta: Param::new(Tensor::zeros(&[channels])),
+            running_mean: Tensor::zeros(&[channels]),
+            running_var: Tensor::ones(&[channels]),
+            channels,
+            momentum: 0.1,
+            eps: 1e-5,
+        cache: None,
+        }
+    }
+
+    fn check_input(&self, input: &Tensor) -> Result<(usize, usize, usize, usize)> {
+        if input.rank() != 4 || input.dims()[1] != self.channels {
+            return Err(NnError::BadInput {
+                layer: "BatchNorm2d",
+                expected: format!("[N, {}, H, W]", self.channels),
+                got: input.dims().to_vec(),
+            });
+        }
+        let d = input.dims();
+        Ok((d[0], d[1], d[2], d[3]))
+    }
+}
+
+impl Layer for BatchNorm2d {
+    fn kind(&self) -> &'static str {
+        "batchnorm2d"
+    }
+
+    #[allow(clippy::needless_range_loop)] // per-channel index loops read clearer here
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+        let (n, c, h, w) = self.check_input(input)?;
+        let plane = h * w;
+        let count = (n * plane) as f32;
+        let mut out = input.clone();
+        let mut inv_stds = vec![0.0f32; c];
+        let mut x_hat = Tensor::zeros(input.dims());
+
+        for ch in 0..c {
+            let (mean, var) = if mode.is_train() {
+                // batch statistics over N, H, W
+                let mut sum = 0.0f32;
+                for s in 0..n {
+                    let p = &input.data()[(s * c + ch) * plane..][..plane];
+                    sum += p.iter().sum::<f32>();
+                }
+                let mean = sum / count;
+                let mut var_sum = 0.0f32;
+                for s in 0..n {
+                    let p = &input.data()[(s * c + ch) * plane..][..plane];
+                    var_sum += p.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>();
+                }
+                let var = var_sum / count;
+                // update running stats
+                let rm = &mut self.running_mean.data_mut()[ch];
+                *rm = (1.0 - self.momentum) * *rm + self.momentum * mean;
+                let rv = &mut self.running_var.data_mut()[ch];
+                *rv = (1.0 - self.momentum) * *rv + self.momentum * var;
+                (mean, var)
+            } else {
+                (
+                    self.running_mean.data()[ch],
+                    self.running_var.data()[ch],
+                )
+            };
+            let inv_std = 1.0 / (var + self.eps).sqrt();
+            inv_stds[ch] = inv_std;
+            let g = self.gamma.value.data()[ch];
+            let b = self.beta.value.data()[ch];
+            for s in 0..n {
+                let src = &input.data()[(s * c + ch) * plane..][..plane];
+                let xh = &mut x_hat.data_mut()[(s * c + ch) * plane..][..plane];
+                let dst = &mut out.data_mut()[(s * c + ch) * plane..][..plane];
+                for i in 0..plane {
+                    let xv = (src[i] - mean) * inv_std;
+                    xh[i] = xv;
+                    dst[i] = g * xv + b;
+                }
+            }
+        }
+        if mode.is_train() {
+            self.cache = Some(BnCache {
+                x_hat,
+                inv_std: inv_stds,
+                dims: input.dims().to_vec(),
+            });
+        } else {
+            self.cache = None;
+        }
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let cache = self
+            .cache
+            .take()
+            .ok_or(NnError::MissingForwardCache("BatchNorm2d"))?;
+        if grad_out.dims() != cache.dims.as_slice() {
+            return Err(NnError::BadInput {
+                layer: "BatchNorm2d",
+                expected: format!("{:?}", cache.dims),
+                got: grad_out.dims().to_vec(),
+            });
+        }
+        let (n, c, h, w) = (cache.dims[0], cache.dims[1], cache.dims[2], cache.dims[3]);
+        let plane = h * w;
+        let count = (n * plane) as f32;
+        let mut grad_in = Tensor::zeros(&cache.dims);
+        let mut dgamma = Tensor::zeros(&[c]);
+        let mut dbeta = Tensor::zeros(&[c]);
+
+        for ch in 0..c {
+            // Accumulate per-channel sums over the batch and spatial dims.
+            let mut sum_dy = 0.0f32;
+            let mut sum_dy_xhat = 0.0f32;
+            for s in 0..n {
+                let dy = &grad_out.data()[(s * c + ch) * plane..][..plane];
+                let xh = &cache.x_hat.data()[(s * c + ch) * plane..][..plane];
+                for i in 0..plane {
+                    sum_dy += dy[i];
+                    sum_dy_xhat += dy[i] * xh[i];
+                }
+            }
+            dgamma.data_mut()[ch] = sum_dy_xhat;
+            dbeta.data_mut()[ch] = sum_dy;
+            let g = self.gamma.value.data()[ch];
+            let inv_std = cache.inv_std[ch];
+            let mean_dy = sum_dy / count;
+            let mean_dy_xhat = sum_dy_xhat / count;
+            for s in 0..n {
+                let dy = &grad_out.data()[(s * c + ch) * plane..][..plane];
+                let xh = &cache.x_hat.data()[(s * c + ch) * plane..][..plane];
+                let dst = &mut grad_in.data_mut()[(s * c + ch) * plane..][..plane];
+                for i in 0..plane {
+                    dst[i] = g * inv_std * (dy[i] - mean_dy - xh[i] * mean_dy_xhat);
+                }
+            }
+        }
+        self.gamma.accumulate_grad(&dgamma);
+        self.beta.accumulate_grad(&dbeta);
+        Ok(grad_in)
+    }
+
+    fn visit_params(&mut self, prefix: &str, f: &mut dyn FnMut(&str, &mut Param)) {
+        f(&join_path(prefix, "gamma"), &mut self.gamma);
+        f(&join_path(prefix, "beta"), &mut self.beta);
+    }
+
+    fn visit_buffers(&mut self, prefix: &str, f: &mut dyn FnMut(&str, &mut Tensor)) {
+        f(&join_path(prefix, "running_mean"), &mut self.running_mean);
+        f(&join_path(prefix, "running_var"), &mut self.running_var);
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edde_tensor::rng::rand_uniform;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn training_output_is_normalized() {
+        let mut bn = BatchNorm2d::new(2);
+        let mut r = StdRng::seed_from_u64(0);
+        let x = rand_uniform(&[4, 2, 3, 3], -5.0, 5.0, &mut r);
+        let y = bn.forward(&x, Mode::Train).unwrap();
+        // per-channel mean ~0, var ~1
+        for ch in 0..2 {
+            let mut vals = Vec::new();
+            for s in 0..4 {
+                vals.extend_from_slice(&y.data()[(s * 2 + ch) * 9..][..9]);
+            }
+            let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
+            let var: f32 =
+                vals.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / vals.len() as f32;
+            assert!(mean.abs() < 1e-4, "mean {mean}");
+            assert!((var - 1.0).abs() < 1e-2, "var {var}");
+        }
+    }
+
+    #[test]
+    fn eval_uses_running_stats() {
+        let mut bn = BatchNorm2d::new(1);
+        let mut r = StdRng::seed_from_u64(1);
+        // run many training batches so running stats converge
+        for _ in 0..200 {
+            let x = rand_uniform(&[8, 1, 2, 2], 2.0, 4.0, &mut r); // mean 3
+            bn.forward(&x, Mode::Train).unwrap();
+        }
+        let x = Tensor::full(&[1, 1, 2, 2], 3.0);
+        let y = bn.forward(&x, Mode::Eval).unwrap();
+        // input at the running mean should map near beta = 0
+        assert!(y.data().iter().all(|&v| v.abs() < 0.2), "{:?}", y.data());
+    }
+
+    #[test]
+    fn backward_gradient_matches_numerical() {
+        let mut r = StdRng::seed_from_u64(3);
+        let x = rand_uniform(&[3, 2, 2, 2], -1.0, 1.0, &mut r);
+        let g = rand_uniform(&[3, 2, 2, 2], -1.0, 1.0, &mut r);
+        let mut bn = BatchNorm2d::new(2);
+        bn.gamma.value = Tensor::from_slice(&[1.5, 0.5]);
+        bn.beta.value = Tensor::from_slice(&[0.1, -0.2]);
+
+        let mut bn2 = bn.clone();
+        bn2.forward(&x, Mode::Train).unwrap();
+        let gx = bn2.backward(&g).unwrap();
+
+        let loss = |inp: &Tensor| -> f32 {
+            let mut b = bn.clone();
+            let y = b.forward(inp, Mode::Train).unwrap();
+            y.data().iter().zip(g.data().iter()).map(|(a, b)| a * b).sum()
+        };
+        let eps = 1e-2f32;
+        for &i in &[0usize, 5, 13, 23] {
+            let mut p = x.clone();
+            p.data_mut()[i] += eps;
+            let mut m = x.clone();
+            m.data_mut()[i] -= eps;
+            let num = (loss(&p) - loss(&m)) / (2.0 * eps);
+            let ana = gx.data()[i];
+            assert!((num - ana).abs() < 2e-2, "x[{i}]: num {num} vs ana {ana}");
+        }
+    }
+
+    #[test]
+    fn gamma_beta_gradients() {
+        let mut bn = BatchNorm2d::new(1);
+        let mut r = StdRng::seed_from_u64(5);
+        let x = rand_uniform(&[2, 1, 2, 2], -1.0, 1.0, &mut r);
+        bn.forward(&x, Mode::Train).unwrap();
+        let g = Tensor::ones(&[2, 1, 2, 2]);
+        bn.backward(&g).unwrap();
+        // dbeta = sum(dy) = 8; dgamma = sum(dy * x_hat) ~ 0 since x_hat sums to 0
+        assert!((bn.beta.grad.data()[0] - 8.0).abs() < 1e-4);
+        assert!(bn.gamma.grad.data()[0].abs() < 1e-3);
+    }
+
+    #[test]
+    fn buffers_are_exposed() {
+        let mut bn = BatchNorm2d::new(3);
+        let mut names = Vec::new();
+        bn.visit_buffers("bn", &mut |n, _| names.push(n.to_string()));
+        assert_eq!(names, vec!["bn.running_mean", "bn.running_var"]);
+    }
+
+    #[test]
+    fn eval_backward_errors_without_cache() {
+        let mut bn = BatchNorm2d::new(1);
+        let x = Tensor::zeros(&[1, 1, 2, 2]);
+        bn.forward(&x, Mode::Eval).unwrap();
+        assert!(bn.backward(&Tensor::zeros(&[1, 1, 2, 2])).is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_channel_count() {
+        let mut bn = BatchNorm2d::new(2);
+        assert!(bn.forward(&Tensor::zeros(&[1, 3, 2, 2]), Mode::Train).is_err());
+    }
+}

@@ -1,0 +1,268 @@
+//! Convolution layers (2-D for ResNet/DenseNet, 1-D for Text-CNN).
+
+use crate::error::{NnError, Result};
+use crate::layer::{join_path, Layer};
+use crate::param::{Mode, Param};
+use edde_tensor::ops::{conv1d, conv1d_backward, conv2d, conv2d_backward};
+use edde_tensor::{rng, Tensor};
+use rand::Rng;
+
+/// 2-D convolution over `[N, C, H, W]` with square kernels.
+#[derive(Clone)]
+pub struct Conv2d {
+    weight: Param,
+    bias: Param,
+    in_channels: usize,
+    out_channels: usize,
+    kernel: usize,
+    stride: usize,
+    pad: usize,
+    use_bias: bool,
+    cache_input: Option<Tensor>,
+}
+
+impl Conv2d {
+    /// He-normal initialized convolution. `use_bias` is typically false when
+    /// the convolution is followed by batch norm (as in ResNet/DenseNet).
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+        use_bias: bool,
+        rng_: &mut impl Rng,
+    ) -> Self {
+        let fan_in = in_channels * kernel * kernel;
+        let weight = rng::he_normal(
+            &[out_channels, in_channels, kernel, kernel],
+            fan_in,
+            rng_,
+        );
+        Conv2d {
+            weight: Param::new(weight),
+            bias: Param::new(Tensor::zeros(&[out_channels])),
+            in_channels,
+            out_channels,
+            kernel,
+            stride,
+            pad,
+            use_bias,
+            cache_input: None,
+        }
+    }
+
+    /// Output channel count.
+    pub fn out_channels(&self) -> usize {
+        self.out_channels
+    }
+
+    /// The (square) kernel size.
+    pub fn kernel(&self) -> usize {
+        self.kernel
+    }
+}
+
+impl Layer for Conv2d {
+    fn kind(&self) -> &'static str {
+        "conv2d"
+    }
+
+    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Result<Tensor> {
+        if input.rank() != 4 || input.dims()[1] != self.in_channels {
+            return Err(NnError::BadInput {
+                layer: "Conv2d",
+                expected: format!("[N, {}, H, W]", self.in_channels),
+                got: input.dims().to_vec(),
+            });
+        }
+        self.cache_input = Some(input.clone());
+        let bias = self.use_bias.then_some(&self.bias.value);
+        Ok(conv2d(input, &self.weight.value, bias, self.stride, self.pad)?)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let x = self
+            .cache_input
+            .take()
+            .ok_or(NnError::MissingForwardCache("Conv2d"))?;
+        let grads = conv2d_backward(&x, &self.weight.value, grad_out, self.stride, self.pad)?;
+        self.weight.accumulate_grad(&grads.grad_weight);
+        if self.use_bias {
+            self.bias.accumulate_grad(&grads.grad_bias);
+        }
+        Ok(grads.grad_input)
+    }
+
+    fn visit_params(&mut self, prefix: &str, f: &mut dyn FnMut(&str, &mut Param)) {
+        f(&join_path(prefix, "weight"), &mut self.weight);
+        if self.use_bias {
+            f(&join_path(prefix, "bias"), &mut self.bias);
+        }
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+/// 1-D convolution over `[N, C, L]` — Text-CNN's n-gram filters.
+#[derive(Clone)]
+pub struct Conv1d {
+    weight: Param,
+    bias: Param,
+    in_channels: usize,
+    kernel: usize,
+    stride: usize,
+    pad: usize,
+    cache_input: Option<Tensor>,
+}
+
+impl Conv1d {
+    /// He-normal initialized 1-D convolution with bias.
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+        rng_: &mut impl Rng,
+    ) -> Self {
+        let fan_in = in_channels * kernel;
+        let weight = rng::he_normal(&[out_channels, in_channels, kernel], fan_in, rng_);
+        Conv1d {
+            weight: Param::new(weight),
+            bias: Param::new(Tensor::zeros(&[out_channels])),
+            in_channels,
+            kernel,
+            stride,
+            pad,
+            cache_input: None,
+        }
+    }
+
+    /// The kernel (n-gram) width.
+    pub fn kernel(&self) -> usize {
+        self.kernel
+    }
+}
+
+impl Layer for Conv1d {
+    fn kind(&self) -> &'static str {
+        "conv1d"
+    }
+
+    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Result<Tensor> {
+        if input.rank() != 3 || input.dims()[1] != self.in_channels {
+            return Err(NnError::BadInput {
+                layer: "Conv1d",
+                expected: format!("[N, {}, L]", self.in_channels),
+                got: input.dims().to_vec(),
+            });
+        }
+        self.cache_input = Some(input.clone());
+        Ok(conv1d(
+            input,
+            &self.weight.value,
+            Some(&self.bias.value),
+            self.stride,
+            self.pad,
+        )?)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let x = self
+            .cache_input
+            .take()
+            .ok_or(NnError::MissingForwardCache("Conv1d"))?;
+        let grads = conv1d_backward(&x, &self.weight.value, grad_out, self.stride, self.pad)?;
+        self.weight.accumulate_grad(&grads.grad_weight);
+        self.bias.accumulate_grad(&grads.grad_bias);
+        Ok(grads.grad_input)
+    }
+
+    fn visit_params(&mut self, prefix: &str, f: &mut dyn FnMut(&str, &mut Param)) {
+        f(&join_path(prefix, "weight"), &mut self.weight);
+        f(&join_path(prefix, "bias"), &mut self.bias);
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn conv2d_forward_shape() {
+        let mut r = StdRng::seed_from_u64(0);
+        let mut layer = Conv2d::new(3, 8, 3, 1, 1, false, &mut r);
+        let x = Tensor::zeros(&[2, 3, 8, 8]);
+        let y = layer.forward(&x, Mode::Train).unwrap();
+        assert_eq!(y.dims(), &[2, 8, 8, 8]); // "same" padding
+
+        let mut strided = Conv2d::new(3, 4, 3, 2, 1, false, &mut r);
+        let y2 = strided.forward(&x, Mode::Train).unwrap();
+        assert_eq!(y2.dims(), &[2, 4, 4, 4]);
+    }
+
+    #[test]
+    fn conv2d_rejects_bad_channels() {
+        let mut r = StdRng::seed_from_u64(0);
+        let mut layer = Conv2d::new(3, 8, 3, 1, 1, false, &mut r);
+        assert!(layer.forward(&Tensor::zeros(&[2, 4, 8, 8]), Mode::Train).is_err());
+    }
+
+    #[test]
+    fn conv2d_backward_accumulates() {
+        let mut r = StdRng::seed_from_u64(1);
+        let mut layer = Conv2d::new(1, 2, 3, 1, 1, true, &mut r);
+        let x = edde_tensor::rng::rand_uniform(&[1, 1, 5, 5], -1.0, 1.0, &mut r);
+        let y = layer.forward(&x, Mode::Train).unwrap();
+        let g = Tensor::ones(y.dims());
+        let gx = layer.backward(&g).unwrap();
+        assert_eq!(gx.dims(), x.dims());
+        assert!(layer.weight.grad.max_abs() > 0.0);
+        assert!(layer.bias.grad.max_abs() > 0.0);
+
+        // second pass accumulates onto the first
+        let w_grad_1 = layer.weight.grad.clone();
+        layer.forward(&x, Mode::Train).unwrap();
+        layer.backward(&g).unwrap();
+        for (a, b) in layer.weight.grad.data().iter().zip(w_grad_1.data().iter()) {
+            assert!((a - 2.0 * b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn conv2d_no_bias_has_single_param() {
+        let mut r = StdRng::seed_from_u64(0);
+        let mut layer = Conv2d::new(1, 1, 3, 1, 1, false, &mut r);
+        let mut names = Vec::new();
+        layer.visit_params("c", &mut |n, _| names.push(n.to_string()));
+        assert_eq!(names, vec!["c.weight"]);
+    }
+
+    #[test]
+    fn conv1d_forward_and_backward_shapes() {
+        let mut r = StdRng::seed_from_u64(2);
+        let mut layer = Conv1d::new(4, 6, 3, 1, 0, &mut r);
+        let x = edde_tensor::rng::rand_uniform(&[2, 4, 12], -1.0, 1.0, &mut r);
+        let y = layer.forward(&x, Mode::Train).unwrap();
+        assert_eq!(y.dims(), &[2, 6, 10]);
+        let gx = layer.backward(&Tensor::ones(y.dims())).unwrap();
+        assert_eq!(gx.dims(), x.dims());
+        assert!(layer.weight.grad.max_abs() > 0.0);
+    }
+
+    #[test]
+    fn conv1d_rejects_rank2() {
+        let mut r = StdRng::seed_from_u64(0);
+        let mut layer = Conv1d::new(4, 6, 3, 1, 0, &mut r);
+        assert!(layer.forward(&Tensor::zeros(&[4, 12]), Mode::Train).is_err());
+    }
+}

@@ -1,0 +1,208 @@
+//! Fully-connected (dense) layer.
+
+use crate::error::{NnError, Result};
+use crate::layer::{join_path, Layer};
+use crate::param::{Mode, Param};
+use edde_tensor::ops::{add_row_broadcast, matmul, matmul_a_bt, matmul_at_b, sum_axis0};
+use edde_tensor::{rng, Tensor};
+use rand::Rng;
+
+/// `y = x·W + b` with `x: [N, in]`, `W: [in, out]`, `b: [out]`.
+#[derive(Clone)]
+pub struct Dense {
+    weight: Param,
+    bias: Param,
+    in_features: usize,
+    out_features: usize,
+    cache_input: Option<Tensor>,
+}
+
+impl Dense {
+    /// He-normal initialized dense layer, the right default for the ReLU
+    /// networks used throughout the paper.
+    pub fn new(in_features: usize, out_features: usize, rng_: &mut impl Rng) -> Self {
+        let weight = rng::he_normal(&[in_features, out_features], in_features, rng_);
+        Dense {
+            weight: Param::new(weight),
+            bias: Param::new(Tensor::zeros(&[out_features])),
+            in_features,
+            out_features,
+            cache_input: None,
+        }
+    }
+
+    /// Glorot-uniform initialized variant, used by the Text-CNN head.
+    pub fn glorot(in_features: usize, out_features: usize, rng_: &mut impl Rng) -> Self {
+        let weight =
+            rng::glorot_uniform(&[in_features, out_features], in_features, out_features, rng_);
+        Dense {
+            weight: Param::new(weight),
+            bias: Param::new(Tensor::zeros(&[out_features])),
+            in_features,
+            out_features,
+            cache_input: None,
+        }
+    }
+
+    /// Input feature count.
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Output feature count.
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+}
+
+impl Layer for Dense {
+    fn kind(&self) -> &'static str {
+        "dense"
+    }
+
+    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Result<Tensor> {
+        if input.rank() != 2 || input.dims()[1] != self.in_features {
+            return Err(NnError::BadInput {
+                layer: "Dense",
+                expected: format!("[N, {}]", self.in_features),
+                got: input.dims().to_vec(),
+            });
+        }
+        self.cache_input = Some(input.clone());
+        let y = matmul(input, &self.weight.value)?;
+        Ok(add_row_broadcast(&y, &self.bias.value)?)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let x = self
+            .cache_input
+            .take()
+            .ok_or(NnError::MissingForwardCache("Dense"))?;
+        // dW = xᵀ · dY ; db = column sums of dY ; dx = dY · Wᵀ
+        let grad_w = matmul_at_b(&x, grad_out)?;
+        self.weight.accumulate_grad(&grad_w);
+        let grad_b = sum_axis0(grad_out)?;
+        self.bias.accumulate_grad(&grad_b);
+        Ok(matmul_a_bt(grad_out, &self.weight.value)?)
+    }
+
+    fn visit_params(&mut self, prefix: &str, f: &mut dyn FnMut(&str, &mut Param)) {
+        f(&join_path(prefix, "weight"), &mut self.weight);
+        f(&join_path(prefix, "bias"), &mut self.bias);
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0)
+    }
+
+    #[test]
+    fn forward_shape_and_bias() {
+        let mut r = rng();
+        let mut layer = Dense::new(3, 2, &mut r);
+        // overwrite with known weights
+        layer.weight.value = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0, 0.0, 0.0], &[3, 2]).unwrap();
+        layer.bias.value = Tensor::from_slice(&[10.0, 20.0]);
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[1, 3]).unwrap();
+        let y = layer.forward(&x, Mode::Train).unwrap();
+        assert_eq!(y.data(), &[11.0, 22.0]);
+    }
+
+    #[test]
+    fn rejects_wrong_input_width() {
+        let mut r = rng();
+        let mut layer = Dense::new(3, 2, &mut r);
+        assert!(layer.forward(&Tensor::zeros(&[1, 4]), Mode::Train).is_err());
+        assert!(layer.forward(&Tensor::zeros(&[3]), Mode::Train).is_err());
+    }
+
+    #[test]
+    fn backward_before_forward_errors() {
+        let mut r = rng();
+        let mut layer = Dense::new(2, 2, &mut r);
+        assert!(layer.backward(&Tensor::zeros(&[1, 2])).is_err());
+    }
+
+    #[test]
+    fn gradients_match_numerical() {
+        let mut r = rng();
+        let mut layer = Dense::new(4, 3, &mut r);
+        let x = edde_tensor::rng::rand_uniform(&[5, 4], -1.0, 1.0, &mut r);
+        let g = edde_tensor::rng::rand_uniform(&[5, 3], -1.0, 1.0, &mut r);
+
+        let y0 = layer.forward(&x, Mode::Train).unwrap();
+        let _ = y0;
+        let gx = layer.backward(&g).unwrap();
+
+        // loss(x, w) = sum(forward ⊙ g)
+        let eps = 1e-2f32;
+        let probe = |wi: Option<usize>, xi: Option<usize>| -> f32 {
+            let mut l2 = layer.clone();
+            let mut x2 = x.clone();
+            if let Some(i) = wi {
+                l2.weight.value.data_mut()[i] += eps;
+            }
+            if let Some(i) = xi {
+                x2.data_mut()[i] += eps;
+            }
+            let y = l2.forward(&x2, Mode::Train).unwrap();
+            y.data().iter().zip(g.data().iter()).map(|(a, b)| a * b).sum()
+        };
+        let base_w_plus = probe(Some(0), None);
+        let mut l_minus = layer.clone();
+        l_minus.weight.value.data_mut()[0] -= eps;
+        let y_minus = l_minus.forward(&x, Mode::Train).unwrap();
+        let base_w_minus: f32 = y_minus
+            .data()
+            .iter()
+            .zip(g.data().iter())
+            .map(|(a, b)| a * b)
+            .sum();
+        let num_w = (base_w_plus - base_w_minus) / (2.0 * eps);
+        assert!((num_w - layer.weight.grad.data()[0]).abs() < 1e-2);
+
+        let x_plus = probe(None, Some(0));
+        let mut x2 = x.clone();
+        x2.data_mut()[0] -= eps;
+        let mut l3 = layer.clone();
+        let y3 = l3.forward(&x2, Mode::Train).unwrap();
+        let x_minus: f32 = y3
+            .data()
+            .iter()
+            .zip(g.data().iter())
+            .map(|(a, b)| a * b)
+            .sum();
+        let num_x = (x_plus - x_minus) / (2.0 * eps);
+        assert!((num_x - gx.data()[0]).abs() < 1e-2);
+    }
+
+    #[test]
+    fn param_paths() {
+        let mut r = rng();
+        let mut layer = Dense::new(2, 2, &mut r);
+        let mut names = Vec::new();
+        layer.visit_params("fc", &mut |n, _| names.push(n.to_string()));
+        assert_eq!(names, vec!["fc.weight", "fc.bias"]);
+    }
+
+    #[test]
+    fn bias_gradient_is_column_sum() {
+        let mut r = rng();
+        let mut layer = Dense::new(2, 2, &mut r);
+        let x = Tensor::zeros(&[3, 2]);
+        layer.forward(&x, Mode::Train).unwrap();
+        let g = Tensor::ones(&[3, 2]);
+        layer.backward(&g).unwrap();
+        assert_eq!(layer.bias.grad.data(), &[3.0, 3.0]);
+    }
+}

@@ -1,0 +1,158 @@
+//! Inverted dropout.
+
+use crate::error::{NnError, Result};
+use crate::layer::Layer;
+use crate::param::Mode;
+use edde_tensor::Tensor;
+
+/// A tiny, clonable SplitMix64 generator. `rand`'s `StdRng` is not `Clone`
+/// (by design, to avoid accidental stream reuse), but dropout layers *want*
+/// clonable state: cloning a model must clone its exact dropout stream so
+/// ensemble snapshots stay deterministic.
+#[derive(Debug, Clone)]
+struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)` with 24 bits of precision.
+    fn next_f32(&mut self) -> f32 {
+        (self.next_u64() >> 40) as f32 / (1u32 << 24) as f32
+    }
+}
+
+/// Inverted dropout: during training, zeroes each activation with
+/// probability `p` and scales survivors by `1/(1-p)`; identity in eval mode.
+///
+/// The layer owns a seeded RNG so a whole model remains deterministic under
+/// one construction seed (cloning a model clones the dropout state too).
+#[derive(Clone)]
+pub struct Dropout {
+    p: f32,
+    rng: SplitMix64,
+    mask: Option<Tensor>,
+}
+
+impl Dropout {
+    /// Dropout with keep scaling, seeded for reproducibility.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1)`.
+    pub fn new(p: f32, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&p), "dropout p must be in [0,1), got {p}");
+        Dropout {
+            p,
+            rng: SplitMix64::new(seed),
+            mask: None,
+        }
+    }
+
+    /// The drop probability.
+    pub fn p(&self) -> f32 {
+        self.p
+    }
+}
+
+impl Layer for Dropout {
+    fn kind(&self) -> &'static str {
+        "dropout"
+    }
+
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+        if !mode.is_train() || self.p == 0.0 {
+            self.mask = None;
+            return Ok(input.clone());
+        }
+        let scale = 1.0 / (1.0 - self.p);
+        let mut mask = Tensor::zeros(input.dims());
+        for m in mask.data_mut() {
+            *m = if self.rng.next_f32() < self.p {
+                0.0
+            } else {
+                scale
+            };
+        }
+        let out = input.zip_map(&mask, |x, m| x * m)?;
+        self.mask = Some(mask);
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        match self.mask.take() {
+            Some(mask) => Ok(grad_out.zip_map(&mask, |g, m| g * m)?),
+            // eval-mode forward (or p == 0) is the identity
+            None if self.p == 0.0 => Ok(grad_out.clone()),
+            None => Err(NnError::MissingForwardCache("Dropout")),
+        }
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_mode_is_identity() {
+        let mut d = Dropout::new(0.5, 7);
+        let x = Tensor::from_slice(&[1.0, 2.0, 3.0]);
+        let y = d.forward(&x, Mode::Eval).unwrap();
+        assert_eq!(y, x);
+    }
+
+    #[test]
+    fn train_mode_zeroes_roughly_p_fraction() {
+        let mut d = Dropout::new(0.5, 7);
+        let x = Tensor::ones(&[10_000]);
+        let y = d.forward(&x, Mode::Train).unwrap();
+        let zeros = y.data().iter().filter(|&&v| v == 0.0).count();
+        assert!((4_000..6_000).contains(&zeros), "zeros {zeros}");
+        // survivors are scaled
+        assert!(y.data().iter().any(|&v| (v - 2.0).abs() < 1e-6));
+        // expected value preserved
+        let mean = y.data().iter().sum::<f32>() / y.len() as f32;
+        assert!((mean - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn backward_uses_same_mask() {
+        let mut d = Dropout::new(0.5, 3);
+        let x = Tensor::ones(&[100]);
+        let y = d.forward(&x, Mode::Train).unwrap();
+        let g = d.backward(&Tensor::ones(&[100])).unwrap();
+        for (yv, gv) in y.data().iter().zip(g.data().iter()) {
+            assert_eq!(yv, gv); // identical mask and scale
+        }
+    }
+
+    #[test]
+    fn zero_p_never_needs_cache() {
+        let mut d = Dropout::new(0.0, 0);
+        let x = Tensor::ones(&[4]);
+        let y = d.forward(&x, Mode::Train).unwrap();
+        assert_eq!(y, x);
+        assert!(d.backward(&x).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "dropout p")]
+    fn rejects_p_of_one() {
+        Dropout::new(1.0, 0);
+    }
+}

@@ -1,0 +1,183 @@
+//! Token embedding layer for the Text-CNN.
+
+use crate::error::{NnError, Result};
+use crate::layer::{join_path, Layer};
+use crate::param::{Mode, Param};
+use edde_tensor::{rng, Tensor};
+use rand::Rng;
+
+/// Maps integer token ids to dense vectors.
+///
+/// Input is a `[N, L]` tensor whose entries are token ids stored as `f32`
+/// (the whole stack is `f32`; ids are exact integers well below the 2^24
+/// f32-precision limit). Output is `[N, D, L]` — channels-first so it feeds
+/// [`crate::layers::Conv1d`] directly, matching the Text-CNN pipeline.
+#[derive(Clone)]
+pub struct Embedding {
+    table: Param,
+    vocab: usize,
+    dim: usize,
+    cache_ids: Option<Vec<usize>>, // flattened [N*L]
+    cache_shape: Option<(usize, usize)>,
+}
+
+impl Embedding {
+    /// Glorot-uniform initialized embedding table `[vocab, dim]`.
+    pub fn new(vocab: usize, dim: usize, rng_: &mut impl Rng) -> Self {
+        let table = rng::glorot_uniform(&[vocab, dim], vocab, dim, rng_);
+        Embedding {
+            table: Param::new(table),
+            vocab,
+            dim,
+            cache_ids: None,
+            cache_shape: None,
+        }
+    }
+
+    /// Vocabulary size.
+    pub fn vocab(&self) -> usize {
+        self.vocab
+    }
+
+    /// Embedding dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+}
+
+impl Layer for Embedding {
+    fn kind(&self) -> &'static str {
+        "embedding"
+    }
+
+    #[allow(clippy::needless_range_loop)] // (sample, time, dim) index loops read clearer
+    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Result<Tensor> {
+        if input.rank() != 2 {
+            return Err(NnError::BadInput {
+                layer: "Embedding",
+                expected: "[N, L] of token ids".into(),
+                got: input.dims().to_vec(),
+            });
+        }
+        let (n, l) = (input.dims()[0], input.dims()[1]);
+        let mut ids = Vec::with_capacity(n * l);
+        for &v in input.data() {
+            let id = v as usize;
+            if v < 0.0 || id >= self.vocab || v.fract() != 0.0 {
+                return Err(NnError::BadInput {
+                    layer: "Embedding",
+                    expected: format!("integer ids in [0, {})", self.vocab),
+                    got: input.dims().to_vec(),
+                });
+            }
+            ids.push(id);
+        }
+        // out[n, d, l] = table[ids[n*L + l], d]
+        let mut out = Tensor::zeros(&[n, self.dim, l]);
+        for s in 0..n {
+            for t in 0..l {
+                let row = &self.table.value.data()[ids[s * l + t] * self.dim..][..self.dim];
+                for d in 0..self.dim {
+                    out.data_mut()[(s * self.dim + d) * l + t] = row[d];
+                }
+            }
+        }
+        self.cache_ids = Some(ids);
+        self.cache_shape = Some((n, l));
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let ids = self
+            .cache_ids
+            .take()
+            .ok_or(NnError::MissingForwardCache("Embedding"))?;
+        let (n, l) = self
+            .cache_shape
+            .take()
+            .ok_or(NnError::MissingForwardCache("Embedding"))?;
+        if grad_out.dims() != [n, self.dim, l] {
+            return Err(NnError::BadInput {
+                layer: "Embedding",
+                expected: format!("[{n}, {}, {l}]", self.dim),
+                got: grad_out.dims().to_vec(),
+            });
+        }
+        let mut dtable = Tensor::zeros(&[self.vocab, self.dim]);
+        for s in 0..n {
+            for t in 0..l {
+                let id = ids[s * l + t];
+                for d in 0..self.dim {
+                    dtable.data_mut()[id * self.dim + d] +=
+                        grad_out.data()[(s * self.dim + d) * l + t];
+                }
+            }
+        }
+        self.table.accumulate_grad(&dtable);
+        // Token ids are not differentiable; return a zero gradient so the
+        // chain terminates cleanly at the input.
+        Ok(Tensor::zeros(&[n, l]))
+    }
+
+    fn visit_params(&mut self, prefix: &str, f: &mut dyn FnMut(&str, &mut Param)) {
+        f(&join_path(prefix, "table"), &mut self.table);
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lookup_produces_channels_first() {
+        let mut r = StdRng::seed_from_u64(0);
+        let mut emb = Embedding::new(5, 3, &mut r);
+        // deterministic table: row i = [i, i+0.5, i+0.25]
+        for i in 0..5 {
+            for (d, off) in [0.0, 0.5, 0.25].iter().enumerate() {
+                emb.table.value.data_mut()[i * 3 + d] = i as f32 + off;
+            }
+        }
+        let ids = Tensor::from_vec(vec![2.0, 4.0], &[1, 2]).unwrap();
+        let y = emb.forward(&ids, Mode::Train).unwrap();
+        assert_eq!(y.dims(), &[1, 3, 2]);
+        // channel 0 over time: [2, 4]; channel 1: [2.5, 4.5]
+        assert_eq!(y.data(), &[2.0, 4.0, 2.5, 4.5, 2.25, 4.25]);
+    }
+
+    #[test]
+    fn rejects_out_of_vocab_and_fractional_ids() {
+        let mut r = StdRng::seed_from_u64(0);
+        let mut emb = Embedding::new(5, 3, &mut r);
+        let bad = Tensor::from_vec(vec![5.0], &[1, 1]).unwrap();
+        assert!(emb.forward(&bad, Mode::Train).is_err());
+        let frac = Tensor::from_vec(vec![1.5], &[1, 1]).unwrap();
+        assert!(emb.forward(&frac, Mode::Train).is_err());
+        let neg = Tensor::from_vec(vec![-1.0], &[1, 1]).unwrap();
+        assert!(emb.forward(&neg, Mode::Train).is_err());
+    }
+
+    #[test]
+    fn backward_scatter_adds_to_used_rows() {
+        let mut r = StdRng::seed_from_u64(0);
+        let mut emb = Embedding::new(4, 2, &mut r);
+        let ids = Tensor::from_vec(vec![1.0, 1.0, 3.0], &[1, 3]).unwrap();
+        emb.forward(&ids, Mode::Train).unwrap();
+        let g = Tensor::ones(&[1, 2, 3]);
+        let gin = emb.backward(&g).unwrap();
+        assert_eq!(gin.dims(), &[1, 3]);
+        assert!(gin.data().iter().all(|&v| v == 0.0));
+        // row 1 used twice, row 3 once, rows 0/2 untouched
+        let grad = emb.table.grad.data();
+        assert_eq!(&grad[2..4], &[2.0, 2.0]);
+        assert_eq!(&grad[6..8], &[1.0, 1.0]);
+        assert_eq!(&grad[0..2], &[0.0, 0.0]);
+        assert_eq!(&grad[4..6], &[0.0, 0.0]);
+    }
+}

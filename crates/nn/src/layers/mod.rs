@@ -1,0 +1,17 @@
+//! Concrete layers.
+
+pub mod activation;
+pub mod batchnorm;
+pub mod conv;
+pub mod dense;
+pub mod dropout;
+pub mod embedding;
+pub mod pooling;
+
+pub use activation::{Relu, Sigmoid, Tanh};
+pub use batchnorm::BatchNorm2d;
+pub use conv::{Conv1d, Conv2d};
+pub use dense::Dense;
+pub use dropout::Dropout;
+pub use embedding::Embedding;
+pub use pooling::{Flatten, GlobalAvgPool, MaxOverTime, MaxPool2d};

@@ -1,0 +1,230 @@
+//! Pooling and reshaping layers.
+
+use crate::error::{NnError, Result};
+use crate::layer::Layer;
+use crate::param::Mode;
+use edde_tensor::ops::{
+    global_avg_pool, global_avg_pool_backward, max_over_time, max_over_time_backward, max_pool2d,
+    max_pool2d_backward,
+};
+use edde_tensor::Tensor;
+
+/// Max pooling with a square window.
+#[derive(Clone)]
+pub struct MaxPool2d {
+    kernel: usize,
+    stride: usize,
+    cache: Option<(Vec<usize>, Vec<usize>)>, // (input dims, argmax)
+}
+
+impl MaxPool2d {
+    /// Window size `kernel`, stride `stride` (use `kernel == stride` for the
+    /// usual non-overlapping pooling).
+    pub fn new(kernel: usize, stride: usize) -> Self {
+        MaxPool2d {
+            kernel,
+            stride,
+            cache: None,
+        }
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn kind(&self) -> &'static str {
+        "maxpool2d"
+    }
+
+    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Result<Tensor> {
+        let (out, argmax) = max_pool2d(input, self.kernel, self.stride)?;
+        self.cache = Some((input.dims().to_vec(), argmax));
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let (dims, argmax) = self
+            .cache
+            .take()
+            .ok_or(NnError::MissingForwardCache("MaxPool2d"))?;
+        Ok(max_pool2d_backward(&dims, grad_out, &argmax)?)
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+/// Global average pooling: `[N,C,H,W] -> [N,C]`, the classification head
+/// entry of ResNet and DenseNet.
+#[derive(Clone, Default)]
+pub struct GlobalAvgPool {
+    cache_dims: Option<Vec<usize>>,
+}
+
+impl GlobalAvgPool {
+    /// A fresh layer.
+    pub fn new() -> Self {
+        GlobalAvgPool { cache_dims: None }
+    }
+}
+
+impl Layer for GlobalAvgPool {
+    fn kind(&self) -> &'static str {
+        "global_avg_pool"
+    }
+
+    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Result<Tensor> {
+        let out = global_avg_pool(input)?;
+        self.cache_dims = Some(input.dims().to_vec());
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let dims = self
+            .cache_dims
+            .take()
+            .ok_or(NnError::MissingForwardCache("GlobalAvgPool"))?;
+        Ok(global_avg_pool_backward(&dims, grad_out)?)
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+/// Max-over-time pooling: `[N,C,L] -> [N,C]`, Text-CNN's sequence reducer.
+#[derive(Clone, Default)]
+pub struct MaxOverTime {
+    cache: Option<(Vec<usize>, Vec<usize>)>,
+}
+
+impl MaxOverTime {
+    /// A fresh layer.
+    pub fn new() -> Self {
+        MaxOverTime { cache: None }
+    }
+}
+
+impl Layer for MaxOverTime {
+    fn kind(&self) -> &'static str {
+        "max_over_time"
+    }
+
+    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Result<Tensor> {
+        let (out, argmax) = max_over_time(input)?;
+        self.cache = Some((input.dims().to_vec(), argmax));
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let (dims, argmax) = self
+            .cache
+            .take()
+            .ok_or(NnError::MissingForwardCache("MaxOverTime"))?;
+        Ok(max_over_time_backward(&dims, grad_out, &argmax)?)
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+/// Flattens `[N, d1, d2, ...]` into `[N, d1*d2*...]`.
+#[derive(Clone, Default)]
+pub struct Flatten {
+    cache_dims: Option<Vec<usize>>,
+}
+
+impl Flatten {
+    /// A fresh layer.
+    pub fn new() -> Self {
+        Flatten { cache_dims: None }
+    }
+}
+
+impl Layer for Flatten {
+    fn kind(&self) -> &'static str {
+        "flatten"
+    }
+
+    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Result<Tensor> {
+        if input.rank() < 1 {
+            return Err(NnError::BadInput {
+                layer: "Flatten",
+                expected: "[N, ...]".into(),
+                got: input.dims().to_vec(),
+            });
+        }
+        self.cache_dims = Some(input.dims().to_vec());
+        let n = input.dims()[0];
+        let rest: usize = input.dims()[1..].iter().product();
+        Ok(input.reshape(&[n, rest])?)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let dims = self
+            .cache_dims
+            .take()
+            .ok_or(NnError::MissingForwardCache("Flatten"))?;
+        Ok(grad_out.reshape(&dims)?)
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_pool_layer_round_trip() {
+        let mut pool = MaxPool2d::new(2, 2);
+        let x = Tensor::from_vec((0..16).map(|v| v as f32).collect(), &[1, 1, 4, 4]).unwrap();
+        let y = pool.forward(&x, Mode::Train).unwrap();
+        assert_eq!(y.dims(), &[1, 1, 2, 2]);
+        assert_eq!(y.data(), &[5.0, 7.0, 13.0, 15.0]);
+        let gx = pool.backward(&Tensor::ones(&[1, 1, 2, 2])).unwrap();
+        assert_eq!(gx.dims(), x.dims());
+        assert_eq!(edde_tensor::ops::sum_all(&gx), 4.0);
+    }
+
+    #[test]
+    fn global_avg_pool_layer() {
+        let mut gap = GlobalAvgPool::new();
+        let x = Tensor::ones(&[2, 3, 4, 4]);
+        let y = gap.forward(&x, Mode::Eval).unwrap();
+        assert_eq!(y.dims(), &[2, 3]);
+        assert!(y.data().iter().all(|&v| (v - 1.0).abs() < 1e-6));
+        let gx = gap.backward(&Tensor::ones(&[2, 3])).unwrap();
+        assert!(gx.data().iter().all(|&v| (v - 1.0 / 16.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn max_over_time_layer() {
+        let mut mot = MaxOverTime::new();
+        let x = Tensor::from_vec(vec![1.0, 9.0, 2.0, 0.0, -1.0, -2.0], &[1, 2, 3]).unwrap();
+        let y = mot.forward(&x, Mode::Train).unwrap();
+        assert_eq!(y.data(), &[9.0, 0.0]);
+        let gx = mot.backward(&Tensor::from_vec(vec![1.0, 2.0], &[1, 2]).unwrap()).unwrap();
+        assert_eq!(gx.data(), &[0.0, 1.0, 0.0, 2.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn flatten_round_trip() {
+        let mut fl = Flatten::new();
+        let x = Tensor::ones(&[2, 3, 4]);
+        let y = fl.forward(&x, Mode::Train).unwrap();
+        assert_eq!(y.dims(), &[2, 12]);
+        let gx = fl.backward(&Tensor::ones(&[2, 12])).unwrap();
+        assert_eq!(gx.dims(), &[2, 3, 4]);
+    }
+
+    #[test]
+    fn backward_requires_forward() {
+        assert!(MaxPool2d::new(2, 2).backward(&Tensor::zeros(&[1])).is_err());
+        assert!(GlobalAvgPool::new().backward(&Tensor::zeros(&[1])).is_err());
+        assert!(MaxOverTime::new().backward(&Tensor::zeros(&[1])).is_err());
+        assert!(Flatten::new().backward(&Tensor::zeros(&[1])).is_err());
+    }
+}

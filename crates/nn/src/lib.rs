@@ -1,0 +1,44 @@
+//! # edde-nn
+//!
+//! A from-scratch neural-network framework sufficient to reproduce the EDDE
+//! paper (ICDE 2020): layer-based models with explicit backward passes,
+//! SGD with momentum and weight decay, the learning-rate schedules the paper
+//! uses (step decay and cosine annealing with warm restarts), and preset
+//! architectures (MLP, ResNet, DenseNet, Text-CNN).
+//!
+//! The design favours explicitness over magic: a [`layer::Layer`] caches its
+//! own forward state and implements `backward` directly, and a
+//! [`network::Network`] is a named tree of layers whose parameters can be
+//! exported, imported, and *partially transferred* — the operation EDDE's
+//! β-knowledge-transfer builds on.
+//!
+//! ```
+//! use edde_nn::models::mlp;
+//! use edde_nn::network::Network;
+//! use edde_nn::param::Mode;
+//! use edde_tensor::Tensor;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let mut net: Network = mlp(&[4, 16, 3], 0.0, &mut rng);
+//! let x = Tensor::zeros(&[2, 4]);
+//! let logits = net.forward(&x, Mode::Eval).unwrap();
+//! assert_eq!(logits.dims(), &[2, 3]);
+//! ```
+
+pub mod blocks;
+pub mod checkpoint;
+pub mod error;
+pub mod layer;
+pub mod layers;
+pub mod loss;
+pub mod metrics;
+pub mod models;
+pub mod network;
+pub mod optim;
+pub mod param;
+
+pub use error::{NnError, Result};
+pub use layer::{Layer, Sequential};
+pub use network::Network;
+pub use param::{Mode, Param};

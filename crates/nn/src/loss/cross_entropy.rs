@@ -1,0 +1,135 @@
+//! Weighted categorical cross-entropy.
+
+use super::{validate_batch, validate_weights, LossOutput, PROB_EPS};
+use crate::error::Result;
+use edde_tensor::ops::softmax_rows;
+use edde_tensor::Tensor;
+
+/// Categorical cross-entropy over logits with optional per-sample weights.
+///
+/// Loss per sample: `L_i = w_i · (−ln p_{i, y_i})`; the reported value and
+/// the logits gradient are both divided by the batch size, so sample weights
+/// with mean 1 leave the effective learning rate unchanged (the convention
+/// the EDDE boosting loop relies on).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CrossEntropy;
+
+impl CrossEntropy {
+    /// A fresh loss.
+    pub fn new() -> Self {
+        CrossEntropy
+    }
+
+    /// Computes loss and logits gradient for one batch.
+    pub fn compute(
+        &self,
+        logits: &Tensor,
+        labels: &[usize],
+        sample_weights: Option<&[f32]>,
+    ) -> Result<LossOutput> {
+        let (n, k) = validate_batch(logits, labels)?;
+        validate_weights(sample_weights, n)?;
+        let probs = softmax_rows(logits)?;
+        let inv_n = 1.0 / n as f32;
+        let mut grad = probs.clone();
+        let mut loss = 0.0f64;
+        for i in 0..n {
+            let w = sample_weights.map_or(1.0, |ws| ws[i]);
+            let row = &mut grad.data_mut()[i * k..(i + 1) * k];
+            let p_y = row[labels[i]].max(PROB_EPS);
+            loss += f64::from(w) * f64::from(-p_y.ln());
+            row[labels[i]] -= 1.0;
+            for v in row.iter_mut() {
+                *v *= w * inv_n;
+            }
+        }
+        Ok(LossOutput {
+            loss: (loss * f64::from(inv_n)) as f32,
+            grad_logits: grad,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction_has_near_zero_loss() {
+        let logits = Tensor::from_vec(vec![20.0, 0.0, 0.0, 0.0, 20.0, 0.0], &[2, 3]).unwrap();
+        let out = CrossEntropy::new().compute(&logits, &[0, 1], None).unwrap();
+        assert!(out.loss < 1e-3, "loss {}", out.loss);
+        assert!(out.grad_logits.max_abs() < 1e-3);
+    }
+
+    #[test]
+    fn uniform_logits_give_ln_k() {
+        let logits = Tensor::zeros(&[4, 10]);
+        let out = CrossEntropy::new()
+            .compute(&logits, &[0, 3, 5, 9], None)
+            .unwrap();
+        assert!((out.loss - (10.0f32).ln()).abs() < 1e-4);
+    }
+
+    #[test]
+    fn gradient_is_p_minus_y_over_n() {
+        let logits = Tensor::zeros(&[1, 2]);
+        let out = CrossEntropy::new().compute(&logits, &[0], None).unwrap();
+        // p = [0.5, 0.5], y = [1, 0] -> grad = [-0.5, 0.5]
+        assert!((out.grad_logits.data()[0] + 0.5).abs() < 1e-6);
+        assert!((out.grad_logits.data()[1] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn weights_scale_loss_and_grad() {
+        let logits = Tensor::from_vec(vec![1.0, -1.0], &[1, 2]).unwrap();
+        let base = CrossEntropy::new().compute(&logits, &[1], None).unwrap();
+        let weighted = CrossEntropy::new()
+            .compute(&logits, &[1], Some(&[3.0]))
+            .unwrap();
+        assert!((weighted.loss - 3.0 * base.loss).abs() < 1e-5);
+        for (a, b) in weighted
+            .grad_logits
+            .data()
+            .iter()
+            .zip(base.grad_logits.data().iter())
+        {
+            assert!((a - 3.0 * b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn gradient_matches_numerical() {
+        let logits =
+            Tensor::from_vec(vec![0.3, -0.2, 0.9, -1.0, 0.1, 0.4], &[2, 3]).unwrap();
+        let labels = [2usize, 0];
+        let weights = [1.5f32, 0.5];
+        let ce = CrossEntropy::new();
+        let out = ce.compute(&logits, &labels, Some(&weights)).unwrap();
+        let eps = 1e-3f32;
+        for i in 0..logits.len() {
+            let mut p = logits.clone();
+            p.data_mut()[i] += eps;
+            let mut m = logits.clone();
+            m.data_mut()[i] -= eps;
+            let lp = ce.compute(&p, &labels, Some(&weights)).unwrap().loss;
+            let lm = ce.compute(&m, &labels, Some(&weights)).unwrap().loss;
+            let num = (lp - lm) / (2.0 * eps);
+            assert!(
+                (num - out.grad_logits.data()[i]).abs() < 1e-3,
+                "logit {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let ce = CrossEntropy::new();
+        let logits = Tensor::zeros(&[2, 3]);
+        assert!(ce.compute(&logits, &[0], None).is_err()); // label count
+        assert!(ce.compute(&logits, &[0, 3], None).is_err()); // label range
+        assert!(ce.compute(&logits, &[0, 1], Some(&[1.0])).is_err()); // weight count
+        assert!(ce.compute(&logits, &[0, 1], Some(&[1.0, -1.0])).is_err()); // negative
+        assert!(ce.compute(&Tensor::zeros(&[3]), &[0], None).is_err()); // rank
+    }
+}

@@ -1,0 +1,164 @@
+//! Knowledge-distillation loss for Born-Again Networks (BANs).
+
+use super::{validate_batch, LossOutput, PROB_EPS};
+use crate::error::{NnError, Result};
+use edde_tensor::ops::softmax_rows;
+use edde_tensor::Tensor;
+
+/// The loss BANs trains each generation with: a convex combination of
+/// ground-truth cross-entropy and cross-entropy against the teacher's
+/// (temperature-softened) soft targets.
+///
+/// ```text
+/// L = (1 − λ)·CE(y, p)  +  λ·τ²·CE(q_τ, p_τ)
+/// ```
+///
+/// where `p_τ = softmax(z/τ)` and `q_τ` is the teacher's τ-softened softmax
+/// output supplied by the caller. The `τ²` factor keeps the soft-target
+/// gradient magnitude comparable across temperatures (Hinton et al., 2015).
+#[derive(Debug, Clone, Copy)]
+pub struct Distillation {
+    /// Weight λ of the soft-target term, in `[0, 1]`.
+    pub lambda: f32,
+    /// Softmax temperature τ > 0.
+    pub temperature: f32,
+}
+
+impl Distillation {
+    /// A distillation loss; panics if the configuration is out of range.
+    pub fn new(lambda: f32, temperature: f32) -> Self {
+        assert!((0.0..=1.0).contains(&lambda), "lambda must be in [0,1]");
+        assert!(temperature > 0.0, "temperature must be positive");
+        Distillation {
+            lambda,
+            temperature,
+        }
+    }
+
+    /// Computes loss and logits gradient for one batch.
+    ///
+    /// `teacher_probs` must be the teacher's τ-softened softmax output,
+    /// `[N, k]`.
+    pub fn compute(
+        &self,
+        logits: &Tensor,
+        labels: &[usize],
+        teacher_probs: &Tensor,
+    ) -> Result<LossOutput> {
+        let (n, k) = validate_batch(logits, labels)?;
+        if teacher_probs.dims() != [n, k] {
+            return Err(NnError::BadLossInput(format!(
+                "teacher soft targets must be [{n}, {k}], got {:?}",
+                teacher_probs.dims()
+            )));
+        }
+        let tau = self.temperature;
+        let probs = softmax_rows(logits)?;
+        let soft_logits = logits.map(|z| z / tau);
+        let probs_tau = softmax_rows(&soft_logits)?;
+        let inv_n = 1.0 / n as f32;
+        let mut grad = Tensor::zeros(&[n, k]);
+        let mut loss = 0.0f64;
+        for i in 0..n {
+            let p = &probs.data()[i * k..(i + 1) * k];
+            let pt = &probs_tau.data()[i * k..(i + 1) * k];
+            let q = &teacher_probs.data()[i * k..(i + 1) * k];
+            let g = &mut grad.data_mut()[i * k..(i + 1) * k];
+
+            // hard-label part
+            let p_y = p[labels[i]].max(PROB_EPS);
+            let mut sample_loss = (1.0 - self.lambda) * (-p_y.ln());
+            for (c, gv) in g.iter_mut().enumerate() {
+                let y = if c == labels[i] { 1.0 } else { 0.0 };
+                *gv = (1.0 - self.lambda) * (p[c] - y);
+            }
+
+            // soft-target part: τ²·CE(q, p_τ); d/dz = τ·(p_τ − q)
+            if self.lambda > 0.0 {
+                let mut soft_ce = 0.0f32;
+                for c in 0..k {
+                    soft_ce -= q[c] * pt[c].max(PROB_EPS).ln();
+                }
+                sample_loss += self.lambda * tau * tau * soft_ce;
+                for c in 0..k {
+                    g[c] += self.lambda * tau * (pt[c] - q[c]);
+                }
+            }
+
+            loss += f64::from(sample_loss);
+            for gv in g.iter_mut() {
+                *gv *= inv_n;
+            }
+        }
+        Ok(LossOutput {
+            loss: (loss * f64::from(inv_n)) as f32,
+            grad_logits: grad,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::CrossEntropy;
+
+    #[test]
+    fn lambda_zero_is_plain_cross_entropy() {
+        let logits = Tensor::from_vec(vec![0.2, -0.4, 1.1, 0.0, 0.5, -0.5], &[2, 3]).unwrap();
+        let labels = [0usize, 2];
+        let q = Tensor::full(&[2, 3], 1.0 / 3.0);
+        let kd = Distillation::new(0.0, 1.0)
+            .compute(&logits, &labels, &q)
+            .unwrap();
+        let ce = CrossEntropy::new().compute(&logits, &labels, None).unwrap();
+        assert!((kd.loss - ce.loss).abs() < 1e-6);
+    }
+
+    #[test]
+    fn matching_teacher_minimizes_soft_term_gradient() {
+        let logits = Tensor::from_vec(vec![1.0, -0.5, 0.25], &[1, 3]).unwrap();
+        let q = edde_tensor::ops::softmax_rows(&logits).unwrap();
+        let kd = Distillation::new(1.0, 1.0).compute(&logits, &[0], &q).unwrap();
+        // p_τ == q -> soft gradient vanishes; hard part has weight 0
+        assert!(kd.grad_logits.max_abs() < 1e-6);
+    }
+
+    #[test]
+    fn gradient_matches_numerical() {
+        let logits =
+            Tensor::from_vec(vec![0.3, -0.2, 0.9, -1.0, 0.1, 0.4], &[2, 3]).unwrap();
+        let labels = [1usize, 0];
+        let q = Tensor::from_vec(vec![0.6, 0.3, 0.1, 0.2, 0.5, 0.3], &[2, 3]).unwrap();
+        let kd = Distillation::new(0.7, 2.0);
+        let out = kd.compute(&logits, &labels, &q).unwrap();
+        let eps = 1e-3f32;
+        for i in 0..logits.len() {
+            let mut p = logits.clone();
+            p.data_mut()[i] += eps;
+            let mut m = logits.clone();
+            m.data_mut()[i] -= eps;
+            let lp = kd.compute(&p, &labels, &q).unwrap().loss;
+            let lm = kd.compute(&m, &labels, &q).unwrap().loss;
+            let num = (lp - lm) / (2.0 * eps);
+            assert!(
+                (num - out.grad_logits.data()[i]).abs() < 2e-3,
+                "logit {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn constructor_validates_config() {
+        assert!(std::panic::catch_unwind(|| Distillation::new(1.5, 1.0)).is_err());
+        assert!(std::panic::catch_unwind(|| Distillation::new(0.5, 0.0)).is_err());
+    }
+
+    #[test]
+    fn rejects_mismatched_teacher() {
+        let logits = Tensor::zeros(&[2, 3]);
+        let q = Tensor::zeros(&[1, 3]);
+        assert!(Distillation::new(0.5, 1.0)
+            .compute(&logits, &[0, 1], &q)
+            .is_err());
+    }
+}

@@ -1,0 +1,80 @@
+//! Loss functions.
+//!
+//! Every loss computes straight from **logits** (pre-softmax scores) so that
+//! gradients can be formed analytically and stably:
+//!
+//! * [`CrossEntropy`] — weighted categorical cross-entropy;
+//! * [`DiversityDriven`] — the paper's Eq. 10 loss
+//!   `L = W(x)·{CE(y, h(x)) − γ‖h(x) − H(x)‖₂}` that *negatively correlates*
+//!   a base model with the running ensemble's soft target;
+//! * [`Distillation`] — the knowledge-distillation loss BANs trains with.
+
+mod cross_entropy;
+mod distill;
+mod diversity;
+
+pub use cross_entropy::CrossEntropy;
+pub use distill::Distillation;
+pub use diversity::DiversityDriven;
+
+use edde_tensor::Tensor;
+
+/// Result of a loss evaluation over a batch.
+#[derive(Debug, Clone)]
+pub struct LossOutput {
+    /// Mean (weighted) loss over the batch.
+    pub loss: f32,
+    /// Gradient of the mean loss with respect to the logits, `[N, k]`.
+    pub grad_logits: Tensor,
+}
+
+/// Floor applied inside `ln` to keep cross-entropy finite when a class
+/// probability underflows.
+pub(crate) const PROB_EPS: f32 = 1e-9;
+
+pub(crate) fn validate_batch(
+    logits: &Tensor,
+    labels: &[usize],
+) -> crate::error::Result<(usize, usize)> {
+    use crate::error::NnError;
+    if logits.rank() != 2 {
+        return Err(NnError::BadLossInput(format!(
+            "logits must be [N, k], got {:?}",
+            logits.dims()
+        )));
+    }
+    let (n, k) = (logits.dims()[0], logits.dims()[1]);
+    if labels.len() != n {
+        return Err(NnError::BadLossInput(format!(
+            "batch size {n} but {} labels",
+            labels.len()
+        )));
+    }
+    if let Some(&bad) = labels.iter().find(|&&y| y >= k) {
+        return Err(NnError::BadLossInput(format!(
+            "label {bad} out of range for {k} classes"
+        )));
+    }
+    Ok((n, k))
+}
+
+pub(crate) fn validate_weights(
+    weights: Option<&[f32]>,
+    n: usize,
+) -> crate::error::Result<()> {
+    use crate::error::NnError;
+    if let Some(w) = weights {
+        if w.len() != n {
+            return Err(NnError::BadLossInput(format!(
+                "batch size {n} but {} sample weights",
+                w.len()
+            )));
+        }
+        if w.iter().any(|v| !v.is_finite() || *v < 0.0) {
+            return Err(NnError::BadLossInput(
+                "sample weights must be finite and non-negative".into(),
+            ));
+        }
+    }
+    Ok(())
+}

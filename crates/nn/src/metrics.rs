@@ -1,0 +1,108 @@
+//! Classification metrics.
+
+use crate::error::{NnError, Result};
+use edde_tensor::ops::argmax_rows;
+use edde_tensor::Tensor;
+
+/// Fraction of rows of `scores` (logits or probabilities, `[N, k]`) whose
+/// argmax equals the label.
+pub fn accuracy(scores: &Tensor, labels: &[usize]) -> Result<f32> {
+    let preds = argmax_rows(scores)?;
+    if preds.len() != labels.len() {
+        return Err(NnError::BadLossInput(format!(
+            "{} predictions vs {} labels",
+            preds.len(),
+            labels.len()
+        )));
+    }
+    if labels.is_empty() {
+        return Err(NnError::BadLossInput("empty evaluation set".into()));
+    }
+    let correct = preds
+        .iter()
+        .zip(labels.iter())
+        .filter(|(p, y)| p == y)
+        .count();
+    Ok(correct as f32 / labels.len() as f32)
+}
+
+/// A `k × k` confusion matrix; rows are true labels, columns predictions.
+pub fn confusion_matrix(scores: &Tensor, labels: &[usize], k: usize) -> Result<Vec<Vec<usize>>> {
+    let preds = argmax_rows(scores)?;
+    if preds.len() != labels.len() {
+        return Err(NnError::BadLossInput(format!(
+            "{} predictions vs {} labels",
+            preds.len(),
+            labels.len()
+        )));
+    }
+    let mut m = vec![vec![0usize; k]; k];
+    for (&p, &y) in preds.iter().zip(labels.iter()) {
+        if y >= k || p >= k {
+            return Err(NnError::BadLossInput(format!(
+                "label/prediction out of range for k={k}"
+            )));
+        }
+        m[y][p] += 1;
+    }
+    Ok(m)
+}
+
+/// Per-sample 0/1 correctness vector — the building block of the boosting
+/// weight updates in Algorithm 1.
+pub fn correctness(scores: &Tensor, labels: &[usize]) -> Result<Vec<bool>> {
+    let preds = argmax_rows(scores)?;
+    if preds.len() != labels.len() {
+        return Err(NnError::BadLossInput(format!(
+            "{} predictions vs {} labels",
+            preds.len(),
+            labels.len()
+        )));
+    }
+    Ok(preds.iter().zip(labels.iter()).map(|(p, y)| p == y).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scores() -> Tensor {
+        Tensor::from_vec(
+            vec![
+                0.9, 0.1, 0.0, // -> 0
+                0.1, 0.8, 0.1, // -> 1
+                0.2, 0.3, 0.5, // -> 2
+                0.6, 0.3, 0.1, // -> 0
+            ],
+            &[4, 3],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn accuracy_counts_matches() {
+        let acc = accuracy(&scores(), &[0, 1, 2, 1]).unwrap();
+        assert!((acc - 0.75).abs() < 1e-6);
+        assert_eq!(accuracy(&scores(), &[0, 1, 2, 0]).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn accuracy_validates_sizes() {
+        assert!(accuracy(&scores(), &[0, 1]).is_err());
+        assert!(accuracy(&Tensor::zeros(&[0, 3]), &[]).is_err());
+    }
+
+    #[test]
+    fn confusion_matrix_rows_are_truth() {
+        let m = confusion_matrix(&scores(), &[0, 1, 2, 1], 3).unwrap();
+        assert_eq!(m[0], vec![1, 0, 0]);
+        assert_eq!(m[1], vec![1, 1, 0]); // one true-1 predicted 0
+        assert_eq!(m[2], vec![0, 0, 1]);
+    }
+
+    #[test]
+    fn correctness_flags() {
+        let c = correctness(&scores(), &[0, 1, 0, 0]).unwrap();
+        assert_eq!(c, vec![true, true, false, true]);
+    }
+}

@@ -1,0 +1,178 @@
+//! CIFAR-style DenseNet (Huang et al., 2017).
+//!
+//! The paper uses DenseNet-40 with growth rate 12: a 3×3 stem, three dense
+//! blocks of 12 layers each, compression-0.5 transitions, then
+//! BN → ReLU → GAP → FC. Depth is `3·n·blocks + 4` with per-block layer
+//! count `n`.
+
+use crate::blocks::{DenseLayer, Transition};
+use crate::error::{NnError, Result};
+use crate::layer::Sequential;
+use crate::layers::{BatchNorm2d, Conv2d, Dense, GlobalAvgPool, Relu};
+use crate::network::Network;
+use rand::Rng;
+
+/// Configuration for [`densenet`].
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct DenseNetConfig {
+    /// Dense layers per block.
+    pub layers_per_block: usize,
+    /// Number of dense blocks (the paper uses 3).
+    pub blocks: usize,
+    /// Growth rate `k` — channels added per dense layer (paper: 12).
+    pub growth: usize,
+    /// Stem output channels (paper: 16).
+    pub stem_channels: usize,
+    /// Input channels.
+    pub in_channels: usize,
+    /// Output classes.
+    pub num_classes: usize,
+}
+
+impl DenseNetConfig {
+    /// The scaled-down default used by the reproduction experiments
+    /// (3 blocks × 2 layers, growth 6 — "DenseNet-22"-ish at toy scale).
+    pub fn small(in_channels: usize, num_classes: usize) -> Self {
+        DenseNetConfig {
+            layers_per_block: 2,
+            blocks: 2,
+            growth: 6,
+            stem_channels: 8,
+            in_channels,
+            num_classes,
+        }
+    }
+
+    /// The paper's DenseNet-40 (growth 12).
+    pub fn paper_densenet40(num_classes: usize) -> Self {
+        DenseNetConfig {
+            layers_per_block: 12,
+            blocks: 3,
+            growth: 12,
+            stem_channels: 16,
+            in_channels: 3,
+            num_classes,
+        }
+    }
+
+    /// Nominal depth `3·n·blocks + 4` in the DenseNet naming convention.
+    pub fn depth(&self) -> usize {
+        self.layers_per_block * self.blocks + self.blocks + 1
+    }
+}
+
+/// Builds a CIFAR-style DenseNet per `config`.
+pub fn densenet(config: &DenseNetConfig, rng_: &mut impl Rng) -> Result<Network> {
+    if config.layers_per_block == 0 || config.blocks == 0 || config.growth == 0 {
+        return Err(NnError::BadConfig(
+            "densenet layers_per_block, blocks and growth must be positive".into(),
+        ));
+    }
+    if config.num_classes == 0 || config.in_channels == 0 || config.stem_channels == 0 {
+        return Err(NnError::BadConfig(
+            "densenet channels and classes must be positive".into(),
+        ));
+    }
+    let mut seq = Sequential::new();
+    seq.push(
+        "stem.conv",
+        Box::new(Conv2d::new(
+            config.in_channels,
+            config.stem_channels,
+            3,
+            1,
+            1,
+            false,
+            rng_,
+        )),
+    );
+    let mut channels = config.stem_channels;
+    for b in 0..config.blocks {
+        for l in 0..config.layers_per_block {
+            seq.push(
+                format!("block{b}.layer{l}"),
+                Box::new(DenseLayer::new(channels, config.growth, rng_)),
+            );
+            channels += config.growth;
+        }
+        if b + 1 < config.blocks {
+            // compression 0.5 as in DenseNet-BC style transitions
+            let out = (channels / 2).max(1);
+            seq.push(
+                format!("transition{b}"),
+                Box::new(Transition::new(channels, out, rng_)),
+            );
+            channels = out;
+        }
+    }
+    seq.push("head.bn", Box::new(BatchNorm2d::new(channels)));
+    seq.push("head.relu", Box::new(Relu::new()));
+    seq.push("head.gap", Box::new(GlobalAvgPool::new()));
+    seq.push(
+        "head.fc",
+        Box::new(Dense::new(channels, config.num_classes, rng_)),
+    );
+    Ok(Network::new(
+        Box::new(seq),
+        format!("densenet-{}", config.depth()),
+        config.num_classes,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::param::Mode;
+    use edde_tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn small_densenet_forward_backward() {
+        let mut r = StdRng::seed_from_u64(0);
+        let cfg = DenseNetConfig::small(3, 10);
+        let mut net = densenet(&cfg, &mut r).unwrap();
+        let x = edde_tensor::rng::rand_uniform(&[2, 3, 8, 8], -1.0, 1.0, &mut r);
+        let y = net.forward(&x, Mode::Train).unwrap();
+        assert_eq!(y.dims(), &[2, 10]);
+        let g = net.backward(&Tensor::ones(&[2, 10])).unwrap();
+        assert_eq!(g.dims(), x.dims());
+        assert!(g.all_finite());
+    }
+
+    #[test]
+    fn channel_arithmetic_matches_growth() {
+        let mut r = StdRng::seed_from_u64(1);
+        let cfg = DenseNetConfig {
+            layers_per_block: 3,
+            blocks: 2,
+            growth: 4,
+            stem_channels: 8,
+            in_channels: 3,
+            num_classes: 5,
+        };
+        let mut net = densenet(&cfg, &mut r).unwrap();
+        // stem 8 -> block0 +12 = 20 -> transition 10 -> block1 +12 = 22
+        // head fc must be 22 x 5
+        let layout = net.param_layout();
+        let fc_w = layout
+            .iter()
+            .find(|(n, _)| n == "head.fc.weight")
+            .unwrap();
+        assert_eq!(fc_w.1, 22 * 5);
+    }
+
+    #[test]
+    fn config_validation() {
+        let mut r = StdRng::seed_from_u64(0);
+        let mut bad = DenseNetConfig::small(3, 10);
+        bad.growth = 0;
+        assert!(densenet(&bad, &mut r).is_err());
+    }
+
+    #[test]
+    fn paper_densenet40_depth_naming() {
+        let cfg = DenseNetConfig::paper_densenet40(100);
+        assert_eq!(cfg.depth(), 40);
+    }
+}

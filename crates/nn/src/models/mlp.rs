@@ -1,0 +1,63 @@
+//! Multi-layer perceptron preset.
+
+use crate::layer::Sequential;
+use crate::layers::{Dense, Dropout, Relu};
+use crate::network::Network;
+use rand::{Rng, RngExt};
+
+/// Builds an MLP with the given layer widths: `dims[0]` inputs, hidden
+/// layers with ReLU (and optional dropout), `dims.last()` output classes.
+///
+/// # Panics
+///
+/// Panics if fewer than two dims are given.
+pub fn mlp(dims: &[usize], dropout_p: f32, rng_: &mut impl Rng) -> Network {
+    assert!(dims.len() >= 2, "mlp needs at least [in, out] dims");
+    let mut seq = Sequential::new();
+    for (i, pair) in dims.windows(2).enumerate() {
+        let last = i == dims.len() - 2;
+        seq.push(format!("fc{i}"), Box::new(Dense::new(pair[0], pair[1], rng_)));
+        if !last {
+            seq.push(format!("relu{i}"), Box::new(Relu::new()));
+            if dropout_p > 0.0 {
+                let seed = rng_.random::<u64>();
+                seq.push(format!("drop{i}"), Box::new(Dropout::new(dropout_p, seed)));
+            }
+        }
+    }
+    let classes = *dims.last().unwrap();
+    Network::new(Box::new(seq), format!("mlp-{}", dims.len() - 1), classes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::param::Mode;
+    use edde_tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn shapes_flow_through() {
+        let mut r = StdRng::seed_from_u64(0);
+        let mut net = mlp(&[10, 32, 16, 4], 0.1, &mut r);
+        let x = Tensor::ones(&[3, 10]);
+        let y = net.forward(&x, Mode::Train).unwrap();
+        assert_eq!(y.dims(), &[3, 4]);
+        assert_eq!(net.num_classes(), 4);
+    }
+
+    #[test]
+    fn two_layer_variant_has_single_dense() {
+        let mut r = StdRng::seed_from_u64(0);
+        let mut net = mlp(&[5, 3], 0.0, &mut r);
+        assert_eq!(net.param_layout().len(), 2); // weight + bias
+    }
+
+    #[test]
+    #[should_panic(expected = "at least")]
+    fn rejects_single_dim() {
+        let mut r = StdRng::seed_from_u64(0);
+        mlp(&[5], 0.0, &mut r);
+    }
+}

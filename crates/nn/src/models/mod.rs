@@ -1,0 +1,17 @@
+//! Preset architectures used by the paper's experiments.
+//!
+//! * [`mlp`] — a plain multi-layer perceptron (baseline / tests);
+//! * [`resnet`] — CIFAR-style ResNet (`6n+2` layers; the paper's ResNet-32);
+//! * [`densenet`] — CIFAR-style DenseNet (`3n·blocks+4` layers; the paper's
+//!   DenseNet-40 with growth 12);
+//! * [`textcnn`] — Kim (2014) Text-CNN, the paper's NLP base model.
+
+mod densenet;
+mod mlp;
+mod resnet;
+mod textcnn;
+
+pub use densenet::{densenet, DenseNetConfig};
+pub use mlp::mlp;
+pub use resnet::{resnet, ResNetConfig};
+pub use textcnn::{textcnn, TextCnn, TextCnnConfig};

@@ -1,0 +1,161 @@
+//! CIFAR-style ResNet (He et al., 2016).
+//!
+//! The family the paper trains is ResNet-`6n+2`: a 3×3 convolution stem,
+//! three stages of `n` basic blocks with widths `w, 2w, 4w`, strided
+//! transitions between stages, global average pooling, and a linear head.
+//! The paper uses ResNet-32 (`n = 5`, `w = 16`) on 32×32 CIFAR; the
+//! reproduction defaults to smaller depths/widths that train on CPU, while
+//! `ResNetConfig { depth: 32, width: 16, .. }` reconstructs the paper's
+//! exact topology.
+
+use crate::error::{NnError, Result};
+use crate::blocks::BasicBlock;
+use crate::layer::Sequential;
+use crate::layers::{BatchNorm2d, Conv2d, Dense, GlobalAvgPool, Relu};
+use crate::network::Network;
+use rand::Rng;
+
+/// Configuration for [`resnet`].
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct ResNetConfig {
+    /// Total depth; must be `6n + 2` (8, 14, 20, 26, 32, ...).
+    pub depth: usize,
+    /// Stem width `w` (stages are `w`, `2w`, `4w`). The paper uses 16.
+    pub width: usize,
+    /// Input channels (3 for RGB images).
+    pub in_channels: usize,
+    /// Output classes.
+    pub num_classes: usize,
+}
+
+impl ResNetConfig {
+    /// The scaled-down default used by the reproduction experiments:
+    /// ResNet-8 with width 8.
+    pub fn small(in_channels: usize, num_classes: usize) -> Self {
+        ResNetConfig {
+            depth: 8,
+            width: 8,
+            in_channels,
+            num_classes,
+        }
+    }
+
+    /// The paper's ResNet-32 (width 16).
+    pub fn paper_resnet32(num_classes: usize) -> Self {
+        ResNetConfig {
+            depth: 32,
+            width: 16,
+            in_channels: 3,
+            num_classes,
+        }
+    }
+}
+
+/// Builds a CIFAR-style ResNet per `config`.
+pub fn resnet(config: &ResNetConfig, rng_: &mut impl Rng) -> Result<Network> {
+    if config.depth < 8 || !(config.depth - 2).is_multiple_of(6) {
+        return Err(NnError::BadConfig(format!(
+            "resnet depth must be 6n+2 with n >= 1, got {}",
+            config.depth
+        )));
+    }
+    if config.width == 0 || config.num_classes == 0 || config.in_channels == 0 {
+        return Err(NnError::BadConfig(
+            "resnet width, classes and channels must be positive".into(),
+        ));
+    }
+    let n = (config.depth - 2) / 6;
+    let w = config.width;
+    let mut seq = Sequential::new();
+    seq.push(
+        "stem.conv",
+        Box::new(Conv2d::new(config.in_channels, w, 3, 1, 1, false, rng_)),
+    );
+    seq.push("stem.bn", Box::new(BatchNorm2d::new(w)));
+    seq.push("stem.relu", Box::new(Relu::new()));
+    let widths = [w, 2 * w, 4 * w];
+    let mut in_c = w;
+    for (stage, &out_c) in widths.iter().enumerate() {
+        for block in 0..n {
+            let stride = if stage > 0 && block == 0 { 2 } else { 1 };
+            seq.push(
+                format!("stage{stage}.block{block}"),
+                Box::new(BasicBlock::new(in_c, out_c, stride, rng_)),
+            );
+            in_c = out_c;
+        }
+    }
+    seq.push("gap", Box::new(GlobalAvgPool::new()));
+    seq.push(
+        "fc",
+        Box::new(Dense::new(4 * w, config.num_classes, rng_)),
+    );
+    Ok(Network::new(
+        Box::new(seq),
+        format!("resnet-{}", config.depth),
+        config.num_classes,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::param::Mode;
+    use edde_tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn resnet8_forward_backward() {
+        let mut r = StdRng::seed_from_u64(0);
+        let cfg = ResNetConfig::small(3, 10);
+        let mut net = resnet(&cfg, &mut r).unwrap();
+        let x = edde_tensor::rng::rand_uniform(&[2, 3, 16, 16], -1.0, 1.0, &mut r);
+        let y = net.forward(&x, Mode::Train).unwrap();
+        assert_eq!(y.dims(), &[2, 10]);
+        let g = net.backward(&Tensor::ones(&[2, 10])).unwrap();
+        assert_eq!(g.dims(), x.dims());
+        assert!(g.all_finite());
+    }
+
+    #[test]
+    fn depth_validation() {
+        let mut r = StdRng::seed_from_u64(0);
+        let bad = ResNetConfig {
+            depth: 9,
+            width: 8,
+            in_channels: 3,
+            num_classes: 10,
+        };
+        assert!(resnet(&bad, &mut r).is_err());
+        let ok = ResNetConfig {
+            depth: 14,
+            width: 4,
+            in_channels: 3,
+            num_classes: 10,
+        };
+        assert!(resnet(&ok, &mut r).is_ok());
+    }
+
+    #[test]
+    fn paper_resnet32_has_expected_structure() {
+        let mut r = StdRng::seed_from_u64(0);
+        let mut net = resnet(&ResNetConfig::paper_resnet32(100), &mut r).unwrap();
+        assert_eq!(net.arch(), "resnet-32");
+        // 15 blocks × 2 convs + stem + head + shortcuts: sanity-check the
+        // parameter count is in the ~0.47M region reported for ResNet-32.
+        let count = net.param_count();
+        assert!((400_000..600_000).contains(&count), "params {count}");
+    }
+
+    #[test]
+    fn eval_mode_is_deterministic() {
+        let mut r = StdRng::seed_from_u64(7);
+        let cfg = ResNetConfig::small(3, 4);
+        let mut net = resnet(&cfg, &mut r).unwrap();
+        let x = edde_tensor::rng::rand_uniform(&[1, 3, 8, 8], -1.0, 1.0, &mut r);
+        let y1 = net.forward(&x, Mode::Eval).unwrap();
+        let y2 = net.forward(&x, Mode::Eval).unwrap();
+        assert_eq!(y1.data(), y2.data());
+    }
+}

@@ -1,0 +1,275 @@
+//! Text-CNN (Kim, 2014) — the paper's NLP base model.
+//!
+//! Embedding → parallel 1-D convolution banks (one per n-gram width) →
+//! ReLU → max-over-time pooling → feature concatenation → dropout → linear.
+
+use crate::error::{NnError, Result};
+use crate::layer::{join_path, Layer};
+use crate::layers::{Conv1d, Dense, Dropout, Embedding, MaxOverTime, Relu};
+use crate::network::Network;
+use crate::param::{Mode, Param};
+use edde_tensor::Tensor;
+use rand::{Rng, RngExt};
+
+/// Configuration for [`textcnn`].
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct TextCnnConfig {
+    /// Vocabulary size (the paper caps IMDB at the 5000 most common words).
+    pub vocab: usize,
+    /// Embedding dimension.
+    pub embed_dim: usize,
+    /// Convolution kernel widths — Kim (2014) and the paper use `[3, 4, 5]`.
+    pub kernel_sizes: Vec<usize>,
+    /// Filters per kernel width.
+    pub filters: usize,
+    /// Dropout probability before the classifier.
+    pub dropout: f32,
+    /// Output classes (2 for IMDB/MR sentiment).
+    pub num_classes: usize,
+}
+
+impl TextCnnConfig {
+    /// A small configuration suitable for the synthetic NLP experiments.
+    pub fn small(vocab: usize, num_classes: usize) -> Self {
+        TextCnnConfig {
+            vocab,
+            embed_dim: 16,
+            kernel_sizes: vec![3, 4, 5],
+            filters: 8,
+            dropout: 0.3,
+            num_classes,
+        }
+    }
+}
+
+/// One convolution branch of the Text-CNN.
+#[derive(Clone)]
+struct Branch {
+    conv: Conv1d,
+    relu: Relu,
+    pool: MaxOverTime,
+}
+
+/// The Text-CNN model as a single composite [`Layer`].
+///
+/// Parallel branches make this the one architecture that doesn't fit
+/// [`crate::layer::Sequential`]; the branch structure also demonstrates how
+/// downstream users can compose custom layers.
+#[derive(Clone)]
+pub struct TextCnn {
+    embedding: Embedding,
+    branches: Vec<Branch>,
+    dropout: Dropout,
+    fc: Dense,
+    filters: usize,
+    cache_embed_dims: Option<Vec<usize>>,
+}
+
+impl TextCnn {
+    /// Builds the model from a configuration.
+    pub fn new(config: &TextCnnConfig, rng_: &mut impl Rng) -> Result<Self> {
+        if config.kernel_sizes.is_empty() {
+            return Err(NnError::BadConfig("textcnn needs at least one kernel size".into()));
+        }
+        if config.vocab == 0 || config.embed_dim == 0 || config.filters == 0 {
+            return Err(NnError::BadConfig(
+                "textcnn vocab, embed_dim and filters must be positive".into(),
+            ));
+        }
+        let embedding = Embedding::new(config.vocab, config.embed_dim, rng_);
+        let branches = config
+            .kernel_sizes
+            .iter()
+            .map(|&k| Branch {
+                // pad so even the widest kernel fits short sequences
+                conv: Conv1d::new(config.embed_dim, config.filters, k, 1, k / 2, rng_),
+                relu: Relu::new(),
+                pool: MaxOverTime::new(),
+            })
+            .collect::<Vec<_>>();
+        let feat = config.filters * config.kernel_sizes.len();
+        let seed = rng_.random::<u64>();
+        Ok(TextCnn {
+            embedding,
+            branches,
+            dropout: Dropout::new(config.dropout, seed),
+            fc: Dense::glorot(feat, config.num_classes, rng_),
+            filters: config.filters,
+            cache_embed_dims: None,
+        })
+    }
+}
+
+impl Layer for TextCnn {
+    fn kind(&self) -> &'static str {
+        "textcnn"
+    }
+
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+        let embedded = self.embedding.forward(input, mode)?; // [N, D, L]
+        self.cache_embed_dims = Some(embedded.dims().to_vec());
+        let n = embedded.dims()[0];
+        let nb = self.branches.len();
+        let mut features = Tensor::zeros(&[n, self.filters * nb]);
+        for (bi, branch) in self.branches.iter_mut().enumerate() {
+            let mut x = branch.conv.forward(&embedded, mode)?;
+            x = branch.relu.forward(&x, mode)?;
+            let pooled = branch.pool.forward(&x, mode)?; // [N, filters]
+            for s in 0..n {
+                let dst = &mut features.data_mut()
+                    [s * self.filters * nb + bi * self.filters..][..self.filters];
+                dst.copy_from_slice(&pooled.data()[s * self.filters..][..self.filters]);
+            }
+        }
+        let dropped = self.dropout.forward(&features, mode)?;
+        self.fc.forward(&dropped, mode)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let embed_dims = self
+            .cache_embed_dims
+            .take()
+            .ok_or(NnError::MissingForwardCache("TextCnn"))?;
+        let g = self.fc.backward(grad_out)?;
+        let g = self.dropout.backward(&g)?;
+        let n = g.dims()[0];
+        let nb = self.branches.len();
+        // Accumulate each branch's gradient w.r.t. the shared embedding.
+        let mut g_embed = Tensor::zeros(&embed_dims);
+        for (bi, branch) in self.branches.iter_mut().enumerate() {
+            let mut g_branch = Tensor::zeros(&[n, self.filters]);
+            for s in 0..n {
+                let src = &g.data()[s * self.filters * nb + bi * self.filters..][..self.filters];
+                g_branch.data_mut()[s * self.filters..][..self.filters].copy_from_slice(src);
+            }
+            let gp = branch.pool.backward(&g_branch)?;
+            let gr = branch.relu.backward(&gp)?;
+            let ge = branch.conv.backward(&gr)?;
+            for (a, &b) in g_embed.data_mut().iter_mut().zip(ge.data().iter()) {
+                *a += b;
+            }
+        }
+        self.embedding.backward(&g_embed)
+    }
+
+    fn visit_params(&mut self, prefix: &str, f: &mut dyn FnMut(&str, &mut Param)) {
+        self.embedding
+            .visit_params(&join_path(prefix, "embedding"), f);
+        for (i, branch) in self.branches.iter_mut().enumerate() {
+            branch
+                .conv
+                .visit_params(&join_path(prefix, &format!("conv{i}")), f);
+        }
+        self.fc.visit_params(&join_path(prefix, "fc"), f);
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+/// Builds a Text-CNN [`Network`] from a configuration.
+pub fn textcnn(config: &TextCnnConfig, rng_: &mut impl Rng) -> Result<Network> {
+    let model = TextCnn::new(config, rng_)?;
+    Ok(Network::new(
+        Box::new(model),
+        "textcnn",
+        config.num_classes,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn ids(n: usize, l: usize, vocab: usize, r: &mut StdRng) -> Tensor {
+        let mut t = Tensor::zeros(&[n, l]);
+        for v in t.data_mut() {
+            *v = r.random_range(0..vocab) as f32;
+        }
+        t
+    }
+
+    #[test]
+    fn forward_backward_shapes() {
+        let mut r = StdRng::seed_from_u64(0);
+        let cfg = TextCnnConfig::small(50, 2);
+        let mut net = textcnn(&cfg, &mut r).unwrap();
+        let x = ids(4, 20, 50, &mut r);
+        let y = net.forward(&x, Mode::Train).unwrap();
+        assert_eq!(y.dims(), &[4, 2]);
+        let g = net.backward(&Tensor::ones(&[4, 2])).unwrap();
+        assert_eq!(g.dims(), &[4, 20]);
+    }
+
+    #[test]
+    fn learns_a_token_marker_task() {
+        // class 1 sentences contain token 1 somewhere; class 0 don't.
+        let mut r = StdRng::seed_from_u64(1);
+        let cfg = TextCnnConfig {
+            vocab: 10,
+            embed_dim: 8,
+            kernel_sizes: vec![3],
+            filters: 4,
+            dropout: 0.0,
+            num_classes: 2,
+        };
+        let mut net = textcnn(&cfg, &mut r).unwrap();
+        let n = 32;
+        let l = 12;
+        let mut x = Tensor::zeros(&[n, l]);
+        let mut labels = Vec::new();
+        for s in 0..n {
+            let cls = s % 2;
+            for t in 0..l {
+                x.data_mut()[s * l + t] = (2 + r.random_range(0..8)) as f32;
+            }
+            if cls == 1 {
+                let pos = r.random_range(0..l);
+                x.data_mut()[s * l + pos] = 1.0;
+            }
+            labels.push(cls);
+        }
+        let ce = crate::loss::CrossEntropy::new();
+        let mut opt = crate::optim::Sgd::new(0.1, 0.9, 0.0);
+        let mut last = f32::INFINITY;
+        for _ in 0..60 {
+            net.zero_grad();
+            let logits = net.forward(&x, Mode::Train).unwrap();
+            let out = ce.compute(&logits, &labels, None).unwrap();
+            net.backward(&out.grad_logits).unwrap();
+            opt.step(&mut net).unwrap();
+            last = out.loss;
+        }
+        assert!(last < 0.3, "loss {last}");
+        let probs = net.predict_proba(&x).unwrap();
+        let acc = crate::metrics::accuracy(&probs, &labels).unwrap();
+        assert!(acc > 0.9, "acc {acc}");
+    }
+
+    #[test]
+    fn config_validation() {
+        let mut r = StdRng::seed_from_u64(0);
+        let mut cfg = TextCnnConfig::small(10, 2);
+        cfg.kernel_sizes.clear();
+        assert!(textcnn(&cfg, &mut r).is_err());
+        let mut cfg2 = TextCnnConfig::small(10, 2);
+        cfg2.vocab = 0;
+        assert!(textcnn(&cfg2, &mut r).is_err());
+    }
+
+    #[test]
+    fn param_paths_cover_all_branches() {
+        let mut r = StdRng::seed_from_u64(0);
+        let cfg = TextCnnConfig::small(20, 2);
+        let mut net = textcnn(&cfg, &mut r).unwrap();
+        let layout = net.param_layout();
+        let names: Vec<_> = layout.iter().map(|(n, _)| n.clone()).collect();
+        assert!(names.contains(&"embedding.table".to_string()));
+        assert!(names.contains(&"conv0.weight".to_string()));
+        assert!(names.contains(&"conv2.weight".to_string()));
+        assert!(names.contains(&"fc.weight".to_string()));
+    }
+}

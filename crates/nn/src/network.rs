@@ -1,0 +1,259 @@
+//! A named, cloneable model: the unit ensemble methods operate on.
+
+use crate::error::{NnError, Result};
+use crate::layer::Layer;
+use crate::param::{Mode, Param};
+use edde_tensor::ops::softmax_rows;
+use edde_tensor::Tensor;
+
+/// A complete model: a root [`Layer`] plus metadata.
+///
+/// `Network` is what ensemble methods snapshot, transfer knowledge between,
+/// and combine. It exposes ordered parameter access (definition order =
+/// input→output), which the β-knowledge-transfer of EDDE depends on.
+#[derive(Clone)]
+pub struct Network {
+    root: Box<dyn Layer>,
+    arch: String,
+    num_classes: usize,
+}
+
+impl Network {
+    /// Wraps a root layer. `arch` is a human-readable architecture tag
+    /// (`"resnet-8"`, `"textcnn"`, ...) used in reports.
+    pub fn new(root: Box<dyn Layer>, arch: impl Into<String>, num_classes: usize) -> Self {
+        Network {
+            root,
+            arch: arch.into(),
+            num_classes,
+        }
+    }
+
+    /// Architecture tag.
+    pub fn arch(&self) -> &str {
+        &self.arch
+    }
+
+    /// Number of output classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Forward pass producing logits.
+    pub fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+        let logits = self.root.forward(input, mode)?;
+        if logits.rank() != 2 || logits.dims()[1] != self.num_classes {
+            return Err(NnError::BadInput {
+                layer: "Network",
+                expected: format!("[N, {}] logits", self.num_classes),
+                got: logits.dims().to_vec(),
+            });
+        }
+        Ok(logits)
+    }
+
+    /// Backward pass from a logits gradient; returns the input gradient.
+    pub fn backward(&mut self, grad_logits: &Tensor) -> Result<Tensor> {
+        self.root.backward(grad_logits)
+    }
+
+    /// Evaluation-mode softmax probabilities (`[N, k]`) — the "soft target"
+    /// the paper's diversity machinery is built on.
+    pub fn predict_proba(&mut self, input: &Tensor) -> Result<Tensor> {
+        let logits = self.forward(input, Mode::Eval)?;
+        Ok(softmax_rows(&logits)?)
+    }
+
+    /// Evaluation-mode hard label predictions.
+    pub fn predict(&mut self, input: &Tensor) -> Result<Vec<usize>> {
+        let logits = self.forward(input, Mode::Eval)?;
+        Ok(edde_tensor::ops::argmax_rows(&logits)?)
+    }
+
+    /// Zeroes all parameter gradients.
+    pub fn zero_grad(&mut self) {
+        self.root.zero_grad();
+    }
+
+    /// Visits every trainable parameter in definition order.
+    pub fn visit_params(&mut self, f: &mut dyn FnMut(&str, &mut Param)) {
+        self.root.visit_params("", f);
+    }
+
+    /// Visits every non-trainable buffer (batch-norm running stats).
+    pub fn visit_buffers(&mut self, f: &mut dyn FnMut(&str, &mut Tensor)) {
+        self.root.visit_buffers("", f);
+    }
+
+    /// Total number of trainable scalars.
+    pub fn param_count(&mut self) -> usize {
+        let mut n = 0;
+        self.visit_params(&mut |_, p| n += p.len());
+        n
+    }
+
+    /// Ordered `(path, element_count)` pairs for every parameter tensor.
+    /// The order is stable and topological (inputs first), which is what
+    /// β-prefix knowledge transfer slices on.
+    pub fn param_layout(&mut self) -> Vec<(String, usize)> {
+        let mut layout = Vec::new();
+        self.visit_params(&mut |name, p| layout.push((name.to_string(), p.len())));
+        layout
+    }
+
+    /// Exports all parameters **and** buffers as named tensors. Parameter
+    /// entries come first, in definition order; buffers follow.
+    pub fn export_state(&mut self) -> Vec<(String, Tensor)> {
+        let mut state = Vec::new();
+        self.visit_params(&mut |name, p| state.push((name.to_string(), p.value.clone())));
+        self.visit_buffers(&mut |name, t| state.push((name.to_string(), t.clone())));
+        state
+    }
+
+    /// Imports a state previously produced by [`Network::export_state`] on a
+    /// network of the same architecture. Every entry must match an existing
+    /// parameter/buffer by name and shape; extra or missing entries are
+    /// errors (a partial import is what
+    /// `edde_core::transfer` is for — it is deliberate, not accidental).
+    pub fn import_state(&mut self, state: &[(String, Tensor)]) -> Result<()> {
+        use std::collections::HashMap;
+        let map: HashMap<&str, &Tensor> =
+            state.iter().map(|(n, t)| (n.as_str(), t)).collect();
+        if map.len() != state.len() {
+            return Err(NnError::StateMismatch("duplicate names in state".into()));
+        }
+        let mut missing: Vec<String> = Vec::new();
+        let mut seen = 0usize;
+        let mut shape_err: Option<String> = None;
+        self.visit_params(&mut |name, p| {
+            if let Some(t) = map.get(name) {
+                if t.dims() == p.value.dims() {
+                    p.value = (*t).clone();
+                    seen += 1;
+                } else if shape_err.is_none() {
+                    shape_err = Some(format!(
+                        "{name}: expected {:?}, got {:?}",
+                        p.value.dims(),
+                        t.dims()
+                    ));
+                }
+            } else {
+                missing.push(name.to_string());
+            }
+        });
+        self.visit_buffers(&mut |name, buf| {
+            if let Some(t) = map.get(name) {
+                if t.dims() == buf.dims() {
+                    *buf = (*t).clone();
+                    seen += 1;
+                } else if shape_err.is_none() {
+                    shape_err = Some(format!(
+                        "{name}: expected {:?}, got {:?}",
+                        buf.dims(),
+                        t.dims()
+                    ));
+                }
+            } else {
+                missing.push(name.to_string());
+            }
+        });
+        if let Some(e) = shape_err {
+            return Err(NnError::StateMismatch(e));
+        }
+        if !missing.is_empty() {
+            return Err(NnError::StateMismatch(format!(
+                "state missing entries: {missing:?}"
+            )));
+        }
+        if seen != state.len() {
+            return Err(NnError::StateMismatch(format!(
+                "state has {} entries but only {seen} matched",
+                state.len()
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::mlp;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn net() -> Network {
+        let mut r = StdRng::seed_from_u64(1);
+        mlp(&[4, 8, 3], 0.0, &mut r)
+    }
+
+    #[test]
+    fn forward_produces_logits_and_probs() {
+        let mut n = net();
+        let x = Tensor::ones(&[5, 4]);
+        let logits = n.forward(&x, Mode::Eval).unwrap();
+        assert_eq!(logits.dims(), &[5, 3]);
+        let probs = n.predict_proba(&x).unwrap();
+        for i in 0..5 {
+            let s: f32 = probs.row(i).unwrap().iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+        }
+        assert_eq!(n.predict(&x).unwrap().len(), 5);
+    }
+
+    #[test]
+    fn export_import_round_trip() {
+        let mut a = net();
+        let mut b = net();
+        // b starts different (same seed -> same; perturb)
+        b.visit_params(&mut |_, p| {
+            for v in p.value.data_mut() {
+                *v += 1.0;
+            }
+        });
+        let x = Tensor::ones(&[2, 4]);
+        let ya = a.forward(&x, Mode::Eval).unwrap();
+        let yb = b.forward(&x, Mode::Eval).unwrap();
+        assert_ne!(ya.data(), yb.data());
+
+        let state = a.export_state();
+        b.import_state(&state).unwrap();
+        let yb2 = b.forward(&x, Mode::Eval).unwrap();
+        assert_eq!(ya.data(), yb2.data());
+    }
+
+    #[test]
+    fn import_rejects_bad_state() {
+        let mut a = net();
+        let mut state = a.export_state();
+        state.pop();
+        assert!(a.import_state(&state).is_err()); // missing entry
+        let mut state2 = a.export_state();
+        state2[0].1 = Tensor::zeros(&[1, 1]);
+        assert!(a.import_state(&state2).is_err()); // wrong shape
+    }
+
+    #[test]
+    fn param_layout_is_ordered_and_complete() {
+        let mut n = net();
+        let layout = n.param_layout();
+        // mlp [4,8,3]: dense1 (w,b) then dense2 (w,b)
+        assert_eq!(layout.len(), 4);
+        assert_eq!(layout[0].1, 32);
+        assert_eq!(layout[1].1, 8);
+        assert_eq!(layout[2].1, 24);
+        assert_eq!(layout[3].1, 3);
+        assert_eq!(n.param_count(), 32 + 8 + 24 + 3);
+    }
+
+    #[test]
+    fn clone_is_independent() {
+        let mut a = net();
+        let mut b = a.clone();
+        b.visit_params(&mut |_, p| p.value.data_mut().fill(0.0));
+        let x = Tensor::ones(&[1, 4]);
+        let ya = a.forward(&x, Mode::Eval).unwrap();
+        let yb = b.forward(&x, Mode::Eval).unwrap();
+        assert_ne!(ya.data(), yb.data());
+    }
+}

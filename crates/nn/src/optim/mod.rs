@@ -1,0 +1,8 @@
+//! Optimization: SGD with momentum/weight-decay and the paper's
+//! learning-rate schedules.
+
+pub mod schedule;
+pub mod sgd;
+
+pub use schedule::LrSchedule;
+pub use sgd::Sgd;

@@ -1,0 +1,155 @@
+//! Learning-rate schedules.
+//!
+//! The paper uses two schedules:
+//!
+//! * **step decay** — divide the learning rate by 10 at 50% and 75% of the
+//!   epoch budget ("All methods except Snapshot Ensemble use a standard
+//!   learning rate schedule", §V-A(d));
+//! * **cosine annealing with warm restarts** — Snapshot Ensemble's schedule
+//!   (Loshchilov & Hutter, SGDR), restarting every cycle so the model can
+//!   escape to a new local minimum before the next snapshot.
+
+/// A learning-rate schedule mapping an epoch index to a rate.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum LrSchedule {
+    /// A constant rate.
+    Constant {
+        /// The rate used for every epoch.
+        base: f32,
+    },
+    /// The paper's standard schedule: `base`, divided by `factor` when
+    /// training passes each fraction in `milestones` of `total_epochs`.
+    StepDecay {
+        /// Initial learning rate.
+        base: f32,
+        /// Total epoch budget the milestones are relative to.
+        total_epochs: usize,
+        /// Fractions of the budget at which decay happens (e.g. `[0.5, 0.75]`).
+        milestones: Vec<f32>,
+        /// Division factor at each milestone (paper: 10).
+        factor: f32,
+    },
+    /// Cosine annealing with warm restarts:
+    /// `lr(t) = base/2 · (cos(π·(t mod C)/C) + 1)` for cycle length `C`.
+    CosineRestarts {
+        /// Initial (maximum) learning rate of each cycle.
+        base: f32,
+        /// Cycle length in epochs; the rate is restarted to `base` at each
+        /// multiple of this.
+        cycle_epochs: usize,
+    },
+}
+
+impl LrSchedule {
+    /// The paper's default step schedule (decay ×10 at 50% and 75%).
+    pub fn paper_step(base: f32, total_epochs: usize) -> Self {
+        LrSchedule::StepDecay {
+            base,
+            total_epochs,
+            milestones: vec![0.5, 0.75],
+            factor: 10.0,
+        }
+    }
+
+    /// The learning rate for (0-based) `epoch`.
+    pub fn lr_at(&self, epoch: usize) -> f32 {
+        match self {
+            LrSchedule::Constant { base } => *base,
+            LrSchedule::StepDecay {
+                base,
+                total_epochs,
+                milestones,
+                factor,
+            } => {
+                let mut lr = *base;
+                let frac = if *total_epochs == 0 {
+                    0.0
+                } else {
+                    epoch as f32 / *total_epochs as f32
+                };
+                for &m in milestones {
+                    if frac >= m {
+                        lr /= factor;
+                    }
+                }
+                lr
+            }
+            LrSchedule::CosineRestarts { base, cycle_epochs } => {
+                let c = (*cycle_epochs).max(1);
+                let t = (epoch % c) as f32 / c as f32;
+                base / 2.0 * ((std::f32::consts::PI * t).cos() + 1.0)
+            }
+        }
+    }
+
+    /// True at the first epoch of a new cosine cycle (epoch > 0), i.e. the
+    /// point where Snapshot Ensemble has just saved a snapshot and restarted.
+    pub fn is_restart(&self, epoch: usize) -> bool {
+        match self {
+            LrSchedule::CosineRestarts { cycle_epochs, .. } => {
+                epoch > 0 && epoch.is_multiple_of((*cycle_epochs).max(1))
+            }
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_constant() {
+        let s = LrSchedule::Constant { base: 0.1 };
+        assert_eq!(s.lr_at(0), 0.1);
+        assert_eq!(s.lr_at(1000), 0.1);
+    }
+
+    #[test]
+    fn step_decay_halves_at_milestones() {
+        let s = LrSchedule::paper_step(0.1, 100);
+        assert!((s.lr_at(0) - 0.1).abs() < 1e-7);
+        assert!((s.lr_at(49) - 0.1).abs() < 1e-7);
+        assert!((s.lr_at(50) - 0.01).abs() < 1e-7);
+        assert!((s.lr_at(74) - 0.01).abs() < 1e-7);
+        assert!((s.lr_at(75) - 0.001).abs() < 1e-7);
+        assert!((s.lr_at(99) - 0.001).abs() < 1e-7);
+    }
+
+    #[test]
+    fn cosine_restarts_peak_and_trough() {
+        let s = LrSchedule::CosineRestarts {
+            base: 0.2,
+            cycle_epochs: 10,
+        };
+        assert!((s.lr_at(0) - 0.2).abs() < 1e-6); // cycle start: max
+        assert!(s.lr_at(9) < 0.01); // cycle end: near zero
+        assert!((s.lr_at(10) - 0.2).abs() < 1e-6); // restart
+        assert!((s.lr_at(5) - 0.1).abs() < 1e-6); // midpoint: half
+    }
+
+    #[test]
+    fn restart_detection() {
+        let s = LrSchedule::CosineRestarts {
+            base: 0.1,
+            cycle_epochs: 5,
+        };
+        assert!(!s.is_restart(0));
+        assert!(!s.is_restart(4));
+        assert!(s.is_restart(5));
+        assert!(s.is_restart(10));
+        let step = LrSchedule::paper_step(0.1, 10);
+        assert!(!step.is_restart(5));
+    }
+
+    #[test]
+    fn monotone_decay_within_cycle() {
+        let s = LrSchedule::CosineRestarts {
+            base: 0.1,
+            cycle_epochs: 8,
+        };
+        for e in 0..7 {
+            assert!(s.lr_at(e) > s.lr_at(e + 1));
+        }
+    }
+}

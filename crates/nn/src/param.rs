@@ -1,0 +1,95 @@
+//! Trainable parameters and the train/eval mode switch.
+
+use edde_tensor::Tensor;
+
+/// Whether a forward pass is part of training or evaluation.
+///
+/// Batch normalization and dropout behave differently in the two modes,
+/// exactly as in the paper's Keras setup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Update batch statistics, apply dropout.
+    Train,
+    /// Use running statistics, disable dropout.
+    Eval,
+}
+
+impl Mode {
+    /// True in [`Mode::Train`].
+    #[inline]
+    pub fn is_train(self) -> bool {
+        matches!(self, Mode::Train)
+    }
+}
+
+/// A trainable tensor together with its accumulated gradient.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    /// Current value.
+    pub value: Tensor,
+    /// Gradient accumulated by the most recent backward pass(es).
+    pub grad: Tensor,
+}
+
+impl Param {
+    /// Wraps an initialized value with a zeroed gradient of the same shape.
+    pub fn new(value: Tensor) -> Self {
+        let grad = Tensor::zeros(value.dims());
+        Param { value, grad }
+    }
+
+    /// Number of scalar parameters.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.value.len()
+    }
+
+    /// True when the parameter holds no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.value.is_empty()
+    }
+
+    /// Resets the gradient to zero.
+    pub fn zero_grad(&mut self) {
+        self.grad.data_mut().fill(0.0);
+    }
+
+    /// Accumulates `g` into the gradient. Panics in debug builds if shapes
+    /// disagree (that is always a programming error inside a layer).
+    pub fn accumulate_grad(&mut self, g: &Tensor) {
+        debug_assert_eq!(self.grad.dims(), g.dims());
+        for (a, &b) in self.grad.data_mut().iter_mut().zip(g.data().iter()) {
+            *a += b;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_param_has_zero_grad() {
+        let p = Param::new(Tensor::ones(&[2, 3]));
+        assert_eq!(p.grad.data(), &[0.0; 6]);
+        assert_eq!(p.len(), 6);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn grad_accumulates_and_resets() {
+        let mut p = Param::new(Tensor::zeros(&[2]));
+        p.accumulate_grad(&Tensor::from_slice(&[1.0, 2.0]));
+        p.accumulate_grad(&Tensor::from_slice(&[0.5, 0.5]));
+        assert_eq!(p.grad.data(), &[1.5, 2.5]);
+        p.zero_grad();
+        assert_eq!(p.grad.data(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn mode_flags() {
+        assert!(Mode::Train.is_train());
+        assert!(!Mode::Eval.is_train());
+    }
+}

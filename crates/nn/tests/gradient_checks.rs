@@ -1,0 +1,147 @@
+//! End-to-end finite-difference gradient checks for every model preset.
+//!
+//! For each architecture we perturb a sample of weights and compare
+//! `dL/dθ` from backprop against `(L(θ+ε) − L(θ−ε)) / 2ε` with plain
+//! cross-entropy on a fixed batch. Batch-norm models are checked in
+//! training mode with the *same* batch statistics on every probe (the
+//! perturbation changes the statistics too, which the analytic gradient
+//! accounts for — so the check covers the full BN backward).
+
+use edde_nn::loss::CrossEntropy;
+use edde_nn::models::{densenet, mlp, resnet, textcnn, DenseNetConfig, ResNetConfig, TextCnnConfig};
+use edde_nn::{Mode, Network};
+use edde_tensor::rng::rand_uniform;
+use edde_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Computes loss on a fixed batch for the network as-is.
+fn loss_of(net: &mut Network, x: &Tensor, labels: &[usize]) -> f32 {
+    let logits = net.forward(x, Mode::Train).unwrap();
+    CrossEntropy::new().compute(&logits, labels, None).unwrap().loss
+}
+
+/// Checks `count` randomly chosen parameters of `net` against finite
+/// differences, with tolerance `tol` (ReLU kinks and f32 accumulation make
+/// deep nets noisier than shallow ones).
+fn check_network(mut net: Network, x: &Tensor, labels: &[usize], count: usize, tol: f32) {
+    // analytic gradients
+    net.zero_grad();
+    let logits = net.forward(x, Mode::Train).unwrap();
+    let out = CrossEntropy::new().compute(&logits, labels, None).unwrap();
+    net.backward(&out.grad_logits).unwrap();
+
+    // collect flat (path, index) addresses of all parameters
+    let mut addresses = Vec::new();
+    net.visit_params(&mut |name, p| {
+        for i in 0..p.len() {
+            addresses.push((name.to_string(), i));
+        }
+    });
+    let mut rng = StdRng::seed_from_u64(99);
+    let eps = 5e-3f32;
+    let mut checked = 0;
+    let mut attempts = 0;
+    while checked < count && attempts < count * 10 {
+        attempts += 1;
+        let (ref name, idx) = addresses[rng.random_range(0..addresses.len())];
+        // read analytic gradient
+        let mut analytic = 0.0f32;
+        net.visit_params(&mut |n, p| {
+            if n == name {
+                analytic = p.grad.data()[idx];
+            }
+        });
+        // probe +/- eps
+        let mut probe = |delta: f32| -> f32 {
+            let mut clone = net.clone();
+            clone.visit_params(&mut |n, p| {
+                if n == name {
+                    p.value.data_mut()[idx] += delta;
+                }
+            });
+            loss_of(&mut clone, x, labels)
+        };
+        let numeric = (probe(eps) - probe(-eps)) / (2.0 * eps);
+        // skip coordinates whose gradient is dominated by f32 noise
+        if numeric.abs() < 1e-4 && analytic.abs() < 1e-4 {
+            continue;
+        }
+        assert!(
+            (numeric - analytic).abs() <= tol * (1.0 + numeric.abs()),
+            "{name}[{idx}]: numeric {numeric} vs analytic {analytic}"
+        );
+        checked += 1;
+    }
+    assert!(checked > 0, "no checkable coordinates found");
+}
+
+#[test]
+fn mlp_gradients_match_finite_differences() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let net = mlp(&[6, 12, 4], 0.0, &mut rng);
+    let x = rand_uniform(&[8, 6], -1.0, 1.0, &mut rng);
+    let labels: Vec<usize> = (0..8).map(|i| i % 4).collect();
+    check_network(net, &x, &labels, 12, 0.05);
+}
+
+#[test]
+fn resnet_gradients_match_finite_differences() {
+    let mut rng = StdRng::seed_from_u64(2);
+    let net = resnet(
+        &ResNetConfig {
+            depth: 8,
+            width: 4,
+            in_channels: 3,
+            num_classes: 3,
+        },
+        &mut rng,
+    )
+    .unwrap();
+    let x = rand_uniform(&[4, 3, 8, 8], -1.0, 1.0, &mut rng);
+    let labels = vec![0usize, 1, 2, 0];
+    check_network(net, &x, &labels, 8, 0.12);
+}
+
+#[test]
+fn densenet_gradients_match_finite_differences() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let net = densenet(
+        &DenseNetConfig {
+            layers_per_block: 2,
+            blocks: 2,
+            growth: 4,
+            stem_channels: 4,
+            in_channels: 3,
+            num_classes: 3,
+        },
+        &mut rng,
+    )
+    .unwrap();
+    let x = rand_uniform(&[4, 3, 8, 8], -1.0, 1.0, &mut rng);
+    let labels = vec![2usize, 1, 0, 1];
+    check_network(net, &x, &labels, 8, 0.12);
+}
+
+#[test]
+fn textcnn_gradients_match_finite_differences() {
+    let mut rng = StdRng::seed_from_u64(4);
+    let net = textcnn(
+        &TextCnnConfig {
+            vocab: 30,
+            embed_dim: 8,
+            kernel_sizes: vec![3, 4],
+            filters: 6,
+            dropout: 0.0, // dropout off: probes must be deterministic
+            num_classes: 2,
+        },
+        &mut rng,
+    )
+    .unwrap();
+    let mut ids = Tensor::zeros(&[6, 15]);
+    for v in ids.data_mut() {
+        *v = rng.random_range(0..30) as f32;
+    }
+    let labels: Vec<usize> = (0..6).map(|i| i % 2).collect();
+    check_network(net, &ids, &labels, 10, 0.08);
+}

@@ -1,0 +1,154 @@
+//! Property-based tests for the neural-network framework: loss invariants,
+//! schedule bounds, and gradient-flow sanity under random configurations.
+
+use edde_nn::loss::{CrossEntropy, Distillation, DiversityDriven};
+use edde_nn::models::mlp;
+use edde_nn::optim::LrSchedule;
+use edde_nn::{Mode, Param};
+use edde_tensor::ops::softmax_rows;
+use edde_tensor::Tensor;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Strategy: (logits, labels) with consistent shapes.
+fn batch() -> impl Strategy<Value = (Tensor, Vec<usize>)> {
+    (1usize..8, 2usize..6).prop_flat_map(|(n, k)| {
+        (
+            prop::collection::vec(-5.0f32..5.0, n * k),
+            prop::collection::vec(0usize..k, n),
+            Just((n, k)),
+        )
+            .prop_map(|(data, labels, (n, k))| {
+                (Tensor::from_vec(data, &[n, k]).unwrap(), labels)
+            })
+    })
+}
+
+/// Strategy: (logits, labels, teacher/ensemble probs).
+fn batch_with_targets() -> impl Strategy<Value = (Tensor, Vec<usize>, Tensor)> {
+    batch().prop_flat_map(|(logits, labels)| {
+        let dims = logits.dims().to_vec();
+        let n: usize = dims.iter().product();
+        (
+            Just(logits),
+            Just(labels),
+            prop::collection::vec(-3.0f32..3.0, n).prop_map(move |raw| {
+                softmax_rows(&Tensor::from_vec(raw, &dims).unwrap()).unwrap()
+            }),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn cross_entropy_is_non_negative_and_finite((logits, labels) in batch()) {
+        let out = CrossEntropy::new().compute(&logits, &labels, None).unwrap();
+        prop_assert!(out.loss >= 0.0);
+        prop_assert!(out.loss.is_finite());
+        prop_assert!(out.grad_logits.all_finite());
+    }
+
+    #[test]
+    fn cross_entropy_gradient_rows_sum_to_zero((logits, labels) in batch()) {
+        // softmax gradient rows (p - y) scaled by w/N always sum to zero
+        let out = CrossEntropy::new().compute(&logits, &labels, None).unwrap();
+        let k = logits.dims()[1];
+        for i in 0..logits.dims()[0] {
+            let row_sum: f32 = out.grad_logits.data()[i * k..(i + 1) * k].iter().sum();
+            prop_assert!(row_sum.abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn diversity_loss_never_exceeds_ce((logits, labels, q) in batch_with_targets(), gamma in 0.0f32..2.0) {
+        // Eq. 10 subtracts a non-negative term, so L_div <= L_ce always
+        let ce = CrossEntropy::new().compute(&logits, &labels, None).unwrap();
+        let dd = DiversityDriven::new(gamma).compute(&logits, &labels, None, &q).unwrap();
+        prop_assert!(dd.loss <= ce.loss + 1e-5);
+        prop_assert!(dd.grad_logits.all_finite());
+    }
+
+    #[test]
+    fn diversity_gradient_rows_sum_to_zero((logits, labels, q) in batch_with_targets(), gamma in 0.0f32..1.5) {
+        // both the CE and diversity components pass through the softmax
+        // Jacobian, whose rows are orthogonal to the all-ones vector
+        let out = DiversityDriven::new(gamma).compute(&logits, &labels, None, &q).unwrap();
+        let k = logits.dims()[1];
+        for i in 0..logits.dims()[0] {
+            let row_sum: f32 = out.grad_logits.data()[i * k..(i + 1) * k].iter().sum();
+            prop_assert!(row_sum.abs() < 1e-4, "row {i} sums to {row_sum}");
+        }
+    }
+
+    #[test]
+    fn distillation_is_finite_for_valid_configs(
+        (logits, labels, q) in batch_with_targets(),
+        lambda in 0.0f32..=1.0,
+        tau in 0.5f32..4.0,
+    ) {
+        let out = Distillation::new(lambda, tau).compute(&logits, &labels, &q).unwrap();
+        prop_assert!(out.loss.is_finite());
+        prop_assert!(out.grad_logits.all_finite());
+    }
+
+    #[test]
+    fn step_schedule_is_monotone_nonincreasing(base in 0.01f32..1.0, total in 4usize..200) {
+        let s = LrSchedule::paper_step(base, total);
+        let mut prev = f32::INFINITY;
+        for e in 0..total {
+            let lr = s.lr_at(e);
+            prop_assert!(lr <= prev);
+            prop_assert!(lr > 0.0);
+            prev = lr;
+        }
+        // exactly two decades of decay by the end
+        prop_assert!((s.lr_at(total - 1) - base / 100.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn cosine_schedule_is_periodic(base in 0.01f32..1.0, cycle in 2usize..40, e in 0usize..200) {
+        let s = LrSchedule::CosineRestarts { base, cycle_epochs: cycle };
+        prop_assert!((s.lr_at(e) - s.lr_at(e + cycle)).abs() < 1e-6);
+        prop_assert!(s.lr_at(e) <= base + 1e-6);
+        prop_assert!(s.lr_at(e) >= 0.0);
+    }
+
+    #[test]
+    fn mlp_forward_is_shape_stable(widths in prop::collection::vec(1usize..10, 2..5), n in 1usize..5) {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut net = mlp(&widths, 0.0, &mut rng);
+        let x = Tensor::zeros(&[n, widths[0]]);
+        let y = net.forward(&x, Mode::Eval).unwrap();
+        prop_assert_eq!(y.dims(), &[n, *widths.last().unwrap()]);
+    }
+
+    #[test]
+    fn param_grad_accumulation_is_additive(v in prop::collection::vec(-3.0f32..3.0, 1..16)) {
+        let dims = vec![v.len()];
+        let mut p = Param::new(Tensor::zeros(&dims));
+        let g = Tensor::from_vec(v, &dims).unwrap();
+        p.accumulate_grad(&g);
+        p.accumulate_grad(&g);
+        for (a, b) in p.grad.data().iter().zip(g.data().iter()) {
+            prop_assert!((a - 2.0 * b).abs() < 1e-5);
+        }
+        p.zero_grad();
+        prop_assert!(p.grad.data().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn state_export_import_is_identity_on_networks(seed in 0u64..32) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut a = mlp(&[3, 5, 2], 0.0, &mut rng);
+        let mut b = mlp(&[3, 5, 2], 0.0, &mut rng);
+        let state = a.export_state();
+        b.import_state(&state).unwrap();
+        let x = Tensor::ones(&[2, 3]);
+        let ya = a.forward(&x, Mode::Eval).unwrap();
+        let yb = b.forward(&x, Mode::Eval).unwrap();
+        prop_assert_eq!(ya.data(), yb.data());
+    }
+}

@@ -1,0 +1,102 @@
+//! Error types shared across the tensor crate.
+
+use std::fmt;
+
+/// Convenience alias used by every fallible operation in this crate.
+pub type Result<T> = std::result::Result<T, TensorError>;
+
+/// Errors raised by tensor construction and tensor operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// The number of elements implied by a shape does not match the data
+    /// buffer it was paired with.
+    LengthMismatch { expected: usize, actual: usize },
+    /// Two tensors that must agree on shape do not.
+    ShapeMismatch { left: Vec<usize>, right: Vec<usize> },
+    /// An operation received a tensor of the wrong rank.
+    RankMismatch { expected: usize, actual: usize },
+    /// Matrix multiply inner dimensions disagree.
+    MatmulDimMismatch { left: Vec<usize>, right: Vec<usize> },
+    /// An index was out of bounds for the tensor's shape.
+    IndexOutOfBounds { index: Vec<usize>, shape: Vec<usize> },
+    /// An axis argument exceeded the tensor's rank.
+    AxisOutOfBounds { axis: usize, rank: usize },
+    /// Reshape target has a different element count than the source.
+    ReshapeMismatch { from: Vec<usize>, to: Vec<usize> },
+    /// Convolution / pooling geometry is inconsistent (e.g. kernel larger
+    /// than padded input).
+    InvalidGeometry(String),
+    /// A serialized tensor could not be decoded.
+    Deserialize(String),
+    /// Concatenation received tensors whose non-axis dimensions disagree.
+    ConcatMismatch { axis: usize, shapes: Vec<Vec<usize>> },
+    /// An operation that requires a non-empty input received an empty one.
+    Empty(&'static str),
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::LengthMismatch { expected, actual } => write!(
+                f,
+                "data length {actual} does not match shape element count {expected}"
+            ),
+            TensorError::ShapeMismatch { left, right } => {
+                write!(f, "shape mismatch: {left:?} vs {right:?}")
+            }
+            TensorError::RankMismatch { expected, actual } => {
+                write!(f, "rank mismatch: expected {expected}, got {actual}")
+            }
+            TensorError::MatmulDimMismatch { left, right } => {
+                write!(f, "matmul dimension mismatch: {left:?} x {right:?}")
+            }
+            TensorError::IndexOutOfBounds { index, shape } => {
+                write!(f, "index {index:?} out of bounds for shape {shape:?}")
+            }
+            TensorError::AxisOutOfBounds { axis, rank } => {
+                write!(f, "axis {axis} out of bounds for rank {rank}")
+            }
+            TensorError::ReshapeMismatch { from, to } => {
+                write!(f, "cannot reshape {from:?} into {to:?}")
+            }
+            TensorError::InvalidGeometry(msg) => write!(f, "invalid geometry: {msg}"),
+            TensorError::Deserialize(msg) => write!(f, "deserialize error: {msg}"),
+            TensorError::ConcatMismatch { axis, shapes } => {
+                write!(f, "cannot concatenate along axis {axis}: shapes {shapes:?}")
+            }
+            TensorError::Empty(what) => write!(f, "operation requires non-empty input: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let err = TensorError::ShapeMismatch {
+            left: vec![2, 3],
+            right: vec![3, 2],
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("[2, 3]"));
+        assert!(msg.contains("[3, 2]"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        let a = TensorError::AxisOutOfBounds { axis: 3, rank: 2 };
+        let b = TensorError::AxisOutOfBounds { axis: 3, rank: 2 };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let err: Box<dyn std::error::Error> =
+            Box::new(TensorError::Empty("mean of zero elements"));
+        assert!(err.to_string().contains("non-empty"));
+    }
+}

@@ -1,0 +1,39 @@
+//! # edde-tensor
+//!
+//! A small, dependency-light dense tensor library built for the EDDE
+//! (Efficient Diversity-Driven Ensemble, ICDE 2020) reproduction.
+//!
+//! The crate provides exactly what a from-scratch deep-learning stack needs:
+//!
+//! * [`Tensor`] — a contiguous, row-major, `f32` n-dimensional array;
+//! * elementwise arithmetic with scalar and row broadcasting ([`ops`]);
+//! * a crossbeam-parallel matrix multiply ([`ops::matmul`]);
+//! * im2col-based 2-D and 1-D convolution ([`ops::conv`]);
+//! * max/avg pooling with backward index maps ([`ops::pool`]);
+//! * reductions, softmax, and argmax ([`ops::reduce`]);
+//! * seeded random fills (uniform, normal via Box–Muller) ([`rng`]);
+//! * a compact binary serialization format ([`serialize`]).
+//!
+//! Everything is deterministic given a seed, which the ensemble experiments
+//! rely on for reproducibility.
+//!
+//! ```
+//! use edde_tensor::Tensor;
+//!
+//! let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+//! let b = Tensor::eye(2);
+//! let c = edde_tensor::ops::matmul(&a, &b).unwrap();
+//! assert_eq!(c.data(), a.data());
+//! ```
+
+pub mod error;
+pub mod ops;
+pub mod parallel;
+pub mod rng;
+pub mod serialize;
+pub mod shape;
+pub mod tensor;
+
+pub use error::{Result, TensorError};
+pub use shape::Shape;
+pub use tensor::Tensor;

@@ -1,0 +1,140 @@
+//! Elementwise arithmetic and simple broadcasting.
+
+use crate::error::{Result, TensorError};
+use crate::tensor::Tensor;
+
+fn check_same_shape(a: &Tensor, b: &Tensor) -> Result<()> {
+    if !a.shape().same_as(b.shape()) {
+        return Err(TensorError::ShapeMismatch {
+            left: a.dims().to_vec(),
+            right: b.dims().to_vec(),
+        });
+    }
+    Ok(())
+}
+
+/// `a + b` (same shape).
+pub fn add(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    check_same_shape(a, b)?;
+    a.zip_map(b, |x, y| x + y)
+}
+
+/// `a - b` (same shape).
+pub fn sub(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    check_same_shape(a, b)?;
+    a.zip_map(b, |x, y| x - y)
+}
+
+/// `a * b` elementwise (same shape).
+pub fn mul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    check_same_shape(a, b)?;
+    a.zip_map(b, |x, y| x * y)
+}
+
+/// `a / b` elementwise (same shape). Division by zero follows IEEE 754.
+pub fn div(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    check_same_shape(a, b)?;
+    a.zip_map(b, |x, y| x / y)
+}
+
+/// `a + s` for a scalar `s`.
+pub fn add_scalar(a: &Tensor, s: f32) -> Tensor {
+    a.map(|x| x + s)
+}
+
+/// `a * s` for a scalar `s`.
+pub fn scale(a: &Tensor, s: f32) -> Tensor {
+    a.map(|x| x * s)
+}
+
+/// In-place `a += alpha * b` — the workhorse of SGD updates.
+pub fn axpy(a: &mut Tensor, alpha: f32, b: &Tensor) -> Result<()> {
+    check_same_shape(a, b)?;
+    for (x, &y) in a.data_mut().iter_mut().zip(b.data().iter()) {
+        *x += alpha * y;
+    }
+    Ok(())
+}
+
+/// Adds a length-`n` row vector to every row of an `[m, n]` matrix —
+/// the bias-add pattern of dense layers.
+pub fn add_row_broadcast(matrix: &Tensor, row: &Tensor) -> Result<Tensor> {
+    if matrix.rank() != 2 {
+        return Err(TensorError::RankMismatch {
+            expected: 2,
+            actual: matrix.rank(),
+        });
+    }
+    if row.rank() != 1 || row.dims()[0] != matrix.dims()[1] {
+        return Err(TensorError::ShapeMismatch {
+            left: matrix.dims().to_vec(),
+            right: row.dims().to_vec(),
+        });
+    }
+    let n = matrix.dims()[1];
+    let mut out = matrix.clone();
+    for r in out.data_mut().chunks_mut(n) {
+        for (v, &b) in r.iter_mut().zip(row.data().iter()) {
+            *v += b;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(v: &[f32]) -> Tensor {
+        Tensor::from_slice(v)
+    }
+
+    #[test]
+    fn basic_arithmetic() {
+        let a = t(&[1.0, 2.0, 3.0]);
+        let b = t(&[4.0, 5.0, 6.0]);
+        assert_eq!(add(&a, &b).unwrap().data(), &[5.0, 7.0, 9.0]);
+        assert_eq!(sub(&b, &a).unwrap().data(), &[3.0, 3.0, 3.0]);
+        assert_eq!(mul(&a, &b).unwrap().data(), &[4.0, 10.0, 18.0]);
+        assert_eq!(div(&b, &a).unwrap().data(), &[4.0, 2.5, 2.0]);
+    }
+
+    #[test]
+    fn scalar_ops() {
+        let a = t(&[1.0, -1.0]);
+        assert_eq!(add_scalar(&a, 2.0).data(), &[3.0, 1.0]);
+        assert_eq!(scale(&a, -3.0).data(), &[-3.0, 3.0]);
+    }
+
+    #[test]
+    fn axpy_updates_in_place() {
+        let mut a = t(&[1.0, 2.0]);
+        let g = t(&[10.0, 20.0]);
+        axpy(&mut a, -0.1, &g).unwrap();
+        assert_eq!(a.data(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn shape_mismatch_is_rejected() {
+        let a = t(&[1.0, 2.0]);
+        let b = t(&[1.0]);
+        assert!(add(&a, &b).is_err());
+        let mut c = a.clone();
+        assert!(axpy(&mut c, 1.0, &b).is_err());
+    }
+
+    #[test]
+    fn row_broadcast_adds_bias() {
+        let m = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        let bias = t(&[10.0, 20.0]);
+        let out = add_row_broadcast(&m, &bias).unwrap();
+        assert_eq!(out.data(), &[11.0, 22.0, 13.0, 24.0]);
+    }
+
+    #[test]
+    fn row_broadcast_validates_shapes() {
+        let m = Tensor::zeros(&[2, 3]);
+        assert!(add_row_broadcast(&m, &t(&[1.0, 2.0])).is_err());
+        assert!(add_row_broadcast(&t(&[1.0]), &t(&[1.0])).is_err());
+    }
+}

@@ -1,0 +1,210 @@
+//! Dense matrix products, parallelized over output rows.
+//!
+//! Three variants cover everything backprop needs without materializing
+//! transposes:
+//!
+//! * [`matmul`]       — `C = A·B`
+//! * [`matmul_at_b`]  — `C = Aᵀ·B`   (weight gradients)
+//! * [`matmul_a_bt`]  — `C = A·Bᵀ`   (input gradients)
+//!
+//! All kernels use an `i-k-j` loop order so the innermost loop streams
+//! through contiguous rows of both the accumulator and the right operand.
+
+use crate::error::{Result, TensorError};
+use crate::parallel::for_each_row_chunk;
+use crate::tensor::Tensor;
+
+fn check_rank2(t: &Tensor) -> Result<(usize, usize)> {
+    if t.rank() != 2 {
+        return Err(TensorError::RankMismatch {
+            expected: 2,
+            actual: t.rank(),
+        });
+    }
+    Ok((t.dims()[0], t.dims()[1]))
+}
+
+/// `C[m,n] = A[m,k] · B[k,n]`.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (m, ka) = check_rank2(a)?;
+    let (kb, n) = check_rank2(b)?;
+    if ka != kb {
+        return Err(TensorError::MatmulDimMismatch {
+            left: a.dims().to_vec(),
+            right: b.dims().to_vec(),
+        });
+    }
+    let mut out = Tensor::zeros(&[m, n]);
+    let (ad, bd) = (a.data(), b.data());
+    for_each_row_chunk(out.data_mut(), n.max(1), |first_row, chunk| {
+        for (local_i, crow) in chunk.chunks_mut(n.max(1)).enumerate() {
+            let i = first_row + local_i;
+            let arow = &ad[i * ka..(i + 1) * ka];
+            for (kk, &aik) in arow.iter().enumerate() {
+                if aik == 0.0 {
+                    continue; // ReLU activations make zero common.
+                }
+                let brow = &bd[kk * n..(kk + 1) * n];
+                for (c, &bv) in crow.iter_mut().zip(brow.iter()) {
+                    *c += aik * bv;
+                }
+            }
+        }
+    });
+    Ok(out)
+}
+
+/// `C[k,n] = Aᵀ[k,m] · B[m,n]` for `A[m,k]`, `B[m,n]` — without building `Aᵀ`.
+pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (ma, k) = check_rank2(a)?;
+    let (mb, n) = check_rank2(b)?;
+    if ma != mb {
+        return Err(TensorError::MatmulDimMismatch {
+            left: a.dims().to_vec(),
+            right: b.dims().to_vec(),
+        });
+    }
+    // C[kk][j] = Σ_i A[i][kk] * B[i][j]. Parallelize over C's rows (kk):
+    // each worker scans all of A and B but owns disjoint output rows.
+    let mut out = Tensor::zeros(&[k, n]);
+    let (ad, bd) = (a.data(), b.data());
+    for_each_row_chunk(out.data_mut(), n.max(1), |first_row, chunk| {
+        for (local, crow) in chunk.chunks_mut(n.max(1)).enumerate() {
+            let kk = first_row + local;
+            for i in 0..ma {
+                let aik = ad[i * k + kk];
+                if aik == 0.0 {
+                    continue;
+                }
+                let brow = &bd[i * n..(i + 1) * n];
+                for (c, &bv) in crow.iter_mut().zip(brow.iter()) {
+                    *c += aik * bv;
+                }
+            }
+        }
+    });
+    Ok(out)
+}
+
+/// `C[m,k] = A[m,n] · Bᵀ[n,k]` for `B[k,n]` — without building `Bᵀ`.
+pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (m, na) = check_rank2(a)?;
+    let (k, nb) = check_rank2(b)?;
+    if na != nb {
+        return Err(TensorError::MatmulDimMismatch {
+            left: a.dims().to_vec(),
+            right: b.dims().to_vec(),
+        });
+    }
+    let n = na;
+    let mut out = Tensor::zeros(&[m, k]);
+    let (ad, bd) = (a.data(), b.data());
+    for_each_row_chunk(out.data_mut(), k.max(1), |first_row, chunk| {
+        for (local, crow) in chunk.chunks_mut(k.max(1)).enumerate() {
+            let i = first_row + local;
+            let arow = &ad[i * n..(i + 1) * n];
+            for (j, c) in crow.iter_mut().enumerate() {
+                let brow = &bd[j * n..(j + 1) * n];
+                let mut acc = 0.0f32;
+                for (&av, &bv) in arow.iter().zip(brow.iter()) {
+                    acc += av * bv;
+                }
+                *c += acc;
+            }
+        }
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::rand_uniform;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn naive_matmul(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k) = (a.dims()[0], a.dims()[1]);
+        let n = b.dims()[1];
+        let mut out = Tensor::zeros(&[m, n]);
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for kk in 0..k {
+                    acc += a.data()[i * k + kk] * b.data()[kk * n + j];
+                }
+                out.data_mut()[i * n + j] = acc;
+            }
+        }
+        out
+    }
+
+    fn assert_close(a: &Tensor, b: &Tensor, tol: f32) {
+        assert_eq!(a.dims(), b.dims());
+        for (x, y) in a.data().iter().zip(b.data().iter()) {
+            assert!((x - y).abs() <= tol, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn small_known_product() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        let b = Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], &[2, 2]).unwrap();
+        let c = matmul(&a, &b).unwrap();
+        assert_eq!(c.data(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let mut r = StdRng::seed_from_u64(1);
+        let a = rand_uniform(&[7, 7], -1.0, 1.0, &mut r);
+        let i = Tensor::eye(7);
+        assert_close(&matmul(&a, &i).unwrap(), &a, 1e-6);
+        assert_close(&matmul(&i, &a).unwrap(), &a, 1e-6);
+    }
+
+    #[test]
+    fn matches_naive_on_random_inputs() {
+        let mut r = StdRng::seed_from_u64(7);
+        for &(m, k, n) in &[(1, 1, 1), (3, 5, 2), (17, 9, 23), (64, 32, 48)] {
+            let a = rand_uniform(&[m, k], -1.0, 1.0, &mut r);
+            let b = rand_uniform(&[k, n], -1.0, 1.0, &mut r);
+            assert_close(&matmul(&a, &b).unwrap(), &naive_matmul(&a, &b), 1e-4);
+        }
+    }
+
+    #[test]
+    fn transposed_variants_match_explicit_transpose() {
+        let mut r = StdRng::seed_from_u64(9);
+        let a = rand_uniform(&[11, 6], -1.0, 1.0, &mut r);
+        let b = rand_uniform(&[11, 4], -1.0, 1.0, &mut r);
+        let at_b = matmul_at_b(&a, &b).unwrap();
+        let explicit = matmul(&a.transpose2d().unwrap(), &b).unwrap();
+        assert_close(&at_b, &explicit, 1e-4);
+
+        let c = rand_uniform(&[5, 8], -1.0, 1.0, &mut r);
+        let d = rand_uniform(&[3, 8], -1.0, 1.0, &mut r);
+        let c_dt = matmul_a_bt(&c, &d).unwrap();
+        let explicit2 = matmul(&c, &d.transpose2d().unwrap()).unwrap();
+        assert_close(&c_dt, &explicit2, 1e-4);
+    }
+
+    #[test]
+    fn dimension_mismatch_is_rejected() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[2, 3]);
+        assert!(matmul(&a, &b).is_err());
+        assert!(matmul_at_b(&a, &Tensor::zeros(&[3, 2])).is_err());
+        assert!(matmul_a_bt(&a, &Tensor::zeros(&[4, 4])).is_err());
+        assert!(matmul(&Tensor::zeros(&[2]), &b).is_err());
+    }
+
+    #[test]
+    fn large_parallel_product_matches_naive() {
+        let mut r = StdRng::seed_from_u64(11);
+        // Big enough to cross the parallel threshold (200*160 = 32k elems).
+        let a = rand_uniform(&[200, 90], -1.0, 1.0, &mut r);
+        let b = rand_uniform(&[90, 160], -1.0, 1.0, &mut r);
+        assert_close(&matmul(&a, &b).unwrap(), &naive_matmul(&a, &b), 1e-3);
+    }
+}

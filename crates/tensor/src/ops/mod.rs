@@ -1,0 +1,33 @@
+//! Tensor operations.
+//!
+//! Split by family:
+//!
+//! * [`elementwise`] — arithmetic, broadcasting, in-place updates;
+//! * [`matmul`] — parallel dense matrix products (plain / transposed);
+//! * [`reduce`] — sums, means, softmax, argmax;
+//! * [`conv`] — im2col 2-D and 1-D convolution with backward passes;
+//! * [`pool`] — max / average pooling with backward passes;
+//! * [`stats`] — per-axis moments and standardization.
+
+pub mod conv;
+pub mod elementwise;
+pub mod matmul;
+pub mod pool;
+pub mod reduce;
+pub mod stats;
+
+pub use conv::{
+    conv1d, conv1d_backward, conv2d, conv2d_backward, Conv1dGrads, Conv2dGrads,
+};
+pub use elementwise::{
+    add, add_row_broadcast, add_scalar, axpy, div, mul, scale, sub,
+};
+pub use matmul::{matmul, matmul_at_b, matmul_a_bt};
+pub use pool::{
+    avg_pool2d, avg_pool2d_backward, global_avg_pool, global_avg_pool_backward, max_over_time,
+    max_over_time_backward, max_pool2d, max_pool2d_backward,
+};
+pub use reduce::{
+    argmax_rows, log_softmax_rows, max_rows, mean_all, softmax_rows, sum_all, sum_axis0,
+};
+pub use stats::{mean_axis0, standardize_axis0, var_axis0};

@@ -1,0 +1,359 @@
+//! Pooling operations with backward passes.
+//!
+//! * [`max_pool2d`] / [`avg_pool2d`] — spatial pooling for CNN stages;
+//! * [`global_avg_pool`] — the ResNet/DenseNet head;
+//! * [`max_over_time`] — Text-CNN's max-over-time pooling.
+
+use crate::error::{Result, TensorError};
+use crate::ops::conv::out_dim;
+use crate::tensor::Tensor;
+
+fn check_rank4(t: &Tensor) -> Result<(usize, usize, usize, usize)> {
+    if t.rank() != 4 {
+        return Err(TensorError::RankMismatch {
+            expected: 4,
+            actual: t.rank(),
+        });
+    }
+    Ok((t.dims()[0], t.dims()[1], t.dims()[2], t.dims()[3]))
+}
+
+/// Max pooling over `[N,C,H,W]` with a square `k`×`k` window and stride `s`.
+///
+/// Returns the pooled tensor and the flat input index of each selected
+/// maximum (needed by [`max_pool2d_backward`]).
+pub fn max_pool2d(input: &Tensor, k: usize, s: usize) -> Result<(Tensor, Vec<usize>)> {
+    let (n, c, h, w) = check_rank4(input)?;
+    let oh = out_dim(h, k, s, 0)?;
+    let ow = out_dim(w, k, s, 0)?;
+    let mut out = Tensor::zeros(&[n, c, oh, ow]);
+    let mut argmax = vec![0usize; n * c * oh * ow];
+    let data = input.data();
+    let mut oi = 0usize;
+    for sample in 0..n {
+        for ch in 0..c {
+            let base = (sample * c + ch) * h * w;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut best_v = f32::NEG_INFINITY;
+                    let mut best_i = base;
+                    for ky in 0..k {
+                        let iy = oy * s + ky;
+                        for kx in 0..k {
+                            let ix = ox * s + kx;
+                            let idx = base + iy * w + ix;
+                            let v = data[idx];
+                            if v > best_v {
+                                best_v = v;
+                                best_i = idx;
+                            }
+                        }
+                    }
+                    out.data_mut()[oi] = best_v;
+                    argmax[oi] = best_i;
+                    oi += 1;
+                }
+            }
+        }
+    }
+    Ok((out, argmax))
+}
+
+/// Backward pass of [`max_pool2d`]: routes each output gradient to the input
+/// position that won the max.
+pub fn max_pool2d_backward(
+    input_dims: &[usize],
+    grad_out: &Tensor,
+    argmax: &[usize],
+) -> Result<Tensor> {
+    if grad_out.len() != argmax.len() {
+        return Err(TensorError::LengthMismatch {
+            expected: argmax.len(),
+            actual: grad_out.len(),
+        });
+    }
+    let mut grad_in = Tensor::zeros(input_dims);
+    let n = grad_in.len();
+    for (&idx, &g) in argmax.iter().zip(grad_out.data().iter()) {
+        if idx >= n {
+            return Err(TensorError::IndexOutOfBounds {
+                index: vec![idx],
+                shape: input_dims.to_vec(),
+            });
+        }
+        grad_in.data_mut()[idx] += g;
+    }
+    Ok(grad_in)
+}
+
+/// Average pooling over `[N,C,H,W]` with a square `k`×`k` window and stride `s`.
+pub fn avg_pool2d(input: &Tensor, k: usize, s: usize) -> Result<Tensor> {
+    let (n, c, h, w) = check_rank4(input)?;
+    let oh = out_dim(h, k, s, 0)?;
+    let ow = out_dim(w, k, s, 0)?;
+    let inv = 1.0 / (k * k) as f32;
+    let mut out = Tensor::zeros(&[n, c, oh, ow]);
+    let data = input.data();
+    let mut oi = 0usize;
+    for sample in 0..n {
+        for ch in 0..c {
+            let base = (sample * c + ch) * h * w;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = 0.0f32;
+                    for ky in 0..k {
+                        let iy = oy * s + ky;
+                        let row = base + iy * w + ox * s;
+                        for kx in 0..k {
+                            acc += data[row + kx];
+                        }
+                    }
+                    out.data_mut()[oi] = acc * inv;
+                    oi += 1;
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Backward pass of [`avg_pool2d`]: spreads each output gradient uniformly
+/// over its window.
+pub fn avg_pool2d_backward(
+    input_dims: &[usize],
+    grad_out: &Tensor,
+    k: usize,
+    s: usize,
+) -> Result<Tensor> {
+    if input_dims.len() != 4 {
+        return Err(TensorError::RankMismatch {
+            expected: 4,
+            actual: input_dims.len(),
+        });
+    }
+    let (n, c, h, w) = (input_dims[0], input_dims[1], input_dims[2], input_dims[3]);
+    let oh = out_dim(h, k, s, 0)?;
+    let ow = out_dim(w, k, s, 0)?;
+    if grad_out.dims() != [n, c, oh, ow] {
+        return Err(TensorError::ShapeMismatch {
+            left: vec![n, c, oh, ow],
+            right: grad_out.dims().to_vec(),
+        });
+    }
+    let inv = 1.0 / (k * k) as f32;
+    let mut grad_in = Tensor::zeros(input_dims);
+    let god = grad_out.data();
+    let mut oi = 0usize;
+    for sample in 0..n {
+        for ch in 0..c {
+            let base = (sample * c + ch) * h * w;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let g = god[oi] * inv;
+                    oi += 1;
+                    for ky in 0..k {
+                        let iy = oy * s + ky;
+                        let row = base + iy * w + ox * s;
+                        for kx in 0..k {
+                            grad_in.data_mut()[row + kx] += g;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(grad_in)
+}
+
+/// Global average pooling: `[N,C,H,W] -> [N,C]`.
+pub fn global_avg_pool(input: &Tensor) -> Result<Tensor> {
+    let (n, c, h, w) = check_rank4(input)?;
+    if h * w == 0 {
+        return Err(TensorError::Empty("global average over empty plane"));
+    }
+    let inv = 1.0 / (h * w) as f32;
+    let mut out = Tensor::zeros(&[n, c]);
+    for s in 0..n {
+        for ch in 0..c {
+            let plane = &input.data()[(s * c + ch) * h * w..][..h * w];
+            out.data_mut()[s * c + ch] = plane.iter().sum::<f32>() * inv;
+        }
+    }
+    Ok(out)
+}
+
+/// Backward pass of [`global_avg_pool`].
+pub fn global_avg_pool_backward(input_dims: &[usize], grad_out: &Tensor) -> Result<Tensor> {
+    if input_dims.len() != 4 {
+        return Err(TensorError::RankMismatch {
+            expected: 4,
+            actual: input_dims.len(),
+        });
+    }
+    let (n, c, h, w) = (input_dims[0], input_dims[1], input_dims[2], input_dims[3]);
+    if grad_out.dims() != [n, c] {
+        return Err(TensorError::ShapeMismatch {
+            left: vec![n, c],
+            right: grad_out.dims().to_vec(),
+        });
+    }
+    let inv = 1.0 / (h * w) as f32;
+    let mut grad_in = Tensor::zeros(input_dims);
+    for s in 0..n {
+        for ch in 0..c {
+            let g = grad_out.data()[s * c + ch] * inv;
+            let plane = &mut grad_in.data_mut()[(s * c + ch) * h * w..][..h * w];
+            plane.fill(g);
+        }
+    }
+    Ok(grad_in)
+}
+
+/// Max-over-time pooling: `[N,C,L] -> [N,C]`, plus the winning time index
+/// per `(sample, channel)` for the backward pass.
+pub fn max_over_time(input: &Tensor) -> Result<(Tensor, Vec<usize>)> {
+    if input.rank() != 3 {
+        return Err(TensorError::RankMismatch {
+            expected: 3,
+            actual: input.rank(),
+        });
+    }
+    let (n, c, l) = (input.dims()[0], input.dims()[1], input.dims()[2]);
+    if l == 0 {
+        return Err(TensorError::Empty("max over zero time steps"));
+    }
+    let mut out = Tensor::zeros(&[n, c]);
+    let mut arg = vec![0usize; n * c];
+    for s in 0..n {
+        for ch in 0..c {
+            let seq = &input.data()[(s * c + ch) * l..][..l];
+            let mut best = 0usize;
+            for (t, &v) in seq.iter().enumerate() {
+                if v > seq[best] {
+                    best = t;
+                }
+            }
+            out.data_mut()[s * c + ch] = seq[best];
+            arg[s * c + ch] = best;
+        }
+    }
+    Ok((out, arg))
+}
+
+/// Backward pass of [`max_over_time`].
+#[allow(clippy::needless_range_loop)] // indexing argmax and grad rows in lockstep
+pub fn max_over_time_backward(
+    input_dims: &[usize],
+    grad_out: &Tensor,
+    argmax: &[usize],
+) -> Result<Tensor> {
+    if input_dims.len() != 3 {
+        return Err(TensorError::RankMismatch {
+            expected: 3,
+            actual: input_dims.len(),
+        });
+    }
+    let (n, c, l) = (input_dims[0], input_dims[1], input_dims[2]);
+    if grad_out.dims() != [n, c] || argmax.len() != n * c {
+        return Err(TensorError::ShapeMismatch {
+            left: vec![n, c],
+            right: grad_out.dims().to_vec(),
+        });
+    }
+    let mut grad_in = Tensor::zeros(input_dims);
+    for i in 0..n * c {
+        grad_in.data_mut()[i * l + argmax[i]] = grad_out.data()[i];
+    }
+    Ok(grad_in)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_pool_picks_window_maxima() {
+        // 1 sample, 1 channel, 4x4
+        let input = Tensor::from_vec(
+            vec![
+                1.0, 2.0, 5.0, 6.0, //
+                3.0, 4.0, 7.0, 8.0, //
+                -1.0, -2.0, 0.0, 0.5, //
+                -3.0, 9.0, 0.25, 0.125,
+            ],
+            &[1, 1, 4, 4],
+        )
+        .unwrap();
+        let (out, arg) = max_pool2d(&input, 2, 2).unwrap();
+        assert_eq!(out.dims(), &[1, 1, 2, 2]);
+        assert_eq!(out.data(), &[4.0, 8.0, 9.0, 0.5]);
+        assert_eq!(arg, vec![5, 7, 13, 11]);
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn max_pool_backward_routes_to_winner() {
+        let input = Tensor::from_vec(
+            vec![1.0, 2.0, 3.0, 4.0],
+            &[1, 1, 2, 2],
+        )
+        .unwrap();
+        let (_, arg) = max_pool2d(&input, 2, 2).unwrap();
+        let g = Tensor::from_vec(vec![10.0], &[1, 1, 1, 1]).unwrap();
+        let gi = max_pool2d_backward(input.dims(), &g, &arg).unwrap();
+        assert_eq!(gi.data(), &[0.0, 0.0, 0.0, 10.0]);
+    }
+
+    #[test]
+    fn avg_pool_and_backward_are_adjoint() {
+        let input = Tensor::from_vec((0..16).map(|x| x as f32).collect(), &[1, 1, 4, 4]).unwrap();
+        let out = avg_pool2d(&input, 2, 2).unwrap();
+        assert_eq!(out.data(), &[2.5, 4.5, 10.5, 12.5]);
+        let g = Tensor::ones(out.dims());
+        let gi = avg_pool2d_backward(input.dims(), &g, 2, 2).unwrap();
+        // every input position contributes to exactly one window
+        assert!(gi.data().iter().all(|&v| (v - 0.25).abs() < 1e-6));
+    }
+
+    #[test]
+    fn global_avg_pool_averages_planes() {
+        let input = Tensor::from_vec((0..8).map(|x| x as f32).collect(), &[1, 2, 2, 2]).unwrap();
+        let out = global_avg_pool(&input).unwrap();
+        assert_eq!(out.dims(), &[1, 2]);
+        assert_eq!(out.data(), &[1.5, 5.5]);
+        let g = Tensor::from_vec(vec![4.0, 8.0], &[1, 2]).unwrap();
+        let gi = global_avg_pool_backward(input.dims(), &g).unwrap();
+        assert_eq!(gi.data(), &[1.0, 1.0, 1.0, 1.0, 2.0, 2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn max_over_time_selects_peak() {
+        let input =
+            Tensor::from_vec(vec![0.0, 3.0, 1.0, -5.0, -1.0, -2.0], &[1, 2, 3]).unwrap();
+        let (out, arg) = max_over_time(&input).unwrap();
+        assert_eq!(out.data(), &[3.0, -1.0]);
+        assert_eq!(arg, vec![1, 1]);
+        let g = Tensor::from_vec(vec![1.0, 2.0], &[1, 2]).unwrap();
+        let gi = max_over_time_backward(input.dims(), &g, &arg).unwrap();
+        assert_eq!(gi.data(), &[0.0, 1.0, 0.0, 0.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn pooling_shape_validation() {
+        let t3 = Tensor::zeros(&[1, 2, 3]);
+        assert!(max_pool2d(&t3, 2, 2).is_err());
+        assert!(global_avg_pool(&t3).is_err());
+        let t4 = Tensor::zeros(&[1, 1, 2, 2]);
+        assert!(max_pool2d(&t4, 3, 1).is_err()); // kernel > input
+        assert!(max_over_time(&t4).is_err());
+    }
+
+    #[test]
+    fn stride_one_overlapping_windows() {
+        let input = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0], &[1, 1, 3, 3])
+            .unwrap();
+        let (out, _) = max_pool2d(&input, 2, 1).unwrap();
+        assert_eq!(out.dims(), &[1, 1, 2, 2]);
+        assert_eq!(out.data(), &[5.0, 6.0, 8.0, 9.0]);
+    }
+}

@@ -1,0 +1,205 @@
+//! Reductions and row-wise softmax utilities.
+
+use crate::error::{Result, TensorError};
+use crate::tensor::Tensor;
+
+/// Sum of all elements.
+pub fn sum_all(t: &Tensor) -> f32 {
+    t.data().iter().sum()
+}
+
+/// Mean of all elements. Errors on an empty tensor.
+pub fn mean_all(t: &Tensor) -> Result<f32> {
+    if t.is_empty() {
+        return Err(TensorError::Empty("mean of empty tensor"));
+    }
+    Ok(sum_all(t) / t.len() as f32)
+}
+
+/// Column sums of an `[m, n]` matrix → length-`n` vector. This is the bias
+/// gradient of a dense layer.
+pub fn sum_axis0(t: &Tensor) -> Result<Tensor> {
+    if t.rank() != 2 {
+        return Err(TensorError::RankMismatch {
+            expected: 2,
+            actual: t.rank(),
+        });
+    }
+    let (m, n) = (t.dims()[0], t.dims()[1]);
+    let mut out = Tensor::zeros(&[n]);
+    for i in 0..m {
+        let row = &t.data()[i * n..(i + 1) * n];
+        for (o, &v) in out.data_mut().iter_mut().zip(row.iter()) {
+            *o += v;
+        }
+    }
+    Ok(out)
+}
+
+/// Row-wise maxima of an `[m, n]` matrix → length-`m` vector.
+pub fn max_rows(t: &Tensor) -> Result<Tensor> {
+    if t.rank() != 2 {
+        return Err(TensorError::RankMismatch {
+            expected: 2,
+            actual: t.rank(),
+        });
+    }
+    let (m, n) = (t.dims()[0], t.dims()[1]);
+    if n == 0 {
+        return Err(TensorError::Empty("max over zero columns"));
+    }
+    let mut out = Tensor::zeros(&[m]);
+    for i in 0..m {
+        let row = &t.data()[i * n..(i + 1) * n];
+        out.data_mut()[i] = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    }
+    Ok(out)
+}
+
+/// Row-wise argmax of an `[m, n]` matrix. Ties break toward the lower index,
+/// matching the usual "first max" convention of classification heads.
+pub fn argmax_rows(t: &Tensor) -> Result<Vec<usize>> {
+    if t.rank() != 2 {
+        return Err(TensorError::RankMismatch {
+            expected: 2,
+            actual: t.rank(),
+        });
+    }
+    let (m, n) = (t.dims()[0], t.dims()[1]);
+    if n == 0 {
+        return Err(TensorError::Empty("argmax over zero columns"));
+    }
+    let mut out = Vec::with_capacity(m);
+    for i in 0..m {
+        let row = &t.data()[i * n..(i + 1) * n];
+        let mut best = 0usize;
+        for (j, &v) in row.iter().enumerate() {
+            if v > row[best] {
+                best = j;
+            }
+        }
+        out.push(best);
+    }
+    Ok(out)
+}
+
+/// Numerically-stable row-wise softmax of an `[m, n]` logits matrix.
+pub fn softmax_rows(logits: &Tensor) -> Result<Tensor> {
+    if logits.rank() != 2 {
+        return Err(TensorError::RankMismatch {
+            expected: 2,
+            actual: logits.rank(),
+        });
+    }
+    let (m, n) = (logits.dims()[0], logits.dims()[1]);
+    if n == 0 {
+        return Err(TensorError::Empty("softmax over zero classes"));
+    }
+    let mut out = logits.clone();
+    for i in 0..m {
+        let row = &mut out.data_mut()[i * n..(i + 1) * n];
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0f32;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        let inv = 1.0 / sum;
+        for v in row.iter_mut() {
+            *v *= inv;
+        }
+    }
+    Ok(out)
+}
+
+/// Numerically-stable row-wise log-softmax (`log p`) of a logits matrix.
+pub fn log_softmax_rows(logits: &Tensor) -> Result<Tensor> {
+    if logits.rank() != 2 {
+        return Err(TensorError::RankMismatch {
+            expected: 2,
+            actual: logits.rank(),
+        });
+    }
+    let (m, n) = (logits.dims()[0], logits.dims()[1]);
+    if n == 0 {
+        return Err(TensorError::Empty("log-softmax over zero classes"));
+    }
+    let mut out = logits.clone();
+    for i in 0..m {
+        let row = &mut out.data_mut()[i * n..(i + 1) * n];
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let log_sum = row.iter().map(|&v| (v - max).exp()).sum::<f32>().ln() + max;
+        for v in row.iter_mut() {
+            *v -= log_sum;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sums_and_means() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        assert_eq!(sum_all(&t), 10.0);
+        assert_eq!(mean_all(&t).unwrap(), 2.5);
+        assert!(mean_all(&Tensor::zeros(&[0])).is_err());
+    }
+
+    #[test]
+    fn sum_axis0_is_column_sum() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
+        assert_eq!(sum_axis0(&t).unwrap().data(), &[5.0, 7.0, 9.0]);
+    }
+
+    #[test]
+    fn max_and_argmax_rows() {
+        let t = Tensor::from_vec(vec![0.1, 0.9, 0.5, 0.3, 0.3, 0.2], &[2, 3]).unwrap();
+        assert_eq!(max_rows(&t).unwrap().data(), &[0.9, 0.3]);
+        assert_eq!(argmax_rows(&t).unwrap(), vec![1, 0]); // tie -> first index
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one_and_preserve_order() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0], &[2, 3]).unwrap();
+        let p = softmax_rows(&t).unwrap();
+        for i in 0..2 {
+            let row = p.row(i).unwrap();
+            let sum: f32 = row.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+            assert!(row[0] < row[1] && row[1] < row[2]);
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant_and_stable() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[1, 3]).unwrap();
+        let b = Tensor::from_vec(vec![1001.0, 1002.0, 1003.0], &[1, 3]).unwrap();
+        let pa = softmax_rows(&a).unwrap();
+        let pb = softmax_rows(&b).unwrap();
+        for (x, y) in pa.data().iter().zip(pb.data().iter()) {
+            assert!((x - y).abs() < 1e-6);
+        }
+        assert!(pb.all_finite());
+    }
+
+    #[test]
+    fn log_softmax_matches_log_of_softmax() {
+        let t = Tensor::from_vec(vec![0.5, -0.25, 2.0, 1.0], &[1, 4]).unwrap();
+        let ls = log_softmax_rows(&t).unwrap();
+        let p = softmax_rows(&t).unwrap();
+        for (l, q) in ls.data().iter().zip(p.data().iter()) {
+            assert!((l - q.ln()).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn rank_errors() {
+        let v = Tensor::from_slice(&[1.0, 2.0]);
+        assert!(softmax_rows(&v).is_err());
+        assert!(argmax_rows(&v).is_err());
+        assert!(sum_axis0(&v).is_err());
+    }
+}

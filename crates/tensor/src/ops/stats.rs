@@ -1,0 +1,114 @@
+//! Statistical utilities: per-axis moments and standardization.
+//!
+//! Used by analysis code (bias/variance style studies) and handy for
+//! downstream users preprocessing tabular features.
+
+use crate::error::{Result, TensorError};
+use crate::tensor::Tensor;
+
+/// Per-column mean of an `[m, n]` matrix.
+pub fn mean_axis0(t: &Tensor) -> Result<Tensor> {
+    if t.rank() != 2 {
+        return Err(TensorError::RankMismatch {
+            expected: 2,
+            actual: t.rank(),
+        });
+    }
+    let (m, n) = (t.dims()[0], t.dims()[1]);
+    if m == 0 {
+        return Err(TensorError::Empty("mean over zero rows"));
+    }
+    let mut out = Tensor::zeros(&[n]);
+    for i in 0..m {
+        for (o, &v) in out.data_mut().iter_mut().zip(t.row(i)?.iter()) {
+            *o += v;
+        }
+    }
+    let inv = 1.0 / m as f32;
+    out.map_in_place(|v| v * inv);
+    Ok(out)
+}
+
+/// Per-column (population) variance of an `[m, n]` matrix.
+pub fn var_axis0(t: &Tensor) -> Result<Tensor> {
+    let mean = mean_axis0(t)?;
+    let (m, n) = (t.dims()[0], t.dims()[1]);
+    let mut out = Tensor::zeros(&[n]);
+    for i in 0..m {
+        let row = t.row(i)?;
+        for j in 0..n {
+            let d = row[j] - mean.data()[j];
+            out.data_mut()[j] += d * d;
+        }
+    }
+    let inv = 1.0 / m as f32;
+    out.map_in_place(|v| v * inv);
+    Ok(out)
+}
+
+/// Standardizes the columns of an `[m, n]` matrix to zero mean and unit
+/// variance (columns with near-zero variance are left centered only).
+pub fn standardize_axis0(t: &Tensor) -> Result<Tensor> {
+    let mean = mean_axis0(t)?;
+    let var = var_axis0(t)?;
+    let (m, n) = (t.dims()[0], t.dims()[1]);
+    let mut out = t.clone();
+    for i in 0..m {
+        let row = &mut out.data_mut()[i * n..(i + 1) * n];
+        for j in 0..n {
+            let centered = row[j] - mean.data()[j];
+            let v = var.data()[j];
+            row[j] = if v > 1e-12 { centered / v.sqrt() } else { centered };
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Tensor {
+        Tensor::from_vec(vec![1.0, 10.0, 3.0, 20.0, 5.0, 30.0], &[3, 2]).unwrap()
+    }
+
+    #[test]
+    fn mean_axis0_is_column_mean() {
+        let m = mean_axis0(&toy()).unwrap();
+        assert_eq!(m.data(), &[3.0, 20.0]);
+    }
+
+    #[test]
+    fn var_axis0_is_population_variance() {
+        let v = var_axis0(&toy()).unwrap();
+        // column 0: values 1,3,5 -> var 8/3
+        assert!((v.data()[0] - 8.0 / 3.0).abs() < 1e-5);
+        // column 1: values 10,20,30 -> var 200/3
+        assert!((v.data()[1] - 200.0 / 3.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn standardize_produces_zero_mean_unit_var() {
+        let s = standardize_axis0(&toy()).unwrap();
+        let m = mean_axis0(&s).unwrap();
+        let v = var_axis0(&s).unwrap();
+        for j in 0..2 {
+            assert!(m.data()[j].abs() < 1e-5);
+            assert!((v.data()[j] - 1.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn constant_column_is_centered_not_divided() {
+        let t = Tensor::from_vec(vec![5.0, 5.0, 5.0, 5.0], &[4, 1]).unwrap();
+        let s = standardize_axis0(&t).unwrap();
+        assert!(s.data().iter().all(|&v| v == 0.0));
+        assert!(s.all_finite());
+    }
+
+    #[test]
+    fn rank_and_emptiness_checked() {
+        assert!(mean_axis0(&Tensor::zeros(&[3])).is_err());
+        assert!(mean_axis0(&Tensor::zeros(&[0, 3])).is_err());
+    }
+}

@@ -1,0 +1,125 @@
+//! Minimal data-parallel helpers built on crossbeam scoped threads.
+//!
+//! The tensor crate keeps parallelism deliberately coarse: hot loops like
+//! matrix multiply split their *output* into disjoint chunks and hand each
+//! chunk to one worker. That avoids locks entirely — every worker writes to
+//! memory nobody else touches.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Global override for the worker count (0 = use available parallelism).
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets the number of worker threads used by parallel tensor ops.
+///
+/// `0` restores the default (one worker per available core, capped at 8 —
+/// beyond that the matmul sizes in this project stop scaling). Benchmarks
+/// use this to pin thread counts for stable measurements.
+pub fn set_num_threads(n: usize) {
+    THREAD_OVERRIDE.store(n, Ordering::Relaxed);
+}
+
+/// The worker count parallel ops will use.
+pub fn num_threads() -> usize {
+    let forced = THREAD_OVERRIDE.load(Ordering::Relaxed);
+    if forced > 0 {
+        return forced;
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(8)
+}
+
+/// Splits `out` into at most [`num_threads`] contiguous chunks of whole
+/// `row_len`-sized rows and runs `f(first_row_index, chunk)` on each chunk,
+/// in parallel when the work is large enough to amortize thread spawn cost.
+///
+/// # Panics
+///
+/// Panics if `out.len()` is not a multiple of `row_len`.
+pub fn for_each_row_chunk<F>(out: &mut [f32], row_len: usize, f: F)
+where
+    F: Fn(usize, &mut [f32]) + Sync,
+{
+    assert!(row_len > 0, "row_len must be positive");
+    assert_eq!(
+        out.len() % row_len,
+        0,
+        "buffer length {} is not a multiple of row length {}",
+        out.len(),
+        row_len
+    );
+    let rows = out.len() / row_len;
+    let workers = num_threads().min(rows.max(1));
+    // Small outputs: the spawn overhead dwarfs the work.
+    const PAR_THRESHOLD_ELEMS: usize = 16 * 1024;
+    if workers <= 1 || out.len() < PAR_THRESHOLD_ELEMS {
+        f(0, out);
+        return;
+    }
+    let rows_per_worker = rows.div_ceil(workers);
+    crossbeam::thread::scope(|scope| {
+        let mut rest = out;
+        let mut row_start = 0usize;
+        while !rest.is_empty() {
+            let take_rows = rows_per_worker.min(rest.len() / row_len);
+            let (chunk, tail) = rest.split_at_mut(take_rows * row_len);
+            let fr = &f;
+            let start = row_start;
+            scope.spawn(move |_| fr(start, chunk));
+            row_start += take_rows;
+            rest = tail;
+        }
+    })
+    .expect("tensor worker thread panicked");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunks_cover_all_rows_exactly_once() {
+        let rows = 1000;
+        let row_len = 64; // 64k elements => parallel path
+        let mut out = vec![0.0f32; rows * row_len];
+        for_each_row_chunk(&mut out, row_len, |first_row, chunk| {
+            for (i, row) in chunk.chunks_mut(row_len).enumerate() {
+                for v in row.iter_mut() {
+                    *v += (first_row + i) as f32;
+                }
+            }
+        });
+        for (r, row) in out.chunks(row_len).enumerate() {
+            assert!(row.iter().all(|&v| v == r as f32), "row {r} wrong");
+        }
+    }
+
+    #[test]
+    fn small_inputs_run_serially_and_correctly() {
+        let mut out = vec![0.0f32; 6];
+        for_each_row_chunk(&mut out, 2, |first_row, chunk| {
+            for (i, row) in chunk.chunks_mut(2).enumerate() {
+                row[0] = (first_row + i) as f32;
+                row[1] = -(row[0]);
+            }
+        });
+        assert_eq!(out, vec![0.0, -0.0, 1.0, -1.0, 2.0, -2.0]);
+    }
+
+    #[test]
+    fn thread_override_round_trips() {
+        set_num_threads(3);
+        assert_eq!(num_threads(), 3);
+        set_num_threads(0);
+        assert!(num_threads() >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple")]
+    fn rejects_ragged_buffers() {
+        let mut out = vec![0.0f32; 5];
+        for_each_row_chunk(&mut out, 2, |_, _| {});
+    }
+}

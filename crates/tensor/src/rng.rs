@@ -1,0 +1,122 @@
+//! Seeded random tensor fills.
+//!
+//! The `rand_distr` crate is not part of the sanctioned dependency set, so
+//! normal deviates are generated with an in-crate Box–Muller transform.
+//! Everything takes an explicit `&mut impl Rng`, which keeps the entire
+//! reproduction deterministic under a single seed.
+
+use crate::tensor::Tensor;
+use rand::{Rng, RngExt};
+
+/// Draws one standard-normal deviate via the Box–Muller transform.
+#[inline]
+pub fn normal_deviate(rng: &mut impl Rng) -> f32 {
+    // u1 in (0, 1]: avoid ln(0).
+    let u1: f32 = 1.0 - rng.random::<f32>();
+    let u2: f32 = rng.random::<f32>();
+    (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos()
+}
+
+/// A tensor with i.i.d. `N(mean, std^2)` entries.
+pub fn randn(dims: &[usize], mean: f32, std: f32, rng: &mut impl Rng) -> Tensor {
+    let mut t = Tensor::zeros(dims);
+    for v in t.data_mut() {
+        *v = mean + std * normal_deviate(rng);
+    }
+    t
+}
+
+/// A tensor with i.i.d. `U[low, high)` entries.
+pub fn rand_uniform(dims: &[usize], low: f32, high: f32, rng: &mut impl Rng) -> Tensor {
+    let mut t = Tensor::zeros(dims);
+    for v in t.data_mut() {
+        *v = low + (high - low) * rng.random::<f32>();
+    }
+    t
+}
+
+/// He (Kaiming) normal initialization for a weight tensor with `fan_in`
+/// incoming connections — the standard choice for ReLU networks and the one
+/// the paper's ResNet/DenseNet models use.
+pub fn he_normal(dims: &[usize], fan_in: usize, rng: &mut impl Rng) -> Tensor {
+    let std = (2.0 / fan_in.max(1) as f32).sqrt();
+    randn(dims, 0.0, std, rng)
+}
+
+/// Glorot (Xavier) uniform initialization, used for the Text-CNN embedding
+/// and dense layers.
+pub fn glorot_uniform(dims: &[usize], fan_in: usize, fan_out: usize, rng: &mut impl Rng) -> Tensor {
+    let limit = (6.0 / (fan_in + fan_out).max(1) as f32).sqrt();
+    rand_uniform(dims, -limit, limit, rng)
+}
+
+/// A uniformly random permutation of `0..n` (Fisher–Yates).
+pub fn permutation(n: usize, rng: &mut impl Rng) -> Vec<usize> {
+    let mut p: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rng.random_range(0..=i);
+        p.swap(i, j);
+    }
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn randn_moments_are_plausible() {
+        let mut r = rng();
+        let t = randn(&[10_000], 1.0, 2.0, &mut r);
+        let mean = t.data().iter().sum::<f32>() / t.len() as f32;
+        let var =
+            t.data().iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>() / t.len() as f32;
+        assert!((mean - 1.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.3, "var {var}");
+        assert!(t.all_finite());
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut r = rng();
+        let t = rand_uniform(&[5_000], -0.5, 0.25, &mut r);
+        assert!(t.data().iter().all(|&x| (-0.5..0.25).contains(&x)));
+    }
+
+    #[test]
+    fn he_normal_scales_with_fan_in() {
+        let mut r = rng();
+        let wide = he_normal(&[20_000], 800, &mut r);
+        let narrow = he_normal(&[20_000], 2, &mut r);
+        assert!(wide.l2_norm() < narrow.l2_norm());
+    }
+
+    #[test]
+    fn glorot_uniform_within_limit() {
+        let mut r = rng();
+        let t = glorot_uniform(&[1_000], 10, 20, &mut r);
+        let limit = (6.0f32 / 30.0).sqrt();
+        assert!(t.data().iter().all(|&x| x.abs() <= limit));
+    }
+
+    #[test]
+    fn permutation_is_a_bijection() {
+        let mut r = rng();
+        let mut p = permutation(100, &mut r);
+        p.sort_unstable();
+        assert_eq!(p, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn seeded_fills_are_reproducible() {
+        let a = randn(&[64], 0.0, 1.0, &mut rng());
+        let b = randn(&[64], 0.0, 1.0, &mut rng());
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,161 @@
+//! Compact binary serialization for tensors and parameter sets.
+//!
+//! Checkpoints and the β-transfer machinery need to snapshot model
+//! parameters. The format is deliberately trivial:
+//!
+//! ```text
+//! magic  : b"EDT1"
+//! rank   : u32 LE
+//! dims   : rank × u64 LE
+//! data   : num_elements × f32 LE
+//! ```
+
+use crate::error::{Result, TensorError};
+use crate::tensor::Tensor;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+const MAGIC: &[u8; 4] = b"EDT1";
+
+/// Serializes one tensor into a byte buffer.
+pub fn encode_tensor(t: &Tensor, buf: &mut BytesMut) {
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(t.rank() as u32);
+    for &d in t.dims() {
+        buf.put_u64_le(d as u64);
+    }
+    for &v in t.data() {
+        buf.put_f32_le(v);
+    }
+}
+
+/// Deserializes one tensor, advancing `buf` past it.
+pub fn decode_tensor(buf: &mut Bytes) -> Result<Tensor> {
+    if buf.remaining() < 8 {
+        return Err(TensorError::Deserialize("truncated header".into()));
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(TensorError::Deserialize(format!(
+            "bad magic {magic:?}, expected {MAGIC:?}"
+        )));
+    }
+    let rank = buf.get_u32_le() as usize;
+    if rank > 8 {
+        return Err(TensorError::Deserialize(format!(
+            "implausible rank {rank}"
+        )));
+    }
+    if buf.remaining() < rank * 8 {
+        return Err(TensorError::Deserialize("truncated dims".into()));
+    }
+    let mut dims = Vec::with_capacity(rank);
+    for _ in 0..rank {
+        dims.push(buf.get_u64_le() as usize);
+    }
+    let n: usize = dims.iter().product();
+    if buf.remaining() < n * 4 {
+        return Err(TensorError::Deserialize(format!(
+            "truncated data: need {} bytes, have {}",
+            n * 4,
+            buf.remaining()
+        )));
+    }
+    let mut data = Vec::with_capacity(n);
+    for _ in 0..n {
+        data.push(buf.get_f32_le());
+    }
+    Tensor::from_vec(data, &dims)
+}
+
+/// Serializes a whole named parameter list (a model checkpoint).
+pub fn encode_params(params: &[(String, Tensor)]) -> Bytes {
+    let mut buf = BytesMut::new();
+    buf.put_u32_le(params.len() as u32);
+    for (name, t) in params {
+        let name_bytes = name.as_bytes();
+        buf.put_u32_le(name_bytes.len() as u32);
+        buf.put_slice(name_bytes);
+        encode_tensor(t, &mut buf);
+    }
+    buf.freeze()
+}
+
+/// Deserializes a parameter list written by [`encode_params`].
+pub fn decode_params(mut buf: Bytes) -> Result<Vec<(String, Tensor)>> {
+    if buf.remaining() < 4 {
+        return Err(TensorError::Deserialize("truncated param count".into()));
+    }
+    let count = buf.get_u32_le() as usize;
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        if buf.remaining() < 4 {
+            return Err(TensorError::Deserialize("truncated name length".into()));
+        }
+        let name_len = buf.get_u32_le() as usize;
+        if buf.remaining() < name_len {
+            return Err(TensorError::Deserialize("truncated name".into()));
+        }
+        let mut name_bytes = vec![0u8; name_len];
+        buf.copy_to_slice(&mut name_bytes);
+        let name = String::from_utf8(name_bytes)
+            .map_err(|e| TensorError::Deserialize(format!("name not utf-8: {e}")))?;
+        let t = decode_tensor(&mut buf)?;
+        out.push((name, t));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tensor_round_trip() {
+        let t = Tensor::from_vec(vec![1.5, -2.25, 3.125, 0.0, 5.0, -6.5], &[2, 3]).unwrap();
+        let mut buf = BytesMut::new();
+        encode_tensor(&t, &mut buf);
+        let mut bytes = buf.freeze();
+        let back = decode_tensor(&mut bytes).unwrap();
+        assert_eq!(back, t);
+        assert_eq!(bytes.remaining(), 0);
+    }
+
+    #[test]
+    fn scalar_round_trip() {
+        let t = Tensor::scalar(std::f32::consts::PI);
+        let mut buf = BytesMut::new();
+        encode_tensor(&t, &mut buf);
+        let back = decode_tensor(&mut buf.freeze()).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn params_round_trip() {
+        let params = vec![
+            ("layer0.weight".to_string(), Tensor::ones(&[4, 2])),
+            ("layer0.bias".to_string(), Tensor::zeros(&[2])),
+        ];
+        let bytes = encode_params(&params);
+        let back = decode_params(bytes).unwrap();
+        assert_eq!(back, params);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut buf = BytesMut::new();
+        buf.put_slice(b"NOPE");
+        buf.put_u32_le(0);
+        assert!(decode_tensor(&mut buf.freeze()).is_err());
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let t = Tensor::ones(&[100]);
+        let mut buf = BytesMut::new();
+        encode_tensor(&t, &mut buf);
+        let full = buf.freeze();
+        let mut cut = full.slice(0..full.len() - 10);
+        assert!(decode_tensor(&mut cut).is_err());
+    }
+}

@@ -1,0 +1,155 @@
+//! Shape arithmetic: element counts, strides, and flat-index conversion.
+
+use crate::error::{Result, TensorError};
+
+/// An owned tensor shape (row-major).
+///
+/// `Shape` is a thin wrapper over `Vec<usize>` that centralizes the index
+/// arithmetic every operation needs: element counts, row-major strides, and
+/// conversion between multi-dimensional and flat indices.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Shape {
+    dims: Vec<usize>,
+}
+
+impl Shape {
+    /// Creates a shape from a dimension slice. A zero-length slice is the
+    /// scalar shape.
+    pub fn new(dims: &[usize]) -> Self {
+        Shape {
+            dims: dims.to_vec(),
+        }
+    }
+
+    /// The dimension sizes.
+    #[inline]
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Number of dimensions (rank). Scalars have rank 0.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Total number of elements. The scalar shape has one element.
+    #[inline]
+    pub fn num_elements(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// Row-major strides, in elements.
+    ///
+    /// For shape `[a, b, c]` the strides are `[b*c, c, 1]`.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1usize; self.dims.len()];
+        for i in (0..self.dims.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.dims[i + 1];
+        }
+        strides
+    }
+
+    /// Converts a multi-dimensional index to a flat offset, validating bounds.
+    pub fn flat_index(&self, index: &[usize]) -> Result<usize> {
+        if index.len() != self.dims.len() {
+            return Err(TensorError::RankMismatch {
+                expected: self.dims.len(),
+                actual: index.len(),
+            });
+        }
+        let mut flat = 0usize;
+        let strides = self.strides();
+        for (i, (&idx, &dim)) in index.iter().zip(self.dims.iter()).enumerate() {
+            if idx >= dim {
+                return Err(TensorError::IndexOutOfBounds {
+                    index: index.to_vec(),
+                    shape: self.dims.clone(),
+                });
+            }
+            flat += idx * strides[i];
+        }
+        Ok(flat)
+    }
+
+    /// Converts a flat offset back into a multi-dimensional index.
+    pub fn unflatten_index(&self, mut flat: usize) -> Result<Vec<usize>> {
+        if flat >= self.num_elements() {
+            return Err(TensorError::IndexOutOfBounds {
+                index: vec![flat],
+                shape: self.dims.clone(),
+            });
+        }
+        let strides = self.strides();
+        let mut index = vec![0usize; self.dims.len()];
+        for (i, &stride) in strides.iter().enumerate() {
+            index[i] = flat / stride;
+            flat %= stride;
+        }
+        Ok(index)
+    }
+
+    /// True when the two shapes are compatible for elementwise ops (equal).
+    #[inline]
+    pub fn same_as(&self, other: &Shape) -> bool {
+        self.dims == other.dims
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape { dims }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn num_elements_and_rank() {
+        let s = Shape::new(&[2, 3, 4]);
+        assert_eq!(s.rank(), 3);
+        assert_eq!(s.num_elements(), 24);
+        let scalar = Shape::new(&[]);
+        assert_eq!(scalar.rank(), 0);
+        assert_eq!(scalar.num_elements(), 1);
+    }
+
+    #[test]
+    fn strides_row_major() {
+        let s = Shape::new(&[2, 3, 4]);
+        assert_eq!(s.strides(), vec![12, 4, 1]);
+        let v = Shape::new(&[5]);
+        assert_eq!(v.strides(), vec![1]);
+    }
+
+    #[test]
+    fn flat_index_round_trip() {
+        let s = Shape::new(&[3, 4, 5]);
+        for flat in 0..s.num_elements() {
+            let idx = s.unflatten_index(flat).unwrap();
+            assert_eq!(s.flat_index(&idx).unwrap(), flat);
+        }
+    }
+
+    #[test]
+    fn flat_index_bounds_checked() {
+        let s = Shape::new(&[2, 2]);
+        assert!(s.flat_index(&[2, 0]).is_err());
+        assert!(s.flat_index(&[0]).is_err());
+        assert!(s.unflatten_index(4).is_err());
+    }
+
+    #[test]
+    fn zero_sized_dimension() {
+        let s = Shape::new(&[0, 3]);
+        assert_eq!(s.num_elements(), 0);
+    }
+}

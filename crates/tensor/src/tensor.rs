@@ -1,0 +1,466 @@
+//! The core contiguous, row-major `f32` tensor type.
+
+use crate::error::{Result, TensorError};
+use crate::shape::Shape;
+
+/// A dense, contiguous, row-major `f32` n-dimensional array.
+///
+/// `Tensor` is deliberately simple: no views, no strides other than the
+/// canonical row-major layout. This keeps every operation cache-friendly and
+/// easy to reason about, which matters more than zero-copy slicing at the
+/// scale of the EDDE experiments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    shape: Shape,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    // ---------------------------------------------------------------- ctors
+
+    /// A tensor of zeros with the given shape.
+    pub fn zeros(dims: &[usize]) -> Self {
+        let shape = Shape::new(dims);
+        let n = shape.num_elements();
+        Tensor {
+            shape,
+            data: vec![0.0; n],
+        }
+    }
+
+    /// A tensor of ones with the given shape.
+    pub fn ones(dims: &[usize]) -> Self {
+        Tensor::full(dims, 1.0)
+    }
+
+    /// A tensor filled with `value`.
+    pub fn full(dims: &[usize], value: f32) -> Self {
+        let shape = Shape::new(dims);
+        let n = shape.num_elements();
+        Tensor {
+            shape,
+            data: vec![value; n],
+        }
+    }
+
+    /// Builds a tensor from an existing buffer, validating the element count.
+    pub fn from_vec(data: Vec<f32>, dims: &[usize]) -> Result<Self> {
+        let shape = Shape::new(dims);
+        if shape.num_elements() != data.len() {
+            return Err(TensorError::LengthMismatch {
+                expected: shape.num_elements(),
+                actual: data.len(),
+            });
+        }
+        Ok(Tensor { shape, data })
+    }
+
+    /// A rank-1 tensor from a slice.
+    pub fn from_slice(data: &[f32]) -> Self {
+        Tensor {
+            shape: Shape::new(&[data.len()]),
+            data: data.to_vec(),
+        }
+    }
+
+    /// The `n`×`n` identity matrix.
+    pub fn eye(n: usize) -> Self {
+        let mut t = Tensor::zeros(&[n, n]);
+        for i in 0..n {
+            t.data[i * n + i] = 1.0;
+        }
+        t
+    }
+
+    /// A rank-0 (scalar) tensor.
+    pub fn scalar(value: f32) -> Self {
+        Tensor {
+            shape: Shape::new(&[]),
+            data: vec![value],
+        }
+    }
+
+    // ------------------------------------------------------------ accessors
+
+    /// Dimension sizes.
+    #[inline]
+    pub fn dims(&self) -> &[usize] {
+        self.shape.dims()
+    }
+
+    /// The tensor's [`Shape`].
+    #[inline]
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Rank (number of dimensions).
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.shape.rank()
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the tensor holds no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The underlying buffer (row-major).
+    #[inline]
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable access to the underlying buffer (row-major).
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning its buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Reads the element at a multi-dimensional index.
+    pub fn at(&self, index: &[usize]) -> Result<f32> {
+        Ok(self.data[self.shape.flat_index(index)?])
+    }
+
+    /// Writes the element at a multi-dimensional index.
+    pub fn set(&mut self, index: &[usize], value: f32) -> Result<()> {
+        let flat = self.shape.flat_index(index)?;
+        self.data[flat] = value;
+        Ok(())
+    }
+
+    /// The value of a rank-0 or single-element tensor.
+    pub fn item(&self) -> Result<f32> {
+        if self.data.len() != 1 {
+            return Err(TensorError::LengthMismatch {
+                expected: 1,
+                actual: self.data.len(),
+            });
+        }
+        Ok(self.data[0])
+    }
+
+    // -------------------------------------------------------------- reshape
+
+    /// Returns a tensor with the same data and a new shape.
+    pub fn reshape(&self, dims: &[usize]) -> Result<Tensor> {
+        let new_shape = Shape::new(dims);
+        if new_shape.num_elements() != self.data.len() {
+            return Err(TensorError::ReshapeMismatch {
+                from: self.dims().to_vec(),
+                to: dims.to_vec(),
+            });
+        }
+        Ok(Tensor {
+            shape: new_shape,
+            data: self.data.clone(),
+        })
+    }
+
+    /// In-place reshape (no data movement).
+    pub fn reshape_in_place(&mut self, dims: &[usize]) -> Result<()> {
+        let new_shape = Shape::new(dims);
+        if new_shape.num_elements() != self.data.len() {
+            return Err(TensorError::ReshapeMismatch {
+                from: self.dims().to_vec(),
+                to: dims.to_vec(),
+            });
+        }
+        self.shape = new_shape;
+        Ok(())
+    }
+
+    /// Flattens to rank 1.
+    pub fn flatten(&self) -> Tensor {
+        Tensor {
+            shape: Shape::new(&[self.data.len()]),
+            data: self.data.clone(),
+        }
+    }
+
+    // ----------------------------------------------------------- rank-2 ops
+
+    /// Transposes a rank-2 tensor.
+    pub fn transpose2d(&self) -> Result<Tensor> {
+        if self.rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: self.rank(),
+            });
+        }
+        let (rows, cols) = (self.dims()[0], self.dims()[1]);
+        let mut out = vec![0.0f32; rows * cols];
+        // Blocked transpose keeps both read and write streams within cache
+        // lines for large matrices.
+        const BLOCK: usize = 32;
+        for rb in (0..rows).step_by(BLOCK) {
+            for cb in (0..cols).step_by(BLOCK) {
+                for r in rb..(rb + BLOCK).min(rows) {
+                    for c in cb..(cb + BLOCK).min(cols) {
+                        out[c * rows + r] = self.data[r * cols + c];
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(out, &[cols, rows])
+    }
+
+    /// Borrows row `r` of a rank-2 tensor.
+    pub fn row(&self, r: usize) -> Result<&[f32]> {
+        if self.rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: self.rank(),
+            });
+        }
+        let (rows, cols) = (self.dims()[0], self.dims()[1]);
+        if r >= rows {
+            return Err(TensorError::IndexOutOfBounds {
+                index: vec![r],
+                shape: self.dims().to_vec(),
+            });
+        }
+        Ok(&self.data[r * cols..(r + 1) * cols])
+    }
+
+    /// Mutably borrows row `r` of a rank-2 tensor.
+    pub fn row_mut(&mut self, r: usize) -> Result<&mut [f32]> {
+        if self.rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: self.rank(),
+            });
+        }
+        let (rows, cols) = (self.dims()[0], self.dims()[1]);
+        if r >= rows {
+            return Err(TensorError::IndexOutOfBounds {
+                index: vec![r],
+                shape: self.dims().to_vec(),
+            });
+        }
+        Ok(&mut self.data[r * cols..(r + 1) * cols])
+    }
+
+    /// Copies the rows of a rank-≥1 tensor selected by `indices` (with
+    /// repetition allowed) into a new tensor. "Row" means the sub-tensor at
+    /// axis 0, so this works for batches of images as well as matrices.
+    pub fn index_select0(&self, indices: &[usize]) -> Result<Tensor> {
+        if self.rank() == 0 {
+            return Err(TensorError::RankMismatch {
+                expected: 1,
+                actual: 0,
+            });
+        }
+        let n = self.dims()[0];
+        let row_len: usize = self.dims()[1..].iter().product();
+        let mut out = Vec::with_capacity(indices.len() * row_len);
+        for &i in indices {
+            if i >= n {
+                return Err(TensorError::IndexOutOfBounds {
+                    index: vec![i],
+                    shape: self.dims().to_vec(),
+                });
+            }
+            out.extend_from_slice(&self.data[i * row_len..(i + 1) * row_len]);
+        }
+        let mut dims = self.dims().to_vec();
+        dims[0] = indices.len();
+        Tensor::from_vec(out, &dims)
+    }
+
+    /// Concatenates tensors along axis 0. All trailing dimensions must agree.
+    pub fn concat0(tensors: &[&Tensor]) -> Result<Tensor> {
+        if tensors.is_empty() {
+            return Err(TensorError::Empty("concat0 of zero tensors"));
+        }
+        let tail = &tensors[0].dims()[1..];
+        let mut total0 = 0usize;
+        for t in tensors {
+            if t.rank() == 0 || &t.dims()[1..] != tail {
+                return Err(TensorError::ConcatMismatch {
+                    axis: 0,
+                    shapes: tensors.iter().map(|t| t.dims().to_vec()).collect(),
+                });
+            }
+            total0 += t.dims()[0];
+        }
+        let mut data = Vec::with_capacity(total0 * tail.iter().product::<usize>());
+        for t in tensors {
+            data.extend_from_slice(t.data());
+        }
+        let mut dims = vec![total0];
+        dims.extend_from_slice(tail);
+        Tensor::from_vec(data, &dims)
+    }
+
+    // ----------------------------------------------------------- utilities
+
+    /// Applies `f` to every element, returning a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_in_place(&mut self, f: impl Fn(f32) -> f32) {
+        for x in &mut self.data {
+            *x = f(*x);
+        }
+    }
+
+    /// Combines two same-shaped tensors elementwise.
+    pub fn zip_map(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Result<Tensor> {
+        if !self.shape.same_as(&other.shape) {
+            return Err(TensorError::ShapeMismatch {
+                left: self.dims().to_vec(),
+                right: other.dims().to_vec(),
+            });
+        }
+        Ok(Tensor {
+            shape: self.shape.clone(),
+            data: self
+                .data
+                .iter()
+                .zip(other.data.iter())
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        })
+    }
+
+    /// True when every element is finite (no NaN / infinity). Training loops
+    /// use this as a cheap divergence check.
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|x| x.is_finite())
+    }
+
+    /// Maximum absolute element, or 0 for an empty tensor.
+    pub fn max_abs(&self) -> f32 {
+        self.data.iter().fold(0.0f32, |m, &x| m.max(x.abs()))
+    }
+
+    /// The Euclidean (L2) norm of the flattened tensor.
+    pub fn l2_norm(&self) -> f32 {
+        self.data.iter().map(|&x| x * x).sum::<f32>().sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        assert_eq!(Tensor::zeros(&[2, 3]).data(), &[0.0; 6]);
+        assert_eq!(Tensor::ones(&[3]).data(), &[1.0; 3]);
+        assert_eq!(Tensor::full(&[2], 7.5).data(), &[7.5, 7.5]);
+        assert_eq!(Tensor::eye(2).data(), &[1.0, 0.0, 0.0, 1.0]);
+        assert_eq!(Tensor::scalar(3.0).item().unwrap(), 3.0);
+    }
+
+    #[test]
+    fn from_vec_validates_length() {
+        assert!(Tensor::from_vec(vec![1.0, 2.0], &[3]).is_err());
+        assert!(Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]).is_ok());
+    }
+
+    #[test]
+    fn at_and_set() {
+        let mut t = Tensor::zeros(&[2, 3]);
+        t.set(&[1, 2], 9.0).unwrap();
+        assert_eq!(t.at(&[1, 2]).unwrap(), 9.0);
+        assert_eq!(t.at(&[0, 0]).unwrap(), 0.0);
+        assert!(t.at(&[2, 0]).is_err());
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec((0..6).map(|x| x as f32).collect(), &[2, 3]).unwrap();
+        let r = t.reshape(&[3, 2]).unwrap();
+        assert_eq!(r.data(), t.data());
+        assert_eq!(r.dims(), &[3, 2]);
+        assert!(t.reshape(&[4, 2]).is_err());
+    }
+
+    #[test]
+    fn transpose2d_round_trip() {
+        let t = Tensor::from_vec((0..12).map(|x| x as f32).collect(), &[3, 4]).unwrap();
+        let tt = t.transpose2d().unwrap();
+        assert_eq!(tt.dims(), &[4, 3]);
+        assert_eq!(tt.at(&[2, 1]).unwrap(), t.at(&[1, 2]).unwrap());
+        assert_eq!(tt.transpose2d().unwrap(), t);
+    }
+
+    #[test]
+    fn rows() {
+        let t = Tensor::from_vec((0..6).map(|x| x as f32).collect(), &[2, 3]).unwrap();
+        assert_eq!(t.row(1).unwrap(), &[3.0, 4.0, 5.0]);
+        assert!(t.row(2).is_err());
+    }
+
+    #[test]
+    fn index_select0_gathers_rows() {
+        let t = Tensor::from_vec((0..6).map(|x| x as f32).collect(), &[3, 2]).unwrap();
+        let g = t.index_select0(&[2, 0, 2]).unwrap();
+        assert_eq!(g.dims(), &[3, 2]);
+        assert_eq!(g.data(), &[4.0, 5.0, 0.0, 1.0, 4.0, 5.0]);
+        assert!(t.index_select0(&[3]).is_err());
+    }
+
+    #[test]
+    fn index_select0_works_on_higher_rank() {
+        let t = Tensor::from_vec((0..12).map(|x| x as f32).collect(), &[3, 2, 2]).unwrap();
+        let g = t.index_select0(&[1]).unwrap();
+        assert_eq!(g.dims(), &[1, 2, 2]);
+        assert_eq!(g.data(), &[4.0, 5.0, 6.0, 7.0]);
+    }
+
+    #[test]
+    fn concat0_stacks() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[1, 2]).unwrap();
+        let b = Tensor::from_vec(vec![3.0, 4.0, 5.0, 6.0], &[2, 2]).unwrap();
+        let c = Tensor::concat0(&[&a, &b]).unwrap();
+        assert_eq!(c.dims(), &[3, 2]);
+        assert_eq!(c.data(), &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn concat0_rejects_mismatched_tails() {
+        let a = Tensor::zeros(&[1, 2]);
+        let b = Tensor::zeros(&[1, 3]);
+        assert!(Tensor::concat0(&[&a, &b]).is_err());
+    }
+
+    #[test]
+    fn map_and_zip_map() {
+        let a = Tensor::from_slice(&[1.0, -2.0]);
+        let b = Tensor::from_slice(&[10.0, 20.0]);
+        assert_eq!(a.map(|x| x.abs()).data(), &[1.0, 2.0]);
+        assert_eq!(a.zip_map(&b, |x, y| x + y).unwrap().data(), &[11.0, 18.0]);
+        let c = Tensor::from_slice(&[1.0]);
+        assert!(a.zip_map(&c, |x, _| x).is_err());
+    }
+
+    #[test]
+    fn finiteness_and_norms() {
+        let t = Tensor::from_slice(&[3.0, 4.0]);
+        assert!(t.all_finite());
+        assert_eq!(t.l2_norm(), 5.0);
+        assert_eq!(t.max_abs(), 4.0);
+        let bad = Tensor::from_slice(&[f32::NAN]);
+        assert!(!bad.all_finite());
+    }
+}

@@ -1,0 +1,178 @@
+//! Property-based tests for the tensor substrate's core invariants.
+
+use edde_tensor::ops::{
+    add, argmax_rows, matmul, matmul_a_bt, matmul_at_b, mul, scale, softmax_rows, sub, sum_all,
+    sum_axis0,
+};
+use edde_tensor::serialize::{decode_params, decode_tensor, encode_params, encode_tensor};
+use edde_tensor::Tensor;
+use proptest::prelude::*;
+
+/// Strategy: a tensor with the given shape and bounded finite values.
+fn tensor_with(dims: Vec<usize>) -> impl Strategy<Value = Tensor> {
+    let n: usize = dims.iter().product();
+    (prop::collection::vec(-10.0f32..10.0, n), Just(dims))
+        .prop_map(|(data, dims)| Tensor::from_vec(data, &dims).unwrap())
+}
+
+/// Strategy: a small matrix shape.
+fn small_dims2() -> impl Strategy<Value = Vec<usize>> {
+    (1usize..8, 1usize..8).prop_map(|(a, b)| vec![a, b])
+}
+
+/// Strategy: two equal-shaped tensors.
+fn tensor_pair() -> impl Strategy<Value = (Tensor, Tensor)> {
+    small_dims2().prop_flat_map(|dims| {
+        let n: usize = dims.iter().product();
+        (
+            prop::collection::vec(-5.0f32..5.0, n),
+            prop::collection::vec(-5.0f32..5.0, n),
+            Just(dims),
+        )
+            .prop_map(|(a, b, dims)| {
+                (
+                    Tensor::from_vec(a, &dims).unwrap(),
+                    Tensor::from_vec(b, &dims).unwrap(),
+                )
+            })
+    })
+}
+
+/// Strategy: an (m,k) x (m,n) matrix pair for the transposed-matmul laws.
+fn matmul_pair() -> impl Strategy<Value = (Tensor, Tensor)> {
+    (1usize..6, 1usize..6, 1usize..6).prop_flat_map(|(m, k, n)| {
+        (
+            prop::collection::vec(-2.0f32..2.0, m * k),
+            prop::collection::vec(-2.0f32..2.0, m * n),
+            Just((m, k, n)),
+        )
+            .prop_map(|(a, b, (m, k, n))| {
+                (
+                    Tensor::from_vec(a, &[m, k]).unwrap(),
+                    Tensor::from_vec(b, &[m, n]).unwrap(),
+                )
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn add_is_commutative((ta, tb) in tensor_pair()) {
+        prop_assert_eq!(add(&ta, &tb).unwrap(), add(&tb, &ta).unwrap());
+    }
+
+    #[test]
+    fn sub_then_add_round_trips(t in small_dims2().prop_flat_map(tensor_with)) {
+        let zeros = sub(&t, &t).unwrap();
+        prop_assert!(zeros.data().iter().all(|&v| v == 0.0));
+        let back = add(&zeros, &t).unwrap();
+        prop_assert_eq!(back, t);
+    }
+
+    #[test]
+    fn scale_distributes_over_add(t in small_dims2().prop_flat_map(tensor_with), k in -3.0f32..3.0) {
+        let lhs = scale(&add(&t, &t).unwrap(), k);
+        let rhs = add(&scale(&t, k), &scale(&t, k)).unwrap();
+        for (a, b) in lhs.data().iter().zip(rhs.data().iter()) {
+            prop_assert!((a - b).abs() <= 1e-4 * (1.0 + a.abs()));
+        }
+    }
+
+    #[test]
+    fn transpose_is_an_involution(t in small_dims2().prop_flat_map(tensor_with)) {
+        prop_assert_eq!(t.transpose2d().unwrap().transpose2d().unwrap(), t);
+    }
+
+    #[test]
+    fn matmul_identity_is_neutral(t in small_dims2().prop_flat_map(tensor_with)) {
+        let n = t.dims()[1];
+        let prod = matmul(&t, &Tensor::eye(n)).unwrap();
+        for (a, b) in prod.data().iter().zip(t.data().iter()) {
+            prop_assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn transposed_matmuls_agree_with_explicit_transpose((a, b) in matmul_pair()) {
+        let (k, n) = (a.dims()[1], b.dims()[1]);
+        let fast = matmul_at_b(&a, &b).unwrap();
+        let slow = matmul(&a.transpose2d().unwrap(), &b).unwrap();
+        for (x, y) in fast.data().iter().zip(slow.data().iter()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+        // A·Bᵀ law: matmul_a_bt(a [m,k], y [n,k]) == matmul(a, yᵀ)
+        let c = Tensor::from_vec((0..k * n).map(|v| 0.1 * v as f32).collect(), &[k, n]).unwrap();
+        let y = c.transpose2d().unwrap(); // [n, k]
+        let fast2 = matmul_a_bt(&a, &y).unwrap();
+        let slow2 = matmul(&a, &c).unwrap();
+        for (x, z) in fast2.data().iter().zip(slow2.data().iter()) {
+            prop_assert!((x - z).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions(t in small_dims2().prop_flat_map(tensor_with)) {
+        let p = softmax_rows(&t).unwrap();
+        prop_assert!(p.all_finite());
+        for i in 0..t.dims()[0] {
+            let row = p.row(i).unwrap();
+            let sum: f32 = row.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+            prop_assert!(row.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn softmax_preserves_argmax(t in small_dims2().prop_flat_map(tensor_with)) {
+        let p = softmax_rows(&t).unwrap();
+        prop_assert_eq!(argmax_rows(&t).unwrap(), argmax_rows(&p).unwrap());
+    }
+
+    #[test]
+    fn sum_axis0_matches_total(t in small_dims2().prop_flat_map(tensor_with)) {
+        let cols = sum_axis0(&t).unwrap();
+        let total: f32 = sum_all(&cols);
+        prop_assert!((total - sum_all(&t)).abs() < 1e-2 * (1.0 + total.abs()));
+    }
+
+    #[test]
+    fn elementwise_mul_with_ones_is_identity(t in small_dims2().prop_flat_map(tensor_with)) {
+        let ones = Tensor::ones(t.dims());
+        prop_assert_eq!(mul(&t, &ones).unwrap(), t);
+    }
+
+    #[test]
+    fn index_select_concat_round_trip(t in small_dims2().prop_flat_map(tensor_with)) {
+        let rows = t.dims()[0];
+        let first: Vec<usize> = (0..rows / 2).collect();
+        let second: Vec<usize> = (rows / 2..rows).collect();
+        let a = t.index_select0(&first).unwrap();
+        let b = t.index_select0(&second).unwrap();
+        prop_assert_eq!(Tensor::concat0(&[&a, &b]).unwrap(), t);
+    }
+
+    #[test]
+    fn tensor_serialization_round_trips(t in small_dims2().prop_flat_map(tensor_with)) {
+        let mut buf = bytes::BytesMut::new();
+        encode_tensor(&t, &mut buf);
+        let back = decode_tensor(&mut buf.freeze()).unwrap();
+        prop_assert_eq!(back, t);
+    }
+
+    #[test]
+    fn params_serialization_round_trips(t in small_dims2().prop_flat_map(tensor_with), name in "[a-z]{1,12}") {
+        let params = vec![(name, t)];
+        let back = decode_params(encode_params(&params)).unwrap();
+        prop_assert_eq!(back, params);
+    }
+
+    #[test]
+    fn flat_index_round_trips(dims in prop::collection::vec(1usize..5, 1..4), seed in 0usize..100) {
+        let shape = edde_tensor::Shape::new(&dims);
+        let flat = seed % shape.num_elements();
+        let idx = shape.unflatten_index(flat).unwrap();
+        prop_assert_eq!(shape.flat_index(&idx).unwrap(), flat);
+    }
+}

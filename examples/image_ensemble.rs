@@ -1,0 +1,74 @@
+//! The CV scenario of the paper in miniature: every ensemble method on one
+//! synthetic image dataset with one shared ResNet architecture, at an equal
+//! epoch budget — a small-scale Table II.
+//!
+//! ```sh
+//! cargo run --release --example image_ensemble
+//! ```
+
+use edde::prelude::*;
+use std::sync::Arc;
+
+fn main() {
+    let data = SynthImages::generate(
+        &SynthImagesConfig {
+            classes: 10,
+            size: 12,
+            channels: 3,
+            train_per_class: 25,
+            test_per_class: 12,
+            noise: 0.4,
+            jitter: 2,
+            families: Some(5),
+        },
+        11,
+    );
+    let factory: ModelFactory = Arc::new(|rng| {
+        Ok(resnet(
+            &ResNetConfig {
+                depth: 8,
+                width: 8,
+                in_channels: 3,
+                num_classes: 10,
+            },
+            rng,
+        )?)
+    });
+    let env = ExperimentEnv::new(
+        data,
+        factory,
+        Trainer {
+            batch_size: 32,
+            momentum: 0.9,
+            weight_decay: 1e-4,
+            augment: None,
+        },
+        0.1,
+        11,
+    );
+
+    // Equal budget per method: 3 members x 10 epochs (EDDE: 10 + 2x10).
+    let methods: Vec<Box<dyn EnsembleMethod>> = vec![
+        Box::new(SingleModel::new(30)),
+        Box::new(Bans::new(3, 10)),
+        Box::new(Bagging::new(3, 10)),
+        Box::new(AdaBoostM1::new(3, 10)),
+        Box::new(AdaBoostNc::new(3, 10)),
+        Box::new(Snapshot::new(3, 10)),
+        Box::new(Edde::new(3, 10, 10, 0.1, 0.7)),
+    ];
+
+    let mut rows = Vec::new();
+    for method in &methods {
+        println!("training {} ...", method.name());
+        let mut run = method.run(&env).expect("method run");
+        rows.push(summarize(method.name(), &mut run, &env.data.test).expect("summary"));
+    }
+    println!("\n{}", summary_table(&rows));
+
+    let best = rows
+        .iter()
+        .max_by(|a, b| a.ensemble_accuracy.partial_cmp(&b.ensemble_accuracy).unwrap())
+        .expect("non-empty");
+    println!("best method at this budget: {}", best.name);
+}

@@ -1,0 +1,21 @@
+#!/bin/bash
+cd /root/repo
+run() {
+  echo "=== $1 started $(date +%T) ===" >> results/progress.log
+  shift_name=$1; shift
+  ./target/release/$shift_name "$@" > results/$shift_name.txt 2> results/$shift_name.log
+  echo "=== $shift_name done $(date +%T) ===" >> results/progress.log
+}
+run table2_cv table2_cv --resnet-only
+run table4_diversity table4_diversity
+run table5_gamma table5_gamma
+run table6_ablation table6_ablation
+run fig1_bias_variance fig1_bias_variance
+run fig8_similarity fig8_similarity
+run fig5_beta_sweep fig5_beta_sweep
+run table3_nlp table3_nlp
+run fig7_accuracy_vs_epochs fig7_accuracy_vs_epochs --resnet-only
+mv results/table2_cv.txt results/table2_cv_resnet.txt 2>/dev/null
+mv results/table2_cv.log results/table2_cv_resnet.log 2>/dev/null
+run table2_cv table2_cv --densenet-only
+echo ALL_DONE >> results/progress.log

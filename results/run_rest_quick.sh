@@ -1,0 +1,19 @@
+#!/bin/bash
+cd /root/repo
+run() {
+  name=$1; shift
+  echo "=== $name started $(date +%T) ===" >> results/progress.log
+  ./target/release/$name "$@" > results/$name.txt 2> results/$name.log
+  echo "=== $name done $(date +%T) ===" >> results/progress.log
+}
+run fig5_beta_sweep
+run table3_nlp
+run fig8_similarity --quick
+run fig1_bias_variance --quick
+run fig7_accuracy_vs_epochs --quick --resnet-only
+run table6_ablation --quick
+mv results/table2_cv.txt results/table2_cv_resnet.txt 2>/dev/null
+mv results/table2_cv.log results/table2_cv_resnet.log 2>/dev/null
+run table2_cv --quick --densenet-only
+mv results/table2_cv.txt results/table2_cv_densenet_quick.txt 2>/dev/null
+echo REST_DONE >> results/progress.log

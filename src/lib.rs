@@ -1,0 +1,78 @@
+//! # edde
+//!
+//! Facade crate for the EDDE reproduction — *Efficient Diversity-Driven
+//! Ensemble for Deep Neural Networks* (Zhang, Jiang, Shao, Cui; ICDE 2020)
+//! rebuilt from scratch in Rust.
+//!
+//! The workspace is split into four layers, re-exported here:
+//!
+//! * [`tensor`] (`edde-tensor`) — dense `f32` tensors, parallel matmul,
+//!   im2col convolution;
+//! * [`nn`] (`edde-nn`) — layers, backprop, SGD, LR schedules, and the
+//!   paper's architectures (ResNet, DenseNet, Text-CNN);
+//! * [`data`] (`edde-data`) — datasets, k-fold splits, augmentation, and
+//!   synthetic CIFAR/IMDB stand-ins;
+//! * [`core`] (`edde-core`) — EDDE itself (Algorithm 1) plus the Single
+//!   Model, Bagging, AdaBoost.M1, AdaBoost.NC, Snapshot, and BANs
+//!   baselines, with the diversity measure (Eq. 2/3/7), β-knowledge
+//!   transfer, and bias/variance analysis.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use edde::prelude::*;
+//! use std::sync::Arc;
+//!
+//! // A small synthetic image task standing in for CIFAR.
+//! let data = SynthImages::generate(&SynthImagesConfig::tiny(4), 42);
+//!
+//! // One architecture shared by every method (the paper's protocol).
+//! let factory: ModelFactory = Arc::new(|rng| {
+//!     Ok(resnet(&ResNetConfig { depth: 8, width: 4, in_channels: 3, num_classes: 4 }, rng)?)
+//! });
+//! let env = ExperimentEnv::new(
+//!     data,
+//!     factory,
+//!     Trainer { batch_size: 32, ..Trainer::default() },
+//!     0.1,
+//!     7,
+//! );
+//!
+//! // Train a 2-member EDDE ensemble (tiny budget for the doc test).
+//! let result = Edde::new(2, 2, 1, 0.1, 0.7).run(&env).unwrap();
+//! assert_eq!(result.model.len(), 2);
+//! ```
+
+pub use edde_core as core;
+pub use edde_data as data;
+pub use edde_nn as nn;
+pub use edde_tensor as tensor;
+
+/// One-stop imports for examples and downstream users.
+pub mod prelude {
+    pub use edde_core::bias_variance::{bias_variance, BiasVariance};
+    pub use edde_core::diversity::{ensemble_diversity, model_diversity, similarity_matrix};
+    pub use edde_core::evaluate::{summarize, MethodSummary};
+    pub use edde_core::methods::{
+        AdaBoostM1, AdaBoostNc, Bagging, Bans, Edde, EnsembleMethod, Ncl, RunResult, SingleModel,
+        Snapshot, TracePoint, TransferMode,
+    };
+    pub use edde_core::report::{matrix_table, pct, summary_table, Table};
+    pub use edde_core::transfer::{
+        beta_probe, select_beta, transfer_partial, BetaProbeConfig, BetaProbePoint,
+    };
+    pub use edde_core::{
+        EnsembleMember, EnsembleModel, ExperimentEnv, LossSpec, ModelFactory, Trainer,
+    };
+    pub use edde_data::synth::{
+        gaussian_blobs, GaussianBlobsConfig, SynthImages, SynthImagesConfig, SynthText,
+        SynthTextConfig,
+    };
+    pub use edde_data::{Batcher, Dataset, KFold, TrainTest};
+    pub use edde_nn::models::{
+        densenet, mlp, resnet, textcnn, DenseNetConfig, ResNetConfig, TextCnnConfig,
+    };
+    pub use edde_nn::optim::{LrSchedule, Sgd};
+    pub use edde_nn::{Mode, Network};
+    pub use edde_tensor::Tensor;
+}

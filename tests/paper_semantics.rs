@@ -1,0 +1,208 @@
+//! Integration tests pinning the *paper's* semantics: the equations of
+//! §III–IV evaluated against hand-computed cases and cross-checked between
+//! modules.
+
+use edde::core::diversity::{ensemble_diversity, pairwise_diversity, pairwise_similarity};
+use edde::core::transfer::transfer_partial;
+use edde::nn::loss::{CrossEntropy, DiversityDriven};
+use edde::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Eq. 2 with hand-computed values: Div = √2/2 · mean ‖p − q‖₂.
+#[test]
+fn eq2_diversity_hand_computed() {
+    let p = Tensor::from_vec(vec![1.0, 0.0, 0.5, 0.5], &[2, 2]).unwrap();
+    let q = Tensor::from_vec(vec![0.0, 1.0, 0.5, 0.5], &[2, 2]).unwrap();
+    // sample 1: ‖(1,0)−(0,1)‖ = √2, sample 2: 0 → mean √2/2 → Div = 0.5
+    let div = pairwise_diversity(&p, &q).unwrap();
+    assert!((div - 0.5).abs() < 1e-6);
+    // Eq. 3
+    assert!((pairwise_similarity(&p, &q).unwrap() - 0.5).abs() < 1e-6);
+}
+
+/// Eq. 4–6: Div and Sim stay in [0, 1] for any pair of probability rows.
+#[test]
+fn eq4_to_6_bounds_on_probability_vectors() {
+    let mut rng = StdRng::seed_from_u64(0);
+    for _ in 0..50 {
+        let a = edde::tensor::ops::softmax_rows(&edde::tensor::rng::rand_uniform(
+            &[8, 5],
+            -4.0,
+            4.0,
+            &mut rng,
+        ))
+        .unwrap();
+        let b = edde::tensor::ops::softmax_rows(&edde::tensor::rng::rand_uniform(
+            &[8, 5],
+            -4.0,
+            4.0,
+            &mut rng,
+        ))
+        .unwrap();
+        let d = pairwise_diversity(&a, &b).unwrap();
+        assert!((0.0..=1.0).contains(&d), "Div out of range: {d}");
+    }
+}
+
+/// Eq. 7 with three members, hand-computed.
+#[test]
+fn eq7_ensemble_diversity_hand_computed() {
+    let one_hot = |c: usize| {
+        let mut v = vec![0.0f32; 3];
+        v[c] = 1.0;
+        Tensor::from_vec(v, &[1, 3]).unwrap()
+    };
+    let members = vec![one_hot(0), one_hot(1), one_hot(2)];
+    // every pair is at max distance -> Div_H = 1
+    let d = ensemble_diversity(&members).unwrap();
+    assert!((d - 1.0).abs() < 1e-6);
+}
+
+/// Eq. 10 at γ = 0 coincides with the categorical cross-entropy the
+/// baselines use — the "EDDE (normal loss)" ablation is exactly CE.
+#[test]
+fn eq10_reduces_to_ce_at_gamma_zero() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let logits = edde::tensor::rng::rand_uniform(&[6, 4], -2.0, 2.0, &mut rng);
+    let labels = [0usize, 1, 2, 3, 0, 1];
+    let weights = [0.5f32, 1.5, 1.0, 2.0, 0.25, 0.75];
+    let q = edde::tensor::ops::softmax_rows(&edde::tensor::rng::rand_uniform(
+        &[6, 4],
+        -1.0,
+        1.0,
+        &mut rng,
+    ))
+    .unwrap();
+    let ce = CrossEntropy::new()
+        .compute(&logits, &labels, Some(&weights))
+        .unwrap();
+    let dd = DiversityDriven::new(0.0)
+        .compute(&logits, &labels, Some(&weights), &q)
+        .unwrap();
+    assert!((ce.loss - dd.loss).abs() < 1e-6);
+    for (a, b) in ce.grad_logits.data().iter().zip(dd.grad_logits.data().iter()) {
+        assert!((a - b).abs() < 1e-6);
+    }
+}
+
+/// Eq. 10's diversity term is a *reward*: moving the prediction away from
+/// the ensemble target lowers the loss, holding CE roughly constant.
+#[test]
+fn eq10_rewards_disagreement() {
+    let labels = [0usize];
+    // two logits with identical CE on class 0 (same p_y) but different
+    // distances to the ensemble target
+    let logits = Tensor::from_vec(vec![2.0, 1.0, 1.0], &[1, 3]).unwrap();
+    let q_near = edde::tensor::ops::softmax_rows(&logits).unwrap();
+    let q_far = Tensor::from_vec(vec![0.0, 1.0, 0.0], &[1, 3]).unwrap();
+    let dd = DiversityDriven::new(0.5);
+    let near = dd.compute(&logits, &labels, None, &q_near).unwrap();
+    let far = dd.compute(&logits, &labels, None, &q_far).unwrap();
+    assert!(far.loss < near.loss);
+}
+
+/// §IV-B: β-prefix transfer preserves teacher behaviour monotonically — at
+/// β = 1 the student *is* the teacher, and the functional distance to the
+/// teacher grows as β shrinks.
+#[test]
+fn beta_transfer_distance_is_monotone() {
+    let mut rng = StdRng::seed_from_u64(2);
+    let cfg = ResNetConfig {
+        depth: 8,
+        width: 4,
+        in_channels: 3,
+        num_classes: 5,
+    };
+    let mut teacher = resnet(&cfg, &mut rng).unwrap();
+    let x = edde::tensor::rng::rand_uniform(&[4, 3, 8, 8], -1.0, 1.0, &mut rng);
+    let teacher_out = teacher.predict_proba(&x).unwrap();
+    let mut last_dist = -1.0f32;
+    for beta in [1.0f32, 0.6, 0.2] {
+        let mut rng_s = StdRng::seed_from_u64(3); // same student init each time
+        let mut student = resnet(&cfg, &mut rng_s).unwrap();
+        transfer_partial(&mut teacher, &mut student, beta).unwrap();
+        let out = student.predict_proba(&x).unwrap();
+        let dist: f32 = out
+            .data()
+            .iter()
+            .zip(teacher_out.data().iter())
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        assert!(
+            dist >= last_dist - 1e-6,
+            "distance should grow as beta shrinks: {dist} after {last_dist}"
+        );
+        last_dist = dist;
+        if beta == 1.0 {
+            assert!(dist < 1e-5, "beta=1 must replicate the teacher, dist={dist}");
+        }
+    }
+}
+
+/// Algorithm 1's weight update (Eq. 14) as implemented by the EDDE method:
+/// after a round, weights are positive and average to one, and the
+/// misclassified-sample weights are the large ones.
+#[test]
+fn eq14_weight_shape_via_public_behaviour() {
+    // Verified indirectly: EDDE with boosting trains and its later members
+    // focus on hard samples. Here we check the invariant the trainer
+    // requires — weighted and unweighted training both succeed and produce
+    // valid ensembles (the weight vector internals are private by design).
+    // Weight updates only fire on *misclassified* training samples
+    // (Eq. 14), so the task must be hard enough that member 2 leaves some
+    // train errors — hence the large spread.
+    let data = gaussian_blobs(
+        &GaussianBlobsConfig {
+            classes: 3,
+            dim: 6,
+            train_per_class: 25,
+            test_per_class: 10,
+            spread: 1.8,
+        },
+        9,
+    );
+    let factory: ModelFactory =
+        std::sync::Arc::new(|r| Ok(mlp(&[6, 16, 3], 0.0, r)));
+    let env = ExperimentEnv::new(
+        data,
+        factory,
+        Trainer {
+            batch_size: 16,
+            momentum: 0.9,
+            weight_decay: 0.0,
+            augment: None,
+        },
+        0.1,
+        9,
+    );
+    let boosted = Edde::new(3, 5, 3, 0.1, 0.7).run(&env).unwrap();
+    let mut unboosted_cfg = Edde::new(3, 5, 3, 0.1, 0.7);
+    unboosted_cfg.boosting = false;
+    let unboosted = unboosted_cfg.run(&env).unwrap();
+    assert_eq!(boosted.model.len(), 3);
+    assert_eq!(unboosted.model.len(), 3);
+    // boosting changes the optimization path => different member functions
+    let mut bm = boosted.model.clone();
+    let mut um = unboosted.model.clone();
+    let pb = bm.soft_targets(env.data.test.features()).unwrap();
+    let pu = um.soft_targets(env.data.test.features()).unwrap();
+    assert_ne!(pb.data(), pu.data());
+}
+
+/// Eq. 16: the ensemble soft target is the α-weighted convex combination of
+/// member soft targets.
+#[test]
+fn eq16_weighted_soft_vote_is_convex() {
+    let mut rng = StdRng::seed_from_u64(4);
+    let mut model = EnsembleModel::new();
+    model.push(mlp(&[3, 6, 2], 0.0, &mut rng), 0.3, "a");
+    model.push(mlp(&[3, 6, 2], 0.0, &mut rng), 1.7, "b");
+    let x = edde::tensor::rng::rand_uniform(&[5, 3], -1.0, 1.0, &mut rng);
+    let mix = model.soft_targets(&x).unwrap();
+    let members = model.member_soft_targets(&x).unwrap();
+    for i in 0..mix.len() {
+        let expect = (0.3 * members[0].data()[i] + 1.7 * members[1].data()[i]) / 2.0;
+        assert!((mix.data()[i] - expect).abs() < 1e-5);
+    }
+}
