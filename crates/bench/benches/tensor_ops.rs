@@ -48,8 +48,14 @@ fn bench_conv(c: &mut Criterion) {
     let grad = rand_uniform(out.dims(), -1.0, 1.0, &mut rng);
     group.bench_function("backward_b32_c12_12x12", |bench| {
         bench.iter(|| {
-            conv2d_backward(black_box(&input), black_box(&weight), black_box(&grad), 1, 1)
-                .unwrap()
+            conv2d_backward(
+                black_box(&input),
+                black_box(&weight),
+                black_box(&grad),
+                1,
+                1,
+            )
+            .unwrap()
         })
     });
     group.finish();

@@ -93,8 +93,8 @@ fn bench_loss_overhead(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(1);
     let logits = rand_uniform(&[64, 20], -2.0, 2.0, &mut rng);
     let labels: Vec<usize> = (0..64).map(|_| rng.random_range(0..20)).collect();
-    let ensemble = edde_tensor::ops::softmax_rows(&rand_uniform(&[64, 20], -1.0, 1.0, &mut rng))
-        .unwrap();
+    let ensemble =
+        edde_tensor::ops::softmax_rows(&rand_uniform(&[64, 20], -1.0, 1.0, &mut rng)).unwrap();
     let mut group = c.benchmark_group("loss");
     group.bench_function("cross_entropy_64x20", |bench| {
         bench.iter(|| {

@@ -35,7 +35,12 @@ fn main() {
         )
         .expect("beta probe");
         println!("--- {} ---", arch.name());
-        let mut table = Table::new(&["beta", "acc on fold n-1 (seen)", "acc on fold n (unseen)", "gap"]);
+        let mut table = Table::new(&[
+            "beta",
+            "acc on fold n-1 (seen)",
+            "acc on fold n (unseen)",
+            "gap",
+        ]);
         for p in &points {
             table.add_row(&[
                 format!("{:.1}", p.beta),

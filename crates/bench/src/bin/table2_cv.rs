@@ -3,7 +3,7 @@
 //! epoch budget per group.
 
 use edde_bench::harness::{cv_methods, run_lineup};
-use edde_bench::workloads::{cifar10_env, cifar100_env, CvArch, Scale};
+use edde_bench::workloads::{cifar100_env, cifar10_env, CvArch, Scale};
 use edde_core::report::summary_table;
 
 fn main() {

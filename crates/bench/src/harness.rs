@@ -24,7 +24,13 @@ pub fn cv_methods(scale: Scale) -> Vec<Box<dyn EnsembleMethod>> {
         Box::new(AdaBoostM1::new(members, cycle)),
         Box::new(AdaBoostNc::new(members, cycle)),
         Box::new(Snapshot::new(members, cycle)),
-        Box::new(Edde::new(edde_members, cycle, edde_later, CV_GAMMA, CV_BETA)),
+        Box::new(Edde::new(
+            edde_members,
+            cycle,
+            edde_later,
+            CV_GAMMA,
+            CV_BETA,
+        )),
     ]
 }
 

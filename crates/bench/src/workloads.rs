@@ -180,12 +180,11 @@ fn image_env(cfg: SynthImagesConfig, arch: CvArch, seed: u64) -> ExperimentEnv {
         factory,
         Trainer {
             batch_size: 32,
-            momentum: 0.9,
-            weight_decay: 1e-4,
             augment: Some(AugmentConfig {
                 pad: 1,
                 flip_prob: 0.5,
             }),
+            ..Trainer::default()
         },
         base_lr,
         seed,
@@ -224,9 +223,7 @@ fn text_env(cfg: SynthTextConfig, batch_size: usize, seed: u64) -> ExperimentEnv
         factory,
         Trainer {
             batch_size,
-            momentum: 0.9,
-            weight_decay: 1e-4,
-            augment: None,
+            ..Trainer::default()
         },
         0.1, // paper: initial lr 0.1 for Text-CNN
         seed,
@@ -250,7 +247,10 @@ mod tests {
     #[allow(clippy::assertions_on_constants)] // deliberately pins compile-time budget ratios
     fn budget_ratios_match_the_paper() {
         // equal CV totals, EDDE later members at 0.75x the cycle
-        assert_eq!(CV_MEMBERS * CV_CYCLE, CV_CYCLE + (CV_EDDE_MEMBERS - 1) * CV_EDDE_LATER);
+        assert_eq!(
+            CV_MEMBERS * CV_CYCLE,
+            CV_CYCLE + (CV_EDDE_MEMBERS - 1) * CV_EDDE_LATER
+        );
         assert_eq!(CV_EDDE_LATER * 4, CV_CYCLE * 3);
         // NLP: EDDE consumes well under the baselines' budget
         assert!(NLP_CYCLE + (NLP_EDDE_MEMBERS - 1) * NLP_EDDE_LATER < NLP_MEMBERS * NLP_CYCLE);

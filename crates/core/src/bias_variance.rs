@@ -87,8 +87,7 @@ mod tests {
     use rand::SeedableRng;
 
     fn toy_data() -> Dataset {
-        let features =
-            Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0], &[3, 2]).unwrap();
+        let features = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0], &[3, 2]).unwrap();
         Dataset::new(features, vec![0, 1, 0], 2).unwrap()
     }
 

@@ -22,6 +22,9 @@ pub enum EnsembleError {
     DataMismatch(String),
     /// Training diverged (non-finite loss) and could not be recovered.
     Diverged(String),
+    /// Persisting or restoring run state failed (store I/O, corrupt
+    /// manifest, or a resume attempted against a mismatched configuration).
+    Checkpoint(String),
 }
 
 impl fmt::Display for EnsembleError {
@@ -33,6 +36,7 @@ impl fmt::Display for EnsembleError {
             EnsembleError::EmptyEnsemble => write!(f, "ensemble has no members"),
             EnsembleError::DataMismatch(msg) => write!(f, "data mismatch: {msg}"),
             EnsembleError::Diverged(msg) => write!(f, "training diverged: {msg}"),
+            EnsembleError::Checkpoint(msg) => write!(f, "run state error: {msg}"),
         }
     }
 }

@@ -28,7 +28,11 @@ pub struct MethodSummary {
 }
 
 /// Builds a summary row for a completed run.
-pub fn summarize(name: impl Into<String>, run: &mut RunResult, test: &Dataset) -> Result<MethodSummary> {
+pub fn summarize(
+    name: impl Into<String>,
+    run: &mut RunResult,
+    test: &Dataset,
+) -> Result<MethodSummary> {
     let ensemble_accuracy = run.model.accuracy(test)?;
     let average_accuracy = run.model.average_member_accuracy(test)?;
     let diversity = if run.model.len() >= 2 {
@@ -83,9 +87,8 @@ mod tests {
             factory,
             Trainer {
                 batch_size: 16,
-                momentum: 0.9,
                 weight_decay: 0.0,
-                augment: None,
+                ..Trainer::default()
             },
             0.1,
             67,

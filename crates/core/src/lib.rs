@@ -44,7 +44,9 @@ pub mod env;
 pub mod error;
 pub mod evaluate;
 pub mod methods;
+pub mod recovery;
 pub mod report;
+pub mod runstate;
 pub mod trainer;
 pub mod transfer;
 
@@ -55,4 +57,6 @@ pub use methods::{
     AdaBoostM1, AdaBoostNc, Bagging, Bans, Edde, EnsembleMethod, Ncl, RunResult, SingleModel,
     Snapshot, TracePoint,
 };
+pub use recovery::{FaultPlan, FaultyStore, RecoveryPolicy};
+pub use runstate::{MemberRecord, RunManifest, RunSession};
 pub use trainer::{LossSpec, Trainer};

@@ -3,12 +3,16 @@
 //! "sub-sampled dataset" protocol the paper attributes to the boosting
 //! baselines.
 
-use super::{clamped_half_log_odds, record_trace, EnsembleMethod, RunResult, ALPHA_MIN};
+use super::{
+    clamped_half_log_odds, record_trace, EnsembleMethod, RunResult, TracePoint, ALPHA_MIN,
+};
 use crate::ensemble::EnsembleModel;
 use crate::env::ExperimentEnv;
 use crate::error::{EnsembleError, Result};
+use crate::runstate::{self, MemberRecord, RngPlan, RunSession};
 use crate::trainer::LossSpec;
 use edde_data::sampler::{normalize_weights, weighted_indices};
+use edde_nn::checkpoint::CheckpointStore;
 use edde_nn::metrics::correctness;
 use edde_nn::optim::LrSchedule;
 
@@ -33,18 +37,21 @@ impl AdaBoostM1 {
     }
 }
 
-impl EnsembleMethod for AdaBoostM1 {
-    fn name(&self) -> String {
-        "AdaBoost.M1".into()
-    }
-
-    fn run(&self, env: &ExperimentEnv) -> Result<RunResult> {
+impl AdaBoostM1 {
+    fn run_impl(
+        &self,
+        env: &ExperimentEnv,
+        mut session: Option<&mut RunSession<'_>>,
+    ) -> Result<RunResult> {
         if self.members == 0 {
             return Err(EnsembleError::BadConfig(
                 "adaboost needs members >= 1".into(),
             ));
         }
-        let mut rng = env.rng(0xAD);
+        let mut rngs = match session {
+            Some(_) => RngPlan::per_member(env.seed, 0xAD),
+            None => RngPlan::shared(env.rng(0xAD)),
+        };
         let train = &env.data.train;
         let n = train.len();
         let k = train.num_classes() as f64;
@@ -54,9 +61,31 @@ impl EnsembleMethod for AdaBoostM1 {
         let schedule = LrSchedule::paper_step(env.base_lr, self.epochs_per_member);
 
         for t in 0..self.members {
-            let idx = weighted_indices(&weights, n, &mut rng);
+            rngs.start_member(t);
+            if let Some(sess) = session.as_deref_mut() {
+                if t < sess.completed() {
+                    let rec = sess.members()[t].clone();
+                    let mut net = (env.factory)(rngs.rng())?;
+                    sess.restore_network(t, &mut net)?;
+                    model.push(net, rec.alpha, rec.label);
+                    if rec.weights.len() != n {
+                        return Err(EnsembleError::Checkpoint(format!(
+                            "member {t} stored {} weights for {n} samples",
+                            rec.weights.len()
+                        )));
+                    }
+                    weights.copy_from_slice(&rec.weights);
+                    trace.push(TracePoint {
+                        cumulative_epochs: rec.cumulative_epochs,
+                        members: t + 1,
+                        test_accuracy: rec.test_accuracy,
+                    });
+                    continue;
+                }
+            }
+            let idx = weighted_indices(&weights, n, rngs.rng());
             let resampled = train.select(&idx)?;
-            let mut net = (env.factory)(&mut rng)?;
+            let mut net = (env.factory)(rngs.rng())?;
             env.trainer.train(
                 &mut net,
                 &resampled,
@@ -64,7 +93,7 @@ impl EnsembleMethod for AdaBoostM1 {
                 self.epochs_per_member,
                 None,
                 &LossSpec::CrossEntropy,
-                &mut rng,
+                rngs.rng(),
             )?;
             // weighted error on the FULL training distribution
             let probs = EnsembleModel::network_soft_targets(&mut net, train.features())?;
@@ -85,8 +114,8 @@ impl EnsembleMethod for AdaBoostM1 {
                 }
                 ALPHA_MIN
             } else {
-                let a = clamped_half_log_odds(1.0 - eps, eps.max(1e-9))
-                    + (0.5 * (k - 1.0).ln()) as f32;
+                let a =
+                    clamped_half_log_odds(1.0 - eps, eps.max(1e-9)) + (0.5 * (k - 1.0).ln()) as f32;
                 // re-weight: up-weight misclassified samples
                 for (w, &c) in weights.iter_mut().zip(correct.iter()) {
                     if !c {
@@ -103,12 +132,44 @@ impl EnsembleMethod for AdaBoostM1 {
                 (t + 1) * self.epochs_per_member,
                 &mut trace,
             )?;
+            if let Some(sess) = session.as_deref_mut() {
+                let point = *trace.last().expect("just recorded");
+                let net = &mut model.members_mut().last_mut().expect("just pushed").network;
+                sess.record_member(
+                    MemberRecord {
+                        label: format!("adaboost-m1-{t}"),
+                        alpha,
+                        seed: rngs.seed_for(t),
+                        net_key: String::new(),
+                        cumulative_epochs: point.cumulative_epochs,
+                        test_accuracy: point.test_accuracy,
+                        weights: weights.clone(),
+                    },
+                    net,
+                )?;
+            }
         }
         Ok(RunResult {
             model,
             trace,
             total_epochs: self.members * self.epochs_per_member,
         })
+    }
+}
+
+impl EnsembleMethod for AdaBoostM1 {
+    fn name(&self) -> String {
+        "AdaBoost.M1".into()
+    }
+
+    fn run(&self, env: &ExperimentEnv) -> Result<RunResult> {
+        self.run_impl(env, None)
+    }
+
+    fn run_resumable(&self, env: &ExperimentEnv, store: &dyn CheckpointStore) -> Result<RunResult> {
+        let fp = runstate::env_fingerprint(&self.name(), &format!("{self:?}"), env);
+        let mut session = RunSession::open(store, &self.name(), fp)?;
+        self.run_impl(env, Some(&mut session))
     }
 }
 
@@ -138,9 +199,8 @@ mod tests {
             factory,
             Trainer {
                 batch_size: 16,
-                momentum: 0.9,
                 weight_decay: 0.0,
-                augment: None,
+                ..Trainer::default()
             },
             0.1,
             21,

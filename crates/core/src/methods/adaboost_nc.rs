@@ -14,13 +14,15 @@
 //!    pushing later members toward them differently;
 //! 4. `α_t = ½·ln((1−ε_t)/ε_t)` from the penalized weighted error.
 
-use super::{clamped_half_log_odds, record_trace, EnsembleMethod, RunResult};
+use super::{clamped_half_log_odds, record_trace, EnsembleMethod, RunResult, TracePoint};
 use crate::ensemble::EnsembleModel;
 use crate::env::ExperimentEnv;
 use crate::error::{EnsembleError, Result};
+use crate::runstate::{self, MemberRecord, RngPlan, RunSession};
 use crate::trainer::LossSpec;
 use crate::transfer::transfer_partial;
 use edde_data::sampler::{normalize_weights, weighted_indices};
+use edde_nn::checkpoint::CheckpointStore;
 use edde_nn::metrics::correctness;
 use edde_nn::optim::LrSchedule;
 use edde_tensor::ops::argmax_rows;
@@ -59,16 +61,12 @@ impl AdaBoostNc {
     }
 }
 
-impl EnsembleMethod for AdaBoostNc {
-    fn name(&self) -> String {
-        if self.transfer {
-            "AdaBoost.NC (transfer)".into()
-        } else {
-            "AdaBoost.NC".into()
-        }
-    }
-
-    fn run(&self, env: &ExperimentEnv) -> Result<RunResult> {
+impl AdaBoostNc {
+    fn run_impl(
+        &self,
+        env: &ExperimentEnv,
+        mut session: Option<&mut RunSession<'_>>,
+    ) -> Result<RunResult> {
         if self.members == 0 {
             return Err(EnsembleError::BadConfig(
                 "adaboost.nc needs members >= 1".into(),
@@ -77,7 +75,10 @@ impl EnsembleMethod for AdaBoostNc {
         if self.lambda < 0.0 {
             return Err(EnsembleError::BadConfig("lambda must be >= 0".into()));
         }
-        let mut rng = env.rng(0xA0C);
+        let mut rngs = match session {
+            Some(_) => RngPlan::per_member(env.seed, 0xA0C),
+            None => RngPlan::shared(env.rng(0xA0C)),
+        };
         let train = &env.data.train;
         let n = train.len();
         let mut weights = vec![1.0f32 / n as f32; n];
@@ -88,9 +89,35 @@ impl EnsembleMethod for AdaBoostNc {
         let schedule = LrSchedule::paper_step(env.base_lr, self.epochs_per_member);
 
         for t in 0..self.members {
-            let idx = weighted_indices(&weights, n, &mut rng);
+            rngs.start_member(t);
+            if let Some(sess) = session.as_deref_mut() {
+                if t < sess.completed() {
+                    let rec = sess.members()[t].clone();
+                    let mut net = (env.factory)(rngs.rng())?;
+                    sess.restore_network(t, &mut net)?;
+                    // The ambiguity term needs every member's hard
+                    // predictions; recompute them from the restored net.
+                    let probs = EnsembleModel::network_soft_targets(&mut net, train.features())?;
+                    member_preds.push(argmax_rows(&probs)?);
+                    model.push(net, rec.alpha, rec.label);
+                    if rec.weights.len() != n {
+                        return Err(EnsembleError::Checkpoint(format!(
+                            "member {t} stored {} weights for {n} samples",
+                            rec.weights.len()
+                        )));
+                    }
+                    weights.copy_from_slice(&rec.weights);
+                    trace.push(TracePoint {
+                        cumulative_epochs: rec.cumulative_epochs,
+                        members: t + 1,
+                        test_accuracy: rec.test_accuracy,
+                    });
+                    continue;
+                }
+            }
+            let idx = weighted_indices(&weights, n, rngs.rng());
             let resampled = train.select(&idx)?;
-            let mut net = (env.factory)(&mut rng)?;
+            let mut net = (env.factory)(rngs.rng())?;
             if self.transfer {
                 if let Some(prev) = model.members_mut().last_mut() {
                     transfer_partial(&mut prev.network, &mut net, 1.0)?;
@@ -103,7 +130,7 @@ impl EnsembleMethod for AdaBoostNc {
                 self.epochs_per_member,
                 None,
                 &LossSpec::CrossEntropy,
-                &mut rng,
+                rngs.rng(),
             )?;
             let probs = EnsembleModel::network_soft_targets(&mut net, train.features())?;
             let correct = correctness(&probs, train.labels())?;
@@ -135,7 +162,11 @@ impl EnsembleMethod for AdaBoostNc {
                     eps_num += pw;
                 }
             }
-            let eps = if eps_den > 0.0 { eps_num / eps_den } else { 0.5 };
+            let eps = if eps_den > 0.0 {
+                eps_num / eps_den
+            } else {
+                0.5
+            };
             let alpha = clamped_half_log_odds(1.0 - eps, eps.max(1e-9));
             model.members_mut().last_mut().expect("just pushed").alpha = alpha;
 
@@ -155,12 +186,49 @@ impl EnsembleMethod for AdaBoostNc {
                 (t + 1) * self.epochs_per_member,
                 &mut trace,
             )?;
+            if let Some(sess) = session.as_deref_mut() {
+                let point = *trace.last().expect("just recorded");
+                let member = model.members_mut().last_mut().expect("just pushed");
+                let (alpha, label) = (member.alpha, member.label.clone());
+                sess.record_member(
+                    MemberRecord {
+                        label,
+                        alpha,
+                        seed: rngs.seed_for(t),
+                        net_key: String::new(),
+                        cumulative_epochs: point.cumulative_epochs,
+                        test_accuracy: point.test_accuracy,
+                        weights: weights.clone(),
+                    },
+                    &mut member.network,
+                )?;
+            }
         }
         Ok(RunResult {
             model,
             trace,
             total_epochs: self.members * self.epochs_per_member,
         })
+    }
+}
+
+impl EnsembleMethod for AdaBoostNc {
+    fn name(&self) -> String {
+        if self.transfer {
+            "AdaBoost.NC (transfer)".into()
+        } else {
+            "AdaBoost.NC".into()
+        }
+    }
+
+    fn run(&self, env: &ExperimentEnv) -> Result<RunResult> {
+        self.run_impl(env, None)
+    }
+
+    fn run_resumable(&self, env: &ExperimentEnv, store: &dyn CheckpointStore) -> Result<RunResult> {
+        let fp = runstate::env_fingerprint(&self.name(), &format!("{self:?}"), env);
+        let mut session = RunSession::open(store, &self.name(), fp)?;
+        self.run_impl(env, Some(&mut session))
     }
 }
 
@@ -190,9 +258,8 @@ mod tests {
             factory,
             Trainer {
                 batch_size: 16,
-                momentum: 0.9,
                 weight_decay: 0.0,
-                augment: None,
+                ..Trainer::default()
             },
             0.1,
             23,
@@ -226,16 +293,11 @@ mod tests {
         let e = env();
         let mut plain = AdaBoostNc::new(3, 2).run(&e).unwrap();
         let mut transferred = AdaBoostNc::with_transfer(3, 2).run(&e).unwrap();
-        let d_plain = crate::diversity::model_diversity(
-            &mut plain.model,
-            e.data.test.features(),
-        )
-        .unwrap();
-        let d_transfer = crate::diversity::model_diversity(
-            &mut transferred.model,
-            e.data.test.features(),
-        )
-        .unwrap();
+        let d_plain =
+            crate::diversity::model_diversity(&mut plain.model, e.data.test.features()).unwrap();
+        let d_transfer =
+            crate::diversity::model_diversity(&mut transferred.model, e.data.test.features())
+                .unwrap();
         assert!((0.0..=1.0).contains(&d_plain));
         assert!((0.0..=1.0).contains(&d_transfer));
     }

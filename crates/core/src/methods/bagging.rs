@@ -1,12 +1,14 @@
 //! Bagging (Breiman): independent members on bootstrap resamples,
 //! unweighted soft voting.
 
-use super::{record_trace, EnsembleMethod, RunResult};
+use super::{record_trace, EnsembleMethod, RunResult, TracePoint};
 use crate::ensemble::EnsembleModel;
 use crate::env::ExperimentEnv;
 use crate::error::{EnsembleError, Result};
+use crate::runstate::{self, MemberRecord, RngPlan, RunSession};
 use crate::trainer::LossSpec;
 use edde_data::sampler::bootstrap_indices;
+use edde_nn::checkpoint::CheckpointStore;
 use edde_nn::optim::LrSchedule;
 
 /// Classic bagging: each member trains from scratch on a uniform bootstrap
@@ -28,25 +30,43 @@ impl Bagging {
             epochs_per_member,
         }
     }
-}
 
-impl EnsembleMethod for Bagging {
-    fn name(&self) -> String {
-        "Bagging".into()
-    }
-
-    fn run(&self, env: &ExperimentEnv) -> Result<RunResult> {
+    fn run_impl(
+        &self,
+        env: &ExperimentEnv,
+        mut session: Option<&mut RunSession<'_>>,
+    ) -> Result<RunResult> {
         if self.members == 0 {
-            return Err(EnsembleError::BadConfig("bagging needs members >= 1".into()));
+            return Err(EnsembleError::BadConfig(
+                "bagging needs members >= 1".into(),
+            ));
         }
-        let mut rng = env.rng(0xBA);
+        let mut rngs = match session {
+            Some(_) => RngPlan::per_member(env.seed, 0xBA),
+            None => RngPlan::shared(env.rng(0xBA)),
+        };
         let mut model = EnsembleModel::new();
         let mut trace = Vec::new();
         let schedule = LrSchedule::paper_step(env.base_lr, self.epochs_per_member);
         for t in 0..self.members {
-            let idx = bootstrap_indices(env.data.train.len(), &mut rng);
+            rngs.start_member(t);
+            if let Some(sess) = session.as_deref_mut() {
+                if t < sess.completed() {
+                    let rec = sess.members()[t].clone();
+                    let mut net = (env.factory)(rngs.rng())?;
+                    sess.restore_network(t, &mut net)?;
+                    model.push(net, rec.alpha, rec.label);
+                    trace.push(TracePoint {
+                        cumulative_epochs: rec.cumulative_epochs,
+                        members: t + 1,
+                        test_accuracy: rec.test_accuracy,
+                    });
+                    continue;
+                }
+            }
+            let idx = bootstrap_indices(env.data.train.len(), rngs.rng());
             let resampled = env.data.train.select(&idx)?;
-            let mut net = (env.factory)(&mut rng)?;
+            let mut net = (env.factory)(rngs.rng())?;
             env.trainer.train(
                 &mut net,
                 &resampled,
@@ -54,7 +74,7 @@ impl EnsembleMethod for Bagging {
                 self.epochs_per_member,
                 None,
                 &LossSpec::CrossEntropy,
-                &mut rng,
+                rngs.rng(),
             )?;
             model.push(net, 1.0, format!("bagging-{t}"));
             record_trace(
@@ -63,12 +83,44 @@ impl EnsembleMethod for Bagging {
                 (t + 1) * self.epochs_per_member,
                 &mut trace,
             )?;
+            if let Some(sess) = session.as_deref_mut() {
+                let point = *trace.last().expect("just recorded");
+                let net = &mut model.members_mut().last_mut().expect("just pushed").network;
+                sess.record_member(
+                    MemberRecord {
+                        label: format!("bagging-{t}"),
+                        alpha: 1.0,
+                        seed: rngs.seed_for(t),
+                        net_key: String::new(),
+                        cumulative_epochs: point.cumulative_epochs,
+                        test_accuracy: point.test_accuracy,
+                        weights: vec![],
+                    },
+                    net,
+                )?;
+            }
         }
         Ok(RunResult {
             model,
             trace,
             total_epochs: self.members * self.epochs_per_member,
         })
+    }
+}
+
+impl EnsembleMethod for Bagging {
+    fn name(&self) -> String {
+        "Bagging".into()
+    }
+
+    fn run(&self, env: &ExperimentEnv) -> Result<RunResult> {
+        self.run_impl(env, None)
+    }
+
+    fn run_resumable(&self, env: &ExperimentEnv, store: &dyn CheckpointStore) -> Result<RunResult> {
+        let fp = runstate::env_fingerprint(&self.name(), &format!("{self:?}"), env);
+        let mut session = RunSession::open(store, &self.name(), fp)?;
+        self.run_impl(env, Some(&mut session))
     }
 }
 
@@ -98,9 +150,8 @@ mod tests {
             factory,
             Trainer {
                 batch_size: 16,
-                momentum: 0.9,
                 weight_decay: 0.0,
-                augment: None,
+                ..Trainer::default()
             },
             0.1,
             9,

@@ -3,11 +3,13 @@
 //! full softmax distribution (knowledge distillation), and the generations
 //! are ensembled by soft voting.
 
-use super::{record_trace, soft_targets_with_temperature, EnsembleMethod, RunResult};
+use super::{record_trace, soft_targets_with_temperature, EnsembleMethod, RunResult, TracePoint};
 use crate::ensemble::EnsembleModel;
 use crate::env::ExperimentEnv;
 use crate::error::{EnsembleError, Result};
+use crate::runstate::{self, MemberRecord, RngPlan, RunSession};
 use crate::trainer::LossSpec;
+use edde_nn::checkpoint::CheckpointStore;
 use edde_nn::optim::LrSchedule;
 
 /// The BANs baseline. Generation 1 trains with plain cross-entropy; every
@@ -37,12 +39,12 @@ impl Bans {
     }
 }
 
-impl EnsembleMethod for Bans {
-    fn name(&self) -> String {
-        "BANs".into()
-    }
-
-    fn run(&self, env: &ExperimentEnv) -> Result<RunResult> {
+impl Bans {
+    fn run_impl(
+        &self,
+        env: &ExperimentEnv,
+        mut session: Option<&mut RunSession<'_>>,
+    ) -> Result<RunResult> {
         if self.generations == 0 {
             return Err(EnsembleError::BadConfig(
                 "bans needs generations >= 1".into(),
@@ -53,13 +55,33 @@ impl EnsembleMethod for Bans {
                 "bans needs lambda in [0,1] and temperature > 0".into(),
             ));
         }
-        let mut rng = env.rng(0xBA2);
+        let mut rngs = match session {
+            Some(_) => RngPlan::per_member(env.seed, 0xBA2),
+            None => RngPlan::shared(env.rng(0xBA2)),
+        };
         let train = &env.data.train;
         let schedule = LrSchedule::paper_step(env.base_lr, self.epochs_per_generation);
         let mut model = EnsembleModel::new();
         let mut trace = Vec::new();
         for g in 0..self.generations {
-            let mut net = (env.factory)(&mut rng)?;
+            rngs.start_member(g);
+            if let Some(sess) = session.as_deref_mut() {
+                if g < sess.completed() {
+                    let rec = sess.members()[g].clone();
+                    let mut net = (env.factory)(rngs.rng())?;
+                    sess.restore_network(g, &mut net)?;
+                    // The restored generation becomes the teacher of the
+                    // next one, exactly as it would after training.
+                    model.push(net, rec.alpha, rec.label);
+                    trace.push(TracePoint {
+                        cumulative_epochs: rec.cumulative_epochs,
+                        members: g + 1,
+                        test_accuracy: rec.test_accuracy,
+                    });
+                    continue;
+                }
+            }
+            let mut net = (env.factory)(rngs.rng())?;
             if g == 0 {
                 env.trainer.train(
                     &mut net,
@@ -68,7 +90,7 @@ impl EnsembleMethod for Bans {
                     self.epochs_per_generation,
                     None,
                     &LossSpec::CrossEntropy,
-                    &mut rng,
+                    rngs.rng(),
                 )?;
             } else {
                 let teacher = &mut model
@@ -76,11 +98,8 @@ impl EnsembleMethod for Bans {
                     .last_mut()
                     .expect("generation g-1 exists")
                     .network;
-                let teacher_soft = soft_targets_with_temperature(
-                    teacher,
-                    train.features(),
-                    self.temperature,
-                )?;
+                let teacher_soft =
+                    soft_targets_with_temperature(teacher, train.features(), self.temperature)?;
                 env.trainer.train(
                     &mut net,
                     train,
@@ -92,7 +111,7 @@ impl EnsembleMethod for Bans {
                         temperature: self.temperature,
                         teacher_soft: &teacher_soft,
                     },
-                    &mut rng,
+                    rngs.rng(),
                 )?;
             }
             model.push(net, 1.0, format!("ban-gen-{g}"));
@@ -102,12 +121,44 @@ impl EnsembleMethod for Bans {
                 (g + 1) * self.epochs_per_generation,
                 &mut trace,
             )?;
+            if let Some(sess) = session.as_deref_mut() {
+                let point = *trace.last().expect("just recorded");
+                let net = &mut model.members_mut().last_mut().expect("just pushed").network;
+                sess.record_member(
+                    MemberRecord {
+                        label: format!("ban-gen-{g}"),
+                        alpha: 1.0,
+                        seed: rngs.seed_for(g),
+                        net_key: String::new(),
+                        cumulative_epochs: point.cumulative_epochs,
+                        test_accuracy: point.test_accuracy,
+                        weights: vec![],
+                    },
+                    net,
+                )?;
+            }
         }
         Ok(RunResult {
             model,
             trace,
             total_epochs: self.generations * self.epochs_per_generation,
         })
+    }
+}
+
+impl EnsembleMethod for Bans {
+    fn name(&self) -> String {
+        "BANs".into()
+    }
+
+    fn run(&self, env: &ExperimentEnv) -> Result<RunResult> {
+        self.run_impl(env, None)
+    }
+
+    fn run_resumable(&self, env: &ExperimentEnv, store: &dyn CheckpointStore) -> Result<RunResult> {
+        let fp = runstate::env_fingerprint(&self.name(), &format!("{self:?}"), env);
+        let mut session = RunSession::open(store, &self.name(), fp)?;
+        self.run_impl(env, Some(&mut session))
     }
 }
 
@@ -137,9 +188,8 @@ mod tests {
             factory,
             Trainer {
                 batch_size: 16,
-                momentum: 0.9,
                 weight_decay: 0.0,
-                augment: None,
+                ..Trainer::default()
             },
             0.1,
             43,

@@ -19,12 +19,14 @@
 //! "EDDE (normal loss)", [`TransferMode::All`] is "EDDE (transfer all)",
 //! [`TransferMode::None`] is "EDDE (transfer none)".
 
-use super::{clamped_half_log_odds, record_trace, EnsembleMethod, RunResult};
+use super::{clamped_half_log_odds, record_trace, EnsembleMethod, RunResult, TracePoint};
 use crate::ensemble::EnsembleModel;
 use crate::env::ExperimentEnv;
 use crate::error::{EnsembleError, Result};
+use crate::runstate::{self, MemberRecord, RngPlan, RunSession};
 use crate::trainer::LossSpec;
 use edde_data::sampler::normalize_weights;
+use edde_nn::checkpoint::CheckpointStore;
 use edde_nn::metrics::correctness;
 use edde_nn::optim::LrSchedule;
 use edde_tensor::Tensor;
@@ -113,21 +115,17 @@ impl Edde {
     }
 }
 
-impl EnsembleMethod for Edde {
-    fn name(&self) -> String {
-        if self.gamma == 0.0 {
-            return "EDDE (normal loss)".into();
-        }
-        match self.transfer {
-            TransferMode::All => "EDDE (transfer all)".into(),
-            TransferMode::None => "EDDE (transfer none)".into(),
-            TransferMode::Beta(_) => "EDDE".into(),
-        }
-    }
-
-    fn run(&self, env: &ExperimentEnv) -> Result<RunResult> {
+impl Edde {
+    fn run_impl(
+        &self,
+        env: &ExperimentEnv,
+        mut session: Option<&mut RunSession<'_>>,
+    ) -> Result<RunResult> {
         self.validate()?;
-        let mut rng = env.rng(0xEDDE);
+        let mut rngs = match session {
+            Some(_) => RngPlan::per_member(env.seed, 0xEDDE),
+            None => RngPlan::shared(env.rng(0xEDDE)),
+        };
         let train = &env.data.train;
         let n = train.len();
         let k = train.num_classes();
@@ -141,101 +139,161 @@ impl EnsembleMethod for Edde {
         let mut model = EnsembleModel::new();
         let mut trace = Vec::new();
 
-        // --- round 1 (lines 3–5) ------------------------------------------
-        let mut h1 = (env.factory)(&mut rng)?;
         let first_schedule = LrSchedule::paper_step(env.base_lr, self.first_epochs);
-        env.trainer.train(
-            &mut h1,
-            train,
-            &first_schedule,
-            self.first_epochs,
-            Some(&weights),
-            &LossSpec::CrossEntropy,
-            &mut rng,
-        )?;
-        let probs1 = EnsembleModel::network_soft_targets(&mut h1, train.features())?;
-        let correct1 = correctness(&probs1, train.labels())?;
-        let pos = correct1.iter().filter(|&&c| c).count() as f64;
-        let neg = (n as f64) - pos;
-        // line 4, read through the ½·log convention of Eq. 15
-        let alpha1 = clamped_half_log_odds(pos, neg);
-        model.push(h1, alpha1, "edde-1");
-        record_trace(&mut model, &env.data.test, self.first_epochs, &mut trace)?;
-
-        // --- rounds 2..T (lines 6–15) --------------------------------------
         let later_schedule = LrSchedule::paper_step(env.base_lr, self.later_epochs);
-        for t in 2..=self.members {
-            // line 7: I(D, W_{t−1}, h_{t−1}, H_{t−1}, γ, β)
-            let mut student = (env.factory)(&mut rng)?;
-            match self.transfer {
-                TransferMode::None => {}
-                TransferMode::All => {
-                    let prev = &mut model.members_mut().last_mut().expect("t ≥ 2").network;
-                    crate::transfer::transfer_partial(prev, &mut student, 1.0)?;
-                }
-                TransferMode::Beta(beta) => {
-                    let prev = &mut model.members_mut().last_mut().expect("t ≥ 2").network;
-                    crate::transfer::transfer_partial(prev, &mut student, beta)?;
+
+        for t in 1..=self.members {
+            rngs.start_member(t - 1);
+            let cumulative = self.first_epochs + (t - 1) * self.later_epochs;
+            if let Some(sess) = session.as_deref_mut() {
+                if t <= sess.completed() {
+                    let rec = sess.members()[t - 1].clone();
+                    let mut net = (env.factory)(rngs.rng())?;
+                    sess.restore_network(t - 1, &mut net)?;
+                    model.push(net, rec.alpha, rec.label);
+                    if rec.weights.len() != n {
+                        return Err(EnsembleError::Checkpoint(format!(
+                            "member {t} stored {} weights for {n} samples",
+                            rec.weights.len()
+                        )));
+                    }
+                    weights.copy_from_slice(&rec.weights);
+                    trace.push(TracePoint {
+                        cumulative_epochs: rec.cumulative_epochs,
+                        members: t,
+                        test_accuracy: rec.test_accuracy,
+                    });
+                    continue;
                 }
             }
-            let ensemble_soft = model.soft_targets(train.features())?;
-            env.trainer.train(
-                &mut student,
-                train,
-                &later_schedule,
-                self.later_epochs,
-                Some(&weights),
-                &LossSpec::Diversity {
-                    gamma: self.gamma,
-                    ensemble_soft: &ensemble_soft,
-                },
-                &mut rng,
-            )?;
+            let alpha_t = if t == 1 {
+                // --- round 1 (lines 3–5) ----------------------------------
+                let mut h1 = (env.factory)(rngs.rng())?;
+                env.trainer.train(
+                    &mut h1,
+                    train,
+                    &first_schedule,
+                    self.first_epochs,
+                    Some(&weights),
+                    &LossSpec::CrossEntropy,
+                    rngs.rng(),
+                )?;
+                let probs1 = EnsembleModel::network_soft_targets(&mut h1, train.features())?;
+                let correct1 = correctness(&probs1, train.labels())?;
+                let pos = correct1.iter().filter(|&&c| c).count() as f64;
+                let neg = (n as f64) - pos;
+                // line 4, read through the ½·log convention of Eq. 15
+                let alpha1 = clamped_half_log_odds(pos, neg);
+                model.push(h1, alpha1, "edde-1");
+                alpha1
+            } else {
+                // --- round t ≥ 2 (lines 6–15) -----------------------------
+                // line 7: I(D, W_{t−1}, h_{t−1}, H_{t−1}, γ, β)
+                let mut student = (env.factory)(rngs.rng())?;
+                match self.transfer {
+                    TransferMode::None => {}
+                    TransferMode::All => {
+                        let prev = &mut model.members_mut().last_mut().expect("t ≥ 2").network;
+                        crate::transfer::transfer_partial(prev, &mut student, 1.0)?;
+                    }
+                    TransferMode::Beta(beta) => {
+                        let prev = &mut model.members_mut().last_mut().expect("t ≥ 2").network;
+                        crate::transfer::transfer_partial(prev, &mut student, beta)?;
+                    }
+                }
+                let ensemble_soft = model.soft_targets(train.features())?;
+                env.trainer.train(
+                    &mut student,
+                    train,
+                    &later_schedule,
+                    self.later_epochs,
+                    Some(&weights),
+                    &LossSpec::Diversity {
+                        gamma: self.gamma,
+                        ensemble_soft: &ensemble_soft,
+                    },
+                    rngs.rng(),
+                )?;
 
-            // lines 8–9: Sim_t and Bias_t on every training sample
-            let probs_t =
-                EnsembleModel::network_soft_targets(&mut student, train.features())?;
-            let sim = per_sample_similarity(&probs_t, &ensemble_soft)?;
-            let bias = per_sample_bias(&probs_t, &one_hot)?;
-            let correct = correctness(&probs_t, train.labels())?;
+                // lines 8–9: Sim_t and Bias_t on every training sample
+                let probs_t = EnsembleModel::network_soft_targets(&mut student, train.features())?;
+                let sim = per_sample_similarity(&probs_t, &ensemble_soft)?;
+                let bias = per_sample_bias(&probs_t, &one_hot)?;
+                let correct = correctness(&probs_t, train.labels())?;
 
-            // line 10 / Eq. 14: rebuild weights from W₁
-            if self.boosting {
+                // line 10 / Eq. 14: rebuild weights from W₁
+                if self.boosting {
+                    for i in 0..n {
+                        weights[i] = if correct[i] {
+                            w1[i]
+                        } else {
+                            w1[i] * (sim[i] + bias[i]).exp()
+                        };
+                    }
+                    normalize_weights(&mut weights, n as f32);
+                }
+
+                // line 12 / Eq. 15: similarity-weighted log odds
+                let mut pos = 0.0f64;
+                let mut neg = 0.0f64;
                 for i in 0..n {
-                    weights[i] = if correct[i] {
-                        w1[i]
+                    let sw = f64::from(sim[i]) * f64::from(weights[i]);
+                    if correct[i] {
+                        pos += sw;
                     } else {
-                        w1[i] * (sim[i] + bias[i]).exp()
-                    };
+                        neg += sw;
+                    }
                 }
-                normalize_weights(&mut weights, n as f32);
+                let alpha_t = clamped_half_log_odds(pos, neg);
+                model.push(student, alpha_t, format!("edde-{t}"));
+                alpha_t
+            };
+            record_trace(&mut model, &env.data.test, cumulative, &mut trace)?;
+            if let Some(sess) = session.as_deref_mut() {
+                let point = *trace.last().expect("just recorded");
+                let net = &mut model.members_mut().last_mut().expect("just pushed").network;
+                sess.record_member(
+                    MemberRecord {
+                        label: format!("edde-{t}"),
+                        alpha: alpha_t,
+                        seed: rngs.seed_for(t - 1),
+                        net_key: String::new(),
+                        cumulative_epochs: point.cumulative_epochs,
+                        test_accuracy: point.test_accuracy,
+                        weights: weights.clone(),
+                    },
+                    net,
+                )?;
             }
-
-            // line 12 / Eq. 15: similarity-weighted log odds
-            let mut pos = 0.0f64;
-            let mut neg = 0.0f64;
-            for i in 0..n {
-                let sw = f64::from(sim[i]) * f64::from(weights[i]);
-                if correct[i] {
-                    pos += sw;
-                } else {
-                    neg += sw;
-                }
-            }
-            let alpha_t = clamped_half_log_odds(pos, neg);
-            model.push(student, alpha_t, format!("edde-{t}"));
-            record_trace(
-                &mut model,
-                &env.data.test,
-                self.first_epochs + (t - 1) * self.later_epochs,
-                &mut trace,
-            )?;
         }
         Ok(RunResult {
             model,
             trace,
             total_epochs: self.total_epochs(),
         })
+    }
+}
+
+impl EnsembleMethod for Edde {
+    fn name(&self) -> String {
+        if self.gamma == 0.0 {
+            return "EDDE (normal loss)".into();
+        }
+        match self.transfer {
+            TransferMode::All => "EDDE (transfer all)".into(),
+            TransferMode::None => "EDDE (transfer none)".into(),
+            TransferMode::Beta(_) => "EDDE".into(),
+        }
+    }
+
+    fn run(&self, env: &ExperimentEnv) -> Result<RunResult> {
+        self.run_impl(env, None)
+    }
+
+    fn run_resumable(&self, env: &ExperimentEnv, store: &dyn CheckpointStore) -> Result<RunResult> {
+        let fp = runstate::env_fingerprint(&self.name(), &format!("{self:?}"), env);
+        let mut session = RunSession::open(store, &self.name(), fp)?;
+        self.run_impl(env, Some(&mut session))
     }
 }
 
@@ -304,9 +362,8 @@ mod tests {
             factory,
             Trainer {
                 batch_size: 16,
-                momentum: 0.9,
                 weight_decay: 0.0,
-                augment: None,
+                ..Trainer::default()
             },
             0.1,
             53,
@@ -378,7 +435,7 @@ mod tests {
         let y = Tensor::from_vec(vec![1.0, 0.0, 1.0, 0.0], &[2, 2]).unwrap();
         let bias = per_sample_bias(&p, &y).unwrap();
         assert!(bias[0].abs() < 1e-6); // perfect prediction
-        // ||(0.5,0.5)-(1,0)|| = √0.5 -> bias = √2/2·√0.5 = 0.5
+                                       // ||(0.5,0.5)-(1,0)|| = √0.5 -> bias = √2/2·√0.5 = 0.5
         assert!((bias[1] - 0.5).abs() < 1e-6);
     }
 

@@ -51,6 +51,16 @@ pub struct RunResult {
     pub total_epochs: usize,
 }
 
+impl std::fmt::Debug for RunResult {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunResult")
+            .field("members", &self.model.len())
+            .field("trace", &self.trace)
+            .field("total_epochs", &self.total_epochs)
+            .finish_non_exhaustive()
+    }
+}
+
 /// An ensemble training method.
 pub trait EnsembleMethod {
     /// Display name, matching the paper's tables ("EDDE", "Snapshot", ...).
@@ -58,6 +68,32 @@ pub trait EnsembleMethod {
 
     /// Trains an ensemble in the given environment.
     fn run(&self, env: &ExperimentEnv) -> Result<RunResult>;
+
+    /// Trains an ensemble with run state persisted to `store` after every
+    /// completed member, resuming any completed prefix already in the store.
+    ///
+    /// A resumed run produces the same ensemble an uninterrupted resumable
+    /// run would have (members are trained on independent per-member RNG
+    /// streams, and restored networks round-trip bit-exactly). Note the
+    /// *resumable* RNG protocol differs from [`EnsembleMethod::run`]'s
+    /// legacy shared stream, so `run` and `run_resumable` on the same env
+    /// produce different (equally valid) ensembles.
+    ///
+    /// Sequential methods implement this; the default refuses (Snapshot and
+    /// NCL train all members inside one optimization trajectory, so
+    /// member-boundary resume does not apply — their unit of recovery is
+    /// the trainer's [`crate::recovery::RecoveryPolicy`]).
+    fn run_resumable(
+        &self,
+        env: &ExperimentEnv,
+        store: &dyn edde_nn::checkpoint::CheckpointStore,
+    ) -> Result<RunResult> {
+        let _ = (env, store);
+        Err(crate::error::EnsembleError::Checkpoint(format!(
+            "{} does not support resumable runs",
+            self.name()
+        )))
+    }
 }
 
 /// Records a trace point for the current ensemble prefix.

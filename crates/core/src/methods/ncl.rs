@@ -151,7 +151,7 @@ impl OffsetSchedule<'_> {
     /// re-deriving a constant-per-epoch approximation: for the step decay
     /// used here the rate is constant within a window unless a milestone
     /// falls inside it, which `StepDecay` handles after re-basing.)
-    fn materialize(&self, epochs: usize) -> LrSchedule {
+    fn materialize(&self, _epochs: usize) -> LrSchedule {
         // Exact for any inner schedule: sample the inner schedule at the
         // offset window's midpoint-free positions via a StepDecay with
         // per-epoch "milestones" is overkill; since windows are short we
@@ -194,9 +194,8 @@ mod tests {
             factory,
             Trainer {
                 batch_size: 16,
-                momentum: 0.9,
                 weight_decay: 0.0,
-                augment: None,
+                ..Trainer::default()
             },
             0.1,
             73,
@@ -216,8 +215,7 @@ mod tests {
     fn ncl_produces_diverse_members() {
         let e = env();
         let mut run = Ncl::new(3, 2, 2, 0.5).run(&e).unwrap();
-        let d =
-            crate::diversity::model_diversity(&mut run.model, e.data.test.features()).unwrap();
+        let d = crate::diversity::model_diversity(&mut run.model, e.data.test.features()).unwrap();
         assert!((0.0..=1.0).contains(&d));
         assert!(d > 0.0);
     }

@@ -104,9 +104,8 @@ mod tests {
             factory,
             Trainer {
                 batch_size: 16,
-                momentum: 0.9,
                 weight_decay: 0.0,
-                augment: None,
+                ..Trainer::default()
             },
             0.1,
             37,

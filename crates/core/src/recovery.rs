@@ -1,0 +1,234 @@
+//! Divergence recovery policy and deterministic fault injection.
+//!
+//! Deep ensembles are long-running: one NaN loss twenty epochs into member
+//! four of seven used to abort the whole pipeline. [`RecoveryPolicy`] turns
+//! that into a bounded retry: the trainer snapshots model, optimizer, and
+//! RNG state at every epoch boundary, and on divergence rolls back to the
+//! last good snapshot with a reduced learning rate instead of failing.
+//! Only when the retry budget is exhausted does the original
+//! `Diverged` error surface.
+//!
+//! [`FaultPlan`] is the matching test harness: it injects failures (a forced
+//! NaN loss at step *k*, a failed *n*-th checkpoint write) at deterministic
+//! points, so recovery paths are exercised by ordinary unit tests rather
+//! than by luck.
+
+use edde_nn::checkpoint::CheckpointStore;
+use edde_nn::Result as NnResult;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// How the trainer reacts to a divergent epoch (non-finite loss, non-finite
+/// gradient, or a gradient norm above [`RecoveryPolicy::grad_norm_limit`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryPolicy {
+    /// How many rollback-and-retry attempts are allowed per training run
+    /// before `Diverged` is surfaced. `0` disables recovery entirely (the
+    /// pre-recovery behavior: first divergence aborts).
+    pub max_retries: usize,
+    /// Multiplier applied to the learning rate on every retry (`0.5` halves
+    /// it). Must be in `(0, 1]`.
+    pub lr_backoff: f32,
+    /// Optional global L2 gradient-norm limit; exceeding it counts as
+    /// divergence even though every value is still finite. `None` disables
+    /// the check.
+    pub grad_norm_limit: Option<f32>,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy {
+            max_retries: 2,
+            lr_backoff: 0.5,
+            grad_norm_limit: None,
+        }
+    }
+}
+
+impl RecoveryPolicy {
+    /// A policy that never retries — divergence aborts immediately, exactly
+    /// like the pre-recovery trainer.
+    pub fn disabled() -> Self {
+        RecoveryPolicy {
+            max_retries: 0,
+            lr_backoff: 0.5,
+            grad_norm_limit: None,
+        }
+    }
+
+    /// Validates field ranges; called once when training starts.
+    pub fn validate(&self) -> std::result::Result<(), String> {
+        if !self.lr_backoff.is_finite() || self.lr_backoff <= 0.0 || self.lr_backoff > 1.0 {
+            return Err(format!(
+                "lr_backoff must be in (0, 1], got {}",
+                self.lr_backoff
+            ));
+        }
+        if let Some(limit) = self.grad_norm_limit {
+            if !limit.is_finite() || limit <= 0.0 {
+                return Err(format!("grad_norm_limit must be positive, got {limit}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[derive(Debug, Default)]
+struct FaultPlanInner {
+    /// Force the loss to NaN at this global optimizer-step index (0-based).
+    nan_loss_at_step: Option<u64>,
+    /// Fail the n-th (0-based) `put` on a [`FaultyStore`].
+    fail_put: Option<u64>,
+    /// Monotonic count of optimizer steps observed so far. Never reset on
+    /// rollback, so an injected fault fires exactly once even though the
+    /// trainer replays the epoch that contained it.
+    steps: AtomicU64,
+    /// Monotonic count of store writes observed so far.
+    puts: AtomicU64,
+}
+
+/// A deterministic fault-injection plan shared between a test and the
+/// training/persistence code under test. Cloning shares the counters.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    inner: Arc<FaultPlanInner>,
+}
+
+impl FaultPlan {
+    /// A plan that forces a NaN loss at global step `step` (0-based, counted
+    /// across epochs and rollback replays).
+    pub fn nan_loss_at_step(step: u64) -> Self {
+        FaultPlan {
+            inner: Arc::new(FaultPlanInner {
+                nan_loss_at_step: Some(step),
+                ..Default::default()
+            }),
+        }
+    }
+
+    /// A plan that fails the `n`-th (0-based) write on a [`FaultyStore`].
+    pub fn fail_put(n: u64) -> Self {
+        FaultPlan {
+            inner: Arc::new(FaultPlanInner {
+                fail_put: Some(n),
+                ..Default::default()
+            }),
+        }
+    }
+
+    /// Called by the trainer once per optimizer step; returns `true` when
+    /// this step's loss must be corrupted.
+    pub fn corrupt_this_step(&self) -> bool {
+        let step = self.inner.steps.fetch_add(1, Ordering::Relaxed);
+        self.inner.nan_loss_at_step == Some(step)
+    }
+
+    /// Called by [`FaultyStore`] once per write; returns `true` when this
+    /// write must fail.
+    pub fn fail_this_put(&self) -> bool {
+        let put = self.inner.puts.fetch_add(1, Ordering::Relaxed);
+        self.inner.fail_put == Some(put)
+    }
+
+    /// Optimizer steps observed so far (for test assertions).
+    pub fn steps_seen(&self) -> u64 {
+        self.inner.steps.load(Ordering::Relaxed)
+    }
+}
+
+/// A [`CheckpointStore`] wrapper that fails writes according to a
+/// [`FaultPlan`] — the injectable-I/O half of the fault harness.
+pub struct FaultyStore<S> {
+    inner: S,
+    plan: FaultPlan,
+}
+
+impl<S: CheckpointStore> FaultyStore<S> {
+    /// Wraps `inner`, failing the writes selected by `plan`.
+    pub fn new(inner: S, plan: FaultPlan) -> Self {
+        FaultyStore { inner, plan }
+    }
+
+    /// The wrapped store (e.g. to inspect what survived the faults).
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+}
+
+impl<S: CheckpointStore> CheckpointStore for FaultyStore<S> {
+    fn put(&self, key: &str, bytes: &[u8]) -> NnResult<()> {
+        if self.plan.fail_this_put() {
+            return Err(edde_nn::NnError::Io(format!(
+                "injected write failure for key {key:?}"
+            )));
+        }
+        self.inner.put(key, bytes)
+    }
+
+    fn get(&self, key: &str) -> NnResult<bytes::Bytes> {
+        self.inner.get(key)
+    }
+
+    fn contains(&self, key: &str) -> bool {
+        self.inner.contains(key)
+    }
+
+    fn remove(&self, key: &str) -> NnResult<()> {
+        self.inner.remove(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edde_nn::checkpoint::MemStore;
+
+    #[test]
+    fn default_policy_is_valid_and_bounded() {
+        let p = RecoveryPolicy::default();
+        p.validate().unwrap();
+        assert!(p.max_retries > 0);
+        assert_eq!(RecoveryPolicy::disabled().max_retries, 0);
+    }
+
+    #[test]
+    fn bad_backoff_is_rejected() {
+        let p = RecoveryPolicy {
+            lr_backoff: 0.0,
+            ..RecoveryPolicy::default()
+        };
+        assert!(p.validate().is_err());
+        let p = RecoveryPolicy {
+            grad_norm_limit: Some(-1.0),
+            ..RecoveryPolicy::default()
+        };
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn nan_fault_fires_exactly_once() {
+        let plan = FaultPlan::nan_loss_at_step(2);
+        let hits: Vec<bool> = (0..6).map(|_| plan.corrupt_this_step()).collect();
+        assert_eq!(hits, vec![false, false, true, false, false, false]);
+        assert_eq!(plan.steps_seen(), 6);
+    }
+
+    #[test]
+    fn clones_share_counters() {
+        let plan = FaultPlan::nan_loss_at_step(1);
+        let other = plan.clone();
+        assert!(!plan.corrupt_this_step());
+        assert!(other.corrupt_this_step()); // sees step 1 via the shared count
+    }
+
+    #[test]
+    fn faulty_store_fails_selected_put_only() {
+        let store = FaultyStore::new(MemStore::new(), FaultPlan::fail_put(1));
+        store.put("a", b"one").unwrap();
+        let err = store.put("b", b"two").unwrap_err();
+        assert!(err.to_string().contains("injected"), "{err}");
+        store.put("c", b"three").unwrap();
+        assert!(store.contains("a") && store.contains("c"));
+        assert!(!store.contains("b"));
+    }
+}

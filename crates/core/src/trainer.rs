@@ -1,11 +1,12 @@
 //! The shared weighted training loop every ensemble method drives.
 
 use crate::error::{EnsembleError, Result};
+use crate::recovery::{FaultPlan, RecoveryPolicy};
 use edde_data::augment::{augment_batch, AugmentConfig};
 use edde_data::{Batcher, Dataset};
 use edde_nn::loss::{CrossEntropy, Distillation, DiversityDriven};
 use edde_nn::optim::{LrSchedule, Sgd};
-use edde_nn::{Mode, Network};
+use edde_nn::{Mode, Network, NnError};
 use edde_tensor::Tensor;
 use rand::rngs::StdRng;
 
@@ -44,6 +45,9 @@ pub struct TrainStats {
     pub final_loss: f32,
     /// Epochs actually run.
     pub epochs: usize,
+    /// Divergence rollbacks performed by the [`RecoveryPolicy`]. `0` for a
+    /// healthy run.
+    pub rollbacks: usize,
 }
 
 /// Epoch-based mini-batch trainer with per-sample weights, LR schedules and
@@ -58,6 +62,11 @@ pub struct Trainer {
     pub weight_decay: f32,
     /// Random crop/flip augmentation, for image tasks only.
     pub augment: Option<AugmentConfig>,
+    /// Divergence recovery: epoch-boundary snapshots plus bounded
+    /// rollback-and-retry with learning-rate backoff.
+    pub recovery: RecoveryPolicy,
+    /// Deterministic fault injection for tests; `None` in real runs.
+    pub fault: Option<FaultPlan>,
 }
 
 impl Default for Trainer {
@@ -67,8 +76,26 @@ impl Default for Trainer {
             momentum: 0.9,
             weight_decay: 1e-4,
             augment: None,
+            recovery: RecoveryPolicy::default(),
+            fault: None,
         }
     }
+}
+
+/// Whether an error is a divergence the [`RecoveryPolicy`] may retry, as
+/// opposed to a configuration/shape error that retrying cannot fix.
+fn is_recoverable(e: &EnsembleError) -> bool {
+    matches!(
+        e,
+        EnsembleError::Diverged(_) | EnsembleError::Nn(NnError::NonFinite(_))
+    )
+}
+
+/// Rewraps a final (unrecovered) divergence with how far recovery got.
+fn divergence_with_context(e: EnsembleError, epoch: usize, rollbacks: usize) -> EnsembleError {
+    EnsembleError::Diverged(format!(
+        "{e} (epoch {epoch}, after {rollbacks} rollback(s); retry budget exhausted)"
+    ))
 }
 
 impl Trainer {
@@ -92,7 +119,9 @@ impl Trainer {
         loss: &LossSpec<'_>,
         rng: &mut StdRng,
     ) -> Result<TrainStats> {
-        self.train_traced(net, data, schedule, epochs, weights, loss, rng, |_, _| Ok(()))
+        self.train_traced(net, data, schedule, epochs, weights, loss, rng, |_, _| {
+            Ok(())
+        })
     }
 
     /// Like [`Trainer::train`], but invokes `on_epoch(net, epoch)` after each
@@ -120,6 +149,7 @@ impl Trainer {
             }
         }
         self.validate_aligned(data, loss)?;
+        self.recovery.validate().map_err(EnsembleError::BadConfig)?;
         let batcher = Batcher::new(self.batch_size);
         let mut opt = Sgd::new(
             schedule.lr_at(0).max(1e-8),
@@ -128,73 +158,145 @@ impl Trainer {
         );
         let ce = CrossEntropy::new();
         let mut final_loss = 0.0f32;
-        for epoch in 0..epochs {
-            opt.set_lr(schedule.lr_at(epoch).max(1e-8));
-            let mut epoch_loss = 0.0f64;
-            let batches = batcher.epoch(data, rng);
-            let n_batches = batches.len().max(1);
-            for batch in batches {
-                let features = match &self.augment {
-                    Some(cfg) if batch.features.rank() == 4 => {
-                        augment_batch(&batch.features, cfg, rng)?
-                    }
-                    _ => batch.features.clone(),
-                };
-                let batch_weights: Option<Vec<f32>> = weights
-                    .map(|w| batch.indices.iter().map(|&i| w[i]).collect());
-                net.zero_grad();
-                let logits = net.forward(&features, Mode::Train)?;
-                let out = match loss {
-                    LossSpec::CrossEntropy => {
-                        ce.compute(&logits, &batch.labels, batch_weights.as_deref())?
-                    }
-                    LossSpec::Diversity {
-                        gamma,
-                        ensemble_soft,
-                    } => {
-                        let targets = ensemble_soft.index_select0(&batch.indices)?;
-                        DiversityDriven::new(*gamma).compute(
-                            &logits,
-                            &batch.labels,
-                            batch_weights.as_deref(),
-                            &targets,
-                        )?
-                    }
-                    LossSpec::Distill {
-                        lambda,
-                        temperature,
-                        teacher_soft,
-                    } => {
-                        let targets = teacher_soft.index_select0(&batch.indices)?;
-                        Distillation::new(*lambda, *temperature).compute(
-                            &logits,
-                            &batch.labels,
-                            &targets,
-                        )?
-                    }
-                };
-                if !out.loss.is_finite() {
-                    return Err(EnsembleError::Diverged(format!(
-                        "non-finite loss at epoch {epoch}"
-                    )));
+        let mut lr_scale = 1.0f32;
+        let mut rollbacks = 0usize;
+        let mut retries_left = self.recovery.max_retries;
+        let mut epoch = 0usize;
+        while epoch < epochs {
+            // Snapshot model + optimizer momentum + RNG at the epoch
+            // boundary so a divergent epoch can be replayed (with a smaller
+            // learning rate) from exactly this point.
+            let snapshot = if retries_left > 0 {
+                Some((net.export_state(), opt.clone(), rng.clone()))
+            } else {
+                None
+            };
+            opt.set_lr((schedule.lr_at(epoch) * lr_scale).max(1e-8));
+            match self.run_one_epoch(
+                net, data, &batcher, &mut opt, &ce, weights, loss, rng, epoch,
+            ) {
+                Ok(epoch_loss) => {
+                    final_loss = epoch_loss;
+                    on_epoch(net, epoch)?;
+                    epoch += 1;
                 }
-                net.backward(&out.grad_logits)?;
-                opt.step(net)?;
-                epoch_loss += f64::from(out.loss);
+                Err(e) if is_recoverable(&e) => {
+                    let Some((state, snap_opt, snap_rng)) = snapshot else {
+                        return Err(divergence_with_context(e, epoch, rollbacks));
+                    };
+                    net.import_state(&state)?;
+                    opt = snap_opt;
+                    *rng = snap_rng;
+                    retries_left -= 1;
+                    rollbacks += 1;
+                    lr_scale *= self.recovery.lr_backoff;
+                }
+                Err(e) => return Err(e),
             }
-            final_loss = (epoch_loss / n_batches as f64) as f32;
-            on_epoch(net, epoch)?;
         }
         Ok(TrainStats {
             final_loss,
             epochs,
+            rollbacks,
         })
+    }
+
+    /// One pass over the data. Returns the mean loss, or a divergence /
+    /// hard error. Leaves rollback decisions to the caller.
+    #[allow(clippy::too_many_arguments)]
+    fn run_one_epoch(
+        &self,
+        net: &mut Network,
+        data: &Dataset,
+        batcher: &Batcher,
+        opt: &mut Sgd,
+        ce: &CrossEntropy,
+        weights: Option<&[f32]>,
+        loss: &LossSpec<'_>,
+        rng: &mut StdRng,
+        epoch: usize,
+    ) -> Result<f32> {
+        let mut epoch_loss = 0.0f64;
+        let batches = batcher.epoch(data, rng);
+        let n_batches = batches.len().max(1);
+        for batch in batches {
+            let features = match &self.augment {
+                Some(cfg) if batch.features.rank() == 4 => {
+                    augment_batch(&batch.features, cfg, rng)?
+                }
+                _ => batch.features.clone(),
+            };
+            let batch_weights: Option<Vec<f32>> =
+                weights.map(|w| batch.indices.iter().map(|&i| w[i]).collect());
+            net.zero_grad();
+            let logits = net.forward(&features, Mode::Train)?;
+            let out = match loss {
+                LossSpec::CrossEntropy => {
+                    ce.compute(&logits, &batch.labels, batch_weights.as_deref())?
+                }
+                LossSpec::Diversity {
+                    gamma,
+                    ensemble_soft,
+                } => {
+                    let targets = ensemble_soft.index_select0(&batch.indices)?;
+                    DiversityDriven::new(*gamma).compute(
+                        &logits,
+                        &batch.labels,
+                        batch_weights.as_deref(),
+                        &targets,
+                    )?
+                }
+                LossSpec::Distill {
+                    lambda,
+                    temperature,
+                    teacher_soft,
+                } => {
+                    let targets = teacher_soft.index_select0(&batch.indices)?;
+                    Distillation::new(*lambda, *temperature).compute(
+                        &logits,
+                        &batch.labels,
+                        &targets,
+                    )?
+                }
+            };
+            let mut batch_loss = out.loss;
+            if let Some(fault) = &self.fault {
+                if fault.corrupt_this_step() {
+                    batch_loss = f32::NAN;
+                }
+            }
+            if !batch_loss.is_finite() {
+                return Err(EnsembleError::Diverged(format!(
+                    "non-finite loss at epoch {epoch}"
+                )));
+            }
+            net.backward(&out.grad_logits)?;
+            if let Some(limit) = self.recovery.grad_norm_limit {
+                let mut sq = 0.0f64;
+                net.visit_params(&mut |_, p| {
+                    sq += p
+                        .grad
+                        .data()
+                        .iter()
+                        .map(|&g| f64::from(g) * f64::from(g))
+                        .sum::<f64>();
+                });
+                let norm = sq.sqrt() as f32;
+                if !norm.is_finite() || norm > limit {
+                    return Err(EnsembleError::Diverged(format!(
+                        "gradient norm {norm} exceeds limit {limit} at epoch {epoch}"
+                    )));
+                }
+            }
+            opt.step(net)?;
+            epoch_loss += f64::from(batch_loss);
+        }
+        Ok((epoch_loss / n_batches as f64) as f32)
     }
 
     fn validate_aligned(&self, data: &Dataset, loss: &LossSpec<'_>) -> Result<()> {
         let check = |t: &Tensor, what: &str| -> Result<()> {
-            if t.rank() != 2 || t.dims()[0] != data.len() || t.dims()[1] != data.num_classes()
-            {
+            if t.rank() != 2 || t.dims()[0] != data.len() || t.dims()[1] != data.num_classes() {
                 return Err(EnsembleError::DataMismatch(format!(
                     "{what} must be [{}, {}], got {:?}",
                     data.len(),
@@ -217,6 +319,7 @@ impl Trainer {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::recovery::{FaultPlan, RecoveryPolicy};
     use edde_data::synth::{gaussian_blobs, GaussianBlobsConfig};
     use edde_nn::models::mlp;
     use rand::SeedableRng;
@@ -240,9 +343,8 @@ mod tests {
         let mut net = mlp(&[6, 32, 3], 0.0, &mut rng);
         let trainer = Trainer {
             batch_size: 16,
-            momentum: 0.9,
             weight_decay: 0.0,
-            augment: None,
+            ..Trainer::default()
         };
         let schedule = LrSchedule::paper_step(0.1, 20);
         let stats = trainer
@@ -276,9 +378,8 @@ mod tests {
         let mut net = mlp(&[6, 16, 3], 0.0, &mut rng);
         let trainer = Trainer {
             batch_size: 16,
-            momentum: 0.9,
             weight_decay: 0.0,
-            augment: None,
+            ..Trainer::default()
         };
         let schedule = LrSchedule::Constant { base: 0.05 };
         trainer
@@ -352,9 +453,8 @@ mod tests {
         let soft = Tensor::full(&[train.len(), 3], 1.0 / 3.0);
         let trainer = Trainer {
             batch_size: 32,
-            momentum: 0.9,
             weight_decay: 0.0,
-            augment: None,
+            ..Trainer::default()
         };
         let stats = trainer
             .train(
@@ -374,6 +474,160 @@ mod tests {
     }
 
     #[test]
+    fn injected_nan_loss_is_recovered_by_rollback() {
+        let (train, test) = blob_env();
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut net = mlp(&[6, 32, 3], 0.0, &mut rng);
+        let trainer = Trainer {
+            batch_size: 16,
+            weight_decay: 0.0,
+            fault: Some(FaultPlan::nan_loss_at_step(12)),
+            ..Trainer::default()
+        };
+        let schedule = LrSchedule::paper_step(0.1, 20);
+        let stats = trainer
+            .train(
+                &mut net,
+                &train,
+                &schedule,
+                20,
+                None,
+                &LossSpec::CrossEntropy,
+                &mut rng,
+            )
+            .unwrap();
+        assert_eq!(stats.rollbacks, 1);
+        assert_eq!(stats.epochs, 20);
+        // Training still works after the rollback.
+        let probs = net.predict_proba(test.features()).unwrap();
+        let acc = edde_nn::metrics::accuracy(&probs, test.labels()).unwrap();
+        assert!(acc > 0.85, "accuracy {acc}");
+    }
+
+    #[test]
+    fn divergence_surfaces_once_retry_budget_is_exhausted() {
+        let (train, _) = blob_env();
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut net = mlp(&[6, 8, 3], 0.0, &mut rng);
+        let trainer = Trainer {
+            batch_size: 16,
+            weight_decay: 0.0,
+            recovery: RecoveryPolicy {
+                max_retries: 0,
+                ..RecoveryPolicy::default()
+            },
+            fault: Some(FaultPlan::nan_loss_at_step(0)),
+            ..Trainer::default()
+        };
+        let err = trainer
+            .train(
+                &mut net,
+                &train,
+                &LrSchedule::Constant { base: 0.1 },
+                3,
+                None,
+                &LossSpec::CrossEntropy,
+                &mut rng,
+            )
+            .unwrap_err();
+        assert!(matches!(err, EnsembleError::Diverged(_)), "{err}");
+        assert!(err.to_string().contains("retry budget"), "{err}");
+    }
+
+    #[test]
+    fn recovered_run_matches_clean_run_when_fault_replay_is_clean() {
+        // A NaN injected once (monotonic step counter) is absent from the
+        // replay; with the schedule-scale untouched for earlier epochs and
+        // identical RNG restoration, the *first* divergent epoch replays on
+        // the same batches. The run must complete and stay deterministic
+        // given the same seed + fault plan.
+        let (train, _) = blob_env();
+        let run = || {
+            let mut rng = StdRng::seed_from_u64(8);
+            let mut net = mlp(&[6, 16, 3], 0.0, &mut rng);
+            let trainer = Trainer {
+                batch_size: 16,
+                weight_decay: 0.0,
+                fault: Some(FaultPlan::nan_loss_at_step(5)),
+                ..Trainer::default()
+            };
+            trainer
+                .train(
+                    &mut net,
+                    &train,
+                    &LrSchedule::Constant { base: 0.05 },
+                    4,
+                    None,
+                    &LossSpec::CrossEntropy,
+                    &mut rng,
+                )
+                .unwrap();
+            net.export_state()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn gradient_norm_limit_triggers_recovery() {
+        let (train, _) = blob_env();
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut net = mlp(&[6, 16, 3], 0.0, &mut rng);
+        // An absurdly tight limit: every step "diverges", so the retry
+        // budget must run out.
+        let trainer = Trainer {
+            batch_size: 16,
+            weight_decay: 0.0,
+            recovery: RecoveryPolicy {
+                max_retries: 2,
+                grad_norm_limit: Some(1e-12),
+                ..RecoveryPolicy::default()
+            },
+            ..Trainer::default()
+        };
+        let err = trainer
+            .train(
+                &mut net,
+                &train,
+                &LrSchedule::Constant { base: 0.1 },
+                3,
+                None,
+                &LossSpec::CrossEntropy,
+                &mut rng,
+            )
+            .unwrap_err();
+        assert!(matches!(err, EnsembleError::Diverged(_)), "{err}");
+        assert!(err.to_string().contains("gradient norm"), "{err}");
+    }
+
+    #[test]
+    fn invalid_recovery_policy_is_rejected() {
+        let (train, _) = blob_env();
+        let mut rng = StdRng::seed_from_u64(10);
+        let mut net = mlp(&[6, 8, 3], 0.0, &mut rng);
+        let trainer = Trainer {
+            recovery: RecoveryPolicy {
+                lr_backoff: 2.0,
+                ..RecoveryPolicy::default()
+            },
+            ..Trainer::default()
+        };
+        let err = trainer
+            .train(
+                &mut net,
+                &train,
+                &LrSchedule::Constant { base: 0.1 },
+                1,
+                None,
+                &LossSpec::CrossEntropy,
+                &mut rng,
+            )
+            .unwrap_err();
+        assert!(matches!(err, EnsembleError::BadConfig(_)), "{err}");
+    }
+
+    #[test]
     fn distillation_pulls_student_toward_teacher() {
         let (train, _) = blob_env();
         let mut rng = StdRng::seed_from_u64(5);
@@ -381,9 +635,8 @@ mod tests {
         let mut teacher = mlp(&[6, 32, 3], 0.0, &mut rng);
         let trainer = Trainer {
             batch_size: 16,
-            momentum: 0.9,
             weight_decay: 0.0,
-            augment: None,
+            ..Trainer::default()
         };
         trainer
             .train(

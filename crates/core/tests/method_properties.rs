@@ -27,9 +27,8 @@ fn env(seed: u64) -> ExperimentEnv {
         factory,
         Trainer {
             batch_size: 16,
-            momentum: 0.9,
             weight_decay: 0.0,
-            augment: None,
+            ..Trainer::default()
         },
         0.1,
         seed,
@@ -182,7 +181,10 @@ fn single_model_equals_one_member_snapshot() {
     let s2 = Snapshot::new(1, 8).run(&e).unwrap();
     let a1 = s1.trace.last().unwrap().test_accuracy;
     let a2 = s2.trace.last().unwrap().test_accuracy;
-    assert!((a1 - a2).abs() < 0.2, "single {a1} vs 1-cycle snapshot {a2}");
+    assert!(
+        (a1 - a2).abs() < 0.2,
+        "single {a1} vs 1-cycle snapshot {a2}"
+    );
 }
 
 #[test]

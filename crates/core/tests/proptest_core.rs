@@ -13,9 +13,8 @@ use rand::SeedableRng;
 
 /// Strategy: an `[n, k]` probability matrix.
 fn prob_matrix(n: usize, k: usize) -> impl Strategy<Value = Tensor> {
-    prop::collection::vec(-4.0f32..4.0, n * k).prop_map(move |raw| {
-        softmax_rows(&Tensor::from_vec(raw, &[n, k]).unwrap()).unwrap()
-    })
+    prop::collection::vec(-4.0f32..4.0, n * k)
+        .prop_map(move |raw| softmax_rows(&Tensor::from_vec(raw, &[n, k]).unwrap()).unwrap())
 }
 
 proptest! {

@@ -27,11 +27,7 @@ impl Default for AugmentConfig {
 /// Applies random crop + horizontal flip to an `[N, C, H, W]` batch,
 /// returning a new tensor of the same shape. Each sample gets its own
 /// random offsets, as in standard training pipelines.
-pub fn augment_batch(
-    batch: &Tensor,
-    config: &AugmentConfig,
-    rng: &mut impl Rng,
-) -> Result<Tensor> {
+pub fn augment_batch(batch: &Tensor, config: &AugmentConfig, rng: &mut impl Rng) -> Result<Tensor> {
     if batch.rank() != 4 {
         return Err(TensorError::RankMismatch {
             expected: 4,
@@ -94,8 +90,7 @@ mod tests {
     #[test]
     fn deterministic_flip_mirrors_width() {
         let mut r = StdRng::seed_from_u64(0);
-        let batch =
-            Tensor::from_vec((0..4).map(|v| v as f32).collect(), &[1, 1, 1, 4]).unwrap();
+        let batch = Tensor::from_vec((0..4).map(|v| v as f32).collect(), &[1, 1, 1, 4]).unwrap();
         let cfg = AugmentConfig {
             pad: 0,
             flip_prob: 1.0,

@@ -75,8 +75,7 @@ mod tests {
     use rand::SeedableRng;
 
     fn toy(n: usize) -> Dataset {
-        let features =
-            Tensor::from_vec((0..n).map(|v| v as f32).collect(), &[n, 1]).unwrap();
+        let features = Tensor::from_vec((0..n).map(|v| v as f32).collect(), &[n, 1]).unwrap();
         let labels = (0..n).map(|i| i % 2).collect();
         Dataset::new(features, labels, 2).unwrap()
     }

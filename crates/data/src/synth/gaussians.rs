@@ -39,7 +39,11 @@ pub fn gaussian_blobs(config: &GaussianBlobsConfig, seed: u64) -> TrainTest {
     assert!(config.dim >= 1, "need at least one feature");
     let mut rng = StdRng::seed_from_u64(seed);
     let centers: Vec<Vec<f32>> = (0..config.classes)
-        .map(|_| (0..config.dim).map(|_| 2.0 * normal_deviate(&mut rng)).collect())
+        .map(|_| {
+            (0..config.dim)
+                .map(|_| 2.0 * normal_deviate(&mut rng))
+                .collect()
+        })
         .collect();
     let render = |per_class: usize, rng: &mut StdRng| -> Dataset {
         let n = per_class * config.classes;
@@ -106,8 +110,16 @@ mod tests {
                 .iter()
                 .enumerate()
                 .min_by(|(_, a), (_, b)| {
-                    let da: f32 = row.iter().zip(a.iter()).map(|(x, y)| (x - y) * (x - y)).sum();
-                    let db: f32 = row.iter().zip(b.iter()).map(|(x, y)| (x - y) * (x - y)).sum();
+                    let da: f32 = row
+                        .iter()
+                        .zip(a.iter())
+                        .map(|(x, y)| (x - y) * (x - y))
+                        .sum();
+                    let db: f32 = row
+                        .iter()
+                        .zip(b.iter())
+                        .map(|(x, y)| (x - y) * (x - y))
+                        .sum();
                     da.partial_cmp(&db).unwrap()
                 })
                 .map(|(k, _)| k)

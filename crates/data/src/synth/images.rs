@@ -98,13 +98,13 @@ impl SynthImagesConfig {
 
 /// Per-class prototype parameters.
 struct ClassProto {
-    base: Vec<f32>,     // per-channel base intensity
-    freq_y: f32,        // texture frequency (rows)
-    freq_x: f32,        // texture frequency (cols)
-    phase: f32,         // texture phase
-    blob_y: f32,        // blob center (fraction of height)
-    blob_x: f32,        // blob center (fraction of width)
-    blob_r: f32,        // blob radius (fraction of size)
+    base: Vec<f32>, // per-channel base intensity
+    freq_y: f32,    // texture frequency (rows)
+    freq_x: f32,    // texture frequency (cols)
+    phase: f32,     // texture phase
+    blob_y: f32,    // blob center (fraction of height)
+    blob_x: f32,    // blob center (fraction of width)
+    blob_r: f32,    // blob radius (fraction of size)
     blob_channel: usize,
 }
 
@@ -208,8 +208,7 @@ impl SynthImages {
                             let fy = (y as f32 + dy) / s as f32;
                             let fx = (x as f32 + dx) / s as f32;
                             let texture = 0.25
-                                * (std::f32::consts::TAU
-                                    * (proto.freq_y * fy + proto.freq_x * fx)
+                                * (std::f32::consts::TAU * (proto.freq_y * fy + proto.freq_x * fx)
                                     + proto.phase)
                                     .sin();
                             let mut v = proto.base[ch] + texture;
@@ -309,7 +308,11 @@ mod tests {
             let mut best = 0;
             let mut best_d = f32::INFINITY;
             for (k, c) in centroids.iter().enumerate() {
-                let d: f32 = row.iter().zip(c.iter()).map(|(a, b)| (a - b) * (a - b)).sum();
+                let d: f32 = row
+                    .iter()
+                    .zip(c.iter())
+                    .map(|(a, b)| (a - b) * (a - b))
+                    .sum();
                 if d < best_d {
                     best_d = d;
                     best = k;

@@ -105,8 +105,20 @@ impl SynthText {
             .collect();
         let background_start = 1 + config.classes * config.markers_per_class;
 
-        let train = Self::render_split(config, &marker_sets, background_start, config.train_per_class, &mut rng);
-        let test = Self::render_split(config, &marker_sets, background_start, config.test_per_class, &mut rng);
+        let train = Self::render_split(
+            config,
+            &marker_sets,
+            background_start,
+            config.train_per_class,
+            &mut rng,
+        );
+        let test = Self::render_split(
+            config,
+            &marker_sets,
+            background_start,
+            config.test_per_class,
+            &mut rng,
+        );
         TrainTest { train, test }
     }
 

@@ -16,7 +16,11 @@ pub(crate) fn concat_channels(a: &Tensor, b: &Tensor) -> Result<Tensor> {
         return Err(NnError::BadInput {
             layer: "concat_channels",
             expected: "[N,C,H,W]".into(),
-            got: if a.rank() != 4 { a.dims().to_vec() } else { b.dims().to_vec() },
+            got: if a.rank() != 4 {
+                a.dims().to_vec()
+            } else {
+                b.dims().to_vec()
+            },
         });
     }
     let (n, ca, h, w) = (a.dims()[0], a.dims()[1], a.dims()[2], a.dims()[3]);

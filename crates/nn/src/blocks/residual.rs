@@ -225,10 +225,7 @@ mod tests {
             let num = (loss(&p) - loss(&m)) / (2.0 * eps);
             let ana = gx.data()[i];
             // ReLU kinks make finite differences noisy; use a loose tolerance
-            assert!(
-                (num - ana).abs() < 6e-2,
-                "x[{i}]: num {num} vs ana {ana}"
-            );
+            assert!((num - ana).abs() < 6e-2, "x[{i}]: num {num} vs ana {ana}");
         }
     }
 }

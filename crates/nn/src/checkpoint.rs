@@ -1,41 +1,288 @@
-//! Saving and restoring network state to disk.
+//! Saving and restoring network state, with integrity checking and atomic
+//! writes.
 //!
-//! Uses the compact binary format of [`edde_tensor::serialize`]; a
-//! checkpoint is the network's full `export_state` (parameters followed by
-//! batch-norm buffers).
+//! Two on-disk layouts exist:
+//!
+//! * **v1 (legacy)** — the raw [`edde_tensor::serialize::encode_params`]
+//!   stream (param count, then named `EDT1` tensors). No framing, no
+//!   checksum. Still readable.
+//! * **v2 (`EDC2`)** — the same payload wrapped in a checksummed frame:
+//!
+//!   ```text
+//!   magic   : b"EDC2"
+//!   version : u32 LE (currently 2)
+//!   crc32   : u32 LE over the payload bytes
+//!   length  : u64 LE payload byte count
+//!   payload : the v1 parameter stream
+//!   ```
+//!
+//! [`save`] always writes v2 and is atomic: bytes go to a sibling
+//! `*.tmp` file which is fsynced and then renamed over the destination, so
+//! a crash mid-write can never leave a half-written checkpoint under the
+//! real name. [`load`] auto-detects the version, verifying the checksum for
+//! v2 frames.
+//!
+//! The [`CheckpointStore`] trait abstracts the byte transport so ensemble
+//! run state (see `edde-core`) can target the filesystem, memory (tests),
+//! or a fault-injecting wrapper without touching training code.
 
 use crate::error::{NnError, Result};
 use crate::network::Network;
-use bytes::Bytes;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use edde_tensor::crc32::crc32;
+use std::collections::HashMap;
 use std::fs;
-use std::path::Path;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
 
-/// Serializes a network's state into bytes.
+/// Magic prefix of a v2 checkpoint frame.
+pub const V2_MAGIC: &[u8; 4] = b"EDC2";
+
+/// Current checkpoint format version.
+pub const V2_VERSION: u32 = 2;
+
+/// Byte size of the v2 frame header (magic + version + crc + length).
+const V2_HEADER: usize = 4 + 4 + 4 + 8;
+
+/// Serializes a network's state into raw (unframed, v1) payload bytes.
 pub fn to_bytes(net: &mut Network) -> Bytes {
     edde_tensor::serialize::encode_params(&net.export_state())
 }
 
-/// Restores a network's state from bytes produced by [`to_bytes`].
+/// Restores a network's state from payload bytes — either a raw v1 stream
+/// or a sealed v2 frame (auto-detected).
 pub fn from_bytes(net: &mut Network, bytes: Bytes) -> Result<()> {
-    let state = edde_tensor::serialize::decode_params(bytes)
-        .map_err(NnError::Tensor)?;
+    let payload = if bytes.len() >= 4 && &bytes[..4] == V2_MAGIC {
+        unseal(bytes)?
+    } else {
+        bytes
+    };
+    let state = edde_tensor::serialize::decode_params(payload).map_err(NnError::Tensor)?;
     net.import_state(&state)
 }
 
-/// Writes a checkpoint file.
-pub fn save(net: &mut Network, path: impl AsRef<Path>) -> Result<()> {
-    let bytes = to_bytes(net);
-    fs::write(path.as_ref(), &bytes).map_err(|e| {
-        NnError::StateMismatch(format!("cannot write checkpoint: {e}"))
+/// Wraps payload bytes in a checksummed v2 frame.
+pub fn seal(payload: &[u8]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(V2_HEADER + payload.len());
+    buf.put_slice(V2_MAGIC);
+    buf.put_u32_le(V2_VERSION);
+    buf.put_u32_le(crc32(payload));
+    buf.put_u64_le(payload.len() as u64);
+    buf.put_slice(payload);
+    buf.freeze()
+}
+
+/// Unwraps a v2 frame, verifying length and checksum. Returns the payload.
+pub fn unseal(mut bytes: Bytes) -> Result<Bytes> {
+    if bytes.remaining() < V2_HEADER {
+        return Err(NnError::Corrupt(format!(
+            "frame too short: {} bytes",
+            bytes.remaining()
+        )));
+    }
+    let mut magic = [0u8; 4];
+    bytes.copy_to_slice(&mut magic);
+    if &magic != V2_MAGIC {
+        return Err(NnError::Corrupt(format!(
+            "bad magic {magic:?}, expected {V2_MAGIC:?}"
+        )));
+    }
+    let version = bytes.get_u32_le();
+    if version != V2_VERSION {
+        return Err(NnError::Corrupt(format!(
+            "unsupported checkpoint version {version}"
+        )));
+    }
+    let expect_crc = bytes.get_u32_le();
+    let len = bytes.get_u64_le();
+    if len != bytes.remaining() as u64 {
+        return Err(NnError::Corrupt(format!(
+            "frame length {len} does not match remaining {} bytes",
+            bytes.remaining()
+        )));
+    }
+    let actual = crc32(&bytes);
+    if actual != expect_crc {
+        return Err(NnError::Corrupt(format!(
+            "checksum mismatch: stored {expect_crc:#010x}, computed {actual:#010x}"
+        )));
+    }
+    Ok(bytes)
+}
+
+/// Writes `bytes` to `path` atomically: temp file in the same directory,
+/// fsync, then rename over the destination.
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> Result<()> {
+    let io = |what: &'static str| {
+        let p = path.display().to_string();
+        move |e: std::io::Error| NnError::Io(format!("{what} {p}: {e}"))
+    };
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = PathBuf::from(tmp);
+    {
+        let mut f = fs::File::create(&tmp).map_err(io("cannot create"))?;
+        f.write_all(bytes).map_err(io("cannot write"))?;
+        f.sync_all().map_err(io("cannot sync"))?;
+    }
+    fs::rename(&tmp, path).map_err(|e| {
+        // Don't leave the temp file behind on a failed rename.
+        let _ = fs::remove_file(&tmp);
+        NnError::Io(format!(
+            "cannot rename {} over {}: {e}",
+            tmp.display(),
+            path.display()
+        ))
     })
 }
 
-/// Loads a checkpoint file into an architecture-compatible network.
+/// Writes a checkpoint file in the v2 (checksummed) format, atomically.
+pub fn save(net: &mut Network, path: impl AsRef<Path>) -> Result<()> {
+    let sealed = seal(&to_bytes(net));
+    atomic_write(path.as_ref(), &sealed)
+}
+
+/// Loads a checkpoint file (v1 or v2, auto-detected) into an
+/// architecture-compatible network.
 pub fn load(net: &mut Network, path: impl AsRef<Path>) -> Result<()> {
-    let bytes = fs::read(path.as_ref()).map_err(|e| {
-        NnError::StateMismatch(format!("cannot read checkpoint: {e}"))
-    })?;
+    let path = path.as_ref();
+    let bytes = fs::read(path)
+        .map_err(|e| NnError::Io(format!("cannot read checkpoint {}: {e}", path.display())))?;
     from_bytes(net, Bytes::from(bytes))
+}
+
+/// A keyed byte store for checkpoints and run manifests.
+///
+/// Implementations must make `put` all-or-nothing per key: a reader must
+/// never observe a torn value. The filesystem implementation gets this from
+/// write-temp-then-rename; the in-memory one from a mutex.
+pub trait CheckpointStore: Send + Sync {
+    /// Stores `bytes` under `key`, replacing any previous value.
+    fn put(&self, key: &str, bytes: &[u8]) -> Result<()>;
+    /// Retrieves the value stored under `key`.
+    fn get(&self, key: &str) -> Result<Bytes>;
+    /// Whether `key` currently has a value.
+    fn contains(&self, key: &str) -> bool;
+    /// Removes `key` if present (no error when absent).
+    fn remove(&self, key: &str) -> Result<()>;
+}
+
+/// Filesystem-backed store: each key is a file inside one directory,
+/// written atomically.
+#[derive(Debug, Clone)]
+pub struct FsStore {
+    dir: PathBuf,
+}
+
+impl FsStore {
+    /// Opens (creating if needed) a store rooted at `dir`.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)
+            .map_err(|e| NnError::Io(format!("cannot create store dir {}: {e}", dir.display())))?;
+        Ok(FsStore { dir })
+    }
+
+    /// The directory backing this store.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn path_for(&self, key: &str) -> Result<PathBuf> {
+        // Keys are single path components by contract; reject separators so
+        // a hostile manifest can't escape the store directory.
+        if key.is_empty() || key.contains(['/', '\\']) || key == "." || key == ".." {
+            return Err(NnError::Io(format!("invalid store key {key:?}")));
+        }
+        Ok(self.dir.join(key))
+    }
+}
+
+impl CheckpointStore for FsStore {
+    fn put(&self, key: &str, bytes: &[u8]) -> Result<()> {
+        atomic_write(&self.path_for(key)?, bytes)
+    }
+
+    fn get(&self, key: &str) -> Result<Bytes> {
+        let path = self.path_for(key)?;
+        let bytes = fs::read(&path)
+            .map_err(|e| NnError::Io(format!("cannot read {}: {e}", path.display())))?;
+        Ok(Bytes::from(bytes))
+    }
+
+    fn contains(&self, key: &str) -> bool {
+        self.path_for(key).map(|p| p.is_file()).unwrap_or(false)
+    }
+
+    fn remove(&self, key: &str) -> Result<()> {
+        let path = self.path_for(key)?;
+        match fs::remove_file(&path) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(NnError::Io(format!(
+                "cannot remove {}: {e}",
+                path.display()
+            ))),
+        }
+    }
+}
+
+/// In-memory store for tests and ephemeral runs.
+#[derive(Debug, Default)]
+pub struct MemStore {
+    map: Mutex<HashMap<String, Bytes>>,
+}
+
+impl MemStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        MemStore::default()
+    }
+}
+
+impl CheckpointStore for MemStore {
+    fn put(&self, key: &str, bytes: &[u8]) -> Result<()> {
+        self.map
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(key.to_string(), Bytes::from(bytes.to_vec()));
+        Ok(())
+    }
+
+    fn get(&self, key: &str) -> Result<Bytes> {
+        self.map
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(key)
+            .cloned()
+            .ok_or_else(|| NnError::Io(format!("no such key {key:?}")))
+    }
+
+    fn contains(&self, key: &str) -> bool {
+        self.map
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .contains_key(key)
+    }
+
+    fn remove(&self, key: &str) -> Result<()> {
+        self.map
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .remove(key);
+        Ok(())
+    }
+}
+
+/// Saves a network into a store under `key`, sealed in a v2 frame.
+pub fn save_to_store(store: &dyn CheckpointStore, key: &str, net: &mut Network) -> Result<()> {
+    store.put(key, &seal(&to_bytes(net)))
+}
+
+/// Loads a network from a store, verifying the v2 frame.
+pub fn load_from_store(store: &dyn CheckpointStore, key: &str, net: &mut Network) -> Result<()> {
+    from_bytes(net, store.get(key)?)
 }
 
 #[cfg(test)]
@@ -46,6 +293,12 @@ mod tests {
     use edde_tensor::Tensor;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("edde_ckpt_{tag}_{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
 
     #[test]
     fn byte_round_trip_preserves_outputs() {
@@ -63,8 +316,7 @@ mod tests {
 
     #[test]
     fn file_round_trip() {
-        let dir = std::env::temp_dir().join("edde_ckpt_test");
-        std::fs::create_dir_all(&dir).unwrap();
+        let dir = temp_dir("file_rt");
         let path = dir.join("net.edt");
         let mut r = StdRng::seed_from_u64(12);
         let mut a = mlp(&[2, 4, 2], 0.0, &mut r);
@@ -76,7 +328,73 @@ mod tests {
             a.forward(&x, Mode::Eval).unwrap().data(),
             b.forward(&x, Mode::Eval).unwrap().data()
         );
-        let _ = std::fs::remove_file(&path);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn save_leaves_no_temp_file_and_writes_v2() {
+        let dir = temp_dir("no_tmp");
+        let path = dir.join("net.edt");
+        let mut r = StdRng::seed_from_u64(15);
+        let mut a = mlp(&[2, 4, 2], 0.0, &mut r);
+        save(&mut a, &path).unwrap();
+        let entries: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().into_string().unwrap())
+            .collect();
+        assert_eq!(
+            entries,
+            vec!["net.edt".to_string()],
+            "stray files: {entries:?}"
+        );
+        let bytes = fs::read(&path).unwrap();
+        assert_eq!(&bytes[..4], V2_MAGIC);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn legacy_v1_checkpoints_still_load() {
+        let dir = temp_dir("legacy_v1");
+        let path = dir.join("net_v1.edt");
+        let mut r = StdRng::seed_from_u64(16);
+        let mut a = mlp(&[2, 4, 2], 0.0, &mut r);
+        // A v1 file is the raw parameter stream, written without framing —
+        // exactly what the pre-v2 `save` produced.
+        fs::write(&path, to_bytes(&mut a)).unwrap();
+        let mut b = mlp(&[2, 4, 2], 0.0, &mut r);
+        load(&mut b, &path).unwrap();
+        let x = Tensor::ones(&[1, 2]);
+        assert_eq!(
+            a.forward(&x, Mode::Eval).unwrap().data(),
+            b.forward(&x, Mode::Eval).unwrap().data()
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bit_flip_is_detected_by_checksum() {
+        let mut r = StdRng::seed_from_u64(17);
+        let mut a = mlp(&[2, 4, 2], 0.0, &mut r);
+        let sealed = seal(&to_bytes(&mut a));
+        // flip one bit somewhere in the payload
+        let mut corrupt = sealed.to_vec();
+        let idx = V2_HEADER + corrupt[V2_HEADER..].len() / 2;
+        corrupt[idx] ^= 0x04;
+        let mut b = mlp(&[2, 4, 2], 0.0, &mut r);
+        let err = from_bytes(&mut b, Bytes::from(corrupt)).unwrap_err();
+        assert!(matches!(err, NnError::Corrupt(_)), "{err}");
+        assert!(err.to_string().contains("checksum"), "{err}");
+    }
+
+    #[test]
+    fn truncated_v2_frame_is_detected() {
+        let mut r = StdRng::seed_from_u64(18);
+        let mut a = mlp(&[2, 4, 2], 0.0, &mut r);
+        let sealed = seal(&to_bytes(&mut a));
+        let cut = sealed.slice(0..sealed.len() - 7);
+        let mut b = mlp(&[2, 4, 2], 0.0, &mut r);
+        let err = from_bytes(&mut b, cut).unwrap_err();
+        assert!(matches!(err, NnError::Corrupt(_)), "{err}");
     }
 
     #[test]
@@ -89,9 +407,51 @@ mod tests {
     }
 
     #[test]
-    fn missing_file_is_a_clean_error() {
+    fn missing_file_is_a_clean_io_error() {
         let mut r = StdRng::seed_from_u64(14);
         let mut a = mlp(&[2, 2], 0.0, &mut r);
-        assert!(load(&mut a, "/nonexistent/path/net.edt").is_err());
+        let err = load(&mut a, "/nonexistent/path/net.edt").unwrap_err();
+        assert!(matches!(err, NnError::Io(_)), "{err}");
+    }
+
+    #[test]
+    fn unwritable_path_is_an_io_error_not_state_mismatch() {
+        let mut r = StdRng::seed_from_u64(19);
+        let mut a = mlp(&[2, 2], 0.0, &mut r);
+        let err = save(&mut a, "/nonexistent-dir/net.edt").unwrap_err();
+        assert!(matches!(err, NnError::Io(_)), "{err}");
+    }
+
+    #[test]
+    fn stores_round_trip_and_report_missing_keys() {
+        for store in [
+            Box::new(MemStore::new()) as Box<dyn CheckpointStore>,
+            Box::new(FsStore::open(temp_dir("store_rt")).unwrap()),
+        ] {
+            let mut r = StdRng::seed_from_u64(20);
+            let mut a = mlp(&[2, 4, 2], 0.0, &mut r);
+            assert!(!store.contains("m0"));
+            assert!(store.get("m0").is_err());
+            save_to_store(store.as_ref(), "m0", &mut a).unwrap();
+            assert!(store.contains("m0"));
+            let mut b = mlp(&[2, 4, 2], 0.0, &mut r);
+            load_from_store(store.as_ref(), "m0", &mut b).unwrap();
+            let x = Tensor::ones(&[1, 2]);
+            assert_eq!(
+                a.forward(&x, Mode::Eval).unwrap().data(),
+                b.forward(&x, Mode::Eval).unwrap().data()
+            );
+            store.remove("m0").unwrap();
+            assert!(!store.contains("m0"));
+            store.remove("m0").unwrap(); // idempotent
+        }
+    }
+
+    #[test]
+    fn fs_store_rejects_path_traversal_keys() {
+        let store = FsStore::open(temp_dir("traversal")).unwrap();
+        assert!(store.put("../escape", b"x").is_err());
+        assert!(store.put("a/b", b"x").is_err());
+        assert!(store.put("", b"x").is_err());
     }
 }

@@ -29,6 +29,14 @@ pub enum NnError {
     StateMismatch(String),
     /// A non-finite value was produced where one is not allowed.
     NonFinite(&'static str),
+    /// Checkpoint I/O failed (read, write, rename, or storage backend).
+    ///
+    /// Kept as a message string so the error type stays `Clone + PartialEq`;
+    /// the originating `std::io::Error` is formatted into it.
+    Io(String),
+    /// A checkpoint failed its integrity check (bad magic, bad checksum,
+    /// truncated frame).
+    Corrupt(String),
 }
 
 impl fmt::Display for NnError {
@@ -47,6 +55,8 @@ impl fmt::Display for NnError {
             NnError::BadLossInput(msg) => write!(f, "bad loss input: {msg}"),
             NnError::StateMismatch(msg) => write!(f, "state mismatch: {msg}"),
             NnError::NonFinite(what) => write!(f, "non-finite value in {what}"),
+            NnError::Io(msg) => write!(f, "checkpoint i/o error: {msg}"),
+            NnError::Corrupt(msg) => write!(f, "corrupt checkpoint: {msg}"),
         }
     }
 }

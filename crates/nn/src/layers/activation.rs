@@ -44,7 +44,6 @@ impl Layer for Relu {
     }
 }
 
-
 /// Logistic sigmoid, `y = 1/(1 + e^{-x})`.
 ///
 /// Not used by the paper's architectures (which are all ReLU), but provided
@@ -140,7 +139,9 @@ mod tests {
         let mut relu = Relu::new();
         let x = Tensor::from_slice(&[-1.0, 0.5, 0.0]);
         relu.forward(&x, Mode::Train).unwrap();
-        let g = relu.backward(&Tensor::from_slice(&[7.0, 7.0, 7.0])).unwrap();
+        let g = relu
+            .backward(&Tensor::from_slice(&[7.0, 7.0, 7.0]))
+            .unwrap();
         // zero is treated as inactive (subgradient choice)
         assert_eq!(g.data(), &[0.0, 7.0, 0.0]);
     }
@@ -150,7 +151,6 @@ mod tests {
         let mut relu = Relu::new();
         assert!(relu.backward(&Tensor::zeros(&[1])).is_err());
     }
-
 
     #[test]
     fn sigmoid_forward_and_gradient() {
@@ -181,7 +181,10 @@ mod tests {
             let x = Tensor::from_slice(&[0.3, -0.7, 1.2]);
             let gout = Tensor::from_slice(&[1.0, -0.5, 2.0]);
             let (y_fn, mut fwd): (fn(f32) -> f32, Box<dyn Layer>) = match which {
-                "sigmoid" => ((|v: f32| 1.0 / (1.0 + (-v).exp())) as fn(f32) -> f32, Box::new(Sigmoid::new())),
+                "sigmoid" => (
+                    (|v: f32| 1.0 / (1.0 + (-v).exp())) as fn(f32) -> f32,
+                    Box::new(Sigmoid::new()),
+                ),
                 _ => (f32::tanh as fn(f32) -> f32, Box::new(Tanh::new())),
             };
             fwd.forward(&x, Mode::Train).unwrap();
@@ -192,8 +195,18 @@ mod tests {
                 p.data_mut()[i] += eps;
                 let mut m = x.clone();
                 m.data_mut()[i] -= eps;
-                let lp: f32 = p.data().iter().zip(gout.data()).map(|(&v, &g)| y_fn(v) * g).sum();
-                let lm: f32 = m.data().iter().zip(gout.data()).map(|(&v, &g)| y_fn(v) * g).sum();
+                let lp: f32 = p
+                    .data()
+                    .iter()
+                    .zip(gout.data())
+                    .map(|(&v, &g)| y_fn(v) * g)
+                    .sum();
+                let lm: f32 = m
+                    .data()
+                    .iter()
+                    .zip(gout.data())
+                    .map(|(&v, &g)| y_fn(v) * g)
+                    .sum();
                 let num = (lp - lm) / (2.0 * eps);
                 assert!((num - ana.data()[i]).abs() < 1e-3, "{which}[{i}]");
             }

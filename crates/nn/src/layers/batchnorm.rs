@@ -43,7 +43,7 @@ impl BatchNorm2d {
             channels,
             momentum: 0.1,
             eps: 1e-5,
-        cache: None,
+            cache: None,
         }
     }
 
@@ -96,10 +96,7 @@ impl Layer for BatchNorm2d {
                 *rv = (1.0 - self.momentum) * *rv + self.momentum * var;
                 (mean, var)
             } else {
-                (
-                    self.running_mean.data()[ch],
-                    self.running_var.data()[ch],
-                )
+                (self.running_mean.data()[ch], self.running_var.data()[ch])
             };
             let inv_std = 1.0 / (var + self.eps).sqrt();
             inv_stds[ch] = inv_std;
@@ -252,7 +249,11 @@ mod tests {
         let loss = |inp: &Tensor| -> f32 {
             let mut b = bn.clone();
             let y = b.forward(inp, Mode::Train).unwrap();
-            y.data().iter().zip(g.data().iter()).map(|(a, b)| a * b).sum()
+            y.data()
+                .iter()
+                .zip(g.data().iter())
+                .map(|(a, b)| a * b)
+                .sum()
         };
         let eps = 1e-2f32;
         for &i in &[0usize, 5, 13, 23] {
@@ -298,6 +299,8 @@ mod tests {
     #[test]
     fn rejects_wrong_channel_count() {
         let mut bn = BatchNorm2d::new(2);
-        assert!(bn.forward(&Tensor::zeros(&[1, 3, 2, 2]), Mode::Train).is_err());
+        assert!(bn
+            .forward(&Tensor::zeros(&[1, 3, 2, 2]), Mode::Train)
+            .is_err());
     }
 }

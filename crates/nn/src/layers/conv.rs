@@ -34,11 +34,7 @@ impl Conv2d {
         rng_: &mut impl Rng,
     ) -> Self {
         let fan_in = in_channels * kernel * kernel;
-        let weight = rng::he_normal(
-            &[out_channels, in_channels, kernel, kernel],
-            fan_in,
-            rng_,
-        );
+        let weight = rng::he_normal(&[out_channels, in_channels, kernel, kernel], fan_in, rng_);
         Conv2d {
             weight: Param::new(weight),
             bias: Param::new(Tensor::zeros(&[out_channels])),
@@ -78,7 +74,13 @@ impl Layer for Conv2d {
         }
         self.cache_input = Some(input.clone());
         let bias = self.use_bias.then_some(&self.bias.value);
-        Ok(conv2d(input, &self.weight.value, bias, self.stride, self.pad)?)
+        Ok(conv2d(
+            input,
+            &self.weight.value,
+            bias,
+            self.stride,
+            self.pad,
+        )?)
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
@@ -214,7 +216,9 @@ mod tests {
     fn conv2d_rejects_bad_channels() {
         let mut r = StdRng::seed_from_u64(0);
         let mut layer = Conv2d::new(3, 8, 3, 1, 1, false, &mut r);
-        assert!(layer.forward(&Tensor::zeros(&[2, 4, 8, 8]), Mode::Train).is_err());
+        assert!(layer
+            .forward(&Tensor::zeros(&[2, 4, 8, 8]), Mode::Train)
+            .is_err());
     }
 
     #[test]
@@ -263,6 +267,8 @@ mod tests {
     fn conv1d_rejects_rank2() {
         let mut r = StdRng::seed_from_u64(0);
         let mut layer = Conv1d::new(4, 6, 3, 1, 0, &mut r);
-        assert!(layer.forward(&Tensor::zeros(&[4, 12]), Mode::Train).is_err());
+        assert!(layer
+            .forward(&Tensor::zeros(&[4, 12]), Mode::Train)
+            .is_err());
     }
 }

@@ -33,8 +33,12 @@ impl Dense {
 
     /// Glorot-uniform initialized variant, used by the Text-CNN head.
     pub fn glorot(in_features: usize, out_features: usize, rng_: &mut impl Rng) -> Self {
-        let weight =
-            rng::glorot_uniform(&[in_features, out_features], in_features, out_features, rng_);
+        let weight = rng::glorot_uniform(
+            &[in_features, out_features],
+            in_features,
+            out_features,
+            rng_,
+        );
         Dense {
             weight: Param::new(weight),
             bias: Param::new(Tensor::zeros(&[out_features])),
@@ -156,7 +160,11 @@ mod tests {
                 x2.data_mut()[i] += eps;
             }
             let y = l2.forward(&x2, Mode::Train).unwrap();
-            y.data().iter().zip(g.data().iter()).map(|(a, b)| a * b).sum()
+            y.data()
+                .iter()
+                .zip(g.data().iter())
+                .map(|(a, b)| a * b)
+                .sum()
         };
         let base_w_plus = probe(Some(0), None);
         let mut l_minus = layer.clone();

@@ -52,7 +52,10 @@ impl Dropout {
     ///
     /// Panics if `p` is outside `[0, 1)`.
     pub fn new(p: f32, seed: u64) -> Self {
-        assert!((0.0..1.0).contains(&p), "dropout p must be in [0,1), got {p}");
+        assert!(
+            (0.0..1.0).contains(&p),
+            "dropout p must be in [0,1), got {p}"
+        );
         Dropout {
             p,
             rng: SplitMix64::new(seed),

@@ -206,7 +206,9 @@ mod tests {
         let x = Tensor::from_vec(vec![1.0, 9.0, 2.0, 0.0, -1.0, -2.0], &[1, 2, 3]).unwrap();
         let y = mot.forward(&x, Mode::Train).unwrap();
         assert_eq!(y.data(), &[9.0, 0.0]);
-        let gx = mot.backward(&Tensor::from_vec(vec![1.0, 2.0], &[1, 2]).unwrap()).unwrap();
+        let gx = mot
+            .backward(&Tensor::from_vec(vec![1.0, 2.0], &[1, 2]).unwrap())
+            .unwrap();
         assert_eq!(gx.data(), &[0.0, 1.0, 0.0, 2.0, 0.0, 0.0]);
     }
 

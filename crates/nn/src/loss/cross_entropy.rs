@@ -100,8 +100,7 @@ mod tests {
 
     #[test]
     fn gradient_matches_numerical() {
-        let logits =
-            Tensor::from_vec(vec![0.3, -0.2, 0.9, -1.0, 0.1, 0.4], &[2, 3]).unwrap();
+        let logits = Tensor::from_vec(vec![0.3, -0.2, 0.9, -1.0, 0.1, 0.4], &[2, 3]).unwrap();
         let labels = [2usize, 0];
         let weights = [1.5f32, 0.5];
         let ce = CrossEntropy::new();
@@ -115,10 +114,7 @@ mod tests {
             let lp = ce.compute(&p, &labels, Some(&weights)).unwrap().loss;
             let lm = ce.compute(&m, &labels, Some(&weights)).unwrap().loss;
             let num = (lp - lm) / (2.0 * eps);
-            assert!(
-                (num - out.grad_logits.data()[i]).abs() < 1e-3,
-                "logit {i}"
-            );
+            assert!((num - out.grad_logits.data()[i]).abs() < 1e-3, "logit {i}");
         }
     }
 

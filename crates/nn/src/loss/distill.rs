@@ -118,15 +118,16 @@ mod tests {
     fn matching_teacher_minimizes_soft_term_gradient() {
         let logits = Tensor::from_vec(vec![1.0, -0.5, 0.25], &[1, 3]).unwrap();
         let q = edde_tensor::ops::softmax_rows(&logits).unwrap();
-        let kd = Distillation::new(1.0, 1.0).compute(&logits, &[0], &q).unwrap();
+        let kd = Distillation::new(1.0, 1.0)
+            .compute(&logits, &[0], &q)
+            .unwrap();
         // p_τ == q -> soft gradient vanishes; hard part has weight 0
         assert!(kd.grad_logits.max_abs() < 1e-6);
     }
 
     #[test]
     fn gradient_matches_numerical() {
-        let logits =
-            Tensor::from_vec(vec![0.3, -0.2, 0.9, -1.0, 0.1, 0.4], &[2, 3]).unwrap();
+        let logits = Tensor::from_vec(vec![0.3, -0.2, 0.9, -1.0, 0.1, 0.4], &[2, 3]).unwrap();
         let labels = [1usize, 0];
         let q = Tensor::from_vec(vec![0.6, 0.3, 0.1, 0.2, 0.5, 0.3], &[2, 3]).unwrap();
         let kd = Distillation::new(0.7, 2.0);
@@ -140,10 +141,7 @@ mod tests {
             let lp = kd.compute(&p, &labels, &q).unwrap().loss;
             let lm = kd.compute(&m, &labels, &q).unwrap().loss;
             let num = (lp - lm) / (2.0 * eps);
-            assert!(
-                (num - out.grad_logits.data()[i]).abs() < 2e-3,
-                "logit {i}"
-            );
+            assert!((num - out.grad_logits.data()[i]).abs() < 2e-3, "logit {i}");
         }
     }
 

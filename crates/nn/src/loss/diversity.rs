@@ -152,8 +152,7 @@ mod tests {
 
     #[test]
     fn gradient_matches_numerical() {
-        let logits =
-            Tensor::from_vec(vec![0.3, -0.2, 0.9, -1.0, 0.1, 0.4], &[2, 3]).unwrap();
+        let logits = Tensor::from_vec(vec![0.3, -0.2, 0.9, -1.0, 0.1, 0.4], &[2, 3]).unwrap();
         let labels = [2usize, 0];
         let weights = [1.25f32, 0.75];
         let q = Tensor::from_vec(vec![0.7, 0.2, 0.1, 0.1, 0.6, 0.3], &[2, 3]).unwrap();
@@ -167,8 +166,14 @@ mod tests {
             p.data_mut()[i] += eps;
             let mut m = logits.clone();
             m.data_mut()[i] -= eps;
-            let lp = loss_fn.compute(&p, &labels, Some(&weights), &q).unwrap().loss;
-            let lm = loss_fn.compute(&m, &labels, Some(&weights), &q).unwrap().loss;
+            let lp = loss_fn
+                .compute(&p, &labels, Some(&weights), &q)
+                .unwrap()
+                .loss;
+            let lm = loss_fn
+                .compute(&m, &labels, Some(&weights), &q)
+                .unwrap()
+                .loss;
             let num = (lp - lm) / (2.0 * eps);
             assert!(
                 (num - out.grad_logits.data()[i]).abs() < 2e-3,

@@ -58,10 +58,7 @@ pub(crate) fn validate_batch(
     Ok((n, k))
 }
 
-pub(crate) fn validate_weights(
-    weights: Option<&[f32]>,
-    n: usize,
-) -> crate::error::Result<()> {
+pub(crate) fn validate_weights(weights: Option<&[f32]>, n: usize) -> crate::error::Result<()> {
     use crate::error::NnError;
     if let Some(w) = weights {
         if w.len() != n {

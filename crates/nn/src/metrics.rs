@@ -59,7 +59,11 @@ pub fn correctness(scores: &Tensor, labels: &[usize]) -> Result<Vec<bool>> {
             labels.len()
         )));
     }
-    Ok(preds.iter().zip(labels.iter()).map(|(p, y)| p == y).collect())
+    Ok(preds
+        .iter()
+        .zip(labels.iter())
+        .map(|(p, y)| p == y)
+        .collect())
 }
 
 #[cfg(test)]

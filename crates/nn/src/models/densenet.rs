@@ -155,10 +155,7 @@ mod tests {
         // stem 8 -> block0 +12 = 20 -> transition 10 -> block1 +12 = 22
         // head fc must be 22 x 5
         let layout = net.param_layout();
-        let fc_w = layout
-            .iter()
-            .find(|(n, _)| n == "head.fc.weight")
-            .unwrap();
+        let fc_w = layout.iter().find(|(n, _)| n == "head.fc.weight").unwrap();
         assert_eq!(fc_w.1, 22 * 5);
     }
 

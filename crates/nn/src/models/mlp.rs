@@ -16,7 +16,10 @@ pub fn mlp(dims: &[usize], dropout_p: f32, rng_: &mut impl Rng) -> Network {
     let mut seq = Sequential::new();
     for (i, pair) in dims.windows(2).enumerate() {
         let last = i == dims.len() - 2;
-        seq.push(format!("fc{i}"), Box::new(Dense::new(pair[0], pair[1], rng_)));
+        seq.push(
+            format!("fc{i}"),
+            Box::new(Dense::new(pair[0], pair[1], rng_)),
+        );
         if !last {
             seq.push(format!("relu{i}"), Box::new(Relu::new()));
             if dropout_p > 0.0 {

@@ -8,8 +8,8 @@
 //! `ResNetConfig { depth: 32, width: 16, .. }` reconstructs the paper's
 //! exact topology.
 
-use crate::error::{NnError, Result};
 use crate::blocks::BasicBlock;
+use crate::error::{NnError, Result};
 use crate::layer::Sequential;
 use crate::layers::{BatchNorm2d, Conv2d, Dense, GlobalAvgPool, Relu};
 use crate::network::Network;
@@ -86,10 +86,7 @@ pub fn resnet(config: &ResNetConfig, rng_: &mut impl Rng) -> Result<Network> {
         }
     }
     seq.push("gap", Box::new(GlobalAvgPool::new()));
-    seq.push(
-        "fc",
-        Box::new(Dense::new(4 * w, config.num_classes, rng_)),
-    );
+    seq.push("fc", Box::new(Dense::new(4 * w, config.num_classes, rng_)));
     Ok(Network::new(
         Box::new(seq),
         format!("resnet-{}", config.depth),

@@ -69,7 +69,9 @@ impl TextCnn {
     /// Builds the model from a configuration.
     pub fn new(config: &TextCnnConfig, rng_: &mut impl Rng) -> Result<Self> {
         if config.kernel_sizes.is_empty() {
-            return Err(NnError::BadConfig("textcnn needs at least one kernel size".into()));
+            return Err(NnError::BadConfig(
+                "textcnn needs at least one kernel size".into(),
+            ));
         }
         if config.vocab == 0 || config.embed_dim == 0 || config.filters == 0 {
             return Err(NnError::BadConfig(
@@ -116,8 +118,8 @@ impl Layer for TextCnn {
             x = branch.relu.forward(&x, mode)?;
             let pooled = branch.pool.forward(&x, mode)?; // [N, filters]
             for s in 0..n {
-                let dst = &mut features.data_mut()
-                    [s * self.filters * nb + bi * self.filters..][..self.filters];
+                let dst = &mut features.data_mut()[s * self.filters * nb + bi * self.filters..]
+                    [..self.filters];
                 dst.copy_from_slice(&pooled.data()[s * self.filters..][..self.filters]);
             }
         }
@@ -171,11 +173,7 @@ impl Layer for TextCnn {
 /// Builds a Text-CNN [`Network`] from a configuration.
 pub fn textcnn(config: &TextCnnConfig, rng_: &mut impl Rng) -> Result<Network> {
     let model = TextCnn::new(config, rng_)?;
-    Ok(Network::new(
-        Box::new(model),
-        "textcnn",
-        config.num_classes,
-    ))
+    Ok(Network::new(Box::new(model), "textcnn", config.num_classes))
 }
 
 #[cfg(test)]

@@ -117,8 +117,7 @@ impl Network {
     /// `edde_core::transfer` is for — it is deliberate, not accidental).
     pub fn import_state(&mut self, state: &[(String, Tensor)]) -> Result<()> {
         use std::collections::HashMap;
-        let map: HashMap<&str, &Tensor> =
-            state.iter().map(|(n, t)| (n.as_str(), t)).collect();
+        let map: HashMap<&str, &Tensor> = state.iter().map(|(n, t)| (n.as_str(), t)).collect();
         if map.len() != state.len() {
             return Err(NnError::StateMismatch("duplicate names in state".into()));
         }

@@ -115,11 +115,7 @@ mod tests {
         let mut opt = Sgd::new(0.1, 0.9, 0.0);
         let ce = CrossEntropy::new();
         // learn XOR-ish separable data
-        let x = Tensor::from_vec(
-            vec![0.0, 0.0, 1.0, 1.0, 0.0, 1.0, 1.0, 0.0],
-            &[4, 2],
-        )
-        .unwrap();
+        let x = Tensor::from_vec(vec![0.0, 0.0, 1.0, 1.0, 0.0, 1.0, 1.0, 0.0], &[4, 2]).unwrap();
         let labels = [0usize, 0, 1, 1];
         let mut first = None;
         let mut last = 0.0;

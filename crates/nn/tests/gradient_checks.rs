@@ -8,7 +8,9 @@
 //! accounts for — so the check covers the full BN backward).
 
 use edde_nn::loss::CrossEntropy;
-use edde_nn::models::{densenet, mlp, resnet, textcnn, DenseNetConfig, ResNetConfig, TextCnnConfig};
+use edde_nn::models::{
+    densenet, mlp, resnet, textcnn, DenseNetConfig, ResNetConfig, TextCnnConfig,
+};
 use edde_nn::{Mode, Network};
 use edde_tensor::rng::rand_uniform;
 use edde_tensor::Tensor;
@@ -18,7 +20,10 @@ use rand::{RngExt, SeedableRng};
 /// Computes loss on a fixed batch for the network as-is.
 fn loss_of(net: &mut Network, x: &Tensor, labels: &[usize]) -> f32 {
     let logits = net.forward(x, Mode::Train).unwrap();
-    CrossEntropy::new().compute(&logits, labels, None).unwrap().loss
+    CrossEntropy::new()
+        .compute(&logits, labels, None)
+        .unwrap()
+        .loss
 }
 
 /// Checks `count` randomly chosen parameters of `net` against finite

@@ -19,9 +19,7 @@ fn batch() -> impl Strategy<Value = (Tensor, Vec<usize>)> {
             prop::collection::vec(0usize..k, n),
             Just((n, k)),
         )
-            .prop_map(|(data, labels, (n, k))| {
-                (Tensor::from_vec(data, &[n, k]).unwrap(), labels)
-            })
+            .prop_map(|(data, labels, (n, k))| (Tensor::from_vec(data, &[n, k]).unwrap(), labels))
     })
 }
 
@@ -33,9 +31,8 @@ fn batch_with_targets() -> impl Strategy<Value = (Tensor, Vec<usize>, Tensor)> {
         (
             Just(logits),
             Just(labels),
-            prop::collection::vec(-3.0f32..3.0, n).prop_map(move |raw| {
-                softmax_rows(&Tensor::from_vec(raw, &dims).unwrap()).unwrap()
-            }),
+            prop::collection::vec(-3.0f32..3.0, n)
+                .prop_map(move |raw| softmax_rows(&Tensor::from_vec(raw, &dims).unwrap()).unwrap()),
         )
     })
 }

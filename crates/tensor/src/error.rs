@@ -18,7 +18,10 @@ pub enum TensorError {
     /// Matrix multiply inner dimensions disagree.
     MatmulDimMismatch { left: Vec<usize>, right: Vec<usize> },
     /// An index was out of bounds for the tensor's shape.
-    IndexOutOfBounds { index: Vec<usize>, shape: Vec<usize> },
+    IndexOutOfBounds {
+        index: Vec<usize>,
+        shape: Vec<usize>,
+    },
     /// An axis argument exceeded the tensor's rank.
     AxisOutOfBounds { axis: usize, rank: usize },
     /// Reshape target has a different element count than the source.
@@ -29,7 +32,10 @@ pub enum TensorError {
     /// A serialized tensor could not be decoded.
     Deserialize(String),
     /// Concatenation received tensors whose non-axis dimensions disagree.
-    ConcatMismatch { axis: usize, shapes: Vec<Vec<usize>> },
+    ConcatMismatch {
+        axis: usize,
+        shapes: Vec<Vec<usize>>,
+    },
     /// An operation that requires a non-empty input received an empty one.
     Empty(&'static str),
 }
@@ -95,8 +101,7 @@ mod tests {
 
     #[test]
     fn error_trait_object() {
-        let err: Box<dyn std::error::Error> =
-            Box::new(TensorError::Empty("mean of zero elements"));
+        let err: Box<dyn std::error::Error> = Box::new(TensorError::Empty("mean of zero elements"));
         assert!(err.to_string().contains("non-empty"));
     }
 }

@@ -26,6 +26,7 @@
 //! assert_eq!(c.data(), a.data());
 //! ```
 
+pub mod crc32;
 pub mod error;
 pub mod ops;
 pub mod parallel;

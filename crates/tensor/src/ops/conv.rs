@@ -409,9 +409,8 @@ mod tests {
                                     let iy = (oy * stride + ky) as isize - pad as isize;
                                     let ix = (ox * stride + kx) as isize - pad as isize;
                                     if iy >= 0 && iy < h as isize && ix >= 0 && ix < w as isize {
-                                        let iv = input
-                                            .at(&[s, ch, iy as usize, ix as usize])
-                                            .unwrap();
+                                        let iv =
+                                            input.at(&[s, ch, iy as usize, ix as usize]).unwrap();
                                         let wv = weight.at(&[o, ch, ky, kx]).unwrap();
                                         acc += iv * wv;
                                     }
@@ -472,7 +471,11 @@ mod tests {
 
         let loss = |inp: &Tensor, wt: &Tensor| -> f32 {
             let o = conv2d(inp, wt, None, stride, pad).unwrap();
-            o.data().iter().zip(g.data().iter()).map(|(a, b)| a * b).sum()
+            o.data()
+                .iter()
+                .zip(g.data().iter())
+                .map(|(a, b)| a * b)
+                .sum()
         };
         let eps = 1e-2f32;
         // check a sample of input coordinates
@@ -483,7 +486,10 @@ mod tests {
             m.data_mut()[i] -= eps;
             let num = (loss(&p, &weight) - loss(&m, &weight)) / (2.0 * eps);
             let ana = grads.grad_input.data()[i];
-            assert!((num - ana).abs() < 2e-2, "input[{i}]: num {num} vs ana {ana}");
+            assert!(
+                (num - ana).abs() < 2e-2,
+                "input[{i}]: num {num} vs ana {ana}"
+            );
         }
         // and weight coordinates
         for &i in &[0usize, 5, 11, weight.len() - 1] {
@@ -493,7 +499,10 @@ mod tests {
             m.data_mut()[i] -= eps;
             let num = (loss(&input, &p) - loss(&input, &m)) / (2.0 * eps);
             let ana = grads.grad_weight.data()[i];
-            assert!((num - ana).abs() < 2e-2, "weight[{i}]: num {num} vs ana {ana}");
+            assert!(
+                (num - ana).abs() < 2e-2,
+                "weight[{i}]: num {num} vs ana {ana}"
+            );
         }
     }
 
@@ -545,7 +554,11 @@ mod tests {
 
         let loss = |wt: &Tensor| -> f32 {
             let o = conv1d(&input, wt, None, 1, 0).unwrap();
-            o.data().iter().zip(g.data().iter()).map(|(a, b)| a * b).sum()
+            o.data()
+                .iter()
+                .zip(g.data().iter())
+                .map(|(a, b)| a * b)
+                .sum()
         };
         let eps = 1e-2f32;
         let i = 4;
@@ -580,7 +593,11 @@ mod tests {
         assert_eq!(grads.grad_input.dims(), input.dims());
         let loss = |inp: &Tensor| -> f32 {
             let o = conv1d(inp, &weight, None, 1, 1).unwrap();
-            o.data().iter().zip(g.data().iter()).map(|(a, b)| a * b).sum()
+            o.data()
+                .iter()
+                .zip(g.data().iter())
+                .map(|(a, b)| a * b)
+                .sum()
         };
         let eps = 1e-2f32;
         for &i in &[0usize, 8, 17] {
@@ -590,7 +607,10 @@ mod tests {
             m.data_mut()[i] -= eps;
             let num = (loss(&p) - loss(&m)) / (2.0 * eps);
             let ana = grads.grad_input.data()[i];
-            assert!((num - ana).abs() < 2e-2, "input[{i}]: num {num} vs ana {ana}");
+            assert!(
+                (num - ana).abs() < 2e-2,
+                "input[{i}]: num {num} vs ana {ana}"
+            );
         }
     }
 

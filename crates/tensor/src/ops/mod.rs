@@ -16,13 +16,9 @@ pub mod pool;
 pub mod reduce;
 pub mod stats;
 
-pub use conv::{
-    conv1d, conv1d_backward, conv2d, conv2d_backward, Conv1dGrads, Conv2dGrads,
-};
-pub use elementwise::{
-    add, add_row_broadcast, add_scalar, axpy, div, mul, scale, sub,
-};
-pub use matmul::{matmul, matmul_at_b, matmul_a_bt};
+pub use conv::{conv1d, conv1d_backward, conv2d, conv2d_backward, Conv1dGrads, Conv2dGrads};
+pub use elementwise::{add, add_row_broadcast, add_scalar, axpy, div, mul, scale, sub};
+pub use matmul::{matmul, matmul_a_bt, matmul_at_b};
 pub use pool::{
     avg_pool2d, avg_pool2d_backward, global_avg_pool, global_avg_pool_backward, max_over_time,
     max_over_time_backward, max_pool2d, max_pool2d_backward,

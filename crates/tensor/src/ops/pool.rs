@@ -293,11 +293,7 @@ mod tests {
     #[test]
     #[allow(clippy::needless_range_loop)]
     fn max_pool_backward_routes_to_winner() {
-        let input = Tensor::from_vec(
-            vec![1.0, 2.0, 3.0, 4.0],
-            &[1, 1, 2, 2],
-        )
-        .unwrap();
+        let input = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]).unwrap();
         let (_, arg) = max_pool2d(&input, 2, 2).unwrap();
         let g = Tensor::from_vec(vec![10.0], &[1, 1, 1, 1]).unwrap();
         let gi = max_pool2d_backward(input.dims(), &g, &arg).unwrap();
@@ -328,8 +324,7 @@ mod tests {
 
     #[test]
     fn max_over_time_selects_peak() {
-        let input =
-            Tensor::from_vec(vec![0.0, 3.0, 1.0, -5.0, -1.0, -2.0], &[1, 2, 3]).unwrap();
+        let input = Tensor::from_vec(vec![0.0, 3.0, 1.0, -5.0, -1.0, -2.0], &[1, 2, 3]).unwrap();
         let (out, arg) = max_over_time(&input).unwrap();
         assert_eq!(out.data(), &[3.0, -1.0]);
         assert_eq!(arg, vec![1, 1]);
@@ -350,8 +345,11 @@ mod tests {
 
     #[test]
     fn stride_one_overlapping_windows() {
-        let input = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0], &[1, 1, 3, 3])
-            .unwrap();
+        let input = Tensor::from_vec(
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0],
+            &[1, 1, 3, 3],
+        )
+        .unwrap();
         let (out, _) = max_pool2d(&input, 2, 1).unwrap();
         assert_eq!(out.dims(), &[1, 1, 2, 2]);
         assert_eq!(out.data(), &[5.0, 6.0, 8.0, 9.0]);

@@ -36,8 +36,8 @@ pub fn var_axis0(t: &Tensor) -> Result<Tensor> {
     let mut out = Tensor::zeros(&[n]);
     for i in 0..m {
         let row = t.row(i)?;
-        for j in 0..n {
-            let d = row[j] - mean.data()[j];
+        for (j, &x) in row.iter().enumerate() {
+            let d = x - mean.data()[j];
             out.data_mut()[j] += d * d;
         }
     }
@@ -55,10 +55,14 @@ pub fn standardize_axis0(t: &Tensor) -> Result<Tensor> {
     let mut out = t.clone();
     for i in 0..m {
         let row = &mut out.data_mut()[i * n..(i + 1) * n];
-        for j in 0..n {
-            let centered = row[j] - mean.data()[j];
+        for (j, rv) in row.iter_mut().enumerate() {
+            let centered = *rv - mean.data()[j];
             let v = var.data()[j];
-            row[j] = if v > 1e-12 { centered / v.sqrt() } else { centered };
+            *rv = if v > 1e-12 {
+                centered / v.sqrt()
+            } else {
+                centered
+            };
         }
     }
     Ok(out)

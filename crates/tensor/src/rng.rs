@@ -75,8 +75,12 @@ mod tests {
         let mut r = rng();
         let t = randn(&[10_000], 1.0, 2.0, &mut r);
         let mean = t.data().iter().sum::<f32>() / t.len() as f32;
-        let var =
-            t.data().iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>() / t.len() as f32;
+        let var = t
+            .data()
+            .iter()
+            .map(|&x| (x - mean) * (x - mean))
+            .sum::<f32>()
+            / t.len() as f32;
         assert!((mean - 1.0).abs() < 0.1, "mean {mean}");
         assert!((var - 4.0).abs() < 0.3, "var {var}");
         assert!(t.all_finite());

@@ -42,25 +42,39 @@ pub fn decode_tensor(buf: &mut Bytes) -> Result<Tensor> {
     }
     let rank = buf.get_u32_le() as usize;
     if rank > 8 {
-        return Err(TensorError::Deserialize(format!(
-            "implausible rank {rank}"
-        )));
+        return Err(TensorError::Deserialize(format!("implausible rank {rank}")));
     }
     if buf.remaining() < rank * 8 {
         return Err(TensorError::Deserialize("truncated dims".into()));
     }
     let mut dims = Vec::with_capacity(rank);
     for _ in 0..rank {
-        dims.push(buf.get_u64_le() as usize);
+        let d = buf.get_u64_le();
+        if d > usize::MAX as u64 {
+            return Err(TensorError::Deserialize(format!("dim {d} exceeds usize")));
+        }
+        dims.push(d as usize);
     }
-    let n: usize = dims.iter().product();
-    if buf.remaining() < n * 4 {
+    // A hostile header can claim astronomically large dims; use checked
+    // arithmetic so the element count never wraps around to something small.
+    let n = dims
+        .iter()
+        .try_fold(1usize, |acc, &d| acc.checked_mul(d))
+        .ok_or_else(|| {
+            TensorError::Deserialize(format!("dim product overflows usize: {dims:?}"))
+        })?;
+    let need = n.checked_mul(4).ok_or_else(|| {
+        TensorError::Deserialize(format!("byte count overflows usize for {n} elements"))
+    })?;
+    if buf.remaining() < need {
         return Err(TensorError::Deserialize(format!(
             "truncated data: need {} bytes, have {}",
-            n * 4,
+            need,
             buf.remaining()
         )));
     }
+    // `n` is now bounded by `buf.remaining() / 4`, so this pre-allocation
+    // cannot be abused to exhaust memory from a short hostile buffer.
     let mut data = Vec::with_capacity(n);
     for _ in 0..n {
         data.push(buf.get_f32_le());
@@ -82,12 +96,19 @@ pub fn encode_params(params: &[(String, Tensor)]) -> Bytes {
 }
 
 /// Deserializes a parameter list written by [`encode_params`].
+///
+/// Every parameter value must be finite: model parameters are only ever
+/// produced by training loops that reject non-finite values, so `NaN`/`inf`
+/// here means corruption (or a hostile file) and is surfaced as an error
+/// rather than silently loaded into a network.
 pub fn decode_params(mut buf: Bytes) -> Result<Vec<(String, Tensor)>> {
     if buf.remaining() < 4 {
         return Err(TensorError::Deserialize("truncated param count".into()));
     }
     let count = buf.get_u32_le() as usize;
-    let mut out = Vec::with_capacity(count);
+    // Each entry needs at least a name length (4) plus a tensor header (8),
+    // so cap the pre-allocation by what the buffer could possibly hold.
+    let mut out = Vec::with_capacity(count.min(buf.remaining() / 12));
     for _ in 0..count {
         if buf.remaining() < 4 {
             return Err(TensorError::Deserialize("truncated name length".into()));
@@ -101,6 +122,11 @@ pub fn decode_params(mut buf: Bytes) -> Result<Vec<(String, Tensor)>> {
         let name = String::from_utf8(name_bytes)
             .map_err(|e| TensorError::Deserialize(format!("name not utf-8: {e}")))?;
         let t = decode_tensor(&mut buf)?;
+        if !t.data().iter().all(|v| v.is_finite()) {
+            return Err(TensorError::Deserialize(format!(
+                "parameter {name:?} contains non-finite values"
+            )));
+        }
         out.push((name, t));
     }
     Ok(out)
@@ -157,5 +183,51 @@ mod tests {
         let full = buf.freeze();
         let mut cut = full.slice(0..full.len() - 10);
         assert!(decode_tensor(&mut cut).is_err());
+    }
+
+    #[test]
+    fn rejects_overflowing_dim_product() {
+        // A hostile header claiming dims whose product wraps usize must be
+        // rejected cleanly, not trigger a huge (or tiny, post-wrap)
+        // allocation.
+        let mut buf = BytesMut::new();
+        buf.put_slice(MAGIC);
+        buf.put_u32_le(2);
+        buf.put_u64_le(u64::MAX / 2);
+        buf.put_u64_le(16);
+        let err = decode_tensor(&mut buf.freeze()).unwrap_err();
+        assert!(err.to_string().contains("overflow"), "{err}");
+    }
+
+    #[test]
+    fn huge_claimed_count_does_not_preallocate() {
+        // count = u32::MAX with an empty payload: must error, not reserve
+        // gigabytes up front.
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(u32::MAX);
+        assert!(decode_params(buf.freeze()).is_err());
+    }
+
+    #[test]
+    fn params_reject_non_finite_values() {
+        let params = vec![(
+            "w".to_string(),
+            Tensor::from_vec(vec![1.0, f32::NAN, 3.0], &[3]).unwrap(),
+        )];
+        let bytes = encode_params(&params);
+        let err = decode_params(bytes).unwrap_err();
+        assert!(err.to_string().contains("non-finite"), "{err}");
+    }
+
+    #[test]
+    fn plain_tensors_may_carry_non_finite_values() {
+        // decode_tensor itself stays permissive — only *parameter* loading
+        // enforces finiteness.
+        let t = Tensor::from_vec(vec![f32::INFINITY, 0.0], &[2]).unwrap();
+        let mut buf = BytesMut::new();
+        encode_tensor(&t, &mut buf);
+        let back = decode_tensor(&mut buf.freeze()).unwrap();
+        assert_eq!(back.data()[1], 0.0);
+        assert!(back.data()[0].is_infinite());
     }
 }

@@ -41,9 +41,7 @@ fn main() {
         factory,
         Trainer {
             batch_size: 32,
-            momentum: 0.9,
-            weight_decay: 1e-4,
-            augment: None,
+            ..Trainer::default()
         },
         0.1,
         17,

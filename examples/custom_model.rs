@@ -47,9 +47,7 @@ fn main() {
         factory,
         Trainer {
             batch_size: 25,
-            momentum: 0.9,
-            weight_decay: 1e-4,
-            augment: None,
+            ..Trainer::default()
         },
         0.05, // tanh saturates; gentler rate than the ReLU presets
         29,

@@ -39,9 +39,7 @@ fn main() {
         factory,
         Trainer {
             batch_size: 32,
-            momentum: 0.9,
-            weight_decay: 1e-4,
-            augment: None,
+            ..Trainer::default()
         },
         0.1,
         23,
@@ -67,5 +65,7 @@ fn main() {
             pct(acc)
         );
     }
-    println!("expected shape (paper Fig. 8): EDDE's off-diagonal similarities sit below Snapshot's.");
+    println!(
+        "expected shape (paper Fig. 8): EDDE's off-diagonal similarities sit below Snapshot's."
+    );
 }

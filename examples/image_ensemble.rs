@@ -39,9 +39,7 @@ fn main() {
         factory,
         Trainer {
             batch_size: 32,
-            momentum: 0.9,
-            weight_decay: 1e-4,
-            augment: None,
+            ..Trainer::default()
         },
         0.1,
         11,
@@ -68,7 +66,11 @@ fn main() {
 
     let best = rows
         .iter()
-        .max_by(|a, b| a.ensemble_accuracy.partial_cmp(&b.ensemble_accuracy).unwrap())
+        .max_by(|a, b| {
+            a.ensemble_accuracy
+                .partial_cmp(&b.ensemble_accuracy)
+                .unwrap()
+        })
         .expect("non-empty");
     println!("best method at this budget: {}", best.name);
 }

@@ -17,6 +17,13 @@
 //!   baselines, with the diversity measure (Eq. 2/3/7), β-knowledge
 //!   transfer, and bias/variance analysis.
 //!
+//! Long runs are fault tolerant: the trainer rolls back and retries on
+//! divergence ([`core::recovery::RecoveryPolicy`]), checkpoints are
+//! checksummed and written atomically ([`nn::checkpoint`]), and the
+//! sequential methods can resume an interrupted run from a
+//! [`core::runstate::RunSession`] via
+//! [`core::methods::EnsembleMethod::run_resumable`].
+//!
 //! ## Quickstart
 //!
 //! ```
@@ -62,13 +69,15 @@ pub mod prelude {
         beta_probe, select_beta, transfer_partial, BetaProbeConfig, BetaProbePoint,
     };
     pub use edde_core::{
-        EnsembleMember, EnsembleModel, ExperimentEnv, LossSpec, ModelFactory, Trainer,
+        EnsembleMember, EnsembleModel, ExperimentEnv, FaultPlan, FaultyStore, LossSpec,
+        MemberRecord, ModelFactory, RecoveryPolicy, RunManifest, RunSession, Trainer,
     };
     pub use edde_data::synth::{
         gaussian_blobs, GaussianBlobsConfig, SynthImages, SynthImagesConfig, SynthText,
         SynthTextConfig,
     };
     pub use edde_data::{Batcher, Dataset, KFold, TrainTest};
+    pub use edde_nn::checkpoint::{CheckpointStore, FsStore, MemStore};
     pub use edde_nn::models::{
         densenet, mlp, resnet, textcnn, DenseNetConfig, ResNetConfig, TextCnnConfig,
     };

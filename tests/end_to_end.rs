@@ -35,9 +35,7 @@ fn image_env(seed: u64) -> ExperimentEnv {
         factory,
         Trainer {
             batch_size: 16,
-            momentum: 0.9,
-            weight_decay: 1e-4,
-            augment: None,
+            ..Trainer::default()
         },
         0.1,
         seed,
@@ -46,17 +44,14 @@ fn image_env(seed: u64) -> ExperimentEnv {
 
 fn text_env(seed: u64) -> ExperimentEnv {
     let data = SynthText::generate(&SynthTextConfig::tiny(), seed);
-    let factory: ModelFactory = Arc::new(|rng| {
-        Ok(textcnn(&TextCnnConfig::small(60, 2), rng)?)
-    });
+    let factory: ModelFactory = Arc::new(|rng| Ok(textcnn(&TextCnnConfig::small(60, 2), rng)?));
     ExperimentEnv::new(
         data,
         factory,
         Trainer {
             batch_size: 16,
-            momentum: 0.9,
             weight_decay: 0.0,
-            augment: None,
+            ..Trainer::default()
         },
         0.1,
         seed,
@@ -89,7 +84,11 @@ fn every_method_runs_on_the_image_task() {
         assert!(probs.all_finite());
         for i in 0..env.data.test.len() {
             let s: f32 = probs.row(i).unwrap().iter().sum();
-            assert!((s - 1.0).abs() < 1e-4, "{}: row {i} sums to {s}", method.name());
+            assert!(
+                (s - 1.0).abs() < 1e-4,
+                "{}: row {i} sums to {s}",
+                method.name()
+            );
         }
         // the summary is internally consistent
         let s = summarize(method.name(), &mut run, &env.data.test).unwrap();

@@ -81,7 +81,12 @@ fn eq10_reduces_to_ce_at_gamma_zero() {
         .compute(&logits, &labels, Some(&weights), &q)
         .unwrap();
     assert!((ce.loss - dd.loss).abs() < 1e-6);
-    for (a, b) in ce.grad_logits.data().iter().zip(dd.grad_logits.data().iter()) {
+    for (a, b) in ce
+        .grad_logits
+        .data()
+        .iter()
+        .zip(dd.grad_logits.data().iter())
+    {
         assert!((a - b).abs() < 1e-6);
     }
 }
@@ -135,7 +140,10 @@ fn beta_transfer_distance_is_monotone() {
         );
         last_dist = dist;
         if beta == 1.0 {
-            assert!(dist < 1e-5, "beta=1 must replicate the teacher, dist={dist}");
+            assert!(
+                dist < 1e-5,
+                "beta=1 must replicate the teacher, dist={dist}"
+            );
         }
     }
 }
@@ -162,16 +170,14 @@ fn eq14_weight_shape_via_public_behaviour() {
         },
         9,
     );
-    let factory: ModelFactory =
-        std::sync::Arc::new(|r| Ok(mlp(&[6, 16, 3], 0.0, r)));
+    let factory: ModelFactory = std::sync::Arc::new(|r| Ok(mlp(&[6, 16, 3], 0.0, r)));
     let env = ExperimentEnv::new(
         data,
         factory,
         Trainer {
             batch_size: 16,
-            momentum: 0.9,
             weight_decay: 0.0,
-            augment: None,
+            ..Trainer::default()
         },
         0.1,
         9,
