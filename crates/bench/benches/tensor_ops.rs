@@ -14,7 +14,8 @@ use std::hint::black_box;
 fn bench_matmul(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(0);
     let mut group = c.benchmark_group("matmul");
-    for &n in &[32usize, 128] {
+    // 256 matches BENCH_tensor.json's headline kernel measurement.
+    for &n in &[32usize, 128, 256] {
         let a = rand_uniform(&[n, n], -1.0, 1.0, &mut rng);
         let b = rand_uniform(&[n, n], -1.0, 1.0, &mut rng);
         group.bench_function(format!("square_{n}"), |bench| {

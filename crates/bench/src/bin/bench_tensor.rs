@@ -1,0 +1,249 @@
+//! Wall-clock benchmark of the tensor execution layer, emitting the
+//! `BENCH_tensor.json` perf-trajectory artifact.
+//!
+//! Unlike the criterion benches (which need real crates.io dependencies),
+//! this binary uses only `std::time` so it runs under the offline stub
+//! harness too. Each workload is timed as the minimum over several
+//! iterations — the most load-robust point estimate on a shared box.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_tensor [--out FILE] [--baseline FILE] [--label TEXT] [--quick]
+//! ```
+//!
+//! With `--baseline`, the given results file (a previous run, e.g. the
+//! recorded seed-kernel measurement) is embedded verbatim and per-workload
+//! speedups are computed against it.
+
+use edde_nn::loss::CrossEntropy;
+use edde_nn::models::{resnet, textcnn, ResNetConfig, TextCnnConfig};
+use edde_nn::optim::Sgd;
+use edde_nn::{Mode, Network};
+use edde_tensor::ops::{conv2d, conv2d_backward, matmul, matmul_a_bt, matmul_at_b};
+use edde_tensor::parallel::set_num_threads;
+use edde_tensor::rng::rand_uniform;
+use edde_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Times `f` and returns the minimum per-iteration wall-clock in ms.
+fn time_min_ms(iters: usize, mut f: impl FnMut()) -> f64 {
+    // Warm up caches, the allocator, and (importantly) the worker pool.
+    f();
+    let mut best = f64::INFINITY;
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        f();
+        let dt = t0.elapsed().as_secs_f64() * 1e3;
+        if dt < best {
+            best = dt;
+        }
+    }
+    best
+}
+
+fn training_step(net: &mut Network, opt: &mut Sgd, x: &Tensor, labels: &[usize]) {
+    let ce = CrossEntropy::new();
+    net.zero_grad();
+    let logits = net.forward(x, Mode::Train).unwrap();
+    let out = ce.compute(&logits, labels, None).unwrap();
+    net.backward(&out.grad_logits).unwrap();
+    opt.step(net).unwrap();
+}
+
+fn run_suite(iters: usize) -> Vec<(String, f64)> {
+    let mut results = Vec::new();
+    let mut rng = StdRng::seed_from_u64(0);
+
+    // -- matmul 256x256x256 (the acceptance-criteria workload) + variants --
+    let a = rand_uniform(&[256, 256], -1.0, 1.0, &mut rng);
+    let b = rand_uniform(&[256, 256], -1.0, 1.0, &mut rng);
+    for threads in [1usize, 8] {
+        set_num_threads(threads);
+        let ms = time_min_ms(iters, || {
+            black_box(matmul(black_box(&a), black_box(&b)).unwrap());
+        });
+        results.push((format!("matmul_256x256x256_t{threads}"), ms));
+    }
+    set_num_threads(8);
+    let ms = time_min_ms(iters, || {
+        black_box(matmul_at_b(black_box(&a), black_box(&b)).unwrap());
+    });
+    results.push(("matmul_at_b_256_t8".into(), ms));
+    let ms = time_min_ms(iters, || {
+        black_box(matmul_a_bt(black_box(&a), black_box(&b)).unwrap());
+    });
+    results.push(("matmul_a_bt_256_t8".into(), ms));
+
+    // -- conv2d forward + backward on a training-batch-like workload --
+    let input = rand_uniform(&[32, 12, 12, 12], -1.0, 1.0, &mut rng);
+    let weight = rand_uniform(&[12, 12, 3, 3], -0.5, 0.5, &mut rng);
+    let ms = time_min_ms(iters, || {
+        black_box(conv2d(black_box(&input), black_box(&weight), None, 1, 1).unwrap());
+    });
+    results.push(("conv2d_fwd_b32_c12_12x12_t8".into(), ms));
+    let out = conv2d(&input, &weight, None, 1, 1).unwrap();
+    let grad = rand_uniform(out.dims(), -1.0, 1.0, &mut rng);
+    let ms = time_min_ms(iters, || {
+        black_box(
+            conv2d_backward(
+                black_box(&input),
+                black_box(&weight),
+                black_box(&grad),
+                1,
+                1,
+            )
+            .unwrap(),
+        );
+    });
+    results.push(("conv2d_bwd_b32_c12_12x12_t8".into(), ms));
+
+    // -- whole training steps (mirror the criterion `train_step` group) --
+    let net = resnet(
+        &ResNetConfig {
+            depth: 8,
+            width: 12,
+            in_channels: 3,
+            num_classes: 10,
+        },
+        &mut rng,
+    )
+    .unwrap();
+    let x = rand_uniform(&[16, 3, 12, 12], -1.0, 1.0, &mut rng);
+    let labels: Vec<usize> = (0..16).map(|_| rng.random_range(0..10)).collect();
+    let ms = time_min_ms(iters.min(10), || {
+        let mut n = net.clone();
+        let mut o = Sgd::new(0.1, 0.9, 1e-4);
+        let t0 = Instant::now();
+        training_step(&mut n, &mut o, black_box(&x), &labels);
+        black_box(t0.elapsed());
+    });
+    results.push(("training_step_resnet8_b16_t8".into(), ms));
+
+    let tnet = textcnn(&TextCnnConfig::small(300, 2), &mut rng).unwrap();
+    let mut ids = Tensor::zeros(&[32, 20]);
+    for v in ids.data_mut() {
+        *v = rng.random_range(0..300) as f32;
+    }
+    let tlabels: Vec<usize> = (0..32).map(|i| i % 2).collect();
+    let ms = time_min_ms(iters.min(10), || {
+        let mut n = tnet.clone();
+        let mut o = Sgd::new(0.1, 0.9, 1e-4);
+        training_step(&mut n, &mut o, black_box(&ids), &tlabels);
+    });
+    results.push(("training_step_textcnn_b32_t8".into(), ms));
+
+    // -- ensemble member inference (Eq. 16 fan-out) --
+    let mut ens = edde_core::EnsembleModel::new();
+    for s in 0..4 {
+        let mut r = StdRng::seed_from_u64(s);
+        ens.push(edde_nn::models::mlp(&[64, 256, 10], 0.0, &mut r), 1.0, "m");
+    }
+    let feats = rand_uniform(&[512, 64], -1.0, 1.0, &mut rng);
+    let ms = time_min_ms(iters, || {
+        black_box(ens.soft_targets(black_box(&feats)).unwrap());
+    });
+    results.push(("ensemble_predict_4xmlp_512_t8".into(), ms));
+
+    set_num_threads(0);
+    results
+}
+
+fn json_results(results: &[(String, f64)]) -> String {
+    let body: Vec<String> = results
+        .iter()
+        .map(|(k, v)| format!("    \"{k}\": {v:.3}"))
+        .collect();
+    format!("{{\n{}\n  }}", body.join(",\n"))
+}
+
+/// Pulls `"name": number` pairs back out of a results file this binary
+/// wrote earlier (line-oriented; only our own format needs to parse).
+fn parse_results(text: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.trim().trim_end_matches(',');
+        if let Some((key, val)) = line.split_once(':') {
+            let key = key.trim().trim_matches('"');
+            if let Ok(v) = val.trim().parse::<f64>() {
+                if key.contains('_') {
+                    out.push((key.to_string(), v));
+                }
+            }
+        }
+    }
+    out
+}
+
+fn git_commit() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let get = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let out_path = get("--out");
+    let baseline_path = get("--baseline");
+    let label = get("--label").unwrap_or_else(|| "current kernels".to_string());
+    let iters = if args.iter().any(|a| a == "--quick") {
+        5
+    } else {
+        20
+    };
+
+    eprintln!("benchmarking ({iters} iterations per workload)...");
+    let results = run_suite(iters);
+    for (k, v) in &results {
+        eprintln!("  {k:<36} {v:>10.3} ms");
+    }
+
+    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut doc = String::new();
+    doc.push_str("{\n  \"schema\": \"edde-bench-tensor/v1\",\n");
+    doc.push_str(&format!("  \"host_cpus\": {cpus},\n"));
+    doc.push_str(&format!("  \"commit\": \"{}\",\n", git_commit()));
+    doc.push_str(&format!("  \"label\": \"{label}\",\n"));
+    doc.push_str(&format!("  \"results_ms\": {}", json_results(&results)));
+
+    if let Some(bp) = baseline_path {
+        let text = std::fs::read_to_string(&bp)
+            .unwrap_or_else(|e| panic!("cannot read baseline {bp}: {e}"));
+        let base = parse_results(&text);
+        let mut speedups = Vec::new();
+        for (k, cur) in &results {
+            if let Some((_, before)) = base.iter().find(|(bk, _)| bk == k) {
+                if *cur > 0.0 {
+                    speedups.push((k.clone(), before / cur));
+                }
+            }
+        }
+        doc.push_str(",\n  \"baseline\": ");
+        // Embed the baseline file verbatim, indented to nest as an object.
+        let indented: Vec<String> = text.trim().lines().map(|l| format!("  {l}")).collect();
+        doc.push_str(indented.join("\n").trim_start());
+        doc.push_str(",\n  \"speedup_vs_baseline\": ");
+        doc.push_str(&json_results(&speedups));
+    }
+    doc.push_str("\n}\n");
+
+    match out_path {
+        Some(p) => {
+            std::fs::write(&p, &doc).unwrap_or_else(|e| panic!("cannot write {p}: {e}"));
+            eprintln!("wrote {p}");
+        }
+        None => println!("{doc}"),
+    }
+}

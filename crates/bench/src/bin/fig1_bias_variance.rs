@@ -35,7 +35,7 @@ fn main() {
     println!("(equal training budget; both axes per DESIGN.md definitions)\n");
     let mut table = Table::new(&["Method", "Bias", "Variance", "Epochs"]);
     for method in &methods {
-        let (s, mut run) = run_method(method.as_ref(), &env).expect("fig1 run");
+        let (s, mut run) = run_method(method.as_ref(), &env, None).expect("fig1 run");
         let bv = bias_variance(&mut run.model, &env.data.test).expect("bias/variance");
         table.add_row(&[
             s.name.clone(),

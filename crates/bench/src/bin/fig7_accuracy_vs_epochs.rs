@@ -28,7 +28,7 @@ fn main() {
             trace_every: scale.epochs(4),
         });
         for method in &methods {
-            let (_, run) = run_method(method.as_ref(), &env).expect("fig7 run");
+            let (_, run) = run_method(method.as_ref(), &env, None).expect("fig7 run");
             print!("{:<24}", method.name());
             for p in &run.trace {
                 print!(" {}:{:.4}", p.cumulative_epochs, p.test_accuracy);

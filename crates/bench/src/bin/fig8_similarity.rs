@@ -21,7 +21,7 @@ fn main() {
         Box::new(AdaBoostNc::new(members, cycle)),
     ];
     for method in &methods {
-        let (_, mut run) = run_method(method.as_ref(), &env).expect("fig8 run");
+        let (_, mut run) = run_method(method.as_ref(), &env, None).expect("fig8 run");
         let probs = run
             .model
             .member_soft_targets(env.data.test.features())

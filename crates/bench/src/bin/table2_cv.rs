@@ -1,16 +1,30 @@
 //! Regenerates **Table II** — ensemble test accuracy on the CV task, for
 //! both architectures on both image datasets, every method at an equal
 //! epoch budget per group.
+//!
+//! `--checkpoint-dir DIR` makes the sequential methods resumable: each
+//! (architecture, dataset, method) cell persists its run state under
+//! `DIR/<arch>-<dataset>/<method>/`, so a killed run re-invoked with the
+//! same flag restores every completed member and continues from the first
+//! missing one instead of retraining the whole table.
 
 use edde_bench::harness::{cv_methods, run_lineup};
 use edde_bench::workloads::{cifar100_env, cifar10_env, CvArch, Scale};
 use edde_core::report::summary_table;
+use std::path::PathBuf;
 
 fn main() {
     let scale = Scale::from_args();
     let args: Vec<String> = std::env::args().collect();
     let only_resnet = args.iter().any(|a| a == "--resnet-only");
     let only_densenet = args.iter().any(|a| a == "--densenet-only");
+    let checkpoint_dir: Option<PathBuf> =
+        args.iter().position(|a| a == "--checkpoint-dir").map(|i| {
+            args.get(i + 1)
+                .filter(|v| !v.starts_with("--"))
+                .map(PathBuf::from)
+                .expect("--checkpoint-dir requires a directory argument")
+        });
     println!("== Table II: test accuracy on the CV task ==");
     println!("(SynthCIFAR stands in for CIFAR; budgets are equal per group — see DESIGN.md)\n");
     for arch in [CvArch::ResNet, CvArch::DenseNet] {
@@ -23,7 +37,18 @@ fn main() {
         ] {
             eprintln!("[{} / {dataset}]", arch.name());
             let methods = cv_methods(scale);
-            let summaries = run_lineup(&methods, &env).expect("table II lineup");
+            // Each table cell gets its own store subtree so resuming one
+            // cell can never pick up another's manifest.
+            let arch_tag = if arch == CvArch::ResNet {
+                "resnet"
+            } else {
+                "densenet"
+            };
+            let cell_dir = checkpoint_dir
+                .as_ref()
+                .map(|d| d.join(format!("{arch_tag}-{dataset}")));
+            let summaries =
+                run_lineup(&methods, &env, cell_dir.as_deref()).expect("table II lineup");
             println!("--- {} on {dataset} ---", arch.name());
             println!("{}", summary_table(&summaries));
         }

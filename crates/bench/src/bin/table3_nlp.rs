@@ -14,7 +14,7 @@ fn main() {
     for (dataset, env) in [("SynthIMDB", imdb_env(42)), ("SynthMR", mr_env(42))] {
         eprintln!("[Text-CNN / {dataset}]");
         let methods = nlp_methods(scale);
-        let summaries = run_lineup(&methods, &env).expect("table III lineup");
+        let summaries = run_lineup(&methods, &env, None).expect("table III lineup");
         println!("--- Text-CNN on {dataset} ---");
         println!("{}", summary_table(&summaries));
     }

@@ -38,7 +38,7 @@ fn main() {
         "Diversity",
     ]);
     for method in &methods {
-        let (s, _) = run_method(method.as_ref(), &env).expect("table IV run");
+        let (s, _) = run_method(method.as_ref(), &env, None).expect("table IV run");
         table.add_row(&[
             s.name.clone(),
             s.total_epochs.to_string(),

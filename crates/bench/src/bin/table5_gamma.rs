@@ -22,7 +22,7 @@ fn main() {
             gamma,
             CV_BETA,
         );
-        let (s, _) = run_method(&method, &env).expect("table V run");
+        let (s, _) = run_method(&method, &env, None).expect("table V run");
         table.add_row(&[
             "EDDE".into(),
             format!("gamma = {gamma}"),

@@ -46,7 +46,7 @@ fn main() {
         "Average accuracy",
     ]);
     for method in &methods {
-        let (s, _) = run_method(method.as_ref(), &env).expect("table VI run");
+        let (s, _) = run_method(method.as_ref(), &env, None).expect("table VI run");
         table.add_row(&[
             s.name.clone(),
             pct(s.ensemble_accuracy),

@@ -9,6 +9,8 @@ use edde_core::methods::{
     AdaBoostM1, AdaBoostNc, Bagging, Bans, Edde, EnsembleMethod, RunResult, SingleModel, Snapshot,
 };
 use edde_core::{ExperimentEnv, Result};
+use edde_nn::checkpoint::FsStore;
+use std::path::Path;
 use std::time::Instant;
 
 /// The full method line-up of Tables II/III, at CV budgets.
@@ -57,12 +59,32 @@ pub fn nlp_methods(scale: Scale) -> Vec<Box<dyn EnsembleMethod>> {
 
 /// Runs one method against an environment, printing progress to stderr,
 /// and returns its summary row plus the full run for further analysis.
+///
+/// With `checkpoint_dir` set, sequential methods run through
+/// [`EnsembleMethod::run_resumable`] against an [`FsStore`] in a
+/// per-method subdirectory: a killed run re-invoked with the same
+/// directory restores its completed members and continues. Methods
+/// without resume support (Snapshot, the single-model baseline) fall
+/// back to a plain run.
 pub fn run_method(
     method: &dyn EnsembleMethod,
     env: &ExperimentEnv,
+    checkpoint_dir: Option<&Path>,
 ) -> Result<(MethodSummary, RunResult)> {
     let started = Instant::now();
-    let mut run = method.run(env)?;
+    let mut run = match checkpoint_dir.filter(|_| method.supports_resumable()) {
+        Some(dir) => {
+            let store = FsStore::open(dir.join(method_slug(&method.name())))?;
+            let resumed = method.run_resumable(env, &store)?;
+            eprintln!(
+                "  {:<24} [checkpointed at {}]",
+                method.name(),
+                dir.display()
+            );
+            resumed
+        }
+        None => method.run(env)?,
+    };
     let summary = summarize(method.name(), &mut run, &env.data.test)?;
     eprintln!(
         "  {:<24} ens {:>6.2}% avg {:>6.2}% ({} epochs, {:.0}s)",
@@ -75,13 +97,29 @@ pub fn run_method(
     Ok((summary, run))
 }
 
-/// Runs a whole line-up, returning summary rows in order.
+/// Directory-safe form of a method display name ("AdaBoost.M1" ->
+/// "adaboost_m1").
+fn method_slug(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() {
+                c.to_ascii_lowercase()
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// Runs a whole line-up, returning summary rows in order. See
+/// [`run_method`] for `checkpoint_dir` semantics.
 pub fn run_lineup(
     methods: &[Box<dyn EnsembleMethod>],
     env: &ExperimentEnv,
+    checkpoint_dir: Option<&Path>,
 ) -> Result<Vec<MethodSummary>> {
     methods
         .iter()
-        .map(|m| run_method(m.as_ref(), env).map(|(s, _)| s))
+        .map(|m| run_method(m.as_ref(), env, checkpoint_dir).map(|(s, _)| s))
         .collect()
 }

@@ -1,9 +1,16 @@
 //! The weighted soft-voting ensemble model (paper Eq. 16).
+//!
+//! Member inference is embarrassingly parallel — the `T` base models'
+//! `predict_proba` calls are independent — so the prediction paths fan the
+//! members out over the persistent tensor worker pool and only the final
+//! α-weighted average runs serially, in member order, keeping results
+//! bit-identical at every thread count.
 
 use crate::error::{EnsembleError, Result};
 use edde_data::Dataset;
 use edde_nn::metrics::accuracy;
 use edde_nn::Network;
+use edde_tensor::parallel::parallel_map_mut;
 use edde_tensor::Tensor;
 
 /// Evaluation batch size used when scoring large feature tensors; bounds
@@ -89,11 +96,16 @@ impl EnsembleModel {
         if prefix == 0 || prefix > self.members.len() {
             return Err(EnsembleError::EmptyEnsemble);
         }
+        // Fan the independent member forward passes out over the pool…
+        let all_probs = parallel_map_mut(&mut self.members[..prefix], |_, member| {
+            Self::network_soft_targets(&mut member.network, features)
+        });
+        // …then reduce serially in member order (fixed summation order ⇒
+        // bit-identical results at every thread count).
         let mut acc: Option<Tensor> = None;
         let mut alpha_sum = 0.0f32;
-        for member in &mut self.members[..prefix] {
-            let probs = Self::network_soft_targets(&mut member.network, features)?;
-            let weighted = probs.map(|v| v * member.alpha);
+        for (member, probs) in self.members[..prefix].iter().zip(all_probs) {
+            let weighted = probs?.map(|v| v * member.alpha);
             alpha_sum += member.alpha;
             acc = Some(match acc {
                 None => weighted,
@@ -138,11 +150,14 @@ impl EnsembleModel {
         if self.members.is_empty() {
             return Err(EnsembleError::EmptyEnsemble);
         }
-        let mut total = 0.0f32;
         let m = self.members.len();
-        for member in &mut self.members {
+        let accs = parallel_map_mut(&mut self.members, |_, member| -> Result<f32> {
             let probs = Self::network_soft_targets(&mut member.network, data.features())?;
-            total += accuracy(&probs, data.labels())?;
+            Ok(accuracy(&probs, data.labels())?)
+        });
+        let mut total = 0.0f32;
+        for a in accs {
+            total += a?;
         }
         Ok(total / m as f32)
     }
@@ -150,10 +165,11 @@ impl EnsembleModel {
     /// Each member's soft-target matrix on `features` — the raw input to the
     /// diversity measure (Eq. 2) and the pairwise similarity heatmap (Fig. 8).
     pub fn member_soft_targets(&mut self, features: &Tensor) -> Result<Vec<Tensor>> {
-        self.members
-            .iter_mut()
-            .map(|m| Self::network_soft_targets(&mut m.network, features))
-            .collect()
+        parallel_map_mut(&mut self.members, |_, m| {
+            Self::network_soft_targets(&mut m.network, features)
+        })
+        .into_iter()
+        .collect()
     }
 }
 

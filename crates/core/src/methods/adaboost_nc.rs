@@ -225,6 +225,10 @@ impl EnsembleMethod for AdaBoostNc {
         self.run_impl(env, None)
     }
 
+    fn supports_resumable(&self) -> bool {
+        true
+    }
+
     fn run_resumable(&self, env: &ExperimentEnv, store: &dyn CheckpointStore) -> Result<RunResult> {
         let fp = runstate::env_fingerprint(&self.name(), &format!("{self:?}"), env);
         let mut session = RunSession::open(store, &self.name(), fp)?;

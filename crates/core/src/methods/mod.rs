@@ -94,6 +94,13 @@ pub trait EnsembleMethod {
             self.name()
         )))
     }
+
+    /// Whether [`EnsembleMethod::run_resumable`] is implemented. Harnesses
+    /// use this to decide per method between the checkpointed path and the
+    /// plain one, instead of probing for the refusal error.
+    fn supports_resumable(&self) -> bool {
+        false
+    }
 }
 
 /// Records a trace point for the current ensemble prefix.

@@ -176,6 +176,10 @@ impl<S: CheckpointStore> CheckpointStore for FaultyStore<S> {
     fn remove(&self, key: &str) -> NnResult<()> {
         self.inner.remove(key)
     }
+
+    fn keys(&self) -> NnResult<Vec<String>> {
+        self.inner.keys()
+    }
 }
 
 #[cfg(test)]

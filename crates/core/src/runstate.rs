@@ -317,7 +317,34 @@ impl<'a> RunSession<'a> {
                 members: Vec::new(),
             }
         };
-        Ok(RunSession { store, manifest })
+        let session = RunSession { store, manifest };
+        session.collect_garbage();
+        Ok(session)
+    }
+
+    /// Deletes `member-*` keys the manifest does not reference. A crash
+    /// between [`RunSession::record_member`]'s network write and its
+    /// manifest write leaves such an orphan behind; the next member would
+    /// overwrite it anyway (keys are `member-{index}`), but collecting it
+    /// here keeps the store's contents equal to the manifest's view and
+    /// reclaims the space immediately. GC failures are deliberately
+    /// ignored — a leftover orphan is harmless, refusing to resume over
+    /// one is not.
+    fn collect_garbage(&self) {
+        let referenced: std::collections::HashSet<&str> = self
+            .manifest
+            .members
+            .iter()
+            .map(|m| m.net_key.as_str())
+            .collect();
+        let Ok(keys) = self.store.keys() else {
+            return;
+        };
+        for key in keys {
+            if key.starts_with("member-") && !referenced.contains(key.as_str()) {
+                let _ = self.store.remove(&key);
+            }
+        }
     }
 
     /// Completed members in the store.
@@ -464,6 +491,38 @@ mod tests {
             restored.forward(&x, Mode::Eval).unwrap().data()
         );
         assert!(sess.restore_network(1, &mut restored).is_err());
+    }
+
+    #[test]
+    fn open_collects_orphaned_member_keys() {
+        let store = MemStore::new();
+        let mut r = StdRng::seed_from_u64(6);
+        let mut net = mlp(&[4, 8, 2], 0.0, &mut r);
+        let mut sess = RunSession::open(&store, "EDDE", 7).unwrap();
+        sess.record_member(
+            MemberRecord {
+                label: "edde-1".into(),
+                alpha: 1.0,
+                seed: 0,
+                net_key: String::new(),
+                cumulative_epochs: 1,
+                test_accuracy: 0.5,
+                weights: vec![],
+            },
+            &mut net,
+        )
+        .unwrap();
+        drop(sess);
+        // Simulate a crash after the member-1 network write but before the
+        // manifest write: the store holds an unreferenced network.
+        store.put("member-1", b"orphaned network bytes").unwrap();
+        // Unrelated keys must survive GC.
+        store.put("notes", b"keep me").unwrap();
+        let sess = RunSession::open(&store, "EDDE", 7).unwrap();
+        assert_eq!(sess.completed(), 1);
+        assert!(store.contains("member-0"), "referenced key must survive");
+        assert!(!store.contains("member-1"), "orphan must be collected");
+        assert!(store.contains("notes"), "non-member key must survive");
     }
 
     #[test]

@@ -1,0 +1,50 @@
+//! Bitwise determinism of ensemble inference across thread counts.
+//!
+//! Member inference fans out over the tensor pool but the Eq. 16 α-weighted
+//! average is reduced serially in member order, so `soft_targets` (and
+//! everything built on it) must be bit-identical at every thread setting.
+
+use edde_core::EnsembleModel;
+use edde_nn::models::mlp;
+use edde_tensor::parallel::set_num_threads;
+use edde_tensor::rng::rand_uniform;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+struct RestoreDefault;
+impl Drop for RestoreDefault {
+    fn drop(&mut self) {
+        set_num_threads(0);
+    }
+}
+
+#[test]
+fn ensemble_soft_targets_are_bit_identical_across_thread_counts() {
+    let mut r = StdRng::seed_from_u64(21);
+    let mut model = EnsembleModel::new();
+    for (t, alpha) in [1.0f32, 0.6, 1.7, 0.3, 1.1].into_iter().enumerate() {
+        let net = mlp(&[12, 16, 5], 0.0, &mut r);
+        model.push(net, alpha, format!("m{t}"));
+    }
+    let x = rand_uniform(&[64, 12], -2.0, 2.0, &mut r);
+    let _restore = RestoreDefault;
+
+    set_num_threads(1);
+    let serial = model.soft_targets(&x).unwrap();
+    let serial_again = model.soft_targets(&x).unwrap();
+    assert_eq!(
+        serial.data(),
+        serial_again.data(),
+        "repeated serial calls differ"
+    );
+
+    set_num_threads(8);
+    let parallel = model.soft_targets(&x).unwrap();
+    assert_eq!(serial.data(), parallel.data(), "1 vs 8 threads differ");
+    let predictions_serial = {
+        set_num_threads(1);
+        model.predict(&x).unwrap()
+    };
+    set_num_threads(8);
+    assert_eq!(predictions_serial, model.predict(&x).unwrap());
+}

@@ -166,6 +166,9 @@ pub trait CheckpointStore: Send + Sync {
     fn contains(&self, key: &str) -> bool;
     /// Removes `key` if present (no error when absent).
     fn remove(&self, key: &str) -> Result<()>;
+    /// Every key currently stored, in unspecified order. Used by manifest
+    /// garbage collection to find orphaned entries.
+    fn keys(&self) -> Result<Vec<String>>;
 }
 
 /// Filesystem-backed store: each key is a file inside one directory,
@@ -226,6 +229,25 @@ impl CheckpointStore for FsStore {
             ))),
         }
     }
+
+    fn keys(&self) -> Result<Vec<String>> {
+        let entries = fs::read_dir(&self.dir)
+            .map_err(|e| NnError::Io(format!("cannot list {}: {e}", self.dir.display())))?;
+        let mut keys = Vec::new();
+        for entry in entries {
+            let entry = entry
+                .map_err(|e| NnError::Io(format!("cannot list {}: {e}", self.dir.display())))?;
+            if entry.path().is_file() {
+                if let Ok(name) = entry.file_name().into_string() {
+                    // Skip in-flight temp files from `atomic_write`.
+                    if !name.ends_with(".tmp") {
+                        keys.push(name);
+                    }
+                }
+            }
+        }
+        Ok(keys)
+    }
 }
 
 /// In-memory store for tests and ephemeral runs.
@@ -272,6 +294,16 @@ impl CheckpointStore for MemStore {
             .unwrap_or_else(|e| e.into_inner())
             .remove(key);
         Ok(())
+    }
+
+    fn keys(&self) -> Result<Vec<String>> {
+        Ok(self
+            .map
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .keys()
+            .cloned()
+            .collect())
     }
 }
 
@@ -444,6 +476,23 @@ mod tests {
             store.remove("m0").unwrap();
             assert!(!store.contains("m0"));
             store.remove("m0").unwrap(); // idempotent
+        }
+    }
+
+    #[test]
+    fn stores_enumerate_their_keys() {
+        for store in [
+            Box::new(MemStore::new()) as Box<dyn CheckpointStore>,
+            Box::new(FsStore::open(temp_dir("store_keys")).unwrap()),
+        ] {
+            assert!(store.keys().unwrap().is_empty());
+            store.put("manifest", b"m").unwrap();
+            store.put("member-0", b"a").unwrap();
+            store.put("member-1", b"b").unwrap();
+            store.remove("member-0").unwrap();
+            let mut keys = store.keys().unwrap();
+            keys.sort();
+            assert_eq!(keys, ["manifest", "member-1"]);
         }
     }
 

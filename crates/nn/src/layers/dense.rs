@@ -3,7 +3,7 @@
 use crate::error::{NnError, Result};
 use crate::layer::{join_path, Layer};
 use crate::param::{Mode, Param};
-use edde_tensor::ops::{add_row_broadcast, matmul, matmul_a_bt, matmul_at_b, sum_axis0};
+use edde_tensor::ops::{add_row_broadcast_inplace, matmul, matmul_a_bt, matmul_at_b, sum_axis0};
 use edde_tensor::{rng, Tensor};
 use rand::Rng;
 
@@ -73,8 +73,9 @@ impl Layer for Dense {
             });
         }
         self.cache_input = Some(input.clone());
-        let y = matmul(input, &self.weight.value)?;
-        Ok(add_row_broadcast(&y, &self.bias.value)?)
+        let mut y = matmul(input, &self.weight.value)?;
+        add_row_broadcast_inplace(&mut y, &self.bias.value)?;
+        Ok(y)
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {

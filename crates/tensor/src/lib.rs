@@ -7,8 +7,10 @@
 //!
 //! * [`Tensor`] — a contiguous, row-major, `f32` n-dimensional array;
 //! * elementwise arithmetic with scalar and row broadcasting ([`ops`]);
-//! * a crossbeam-parallel matrix multiply ([`ops::matmul`]);
-//! * im2col-based 2-D and 1-D convolution ([`ops::conv`]);
+//! * register-tiled matrix multiply on a persistent worker pool
+//!   ([`ops::matmul`], [`parallel`]);
+//! * im2col-based 2-D and 1-D convolution using reusable scratch buffers
+//!   ([`ops::conv`], [`scratch`]);
 //! * max/avg pooling with backward index maps ([`ops::pool`]);
 //! * reductions, softmax, and argmax ([`ops::reduce`]);
 //! * seeded random fills (uniform, normal via Box–Muller) ([`rng`]);
@@ -31,6 +33,7 @@ pub mod error;
 pub mod ops;
 pub mod parallel;
 pub mod rng;
+pub mod scratch;
 pub mod serialize;
 pub mod shape;
 pub mod tensor;

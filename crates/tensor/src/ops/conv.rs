@@ -6,12 +6,30 @@
 //! * 1-D inputs are `[N, C, L]`, kernels `[OC, C, K]` (used by Text-CNN).
 //!
 //! Each sample's receptive fields are unrolled into a column matrix
-//! (`im2col`), turning convolution into the dense matmul that
-//! [`crate::ops::matmul`] already parallelizes.
+//! (`im2col`) borrowed from the thread-local [`crate::scratch`] arena,
+//! turning convolution into serial tiled matmuls per sample while the
+//! batch fans out across the persistent worker pool.
+//!
+//! # Determinism
+//!
+//! Forward outputs and `grad_input` are per-sample-disjoint, so batch
+//! parallelism cannot affect them. The reduced gradients (`grad_weight`,
+//! `grad_bias`) are summed via *fixed-size sample groups*
+//! ([`SAMPLE_GROUP`]): group boundaries depend only on the batch size,
+//! each group accumulates its samples in ascending order, and the group
+//! partials are reduced serially in ascending group order — so the
+//! floating-point summation tree is identical at every thread count.
 
 use crate::error::{Result, TensorError};
-use crate::ops::matmul::{matmul, matmul_a_bt, matmul_at_b};
+use crate::ops::matmul::{gemm_ab_into, gemm_atb_into, transpose_into};
+use crate::parallel::{for_each_row_chunk, run_chunks};
+use crate::scratch;
 use crate::tensor::Tensor;
+
+/// Samples per backward reduction group. Fixed (not derived from the
+/// thread count) so `grad_weight`/`grad_bias` summation order — and hence
+/// their bit patterns — never depend on parallelism.
+const SAMPLE_GROUP: usize = 8;
 
 /// Gradients produced by [`conv2d_backward`].
 #[derive(Debug, Clone)]
@@ -199,26 +217,31 @@ pub fn conv2d(
     }
     let ckk = c * kh * kw;
     let l = oh * ow;
-    let wmat = weight.reshape(&[oc, ckk])?;
+    let wd = weight.data(); // [OC, C, KH, KW] is [oc, ckk] row-major
+    let in_data = input.data();
+    let bias_data = bias.map(|b| b.data());
     let mut out = Tensor::zeros(&[n, oc, oh, ow]);
-    let mut col = vec![0.0f32; ckk * l];
-    for s in 0..n {
-        let sample = &input.data()[s * c * h * w..(s + 1) * c * h * w];
-        im2col_sample(sample, c, h, w, kh, kw, stride, pad, oh, ow, &mut col);
-        let col_t = Tensor::from_vec(std::mem::take(&mut col), &[ckk, l])?;
-        let prod = matmul(&wmat, &col_t)?; // [oc, l]
-        col = col_t.into_vec();
-        let dst = &mut out.data_mut()[s * oc * l..(s + 1) * oc * l];
-        dst.copy_from_slice(prod.data());
-        if let Some(b) = bias {
-            for (o, row) in dst.chunks_mut(l).enumerate() {
-                let bv = b.data()[o];
-                for v in row.iter_mut() {
-                    *v += bv;
+    // One "row" per sample: samples are independent, so the batch fans out
+    // across the pool while each sample runs one serial tiled matmul on a
+    // scratch column matrix.
+    for_each_row_chunk(out.data_mut(), oc * l, |s0, chunk| {
+        let mut col = scratch::take(ckk * l);
+        for (si, dst) in chunk.chunks_mut(oc * l).enumerate() {
+            let s = s0 + si;
+            let sample = &in_data[s * c * h * w..(s + 1) * c * h * w];
+            im2col_sample(sample, c, h, w, kh, kw, stride, pad, oh, ow, &mut col);
+            // dst is zeroed, so += gives W[oc,ckk] · col[ckk,l].
+            gemm_ab_into(dst, wd, &col, oc, ckk, l);
+            if let Some(bd) = bias_data {
+                for (o, row) in dst.chunks_mut(l).enumerate() {
+                    let bv = bd[o];
+                    for v in row.iter_mut() {
+                        *v += bv;
+                    }
                 }
             }
         }
-    }
+    });
     Ok(out)
 }
 
@@ -240,33 +263,69 @@ pub fn conv2d_backward(
     }
     let ckk = c * kh * kw;
     let l = oh * ow;
-    let wmat = weight.reshape(&[oc, ckk])?;
+    let wd = weight.data(); // [oc, ckk] row-major
+    let in_data = input.data();
+    let go_data = grad_out.data();
     let mut grad_w = Tensor::zeros(&[oc, ckk]);
     let mut grad_b = Tensor::zeros(&[oc]);
     let mut grad_in = Tensor::zeros(&[n, c, h, w]);
-    let mut col = vec![0.0f32; ckk * l];
-    for s in 0..n {
-        let sample = &input.data()[s * c * h * w..(s + 1) * c * h * w];
-        im2col_sample(sample, c, h, w, kh, kw, stride, pad, oh, ow, &mut col);
-        let col_t = Tensor::from_vec(std::mem::take(&mut col), &[ckk, l])?;
-        let go = Tensor::from_vec(
-            grad_out.data()[s * oc * l..(s + 1) * oc * l].to_vec(),
-            &[oc, l],
-        )?;
-        // dW += dY · colᵀ
-        let gw = matmul_a_bt(&go, &col_t)?;
-        for (a, &b) in grad_w.data_mut().iter_mut().zip(gw.data().iter()) {
-            *a += b;
+
+    // Each group owns a private partial for the reduced gradients (stored
+    // transposed, [ckk, oc], so the per-sample gemm reduces over the
+    // spatial axis with contiguous loads) plus the `oc` bias slots.
+    let groups = n.div_ceil(SAMPLE_GROUP);
+    let part_stride = ckk * oc + oc;
+    let mut partials = vec![0.0f32; groups * part_stride];
+    let part_base = partials.as_mut_ptr() as usize;
+    let gi_base = grad_in.data_mut().as_mut_ptr() as usize;
+    let chw = c * h * w;
+    run_chunks(groups, |g| {
+        // SAFETY: group `g` touches only its own partial slice and the
+        // `grad_input` slices of its own samples; groups are disjoint and
+        // the dispatch blocks until all complete.
+        let part = unsafe {
+            std::slice::from_raw_parts_mut(
+                (part_base as *mut f32).add(g * part_stride),
+                part_stride,
+            )
+        };
+        let (gwt, gb) = part.split_at_mut(ckk * oc);
+        let mut col = scratch::take(ckk * l);
+        let mut gcol = scratch::take(ckk * l);
+        let mut got = scratch::take(l * oc);
+        for s in g * SAMPLE_GROUP..((g + 1) * SAMPLE_GROUP).min(n) {
+            let sample = &in_data[s * chw..(s + 1) * chw];
+            im2col_sample(sample, c, h, w, kh, kw, stride, pad, oh, ow, &mut col);
+            let go = &go_data[s * oc * l..(s + 1) * oc * l]; // [oc, l]
+                                                             // dWᵀ += col[ckk,l] · dYᵀ[l,oc]  (transpose dY, the smaller
+                                                             // operand, so the gemm streams both inputs row-contiguously)
+            transpose_into(&mut got, go, oc, l);
+            gemm_ab_into(gwt, &col, &got, ckk, l, oc);
+            // db += row sums of dY
+            for (o, gbo) in gb.iter_mut().enumerate() {
+                *gbo += go[o * l..(o + 1) * l].iter().sum::<f32>();
+            }
+            // d(col) = Wᵀ[ckk,oc] · dY[oc,l], scattered back through col2im
+            gcol.fill(0.0);
+            gemm_atb_into(&mut gcol, wd, go, oc, ckk, l, 0, ckk);
+            let gs =
+                unsafe { std::slice::from_raw_parts_mut((gi_base as *mut f32).add(s * chw), chw) };
+            col2im_sample(&gcol, c, h, w, kh, kw, stride, pad, oh, ow, gs);
         }
-        // db += row sums of dY
+    });
+    // Serial reduction in ascending group order (see module docs), undoing
+    // the [ckk, oc] transposition of the weight-gradient partials.
+    for g in 0..groups {
+        let part = &partials[g * part_stride..(g + 1) * part_stride];
+        let gwd = grad_w.data_mut();
+        for q in 0..ckk {
+            for o in 0..oc {
+                gwd[o * ckk + q] += part[q * oc + o];
+            }
+        }
         for o in 0..oc {
-            grad_b.data_mut()[o] += go.data()[o * l..(o + 1) * l].iter().sum::<f32>();
+            grad_b.data_mut()[o] += part[ckk * oc + o];
         }
-        // d(col) = Wᵀ · dY, scattered back through col2im
-        let gcol = matmul_at_b(&wmat, &go)?; // [ckk, l]
-        let gs = &mut grad_in.data_mut()[s * c * h * w..(s + 1) * c * h * w];
-        col2im_sample(gcol.data(), c, h, w, kh, kw, stride, pad, oh, ow, gs);
-        col = col_t.into_vec();
     }
     Ok(Conv2dGrads {
         grad_input: grad_in,

@@ -1,7 +1,24 @@
 //! Elementwise arithmetic and simple broadcasting.
+//!
+//! Binary ops clone the left operand and mutate it in chunks across the
+//! persistent worker pool (large buffers only — see
+//! [`crate::parallel::for_each_zip_chunk`]). Each element is transformed
+//! independently, so chunking never changes results.
 
 use crate::error::{Result, TensorError};
+use crate::parallel::{for_each_row_chunk, for_each_zip_chunk};
 use crate::tensor::Tensor;
+
+/// Clones `a` and applies `f(out_elem, b_elem)` chunk-parallel.
+fn zip_into_clone(a: &Tensor, b: &Tensor, f: impl Fn(&mut f32, f32) + Sync) -> Tensor {
+    let mut out = a.clone();
+    for_each_zip_chunk(out.data_mut(), b.data(), |xs, ys| {
+        for (x, &y) in xs.iter_mut().zip(ys.iter()) {
+            f(x, y);
+        }
+    });
+    out
+}
 
 fn check_same_shape(a: &Tensor, b: &Tensor) -> Result<()> {
     if !a.shape().same_as(b.shape()) {
@@ -16,25 +33,25 @@ fn check_same_shape(a: &Tensor, b: &Tensor) -> Result<()> {
 /// `a + b` (same shape).
 pub fn add(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     check_same_shape(a, b)?;
-    a.zip_map(b, |x, y| x + y)
+    Ok(zip_into_clone(a, b, |x, y| *x += y))
 }
 
 /// `a - b` (same shape).
 pub fn sub(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     check_same_shape(a, b)?;
-    a.zip_map(b, |x, y| x - y)
+    Ok(zip_into_clone(a, b, |x, y| *x -= y))
 }
 
 /// `a * b` elementwise (same shape).
 pub fn mul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     check_same_shape(a, b)?;
-    a.zip_map(b, |x, y| x * y)
+    Ok(zip_into_clone(a, b, |x, y| *x *= y))
 }
 
 /// `a / b` elementwise (same shape). Division by zero follows IEEE 754.
 pub fn div(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     check_same_shape(a, b)?;
-    a.zip_map(b, |x, y| x / y)
+    Ok(zip_into_clone(a, b, |x, y| *x /= y))
 }
 
 /// `a + s` for a scalar `s`.
@@ -50,9 +67,11 @@ pub fn scale(a: &Tensor, s: f32) -> Tensor {
 /// In-place `a += alpha * b` — the workhorse of SGD updates.
 pub fn axpy(a: &mut Tensor, alpha: f32, b: &Tensor) -> Result<()> {
     check_same_shape(a, b)?;
-    for (x, &y) in a.data_mut().iter_mut().zip(b.data().iter()) {
-        *x += alpha * y;
-    }
+    for_each_zip_chunk(a.data_mut(), b.data(), |xs, ys| {
+        for (x, &y) in xs.iter_mut().zip(ys.iter()) {
+            *x += alpha * y;
+        }
+    });
     Ok(())
 }
 
@@ -71,14 +90,36 @@ pub fn add_row_broadcast(matrix: &Tensor, row: &Tensor) -> Result<Tensor> {
             right: row.dims().to_vec(),
         });
     }
-    let n = matrix.dims()[1];
     let mut out = matrix.clone();
-    for r in out.data_mut().chunks_mut(n) {
-        for (v, &b) in r.iter_mut().zip(row.data().iter()) {
-            *v += b;
-        }
-    }
+    add_row_broadcast_inplace(&mut out, row)?;
     Ok(out)
+}
+
+/// In-place variant of [`add_row_broadcast`] — the dense-layer forward
+/// uses this on the freshly computed matmul output to avoid cloning it.
+pub fn add_row_broadcast_inplace(matrix: &mut Tensor, row: &Tensor) -> Result<()> {
+    if matrix.rank() != 2 {
+        return Err(TensorError::RankMismatch {
+            expected: 2,
+            actual: matrix.rank(),
+        });
+    }
+    if row.rank() != 1 || row.dims()[0] != matrix.dims()[1] {
+        return Err(TensorError::ShapeMismatch {
+            left: matrix.dims().to_vec(),
+            right: row.dims().to_vec(),
+        });
+    }
+    let n = matrix.dims()[1];
+    let bias = row.data();
+    for_each_row_chunk(matrix.data_mut(), n, |_, chunk| {
+        for r in chunk.chunks_mut(n) {
+            for (v, &b) in r.iter_mut().zip(bias.iter()) {
+                *v += b;
+            }
+        }
+    });
+    Ok(())
 }
 
 #[cfg(test)]

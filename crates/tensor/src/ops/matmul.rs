@@ -1,18 +1,41 @@
-//! Dense matrix products, parallelized over output rows.
+//! Dense matrix products on register-tiled micro-kernels, parallelized
+//! over output rows on the persistent worker pool.
 //!
 //! Three variants cover everything backprop needs without materializing
-//! transposes:
+//! transposes at the API level:
 //!
 //! * [`matmul`]       — `C = A·B`
 //! * [`matmul_at_b`]  — `C = Aᵀ·B`   (weight gradients)
-//! * [`matmul_a_bt`]  — `C = A·Bᵀ`   (input gradients)
+//! * [`matmul_a_bt`]  — `C = A·Bᵀ`   (input gradients; `B` is repacked
+//!   transposed into arena scratch so the same streaming kernel applies)
 //!
-//! All kernels use an `i-k-j` loop order so the innermost loop streams
-//! through contiguous rows of both the accumulator and the right operand.
+//! # Kernel shape
+//!
+//! The micro-kernel computes an `MR×NR` output tile in registers: `MR` (4)
+//! output rows by `NR` (16, with 8/4/scalar tails) output columns, looping
+//! the reduction dimension innermost. Each tile makes one pass over a
+//! `K×NR` column band of `B` while it is hot in L1, touches its `C` tile
+//! exactly once, and gives the compiler `MR×NR` independent accumulators
+//! to auto-vectorize — the seed kernels instead re-streamed `C` from cache
+//! on every reduction step.
+//!
+//! # Determinism contract
+//!
+//! Every output element is accumulated by exactly one tile, in ascending
+//! reduction order, into a single accumulator. Tile and chunk boundaries
+//! change which elements are computed *together* but never the order of
+//! additions *within* an element, so results are bit-identical across
+//! thread counts, tile shapes, and repeated calls.
 
 use crate::error::{Result, TensorError};
 use crate::parallel::for_each_row_chunk;
+use crate::scratch;
 use crate::tensor::Tensor;
+
+/// Output rows per micro-kernel tile. Four rows × a 16-wide column band is
+/// 8 256-bit accumulator registers plus the `B` row and the `A` broadcast —
+/// comfortably inside the AVX2 register file (6 rows was measured to spill).
+const MR: usize = 4;
 
 fn check_rank2(t: &Tensor) -> Result<(usize, usize)> {
     if t.rank() != 2 {
@@ -22,6 +45,227 @@ fn check_rank2(t: &Tensor) -> Result<(usize, usize)> {
         });
     }
     Ok((t.dims()[0], t.dims()[1]))
+}
+
+/// `MR_ACT×NR` register tile of `C += A·B`: rows `ib..ib+MR_ACT`, columns
+/// `jb..jb+NR`, reduction over `0..k` ascending.
+#[inline(always)]
+fn tile_ab<const NR: usize, const MR_ACT: usize>(
+    c: &mut [f32],
+    a: &[f32],
+    b: &[f32],
+    k: usize,
+    n: usize,
+    ib: usize,
+    jb: usize,
+) {
+    let mut acc = [[0.0f32; NR]; MR_ACT];
+    for (r, accr) in acc.iter_mut().enumerate() {
+        accr.copy_from_slice(&c[(ib + r) * n + jb..(ib + r) * n + jb + NR]);
+    }
+    for kk in 0..k {
+        let brow = &b[kk * n + jb..kk * n + jb + NR];
+        for (r, accr) in acc.iter_mut().enumerate() {
+            let av = a[(ib + r) * k + kk];
+            for j in 0..NR {
+                // mul_add compiles to a hardware FMA under the repo's
+                // `-C target-cpu=native`; rustc never contracts `a*b + c`
+                // on its own, and the plain form is mul/add-port bound.
+                accr[j] = av.mul_add(brow[j], accr[j]);
+            }
+        }
+    }
+    for (r, accr) in acc.iter().enumerate() {
+        c[(ib + r) * n + jb..(ib + r) * n + jb + NR].copy_from_slice(accr);
+    }
+}
+
+/// One `NR`-wide column band of `C += A·B` over rows `0..m`.
+#[inline(always)]
+fn band_ab<const NR: usize>(
+    c: &mut [f32],
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    jb: usize,
+) {
+    let mut ib = 0;
+    while ib + MR <= m {
+        tile_ab::<NR, MR>(c, a, b, k, n, ib, jb);
+        ib += MR;
+    }
+    match m - ib {
+        5 => tile_ab::<NR, 5>(c, a, b, k, n, ib, jb),
+        4 => tile_ab::<NR, 4>(c, a, b, k, n, ib, jb),
+        3 => tile_ab::<NR, 3>(c, a, b, k, n, ib, jb),
+        2 => tile_ab::<NR, 2>(c, a, b, k, n, ib, jb),
+        1 => tile_ab::<NR, 1>(c, a, b, k, n, ib, jb),
+        _ => {}
+    }
+}
+
+/// Serial `C += A·B` for row-major `A[m,k]`, `B[k,n]`, `C[m,n]`.
+///
+/// This is the building block the parallel wrappers and the convolution
+/// kernels feed row chunks into; it never dispatches to the pool itself.
+pub(crate) fn gemm_ab_into(c: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(c.len(), m * n);
+    debug_assert!(a.len() >= m * k);
+    debug_assert_eq!(b.len(), k * n);
+    let mut jb = 0;
+    while n - jb >= 16 {
+        band_ab::<16>(c, a, b, m, k, n, jb);
+        jb += 16;
+    }
+    if n - jb >= 8 {
+        band_ab::<8>(c, a, b, m, k, n, jb);
+        jb += 8;
+    }
+    if n - jb >= 4 {
+        band_ab::<4>(c, a, b, m, k, n, jb);
+        jb += 4;
+    }
+    // Scalar tail columns: same ascending-k single-accumulator order.
+    for j in jb..n {
+        for i in 0..m {
+            let mut acc = c[i * n + j];
+            for kk in 0..k {
+                acc += a[i * k + kk] * b[kk * n + j];
+            }
+            c[i * n + j] = acc;
+        }
+    }
+}
+
+/// `MR_ACT×NR` register tile of `C += Aᵀ·B`: chunk rows `crow..crow+MR_ACT`
+/// (columns `acol..acol+MR_ACT` of `A[m,k]`), reduction over `i = 0..m`
+/// ascending. The `A` reads per step are contiguous: `A[i][acol..]`.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn tile_atb<const NR: usize, const MR_ACT: usize>(
+    c: &mut [f32],
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    crow: usize,
+    acol: usize,
+    jb: usize,
+) {
+    let mut acc = [[0.0f32; NR]; MR_ACT];
+    for (r, accr) in acc.iter_mut().enumerate() {
+        accr.copy_from_slice(&c[(crow + r) * n + jb..(crow + r) * n + jb + NR]);
+    }
+    for i in 0..m {
+        let brow = &b[i * n + jb..i * n + jb + NR];
+        let arow = &a[i * k + acol..i * k + acol + MR_ACT];
+        for (r, accr) in acc.iter_mut().enumerate() {
+            let av = arow[r];
+            for j in 0..NR {
+                accr[j] = av.mul_add(brow[j], accr[j]);
+            }
+        }
+    }
+    for (r, accr) in acc.iter().enumerate() {
+        c[(crow + r) * n + jb..(crow + r) * n + jb + NR].copy_from_slice(accr);
+    }
+}
+
+/// One `NR`-wide column band of `C += Aᵀ·B` over all `rows` chunk rows.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn band_atb<const NR: usize>(
+    c: &mut [f32],
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    kb0: usize,
+    rows: usize,
+    jb: usize,
+) {
+    let mut r0 = 0;
+    while r0 + MR <= rows {
+        tile_atb::<NR, MR>(c, a, b, m, k, n, r0, kb0 + r0, jb);
+        r0 += MR;
+    }
+    match rows - r0 {
+        5 => tile_atb::<NR, 5>(c, a, b, m, k, n, r0, kb0 + r0, jb),
+        4 => tile_atb::<NR, 4>(c, a, b, m, k, n, r0, kb0 + r0, jb),
+        3 => tile_atb::<NR, 3>(c, a, b, m, k, n, r0, kb0 + r0, jb),
+        2 => tile_atb::<NR, 2>(c, a, b, m, k, n, r0, kb0 + r0, jb),
+        1 => tile_atb::<NR, 1>(c, a, b, m, k, n, r0, kb0 + r0, jb),
+        _ => {}
+    }
+}
+
+/// Serial `C += Aᵀ·B` for `A[m,k]`, `B[m,n]`, writing output rows
+/// `kb0..kb0+rows` of `C[k,n]`. `c` is the chunk slice whose first row is
+/// output row `kb0` (the chunk a pool worker owns).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn gemm_atb_into(
+    c: &mut [f32],
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    kb0: usize,
+    rows: usize,
+) {
+    debug_assert_eq!(c.len(), rows * n);
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), m * n);
+    let mut jb = 0;
+    while n - jb >= 16 {
+        band_atb::<16>(c, a, b, m, k, n, kb0, rows, jb);
+        jb += 16;
+    }
+    if n - jb >= 8 {
+        band_atb::<8>(c, a, b, m, k, n, kb0, rows, jb);
+        jb += 8;
+    }
+    if n - jb >= 4 {
+        band_atb::<4>(c, a, b, m, k, n, kb0, rows, jb);
+        jb += 4;
+    }
+    // Scalar tail columns: same ascending-i single-accumulator order.
+    for j in jb..n {
+        for row in 0..rows {
+            let kk = kb0 + row;
+            let mut acc = c[row * n + j];
+            for i in 0..m {
+                acc += a[i * k + kk] * b[i * n + j];
+            }
+            c[row * n + j] = acc;
+        }
+    }
+}
+
+/// Blocked `dst[cols, rows] = srcᵀ` for row-major `src[rows, cols]`.
+pub(crate) fn transpose_into(dst: &mut [f32], src: &[f32], rows: usize, cols: usize) {
+    debug_assert_eq!(dst.len(), rows * cols);
+    debug_assert_eq!(src.len(), rows * cols);
+    const TB: usize = 32;
+    let mut i0 = 0;
+    while i0 < rows {
+        let i1 = (i0 + TB).min(rows);
+        let mut j0 = 0;
+        while j0 < cols {
+            let j1 = (j0 + TB).min(cols);
+            for i in i0..i1 {
+                for j in j0..j1 {
+                    dst[j * rows + i] = src[i * cols + j];
+                }
+            }
+            j0 = j1;
+        }
+        i0 = i1;
+    }
 }
 
 /// `C[m,n] = A[m,k] · B[k,n]`.
@@ -35,21 +279,20 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
         });
     }
     let mut out = Tensor::zeros(&[m, n]);
+    if m == 0 || n == 0 {
+        return Ok(out);
+    }
     let (ad, bd) = (a.data(), b.data());
-    for_each_row_chunk(out.data_mut(), n.max(1), |first_row, chunk| {
-        for (local_i, crow) in chunk.chunks_mut(n.max(1)).enumerate() {
-            let i = first_row + local_i;
-            let arow = &ad[i * ka..(i + 1) * ka];
-            for (kk, &aik) in arow.iter().enumerate() {
-                if aik == 0.0 {
-                    continue; // ReLU activations make zero common.
-                }
-                let brow = &bd[kk * n..(kk + 1) * n];
-                for (c, &bv) in crow.iter_mut().zip(brow.iter()) {
-                    *c += aik * bv;
-                }
-            }
-        }
+    for_each_row_chunk(out.data_mut(), n, |first_row, chunk| {
+        let rows = chunk.len() / n;
+        gemm_ab_into(
+            chunk,
+            &ad[first_row * ka..(first_row + rows) * ka],
+            bd,
+            rows,
+            ka,
+            n,
+        );
     });
     Ok(out)
 }
@@ -64,29 +307,20 @@ pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Result<Tensor> {
             right: b.dims().to_vec(),
         });
     }
-    // C[kk][j] = Σ_i A[i][kk] * B[i][j]. Parallelize over C's rows (kk):
-    // each worker scans all of A and B but owns disjoint output rows.
     let mut out = Tensor::zeros(&[k, n]);
+    if k == 0 || n == 0 {
+        return Ok(out);
+    }
     let (ad, bd) = (a.data(), b.data());
-    for_each_row_chunk(out.data_mut(), n.max(1), |first_row, chunk| {
-        for (local, crow) in chunk.chunks_mut(n.max(1)).enumerate() {
-            let kk = first_row + local;
-            for i in 0..ma {
-                let aik = ad[i * k + kk];
-                if aik == 0.0 {
-                    continue;
-                }
-                let brow = &bd[i * n..(i + 1) * n];
-                for (c, &bv) in crow.iter_mut().zip(brow.iter()) {
-                    *c += aik * bv;
-                }
-            }
-        }
+    for_each_row_chunk(out.data_mut(), n, |first_row, chunk| {
+        let rows = chunk.len() / n;
+        gemm_atb_into(chunk, ad, bd, ma, k, n, first_row, rows);
     });
     Ok(out)
 }
 
-/// `C[m,k] = A[m,n] · Bᵀ[n,k]` for `B[k,n]` — without building `Bᵀ`.
+/// `C[m,k] = A[m,n] · Bᵀ[n,k]` for `B[k,n]` — `B` is repacked transposed
+/// into arena scratch so the streaming [`gemm_ab_into`] kernel applies.
 pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     let (m, na) = check_rank2(a)?;
     let (k, nb) = check_rank2(b)?;
@@ -98,20 +332,26 @@ pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     }
     let n = na;
     let mut out = Tensor::zeros(&[m, k]);
-    let (ad, bd) = (a.data(), b.data());
-    for_each_row_chunk(out.data_mut(), k.max(1), |first_row, chunk| {
-        for (local, crow) in chunk.chunks_mut(k.max(1)).enumerate() {
-            let i = first_row + local;
-            let arow = &ad[i * n..(i + 1) * n];
-            for (j, c) in crow.iter_mut().enumerate() {
-                let brow = &bd[j * n..(j + 1) * n];
-                let mut acc = 0.0f32;
-                for (&av, &bv) in arow.iter().zip(brow.iter()) {
-                    acc += av * bv;
-                }
-                *c += acc;
-            }
-        }
+    if m == 0 || k == 0 {
+        return Ok(out);
+    }
+    let ad = a.data();
+    if n == 0 {
+        return Ok(out);
+    }
+    let mut bt = scratch::take(n * k);
+    transpose_into(&mut bt, b.data(), k, n);
+    let btd: &[f32] = &bt;
+    for_each_row_chunk(out.data_mut(), k, |first_row, chunk| {
+        let rows = chunk.len() / k;
+        gemm_ab_into(
+            chunk,
+            &ad[first_row * n..(first_row + rows) * n],
+            btd,
+            rows,
+            n,
+            k,
+        );
     });
     Ok(out)
 }
@@ -166,7 +406,17 @@ mod tests {
     #[test]
     fn matches_naive_on_random_inputs() {
         let mut r = StdRng::seed_from_u64(7);
-        for &(m, k, n) in &[(1, 1, 1), (3, 5, 2), (17, 9, 23), (64, 32, 48)] {
+        // Sizes straddle every tile-width tail path (16/8/4/scalar) and
+        // the MR row tails.
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (3, 5, 2),
+            (17, 9, 23),
+            (64, 32, 48),
+            (5, 7, 19),
+            (4, 11, 37),
+            (33, 16, 65),
+        ] {
             let a = rand_uniform(&[m, k], -1.0, 1.0, &mut r);
             let b = rand_uniform(&[k, n], -1.0, 1.0, &mut r);
             assert_close(&matmul(&a, &b).unwrap(), &naive_matmul(&a, &b), 1e-4);
@@ -176,17 +426,19 @@ mod tests {
     #[test]
     fn transposed_variants_match_explicit_transpose() {
         let mut r = StdRng::seed_from_u64(9);
-        let a = rand_uniform(&[11, 6], -1.0, 1.0, &mut r);
-        let b = rand_uniform(&[11, 4], -1.0, 1.0, &mut r);
-        let at_b = matmul_at_b(&a, &b).unwrap();
-        let explicit = matmul(&a.transpose2d().unwrap(), &b).unwrap();
-        assert_close(&at_b, &explicit, 1e-4);
+        for &(m, k, n) in &[(11usize, 6usize, 4usize), (23, 17, 31), (8, 16, 16)] {
+            let a = rand_uniform(&[m, k], -1.0, 1.0, &mut r);
+            let b = rand_uniform(&[m, n], -1.0, 1.0, &mut r);
+            let at_b = matmul_at_b(&a, &b).unwrap();
+            let explicit = matmul(&a.transpose2d().unwrap(), &b).unwrap();
+            assert_close(&at_b, &explicit, 1e-4);
 
-        let c = rand_uniform(&[5, 8], -1.0, 1.0, &mut r);
-        let d = rand_uniform(&[3, 8], -1.0, 1.0, &mut r);
-        let c_dt = matmul_a_bt(&c, &d).unwrap();
-        let explicit2 = matmul(&c, &d.transpose2d().unwrap()).unwrap();
-        assert_close(&c_dt, &explicit2, 1e-4);
+            let c = rand_uniform(&[m, n], -1.0, 1.0, &mut r);
+            let d = rand_uniform(&[k, n], -1.0, 1.0, &mut r);
+            let c_dt = matmul_a_bt(&c, &d).unwrap();
+            let explicit2 = matmul(&c, &d.transpose2d().unwrap()).unwrap();
+            assert_close(&c_dt, &explicit2, 1e-4);
+        }
     }
 
     #[test]
@@ -206,5 +458,16 @@ mod tests {
         let a = rand_uniform(&[200, 90], -1.0, 1.0, &mut r);
         let b = rand_uniform(&[90, 160], -1.0, 1.0, &mut r);
         assert_close(&matmul(&a, &b).unwrap(), &naive_matmul(&a, &b), 1e-3);
+    }
+
+    #[test]
+    fn transpose_into_round_trips() {
+        let mut r = StdRng::seed_from_u64(13);
+        let t = rand_uniform(&[37, 53], -1.0, 1.0, &mut r);
+        let mut once = vec![0.0f32; t.len()];
+        transpose_into(&mut once, t.data(), 37, 53);
+        let mut twice = vec![0.0f32; t.len()];
+        transpose_into(&mut twice, &once, 53, 37);
+        assert_eq!(&twice, t.data());
     }
 }

@@ -3,7 +3,8 @@
 //! Split by family:
 //!
 //! * [`elementwise`] — arithmetic, broadcasting, in-place updates;
-//! * [`matmul`] — parallel dense matrix products (plain / transposed);
+//! * [`matmul`] — register-tiled dense matrix products (plain /
+//!   transposed) parallelized on the persistent worker pool;
 //! * [`reduce`] — sums, means, softmax, argmax;
 //! * [`conv`] — im2col 2-D and 1-D convolution with backward passes;
 //! * [`pool`] — max / average pooling with backward passes;
@@ -17,7 +18,9 @@ pub mod reduce;
 pub mod stats;
 
 pub use conv::{conv1d, conv1d_backward, conv2d, conv2d_backward, Conv1dGrads, Conv2dGrads};
-pub use elementwise::{add, add_row_broadcast, add_scalar, axpy, div, mul, scale, sub};
+pub use elementwise::{
+    add, add_row_broadcast, add_row_broadcast_inplace, add_scalar, axpy, div, mul, scale, sub,
+};
 pub use matmul::{matmul, matmul_a_bt, matmul_at_b};
 pub use pool::{
     avg_pool2d, avg_pool2d_backward, global_avg_pool, global_avg_pool_backward, max_over_time,

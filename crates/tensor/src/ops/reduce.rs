@@ -1,6 +1,13 @@
 //! Reductions and row-wise softmax utilities.
+//!
+//! The softmax variants are row-independent, so large matrices fan rows
+//! out over the persistent worker pool; every row is computed by the same
+//! serial code wherever it lands, keeping results bit-identical across
+//! thread counts. Full reductions (`sum_all`, `sum_axis0`) stay serial —
+//! their accumulation order *is* their determinism contract.
 
 use crate::error::{Result, TensorError};
+use crate::parallel::for_each_row_chunk;
 use crate::tensor::Tensor;
 
 /// Sum of all elements.
@@ -91,24 +98,25 @@ pub fn softmax_rows(logits: &Tensor) -> Result<Tensor> {
             actual: logits.rank(),
         });
     }
-    let (m, n) = (logits.dims()[0], logits.dims()[1]);
+    let n = logits.dims()[1];
     if n == 0 {
         return Err(TensorError::Empty("softmax over zero classes"));
     }
     let mut out = logits.clone();
-    for i in 0..m {
-        let row = &mut out.data_mut()[i * n..(i + 1) * n];
-        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-        let mut sum = 0.0f32;
-        for v in row.iter_mut() {
-            *v = (*v - max).exp();
-            sum += *v;
+    for_each_row_chunk(out.data_mut(), n, |_, chunk| {
+        for row in chunk.chunks_mut(n) {
+            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut sum = 0.0f32;
+            for v in row.iter_mut() {
+                *v = (*v - max).exp();
+                sum += *v;
+            }
+            let inv = 1.0 / sum;
+            for v in row.iter_mut() {
+                *v *= inv;
+            }
         }
-        let inv = 1.0 / sum;
-        for v in row.iter_mut() {
-            *v *= inv;
-        }
-    }
+    });
     Ok(out)
 }
 
@@ -120,19 +128,20 @@ pub fn log_softmax_rows(logits: &Tensor) -> Result<Tensor> {
             actual: logits.rank(),
         });
     }
-    let (m, n) = (logits.dims()[0], logits.dims()[1]);
+    let n = logits.dims()[1];
     if n == 0 {
         return Err(TensorError::Empty("log-softmax over zero classes"));
     }
     let mut out = logits.clone();
-    for i in 0..m {
-        let row = &mut out.data_mut()[i * n..(i + 1) * n];
-        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-        let log_sum = row.iter().map(|&v| (v - max).exp()).sum::<f32>().ln() + max;
-        for v in row.iter_mut() {
-            *v -= log_sum;
+    for_each_row_chunk(out.data_mut(), n, |_, chunk| {
+        for row in chunk.chunks_mut(n) {
+            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let log_sum = row.iter().map(|&v| (v - max).exp()).sum::<f32>().ln() + max;
+            for v in row.iter_mut() {
+                *v -= log_sum;
+            }
         }
-    }
+    });
     Ok(out)
 }
 

@@ -1,11 +1,29 @@
-//! Minimal data-parallel helpers built on crossbeam scoped threads.
+//! The persistent worker pool behind every parallel tensor op.
 //!
-//! The tensor crate keeps parallelism deliberately coarse: hot loops like
-//! matrix multiply split their *output* into disjoint chunks and hand each
-//! chunk to one worker. That avoids locks entirely — every worker writes to
-//! memory nobody else touches.
+//! The first parallel dispatch spawns the workers once; every later op
+//! reuses them, so the steady state has **zero per-call thread spawns**
+//! (the seed implementation paid a crossbeam scope + spawn per matmul).
+//! Work is balanced by *chunk claiming*: a dispatch publishes a job with
+//! `total` independent chunk indices and every participant — the caller
+//! included — repeatedly steals the next unclaimed index from a shared
+//! atomic counter until none remain. Fast workers therefore automatically
+//! take chunks from slow ones without any per-thread queues.
+//!
+//! # Determinism contract
+//!
+//! Chunk *scheduling* is nondeterministic, but every op built on this pool
+//! computes each output element entirely inside one chunk, with a fixed
+//! per-element reduction order. Results are therefore bit-identical across
+//! thread counts, across repeated calls, and across reconfigurations —
+//! the property the ensemble reproducibility tests pin down.
+//!
+//! Nested dispatch (a parallel op called from inside a pool worker, e.g. a
+//! matmul inside a sample-parallel convolution) runs inline on the worker
+//! instead of deadlocking the pool.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
 
 /// Global override for the worker count (0 = use available parallelism).
 static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
@@ -13,10 +31,16 @@ static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
 /// Sets the number of worker threads used by parallel tensor ops.
 ///
 /// `0` restores the default (one worker per available core, capped at 8 —
-/// beyond that the matmul sizes in this project stop scaling). Benchmarks
-/// use this to pin thread counts for stable measurements.
+/// beyond that the matmul sizes in this project stop scaling). The pool
+/// reconfigures lazily: grow spawns the missing workers on the next
+/// dispatch, shrink retires surplus workers at their next wake-up. Results
+/// of tensor ops are bit-identical at every setting.
 pub fn set_num_threads(n: usize) {
     THREAD_OVERRIDE.store(n, Ordering::Relaxed);
+    // Wake sleeping workers so surplus ones can retire promptly.
+    if let Some(pool) = POOL.get() {
+        pool.cv_workers.notify_all();
+    }
 }
 
 /// The worker count parallel ops will use.
@@ -31,9 +55,219 @@ pub fn num_threads() -> usize {
         .min(8)
 }
 
-/// Splits `out` into at most [`num_threads`] contiguous chunks of whole
-/// `row_len`-sized rows and runs `f(first_row_index, chunk)` on each chunk,
-/// in parallel when the work is large enough to amortize thread spawn cost.
+thread_local! {
+    /// True on pool worker threads; nested dispatches run inline.
+    static IN_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// One published parallel-for: chunk indices `0..total` are claimed via
+/// `next`; `completed` counts finished chunks. The raw closure pointer is
+/// only dereferenced for successfully claimed indices, and the publisher
+/// blocks until `completed == total`, which bounds the borrow.
+struct Job {
+    task: *const (dyn Fn(usize) + Sync),
+    total: usize,
+    next: AtomicUsize,
+    completed: AtomicUsize,
+    panicked: AtomicBool,
+    done_lock: Mutex<bool>,
+    done_cv: Condvar,
+}
+
+// SAFETY: `task` is a borrow of the dispatching closure; `dispatch` keeps
+// the closure alive until every claimed chunk has completed, and unclaimed
+// indices never dereference it.
+unsafe impl Send for Job {}
+unsafe impl Sync for Job {}
+
+impl Job {
+    /// Claims and runs chunks until none remain; returns whether this
+    /// participant finished the final chunk.
+    fn work(&self) {
+        loop {
+            let i = self.next.fetch_add(1, Ordering::Relaxed);
+            if i >= self.total {
+                return;
+            }
+            // SAFETY: i < total, so the publisher is still blocked in
+            // `dispatch` and the closure borrow is live.
+            let task = unsafe { &*self.task };
+            if catch_unwind(AssertUnwindSafe(|| task(i))).is_err() {
+                self.panicked.store(true, Ordering::Relaxed);
+            }
+            if self.completed.fetch_add(1, Ordering::AcqRel) + 1 == self.total {
+                let mut done = lock(&self.done_lock);
+                *done = true;
+                self.done_cv.notify_all();
+            }
+        }
+    }
+}
+
+struct Pool {
+    /// Broadcast slot: (generation, current job). Workers sleep on
+    /// `cv_workers` until the generation advances.
+    slot: Mutex<(u64, Option<Arc<Job>>)>,
+    cv_workers: Condvar,
+    /// Serializes dispatches so concurrent callers don't clobber the slot.
+    dispatch: Mutex<()>,
+    /// Workers ever spawned (monotonic worker ids).
+    spawned: AtomicUsize,
+    /// Workers currently alive (spawned minus retired).
+    alive: AtomicUsize,
+}
+
+static POOL: OnceLock<Pool> = OnceLock::new();
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn pool() -> &'static Pool {
+    POOL.get_or_init(|| Pool {
+        slot: Mutex::new((0, None)),
+        cv_workers: Condvar::new(),
+        dispatch: Mutex::new(()),
+        spawned: AtomicUsize::new(0),
+        alive: AtomicUsize::new(0),
+    })
+}
+
+/// Workers the pool should keep alive for the current thread setting
+/// (the caller participates, so the pool holds `num_threads - 1`).
+fn desired_workers() -> usize {
+    num_threads().saturating_sub(1)
+}
+
+fn worker_main(pool: &'static Pool, id: usize) {
+    IN_WORKER.with(|w| w.set(true));
+    let mut seen_generation = 0u64;
+    loop {
+        let job = {
+            let mut slot = lock(&pool.slot);
+            loop {
+                if id >= desired_workers() {
+                    // Pool was shrunk; retire.
+                    pool.alive.fetch_sub(1, Ordering::Relaxed);
+                    return;
+                }
+                match &slot.1 {
+                    Some(job) if slot.0 != seen_generation => {
+                        seen_generation = slot.0;
+                        break Arc::clone(job);
+                    }
+                    _ => {
+                        slot = pool
+                            .cv_workers
+                            .wait(slot)
+                            .unwrap_or_else(|e| e.into_inner())
+                    }
+                }
+            }
+        };
+        job.work();
+    }
+}
+
+/// Ensures the pool has `desired_workers()` live workers, spawning any
+/// missing ones. Retired worker ids are not reused; ids only grow, and a
+/// worker retires itself when its id falls outside the desired range —
+/// so after a shrink-then-grow the pool tops back up here.
+fn ensure_workers(pool: &'static Pool) {
+    let want = desired_workers();
+    while pool.alive.load(Ordering::Relaxed) < want {
+        // Ids must stay dense in 0..alive for the retire check, so respawn
+        // with id = current alive count.
+        let id = pool.alive.fetch_add(1, Ordering::Relaxed);
+        if id >= want {
+            pool.alive.fetch_sub(1, Ordering::Relaxed);
+            break;
+        }
+        pool.spawned.fetch_add(1, Ordering::Relaxed);
+        std::thread::Builder::new()
+            .name(format!("edde-tensor-{id}"))
+            .spawn(move || worker_main(pool, id))
+            .expect("failed to spawn tensor pool worker");
+    }
+}
+
+/// Total workers ever spawned — observability hook for the "zero per-call
+/// spawns in steady state" benchmark assertion.
+pub fn workers_spawned_total() -> usize {
+    POOL.get().map_or(0, |p| p.spawned.load(Ordering::Relaxed))
+}
+
+/// Runs `f(0)`, `f(1)`, …, `f(total - 1)` across the persistent pool,
+/// blocking until all calls complete. The calls must be independent: each
+/// writes only state the others don't touch. Scheduling order is
+/// unspecified.
+///
+/// Runs inline (serially) when the pool would not help: one configured
+/// thread, a single chunk, or a nested dispatch from inside a worker.
+pub fn run_chunks<F>(total: usize, f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    if total == 0 {
+        return;
+    }
+    let inline = total == 1 || num_threads() <= 1 || IN_WORKER.with(|w| w.get());
+    if inline {
+        for i in 0..total {
+            f(i);
+        }
+        return;
+    }
+
+    let pool = pool();
+    let _dispatch = lock(&pool.dispatch);
+    ensure_workers(pool);
+    let task_ref: &(dyn Fn(usize) + Sync) = &f;
+    // SAFETY: erases the borrow's lifetime into the raw pointer; `dispatch`
+    // blocks below until every claimed chunk completes, so the pointer is
+    // never dereferenced after `f` goes out of scope.
+    let task: *const (dyn Fn(usize) + Sync) =
+        unsafe { std::mem::transmute::<&(dyn Fn(usize) + Sync), _>(task_ref) };
+    let job = Arc::new(Job {
+        task,
+        total,
+        next: AtomicUsize::new(0),
+        completed: AtomicUsize::new(0),
+        panicked: AtomicBool::new(false),
+        done_lock: Mutex::new(false),
+        done_cv: Condvar::new(),
+    });
+    {
+        let mut slot = lock(&pool.slot);
+        slot.0 = slot.0.wrapping_add(1);
+        slot.1 = Some(Arc::clone(&job));
+        pool.cv_workers.notify_all();
+    }
+    // The caller is a participant too. Mark it in-worker for the duration
+    // so a nested dispatch from its own chunk runs inline instead of
+    // re-entering the (non-reentrant) dispatch lock.
+    IN_WORKER.with(|w| w.set(true));
+    job.work();
+    IN_WORKER.with(|w| w.set(false));
+    let mut done = lock(&job.done_lock);
+    while !*done {
+        done = job.done_cv.wait(done).unwrap_or_else(|e| e.into_inner());
+    }
+    drop(done);
+    // Drop the slot reference so the closure borrow can't outlive us via a
+    // stale Arc (workers that already hold the Arc only probe `next`,
+    // which is exhausted, and never touch `task` again).
+    lock(&pool.slot).1 = None;
+    if job.panicked.load(Ordering::Relaxed) {
+        panic!("tensor worker thread panicked");
+    }
+}
+
+/// Splits `out` into contiguous chunks of whole `row_len`-sized rows and
+/// runs `f(first_row_index, chunk)` on each chunk, in parallel when the
+/// work is large enough to amortize dispatch cost. Chunking affects only
+/// scheduling, never results: each row is computed identically wherever
+/// it lands.
 ///
 /// # Panics
 ///
@@ -52,32 +286,101 @@ where
     );
     let rows = out.len() / row_len;
     let workers = num_threads().min(rows.max(1));
-    // Small outputs: the spawn overhead dwarfs the work.
+    // Small outputs: the dispatch overhead dwarfs the work.
     const PAR_THRESHOLD_ELEMS: usize = 16 * 1024;
     if workers <= 1 || out.len() < PAR_THRESHOLD_ELEMS {
         f(0, out);
         return;
     }
-    let rows_per_worker = rows.div_ceil(workers);
-    crossbeam::thread::scope(|scope| {
-        let mut rest = out;
-        let mut row_start = 0usize;
-        while !rest.is_empty() {
-            let take_rows = rows_per_worker.min(rest.len() / row_len);
-            let (chunk, tail) = rest.split_at_mut(take_rows * row_len);
-            let fr = &f;
-            let start = row_start;
-            scope.spawn(move |_| fr(start, chunk));
-            row_start += take_rows;
-            rest = tail;
+    // Oversubscribe chunks a little so claim-stealing can rebalance when
+    // rows have uneven cost.
+    let chunks = (workers * 4).min(rows);
+    let rows_per_chunk = rows.div_ceil(chunks);
+    let chunks = rows.div_ceil(rows_per_chunk);
+    let base = out.as_mut_ptr() as usize;
+    run_chunks(chunks, |ci| {
+        let row0 = ci * rows_per_chunk;
+        let nrows = rows_per_chunk.min(rows - row0);
+        // SAFETY: chunks are disjoint whole-row ranges of `out`, and the
+        // dispatch blocks until every chunk completes.
+        let chunk = unsafe {
+            std::slice::from_raw_parts_mut((base as *mut f32).add(row0 * row_len), nrows * row_len)
+        };
+        f(row0, chunk);
+    });
+}
+
+/// Splits `out` and `other` (equal lengths) at identical boundaries and
+/// runs `f(out_chunk, other_chunk)` on each pair — the parallel shape of
+/// elementwise binary ops. Chunking never affects results: every element
+/// is transformed independently.
+pub fn for_each_zip_chunk<F>(out: &mut [f32], other: &[f32], f: F)
+where
+    F: Fn(&mut [f32], &[f32]) + Sync,
+{
+    assert_eq!(out.len(), other.len(), "zip chunk length mismatch");
+    // Elementwise work is so cheap that dispatch only pays off on large
+    // buffers.
+    const PAR_THRESHOLD_ELEMS: usize = 64 * 1024;
+    let workers = num_threads();
+    if workers <= 1 || out.len() < PAR_THRESHOLD_ELEMS {
+        f(out, other);
+        return;
+    }
+    let total = out.len();
+    let chunks = workers * 2;
+    let per = total.div_ceil(chunks);
+    let chunks = total.div_ceil(per);
+    let base = out.as_mut_ptr() as usize;
+    run_chunks(chunks, |ci| {
+        let lo = ci * per;
+        let len = per.min(total - lo);
+        // SAFETY: chunks are disjoint ranges of `out`, and the dispatch
+        // blocks until every chunk completes.
+        let chunk = unsafe { std::slice::from_raw_parts_mut((base as *mut f32).add(lo), len) };
+        f(chunk, &other[lo..lo + len]);
+    });
+}
+
+/// Applies `f(index, &mut item)` to every item across the pool and
+/// collects the results in index order. Items are mutated independently;
+/// result order is deterministic regardless of scheduling.
+pub fn parallel_map_mut<T, R, F>(items: &mut [T], f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, &mut T) -> R + Sync,
+{
+    let n = items.len();
+    let mut results: Vec<Option<R>> = Vec::with_capacity(n);
+    results.resize_with(n, || None);
+    let items_base = items.as_mut_ptr() as usize;
+    let results_base = results.as_mut_ptr() as usize;
+    run_chunks(n, |i| {
+        // SAFETY: each index touches exactly one item slot and one result
+        // slot, and the dispatch blocks until all indices complete.
+        unsafe {
+            let item = &mut *(items_base as *mut T).add(i);
+            let slot = &mut *(results_base as *mut Option<R>).add(i);
+            *slot = Some(f(i, item));
         }
-    })
-    .expect("tensor worker thread panicked");
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("parallel_map_mut chunk skipped"))
+        .collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Serializes tests that mutate the global thread override; without
+    /// this, concurrent tests retire/respawn workers under each other.
+    fn override_guard() -> MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        lock(&LOCK)
+    }
 
     #[test]
     fn chunks_cover_all_rows_exactly_once() {
@@ -110,6 +413,7 @@ mod tests {
 
     #[test]
     fn thread_override_round_trips() {
+        let _g = override_guard();
         set_num_threads(3);
         assert_eq!(num_threads(), 3);
         set_num_threads(0);
@@ -121,5 +425,65 @@ mod tests {
     fn rejects_ragged_buffers() {
         let mut out = vec![0.0f32; 5];
         for_each_row_chunk(&mut out, 2, |_, _| {});
+    }
+
+    #[test]
+    fn run_chunks_covers_every_index() {
+        let _g = override_guard();
+        let n = 100;
+        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        set_num_threads(4);
+        run_chunks(n, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        set_num_threads(0);
+        for (i, h) in hits.iter().enumerate() {
+            assert_eq!(h.load(Ordering::Relaxed), 1, "index {i}");
+        }
+    }
+
+    #[test]
+    fn pool_reuses_workers_across_dispatches() {
+        let _g = override_guard();
+        // Warm the pool at its maximum size so concurrent tests running at
+        // the default thread count can't trigger additional spawns either.
+        set_num_threads(8);
+        let noop = |_i: usize| {};
+        run_chunks(64, noop);
+        let after_first = workers_spawned_total();
+        for _ in 0..20 {
+            run_chunks(64, noop);
+        }
+        // Steady state: no new spawns after the pool is warm.
+        assert_eq!(workers_spawned_total(), after_first);
+        set_num_threads(0);
+    }
+
+    #[test]
+    fn parallel_map_mut_is_ordered_and_mutates() {
+        let _g = override_guard();
+        let mut items: Vec<usize> = (0..50).collect();
+        set_num_threads(4);
+        let out = parallel_map_mut(&mut items, |i, item| {
+            *item += 1;
+            i * 10
+        });
+        set_num_threads(0);
+        assert_eq!(out, (0..50).map(|i| i * 10).collect::<Vec<_>>());
+        assert_eq!(items, (1..=50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn nested_dispatch_runs_inline() {
+        let _g = override_guard();
+        set_num_threads(4);
+        let total = AtomicUsize::new(0);
+        run_chunks(8, |_outer| {
+            run_chunks(8, |_inner| {
+                total.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        set_num_threads(0);
+        assert_eq!(total.load(Ordering::Relaxed), 64);
     }
 }

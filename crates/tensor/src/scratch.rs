@@ -1,0 +1,135 @@
+//! Reusable thread-local scratch buffers for kernel working sets.
+//!
+//! im2col convolution needs a column matrix per sample, transposed matmul
+//! variants need a repacked operand, and both used to allocate (and zero)
+//! a fresh `Vec` per call. This arena keeps a small per-thread free list
+//! of `f32` buffers instead: `take` hands out the best-fitting retained
+//! buffer (or allocates on a miss) and the guard returns it on drop.
+//! Thread-locality means pool workers each have their own arena, so
+//! sample-parallel convolution stays allocation-free in the steady state
+//! without any locking.
+//!
+//! Buffer contents are **unspecified** on acquisition — callers must
+//! write before reading (use [`take_zeroed`] when a cleared buffer is
+//! required).
+
+use std::cell::RefCell;
+use std::ops::{Deref, DerefMut};
+
+/// Buffers retained per thread. More than this and the smallest is
+/// dropped; keeps the arena bounded while covering the forward + backward
+/// working sets of one layer.
+const MAX_RETAINED: usize = 6;
+
+thread_local! {
+    static ARENA: RefCell<Vec<Vec<f32>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// A scratch buffer on loan from the thread-local arena; returned on drop.
+pub struct ScratchBuf {
+    buf: Vec<f32>,
+    len: usize,
+}
+
+impl Deref for ScratchBuf {
+    type Target = [f32];
+    #[inline]
+    fn deref(&self) -> &[f32] {
+        &self.buf[..self.len]
+    }
+}
+
+impl DerefMut for ScratchBuf {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut [f32] {
+        &mut self.buf[..self.len]
+    }
+}
+
+impl Drop for ScratchBuf {
+    fn drop(&mut self) {
+        let buf = std::mem::take(&mut self.buf);
+        if buf.capacity() == 0 {
+            return;
+        }
+        // Thread-local state can already be torn down during process exit;
+        // in that case just let the buffer free normally.
+        let _ = ARENA.try_with(|arena| {
+            let mut arena = arena.borrow_mut();
+            arena.push(buf);
+            if arena.len() > MAX_RETAINED {
+                // Drop the smallest buffer: big ones are the expensive
+                // ones to reallocate.
+                if let Some((idx, _)) = arena.iter().enumerate().min_by_key(|(_, b)| b.capacity()) {
+                    arena.swap_remove(idx);
+                }
+            }
+        });
+    }
+}
+
+/// Borrows a scratch buffer of exactly `len` elements with unspecified
+/// contents.
+pub fn take(len: usize) -> ScratchBuf {
+    let buf = ARENA
+        .try_with(|arena| {
+            let mut arena = arena.borrow_mut();
+            // Best fit: the smallest retained buffer that is big enough.
+            let best = arena
+                .iter()
+                .enumerate()
+                .filter(|(_, b)| b.capacity() >= len)
+                .min_by_key(|(_, b)| b.capacity())
+                .map(|(i, _)| i);
+            best.map(|i| arena.swap_remove(i))
+        })
+        .ok()
+        .flatten();
+    let mut buf = buf.unwrap_or_default();
+    // Contents are unspecified per contract, so resize without clearing.
+    buf.resize(len.max(buf.len()), 0.0);
+    ScratchBuf { buf, len }
+}
+
+/// Borrows a scratch buffer of `len` zeros.
+pub fn take_zeroed(len: usize) -> ScratchBuf {
+    let mut s = take(len);
+    s.fill(0.0);
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_hands_out_requested_length() {
+        let s = take(100);
+        assert_eq!(s.len(), 100);
+        let z = take_zeroed(64);
+        assert!(z.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn buffers_are_reused_after_drop() {
+        let first = take(4096);
+        let ptr = first.as_ptr();
+        drop(first);
+        let second = take(1024);
+        // Same backing allocation: the arena handed the retained buffer back.
+        assert_eq!(second.as_ptr(), ptr);
+    }
+
+    #[test]
+    fn arena_stays_bounded() {
+        let guards: Vec<ScratchBuf> = (0..2 * MAX_RETAINED).map(|i| take(64 + i)).collect();
+        drop(guards);
+        ARENA.with(|a| assert!(a.borrow().len() <= MAX_RETAINED));
+    }
+
+    #[test]
+    fn zero_len_take_is_fine() {
+        let s = take(0);
+        assert!(s.is_empty());
+    }
+}

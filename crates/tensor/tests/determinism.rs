@@ -1,0 +1,116 @@
+//! Bitwise determinism of parallel tensor ops across thread counts.
+//!
+//! The execution layer's contract (see `parallel`'s module docs) is that
+//! chunking only changes *scheduling*, never the per-element reduction
+//! order. These tests pin that down: every op must produce bit-identical
+//! results at 1 worker, at 8 workers, and across repeated calls — the
+//! property EDDE's reproducible ensembles are built on.
+
+use edde_tensor::ops::{conv2d, conv2d_backward, matmul, matmul_a_bt, matmul_at_b};
+use edde_tensor::parallel::set_num_threads;
+use edde_tensor::rng::rand_uniform;
+use edde_tensor::Tensor;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// Serializes tests that mutate the global thread override (and restores
+/// the default on drop, even if an assertion panics).
+fn override_guard() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+struct RestoreDefault;
+impl Drop for RestoreDefault {
+    fn drop(&mut self) {
+        set_num_threads(0);
+    }
+}
+
+/// Runs `f` at 1 worker and at 8 workers, twice each, and asserts all four
+/// results are bit-identical.
+fn assert_thread_invariant<T: PartialEq + std::fmt::Debug>(label: &str, mut f: impl FnMut() -> T) {
+    let _guard = override_guard();
+    let _restore = RestoreDefault;
+    set_num_threads(1);
+    let serial = f();
+    assert_eq!(serial, f(), "{label}: repeated serial calls differ");
+    set_num_threads(8);
+    let parallel = f();
+    assert_eq!(serial, parallel, "{label}: 1 vs 8 threads differ");
+    assert_eq!(parallel, f(), "{label}: repeated parallel calls differ");
+}
+
+#[test]
+fn matmul_is_bit_identical_across_thread_counts() {
+    let mut r = StdRng::seed_from_u64(11);
+    // Sizes straddle the 4-row × {16, 8, 4}-column tile boundaries.
+    let a = rand_uniform(&[67, 45], -2.0, 2.0, &mut r);
+    let b = rand_uniform(&[45, 131], -2.0, 2.0, &mut r);
+    assert_thread_invariant("matmul", || matmul(&a, &b).unwrap().data().to_vec());
+}
+
+#[test]
+fn transposed_matmuls_are_bit_identical_across_thread_counts() {
+    let mut r = StdRng::seed_from_u64(12);
+    let a = rand_uniform(&[53, 38], -2.0, 2.0, &mut r);
+    let b = rand_uniform(&[53, 71], -2.0, 2.0, &mut r);
+    assert_thread_invariant("matmul_at_b", || {
+        matmul_at_b(&a, &b).unwrap().data().to_vec()
+    });
+    let c = rand_uniform(&[41, 38], -2.0, 2.0, &mut r);
+    assert_thread_invariant("matmul_a_bt", || {
+        matmul_a_bt(&a, &c).unwrap().data().to_vec()
+    });
+}
+
+#[test]
+fn conv2d_is_bit_identical_across_thread_counts() {
+    let mut r = StdRng::seed_from_u64(13);
+    // 19 samples: straddles the fixed backward reduction group of 8.
+    let input = rand_uniform(&[19, 3, 9, 9], -1.0, 1.0, &mut r);
+    let weight = rand_uniform(&[6, 3, 3, 3], -1.0, 1.0, &mut r);
+    let bias = rand_uniform(&[6], -1.0, 1.0, &mut r);
+    assert_thread_invariant("conv2d forward", || {
+        conv2d(&input, &weight, Some(&bias), 1, 1)
+            .unwrap()
+            .data()
+            .to_vec()
+    });
+    let out = conv2d(&input, &weight, Some(&bias), 1, 1).unwrap();
+    let grad_out = rand_uniform(out.dims(), -1.0, 1.0, &mut r);
+    assert_thread_invariant("conv2d backward", || {
+        let g = conv2d_backward(&input, &weight, &grad_out, 1, 1).unwrap();
+        (
+            g.grad_input.data().to_vec(),
+            g.grad_weight.data().to_vec(),
+            g.grad_bias.data().to_vec(),
+        )
+    });
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random shapes and values: matmul stays bit-identical across thread
+    /// counts, including shapes small enough to dodge the parallel path.
+    #[test]
+    fn matmul_thread_invariance_holds_for_random_shapes(
+        m in 1usize..40, k in 1usize..40, n in 1usize..40, seed in 0u64..1000
+    ) {
+        let mut r = StdRng::seed_from_u64(seed);
+        let a = rand_uniform(&[m, k], -3.0, 3.0, &mut r);
+        let b = rand_uniform(&[k, n], -3.0, 3.0, &mut r);
+        let _guard = override_guard();
+        let _restore = RestoreDefault;
+        set_num_threads(1);
+        let serial = matmul(&a, &b).unwrap();
+        set_num_threads(8);
+        let parallel = matmul(&a, &b).unwrap();
+        prop_assert_eq!(serial.data(), parallel.data());
+    }
+}

@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Kernel benchmark runner: measures the tensor execution layer (tiled
+# matmul, im2col convolution, training steps, ensemble inference) and
+# writes BENCH_tensor.json at the repo root, embedding the recorded seed
+# baseline (results/bench_baseline_seed.json) so the JSON carries its own
+# before/after speedups.
+#
+# Usage: scripts/bench.sh [--offline] [--quick] [--out FILE] [--label TEXT]
+#
+# --offline  build against the stub crates in /tmp/stubs (no crates.io)
+# --quick    5 iterations per workload instead of 20 — the CI fast mode
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CARGO=(cargo)
+PASS=()
+OUT=BENCH_tensor.json
+LABEL=""
+while [[ $# -gt 0 ]]; do
+    case "$1" in
+    --offline)
+        CARGO=(cargo --config /tmp/stubs/patch.toml --offline)
+        export CARGO_NET_OFFLINE=true
+        ;;
+    --quick) PASS+=(--quick) ;;
+    --out)
+        OUT="$2"
+        shift
+        ;;
+    --label)
+        LABEL="$2"
+        shift
+        ;;
+    *)
+        echo "unknown argument: $1" >&2
+        exit 2
+        ;;
+    esac
+    shift
+done
+
+BASELINE_ARGS=()
+if [[ -f results/bench_baseline_seed.json ]]; then
+    BASELINE_ARGS=(--baseline results/bench_baseline_seed.json)
+fi
+LABEL_ARGS=()
+if [[ -n "$LABEL" ]]; then
+    LABEL_ARGS=(--label "$LABEL")
+fi
+
+"${CARGO[@]}" run --release -p edde-bench --bin bench_tensor -- \
+    --out "$OUT" "${BASELINE_ARGS[@]}" "${LABEL_ARGS[@]}" "${PASS[@]}"
+
+echo "wrote $OUT"
