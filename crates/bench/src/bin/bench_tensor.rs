@@ -10,12 +10,17 @@
 //!
 //! ```text
 //! bench_tensor [--out FILE] [--baseline FILE] [--label TEXT] [--quick]
+//!              [--history FILE]
 //! ```
 //!
 //! With `--baseline`, the given results file (a previous run, e.g. the
 //! recorded seed-kernel measurement) is embedded verbatim and per-workload
-//! speedups are computed against it.
+//! speedups are computed against it. With `--history`, one single-line
+//! JSON record (timestamp, commit, label, results) is *appended* to the
+//! given JSONL file, accumulating a perf trajectory across commits where
+//! `--out` only keeps the latest run.
 
+use edde_core::methods::EnsembleMethod;
 use edde_nn::loss::CrossEntropy;
 use edde_nn::models::{resnet, textcnn, ResNetConfig, TextCnnConfig};
 use edde_nn::optim::Sgd;
@@ -68,6 +73,15 @@ fn run_suite(iters: usize) -> Vec<(String, f64)> {
         });
         results.push((format!("matmul_256x256x256_t{threads}"), ms));
     }
+    // The same workload with SIMD dispatch forced to the scalar backend —
+    // the delta is the explicit-SIMD contribution in isolation.
+    set_num_threads(1);
+    edde_tensor::simd::set_force_scalar(true);
+    let ms = time_min_ms(iters, || {
+        black_box(matmul(black_box(&a), black_box(&b)).unwrap());
+    });
+    edde_tensor::simd::set_force_scalar(false);
+    results.push(("matmul_256x256x256_scalar_t1".into(), ms));
     set_num_threads(8);
     let ms = time_min_ms(iters, || {
         black_box(matmul_at_b(black_box(&a), black_box(&b)).unwrap());
@@ -148,8 +162,59 @@ fn run_suite(iters: usize) -> Vec<(String, f64)> {
     });
     results.push(("ensemble_predict_4xmlp_512_t8".into(), ms));
 
+    // -- independent-member training: sequential vs concurrent members --
+    // Same 8-thread budget both ways; the sequential run spends it inside
+    // tensor ops, the parallel run spends it across members (bit-identical
+    // results either way — see edde-core's parallel_training tests).
+    let env = bagging_env();
+    let bag_iters = iters.min(3);
+    let ms = time_min_ms(bag_iters, || {
+        black_box(
+            edde_core::methods::Bagging::new(4, 2)
+                .sequential()
+                .run(black_box(&env))
+                .unwrap(),
+        );
+    });
+    results.push(("bagging_4xmlp_seq_t8".into(), ms));
+    let ms = time_min_ms(bag_iters, || {
+        black_box(
+            edde_core::methods::Bagging::new(4, 2)
+                .run(black_box(&env))
+                .unwrap(),
+        );
+    });
+    results.push(("bagging_4xmlp_par_t8".into(), ms));
+
     set_num_threads(0);
     results
+}
+
+fn bagging_env() -> edde_core::ExperimentEnv {
+    use edde_data::synth::{gaussian_blobs, GaussianBlobsConfig};
+    let data = gaussian_blobs(
+        &GaussianBlobsConfig {
+            classes: 3,
+            dim: 16,
+            train_per_class: 60,
+            test_per_class: 20,
+            spread: 0.8,
+        },
+        7,
+    );
+    let factory: edde_core::ModelFactory =
+        std::sync::Arc::new(|r| Ok(edde_nn::models::mlp(&[16, 64, 3], 0.0, r)));
+    edde_core::ExperimentEnv::new(
+        data,
+        factory,
+        edde_core::Trainer {
+            batch_size: 16,
+            weight_decay: 0.0,
+            ..edde_core::Trainer::default()
+        },
+        0.1,
+        7,
+    )
 }
 
 fn json_results(results: &[(String, f64)]) -> String {
@@ -197,6 +262,7 @@ fn main() {
     };
     let out_path = get("--out");
     let baseline_path = get("--baseline");
+    let history_path = get("--history");
     let label = get("--label").unwrap_or_else(|| "current kernels".to_string());
     let iters = if args.iter().any(|a| a == "--quick") {
         5
@@ -245,5 +311,31 @@ fn main() {
             eprintln!("wrote {p}");
         }
         None => println!("{doc}"),
+    }
+
+    if let Some(hp) = history_path {
+        let unix_time = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map_or(0, |d| d.as_secs());
+        let body: Vec<String> = results
+            .iter()
+            .map(|(k, v)| format!("\"{k}\": {v:.3}"))
+            .collect();
+        let line = format!(
+            "{{\"schema\": \"edde-bench-tensor-history/v1\", \"unix_time\": {unix_time}, \
+             \"commit\": \"{}\", \"label\": \"{label}\", \"host_cpus\": {cpus}, \
+             \"results_ms\": {{{}}}}}\n",
+            git_commit(),
+            body.join(", ")
+        );
+        use std::io::Write;
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&hp)
+            .unwrap_or_else(|e| panic!("cannot open history {hp}: {e}"));
+        f.write_all(line.as_bytes())
+            .unwrap_or_else(|e| panic!("cannot append history {hp}: {e}"));
+        eprintln!("appended {hp}");
     }
 }

@@ -4,6 +4,11 @@
 //! Expected shape: Snapshot low bias / low variance; AdaBoost.NC high
 //! variance / high bias; BANs in between; EDDE low bias *and* high
 //! variance.
+//!
+//! `--checkpoint-dir DIR` makes the sequential methods resumable: each
+//! method persists its run state under `DIR/<method>/`, so a killed run
+//! re-invoked with the same flag restores every completed member and
+//! continues from the first missing one.
 
 use edde_bench::harness::run_method;
 use edde_bench::workloads::{
@@ -13,9 +18,18 @@ use edde_bench::workloads::{
 use edde_core::bias_variance::bias_variance;
 use edde_core::methods::{AdaBoostNc, Bans, Edde, EnsembleMethod, Snapshot};
 use edde_core::report::Table;
+use std::path::PathBuf;
 
 fn main() {
     let scale = Scale::from_args();
+    let args: Vec<String> = std::env::args().collect();
+    let checkpoint_dir: Option<PathBuf> =
+        args.iter().position(|a| a == "--checkpoint-dir").map(|i| {
+            args.get(i + 1)
+                .filter(|v| !v.starts_with("--"))
+                .map(PathBuf::from)
+                .expect("--checkpoint-dir requires a directory argument")
+        });
     let env = cifar100_env(CvArch::ResNet, 42);
     let cycle = scale.epochs(CV_CYCLE);
     let members = scale.members(CV_MEMBERS);
@@ -35,7 +49,8 @@ fn main() {
     println!("(equal training budget; both axes per DESIGN.md definitions)\n");
     let mut table = Table::new(&["Method", "Bias", "Variance", "Epochs"]);
     for method in &methods {
-        let (s, mut run) = run_method(method.as_ref(), &env, None).expect("fig1 run");
+        let (s, mut run) =
+            run_method(method.as_ref(), &env, checkpoint_dir.as_deref()).expect("fig1 run");
         let bv = bias_variance(&mut run.model, &env.data.test).expect("bias/variance");
         table.add_row(&[
             s.name.clone(),

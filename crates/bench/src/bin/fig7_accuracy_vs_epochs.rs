@@ -2,10 +2,15 @@
 //! cumulative training epochs, on the CIFAR-100 stand-in, for both
 //! architectures. Each method's accuracy is re-evaluated every time a
 //! member/snapshot lands, exactly the series the paper plots.
+//!
+//! `--checkpoint-dir DIR` makes the sequential methods resumable under
+//! `DIR/<arch>/<method>/` — per-architecture subtrees, because the model
+//! factory is not part of the run fingerprint.
 
 use edde_bench::harness::{cv_methods, run_method};
 use edde_bench::workloads::{cifar100_env, CvArch, Scale};
 use edde_core::methods::SingleModel;
+use std::path::PathBuf;
 
 fn main() {
     let scale = Scale::from_args();
@@ -13,6 +18,13 @@ fn main() {
     println!("(SynthCIFAR-100; series printed as epoch:accuracy pairs)\n");
     let args: Vec<String> = std::env::args().collect();
     let only_resnet = args.iter().any(|a| a == "--resnet-only");
+    let checkpoint_dir: Option<PathBuf> =
+        args.iter().position(|a| a == "--checkpoint-dir").map(|i| {
+            args.get(i + 1)
+                .filter(|v| !v.starts_with("--"))
+                .map(PathBuf::from)
+                .expect("--checkpoint-dir requires a directory argument")
+        });
     for arch in [CvArch::ResNet, CvArch::DenseNet] {
         if only_resnet && arch == CvArch::DenseNet {
             continue;
@@ -20,6 +32,12 @@ fn main() {
         let env = cifar100_env(arch, 42);
         eprintln!("[{}]", arch.name());
         println!("--- {} ---", arch.name());
+        let arch_tag = if arch == CvArch::ResNet {
+            "resnet"
+        } else {
+            "densenet"
+        };
+        let arch_dir = checkpoint_dir.as_ref().map(|d| d.join(arch_tag));
         let mut methods = cv_methods(scale);
         // give the single model a per-epoch curve like the paper's plot
         methods[0] = Box::new(SingleModel {
@@ -28,7 +46,8 @@ fn main() {
             trace_every: scale.epochs(4),
         });
         for method in &methods {
-            let (_, run) = run_method(method.as_ref(), &env, None).expect("fig7 run");
+            let (_, run) =
+                run_method(method.as_ref(), &env, arch_dir.as_deref()).expect("fig7 run");
             print!("{:<24}", method.name());
             for p in &run.trace {
                 print!(" {}:{:.4}", p.cumulative_epochs, p.test_accuracy);

@@ -1,16 +1,29 @@
 //! Regenerates **Figure 8** — the pairwise similarity heatmaps between the
 //! first 8 base models of Snapshot Ensemble, EDDE, and AdaBoost.NC on the
 //! CIFAR-100 stand-in (similarity per Eq. 3, computed on the test set).
+//!
+//! `--checkpoint-dir DIR` makes the sequential methods resumable under
+//! `DIR/<method>/`, so a killed run restores its completed members and
+//! continues.
 
 use edde_bench::harness::run_method;
 use edde_bench::workloads::{cifar100_env, CvArch, Scale};
 use edde_core::diversity::similarity_matrix;
 use edde_core::methods::{AdaBoostNc, Edde, EnsembleMethod, Snapshot};
 use edde_core::report::matrix_table;
+use std::path::PathBuf;
 
 #[allow(clippy::needless_range_loop)]
 fn main() {
     let scale = Scale::from_args();
+    let args: Vec<String> = std::env::args().collect();
+    let checkpoint_dir: Option<PathBuf> =
+        args.iter().position(|a| a == "--checkpoint-dir").map(|i| {
+            args.get(i + 1)
+                .filter(|v| !v.starts_with("--"))
+                .map(PathBuf::from)
+                .expect("--checkpoint-dir requires a directory argument")
+        });
     let members = scale.members(8);
     let cycle = scale.epochs(10);
     let env = cifar100_env(CvArch::ResNet, 42);
@@ -21,7 +34,8 @@ fn main() {
         Box::new(AdaBoostNc::new(members, cycle)),
     ];
     for method in &methods {
-        let (_, mut run) = run_method(method.as_ref(), &env, None).expect("fig8 run");
+        let (_, mut run) =
+            run_method(method.as_ref(), &env, checkpoint_dir.as_deref()).expect("fig8 run");
         let probs = run
             .model
             .member_soft_targets(env.data.test.features())

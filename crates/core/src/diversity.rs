@@ -31,12 +31,7 @@ pub fn pairwise_diversity(a: &Tensor, b: &Tensor) -> Result<f32> {
     for i in 0..n {
         let ra = &a.data()[i * k..(i + 1) * k];
         let rb = &b.data()[i * k..(i + 1) * k];
-        let dist: f32 = ra
-            .iter()
-            .zip(rb.iter())
-            .map(|(x, y)| (x - y) * (x - y))
-            .sum::<f32>()
-            .sqrt();
+        let dist = edde_tensor::simd::sq_l2_dist(ra, rb).sqrt();
         total += f64::from(dist);
     }
     Ok((std::f64::consts::FRAC_1_SQRT_2 * total / n as f64) as f32)

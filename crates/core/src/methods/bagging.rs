@@ -1,25 +1,56 @@
 //! Bagging (Breiman): independent members on bootstrap resamples,
 //! unweighted soft voting.
+//!
+//! Members share no state — each trains from scratch on its own bootstrap
+//! with its own derived RNG stream — so Bagging trains them *concurrently*
+//! on the tensor worker pool ([`train_members_in_order`]). Every tensor op
+//! is bit-identical across thread counts, so the parallel ensemble is
+//! bit-identical to a sequential run; the same per-member streams also
+//! make plain [`run`] and [`run_resumable`] produce the identical
+//! ensemble.
+//!
+//! [`run`]: EnsembleMethod::run
+//! [`run_resumable`]: EnsembleMethod::run_resumable
 
-use super::{record_trace, EnsembleMethod, RunResult, TracePoint};
+use super::{record_trace, train_members_in_order, EnsembleMethod, RunResult, TracePoint};
 use crate::ensemble::EnsembleModel;
 use crate::env::ExperimentEnv;
 use crate::error::{EnsembleError, Result};
-use crate::runstate::{self, MemberRecord, RngPlan, RunSession};
+use crate::runstate::{self, MemberRecord, RunSession};
 use crate::trainer::LossSpec;
 use edde_data::sampler::bootstrap_indices;
 use edde_nn::checkpoint::CheckpointStore;
 use edde_nn::optim::LrSchedule;
 
+/// RNG-stream salt separating Bagging's draws from other methods'.
+const SALT: u64 = 0xBA;
+
 /// Classic bagging: each member trains from scratch on a uniform bootstrap
 /// of the training set; prediction averages the softmax outputs
 /// ("Averaging" in the paper's related work).
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct Bagging {
     /// Number of members.
     pub members: usize,
     /// Epoch budget per member.
     pub epochs_per_member: usize,
+    /// Train members concurrently (the default). Results are bit-identical
+    /// either way; automatic fallback to sequential when the trainer
+    /// injects faults, whose global step counter assumes one member at a
+    /// time.
+    parallel_members: bool,
+}
+
+// The resumable-run fingerprint hashes `format!("{self:?}")`, so the Debug
+// output must not change when execution-only knobs are added: a checkpoint
+// taken by a sequential run must resume under a parallel one.
+impl std::fmt::Debug for Bagging {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Bagging")
+            .field("members", &self.members)
+            .field("epochs_per_member", &self.epochs_per_member)
+            .finish()
+    }
 }
 
 impl Bagging {
@@ -28,7 +59,15 @@ impl Bagging {
         Bagging {
             members,
             epochs_per_member,
+            parallel_members: true,
         }
+    }
+
+    /// Disables concurrent member training (identical results, one member
+    /// at a time). Used by determinism tests and wall-clock comparisons.
+    pub fn sequential(mut self) -> Self {
+        self.parallel_members = false;
+        self
     }
 
     fn run_impl(
@@ -41,56 +80,65 @@ impl Bagging {
                 "bagging needs members >= 1".into(),
             ));
         }
-        let mut rngs = match session {
-            Some(_) => RngPlan::per_member(env.seed, 0xBA),
-            None => RngPlan::shared(env.rng(0xBA)),
-        };
         let mut model = EnsembleModel::new();
         let mut trace = Vec::new();
         let schedule = LrSchedule::paper_step(env.base_lr, self.epochs_per_member);
-        for t in 0..self.members {
-            rngs.start_member(t);
-            if let Some(sess) = session.as_deref_mut() {
-                if t < sess.completed() {
-                    let rec = sess.members()[t].clone();
-                    let mut net = (env.factory)(rngs.rng())?;
-                    sess.restore_network(t, &mut net)?;
-                    model.push(net, rec.alpha, rec.label);
-                    trace.push(TracePoint {
-                        cumulative_epochs: rec.cumulative_epochs,
-                        members: t + 1,
-                        test_accuracy: rec.test_accuracy,
-                    });
-                    continue;
-                }
-            }
-            let idx = bootstrap_indices(env.data.train.len(), rngs.rng());
+
+        // Restore the completed prefix of a resumed run.
+        let restored = session
+            .as_deref()
+            .map_or(0, |s| s.completed())
+            .min(self.members);
+        for t in 0..restored {
+            let sess = session.as_deref_mut().expect("restored > 0 needs session");
+            let rec = sess.members()[t].clone();
+            let mut net = (env.factory)(&mut runstate::member_rng(env.seed, SALT, t))?;
+            sess.restore_network(t, &mut net)?;
+            model.push(net, rec.alpha, rec.label);
+            trace.push(TracePoint {
+                cumulative_epochs: rec.cumulative_epochs,
+                members: t + 1,
+                test_accuracy: rec.test_accuracy,
+            });
+        }
+
+        // Fault plans count optimizer steps globally across members, which
+        // only means anything when members run one at a time.
+        let parallel = self.parallel_members && env.trainer.fault.is_none();
+        let epochs = self.epochs_per_member;
+        let train = |t: usize| {
+            let mut rng = runstate::member_rng(env.seed, SALT, t);
+            let idx = bootstrap_indices(env.data.train.len(), &mut rng);
             let resampled = env.data.train.select(&idx)?;
-            let mut net = (env.factory)(rngs.rng())?;
+            let mut net = (env.factory)(&mut rng)?;
             env.trainer.train(
                 &mut net,
                 &resampled,
                 &schedule,
-                self.epochs_per_member,
+                epochs,
                 None,
                 &LossSpec::CrossEntropy,
-                rngs.rng(),
+                &mut rng,
             )?;
-            model.push(net, 1.0, format!("bagging-{t}"));
-            record_trace(
-                &mut model,
-                &env.data.test,
-                (t + 1) * self.epochs_per_member,
-                &mut trace,
-            )?;
+            Ok(net)
+        };
+        let model_ref = &mut model;
+        let trace_ref = &mut trace;
+        let commit = move |t: usize, net| {
+            model_ref.push(net, 1.0, format!("bagging-{t}"));
+            record_trace(model_ref, &env.data.test, (t + 1) * epochs, trace_ref)?;
             if let Some(sess) = session.as_deref_mut() {
-                let point = *trace.last().expect("just recorded");
-                let net = &mut model.members_mut().last_mut().expect("just pushed").network;
+                let point = *trace_ref.last().expect("just recorded");
+                let net = &mut model_ref
+                    .members_mut()
+                    .last_mut()
+                    .expect("just pushed")
+                    .network;
                 sess.record_member(
                     MemberRecord {
                         label: format!("bagging-{t}"),
                         alpha: 1.0,
-                        seed: rngs.seed_for(t),
+                        seed: runstate::member_seed(env.seed, SALT, t),
                         net_key: String::new(),
                         cumulative_epochs: point.cumulative_epochs,
                         test_accuracy: point.test_accuracy,
@@ -99,7 +147,9 @@ impl Bagging {
                     net,
                 )?;
             }
-        }
+            Ok(())
+        };
+        train_members_in_order(restored, self.members, parallel, train, commit)?;
         Ok(RunResult {
             model,
             trace,
@@ -187,5 +237,15 @@ mod tests {
     #[test]
     fn zero_members_rejected() {
         assert!(Bagging::new(0, 5).run(&env()).is_err());
+    }
+
+    #[test]
+    fn debug_format_excludes_execution_knobs() {
+        // The resumable fingerprint hashes this string; parallel vs
+        // sequential must map to the same checkpoint identity.
+        let par = format!("{:?}", Bagging::new(4, 8));
+        let seq = format!("{:?}", Bagging::new(4, 8).sequential());
+        assert_eq!(par, seq);
+        assert_eq!(par, "Bagging { members: 4, epochs_per_member: 8 }");
     }
 }

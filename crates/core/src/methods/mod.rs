@@ -24,11 +24,14 @@ pub use snapshot::Snapshot;
 
 use crate::ensemble::EnsembleModel;
 use crate::env::ExperimentEnv;
-use crate::error::Result;
+use crate::error::{EnsembleError, Result};
 use edde_data::Dataset;
 use edde_nn::Network;
 use edde_tensor::ops::softmax_rows;
+use edde_tensor::parallel::run_chunks;
 use edde_tensor::Tensor;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Condvar, Mutex};
 
 /// One point of an ensemble-accuracy-versus-budget trace (Fig. 7).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -74,10 +77,13 @@ pub trait EnsembleMethod {
     ///
     /// A resumed run produces the same ensemble an uninterrupted resumable
     /// run would have (members are trained on independent per-member RNG
-    /// streams, and restored networks round-trip bit-exactly). Note the
+    /// streams, and restored networks round-trip bit-exactly). For
+    /// sequentially-dependent methods (boosting, EDDE, BANs) the
     /// *resumable* RNG protocol differs from [`EnsembleMethod::run`]'s
     /// legacy shared stream, so `run` and `run_resumable` on the same env
-    /// produce different (equally valid) ensembles.
+    /// produce different (equally valid) ensembles; data-independent
+    /// methods (Bagging) use per-member streams in both modes and produce
+    /// the identical ensemble either way.
     ///
     /// Sequential methods implement this; the default refuses (Snapshot and
     /// NCL train all members inside one optimization trajectory, so
@@ -117,6 +123,117 @@ pub(crate) fn record_trace(
         test_accuracy: acc,
     });
     Ok(())
+}
+
+/// Shared state of one in-order-commit parallel member run: the commit
+/// cursor plus the committer itself, so commits run under the same lock
+/// that orders them.
+struct Gate<C> {
+    /// Next member index allowed to commit.
+    next: usize,
+    /// Set on the first failure (error or panic); everyone still in
+    /// flight drains out without committing.
+    failed: bool,
+    /// The earliest-member error observed, reported to the caller.
+    error: Option<(usize, EnsembleError)>,
+    commit: C,
+}
+
+/// Records a failure, keeping the earliest member's error so the reported
+/// error does not depend on scheduling.
+fn record_failure<C>(g: &mut Gate<C>, t: usize, e: EnsembleError) {
+    g.failed = true;
+    match &g.error {
+        Some((et, _)) if *et <= t => {}
+        _ => g.error = Some((t, e)),
+    }
+}
+
+/// Trains members `first..last` and commits each result in member order.
+///
+/// `train(t)` must be a pure function of `t` (each member on its own
+/// derived RNG stream — see [`crate::runstate::member_rng`]); `commit(t,
+/// value)` mutates the shared run state (ensemble, trace, checkpoint
+/// session) and is always invoked in ascending member order, exactly as a
+/// sequential loop would. With `parallel` set, members train concurrently
+/// on the tensor worker pool ([`run_chunks`]); because every tensor op is
+/// bit-identical across thread counts and commits are serialized in
+/// order, the produced run state is bit-identical to the sequential path.
+///
+/// On failure the earliest failing member's error is returned and no
+/// later member is committed, matching sequential error reporting.
+/// Members already committed stay committed (a resumable session keeps
+/// its completed prefix).
+pub(crate) fn train_members_in_order<T, F, C>(
+    first: usize,
+    last: usize,
+    parallel: bool,
+    train: F,
+    mut commit: C,
+) -> Result<()>
+where
+    F: Fn(usize) -> Result<T> + Sync,
+    C: FnMut(usize, T) -> Result<()> + Send,
+{
+    if !parallel || last.saturating_sub(first) <= 1 {
+        for t in first..last {
+            commit(t, train(t)?)?;
+        }
+        return Ok(());
+    }
+    let gate = Mutex::new(Gate {
+        next: first,
+        failed: false,
+        error: None,
+        commit,
+    });
+    let cv = Condvar::new();
+    let lock_gate = || gate.lock().unwrap_or_else(|e| e.into_inner());
+    run_chunks(last - first, |c| {
+        let t = first + c;
+        if lock_gate().failed {
+            return;
+        }
+        // Panics (in train or commit) must mark the gate failed and wake
+        // all waiters before propagating, or threads blocked on the
+        // condvar would never be notified again.
+        let value = match catch_unwind(AssertUnwindSafe(|| train(t))) {
+            Ok(Ok(v)) => v,
+            Ok(Err(e)) => {
+                record_failure(&mut lock_gate(), t, e);
+                cv.notify_all();
+                return;
+            }
+            Err(payload) => {
+                lock_gate().failed = true;
+                cv.notify_all();
+                resume_unwind(payload);
+            }
+        };
+        let mut g = lock_gate();
+        while !g.failed && g.next != t {
+            g = cv.wait(g).unwrap_or_else(|e| e.into_inner());
+        }
+        if g.failed {
+            return;
+        }
+        match catch_unwind(AssertUnwindSafe(|| (g.commit)(t, value))) {
+            Ok(Ok(())) => g.next = t + 1,
+            Ok(Err(e)) => record_failure(&mut g, t, e),
+            Err(payload) => {
+                g.failed = true;
+                drop(g);
+                cv.notify_all();
+                resume_unwind(payload);
+            }
+        }
+        drop(g);
+        cv.notify_all();
+    });
+    match gate.into_inner().unwrap_or_else(|e| e.into_inner()).error {
+        Some((_, e)) => Err(e),
+        None => Ok(()),
+    }
 }
 
 /// Evaluation-mode softmax at temperature `tau` — the τ-softened teacher
@@ -166,6 +283,105 @@ pub(crate) fn clamped_half_log_odds(pos: f64, neg: f64) -> f32 {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Serializes tests that set the global thread override; the single-CPU
+    /// default would otherwise run every "parallel" gate test inline.
+    fn override_guard() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn in_order_commit_survives_out_of_order_completion() {
+        use edde_tensor::parallel::set_num_threads;
+        // Earlier members take longer, so later ones finish training first
+        // and must wait their turn at the gate.
+        let _g = override_guard();
+        let mut committed = Vec::new();
+        set_num_threads(4);
+        let result = train_members_in_order(
+            0,
+            6,
+            true,
+            |t| {
+                std::thread::sleep(std::time::Duration::from_millis(5 * (6 - t) as u64));
+                Ok(t * 10)
+            },
+            |t, v| {
+                committed.push((t, v));
+                Ok(())
+            },
+        );
+        set_num_threads(0);
+        result.unwrap();
+        assert_eq!(
+            committed,
+            (0..6).map(|t| (t, t * 10)).collect::<Vec<_>>(),
+            "commits must arrive in member order"
+        );
+    }
+
+    #[test]
+    fn earliest_training_error_wins_and_stops_commits() {
+        use edde_tensor::parallel::set_num_threads;
+        let _g = override_guard();
+        let mut committed = Vec::new();
+        set_num_threads(4);
+        let result = train_members_in_order(
+            0,
+            6,
+            true,
+            |t| {
+                if t >= 2 {
+                    // Member 2 fails fastest, member 3 fails a bit later.
+                    std::thread::sleep(std::time::Duration::from_millis(3 * t as u64));
+                    Err(EnsembleError::BadConfig(format!("boom {t}")))
+                } else {
+                    std::thread::sleep(std::time::Duration::from_millis(30));
+                    Ok(t)
+                }
+            },
+            |t, v| {
+                committed.push((t, v));
+                Ok(())
+            },
+        );
+        set_num_threads(0);
+        let err = result.unwrap_err();
+        assert!(err.to_string().contains("boom 2"), "{err}");
+        assert!(
+            committed.iter().all(|&(t, _)| t < 2),
+            "no member at or past the failure may commit: {committed:?}"
+        );
+    }
+
+    #[test]
+    fn sequential_path_commits_every_member() {
+        let mut committed = Vec::new();
+        train_members_in_order(2, 5, false, Ok, |t, v| {
+            committed.push((t, v));
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(committed, vec![(2, 2), (3, 3), (4, 4)]);
+    }
+
+    #[test]
+    fn commit_error_surfaces_and_halts() {
+        use edde_tensor::parallel::set_num_threads;
+        let _g = override_guard();
+        set_num_threads(4);
+        let result = train_members_in_order(0, 4, true, Ok, |t, _v| {
+            if t == 1 {
+                Err(EnsembleError::BadConfig("commit failed".into()))
+            } else {
+                Ok(())
+            }
+        });
+        set_num_threads(0);
+        let err = result.unwrap_err();
+        assert!(err.to_string().contains("commit failed"), "{err}");
+    }
 
     #[test]
     fn clamped_log_odds_corners() {

@@ -209,6 +209,14 @@ pub fn env_fingerprint(method: &str, config_debug: &str, env: &ExperimentEnv) ->
     ])
 }
 
+/// Member `t`'s independent training stream: a [`StdRng`] seeded from
+/// [`member_seed`]. Data-independent methods use this to train members in
+/// any order (including concurrently) while producing the exact draws a
+/// sequential loop over `start_member(t)` would.
+pub fn member_rng(env_seed: u64, salt: u64, t: usize) -> StdRng {
+    StdRng::seed_from_u64(member_seed(env_seed, salt, t))
+}
+
 /// Derives member `t`'s independent RNG seed (splitmix64 finalizer over the
 /// master seed, the method salt, and the member index).
 pub fn member_seed(env_seed: u64, salt: u64, t: usize) -> u64 {

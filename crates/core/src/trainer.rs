@@ -52,6 +52,14 @@ pub struct TrainStats {
 
 /// Epoch-based mini-batch trainer with per-sample weights, LR schedules and
 /// optional image augmentation.
+///
+/// Training takes `&self` and all mutable state (network, optimizer, RNG)
+/// is caller-supplied, so one `Trainer` drives several members
+/// concurrently (`Send + Sync`); see
+/// [`crate::methods::EnsembleMethod::run`] on Bagging. The one exception
+/// is [`Trainer::fault`]: its injected-fault step counter is shared
+/// global state, so fault-injecting configurations are run one member at
+/// a time.
 #[derive(Debug, Clone)]
 pub struct Trainer {
     /// Mini-batch size (the paper uses 50/64/128 depending on the dataset).

@@ -1,0 +1,143 @@
+//! Bit-identity of concurrent member training.
+//!
+//! Bagging members are data-independent and train on per-member derived
+//! RNG streams, so training them concurrently on the tensor pool must
+//! produce the exact ensemble a sequential loop does — the weights, the
+//! trace, and the resumable checkpoints. These tests pin that equivalence
+//! at 1 and 8 threads, and the run/run_resumable unification it enables.
+
+use edde_core::methods::{Bagging, EnsembleMethod};
+use edde_core::{ExperimentEnv, FaultPlan, ModelFactory, RecoveryPolicy, Trainer};
+use edde_data::synth::{gaussian_blobs, GaussianBlobsConfig};
+use edde_nn::checkpoint::{CheckpointStore, MemStore};
+use edde_nn::models::mlp;
+use edde_tensor::parallel::set_num_threads;
+use edde_tensor::Tensor;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Serializes tests in this file: they set the global thread override.
+fn thread_guard() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+struct RestoreThreads;
+impl Drop for RestoreThreads {
+    fn drop(&mut self) {
+        set_num_threads(0);
+    }
+}
+
+fn blob_env(seed: u64) -> ExperimentEnv {
+    let data = gaussian_blobs(
+        &GaussianBlobsConfig {
+            classes: 3,
+            dim: 6,
+            train_per_class: 30,
+            test_per_class: 15,
+            spread: 0.8,
+        },
+        seed,
+    );
+    let factory: ModelFactory = Arc::new(|r| Ok(mlp(&[6, 16, 3], 0.0, r)));
+    ExperimentEnv::new(
+        data,
+        factory,
+        Trainer {
+            batch_size: 16,
+            weight_decay: 0.0,
+            ..Trainer::default()
+        },
+        0.1,
+        seed,
+    )
+}
+
+/// Per-member probability bit patterns — the strongest practical weight
+/// fingerprint (distinct weights would almost surely produce distinct
+/// member outputs, and identical forward passes are what the ensemble
+/// actually consumes).
+fn member_bits(run: &mut edde_core::methods::RunResult, x: &Tensor) -> Vec<Vec<u32>> {
+    run.model
+        .member_soft_targets(x)
+        .unwrap()
+        .iter()
+        .map(|t| t.data().iter().map(|v| v.to_bits()).collect())
+        .collect()
+}
+
+#[test]
+fn parallel_members_match_sequential_bitwise_at_1_and_8_threads() {
+    let _g = thread_guard();
+    let _restore = RestoreThreads;
+    let env = blob_env(31);
+    let x = env.data.test.features().clone();
+
+    set_num_threads(1);
+    let mut seq = Bagging::new(4, 3).sequential().run(&env).unwrap();
+    let reference = member_bits(&mut seq, &x);
+
+    for threads in [1usize, 8] {
+        set_num_threads(threads);
+        let mut par = Bagging::new(4, 3).run(&env).unwrap();
+        assert_eq!(
+            member_bits(&mut par, &x),
+            reference,
+            "parallel members at {threads} threads diverged from sequential"
+        );
+        assert_eq!(par.trace, seq.trace, "trace diverged at {threads} threads");
+        assert_eq!(par.total_epochs, seq.total_epochs);
+    }
+}
+
+#[test]
+fn plain_run_and_resumable_run_build_the_same_ensemble() {
+    // Bagging uses per-member streams in both modes now, so the
+    // checkpointed path must reproduce the plain one bit for bit.
+    let _g = thread_guard();
+    let _restore = RestoreThreads;
+    set_num_threads(8);
+    let env = blob_env(32);
+    let x = env.data.test.features().clone();
+    let mut plain = Bagging::new(3, 3).run(&env).unwrap();
+    let store = MemStore::new();
+    let mut resumable = Bagging::new(3, 3).run_resumable(&env, &store).unwrap();
+    assert_eq!(member_bits(&mut plain, &x), member_bits(&mut resumable, &x));
+    assert_eq!(plain.trace, resumable.trace);
+}
+
+#[test]
+fn parallel_run_resumes_a_killed_sequential_prefix_bitwise() {
+    // A checkpoint prefix written by a sequential run (fault injection
+    // forces the sequential path) must resume and finish identically under
+    // the parallel path: fingerprints exclude the execution knob, and
+    // member streams are order-free.
+    let _g = thread_guard();
+    let _restore = RestoreThreads;
+    set_num_threads(8);
+    let env = blob_env(33);
+    let x = env.data.test.features().clone();
+
+    // Reference: an uninterrupted parallel resumable run.
+    let full_store = MemStore::new();
+    let mut full = Bagging::new(3, 2).run_resumable(&env, &full_store).unwrap();
+
+    // "Kill" a run mid-member-2: 90 bootstrap samples at batch 16 are
+    // 6 steps per epoch, 12 per member; a NaN at global step 14 with
+    // recovery disabled aborts after member 1 was persisted.
+    let store = MemStore::new();
+    let mut dying = env.clone();
+    dying.trainer.recovery = RecoveryPolicy::disabled();
+    dying.trainer.fault = Some(FaultPlan::nan_loss_at_step(14));
+    Bagging::new(3, 2)
+        .run_resumable(&dying, &store)
+        .unwrap_err();
+    assert!(store.contains("member-0"), "member 1 should have survived");
+    assert!(!store.contains("member-1"), "member 2 must not be recorded");
+
+    // Resume on the parallel path: the prefix restores, members 2..3
+    // train concurrently, and the ensemble matches the reference bitwise.
+    let mut resumed = Bagging::new(3, 2).run_resumable(&env, &store).unwrap();
+    assert_eq!(member_bits(&mut resumed, &x), member_bits(&mut full, &x));
+    assert_eq!(resumed.trace, full.trace);
+}

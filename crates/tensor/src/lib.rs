@@ -8,7 +8,8 @@
 //! * [`Tensor`] — a contiguous, row-major, `f32` n-dimensional array;
 //! * elementwise arithmetic with scalar and row broadcasting ([`ops`]);
 //! * register-tiled matrix multiply on a persistent worker pool
-//!   ([`ops::matmul`], [`parallel`]);
+//!   ([`ops::matmul`], [`parallel`]), with runtime-dispatched explicit
+//!   AVX2+FMA kernels and a bit-identical scalar fallback ([`simd`]);
 //! * im2col-based 2-D and 1-D convolution using reusable scratch buffers
 //!   ([`ops::conv`], [`scratch`]);
 //! * max/avg pooling with backward index maps ([`ops::pool`]);
@@ -36,6 +37,7 @@ pub mod rng;
 pub mod scratch;
 pub mod serialize;
 pub mod shape;
+pub mod simd;
 pub mod tensor;
 
 pub use error::{Result, TensorError};

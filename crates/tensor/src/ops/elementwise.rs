@@ -64,13 +64,12 @@ pub fn scale(a: &Tensor, s: f32) -> Tensor {
     a.map(|x| x * s)
 }
 
-/// In-place `a += alpha * b` — the workhorse of SGD updates.
+/// In-place `a += alpha * b` — the workhorse of SGD updates. Chunks run
+/// the [`crate::simd`] axpy kernel (unfused rounding on both backends).
 pub fn axpy(a: &mut Tensor, alpha: f32, b: &Tensor) -> Result<()> {
     check_same_shape(a, b)?;
     for_each_zip_chunk(a.data_mut(), b.data(), |xs, ys| {
-        for (x, &y) in xs.iter_mut().zip(ys.iter()) {
-            *x += alpha * y;
-        }
+        crate::simd::axpy(xs, ys, alpha);
     });
     Ok(())
 }

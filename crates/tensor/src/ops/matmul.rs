@@ -11,31 +11,30 @@
 //!
 //! # Kernel shape
 //!
-//! The micro-kernel computes an `MR×NR` output tile in registers: `MR` (4)
+//! The micro-kernel computes an `MR×NR` output tile in registers: `MR`
 //! output rows by `NR` (16, with 8/4/scalar tails) output columns, looping
 //! the reduction dimension innermost. Each tile makes one pass over a
 //! `K×NR` column band of `B` while it is hot in L1, touches its `C` tile
-//! exactly once, and gives the compiler `MR×NR` independent accumulators
-//! to auto-vectorize — the seed kernels instead re-streamed `C` from cache
-//! on every reduction step.
+//! exactly once, and keeps `MR×NR` independent accumulators in registers.
+//! The micro-kernels themselves live in [`crate::simd`], which dispatches
+//! at runtime between explicit AVX2+FMA intrinsics and a portable scalar
+//! backend; this module owns the band/tail structure and the row-chunk
+//! parallelism.
 //!
 //! # Determinism contract
 //!
 //! Every output element is accumulated by exactly one tile, in ascending
-//! reduction order, into a single accumulator. Tile and chunk boundaries
-//! change which elements are computed *together* but never the order of
-//! additions *within* an element, so results are bit-identical across
-//! thread counts, tile shapes, and repeated calls.
+//! reduction order, into a single accumulator of correctly-rounded fused
+//! multiply-adds. Tile and chunk boundaries change which elements are
+//! computed *together* but never the order of additions *within* an
+//! element, so results are bit-identical across thread counts, tile
+//! shapes, SIMD backends, and repeated calls.
 
 use crate::error::{Result, TensorError};
 use crate::parallel::for_each_row_chunk;
 use crate::scratch;
+use crate::simd;
 use crate::tensor::Tensor;
-
-/// Output rows per micro-kernel tile. Four rows × a 16-wide column band is
-/// 8 256-bit accumulator registers plus the `B` row and the `A` broadcast —
-/// comfortably inside the AVX2 register file (6 rows was measured to spill).
-const MR: usize = 4;
 
 fn check_rank2(t: &Tensor) -> Result<(usize, usize)> {
     if t.rank() != 2 {
@@ -47,86 +46,18 @@ fn check_rank2(t: &Tensor) -> Result<(usize, usize)> {
     Ok((t.dims()[0], t.dims()[1]))
 }
 
-/// `MR_ACT×NR` register tile of `C += A·B`: rows `ib..ib+MR_ACT`, columns
-/// `jb..jb+NR`, reduction over `0..k` ascending.
-#[inline(always)]
-fn tile_ab<const NR: usize, const MR_ACT: usize>(
-    c: &mut [f32],
-    a: &[f32],
-    b: &[f32],
-    k: usize,
-    n: usize,
-    ib: usize,
-    jb: usize,
-) {
-    let mut acc = [[0.0f32; NR]; MR_ACT];
-    for (r, accr) in acc.iter_mut().enumerate() {
-        accr.copy_from_slice(&c[(ib + r) * n + jb..(ib + r) * n + jb + NR]);
-    }
-    for kk in 0..k {
-        let brow = &b[kk * n + jb..kk * n + jb + NR];
-        for (r, accr) in acc.iter_mut().enumerate() {
-            let av = a[(ib + r) * k + kk];
-            for j in 0..NR {
-                // mul_add compiles to a hardware FMA under the repo's
-                // `-C target-cpu=native`; rustc never contracts `a*b + c`
-                // on its own, and the plain form is mul/add-port bound.
-                accr[j] = av.mul_add(brow[j], accr[j]);
-            }
-        }
-    }
-    for (r, accr) in acc.iter().enumerate() {
-        c[(ib + r) * n + jb..(ib + r) * n + jb + NR].copy_from_slice(accr);
-    }
-}
-
-/// One `NR`-wide column band of `C += A·B` over rows `0..m`.
-#[inline(always)]
-fn band_ab<const NR: usize>(
-    c: &mut [f32],
-    a: &[f32],
-    b: &[f32],
-    m: usize,
-    k: usize,
-    n: usize,
-    jb: usize,
-) {
-    let mut ib = 0;
-    while ib + MR <= m {
-        tile_ab::<NR, MR>(c, a, b, k, n, ib, jb);
-        ib += MR;
-    }
-    match m - ib {
-        5 => tile_ab::<NR, 5>(c, a, b, k, n, ib, jb),
-        4 => tile_ab::<NR, 4>(c, a, b, k, n, ib, jb),
-        3 => tile_ab::<NR, 3>(c, a, b, k, n, ib, jb),
-        2 => tile_ab::<NR, 2>(c, a, b, k, n, ib, jb),
-        1 => tile_ab::<NR, 1>(c, a, b, k, n, ib, jb),
-        _ => {}
-    }
-}
-
 /// Serial `C += A·B` for row-major `A[m,k]`, `B[k,n]`, `C[m,n]`.
 ///
 /// This is the building block the parallel wrappers and the convolution
 /// kernels feed row chunks into; it never dispatches to the pool itself.
+/// The vectorizable 16/8/4 column bands run on the active
+/// [`simd`] backend; the `n % 4` tail columns below are shared by both
+/// backends (deliberately *unfused* — the historical tail rounding).
 pub(crate) fn gemm_ab_into(c: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize) {
     debug_assert_eq!(c.len(), m * n);
     debug_assert!(a.len() >= m * k);
     debug_assert_eq!(b.len(), k * n);
-    let mut jb = 0;
-    while n - jb >= 16 {
-        band_ab::<16>(c, a, b, m, k, n, jb);
-        jb += 16;
-    }
-    if n - jb >= 8 {
-        band_ab::<8>(c, a, b, m, k, n, jb);
-        jb += 8;
-    }
-    if n - jb >= 4 {
-        band_ab::<4>(c, a, b, m, k, n, jb);
-        jb += 4;
-    }
+    let jb = simd::gemm_ab_bands(c, a, b, m, k, n);
     // Scalar tail columns: same ascending-k single-accumulator order.
     for j in jb..n {
         for i in 0..m {
@@ -139,73 +70,10 @@ pub(crate) fn gemm_ab_into(c: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usi
     }
 }
 
-/// `MR_ACT×NR` register tile of `C += Aᵀ·B`: chunk rows `crow..crow+MR_ACT`
-/// (columns `acol..acol+MR_ACT` of `A[m,k]`), reduction over `i = 0..m`
-/// ascending. The `A` reads per step are contiguous: `A[i][acol..]`.
-#[inline(always)]
-#[allow(clippy::too_many_arguments)]
-fn tile_atb<const NR: usize, const MR_ACT: usize>(
-    c: &mut [f32],
-    a: &[f32],
-    b: &[f32],
-    m: usize,
-    k: usize,
-    n: usize,
-    crow: usize,
-    acol: usize,
-    jb: usize,
-) {
-    let mut acc = [[0.0f32; NR]; MR_ACT];
-    for (r, accr) in acc.iter_mut().enumerate() {
-        accr.copy_from_slice(&c[(crow + r) * n + jb..(crow + r) * n + jb + NR]);
-    }
-    for i in 0..m {
-        let brow = &b[i * n + jb..i * n + jb + NR];
-        let arow = &a[i * k + acol..i * k + acol + MR_ACT];
-        for (r, accr) in acc.iter_mut().enumerate() {
-            let av = arow[r];
-            for j in 0..NR {
-                accr[j] = av.mul_add(brow[j], accr[j]);
-            }
-        }
-    }
-    for (r, accr) in acc.iter().enumerate() {
-        c[(crow + r) * n + jb..(crow + r) * n + jb + NR].copy_from_slice(accr);
-    }
-}
-
-/// One `NR`-wide column band of `C += Aᵀ·B` over all `rows` chunk rows.
-#[inline(always)]
-#[allow(clippy::too_many_arguments)]
-fn band_atb<const NR: usize>(
-    c: &mut [f32],
-    a: &[f32],
-    b: &[f32],
-    m: usize,
-    k: usize,
-    n: usize,
-    kb0: usize,
-    rows: usize,
-    jb: usize,
-) {
-    let mut r0 = 0;
-    while r0 + MR <= rows {
-        tile_atb::<NR, MR>(c, a, b, m, k, n, r0, kb0 + r0, jb);
-        r0 += MR;
-    }
-    match rows - r0 {
-        5 => tile_atb::<NR, 5>(c, a, b, m, k, n, r0, kb0 + r0, jb),
-        4 => tile_atb::<NR, 4>(c, a, b, m, k, n, r0, kb0 + r0, jb),
-        3 => tile_atb::<NR, 3>(c, a, b, m, k, n, r0, kb0 + r0, jb),
-        2 => tile_atb::<NR, 2>(c, a, b, m, k, n, r0, kb0 + r0, jb),
-        1 => tile_atb::<NR, 1>(c, a, b, m, k, n, r0, kb0 + r0, jb),
-        _ => {}
-    }
-}
-
 /// Serial `C += Aᵀ·B` for `A[m,k]`, `B[m,n]`, writing output rows
 /// `kb0..kb0+rows` of `C[k,n]`. `c` is the chunk slice whose first row is
-/// output row `kb0` (the chunk a pool worker owns).
+/// output row `kb0` (the chunk a pool worker owns). Band/tail split as in
+/// [`gemm_ab_into`].
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn gemm_atb_into(
     c: &mut [f32],
@@ -220,19 +88,7 @@ pub(crate) fn gemm_atb_into(
     debug_assert_eq!(c.len(), rows * n);
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), m * n);
-    let mut jb = 0;
-    while n - jb >= 16 {
-        band_atb::<16>(c, a, b, m, k, n, kb0, rows, jb);
-        jb += 16;
-    }
-    if n - jb >= 8 {
-        band_atb::<8>(c, a, b, m, k, n, kb0, rows, jb);
-        jb += 8;
-    }
-    if n - jb >= 4 {
-        band_atb::<4>(c, a, b, m, k, n, kb0, rows, jb);
-        jb += 4;
-    }
+    let jb = simd::gemm_atb_bands(c, a, b, m, k, n, kb0, rows);
     // Scalar tail columns: same ascending-i single-accumulator order.
     for j in jb..n {
         for row in 0..rows {

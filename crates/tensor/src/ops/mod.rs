@@ -27,6 +27,6 @@ pub use pool::{
     max_over_time_backward, max_pool2d, max_pool2d_backward,
 };
 pub use reduce::{
-    argmax_rows, log_softmax_rows, max_rows, mean_all, softmax_rows, sum_all, sum_axis0,
+    argmax_rows, log_softmax_rows, max_rows, mean_all, softmax_rows, sum_all, sum_axis0, sum_sq,
 };
 pub use stats::{mean_axis0, standardize_axis0, var_axis0};

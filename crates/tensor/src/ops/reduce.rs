@@ -43,6 +43,14 @@ pub fn sum_axis0(t: &Tensor) -> Result<Tensor> {
     Ok(out)
 }
 
+/// Sum of squared elements, computed in the [`crate::simd`] fixed-lane
+/// fused layout (bit-identical across backends). This is the building
+/// block of the Eq. 2 diversity norm; see [`crate::simd::sq_l2_dist`] for
+/// the two-operand distance form.
+pub fn sum_sq(t: &Tensor) -> f32 {
+    crate::simd::sum_sq(t.data())
+}
+
 /// Row-wise maxima of an `[m, n]` matrix → length-`m` vector.
 pub fn max_rows(t: &Tensor) -> Result<Tensor> {
     if t.rank() != 2 {
@@ -105,16 +113,16 @@ pub fn softmax_rows(logits: &Tensor) -> Result<Tensor> {
     let mut out = logits.clone();
     for_each_row_chunk(out.data_mut(), n, |_, chunk| {
         for row in chunk.chunks_mut(n) {
-            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            // SIMD row max and final scale; the exp + ascending sum stays
+            // scalar — its sequential order is the training-numerics
+            // contract and it is transcendental-bound anyway.
+            let max = crate::simd::row_max(row);
             let mut sum = 0.0f32;
             for v in row.iter_mut() {
                 *v = (*v - max).exp();
                 sum += *v;
             }
-            let inv = 1.0 / sum;
-            for v in row.iter_mut() {
-                *v *= inv;
-            }
+            crate::simd::scale_in_place(row, 1.0 / sum);
         }
     });
     Ok(out)
@@ -135,7 +143,7 @@ pub fn log_softmax_rows(logits: &Tensor) -> Result<Tensor> {
     let mut out = logits.clone();
     for_each_row_chunk(out.data_mut(), n, |_, chunk| {
         for row in chunk.chunks_mut(n) {
-            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let max = crate::simd::row_max(row);
             let log_sum = row.iter().map(|&v| (v - max).exp()).sum::<f32>().ln() + max;
             for v in row.iter_mut() {
                 *v -= log_sum;

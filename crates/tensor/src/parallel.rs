@@ -19,7 +19,12 @@
 //!
 //! Nested dispatch (a parallel op called from inside a pool worker, e.g. a
 //! matmul inside a sample-parallel convolution) runs inline on the worker
-//! instead of deadlocking the pool.
+//! instead of deadlocking the pool. This nestability is what lets the
+//! ensemble layer parallelize at *member* granularity: when a method
+//! trains data-independent members concurrently on this same pool (see
+//! `edde-core`'s Bagging), every tensor op inside a member runs inline on
+//! its worker, trading op-level for member-level parallelism — which
+//! scales better, since members synchronize only at their commit points.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};

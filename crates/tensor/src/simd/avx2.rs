@@ -1,0 +1,459 @@
+//! Explicit AVX2+FMA backend (`std::arch` intrinsics).
+//!
+//! Every function carries `#[target_feature(enable = "avx2,fma")]` and is
+//! `unsafe` to call: the dispatch layer in [`crate::simd`] only routes
+//! here after `is_x86_feature_detected!` confirmed both features at
+//! runtime, so the binary itself stays portable (no compile-time
+//! `target-cpu` requirement).
+//!
+//! # Bit-identity with the scalar backend
+//!
+//! * gemm tiles accumulate each output element with one `vfmaddps` lane
+//!   per reduction step, ascending `k` — the same single correctly-rounded
+//!   fused operation and order as the scalar backend's `mul_add`. The tile
+//!   *shape* differs (6 rows here vs 4 there — the hand-scheduled kernel
+//!   affords more accumulators than the auto-vectorizer), but tile shape
+//!   only groups elements; it never reorders a single element's sum.
+//! * Both backends cover the same greedy 16/8/4 column bands and leave the
+//!   identical `n % 4` tail columns to the caller's shared scalar loop.
+//! * Reductions ([`row_max`], [`sum_sq`], [`sq_l2_dist`]) use an 8-lane
+//!   accumulator and a fixed combine tree that the scalar backend emulates
+//!   lane-for-lane.
+
+#![allow(clippy::missing_safety_doc)] // safety contract is the module doc
+
+use std::arch::x86_64::*;
+
+/// Output rows per gemm tile: 6 rows × 16 columns is 12 accumulator
+/// registers + 2 `B` loads + 1 `A` broadcast = 15 of the 16 ymm registers.
+const MR: usize = 6;
+
+/// `MR_ACT × (8·NV)` tile of `C += A·B` (`NV` = 256-bit vectors per row,
+/// 2 for the 16-wide band, 1 for the 8-wide band).
+#[target_feature(enable = "avx2,fma")]
+unsafe fn tile_ab_w8<const NV: usize, const MR_ACT: usize>(
+    c: &mut [f32],
+    a: &[f32],
+    b: &[f32],
+    k: usize,
+    n: usize,
+    ib: usize,
+    jb: usize,
+) {
+    let cp = c.as_mut_ptr();
+    let ap = a.as_ptr();
+    let bp = b.as_ptr();
+    let mut acc = [[_mm256_setzero_ps(); NV]; MR_ACT];
+    for (r, accr) in acc.iter_mut().enumerate() {
+        for (v, lane) in accr.iter_mut().enumerate() {
+            *lane = _mm256_loadu_ps(cp.add((ib + r) * n + jb + 8 * v));
+        }
+    }
+    for kk in 0..k {
+        let mut brow = [_mm256_setzero_ps(); NV];
+        for (v, lane) in brow.iter_mut().enumerate() {
+            *lane = _mm256_loadu_ps(bp.add(kk * n + jb + 8 * v));
+        }
+        for (r, accr) in acc.iter_mut().enumerate() {
+            let av = _mm256_set1_ps(*ap.add((ib + r) * k + kk));
+            for (v, lane) in accr.iter_mut().enumerate() {
+                *lane = _mm256_fmadd_ps(av, brow[v], *lane);
+            }
+        }
+    }
+    for (r, accr) in acc.iter().enumerate() {
+        for (v, lane) in accr.iter().enumerate() {
+            _mm256_storeu_ps(cp.add((ib + r) * n + jb + 8 * v), *lane);
+        }
+    }
+}
+
+/// `MR_ACT × 4` tile of `C += A·B` on 128-bit lanes (the 4-wide band).
+#[target_feature(enable = "avx2,fma")]
+unsafe fn tile_ab_w4<const MR_ACT: usize>(
+    c: &mut [f32],
+    a: &[f32],
+    b: &[f32],
+    k: usize,
+    n: usize,
+    ib: usize,
+    jb: usize,
+) {
+    let cp = c.as_mut_ptr();
+    let ap = a.as_ptr();
+    let bp = b.as_ptr();
+    let mut acc = [_mm_setzero_ps(); MR_ACT];
+    for (r, accr) in acc.iter_mut().enumerate() {
+        *accr = _mm_loadu_ps(cp.add((ib + r) * n + jb));
+    }
+    for kk in 0..k {
+        let brow = _mm_loadu_ps(bp.add(kk * n + jb));
+        for (r, accr) in acc.iter_mut().enumerate() {
+            let av = _mm_set1_ps(*ap.add((ib + r) * k + kk));
+            *accr = _mm_fmadd_ps(av, brow, *accr);
+        }
+    }
+    for (r, accr) in acc.iter().enumerate() {
+        _mm_storeu_ps(cp.add((ib + r) * n + jb), *accr);
+    }
+}
+
+/// One 8·`NV`-wide column band of `C += A·B` over rows `0..m`.
+#[target_feature(enable = "avx2,fma")]
+unsafe fn band_ab_w8<const NV: usize>(
+    c: &mut [f32],
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    jb: usize,
+) {
+    let mut ib = 0;
+    while ib + MR <= m {
+        tile_ab_w8::<NV, MR>(c, a, b, k, n, ib, jb);
+        ib += MR;
+    }
+    match m - ib {
+        5 => tile_ab_w8::<NV, 5>(c, a, b, k, n, ib, jb),
+        4 => tile_ab_w8::<NV, 4>(c, a, b, k, n, ib, jb),
+        3 => tile_ab_w8::<NV, 3>(c, a, b, k, n, ib, jb),
+        2 => tile_ab_w8::<NV, 2>(c, a, b, k, n, ib, jb),
+        1 => tile_ab_w8::<NV, 1>(c, a, b, k, n, ib, jb),
+        _ => {}
+    }
+}
+
+/// One 4-wide column band of `C += A·B` over rows `0..m`.
+#[target_feature(enable = "avx2,fma")]
+unsafe fn band_ab_w4(c: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize, jb: usize) {
+    let mut ib = 0;
+    while ib + MR <= m {
+        tile_ab_w4::<MR>(c, a, b, k, n, ib, jb);
+        ib += MR;
+    }
+    match m - ib {
+        5 => tile_ab_w4::<5>(c, a, b, k, n, ib, jb),
+        4 => tile_ab_w4::<4>(c, a, b, k, n, ib, jb),
+        3 => tile_ab_w4::<3>(c, a, b, k, n, ib, jb),
+        2 => tile_ab_w4::<2>(c, a, b, k, n, ib, jb),
+        1 => tile_ab_w4::<1>(c, a, b, k, n, ib, jb),
+        _ => {}
+    }
+}
+
+/// Vector column bands of `C += A·B`; returns covered columns (same greedy
+/// 16/8/4 banding as the scalar backend).
+#[target_feature(enable = "avx2,fma")]
+pub(crate) unsafe fn gemm_ab_bands(
+    c: &mut [f32],
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) -> usize {
+    debug_assert_eq!(c.len(), m * n);
+    debug_assert!(a.len() >= m * k);
+    debug_assert_eq!(b.len(), k * n);
+    let mut jb = 0;
+    while n - jb >= 16 {
+        band_ab_w8::<2>(c, a, b, m, k, n, jb);
+        jb += 16;
+    }
+    if n - jb >= 8 {
+        band_ab_w8::<1>(c, a, b, m, k, n, jb);
+        jb += 8;
+    }
+    if n - jb >= 4 {
+        band_ab_w4(c, a, b, m, k, n, jb);
+        jb += 4;
+    }
+    jb
+}
+
+/// `MR_ACT × (8·NV)` tile of `C += Aᵀ·B`: chunk rows `crow..`, `A` columns
+/// `acol..`, reduction over `i = 0..m` ascending.
+#[target_feature(enable = "avx2,fma")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn tile_atb_w8<const NV: usize, const MR_ACT: usize>(
+    c: &mut [f32],
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    crow: usize,
+    acol: usize,
+    jb: usize,
+) {
+    let cp = c.as_mut_ptr();
+    let ap = a.as_ptr();
+    let bp = b.as_ptr();
+    let mut acc = [[_mm256_setzero_ps(); NV]; MR_ACT];
+    for (r, accr) in acc.iter_mut().enumerate() {
+        for (v, lane) in accr.iter_mut().enumerate() {
+            *lane = _mm256_loadu_ps(cp.add((crow + r) * n + jb + 8 * v));
+        }
+    }
+    for i in 0..m {
+        let mut brow = [_mm256_setzero_ps(); NV];
+        for (v, lane) in brow.iter_mut().enumerate() {
+            *lane = _mm256_loadu_ps(bp.add(i * n + jb + 8 * v));
+        }
+        for (r, accr) in acc.iter_mut().enumerate() {
+            let av = _mm256_set1_ps(*ap.add(i * k + acol + r));
+            for (v, lane) in accr.iter_mut().enumerate() {
+                *lane = _mm256_fmadd_ps(av, brow[v], *lane);
+            }
+        }
+    }
+    for (r, accr) in acc.iter().enumerate() {
+        for (v, lane) in accr.iter().enumerate() {
+            _mm256_storeu_ps(cp.add((crow + r) * n + jb + 8 * v), *lane);
+        }
+    }
+}
+
+/// `MR_ACT × 4` tile of `C += Aᵀ·B` on 128-bit lanes.
+#[target_feature(enable = "avx2,fma")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn tile_atb_w4<const MR_ACT: usize>(
+    c: &mut [f32],
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    crow: usize,
+    acol: usize,
+    jb: usize,
+) {
+    let cp = c.as_mut_ptr();
+    let ap = a.as_ptr();
+    let bp = b.as_ptr();
+    let mut acc = [_mm_setzero_ps(); MR_ACT];
+    for (r, accr) in acc.iter_mut().enumerate() {
+        *accr = _mm_loadu_ps(cp.add((crow + r) * n + jb));
+    }
+    for i in 0..m {
+        let brow = _mm_loadu_ps(bp.add(i * n + jb));
+        for (r, accr) in acc.iter_mut().enumerate() {
+            let av = _mm_set1_ps(*ap.add(i * k + acol + r));
+            *accr = _mm_fmadd_ps(av, brow, *accr);
+        }
+    }
+    for (r, accr) in acc.iter().enumerate() {
+        _mm_storeu_ps(cp.add((crow + r) * n + jb), *accr);
+    }
+}
+
+/// One 8·`NV`-wide column band of `C += Aᵀ·B` over all `rows` chunk rows.
+#[target_feature(enable = "avx2,fma")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn band_atb_w8<const NV: usize>(
+    c: &mut [f32],
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    kb0: usize,
+    rows: usize,
+    jb: usize,
+) {
+    let mut r0 = 0;
+    while r0 + MR <= rows {
+        tile_atb_w8::<NV, MR>(c, a, b, m, k, n, r0, kb0 + r0, jb);
+        r0 += MR;
+    }
+    match rows - r0 {
+        5 => tile_atb_w8::<NV, 5>(c, a, b, m, k, n, r0, kb0 + r0, jb),
+        4 => tile_atb_w8::<NV, 4>(c, a, b, m, k, n, r0, kb0 + r0, jb),
+        3 => tile_atb_w8::<NV, 3>(c, a, b, m, k, n, r0, kb0 + r0, jb),
+        2 => tile_atb_w8::<NV, 2>(c, a, b, m, k, n, r0, kb0 + r0, jb),
+        1 => tile_atb_w8::<NV, 1>(c, a, b, m, k, n, r0, kb0 + r0, jb),
+        _ => {}
+    }
+}
+
+/// One 4-wide column band of `C += Aᵀ·B` over all `rows` chunk rows.
+#[target_feature(enable = "avx2,fma")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn band_atb_w4(
+    c: &mut [f32],
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    kb0: usize,
+    rows: usize,
+    jb: usize,
+) {
+    let mut r0 = 0;
+    while r0 + MR <= rows {
+        tile_atb_w4::<MR>(c, a, b, m, k, n, r0, kb0 + r0, jb);
+        r0 += MR;
+    }
+    match rows - r0 {
+        5 => tile_atb_w4::<5>(c, a, b, m, k, n, r0, kb0 + r0, jb),
+        4 => tile_atb_w4::<4>(c, a, b, m, k, n, r0, kb0 + r0, jb),
+        3 => tile_atb_w4::<3>(c, a, b, m, k, n, r0, kb0 + r0, jb),
+        2 => tile_atb_w4::<2>(c, a, b, m, k, n, r0, kb0 + r0, jb),
+        1 => tile_atb_w4::<1>(c, a, b, m, k, n, r0, kb0 + r0, jb),
+        _ => {}
+    }
+}
+
+/// Vector column bands of `C += Aᵀ·B` for chunk rows `kb0..kb0+rows`;
+/// returns covered columns.
+#[target_feature(enable = "avx2,fma")]
+#[allow(clippy::too_many_arguments)]
+pub(crate) unsafe fn gemm_atb_bands(
+    c: &mut [f32],
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    kb0: usize,
+    rows: usize,
+) -> usize {
+    debug_assert_eq!(c.len(), rows * n);
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), m * n);
+    let mut jb = 0;
+    while n - jb >= 16 {
+        band_atb_w8::<2>(c, a, b, m, k, n, kb0, rows, jb);
+        jb += 16;
+    }
+    if n - jb >= 8 {
+        band_atb_w8::<1>(c, a, b, m, k, n, kb0, rows, jb);
+        jb += 8;
+    }
+    if n - jb >= 4 {
+        band_atb_w4(c, a, b, m, k, n, kb0, rows, jb);
+        jb += 4;
+    }
+    jb
+}
+
+/// In-place `xs[i] += alpha * ys[i]`, unfused (`vmulps` + `vaddps`) to
+/// match the scalar backend's separately-rounded `*x += alpha * y`.
+#[target_feature(enable = "avx2,fma")]
+pub(crate) unsafe fn axpy(xs: &mut [f32], ys: &[f32], alpha: f32) {
+    debug_assert_eq!(xs.len(), ys.len());
+    let n = xs.len();
+    let xp = xs.as_mut_ptr();
+    let yp = ys.as_ptr();
+    let av = _mm256_set1_ps(alpha);
+    let mut i = 0;
+    while i + 8 <= n {
+        let x = _mm256_loadu_ps(xp.add(i));
+        let y = _mm256_loadu_ps(yp.add(i));
+        _mm256_storeu_ps(xp.add(i), _mm256_add_ps(x, _mm256_mul_ps(av, y)));
+        i += 8;
+    }
+    while i < n {
+        *xp.add(i) += alpha * *yp.add(i);
+        i += 1;
+    }
+}
+
+/// Max over a row: 8 `vmaxps` lanes, combine `(l, l+4) → (0,2)/(1,3) →
+/// final`, sequential tail. The scalar backend emulates this layout and
+/// `MAXPS`'s tie/NaN rule exactly.
+#[target_feature(enable = "avx2,fma")]
+pub(crate) unsafe fn row_max(row: &[f32]) -> f32 {
+    let n = row.len();
+    let p = row.as_ptr();
+    let mut acc = _mm256_set1_ps(f32::NEG_INFINITY);
+    let mut i = 0;
+    while i + 8 <= n {
+        acc = _mm256_max_ps(acc, _mm256_loadu_ps(p.add(i)));
+        i += 8;
+    }
+    let m4 = _mm_max_ps(_mm256_castps256_ps128(acc), _mm256_extractf128_ps(acc, 1));
+    let m2 = _mm_max_ps(m4, _mm_movehl_ps(m4, m4));
+    let m1 = _mm_max_ss(m2, _mm_shuffle_ps(m2, m2, 0b01));
+    let mut m = _mm_cvtss_f32(m1);
+    while i < n {
+        let x = *p.add(i);
+        m = if m > x { m } else { x };
+        i += 1;
+    }
+    m
+}
+
+/// In-place `xs[i] *= s`.
+#[target_feature(enable = "avx2,fma")]
+pub(crate) unsafe fn scale_in_place(xs: &mut [f32], s: f32) {
+    let n = xs.len();
+    let p = xs.as_mut_ptr();
+    let sv = _mm256_set1_ps(s);
+    let mut i = 0;
+    while i + 8 <= n {
+        _mm256_storeu_ps(p.add(i), _mm256_mul_ps(_mm256_loadu_ps(p.add(i)), sv));
+        i += 8;
+    }
+    while i < n {
+        *p.add(i) *= s;
+        i += 1;
+    }
+}
+
+/// Horizontal sum with the fixed tree `(l + l+4) → (0+2) + (1+3)` the
+/// scalar backend replays lane-for-lane.
+#[target_feature(enable = "avx2,fma")]
+unsafe fn hsum_tree(acc: __m256) -> f32 {
+    let s4 = _mm_add_ps(_mm256_castps256_ps128(acc), _mm256_extractf128_ps(acc, 1));
+    let s2 = _mm_add_ps(s4, _mm_movehl_ps(s4, s4));
+    let s1 = _mm_add_ss(s2, _mm_shuffle_ps(s2, s2, 0b01));
+    _mm_cvtss_f32(s1)
+}
+
+/// Squared L2 distance `Σ (xs[i] − ys[i])²`: 8 fused lanes, fixed combine
+/// tree, fused sequential tail.
+#[target_feature(enable = "avx2,fma")]
+pub(crate) unsafe fn sq_l2_dist(xs: &[f32], ys: &[f32]) -> f32 {
+    debug_assert_eq!(xs.len(), ys.len());
+    let n = xs.len();
+    let xp = xs.as_ptr();
+    let yp = ys.as_ptr();
+    let mut acc = _mm256_setzero_ps();
+    let mut i = 0;
+    while i + 8 <= n {
+        let d = _mm256_sub_ps(_mm256_loadu_ps(xp.add(i)), _mm256_loadu_ps(yp.add(i)));
+        acc = _mm256_fmadd_ps(d, d, acc);
+        i += 8;
+    }
+    let mut total = hsum_tree(acc);
+    while i < n {
+        let d = *xp.add(i) - *yp.add(i);
+        total = d.mul_add(d, total);
+        i += 1;
+    }
+    total
+}
+
+/// Sum of squares `Σ xs[i]²` — [`sq_l2_dist`]'s layout with `ys = 0`.
+#[target_feature(enable = "avx2,fma")]
+pub(crate) unsafe fn sum_sq(xs: &[f32]) -> f32 {
+    let n = xs.len();
+    let p = xs.as_ptr();
+    let mut acc = _mm256_setzero_ps();
+    let mut i = 0;
+    while i + 8 <= n {
+        let v = _mm256_loadu_ps(p.add(i));
+        acc = _mm256_fmadd_ps(v, v, acc);
+        i += 8;
+    }
+    let mut total = hsum_tree(acc);
+    while i < n {
+        let v = *p.add(i);
+        total = v.mul_add(v, total);
+        i += 1;
+    }
+    total
+}

@@ -1,0 +1,304 @@
+//! Portable scalar backend.
+//!
+//! The gemm micro-kernels are the PR 2 register tiles: `MR` (4) output
+//! rows by an `NR`-wide column band (16/8/4), reduction innermost, one
+//! fused `mul_add` accumulator per output element. Under
+//! `-C target-cpu=native` the compiler auto-vectorizes them; without it
+//! they stay correct (`mul_add` falls back to the correctly-rounded libm
+//! `fma`, producing the same bits as the hardware instruction).
+//!
+//! The slice reductions ([`row_max`], [`sum_sq`], [`sq_l2_dist`]) emulate
+//! the AVX2 backend's 8-lane accumulator layout and fixed combine tree in
+//! plain scalar code, so the two backends agree bit-for-bit even for ops
+//! whose result depends on association order. See the module docs of
+//! [`crate::simd`] for the full determinism contract.
+
+/// Output rows per gemm micro-kernel tile. Four rows × a 16-wide column
+/// band is 8 256-bit accumulator registers plus the `B` row and the `A`
+/// broadcast when auto-vectorized (6 rows was measured to spill here; the
+/// explicit AVX2 backend schedules registers itself and affords 6).
+const MR: usize = 4;
+
+/// `MR_ACT×NR` register tile of `C += A·B`: rows `ib..ib+MR_ACT`, columns
+/// `jb..jb+NR`, reduction over `0..k` ascending.
+#[inline(always)]
+fn tile_ab<const NR: usize, const MR_ACT: usize>(
+    c: &mut [f32],
+    a: &[f32],
+    b: &[f32],
+    k: usize,
+    n: usize,
+    ib: usize,
+    jb: usize,
+) {
+    let mut acc = [[0.0f32; NR]; MR_ACT];
+    for (r, accr) in acc.iter_mut().enumerate() {
+        accr.copy_from_slice(&c[(ib + r) * n + jb..(ib + r) * n + jb + NR]);
+    }
+    for kk in 0..k {
+        let brow = &b[kk * n + jb..kk * n + jb + NR];
+        for (r, accr) in acc.iter_mut().enumerate() {
+            let av = a[(ib + r) * k + kk];
+            for j in 0..NR {
+                // mul_add is a single correctly-rounded fused operation —
+                // bit-identical to the AVX2 backend's `vfmaddps` lanes.
+                accr[j] = av.mul_add(brow[j], accr[j]);
+            }
+        }
+    }
+    for (r, accr) in acc.iter().enumerate() {
+        c[(ib + r) * n + jb..(ib + r) * n + jb + NR].copy_from_slice(accr);
+    }
+}
+
+/// One `NR`-wide column band of `C += A·B` over rows `0..m`.
+#[inline(always)]
+fn band_ab<const NR: usize>(
+    c: &mut [f32],
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    jb: usize,
+) {
+    let mut ib = 0;
+    while ib + MR <= m {
+        tile_ab::<NR, MR>(c, a, b, k, n, ib, jb);
+        ib += MR;
+    }
+    match m - ib {
+        3 => tile_ab::<NR, 3>(c, a, b, k, n, ib, jb),
+        2 => tile_ab::<NR, 2>(c, a, b, k, n, ib, jb),
+        1 => tile_ab::<NR, 1>(c, a, b, k, n, ib, jb),
+        _ => {}
+    }
+}
+
+/// Vectorizable column bands (16/8/4 wide) of `C += A·B`; returns how many
+/// columns were covered. The caller owns the unfused scalar tail.
+pub(crate) fn gemm_ab_bands(
+    c: &mut [f32],
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) -> usize {
+    let mut jb = 0;
+    while n - jb >= 16 {
+        band_ab::<16>(c, a, b, m, k, n, jb);
+        jb += 16;
+    }
+    if n - jb >= 8 {
+        band_ab::<8>(c, a, b, m, k, n, jb);
+        jb += 8;
+    }
+    if n - jb >= 4 {
+        band_ab::<4>(c, a, b, m, k, n, jb);
+        jb += 4;
+    }
+    jb
+}
+
+/// `MR_ACT×NR` register tile of `C += Aᵀ·B`: chunk rows `crow..crow+MR_ACT`
+/// (columns `acol..acol+MR_ACT` of `A[m,k]`), reduction over `i = 0..m`
+/// ascending. The `A` reads per step are contiguous: `A[i][acol..]`.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn tile_atb<const NR: usize, const MR_ACT: usize>(
+    c: &mut [f32],
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    crow: usize,
+    acol: usize,
+    jb: usize,
+) {
+    let mut acc = [[0.0f32; NR]; MR_ACT];
+    for (r, accr) in acc.iter_mut().enumerate() {
+        accr.copy_from_slice(&c[(crow + r) * n + jb..(crow + r) * n + jb + NR]);
+    }
+    for i in 0..m {
+        let brow = &b[i * n + jb..i * n + jb + NR];
+        let arow = &a[i * k + acol..i * k + acol + MR_ACT];
+        for (r, accr) in acc.iter_mut().enumerate() {
+            let av = arow[r];
+            for j in 0..NR {
+                accr[j] = av.mul_add(brow[j], accr[j]);
+            }
+        }
+    }
+    for (r, accr) in acc.iter().enumerate() {
+        c[(crow + r) * n + jb..(crow + r) * n + jb + NR].copy_from_slice(accr);
+    }
+}
+
+/// One `NR`-wide column band of `C += Aᵀ·B` over all `rows` chunk rows.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn band_atb<const NR: usize>(
+    c: &mut [f32],
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    kb0: usize,
+    rows: usize,
+    jb: usize,
+) {
+    let mut r0 = 0;
+    while r0 + MR <= rows {
+        tile_atb::<NR, MR>(c, a, b, m, k, n, r0, kb0 + r0, jb);
+        r0 += MR;
+    }
+    match rows - r0 {
+        3 => tile_atb::<NR, 3>(c, a, b, m, k, n, r0, kb0 + r0, jb),
+        2 => tile_atb::<NR, 2>(c, a, b, m, k, n, r0, kb0 + r0, jb),
+        1 => tile_atb::<NR, 1>(c, a, b, m, k, n, r0, kb0 + r0, jb),
+        _ => {}
+    }
+}
+
+/// Vectorizable column bands of `C += Aᵀ·B` for chunk rows
+/// `kb0..kb0+rows`; returns how many columns were covered.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn gemm_atb_bands(
+    c: &mut [f32],
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    kb0: usize,
+    rows: usize,
+) -> usize {
+    let mut jb = 0;
+    while n - jb >= 16 {
+        band_atb::<16>(c, a, b, m, k, n, kb0, rows, jb);
+        jb += 16;
+    }
+    if n - jb >= 8 {
+        band_atb::<8>(c, a, b, m, k, n, kb0, rows, jb);
+        jb += 8;
+    }
+    if n - jb >= 4 {
+        band_atb::<4>(c, a, b, m, k, n, kb0, rows, jb);
+        jb += 4;
+    }
+    jb
+}
+
+/// In-place `xs[i] += alpha * ys[i]` — deliberately *unfused* (separate
+/// multiply and add roundings), matching the historical SGD update and the
+/// AVX2 backend's `mul` + `add` pair.
+pub(crate) fn axpy(xs: &mut [f32], ys: &[f32], alpha: f32) {
+    for (x, &y) in xs.iter_mut().zip(ys.iter()) {
+        *x += alpha * y;
+    }
+}
+
+/// `MAXPS` comparison semantics: returns `b` when the operands are equal,
+/// or when either is NaN — exactly what `_mm{256}_max_ps(a, b)` does per
+/// lane, so both backends resolve ±0 and NaN ties identically.
+#[inline(always)]
+fn vmax(a: f32, b: f32) -> f32 {
+    if a > b {
+        a
+    } else {
+        b
+    }
+}
+
+/// Max over a row, with the AVX2 backend's lane layout: 8 running lane
+/// maxima over `len/8` full blocks, combined `(l, l+4) → (0,2)/(1,3) →
+/// final`, then the `len%8` tail folded in sequentially.
+pub(crate) fn row_max(row: &[f32]) -> f32 {
+    let mut lanes = [f32::NEG_INFINITY; 8];
+    let mut chunks = row.chunks_exact(8);
+    for block in &mut chunks {
+        for (l, lane) in lanes.iter_mut().enumerate() {
+            *lane = vmax(*lane, block[l]);
+        }
+    }
+    let m4 = [
+        vmax(lanes[0], lanes[4]),
+        vmax(lanes[1], lanes[5]),
+        vmax(lanes[2], lanes[6]),
+        vmax(lanes[3], lanes[7]),
+    ];
+    let mut m = vmax(vmax(m4[0], m4[2]), vmax(m4[1], m4[3]));
+    for &x in chunks.remainder() {
+        m = vmax(m, x);
+    }
+    m
+}
+
+/// In-place `xs[i] *= s`. Each element scales independently, so the two
+/// backends agree trivially.
+pub(crate) fn scale_in_place(xs: &mut [f32], s: f32) {
+    for x in xs.iter_mut() {
+        *x *= s;
+    }
+}
+
+/// Squared L2 distance `Σ (xs[i] − ys[i])²` in the 8-lane fused layout:
+/// per-lane `mul_add` accumulators over full blocks, the fixed combine
+/// tree `(l + l+4) → (0+2) + (1+3)`, then the tail fused in sequentially.
+/// This is the shared accumulation shape of the Eq. 2 diversity norm.
+pub(crate) fn sq_l2_dist(xs: &[f32], ys: &[f32]) -> f32 {
+    debug_assert_eq!(xs.len(), ys.len());
+    let mut lanes = [0.0f32; 8];
+    let n = xs.len();
+    let mut i = 0;
+    while i + 8 <= n {
+        for (l, lane) in lanes.iter_mut().enumerate() {
+            let d = xs[i + l] - ys[i + l];
+            *lane = d.mul_add(d, *lane);
+        }
+        i += 8;
+    }
+    let s4 = [
+        lanes[0] + lanes[4],
+        lanes[1] + lanes[5],
+        lanes[2] + lanes[6],
+        lanes[3] + lanes[7],
+    ];
+    let mut total = (s4[0] + s4[2]) + (s4[1] + s4[3]);
+    while i < n {
+        let d = xs[i] - ys[i];
+        total = d.mul_add(d, total);
+        i += 1;
+    }
+    total
+}
+
+/// Sum of squares `Σ xs[i]²` — [`sq_l2_dist`]'s layout with `ys = 0`.
+pub(crate) fn sum_sq(xs: &[f32]) -> f32 {
+    let mut lanes = [0.0f32; 8];
+    let n = xs.len();
+    let mut i = 0;
+    while i + 8 <= n {
+        for (l, lane) in lanes.iter_mut().enumerate() {
+            let v = xs[i + l];
+            *lane = v.mul_add(v, *lane);
+        }
+        i += 8;
+    }
+    let s4 = [
+        lanes[0] + lanes[4],
+        lanes[1] + lanes[5],
+        lanes[2] + lanes[6],
+        lanes[3] + lanes[7],
+    ];
+    let mut total = (s4[0] + s4[2]) + (s4[1] + s4[3]);
+    while i < n {
+        let v = xs[i];
+        total = v.mul_add(v, total);
+        i += 1;
+    }
+    total
+}

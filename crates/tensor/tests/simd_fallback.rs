@@ -1,0 +1,132 @@
+//! Bit-identity of the runtime-dispatched SIMD kernels against the forced
+//! scalar fallback, across thread counts.
+//!
+//! The [`edde_tensor::simd`] determinism contract says every dispatched op
+//! computes each output element in the same fixed summation order on both
+//! backends, so forcing the scalar path (as `EDDE_SIMD=scalar` or a
+//! non-AVX2 CPU would) must reproduce the SIMD results bit for bit — at
+//! any thread count. These tests pin that contract at the public-op level;
+//! the kernel-level comparisons live in the simd module's unit tests.
+
+use edde_tensor::ops::{
+    axpy, conv2d, conv2d_backward, log_softmax_rows, matmul, matmul_a_bt, matmul_at_b,
+    softmax_rows, sum_sq,
+};
+use edde_tensor::parallel::set_num_threads;
+use edde_tensor::rng::rand_uniform;
+use edde_tensor::simd::{self, Backend};
+use edde_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::{Mutex, MutexGuard};
+
+/// Serializes tests in this file: they toggle the global scalar-force flag
+/// and the global thread override.
+fn global_guard() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Restores backend dispatch and thread count even if the test panics.
+struct RestoreGlobals;
+impl Drop for RestoreGlobals {
+    fn drop(&mut self) {
+        simd::set_force_scalar(false);
+        set_num_threads(0);
+    }
+}
+
+fn bits(t: &Tensor) -> Vec<u32> {
+    t.data().iter().map(|v| v.to_bits()).collect()
+}
+
+/// Runs `f` once per (backend, thread count) combination and asserts all
+/// outputs are bitwise equal to the first.
+fn assert_invariant<T: PartialEq + std::fmt::Debug>(label: &str, f: impl Fn() -> T) {
+    let _g = global_guard();
+    let _restore = RestoreGlobals;
+    let mut reference: Option<T> = None;
+    for force_scalar in [false, true] {
+        simd::set_force_scalar(force_scalar);
+        for threads in [1usize, 8] {
+            set_num_threads(threads);
+            let out = f();
+            match &reference {
+                None => reference = Some(out),
+                Some(r) => assert_eq!(
+                    r, &out,
+                    "{label}: scalar={force_scalar} threads={threads} diverged"
+                ),
+            }
+        }
+    }
+}
+
+#[test]
+fn forcing_scalar_changes_the_backend() {
+    let _g = global_guard();
+    let _restore = RestoreGlobals;
+    simd::set_force_scalar(true);
+    assert_eq!(simd::backend(), Backend::Scalar);
+    assert_eq!(simd::backend_name(), "scalar");
+    simd::set_force_scalar(false);
+    // Whatever the host supports, the name and enum must agree.
+    match simd::backend() {
+        Backend::Avx2 => assert_eq!(simd::backend_name(), "avx2+fma"),
+        Backend::Scalar => assert_eq!(simd::backend_name(), "scalar"),
+    }
+}
+
+#[test]
+fn matmul_family_is_backend_and_thread_invariant() {
+    let mut r = StdRng::seed_from_u64(100);
+    // Odd sizes exercise every tail path (16/8/4-wide bands + scalar cols).
+    let a = rand_uniform(&[61, 37], -1.0, 1.0, &mut r);
+    let b = rand_uniform(&[37, 53], -1.0, 1.0, &mut r);
+    let at = rand_uniform(&[37, 61], -1.0, 1.0, &mut r);
+    let bt = rand_uniform(&[53, 37], -1.0, 1.0, &mut r);
+    assert_invariant("matmul", || bits(&matmul(&a, &b).unwrap()));
+    assert_invariant("matmul_at_b", || bits(&matmul_at_b(&at, &b).unwrap()));
+    assert_invariant("matmul_a_bt", || bits(&matmul_a_bt(&a, &bt).unwrap()));
+}
+
+#[test]
+fn conv2d_is_backend_and_thread_invariant() {
+    let mut r = StdRng::seed_from_u64(101);
+    let input = rand_uniform(&[2, 3, 9, 9], -1.0, 1.0, &mut r);
+    let weight = rand_uniform(&[4, 3, 3, 3], -0.5, 0.5, &mut r);
+    let bias = rand_uniform(&[4], -0.1, 0.1, &mut r);
+    assert_invariant("conv2d_fwd", || {
+        bits(&conv2d(&input, &weight, Some(&bias), 1, 1).unwrap())
+    });
+    let grad_out = rand_uniform(&[2, 4, 9, 9], -1.0, 1.0, &mut r);
+    assert_invariant("conv2d_bwd", || {
+        let g = conv2d_backward(&input, &weight, &grad_out, 1, 1).unwrap();
+        (
+            bits(&g.grad_input),
+            bits(&g.grad_weight),
+            bits(&g.grad_bias),
+        )
+    });
+}
+
+#[test]
+fn elementwise_and_reductions_are_backend_and_thread_invariant() {
+    let mut r = StdRng::seed_from_u64(102);
+    let x = rand_uniform(&[333], -2.0, 2.0, &mut r);
+    let y = rand_uniform(&[333], -2.0, 2.0, &mut r);
+    assert_invariant("axpy", || {
+        let mut out = x.clone();
+        axpy(&mut out, -0.37, &y).unwrap();
+        bits(&out)
+    });
+    let logits = rand_uniform(&[17, 11], -4.0, 4.0, &mut r);
+    assert_invariant("softmax_rows", || bits(&softmax_rows(&logits).unwrap()));
+    assert_invariant("log_softmax_rows", || {
+        bits(&log_softmax_rows(&logits).unwrap())
+    });
+    assert_invariant("sum_sq", || sum_sq(&x).to_bits());
+    assert_invariant("sq_l2_dist", || {
+        simd::sq_l2_dist(x.data(), y.data()).to_bits()
+    });
+}

@@ -1,11 +1,15 @@
 #!/usr/bin/env bash
-# Kernel benchmark runner: measures the tensor execution layer (tiled
-# matmul, im2col convolution, training steps, ensemble inference) and
-# writes BENCH_tensor.json at the repo root, embedding the recorded seed
-# baseline (results/bench_baseline_seed.json) so the JSON carries its own
-# before/after speedups.
+# Kernel benchmark runner: measures the tensor execution layer (SIMD
+# matmul, im2col convolution, training steps, ensemble inference,
+# parallel-member training) and writes BENCH_tensor.json at the repo
+# root, embedding the recorded seed baseline
+# (results/bench_baseline_seed.json) so the JSON carries its own
+# before/after speedups. Every run also appends a timestamped one-line
+# record to BENCH_history.jsonl, so the trajectory across commits
+# survives BENCH_tensor.json being overwritten.
 #
 # Usage: scripts/bench.sh [--offline] [--quick] [--out FILE] [--label TEXT]
+#                         [--history FILE]
 #
 # --offline  build against the stub crates in /tmp/stubs (no crates.io)
 # --quick    5 iterations per workload instead of 20 — the CI fast mode
@@ -15,6 +19,7 @@ cd "$(dirname "$0")/.."
 CARGO=(cargo)
 PASS=()
 OUT=BENCH_tensor.json
+HISTORY=BENCH_history.jsonl
 LABEL=""
 while [[ $# -gt 0 ]]; do
     case "$1" in
@@ -25,6 +30,10 @@ while [[ $# -gt 0 ]]; do
     --quick) PASS+=(--quick) ;;
     --out)
         OUT="$2"
+        shift
+        ;;
+    --history)
+        HISTORY="$2"
         shift
         ;;
     --label)
@@ -49,6 +58,7 @@ if [[ -n "$LABEL" ]]; then
 fi
 
 "${CARGO[@]}" run --release -p edde-bench --bin bench_tensor -- \
-    --out "$OUT" "${BASELINE_ARGS[@]}" "${LABEL_ARGS[@]}" "${PASS[@]}"
+    --out "$OUT" --history "$HISTORY" \
+    "${BASELINE_ARGS[@]}" "${LABEL_ARGS[@]}" "${PASS[@]}"
 
-echo "wrote $OUT"
+echo "wrote $OUT (history: $HISTORY)"
