@@ -60,12 +60,14 @@ pub fn nlp_methods(scale: Scale) -> Vec<Box<dyn EnsembleMethod>> {
 /// Runs one method against an environment, printing progress to stderr,
 /// and returns its summary row plus the full run for further analysis.
 ///
-/// With `checkpoint_dir` set, sequential methods run through
+/// With `checkpoint_dir` set, resumable methods (EDDE, Bagging, the
+/// boosting baselines, BANs, Snapshot) run through
 /// [`EnsembleMethod::run_resumable`] against an [`FsStore`] in a
 /// per-method subdirectory: a killed run re-invoked with the same
-/// directory restores its completed members and continues. Methods
-/// without resume support (Snapshot, the single-model baseline) fall
-/// back to a plain run.
+/// directory restores its completed members, picks an in-flight member
+/// back up at its last epoch boundary (`member-{t}-progress`), and
+/// continues. Methods without resume support (NCL, the single-model
+/// baseline) fall back to a plain run.
 pub fn run_method(
     method: &dyn EnsembleMethod,
     env: &ExperimentEnv,

@@ -58,5 +58,9 @@ pub use methods::{
     Snapshot, TracePoint,
 };
 pub use recovery::{FaultPlan, FaultyStore, RecoveryPolicy};
-pub use runstate::{MemberRecord, RunManifest, RunSession};
-pub use trainer::{LossSpec, Trainer};
+pub use runstate::{
+    epoch_seed, MemberProgress, MemberRecord, RunManifest, RunProtocol, RunSession,
+};
+pub use trainer::{
+    EpochCheckpoints, LossSpec, TrainEvent, TrainLoop, TrainObserver, TrainRng, TrainStats, Trainer,
+};

@@ -4,12 +4,13 @@
 //! baselines.
 
 use super::{
-    clamped_half_log_odds, record_trace, EnsembleMethod, RunResult, TracePoint, ALPHA_MIN,
+    clamped_half_log_odds, record_trace, train_member, EnsembleMethod, MemberPersist, MemberRun,
+    RunResult, TracePoint, ALPHA_MIN,
 };
 use crate::ensemble::EnsembleModel;
 use crate::env::ExperimentEnv;
 use crate::error::{EnsembleError, Result};
-use crate::runstate::{self, MemberRecord, RngPlan, RunSession};
+use crate::runstate::{self, MemberRecord, RngPlan, RunProtocol, RunSession};
 use crate::trainer::LossSpec;
 use edde_data::sampler::{normalize_weights, weighted_indices};
 use edde_nn::checkpoint::CheckpointStore;
@@ -59,6 +60,9 @@ impl AdaBoostM1 {
         let mut model = EnsembleModel::new();
         let mut trace = Vec::new();
         let schedule = LrSchedule::paper_step(env.base_lr, self.epochs_per_member);
+        let persist = session
+            .as_deref()
+            .map(|s| (s.store(), s.fingerprint(), s.protocol()));
 
         for t in 0..self.members {
             rngs.start_member(t);
@@ -86,14 +90,23 @@ impl AdaBoostM1 {
             let idx = weighted_indices(&weights, n, rngs.rng());
             let resampled = train.select(&idx)?;
             let mut net = (env.factory)(rngs.rng())?;
-            env.trainer.train(
+            let run = match persist {
+                Some((store, fingerprint, RunProtocol::PerEpoch)) => MemberRun::PerEpoch {
+                    seed: rngs.seed_for(t),
+                    member: t,
+                    persist: Some(MemberPersist { store, fingerprint }),
+                },
+                _ => MemberRun::Threaded(rngs.rng()),
+            };
+            train_member(
+                &env.trainer,
                 &mut net,
                 &resampled,
                 &schedule,
                 self.epochs_per_member,
                 None,
                 &LossSpec::CrossEntropy,
-                rngs.rng(),
+                run,
             )?;
             // weighted error on the FULL training distribution
             let probs = EnsembleModel::network_soft_targets(&mut net, train.features())?;

@@ -14,11 +14,14 @@
 //!    pushing later members toward them differently;
 //! 4. `α_t = ½·ln((1−ε_t)/ε_t)` from the penalized weighted error.
 
-use super::{clamped_half_log_odds, record_trace, EnsembleMethod, RunResult, TracePoint};
+use super::{
+    clamped_half_log_odds, record_trace, train_member, EnsembleMethod, MemberPersist, MemberRun,
+    RunResult, TracePoint,
+};
 use crate::ensemble::EnsembleModel;
 use crate::env::ExperimentEnv;
 use crate::error::{EnsembleError, Result};
-use crate::runstate::{self, MemberRecord, RngPlan, RunSession};
+use crate::runstate::{self, MemberRecord, RngPlan, RunProtocol, RunSession};
 use crate::trainer::LossSpec;
 use crate::transfer::transfer_partial;
 use edde_data::sampler::{normalize_weights, weighted_indices};
@@ -87,6 +90,9 @@ impl AdaBoostNc {
         // hard predictions of every member so far, for the ambiguity term
         let mut member_preds: Vec<Vec<usize>> = Vec::new();
         let schedule = LrSchedule::paper_step(env.base_lr, self.epochs_per_member);
+        let persist = session
+            .as_deref()
+            .map(|s| (s.store(), s.fingerprint(), s.protocol()));
 
         for t in 0..self.members {
             rngs.start_member(t);
@@ -123,14 +129,23 @@ impl AdaBoostNc {
                     transfer_partial(&mut prev.network, &mut net, 1.0)?;
                 }
             }
-            env.trainer.train(
+            let run = match persist {
+                Some((store, fingerprint, RunProtocol::PerEpoch)) => MemberRun::PerEpoch {
+                    seed: rngs.seed_for(t),
+                    member: t,
+                    persist: Some(MemberPersist { store, fingerprint }),
+                },
+                _ => MemberRun::Threaded(rngs.rng()),
+            };
+            train_member(
+                &env.trainer,
                 &mut net,
                 &resampled,
                 &schedule,
                 self.epochs_per_member,
                 None,
                 &LossSpec::CrossEntropy,
-                rngs.rng(),
+                run,
             )?;
             let probs = EnsembleModel::network_soft_targets(&mut net, train.features())?;
             let correct = correctness(&probs, train.labels())?;

@@ -12,11 +12,14 @@
 //! [`run`]: EnsembleMethod::run
 //! [`run_resumable`]: EnsembleMethod::run_resumable
 
-use super::{record_trace, train_members_in_order, EnsembleMethod, RunResult, TracePoint};
+use super::{
+    record_trace, train_member, train_members_in_order, EnsembleMethod, MemberPersist, MemberRun,
+    RunResult, TracePoint,
+};
 use crate::ensemble::EnsembleModel;
 use crate::env::ExperimentEnv;
 use crate::error::{EnsembleError, Result};
-use crate::runstate::{self, MemberRecord, RunSession};
+use crate::runstate::{self, MemberRecord, RunProtocol, RunSession};
 use crate::trainer::LossSpec;
 use edde_data::sampler::bootstrap_indices;
 use edde_nn::checkpoint::CheckpointStore;
@@ -106,19 +109,43 @@ impl Bagging {
         // only means anything when members run one at a time.
         let parallel = self.parallel_members && env.trainer.fault.is_none();
         let epochs = self.epochs_per_member;
+        // The store borrow carries the store's own lifetime (not the
+        // session's), so the train closure can write epoch progress while
+        // the commit closure holds the session mutably.
+        let persist = session
+            .as_deref()
+            .map(|s| (s.store(), s.fingerprint(), s.protocol()));
         let train = |t: usize| {
             let mut rng = runstate::member_rng(env.seed, SALT, t);
             let idx = bootstrap_indices(env.data.train.len(), &mut rng);
             let resampled = env.data.train.select(&idx)?;
             let mut net = (env.factory)(&mut rng)?;
-            env.trainer.train(
+            // Bagging trains under the per-epoch protocol in the plain and
+            // the resumable path alike, so both build bit-identical
+            // ensembles; only legacy (EDM1) sessions keep the threaded
+            // member stream their earlier members were trained on.
+            let run = match persist {
+                Some((_, _, RunProtocol::Legacy)) => MemberRun::Threaded(&mut rng),
+                Some((store, fingerprint, RunProtocol::PerEpoch)) => MemberRun::PerEpoch {
+                    seed: runstate::member_seed(env.seed, SALT, t),
+                    member: t,
+                    persist: Some(MemberPersist { store, fingerprint }),
+                },
+                None => MemberRun::PerEpoch {
+                    seed: runstate::member_seed(env.seed, SALT, t),
+                    member: t,
+                    persist: None,
+                },
+            };
+            train_member(
+                &env.trainer,
                 &mut net,
                 &resampled,
                 &schedule,
                 epochs,
                 None,
                 &LossSpec::CrossEntropy,
-                &mut rng,
+                run,
             )?;
             Ok(net)
         };

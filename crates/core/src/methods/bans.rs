@@ -3,11 +3,14 @@
 //! full softmax distribution (knowledge distillation), and the generations
 //! are ensembled by soft voting.
 
-use super::{record_trace, soft_targets_with_temperature, EnsembleMethod, RunResult, TracePoint};
+use super::{
+    record_trace, soft_targets_with_temperature, train_member, EnsembleMethod, MemberPersist,
+    MemberRun, RunResult, TracePoint,
+};
 use crate::ensemble::EnsembleModel;
 use crate::env::ExperimentEnv;
 use crate::error::{EnsembleError, Result};
-use crate::runstate::{self, MemberRecord, RngPlan, RunSession};
+use crate::runstate::{self, MemberRecord, RngPlan, RunProtocol, RunSession};
 use crate::trainer::LossSpec;
 use edde_nn::checkpoint::CheckpointStore;
 use edde_nn::optim::LrSchedule;
@@ -63,6 +66,9 @@ impl Bans {
         let schedule = LrSchedule::paper_step(env.base_lr, self.epochs_per_generation);
         let mut model = EnsembleModel::new();
         let mut trace = Vec::new();
+        let persist = session
+            .as_deref()
+            .map(|s| (s.store(), s.fingerprint(), s.protocol()));
         for g in 0..self.generations {
             rngs.start_member(g);
             if let Some(sess) = session.as_deref_mut() {
@@ -83,14 +89,23 @@ impl Bans {
             }
             let mut net = (env.factory)(rngs.rng())?;
             if g == 0 {
-                env.trainer.train(
+                let run = match persist {
+                    Some((store, fingerprint, RunProtocol::PerEpoch)) => MemberRun::PerEpoch {
+                        seed: rngs.seed_for(g),
+                        member: g,
+                        persist: Some(MemberPersist { store, fingerprint }),
+                    },
+                    _ => MemberRun::Threaded(rngs.rng()),
+                };
+                train_member(
+                    &env.trainer,
                     &mut net,
                     train,
                     &schedule,
                     self.epochs_per_generation,
                     None,
                     &LossSpec::CrossEntropy,
-                    rngs.rng(),
+                    run,
                 )?;
             } else {
                 let teacher = &mut model
@@ -100,7 +115,16 @@ impl Bans {
                     .network;
                 let teacher_soft =
                     soft_targets_with_temperature(teacher, train.features(), self.temperature)?;
-                env.trainer.train(
+                let run = match persist {
+                    Some((store, fingerprint, RunProtocol::PerEpoch)) => MemberRun::PerEpoch {
+                        seed: rngs.seed_for(g),
+                        member: g,
+                        persist: Some(MemberPersist { store, fingerprint }),
+                    },
+                    _ => MemberRun::Threaded(rngs.rng()),
+                };
+                train_member(
+                    &env.trainer,
                     &mut net,
                     train,
                     &schedule,
@@ -111,7 +135,7 @@ impl Bans {
                         temperature: self.temperature,
                         teacher_soft: &teacher_soft,
                     },
-                    rngs.rng(),
+                    run,
                 )?;
             }
             model.push(net, 1.0, format!("ban-gen-{g}"));

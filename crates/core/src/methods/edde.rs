@@ -19,11 +19,14 @@
 //! "EDDE (normal loss)", [`TransferMode::All`] is "EDDE (transfer all)",
 //! [`TransferMode::None`] is "EDDE (transfer none)".
 
-use super::{clamped_half_log_odds, record_trace, EnsembleMethod, RunResult, TracePoint};
+use super::{
+    clamped_half_log_odds, record_trace, train_member, EnsembleMethod, MemberPersist, MemberRun,
+    RunResult, TracePoint,
+};
 use crate::ensemble::EnsembleModel;
 use crate::env::ExperimentEnv;
 use crate::error::{EnsembleError, Result};
-use crate::runstate::{self, MemberRecord, RngPlan, RunSession};
+use crate::runstate::{self, MemberRecord, RngPlan, RunProtocol, RunSession};
 use crate::trainer::LossSpec;
 use edde_data::sampler::normalize_weights;
 use edde_nn::checkpoint::CheckpointStore;
@@ -142,6 +145,13 @@ impl Edde {
         let first_schedule = LrSchedule::paper_step(env.base_lr, self.first_epochs);
         let later_schedule = LrSchedule::paper_step(env.base_lr, self.later_epochs);
 
+        // PerEpoch-protocol sessions train each member on epoch-derived
+        // streams with epoch-boundary progress records; plain runs and
+        // legacy (EDM1) sessions keep threading their member stream.
+        let persist = session
+            .as_deref()
+            .map(|s| (s.store(), s.fingerprint(), s.protocol()));
+
         for t in 1..=self.members {
             rngs.start_member(t - 1);
             let cumulative = self.first_epochs + (t - 1) * self.later_epochs;
@@ -169,14 +179,23 @@ impl Edde {
             let alpha_t = if t == 1 {
                 // --- round 1 (lines 3–5) ----------------------------------
                 let mut h1 = (env.factory)(rngs.rng())?;
-                env.trainer.train(
+                let run = match persist {
+                    Some((store, fingerprint, RunProtocol::PerEpoch)) => MemberRun::PerEpoch {
+                        seed: rngs.seed_for(0),
+                        member: 0,
+                        persist: Some(MemberPersist { store, fingerprint }),
+                    },
+                    _ => MemberRun::Threaded(rngs.rng()),
+                };
+                train_member(
+                    &env.trainer,
                     &mut h1,
                     train,
                     &first_schedule,
                     self.first_epochs,
                     Some(&weights),
                     &LossSpec::CrossEntropy,
-                    rngs.rng(),
+                    run,
                 )?;
                 let probs1 = EnsembleModel::network_soft_targets(&mut h1, train.features())?;
                 let correct1 = correctness(&probs1, train.labels())?;
@@ -202,7 +221,16 @@ impl Edde {
                     }
                 }
                 let ensemble_soft = model.soft_targets(train.features())?;
-                env.trainer.train(
+                let run = match persist {
+                    Some((store, fingerprint, RunProtocol::PerEpoch)) => MemberRun::PerEpoch {
+                        seed: rngs.seed_for(t - 1),
+                        member: t - 1,
+                        persist: Some(MemberPersist { store, fingerprint }),
+                    },
+                    _ => MemberRun::Threaded(rngs.rng()),
+                };
+                train_member(
+                    &env.trainer,
                     &mut student,
                     train,
                     &later_schedule,
@@ -212,7 +240,7 @@ impl Edde {
                         gamma: self.gamma,
                         ensemble_soft: &ensemble_soft,
                     },
-                    rngs.rng(),
+                    run,
                 )?;
 
                 // lines 8–9: Sim_t and Bias_t on every training sample

@@ -25,11 +25,16 @@ pub use snapshot::Snapshot;
 use crate::ensemble::EnsembleModel;
 use crate::env::ExperimentEnv;
 use crate::error::{EnsembleError, Result};
+use crate::runstate::RunSession;
+use crate::trainer::{EpochCheckpoints, LossSpec, TrainLoop, TrainRng, TrainStats, Trainer};
 use edde_data::Dataset;
+use edde_nn::checkpoint::CheckpointStore;
+use edde_nn::optim::LrSchedule;
 use edde_nn::Network;
 use edde_tensor::ops::softmax_rows;
 use edde_tensor::parallel::run_chunks;
 use edde_tensor::Tensor;
+use rand::rngs::StdRng;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::{Condvar, Mutex};
 
@@ -72,23 +77,30 @@ pub trait EnsembleMethod {
     /// Trains an ensemble in the given environment.
     fn run(&self, env: &ExperimentEnv) -> Result<RunResult>;
 
-    /// Trains an ensemble with run state persisted to `store` after every
-    /// completed member, resuming any completed prefix already in the store.
+    /// Trains an ensemble with run state persisted to `store`: a manifest
+    /// entry after every completed member, plus a
+    /// [`crate::runstate::MemberProgress`] record at every epoch boundary
+    /// of the in-flight member. A resumed run restores the completed
+    /// prefix *and* re-enters a partially trained member at its last
+    /// epoch boundary, bit-exactly.
     ///
     /// A resumed run produces the same ensemble an uninterrupted resumable
-    /// run would have (members are trained on independent per-member RNG
-    /// streams, and restored networks round-trip bit-exactly). For
+    /// run would have (members train under the
+    /// [`crate::runstate::RunProtocol::PerEpoch`] RNG protocol, where each
+    /// epoch's randomness is a pure function of the member seed and the
+    /// epoch index, and restored state round-trips bit-exactly). For
     /// sequentially-dependent methods (boosting, EDDE, BANs) the
     /// *resumable* RNG protocol differs from [`EnsembleMethod::run`]'s
     /// legacy shared stream, so `run` and `run_resumable` on the same env
     /// produce different (equally valid) ensembles; data-independent
-    /// methods (Bagging) use per-member streams in both modes and produce
-    /// the identical ensemble either way.
+    /// methods (Bagging) use per-epoch streams in both modes and produce
+    /// the identical ensemble either way. Stores written by the legacy
+    /// member-granular protocol keep resuming at member granularity.
     ///
-    /// Sequential methods implement this; the default refuses (Snapshot and
-    /// NCL train all members inside one optimization trajectory, so
-    /// member-boundary resume does not apply — their unit of recovery is
-    /// the trainer's [`crate::recovery::RecoveryPolicy`]).
+    /// Multi-member methods implement this; the default refuses (NCL
+    /// trains all members inside one joint optimization trajectory, so
+    /// neither member- nor epoch-boundary resume applies — its unit of
+    /// recovery is the trainer's [`crate::recovery::RecoveryPolicy`]).
     fn run_resumable(
         &self,
         env: &ExperimentEnv,
@@ -123,6 +135,73 @@ pub(crate) fn record_trace(
         test_accuracy: acc,
     });
     Ok(())
+}
+
+/// Epoch-granular persistence target for one member: the session's store
+/// plus the configuration fingerprint its progress records are bound to.
+pub(crate) struct MemberPersist<'a> {
+    /// The session's checkpoint store.
+    pub store: &'a dyn CheckpointStore,
+    /// [`crate::runstate::RunSession`] configuration fingerprint.
+    pub fingerprint: u64,
+}
+
+/// How one member's training run consumes randomness — and, for the
+/// per-epoch protocol, whether it checkpoints at epoch boundaries.
+pub(crate) enum MemberRun<'a> {
+    /// Legacy shared/threaded stream; no mid-member persistence possible.
+    Threaded(&'a mut StdRng),
+    /// [`crate::runstate::RunProtocol::PerEpoch`]: epoch randomness derived
+    /// from `seed`, progress persisted under the member's key when
+    /// `persist` is set.
+    PerEpoch {
+        /// The member's RNG root ([`crate::runstate::member_seed`]).
+        seed: u64,
+        /// Member index — names the progress key and binds the record.
+        member: usize,
+        /// Epoch-boundary persistence; `None` trains without checkpoints
+        /// (plain runs on the per-epoch protocol, e.g. Bagging's `run`).
+        persist: Option<MemberPersist<'a>>,
+    },
+}
+
+/// Trains one member via [`TrainLoop`], dispatching on the run protocol.
+/// This is the single entry point every multi-member method uses, so the
+/// protocol selection (and the progress-key naming scheme) lives in one
+/// place.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn train_member(
+    trainer: &Trainer,
+    net: &mut Network,
+    data: &Dataset,
+    schedule: &LrSchedule,
+    epochs: usize,
+    weights: Option<&[f32]>,
+    loss: &LossSpec<'_>,
+    run: MemberRun<'_>,
+) -> Result<TrainStats> {
+    match run {
+        MemberRun::Threaded(rng) => trainer.train(net, data, schedule, epochs, weights, loss, rng),
+        MemberRun::PerEpoch {
+            seed,
+            member,
+            persist,
+        } => {
+            let mut tl = TrainLoop::new(trainer, data, schedule, epochs)
+                .weights(weights)
+                .loss(loss);
+            if let Some(p) = persist {
+                tl = tl.checkpoint(EpochCheckpoints {
+                    store: p.store,
+                    key: RunSession::progress_key(member),
+                    member,
+                    fingerprint: p.fingerprint,
+                    every: 1,
+                });
+            }
+            tl.run(net, TrainRng::PerEpoch { seed })
+        }
+    }
 }
 
 /// Shared state of one in-order-commit parallel member run: the commit

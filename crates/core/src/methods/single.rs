@@ -4,7 +4,7 @@ use super::{EnsembleMethod, RunResult, TracePoint};
 use crate::ensemble::EnsembleModel;
 use crate::env::ExperimentEnv;
 use crate::error::Result;
-use crate::trainer::LossSpec;
+use crate::trainer::{TrainEvent, TrainLoop, TrainRng};
 use edde_nn::optim::LrSchedule;
 
 /// Trains a single network with the paper's step schedule and reports it as
@@ -40,15 +40,8 @@ impl EnsembleMethod for SingleModel {
         let mut trace: Vec<TracePoint> = Vec::new();
         let test = &env.data.test;
         let trace_every = self.trace_every;
-        env.trainer.train_traced(
-            &mut net,
-            &env.data.train,
-            &schedule,
-            self.epochs,
-            None,
-            &LossSpec::CrossEntropy,
-            &mut rng,
-            |net, epoch| {
+        let mut tracer = |event: TrainEvent<'_>| -> Result<()> {
+            if let TrainEvent::EpochCompleted { epoch, net, .. } = event {
                 if trace_every > 0 && (epoch + 1) % trace_every == 0 {
                     let probs = EnsembleModel::network_soft_targets(net, test.features())?;
                     let acc = edde_nn::metrics::accuracy(&probs, test.labels())?;
@@ -58,9 +51,12 @@ impl EnsembleMethod for SingleModel {
                         test_accuracy: acc,
                     });
                 }
-                Ok(())
-            },
-        )?;
+            }
+            Ok(())
+        };
+        TrainLoop::new(&env.trainer, &env.data.train, &schedule, self.epochs)
+            .observe(&mut tracer)
+            .run(&mut net, TrainRng::Threaded(&mut rng))?;
         let mut model = EnsembleModel::new();
         model.push(net, 1.0, "single");
         if trace.is_empty() {

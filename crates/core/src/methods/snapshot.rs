@@ -2,12 +2,19 @@
 //! cosine-annealing warm-restart schedule; the model is snapshotted at the
 //! end of each cycle and the snapshots are soft-vote averaged.
 
-use super::{record_trace, EnsembleMethod, RunResult};
+use super::{
+    record_trace, train_member, EnsembleMethod, MemberPersist, MemberRun, RunResult, TracePoint,
+};
 use crate::ensemble::EnsembleModel;
 use crate::env::ExperimentEnv;
 use crate::error::{EnsembleError, Result};
+use crate::runstate::{self, MemberRecord, RunProtocol, RunSession};
 use crate::trainer::LossSpec;
+use edde_nn::checkpoint::CheckpointStore;
 use edde_nn::optim::LrSchedule;
+
+/// RNG-stream salt separating Snapshot's draws from other methods'.
+const SALT: u64 = 0x55;
 
 /// Snapshot Ensemble: "Train 1, get M for free". Because each cycle starts
 /// from the previous cycle's weights, training is cheap — and diversity is
@@ -28,6 +35,15 @@ impl Snapshot {
             epochs_per_cycle,
         }
     }
+
+    fn validate(&self) -> Result<()> {
+        if self.cycles == 0 || self.epochs_per_cycle == 0 {
+            return Err(EnsembleError::BadConfig(
+                "snapshot needs cycles >= 1 and epochs_per_cycle >= 1".into(),
+            ));
+        }
+        Ok(())
+    }
 }
 
 impl EnsembleMethod for Snapshot {
@@ -36,12 +52,8 @@ impl EnsembleMethod for Snapshot {
     }
 
     fn run(&self, env: &ExperimentEnv) -> Result<RunResult> {
-        if self.cycles == 0 || self.epochs_per_cycle == 0 {
-            return Err(EnsembleError::BadConfig(
-                "snapshot needs cycles >= 1 and epochs_per_cycle >= 1".into(),
-            ));
-        }
-        let mut rng = env.rng(0x55);
+        self.validate()?;
+        let mut rng = env.rng(SALT);
         let mut net = (env.factory)(&mut rng)?;
         let schedule = LrSchedule::CosineRestarts {
             base: env.base_lr,
@@ -68,6 +80,102 @@ impl EnsembleMethod for Snapshot {
                 &env.data.test,
                 (cycle + 1) * self.epochs_per_cycle,
                 &mut trace,
+            )?;
+        }
+        Ok(RunResult {
+            model,
+            trace,
+            total_epochs: self.cycles * self.epochs_per_cycle,
+        })
+    }
+
+    fn supports_resumable(&self) -> bool {
+        true
+    }
+
+    /// The resumable Snapshot run. Unlike member-independent methods, a
+    /// snapshot at cycle `c` *is* the live trajectory at that point, so
+    /// restoring the last completed snapshot warm-starts the remaining
+    /// cycles bit-exactly; an in-flight cycle additionally resumes from
+    /// its epoch-boundary [`crate::runstate::MemberProgress`] record.
+    fn run_resumable(&self, env: &ExperimentEnv, store: &dyn CheckpointStore) -> Result<RunResult> {
+        self.validate()?;
+        let fp = runstate::env_fingerprint(&self.name(), &format!("{self:?}"), env);
+        let mut session = RunSession::open(store, &self.name(), fp)?;
+        if session.protocol() == RunProtocol::Legacy {
+            return Err(EnsembleError::Checkpoint(
+                "snapshot resume requires a per-epoch (EDM2) run store; \
+                 legacy member-granular stores never held snapshot runs"
+                    .into(),
+            ));
+        }
+        let schedule = LrSchedule::CosineRestarts {
+            base: env.base_lr,
+            cycle_epochs: self.epochs_per_cycle,
+        };
+        // The single trajectory's initialization draws from cycle 0's
+        // member stream, so it is reconstructible without any shared
+        // stream history.
+        let mut net = (env.factory)(&mut runstate::member_rng(env.seed, SALT, 0))?;
+        let mut model = EnsembleModel::new();
+        let mut trace = Vec::new();
+        let restored = session.completed().min(self.cycles);
+        for cycle in 0..restored {
+            let rec = session.members()[cycle].clone();
+            let mut snap = (env.factory)(&mut runstate::member_rng(env.seed, SALT, cycle))?;
+            session.restore_network(cycle, &mut snap)?;
+            if cycle + 1 == restored {
+                // The last completed snapshot IS the live trajectory at
+                // that boundary: warm-start the remaining cycles from it.
+                let state = snap.export_state();
+                net.import_state(&state)?;
+            }
+            model.push(snap, rec.alpha, rec.label);
+            trace.push(TracePoint {
+                cumulative_epochs: rec.cumulative_epochs,
+                members: cycle + 1,
+                test_accuracy: rec.test_accuracy,
+            });
+        }
+        let (persist_store, fingerprint) = (session.store(), session.fingerprint());
+        for cycle in restored..self.cycles {
+            train_member(
+                &env.trainer,
+                &mut net,
+                &env.data.train,
+                &schedule,
+                self.epochs_per_cycle,
+                None,
+                &LossSpec::CrossEntropy,
+                MemberRun::PerEpoch {
+                    seed: runstate::member_seed(env.seed, SALT, cycle),
+                    member: cycle,
+                    persist: Some(MemberPersist {
+                        store: persist_store,
+                        fingerprint,
+                    }),
+                },
+            )?;
+            model.push(net.clone(), 1.0, format!("snapshot-cycle-{cycle}"));
+            record_trace(
+                &mut model,
+                &env.data.test,
+                (cycle + 1) * self.epochs_per_cycle,
+                &mut trace,
+            )?;
+            let point = *trace.last().expect("just recorded");
+            let snap_net = &mut model.members_mut().last_mut().expect("just pushed").network;
+            session.record_member(
+                MemberRecord {
+                    label: format!("snapshot-cycle-{cycle}"),
+                    alpha: 1.0,
+                    seed: runstate::member_seed(env.seed, SALT, cycle),
+                    net_key: String::new(),
+                    cumulative_epochs: point.cumulative_epochs,
+                    test_accuracy: point.test_accuracy,
+                    weights: vec![],
+                },
+                snap_net,
             )?;
         }
         Ok(RunResult {

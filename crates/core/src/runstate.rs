@@ -32,15 +32,58 @@ use crate::error::{EnsembleError, Result};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use edde_nn::checkpoint::{self, CheckpointStore};
 use edde_nn::Network;
+use edde_tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 /// Store key of the run manifest.
 pub const MANIFEST_KEY: &str = "manifest";
 
-/// Manifest payload magic (the payload is additionally sealed in an
-/// `EDC2` checksummed frame).
-const MAGIC: &[u8; 4] = b"EDM1";
+/// Legacy manifest payload magic: pre-epoch-checkpoint runs whose members
+/// trained by threading one derived stream through all their epochs.
+const MAGIC_V1: &[u8; 4] = b"EDM1";
+
+/// Current manifest payload magic (the payload is additionally sealed in
+/// an `EDC2` checksummed frame). Adds the [`RunProtocol`] byte; `EDM1`
+/// manifests still decode, as [`RunProtocol::Legacy`].
+const MAGIC: &[u8; 4] = b"EDM2";
+
+/// Progress-record payload magic (sealed in an `EDC2` frame like the
+/// manifest).
+const PROGRESS_MAGIC: &[u8; 4] = b"EDP1";
+
+/// How a run's members consume randomness while training — recorded in the
+/// manifest so a resumed run replays the exact protocol the original used.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunProtocol {
+    /// Pre-`EDM2` behavior: member `t` trains by threading the single
+    /// stream seeded from [`member_seed`] through all of its epochs. The
+    /// stream state after epoch `e` depends on having executed epochs
+    /// `0..e`, so resume granularity is one whole member.
+    Legacy,
+    /// Epoch-derived streams: epoch `e` of member `t` draws from a fresh
+    /// stream seeded with [`epoch_seed`]`(member_seed, e)`. Any epoch's
+    /// randomness is reconstructible from `(seed, e)` alone, which is what
+    /// makes mid-member [`MemberProgress`] checkpoints bit-exact.
+    PerEpoch,
+}
+
+impl RunProtocol {
+    fn to_byte(self) -> u8 {
+        match self {
+            RunProtocol::Legacy => 1,
+            RunProtocol::PerEpoch => 2,
+        }
+    }
+
+    fn from_byte(b: u8) -> Result<Self> {
+        match b {
+            1 => Ok(RunProtocol::Legacy),
+            2 => Ok(RunProtocol::PerEpoch),
+            other => Err(corrupt(&format!("unknown run protocol {other}"))),
+        }
+    }
+}
 
 /// Everything needed to restore one completed ensemble member.
 #[derive(Debug, Clone, PartialEq)]
@@ -73,6 +116,8 @@ pub struct RunManifest {
     pub method: String,
     /// Configuration fingerprint the run is bound to.
     pub fingerprint: u64,
+    /// The RNG protocol the run's members train under.
+    pub protocol: RunProtocol,
     /// Completed members, in training order.
     pub members: Vec<MemberRecord>,
 }
@@ -100,11 +145,14 @@ fn corrupt(msg: &str) -> EnsembleError {
 }
 
 impl RunManifest {
-    /// Serializes the manifest payload (unsealed).
+    /// Serializes the manifest payload (unsealed). Always writes the
+    /// current `EDM2` format; the recorded [`RunProtocol`] preserves the
+    /// semantics of runs begun under the legacy `EDM1` format.
     pub fn encode(&self) -> Bytes {
         let mut buf = BytesMut::new();
         buf.put_slice(MAGIC);
         buf.put_u64_le(self.fingerprint);
+        buf.put_u8(self.protocol.to_byte());
         put_str(&mut buf, &self.method);
         buf.put_u32_le(self.members.len() as u32);
         for m in &self.members {
@@ -122,17 +170,26 @@ impl RunManifest {
         buf.freeze()
     }
 
-    /// Deserializes a manifest payload written by [`RunManifest::encode`].
+    /// Deserializes a manifest payload — the current `EDM2` format or the
+    /// legacy `EDM1` one (which maps to [`RunProtocol::Legacy`]).
     pub fn decode(mut buf: Bytes) -> Result<Self> {
         if buf.remaining() < 12 {
             return Err(corrupt("truncated header"));
         }
         let mut magic = [0u8; 4];
         buf.copy_to_slice(&mut magic);
-        if &magic != MAGIC {
+        if &magic != MAGIC && &magic != MAGIC_V1 {
             return Err(corrupt(&format!("bad magic {magic:?}")));
         }
         let fingerprint = buf.get_u64_le();
+        let protocol = if &magic == MAGIC_V1 {
+            RunProtocol::Legacy
+        } else {
+            if buf.remaining() < 1 {
+                return Err(corrupt("truncated protocol byte"));
+            }
+            RunProtocol::from_byte(buf.get_u8())?
+        };
         let method = get_str(&mut buf)?;
         if buf.remaining() < 4 {
             return Err(corrupt("truncated member count"));
@@ -173,6 +230,7 @@ impl RunManifest {
         Ok(RunManifest {
             method,
             fingerprint,
+            protocol,
             members,
         })
     }
@@ -221,6 +279,22 @@ pub fn member_rng(env_seed: u64, salt: u64, t: usize) -> StdRng {
 /// master seed, the method salt, and the member index).
 pub fn member_seed(env_seed: u64, salt: u64, t: usize) -> u64 {
     let mut z = env_seed ^ salt.rotate_left(32) ^ (t as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Derives epoch `epoch`'s independent stream seed within the member
+/// stream rooted at `member_root` (itself a [`member_seed`]). This is the
+/// [`RunProtocol::PerEpoch`] derivation: because each epoch's stream is a
+/// pure function of `(member_root, epoch)`, the "RNG state" a mid-member
+/// checkpoint must persist collapses to the root seed plus the epoch
+/// index. The folded constant keeps epoch streams disjoint from the member
+/// stream itself and from other members' epochs.
+pub fn epoch_seed(member_root: u64, epoch: usize) -> u64 {
+    let mut z = member_root
+        ^ 0xE50C_5EED_0000_0001u64.rotate_left(17)
+        ^ (epoch as u64).wrapping_mul(0xD6E8_FEB8_6659_FD93);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
@@ -281,6 +355,180 @@ impl RngPlan {
     }
 }
 
+/// Borrowed view of an in-flight member's epoch-boundary state, written by
+/// the training loop without cloning the (potentially large) model state.
+pub struct ProgressParts<'a> {
+    /// Member index the progress belongs to.
+    pub member: usize,
+    /// Configuration fingerprint of the owning run.
+    pub fingerprint: u64,
+    /// The member's RNG root seed ([`member_seed`]); epochs derive their
+    /// streams from it via [`epoch_seed`].
+    pub rng_seed: u64,
+    /// The member's total epoch budget.
+    pub total_epochs: usize,
+    /// Completed epochs — training resumes at this epoch index.
+    pub epochs_done: usize,
+    /// Divergence rollbacks performed so far.
+    pub rollbacks: usize,
+    /// Remaining divergence-retry budget.
+    pub retries_left: usize,
+    /// Current learning-rate backoff scale.
+    pub lr_scale: f32,
+    /// Mean loss of the last completed epoch.
+    pub final_loss: f32,
+    /// Model state at the epoch boundary (params then buffers).
+    pub net_state: &'a [(String, Tensor)],
+    /// Serialized optimizer momentum ([`edde_nn::optim::Sgd::export_state`]).
+    pub opt_state: &'a [u8],
+}
+
+/// A decoded mid-member progress record: everything needed to resume a
+/// partially trained member at an epoch boundary, bit-exactly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemberProgress {
+    /// Member index the progress belongs to.
+    pub member: usize,
+    /// Configuration fingerprint of the owning run.
+    pub fingerprint: u64,
+    /// The member's RNG root seed.
+    pub rng_seed: u64,
+    /// The member's total epoch budget.
+    pub total_epochs: usize,
+    /// Completed epochs — training resumes at this epoch index.
+    pub epochs_done: usize,
+    /// Divergence rollbacks performed so far.
+    pub rollbacks: usize,
+    /// Remaining divergence-retry budget.
+    pub retries_left: usize,
+    /// Current learning-rate backoff scale.
+    pub lr_scale: f32,
+    /// Mean loss of the last completed epoch.
+    pub final_loss: f32,
+    /// Model state at the epoch boundary.
+    pub net_state: Vec<(String, Tensor)>,
+    /// Serialized optimizer momentum.
+    pub opt_state: Bytes,
+}
+
+/// Serializes a progress record (unsealed payload; callers seal it in an
+/// `EDC2` frame, normally via [`checkpoint::put_sealed_relaxed`] — the
+/// record is advisory and rewritten every boundary, so it trades the
+/// per-epoch fsync for a checksum-detectable torn write on crash).
+pub fn encode_progress(p: &ProgressParts<'_>) -> Bytes {
+    let net = edde_tensor::serialize::encode_params(p.net_state);
+    let mut buf = BytesMut::with_capacity(64 + net.len() + p.opt_state.len());
+    buf.put_slice(PROGRESS_MAGIC);
+    buf.put_u64_le(p.member as u64);
+    buf.put_u64_le(p.fingerprint);
+    buf.put_u64_le(p.rng_seed);
+    buf.put_u64_le(p.total_epochs as u64);
+    buf.put_u64_le(p.epochs_done as u64);
+    buf.put_u64_le(p.rollbacks as u64);
+    buf.put_u64_le(p.retries_left as u64);
+    buf.put_f32_le(p.lr_scale);
+    buf.put_f32_le(p.final_loss);
+    buf.put_u64_le(net.len() as u64);
+    buf.put_slice(&net);
+    buf.put_u64_le(p.opt_state.len() as u64);
+    buf.put_slice(p.opt_state);
+    buf.freeze()
+}
+
+impl MemberProgress {
+    /// Deserializes a payload written by [`encode_progress`].
+    pub fn decode(mut buf: Bytes) -> Result<Self> {
+        let corrupt_p =
+            |msg: &str| EnsembleError::Checkpoint(format!("corrupt member progress: {msg}"));
+        if buf.remaining() < 4 + 7 * 8 + 2 * 4 {
+            return Err(corrupt_p("truncated header"));
+        }
+        let mut magic = [0u8; 4];
+        buf.copy_to_slice(&mut magic);
+        if &magic != PROGRESS_MAGIC {
+            return Err(corrupt_p(&format!("bad magic {magic:?}")));
+        }
+        let member = buf.get_u64_le() as usize;
+        let fingerprint = buf.get_u64_le();
+        let rng_seed = buf.get_u64_le();
+        let total_epochs = buf.get_u64_le() as usize;
+        let epochs_done = buf.get_u64_le() as usize;
+        let rollbacks = buf.get_u64_le() as usize;
+        let retries_left = buf.get_u64_le() as usize;
+        let lr_scale = buf.get_f32_le();
+        let final_loss = buf.get_f32_le();
+        let take_blob = |what: &str, buf: &mut Bytes| -> Result<Bytes> {
+            if buf.remaining() < 8 {
+                return Err(corrupt_p(&format!("truncated {what} length")));
+            }
+            let len = buf.get_u64_le() as usize;
+            if buf.remaining() < len {
+                return Err(corrupt_p(&format!("truncated {what}")));
+            }
+            let blob = buf.slice(..len);
+            *buf = buf.slice(len..);
+            Ok(blob)
+        };
+        let net_blob = take_blob("model state", &mut buf)?;
+        let opt_state = take_blob("optimizer state", &mut buf)?;
+        let net_state = edde_tensor::serialize::decode_params(net_blob)
+            .map_err(|e| corrupt_p(&format!("model state: {e}")))?;
+        Ok(MemberProgress {
+            member,
+            fingerprint,
+            rng_seed,
+            total_epochs,
+            epochs_done,
+            rollbacks,
+            retries_left,
+            lr_scale,
+            final_loss,
+            net_state,
+            opt_state,
+        })
+    }
+
+    /// Refuses a progress record that does not belong to the resuming
+    /// member — a different member index, configuration, RNG root, or
+    /// epoch budget means the record describes some other training run.
+    pub fn validate_binding(
+        &self,
+        member: usize,
+        fingerprint: u64,
+        rng_seed: u64,
+        total_epochs: usize,
+    ) -> Result<()> {
+        let refuse = |what: &str, stored: u64, current: u64| {
+            Err(EnsembleError::Checkpoint(format!(
+                "member progress {what} mismatch: stored {stored:#x}, current {current:#x}"
+            )))
+        };
+        if self.member != member {
+            return refuse("member index", self.member as u64, member as u64);
+        }
+        if self.fingerprint != fingerprint {
+            return refuse("fingerprint", self.fingerprint, fingerprint);
+        }
+        if self.rng_seed != rng_seed {
+            return refuse("rng seed", self.rng_seed, rng_seed);
+        }
+        if self.total_epochs != total_epochs {
+            return refuse(
+                "epoch budget",
+                self.total_epochs as u64,
+                total_epochs as u64,
+            );
+        }
+        if self.epochs_done > self.total_epochs {
+            return Err(EnsembleError::Checkpoint(format!(
+                "member progress claims {} of {} epochs done",
+                self.epochs_done, self.total_epochs
+            )));
+        }
+        Ok(())
+    }
+}
+
 /// An open resumable run bound to one store and one configuration.
 pub struct RunSession<'a> {
     store: &'a dyn CheckpointStore,
@@ -322,6 +570,7 @@ impl<'a> RunSession<'a> {
             RunManifest {
                 method: method.to_string(),
                 fingerprint,
+                protocol: RunProtocol::PerEpoch,
                 members: Vec::new(),
             }
         };
@@ -335,9 +584,16 @@ impl<'a> RunSession<'a> {
     /// manifest write leaves such an orphan behind; the next member would
     /// overwrite it anyway (keys are `member-{index}`), but collecting it
     /// here keeps the store's contents equal to the manifest's view and
-    /// reclaims the space immediately. GC failures are deliberately
-    /// ignored — a leftover orphan is harmless, refusing to resume over
-    /// one is not.
+    /// reclaims the space immediately.
+    ///
+    /// Mid-member progress keys (`member-{t}-progress`) are collected when
+    /// they are *stale* — member `t` is already committed to the manifest,
+    /// so its epoch-boundary record (left by a crash between the epoch
+    /// write and the manifest update, or by a write-failure abort) can
+    /// never be resumed again. Progress for members at or past the commit
+    /// frontier is live in-flight state and survives. GC failures are
+    /// deliberately ignored — a leftover orphan is harmless, refusing to
+    /// resume over one is not.
     fn collect_garbage(&self) {
         let referenced: std::collections::HashSet<&str> = self
             .manifest
@@ -345,19 +601,54 @@ impl<'a> RunSession<'a> {
             .iter()
             .map(|m| m.net_key.as_str())
             .collect();
+        let completed = self.manifest.members.len();
         let Ok(keys) = self.store.keys() else {
             return;
         };
         for key in keys {
-            if key.starts_with("member-") && !referenced.contains(key.as_str()) {
-                let _ = self.store.remove(&key);
+            if !key.starts_with("member-") || referenced.contains(key.as_str()) {
+                continue;
             }
+            if let Some(t) = progress_key_member(&key) {
+                if t >= completed {
+                    continue; // live in-flight progress
+                }
+            }
+            let _ = self.store.remove(&key);
         }
     }
 
     /// Completed members in the store.
     pub fn completed(&self) -> usize {
         self.manifest.members.len()
+    }
+
+    /// The backing store. The returned borrow carries the *store's*
+    /// lifetime, not the session's, so trainer-side progress writers can
+    /// hold it while the session is mutably borrowed elsewhere (e.g. by
+    /// the commit closure of a parallel member run).
+    pub fn store(&self) -> &'a dyn CheckpointStore {
+        self.store
+    }
+
+    /// The configuration fingerprint this run is bound to.
+    pub fn fingerprint(&self) -> u64 {
+        self.manifest.fingerprint
+    }
+
+    /// The RNG protocol this run's members train under. Fresh sessions are
+    /// [`RunProtocol::PerEpoch`]; sessions resumed from a legacy `EDM1`
+    /// manifest stay [`RunProtocol::Legacy`] so the remaining members
+    /// reproduce the draws the original run would have made.
+    pub fn protocol(&self) -> RunProtocol {
+        self.manifest.protocol
+    }
+
+    /// Store key of member `t`'s in-flight progress record. Flat (no `/`):
+    /// [`edde_nn::checkpoint::FsStore`] keys must be single path
+    /// components.
+    pub fn progress_key(t: usize) -> String {
+        format!("member-{t}-progress")
     }
 
     /// The completed member records, in training order.
@@ -391,8 +682,22 @@ impl<'a> RunSession<'a> {
             self.manifest.members.pop();
             return Err(e.into());
         }
+        // The member is committed; its epoch-boundary progress is now
+        // stale. Best-effort removal — open()'s GC collects survivors.
+        let _ = self
+            .store
+            .remove(&Self::progress_key(self.manifest.members.len() - 1));
         Ok(())
     }
+}
+
+/// Parses the member index out of a `member-{t}-progress` key; `None` for
+/// any other key shape.
+fn progress_key_member(key: &str) -> Option<usize> {
+    key.strip_prefix("member-")?
+        .strip_suffix("-progress")?
+        .parse()
+        .ok()
 }
 
 #[cfg(test)]
@@ -407,6 +712,7 @@ mod tests {
         RunManifest {
             method: "EDDE".into(),
             fingerprint: 0xDEAD_BEEF_1234_5678,
+            protocol: RunProtocol::PerEpoch,
             members: vec![
                 MemberRecord {
                     label: "edde-1".into(),
@@ -435,6 +741,91 @@ mod tests {
         let m = sample_manifest();
         let back = RunManifest::decode(m.encode()).unwrap();
         assert_eq!(back, m);
+        let mut legacy = sample_manifest();
+        legacy.protocol = RunProtocol::Legacy;
+        assert_eq!(RunManifest::decode(legacy.encode()).unwrap(), legacy);
+    }
+
+    #[test]
+    fn legacy_edm1_manifest_still_decodes() {
+        // Re-encode a sample manifest in the EDM1 layout by hand (the old
+        // encoder: magic, fingerprint, method, members — no protocol byte)
+        // and check it reads back as a Legacy-protocol run.
+        let m = sample_manifest();
+        let v2 = m.encode();
+        let mut v1 = BytesMut::new();
+        v1.put_slice(MAGIC_V1);
+        v1.put_u64_le(m.fingerprint);
+        // skip magic (4) + fingerprint (8) + protocol (1) of the v2 bytes
+        v1.put_slice(&v2[13..]);
+        let back = RunManifest::decode(v1.freeze()).unwrap();
+        assert_eq!(back.protocol, RunProtocol::Legacy);
+        assert_eq!(back.method, m.method);
+        assert_eq!(back.members, m.members);
+    }
+
+    #[test]
+    fn epoch_seeds_differ_across_epochs_and_members() {
+        let root = member_seed(7, 0xEDDE, 3);
+        let a = epoch_seed(root, 0);
+        let b = epoch_seed(root, 1);
+        let c = epoch_seed(member_seed(7, 0xEDDE, 4), 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, root, "epoch stream must not alias the member stream");
+        assert_eq!(a, epoch_seed(root, 0));
+    }
+
+    #[test]
+    fn member_progress_round_trips_and_validates() {
+        let state = vec![
+            (
+                "l1.w".to_string(),
+                Tensor::from_vec(vec![1.5, -2.25], &[2]).unwrap(),
+            ),
+            ("l1.b".to_string(), Tensor::zeros(&[2])),
+        ];
+        let opt = vec![9u8, 8, 7];
+        let payload = encode_progress(&ProgressParts {
+            member: 3,
+            fingerprint: 0xABCD,
+            rng_seed: 42,
+            total_epochs: 10,
+            epochs_done: 4,
+            rollbacks: 1,
+            retries_left: 1,
+            lr_scale: 0.5,
+            final_loss: 0.125,
+            net_state: &state,
+            opt_state: &opt,
+        });
+        let p = MemberProgress::decode(payload.clone()).unwrap();
+        assert_eq!(p.member, 3);
+        assert_eq!(p.epochs_done, 4);
+        assert_eq!(p.net_state, state);
+        assert_eq!(&p.opt_state[..], &opt[..]);
+        p.validate_binding(3, 0xABCD, 42, 10).unwrap();
+        assert!(p.validate_binding(2, 0xABCD, 42, 10).is_err());
+        assert!(p.validate_binding(3, 0xABCE, 42, 10).is_err());
+        assert!(p.validate_binding(3, 0xABCD, 43, 10).is_err());
+        assert!(p.validate_binding(3, 0xABCD, 42, 11).is_err());
+        // truncations are detected
+        for cut in [0, 3, 20, payload.len() / 2, payload.len() - 1] {
+            assert!(
+                MemberProgress::decode(payload.slice(0..cut)).is_err(),
+                "cut {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn progress_key_parsing() {
+        assert_eq!(progress_key_member("member-0-progress"), Some(0));
+        assert_eq!(progress_key_member("member-17-progress"), Some(17));
+        assert_eq!(progress_key_member("member-17"), None);
+        assert_eq!(progress_key_member("member-x-progress"), None);
+        assert_eq!(progress_key_member("manifest"), None);
+        assert_eq!(RunSession::progress_key(5), "member-5-progress");
     }
 
     #[test]
@@ -531,6 +922,69 @@ mod tests {
         assert!(store.contains("member-0"), "referenced key must survive");
         assert!(!store.contains("member-1"), "orphan must be collected");
         assert!(store.contains("notes"), "non-member key must survive");
+    }
+
+    #[test]
+    fn open_collects_stale_progress_but_keeps_in_flight_progress() {
+        let store = MemStore::new();
+        let mut r = StdRng::seed_from_u64(8);
+        let mut net = mlp(&[4, 8, 2], 0.0, &mut r);
+        let mut sess = RunSession::open(&store, "EDDE", 7).unwrap();
+        sess.record_member(
+            MemberRecord {
+                label: "edde-1".into(),
+                alpha: 1.0,
+                seed: 0,
+                net_key: String::new(),
+                cumulative_epochs: 1,
+                test_accuracy: 0.5,
+                weights: vec![],
+            },
+            &mut net,
+        )
+        .unwrap();
+        drop(sess);
+        // Member 0 is committed: its progress record (here simulating a
+        // crash between an epoch write and the manifest update) is stale.
+        // Member 1 is still in flight: its progress must survive GC.
+        store.put("member-0-progress", b"stale").unwrap();
+        store.put("member-1-progress", b"in flight").unwrap();
+        let sess = RunSession::open(&store, "EDDE", 7).unwrap();
+        assert_eq!(sess.completed(), 1);
+        assert!(
+            !store.contains("member-0-progress"),
+            "committed member's progress must be collected"
+        );
+        assert!(
+            store.contains("member-1-progress"),
+            "in-flight progress must survive"
+        );
+    }
+
+    #[test]
+    fn record_member_removes_its_progress_record() {
+        let store = MemStore::new();
+        let mut r = StdRng::seed_from_u64(9);
+        let mut net = mlp(&[4, 8, 2], 0.0, &mut r);
+        let mut sess = RunSession::open(&store, "Bagging", 3).unwrap();
+        store.put("member-0-progress", b"mid-member state").unwrap();
+        sess.record_member(
+            MemberRecord {
+                label: "bagging-0".into(),
+                alpha: 1.0,
+                seed: 0,
+                net_key: String::new(),
+                cumulative_epochs: 2,
+                test_accuracy: 0.5,
+                weights: vec![],
+            },
+            &mut net,
+        )
+        .unwrap();
+        assert!(
+            !store.contains("member-0-progress"),
+            "committing a member retires its progress record"
+        );
     }
 
     #[test]

@@ -1,14 +1,40 @@
 //! The shared weighted training loop every ensemble method drives.
+//!
+//! [`TrainLoop`] is an epoch-granular state machine. Each iteration
+//! captures the epoch-boundary state **once** (model parameters +
+//! optimizer momentum, plus the RNG stream in legacy mode), optionally
+//! persists it as a [`crate::runstate::MemberProgress`] checkpoint, runs
+//! one epoch, and emits typed [`TrainEvent`]s to registered
+//! [`TrainObserver`]s. One captured state serves both consumers that used
+//! to snapshot separately: divergence recovery (rollback + LR backoff) and
+//! mid-member checkpoint/resume.
+//!
+//! Event ordering guarantee, per epoch-boundary `e`:
+//!
+//! 1. [`TrainEvent::CheckpointWritten`] — iff persistence is configured,
+//!    `e > 0`, and `e` lands on the checkpoint cadence (re-fired after a
+//!    rollback re-enters the same boundary);
+//! 2. [`TrainEvent::EpochStarted`] with the epoch's effective LR;
+//! 3. either [`TrainEvent::EpochCompleted`], or
+//!    [`TrainEvent::Diverged`] followed by [`TrainEvent::RolledBack`]
+//!    (when retry budget remains — otherwise the divergence error
+//!    returns and no further event fires).
+//!
+//! Observers never see a partially applied epoch: a diverged epoch's
+//! effects are rolled back before `RolledBack` is emitted.
 
 use crate::error::{EnsembleError, Result};
 use crate::recovery::{FaultPlan, RecoveryPolicy};
+use crate::runstate::{self, MemberProgress, ProgressParts};
 use edde_data::augment::{augment_batch, AugmentConfig};
 use edde_data::{Batcher, Dataset};
+use edde_nn::checkpoint::{self, CheckpointStore};
 use edde_nn::loss::{CrossEntropy, Distillation, DiversityDriven};
 use edde_nn::optim::{LrSchedule, Sgd};
 use edde_nn::{Mode, Network, NnError};
 use edde_tensor::Tensor;
 use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 /// Which objective a training run optimizes.
 ///
@@ -106,6 +132,367 @@ fn divergence_with_context(e: EnsembleError, epoch: usize, rollbacks: usize) -> 
     ))
 }
 
+/// A typed notification from one [`TrainLoop`] iteration. See the module
+/// docs for the per-boundary ordering guarantee.
+pub enum TrainEvent<'a> {
+    /// An epoch is about to run, with its effective (backoff-scaled)
+    /// learning rate.
+    EpochStarted {
+        /// 0-based epoch index.
+        epoch: usize,
+        /// The learning rate this epoch trains with.
+        lr: f32,
+    },
+    /// An epoch finished cleanly. `net` gives observers mid-run model
+    /// access (Snapshot-style snapshots, Fig. 7 accuracy traces).
+    EpochCompleted {
+        /// 0-based epoch index.
+        epoch: usize,
+        /// Mean loss over the epoch.
+        mean_loss: f32,
+        /// The live network, after this epoch's updates.
+        net: &'a mut Network,
+    },
+    /// An epoch diverged (non-finite loss or gradient-norm breach).
+    Diverged {
+        /// 0-based epoch index that diverged.
+        epoch: usize,
+        /// Human-readable divergence description.
+        detail: &'a str,
+    },
+    /// The diverged epoch was rolled back to its boundary state and will
+    /// be retried with a scaled-down learning rate.
+    RolledBack {
+        /// 0-based epoch index being retried.
+        epoch: usize,
+        /// Cumulative learning-rate backoff scale now in effect.
+        lr_scale: f32,
+        /// Remaining retry budget.
+        retries_left: usize,
+    },
+    /// A [`MemberProgress`] record was persisted at an epoch boundary.
+    CheckpointWritten {
+        /// Epochs completed at the persisted boundary.
+        epochs_done: usize,
+        /// Store key the record was written under.
+        key: &'a str,
+    },
+}
+
+/// A registered consumer of [`TrainEvent`]s. An observer error aborts the
+/// run (it surfaces exactly like the old `on_epoch` callback's error).
+pub trait TrainObserver {
+    /// Handles one event.
+    fn on_event(&mut self, event: TrainEvent<'_>) -> Result<()>;
+}
+
+impl<F> TrainObserver for F
+where
+    F: FnMut(TrainEvent<'_>) -> Result<()>,
+{
+    fn on_event(&mut self, event: TrainEvent<'_>) -> Result<()> {
+        self(event)
+    }
+}
+
+/// How a [`TrainLoop`] consumes randomness.
+pub enum TrainRng<'a> {
+    /// Legacy protocol: one caller-owned stream threaded through every
+    /// epoch (shuffles, augmentation). Bit-identical to the pre-`TrainLoop`
+    /// trainer; required by plain (non-resumable) method runs, whose draw
+    /// sequences are pinned by statistical tests. Cannot be combined with
+    /// epoch checkpoints — the stream's mid-member state is not
+    /// reconstructible from a seed.
+    Threaded(&'a mut StdRng),
+    /// Epoch-derived protocol ([`crate::runstate::RunProtocol::PerEpoch`]):
+    /// epoch `e` draws from a fresh stream seeded with
+    /// [`runstate::epoch_seed`]`(seed, e)`, so any epoch's randomness is a
+    /// pure function of `(seed, e)` — the property mid-member resume needs.
+    PerEpoch {
+        /// The member's RNG root seed ([`runstate::member_seed`]).
+        seed: u64,
+    },
+}
+
+impl TrainRng<'_> {
+    fn root_seed(&self) -> Option<u64> {
+        match self {
+            TrainRng::Threaded(_) => None,
+            TrainRng::PerEpoch { seed } => Some(*seed),
+        }
+    }
+}
+
+/// Epoch-granular persistence configuration for a [`TrainLoop`]: where and
+/// how often to write the member's [`MemberProgress`] record, and the
+/// binding metadata a resume must match.
+pub struct EpochCheckpoints<'a> {
+    /// Destination store.
+    pub store: &'a dyn CheckpointStore,
+    /// Store key of the progress record
+    /// ([`crate::runstate::RunSession::progress_key`]).
+    pub key: String,
+    /// Member index, bound into the record.
+    pub member: usize,
+    /// Run configuration fingerprint, bound into the record.
+    pub fingerprint: u64,
+    /// Write cadence in epochs (1 = every epoch boundary).
+    pub every: usize,
+}
+
+const CE_LOSS: &LossSpec<'static> = &LossSpec::CrossEntropy;
+
+/// The epoch-granular training state machine. Builder-style configuration
+/// over one [`Trainer`]; [`TrainLoop::run`] consumes it.
+pub struct TrainLoop<'a> {
+    trainer: &'a Trainer,
+    data: &'a Dataset,
+    schedule: &'a LrSchedule,
+    epochs: usize,
+    weights: Option<&'a [f32]>,
+    loss: &'a LossSpec<'a>,
+    observers: Vec<&'a mut dyn TrainObserver>,
+    checkpoints: Option<EpochCheckpoints<'a>>,
+}
+
+impl<'a> TrainLoop<'a> {
+    /// A loop over `epochs` epochs of `data` with plain cross-entropy, no
+    /// observers and no persistence.
+    pub fn new(
+        trainer: &'a Trainer,
+        data: &'a Dataset,
+        schedule: &'a LrSchedule,
+        epochs: usize,
+    ) -> Self {
+        TrainLoop {
+            trainer,
+            data,
+            schedule,
+            epochs,
+            weights: None,
+            loss: CE_LOSS,
+            observers: Vec::new(),
+            checkpoints: None,
+        }
+    }
+
+    /// Per-sample weights (boosting's `W_t`); `None` trains unweighted.
+    pub fn weights(mut self, weights: Option<&'a [f32]>) -> Self {
+        self.weights = weights;
+        self
+    }
+
+    /// The training objective (default [`LossSpec::CrossEntropy`]).
+    pub fn loss(mut self, loss: &'a LossSpec<'a>) -> Self {
+        self.loss = loss;
+        self
+    }
+
+    /// Registers an observer. Observers are notified in registration order.
+    pub fn observe(mut self, observer: &'a mut dyn TrainObserver) -> Self {
+        self.observers.push(observer);
+        self
+    }
+
+    /// Enables epoch-granular [`MemberProgress`] persistence. Requires
+    /// [`TrainRng::PerEpoch`] at [`TrainLoop::run`] time; if the store
+    /// already holds a progress record under the configured key (matching
+    /// member, fingerprint, seed and budget), the run resumes from it
+    /// bit-exactly instead of restarting at epoch 0.
+    pub fn checkpoint(mut self, checkpoints: EpochCheckpoints<'a>) -> Self {
+        self.checkpoints = Some(checkpoints);
+        self
+    }
+
+    /// Runs the loop to completion, resuming from a persisted progress
+    /// record when one is configured and present.
+    pub fn run(mut self, net: &mut Network, mut rng: TrainRng<'_>) -> Result<TrainStats> {
+        let trainer = self.trainer;
+        if let Some(w) = self.weights {
+            if w.len() != self.data.len() {
+                return Err(EnsembleError::DataMismatch(format!(
+                    "{} weights for {} samples",
+                    w.len(),
+                    self.data.len()
+                )));
+            }
+        }
+        trainer.validate_aligned(self.data, self.loss)?;
+        trainer
+            .recovery
+            .validate()
+            .map_err(EnsembleError::BadConfig)?;
+        if let Some(c) = &self.checkpoints {
+            if c.every == 0 {
+                return Err(EnsembleError::BadConfig(
+                    "epoch checkpoint cadence must be >= 1".into(),
+                ));
+            }
+            if rng.root_seed().is_none() {
+                return Err(EnsembleError::BadConfig(
+                    "epoch checkpoints require TrainRng::PerEpoch (a threaded RNG stream's \
+                     mid-member state cannot be reconstructed on resume)"
+                        .into(),
+                ));
+            }
+        }
+        let batcher = Batcher::new(trainer.batch_size);
+        let mut opt = Sgd::new(
+            self.schedule.lr_at(0).max(1e-8),
+            trainer.momentum,
+            trainer.weight_decay,
+        );
+        let ce = CrossEntropy::new();
+        let mut final_loss = 0.0f32;
+        let mut lr_scale = 1.0f32;
+        let mut rollbacks = 0usize;
+        let mut retries_left = trainer.recovery.max_retries;
+        let mut epoch = 0usize;
+
+        // ---- resume from a persisted progress record, if any ----
+        if let Some(c) = &self.checkpoints {
+            if c.store.contains(&c.key) {
+                let seed = rng.root_seed().expect("checked above");
+                // Progress records are written with relaxed durability, so
+                // a crash can leave a torn frame behind; the checksum
+                // catches it and the member simply restarts at epoch 0. A
+                // record that reads back fine but belongs to another run
+                // (member, fingerprint, seed, or budget mismatch) is
+                // refused instead — that is operator error, not data loss.
+                let decoded = checkpoint::get_sealed(c.store, &c.key)
+                    .map_err(EnsembleError::from)
+                    .and_then(MemberProgress::decode);
+                if let Ok(progress) = decoded {
+                    progress.validate_binding(c.member, c.fingerprint, seed, self.epochs)?;
+                    net.import_state(&progress.net_state)?;
+                    opt.import_state(progress.opt_state.clone())?;
+                    epoch = progress.epochs_done;
+                    lr_scale = progress.lr_scale;
+                    rollbacks = progress.rollbacks;
+                    retries_left = progress.retries_left;
+                    final_loss = progress.final_loss;
+                }
+            }
+        }
+
+        while epoch < self.epochs {
+            // Capture the epoch-boundary state once; it serves both the
+            // divergence rollback and the persisted progress record.
+            let persist_now = self
+                .checkpoints
+                .as_ref()
+                .is_some_and(|c| epoch > 0 && epoch.is_multiple_of(c.every));
+            let need_rollback = retries_left > 0;
+            let boundary_state = (need_rollback || persist_now).then(|| net.export_state());
+            let mut boundary_opt = need_rollback.then(|| opt.clone());
+            let mut boundary_rng = match (&rng, need_rollback) {
+                (TrainRng::Threaded(r), true) => Some((**r).clone()),
+                _ => None,
+            };
+            if persist_now {
+                let c = self.checkpoints.as_ref().expect("persist_now");
+                let payload = runstate::encode_progress(&ProgressParts {
+                    member: c.member,
+                    fingerprint: c.fingerprint,
+                    rng_seed: rng.root_seed().expect("PerEpoch enforced"),
+                    total_epochs: self.epochs,
+                    epochs_done: epoch,
+                    rollbacks,
+                    retries_left,
+                    lr_scale,
+                    final_loss,
+                    net_state: boundary_state.as_deref().expect("captured above"),
+                    opt_state: &opt.export_state(),
+                });
+                // Relaxed durability: a crash losing this write only costs
+                // resuming one boundary earlier, which is not worth an
+                // fsync per epoch.
+                checkpoint::put_sealed_relaxed(c.store, &c.key, &payload)?;
+                for obs in self.observers.iter_mut() {
+                    obs.on_event(TrainEvent::CheckpointWritten {
+                        epochs_done: epoch,
+                        key: &c.key,
+                    })?;
+                }
+            }
+            opt.set_lr((self.schedule.lr_at(epoch) * lr_scale).max(1e-8));
+            for obs in self.observers.iter_mut() {
+                obs.on_event(TrainEvent::EpochStarted {
+                    epoch,
+                    lr: opt.lr(),
+                })?;
+            }
+            let outcome = {
+                let mut derived;
+                let epoch_rng: &mut StdRng = match &mut rng {
+                    TrainRng::Threaded(r) => r,
+                    TrainRng::PerEpoch { seed } => {
+                        derived = StdRng::seed_from_u64(runstate::epoch_seed(*seed, epoch));
+                        &mut derived
+                    }
+                };
+                trainer.run_one_epoch(
+                    net,
+                    self.data,
+                    &batcher,
+                    &mut opt,
+                    &ce,
+                    self.weights,
+                    self.loss,
+                    epoch_rng,
+                    epoch,
+                )
+            };
+            match outcome {
+                Ok(epoch_loss) => {
+                    final_loss = epoch_loss;
+                    for obs in self.observers.iter_mut() {
+                        obs.on_event(TrainEvent::EpochCompleted {
+                            epoch,
+                            mean_loss: epoch_loss,
+                            net,
+                        })?;
+                    }
+                    epoch += 1;
+                }
+                Err(e) if is_recoverable(&e) => {
+                    let detail = e.to_string();
+                    for obs in self.observers.iter_mut() {
+                        obs.on_event(TrainEvent::Diverged {
+                            epoch,
+                            detail: &detail,
+                        })?;
+                    }
+                    if !need_rollback {
+                        return Err(divergence_with_context(e, epoch, rollbacks));
+                    }
+                    net.import_state(boundary_state.as_ref().expect("need_rollback"))?;
+                    opt = boundary_opt.take().expect("need_rollback");
+                    if let (TrainRng::Threaded(r), Some(snap)) = (&mut rng, boundary_rng.take()) {
+                        **r = snap;
+                    }
+                    retries_left -= 1;
+                    rollbacks += 1;
+                    lr_scale *= trainer.recovery.lr_backoff;
+                    for obs in self.observers.iter_mut() {
+                        obs.on_event(TrainEvent::RolledBack {
+                            epoch,
+                            lr_scale,
+                            retries_left,
+                        })?;
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(TrainStats {
+            final_loss,
+            epochs: self.epochs,
+            rollbacks,
+        })
+    }
+}
+
 impl Trainer {
     /// Trains `net` on `data` for `epochs` epochs.
     ///
@@ -116,6 +503,10 @@ impl Trainer {
     ///
     /// Returns an error if the loss ever becomes non-finite — divergence is
     /// surfaced, never silently trained through.
+    ///
+    /// This is the observer-free [`TrainLoop`] convenience over a
+    /// caller-threaded RNG stream ([`TrainRng::Threaded`]), bit-identical
+    /// to the historical trainer.
     #[allow(clippy::too_many_arguments)]
     pub fn train(
         &self,
@@ -127,86 +518,10 @@ impl Trainer {
         loss: &LossSpec<'_>,
         rng: &mut StdRng,
     ) -> Result<TrainStats> {
-        self.train_traced(net, data, schedule, epochs, weights, loss, rng, |_, _| {
-            Ok(())
-        })
-    }
-
-    /// Like [`Trainer::train`], but invokes `on_epoch(net, epoch)` after each
-    /// completed epoch — used to snapshot models mid-run (Snapshot Ensemble)
-    /// and to record accuracy-versus-epoch traces (Fig. 7).
-    #[allow(clippy::too_many_arguments)]
-    pub fn train_traced(
-        &self,
-        net: &mut Network,
-        data: &Dataset,
-        schedule: &LrSchedule,
-        epochs: usize,
-        weights: Option<&[f32]>,
-        loss: &LossSpec<'_>,
-        rng: &mut StdRng,
-        mut on_epoch: impl FnMut(&mut Network, usize) -> Result<()>,
-    ) -> Result<TrainStats> {
-        if let Some(w) = weights {
-            if w.len() != data.len() {
-                return Err(EnsembleError::DataMismatch(format!(
-                    "{} weights for {} samples",
-                    w.len(),
-                    data.len()
-                )));
-            }
-        }
-        self.validate_aligned(data, loss)?;
-        self.recovery.validate().map_err(EnsembleError::BadConfig)?;
-        let batcher = Batcher::new(self.batch_size);
-        let mut opt = Sgd::new(
-            schedule.lr_at(0).max(1e-8),
-            self.momentum,
-            self.weight_decay,
-        );
-        let ce = CrossEntropy::new();
-        let mut final_loss = 0.0f32;
-        let mut lr_scale = 1.0f32;
-        let mut rollbacks = 0usize;
-        let mut retries_left = self.recovery.max_retries;
-        let mut epoch = 0usize;
-        while epoch < epochs {
-            // Snapshot model + optimizer momentum + RNG at the epoch
-            // boundary so a divergent epoch can be replayed (with a smaller
-            // learning rate) from exactly this point.
-            let snapshot = if retries_left > 0 {
-                Some((net.export_state(), opt.clone(), rng.clone()))
-            } else {
-                None
-            };
-            opt.set_lr((schedule.lr_at(epoch) * lr_scale).max(1e-8));
-            match self.run_one_epoch(
-                net, data, &batcher, &mut opt, &ce, weights, loss, rng, epoch,
-            ) {
-                Ok(epoch_loss) => {
-                    final_loss = epoch_loss;
-                    on_epoch(net, epoch)?;
-                    epoch += 1;
-                }
-                Err(e) if is_recoverable(&e) => {
-                    let Some((state, snap_opt, snap_rng)) = snapshot else {
-                        return Err(divergence_with_context(e, epoch, rollbacks));
-                    };
-                    net.import_state(&state)?;
-                    opt = snap_opt;
-                    *rng = snap_rng;
-                    retries_left -= 1;
-                    rollbacks += 1;
-                    lr_scale *= self.recovery.lr_backoff;
-                }
-                Err(e) => return Err(e),
-            }
-        }
-        Ok(TrainStats {
-            final_loss,
-            epochs,
-            rollbacks,
-        })
+        TrainLoop::new(self, data, schedule, epochs)
+            .weights(weights)
+            .loss(loss)
+            .run(net, TrainRng::Threaded(rng))
     }
 
     /// One pass over the data. Returns the mean loss, or a divergence /
@@ -633,6 +948,235 @@ mod tests {
             )
             .unwrap_err();
         assert!(matches!(err, EnsembleError::BadConfig(_)), "{err}");
+    }
+
+    #[test]
+    fn events_fire_in_the_documented_boundary_order() {
+        // One injected divergence in epoch 1 (120 samples / batch 16 = 8
+        // steps per epoch; step 12 lands in epoch 1). The observer must see
+        // checkpoint -> started -> diverged -> rolled-back, then the same
+        // boundary re-entered: checkpoint (re-fired) -> started ->
+        // completed.
+        let (train, _) = blob_env();
+        let trainer = Trainer {
+            batch_size: 16,
+            weight_decay: 0.0,
+            fault: Some(FaultPlan::nan_loss_at_step(12)),
+            ..Trainer::default()
+        };
+        let store = edde_nn::checkpoint::MemStore::new();
+        let mut rng = StdRng::seed_from_u64(20);
+        let mut net = mlp(&[6, 16, 3], 0.0, &mut rng);
+        let mut tags: Vec<String> = Vec::new();
+        let mut observer = |event: TrainEvent<'_>| -> Result<()> {
+            tags.push(match event {
+                TrainEvent::CheckpointWritten { epochs_done, .. } => format!("ckpt@{epochs_done}"),
+                TrainEvent::EpochStarted { epoch, .. } => format!("start@{epoch}"),
+                TrainEvent::EpochCompleted { epoch, .. } => format!("done@{epoch}"),
+                TrainEvent::Diverged { epoch, .. } => format!("diverged@{epoch}"),
+                TrainEvent::RolledBack { epoch, .. } => format!("rolledback@{epoch}"),
+            });
+            Ok(())
+        };
+        TrainLoop::new(&trainer, &train, &LrSchedule::Constant { base: 0.05 }, 3)
+            .observe(&mut observer)
+            .checkpoint(EpochCheckpoints {
+                store: &store,
+                key: "member-0-progress".into(),
+                member: 0,
+                fingerprint: 99,
+                every: 1,
+            })
+            .run(&mut net, TrainRng::PerEpoch { seed: 42 })
+            .unwrap();
+        assert_eq!(
+            tags,
+            [
+                "start@0",
+                "done@0",
+                "ckpt@1",
+                "start@1",
+                "diverged@1",
+                "rolledback@1",
+                "ckpt@1",
+                "start@1",
+                "done@1",
+                "ckpt@2",
+                "start@2",
+                "done@2",
+            ]
+        );
+    }
+
+    #[test]
+    fn mid_member_resume_is_bit_identical_to_an_uninterrupted_run() {
+        let (train, _) = blob_env();
+        let schedule = LrSchedule::paper_step(0.1, 4);
+        let seed = 77u64; // PerEpoch root seed
+        let fresh_net = || mlp(&[6, 16, 3], 0.0, &mut StdRng::seed_from_u64(123));
+        let clean = Trainer {
+            batch_size: 16,
+            weight_decay: 0.0,
+            ..Trainer::default()
+        };
+
+        // Reference: uninterrupted, no persistence.
+        let mut reference_net = fresh_net();
+        let reference_stats = TrainLoop::new(&clean, &train, &schedule, 4)
+            .run(&mut reference_net, TrainRng::PerEpoch { seed })
+            .unwrap();
+        let reference = reference_net.export_state();
+
+        // "Kill" a checkpointed run inside epoch 2 (steps 16..24): the
+        // epoch-2 boundary record is on the store when the run dies.
+        let store = edde_nn::checkpoint::MemStore::new();
+        let checkpoints = || EpochCheckpoints {
+            store: &store,
+            key: "member-0-progress".into(),
+            member: 0,
+            fingerprint: 7,
+            every: 1,
+        };
+        let dying = Trainer {
+            recovery: RecoveryPolicy::disabled(),
+            fault: Some(FaultPlan::nan_loss_at_step(20)),
+            ..clean.clone()
+        };
+        let mut net = fresh_net();
+        TrainLoop::new(&dying, &train, &schedule, 4)
+            .checkpoint(checkpoints())
+            .run(&mut net, TrainRng::PerEpoch { seed })
+            .unwrap_err();
+        let progress =
+            MemberProgress::decode(checkpoint::get_sealed(&store, "member-0-progress").unwrap())
+                .unwrap();
+        assert_eq!(progress.epochs_done, 2, "died inside epoch 2");
+
+        // Resume into a *fresh* network: the progress record supplies the
+        // model and momentum, so the final weights must match the
+        // uninterrupted run bit for bit.
+        let mut resumed_net = mlp(&[6, 16, 3], 0.0, &mut StdRng::seed_from_u64(999));
+        let resumed_stats = TrainLoop::new(&clean, &train, &schedule, 4)
+            .checkpoint(checkpoints())
+            .run(&mut resumed_net, TrainRng::PerEpoch { seed })
+            .unwrap();
+        assert_eq!(resumed_net.export_state(), reference);
+        assert_eq!(resumed_stats, reference_stats);
+    }
+
+    #[test]
+    fn epoch_checkpoints_require_a_per_epoch_rng() {
+        let (train, _) = blob_env();
+        let store = edde_nn::checkpoint::MemStore::new();
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut net = mlp(&[6, 8, 3], 0.0, &mut rng);
+        let trainer = Trainer::default();
+        let err = TrainLoop::new(&trainer, &train, &LrSchedule::Constant { base: 0.1 }, 1)
+            .checkpoint(EpochCheckpoints {
+                store: &store,
+                key: "member-0-progress".into(),
+                member: 0,
+                fingerprint: 1,
+                every: 1,
+            })
+            .run(&mut net, TrainRng::Threaded(&mut rng))
+            .unwrap_err();
+        assert!(matches!(err, EnsembleError::BadConfig(_)), "{err}");
+        assert!(err.to_string().contains("PerEpoch"), "{err}");
+    }
+
+    #[test]
+    fn zero_checkpoint_cadence_is_rejected() {
+        let (train, _) = blob_env();
+        let store = edde_nn::checkpoint::MemStore::new();
+        let mut net = mlp(&[6, 8, 3], 0.0, &mut StdRng::seed_from_u64(22));
+        let trainer = Trainer::default();
+        let err = TrainLoop::new(&trainer, &train, &LrSchedule::Constant { base: 0.1 }, 1)
+            .checkpoint(EpochCheckpoints {
+                store: &store,
+                key: "member-0-progress".into(),
+                member: 0,
+                fingerprint: 1,
+                every: 0,
+            })
+            .run(&mut net, TrainRng::PerEpoch { seed: 1 })
+            .unwrap_err();
+        assert!(matches!(err, EnsembleError::BadConfig(_)), "{err}");
+        assert!(err.to_string().contains("cadence"), "{err}");
+    }
+
+    #[test]
+    fn torn_progress_record_restarts_the_member_from_scratch() {
+        // Progress records are written with relaxed durability, so a crash
+        // can leave a torn frame. The checksum must catch it and the loop
+        // must fall back to epoch 0 — matching a no-checkpoint run bit for
+        // bit — rather than fail or resume from garbage.
+        let (train, _) = blob_env();
+        let schedule = LrSchedule::Constant { base: 0.05 };
+        let trainer = Trainer {
+            batch_size: 16,
+            weight_decay: 0.0,
+            ..Trainer::default()
+        };
+        let fresh_net = || mlp(&[6, 16, 3], 0.0, &mut StdRng::seed_from_u64(31));
+        let mut reference_net = fresh_net();
+        TrainLoop::new(&trainer, &train, &schedule, 2)
+            .run(&mut reference_net, TrainRng::PerEpoch { seed: 9 })
+            .unwrap();
+
+        let store = edde_nn::checkpoint::MemStore::new();
+        store
+            .put("member-0-progress", b"torn partial write")
+            .unwrap();
+        let mut net = fresh_net();
+        TrainLoop::new(&trainer, &train, &schedule, 2)
+            .checkpoint(EpochCheckpoints {
+                store: &store,
+                key: "member-0-progress".into(),
+                member: 0,
+                fingerprint: 3,
+                every: 1,
+            })
+            .run(&mut net, TrainRng::PerEpoch { seed: 9 })
+            .unwrap();
+        assert_eq!(net.export_state(), reference_net.export_state());
+    }
+
+    #[test]
+    fn progress_from_another_run_is_refused() {
+        // A progress record bound to fingerprint 5 must not resume a loop
+        // opened under fingerprint 6.
+        let (train, _) = blob_env();
+        let store = edde_nn::checkpoint::MemStore::new();
+        let mut net = mlp(&[6, 16, 3], 0.0, &mut StdRng::seed_from_u64(23));
+        let opt_state = Sgd::new(0.1, 0.9, 0.0).export_state();
+        let payload = runstate::encode_progress(&ProgressParts {
+            member: 0,
+            fingerprint: 5,
+            rng_seed: 42,
+            total_epochs: 4,
+            epochs_done: 2,
+            rollbacks: 0,
+            retries_left: 2,
+            lr_scale: 1.0,
+            final_loss: 0.5,
+            net_state: &net.export_state(),
+            opt_state: &opt_state,
+        });
+        checkpoint::put_sealed(&store, "member-0-progress", &payload).unwrap();
+        let trainer = Trainer::default();
+        let err = TrainLoop::new(&trainer, &train, &LrSchedule::Constant { base: 0.1 }, 4)
+            .checkpoint(EpochCheckpoints {
+                store: &store,
+                key: "member-0-progress".into(),
+                member: 0,
+                fingerprint: 6,
+                every: 1,
+            })
+            .run(&mut net, TrainRng::PerEpoch { seed: 42 })
+            .unwrap_err();
+        assert!(err.to_string().contains("fingerprint"), "{err}");
+        assert!(err.to_string().contains("mismatch"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,220 @@
+//! Epoch-granular kill/resume: a run killed at an *arbitrary epoch inside
+//! a member* must resume from its `member-{t}-progress` record and finish
+//! bit-identical to an uninterrupted run — sequentially, under 8-thread
+//! parallel member training, and with the SIMD dispatch forced to the
+//! scalar backend. Faults are injected two ways: trainer-level NaN losses
+//! ([`FaultPlan`]) and checkpoint-store write failures ([`FaultyStore`]).
+
+use edde_core::methods::{Bagging, Edde, EnsembleMethod};
+use edde_core::{ExperimentEnv, FaultPlan, FaultyStore, ModelFactory, RecoveryPolicy, Trainer};
+use edde_data::synth::{gaussian_blobs, GaussianBlobsConfig};
+use edde_nn::checkpoint::{CheckpointStore, MemStore};
+use edde_nn::models::mlp;
+use edde_tensor::parallel::set_num_threads;
+use edde_tensor::Tensor;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Serializes tests in this file: they flip process-global execution knobs
+/// (thread override, forced-scalar SIMD dispatch).
+fn global_guard() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+struct RestoreGlobals;
+impl Drop for RestoreGlobals {
+    fn drop(&mut self) {
+        set_num_threads(0);
+        edde_tensor::simd::set_force_scalar(false);
+    }
+}
+
+/// 3 classes x 30 train samples = 90; batch 16 -> 6 optimizer steps per
+/// epoch. The fault-step arithmetic below relies on these numbers.
+fn blob_env(seed: u64) -> ExperimentEnv {
+    let data = gaussian_blobs(
+        &GaussianBlobsConfig {
+            classes: 3,
+            dim: 6,
+            train_per_class: 30,
+            test_per_class: 15,
+            spread: 0.8,
+        },
+        seed,
+    );
+    let factory: ModelFactory = Arc::new(|r| Ok(mlp(&[6, 16, 3], 0.0, r)));
+    ExperimentEnv::new(
+        data,
+        factory,
+        Trainer {
+            batch_size: 16,
+            weight_decay: 0.0,
+            ..Trainer::default()
+        },
+        0.1,
+        seed,
+    )
+}
+
+fn dying(env: &ExperimentEnv, fault_step: u64) -> ExperimentEnv {
+    let mut e = env.clone();
+    e.trainer.recovery = RecoveryPolicy::disabled();
+    e.trainer.fault = Some(FaultPlan::nan_loss_at_step(fault_step));
+    e
+}
+
+/// Per-member probability bit patterns — the strongest practical weight
+/// fingerprint (identical forward passes are what the ensemble consumes).
+fn member_bits(run: &mut edde_core::methods::RunResult, x: &Tensor) -> Vec<Vec<u32>> {
+    run.model
+        .member_soft_targets(x)
+        .unwrap()
+        .iter()
+        .map(|t| t.data().iter().map(|v| v.to_bits()).collect())
+        .collect()
+}
+
+#[test]
+fn sequential_kill_at_any_epoch_resumes_bitwise() {
+    // Bagging 3x3: member t spans steps [18t, 18t+18), epoch boundaries
+    // every 6 steps. Kill inside member 1 at epoch 0 (step 20 — before the
+    // first boundary write), epoch 1 (26), and epoch 2 (32); every resume
+    // must match the uninterrupted run bit for bit.
+    let _g = global_guard();
+    let _restore = RestoreGlobals;
+    set_num_threads(1);
+    let env = blob_env(71);
+    let x = env.data.test.features().clone();
+    let full_store = MemStore::new();
+    let mut full = Bagging::new(3, 3).run_resumable(&env, &full_store).unwrap();
+    let reference = member_bits(&mut full, &x);
+
+    for (fault_step, expect_progress) in [(20u64, false), (26, true), (32, true)] {
+        let store = MemStore::new();
+        Bagging::new(3, 3)
+            .run_resumable(&dying(&env, fault_step), &store)
+            .unwrap_err();
+        assert!(store.contains("member-0"), "step {fault_step}");
+        assert!(!store.contains("member-1"), "step {fault_step}");
+        assert_eq!(
+            store.contains("member-1-progress"),
+            expect_progress,
+            "step {fault_step}: boundary writes start at epoch 1"
+        );
+        let mut resumed = Bagging::new(3, 3).run_resumable(&env, &store).unwrap();
+        assert_eq!(
+            member_bits(&mut resumed, &x),
+            reference,
+            "kill at step {fault_step} diverged after resume"
+        );
+        assert_eq!(resumed.trace, full.trace, "step {fault_step}");
+    }
+}
+
+#[test]
+fn parallel_run_resumes_mid_member_progress_bitwise() {
+    // The killed (sequential — fault injection forces it) run leaves a
+    // mid-member epoch record; resuming on the 8-thread parallel path must
+    // pick it up inside `train_members_in_order` and still match an
+    // uninterrupted parallel run bit for bit.
+    let _g = global_guard();
+    let _restore = RestoreGlobals;
+    set_num_threads(8);
+    let env = blob_env(72);
+    let x = env.data.test.features().clone();
+    let full_store = MemStore::new();
+    let mut full = Bagging::new(3, 3).run_resumable(&env, &full_store).unwrap();
+
+    let store = MemStore::new();
+    Bagging::new(3, 3)
+        .run_resumable(&dying(&env, 32), &store)
+        .unwrap_err();
+    assert!(
+        store.contains("member-1-progress"),
+        "kill inside member 1's epoch 2 must leave its progress record"
+    );
+
+    let mut resumed = Bagging::new(3, 3).run_resumable(&env, &store).unwrap();
+    assert_eq!(member_bits(&mut resumed, &x), member_bits(&mut full, &x));
+    assert_eq!(resumed.trace, full.trace);
+}
+
+#[test]
+fn forced_scalar_backend_resumes_bitwise() {
+    // The EDDE_SIMD=scalar configuration: dispatch pinned to the scalar
+    // kernels end to end (reference and resumed run alike).
+    let _g = global_guard();
+    let _restore = RestoreGlobals;
+    set_num_threads(1);
+    edde_tensor::simd::set_force_scalar(true);
+    let env = blob_env(73);
+    let x = env.data.test.features().clone();
+    let full_store = MemStore::new();
+    let mut full = Bagging::new(3, 3).run_resumable(&env, &full_store).unwrap();
+
+    let store = MemStore::new();
+    Bagging::new(3, 3)
+        .run_resumable(&dying(&env, 26), &store)
+        .unwrap_err();
+    assert!(store.contains("member-1-progress"));
+    let mut resumed = Bagging::new(3, 3).run_resumable(&env, &store).unwrap();
+    assert_eq!(member_bits(&mut resumed, &x), member_bits(&mut full, &x));
+    assert_eq!(resumed.trace, full.trace);
+}
+
+#[test]
+fn edde_kill_inside_a_round_resumes_bitwise() {
+    // EDDE round 1 trains 3 epochs (18 steps); round 2 spans steps 18..30.
+    // Step 26 lands in round 2's epoch 1, after its epoch-boundary record
+    // was written. The resume must reproduce the diversity-loss targets,
+    // the boosting weights, and the alpha votes exactly.
+    let _g = global_guard();
+    let _restore = RestoreGlobals;
+    set_num_threads(1);
+    let method = Edde::new(3, 3, 2, 0.1, 0.7);
+    let env = blob_env(74);
+    let x = env.data.test.features().clone();
+    let full_store = MemStore::new();
+    let mut full = method.run_resumable(&env, &full_store).unwrap();
+
+    let store = MemStore::new();
+    method.run_resumable(&dying(&env, 26), &store).unwrap_err();
+    assert!(store.contains("member-0"), "round 1 should be committed");
+    assert!(
+        store.contains("member-1-progress"),
+        "round 2's epoch progress should be persisted"
+    );
+
+    let mut resumed = method.run_resumable(&env, &store).unwrap();
+    let alphas_full: Vec<f32> = full.model.members().iter().map(|m| m.alpha).collect();
+    let alphas_res: Vec<f32> = resumed.model.members().iter().map(|m| m.alpha).collect();
+    assert_eq!(alphas_full, alphas_res);
+    assert_eq!(member_bits(&mut resumed, &x), member_bits(&mut full, &x));
+}
+
+#[test]
+fn failed_progress_write_leaves_a_resumable_store() {
+    // Sequential Bagging 2x3 writes, in order: member 0's progress at
+    // epochs 1 and 2, its network, the manifest, then member 1's progress.
+    // Failing put #4 aborts the run inside member 1 with member 0
+    // committed; the store must resume to the identical ensemble.
+    let _g = global_guard();
+    let _restore = RestoreGlobals;
+    set_num_threads(1);
+    let method = Bagging::new(2, 3).sequential();
+    let env = blob_env(75);
+    let x = env.data.test.features().clone();
+    let full_store = MemStore::new();
+    let mut full = method.run_resumable(&env, &full_store).unwrap();
+
+    let store = FaultyStore::new(MemStore::new(), FaultPlan::fail_put(4));
+    let err = method.run_resumable(&env, &store).unwrap_err();
+    assert!(err.to_string().contains("injected"), "{err}");
+    let store = store.into_inner();
+    assert!(store.contains("manifest"), "member 0 was committed");
+    assert!(store.contains("member-0"));
+
+    let mut resumed = method.run_resumable(&env, &store).unwrap();
+    assert_eq!(member_bits(&mut resumed, &x), member_bits(&mut full, &x));
+    assert_eq!(resumed.trace, full.trace);
+}

@@ -114,6 +114,17 @@ pub fn unseal(mut bytes: Bytes) -> Result<Bytes> {
 /// Writes `bytes` to `path` atomically: temp file in the same directory,
 /// fsync, then rename over the destination.
 pub fn atomic_write(path: &Path, bytes: &[u8]) -> Result<()> {
+    atomic_write_impl(path, bytes, true)
+}
+
+/// [`atomic_write`] without the fsync: atomic against concurrent readers,
+/// but a crash may lose (or tear, detectably — payloads are checksummed)
+/// the last write. Backs [`CheckpointStore::put_relaxed`].
+pub fn atomic_write_nosync(path: &Path, bytes: &[u8]) -> Result<()> {
+    atomic_write_impl(path, bytes, false)
+}
+
+fn atomic_write_impl(path: &Path, bytes: &[u8], sync: bool) -> Result<()> {
     let io = |what: &'static str| {
         let p = path.display().to_string();
         move |e: std::io::Error| NnError::Io(format!("{what} {p}: {e}"))
@@ -124,7 +135,9 @@ pub fn atomic_write(path: &Path, bytes: &[u8]) -> Result<()> {
     {
         let mut f = fs::File::create(&tmp).map_err(io("cannot create"))?;
         f.write_all(bytes).map_err(io("cannot write"))?;
-        f.sync_all().map_err(io("cannot sync"))?;
+        if sync {
+            f.sync_all().map_err(io("cannot sync"))?;
+        }
     }
     fs::rename(&tmp, path).map_err(|e| {
         // Don't leave the temp file behind on a failed rename.
@@ -160,6 +173,16 @@ pub fn load(net: &mut Network, path: impl AsRef<Path>) -> Result<()> {
 pub trait CheckpointStore: Send + Sync {
     /// Stores `bytes` under `key`, replacing any previous value.
     fn put(&self, key: &str, bytes: &[u8]) -> Result<()>;
+    /// Stores `bytes` under `key` with *relaxed durability*: the write must
+    /// still be all-or-nothing against concurrent readers, but it may skip
+    /// the flush to stable storage that [`CheckpointStore::put`] implies.
+    /// For advisory state that is cheap to recompute (e.g. epoch-boundary
+    /// progress records, rewritten every epoch), trading a crash losing the
+    /// last write for not paying an fsync per epoch is the right default.
+    /// Implementations where the distinction has no meaning inherit `put`.
+    fn put_relaxed(&self, key: &str, bytes: &[u8]) -> Result<()> {
+        self.put(key, bytes)
+    }
     /// Retrieves the value stored under `key`.
     fn get(&self, key: &str) -> Result<Bytes>;
     /// Whether `key` currently has a value.
@@ -205,6 +228,10 @@ impl FsStore {
 impl CheckpointStore for FsStore {
     fn put(&self, key: &str, bytes: &[u8]) -> Result<()> {
         atomic_write(&self.path_for(key)?, bytes)
+    }
+
+    fn put_relaxed(&self, key: &str, bytes: &[u8]) -> Result<()> {
+        atomic_write_nosync(&self.path_for(key)?, bytes)
     }
 
     fn get(&self, key: &str) -> Result<Bytes> {
@@ -315,6 +342,25 @@ pub fn save_to_store(store: &dyn CheckpointStore, key: &str, net: &mut Network) 
 /// Loads a network from a store, verifying the v2 frame.
 pub fn load_from_store(store: &dyn CheckpointStore, key: &str, net: &mut Network) -> Result<()> {
     from_bytes(net, store.get(key)?)
+}
+
+/// Writes an arbitrary payload (e.g. an optimizer or progress blob) into a
+/// store under `key`, sealed in a checksummed v2 frame.
+pub fn put_sealed(store: &dyn CheckpointStore, key: &str, payload: &[u8]) -> Result<()> {
+    store.put(key, &seal(payload))
+}
+
+/// [`put_sealed`] through [`CheckpointStore::put_relaxed`]: the checksummed
+/// frame still detects a torn write, but the store may skip flushing to
+/// stable storage. For advisory, frequently rewritten records.
+pub fn put_sealed_relaxed(store: &dyn CheckpointStore, key: &str, payload: &[u8]) -> Result<()> {
+    store.put_relaxed(key, &seal(payload))
+}
+
+/// Reads and unseals a payload written by [`put_sealed`], verifying the
+/// frame checksum.
+pub fn get_sealed(store: &dyn CheckpointStore, key: &str) -> Result<Bytes> {
+    unseal(store.get(key)?)
 }
 
 #[cfg(test)]

@@ -4,6 +4,7 @@
 
 use crate::error::{NnError, Result};
 use crate::network::Network;
+use bytes::Bytes;
 use edde_tensor::Tensor;
 use std::collections::HashMap;
 
@@ -56,6 +57,31 @@ impl Sgd {
     /// training in a new ensemble round).
     pub fn reset_state(&mut self) {
         self.velocity.clear();
+    }
+
+    /// Serializes the velocity buffers (the optimizer's only training
+    /// state — `lr`/`momentum`/`weight_decay` are configuration the caller
+    /// reconstructs). Entries are sorted by parameter path so the encoding
+    /// is deterministic regardless of `HashMap` iteration order; values
+    /// round-trip as exact little-endian `f32` bit patterns.
+    pub fn export_state(&self) -> Bytes {
+        let mut entries: Vec<(String, Tensor)> = self
+            .velocity
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        edde_tensor::serialize::encode_params(&entries)
+    }
+
+    /// Restores velocity buffers written by [`Sgd::export_state`],
+    /// replacing any current state. Buffers are keyed by parameter path,
+    /// so the optimizer must step the same architecture that exported
+    /// them.
+    pub fn import_state(&mut self, bytes: Bytes) -> Result<()> {
+        let entries = edde_tensor::serialize::decode_params(bytes).map_err(NnError::Tensor)?;
+        self.velocity = entries.into_iter().collect();
+        Ok(())
     }
 
     /// Applies one update step to every parameter of `net` from its

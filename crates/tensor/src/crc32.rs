@@ -2,14 +2,18 @@
 //! checkpoints, and run manifests.
 //!
 //! Implemented in-crate because the sanctioned dependency set has no
-//! checksum crate. The table is built at compile time; throughput is far
-//! beyond what checkpoint I/O needs.
+//! checksum crate. Uses slicing-by-8: eight compile-time tables let the
+//! hot loop fold 8 input bytes per iteration with no inter-byte
+//! dependency chain, a several-fold throughput gain over the classic
+//! byte-at-a-time table walk. That matters since epoch-granular training
+//! checkpoints now checksum a few hundred kilobytes every epoch boundary.
 
 /// The reflected IEEE polynomial.
 const POLY: u32 = 0xEDB8_8320;
 
-const fn build_table() -> [u32; 256] {
-    let mut table = [0u32; 256];
+const fn build_tables() -> [[u32; 256]; 8] {
+    let mut tables = [[0u32; 256]; 8];
+    // Table 0 is the classic one-byte table.
     let mut i = 0;
     while i < 256 {
         let mut crc = i as u32;
@@ -22,13 +26,25 @@ const fn build_table() -> [u32; 256] {
             };
             bit += 1;
         }
-        table[i] = crc;
+        tables[0][i] = crc;
         i += 1;
     }
-    table
+    // Table k advances a byte's contribution k extra positions:
+    // t[k][i] = one more table-0 step applied to t[k-1][i].
+    let mut k = 1;
+    while k < 8 {
+        let mut i = 0;
+        while i < 256 {
+            let prev = tables[k - 1][i];
+            tables[k][i] = (prev >> 8) ^ tables[0][(prev & 0xFF) as usize];
+            i += 1;
+        }
+        k += 1;
+    }
+    tables
 }
 
-const TABLE: [u32; 256] = build_table();
+const TABLES: [[u32; 256]; 8] = build_tables();
 
 /// A streaming CRC-32 hasher for checksumming data produced in pieces.
 #[derive(Debug, Clone)]
@@ -50,10 +66,25 @@ impl Crc32 {
 
     /// Folds `data` into the checksum.
     pub fn update(&mut self, data: &[u8]) {
-        for &b in data {
-            let idx = ((self.state ^ u32::from(b)) & 0xFF) as usize;
-            self.state = (self.state >> 8) ^ TABLE[idx];
+        let mut crc = self.state;
+        let mut chunks = data.chunks_exact(8);
+        for chunk in &mut chunks {
+            let lo = crc ^ u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+            let hi = u32::from_le_bytes([chunk[4], chunk[5], chunk[6], chunk[7]]);
+            crc = TABLES[7][(lo & 0xFF) as usize]
+                ^ TABLES[6][((lo >> 8) & 0xFF) as usize]
+                ^ TABLES[5][((lo >> 16) & 0xFF) as usize]
+                ^ TABLES[4][(lo >> 24) as usize]
+                ^ TABLES[3][(hi & 0xFF) as usize]
+                ^ TABLES[2][((hi >> 8) & 0xFF) as usize]
+                ^ TABLES[1][((hi >> 16) & 0xFF) as usize]
+                ^ TABLES[0][(hi >> 24) as usize];
         }
+        for &b in chunks.remainder() {
+            let idx = ((crc ^ u32::from(b)) & 0xFF) as usize;
+            crc = (crc >> 8) ^ TABLES[0][idx];
+        }
+        self.state = crc;
     }
 
     /// The final checksum value.
@@ -73,6 +104,16 @@ pub fn crc32(data: &[u8]) -> u32 {
 mod tests {
     use super::*;
 
+    /// Byte-at-a-time reference the sliced implementation must match.
+    fn crc32_bytewise(data: &[u8]) -> u32 {
+        let mut crc = 0xFFFF_FFFFu32;
+        for &b in data {
+            let idx = ((crc ^ u32::from(b)) & 0xFF) as usize;
+            crc = (crc >> 8) ^ TABLES[0][idx];
+        }
+        crc ^ 0xFFFF_FFFF
+    }
+
     #[test]
     fn known_vectors() {
         // Standard CRC-32/ISO-HDLC check values.
@@ -85,6 +126,20 @@ mod tests {
     }
 
     #[test]
+    fn sliced_matches_bytewise_at_every_length_and_alignment() {
+        let data: Vec<u8> = (0..257u32)
+            .map(|i| (i.wrapping_mul(31) ^ 7) as u8)
+            .collect();
+        for len in 0..data.len() {
+            assert_eq!(
+                crc32(&data[..len]),
+                crc32_bytewise(&data[..len]),
+                "length {len}"
+            );
+        }
+    }
+
+    #[test]
     fn streaming_matches_one_shot() {
         let data = b"split across several updates";
         let mut h = Crc32::new();
@@ -92,6 +147,17 @@ mod tests {
         h.update(&data[5..12]);
         h.update(&data[12..]);
         assert_eq!(h.finalize(), crc32(data));
+    }
+
+    #[test]
+    fn streaming_split_mid_chunk_matches() {
+        let data: Vec<u8> = (0..64u8).collect();
+        for split in 0..data.len() {
+            let mut h = Crc32::new();
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            assert_eq!(h.finalize(), crc32(&data), "split {split}");
+        }
     }
 
     #[test]

@@ -69,8 +69,10 @@ pub mod prelude {
         beta_probe, select_beta, transfer_partial, BetaProbeConfig, BetaProbePoint,
     };
     pub use edde_core::{
-        EnsembleMember, EnsembleModel, ExperimentEnv, FaultPlan, FaultyStore, LossSpec,
-        MemberRecord, ModelFactory, RecoveryPolicy, RunManifest, RunSession, Trainer,
+        epoch_seed, EnsembleMember, EnsembleModel, EpochCheckpoints, ExperimentEnv, FaultPlan,
+        FaultyStore, LossSpec, MemberProgress, MemberRecord, ModelFactory, RecoveryPolicy,
+        RunManifest, RunProtocol, RunSession, TrainEvent, TrainLoop, TrainObserver, TrainRng,
+        TrainStats, Trainer,
     };
     pub use edde_data::synth::{
         gaussian_blobs, GaussianBlobsConfig, SynthImages, SynthImagesConfig, SynthText,

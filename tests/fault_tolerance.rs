@@ -174,12 +174,53 @@ fn resuming_under_a_different_configuration_is_refused() {
 
 #[test]
 fn methods_with_a_single_trajectory_reject_resumable_runs() {
-    // Snapshot shares one optimization trajectory across members, so
-    // member-granular resume does not apply; the default impl says so.
+    // NCL trains all members inside one joint optimization trajectory, so
+    // neither member- nor epoch-boundary resume applies; the default impl
+    // says so.
     let env = blob_env(55, RecoveryPolicy::default(), None);
     let store = MemStore::new();
-    let err = Snapshot::new(2, 2).run_resumable(&env, &store).unwrap_err();
+    let err = Ncl::new(2, 2, 1, 0.5)
+        .run_resumable(&env, &store)
+        .unwrap_err();
     assert!(err.to_string().contains("resumable"), "{err}");
+}
+
+#[test]
+fn killed_snapshot_run_resumes_to_the_identical_ensemble() {
+    // Snapshot's cycles share one warm-started trajectory; resuming must
+    // restore the last completed snapshot as the live model (plus any
+    // in-flight cycle's epoch progress) and keep the remaining cycles
+    // bit-exact.
+    let method = Snapshot::new(3, 2);
+    let env = blob_env(57, RecoveryPolicy::default(), None);
+    let store_full = MemStore::new();
+    let mut full = method.run_resumable(&env, &store_full).unwrap();
+
+    // 2 epochs x 7 steps = 14 steps per cycle; step 24 lands in cycle 2's
+    // second epoch (steps 21..27), after cycle 1 was recorded and cycle
+    // 2's epoch-1 boundary progress was persisted.
+    let store = MemStore::new();
+    let dying = blob_env(
+        57,
+        RecoveryPolicy::disabled(),
+        Some(FaultPlan::nan_loss_at_step(24)),
+    );
+    method.run_resumable(&dying, &store).unwrap_err();
+    assert!(store.contains("member-0"), "cycle 1 should be recorded");
+    assert!(
+        store.contains("member-1-progress"),
+        "cycle 2's epoch progress should be persisted"
+    );
+
+    let clean = blob_env(57, RecoveryPolicy::default(), None);
+    let mut resumed = method.run_resumable(&clean, &store).unwrap();
+    assert_eq!(resumed.model.len(), 3);
+    let x = env.data.test.features();
+    assert_eq!(
+        full.model.soft_targets(x).unwrap().data(),
+        resumed.model.soft_targets(x).unwrap().data(),
+        "resumed snapshot ensemble must predict identically"
+    );
 }
 
 #[test]
