@@ -26,7 +26,7 @@ fn bench_soft_voting(c: &mut Criterion) {
         group.bench_function(format!("soft_vote_{members}_members"), |bench| {
             bench.iter_batched(
                 || model.clone(),
-                |mut m| m.soft_targets(black_box(&features)).unwrap(),
+                |m| m.soft_targets(black_box(&features)).unwrap(),
                 BatchSize::SmallInput,
             )
         });
@@ -52,7 +52,7 @@ fn bench_transfer(c: &mut Criterion) {
     c.bench_function("beta_transfer_0.7", |bench| {
         bench.iter_batched(
             || (teacher.clone(), student.clone()),
-            |(mut t, mut s)| transfer_partial(&mut t, &mut s, 0.7).unwrap(),
+            |(t, mut s)| transfer_partial(&t, &mut s, 0.7).unwrap(),
             BatchSize::SmallInput,
         )
     });

@@ -17,7 +17,7 @@ use std::hint::black_box;
 fn step(net: &mut Network, opt: &mut Sgd, x: &Tensor, labels: &[usize]) {
     let ce = CrossEntropy::new();
     net.zero_grad();
-    let logits = net.forward(x, Mode::Train).unwrap();
+    let logits = net.train_forward(x, Mode::Train).unwrap();
     let out = ce.compute(&logits, labels, None).unwrap();
     net.backward(&out.grad_logits).unwrap();
     opt.step(net).unwrap();

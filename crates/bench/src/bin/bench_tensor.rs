@@ -53,7 +53,7 @@ fn time_min_ms(iters: usize, mut f: impl FnMut()) -> f64 {
 fn training_step(net: &mut Network, opt: &mut Sgd, x: &Tensor, labels: &[usize]) {
     let ce = CrossEntropy::new();
     net.zero_grad();
-    let logits = net.forward(x, Mode::Train).unwrap();
+    let logits = net.train_forward(x, Mode::Train).unwrap();
     let out = ce.compute(&logits, labels, None).unwrap();
     net.backward(&out.grad_logits).unwrap();
     opt.step(net).unwrap();
@@ -161,6 +161,31 @@ fn run_suite(iters: usize) -> Vec<(String, f64)> {
         black_box(ens.soft_targets(black_box(&feats)).unwrap());
     });
     results.push(("ensemble_predict_4xmlp_512_t8".into(), ms));
+
+    // -- frozen serving vs per-request member cloning --
+    // `ensemble_infer_t*` is the frozen engine: one shared immutable
+    // ensemble, zero member cloning. The `_cloned_` baseline is what
+    // serving cost before the freeze: clone every member for the request
+    // (the pre-refactor `&mut` path forced a private copy per concurrent
+    // caller). Both produce bit-identical outputs.
+    let frozen = std::sync::Arc::new(ens.freeze());
+    for threads in [1usize, 8] {
+        set_num_threads(threads);
+        let ms = time_min_ms(iters, || {
+            black_box(frozen.soft_targets(black_box(&feats)).unwrap());
+        });
+        eprintln!(
+            "  ensemble_infer_t{threads}: {:.0} samples/s",
+            512.0 * 1e3 / ms
+        );
+        results.push((format!("ensemble_infer_t{threads}"), ms));
+        let ms = time_min_ms(iters, || {
+            let private = black_box(&ens).clone();
+            black_box(private.soft_targets(black_box(&feats)).unwrap());
+        });
+        results.push((format!("ensemble_infer_cloned_t{threads}"), ms));
+    }
+    set_num_threads(8);
 
     // -- independent-member training: sequential vs concurrent members --
     // Same 8-thread budget both ways; the sequential run spends it inside

@@ -49,9 +49,9 @@ fn main() {
     println!("(equal training budget; both axes per DESIGN.md definitions)\n");
     let mut table = Table::new(&["Method", "Bias", "Variance", "Epochs"]);
     for method in &methods {
-        let (s, mut run) =
+        let (s, run) =
             run_method(method.as_ref(), &env, checkpoint_dir.as_deref()).expect("fig1 run");
-        let bv = bias_variance(&mut run.model, &env.data.test).expect("bias/variance");
+        let bv = bias_variance(&run.model, &env.data.test).expect("bias/variance");
         table.add_row(&[
             s.name.clone(),
             format!("{:.4}", bv.bias),

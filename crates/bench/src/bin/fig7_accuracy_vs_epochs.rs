@@ -9,7 +9,8 @@
 
 use edde_bench::harness::{cv_methods, run_method};
 use edde_bench::workloads::{cifar100_env, CvArch, Scale};
-use edde_core::methods::SingleModel;
+use edde_core::methods::{train_members_in_order, SingleModel};
+use std::fmt::Write as _;
 use std::path::PathBuf;
 
 fn main() {
@@ -25,35 +26,51 @@ fn main() {
                 .map(PathBuf::from)
                 .expect("--checkpoint-dir requires a directory argument")
         });
-    for arch in [CvArch::ResNet, CvArch::DenseNet] {
-        if only_resnet && arch == CvArch::DenseNet {
-            continue;
-        }
-        let env = cifar100_env(arch, 42);
-        eprintln!("[{}]", arch.name());
-        println!("--- {} ---", arch.name());
-        let arch_tag = if arch == CvArch::ResNet {
-            "resnet"
-        } else {
-            "densenet"
-        };
-        let arch_dir = checkpoint_dir.as_ref().map(|d| d.join(arch_tag));
-        let mut methods = cv_methods(scale);
-        // give the single model a per-epoch curve like the paper's plot
-        methods[0] = Box::new(SingleModel {
-            epochs: scale.epochs(edde_bench::workloads::CV_CYCLE)
-                * scale.members(edde_bench::workloads::CV_MEMBERS),
-            trace_every: scale.epochs(4),
-        });
-        for method in &methods {
-            let (_, run) =
-                run_method(method.as_ref(), &env, arch_dir.as_deref()).expect("fig7 run");
-            print!("{:<24}", method.name());
-            for p in &run.trace {
-                print!(" {}:{:.4}", p.cumulative_epochs, p.test_accuracy);
+    let archs: Vec<CvArch> = [CvArch::ResNet, CvArch::DenseNet]
+        .into_iter()
+        .filter(|&a| !(only_resnet && a == CvArch::DenseNet))
+        .collect();
+    // The two architectures are fully independent runs (separate envs and
+    // checkpoint subtrees, no shared RNG stream), so they train
+    // concurrently over the worker pool; each one's report is committed in
+    // architecture order, keeping stdout identical to the sequential loop.
+    train_members_in_order(
+        0,
+        archs.len(),
+        true,
+        |i| {
+            let arch = archs[i];
+            let env = cifar100_env(arch, 42);
+            eprintln!("[{}]", arch.name());
+            let arch_tag = if arch == CvArch::ResNet {
+                "resnet"
+            } else {
+                "densenet"
+            };
+            let arch_dir = checkpoint_dir.as_ref().map(|d| d.join(arch_tag));
+            let mut methods = cv_methods(scale);
+            // give the single model a per-epoch curve like the paper's plot
+            methods[0] = Box::new(SingleModel {
+                epochs: scale.epochs(edde_bench::workloads::CV_CYCLE)
+                    * scale.members(edde_bench::workloads::CV_MEMBERS),
+                trace_every: scale.epochs(4),
+            });
+            let mut report = format!("--- {} ---\n", arch.name());
+            for method in &methods {
+                let (_, run) = run_method(method.as_ref(), &env, arch_dir.as_deref())?;
+                let _ = write!(report, "{:<24}", method.name());
+                for p in &run.trace {
+                    let _ = write!(report, " {}:{:.4}", p.cumulative_epochs, p.test_accuracy);
+                }
+                report.push('\n');
             }
-            println!();
-        }
-        println!();
-    }
+            report.push('\n');
+            Ok(report)
+        },
+        |_, report| {
+            print!("{report}");
+            Ok(())
+        },
+    )
+    .expect("fig7 run");
 }

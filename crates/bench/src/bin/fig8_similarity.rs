@@ -34,7 +34,7 @@ fn main() {
         Box::new(AdaBoostNc::new(members, cycle)),
     ];
     for method in &methods {
-        let (_, mut run) =
+        let (_, run) =
             run_method(method.as_ref(), &env, checkpoint_dir.as_deref()).expect("fig8 run");
         let probs = run
             .model

@@ -74,7 +74,7 @@ pub fn run_method(
     checkpoint_dir: Option<&Path>,
 ) -> Result<(MethodSummary, RunResult)> {
     let started = Instant::now();
-    let mut run = match checkpoint_dir.filter(|_| method.supports_resumable()) {
+    let run = match checkpoint_dir.filter(|_| method.supports_resumable()) {
         Some(dir) => {
             let store = FsStore::open(dir.join(method_slug(&method.name())))?;
             let resumed = method.run_resumable(env, &store)?;
@@ -87,7 +87,7 @@ pub fn run_method(
         }
         None => method.run(env)?,
     };
-    let summary = summarize(method.name(), &mut run, &env.data.test)?;
+    let summary = summarize(method.name(), &run, &env.data.test)?;
     eprintln!(
         "  {:<24} ens {:>6.2}% avg {:>6.2}% ({} epochs, {:.0}s)",
         summary.name,

@@ -261,7 +261,7 @@ mod tests {
         for arch in [CvArch::ResNet, CvArch::DenseNet] {
             let env = cifar10_env(arch, 1);
             let mut rng = env.rng(0);
-            let mut net = (env.factory)(&mut rng).unwrap();
+            let net = (env.factory)(&mut rng).unwrap();
             assert_eq!(net.num_classes(), 10);
             assert!(net.param_count() > 1000);
         }

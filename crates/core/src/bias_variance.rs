@@ -26,7 +26,7 @@ pub struct BiasVariance {
 }
 
 /// Computes the bias/variance point of a trained ensemble on `data`.
-pub fn bias_variance(model: &mut EnsembleModel, data: &Dataset) -> Result<BiasVariance> {
+pub fn bias_variance(model: &EnsembleModel, data: &Dataset) -> Result<BiasVariance> {
     let t = model.len();
     if t == 0 {
         return Err(EnsembleError::EmptyEnsemble);
@@ -102,7 +102,7 @@ mod tests {
         let base = net(0);
         ens.push(base.clone(), 1.0, "a");
         ens.push(base, 1.0, "b");
-        let bv = bias_variance(&mut ens, &toy_data()).unwrap();
+        let bv = bias_variance(&ens, &toy_data()).unwrap();
         assert!(bv.variance < 1e-6);
         assert!(bv.bias > 0.0);
     }
@@ -112,7 +112,7 @@ mod tests {
         let mut ens = EnsembleModel::new();
         ens.push(net(1), 1.0, "a");
         ens.push(net(2), 1.0, "b");
-        let bv = bias_variance(&mut ens, &toy_data()).unwrap();
+        let bv = bias_variance(&ens, &toy_data()).unwrap();
         assert!(bv.variance > 0.0);
         assert!((0.0..=1.0).contains(&bv.bias));
         assert!((0.0..=1.0).contains(&bv.variance));
@@ -136,14 +136,14 @@ mod tests {
         });
         let mut ens = EnsembleModel::new();
         ens.push(m, 1.0, "perfect");
-        let bv = bias_variance(&mut ens, &toy_data()).unwrap();
+        let bv = bias_variance(&ens, &toy_data()).unwrap();
         assert!(bv.bias < 0.01, "bias {}", bv.bias);
         assert_eq!(bv.variance, 0.0); // single member
     }
 
     #[test]
     fn empty_ensemble_is_an_error() {
-        let mut ens = EnsembleModel::new();
-        assert!(bias_variance(&mut ens, &toy_data()).is_err());
+        let ens = EnsembleModel::new();
+        assert!(bias_variance(&ens, &toy_data()).is_err());
     }
 }

@@ -82,7 +82,7 @@ pub fn ensemble_diversity(member_probs: &[Tensor]) -> Result<f32> {
 
 /// Convenience: Eq. 7 evaluated for a trained [`EnsembleModel`] on a
 /// feature tensor.
-pub fn model_diversity(model: &mut EnsembleModel, features: &Tensor) -> Result<f32> {
+pub fn model_diversity(model: &EnsembleModel, features: &Tensor) -> Result<f32> {
     let probs = model.member_soft_targets(features)?;
     ensemble_diversity(&probs)
 }

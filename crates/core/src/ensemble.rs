@@ -1,21 +1,22 @@
 //! The weighted soft-voting ensemble model (paper Eq. 16).
 //!
-//! Member inference is embarrassingly parallel — the `T` base models'
-//! `predict_proba` calls are independent — so the prediction paths fan the
-//! members out over the persistent tensor worker pool and only the final
-//! α-weighted average runs serially, in member order, keeping results
-//! bit-identical at every thread count.
+//! All inference runs on the shared engine in [`crate::frozen`]: member
+//! forward passes use the pure `Network::forward` path and fan out over the
+//! persistent tensor worker pool with per-thread scratch contexts, and only
+//! the final α-weighted average runs serially, in member order, keeping
+//! results bit-identical at every thread count. Every prediction method
+//! therefore takes `&self`; mutable access remains only for training-time
+//! surgery (e.g. β-knowledge transfer into a member).
 
 use crate::error::{EnsembleError, Result};
+use crate::frozen::{self, FrozenEnsemble};
 use edde_data::Dataset;
+use edde_nn::infer::with_thread_ctx;
 use edde_nn::metrics::accuracy;
 use edde_nn::Network;
-use edde_tensor::parallel::parallel_map_mut;
+use edde_tensor::parallel::parallel_map;
 use edde_tensor::Tensor;
-
-/// Evaluation batch size used when scoring large feature tensors; bounds
-/// the im2col working set without affecting results.
-const EVAL_BATCH: usize = 256;
+use std::sync::Arc;
 
 /// One base model with its ensemble weight `α_t`.
 #[derive(Clone)]
@@ -69,90 +70,71 @@ impl EnsembleModel {
         &self.members
     }
 
-    /// Mutable access to the members (needed because forward passes cache).
+    /// Mutable access to the members — training-time only (β-transfer
+    /// teachers, distillation sources). Inference never needs it.
     pub fn members_mut(&mut self) -> &mut [EnsembleMember] {
         &mut self.members
     }
 
-    /// Batched eval-mode softmax output of a single network.
-    pub fn network_soft_targets(net: &mut Network, features: &Tensor) -> Result<Tensor> {
-        let n = features.dims()[0];
-        let mut outputs = Vec::new();
-        let mut start = 0usize;
-        while start < n {
-            let end = (start + EVAL_BATCH).min(n);
-            let idx: Vec<usize> = (start..end).collect();
-            let batch = features.index_select0(&idx)?;
-            outputs.push(net.predict_proba(&batch)?);
-            start = end;
+    /// Copies the members into an immutable [`FrozenEnsemble`] for serving.
+    pub fn freeze(&self) -> FrozenEnsemble {
+        let mut frozen = FrozenEnsemble::new();
+        for m in &self.members {
+            frozen.push(Arc::new(m.network.clone()), m.alpha, m.label.clone());
         }
-        let refs: Vec<&Tensor> = outputs.iter().collect();
-        Ok(Tensor::concat0(&refs)?)
+        frozen
+    }
+
+    /// Batched eval-mode softmax output of a single network, on the pure
+    /// forward path with this thread's scratch context.
+    pub fn network_soft_targets(net: &Network, features: &Tensor) -> Result<Tensor> {
+        with_thread_ctx(|ctx| frozen::network_soft_targets_tau(net, features, 1.0, ctx))
     }
 
     /// Ensemble soft target `H_t(x)` for every row of `features`, using the
     /// first `prefix` members (pass `self.len()` for the full ensemble).
-    pub fn soft_targets_prefix(&mut self, features: &Tensor, prefix: usize) -> Result<Tensor> {
+    pub fn soft_targets_prefix(&self, features: &Tensor, prefix: usize) -> Result<Tensor> {
         if prefix == 0 || prefix > self.members.len() {
             return Err(EnsembleError::EmptyEnsemble);
         }
-        // Fan the independent member forward passes out over the pool…
-        let all_probs = parallel_map_mut(&mut self.members[..prefix], |_, member| {
-            Self::network_soft_targets(&mut member.network, features)
-        });
-        // …then reduce serially in member order (fixed summation order ⇒
-        // bit-identical results at every thread count).
-        let mut acc: Option<Tensor> = None;
-        let mut alpha_sum = 0.0f32;
-        for (member, probs) in self.members[..prefix].iter().zip(all_probs) {
-            let weighted = probs?.map(|v| v * member.alpha);
-            alpha_sum += member.alpha;
-            acc = Some(match acc {
-                None => weighted,
-                Some(a) => a.zip_map(&weighted, |x, y| x + y)?,
-            });
-        }
-        if alpha_sum <= 0.0 {
-            return Err(EnsembleError::BadConfig(
-                "member weights sum to zero".into(),
-            ));
-        }
-        Ok(acc.expect("prefix >= 1").map(|v| v / alpha_sum))
+        let nets: Vec<&Network> = self.members[..prefix].iter().map(|m| &m.network).collect();
+        let alphas: Vec<f32> = self.members[..prefix].iter().map(|m| m.alpha).collect();
+        frozen::weighted_soft_vote(&nets, &alphas, features)
     }
 
     /// Ensemble soft target `H_T(x)` over all members.
-    pub fn soft_targets(&mut self, features: &Tensor) -> Result<Tensor> {
+    pub fn soft_targets(&self, features: &Tensor) -> Result<Tensor> {
         self.soft_targets_prefix(features, self.members.len())
     }
 
     /// Hard predictions of the full ensemble.
-    pub fn predict(&mut self, features: &Tensor) -> Result<Vec<usize>> {
+    pub fn predict(&self, features: &Tensor) -> Result<Vec<usize>> {
         let probs = self.soft_targets(features)?;
         Ok(edde_tensor::ops::argmax_rows(&probs)?)
     }
 
     /// Ensemble test accuracy.
-    pub fn accuracy(&mut self, data: &Dataset) -> Result<f32> {
+    pub fn accuracy(&self, data: &Dataset) -> Result<f32> {
         let probs = self.soft_targets(data.features())?;
         Ok(accuracy(&probs, data.labels())?)
     }
 
     /// Ensemble accuracy using only the first `prefix` members — the
     /// quantity Fig. 7 plots against cumulative training epochs.
-    pub fn accuracy_prefix(&mut self, data: &Dataset, prefix: usize) -> Result<f32> {
+    pub fn accuracy_prefix(&self, data: &Dataset, prefix: usize) -> Result<f32> {
         let probs = self.soft_targets_prefix(data.features(), prefix)?;
         Ok(accuracy(&probs, data.labels())?)
     }
 
     /// Mean *individual* member accuracy — the "Average accuracy" column of
     /// Tables IV and VI.
-    pub fn average_member_accuracy(&mut self, data: &Dataset) -> Result<f32> {
+    pub fn average_member_accuracy(&self, data: &Dataset) -> Result<f32> {
         if self.members.is_empty() {
             return Err(EnsembleError::EmptyEnsemble);
         }
         let m = self.members.len();
-        let accs = parallel_map_mut(&mut self.members, |_, member| -> Result<f32> {
-            let probs = Self::network_soft_targets(&mut member.network, data.features())?;
+        let accs = parallel_map(&self.members, |_, member| -> Result<f32> {
+            let probs = Self::network_soft_targets(&member.network, data.features())?;
             Ok(accuracy(&probs, data.labels())?)
         });
         let mut total = 0.0f32;
@@ -164,12 +146,11 @@ impl EnsembleModel {
 
     /// Each member's soft-target matrix on `features` — the raw input to the
     /// diversity measure (Eq. 2) and the pairwise similarity heatmap (Fig. 8).
-    pub fn member_soft_targets(&mut self, features: &Tensor) -> Result<Vec<Tensor>> {
-        parallel_map_mut(&mut self.members, |_, m| {
-            Self::network_soft_targets(&mut m.network, features)
-        })
-        .into_iter()
-        .collect()
+    pub fn member_soft_targets(&self, features: &Tensor) -> Result<Vec<Tensor>> {
+        let nets: Vec<&Network> = self.members.iter().map(|m| &m.network).collect();
+        frozen::fan_out_soft_targets(&nets, features)
+            .into_iter()
+            .collect()
     }
 }
 
@@ -208,10 +189,10 @@ mod tests {
     #[test]
     fn alpha_weighting_biases_toward_heavy_member() {
         let d = toy_data();
-        let mut a = member(3);
-        let mut b = member(4);
-        let pa = EnsembleModel::network_soft_targets(&mut a, d.features()).unwrap();
-        let pb = EnsembleModel::network_soft_targets(&mut b, d.features()).unwrap();
+        let a = member(3);
+        let b = member(4);
+        let pa = EnsembleModel::network_soft_targets(&a, d.features()).unwrap();
+        let pb = EnsembleModel::network_soft_targets(&b, d.features()).unwrap();
         let mut ens = EnsembleModel::new();
         ens.push(a, 9.0, "heavy");
         ens.push(b, 1.0, "light");
@@ -229,14 +210,14 @@ mod tests {
         ens.push(member(5), 1.0, "a");
         ens.push(member(6), 1.0, "b");
         let first_only = ens.soft_targets_prefix(d.features(), 1).unwrap();
-        let mut solo = member(5);
-        let expect = EnsembleModel::network_soft_targets(&mut solo, d.features()).unwrap();
+        let solo = member(5);
+        let expect = EnsembleModel::network_soft_targets(&solo, d.features()).unwrap();
         assert_eq!(first_only.data(), expect.data());
     }
 
     #[test]
     fn empty_ensemble_errors() {
-        let mut ens = EnsembleModel::new();
+        let ens = EnsembleModel::new();
         let d = toy_data();
         assert!(ens.soft_targets(d.features()).is_err());
         assert!(ens.average_member_accuracy(&d).is_err());
@@ -256,15 +237,32 @@ mod tests {
 
     #[test]
     fn batched_eval_matches_unbatched() {
-        // more rows than EVAL_BATCH to exercise the batching path
-        let n = EVAL_BATCH + 10;
+        // more rows than the eval batch to exercise the batching path
+        let n = crate::env::eval_batch() + 10;
         let mut r = StdRng::seed_from_u64(9);
         let features = edde_tensor::rng::rand_uniform(&[n, 2], -1.0, 1.0, &mut r);
-        let mut net = member(10);
-        let batched = EnsembleModel::network_soft_targets(&mut net, &features).unwrap();
+        let net = member(10);
+        let batched = EnsembleModel::network_soft_targets(&net, &features).unwrap();
         let direct = net.predict_proba(&features).unwrap();
         for (a, b) in batched.data().iter().zip(direct.data().iter()) {
             assert!((a - b).abs() < 1e-6);
         }
+    }
+
+    #[test]
+    fn freeze_matches_mutable_path_bitwise() {
+        let mut ens = EnsembleModel::new();
+        ens.push(member(11), 1.5, "a");
+        ens.push(member(12), 0.5, "b");
+        let d = toy_data();
+        let frozen = ens.freeze();
+        assert_eq!(
+            frozen.soft_targets(d.features()).unwrap().data(),
+            ens.soft_targets(d.features()).unwrap().data()
+        );
+        assert_eq!(
+            frozen.predict(d.features()).unwrap(),
+            ens.predict(d.features()).unwrap()
+        );
     }
 }

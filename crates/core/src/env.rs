@@ -7,6 +7,18 @@ use edde_nn::Network;
 use rand::rngs::StdRng;
 use std::sync::Arc;
 
+/// Row-batch size used by every batched evaluation pass (soft targets,
+/// accuracy scoring). Read from `EDDE_EVAL_BATCH` on each call so tests can
+/// vary it; defaults to 256. Batch size never affects results — evaluation
+/// is bit-identical for any positive value.
+pub fn eval_batch() -> usize {
+    std::env::var("EDDE_EVAL_BATCH")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(256)
+}
+
 /// Builds a freshly initialized base network. Every ensemble method calls
 /// this whenever it needs a new random initialization, so all methods share
 /// one architecture per experiment — exactly the paper's protocol ("we train
@@ -83,7 +95,7 @@ mod tests {
         let factory: ModelFactory = Arc::new(|r| Ok(mlp(&[8, 4, 3], 0.0, r)));
         let env = ExperimentEnv::new(data, factory, Trainer::default(), 0.1, 1);
         let mut rng = env.rng(0);
-        let mut net = (env.factory)(&mut rng).unwrap();
+        let net = (env.factory)(&mut rng).unwrap();
         assert_eq!(net.num_classes(), 3);
         assert!(net.param_count() > 0);
     }

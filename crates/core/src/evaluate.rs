@@ -30,13 +30,13 @@ pub struct MethodSummary {
 /// Builds a summary row for a completed run.
 pub fn summarize(
     name: impl Into<String>,
-    run: &mut RunResult,
+    run: &RunResult,
     test: &Dataset,
 ) -> Result<MethodSummary> {
     let ensemble_accuracy = run.model.accuracy(test)?;
     let average_accuracy = run.model.average_member_accuracy(test)?;
     let diversity = if run.model.len() >= 2 {
-        Some(model_diversity(&mut run.model, test.features())?)
+        Some(model_diversity(&run.model, test.features())?)
     } else {
         None
     };
@@ -54,7 +54,7 @@ pub fn summarize(
 /// Ensemble accuracy after each member, re-evaluated from a trained model
 /// (used when a caller wants a trace at a different granularity than the
 /// one recorded during training).
-pub fn prefix_accuracies(model: &mut EnsembleModel, test: &Dataset) -> Result<Vec<f32>> {
+pub fn prefix_accuracies(model: &EnsembleModel, test: &Dataset) -> Result<Vec<f32>> {
     (1..=model.len())
         .map(|t| model.accuracy_prefix(test, t))
         .collect()
@@ -98,8 +98,8 @@ mod tests {
     #[test]
     fn summary_fields_are_consistent() {
         let e = env();
-        let mut run = Bagging::new(3, 6).run(&e).unwrap();
-        let s = summarize("Bagging", &mut run, &e.data.test).unwrap();
+        let run = Bagging::new(3, 6).run(&e).unwrap();
+        let s = summarize("Bagging", &run, &e.data.test).unwrap();
         assert_eq!(s.members, 3);
         assert_eq!(s.total_epochs, 18);
         assert!((s.increased_accuracy - (s.ensemble_accuracy - s.average_accuracy)).abs() < 1e-6);
@@ -109,16 +109,16 @@ mod tests {
     #[test]
     fn single_member_has_no_diversity() {
         let e = env();
-        let mut run = crate::methods::SingleModel::new(6).run(&e).unwrap();
-        let s = summarize("Single", &mut run, &e.data.test).unwrap();
+        let run = crate::methods::SingleModel::new(6).run(&e).unwrap();
+        let s = summarize("Single", &run, &e.data.test).unwrap();
         assert!(s.diversity.is_none());
     }
 
     #[test]
     fn prefix_accuracies_lengths() {
         let e = env();
-        let mut run = Bagging::new(3, 5).run(&e).unwrap();
-        let accs = prefix_accuracies(&mut run.model, &e.data.test).unwrap();
+        let run = Bagging::new(3, 5).run(&e).unwrap();
+        let accs = prefix_accuracies(&run.model, &e.data.test).unwrap();
         assert_eq!(accs.len(), 3);
         assert!(accs.iter().all(|a| (0.0..=1.0).contains(a)));
     }

@@ -1,0 +1,507 @@
+//! The frozen inference engine: immutable, shareable ensemble serving.
+//!
+//! Training needs `&mut` networks (forward passes cache backward state);
+//! serving does not. This module is the single soft-target engine every
+//! inference path runs on — [`network_soft_targets_tau`] batches a pure
+//! [`Network::forward`] pass through a per-thread [`InferCtx`], and
+//! [`FrozenEnsemble`] is the `Arc`-shared serving form of a trained
+//! ensemble: members, ensemble weights `α_t`, and labels, with Eq. 16
+//! soft voting fanned out over the worker pool.
+//!
+//! Results are bit-identical to the mutable training-stack path at every
+//! thread count and on every SIMD backend: member passes are independent,
+//! and the α-weighted reduction runs serially in member order.
+//!
+//! A frozen ensemble also round-trips through a CRC-sealed `EEB1` bundle
+//! ([`FrozenEnsemble::save_bundle`]/[`FrozenEnsemble::load_bundle`]), so a
+//! finished [`crate::runstate::RunSession`] can be frozen from its
+//! checkpoint store ([`FrozenEnsemble::freeze_run`]) and served without
+//! any trainer code — the loader needs only an architecture builder.
+
+use crate::error::{EnsembleError, Result};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use edde_data::Dataset;
+use edde_nn::checkpoint::{self, CheckpointStore};
+use edde_nn::infer::{with_thread_ctx, InferCtx};
+use edde_nn::metrics::accuracy;
+use edde_nn::Network;
+use edde_tensor::ops::softmax_rows_in_place;
+use edde_tensor::parallel::parallel_map;
+use edde_tensor::Tensor;
+use std::sync::Arc;
+
+/// Bundle payload magic (the payload is additionally sealed in an `EDC2`
+/// checksummed frame, like the `EDM2` run manifest).
+const BUNDLE_MAGIC: &[u8; 4] = b"EEB1";
+
+/// Current bundle format version.
+const BUNDLE_VERSION: u32 = 1;
+
+/// Batched eval-mode softmax of one network at temperature `tau`, on the
+/// pure forward path.
+///
+/// This is the one soft-target engine: `tau = 1.0` is the plain
+/// `predict_proba` semantics ensemble voting uses, `tau > 1.0` the
+/// τ-softened teacher targets BANs distills from. Scoring runs in batches
+/// of [`crate::env::eval_batch`] rows to bound the im2col working set;
+/// batching never affects results. Scratch comes from `ctx`, so steady-
+/// state evaluation performs no fresh allocations beyond the output.
+pub fn network_soft_targets_tau(
+    net: &Network,
+    features: &Tensor,
+    tau: f32,
+    ctx: &mut InferCtx,
+) -> Result<Tensor> {
+    let dims = features.dims().to_vec();
+    let n = dims[0];
+    let row: usize = dims[1..].iter().product();
+    let k = net.num_classes();
+    let batch = crate::env::eval_batch();
+    let mut out = Tensor::zeros(&[n, k]);
+    let mut start = 0usize;
+    while start < n {
+        let end = (start + batch).min(n);
+        let mut bdims = dims.clone();
+        bdims[0] = end - start;
+        let mut chunk = ctx.alloc(&bdims);
+        chunk
+            .data_mut()
+            .copy_from_slice(&features.data()[start * row..end * row]);
+        let mut logits = net.forward(&chunk, ctx)?;
+        ctx.recycle(chunk);
+        // z/1.0 == z bitwise, so skipping the scale at tau = 1 keeps the
+        // temperature path and the plain path on identical arithmetic.
+        if tau != 1.0 {
+            for z in logits.data_mut() {
+                *z /= tau;
+            }
+        }
+        softmax_rows_in_place(&mut logits)?;
+        out.data_mut()[start * k..end * k].copy_from_slice(logits.data());
+        ctx.recycle(logits);
+        start = end;
+    }
+    Ok(out)
+}
+
+/// Every member's soft-target matrix, fanned out over the worker pool with
+/// each worker's thread-local context; one result per network, in member
+/// order.
+pub(crate) fn fan_out_soft_targets(nets: &[&Network], features: &Tensor) -> Vec<Result<Tensor>> {
+    parallel_map(nets, |_, net| {
+        with_thread_ctx(|ctx| network_soft_targets_tau(net, features, 1.0, ctx))
+    })
+}
+
+/// The serial tail of Eq. 16: α-weighted average of member soft targets,
+/// renormalized by `Σα`. Fixed summation order (member order) keeps the
+/// result bit-identical at every thread count.
+pub(crate) fn alpha_weighted_average(probs: Vec<Result<Tensor>>, alphas: &[f32]) -> Result<Tensor> {
+    let mut acc: Option<Tensor> = None;
+    let mut alpha_sum = 0.0f32;
+    for (p, &alpha) in probs.into_iter().zip(alphas) {
+        let weighted = p?.map(|v| v * alpha);
+        alpha_sum += alpha;
+        acc = Some(match acc {
+            None => weighted,
+            Some(a) => a.zip_map(&weighted, |x, y| x + y)?,
+        });
+    }
+    let acc = acc.ok_or(EnsembleError::EmptyEnsemble)?;
+    if alpha_sum <= 0.0 {
+        return Err(EnsembleError::BadConfig(
+            "member weights sum to zero".into(),
+        ));
+    }
+    Ok(acc.map(|v| v / alpha_sum))
+}
+
+/// Pool-parallel member passes plus the serial α-reduce — the full Eq. 16
+/// soft vote both [`crate::EnsembleModel`] and [`FrozenEnsemble`] run on.
+pub(crate) fn weighted_soft_vote(
+    nets: &[&Network],
+    alphas: &[f32],
+    features: &Tensor,
+) -> Result<Tensor> {
+    alpha_weighted_average(fan_out_soft_targets(nets, features), alphas)
+}
+
+/// One frozen base model with its ensemble weight `α_t`.
+#[derive(Clone)]
+pub struct FrozenMember {
+    network: Arc<Network>,
+    alpha: f32,
+    label: String,
+}
+
+impl FrozenMember {
+    /// Wraps an already-shared network.
+    pub fn new(network: Arc<Network>, alpha: f32, label: impl Into<String>) -> Self {
+        FrozenMember {
+            network,
+            alpha,
+            label: label.into(),
+        }
+    }
+
+    /// The member network.
+    pub fn network(&self) -> &Network {
+        &self.network
+    }
+
+    /// Ensemble weight `α_t`.
+    pub fn alpha(&self) -> f32 {
+        self.alpha
+    }
+
+    /// Human-readable tag, e.g. `"edde-3"`.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+}
+
+impl std::fmt::Debug for FrozenMember {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FrozenMember")
+            .field("label", &self.label)
+            .field("alpha", &self.alpha)
+            .field("arch", &self.network.arch())
+            .finish_non_exhaustive()
+    }
+}
+
+/// An immutable ensemble `H_T = Σ_t α_t h_t` for serving: every method
+/// takes `&self`, so one instance (or one `Arc<FrozenEnsemble>`) serves
+/// concurrent batched predictions with zero member cloning.
+#[derive(Clone, Default)]
+pub struct FrozenEnsemble {
+    members: Vec<FrozenMember>,
+}
+
+impl std::fmt::Debug for FrozenEnsemble {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FrozenEnsemble")
+            .field("members", &self.members)
+            .finish()
+    }
+}
+
+impl FrozenEnsemble {
+    /// An empty frozen ensemble.
+    pub fn new() -> Self {
+        FrozenEnsemble {
+            members: Vec::new(),
+        }
+    }
+
+    /// Adds a member.
+    pub fn push(&mut self, network: Arc<Network>, alpha: f32, label: impl Into<String>) {
+        self.members.push(FrozenMember::new(network, alpha, label));
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True when the ensemble has no members.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// The members, in training order.
+    pub fn members(&self) -> &[FrozenMember] {
+        &self.members
+    }
+
+    /// Freezes every completed member of a resumable run directly from its
+    /// checkpoint store: `make` builds a fresh architecture-compatible
+    /// network per member (its initialization is fully overwritten by the
+    /// restore). The session's recorded `α_t` and labels carry over — no
+    /// trainer, environment, or method code involved.
+    pub fn freeze_run(
+        session: &crate::runstate::RunSession<'_>,
+        make: &mut dyn FnMut() -> Result<Network>,
+    ) -> Result<Self> {
+        let mut frozen = FrozenEnsemble::new();
+        for (t, rec) in session.members().iter().enumerate() {
+            let mut net = make()?;
+            session.restore_network(t, &mut net)?;
+            frozen.push(Arc::new(net), rec.alpha, rec.label.clone());
+        }
+        Ok(frozen)
+    }
+
+    /// Ensemble soft target `H_t(x)` for every row of `features`, using the
+    /// first `prefix` members (pass `self.len()` for the full ensemble).
+    pub fn soft_targets_prefix(&self, features: &Tensor, prefix: usize) -> Result<Tensor> {
+        if prefix == 0 || prefix > self.members.len() {
+            return Err(EnsembleError::EmptyEnsemble);
+        }
+        let nets: Vec<&Network> = self.members[..prefix]
+            .iter()
+            .map(|m| m.network.as_ref())
+            .collect();
+        let alphas: Vec<f32> = self.members[..prefix].iter().map(|m| m.alpha).collect();
+        weighted_soft_vote(&nets, &alphas, features)
+    }
+
+    /// Ensemble soft target `H_T(x)` over all members.
+    pub fn soft_targets(&self, features: &Tensor) -> Result<Tensor> {
+        self.soft_targets_prefix(features, self.members.len())
+    }
+
+    /// Hard predictions of the full ensemble.
+    pub fn predict(&self, features: &Tensor) -> Result<Vec<usize>> {
+        let probs = self.soft_targets(features)?;
+        Ok(edde_tensor::ops::argmax_rows(&probs)?)
+    }
+
+    /// Ensemble test accuracy.
+    pub fn accuracy(&self, data: &Dataset) -> Result<f32> {
+        let probs = self.soft_targets(data.features())?;
+        Ok(accuracy(&probs, data.labels())?)
+    }
+
+    /// Ensemble accuracy using only the first `prefix` members.
+    pub fn accuracy_prefix(&self, data: &Dataset, prefix: usize) -> Result<f32> {
+        let probs = self.soft_targets_prefix(data.features(), prefix)?;
+        Ok(accuracy(&probs, data.labels())?)
+    }
+
+    /// Mean *individual* member accuracy.
+    pub fn average_member_accuracy(&self, data: &Dataset) -> Result<f32> {
+        if self.members.is_empty() {
+            return Err(EnsembleError::EmptyEnsemble);
+        }
+        let m = self.members.len();
+        let accs = parallel_map(&self.members, |_, member| -> Result<f32> {
+            let probs = with_thread_ctx(|ctx| {
+                network_soft_targets_tau(member.network(), data.features(), 1.0, ctx)
+            })?;
+            Ok(accuracy(&probs, data.labels())?)
+        });
+        let mut total = 0.0f32;
+        for a in accs {
+            total += a?;
+        }
+        Ok(total / m as f32)
+    }
+
+    /// Each member's soft-target matrix on `features`.
+    pub fn member_soft_targets(&self, features: &Tensor) -> Result<Vec<Tensor>> {
+        let nets: Vec<&Network> = self.members.iter().map(|m| m.network.as_ref()).collect();
+        fan_out_soft_targets(&nets, features).into_iter().collect()
+    }
+
+    /// Serializes the ensemble into an unsealed `EEB1` payload: per member,
+    /// label, `α_t`, architecture tag, class count, and the full
+    /// parameter-and-buffer state ([`Network::export_state`] via the same
+    /// wire format checkpoints use).
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        buf.put_slice(BUNDLE_MAGIC);
+        buf.put_u32_le(BUNDLE_VERSION);
+        buf.put_u32_le(self.members.len() as u32);
+        for m in &self.members {
+            put_str(&mut buf, &m.label);
+            buf.put_f32_le(m.alpha);
+            put_str(&mut buf, m.network.arch());
+            buf.put_u32_le(m.network.num_classes() as u32);
+            let blob = edde_tensor::serialize::encode_params(&m.network.export_state());
+            buf.put_u64_le(blob.len() as u64);
+            buf.put_slice(&blob);
+        }
+        buf.freeze()
+    }
+
+    /// Deserializes an `EEB1` payload. `build` constructs a fresh network
+    /// for an `(arch, num_classes)` pair — the one piece of model code a
+    /// serving process needs; everything else comes from the bundle.
+    pub fn decode(mut buf: Bytes, build: &dyn Fn(&str, usize) -> Result<Network>) -> Result<Self> {
+        if buf.remaining() < 12 {
+            return Err(corrupt("truncated header"));
+        }
+        let mut magic = [0u8; 4];
+        buf.copy_to_slice(&mut magic);
+        if &magic != BUNDLE_MAGIC {
+            return Err(corrupt(&format!("bad magic {magic:?}")));
+        }
+        let version = buf.get_u32_le();
+        if version != BUNDLE_VERSION {
+            return Err(corrupt(&format!("unsupported bundle version {version}")));
+        }
+        let count = buf.get_u32_le() as usize;
+        let mut frozen = FrozenEnsemble::new();
+        for _ in 0..count {
+            let label = get_str(&mut buf)?;
+            if buf.remaining() < 4 {
+                return Err(corrupt("truncated member weight"));
+            }
+            let alpha = buf.get_f32_le();
+            let arch = get_str(&mut buf)?;
+            if buf.remaining() < 12 {
+                return Err(corrupt("truncated member header"));
+            }
+            let num_classes = buf.get_u32_le() as usize;
+            let blob_len = buf.get_u64_le() as usize;
+            if buf.remaining() < blob_len {
+                return Err(corrupt("truncated member state"));
+            }
+            let blob = buf.slice(..blob_len);
+            buf = buf.slice(blob_len..);
+            let state = edde_tensor::serialize::decode_params(blob)
+                .map_err(|e| corrupt(&format!("member state: {e}")))?;
+            let mut net = build(&arch, num_classes)?;
+            if net.num_classes() != num_classes {
+                return Err(EnsembleError::Checkpoint(format!(
+                    "builder produced {} classes for a {num_classes}-class member",
+                    net.num_classes()
+                )));
+            }
+            net.import_state(&state)?;
+            frozen.push(Arc::new(net), alpha, label);
+        }
+        Ok(frozen)
+    }
+
+    /// Writes the ensemble into a store under `key`, sealed in a
+    /// checksummed `EDC2` frame — a torn or bit-flipped bundle is rejected
+    /// on load rather than served.
+    pub fn save_bundle(&self, store: &dyn CheckpointStore, key: &str) -> Result<()> {
+        store.put(key, &checkpoint::seal(&self.encode()))?;
+        Ok(())
+    }
+
+    /// Loads a sealed bundle previously written by
+    /// [`FrozenEnsemble::save_bundle`], verifying the frame checksum.
+    pub fn load_bundle(
+        store: &dyn CheckpointStore,
+        key: &str,
+        build: &dyn Fn(&str, usize) -> Result<Network>,
+    ) -> Result<Self> {
+        let payload = checkpoint::unseal(store.get(key)?)?;
+        Self::decode(payload, build)
+    }
+}
+
+fn put_str(buf: &mut BytesMut, s: &str) {
+    buf.put_u32_le(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_str(buf: &mut Bytes) -> Result<String> {
+    if buf.remaining() < 4 {
+        return Err(corrupt("truncated string length"));
+    }
+    let len = buf.get_u32_le() as usize;
+    if buf.remaining() < len {
+        return Err(corrupt("truncated string"));
+    }
+    let mut raw = vec![0u8; len];
+    buf.copy_to_slice(&mut raw);
+    String::from_utf8(raw).map_err(|e| corrupt(&format!("string not utf-8: {e}")))
+}
+
+fn corrupt(msg: &str) -> EnsembleError {
+    EnsembleError::Checkpoint(format!("corrupt bundle: {msg}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edde_nn::checkpoint::MemStore;
+    use edde_nn::models::mlp;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn member(seed: u64) -> Network {
+        let mut r = StdRng::seed_from_u64(seed);
+        mlp(&[4, 8, 3], 0.0, &mut r)
+    }
+
+    fn frozen_pair() -> FrozenEnsemble {
+        let mut f = FrozenEnsemble::new();
+        f.push(Arc::new(member(1)), 1.5, "a");
+        f.push(Arc::new(member(2)), 0.5, "b");
+        f
+    }
+
+    #[test]
+    fn soft_targets_are_probabilities_and_prefix_selects() {
+        let f = frozen_pair();
+        let x = Tensor::ones(&[5, 4]);
+        let probs = f.soft_targets(&x).unwrap();
+        assert_eq!(probs.dims(), &[5, 3]);
+        for i in 0..5 {
+            let s: f32 = probs.row(i).unwrap().iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+        }
+        let first = f.soft_targets_prefix(&x, 1).unwrap();
+        let solo =
+            with_thread_ctx(|ctx| network_soft_targets_tau(f.members()[0].network(), &x, 1.0, ctx))
+                .unwrap();
+        // same weighted-reduce arithmetic the vote applies to one member
+        assert_eq!(first.data(), solo.map(|v| (v * 1.5) / 1.5).data());
+        assert_eq!(f.predict(&x).unwrap().len(), 5);
+    }
+
+    #[test]
+    fn empty_and_bad_prefix_error() {
+        let f = FrozenEnsemble::new();
+        let x = Tensor::ones(&[1, 4]);
+        assert!(f.soft_targets(&x).is_err());
+        let f2 = frozen_pair();
+        assert!(f2.soft_targets_prefix(&x, 0).is_err());
+        assert!(f2.soft_targets_prefix(&x, 3).is_err());
+    }
+
+    #[test]
+    fn bundle_round_trips_bit_exactly() {
+        let f = frozen_pair();
+        let store = MemStore::new();
+        f.save_bundle(&store, "bundle").unwrap();
+        let back = FrozenEnsemble::load_bundle(&store, "bundle", &|_, _| Ok(member(99))).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back.members()[0].label(), "a");
+        assert_eq!(back.members()[1].alpha(), 0.5);
+        let x = Tensor::ones(&[3, 4]);
+        assert_eq!(
+            back.soft_targets(&x).unwrap().data(),
+            f.soft_targets(&x).unwrap().data()
+        );
+    }
+
+    #[test]
+    fn corrupted_bundle_is_rejected() {
+        let f = frozen_pair();
+        let store = MemStore::new();
+        f.save_bundle(&store, "bundle").unwrap();
+        let mut raw = store.get("bundle").unwrap().to_vec();
+        let idx = raw.len() - 5;
+        raw[idx] ^= 0x40;
+        store.put("bundle", &raw).unwrap();
+        let err =
+            FrozenEnsemble::load_bundle(&store, "bundle", &|_, _| Ok(member(99))).unwrap_err();
+        assert!(err.to_string().contains("checksum"), "{err}");
+        // truncated payloads inside a valid frame are also rejected
+        let payload = f.encode();
+        for cut in [0, 3, 11, payload.len() / 2, payload.len() - 1] {
+            assert!(
+                FrozenEnsemble::decode(payload.slice(0..cut), &|_, _| Ok(member(0))).is_err(),
+                "cut {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn decode_rejects_class_count_mismatch() {
+        let f = frozen_pair();
+        let err = FrozenEnsemble::decode(f.encode(), &|_, _| {
+            let mut r = StdRng::seed_from_u64(0);
+            Ok(mlp(&[4, 8, 2], 0.0, &mut r))
+        })
+        .unwrap_err();
+        assert!(err.to_string().contains("classes"), "{err}");
+    }
+}

@@ -43,6 +43,7 @@ pub mod ensemble;
 pub mod env;
 pub mod error;
 pub mod evaluate;
+pub mod frozen;
 pub mod methods;
 pub mod recovery;
 pub mod report;
@@ -51,11 +52,12 @@ pub mod trainer;
 pub mod transfer;
 
 pub use ensemble::{EnsembleMember, EnsembleModel};
-pub use env::{ExperimentEnv, ModelFactory};
+pub use env::{eval_batch, ExperimentEnv, ModelFactory};
 pub use error::{EnsembleError, Result};
+pub use frozen::{network_soft_targets_tau, FrozenEnsemble, FrozenMember};
 pub use methods::{
-    AdaBoostM1, AdaBoostNc, Bagging, Bans, Edde, EnsembleMethod, Ncl, RunResult, SingleModel,
-    Snapshot, TracePoint,
+    train_members_in_order, AdaBoostM1, AdaBoostNc, Bagging, Bans, Edde, EnsembleMethod, Ncl,
+    RunResult, SingleModel, Snapshot, TracePoint,
 };
 pub use recovery::{FaultPlan, FaultyStore, RecoveryPolicy};
 pub use runstate::{

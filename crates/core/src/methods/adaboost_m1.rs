@@ -109,7 +109,7 @@ impl AdaBoostM1 {
                 run,
             )?;
             // weighted error on the FULL training distribution
-            let probs = EnsembleModel::network_soft_targets(&mut net, train.features())?;
+            let probs = EnsembleModel::network_soft_targets(&net, train.features())?;
             let correct = correctness(&probs, train.labels())?;
             let eps: f64 = weights
                 .iter()
@@ -140,7 +140,7 @@ impl AdaBoostM1 {
             };
             model.push(net, alpha, format!("adaboost-m1-{t}"));
             record_trace(
-                &mut model,
+                &model,
                 &env.data.test,
                 (t + 1) * self.epochs_per_member,
                 &mut trace,

@@ -103,7 +103,7 @@ impl AdaBoostNc {
                     sess.restore_network(t, &mut net)?;
                     // The ambiguity term needs every member's hard
                     // predictions; recompute them from the restored net.
-                    let probs = EnsembleModel::network_soft_targets(&mut net, train.features())?;
+                    let probs = EnsembleModel::network_soft_targets(&net, train.features())?;
                     member_preds.push(argmax_rows(&probs)?);
                     model.push(net, rec.alpha, rec.label);
                     if rec.weights.len() != n {
@@ -126,7 +126,7 @@ impl AdaBoostNc {
             let mut net = (env.factory)(rngs.rng())?;
             if self.transfer {
                 if let Some(prev) = model.members_mut().last_mut() {
-                    transfer_partial(&mut prev.network, &mut net, 1.0)?;
+                    transfer_partial(&prev.network, &mut net, 1.0)?;
                 }
             }
             let run = match persist {
@@ -147,7 +147,7 @@ impl AdaBoostNc {
                 &LossSpec::CrossEntropy,
                 run,
             )?;
-            let probs = EnsembleModel::network_soft_targets(&mut net, train.features())?;
+            let probs = EnsembleModel::network_soft_targets(&net, train.features())?;
             let correct = correctness(&probs, train.labels())?;
             member_preds.push(argmax_rows(&probs)?);
             model.push(net, 1.0, format!("adaboost-nc-{t}"));
@@ -196,7 +196,7 @@ impl AdaBoostNc {
             normalize_weights(&mut weights, 1.0);
 
             record_trace(
-                &mut model,
+                &model,
                 &env.data.test,
                 (t + 1) * self.epochs_per_member,
                 &mut trace,
@@ -310,13 +310,12 @@ mod tests {
         // diversity values. The image-scale ordering is exercised by the
         // table6 benchmark harness.
         let e = env();
-        let mut plain = AdaBoostNc::new(3, 2).run(&e).unwrap();
-        let mut transferred = AdaBoostNc::with_transfer(3, 2).run(&e).unwrap();
+        let plain = AdaBoostNc::new(3, 2).run(&e).unwrap();
+        let transferred = AdaBoostNc::with_transfer(3, 2).run(&e).unwrap();
         let d_plain =
-            crate::diversity::model_diversity(&mut plain.model, e.data.test.features()).unwrap();
+            crate::diversity::model_diversity(&plain.model, e.data.test.features()).unwrap();
         let d_transfer =
-            crate::diversity::model_diversity(&mut transferred.model, e.data.test.features())
-                .unwrap();
+            crate::diversity::model_diversity(&transferred.model, e.data.test.features()).unwrap();
         assert!((0.0..=1.0).contains(&d_plain));
         assert!((0.0..=1.0).contains(&d_transfer));
     }

@@ -251,7 +251,7 @@ mod tests {
 
     #[test]
     fn members_are_diverse() {
-        let mut result = Bagging::new(3, 6).run(&env()).unwrap();
+        let result = Bagging::new(3, 6).run(&env()).unwrap();
         let e = env();
         let probs = result
             .model

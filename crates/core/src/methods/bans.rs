@@ -140,7 +140,7 @@ impl Bans {
             }
             model.push(net, 1.0, format!("ban-gen-{g}"));
             record_trace(
-                &mut model,
+                &model,
                 &env.data.test,
                 (g + 1) * self.epochs_per_generation,
                 &mut trace,

@@ -197,7 +197,7 @@ impl Edde {
                     &LossSpec::CrossEntropy,
                     run,
                 )?;
-                let probs1 = EnsembleModel::network_soft_targets(&mut h1, train.features())?;
+                let probs1 = EnsembleModel::network_soft_targets(&h1, train.features())?;
                 let correct1 = correctness(&probs1, train.labels())?;
                 let pos = correct1.iter().filter(|&&c| c).count() as f64;
                 let neg = (n as f64) - pos;
@@ -244,7 +244,7 @@ impl Edde {
                 )?;
 
                 // lines 8–9: Sim_t and Bias_t on every training sample
-                let probs_t = EnsembleModel::network_soft_targets(&mut student, train.features())?;
+                let probs_t = EnsembleModel::network_soft_targets(&student, train.features())?;
                 let sim = per_sample_similarity(&probs_t, &ensemble_soft)?;
                 let bias = per_sample_bias(&probs_t, &one_hot)?;
                 let correct = correctness(&probs_t, train.labels())?;
@@ -276,7 +276,7 @@ impl Edde {
                 model.push(student, alpha_t, format!("edde-{t}"));
                 alpha_t
             };
-            record_trace(&mut model, &env.data.test, cumulative, &mut trace)?;
+            record_trace(&model, &env.data.test, cumulative, &mut trace)?;
             if let Some(sess) = session.as_deref_mut() {
                 let point = *trace.last().expect("just recorded");
                 let net = &mut model.members_mut().last_mut().expect("just pushed").network;
@@ -440,17 +440,16 @@ mod tests {
     #[test]
     fn transfer_all_is_less_diverse_than_beta() {
         let e = env();
-        let mut beta = Edde::new(4, 8, 5, 0.1, 0.5).run(&e).unwrap();
-        let mut all = Edde {
+        let beta = Edde::new(4, 8, 5, 0.1, 0.5).run(&e).unwrap();
+        let all = Edde {
             transfer: TransferMode::All,
             ..Edde::new(4, 8, 5, 0.1, 0.5)
         }
         .run(&e)
         .unwrap();
         let d_beta =
-            crate::diversity::model_diversity(&mut beta.model, e.data.test.features()).unwrap();
-        let d_all =
-            crate::diversity::model_diversity(&mut all.model, e.data.test.features()).unwrap();
+            crate::diversity::model_diversity(&beta.model, e.data.test.features()).unwrap();
+        let d_all = crate::diversity::model_diversity(&all.model, e.data.test.features()).unwrap();
         assert!(
             d_beta > d_all,
             "beta transfer diversity {d_beta} should exceed transfer-all {d_all}"

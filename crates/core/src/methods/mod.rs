@@ -31,7 +31,6 @@ use edde_data::Dataset;
 use edde_nn::checkpoint::CheckpointStore;
 use edde_nn::optim::LrSchedule;
 use edde_nn::Network;
-use edde_tensor::ops::softmax_rows;
 use edde_tensor::parallel::run_chunks;
 use edde_tensor::Tensor;
 use rand::rngs::StdRng;
@@ -123,7 +122,7 @@ pub trait EnsembleMethod {
 
 /// Records a trace point for the current ensemble prefix.
 pub(crate) fn record_trace(
-    model: &mut EnsembleModel,
+    model: &EnsembleModel,
     test: &Dataset,
     cumulative_epochs: usize,
     trace: &mut Vec<TracePoint>,
@@ -243,7 +242,7 @@ fn record_failure<C>(g: &mut Gate<C>, t: usize, e: EnsembleError) {
 /// later member is committed, matching sequential error reporting.
 /// Members already committed stay committed (a resumable session keeps
 /// its completed prefix).
-pub(crate) fn train_members_in_order<T, F, C>(
+pub fn train_members_in_order<T, F, C>(
     first: usize,
     last: usize,
     parallel: bool,
@@ -316,27 +315,17 @@ where
 }
 
 /// Evaluation-mode softmax at temperature `tau` — the τ-softened teacher
-/// targets BANs distills from.
+/// targets BANs distills from. Thin wrapper over the shared inference
+/// engine ([`crate::frozen::network_soft_targets_tau`]) with this thread's
+/// scratch context.
 pub(crate) fn soft_targets_with_temperature(
-    net: &mut Network,
+    net: &Network,
     features: &Tensor,
     tau: f32,
 ) -> Result<Tensor> {
-    let n = features.dims()[0];
-    let mut outputs = Vec::new();
-    let mut start = 0usize;
-    const BATCH: usize = 256;
-    while start < n {
-        let end = (start + BATCH).min(n);
-        let idx: Vec<usize> = (start..end).collect();
-        let batch = features.index_select0(&idx)?;
-        let logits = net.forward(&batch, edde_nn::Mode::Eval)?;
-        let softened = logits.map(|z| z / tau);
-        outputs.push(softmax_rows(&softened)?);
-        start = end;
-    }
-    let refs: Vec<&Tensor> = outputs.iter().collect();
-    Ok(Tensor::concat0(&refs)?)
+    edde_nn::infer::with_thread_ctx(|ctx| {
+        crate::frozen::network_soft_targets_tau(net, features, tau, ctx)
+    })
 }
 
 /// Clamp range for member weights α. Boosting's log-odds formulas explode
@@ -478,10 +467,10 @@ mod tests {
         use rand::rngs::StdRng;
         use rand::SeedableRng;
         let mut r = StdRng::seed_from_u64(0);
-        let mut net = mlp(&[2, 4, 3], 0.0, &mut r);
+        let net = mlp(&[2, 4, 3], 0.0, &mut r);
         let x = edde_tensor::rng::rand_uniform(&[4, 2], -1.0, 1.0, &mut r);
-        let sharp = soft_targets_with_temperature(&mut net, &x, 1.0).unwrap();
-        let soft = soft_targets_with_temperature(&mut net, &x, 4.0).unwrap();
+        let sharp = soft_targets_with_temperature(&net, &x, 1.0).unwrap();
+        let soft = soft_targets_with_temperature(&net, &x, 4.0).unwrap();
         // higher temperature -> closer to uniform -> lower max prob
         for i in 0..4 {
             let max_sharp = sharp.row(i).unwrap().iter().copied().fold(0.0f32, f32::max);

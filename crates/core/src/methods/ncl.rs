@@ -122,14 +122,14 @@ impl EnsembleMethod for Ncl {
                     },
                     &mut rng,
                 )?;
-                softs[i] = EnsembleModel::network_soft_targets(&mut nets[i], train.features())?;
+                softs[i] = EnsembleModel::network_soft_targets(&nets[i], train.features())?;
             }
         }
         let mut model = EnsembleModel::new();
         for (i, net) in nets.into_iter().enumerate() {
             model.push(net, 1.0, format!("ncl-{i}"));
         }
-        record_trace(&mut model, &env.data.test, self.total_epochs(), &mut trace)?;
+        record_trace(&model, &env.data.test, self.total_epochs(), &mut trace)?;
         Ok(RunResult {
             model,
             trace,
@@ -214,8 +214,8 @@ mod tests {
     #[test]
     fn ncl_produces_diverse_members() {
         let e = env();
-        let mut run = Ncl::new(3, 2, 2, 0.5).run(&e).unwrap();
-        let d = crate::diversity::model_diversity(&mut run.model, e.data.test.features()).unwrap();
+        let run = Ncl::new(3, 2, 2, 0.5).run(&e).unwrap();
+        let d = crate::diversity::model_diversity(&run.model, e.data.test.features()).unwrap();
         assert!((0.0..=1.0).contains(&d));
         assert!(d > 0.0);
     }

@@ -60,7 +60,7 @@ impl EnsembleMethod for SingleModel {
         let mut model = EnsembleModel::new();
         model.push(net, 1.0, "single");
         if trace.is_empty() {
-            super::record_trace(&mut model, test, self.epochs, &mut trace)?;
+            super::record_trace(&model, test, self.epochs, &mut trace)?;
         }
         Ok(RunResult {
             model,

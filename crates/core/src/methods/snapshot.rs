@@ -76,7 +76,7 @@ impl EnsembleMethod for Snapshot {
             )?;
             model.push(net.clone(), 1.0, format!("snapshot-cycle-{cycle}"));
             record_trace(
-                &mut model,
+                &model,
                 &env.data.test,
                 (cycle + 1) * self.epochs_per_cycle,
                 &mut trace,
@@ -158,7 +158,7 @@ impl EnsembleMethod for Snapshot {
             )?;
             model.push(net.clone(), 1.0, format!("snapshot-cycle-{cycle}"));
             record_trace(
-                &mut model,
+                &model,
                 &env.data.test,
                 (cycle + 1) * self.epochs_per_cycle,
                 &mut trace,
@@ -237,12 +237,11 @@ mod tests {
         // is visible under a *short* budget, before every method converges
         // to the same function on this easy task.
         let e = env();
-        let mut snap = Snapshot::new(3, 2).run(&e).unwrap();
-        let mut bag = crate::methods::Bagging::new(3, 2).run(&e).unwrap();
+        let snap = Snapshot::new(3, 2).run(&e).unwrap();
+        let bag = crate::methods::Bagging::new(3, 2).run(&e).unwrap();
         let d_snap =
-            crate::diversity::model_diversity(&mut snap.model, e.data.test.features()).unwrap();
-        let d_bag =
-            crate::diversity::model_diversity(&mut bag.model, e.data.test.features()).unwrap();
+            crate::diversity::model_diversity(&snap.model, e.data.test.features()).unwrap();
+        let d_bag = crate::diversity::model_diversity(&bag.model, e.data.test.features()).unwrap();
         assert!(
             d_snap < d_bag,
             "snapshot {d_snap} should be below bagging {d_bag}"

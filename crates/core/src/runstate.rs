@@ -886,8 +886,8 @@ mod tests {
         sess.restore_network(0, &mut restored).unwrap();
         let x = Tensor::ones(&[2, 4]);
         assert_eq!(
-            net.forward(&x, Mode::Eval).unwrap().data(),
-            restored.forward(&x, Mode::Eval).unwrap().data()
+            net.train_forward(&x, Mode::Eval).unwrap().data(),
+            restored.train_forward(&x, Mode::Eval).unwrap().data()
         );
         assert!(sess.restore_network(1, &mut restored).is_err());
     }

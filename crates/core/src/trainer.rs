@@ -552,7 +552,7 @@ impl Trainer {
             let batch_weights: Option<Vec<f32>> =
                 weights.map(|w| batch.indices.iter().map(|&i| w[i]).collect());
             net.zero_grad();
-            let logits = net.forward(&features, Mode::Train)?;
+            let logits = net.train_forward(&features, Mode::Train)?;
             let out = match loss {
                 LossSpec::CrossEntropy => {
                     ce.compute(&logits, &batch.labels, batch_weights.as_deref())?
@@ -1221,7 +1221,7 @@ mod tests {
         // student's probabilities should be closer to the teacher's than a
         // random network's are
         let student_soft = student.predict_proba(train.features()).unwrap();
-        let mut random = mlp(&[6, 32, 3], 0.0, &mut rng);
+        let random = mlp(&[6, 32, 3], 0.0, &mut rng);
         let random_soft = random.predict_proba(train.features()).unwrap();
         let dist = |a: &Tensor, b: &Tensor| -> f32 {
             a.data()

@@ -36,7 +36,7 @@ pub struct TransferReport {
 ///
 /// Both networks must share an architecture (same parameter names/shapes).
 pub fn transfer_partial(
-    teacher: &mut Network,
+    teacher: &Network,
     student: &mut Network,
     beta: f32,
 ) -> Result<TransferReport> {
@@ -162,8 +162,17 @@ impl Default for BetaProbeConfig {
 /// for each β initializes a student by partial transfer, fine-tunes it on
 /// the student split, and records mean accuracy on the seen and unseen
 /// probe folds over the first `probe_epochs` epochs.
+///
+/// The per-β students are independent restarts (the ROADMAP's
+/// cross-validation-fold candidates for pool parallelism), so they fan out
+/// over the worker pool via
+/// [`crate::methods::train_members_in_order`], each on its own RNG stream
+/// derived from a probe root drawn from `rng`
+/// ([`crate::runstate::member_rng`] with the probe salt). Points are
+/// committed in sweep order, so the result is deterministic and identical
+/// at every thread count.
 pub fn beta_probe(
-    factory: &dyn Fn(&mut StdRng) -> Result<Network>,
+    factory: &(dyn Fn(&mut StdRng) -> Result<Network> + Sync),
     split: &BetaSplit,
     trainer: &Trainer,
     config: &BetaProbeConfig,
@@ -181,35 +190,52 @@ pub fn beta_probe(
         rng,
     )?;
 
+    use rand::RngExt;
+    let probe_root: u64 = rng.random();
     let probe_schedule = LrSchedule::Constant { base: config.lr };
+    let teacher = &teacher;
     let mut points = Vec::with_capacity(config.betas.len());
-    for &beta in &config.betas {
-        let mut student = factory(rng)?;
-        transfer_partial(&mut teacher, &mut student, beta)?;
-        let mut seen_sum = 0.0f32;
-        let mut unseen_sum = 0.0f32;
-        for _ in 0..config.probe_epochs {
-            trainer.train(
-                &mut student,
-                &split.student_train,
-                &probe_schedule,
-                1,
-                None,
-                &LossSpec::CrossEntropy,
-                rng,
-            )?;
-            seen_sum += dataset_accuracy(&mut student, &split.seen_fold)?;
-            unseen_sum += dataset_accuracy(&mut student, &split.unseen_fold)?;
-        }
-        let e = config.probe_epochs.max(1) as f32;
-        points.push(BetaProbePoint {
-            beta,
-            seen_acc: seen_sum / e,
-            unseen_acc: unseen_sum / e,
-        });
-    }
+    crate::methods::train_members_in_order(
+        0,
+        config.betas.len(),
+        true,
+        |i| {
+            let beta = config.betas[i];
+            let mut prng = crate::runstate::member_rng(probe_root, BETA_PROBE_SALT, i);
+            let mut student = factory(&mut prng)?;
+            transfer_partial(teacher, &mut student, beta)?;
+            let mut seen_sum = 0.0f32;
+            let mut unseen_sum = 0.0f32;
+            for _ in 0..config.probe_epochs {
+                trainer.train(
+                    &mut student,
+                    &split.student_train,
+                    &probe_schedule,
+                    1,
+                    None,
+                    &LossSpec::CrossEntropy,
+                    &mut prng,
+                )?;
+                seen_sum += dataset_accuracy(&student, &split.seen_fold)?;
+                unseen_sum += dataset_accuracy(&student, &split.unseen_fold)?;
+            }
+            let e = config.probe_epochs.max(1) as f32;
+            Ok(BetaProbePoint {
+                beta,
+                seen_acc: seen_sum / e,
+                unseen_acc: unseen_sum / e,
+            })
+        },
+        |_, p| {
+            points.push(p);
+            Ok(())
+        },
+    )?;
     Ok(points)
 }
+
+/// Salt separating the β-probe student streams from every member stream.
+const BETA_PROBE_SALT: u64 = 0xBE7A;
 
 /// Picks the largest β whose seen/unseen gap is below the threshold —
 /// "start from β = 1 and gradually reduce it, until h_t performs similarly
@@ -230,7 +256,7 @@ pub fn select_beta(points: &[BetaProbePoint], gap_threshold: f32) -> Result<f32>
     Ok(sorted.last().unwrap().beta)
 }
 
-fn dataset_accuracy(net: &mut Network, data: &Dataset) -> Result<f32> {
+fn dataset_accuracy(net: &Network, data: &Dataset) -> Result<f32> {
     let probs = EnsembleModel::network_soft_targets(net, data.features())?;
     Ok(accuracy(&probs, data.labels())?)
 }
@@ -251,21 +277,21 @@ mod tests {
     fn beta_one_copies_everything() {
         let mut teacher = net(0);
         let mut student = net(1);
-        let report = transfer_partial(&mut teacher, &mut student, 1.0).unwrap();
+        let report = transfer_partial(&teacher, &mut student, 1.0).unwrap();
         assert_eq!(report.effective_beta, 1.0);
         let x = Tensor::ones(&[2, 4]);
         assert_eq!(
-            teacher.forward(&x, Mode::Eval).unwrap().data(),
-            student.forward(&x, Mode::Eval).unwrap().data()
+            teacher.train_forward(&x, Mode::Eval).unwrap().data(),
+            student.train_forward(&x, Mode::Eval).unwrap().data()
         );
     }
 
     #[test]
     fn beta_zero_copies_nothing() {
-        let mut teacher = net(0);
+        let teacher = net(0);
         let mut student = net(1);
         let before = student.export_state();
-        let report = transfer_partial(&mut teacher, &mut student, 0.0).unwrap();
+        let report = transfer_partial(&teacher, &mut student, 0.0).unwrap();
         assert!(report.transferred_params.is_empty());
         assert_eq!(report.effective_beta, 0.0);
         let after = student.export_state();
@@ -274,11 +300,11 @@ mod tests {
 
     #[test]
     fn partial_beta_copies_an_input_side_prefix() {
-        let mut teacher = net(0);
+        let teacher = net(0);
         let mut student = net(1);
         // mlp [4,8,6,3]: fc0.w (32) fc0.b (8) fc1.w (48) fc1.b (6) fc2.w (18) fc2.b (3)
         // total 115; beta=0.5 -> budget 57.5 -> 58 -> fc0.w + fc0.b + fc1.w = 88
-        let report = transfer_partial(&mut teacher, &mut student, 0.5).unwrap();
+        let report = transfer_partial(&teacher, &mut student, 0.5).unwrap();
         assert_eq!(
             report.transferred_params,
             vec!["fc0.weight", "fc0.bias", "fc1.weight"]
@@ -295,9 +321,9 @@ mod tests {
     fn beta_is_monotone_in_transferred_count() {
         let mut prev = 0usize;
         for beta in [0.0f32, 0.25, 0.5, 0.75, 1.0] {
-            let mut teacher = net(0);
+            let teacher = net(0);
             let mut student = net(1);
-            let r = transfer_partial(&mut teacher, &mut student, beta).unwrap();
+            let r = transfer_partial(&teacher, &mut student, beta).unwrap();
             assert!(r.transferred_params.len() >= prev);
             prev = r.transferred_params.len();
         }
@@ -305,18 +331,18 @@ mod tests {
 
     #[test]
     fn architecture_mismatch_is_detected() {
-        let mut teacher = net(0);
+        let teacher = net(0);
         let mut r = StdRng::seed_from_u64(2);
         let mut student = mlp(&[4, 16, 3], 0.0, &mut r);
-        assert!(transfer_partial(&mut teacher, &mut student, 0.8).is_err());
+        assert!(transfer_partial(&teacher, &mut student, 0.8).is_err());
     }
 
     #[test]
     fn invalid_beta_rejected() {
-        let mut teacher = net(0);
+        let teacher = net(0);
         let mut student = net(1);
-        assert!(transfer_partial(&mut teacher, &mut student, 1.5).is_err());
-        assert!(transfer_partial(&mut teacher, &mut student, -0.1).is_err());
+        assert!(transfer_partial(&teacher, &mut student, 1.5).is_err());
+        assert!(transfer_partial(&teacher, &mut student, -0.1).is_err());
     }
 
     #[test]
@@ -353,7 +379,7 @@ mod tests {
         // give the teacher distinctive running stats
         teacher.visit_buffers(&mut |_, t| t.data_mut().fill(0.123));
         let mut student = resnet(&cfg, &mut r).unwrap();
-        transfer_partial(&mut teacher, &mut student, 0.5).unwrap();
+        transfer_partial(&teacher, &mut student, 0.5).unwrap();
         // some buffers copied (stem bn is in the transferred prefix),
         // some left at defaults
         let mut copied = 0;

@@ -1,0 +1,288 @@
+//! The frozen inference engine's determinism contract: the immutable
+//! serving path ([`FrozenEnsemble`]) is bit-identical to the mutable
+//! training-stack path, at every thread count, on every SIMD backend, for
+//! any eval batch size — and its `EEB1` bundles round-trip bit-exactly
+//! while torn or corrupted bundles are rejected.
+
+use edde_core::recovery::{FaultPlan, FaultyStore};
+use edde_core::runstate::{MemberRecord, RunSession};
+use edde_core::{EnsembleModel, FrozenEnsemble};
+use edde_data::Dataset;
+use edde_nn::checkpoint::{CheckpointStore, MemStore};
+use edde_nn::infer::InferCtx;
+use edde_nn::models::mlp;
+use edde_nn::{Mode, Network};
+use edde_tensor::parallel::set_num_threads;
+use edde_tensor::rng::rand_uniform;
+use edde_tensor::simd::set_force_scalar;
+use edde_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Serializes tests that touch process-global state (thread override, SIMD
+/// backend override, `EDDE_EVAL_BATCH`).
+fn global_guard() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn member(seed: u64) -> Network {
+    let mut r = StdRng::seed_from_u64(seed);
+    mlp(&[6, 16, 4], 0.0, &mut r)
+}
+
+fn builder(_arch: &str, _classes: usize) -> edde_core::Result<Network> {
+    Ok(member(1000))
+}
+
+fn ensemble() -> EnsembleModel {
+    let mut ens = EnsembleModel::new();
+    ens.push(member(1), 1.3, "a");
+    ens.push(member(2), 0.8, "b");
+    ens.push(member(3), 2.1, "c");
+    ens
+}
+
+fn features(n: usize) -> Tensor {
+    let mut r = StdRng::seed_from_u64(77);
+    rand_uniform(&[n, 6], -1.0, 1.0, &mut r)
+}
+
+fn dataset(n: usize) -> Dataset {
+    let labels: Vec<usize> = (0..n).map(|i| i % 4).collect();
+    Dataset::new(features(n), labels, 4).unwrap()
+}
+
+#[test]
+fn frozen_matches_mutable_across_threads_and_backends() {
+    let _g = global_guard();
+    let ens = ensemble();
+    let frozen = ens.freeze();
+    let x = features(37);
+    let mut reference: Option<(Vec<f32>, Vec<f32>, Vec<usize>)> = None;
+    for scalar in [false, true] {
+        set_force_scalar(scalar);
+        for threads in [1usize, 8] {
+            set_num_threads(threads);
+            let soft = ens.soft_targets(&x).unwrap();
+            let prefix = ens.soft_targets_prefix(&x, 2).unwrap();
+            let pred = ens.predict(&x).unwrap();
+            let f_soft = frozen.soft_targets(&x).unwrap();
+            let f_prefix = frozen.soft_targets_prefix(&x, 2).unwrap();
+            let f_pred = frozen.predict(&x).unwrap();
+            assert_eq!(
+                soft.data(),
+                f_soft.data(),
+                "soft_targets (scalar={scalar}, threads={threads})"
+            );
+            assert_eq!(
+                prefix.data(),
+                f_prefix.data(),
+                "soft_targets_prefix (scalar={scalar}, threads={threads})"
+            );
+            assert_eq!(pred, f_pred, "predict (scalar={scalar}, threads={threads})");
+            // every (backend, threads) configuration agrees bitwise
+            match &reference {
+                None => {
+                    reference = Some((soft.data().to_vec(), prefix.data().to_vec(), pred));
+                }
+                Some((s, p, hard)) => {
+                    assert_eq!(soft.data(), &s[..], "scalar={scalar}, threads={threads}");
+                    assert_eq!(prefix.data(), &p[..], "scalar={scalar}, threads={threads}");
+                    assert_eq!(&pred, hard, "scalar={scalar}, threads={threads}");
+                }
+            }
+        }
+    }
+    set_num_threads(0);
+    set_force_scalar(false);
+}
+
+#[test]
+fn eval_batch_size_never_changes_results() {
+    let _g = global_guard();
+    let ens = ensemble();
+    let x = features(300);
+    std::env::remove_var("EDDE_EVAL_BATCH");
+    let reference = ens.soft_targets(&x).unwrap();
+    for batch in ["1", "7", "64", "299", "300", "1000"] {
+        std::env::set_var("EDDE_EVAL_BATCH", batch);
+        let got = ens.soft_targets(&x).unwrap();
+        assert_eq!(got.data(), reference.data(), "EDDE_EVAL_BATCH={batch}");
+    }
+    // junk values fall back to the default
+    for junk in ["0", "-3", "many"] {
+        std::env::set_var("EDDE_EVAL_BATCH", junk);
+        assert_eq!(edde_core::eval_batch(), 256, "EDDE_EVAL_BATCH={junk}");
+    }
+    std::env::remove_var("EDDE_EVAL_BATCH");
+}
+
+#[test]
+fn steady_state_inference_allocates_nothing_fresh() {
+    let net = member(5);
+    let x = features(64);
+    let mut ctx = InferCtx::new();
+    // warm-up pass populates the pool
+    edde_core::network_soft_targets_tau(&net, &x, 1.0, &mut ctx).unwrap();
+    let after_warmup = ctx.fresh_allocs();
+    for _ in 0..3 {
+        edde_core::network_soft_targets_tau(&net, &x, 1.0, &mut ctx).unwrap();
+    }
+    assert_eq!(
+        ctx.fresh_allocs(),
+        after_warmup,
+        "steady-state passes must be served entirely from the scratch pool"
+    );
+}
+
+#[test]
+fn shared_frozen_ensemble_serves_concurrently() {
+    let frozen = Arc::new(ensemble().freeze());
+    let x = features(23);
+    let expect = frozen.soft_targets(&x).unwrap();
+    let handles: Vec<_> = (0..4)
+        .map(|_| {
+            let f = Arc::clone(&frozen);
+            let x = x.clone();
+            let expect = expect.data().to_vec();
+            std::thread::spawn(move || {
+                for _ in 0..3 {
+                    assert_eq!(f.soft_targets(&x).unwrap().data(), &expect[..]);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+}
+
+#[test]
+fn bundle_round_trips_through_a_store() {
+    let ens = ensemble();
+    let frozen = ens.freeze();
+    let store = MemStore::new();
+    frozen.save_bundle(&store, "serve/bundle").unwrap();
+    let back = FrozenEnsemble::load_bundle(&store, "serve/bundle", &builder).unwrap();
+    assert_eq!(back.len(), 3);
+    for (a, b) in back.members().iter().zip(frozen.members()) {
+        assert_eq!(a.label(), b.label());
+        assert_eq!(a.alpha(), b.alpha());
+    }
+    let x = features(11);
+    assert_eq!(
+        back.soft_targets(&x).unwrap().data(),
+        ens.soft_targets(&x).unwrap().data(),
+        "a reloaded bundle serves bit-identically to the trained model"
+    );
+}
+
+#[test]
+fn torn_bundle_write_fails_loudly() {
+    let frozen = ensemble().freeze();
+    let store = FaultyStore::new(MemStore::new(), FaultPlan::fail_put(0));
+    assert!(frozen.save_bundle(&store, "bundle").is_err());
+    // nothing half-written: the key must not resolve to a readable bundle
+    let inner = store.into_inner();
+    assert!(FrozenEnsemble::load_bundle(&inner, "bundle", &builder).is_err());
+}
+
+#[test]
+fn corrupted_or_truncated_bundle_is_rejected() {
+    let frozen = ensemble().freeze();
+    let store = MemStore::new();
+    frozen.save_bundle(&store, "bundle").unwrap();
+    let sealed = store.get("bundle").unwrap();
+    // flip one payload bit
+    let mut flipped = sealed.to_vec();
+    let idx = flipped.len() - 9;
+    flipped[idx] ^= 0x01;
+    store.put("bundle", &flipped).unwrap();
+    let err = FrozenEnsemble::load_bundle(&store, "bundle", &builder).unwrap_err();
+    assert!(err.to_string().contains("checksum"), "{err}");
+    // truncate the sealed frame at several points
+    for cut in [0, 7, sealed.len() / 3, sealed.len() - 1] {
+        store.put("bundle", &sealed[..cut]).unwrap();
+        assert!(
+            FrozenEnsemble::load_bundle(&store, "bundle", &builder).is_err(),
+            "cut {cut}"
+        );
+    }
+}
+
+#[test]
+fn finished_run_freezes_from_its_checkpoint_store() {
+    let store = MemStore::new();
+    let mut nets: Vec<Network> = (0..2).map(|i| member(50 + i)).collect();
+    {
+        let mut sess = RunSession::open(&store, "Bagging", 123).unwrap();
+        for (t, net) in nets.iter_mut().enumerate() {
+            sess.record_member(
+                MemberRecord {
+                    label: format!("bagging-{t}"),
+                    alpha: 1.0,
+                    seed: t as u64,
+                    net_key: String::new(),
+                    cumulative_epochs: 4,
+                    test_accuracy: 0.5,
+                    weights: vec![],
+                },
+                net,
+            )
+            .unwrap();
+        }
+    }
+    // a fresh process: only the store and an architecture builder
+    let sess = RunSession::open(&store, "Bagging", 123).unwrap();
+    assert_eq!(sess.completed(), 2);
+    let frozen = FrozenEnsemble::freeze_run(&sess, &mut || Ok(member(999))).unwrap();
+    assert_eq!(frozen.len(), 2);
+    assert_eq!(frozen.members()[0].label(), "bagging-0");
+    // serves exactly what the recorded networks compute
+    let x = features(9);
+    let mut expect = EnsembleModel::new();
+    for (t, net) in nets.into_iter().enumerate() {
+        expect.push(net, 1.0, format!("bagging-{t}"));
+    }
+    assert_eq!(
+        frozen.soft_targets(&x).unwrap().data(),
+        expect.soft_targets(&x).unwrap().data()
+    );
+    let d = dataset(9);
+    assert!((0.0..=1.0).contains(&frozen.accuracy(&d).unwrap()));
+}
+
+#[test]
+fn frozen_accuracy_paths_match_mutable() {
+    let ens = ensemble();
+    let frozen = ens.freeze();
+    let d = dataset(41);
+    assert_eq!(frozen.accuracy(&d).unwrap(), ens.accuracy(&d).unwrap());
+    assert_eq!(
+        frozen.accuracy_prefix(&d, 2).unwrap(),
+        ens.accuracy_prefix(&d, 2).unwrap()
+    );
+    assert_eq!(
+        frozen.average_member_accuracy(&d).unwrap(),
+        ens.average_member_accuracy(&d).unwrap()
+    );
+    let fm = frozen.member_soft_targets(d.features()).unwrap();
+    let mm = ens.member_soft_targets(d.features()).unwrap();
+    for (a, b) in fm.iter().zip(&mm) {
+        assert_eq!(a.data(), b.data());
+    }
+}
+
+#[test]
+fn pure_forward_matches_train_forward_eval() {
+    // the engine's member pass is the pure path; the training stack's
+    // predict_proba rides train_forward — both must agree bitwise
+    let mut net = member(9);
+    let x = features(19);
+    let mut ctx = InferCtx::new();
+    let pure = net.forward(&x, &mut ctx).unwrap();
+    let cached = net.train_forward(&x, Mode::Eval).unwrap();
+    assert_eq!(pure.data(), cached.data());
+}

@@ -95,7 +95,7 @@ fn ensembles_beat_chance_and_track_their_members() {
         Box::new(Snapshot::new(3, 6)),
         Box::new(Edde::new(3, 6, 5, 0.1, 0.7)),
     ] {
-        let mut run = method.run(&e).unwrap();
+        let run = method.run(&e).unwrap();
         let ens = run.model.accuracy(&e.data.test).unwrap();
         let avg = run.model.average_member_accuracy(&e.data.test).unwrap();
         assert!(ens > 0.5, "{} ensemble at {ens}", method.name());
@@ -115,19 +115,18 @@ fn edde_transfer_none_matches_bagging_style_independence() {
     // independent models trained with a (diversity-regularized) loss —
     // their pairwise similarity should be clearly below Snapshot's members.
     let e = env(82);
-    let mut edde_none = Edde {
+    let edde_none = Edde {
         transfer: TransferMode::None,
         boosting: false,
         ..Edde::new(3, 4, 4, 0.0, 0.7)
     }
     .run(&e)
     .unwrap();
-    let mut snap = Snapshot::new(3, 4).run(&e).unwrap();
+    let snap = Snapshot::new(3, 4).run(&e).unwrap();
     let d_none =
-        edde_core::diversity::model_diversity(&mut edde_none.model, e.data.test.features())
-            .unwrap();
+        edde_core::diversity::model_diversity(&edde_none.model, e.data.test.features()).unwrap();
     let d_snap =
-        edde_core::diversity::model_diversity(&mut snap.model, e.data.test.features()).unwrap();
+        edde_core::diversity::model_diversity(&snap.model, e.data.test.features()).unwrap();
     assert!(
         d_none > d_snap,
         "independent members ({d_none}) should out-diversify snapshots ({d_snap})"
@@ -137,7 +136,7 @@ fn edde_transfer_none_matches_bagging_style_independence() {
 #[test]
 fn bans_generations_drift_from_generation_one() {
     let e = env(83);
-    let mut run = Bans::new(3, 5).run(&e).unwrap();
+    let run = Bans::new(3, 5).run(&e).unwrap();
     let probs = run
         .model
         .member_soft_targets(e.data.test.features())

@@ -4,10 +4,11 @@
 
 use super::{concat_channels, split_channels};
 use crate::error::{NnError, Result};
+use crate::infer::InferCtx;
 use crate::layer::{join_path, Layer};
 use crate::layers::{BatchNorm2d, Conv2d, Relu};
 use crate::param::{Mode, Param};
-use edde_tensor::ops::{add, avg_pool2d, avg_pool2d_backward};
+use edde_tensor::ops::{add, avg_pool2d, avg_pool2d_backward, avg_pool2d_into, out_dim};
 use edde_tensor::Tensor;
 use rand::Rng;
 
@@ -39,10 +40,35 @@ impl Layer for DenseLayer {
         "dense_layer"
     }
 
-    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
-        let mut new = self.bn.forward(input, mode)?;
-        new = self.relu.forward(&new, mode)?;
-        new = self.conv.forward(&new, mode)?;
+    fn forward(&self, input: &Tensor, ctx: &mut InferCtx) -> Result<Tensor> {
+        let b = self.bn.forward(input, ctx)?;
+        let r = self.relu.forward(&b, ctx)?;
+        ctx.recycle(b);
+        let new = self.conv.forward(&r, ctx)?;
+        ctx.recycle(r);
+        // concat(input, new) along channels — same layout as concat_channels
+        let (n, ca, h, w) = (
+            input.dims()[0],
+            input.dims()[1],
+            input.dims()[2],
+            input.dims()[3],
+        );
+        let cb = new.dims()[1];
+        let plane = h * w;
+        let mut out = ctx.alloc(&[n, ca + cb, h, w]);
+        for s in 0..n {
+            let dst = &mut out.data_mut()[s * (ca + cb) * plane..][..(ca + cb) * plane];
+            dst[..ca * plane].copy_from_slice(&input.data()[s * ca * plane..][..ca * plane]);
+            dst[ca * plane..].copy_from_slice(&new.data()[s * cb * plane..][..cb * plane]);
+        }
+        ctx.recycle(new);
+        Ok(out)
+    }
+
+    fn train_forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+        let mut new = self.bn.train_forward(input, mode)?;
+        new = self.relu.train_forward(&new, mode)?;
+        new = self.conv.train_forward(&new, mode)?;
         concat_channels(input, &new)
     }
 
@@ -61,6 +87,15 @@ impl Layer for DenseLayer {
 
     fn visit_buffers(&mut self, prefix: &str, f: &mut dyn FnMut(&str, &mut Tensor)) {
         self.bn.visit_buffers(&join_path(prefix, "bn"), f);
+    }
+
+    fn visit_params_ref(&self, prefix: &str, f: &mut dyn FnMut(&str, &Param)) {
+        self.bn.visit_params_ref(&join_path(prefix, "bn"), f);
+        self.conv.visit_params_ref(&join_path(prefix, "conv"), f);
+    }
+
+    fn visit_buffers_ref(&self, prefix: &str, f: &mut dyn FnMut(&str, &Tensor)) {
+        self.bn.visit_buffers_ref(&join_path(prefix, "bn"), f);
     }
 
     fn clone_box(&self) -> Box<dyn Layer> {
@@ -95,10 +130,25 @@ impl Layer for Transition {
         "transition"
     }
 
-    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
-        let mut x = self.bn.forward(input, mode)?;
-        x = self.relu.forward(&x, mode)?;
-        x = self.conv.forward(&x, mode)?;
+    fn forward(&self, input: &Tensor, ctx: &mut InferCtx) -> Result<Tensor> {
+        let b = self.bn.forward(input, ctx)?;
+        let r = self.relu.forward(&b, ctx)?;
+        ctx.recycle(b);
+        let x = self.conv.forward(&r, ctx)?;
+        ctx.recycle(r);
+        let d = x.dims();
+        let oh = out_dim(d[2], 2, 2, 0)?;
+        let ow = out_dim(d[3], 2, 2, 0)?;
+        let mut out = ctx.alloc(&[d[0], d[1], oh, ow]);
+        avg_pool2d_into(&x, 2, 2, &mut out)?;
+        ctx.recycle(x);
+        Ok(out)
+    }
+
+    fn train_forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+        let mut x = self.bn.train_forward(input, mode)?;
+        x = self.relu.train_forward(&x, mode)?;
+        x = self.conv.train_forward(&x, mode)?;
         self.cache_pre_pool_dims = Some(x.dims().to_vec());
         Ok(avg_pool2d(&x, 2, 2)?)
     }
@@ -123,6 +173,15 @@ impl Layer for Transition {
         self.bn.visit_buffers(&join_path(prefix, "bn"), f);
     }
 
+    fn visit_params_ref(&self, prefix: &str, f: &mut dyn FnMut(&str, &Param)) {
+        self.bn.visit_params_ref(&join_path(prefix, "bn"), f);
+        self.conv.visit_params_ref(&join_path(prefix, "conv"), f);
+    }
+
+    fn visit_buffers_ref(&self, prefix: &str, f: &mut dyn FnMut(&str, &Tensor)) {
+        self.bn.visit_buffers_ref(&join_path(prefix, "bn"), f);
+    }
+
     fn clone_box(&self) -> Box<dyn Layer> {
         Box::new(self.clone())
     }
@@ -140,11 +199,16 @@ mod tests {
         let mut r = StdRng::seed_from_u64(0);
         let mut layer = DenseLayer::new(8, 4, &mut r);
         let x = rand_uniform(&[2, 8, 4, 4], -1.0, 1.0, &mut r);
-        let y = layer.forward(&x, Mode::Train).unwrap();
+        let y = layer.train_forward(&x, Mode::Train).unwrap();
         assert_eq!(y.dims(), &[2, 12, 4, 4]);
         // first 8 channels are the input, untouched
         let (head, _) = split_channels(&y, 8).unwrap();
         assert_eq!(head, x);
+
+        let ye = layer.train_forward(&x, Mode::Eval).unwrap();
+        let mut ctx = InferCtx::new();
+        let yp = layer.forward(&x, &mut ctx).unwrap();
+        assert_eq!(yp.data(), ye.data());
     }
 
     #[test]
@@ -152,7 +216,7 @@ mod tests {
         let mut r = StdRng::seed_from_u64(1);
         let mut layer = DenseLayer::new(4, 2, &mut r);
         let x = rand_uniform(&[1, 4, 4, 4], -1.0, 1.0, &mut r);
-        let y = layer.forward(&x, Mode::Train).unwrap();
+        let y = layer.train_forward(&x, Mode::Train).unwrap();
         // gradient only on the pass-through channels: must reach the input
         // unchanged (plus the bn path contribution from zero grads = 0)
         let mut g = Tensor::zeros(y.dims());
@@ -170,11 +234,17 @@ mod tests {
         let mut r = StdRng::seed_from_u64(2);
         let mut t = Transition::new(8, 4, &mut r);
         let x = rand_uniform(&[2, 8, 8, 8], -1.0, 1.0, &mut r);
-        let y = t.forward(&x, Mode::Train).unwrap();
+        let y = t.train_forward(&x, Mode::Train).unwrap();
         assert_eq!(y.dims(), &[2, 4, 4, 4]);
+
         let g = t.backward(&Tensor::ones(y.dims())).unwrap();
         assert_eq!(g.dims(), x.dims());
         assert!(g.all_finite());
+
+        let ye = t.train_forward(&x, Mode::Eval).unwrap();
+        let mut ctx = InferCtx::new();
+        let yp = t.forward(&x, &mut ctx).unwrap();
+        assert_eq!(yp.data(), ye.data());
     }
 
     #[test]
@@ -185,12 +255,12 @@ mod tests {
         let gout = rand_uniform(&[1, 4, 3, 3], -1.0, 1.0, &mut r);
 
         let mut l2 = layer.clone();
-        l2.forward(&x, Mode::Train).unwrap();
+        l2.train_forward(&x, Mode::Train).unwrap();
         let gx = l2.backward(&gout).unwrap();
 
         let loss = |inp: &Tensor| -> f32 {
             let mut l = layer.clone();
-            let y = l.forward(inp, Mode::Train).unwrap();
+            let y = l.train_forward(inp, Mode::Train).unwrap();
             y.data()
                 .iter()
                 .zip(gout.data().iter())

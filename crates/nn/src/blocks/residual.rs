@@ -3,12 +3,22 @@
 //! shortcut, followed by a final ReLU.
 
 use crate::error::Result;
+use crate::infer::InferCtx;
 use crate::layer::{join_path, Layer};
 use crate::layers::{BatchNorm2d, Conv2d, Relu};
 use crate::param::{Mode, Param};
 use edde_tensor::ops::add;
 use edde_tensor::Tensor;
 use rand::Rng;
+
+/// Fused tail of the pure path: `main = relu(main + short)` in place,
+/// matching the mutable `add` + ReLU mask arithmetic exactly.
+fn add_relu_in_place(main: &mut Tensor, short: &[f32]) {
+    for (m, &sv) in main.data_mut().iter_mut().zip(short) {
+        let sum = *m + sv;
+        *m = sum * (if sum > 0.0 { 1.0 } else { 0.0 });
+    }
+}
 
 /// A two-convolution residual block.
 ///
@@ -64,21 +74,44 @@ impl Layer for BasicBlock {
         "basic_block"
     }
 
-    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
-        let mut main = self.conv1.forward(input, mode)?;
-        main = self.bn1.forward(&main, mode)?;
-        main = self.relu1.forward(&main, mode)?;
-        main = self.conv2.forward(&main, mode)?;
-        main = self.bn2.forward(&main, mode)?;
+    fn forward(&self, input: &Tensor, ctx: &mut InferCtx) -> Result<Tensor> {
+        let c1 = self.conv1.forward(input, ctx)?;
+        let b1 = self.bn1.forward(&c1, ctx)?;
+        ctx.recycle(c1);
+        let r1 = self.relu1.forward(&b1, ctx)?;
+        ctx.recycle(b1);
+        let c2 = self.conv2.forward(&r1, ctx)?;
+        ctx.recycle(r1);
+        let mut main = self.bn2.forward(&c2, ctx)?;
+        ctx.recycle(c2);
+        match &self.shortcut {
+            Some((conv, bn)) => {
+                let s = conv.forward(input, ctx)?;
+                let short = bn.forward(&s, ctx)?;
+                ctx.recycle(s);
+                add_relu_in_place(&mut main, short.data());
+                ctx.recycle(short);
+            }
+            None => add_relu_in_place(&mut main, input.data()),
+        }
+        Ok(main)
+    }
+
+    fn train_forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+        let mut main = self.conv1.train_forward(input, mode)?;
+        main = self.bn1.train_forward(&main, mode)?;
+        main = self.relu1.train_forward(&main, mode)?;
+        main = self.conv2.train_forward(&main, mode)?;
+        main = self.bn2.train_forward(&main, mode)?;
         let short = match &mut self.shortcut {
             Some((conv, bn)) => {
-                let s = conv.forward(input, mode)?;
-                bn.forward(&s, mode)?
+                let s = conv.train_forward(input, mode)?;
+                bn.train_forward(&s, mode)?
             }
             None => input.clone(),
         };
         let sum = add(&main, &short)?;
-        self.relu_out.forward(&sum, mode)
+        self.relu_out.train_forward(&sum, mode)
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
@@ -119,6 +152,25 @@ impl Layer for BasicBlock {
         }
     }
 
+    fn visit_params_ref(&self, prefix: &str, f: &mut dyn FnMut(&str, &Param)) {
+        self.conv1.visit_params_ref(&join_path(prefix, "conv1"), f);
+        self.bn1.visit_params_ref(&join_path(prefix, "bn1"), f);
+        self.conv2.visit_params_ref(&join_path(prefix, "conv2"), f);
+        self.bn2.visit_params_ref(&join_path(prefix, "bn2"), f);
+        if let Some((conv, bn)) = &self.shortcut {
+            conv.visit_params_ref(&join_path(prefix, "shortcut.conv"), f);
+            bn.visit_params_ref(&join_path(prefix, "shortcut.bn"), f);
+        }
+    }
+
+    fn visit_buffers_ref(&self, prefix: &str, f: &mut dyn FnMut(&str, &Tensor)) {
+        self.bn1.visit_buffers_ref(&join_path(prefix, "bn1"), f);
+        self.bn2.visit_buffers_ref(&join_path(prefix, "bn2"), f);
+        if let Some((_, bn)) = &self.shortcut {
+            bn.visit_buffers_ref(&join_path(prefix, "shortcut.bn"), f);
+        }
+    }
+
     fn clone_box(&self) -> Box<dyn Layer> {
         Box::new(self.clone())
     }
@@ -136,8 +188,14 @@ mod tests {
         let mut r = StdRng::seed_from_u64(0);
         let mut block = BasicBlock::new(8, 8, 1, &mut r);
         let x = rand_uniform(&[2, 8, 6, 6], -1.0, 1.0, &mut r);
-        let y = block.forward(&x, Mode::Train).unwrap();
+        let y = block.train_forward(&x, Mode::Train).unwrap();
         assert_eq!(y.dims(), x.dims());
+
+        // the pure path matches the mutable eval path bit for bit
+        let ye = block.train_forward(&x, Mode::Eval).unwrap();
+        let mut ctx = InferCtx::new();
+        let yp = block.forward(&x, &mut ctx).unwrap();
+        assert_eq!(yp.data(), ye.data());
     }
 
     #[test]
@@ -145,8 +203,14 @@ mod tests {
         let mut r = StdRng::seed_from_u64(1);
         let mut block = BasicBlock::new(8, 16, 2, &mut r);
         let x = rand_uniform(&[2, 8, 8, 8], -1.0, 1.0, &mut r);
-        let y = block.forward(&x, Mode::Train).unwrap();
+        let y = block.train_forward(&x, Mode::Train).unwrap();
         assert_eq!(y.dims(), &[2, 16, 4, 4]);
+
+        let ye = block.train_forward(&x, Mode::Eval).unwrap();
+        let mut ctx = InferCtx::new();
+        let yp = block.forward(&x, &mut ctx).unwrap();
+        assert_eq!(yp.dims(), &[2, 16, 4, 4]);
+        assert_eq!(yp.data(), ye.data());
     }
 
     #[test]
@@ -154,7 +218,7 @@ mod tests {
         let mut r = StdRng::seed_from_u64(2);
         let mut block = BasicBlock::new(4, 8, 2, &mut r);
         let x = rand_uniform(&[1, 4, 8, 8], -1.0, 1.0, &mut r);
-        let y = block.forward(&x, Mode::Train).unwrap();
+        let y = block.train_forward(&x, Mode::Train).unwrap();
         let g = block.backward(&Tensor::ones(y.dims())).unwrap();
         assert_eq!(g.dims(), x.dims());
         assert!(g.all_finite());
@@ -174,7 +238,7 @@ mod tests {
             }
         });
         let x = Tensor::full(&[1, 2, 3, 3], 2.0);
-        let y = block.forward(&x, Mode::Train).unwrap();
+        let y = block.train_forward(&x, Mode::Train).unwrap();
         assert_eq!(y.data(), x.data());
         let g = block.backward(&Tensor::ones(y.dims())).unwrap();
         // conv1 weights are zero => main-path input grad is zero; skip passes 1.
@@ -204,12 +268,12 @@ mod tests {
         let gout = rand_uniform(&[1, 2, 4, 4], -1.0, 1.0, &mut r);
 
         let mut b2 = block.clone();
-        b2.forward(&x, Mode::Train).unwrap();
+        b2.train_forward(&x, Mode::Train).unwrap();
         let gx = b2.backward(&gout).unwrap();
 
         let loss = |inp: &Tensor| -> f32 {
             let mut b = block.clone();
-            let y = b.forward(inp, Mode::Train).unwrap();
+            let y = b.train_forward(inp, Mode::Train).unwrap();
             y.data()
                 .iter()
                 .zip(gout.data().iter())

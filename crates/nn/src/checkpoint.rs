@@ -46,7 +46,7 @@ pub const V2_VERSION: u32 = 2;
 const V2_HEADER: usize = 4 + 4 + 4 + 8;
 
 /// Serializes a network's state into raw (unframed, v1) payload bytes.
-pub fn to_bytes(net: &mut Network) -> Bytes {
+pub fn to_bytes(net: &Network) -> Bytes {
     edde_tensor::serialize::encode_params(&net.export_state())
 }
 
@@ -151,7 +151,7 @@ fn atomic_write_impl(path: &Path, bytes: &[u8], sync: bool) -> Result<()> {
 }
 
 /// Writes a checkpoint file in the v2 (checksummed) format, atomically.
-pub fn save(net: &mut Network, path: impl AsRef<Path>) -> Result<()> {
+pub fn save(net: &Network, path: impl AsRef<Path>) -> Result<()> {
     let sealed = seal(&to_bytes(net));
     atomic_write(path.as_ref(), &sealed)
 }
@@ -335,7 +335,7 @@ impl CheckpointStore for MemStore {
 }
 
 /// Saves a network into a store under `key`, sealed in a v2 frame.
-pub fn save_to_store(store: &dyn CheckpointStore, key: &str, net: &mut Network) -> Result<()> {
+pub fn save_to_store(store: &dyn CheckpointStore, key: &str, net: &Network) -> Result<()> {
     store.put(key, &seal(&to_bytes(net)))
 }
 
@@ -384,11 +384,11 @@ mod tests {
         let mut a = mlp(&[3, 5, 2], 0.0, &mut r);
         let mut b = mlp(&[3, 5, 2], 0.0, &mut r); // different init
         let x = Tensor::ones(&[2, 3]);
-        let ya = a.forward(&x, Mode::Eval).unwrap();
+        let ya = a.train_forward(&x, Mode::Eval).unwrap();
 
-        let bytes = to_bytes(&mut a);
+        let bytes = to_bytes(&a);
         from_bytes(&mut b, bytes).unwrap();
-        let yb = b.forward(&x, Mode::Eval).unwrap();
+        let yb = b.train_forward(&x, Mode::Eval).unwrap();
         assert_eq!(ya.data(), yb.data());
     }
 
@@ -398,13 +398,13 @@ mod tests {
         let path = dir.join("net.edt");
         let mut r = StdRng::seed_from_u64(12);
         let mut a = mlp(&[2, 4, 2], 0.0, &mut r);
-        save(&mut a, &path).unwrap();
+        save(&a, &path).unwrap();
         let mut b = mlp(&[2, 4, 2], 0.0, &mut r);
         load(&mut b, &path).unwrap();
         let x = Tensor::ones(&[1, 2]);
         assert_eq!(
-            a.forward(&x, Mode::Eval).unwrap().data(),
-            b.forward(&x, Mode::Eval).unwrap().data()
+            a.train_forward(&x, Mode::Eval).unwrap().data(),
+            b.train_forward(&x, Mode::Eval).unwrap().data()
         );
         let _ = fs::remove_dir_all(&dir);
     }
@@ -414,8 +414,8 @@ mod tests {
         let dir = temp_dir("no_tmp");
         let path = dir.join("net.edt");
         let mut r = StdRng::seed_from_u64(15);
-        let mut a = mlp(&[2, 4, 2], 0.0, &mut r);
-        save(&mut a, &path).unwrap();
+        let a = mlp(&[2, 4, 2], 0.0, &mut r);
+        save(&a, &path).unwrap();
         let entries: Vec<_> = fs::read_dir(&dir)
             .unwrap()
             .map(|e| e.unwrap().file_name().into_string().unwrap())
@@ -438,13 +438,13 @@ mod tests {
         let mut a = mlp(&[2, 4, 2], 0.0, &mut r);
         // A v1 file is the raw parameter stream, written without framing —
         // exactly what the pre-v2 `save` produced.
-        fs::write(&path, to_bytes(&mut a)).unwrap();
+        fs::write(&path, to_bytes(&a)).unwrap();
         let mut b = mlp(&[2, 4, 2], 0.0, &mut r);
         load(&mut b, &path).unwrap();
         let x = Tensor::ones(&[1, 2]);
         assert_eq!(
-            a.forward(&x, Mode::Eval).unwrap().data(),
-            b.forward(&x, Mode::Eval).unwrap().data()
+            a.train_forward(&x, Mode::Eval).unwrap().data(),
+            b.train_forward(&x, Mode::Eval).unwrap().data()
         );
         let _ = fs::remove_dir_all(&dir);
     }
@@ -452,8 +452,8 @@ mod tests {
     #[test]
     fn bit_flip_is_detected_by_checksum() {
         let mut r = StdRng::seed_from_u64(17);
-        let mut a = mlp(&[2, 4, 2], 0.0, &mut r);
-        let sealed = seal(&to_bytes(&mut a));
+        let a = mlp(&[2, 4, 2], 0.0, &mut r);
+        let sealed = seal(&to_bytes(&a));
         // flip one bit somewhere in the payload
         let mut corrupt = sealed.to_vec();
         let idx = V2_HEADER + corrupt[V2_HEADER..].len() / 2;
@@ -467,8 +467,8 @@ mod tests {
     #[test]
     fn truncated_v2_frame_is_detected() {
         let mut r = StdRng::seed_from_u64(18);
-        let mut a = mlp(&[2, 4, 2], 0.0, &mut r);
-        let sealed = seal(&to_bytes(&mut a));
+        let a = mlp(&[2, 4, 2], 0.0, &mut r);
+        let sealed = seal(&to_bytes(&a));
         let cut = sealed.slice(0..sealed.len() - 7);
         let mut b = mlp(&[2, 4, 2], 0.0, &mut r);
         let err = from_bytes(&mut b, cut).unwrap_err();
@@ -478,8 +478,8 @@ mod tests {
     #[test]
     fn load_into_wrong_architecture_fails() {
         let mut r = StdRng::seed_from_u64(13);
-        let mut a = mlp(&[2, 4, 2], 0.0, &mut r);
-        let bytes = to_bytes(&mut a);
+        let a = mlp(&[2, 4, 2], 0.0, &mut r);
+        let bytes = to_bytes(&a);
         let mut wrong = mlp(&[2, 8, 2], 0.0, &mut r);
         assert!(from_bytes(&mut wrong, bytes).is_err());
     }
@@ -495,8 +495,8 @@ mod tests {
     #[test]
     fn unwritable_path_is_an_io_error_not_state_mismatch() {
         let mut r = StdRng::seed_from_u64(19);
-        let mut a = mlp(&[2, 2], 0.0, &mut r);
-        let err = save(&mut a, "/nonexistent-dir/net.edt").unwrap_err();
+        let a = mlp(&[2, 2], 0.0, &mut r);
+        let err = save(&a, "/nonexistent-dir/net.edt").unwrap_err();
         assert!(matches!(err, NnError::Io(_)), "{err}");
     }
 
@@ -510,14 +510,14 @@ mod tests {
             let mut a = mlp(&[2, 4, 2], 0.0, &mut r);
             assert!(!store.contains("m0"));
             assert!(store.get("m0").is_err());
-            save_to_store(store.as_ref(), "m0", &mut a).unwrap();
+            save_to_store(store.as_ref(), "m0", &a).unwrap();
             assert!(store.contains("m0"));
             let mut b = mlp(&[2, 4, 2], 0.0, &mut r);
             load_from_store(store.as_ref(), "m0", &mut b).unwrap();
             let x = Tensor::ones(&[1, 2]);
             assert_eq!(
-                a.forward(&x, Mode::Eval).unwrap().data(),
-                b.forward(&x, Mode::Eval).unwrap().data()
+                a.train_forward(&x, Mode::Eval).unwrap().data(),
+                b.train_forward(&x, Mode::Eval).unwrap().data()
             );
             store.remove("m0").unwrap();
             assert!(!store.contains("m0"));

@@ -1,0 +1,211 @@
+//! The inference context: everything a *pure* forward pass needs.
+//!
+//! [`crate::layer::Layer::forward`] takes `&self` plus an [`InferCtx`]
+//! instead of `&mut self` — the model holds only frozen parameters, while
+//! all per-pass state (activation buffers, dropout mode and randomness)
+//! lives in the context. One model can then serve any number of threads
+//! concurrently, each with its own context, with zero member cloning.
+//!
+//! A context owns a [`BufferPool`]: `alloc` hands out activation tensors
+//! from an owned free list and `recycle` returns them, so after the first
+//! batch has warmed the pool a forward pass is allocation-free
+//! ([`InferCtx::fresh_allocs`] stops growing — the property the zero
+//! steady-state-allocation tests pin). Kernel working sets (im2col columns)
+//! come from the thread-local scratch arena underneath and are likewise
+//! warm after one batch.
+//!
+//! The context is deliberately **not** `Sync`: it is per-thread state.
+//! [`with_thread_ctx`] lazily provides one per thread (always in
+//! [`Mode::Eval`]), which is what the serving entry points use when fanning
+//! ensemble members out over the worker pool.
+
+use crate::param::Mode;
+use edde_tensor::scratch::BufferPool;
+use edde_tensor::Tensor;
+use std::cell::RefCell;
+
+/// Per-pass state for [`crate::layer::Layer::forward`].
+#[derive(Debug)]
+pub struct InferCtx {
+    mode: Mode,
+    pool: BufferPool,
+    streams: u64,
+}
+
+impl InferCtx {
+    /// A fresh evaluation-mode context.
+    pub fn new() -> Self {
+        InferCtx::with_mode(Mode::Eval)
+    }
+
+    /// A fresh context in the given mode. [`Mode::Train`] makes dropout
+    /// active (drawing from the context's derived streams); batch
+    /// normalization always uses its frozen running statistics on the pure
+    /// path, because updating them would mutate the model.
+    pub fn with_mode(mode: Mode) -> Self {
+        InferCtx {
+            mode,
+            pool: BufferPool::new(),
+            streams: 0,
+        }
+    }
+
+    /// The forward mode layers should honour.
+    #[inline]
+    pub fn mode(&self) -> Mode {
+        self.mode
+    }
+
+    /// Switches the forward mode (owned contexts only — the shared
+    /// per-thread context stays in eval mode).
+    pub fn set_mode(&mut self, mode: Mode) {
+        self.mode = mode;
+    }
+
+    /// Hands out a tensor of the given shape with **unspecified contents**,
+    /// backed by the context's buffer pool. Callers must fully overwrite it.
+    pub fn alloc(&mut self, dims: &[usize]) -> Tensor {
+        let len = dims.iter().product();
+        let buf = self.pool.take(len);
+        Tensor::from_vec(buf, dims).expect("pool buffer length matches dims")
+    }
+
+    /// Returns a tensor's backing buffer to the pool for reuse.
+    pub fn recycle(&mut self, t: Tensor) {
+        self.pool.give(t.into_vec());
+    }
+
+    /// Number of `alloc` calls that had to touch the heap. Constant across
+    /// repeated identical passes once the pool is warm.
+    pub fn fresh_allocs(&self) -> usize {
+        self.pool.misses()
+    }
+
+    /// A dropout randomness stream for one layer application, derived from
+    /// the layer's seed and a per-context draw counter. Only consumed in
+    /// [`Mode::Train`]; a fresh context replays the same streams, so
+    /// train-mode inference (e.g. MC dropout) is reproducible per context.
+    pub fn dropout_stream(&mut self, layer_seed: u64) -> DropoutStream {
+        let salt = self.streams;
+        self.streams += 1;
+        DropoutStream::new(layer_seed ^ salt.wrapping_mul(0xA076_1D64_78BD_642F))
+    }
+}
+
+impl Default for InferCtx {
+    fn default() -> Self {
+        InferCtx::new()
+    }
+}
+
+/// A splitmix64-backed `f32` stream for train-mode dropout on the pure
+/// forward path (the mutable path keeps its own per-layer stream).
+#[derive(Debug, Clone)]
+pub struct DropoutStream {
+    state: u64,
+}
+
+impl DropoutStream {
+    /// A stream seeded with `seed`.
+    pub fn new(seed: u64) -> Self {
+        DropoutStream { state: seed }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)` with 24 bits of precision.
+    pub fn next_f32(&mut self) -> f32 {
+        (self.next_u64() >> 40) as f32 / (1u32 << 24) as f32
+    }
+}
+
+thread_local! {
+    static THREAD_CTX: RefCell<InferCtx> = RefCell::new(InferCtx::new());
+}
+
+/// Runs `f` with this thread's shared evaluation-mode context. Worker
+/// threads each get their own, so pool-parallel member fan-out needs no
+/// locking and stays allocation-free per thread in steady state. Falls back
+/// to a fresh context when re-entered or during thread teardown.
+pub fn with_thread_ctx<R>(f: impl FnOnce(&mut InferCtx) -> R) -> R {
+    let mut f = Some(f);
+    let mut out: Option<R> = None;
+    let _ = THREAD_CTX.try_with(|cell| {
+        if let Ok(mut ctx) = cell.try_borrow_mut() {
+            let f = f.take().expect("closure consumed at most once");
+            out = Some(f(&mut ctx));
+        }
+    });
+    match (out, f) {
+        (Some(r), _) => r,
+        (None, Some(f)) => f(&mut InferCtx::new()),
+        (None, None) => unreachable!("closure consumed without producing a result"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_recycle_is_allocation_free_in_steady_state() {
+        let mut ctx = InferCtx::new();
+        for &dims in &[&[4usize, 8][..], &[2, 16][..], &[4, 8][..]] {
+            let t = ctx.alloc(dims);
+            ctx.recycle(t);
+        }
+        let warm = ctx.fresh_allocs();
+        for _ in 0..5 {
+            for &dims in &[&[4usize, 8][..], &[2, 16][..], &[4, 8][..]] {
+                let t = ctx.alloc(dims);
+                ctx.recycle(t);
+            }
+        }
+        assert_eq!(ctx.fresh_allocs(), warm);
+    }
+
+    #[test]
+    fn thread_ctx_is_reusable_and_eval_mode() {
+        let a = with_thread_ctx(|ctx| {
+            assert_eq!(ctx.mode(), Mode::Eval);
+            let t = ctx.alloc(&[2, 2]);
+            let ptr = t.data().as_ptr() as usize;
+            ctx.recycle(t);
+            ptr
+        });
+        let b = with_thread_ctx(|ctx| {
+            let t = ctx.alloc(&[2, 2]);
+            let ptr = t.data().as_ptr() as usize;
+            ctx.recycle(t);
+            ptr
+        });
+        assert_eq!(a, b, "thread context retains its pool across calls");
+    }
+
+    #[test]
+    fn dropout_streams_differ_per_draw_and_replay_per_ctx() {
+        let mut a = InferCtx::with_mode(Mode::Train);
+        let s1: Vec<f32> = {
+            let mut s = a.dropout_stream(7);
+            (0..4).map(|_| s.next_f32()).collect()
+        };
+        let s2: Vec<f32> = {
+            let mut s = a.dropout_stream(7);
+            (0..4).map(|_| s.next_f32()).collect()
+        };
+        assert_ne!(s1, s2, "successive draws use distinct streams");
+        let mut b = InferCtx::with_mode(Mode::Train);
+        let r1: Vec<f32> = {
+            let mut s = b.dropout_stream(7);
+            (0..4).map(|_| s.next_f32()).collect()
+        };
+        assert_eq!(s1, r1, "a fresh context replays the same streams");
+        assert!(s1.iter().all(|v| (0.0..1.0).contains(v)));
+    }
+}

@@ -1,6 +1,7 @@
 //! The [`Layer`] trait and the [`Sequential`] container.
 
 use crate::error::Result;
+use crate::infer::InferCtx;
 use crate::param::{Mode, Param};
 use edde_tensor::Tensor;
 
@@ -9,22 +10,33 @@ use edde_tensor::Tensor;
 /// A layer owns its parameters and whatever forward-pass state its backward
 /// pass needs. The contract is strict and simple:
 ///
-/// 1. `forward(x, mode)` caches what backward will need and returns the
-///    output;
-/// 2. `backward(grad_out)` consumes the cached state, **accumulates**
+/// 1. `forward(x, ctx)` is **pure**: `&self` plus an explicit
+///    [`InferCtx`] carrying all per-pass state (activation buffers,
+///    dropout mode/randomness). It never mutates the layer, so a frozen
+///    model can serve any number of threads concurrently, and its
+///    evaluation-mode output is bit-identical to
+///    `train_forward(x, Mode::Eval)`;
+/// 2. `train_forward(x, mode)` caches what backward will need and returns
+///    the output;
+/// 3. `backward(grad_out)` consumes the cached state, **accumulates**
 ///    parameter gradients, and returns the gradient with respect to its
 ///    input;
-/// 3. gradients accumulate across calls until [`Layer::zero_grad`].
+/// 4. gradients accumulate across calls until [`Layer::zero_grad`].
 ///
 /// Composite layers (residual blocks, dense blocks, whole models) implement
 /// the same trait, so a [`crate::network::Network`] is just a named root
 /// layer.
-pub trait Layer: Send {
+pub trait Layer: Send + Sync {
     /// Short human-readable layer kind, e.g. `"dense"` or `"conv2d"`.
     fn kind(&self) -> &'static str;
 
+    /// Pure forward pass: frozen parameters, per-pass state in `ctx`.
+    /// In [`Mode::Eval`] (the context default) the output is bit-identical
+    /// to [`Layer::train_forward`] with [`Mode::Eval`].
+    fn forward(&self, input: &Tensor, ctx: &mut InferCtx) -> Result<Tensor>;
+
     /// Computes this layer's output, caching backward state.
-    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor>;
+    fn train_forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor>;
 
     /// Propagates `grad_out` through the layer, accumulating parameter
     /// gradients and returning the input gradient.
@@ -38,6 +50,14 @@ pub trait Layer: Send {
     /// Visits non-trainable state that still belongs in checkpoints and
     /// knowledge transfer (batch-norm running statistics).
     fn visit_buffers(&mut self, _prefix: &str, _f: &mut dyn FnMut(&str, &mut Tensor)) {}
+
+    /// Read-only [`Layer::visit_params`]: same paths, same order, `&self` —
+    /// what frozen-model export walks. Layers with parameters must keep the
+    /// two visitors in lockstep.
+    fn visit_params_ref(&self, _prefix: &str, _f: &mut dyn FnMut(&str, &Param)) {}
+
+    /// Read-only [`Layer::visit_buffers`].
+    fn visit_buffers_ref(&self, _prefix: &str, _f: &mut dyn FnMut(&str, &Tensor)) {}
 
     /// Clones the layer behind a box. Needed because ensemble methods
     /// snapshot whole member networks.
@@ -111,10 +131,26 @@ impl Layer for Sequential {
         "sequential"
     }
 
-    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+    fn forward(&self, input: &Tensor, ctx: &mut InferCtx) -> Result<Tensor> {
+        let mut layers = self.layers.iter();
+        let Some((_, first)) = layers.next() else {
+            let mut out = ctx.alloc(input.dims());
+            out.data_mut().copy_from_slice(input.data());
+            return Ok(out);
+        };
+        let mut x = first.forward(input, ctx)?;
+        for (_, layer) in layers {
+            let y = layer.forward(&x, ctx)?;
+            ctx.recycle(x);
+            x = y;
+        }
+        Ok(x)
+    }
+
+    fn train_forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
         let mut x = input.clone();
         for (_, layer) in &mut self.layers {
-            x = layer.forward(&x, mode)?;
+            x = layer.train_forward(&x, mode)?;
         }
         Ok(x)
     }
@@ -138,6 +174,20 @@ impl Layer for Sequential {
         for (name, layer) in &mut self.layers {
             let path = join_path(prefix, name);
             layer.visit_buffers(&path, f);
+        }
+    }
+
+    fn visit_params_ref(&self, prefix: &str, f: &mut dyn FnMut(&str, &Param)) {
+        for (name, layer) in &self.layers {
+            let path = join_path(prefix, name);
+            layer.visit_params_ref(&path, f);
+        }
+    }
+
+    fn visit_buffers_ref(&self, prefix: &str, f: &mut dyn FnMut(&str, &Tensor)) {
+        for (name, layer) in &self.layers {
+            let path = join_path(prefix, name);
+            layer.visit_buffers_ref(&path, f);
         }
     }
 
@@ -171,7 +221,11 @@ mod tests {
         fn kind(&self) -> &'static str {
             "scale"
         }
-        fn forward(&mut self, input: &Tensor, _mode: Mode) -> Result<Tensor> {
+        fn forward(&self, input: &Tensor, _ctx: &mut InferCtx) -> Result<Tensor> {
+            let a = self.a.value.item()?;
+            Ok(input.map(|v| a * v))
+        }
+        fn train_forward(&mut self, input: &Tensor, _mode: Mode) -> Result<Tensor> {
             self.cache = Some(input.clone());
             let a = self.a.value.item()?;
             Ok(input.map(|v| a * v))
@@ -194,6 +248,9 @@ mod tests {
         fn visit_params(&mut self, prefix: &str, f: &mut dyn FnMut(&str, &mut Param)) {
             f(&join_path(prefix, "a"), &mut self.a);
         }
+        fn visit_params_ref(&self, prefix: &str, f: &mut dyn FnMut(&str, &Param)) {
+            f(&join_path(prefix, "a"), &self.a);
+        }
         fn clone_box(&self) -> Box<dyn Layer> {
             Box::new(self.clone())
         }
@@ -205,12 +262,26 @@ mod tests {
             .with("s1", Box::new(ScaleLayer::new(2.0)))
             .with("s2", Box::new(ScaleLayer::new(3.0)));
         let x = Tensor::from_slice(&[1.0, -1.0]);
-        let y = seq.forward(&x, Mode::Train).unwrap();
+        let y = seq.train_forward(&x, Mode::Train).unwrap();
         assert_eq!(y.data(), &[6.0, -6.0]);
 
         let g = seq.backward(&Tensor::from_slice(&[1.0, 1.0])).unwrap();
         // dL/dx = a1*a2 = 6 on both coordinates
         assert_eq!(g.data(), &[6.0, 6.0]);
+
+        // The pure path computes the same chain without touching the model.
+        let mut ctx = InferCtx::new();
+        let yp = seq.forward(&x, &mut ctx).unwrap();
+        assert_eq!(yp.data(), &[6.0, -6.0]);
+    }
+
+    #[test]
+    fn empty_sequential_is_identity_on_the_pure_path() {
+        let seq = Sequential::new();
+        let x = Tensor::from_slice(&[1.5, -2.5]);
+        let mut ctx = InferCtx::new();
+        let y = seq.forward(&x, &mut ctx).unwrap();
+        assert_eq!(y.data(), x.data());
     }
 
     #[test]
@@ -227,7 +298,7 @@ mod tests {
     fn zero_grad_clears_every_param() {
         let mut seq = Sequential::new().with("s1", Box::new(ScaleLayer::new(2.0)));
         let x = Tensor::from_slice(&[1.0]);
-        seq.forward(&x, Mode::Train).unwrap();
+        seq.train_forward(&x, Mode::Train).unwrap();
         seq.backward(&Tensor::from_slice(&[1.0])).unwrap();
         let mut grads = Vec::new();
         seq.visit_params("", &mut |_, p| grads.push(p.grad.data()[0]));

@@ -1,9 +1,20 @@
 //! Activation layers.
 
 use crate::error::{NnError, Result};
+use crate::infer::InferCtx;
 use crate::layer::Layer;
 use crate::param::Mode;
 use edde_tensor::Tensor;
+
+/// Fills `out` with `f(x)` for each input element — the shared shape of the
+/// pure activation paths, writing into a context-pooled buffer.
+fn map_into(input: &Tensor, ctx: &mut InferCtx, f: impl Fn(f32) -> f32) -> Tensor {
+    let mut out = ctx.alloc(input.dims());
+    for (o, &v) in out.data_mut().iter_mut().zip(input.data()) {
+        *o = f(v);
+    }
+    out
+}
 
 /// Rectified linear unit, `y = max(0, x)`.
 #[derive(Clone, Default)]
@@ -24,7 +35,13 @@ impl Layer for Relu {
         "relu"
     }
 
-    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Result<Tensor> {
+    fn forward(&self, input: &Tensor, ctx: &mut InferCtx) -> Result<Tensor> {
+        Ok(map_into(input, ctx, |v| {
+            v * (if v > 0.0 { 1.0 } else { 0.0 })
+        }))
+    }
+
+    fn train_forward(&mut self, input: &Tensor, _mode: Mode) -> Result<Tensor> {
         let mask = input.map(|v| if v > 0.0 { 1.0 } else { 0.0 });
         let out = input.zip_map(&mask, |x, m| x * m)?;
         self.mask = Some(mask);
@@ -66,7 +83,11 @@ impl Layer for Sigmoid {
         "sigmoid"
     }
 
-    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Result<Tensor> {
+    fn forward(&self, input: &Tensor, ctx: &mut InferCtx) -> Result<Tensor> {
+        Ok(map_into(input, ctx, |v| 1.0 / (1.0 + (-v).exp())))
+    }
+
+    fn train_forward(&mut self, input: &Tensor, _mode: Mode) -> Result<Tensor> {
         let out = input.map(|v| 1.0 / (1.0 + (-v).exp()));
         self.out = Some(out.clone());
         Ok(out)
@@ -103,7 +124,11 @@ impl Layer for Tanh {
         "tanh"
     }
 
-    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Result<Tensor> {
+    fn forward(&self, input: &Tensor, ctx: &mut InferCtx) -> Result<Tensor> {
+        Ok(map_into(input, ctx, f32::tanh))
+    }
+
+    fn train_forward(&mut self, input: &Tensor, _mode: Mode) -> Result<Tensor> {
         let out = input.map(f32::tanh);
         self.out = Some(out.clone());
         Ok(out)
@@ -130,15 +155,19 @@ mod tests {
     fn forward_clamps_negatives() {
         let mut relu = Relu::new();
         let x = Tensor::from_slice(&[-1.0, 0.0, 2.0]);
-        let y = relu.forward(&x, Mode::Train).unwrap();
+        let y = relu.train_forward(&x, Mode::Train).unwrap();
         assert_eq!(y.data(), &[0.0, 0.0, 2.0]);
+
+        let mut ctx = InferCtx::new();
+        let yp = relu.forward(&x, &mut ctx).unwrap();
+        assert_eq!(yp.data(), y.data());
     }
 
     #[test]
     fn backward_gates_gradient() {
         let mut relu = Relu::new();
         let x = Tensor::from_slice(&[-1.0, 0.5, 0.0]);
-        relu.forward(&x, Mode::Train).unwrap();
+        relu.train_forward(&x, Mode::Train).unwrap();
         let g = relu
             .backward(&Tensor::from_slice(&[7.0, 7.0, 7.0]))
             .unwrap();
@@ -156,7 +185,7 @@ mod tests {
     fn sigmoid_forward_and_gradient() {
         let mut s = Sigmoid::new();
         let x = Tensor::from_slice(&[0.0, 100.0, -100.0]);
-        let y = s.forward(&x, Mode::Train).unwrap();
+        let y = s.train_forward(&x, Mode::Train).unwrap();
         assert!((y.data()[0] - 0.5).abs() < 1e-6);
         assert!(y.data()[1] > 0.999 && y.data()[2] < 1e-3);
         let g = s.backward(&Tensor::ones(&[3])).unwrap();
@@ -168,7 +197,7 @@ mod tests {
     fn tanh_forward_and_gradient() {
         let mut t = Tanh::new();
         let x = Tensor::from_slice(&[0.0, 1.0]);
-        let y = t.forward(&x, Mode::Train).unwrap();
+        let y = t.train_forward(&x, Mode::Train).unwrap();
         assert_eq!(y.data()[0], 0.0);
         assert!((y.data()[1] - 1.0f32.tanh()).abs() < 1e-6);
         let g = t.backward(&Tensor::ones(&[2])).unwrap();
@@ -187,7 +216,7 @@ mod tests {
                 ),
                 _ => (f32::tanh as fn(f32) -> f32, Box::new(Tanh::new())),
             };
-            fwd.forward(&x, Mode::Train).unwrap();
+            fwd.train_forward(&x, Mode::Train).unwrap();
             let ana = fwd.backward(&gout).unwrap();
             let eps = 1e-3f32;
             for i in 0..3 {

@@ -1,6 +1,7 @@
 //! Batch normalization over the channel axis of `[N, C, H, W]` tensors.
 
 use crate::error::{NnError, Result};
+use crate::infer::InferCtx;
 use crate::layer::{join_path, Layer};
 use crate::param::{Mode, Param};
 use edde_tensor::Tensor;
@@ -65,8 +66,34 @@ impl Layer for BatchNorm2d {
         "batchnorm2d"
     }
 
+    /// Pure path: always normalizes with the frozen running statistics,
+    /// regardless of the context mode — updating them would mutate the
+    /// model. Arithmetic matches the mutable eval branch exactly.
+    #[allow(clippy::needless_range_loop)]
+    fn forward(&self, input: &Tensor, ctx: &mut InferCtx) -> Result<Tensor> {
+        let (n, c, h, w) = self.check_input(input)?;
+        let plane = h * w;
+        let mut out = ctx.alloc(&[n, c, h, w]);
+        for ch in 0..c {
+            let mean = self.running_mean.data()[ch];
+            let var = self.running_var.data()[ch];
+            let inv_std = 1.0 / (var + self.eps).sqrt();
+            let g = self.gamma.value.data()[ch];
+            let b = self.beta.value.data()[ch];
+            for s in 0..n {
+                let src = &input.data()[(s * c + ch) * plane..][..plane];
+                let dst = &mut out.data_mut()[(s * c + ch) * plane..][..plane];
+                for i in 0..plane {
+                    let xv = (src[i] - mean) * inv_std;
+                    dst[i] = g * xv + b;
+                }
+            }
+        }
+        Ok(out)
+    }
+
     #[allow(clippy::needless_range_loop)] // per-channel index loops read clearer here
-    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+    fn train_forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
         let (n, c, h, w) = self.check_input(input)?;
         let plane = h * w;
         let count = (n * plane) as f32;
@@ -186,6 +213,16 @@ impl Layer for BatchNorm2d {
         f(&join_path(prefix, "running_var"), &mut self.running_var);
     }
 
+    fn visit_params_ref(&self, prefix: &str, f: &mut dyn FnMut(&str, &Param)) {
+        f(&join_path(prefix, "gamma"), &self.gamma);
+        f(&join_path(prefix, "beta"), &self.beta);
+    }
+
+    fn visit_buffers_ref(&self, prefix: &str, f: &mut dyn FnMut(&str, &Tensor)) {
+        f(&join_path(prefix, "running_mean"), &self.running_mean);
+        f(&join_path(prefix, "running_var"), &self.running_var);
+    }
+
     fn clone_box(&self) -> Box<dyn Layer> {
         Box::new(self.clone())
     }
@@ -203,7 +240,7 @@ mod tests {
         let mut bn = BatchNorm2d::new(2);
         let mut r = StdRng::seed_from_u64(0);
         let x = rand_uniform(&[4, 2, 3, 3], -5.0, 5.0, &mut r);
-        let y = bn.forward(&x, Mode::Train).unwrap();
+        let y = bn.train_forward(&x, Mode::Train).unwrap();
         // per-channel mean ~0, var ~1
         for ch in 0..2 {
             let mut vals = Vec::new();
@@ -225,12 +262,17 @@ mod tests {
         // run many training batches so running stats converge
         for _ in 0..200 {
             let x = rand_uniform(&[8, 1, 2, 2], 2.0, 4.0, &mut r); // mean 3
-            bn.forward(&x, Mode::Train).unwrap();
+            bn.train_forward(&x, Mode::Train).unwrap();
         }
         let x = Tensor::full(&[1, 1, 2, 2], 3.0);
-        let y = bn.forward(&x, Mode::Eval).unwrap();
+        let y = bn.train_forward(&x, Mode::Eval).unwrap();
         // input at the running mean should map near beta = 0
         assert!(y.data().iter().all(|&v| v.abs() < 0.2), "{:?}", y.data());
+
+        // the pure path matches the mutable eval path bit for bit
+        let mut ctx = InferCtx::new();
+        let yp = bn.forward(&x, &mut ctx).unwrap();
+        assert_eq!(yp.data(), y.data());
     }
 
     #[test]
@@ -243,12 +285,12 @@ mod tests {
         bn.beta.value = Tensor::from_slice(&[0.1, -0.2]);
 
         let mut bn2 = bn.clone();
-        bn2.forward(&x, Mode::Train).unwrap();
+        bn2.train_forward(&x, Mode::Train).unwrap();
         let gx = bn2.backward(&g).unwrap();
 
         let loss = |inp: &Tensor| -> f32 {
             let mut b = bn.clone();
-            let y = b.forward(inp, Mode::Train).unwrap();
+            let y = b.train_forward(inp, Mode::Train).unwrap();
             y.data()
                 .iter()
                 .zip(g.data().iter())
@@ -272,7 +314,7 @@ mod tests {
         let mut bn = BatchNorm2d::new(1);
         let mut r = StdRng::seed_from_u64(5);
         let x = rand_uniform(&[2, 1, 2, 2], -1.0, 1.0, &mut r);
-        bn.forward(&x, Mode::Train).unwrap();
+        bn.train_forward(&x, Mode::Train).unwrap();
         let g = Tensor::ones(&[2, 1, 2, 2]);
         bn.backward(&g).unwrap();
         // dbeta = sum(dy) = 8; dgamma = sum(dy * x_hat) ~ 0 since x_hat sums to 0
@@ -292,7 +334,7 @@ mod tests {
     fn eval_backward_errors_without_cache() {
         let mut bn = BatchNorm2d::new(1);
         let x = Tensor::zeros(&[1, 1, 2, 2]);
-        bn.forward(&x, Mode::Eval).unwrap();
+        bn.train_forward(&x, Mode::Eval).unwrap();
         assert!(bn.backward(&Tensor::zeros(&[1, 1, 2, 2])).is_err());
     }
 
@@ -300,7 +342,7 @@ mod tests {
     fn rejects_wrong_channel_count() {
         let mut bn = BatchNorm2d::new(2);
         assert!(bn
-            .forward(&Tensor::zeros(&[1, 3, 2, 2]), Mode::Train)
+            .train_forward(&Tensor::zeros(&[1, 3, 2, 2]), Mode::Train)
             .is_err());
     }
 }

@@ -1,9 +1,12 @@
 //! Convolution layers (2-D for ResNet/DenseNet, 1-D for Text-CNN).
 
 use crate::error::{NnError, Result};
+use crate::infer::InferCtx;
 use crate::layer::{join_path, Layer};
 use crate::param::{Mode, Param};
-use edde_tensor::ops::{conv1d, conv1d_backward, conv2d, conv2d_backward};
+use edde_tensor::ops::{
+    conv1d, conv1d_backward, conv1d_into, conv2d, conv2d_backward, conv2d_into, out_dim,
+};
 use edde_tensor::{rng, Tensor};
 use rand::Rng;
 
@@ -64,7 +67,31 @@ impl Layer for Conv2d {
         "conv2d"
     }
 
-    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Result<Tensor> {
+    fn forward(&self, input: &Tensor, ctx: &mut InferCtx) -> Result<Tensor> {
+        if input.rank() != 4 || input.dims()[1] != self.in_channels {
+            return Err(NnError::BadInput {
+                layer: "Conv2d",
+                expected: format!("[N, {}, H, W]", self.in_channels),
+                got: input.dims().to_vec(),
+            });
+        }
+        let d = input.dims();
+        let oh = out_dim(d[2], self.kernel, self.stride, self.pad)?;
+        let ow = out_dim(d[3], self.kernel, self.stride, self.pad)?;
+        let mut out = ctx.alloc(&[d[0], self.out_channels, oh, ow]);
+        let bias = self.use_bias.then_some(&self.bias.value);
+        conv2d_into(
+            input,
+            &self.weight.value,
+            bias,
+            self.stride,
+            self.pad,
+            &mut out,
+        )?;
+        Ok(out)
+    }
+
+    fn train_forward(&mut self, input: &Tensor, _mode: Mode) -> Result<Tensor> {
         if input.rank() != 4 || input.dims()[1] != self.in_channels {
             return Err(NnError::BadInput {
                 layer: "Conv2d",
@@ -100,6 +127,13 @@ impl Layer for Conv2d {
         f(&join_path(prefix, "weight"), &mut self.weight);
         if self.use_bias {
             f(&join_path(prefix, "bias"), &mut self.bias);
+        }
+    }
+
+    fn visit_params_ref(&self, prefix: &str, f: &mut dyn FnMut(&str, &Param)) {
+        f(&join_path(prefix, "weight"), &self.weight);
+        if self.use_bias {
+            f(&join_path(prefix, "bias"), &self.bias);
         }
     }
 
@@ -154,7 +188,30 @@ impl Layer for Conv1d {
         "conv1d"
     }
 
-    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Result<Tensor> {
+    fn forward(&self, input: &Tensor, ctx: &mut InferCtx) -> Result<Tensor> {
+        if input.rank() != 3 || input.dims()[1] != self.in_channels {
+            return Err(NnError::BadInput {
+                layer: "Conv1d",
+                expected: format!("[N, {}, L]", self.in_channels),
+                got: input.dims().to_vec(),
+            });
+        }
+        let d = input.dims();
+        let oc = self.weight.value.dims()[0];
+        let ol = out_dim(d[2], self.kernel, self.stride, self.pad)?;
+        let mut out = ctx.alloc(&[d[0], oc, ol]);
+        conv1d_into(
+            input,
+            &self.weight.value,
+            Some(&self.bias.value),
+            self.stride,
+            self.pad,
+            &mut out,
+        )?;
+        Ok(out)
+    }
+
+    fn train_forward(&mut self, input: &Tensor, _mode: Mode) -> Result<Tensor> {
         if input.rank() != 3 || input.dims()[1] != self.in_channels {
             return Err(NnError::BadInput {
                 layer: "Conv1d",
@@ -188,6 +245,11 @@ impl Layer for Conv1d {
         f(&join_path(prefix, "bias"), &mut self.bias);
     }
 
+    fn visit_params_ref(&self, prefix: &str, f: &mut dyn FnMut(&str, &Param)) {
+        f(&join_path(prefix, "weight"), &self.weight);
+        f(&join_path(prefix, "bias"), &self.bias);
+    }
+
     fn clone_box(&self) -> Box<dyn Layer> {
         Box::new(self.clone())
     }
@@ -204,11 +266,16 @@ mod tests {
         let mut r = StdRng::seed_from_u64(0);
         let mut layer = Conv2d::new(3, 8, 3, 1, 1, false, &mut r);
         let x = Tensor::zeros(&[2, 3, 8, 8]);
-        let y = layer.forward(&x, Mode::Train).unwrap();
+        let y = layer.train_forward(&x, Mode::Train).unwrap();
         assert_eq!(y.dims(), &[2, 8, 8, 8]); // "same" padding
 
+        let mut ctx = InferCtx::new();
+        let yp = layer.forward(&x, &mut ctx).unwrap();
+        assert_eq!(yp.dims(), y.dims());
+        assert_eq!(yp.data(), y.data());
+
         let mut strided = Conv2d::new(3, 4, 3, 2, 1, false, &mut r);
-        let y2 = strided.forward(&x, Mode::Train).unwrap();
+        let y2 = strided.train_forward(&x, Mode::Train).unwrap();
         assert_eq!(y2.dims(), &[2, 4, 4, 4]);
     }
 
@@ -217,7 +284,7 @@ mod tests {
         let mut r = StdRng::seed_from_u64(0);
         let mut layer = Conv2d::new(3, 8, 3, 1, 1, false, &mut r);
         assert!(layer
-            .forward(&Tensor::zeros(&[2, 4, 8, 8]), Mode::Train)
+            .train_forward(&Tensor::zeros(&[2, 4, 8, 8]), Mode::Train)
             .is_err());
     }
 
@@ -226,7 +293,7 @@ mod tests {
         let mut r = StdRng::seed_from_u64(1);
         let mut layer = Conv2d::new(1, 2, 3, 1, 1, true, &mut r);
         let x = edde_tensor::rng::rand_uniform(&[1, 1, 5, 5], -1.0, 1.0, &mut r);
-        let y = layer.forward(&x, Mode::Train).unwrap();
+        let y = layer.train_forward(&x, Mode::Train).unwrap();
         let g = Tensor::ones(y.dims());
         let gx = layer.backward(&g).unwrap();
         assert_eq!(gx.dims(), x.dims());
@@ -235,7 +302,7 @@ mod tests {
 
         // second pass accumulates onto the first
         let w_grad_1 = layer.weight.grad.clone();
-        layer.forward(&x, Mode::Train).unwrap();
+        layer.train_forward(&x, Mode::Train).unwrap();
         layer.backward(&g).unwrap();
         for (a, b) in layer.weight.grad.data().iter().zip(w_grad_1.data().iter()) {
             assert!((a - 2.0 * b).abs() < 1e-4);
@@ -256,7 +323,7 @@ mod tests {
         let mut r = StdRng::seed_from_u64(2);
         let mut layer = Conv1d::new(4, 6, 3, 1, 0, &mut r);
         let x = edde_tensor::rng::rand_uniform(&[2, 4, 12], -1.0, 1.0, &mut r);
-        let y = layer.forward(&x, Mode::Train).unwrap();
+        let y = layer.train_forward(&x, Mode::Train).unwrap();
         assert_eq!(y.dims(), &[2, 6, 10]);
         let gx = layer.backward(&Tensor::ones(y.dims())).unwrap();
         assert_eq!(gx.dims(), x.dims());
@@ -268,7 +335,7 @@ mod tests {
         let mut r = StdRng::seed_from_u64(0);
         let mut layer = Conv1d::new(4, 6, 3, 1, 0, &mut r);
         assert!(layer
-            .forward(&Tensor::zeros(&[4, 12]), Mode::Train)
+            .train_forward(&Tensor::zeros(&[4, 12]), Mode::Train)
             .is_err());
     }
 }

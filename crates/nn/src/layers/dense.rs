@@ -1,9 +1,12 @@
 //! Fully-connected (dense) layer.
 
 use crate::error::{NnError, Result};
+use crate::infer::InferCtx;
 use crate::layer::{join_path, Layer};
 use crate::param::{Mode, Param};
-use edde_tensor::ops::{add_row_broadcast_inplace, matmul, matmul_a_bt, matmul_at_b, sum_axis0};
+use edde_tensor::ops::{
+    add_row_broadcast_inplace, matmul, matmul_a_bt, matmul_at_b, matmul_into, sum_axis0,
+};
 use edde_tensor::{rng, Tensor};
 use rand::Rng;
 
@@ -64,7 +67,21 @@ impl Layer for Dense {
         "dense"
     }
 
-    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Result<Tensor> {
+    fn forward(&self, input: &Tensor, ctx: &mut InferCtx) -> Result<Tensor> {
+        if input.rank() != 2 || input.dims()[1] != self.in_features {
+            return Err(NnError::BadInput {
+                layer: "Dense",
+                expected: format!("[N, {}]", self.in_features),
+                got: input.dims().to_vec(),
+            });
+        }
+        let mut y = ctx.alloc(&[input.dims()[0], self.out_features]);
+        matmul_into(input, &self.weight.value, &mut y)?;
+        add_row_broadcast_inplace(&mut y, &self.bias.value)?;
+        Ok(y)
+    }
+
+    fn train_forward(&mut self, input: &Tensor, _mode: Mode) -> Result<Tensor> {
         if input.rank() != 2 || input.dims()[1] != self.in_features {
             return Err(NnError::BadInput {
                 layer: "Dense",
@@ -96,6 +113,11 @@ impl Layer for Dense {
         f(&join_path(prefix, "bias"), &mut self.bias);
     }
 
+    fn visit_params_ref(&self, prefix: &str, f: &mut dyn FnMut(&str, &Param)) {
+        f(&join_path(prefix, "weight"), &self.weight);
+        f(&join_path(prefix, "bias"), &self.bias);
+    }
+
     fn clone_box(&self) -> Box<dyn Layer> {
         Box::new(self.clone())
     }
@@ -119,16 +141,24 @@ mod tests {
         layer.weight.value = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0, 0.0, 0.0], &[3, 2]).unwrap();
         layer.bias.value = Tensor::from_slice(&[10.0, 20.0]);
         let x = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[1, 3]).unwrap();
-        let y = layer.forward(&x, Mode::Train).unwrap();
+        let y = layer.train_forward(&x, Mode::Train).unwrap();
         assert_eq!(y.data(), &[11.0, 22.0]);
+
+        let mut ctx = InferCtx::new();
+        let yp = layer.forward(&x, &mut ctx).unwrap();
+        assert_eq!(yp.data(), y.data());
     }
 
     #[test]
     fn rejects_wrong_input_width() {
         let mut r = rng();
         let mut layer = Dense::new(3, 2, &mut r);
-        assert!(layer.forward(&Tensor::zeros(&[1, 4]), Mode::Train).is_err());
-        assert!(layer.forward(&Tensor::zeros(&[3]), Mode::Train).is_err());
+        assert!(layer
+            .train_forward(&Tensor::zeros(&[1, 4]), Mode::Train)
+            .is_err());
+        assert!(layer
+            .train_forward(&Tensor::zeros(&[3]), Mode::Train)
+            .is_err());
     }
 
     #[test]
@@ -145,7 +175,7 @@ mod tests {
         let x = edde_tensor::rng::rand_uniform(&[5, 4], -1.0, 1.0, &mut r);
         let g = edde_tensor::rng::rand_uniform(&[5, 3], -1.0, 1.0, &mut r);
 
-        let y0 = layer.forward(&x, Mode::Train).unwrap();
+        let y0 = layer.train_forward(&x, Mode::Train).unwrap();
         let _ = y0;
         let gx = layer.backward(&g).unwrap();
 
@@ -160,7 +190,7 @@ mod tests {
             if let Some(i) = xi {
                 x2.data_mut()[i] += eps;
             }
-            let y = l2.forward(&x2, Mode::Train).unwrap();
+            let y = l2.train_forward(&x2, Mode::Train).unwrap();
             y.data()
                 .iter()
                 .zip(g.data().iter())
@@ -170,7 +200,7 @@ mod tests {
         let base_w_plus = probe(Some(0), None);
         let mut l_minus = layer.clone();
         l_minus.weight.value.data_mut()[0] -= eps;
-        let y_minus = l_minus.forward(&x, Mode::Train).unwrap();
+        let y_minus = l_minus.train_forward(&x, Mode::Train).unwrap();
         let base_w_minus: f32 = y_minus
             .data()
             .iter()
@@ -184,7 +214,7 @@ mod tests {
         let mut x2 = x.clone();
         x2.data_mut()[0] -= eps;
         let mut l3 = layer.clone();
-        let y3 = l3.forward(&x2, Mode::Train).unwrap();
+        let y3 = l3.train_forward(&x2, Mode::Train).unwrap();
         let x_minus: f32 = y3
             .data()
             .iter()
@@ -209,7 +239,7 @@ mod tests {
         let mut r = rng();
         let mut layer = Dense::new(2, 2, &mut r);
         let x = Tensor::zeros(&[3, 2]);
-        layer.forward(&x, Mode::Train).unwrap();
+        layer.train_forward(&x, Mode::Train).unwrap();
         let g = Tensor::ones(&[3, 2]);
         layer.backward(&g).unwrap();
         assert_eq!(layer.bias.grad.data(), &[3.0, 3.0]);

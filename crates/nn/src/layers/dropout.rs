@@ -1,6 +1,7 @@
 //! Inverted dropout.
 
 use crate::error::{NnError, Result};
+use crate::infer::InferCtx;
 use crate::layer::Layer;
 use crate::param::Mode;
 use edde_tensor::Tensor;
@@ -41,6 +42,7 @@ impl SplitMix64 {
 #[derive(Clone)]
 pub struct Dropout {
     p: f32,
+    seed: u64,
     rng: SplitMix64,
     mask: Option<Tensor>,
 }
@@ -58,6 +60,7 @@ impl Dropout {
         );
         Dropout {
             p,
+            seed,
             rng: SplitMix64::new(seed),
             mask: None,
         }
@@ -74,7 +77,28 @@ impl Layer for Dropout {
         "dropout"
     }
 
-    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+    fn forward(&self, input: &Tensor, ctx: &mut InferCtx) -> Result<Tensor> {
+        let mut out = ctx.alloc(input.dims());
+        if !ctx.mode().is_train() || self.p == 0.0 {
+            out.data_mut().copy_from_slice(input.data());
+            return Ok(out);
+        }
+        // Train-mode inference (MC dropout) draws from a context-derived
+        // stream: the frozen layer never advances its own generator.
+        let scale = 1.0 / (1.0 - self.p);
+        let mut stream = ctx.dropout_stream(self.seed);
+        for (o, &x) in out.data_mut().iter_mut().zip(input.data()) {
+            let m = if stream.next_f32() < self.p {
+                0.0
+            } else {
+                scale
+            };
+            *o = x * m;
+        }
+        Ok(out)
+    }
+
+    fn train_forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
         if !mode.is_train() || self.p == 0.0 {
             self.mask = None;
             return Ok(input.clone());
@@ -115,15 +139,32 @@ mod tests {
     fn eval_mode_is_identity() {
         let mut d = Dropout::new(0.5, 7);
         let x = Tensor::from_slice(&[1.0, 2.0, 3.0]);
-        let y = d.forward(&x, Mode::Eval).unwrap();
+        let y = d.train_forward(&x, Mode::Eval).unwrap();
         assert_eq!(y, x);
+
+        let mut ctx = InferCtx::new();
+        let yp = d.forward(&x, &mut ctx).unwrap();
+        assert_eq!(yp.data(), x.data());
+    }
+
+    #[test]
+    fn pure_train_mode_is_reproducible_per_context() {
+        let d = Dropout::new(0.5, 11);
+        let x = Tensor::ones(&[1_000]);
+        let mut a = InferCtx::with_mode(Mode::Train);
+        let ya = d.forward(&x, &mut a).unwrap();
+        let mut b = InferCtx::with_mode(Mode::Train);
+        let yb = d.forward(&x, &mut b).unwrap();
+        assert_eq!(ya.data(), yb.data());
+        let zeros = ya.data().iter().filter(|&&v| v == 0.0).count();
+        assert!((300..700).contains(&zeros), "zeros {zeros}");
     }
 
     #[test]
     fn train_mode_zeroes_roughly_p_fraction() {
         let mut d = Dropout::new(0.5, 7);
         let x = Tensor::ones(&[10_000]);
-        let y = d.forward(&x, Mode::Train).unwrap();
+        let y = d.train_forward(&x, Mode::Train).unwrap();
         let zeros = y.data().iter().filter(|&&v| v == 0.0).count();
         assert!((4_000..6_000).contains(&zeros), "zeros {zeros}");
         // survivors are scaled
@@ -137,7 +178,7 @@ mod tests {
     fn backward_uses_same_mask() {
         let mut d = Dropout::new(0.5, 3);
         let x = Tensor::ones(&[100]);
-        let y = d.forward(&x, Mode::Train).unwrap();
+        let y = d.train_forward(&x, Mode::Train).unwrap();
         let g = d.backward(&Tensor::ones(&[100])).unwrap();
         for (yv, gv) in y.data().iter().zip(g.data().iter()) {
             assert_eq!(yv, gv); // identical mask and scale
@@ -148,7 +189,7 @@ mod tests {
     fn zero_p_never_needs_cache() {
         let mut d = Dropout::new(0.0, 0);
         let x = Tensor::ones(&[4]);
-        let y = d.forward(&x, Mode::Train).unwrap();
+        let y = d.train_forward(&x, Mode::Train).unwrap();
         assert_eq!(y, x);
         assert!(d.backward(&x).is_ok());
     }

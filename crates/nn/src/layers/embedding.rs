@@ -1,6 +1,7 @@
 //! Token embedding layer for the Text-CNN.
 
 use crate::error::{NnError, Result};
+use crate::infer::InferCtx;
 use crate::layer::{join_path, Layer};
 use crate::param::{Mode, Param};
 use edde_tensor::{rng, Tensor};
@@ -50,8 +51,41 @@ impl Layer for Embedding {
         "embedding"
     }
 
+    #[allow(clippy::needless_range_loop)]
+    fn forward(&self, input: &Tensor, ctx: &mut InferCtx) -> Result<Tensor> {
+        if input.rank() != 2 {
+            return Err(NnError::BadInput {
+                layer: "Embedding",
+                expected: "[N, L] of token ids".into(),
+                got: input.dims().to_vec(),
+            });
+        }
+        let (n, l) = (input.dims()[0], input.dims()[1]);
+        let mut out = ctx.alloc(&[n, self.dim, l]);
+        for s in 0..n {
+            for t in 0..l {
+                let v = input.data()[s * l + t];
+                let id = v as usize;
+                if v < 0.0 || id >= self.vocab || v.fract() != 0.0 {
+                    let got = input.dims().to_vec();
+                    ctx.recycle(out);
+                    return Err(NnError::BadInput {
+                        layer: "Embedding",
+                        expected: format!("integer ids in [0, {})", self.vocab),
+                        got,
+                    });
+                }
+                let row = &self.table.value.data()[id * self.dim..][..self.dim];
+                for d in 0..self.dim {
+                    out.data_mut()[(s * self.dim + d) * l + t] = row[d];
+                }
+            }
+        }
+        Ok(out)
+    }
+
     #[allow(clippy::needless_range_loop)] // (sample, time, dim) index loops read clearer
-    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Result<Tensor> {
+    fn train_forward(&mut self, input: &Tensor, _mode: Mode) -> Result<Tensor> {
         if input.rank() != 2 {
             return Err(NnError::BadInput {
                 layer: "Embedding",
@@ -123,6 +157,10 @@ impl Layer for Embedding {
         f(&join_path(prefix, "table"), &mut self.table);
     }
 
+    fn visit_params_ref(&self, prefix: &str, f: &mut dyn FnMut(&str, &Param)) {
+        f(&join_path(prefix, "table"), &self.table);
+    }
+
     fn clone_box(&self) -> Box<dyn Layer> {
         Box::new(self.clone())
     }
@@ -145,10 +183,14 @@ mod tests {
             }
         }
         let ids = Tensor::from_vec(vec![2.0, 4.0], &[1, 2]).unwrap();
-        let y = emb.forward(&ids, Mode::Train).unwrap();
+        let y = emb.train_forward(&ids, Mode::Train).unwrap();
         assert_eq!(y.dims(), &[1, 3, 2]);
         // channel 0 over time: [2, 4]; channel 1: [2.5, 4.5]
         assert_eq!(y.data(), &[2.0, 4.0, 2.5, 4.5, 2.25, 4.25]);
+
+        let mut ctx = InferCtx::new();
+        let yp = emb.forward(&ids, &mut ctx).unwrap();
+        assert_eq!(yp.data(), y.data());
     }
 
     #[test]
@@ -156,11 +198,16 @@ mod tests {
         let mut r = StdRng::seed_from_u64(0);
         let mut emb = Embedding::new(5, 3, &mut r);
         let bad = Tensor::from_vec(vec![5.0], &[1, 1]).unwrap();
-        assert!(emb.forward(&bad, Mode::Train).is_err());
+        assert!(emb.train_forward(&bad, Mode::Train).is_err());
         let frac = Tensor::from_vec(vec![1.5], &[1, 1]).unwrap();
-        assert!(emb.forward(&frac, Mode::Train).is_err());
+        assert!(emb.train_forward(&frac, Mode::Train).is_err());
         let neg = Tensor::from_vec(vec![-1.0], &[1, 1]).unwrap();
-        assert!(emb.forward(&neg, Mode::Train).is_err());
+        assert!(emb.train_forward(&neg, Mode::Train).is_err());
+
+        let mut ctx = InferCtx::new();
+        assert!(emb.forward(&bad, &mut ctx).is_err());
+        assert!(emb.forward(&frac, &mut ctx).is_err());
+        assert!(emb.forward(&neg, &mut ctx).is_err());
     }
 
     #[test]
@@ -168,7 +215,7 @@ mod tests {
         let mut r = StdRng::seed_from_u64(0);
         let mut emb = Embedding::new(4, 2, &mut r);
         let ids = Tensor::from_vec(vec![1.0, 1.0, 3.0], &[1, 3]).unwrap();
-        emb.forward(&ids, Mode::Train).unwrap();
+        emb.train_forward(&ids, Mode::Train).unwrap();
         let g = Tensor::ones(&[1, 2, 3]);
         let gin = emb.backward(&g).unwrap();
         assert_eq!(gin.dims(), &[1, 3]);

@@ -1,11 +1,13 @@
 //! Pooling and reshaping layers.
 
 use crate::error::{NnError, Result};
+use crate::infer::InferCtx;
 use crate::layer::Layer;
 use crate::param::Mode;
 use edde_tensor::ops::{
-    global_avg_pool, global_avg_pool_backward, max_over_time, max_over_time_backward, max_pool2d,
-    max_pool2d_backward,
+    global_avg_pool, global_avg_pool_backward, global_avg_pool_into, max_over_time,
+    max_over_time_backward, max_over_time_into, max_pool2d, max_pool2d_backward, max_pool2d_into,
+    out_dim,
 };
 use edde_tensor::Tensor;
 
@@ -34,7 +36,23 @@ impl Layer for MaxPool2d {
         "maxpool2d"
     }
 
-    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Result<Tensor> {
+    fn forward(&self, input: &Tensor, ctx: &mut InferCtx) -> Result<Tensor> {
+        if input.rank() != 4 {
+            return Err(NnError::BadInput {
+                layer: "MaxPool2d",
+                expected: "[N, C, H, W]".into(),
+                got: input.dims().to_vec(),
+            });
+        }
+        let d = input.dims();
+        let oh = out_dim(d[2], self.kernel, self.stride, 0)?;
+        let ow = out_dim(d[3], self.kernel, self.stride, 0)?;
+        let mut out = ctx.alloc(&[d[0], d[1], oh, ow]);
+        max_pool2d_into(input, self.kernel, self.stride, &mut out)?;
+        Ok(out)
+    }
+
+    fn train_forward(&mut self, input: &Tensor, _mode: Mode) -> Result<Tensor> {
         let (out, argmax) = max_pool2d(input, self.kernel, self.stride)?;
         self.cache = Some((input.dims().to_vec(), argmax));
         Ok(out)
@@ -72,7 +90,20 @@ impl Layer for GlobalAvgPool {
         "global_avg_pool"
     }
 
-    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Result<Tensor> {
+    fn forward(&self, input: &Tensor, ctx: &mut InferCtx) -> Result<Tensor> {
+        if input.rank() != 4 {
+            return Err(NnError::BadInput {
+                layer: "GlobalAvgPool",
+                expected: "[N, C, H, W]".into(),
+                got: input.dims().to_vec(),
+            });
+        }
+        let mut out = ctx.alloc(&[input.dims()[0], input.dims()[1]]);
+        global_avg_pool_into(input, &mut out)?;
+        Ok(out)
+    }
+
+    fn train_forward(&mut self, input: &Tensor, _mode: Mode) -> Result<Tensor> {
         let out = global_avg_pool(input)?;
         self.cache_dims = Some(input.dims().to_vec());
         Ok(out)
@@ -109,7 +140,20 @@ impl Layer for MaxOverTime {
         "max_over_time"
     }
 
-    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Result<Tensor> {
+    fn forward(&self, input: &Tensor, ctx: &mut InferCtx) -> Result<Tensor> {
+        if input.rank() != 3 {
+            return Err(NnError::BadInput {
+                layer: "MaxOverTime",
+                expected: "[N, C, L]".into(),
+                got: input.dims().to_vec(),
+            });
+        }
+        let mut out = ctx.alloc(&[input.dims()[0], input.dims()[1]]);
+        max_over_time_into(input, &mut out)?;
+        Ok(out)
+    }
+
+    fn train_forward(&mut self, input: &Tensor, _mode: Mode) -> Result<Tensor> {
         let (out, argmax) = max_over_time(input)?;
         self.cache = Some((input.dims().to_vec(), argmax));
         Ok(out)
@@ -146,7 +190,22 @@ impl Layer for Flatten {
         "flatten"
     }
 
-    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Result<Tensor> {
+    fn forward(&self, input: &Tensor, ctx: &mut InferCtx) -> Result<Tensor> {
+        if input.rank() < 1 {
+            return Err(NnError::BadInput {
+                layer: "Flatten",
+                expected: "[N, ...]".into(),
+                got: input.dims().to_vec(),
+            });
+        }
+        let n = input.dims()[0];
+        let rest: usize = input.dims()[1..].iter().product();
+        let mut out = ctx.alloc(&[n, rest]);
+        out.data_mut().copy_from_slice(input.data());
+        Ok(out)
+    }
+
+    fn train_forward(&mut self, input: &Tensor, _mode: Mode) -> Result<Tensor> {
         if input.rank() < 1 {
             return Err(NnError::BadInput {
                 layer: "Flatten",
@@ -181,9 +240,14 @@ mod tests {
     fn max_pool_layer_round_trip() {
         let mut pool = MaxPool2d::new(2, 2);
         let x = Tensor::from_vec((0..16).map(|v| v as f32).collect(), &[1, 1, 4, 4]).unwrap();
-        let y = pool.forward(&x, Mode::Train).unwrap();
+        let y = pool.train_forward(&x, Mode::Train).unwrap();
         assert_eq!(y.dims(), &[1, 1, 2, 2]);
         assert_eq!(y.data(), &[5.0, 7.0, 13.0, 15.0]);
+
+        let mut ctx = InferCtx::new();
+        let yp = pool.forward(&x, &mut ctx).unwrap();
+        assert_eq!(yp.dims(), y.dims());
+        assert_eq!(yp.data(), y.data());
         let gx = pool.backward(&Tensor::ones(&[1, 1, 2, 2])).unwrap();
         assert_eq!(gx.dims(), x.dims());
         assert_eq!(edde_tensor::ops::sum_all(&gx), 4.0);
@@ -193,7 +257,7 @@ mod tests {
     fn global_avg_pool_layer() {
         let mut gap = GlobalAvgPool::new();
         let x = Tensor::ones(&[2, 3, 4, 4]);
-        let y = gap.forward(&x, Mode::Eval).unwrap();
+        let y = gap.train_forward(&x, Mode::Eval).unwrap();
         assert_eq!(y.dims(), &[2, 3]);
         assert!(y.data().iter().all(|&v| (v - 1.0).abs() < 1e-6));
         let gx = gap.backward(&Tensor::ones(&[2, 3])).unwrap();
@@ -204,7 +268,7 @@ mod tests {
     fn max_over_time_layer() {
         let mut mot = MaxOverTime::new();
         let x = Tensor::from_vec(vec![1.0, 9.0, 2.0, 0.0, -1.0, -2.0], &[1, 2, 3]).unwrap();
-        let y = mot.forward(&x, Mode::Train).unwrap();
+        let y = mot.train_forward(&x, Mode::Train).unwrap();
         assert_eq!(y.data(), &[9.0, 0.0]);
         let gx = mot
             .backward(&Tensor::from_vec(vec![1.0, 2.0], &[1, 2]).unwrap())
@@ -216,7 +280,7 @@ mod tests {
     fn flatten_round_trip() {
         let mut fl = Flatten::new();
         let x = Tensor::ones(&[2, 3, 4]);
-        let y = fl.forward(&x, Mode::Train).unwrap();
+        let y = fl.train_forward(&x, Mode::Train).unwrap();
         assert_eq!(y.dims(), &[2, 12]);
         let gx = fl.backward(&Tensor::ones(&[2, 12])).unwrap();
         assert_eq!(gx.dims(), &[2, 3, 4]);

@@ -12,23 +12,30 @@
 //! exported, imported, and *partially transferred* — the operation EDDE's
 //! β-knowledge-transfer builds on.
 //!
+//! The forward path is split in two: `train_forward(&mut self, ..)` caches
+//! backward state for training, while the pure `forward(&self, .., &mut
+//! InferCtx)` is immutable and allocation-free in steady state — the path
+//! frozen ensemble serving uses.
+//!
 //! ```
+//! use edde_nn::infer::InferCtx;
 //! use edde_nn::models::mlp;
 //! use edde_nn::network::Network;
-//! use edde_nn::param::Mode;
 //! use edde_tensor::Tensor;
 //! use rand::{rngs::StdRng, SeedableRng};
 //!
 //! let mut rng = StdRng::seed_from_u64(0);
-//! let mut net: Network = mlp(&[4, 16, 3], 0.0, &mut rng);
+//! let net: Network = mlp(&[4, 16, 3], 0.0, &mut rng);
 //! let x = Tensor::zeros(&[2, 4]);
-//! let logits = net.forward(&x, Mode::Eval).unwrap();
+//! let mut ctx = InferCtx::new();
+//! let logits = net.forward(&x, &mut ctx).unwrap();
 //! assert_eq!(logits.dims(), &[2, 3]);
 //! ```
 
 pub mod blocks;
 pub mod checkpoint;
 pub mod error;
+pub mod infer;
 pub mod layer;
 pub mod layers;
 pub mod loss;
@@ -39,6 +46,7 @@ pub mod optim;
 pub mod param;
 
 pub use error::{NnError, Result};
+pub use infer::{with_thread_ctx, DropoutStream, InferCtx};
 pub use layer::{Layer, Sequential};
 pub use network::Network;
 pub use param::{Mode, Param};

@@ -133,7 +133,7 @@ mod tests {
         let cfg = DenseNetConfig::small(3, 10);
         let mut net = densenet(&cfg, &mut r).unwrap();
         let x = edde_tensor::rng::rand_uniform(&[2, 3, 8, 8], -1.0, 1.0, &mut r);
-        let y = net.forward(&x, Mode::Train).unwrap();
+        let y = net.train_forward(&x, Mode::Train).unwrap();
         assert_eq!(y.dims(), &[2, 10]);
         let g = net.backward(&Tensor::ones(&[2, 10])).unwrap();
         assert_eq!(g.dims(), x.dims());
@@ -151,7 +151,7 @@ mod tests {
             in_channels: 3,
             num_classes: 5,
         };
-        let mut net = densenet(&cfg, &mut r).unwrap();
+        let net = densenet(&cfg, &mut r).unwrap();
         // stem 8 -> block0 +12 = 20 -> transition 10 -> block1 +12 = 22
         // head fc must be 22 x 5
         let layout = net.param_layout();

@@ -45,7 +45,7 @@ mod tests {
         let mut r = StdRng::seed_from_u64(0);
         let mut net = mlp(&[10, 32, 16, 4], 0.1, &mut r);
         let x = Tensor::ones(&[3, 10]);
-        let y = net.forward(&x, Mode::Train).unwrap();
+        let y = net.train_forward(&x, Mode::Train).unwrap();
         assert_eq!(y.dims(), &[3, 4]);
         assert_eq!(net.num_classes(), 4);
     }
@@ -53,7 +53,7 @@ mod tests {
     #[test]
     fn two_layer_variant_has_single_dense() {
         let mut r = StdRng::seed_from_u64(0);
-        let mut net = mlp(&[5, 3], 0.0, &mut r);
+        let net = mlp(&[5, 3], 0.0, &mut r);
         assert_eq!(net.param_layout().len(), 2); // weight + bias
     }
 

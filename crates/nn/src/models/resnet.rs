@@ -108,7 +108,7 @@ mod tests {
         let cfg = ResNetConfig::small(3, 10);
         let mut net = resnet(&cfg, &mut r).unwrap();
         let x = edde_tensor::rng::rand_uniform(&[2, 3, 16, 16], -1.0, 1.0, &mut r);
-        let y = net.forward(&x, Mode::Train).unwrap();
+        let y = net.train_forward(&x, Mode::Train).unwrap();
         assert_eq!(y.dims(), &[2, 10]);
         let g = net.backward(&Tensor::ones(&[2, 10])).unwrap();
         assert_eq!(g.dims(), x.dims());
@@ -137,7 +137,7 @@ mod tests {
     #[test]
     fn paper_resnet32_has_expected_structure() {
         let mut r = StdRng::seed_from_u64(0);
-        let mut net = resnet(&ResNetConfig::paper_resnet32(100), &mut r).unwrap();
+        let net = resnet(&ResNetConfig::paper_resnet32(100), &mut r).unwrap();
         assert_eq!(net.arch(), "resnet-32");
         // 15 blocks × 2 convs + stem + head + shortcuts: sanity-check the
         // parameter count is in the ~0.47M region reported for ResNet-32.
@@ -151,8 +151,8 @@ mod tests {
         let cfg = ResNetConfig::small(3, 4);
         let mut net = resnet(&cfg, &mut r).unwrap();
         let x = edde_tensor::rng::rand_uniform(&[1, 3, 8, 8], -1.0, 1.0, &mut r);
-        let y1 = net.forward(&x, Mode::Eval).unwrap();
-        let y2 = net.forward(&x, Mode::Eval).unwrap();
+        let y1 = net.train_forward(&x, Mode::Eval).unwrap();
+        let y2 = net.train_forward(&x, Mode::Eval).unwrap();
         assert_eq!(y1.data(), y2.data());
     }
 }

@@ -4,6 +4,7 @@
 //! ReLU → max-over-time pooling → feature concatenation → dropout → linear.
 
 use crate::error::{NnError, Result};
+use crate::infer::InferCtx;
 use crate::layer::{join_path, Layer};
 use crate::layers::{Conv1d, Dense, Dropout, Embedding, MaxOverTime, Relu};
 use crate::network::Network;
@@ -107,24 +108,50 @@ impl Layer for TextCnn {
         "textcnn"
     }
 
-    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
-        let embedded = self.embedding.forward(input, mode)?; // [N, D, L]
+    fn forward(&self, input: &Tensor, ctx: &mut InferCtx) -> Result<Tensor> {
+        let embedded = self.embedding.forward(input, ctx)?; // [N, D, L]
+        let n = embedded.dims()[0];
+        let nb = self.branches.len();
+        let mut features = ctx.alloc(&[n, self.filters * nb]);
+        for (bi, branch) in self.branches.iter().enumerate() {
+            let c = branch.conv.forward(&embedded, ctx)?;
+            let x = branch.relu.forward(&c, ctx)?;
+            ctx.recycle(c);
+            let pooled = branch.pool.forward(&x, ctx)?; // [N, filters]
+            ctx.recycle(x);
+            for s in 0..n {
+                let dst = &mut features.data_mut()[s * self.filters * nb + bi * self.filters..]
+                    [..self.filters];
+                dst.copy_from_slice(&pooled.data()[s * self.filters..][..self.filters]);
+            }
+            ctx.recycle(pooled);
+        }
+        ctx.recycle(embedded);
+        let dropped = self.dropout.forward(&features, ctx)?;
+        ctx.recycle(features);
+        let out = self.fc.forward(&dropped, ctx)?;
+        ctx.recycle(dropped);
+        Ok(out)
+    }
+
+    fn train_forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+        let embedded = self.embedding.train_forward(input, mode)?; // [N, D, L]
         self.cache_embed_dims = Some(embedded.dims().to_vec());
         let n = embedded.dims()[0];
         let nb = self.branches.len();
         let mut features = Tensor::zeros(&[n, self.filters * nb]);
         for (bi, branch) in self.branches.iter_mut().enumerate() {
-            let mut x = branch.conv.forward(&embedded, mode)?;
-            x = branch.relu.forward(&x, mode)?;
-            let pooled = branch.pool.forward(&x, mode)?; // [N, filters]
+            let mut x = branch.conv.train_forward(&embedded, mode)?;
+            x = branch.relu.train_forward(&x, mode)?;
+            let pooled = branch.pool.train_forward(&x, mode)?; // [N, filters]
             for s in 0..n {
                 let dst = &mut features.data_mut()[s * self.filters * nb + bi * self.filters..]
                     [..self.filters];
                 dst.copy_from_slice(&pooled.data()[s * self.filters..][..self.filters]);
             }
         }
-        let dropped = self.dropout.forward(&features, mode)?;
-        self.fc.forward(&dropped, mode)
+        let dropped = self.dropout.train_forward(&features, mode)?;
+        self.fc.train_forward(&dropped, mode)
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
@@ -165,6 +192,17 @@ impl Layer for TextCnn {
         self.fc.visit_params(&join_path(prefix, "fc"), f);
     }
 
+    fn visit_params_ref(&self, prefix: &str, f: &mut dyn FnMut(&str, &Param)) {
+        self.embedding
+            .visit_params_ref(&join_path(prefix, "embedding"), f);
+        for (i, branch) in self.branches.iter().enumerate() {
+            branch
+                .conv
+                .visit_params_ref(&join_path(prefix, &format!("conv{i}")), f);
+        }
+        self.fc.visit_params_ref(&join_path(prefix, "fc"), f);
+    }
+
     fn clone_box(&self) -> Box<dyn Layer> {
         Box::new(self.clone())
     }
@@ -196,7 +234,7 @@ mod tests {
         let cfg = TextCnnConfig::small(50, 2);
         let mut net = textcnn(&cfg, &mut r).unwrap();
         let x = ids(4, 20, 50, &mut r);
-        let y = net.forward(&x, Mode::Train).unwrap();
+        let y = net.train_forward(&x, Mode::Train).unwrap();
         assert_eq!(y.dims(), &[4, 2]);
         let g = net.backward(&Tensor::ones(&[4, 2])).unwrap();
         assert_eq!(g.dims(), &[4, 20]);
@@ -235,7 +273,7 @@ mod tests {
         let mut last = f32::INFINITY;
         for _ in 0..60 {
             net.zero_grad();
-            let logits = net.forward(&x, Mode::Train).unwrap();
+            let logits = net.train_forward(&x, Mode::Train).unwrap();
             let out = ce.compute(&logits, &labels, None).unwrap();
             net.backward(&out.grad_logits).unwrap();
             opt.step(&mut net).unwrap();
@@ -262,7 +300,7 @@ mod tests {
     fn param_paths_cover_all_branches() {
         let mut r = StdRng::seed_from_u64(0);
         let cfg = TextCnnConfig::small(20, 2);
-        let mut net = textcnn(&cfg, &mut r).unwrap();
+        let net = textcnn(&cfg, &mut r).unwrap();
         let layout = net.param_layout();
         let names: Vec<_> = layout.iter().map(|(n, _)| n.clone()).collect();
         assert!(names.contains(&"embedding.table".to_string()));

@@ -1,6 +1,7 @@
 //! A named, cloneable model: the unit ensemble methods operate on.
 
 use crate::error::{NnError, Result};
+use crate::infer::{with_thread_ctx, InferCtx};
 use crate::layer::Layer;
 use crate::param::{Mode, Param};
 use edde_tensor::ops::softmax_rows;
@@ -39,9 +40,26 @@ impl Network {
         self.num_classes
     }
 
-    /// Forward pass producing logits.
-    pub fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
-        let logits = self.root.forward(input, mode)?;
+    /// Pure forward pass producing logits: `&self` plus an explicit
+    /// [`InferCtx`]. Bit-identical to [`Network::train_forward`] with
+    /// [`Mode::Eval`]; this is the path frozen serving uses.
+    pub fn forward(&self, input: &Tensor, ctx: &mut InferCtx) -> Result<Tensor> {
+        let logits = self.root.forward(input, ctx)?;
+        if logits.rank() != 2 || logits.dims()[1] != self.num_classes {
+            let got = logits.dims().to_vec();
+            ctx.recycle(logits);
+            return Err(NnError::BadInput {
+                layer: "Network",
+                expected: format!("[N, {}] logits", self.num_classes),
+                got,
+            });
+        }
+        Ok(logits)
+    }
+
+    /// Forward pass producing logits, caching backward state.
+    pub fn train_forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+        let logits = self.root.train_forward(input, mode)?;
         if logits.rank() != 2 || logits.dims()[1] != self.num_classes {
             return Err(NnError::BadInput {
                 layer: "Network",
@@ -58,16 +76,25 @@ impl Network {
     }
 
     /// Evaluation-mode softmax probabilities (`[N, k]`) — the "soft target"
-    /// the paper's diversity machinery is built on.
-    pub fn predict_proba(&mut self, input: &Tensor) -> Result<Tensor> {
-        let logits = self.forward(input, Mode::Eval)?;
-        Ok(softmax_rows(&logits)?)
+    /// the paper's diversity machinery is built on. Runs on the pure path
+    /// with this thread's shared context.
+    pub fn predict_proba(&self, input: &Tensor) -> Result<Tensor> {
+        with_thread_ctx(|ctx| {
+            let logits = self.forward(input, ctx)?;
+            let probs = softmax_rows(&logits)?;
+            ctx.recycle(logits);
+            Ok(probs)
+        })
     }
 
     /// Evaluation-mode hard label predictions.
-    pub fn predict(&mut self, input: &Tensor) -> Result<Vec<usize>> {
-        let logits = self.forward(input, Mode::Eval)?;
-        Ok(edde_tensor::ops::argmax_rows(&logits)?)
+    pub fn predict(&self, input: &Tensor) -> Result<Vec<usize>> {
+        with_thread_ctx(|ctx| {
+            let logits = self.forward(input, ctx)?;
+            let labels = edde_tensor::ops::argmax_rows(&logits)?;
+            ctx.recycle(logits);
+            Ok(labels)
+        })
     }
 
     /// Zeroes all parameter gradients.
@@ -85,28 +112,38 @@ impl Network {
         self.root.visit_buffers("", f);
     }
 
+    /// Read-only [`Network::visit_params`]: same paths, same order.
+    pub fn visit_params_ref(&self, f: &mut dyn FnMut(&str, &Param)) {
+        self.root.visit_params_ref("", f);
+    }
+
+    /// Read-only [`Network::visit_buffers`].
+    pub fn visit_buffers_ref(&self, f: &mut dyn FnMut(&str, &Tensor)) {
+        self.root.visit_buffers_ref("", f);
+    }
+
     /// Total number of trainable scalars.
-    pub fn param_count(&mut self) -> usize {
+    pub fn param_count(&self) -> usize {
         let mut n = 0;
-        self.visit_params(&mut |_, p| n += p.len());
+        self.visit_params_ref(&mut |_, p| n += p.len());
         n
     }
 
     /// Ordered `(path, element_count)` pairs for every parameter tensor.
     /// The order is stable and topological (inputs first), which is what
     /// β-prefix knowledge transfer slices on.
-    pub fn param_layout(&mut self) -> Vec<(String, usize)> {
+    pub fn param_layout(&self) -> Vec<(String, usize)> {
         let mut layout = Vec::new();
-        self.visit_params(&mut |name, p| layout.push((name.to_string(), p.len())));
+        self.visit_params_ref(&mut |name, p| layout.push((name.to_string(), p.len())));
         layout
     }
 
     /// Exports all parameters **and** buffers as named tensors. Parameter
     /// entries come first, in definition order; buffers follow.
-    pub fn export_state(&mut self) -> Vec<(String, Tensor)> {
+    pub fn export_state(&self) -> Vec<(String, Tensor)> {
         let mut state = Vec::new();
-        self.visit_params(&mut |name, p| state.push((name.to_string(), p.value.clone())));
-        self.visit_buffers(&mut |name, t| state.push((name.to_string(), t.clone())));
+        self.visit_params_ref(&mut |name, p| state.push((name.to_string(), p.value.clone())));
+        self.visit_buffers_ref(&mut |name, t| state.push((name.to_string(), t.clone())));
         state
     }
 
@@ -190,8 +227,13 @@ mod tests {
     fn forward_produces_logits_and_probs() {
         let mut n = net();
         let x = Tensor::ones(&[5, 4]);
-        let logits = n.forward(&x, Mode::Eval).unwrap();
+        let logits = n.train_forward(&x, Mode::Eval).unwrap();
         assert_eq!(logits.dims(), &[5, 3]);
+
+        // the pure path produces the same logits bit for bit
+        let mut ctx = InferCtx::new();
+        let pure = n.forward(&x, &mut ctx).unwrap();
+        assert_eq!(pure.data(), logits.data());
         let probs = n.predict_proba(&x).unwrap();
         for i in 0..5 {
             let s: f32 = probs.row(i).unwrap().iter().sum();
@@ -211,13 +253,13 @@ mod tests {
             }
         });
         let x = Tensor::ones(&[2, 4]);
-        let ya = a.forward(&x, Mode::Eval).unwrap();
-        let yb = b.forward(&x, Mode::Eval).unwrap();
+        let ya = a.train_forward(&x, Mode::Eval).unwrap();
+        let yb = b.train_forward(&x, Mode::Eval).unwrap();
         assert_ne!(ya.data(), yb.data());
 
         let state = a.export_state();
         b.import_state(&state).unwrap();
-        let yb2 = b.forward(&x, Mode::Eval).unwrap();
+        let yb2 = b.train_forward(&x, Mode::Eval).unwrap();
         assert_eq!(ya.data(), yb2.data());
     }
 
@@ -234,7 +276,7 @@ mod tests {
 
     #[test]
     fn param_layout_is_ordered_and_complete() {
-        let mut n = net();
+        let n = net();
         let layout = n.param_layout();
         // mlp [4,8,3]: dense1 (w,b) then dense2 (w,b)
         assert_eq!(layout.len(), 4);
@@ -251,8 +293,8 @@ mod tests {
         let mut b = a.clone();
         b.visit_params(&mut |_, p| p.value.data_mut().fill(0.0));
         let x = Tensor::ones(&[1, 4]);
-        let ya = a.forward(&x, Mode::Eval).unwrap();
-        let yb = b.forward(&x, Mode::Eval).unwrap();
+        let ya = a.train_forward(&x, Mode::Eval).unwrap();
+        let yb = b.train_forward(&x, Mode::Eval).unwrap();
         assert_ne!(ya.data(), yb.data());
     }
 }

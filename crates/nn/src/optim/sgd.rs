@@ -147,7 +147,7 @@ mod tests {
         let mut last = 0.0;
         for _ in 0..200 {
             net.zero_grad();
-            let logits = net.forward(&x, Mode::Train).unwrap();
+            let logits = net.train_forward(&x, Mode::Train).unwrap();
             let out = ce.compute(&logits, &labels, None).unwrap();
             net.backward(&out.grad_logits).unwrap();
             opt.step(&mut net).unwrap();

@@ -19,7 +19,7 @@ use rand::{RngExt, SeedableRng};
 
 /// Computes loss on a fixed batch for the network as-is.
 fn loss_of(net: &mut Network, x: &Tensor, labels: &[usize]) -> f32 {
-    let logits = net.forward(x, Mode::Train).unwrap();
+    let logits = net.train_forward(x, Mode::Train).unwrap();
     CrossEntropy::new()
         .compute(&logits, labels, None)
         .unwrap()
@@ -32,7 +32,7 @@ fn loss_of(net: &mut Network, x: &Tensor, labels: &[usize]) -> f32 {
 fn check_network(mut net: Network, x: &Tensor, labels: &[usize], count: usize, tol: f32) {
     // analytic gradients
     net.zero_grad();
-    let logits = net.forward(x, Mode::Train).unwrap();
+    let logits = net.train_forward(x, Mode::Train).unwrap();
     let out = CrossEntropy::new().compute(&logits, labels, None).unwrap();
     net.backward(&out.grad_logits).unwrap();
 
@@ -58,7 +58,7 @@ fn check_network(mut net: Network, x: &Tensor, labels: &[usize], count: usize, t
             }
         });
         // probe +/- eps
-        let mut probe = |delta: f32| -> f32 {
+        let probe = |delta: f32| -> f32 {
             let mut clone = net.clone();
             clone.visit_params(&mut |n, p| {
                 if n == name {

@@ -118,7 +118,7 @@ proptest! {
         let mut rng = StdRng::seed_from_u64(7);
         let mut net = mlp(&widths, 0.0, &mut rng);
         let x = Tensor::zeros(&[n, widths[0]]);
-        let y = net.forward(&x, Mode::Eval).unwrap();
+        let y = net.train_forward(&x, Mode::Eval).unwrap();
         prop_assert_eq!(y.dims(), &[n, *widths.last().unwrap()]);
     }
 
@@ -144,8 +144,8 @@ proptest! {
         let state = a.export_state();
         b.import_state(&state).unwrap();
         let x = Tensor::ones(&[2, 3]);
-        let ya = a.forward(&x, Mode::Eval).unwrap();
-        let yb = b.forward(&x, Mode::Eval).unwrap();
+        let ya = a.train_forward(&x, Mode::Eval).unwrap();
+        let yb = b.train_forward(&x, Mode::Eval).unwrap();
         prop_assert_eq!(ya.data(), yb.data());
     }
 }

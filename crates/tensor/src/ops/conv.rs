@@ -215,23 +215,117 @@ pub fn conv2d(
             });
         }
     }
-    let ckk = c * kh * kw;
-    let l = oh * ow;
-    let wd = weight.data(); // [OC, C, KH, KW] is [oc, ckk] row-major
-    let in_data = input.data();
-    let bias_data = bias.map(|b| b.data());
     let mut out = Tensor::zeros(&[n, oc, oh, ow]);
+    let geo = ConvGeo {
+        c,
+        h,
+        w,
+        kh,
+        kw,
+        stride,
+        pad,
+        oc,
+        oh,
+        ow,
+    };
+    run_conv2d(
+        out.data_mut(),
+        input.data(),
+        weight.data(),
+        bias.map(|b| b.data()),
+        &geo,
+    );
+    Ok(out)
+}
+
+/// [`conv2d`] writing into a caller-provided `[N,OC,OH,OW]` tensor: same
+/// im2col + gemm path, same pool chunking, bit-identical output. `dst` is
+/// fully overwritten.
+pub fn conv2d_into(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    stride: usize,
+    pad: usize,
+    dst: &mut Tensor,
+) -> Result<()> {
+    let (n, c, h, w, oc, oh, ow) = conv2d_geometry(input, weight, stride, pad)?;
+    let (kh, kw) = (weight.dims()[2], weight.dims()[3]);
+    if let Some(b) = bias {
+        if b.dims() != [oc] {
+            return Err(TensorError::ShapeMismatch {
+                left: vec![oc],
+                right: b.dims().to_vec(),
+            });
+        }
+    }
+    if dst.dims() != [n, oc, oh, ow] {
+        return Err(TensorError::ShapeMismatch {
+            left: vec![n, oc, oh, ow],
+            right: dst.dims().to_vec(),
+        });
+    }
+    dst.data_mut().fill(0.0);
+    let geo = ConvGeo {
+        c,
+        h,
+        w,
+        kh,
+        kw,
+        stride,
+        pad,
+        oc,
+        oh,
+        ow,
+    };
+    run_conv2d(
+        dst.data_mut(),
+        input.data(),
+        weight.data(),
+        bias.map(|b| b.data()),
+        &geo,
+    );
+    Ok(())
+}
+
+/// Per-sample convolution geometry shared by the allocating and `_into`
+/// entry points.
+struct ConvGeo {
+    c: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    stride: usize,
+    pad: usize,
+    oc: usize,
+    oh: usize,
+    ow: usize,
+}
+
+/// Shared forward dispatch over a zeroed `[N,OC,OH,OW]` output slice.
+fn run_conv2d(
+    out: &mut [f32],
+    in_data: &[f32],
+    wd: &[f32],
+    bias_data: Option<&[f32]>,
+    g: &ConvGeo,
+) {
+    let ckk = g.c * g.kh * g.kw;
+    let l = g.oh * g.ow;
     // One "row" per sample: samples are independent, so the batch fans out
     // across the pool while each sample runs one serial tiled matmul on a
     // scratch column matrix.
-    for_each_row_chunk(out.data_mut(), oc * l, |s0, chunk| {
+    for_each_row_chunk(out, g.oc * l, |s0, chunk| {
         let mut col = scratch::take(ckk * l);
-        for (si, dst) in chunk.chunks_mut(oc * l).enumerate() {
+        for (si, dst) in chunk.chunks_mut(g.oc * l).enumerate() {
             let s = s0 + si;
-            let sample = &in_data[s * c * h * w..(s + 1) * c * h * w];
-            im2col_sample(sample, c, h, w, kh, kw, stride, pad, oh, ow, &mut col);
+            let sample = &in_data[s * g.c * g.h * g.w..(s + 1) * g.c * g.h * g.w];
+            im2col_sample(
+                sample, g.c, g.h, g.w, g.kh, g.kw, g.stride, g.pad, g.oh, g.ow, &mut col,
+            );
             // dst is zeroed, so += gives W[oc,ckk] · col[ckk,l].
-            gemm_ab_into(dst, wd, &col, oc, ckk, l);
+            gemm_ab_into(dst, wd, &col, g.oc, ckk, l);
             if let Some(bd) = bias_data {
                 for (o, row) in dst.chunks_mut(l).enumerate() {
                     let bv = bd[o];
@@ -242,7 +336,6 @@ pub fn conv2d(
             }
         }
     });
-    Ok(out)
 }
 
 /// Backward pass of [`conv2d`]. `grad_out` must be `[N, OC, OH, OW]`.
@@ -352,6 +445,95 @@ pub fn conv1d(
     // [N, OC, 1, OL] -> [N, OC, OL]
     let d = out.dims().to_vec();
     out.reshape(&[d[0], d[1], d[3]])
+}
+
+/// [`conv1d`] writing into a caller-provided `[N,OC,OL]` tensor:
+/// bit-identical to [`conv1d`], but the length-axis padding goes through a
+/// scratch buffer and the `[OC,C,K]` weight is used in place (it is already
+/// `[OC,C,1,K]` row-major), so nothing is allocated in steady state.
+pub fn conv1d_into(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    stride: usize,
+    pad: usize,
+    dst: &mut Tensor,
+) -> Result<()> {
+    if input.rank() != 3 {
+        return Err(TensorError::RankMismatch {
+            expected: 3,
+            actual: input.rank(),
+        });
+    }
+    if weight.rank() != 3 {
+        return Err(TensorError::RankMismatch {
+            expected: 3,
+            actual: weight.rank(),
+        });
+    }
+    let (n, c, l) = (input.dims()[0], input.dims()[1], input.dims()[2]);
+    let (oc, wc, k) = (weight.dims()[0], weight.dims()[1], weight.dims()[2]);
+    if wc != c {
+        return Err(TensorError::ShapeMismatch {
+            left: input.dims().to_vec(),
+            right: weight.dims().to_vec(),
+        });
+    }
+    if let Some(b) = bias {
+        if b.dims() != [oc] {
+            return Err(TensorError::ShapeMismatch {
+                left: vec![oc],
+                right: b.dims().to_vec(),
+            });
+        }
+    }
+    let ol = out_dim(l, k, stride, pad)?;
+    if dst.dims() != [n, oc, ol] {
+        return Err(TensorError::ShapeMismatch {
+            left: vec![n, oc, ol],
+            right: dst.dims().to_vec(),
+        });
+    }
+    let lp = l + 2 * pad;
+    let geo = ConvGeo {
+        c,
+        h: 1,
+        w: lp,
+        kh: 1,
+        kw: k,
+        stride,
+        pad: 0,
+        oc,
+        oh: 1,
+        ow: ol,
+    };
+    dst.data_mut().fill(0.0);
+    if pad == 0 {
+        run_conv2d(
+            dst.data_mut(),
+            input.data(),
+            weight.data(),
+            bias.map(|b| b.data()),
+            &geo,
+        );
+    } else {
+        // Same zero-padded layout lift_1d builds, in scratch.
+        let mut padded = scratch::take_zeroed(n * c * lp);
+        for s in 0..n {
+            for ch in 0..c {
+                let src = &input.data()[(s * c + ch) * l..][..l];
+                padded[(s * c + ch) * lp + pad..][..l].copy_from_slice(src);
+            }
+        }
+        run_conv2d(
+            dst.data_mut(),
+            &padded,
+            weight.data(),
+            bias.map(|b| b.data()),
+            &geo,
+        );
+    }
+    Ok(())
 }
 
 /// Backward pass of [`conv1d`].

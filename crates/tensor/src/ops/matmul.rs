@@ -135,22 +135,49 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
         });
     }
     let mut out = Tensor::zeros(&[m, n]);
-    if m == 0 || n == 0 {
-        return Ok(out);
+    run_matmul(out.data_mut(), a.data(), b.data(), m, ka, n);
+    Ok(out)
+}
+
+/// [`matmul`] writing into a caller-provided `[m, n]` tensor: same kernels,
+/// same pool chunking, bit-identical output. `dst` is fully overwritten, so
+/// inference contexts can recycle activation buffers without re-zeroing.
+pub fn matmul_into(a: &Tensor, b: &Tensor, dst: &mut Tensor) -> Result<()> {
+    let (m, ka) = check_rank2(a)?;
+    let (kb, n) = check_rank2(b)?;
+    if ka != kb {
+        return Err(TensorError::MatmulDimMismatch {
+            left: a.dims().to_vec(),
+            right: b.dims().to_vec(),
+        });
     }
-    let (ad, bd) = (a.data(), b.data());
-    for_each_row_chunk(out.data_mut(), n, |first_row, chunk| {
+    if dst.dims() != [m, n] {
+        return Err(TensorError::ShapeMismatch {
+            left: vec![m, n],
+            right: dst.dims().to_vec(),
+        });
+    }
+    dst.data_mut().fill(0.0);
+    run_matmul(dst.data_mut(), a.data(), b.data(), m, ka, n);
+    Ok(())
+}
+
+/// Shared `A[m,k]·B[k,n]` dispatch over a zeroed output slice.
+fn run_matmul(out: &mut [f32], ad: &[f32], bd: &[f32], m: usize, k: usize, n: usize) {
+    if m == 0 || n == 0 {
+        return;
+    }
+    for_each_row_chunk(out, n, |first_row, chunk| {
         let rows = chunk.len() / n;
         gemm_ab_into(
             chunk,
-            &ad[first_row * ka..(first_row + rows) * ka],
+            &ad[first_row * k..(first_row + rows) * k],
             bd,
             rows,
-            ka,
+            k,
             n,
         );
     });
-    Ok(out)
 }
 
 /// `C[k,n] = Aᵀ[k,m] · B[m,n]` for `A[m,k]`, `B[m,n]` — without building `Aᵀ`.

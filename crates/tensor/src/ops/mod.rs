@@ -17,16 +17,21 @@ pub mod pool;
 pub mod reduce;
 pub mod stats;
 
-pub use conv::{conv1d, conv1d_backward, conv2d, conv2d_backward, Conv1dGrads, Conv2dGrads};
+pub use conv::{
+    conv1d, conv1d_backward, conv1d_into, conv2d, conv2d_backward, conv2d_into, out_dim,
+    Conv1dGrads, Conv2dGrads,
+};
 pub use elementwise::{
     add, add_row_broadcast, add_row_broadcast_inplace, add_scalar, axpy, div, mul, scale, sub,
 };
-pub use matmul::{matmul, matmul_a_bt, matmul_at_b};
+pub use matmul::{matmul, matmul_a_bt, matmul_at_b, matmul_into};
 pub use pool::{
-    avg_pool2d, avg_pool2d_backward, global_avg_pool, global_avg_pool_backward, max_over_time,
-    max_over_time_backward, max_pool2d, max_pool2d_backward,
+    avg_pool2d, avg_pool2d_backward, avg_pool2d_into, global_avg_pool, global_avg_pool_backward,
+    global_avg_pool_into, max_over_time, max_over_time_backward, max_over_time_into, max_pool2d,
+    max_pool2d_backward, max_pool2d_into,
 };
 pub use reduce::{
-    argmax_rows, log_softmax_rows, max_rows, mean_all, softmax_rows, sum_all, sum_axis0, sum_sq,
+    argmax_rows, log_softmax_rows, max_rows, mean_all, softmax_rows, softmax_rows_in_place,
+    sum_all, sum_axis0, sum_sq,
 };
 pub use stats::{mean_axis0, standardize_axis0, var_axis0};

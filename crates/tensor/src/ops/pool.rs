@@ -28,7 +28,54 @@ pub fn max_pool2d(input: &Tensor, k: usize, s: usize) -> Result<(Tensor, Vec<usi
     let ow = out_dim(w, k, s, 0)?;
     let mut out = Tensor::zeros(&[n, c, oh, ow]);
     let mut argmax = vec![0usize; n * c * oh * ow];
-    let data = input.data();
+    run_max_pool2d(
+        out.data_mut(),
+        Some(&mut argmax),
+        input.data(),
+        (n, c, h, w),
+        k,
+        s,
+        (oh, ow),
+    );
+    Ok((out, argmax))
+}
+
+/// [`max_pool2d`] writing the pooled values into a caller-provided
+/// `[N,C,OH,OW]` tensor without materializing the argmax — the
+/// inference-only variant. Bit-identical values.
+pub fn max_pool2d_into(input: &Tensor, k: usize, s: usize, dst: &mut Tensor) -> Result<()> {
+    let (n, c, h, w) = check_rank4(input)?;
+    let oh = out_dim(h, k, s, 0)?;
+    let ow = out_dim(w, k, s, 0)?;
+    if dst.dims() != [n, c, oh, ow] {
+        return Err(TensorError::ShapeMismatch {
+            left: vec![n, c, oh, ow],
+            right: dst.dims().to_vec(),
+        });
+    }
+    run_max_pool2d(
+        dst.data_mut(),
+        None,
+        input.data(),
+        (n, c, h, w),
+        k,
+        s,
+        (oh, ow),
+    );
+    Ok(())
+}
+
+/// Shared max-pool forward: one comparison chain per output element, the
+/// same whether or not the argmax is recorded.
+fn run_max_pool2d(
+    out: &mut [f32],
+    mut argmax: Option<&mut [usize]>,
+    data: &[f32],
+    (n, c, h, w): (usize, usize, usize, usize),
+    k: usize,
+    s: usize,
+    (oh, ow): (usize, usize),
+) {
     let mut oi = 0usize;
     for sample in 0..n {
         for ch in 0..c {
@@ -49,14 +96,15 @@ pub fn max_pool2d(input: &Tensor, k: usize, s: usize) -> Result<(Tensor, Vec<usi
                             }
                         }
                     }
-                    out.data_mut()[oi] = best_v;
-                    argmax[oi] = best_i;
+                    out[oi] = best_v;
+                    if let Some(arg) = argmax.as_deref_mut() {
+                        arg[oi] = best_i;
+                    }
                     oi += 1;
                 }
             }
         }
     }
-    Ok((out, argmax))
 }
 
 /// Backward pass of [`max_pool2d`]: routes each output gradient to the input
@@ -91,9 +139,37 @@ pub fn avg_pool2d(input: &Tensor, k: usize, s: usize) -> Result<Tensor> {
     let (n, c, h, w) = check_rank4(input)?;
     let oh = out_dim(h, k, s, 0)?;
     let ow = out_dim(w, k, s, 0)?;
-    let inv = 1.0 / (k * k) as f32;
     let mut out = Tensor::zeros(&[n, c, oh, ow]);
-    let data = input.data();
+    run_avg_pool2d(out.data_mut(), input.data(), (n, c, h, w), k, s, (oh, ow));
+    Ok(out)
+}
+
+/// [`avg_pool2d`] writing into a caller-provided `[N,C,OH,OW]` tensor;
+/// bit-identical values.
+pub fn avg_pool2d_into(input: &Tensor, k: usize, s: usize, dst: &mut Tensor) -> Result<()> {
+    let (n, c, h, w) = check_rank4(input)?;
+    let oh = out_dim(h, k, s, 0)?;
+    let ow = out_dim(w, k, s, 0)?;
+    if dst.dims() != [n, c, oh, ow] {
+        return Err(TensorError::ShapeMismatch {
+            left: vec![n, c, oh, ow],
+            right: dst.dims().to_vec(),
+        });
+    }
+    run_avg_pool2d(dst.data_mut(), input.data(), (n, c, h, w), k, s, (oh, ow));
+    Ok(())
+}
+
+/// Shared average-pool forward: per-window ascending accumulation.
+fn run_avg_pool2d(
+    out: &mut [f32],
+    data: &[f32],
+    (n, c, h, w): (usize, usize, usize, usize),
+    k: usize,
+    s: usize,
+    (oh, ow): (usize, usize),
+) {
+    let inv = 1.0 / (k * k) as f32;
     let mut oi = 0usize;
     for sample in 0..n {
         for ch in 0..c {
@@ -108,13 +184,12 @@ pub fn avg_pool2d(input: &Tensor, k: usize, s: usize) -> Result<Tensor> {
                             acc += data[row + kx];
                         }
                     }
-                    out.data_mut()[oi] = acc * inv;
+                    out[oi] = acc * inv;
                     oi += 1;
                 }
             }
         }
     }
-    Ok(out)
 }
 
 /// Backward pass of [`avg_pool2d`]: spreads each output gradient uniformly
@@ -171,15 +246,37 @@ pub fn global_avg_pool(input: &Tensor) -> Result<Tensor> {
     if h * w == 0 {
         return Err(TensorError::Empty("global average over empty plane"));
     }
-    let inv = 1.0 / (h * w) as f32;
     let mut out = Tensor::zeros(&[n, c]);
+    run_global_avg_pool(out.data_mut(), input.data(), (n, c, h, w));
+    Ok(out)
+}
+
+/// [`global_avg_pool`] writing into a caller-provided `[N,C]` tensor;
+/// bit-identical values.
+pub fn global_avg_pool_into(input: &Tensor, dst: &mut Tensor) -> Result<()> {
+    let (n, c, h, w) = check_rank4(input)?;
+    if h * w == 0 {
+        return Err(TensorError::Empty("global average over empty plane"));
+    }
+    if dst.dims() != [n, c] {
+        return Err(TensorError::ShapeMismatch {
+            left: vec![n, c],
+            right: dst.dims().to_vec(),
+        });
+    }
+    run_global_avg_pool(dst.data_mut(), input.data(), (n, c, h, w));
+    Ok(())
+}
+
+/// Shared global-average forward: one in-order plane sum per channel.
+fn run_global_avg_pool(out: &mut [f32], data: &[f32], (n, c, h, w): (usize, usize, usize, usize)) {
+    let inv = 1.0 / (h * w) as f32;
     for s in 0..n {
         for ch in 0..c {
-            let plane = &input.data()[(s * c + ch) * h * w..][..h * w];
-            out.data_mut()[s * c + ch] = plane.iter().sum::<f32>() * inv;
+            let plane = &data[(s * c + ch) * h * w..][..h * w];
+            out[s * c + ch] = plane.iter().sum::<f32>() * inv;
         }
     }
-    Ok(out)
 }
 
 /// Backward pass of [`global_avg_pool`].
@@ -224,20 +321,55 @@ pub fn max_over_time(input: &Tensor) -> Result<(Tensor, Vec<usize>)> {
     }
     let mut out = Tensor::zeros(&[n, c]);
     let mut arg = vec![0usize; n * c];
+    run_max_over_time(out.data_mut(), Some(&mut arg), input.data(), (n, c, l));
+    Ok((out, arg))
+}
+
+/// [`max_over_time`] writing the pooled values into a caller-provided
+/// `[N,C]` tensor without the argmax; bit-identical values.
+pub fn max_over_time_into(input: &Tensor, dst: &mut Tensor) -> Result<()> {
+    if input.rank() != 3 {
+        return Err(TensorError::RankMismatch {
+            expected: 3,
+            actual: input.rank(),
+        });
+    }
+    let (n, c, l) = (input.dims()[0], input.dims()[1], input.dims()[2]);
+    if l == 0 {
+        return Err(TensorError::Empty("max over zero time steps"));
+    }
+    if dst.dims() != [n, c] {
+        return Err(TensorError::ShapeMismatch {
+            left: vec![n, c],
+            right: dst.dims().to_vec(),
+        });
+    }
+    run_max_over_time(dst.data_mut(), None, input.data(), (n, c, l));
+    Ok(())
+}
+
+/// Shared max-over-time forward: first-max-wins scan per channel.
+fn run_max_over_time(
+    out: &mut [f32],
+    mut argmax: Option<&mut [usize]>,
+    data: &[f32],
+    (n, c, l): (usize, usize, usize),
+) {
     for s in 0..n {
         for ch in 0..c {
-            let seq = &input.data()[(s * c + ch) * l..][..l];
+            let seq = &data[(s * c + ch) * l..][..l];
             let mut best = 0usize;
             for (t, &v) in seq.iter().enumerate() {
                 if v > seq[best] {
                     best = t;
                 }
             }
-            out.data_mut()[s * c + ch] = seq[best];
-            arg[s * c + ch] = best;
+            out[s * c + ch] = seq[best];
+            if let Some(arg) = argmax.as_deref_mut() {
+                arg[s * c + ch] = best;
+            }
         }
     }
-    Ok((out, arg))
 }
 
 /// Backward pass of [`max_over_time`].

@@ -111,7 +111,32 @@ pub fn softmax_rows(logits: &Tensor) -> Result<Tensor> {
         return Err(TensorError::Empty("softmax over zero classes"));
     }
     let mut out = logits.clone();
-    for_each_row_chunk(out.data_mut(), n, |_, chunk| {
+    run_softmax_rows(out.data_mut(), n);
+    Ok(out)
+}
+
+/// [`softmax_rows`] applied in place to an `[m, n]` logits matrix — the
+/// allocation-free variant for buffers an inference context already owns.
+/// Bit-identical to the allocating path (rows are independent, so chunk
+/// boundaries cannot change any value).
+pub fn softmax_rows_in_place(logits: &mut Tensor) -> Result<()> {
+    if logits.rank() != 2 {
+        return Err(TensorError::RankMismatch {
+            expected: 2,
+            actual: logits.rank(),
+        });
+    }
+    let n = logits.dims()[1];
+    if n == 0 {
+        return Err(TensorError::Empty("softmax over zero classes"));
+    }
+    run_softmax_rows(logits.data_mut(), n);
+    Ok(())
+}
+
+/// Shared row-softmax kernel over a `[m, n]` slice.
+fn run_softmax_rows(out: &mut [f32], n: usize) {
+    for_each_row_chunk(out, n, |_, chunk| {
         for row in chunk.chunks_mut(n) {
             // SIMD row max and final scale; the exp + ascending sum stays
             // scalar — its sequential order is the training-numerics
@@ -125,7 +150,6 @@ pub fn softmax_rows(logits: &Tensor) -> Result<Tensor> {
             crate::simd::scale_in_place(row, 1.0 / sum);
         }
     });
-    Ok(out)
 }
 
 /// Numerically-stable row-wise log-softmax (`log p`) of a logits matrix.

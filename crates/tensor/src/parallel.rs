@@ -376,6 +376,34 @@ where
         .collect()
 }
 
+/// [`parallel_map_mut`] for shared items: maps `f` over `items` on the
+/// worker pool without requiring mutable access, so `Sync` state (e.g. a
+/// frozen model behind an `Arc`) can be fanned out with zero cloning.
+/// Results come back in item order.
+pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let n = items.len();
+    let mut results: Vec<Option<R>> = Vec::with_capacity(n);
+    results.resize_with(n, || None);
+    let results_base = results.as_mut_ptr() as usize;
+    run_chunks(n, |i| {
+        // SAFETY: each index writes exactly one result slot, and the
+        // dispatch blocks until all indices complete.
+        unsafe {
+            let slot = &mut *(results_base as *mut Option<R>).add(i);
+            *slot = Some(f(i, &items[i]));
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("parallel_map chunk skipped"))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -476,6 +504,16 @@ mod tests {
         set_num_threads(0);
         assert_eq!(out, (0..50).map(|i| i * 10).collect::<Vec<_>>());
         assert_eq!(items, (1..=50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_map_is_ordered_over_shared_items() {
+        let _g = override_guard();
+        let items: Vec<usize> = (0..50).collect();
+        set_num_threads(4);
+        let out = parallel_map(&items, |i, &item| i * 100 + item);
+        set_num_threads(0);
+        assert_eq!(out, (0..50).map(|i| i * 101).collect::<Vec<_>>());
     }
 
     #[test]

@@ -51,7 +51,7 @@ fn main() {
     ];
     for method in &methods {
         println!("training {} ...", method.name());
-        let mut run = method.run(&env).expect("method run");
+        let run = method.run(&env).expect("method run");
         let probs = run
             .model
             .member_soft_targets(env.data.test.features())

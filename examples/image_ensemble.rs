@@ -59,8 +59,8 @@ fn main() {
     let mut rows = Vec::new();
     for method in &methods {
         println!("training {} ...", method.name());
-        let mut run = method.run(&env).expect("method run");
-        rows.push(summarize(method.name(), &mut run, &env.data.test).expect("summary"));
+        let run = method.run(&env).expect("method run");
+        rows.push(summarize(method.name(), &run, &env.data.test).expect("summary"));
     }
     println!("\n{}", summary_table(&rows));
 

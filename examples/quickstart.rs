@@ -66,8 +66,8 @@ fn main() {
 
     // 5. Compare.
     let mut rows = Vec::new();
-    for (name, mut run) in [("Single Model", single), ("EDDE", edde)] {
-        rows.push(summarize(name, &mut run, &env.data.test).expect("summary"));
+    for (name, run) in [("Single Model", single), ("EDDE", edde)] {
+        rows.push(summarize(name, &run, &env.data.test).expect("summary"));
     }
     println!("\n{}", summary_table(&rows));
     let gain = rows[1].ensemble_accuracy - rows[0].ensemble_accuracy;

@@ -24,6 +24,12 @@
 //! [`core::runstate::RunSession`] via
 //! [`core::methods::EnsembleMethod::run_resumable`].
 //!
+//! Serving is separate from training: a trained ensemble freezes into an
+//! immutable [`core::FrozenEnsemble`] — `Arc`-shareable, allocation-free
+//! in steady state, bit-identical to the training-stack predictions, and
+//! exportable as a single CRC-sealed bundle loadable without any trainer
+//! code.
+//!
 //! ## Quickstart
 //!
 //! ```
@@ -69,10 +75,10 @@ pub mod prelude {
         beta_probe, select_beta, transfer_partial, BetaProbeConfig, BetaProbePoint,
     };
     pub use edde_core::{
-        epoch_seed, EnsembleMember, EnsembleModel, EpochCheckpoints, ExperimentEnv, FaultPlan,
-        FaultyStore, LossSpec, MemberProgress, MemberRecord, ModelFactory, RecoveryPolicy,
-        RunManifest, RunProtocol, RunSession, TrainEvent, TrainLoop, TrainObserver, TrainRng,
-        TrainStats, Trainer,
+        epoch_seed, eval_batch, EnsembleMember, EnsembleModel, EpochCheckpoints, ExperimentEnv,
+        FaultPlan, FaultyStore, FrozenEnsemble, FrozenMember, LossSpec, MemberProgress,
+        MemberRecord, ModelFactory, RecoveryPolicy, RunManifest, RunProtocol, RunSession,
+        TrainEvent, TrainLoop, TrainObserver, TrainRng, TrainStats, Trainer,
     };
     pub use edde_data::synth::{
         gaussian_blobs, GaussianBlobsConfig, SynthImages, SynthImagesConfig, SynthText,

@@ -71,7 +71,7 @@ fn every_method_runs_on_the_image_task() {
         Box::new(Edde::new(2, 2, 2, 0.1, 0.7)),
     ];
     for method in &methods {
-        let mut run = method.run(&env).unwrap_or_else(|e| {
+        let run = method.run(&env).unwrap_or_else(|e| {
             panic!("{} failed: {e}", method.name());
         });
         // every trace is ordered in epochs and members
@@ -91,7 +91,7 @@ fn every_method_runs_on_the_image_task() {
             );
         }
         // the summary is internally consistent
-        let s = summarize(method.name(), &mut run, &env.data.test).unwrap();
+        let s = summarize(method.name(), &run, &env.data.test).unwrap();
         assert!((0.0..=1.0).contains(&s.ensemble_accuracy));
         assert!((0.0..=1.0).contains(&s.average_accuracy));
     }
@@ -129,8 +129,8 @@ fn methods_are_deterministic_under_the_env_seed() {
     let c = Edde::new(2, 2, 1, 0.1, 0.7).run(&env2).unwrap();
     // not asserting inequality of accuracy (could coincide); assert the
     // underlying member predictions differ
-    let mut am = a.model.clone();
-    let mut cm = c.model.clone();
+    let am = a.model.clone();
+    let cm = c.model.clone();
     let pa = am.soft_targets(env.data.test.features()).unwrap();
     let pc = cm.soft_targets(env.data.test.features()).unwrap();
     assert_ne!(pa.data(), pc.data());
@@ -153,7 +153,7 @@ fn checkpoint_round_trip_through_ensemble_member() {
     let env = image_env(6);
     let mut run = SingleModel::new(1).run(&env).unwrap();
     let member = &mut run.model.members_mut()[0];
-    let bytes = edde::nn::checkpoint::to_bytes(&mut member.network);
+    let bytes = edde::nn::checkpoint::to_bytes(&member.network);
     let mut rng = env.rng(99);
     let mut fresh = (env.factory)(&mut rng).unwrap();
     edde::nn::checkpoint::from_bytes(&mut fresh, bytes).unwrap();
@@ -167,7 +167,7 @@ fn checkpoint_round_trip_through_ensemble_member() {
 #[allow(clippy::needless_range_loop)]
 fn diversity_pipeline_spans_crates() {
     let env = image_env(7);
-    let mut run = Bagging::new(3, 2).run(&env).unwrap();
+    let run = Bagging::new(3, 2).run(&env).unwrap();
     let probs = run
         .model
         .member_soft_targets(env.data.test.features())
@@ -191,8 +191,8 @@ fn diversity_pipeline_spans_crates() {
 #[test]
 fn bias_variance_runs_on_trained_ensembles() {
     let env = image_env(8);
-    let mut snap = Snapshot::new(2, 2).run(&env).unwrap();
-    let bv = bias_variance(&mut snap.model, &env.data.test).unwrap();
+    let snap = Snapshot::new(2, 2).run(&env).unwrap();
+    let bv = bias_variance(&snap.model, &env.data.test).unwrap();
     assert!((0.0..=1.0).contains(&bv.bias));
     assert!((0.0..=1.0).contains(&bv.variance));
 }

@@ -66,7 +66,7 @@ fn killed_bagging_run_resumes_to_the_identical_ensemble() {
     // Reference: an uninterrupted resumable run.
     let env = blob_env(51, RecoveryPolicy::default(), None);
     let store_full = MemStore::new();
-    let mut full = Bagging::new(3, 3).run_resumable(&env, &store_full).unwrap();
+    let full = Bagging::new(3, 3).run_resumable(&env, &store_full).unwrap();
 
     // "Kill" a second run mid-member-2: a NaN at global step 30 (member 2
     // spans steps 21..42) with recovery disabled aborts the run after
@@ -87,7 +87,7 @@ fn killed_bagging_run_resumes_to_the_identical_ensemble() {
     // prefix is restored, members 2..3 are trained, and the resulting
     // ensemble matches the uninterrupted run bit for bit.
     let clean = blob_env(51, RecoveryPolicy::default(), None);
-    let mut resumed = Bagging::new(3, 3).run_resumable(&clean, &store).unwrap();
+    let resumed = Bagging::new(3, 3).run_resumable(&clean, &store).unwrap();
     assert_eq!(resumed.model.len(), 3);
     assert_eq!(resumed.trace.len(), full.trace.len());
     for (a, b) in full.trace.iter().zip(resumed.trace.iter()) {
@@ -111,7 +111,7 @@ fn killed_edde_run_resumes_to_the_identical_ensemble() {
     let method = Edde::new(3, 3, 2, 0.1, 0.7);
     let env = blob_env(52, RecoveryPolicy::default(), None);
     let store_full = MemStore::new();
-    let mut full = method.run_resumable(&env, &store_full).unwrap();
+    let full = method.run_resumable(&env, &store_full).unwrap();
 
     let store = MemStore::new();
     let dying = blob_env(
@@ -123,7 +123,7 @@ fn killed_edde_run_resumes_to_the_identical_ensemble() {
     assert!(store.contains("member-0"));
 
     let clean = blob_env(52, RecoveryPolicy::default(), None);
-    let mut resumed = method.run_resumable(&clean, &store).unwrap();
+    let resumed = method.run_resumable(&clean, &store).unwrap();
     assert_eq!(resumed.model.len(), 3);
     let alphas_full: Vec<f32> = full.model.members().iter().map(|m| m.alpha).collect();
     let alphas_res: Vec<f32> = resumed.model.members().iter().map(|m| m.alpha).collect();
@@ -194,7 +194,7 @@ fn killed_snapshot_run_resumes_to_the_identical_ensemble() {
     let method = Snapshot::new(3, 2);
     let env = blob_env(57, RecoveryPolicy::default(), None);
     let store_full = MemStore::new();
-    let mut full = method.run_resumable(&env, &store_full).unwrap();
+    let full = method.run_resumable(&env, &store_full).unwrap();
 
     // 2 epochs x 7 steps = 14 steps per cycle; step 24 lands in cycle 2's
     // second epoch (steps 21..27), after cycle 1 was recorded and cycle
@@ -213,7 +213,7 @@ fn killed_snapshot_run_resumes_to_the_identical_ensemble() {
     );
 
     let clean = blob_env(57, RecoveryPolicy::default(), None);
-    let mut resumed = method.run_resumable(&clean, &store).unwrap();
+    let resumed = method.run_resumable(&clean, &store).unwrap();
     assert_eq!(resumed.model.len(), 3);
     let x = env.data.test.features();
     assert_eq!(
@@ -234,7 +234,7 @@ fn filesystem_store_supports_kill_and_resume_across_processes() {
 
     let env = blob_env(56, RecoveryPolicy::default(), None);
     let store_full = MemStore::new();
-    let mut full = method.run_resumable(&env, &store_full).unwrap();
+    let full = method.run_resumable(&env, &store_full).unwrap();
 
     let dying = blob_env(
         56,
@@ -247,7 +247,7 @@ fn filesystem_store_supports_kill_and_resume_across_processes() {
     drop(store);
 
     let store = FsStore::open(&dir).unwrap();
-    let mut resumed = method.run_resumable(&env, &store).unwrap();
+    let resumed = method.run_resumable(&env, &store).unwrap();
     let x = env.data.test.features();
     assert_eq!(
         full.model.soft_targets(x).unwrap().data(),

@@ -119,14 +119,14 @@ fn beta_transfer_distance_is_monotone() {
         in_channels: 3,
         num_classes: 5,
     };
-    let mut teacher = resnet(&cfg, &mut rng).unwrap();
+    let teacher = resnet(&cfg, &mut rng).unwrap();
     let x = edde::tensor::rng::rand_uniform(&[4, 3, 8, 8], -1.0, 1.0, &mut rng);
     let teacher_out = teacher.predict_proba(&x).unwrap();
     let mut last_dist = -1.0f32;
     for beta in [1.0f32, 0.6, 0.2] {
         let mut rng_s = StdRng::seed_from_u64(3); // same student init each time
         let mut student = resnet(&cfg, &mut rng_s).unwrap();
-        transfer_partial(&mut teacher, &mut student, beta).unwrap();
+        transfer_partial(&teacher, &mut student, beta).unwrap();
         let out = student.predict_proba(&x).unwrap();
         let dist: f32 = out
             .data()
@@ -189,8 +189,8 @@ fn eq14_weight_shape_via_public_behaviour() {
     assert_eq!(boosted.model.len(), 3);
     assert_eq!(unboosted.model.len(), 3);
     // boosting changes the optimization path => different member functions
-    let mut bm = boosted.model.clone();
-    let mut um = unboosted.model.clone();
+    let bm = boosted.model.clone();
+    let um = unboosted.model.clone();
     let pb = bm.soft_targets(env.data.test.features()).unwrap();
     let pu = um.soft_targets(env.data.test.features()).unwrap();
     assert_ne!(pb.data(), pu.data());
