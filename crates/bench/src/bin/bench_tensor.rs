@@ -281,8 +281,132 @@ fn run_suite(iters: usize) -> Vec<(String, f64)> {
     }
     let _ = std::fs::remove_dir_all(&dir);
 
+    // -- serving core: closed-loop latency + open-loop overload sweep --
+    // Closed loop: a fixed client fleet, one outstanding request each, so
+    // the latency distribution reflects queueing + batching + inference
+    // with no admission pressure. Open loop: back-to-back bursts past the
+    // queue capacity, so admission control and the shed tiers engage; the
+    // goodput row is throughput at that offered load.
+    set_num_threads(8);
+    serve_suite(iters, &mut results);
+
     set_num_threads(0);
     results
+}
+
+fn serve_frozen() -> edde_core::FrozenEnsemble {
+    let mut f = edde_core::FrozenEnsemble::new();
+    for s in 0..4 {
+        let mut r = StdRng::seed_from_u64(s);
+        f.push(
+            std::sync::Arc::new(edde_nn::models::mlp(&[64, 256, 10], 0.0, &mut r)),
+            1.0,
+            "m",
+        );
+    }
+    f
+}
+
+fn serve_suite(iters: usize, results: &mut Vec<(String, f64)>) {
+    use edde_serve::{Priority, ServeConfig, ServeCore, ServeError, SubmitOptions};
+    use std::time::Duration;
+
+    let core = std::sync::Arc::new(ServeCore::new(
+        serve_frozen(),
+        ServeConfig {
+            queue_capacity: 128,
+            max_batch_rows: 64,
+            batch_deadline: Duration::from_micros(200),
+            workers: 2,
+            ..ServeConfig::default()
+        },
+    ));
+
+    // closed loop
+    let clients = 8usize;
+    let per_client = if iters < 20 { 15 } else { 40 };
+    let t0 = Instant::now();
+    let mut fleet = Vec::new();
+    for c in 0..clients {
+        let core = std::sync::Arc::clone(&core);
+        fleet.push(std::thread::spawn(move || {
+            let mut rng = StdRng::seed_from_u64(100 + c as u64);
+            let mut latencies = Vec::with_capacity(per_client);
+            for _ in 0..per_client {
+                let x = rand_uniform(&[2, 64], -1.0, 1.0, &mut rng);
+                let h = core
+                    .submit(
+                        x,
+                        SubmitOptions::new().with_timeout(Duration::from_secs(10)),
+                    )
+                    .expect("closed-loop fleet stays under capacity");
+                let p = h.wait().expect("closed-loop request served");
+                latencies.push(p.latency().as_secs_f64() * 1e3);
+            }
+            latencies
+        }));
+    }
+    let mut latencies: Vec<f64> = fleet.into_iter().flat_map(|h| h.join().unwrap()).collect();
+    let wall = t0.elapsed().as_secs_f64();
+    latencies.sort_by(f64::total_cmp);
+    let pct = |p: f64| latencies[((latencies.len() - 1) as f64 * p) as usize];
+    let total = (clients * per_client) as f64;
+    eprintln!(
+        "  serve_closed: p50 {:.3} ms, p99 {:.3} ms, {:.0} req/s",
+        pct(0.50),
+        pct(0.99),
+        total / wall
+    );
+    results.push(("serve_closed_p50_ms".into(), pct(0.50)));
+    results.push(("serve_closed_p99_ms".into(), pct(0.99)));
+    results.push(("serve_closed_p999_ms".into(), pct(0.999)));
+    results.push(("serve_closed_rps".into(), total / wall));
+
+    // open loop: offered load beyond capacity; rejections are typed, the
+    // served remainder is the goodput at that offered load.
+    for &burst in &[64usize, 256, 1024] {
+        let mut rng = StdRng::seed_from_u64(7);
+        let t0 = Instant::now();
+        let mut handles = Vec::new();
+        let mut rejected = 0u64;
+        for i in 0..burst {
+            let x = rand_uniform(&[1, 64], -1.0, 1.0, &mut rng);
+            let priority = match i % 3 {
+                0 => Priority::Low,
+                1 => Priority::Normal,
+                _ => Priority::High,
+            };
+            match core.submit(
+                x,
+                SubmitOptions::new()
+                    .with_priority(priority)
+                    .with_timeout(Duration::from_millis(500)),
+            ) {
+                Ok(h) => handles.push(h),
+                Err(ServeError::Overloaded { .. } | ServeError::Shed { .. }) => rejected += 1,
+                Err(e) => panic!("unexpected admission error: {e}"),
+            }
+        }
+        let mut served = 0u64;
+        for h in handles {
+            match h.wait() {
+                Ok(_) => served += 1,
+                Err(ServeError::DeadlineExceeded { .. }) => {}
+                Err(e) => panic!("unexpected serve error: {e}"),
+            }
+        }
+        let wall = t0.elapsed().as_secs_f64();
+        let _ = rejected;
+        results.push((
+            format!("serve_open_burst{burst}_goodput_rps"),
+            served as f64 / wall,
+        ));
+        results.push((
+            format!("serve_open_burst{burst}_served_pct"),
+            100.0 * served as f64 / burst as f64,
+        ));
+    }
+    core.close();
 }
 
 /// A single-member training workload big enough that epoch compute, not

@@ -7,16 +7,38 @@ use edde_nn::Network;
 use rand::rngs::StdRng;
 use std::sync::Arc;
 
+/// Reads a positive integer tuning knob from the environment, falling back
+/// to `default` when the variable is unset. A value that is present but
+/// unusable — not an integer, or zero, which every `EDDE_*` knob (batch
+/// sizes, queue depths, worker counts) treats as nonsensical — is rejected
+/// with a one-line warning on stderr naming the variable, the offending
+/// value, and the fallback, so a typo in a deployment script degrades to
+/// documented defaults instead of silently misconfiguring the process.
+///
+/// Shared by [`eval_batch`] and every `EDDE_SERVE_*` knob in `edde-serve`,
+/// so all knobs reject garbage the same way.
+pub fn env_usize(var: &str, default: usize) -> usize {
+    match std::env::var(var) {
+        Err(_) => default,
+        Ok(raw) => {
+            match raw.trim().parse::<usize>() {
+                Ok(n) if n > 0 => n,
+                _ => {
+                    eprintln!("warning: ignoring {var}={raw:?} (want a positive integer); using {default}");
+                    default
+                }
+            }
+        }
+    }
+}
+
 /// Row-batch size used by every batched evaluation pass (soft targets,
 /// accuracy scoring). Read from `EDDE_EVAL_BATCH` on each call so tests can
-/// vary it; defaults to 256. Batch size never affects results — evaluation
-/// is bit-identical for any positive value.
+/// vary it; defaults to 256, and rejects zero or non-numeric values with a
+/// warning (see [`env_usize`]). Batch size never affects results —
+/// evaluation is bit-identical for any positive value.
 pub fn eval_batch() -> usize {
-    std::env::var("EDDE_EVAL_BATCH")
-        .ok()
-        .and_then(|v| v.trim().parse::<usize>().ok())
-        .filter(|&n| n > 0)
-        .unwrap_or(256)
+    env_usize("EDDE_EVAL_BATCH", 256)
 }
 
 /// Builds a freshly initialized base network. Every ensemble method calls
@@ -87,6 +109,21 @@ mod tests {
         let (x, y, z): (u64, u64, u64) = (a.random(), b.random(), c.random());
         assert_eq!(x, y);
         assert_ne!(x, z);
+    }
+
+    #[test]
+    fn env_usize_rejects_zero_and_garbage() {
+        // dedicated variable names: env vars are process-global and tests
+        // run concurrently, so each case owns its own variable
+        assert_eq!(env_usize("EDDE_TEST_KNOB_UNSET", 7), 7);
+        std::env::set_var("EDDE_TEST_KNOB_ZERO", "0");
+        assert_eq!(env_usize("EDDE_TEST_KNOB_ZERO", 7), 7);
+        std::env::set_var("EDDE_TEST_KNOB_GARBAGE", "fast");
+        assert_eq!(env_usize("EDDE_TEST_KNOB_GARBAGE", 7), 7);
+        std::env::set_var("EDDE_TEST_KNOB_NEG", "-3");
+        assert_eq!(env_usize("EDDE_TEST_KNOB_NEG", 7), 7);
+        std::env::set_var("EDDE_TEST_KNOB_OK", " 12 ");
+        assert_eq!(env_usize("EDDE_TEST_KNOB_OK", 7), 12);
     }
 
     #[test]

@@ -25,6 +25,66 @@ pub enum EnsembleError {
     /// Persisting or restoring run state failed (store I/O, corrupt
     /// manifest, or a resume attempted against a mismatched configuration).
     Checkpoint(String),
+    /// A serving bundle (`EEB1`) was rejected on load — see
+    /// [`BundleError`] for the precise rejection reason.
+    Bundle(BundleError),
+}
+
+/// Why an `EEB1` serving bundle was rejected on load. Each rejection path
+/// is a distinct variant so serving infrastructure (hot-swap validation,
+/// operators' logs) can react to the cause rather than string-matching;
+/// a candidate that trips any of these must leave the currently served
+/// ensemble untouched.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BundleError {
+    /// The payload does not start with the `EEB1` magic.
+    BadMagic([u8; 4]),
+    /// The payload magic is right but the version is not understood by
+    /// this build (stale writer or reader).
+    UnsupportedVersion(u32),
+    /// The payload ended before the named field could be read.
+    Truncated(&'static str),
+    /// The architecture builder produced a network incompatible with a
+    /// member recorded in the bundle (or a hot-swap candidate does not
+    /// match the live serving configuration).
+    ArchMismatch {
+        /// Architecture tag of the offending member.
+        arch: String,
+        /// Class count the bundle (or live config) requires.
+        expected: usize,
+        /// Class count actually produced.
+        got: usize,
+    },
+    /// A member payload failed to decode (bad UTF-8, malformed tensor
+    /// block, ...).
+    Payload(String),
+}
+
+impl fmt::Display for BundleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BundleError::BadMagic(magic) => write!(f, "bad magic {magic:?}"),
+            BundleError::UnsupportedVersion(v) => write!(f, "unsupported bundle version {v}"),
+            BundleError::Truncated(what) => write!(f, "truncated {what}"),
+            BundleError::ArchMismatch {
+                arch,
+                expected,
+                got,
+            } => write!(
+                f,
+                "arch mismatch for {arch:?}: expected {expected} classes, got {got}"
+            ),
+            BundleError::Payload(msg) => write!(f, "bad payload: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for BundleError {}
+
+impl From<BundleError> for EnsembleError {
+    fn from(e: BundleError) -> Self {
+        EnsembleError::Bundle(e)
+    }
 }
 
 impl fmt::Display for EnsembleError {
@@ -37,6 +97,7 @@ impl fmt::Display for EnsembleError {
             EnsembleError::DataMismatch(msg) => write!(f, "data mismatch: {msg}"),
             EnsembleError::Diverged(msg) => write!(f, "training diverged: {msg}"),
             EnsembleError::Checkpoint(msg) => write!(f, "run state error: {msg}"),
+            EnsembleError::Bundle(e) => write!(f, "corrupt bundle: {e}"),
         }
     }
 }
@@ -46,6 +107,7 @@ impl std::error::Error for EnsembleError {
         match self {
             EnsembleError::Nn(e) => Some(e),
             EnsembleError::Tensor(e) => Some(e),
+            EnsembleError::Bundle(e) => Some(e),
             _ => None,
         }
     }

@@ -18,7 +18,7 @@
 //! checkpoint store ([`FrozenEnsemble::freeze_run`]) and served without
 //! any trainer code — the loader needs only an architecture builder.
 
-use crate::error::{EnsembleError, Result};
+use crate::error::{BundleError, EnsembleError, Result};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use edde_data::Dataset;
 use edde_nn::checkpoint::{self, CheckpointStore};
@@ -214,6 +214,47 @@ impl FrozenEnsemble {
         &self.members
     }
 
+    /// Output class count shared by every member, or `None` for an empty
+    /// ensemble. All members of a well-formed ensemble agree on it (the
+    /// α-reduce requires identical output shapes), so this is the live
+    /// serving configuration a hot-swap candidate must match.
+    pub fn num_classes(&self) -> Option<usize> {
+        self.members.first().map(|m| m.network.num_classes())
+    }
+
+    /// `(arch tag, class count)` per member, in member order — a cheap
+    /// structural fingerprint for logging and swap-compatibility checks.
+    pub fn arch_signature(&self) -> Vec<(String, usize)> {
+        self.members
+            .iter()
+            .map(|m| (m.network.arch().to_string(), m.network.num_classes()))
+            .collect()
+    }
+
+    /// Validates `candidate` as a hot-swap replacement for `self`: it must
+    /// be non-empty and agree on the output class count (callers' request
+    /// and response shapes must keep working across the swap). Returns the
+    /// typed [`BundleError::ArchMismatch`] describing the first offending
+    /// member, so a rejected candidate can be reported without touching
+    /// the live ensemble.
+    pub fn validate_swap(&self, candidate: &FrozenEnsemble) -> Result<()> {
+        if candidate.is_empty() {
+            return Err(EnsembleError::EmptyEnsemble);
+        }
+        match (self.num_classes(), candidate.num_classes()) {
+            (Some(expected), Some(got)) if expected != got => {
+                let arch = candidate.members[0].network.arch().to_string();
+                Err(BundleError::ArchMismatch {
+                    arch,
+                    expected,
+                    got,
+                }
+                .into())
+            }
+            _ => Ok(()),
+        }
+    }
+
     /// Freezes every completed member of a resumable run directly from its
     /// checkpoint store: `make` builds a fresh architecture-compatible
     /// network per member (its initialization is fully overwritten by the
@@ -318,46 +359,53 @@ impl FrozenEnsemble {
     /// Deserializes an `EEB1` payload. `build` constructs a fresh network
     /// for an `(arch, num_classes)` pair — the one piece of model code a
     /// serving process needs; everything else comes from the bundle.
+    ///
+    /// Every rejection path returns a distinct [`BundleError`] variant
+    /// (wrapped in [`EnsembleError::Bundle`]): wrong magic, unsupported
+    /// version, truncation at any field, a malformed member payload, or a
+    /// builder whose network does not match the recorded class count.
     pub fn decode(mut buf: Bytes, build: &dyn Fn(&str, usize) -> Result<Network>) -> Result<Self> {
         if buf.remaining() < 12 {
-            return Err(corrupt("truncated header"));
+            return Err(BundleError::Truncated("header").into());
         }
         let mut magic = [0u8; 4];
         buf.copy_to_slice(&mut magic);
         if &magic != BUNDLE_MAGIC {
-            return Err(corrupt(&format!("bad magic {magic:?}")));
+            return Err(BundleError::BadMagic(magic).into());
         }
         let version = buf.get_u32_le();
         if version != BUNDLE_VERSION {
-            return Err(corrupt(&format!("unsupported bundle version {version}")));
+            return Err(BundleError::UnsupportedVersion(version).into());
         }
         let count = buf.get_u32_le() as usize;
         let mut frozen = FrozenEnsemble::new();
         for _ in 0..count {
-            let label = get_str(&mut buf)?;
+            let label = get_str(&mut buf, "member label")?;
             if buf.remaining() < 4 {
-                return Err(corrupt("truncated member weight"));
+                return Err(BundleError::Truncated("member weight").into());
             }
             let alpha = buf.get_f32_le();
-            let arch = get_str(&mut buf)?;
+            let arch = get_str(&mut buf, "member arch tag")?;
             if buf.remaining() < 12 {
-                return Err(corrupt("truncated member header"));
+                return Err(BundleError::Truncated("member header").into());
             }
             let num_classes = buf.get_u32_le() as usize;
             let blob_len = buf.get_u64_le() as usize;
             if buf.remaining() < blob_len {
-                return Err(corrupt("truncated member state"));
+                return Err(BundleError::Truncated("member state").into());
             }
             let blob = buf.slice(..blob_len);
             buf = buf.slice(blob_len..);
             let state = edde_tensor::serialize::decode_params(blob)
-                .map_err(|e| corrupt(&format!("member state: {e}")))?;
+                .map_err(|e| BundleError::Payload(format!("member state: {e}")))?;
             let mut net = build(&arch, num_classes)?;
             if net.num_classes() != num_classes {
-                return Err(EnsembleError::Checkpoint(format!(
-                    "builder produced {} classes for a {num_classes}-class member",
-                    net.num_classes()
-                )));
+                return Err(BundleError::ArchMismatch {
+                    arch,
+                    expected: num_classes,
+                    got: net.num_classes(),
+                }
+                .into());
             }
             net.import_state(&state)?;
             frozen.push(Arc::new(net), alpha, label);
@@ -390,21 +438,18 @@ fn put_str(buf: &mut BytesMut, s: &str) {
     buf.put_slice(s.as_bytes());
 }
 
-fn get_str(buf: &mut Bytes) -> Result<String> {
+fn get_str(buf: &mut Bytes, what: &'static str) -> Result<String> {
     if buf.remaining() < 4 {
-        return Err(corrupt("truncated string length"));
+        return Err(BundleError::Truncated(what).into());
     }
     let len = buf.get_u32_le() as usize;
     if buf.remaining() < len {
-        return Err(corrupt("truncated string"));
+        return Err(BundleError::Truncated(what).into());
     }
     let mut raw = vec![0u8; len];
     buf.copy_to_slice(&mut raw);
-    String::from_utf8(raw).map_err(|e| corrupt(&format!("string not utf-8: {e}")))
-}
-
-fn corrupt(msg: &str) -> EnsembleError {
-    EnsembleError::Checkpoint(format!("corrupt bundle: {msg}"))
+    String::from_utf8(raw)
+        .map_err(|e| BundleError::Payload(format!("{what} not utf-8: {e}")).into())
 }
 
 #[cfg(test)]

@@ -52,8 +52,8 @@ pub mod trainer;
 pub mod transfer;
 
 pub use ensemble::{EnsembleMember, EnsembleModel};
-pub use env::{eval_batch, ExperimentEnv, ModelFactory};
-pub use error::{EnsembleError, Result};
+pub use env::{env_usize, eval_batch, ExperimentEnv, ModelFactory};
+pub use error::{BundleError, EnsembleError, Result};
 pub use frozen::{network_soft_targets_tau, FrozenEnsemble, FrozenMember};
 pub use methods::{
     train_members_in_order, AdaBoostM1, AdaBoostNc, Bagging, Bans, Edde, EnsembleMethod, Ncl,

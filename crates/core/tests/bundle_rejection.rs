@@ -1,0 +1,143 @@
+//! `EEB1` bundle rejection matrix: every way a serving bundle can be bad
+//! on load maps to a distinct typed error, so hot-swap infrastructure can
+//! react to the cause instead of string-matching. A valid frame with a
+//! bad payload is a [`BundleError`]; a torn frame never reaches the
+//! payload parser — the CRC seal rejects it first.
+
+use edde_core::{BundleError, EnsembleError, FrozenEnsemble, Result};
+use edde_nn::checkpoint::{self, CheckpointStore, MemStore};
+use edde_nn::models::mlp;
+use edde_nn::Network;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+fn member(seed: u64, classes: usize) -> Network {
+    let mut r = StdRng::seed_from_u64(seed);
+    mlp(&[4, 8, classes], 0.0, &mut r)
+}
+
+fn ensemble() -> FrozenEnsemble {
+    let mut f = FrozenEnsemble::new();
+    f.push(Arc::new(member(1, 3)), 1.0, "a");
+    f.push(Arc::new(member(2, 3)), 0.5, "b");
+    f
+}
+
+fn build_ok(_: &str, _: usize) -> Result<Network> {
+    Ok(member(99, 3))
+}
+
+/// Seals `payload` into a valid CRC frame and loads it, returning the
+/// typed rejection.
+fn load_sealed(payload: &[u8], build: &dyn Fn(&str, usize) -> Result<Network>) -> EnsembleError {
+    let store = MemStore::new();
+    store.put("bundle", &checkpoint::seal(payload)).unwrap();
+    FrozenEnsemble::load_bundle(&store, "bundle", build).unwrap_err()
+}
+
+#[test]
+fn wrong_magic_is_a_typed_bad_magic() {
+    let mut payload = ensemble().encode().to_vec();
+    payload[0] = b'X';
+    match load_sealed(&payload, &build_ok) {
+        EnsembleError::Bundle(BundleError::BadMagic(magic)) => {
+            assert_eq!(&magic, b"XEB1");
+        }
+        other => panic!("expected BadMagic, got {other:?}"),
+    }
+}
+
+#[test]
+fn stale_version_is_a_typed_unsupported_version() {
+    let mut payload = ensemble().encode().to_vec();
+    payload[4..8].copy_from_slice(&99u32.to_le_bytes());
+    match load_sealed(&payload, &build_ok) {
+        EnsembleError::Bundle(BundleError::UnsupportedVersion(v)) => assert_eq!(v, 99),
+        other => panic!("expected UnsupportedVersion, got {other:?}"),
+    }
+}
+
+#[test]
+fn truncated_payload_is_a_typed_truncation_at_every_cut() {
+    let payload = ensemble().encode();
+    for cut in [0, 5, 11, 13, 20, payload.len() / 2, payload.len() - 1] {
+        match load_sealed(&payload[..cut], &build_ok) {
+            EnsembleError::Bundle(BundleError::Truncated(_)) => {}
+            other => panic!("cut {cut}: expected Truncated, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn builder_class_count_mismatch_is_a_typed_arch_mismatch() {
+    let payload = ensemble().encode();
+    match load_sealed(&payload, &|_, _| Ok(member(0, 2))) {
+        EnsembleError::Bundle(BundleError::ArchMismatch { expected, got, .. }) => {
+            assert_eq!(expected, 3);
+            assert_eq!(got, 2);
+        }
+        other => panic!("expected ArchMismatch, got {other:?}"),
+    }
+}
+
+#[test]
+fn torn_frame_is_rejected_by_the_seal_not_the_parser() {
+    let store = MemStore::new();
+    ensemble().save_bundle(&store, "bundle").unwrap();
+    let mut raw = store.get("bundle").unwrap().to_vec();
+    let idx = raw.len() / 2;
+    raw[idx] ^= 0x01;
+    store.put("bundle", &raw).unwrap();
+    let err = FrozenEnsemble::load_bundle(&store, "bundle", &build_ok).unwrap_err();
+    // CRC failure is a frame-level error, not a BundleError: the payload
+    // parser never runs on torn bytes.
+    assert!(
+        !matches!(err, EnsembleError::Bundle(_)),
+        "torn frame must be rejected by the seal, got {err:?}"
+    );
+    assert!(err.to_string().contains("checksum"), "{err}");
+}
+
+#[test]
+fn rejection_causes_are_mutually_distinct() {
+    let payload = ensemble().encode();
+    let mut bad_magic = payload.to_vec();
+    bad_magic[0] = b'X';
+    let mut bad_version = payload.to_vec();
+    bad_version[4..8].copy_from_slice(&2u32.to_le_bytes());
+    let errors = [
+        load_sealed(&bad_magic, &build_ok),
+        load_sealed(&bad_version, &build_ok),
+        load_sealed(&payload[..payload.len() - 1], &build_ok),
+        load_sealed(&payload, &|_, _| Ok(member(0, 2))),
+    ];
+    for (i, a) in errors.iter().enumerate() {
+        assert!(matches!(a, EnsembleError::Bundle(_)), "{a:?}");
+        for b in errors.iter().skip(i + 1) {
+            assert_ne!(a, b, "two rejection paths collided on one error");
+        }
+    }
+}
+
+#[test]
+fn validate_swap_rejects_class_count_changes_and_empty_candidates() {
+    let live = ensemble();
+    let err = live.validate_swap(&FrozenEnsemble::new()).unwrap_err();
+    assert_eq!(err, EnsembleError::EmptyEnsemble);
+
+    let mut narrower = FrozenEnsemble::new();
+    narrower.push(Arc::new(member(5, 2)), 1.0, "c");
+    match live.validate_swap(&narrower).unwrap_err() {
+        EnsembleError::Bundle(BundleError::ArchMismatch { expected, got, .. }) => {
+            assert_eq!((expected, got), (3, 2));
+        }
+        other => panic!("expected ArchMismatch, got {other:?}"),
+    }
+
+    // compatible candidate passes; empty live accepts anything non-empty
+    assert!(live.validate_swap(&ensemble()).is_ok());
+    assert!(FrozenEnsemble::new().validate_swap(&narrower).is_ok());
+    assert_eq!(live.num_classes(), Some(3));
+    assert_eq!(live.arch_signature().len(), 2);
+}

@@ -1,0 +1,98 @@
+//! Time source abstraction so deadline and latency behaviour is
+//! deterministic under test.
+//!
+//! All serving timestamps are a [`Duration`] since the clock's origin.
+//! Production uses [`MonotonicClock`] ([`std::time::Instant`] under the
+//! hood); tests use [`TestClock`], which only moves when explicitly
+//! advanced — a queue-full-of-expired-requests scenario is then a plain
+//! sequence of calls, not a sleep race.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// A monotonic time source. `advance` is a test hook: the production
+/// clock ignores it, the test clock moves by exactly that amount.
+pub trait Clock: Send + Sync {
+    /// Time elapsed since the clock's origin.
+    fn now(&self) -> Duration;
+
+    /// Advances the clock (deterministic fault schedules use this to
+    /// model slow batches); no-op on real clocks.
+    fn advance(&self, _by: Duration) {}
+}
+
+/// Wall-clock time via [`Instant`], origin at construction.
+#[derive(Debug)]
+pub struct MonotonicClock {
+    origin: Instant,
+}
+
+impl MonotonicClock {
+    /// A clock whose origin is now.
+    pub fn new() -> Self {
+        MonotonicClock {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for MonotonicClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for MonotonicClock {
+    fn now(&self) -> Duration {
+        self.origin.elapsed()
+    }
+}
+
+/// A manually driven clock for deterministic tests: starts at zero and
+/// moves only via [`Clock::advance`]. Shared freely across threads.
+#[derive(Debug, Default)]
+pub struct TestClock {
+    micros: AtomicU64,
+}
+
+impl TestClock {
+    /// A clock at time zero.
+    pub fn new() -> Self {
+        TestClock::default()
+    }
+}
+
+impl Clock for TestClock {
+    fn now(&self) -> Duration {
+        Duration::from_micros(self.micros.load(Ordering::SeqCst))
+    }
+
+    fn advance(&self, by: Duration) {
+        self.micros
+            .fetch_add(by.as_micros() as u64, Ordering::SeqCst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_clock_moves_only_when_advanced() {
+        let c = TestClock::new();
+        assert_eq!(c.now(), Duration::ZERO);
+        c.advance(Duration::from_millis(5));
+        c.advance(Duration::from_micros(3));
+        assert_eq!(c.now(), Duration::from_micros(5003));
+    }
+
+    #[test]
+    fn monotonic_clock_does_not_go_backwards() {
+        let c = MonotonicClock::new();
+        let a = c.now();
+        c.advance(Duration::from_secs(100)); // no-op on the real clock
+        let b = c.now();
+        assert!(b >= a);
+        assert!(b < Duration::from_secs(100));
+    }
+}

@@ -1,0 +1,110 @@
+//! Serving-core configuration.
+
+use edde_core::env_usize;
+use std::time::Duration;
+
+/// Tuning knobs for a [`crate::ServeCore`]. [`ServeConfig::from_env`]
+/// reads the `EDDE_SERVE_*` environment variables (each validated by
+/// [`edde_core::env_usize`] — zero or garbage values warn and fall back
+/// to the documented default); [`Default`] ignores the environment.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Maximum queued requests (`EDDE_SERVE_QUEUE`, default 256). The
+    /// submission queue is strictly bounded: request number
+    /// `queue_capacity + 1` is rejected with
+    /// [`crate::ServeError::Overloaded`], never buffered.
+    pub queue_capacity: usize,
+    /// Maximum rows coalesced into one batch. Defaults to
+    /// [`edde_core::eval_batch`] (`EDDE_EVAL_BATCH`), so serving batches
+    /// line up with the evaluation chunking the kernels are tuned for. A
+    /// single request larger than this still runs, as its own batch.
+    pub max_batch_rows: usize,
+    /// How long a worker waits for more requests to coalesce once it has
+    /// at least one (`EDDE_SERVE_BATCH_DEADLINE_US`, default 2000 µs).
+    /// First of {`max_batch_rows` reached, deadline hit} dispatches the
+    /// batch. Shrinks to zero under pressure (see
+    /// [`ServeConfig::pressure_batch_cut`]).
+    pub batch_deadline: Duration,
+    /// Worker threads draining the queue (`EDDE_SERVE_WORKERS`, default
+    /// 1). `0` is manual mode — nothing is drained until the caller
+    /// invokes [`crate::ServeCore::step`], which is what the
+    /// deterministic tests use; it cannot be selected from the
+    /// environment.
+    pub workers: usize,
+    /// Queue-fill fraction at which the batching deadline collapses to
+    /// zero — under pressure, ship what's there instead of waiting to
+    /// coalesce. Default 0.5.
+    pub pressure_batch_cut: f64,
+    /// Queue-fill fraction at which [`crate::Priority::Low`] traffic is
+    /// shed at admission. Default 0.75.
+    pub shed_low_pressure: f64,
+    /// Queue-fill fraction at which [`crate::Priority::Normal`] traffic
+    /// is also shed; only [`crate::Priority::High`] is admitted past
+    /// this point. Default 0.9.
+    pub shed_normal_pressure: f64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            queue_capacity: 256,
+            max_batch_rows: 256,
+            batch_deadline: Duration::from_micros(2000),
+            workers: 1,
+            pressure_batch_cut: 0.5,
+            shed_low_pressure: 0.75,
+            shed_normal_pressure: 0.9,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Reads `EDDE_SERVE_QUEUE`, `EDDE_EVAL_BATCH`,
+    /// `EDDE_SERVE_BATCH_DEADLINE_US`, and `EDDE_SERVE_WORKERS`, with
+    /// the defaults above for anything unset or invalid.
+    pub fn from_env() -> Self {
+        ServeConfig {
+            queue_capacity: env_usize("EDDE_SERVE_QUEUE", 256),
+            max_batch_rows: edde_core::eval_batch(),
+            batch_deadline: Duration::from_micros(
+                env_usize("EDDE_SERVE_BATCH_DEADLINE_US", 2000) as u64
+            ),
+            workers: env_usize("EDDE_SERVE_WORKERS", 1),
+            ..ServeConfig::default()
+        }
+    }
+
+    /// Manual-drain configuration for deterministic tests: no worker
+    /// threads, no coalescing wait.
+    pub fn manual() -> Self {
+        ServeConfig {
+            workers: 0,
+            batch_deadline: Duration::ZERO,
+            ..ServeConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_env_falls_back_on_garbage() {
+        // dedicated vars are process-global; pick ones no other test sets
+        std::env::set_var("EDDE_SERVE_QUEUE", "lots");
+        let cfg = ServeConfig::from_env();
+        assert_eq!(cfg.queue_capacity, 256);
+        std::env::set_var("EDDE_SERVE_QUEUE", "8");
+        let cfg = ServeConfig::from_env();
+        assert_eq!(cfg.queue_capacity, 8);
+        std::env::remove_var("EDDE_SERVE_QUEUE");
+    }
+
+    #[test]
+    fn manual_mode_has_no_workers() {
+        let cfg = ServeConfig::manual();
+        assert_eq!(cfg.workers, 0);
+        assert_eq!(cfg.batch_deadline, Duration::ZERO);
+    }
+}

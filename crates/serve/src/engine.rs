@@ -1,0 +1,689 @@
+//! The serving core: bounded admission, dynamic micro-batching, deadline
+//! enforcement, load shedding, and atomic ensemble hot-swap.
+//!
+//! # Invariants
+//!
+//! * **Bounded memory.** The submission queue never holds more than
+//!   [`ServeConfig::queue_capacity`] requests; everything past that is
+//!   rejected at admission with a typed error, never buffered.
+//! * **No silent drops.** Every admitted request is resolved exactly
+//!   once — with a [`Prediction`] or a [`ServeError`]. The accounting
+//!   identity `admitted == served_requests + expired_in_queue + failed +
+//!   closed_unserved + depth` holds at every quiescent point.
+//! * **No bundle interleaving.** A batch captures one
+//!   `Arc<FrozenEnsemble>` and its epoch under the state lock before any
+//!   inference runs; a hot-swap mid-batch cannot mix members from two
+//!   bundles inside one batch. Every [`Prediction`] carries the epoch it
+//!   was computed under.
+//! * **Bit-identical results.** Member passes are row-independent and the
+//!   α-reduce is serial, so a row's soft target is the same whether it was
+//!   served alone or coalesced into a batch — byte-for-byte equal to
+//!   calling [`FrozenEnsemble::predict`] directly.
+//!
+//! # Drain protocol
+//!
+//! [`ServeCore::swap_in`] flips the epoch pointer and returns a
+//! [`SwapReport`] holding a [`Weak`] reference to the retired ensemble.
+//! In-flight batches keep their strong `Arc` until they finish, so
+//! `report.retired.upgrade().is_none()` is the drain-complete signal.
+
+use crate::clock::{Clock, MonotonicClock};
+use crate::config::ServeConfig;
+use crate::error::{DeadlineStage, Priority, ServeError};
+use crate::fault::ServeFaultPlan;
+use edde_core::FrozenEnsemble;
+use edde_nn::checkpoint::CheckpointStore;
+use edde_nn::Network;
+use edde_tensor::parallel::with_inline_dispatch;
+use edde_tensor::Tensor;
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex, Weak};
+use std::thread;
+use std::time::Duration;
+
+/// Per-request submission options: an optional deadline (absolute, in
+/// core-clock time, or relative via [`SubmitOptions::with_timeout`]) and
+/// a shed-tier [`Priority`].
+#[derive(Debug, Clone, Default)]
+pub struct SubmitOptions {
+    /// Absolute deadline on the core's clock ([`ServeCore::now`]).
+    /// Checked at admission and again at dequeue.
+    pub deadline: Option<Duration>,
+    /// Relative deadline; resolved to `now + timeout` at admission.
+    /// Ignored when `deadline` is set.
+    pub timeout: Option<Duration>,
+    /// Shed tier; defaults to [`Priority::Normal`].
+    pub priority: Priority,
+}
+
+impl SubmitOptions {
+    /// Options with no deadline and normal priority.
+    pub fn new() -> Self {
+        SubmitOptions::default()
+    }
+
+    /// Sets an absolute deadline on the core's clock.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets a deadline `timeout` from the moment of admission.
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = Some(timeout);
+        self
+    }
+
+    /// Sets the shed-tier priority.
+    pub fn with_priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
+    }
+}
+
+/// A served prediction, with the provenance serving infrastructure needs.
+#[derive(Debug, Clone)]
+pub struct Prediction {
+    /// Ensemble soft targets for this request's rows, `[n, classes]`.
+    pub soft_targets: Tensor,
+    /// Argmax class per row.
+    pub classes: Vec<usize>,
+    /// Bundle epoch the prediction was computed under (bumped by every
+    /// successful hot-swap).
+    pub epoch: u64,
+    /// Core-clock time the request was admitted.
+    pub submitted_at: Duration,
+    /// Core-clock time the batch finished.
+    pub completed_at: Duration,
+    /// Total rows in the batch this request rode in.
+    pub batch_rows: usize,
+}
+
+impl Prediction {
+    /// Queue wait plus inference time for this request.
+    pub fn latency(&self) -> Duration {
+        self.completed_at.saturating_sub(self.submitted_at)
+    }
+}
+
+/// Write-once response cell a caller blocks on.
+struct ResponseSlot {
+    cell: Mutex<Option<Result<Prediction, ServeError>>>,
+    done: Condvar,
+}
+
+impl ResponseSlot {
+    fn new() -> Self {
+        ResponseSlot {
+            cell: Mutex::new(None),
+            done: Condvar::new(),
+        }
+    }
+
+    fn resolve(&self, result: Result<Prediction, ServeError>) {
+        let mut cell = self.cell.lock().unwrap();
+        debug_assert!(cell.is_none(), "response slot resolved twice");
+        *cell = Some(result);
+        self.done.notify_all();
+    }
+}
+
+/// The caller's side of an admitted request.
+pub struct Handle {
+    slot: Arc<ResponseSlot>,
+}
+
+impl std::fmt::Debug for Handle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Handle")
+            .field("resolved", &self.slot.cell.lock().unwrap().is_some())
+            .finish()
+    }
+}
+
+impl Handle {
+    /// Blocks until the request resolves. In manual mode
+    /// ([`ServeConfig::workers`]` == 0`) drive [`ServeCore::step`] first —
+    /// nothing resolves on its own.
+    pub fn wait(self) -> Result<Prediction, ServeError> {
+        let mut cell = self.slot.cell.lock().unwrap();
+        loop {
+            if let Some(result) = cell.take() {
+                return result;
+            }
+            cell = self.slot.done.wait(cell).unwrap();
+        }
+    }
+
+    /// Takes the result if the request has already resolved.
+    pub fn try_take(&self) -> Option<Result<Prediction, ServeError>> {
+        self.slot.cell.lock().unwrap().take()
+    }
+}
+
+/// Counters describing everything the core has done. Read via
+/// [`ServeCore::stats`]; `depth` is the queue depth at the moment of the
+/// snapshot, every other field is a monotone counter.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Requests accepted into the queue.
+    pub admitted: u64,
+    /// Requests rejected because the queue was full.
+    pub rejected_overloaded: u64,
+    /// Requests rejected with an already-expired deadline.
+    pub rejected_deadline: u64,
+    /// Requests rejected for a row-shape mismatch.
+    pub rejected_shape: u64,
+    /// Requests shed by the pressure tiers.
+    pub shed: u64,
+    /// Admitted requests whose deadline expired before dequeue.
+    pub expired_in_queue: u64,
+    /// Requests resolved with a prediction.
+    pub served_requests: u64,
+    /// Rows across all served requests.
+    pub served_rows: u64,
+    /// Admitted requests resolved with a prediction error.
+    pub failed: u64,
+    /// Admitted requests resolved with [`ServeError::Closed`] at shutdown.
+    pub closed_unserved: u64,
+    /// Batches executed.
+    pub batches: u64,
+    /// Successful hot-swaps.
+    pub swaps: u64,
+    /// Rejected hot-swap candidates.
+    pub swaps_rejected: u64,
+    /// Queue depth when the snapshot was taken.
+    pub depth: u64,
+}
+
+/// Outcome of a successful [`ServeCore::swap_in`].
+#[derive(Debug, Clone)]
+pub struct SwapReport {
+    /// Epoch that was serving before the swap.
+    pub old_epoch: u64,
+    /// Epoch now serving.
+    pub new_epoch: u64,
+    /// The retired ensemble, weakly held: once every in-flight batch on
+    /// the old bundle completes, `retired.upgrade()` returns `None` —
+    /// the drain-complete signal.
+    pub retired: Weak<FrozenEnsemble>,
+}
+
+/// What one [`ServeCore::step`] call did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// Nothing serviceable was queued.
+    Idle,
+    /// A batch ran.
+    Served {
+        /// Requests resolved by the batch.
+        requests: usize,
+        /// Total rows in the batch.
+        rows: usize,
+    },
+}
+
+struct Pending {
+    features: Tensor,
+    rows: usize,
+    deadline: Option<Duration>,
+    slot: Arc<ResponseSlot>,
+    submitted_at: Duration,
+}
+
+struct State {
+    queue: VecDeque<Pending>,
+    closed: bool,
+    /// Trailing (per-row) dims of the first admitted request; later
+    /// requests must match so any subset can share a batch.
+    row_dims: Option<Vec<usize>>,
+    ensemble: Arc<FrozenEnsemble>,
+    epoch: u64,
+    stats: ServeStats,
+}
+
+struct Shared {
+    config: ServeConfig,
+    clock: Arc<dyn Clock>,
+    fault: ServeFaultPlan,
+    state: Mutex<State>,
+    submitted: Condvar,
+}
+
+/// Overload-safe batched serving on a [`FrozenEnsemble`] — see the
+/// module docs for the invariants.
+pub struct ServeCore {
+    shared: Arc<Shared>,
+    workers: Mutex<Vec<thread::JoinHandle<()>>>,
+}
+
+impl ServeCore {
+    /// A core serving `ensemble` on the wall clock with no fault plan,
+    /// spawning [`ServeConfig::workers`] drain threads.
+    pub fn new(ensemble: FrozenEnsemble, config: ServeConfig) -> Self {
+        Self::with_parts(
+            ensemble,
+            config,
+            Arc::new(MonotonicClock::new()),
+            ServeFaultPlan::new(),
+        )
+    }
+
+    /// Full-control constructor: inject a [`Clock`] (deterministic tests
+    /// pass a [`crate::TestClock`]) and a [`ServeFaultPlan`].
+    pub fn with_parts(
+        ensemble: FrozenEnsemble,
+        config: ServeConfig,
+        clock: Arc<dyn Clock>,
+        fault: ServeFaultPlan,
+    ) -> Self {
+        assert!(config.queue_capacity > 0, "queue capacity must be positive");
+        assert!(config.max_batch_rows > 0, "max batch rows must be positive");
+        let shared = Arc::new(Shared {
+            config,
+            clock,
+            fault,
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                closed: false,
+                row_dims: None,
+                ensemble: Arc::new(ensemble),
+                epoch: 0,
+                stats: ServeStats::default(),
+            }),
+            submitted: Condvar::new(),
+        });
+        let mut workers = Vec::new();
+        for i in 0..shared.config.workers {
+            let s = Arc::clone(&shared);
+            let handle = thread::Builder::new()
+                .name(format!("edde-serve-{i}"))
+                .spawn(move || worker_loop(s))
+                .expect("failed to spawn serve worker");
+            workers.push(handle);
+        }
+        ServeCore {
+            shared,
+            workers: Mutex::new(workers),
+        }
+    }
+
+    /// The core's clock reading — compute absolute deadlines against this.
+    pub fn now(&self) -> Duration {
+        self.shared.clock.now()
+    }
+
+    /// The bundle epoch currently serving.
+    pub fn epoch(&self) -> u64 {
+        self.shared.state.lock().unwrap().epoch
+    }
+
+    /// The ensemble currently serving (a strong handle; holding it does
+    /// not block a swap, only the drain signal).
+    pub fn ensemble(&self) -> Arc<FrozenEnsemble> {
+        Arc::clone(&self.shared.state.lock().unwrap().ensemble)
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> ServeStats {
+        let st = self.shared.state.lock().unwrap();
+        let mut stats = st.stats.clone();
+        stats.depth = st.queue.len() as u64;
+        stats
+    }
+
+    /// Submits `features` (`[n, row...]`, `n ≥ 1`) for ensemble
+    /// prediction. Admission applies, in order: closed check, row-shape
+    /// check, deadline check (already-expired requests are refused, not
+    /// buffered), queue-full check, and the pressure shed tiers. On
+    /// success the returned [`Handle`] resolves exactly once.
+    pub fn submit(&self, features: Tensor, opts: SubmitOptions) -> Result<Handle, ServeError> {
+        let dims = features.dims().to_vec();
+        let now = self.shared.clock.now();
+        let mut st = self.shared.state.lock().unwrap();
+        if st.closed {
+            return Err(ServeError::Closed);
+        }
+        if dims.len() < 2 || dims[0] == 0 {
+            st.stats.rejected_shape += 1;
+            return Err(ServeError::ShapeMismatch {
+                expected: st.row_dims.clone().unwrap_or_default(),
+                got: dims,
+            });
+        }
+        let row_dims = dims[1..].to_vec();
+        if let Some(expected) = st.row_dims.clone() {
+            if expected != row_dims {
+                st.stats.rejected_shape += 1;
+                return Err(ServeError::ShapeMismatch {
+                    expected,
+                    got: row_dims,
+                });
+            }
+        }
+        let deadline = opts.deadline.or_else(|| opts.timeout.map(|t| now + t));
+        if deadline.is_some_and(|d| d <= now) {
+            st.stats.rejected_deadline += 1;
+            return Err(ServeError::DeadlineExceeded {
+                stage: DeadlineStage::Admission,
+            });
+        }
+        let capacity = self.shared.config.queue_capacity;
+        let depth = st.queue.len();
+        if depth >= capacity {
+            st.stats.rejected_overloaded += 1;
+            return Err(ServeError::Overloaded { depth, capacity });
+        }
+        let pressure = depth as f64 / capacity as f64;
+        let cfg = &self.shared.config;
+        let shed = (pressure >= cfg.shed_normal_pressure && opts.priority < Priority::High)
+            || (pressure >= cfg.shed_low_pressure && opts.priority == Priority::Low);
+        if shed {
+            st.stats.shed += 1;
+            return Err(ServeError::Shed {
+                priority: opts.priority,
+            });
+        }
+        if st.row_dims.is_none() {
+            st.row_dims = Some(row_dims);
+        }
+        let slot = Arc::new(ResponseSlot::new());
+        st.queue.push_back(Pending {
+            rows: dims[0],
+            features,
+            deadline,
+            slot: Arc::clone(&slot),
+            submitted_at: now,
+        });
+        st.stats.admitted += 1;
+        drop(st);
+        self.shared.submitted.notify_one();
+        Ok(Handle { slot })
+    }
+
+    /// Collects one batch without running it: expires dead requests at
+    /// the queue head, coalesces whole requests up to
+    /// [`ServeConfig::max_batch_rows`], and captures the serving
+    /// `Arc<FrozenEnsemble>` + epoch atomically. Returns `None` when
+    /// nothing serviceable is queued. Public so deterministic harnesses
+    /// can hold a batch in flight across a swap.
+    pub fn begin_batch(&self) -> Option<InflightBatch> {
+        let mut st = self.shared.state.lock().unwrap();
+        collect_batch(&self.shared, &mut st)
+    }
+
+    /// Drains one batch synchronously (collect + run). The manual-mode
+    /// pump: with [`ServeConfig::workers`]` == 0` this is the only thing
+    /// that resolves requests.
+    pub fn step(&self) -> StepOutcome {
+        match self.begin_batch() {
+            None => StepOutcome::Idle,
+            Some(batch) => {
+                let (requests, rows) = (batch.requests(), batch.rows());
+                batch.run();
+                StepOutcome::Served { requests, rows }
+            }
+        }
+    }
+
+    /// Atomically replaces the serving ensemble. The candidate is
+    /// validated against the live configuration first
+    /// ([`FrozenEnsemble::validate_swap`]); a rejected candidate leaves
+    /// the current ensemble serving, untouched. In-flight batches finish
+    /// on the old bundle — watch [`SwapReport::retired`] for the drain.
+    pub fn swap_in(&self, candidate: FrozenEnsemble) -> Result<SwapReport, ServeError> {
+        let mut st = self.shared.state.lock().unwrap();
+        if let Err(e) = st.ensemble.validate_swap(&candidate) {
+            st.stats.swaps_rejected += 1;
+            return Err(ServeError::SwapRejected(e));
+        }
+        let old = std::mem::replace(&mut st.ensemble, Arc::new(candidate));
+        let retired = Arc::downgrade(&old);
+        drop(old);
+        let old_epoch = st.epoch;
+        st.epoch += 1;
+        st.stats.swaps += 1;
+        Ok(SwapReport {
+            old_epoch,
+            new_epoch: st.epoch,
+            retired,
+        })
+    }
+
+    /// Loads a CRC-sealed `EEB1` bundle from `store` and hot-swaps it in.
+    /// A torn, corrupt, stale-versioned, or arch-incompatible bundle is
+    /// rejected with [`ServeError::SwapRejected`] carrying the typed
+    /// cause; serving continues on the current ensemble uninterrupted.
+    pub fn swap_bundle(
+        &self,
+        store: &dyn CheckpointStore,
+        key: &str,
+        build: &dyn Fn(&str, usize) -> edde_core::Result<Network>,
+    ) -> Result<SwapReport, ServeError> {
+        let candidate = match FrozenEnsemble::load_bundle(store, key, build) {
+            Ok(candidate) => candidate,
+            Err(e) => {
+                self.shared.state.lock().unwrap().stats.swaps_rejected += 1;
+                return Err(ServeError::SwapRejected(e));
+            }
+        };
+        self.swap_in(candidate)
+    }
+
+    /// Shuts the core down: stops admitting, resolves every queued
+    /// request with [`ServeError::Closed`] (typed, not dropped), and
+    /// joins the workers — in-flight batches finish first. Idempotent.
+    pub fn close(&self) {
+        let handles: Vec<_> = self.workers.lock().unwrap().drain(..).collect();
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            if !st.closed {
+                st.closed = true;
+                while let Some(p) = st.queue.pop_front() {
+                    st.stats.closed_unserved += 1;
+                    p.slot.resolve(Err(ServeError::Closed));
+                }
+            }
+        }
+        self.shared.submitted.notify_all();
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ServeCore {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+/// A collected batch that has not run yet: it owns its requests and a
+/// strong handle on the ensemble + epoch it was collected under, so a
+/// swap between collection and [`InflightBatch::run`] does not affect it
+/// (and the old bundle cannot drain until it finishes).
+pub struct InflightBatch {
+    shared: Arc<Shared>,
+    ensemble: Arc<FrozenEnsemble>,
+    epoch: u64,
+    requests: Vec<Pending>,
+    rows: usize,
+}
+
+impl InflightBatch {
+    /// Requests in the batch.
+    pub fn requests(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// Total rows in the batch.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Epoch the batch was collected under.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Runs the batch and resolves every request in it (prediction or
+    /// typed error), then releases the ensemble handle.
+    pub fn run(self) {
+        let InflightBatch {
+            shared,
+            ensemble,
+            epoch,
+            requests,
+            rows,
+        } = self;
+        // Serve workers beyond the first run their member passes inline:
+        // caller-level parallelism replaces pool fan-out, so concurrent
+        // batches don't contend for the worker pool.
+        let result = if shared.config.workers > 1 {
+            with_inline_dispatch(|| execute(&ensemble, &requests, rows))
+        } else {
+            execute(&ensemble, &requests, rows)
+        };
+        drop(ensemble); // drain signal: release before resolving callers
+        let completed_at = shared.clock.now();
+        let mut st = shared.state.lock().unwrap();
+        match result {
+            Ok((soft, classes)) => {
+                let k = soft.dims()[1];
+                let mut start = 0usize;
+                for p in requests {
+                    let n = p.rows;
+                    let mut chunk = Tensor::zeros(&[n, k]);
+                    chunk
+                        .data_mut()
+                        .copy_from_slice(&soft.data()[start * k..(start + n) * k]);
+                    let classes = classes[start..start + n].to_vec();
+                    start += n;
+                    st.stats.served_requests += 1;
+                    st.stats.served_rows += n as u64;
+                    p.slot.resolve(Ok(Prediction {
+                        soft_targets: chunk,
+                        classes,
+                        epoch,
+                        submitted_at: p.submitted_at,
+                        completed_at,
+                        batch_rows: rows,
+                    }));
+                }
+            }
+            Err(e) => {
+                for p in requests {
+                    st.stats.failed += 1;
+                    p.slot.resolve(Err(ServeError::Predict(e.clone())));
+                }
+            }
+        }
+    }
+}
+
+/// Concatenate-and-predict for one batch. Row independence of the
+/// underlying ops makes each row's result identical to a solo request.
+fn execute(
+    ensemble: &FrozenEnsemble,
+    requests: &[Pending],
+    rows: usize,
+) -> edde_core::Result<(Tensor, Vec<usize>)> {
+    let concat_storage;
+    let features: &Tensor = if requests.len() == 1 {
+        &requests[0].features
+    } else {
+        let mut dims = requests[0].features.dims().to_vec();
+        dims[0] = rows;
+        let mut out = Tensor::zeros(&dims);
+        let mut offset = 0usize;
+        for p in requests {
+            let data = p.features.data();
+            out.data_mut()[offset..offset + data.len()].copy_from_slice(data);
+            offset += data.len();
+        }
+        concat_storage = out;
+        &concat_storage
+    };
+    let soft = ensemble.soft_targets(features)?;
+    let classes = edde_tensor::ops::argmax_rows(&soft)?;
+    Ok((soft, classes))
+}
+
+/// Expire-then-coalesce under the state lock. Fires the fault plan's
+/// batch hook (which may advance a test clock) before the expiry check,
+/// so a scheduled stall deterministically expires queued deadlines.
+fn collect_batch(shared: &Arc<Shared>, st: &mut State) -> Option<InflightBatch> {
+    if st.queue.is_empty() {
+        return None;
+    }
+    shared.fault.on_batch_start(shared.clock.as_ref());
+    let now = shared.clock.now();
+    let max_rows = shared.config.max_batch_rows;
+    let mut requests = Vec::new();
+    let mut rows = 0usize;
+    while let Some(front) = st.queue.front() {
+        if front.deadline.is_some_and(|d| d <= now) {
+            let p = st.queue.pop_front().unwrap();
+            st.stats.expired_in_queue += 1;
+            p.slot.resolve(Err(ServeError::DeadlineExceeded {
+                stage: DeadlineStage::Dequeue,
+            }));
+            continue;
+        }
+        if !requests.is_empty() && rows + front.rows > max_rows {
+            break;
+        }
+        let p = st.queue.pop_front().unwrap();
+        rows += p.rows;
+        requests.push(p);
+        if rows >= max_rows {
+            break;
+        }
+    }
+    if requests.is_empty() {
+        return None;
+    }
+    st.stats.batches += 1;
+    Some(InflightBatch {
+        shared: Arc::clone(shared),
+        ensemble: Arc::clone(&st.ensemble),
+        epoch: st.epoch,
+        requests,
+        rows,
+    })
+}
+
+/// Worker drain loop: wait for work, optionally hold a coalescing window
+/// (skipped under pressure), collect, run. Exits when the core closes.
+fn worker_loop(shared: Arc<Shared>) {
+    loop {
+        let batch = {
+            let mut st = shared.state.lock().unwrap();
+            while st.queue.is_empty() && !st.closed {
+                st = shared.submitted.wait(st).unwrap();
+            }
+            if st.queue.is_empty() {
+                return; // closed and drained
+            }
+            let cfg = &shared.config;
+            let queued_rows: usize = st.queue.iter().map(|p| p.rows).sum();
+            let pressure = st.queue.len() as f64 / cfg.queue_capacity as f64;
+            if queued_rows < cfg.max_batch_rows
+                && cfg.batch_deadline > Duration::ZERO
+                && pressure < cfg.pressure_batch_cut
+            {
+                // Best-effort coalesce: one bounded wait for more rows.
+                // Under pressure the window collapses to zero — ship now.
+                let (guard, _) = shared
+                    .submitted
+                    .wait_timeout(st, cfg.batch_deadline)
+                    .unwrap();
+                st = guard;
+            }
+            collect_batch(&shared, &mut st)
+        };
+        if let Some(batch) = batch {
+            batch.run();
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! The serving error taxonomy.
+//!
+//! Every way a request can fail to produce a prediction is a distinct
+//! typed variant — the core never panics on load and never drops a
+//! request silently: a request that is admitted is resolved exactly once,
+//! with either a prediction or one of these errors.
+
+use edde_core::EnsembleError;
+use std::fmt;
+
+/// Relative urgency of a request, used by the admission-time shed tiers:
+/// under rising queue pressure the core sheds [`Priority::Low`] traffic
+/// first, then [`Priority::Normal`], keeping [`Priority::High`] admissible
+/// until the queue is actually full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum Priority {
+    /// Best-effort traffic; first to be shed under pressure.
+    Low,
+    /// Ordinary traffic.
+    #[default]
+    Normal,
+    /// Latency-critical traffic; only rejected when the queue is full.
+    High,
+}
+
+/// Where a request's deadline was found to be expired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeadlineStage {
+    /// Expired before the request entered the queue — rejected up front
+    /// rather than buffered as dead weight.
+    Admission,
+    /// Expired while queued — shed at dequeue instead of wasting batch
+    /// capacity on an answer the caller has stopped waiting for.
+    Dequeue,
+}
+
+/// Why a request (or a hot-swap) failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The bounded submission queue was full. Back off and retry; the
+    /// core never buffers beyond its configured capacity.
+    Overloaded {
+        /// Queue depth observed at rejection.
+        depth: usize,
+        /// Configured queue capacity.
+        capacity: usize,
+    },
+    /// The request's deadline had already passed at `stage`.
+    DeadlineExceeded {
+        /// Admission-time or dequeue-time expiry.
+        stage: DeadlineStage,
+    },
+    /// Shed by the graceful-degradation tiers: queue pressure crossed the
+    /// threshold for this priority class before the queue was full.
+    Shed {
+        /// The priority class the request was submitted with.
+        priority: Priority,
+    },
+    /// The request's feature rows do not match the shape this core is
+    /// serving (trailing dimensions must agree so requests can share a
+    /// batch).
+    ShapeMismatch {
+        /// Row shape (dims after the leading batch dim) the core serves.
+        expected: Vec<usize>,
+        /// Row shape of the rejected request.
+        got: Vec<usize>,
+    },
+    /// The core was shut down before the request could be served.
+    Closed,
+    /// The ensemble itself failed on the batch containing this request.
+    Predict(EnsembleError),
+    /// A hot-swap candidate was rejected (corrupt bundle, arch mismatch,
+    /// empty ensemble). The previously served ensemble is untouched.
+    SwapRejected(EnsembleError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Overloaded { depth, capacity } => {
+                write!(f, "overloaded: queue at {depth}/{capacity}")
+            }
+            ServeError::DeadlineExceeded { stage } => match stage {
+                DeadlineStage::Admission => write!(f, "deadline exceeded at admission"),
+                DeadlineStage::Dequeue => write!(f, "deadline exceeded in queue"),
+            },
+            ServeError::Shed { priority } => {
+                write!(f, "shed under pressure (priority {priority:?})")
+            }
+            ServeError::ShapeMismatch { expected, got } => {
+                write!(f, "row shape mismatch: serving {expected:?}, got {got:?}")
+            }
+            ServeError::Closed => write!(f, "serving core closed"),
+            ServeError::Predict(e) => write!(f, "prediction failed: {e}"),
+            ServeError::SwapRejected(e) => write!(f, "swap candidate rejected: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Predict(e) | ServeError::SwapRejected(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn priorities_order_low_to_high() {
+        assert!(Priority::Low < Priority::Normal);
+        assert!(Priority::Normal < Priority::High);
+        assert_eq!(Priority::default(), Priority::Normal);
+    }
+
+    #[test]
+    fn display_names_the_cause() {
+        let e = ServeError::Overloaded {
+            depth: 8,
+            capacity: 8,
+        };
+        assert!(e.to_string().contains("8/8"));
+        let d = ServeError::DeadlineExceeded {
+            stage: DeadlineStage::Dequeue,
+        };
+        assert!(d.to_string().contains("queue"));
+    }
+}

@@ -1,0 +1,83 @@
+//! Deterministic fault schedules for the serving core, in the same
+//! shared-atomic-plan style as [`edde_core::FaultPlan`]: a test builds a
+//! plan, hands a clone to the core, and the scheduled faults fire at
+//! exact batch indices — no sleeps, no timing races.
+
+use crate::clock::Clock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+#[derive(Default)]
+struct Inner {
+    /// batch index → how far to advance the core's clock before that
+    /// batch executes (models a slow member / stalled kernel).
+    slow_batches: Mutex<HashMap<u64, Duration>>,
+    batches_seen: AtomicU64,
+}
+
+/// A deterministic schedule of serving faults, shared between a test and
+/// the [`crate::ServeCore`] under test. Cloning shares the plan.
+#[derive(Clone, Default)]
+pub struct ServeFaultPlan {
+    inner: Arc<Inner>,
+}
+
+impl ServeFaultPlan {
+    /// An empty plan (no faults).
+    pub fn new() -> Self {
+        ServeFaultPlan::default()
+    }
+
+    /// Before batch number `index` (0-based, in execution order) runs,
+    /// advance the core's clock by `stall` — queued requests whose
+    /// deadlines fall inside the stall will be expired at dequeue.
+    pub fn slow_batch_at(self, index: u64, stall: Duration) -> Self {
+        self.inner.slow_batches.lock().unwrap().insert(index, stall);
+        self
+    }
+
+    /// Number of batches the core has started under this plan.
+    pub fn batches_seen(&self) -> u64 {
+        self.inner.batches_seen.load(Ordering::SeqCst)
+    }
+
+    /// Called by the core as each batch begins; applies any scheduled
+    /// stall to `clock`.
+    pub(crate) fn on_batch_start(&self, clock: &dyn Clock) {
+        let index = self.inner.batches_seen.fetch_add(1, Ordering::SeqCst);
+        if let Some(stall) = self.inner.slow_batches.lock().unwrap().get(&index) {
+            clock.advance(*stall);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::TestClock;
+
+    #[test]
+    fn stalls_fire_at_their_batch_index_only() {
+        let clock = TestClock::new();
+        let plan = ServeFaultPlan::new().slow_batch_at(1, Duration::from_millis(10));
+        plan.on_batch_start(&clock); // batch 0: no stall
+        assert_eq!(clock.now(), Duration::ZERO);
+        plan.on_batch_start(&clock); // batch 1: stall
+        assert_eq!(clock.now(), Duration::from_millis(10));
+        plan.on_batch_start(&clock); // batch 2: no stall
+        assert_eq!(clock.now(), Duration::from_millis(10));
+        assert_eq!(plan.batches_seen(), 3);
+    }
+
+    #[test]
+    fn clones_share_the_schedule() {
+        let plan = ServeFaultPlan::new();
+        let shared = plan.clone().slow_batch_at(0, Duration::from_secs(1));
+        let clock = TestClock::new();
+        plan.on_batch_start(&clock);
+        assert_eq!(clock.now(), Duration::from_secs(1));
+        assert_eq!(shared.batches_seen(), 1);
+    }
+}

@@ -1,0 +1,67 @@
+//! # edde-serve
+//!
+//! Overload-safe batched serving for frozen EDDE ensembles.
+//!
+//! [`ServeCore`] wraps an `Arc`-shared [`edde_core::FrozenEnsemble`]
+//! behind a **bounded** submission queue with explicit admission control:
+//!
+//! * requests past the configured capacity are rejected with
+//!   [`ServeError::Overloaded`] — the core never buffers unboundedly;
+//! * per-request deadlines are enforced at admission *and* at dequeue,
+//!   so expired work is shed before it wastes a batch slot;
+//! * under rising queue pressure the core degrades gracefully: first the
+//!   batching deadline collapses (ship immediately instead of waiting to
+//!   coalesce), then low- and normal-[`Priority`] traffic is shed with
+//!   typed errors — never a panic, never a silent drop;
+//! * queued requests are coalesced into dynamic micro-batches (up to
+//!   [`ServeConfig::max_batch_rows`] rows or the batching deadline,
+//!   whichever comes first), and every row's result is bit-identical to
+//!   a direct [`edde_core::FrozenEnsemble::predict`] call;
+//! * a new CRC-sealed `EEB1` bundle can be hot-swapped in atomically
+//!   ([`ServeCore::swap_bundle`]): the candidate is validated against
+//!   the live configuration, the epoch pointer flips under the lock,
+//!   in-flight batches drain on the old ensemble, and a corrupt or
+//!   incompatible candidate is rejected with the typed cause while the
+//!   old ensemble keeps serving.
+//!
+//! Determinism hooks — a manual drain mode ([`ServeConfig::manual`] +
+//! [`ServeCore::step`]), an injectable [`Clock`], and scheduled faults
+//! ([`ServeFaultPlan`]) — make overload, expiry, and swap scenarios
+//! exactly reproducible in tests, in the same style as
+//! [`edde_core::FaultPlan`].
+//!
+//! ```
+//! use edde_core::FrozenEnsemble;
+//! use edde_serve::{ServeConfig, ServeCore, SubmitOptions};
+//! use edde_tensor::Tensor;
+//! use std::sync::Arc;
+//! use std::time::Duration;
+//!
+//! let mut ensemble = FrozenEnsemble::new();
+//! # let mut r = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(7);
+//! # ensemble.push(Arc::new(edde_nn::models::mlp(&[4, 8, 3], 0.0, &mut r)), 1.0, "m0");
+//! let core = ServeCore::new(ensemble, ServeConfig::default());
+//! let handle = core
+//!     .submit(
+//!         Tensor::ones(&[2, 4]),
+//!         SubmitOptions::new().with_timeout(Duration::from_secs(1)),
+//!     )
+//!     .unwrap();
+//! let prediction = handle.wait().unwrap();
+//! assert_eq!(prediction.classes.len(), 2);
+//! ```
+
+pub mod clock;
+pub mod config;
+pub mod engine;
+pub mod error;
+pub mod fault;
+
+pub use clock::{Clock, MonotonicClock, TestClock};
+pub use config::ServeConfig;
+pub use engine::{
+    Handle, InflightBatch, Prediction, ServeCore, ServeStats, StepOutcome, SubmitOptions,
+    SwapReport,
+};
+pub use error::{DeadlineStage, Priority, ServeError};
+pub use fault::ServeFaultPlan;

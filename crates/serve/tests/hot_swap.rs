@@ -1,0 +1,182 @@
+//! Hot-swap protocol tests: epoch flips are atomic, in-flight batches
+//! drain on the bundle they were collected under (no interleaving), and
+//! corrupt or incompatible candidates are rejected with the typed cause
+//! while the old ensemble keeps serving uninterrupted.
+
+use edde_core::{BundleError, EnsembleError, FrozenEnsemble};
+use edde_nn::checkpoint::{self, CheckpointStore, MemStore};
+use edde_nn::models::mlp;
+use edde_nn::Network;
+use edde_serve::{ServeConfig, ServeCore, ServeError, ServeFaultPlan, SubmitOptions, TestClock};
+use edde_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+fn member(seed: u64, classes: usize) -> Network {
+    let mut r = StdRng::seed_from_u64(seed);
+    mlp(&[4, 8, classes], 0.0, &mut r)
+}
+
+fn frozen(seeds: &[u64], classes: usize) -> FrozenEnsemble {
+    let mut f = FrozenEnsemble::new();
+    for (i, &s) in seeds.iter().enumerate() {
+        f.push(Arc::new(member(s, classes)), 1.0, format!("m{i}"));
+    }
+    f
+}
+
+fn manual_core(seeds: &[u64]) -> ServeCore {
+    ServeCore::with_parts(
+        frozen(seeds, 3),
+        ServeConfig::manual(),
+        Arc::new(TestClock::new()),
+        ServeFaultPlan::new(),
+    )
+}
+
+fn x() -> Tensor {
+    Tensor::ones(&[2, 4])
+}
+
+#[test]
+fn swap_flips_epoch_and_serves_the_new_bundle() {
+    let core = manual_core(&[1, 2]);
+    let h = core.submit(x(), SubmitOptions::new()).unwrap();
+    core.step();
+    let before = h.wait().unwrap();
+    assert_eq!(before.epoch, 0);
+    assert_eq!(
+        before.soft_targets.data(),
+        frozen(&[1, 2], 3).soft_targets(&x()).unwrap().data()
+    );
+
+    let report = core.swap_in(frozen(&[3, 4], 3)).unwrap();
+    assert_eq!((report.old_epoch, report.new_epoch), (0, 1));
+    assert_eq!(core.epoch(), 1);
+    // Nothing was in flight: the old bundle drains immediately.
+    assert!(report.retired.upgrade().is_none());
+
+    let h = core.submit(x(), SubmitOptions::new()).unwrap();
+    core.step();
+    let after = h.wait().unwrap();
+    assert_eq!(after.epoch, 1);
+    assert_eq!(
+        after.soft_targets.data(),
+        frozen(&[3, 4], 3).soft_targets(&x()).unwrap().data()
+    );
+    assert_eq!(core.stats().swaps, 1);
+}
+
+#[test]
+fn inflight_batches_drain_on_the_old_bundle_without_interleaving() {
+    let core = manual_core(&[1, 2]);
+    let h_old = core.submit(x(), SubmitOptions::new()).unwrap();
+    // Collect the batch but hold it in flight across the swap.
+    let inflight = core.begin_batch().unwrap();
+    assert_eq!(inflight.epoch(), 0);
+
+    let report = core.swap_in(frozen(&[3, 4], 3)).unwrap();
+    // The in-flight batch pins the retired bundle: not drained yet.
+    assert!(report.retired.upgrade().is_some());
+
+    // New traffic is served on the new bundle while the old batch is
+    // still in flight — a swap never interrupts service.
+    let h_new = core.submit(x(), SubmitOptions::new()).unwrap();
+    core.step();
+    let new_pred = h_new.wait().unwrap();
+    assert_eq!(new_pred.epoch, 1);
+    assert_eq!(
+        new_pred.soft_targets.data(),
+        frozen(&[3, 4], 3).soft_targets(&x()).unwrap().data()
+    );
+
+    // The held batch completes wholly on the bundle it was collected
+    // under — epoch 0 results, no members mixed across bundles.
+    inflight.run();
+    let old_pred = h_old.wait().unwrap();
+    assert_eq!(old_pred.epoch, 0);
+    assert_eq!(
+        old_pred.soft_targets.data(),
+        frozen(&[1, 2], 3).soft_targets(&x()).unwrap().data()
+    );
+    // ... and only now is the retired bundle fully drained.
+    assert!(report.retired.upgrade().is_none());
+}
+
+#[test]
+fn rejected_candidates_leave_the_serving_pointer_untouched() {
+    let core = manual_core(&[1, 2]);
+    let reference = frozen(&[1, 2], 3);
+    let store = MemStore::new();
+    frozen(&[3, 4], 3).save_bundle(&store, "good").unwrap();
+    let good_payload = frozen(&[3, 4], 3).encode();
+    let build = |_: &str, _: usize| Ok(member(99, 3));
+
+    // An empty candidate is refused.
+    match core.swap_in(FrozenEnsemble::new()) {
+        Err(ServeError::SwapRejected(EnsembleError::EmptyEnsemble)) => {}
+        other => panic!("expected EmptyEnsemble rejection, got {other:?}"),
+    }
+    // A live candidate with the wrong class count is refused.
+    match core.swap_in(frozen(&[5], 2)) {
+        Err(ServeError::SwapRejected(EnsembleError::Bundle(BundleError::ArchMismatch {
+            expected,
+            got,
+            ..
+        }))) => assert_eq!((expected, got), (3, 2)),
+        other => panic!("expected ArchMismatch rejection, got {other:?}"),
+    }
+    // A corrupt bundle (bad magic inside a valid frame) is refused.
+    let mut bad_magic = good_payload.to_vec();
+    bad_magic[0] = b'X';
+    store
+        .put("bad-magic", &checkpoint::seal(&bad_magic))
+        .unwrap();
+    match core.swap_bundle(&store, "bad-magic", &build) {
+        Err(ServeError::SwapRejected(EnsembleError::Bundle(BundleError::BadMagic(_)))) => {}
+        other => panic!("expected BadMagic rejection, got {other:?}"),
+    }
+    // A torn frame (CRC failure) is refused before parsing.
+    let mut torn = store.get("good").unwrap().to_vec();
+    let mid = torn.len() / 2;
+    torn[mid] ^= 0x10;
+    store.put("torn", &torn).unwrap();
+    match core.swap_bundle(&store, "torn", &build) {
+        Err(ServeError::SwapRejected(e)) => {
+            assert!(e.to_string().contains("checksum"), "{e}");
+        }
+        other => panic!("expected checksum rejection, got {other:?}"),
+    }
+    // A truncated payload is refused.
+    store
+        .put(
+            "truncated",
+            &checkpoint::seal(&good_payload[..good_payload.len() - 7]),
+        )
+        .unwrap();
+    match core.swap_bundle(&store, "truncated", &build) {
+        Err(ServeError::SwapRejected(EnsembleError::Bundle(BundleError::Truncated(_)))) => {}
+        other => panic!("expected Truncated rejection, got {other:?}"),
+    }
+
+    // Through all five rejections the original ensemble kept serving,
+    // bit-identically, at the original epoch.
+    assert_eq!(core.epoch(), 0);
+    let stats = core.stats();
+    assert_eq!(stats.swaps, 0);
+    assert_eq!(stats.swaps_rejected, 5);
+    let h = core.submit(x(), SubmitOptions::new()).unwrap();
+    core.step();
+    let p = h.wait().unwrap();
+    assert_eq!(p.epoch, 0);
+    assert_eq!(
+        p.soft_targets.data(),
+        reference.soft_targets(&x()).unwrap().data()
+    );
+
+    // And the good bundle still swaps in cleanly afterwards.
+    let report = core.swap_bundle(&store, "good", &build).unwrap();
+    assert_eq!(report.new_epoch, 1);
+    assert_eq!(core.stats().swaps, 1);
+}

@@ -1,0 +1,339 @@
+//! Deterministic overload, deadline, shedding, and parity tests for the
+//! serving core. Everything here runs in manual-drain mode on a
+//! [`TestClock`] — no sleeps, no timing races — except the threaded
+//! smoke test at the end, which exercises the worker path the CI matrix
+//! varies via `EDDE_SERVE_WORKERS`.
+
+use edde_core::FrozenEnsemble;
+use edde_nn::models::mlp;
+use edde_nn::Network;
+use edde_serve::{
+    DeadlineStage, Priority, ServeConfig, ServeCore, ServeError, ServeFaultPlan, ServeStats,
+    StepOutcome, SubmitOptions, TestClock,
+};
+use edde_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn member(seed: u64) -> Network {
+    let mut r = StdRng::seed_from_u64(seed);
+    mlp(&[4, 8, 3], 0.0, &mut r)
+}
+
+fn frozen(seeds: &[u64]) -> FrozenEnsemble {
+    let mut f = FrozenEnsemble::new();
+    for (i, &s) in seeds.iter().enumerate() {
+        f.push(Arc::new(member(s)), 1.0 + i as f32 * 0.5, format!("m{i}"));
+    }
+    f
+}
+
+/// A distinct, reproducible feature tensor per tag.
+fn features(rows: usize, tag: u64) -> Tensor {
+    let mut t = Tensor::zeros(&[rows, 4]);
+    for (i, v) in t.data_mut().iter_mut().enumerate() {
+        *v = ((tag * 31 + i as u64) % 17) as f32 * 0.25 - 2.0;
+    }
+    t
+}
+
+fn manual_core(
+    queue_capacity: usize,
+    fault: ServeFaultPlan,
+) -> (ServeCore, Arc<TestClock>, FrozenEnsemble) {
+    let clock = Arc::new(TestClock::new());
+    let config = ServeConfig {
+        queue_capacity,
+        ..ServeConfig::manual()
+    };
+    let core = ServeCore::with_parts(frozen(&[1, 2]), config, clock.clone(), fault);
+    (core, clock, frozen(&[1, 2]))
+}
+
+/// The accounting identity that proves no silent drops.
+fn assert_lossless(stats: &ServeStats) {
+    assert_eq!(
+        stats.admitted,
+        stats.served_requests
+            + stats.expired_in_queue
+            + stats.failed
+            + stats.closed_unserved
+            + stats.depth,
+        "admitted requests leaked: {stats:?}"
+    );
+}
+
+#[test]
+fn overload_and_deadlines_are_typed_and_accepted_work_is_bit_identical() {
+    // Deterministic schedule: 4-deep queue, batch 0 stalls 10ms so the
+    // two 5ms-deadline requests expire at dequeue.
+    let plan = ServeFaultPlan::new().slow_batch_at(0, Duration::from_millis(10));
+    let (core, _clock, reference) = manual_core(4, plan);
+
+    let h_expire_a = core
+        .submit(
+            features(1, 0),
+            SubmitOptions::new().with_timeout(Duration::from_millis(5)),
+        )
+        .unwrap();
+    let h_keep_b = core.submit(features(2, 1), SubmitOptions::new()).unwrap();
+    let h_keep_c = core
+        .submit(
+            features(1, 2),
+            SubmitOptions::new().with_timeout(Duration::from_millis(20)),
+        )
+        .unwrap();
+    let h_expire_d = core
+        .submit(
+            features(1, 3),
+            SubmitOptions::new().with_timeout(Duration::from_millis(5)),
+        )
+        .unwrap();
+
+    // Queue is now full: admission control rejects, it never buffers.
+    match core.submit(features(1, 4), SubmitOptions::new()) {
+        Err(ServeError::Overloaded { depth, capacity }) => {
+            assert_eq!((depth, capacity), (4, 4));
+        }
+        other => panic!("expected Overloaded, got {other:?}"),
+    }
+    // An already-expired deadline is refused up front.
+    match core.submit(
+        features(1, 5),
+        SubmitOptions::new().with_deadline(Duration::ZERO),
+    ) {
+        Err(ServeError::DeadlineExceeded {
+            stage: DeadlineStage::Admission,
+        }) => {}
+        other => panic!("expected admission DeadlineExceeded, got {other:?}"),
+    }
+
+    // One drain pass: the stall fires, expired work is shed before the
+    // batch, the two live requests ride one batch.
+    match core.step() {
+        StepOutcome::Served { requests, rows } => {
+            assert_eq!(requests, 2);
+            assert_eq!(rows, 3);
+        }
+        other => panic!("expected a served batch, got {other:?}"),
+    }
+
+    for h in [h_expire_a, h_expire_d] {
+        match h.wait() {
+            Err(ServeError::DeadlineExceeded {
+                stage: DeadlineStage::Dequeue,
+            }) => {}
+            other => panic!("expected dequeue DeadlineExceeded, got {other:?}"),
+        }
+    }
+    // Accepted requests are bit-identical to direct FrozenEnsemble calls.
+    for (h, feats) in [(h_keep_b, features(2, 1)), (h_keep_c, features(1, 2))] {
+        let p = h.wait().unwrap();
+        assert_eq!(p.epoch, 0);
+        assert_eq!(p.batch_rows, 3);
+        assert_eq!(
+            p.soft_targets.data(),
+            reference.soft_targets(&feats).unwrap().data()
+        );
+        assert_eq!(p.classes, reference.predict(&feats).unwrap());
+    }
+
+    let stats = core.stats();
+    assert_eq!(stats.admitted, 4);
+    assert_eq!(stats.served_requests, 2);
+    assert_eq!(stats.expired_in_queue, 2);
+    assert_eq!(stats.rejected_overloaded, 1);
+    assert_eq!(stats.rejected_deadline, 1);
+    assert_eq!(stats.depth, 0);
+    assert_lossless(&stats);
+}
+
+#[test]
+fn coalescing_packs_whole_requests_up_to_max_batch_rows() {
+    let clock = Arc::new(TestClock::new());
+    let config = ServeConfig {
+        queue_capacity: 16,
+        max_batch_rows: 4,
+        ..ServeConfig::manual()
+    };
+    let core = ServeCore::with_parts(frozen(&[1, 2]), config, clock, ServeFaultPlan::new());
+    let reference = frozen(&[1, 2]);
+
+    let handles: Vec<_> = [(2usize, 10u64), (2, 11), (1, 12)]
+        .iter()
+        .map(|&(rows, tag)| {
+            core.submit(features(rows, tag), SubmitOptions::new())
+                .unwrap()
+        })
+        .collect();
+
+    // First batch packs 2+2 rows; the third request won't split or
+    // overflow, so it rides the next batch alone.
+    assert_eq!(
+        core.step(),
+        StepOutcome::Served {
+            requests: 2,
+            rows: 4
+        }
+    );
+    assert_eq!(
+        core.step(),
+        StepOutcome::Served {
+            requests: 1,
+            rows: 1
+        }
+    );
+    assert_eq!(core.step(), StepOutcome::Idle);
+
+    for (h, (rows, tag)) in handles.into_iter().zip([(2usize, 10u64), (2, 11), (1, 12)]) {
+        let p = h.wait().unwrap();
+        let feats = features(rows, tag);
+        assert_eq!(
+            p.soft_targets.data(),
+            reference.soft_targets(&feats).unwrap().data()
+        );
+    }
+    assert_lossless(&core.stats());
+}
+
+#[test]
+fn shed_tiers_degrade_by_priority_before_the_queue_fills() {
+    let (core, _clock, _) = manual_core(20, ServeFaultPlan::new());
+    // Fill to depth 15 = 75% pressure.
+    for i in 0..15 {
+        core.submit(features(1, i), SubmitOptions::new()).unwrap();
+    }
+    // Low is shed at 75%, Normal and High still pass.
+    match core.submit(
+        features(1, 100),
+        SubmitOptions::new().with_priority(Priority::Low),
+    ) {
+        Err(ServeError::Shed {
+            priority: Priority::Low,
+        }) => {}
+        other => panic!("expected Low shed, got {other:?}"),
+    }
+    for i in 15..18 {
+        core.submit(features(1, i), SubmitOptions::new()).unwrap();
+    }
+    // Depth 18 = 90% pressure: Normal is shed too; High still passes.
+    match core.submit(features(1, 101), SubmitOptions::new()) {
+        Err(ServeError::Shed {
+            priority: Priority::Normal,
+        }) => {}
+        other => panic!("expected Normal shed, got {other:?}"),
+    }
+    core.submit(
+        features(1, 102),
+        SubmitOptions::new().with_priority(Priority::High),
+    )
+    .unwrap();
+    core.submit(
+        features(1, 103),
+        SubmitOptions::new().with_priority(Priority::High),
+    )
+    .unwrap();
+    // Queue full: even High is refused, with Overloaded not Shed.
+    match core.submit(
+        features(1, 104),
+        SubmitOptions::new().with_priority(Priority::High),
+    ) {
+        Err(ServeError::Overloaded { .. }) => {}
+        other => panic!("expected Overloaded, got {other:?}"),
+    }
+    let stats = core.stats();
+    assert_eq!(stats.shed, 2);
+    assert_eq!(stats.rejected_overloaded, 1);
+    assert_eq!(stats.admitted, 20);
+    while core.step() != StepOutcome::Idle {}
+    assert_lossless(&core.stats());
+}
+
+#[test]
+fn mismatched_row_shapes_are_rejected_typed() {
+    let (core, _clock, _) = manual_core(8, ServeFaultPlan::new());
+    core.submit(features(1, 0), SubmitOptions::new()).unwrap();
+    match core.submit(Tensor::ones(&[1, 5]), SubmitOptions::new()) {
+        Err(ServeError::ShapeMismatch { expected, got }) => {
+            assert_eq!(expected, vec![4]);
+            assert_eq!(got, vec![5]);
+        }
+        other => panic!("expected ShapeMismatch, got {other:?}"),
+    }
+    // Rank-1 and zero-row tensors can't join any batch.
+    assert!(matches!(
+        core.submit(Tensor::ones(&[4]), SubmitOptions::new()),
+        Err(ServeError::ShapeMismatch { .. })
+    ));
+    assert!(matches!(
+        core.submit(Tensor::zeros(&[0, 4]), SubmitOptions::new()),
+        Err(ServeError::ShapeMismatch { .. })
+    ));
+    core.step();
+    assert_eq!(core.stats().rejected_shape, 3);
+}
+
+#[test]
+fn close_resolves_queued_requests_with_typed_closed() {
+    let (core, _clock, _) = manual_core(8, ServeFaultPlan::new());
+    let h1 = core.submit(features(1, 0), SubmitOptions::new()).unwrap();
+    let h2 = core.submit(features(1, 1), SubmitOptions::new()).unwrap();
+    core.close();
+    assert!(matches!(h1.wait(), Err(ServeError::Closed)));
+    assert!(matches!(h2.wait(), Err(ServeError::Closed)));
+    assert!(matches!(
+        core.submit(features(1, 2), SubmitOptions::new()),
+        Err(ServeError::Closed)
+    ));
+    let stats = core.stats();
+    assert_eq!(stats.closed_unserved, 2);
+    assert_lossless(&stats);
+}
+
+#[test]
+fn threaded_workers_serve_identical_results() {
+    // Worker count comes from the environment so the CI matrix
+    // (EDDE_SERVE_WORKERS = 1 and 8) exercises both the pooled and the
+    // inline-dispatch execution paths.
+    let config = ServeConfig {
+        queue_capacity: 64,
+        max_batch_rows: 8,
+        batch_deadline: Duration::from_micros(200),
+        ..ServeConfig::from_env()
+    };
+    let workers = config.workers;
+    assert!(workers >= 1, "threaded test needs at least one worker");
+    let core = ServeCore::new(frozen(&[1, 2, 3]), config);
+    let reference = frozen(&[1, 2, 3]);
+
+    let handles: Vec<_> = (0..24)
+        .map(|tag| {
+            let rows = 1 + (tag as usize % 3);
+            (
+                rows,
+                tag,
+                core.submit(
+                    features(rows, tag),
+                    SubmitOptions::new().with_timeout(Duration::from_secs(30)),
+                )
+                .unwrap(),
+            )
+        })
+        .collect();
+    for (rows, tag, h) in handles {
+        let p = h.wait().unwrap();
+        let feats = features(rows, tag);
+        assert_eq!(
+            p.soft_targets.data(),
+            reference.soft_targets(&feats).unwrap().data(),
+            "row results must not depend on batching or worker count"
+        );
+        assert_eq!(p.classes, reference.predict(&feats).unwrap());
+    }
+    let stats = core.stats();
+    assert_eq!(stats.served_requests, 24);
+    assert_lossless(&stats);
+    core.close();
+}

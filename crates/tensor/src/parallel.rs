@@ -202,6 +202,28 @@ pub fn workers_spawned_total() -> usize {
     POOL.get().map_or(0, |p| p.spawned.load(Ordering::Relaxed))
 }
 
+/// Runs `f` with every nested parallel dispatch forced inline on the
+/// calling thread, restoring the previous mode afterwards (panic-safe).
+///
+/// This is the integration point for *caller-level* parallelism layered
+/// above the tensor pool: when several application threads (e.g. the
+/// serving core's batch workers) each run whole tensor pipelines
+/// concurrently, letting every one of them also fan out over the shared
+/// pool only adds dispatch contention. Marking the thread in-worker makes
+/// its tensor ops run serially inline — trading op-level for
+/// caller-level parallelism, exactly like the pool's own nested-dispatch
+/// rule — while results stay bit-identical by the determinism contract.
+pub fn with_inline_dispatch<R>(f: impl FnOnce() -> R) -> R {
+    struct Restore(bool);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            IN_WORKER.with(|w| w.set(self.0));
+        }
+    }
+    let _restore = Restore(IN_WORKER.with(|w| w.replace(true)));
+    f()
+}
+
 /// Runs `f(0)`, `f(1)`, …, `f(total - 1)` across the persistent pool,
 /// blocking until all calls complete. The calls must be independent: each
 /// writes only state the others don't touch. Scheduling order is
@@ -514,6 +536,27 @@ mod tests {
         let out = parallel_map(&items, |i, &item| i * 100 + item);
         set_num_threads(0);
         assert_eq!(out, (0..50).map(|i| i * 101).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn inline_dispatch_covers_all_indices_and_restores() {
+        let _g = override_guard();
+        set_num_threads(4);
+        let spawned_before = workers_spawned_total();
+        let hits: Vec<AtomicUsize> = (0..32).map(|_| AtomicUsize::new(0)).collect();
+        with_inline_dispatch(|| {
+            run_chunks(32, |i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        for (i, h) in hits.iter().enumerate() {
+            assert_eq!(h.load(Ordering::Relaxed), 1, "index {i}");
+        }
+        // Inline mode must not have spawned pool workers on our behalf.
+        assert_eq!(workers_spawned_total(), spawned_before);
+        // The previous mode is restored: this dispatch may use the pool.
+        assert!(!IN_WORKER.with(|w| w.get()));
+        set_num_threads(0);
     }
 
     #[test]

@@ -24,6 +24,7 @@ LABEL=""
 while [[ $# -gt 0 ]]; do
     case "$1" in
     --offline)
+        [[ -f /tmp/stubs/patch.toml ]] || scripts/offline_stubs.sh
         CARGO=(cargo --config /tmp/stubs/patch.toml --offline)
         export CARGO_NET_OFFLINE=true
         ;;

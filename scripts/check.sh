@@ -19,6 +19,9 @@ CLIPPY=(cargo clippy --workspace --all-targets -- -D warnings)
 SKIP_ARGS=()
 if [[ "${1:-}" == "--offline" ]]; then
     OFFLINE=true
+    # /tmp is ephemeral: regenerate the stub crates from their in-repo
+    # sources (scripts/offline-stubs/) whenever they are missing.
+    [[ -f /tmp/stubs/patch.toml ]] || scripts/offline_stubs.sh
     CARGO=(cargo --config /tmp/stubs/patch.toml --offline)
     export CARGO_NET_OFFLINE=true
     # `cargo clippy` re-invokes cargo without forwarding --config, so the

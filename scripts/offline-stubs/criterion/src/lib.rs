@@ -1,0 +1,119 @@
+//! Offline stub for `criterion` (see DESIGN.md, "Offline verification").
+//!
+//! Compiles the workspace's `harness = false` bench targets without
+//! crates.io. Each registered bench routine is executed once, so a stub
+//! `cargo bench` run still smoke-tests the bench bodies, but no timing or
+//! statistics are produced.
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` reuses setup values (ignored by the stub).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Stub measurement driver: runs each routine once.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn sample_size(self, _n: usize) -> Self {
+        self
+    }
+
+    pub fn measurement_time(self, _d: std::time::Duration) -> Self {
+        self
+    }
+
+    pub fn bench_function<I: std::fmt::Display, F: FnMut(&mut Bencher)>(&mut self, id: I, mut f: F) -> &mut Self {
+        eprintln!("stub-criterion: {id}");
+        let mut b = Bencher {};
+        f(&mut b);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        eprintln!("stub-criterion group: {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// Stub benchmark group.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<I: std::fmt::Display, F: FnMut(&mut Bencher)>(&mut self, id: I, mut f: F) -> &mut Self {
+        eprintln!("stub-criterion: {}/{id}", self.name);
+        let mut b = Bencher {};
+        f(&mut b);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Stub bencher: executes the routine a single time.
+pub struct Bencher {}
+
+impl Bencher {
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine());
+    }
+
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        black_box(routine(setup()));
+    }
+
+    pub fn iter_batched_ref<I, O, S: FnMut() -> I, R: FnMut(&mut I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        let mut input = setup();
+        black_box(routine(&mut input));
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $config;
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,27 @@
+//! Offline stub for `serde` (see DESIGN.md, "Offline verification").
+//!
+//! The workspace only uses serde as derive-position trait bounds (no
+//! serializer crate is in the dependency set), so the stub traits are
+//! marker-only and blanket-implemented; the re-exported derives expand to
+//! nothing.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+impl<'de, T> Deserialize<'de> for T {}
+
+pub mod de {
+    /// Marker stand-in for `serde::de::DeserializeOwned`.
+    pub trait DeserializeOwned {}
+    impl<T> DeserializeOwned for T {}
+}
+
+pub mod ser {
+    pub use crate::Serialize;
+}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Materializes the offline dependency stubs into /tmp/stubs.
+#
+# The dev container has no crates.io access; `scripts/check.sh --offline`
+# and `scripts/bench.sh --offline` patch the dependency graph to these
+# API-compatible stub crates (see DESIGN.md, "Offline verification").
+# /tmp is ephemeral, so the stub sources are kept in-repo under
+# scripts/offline-stubs/ and copied out here; re-running is idempotent.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+DEST="${1:-/tmp/stubs}"
+mkdir -p "$DEST"
+for crate in rand bytes serde serde_derive proptest criterion; do
+    rm -rf "${DEST:?}/$crate"
+    cp -r "scripts/offline-stubs/$crate" "$DEST/$crate"
+done
+
+cat >"$DEST/patch.toml" <<EOF
+[patch.crates-io]
+rand = { path = "$DEST/rand" }
+bytes = { path = "$DEST/bytes" }
+serde = { path = "$DEST/serde" }
+serde_derive = { path = "$DEST/serde_derive" }
+proptest = { path = "$DEST/proptest" }
+criterion = { path = "$DEST/criterion" }
+EOF
+
+echo "materialized offline stubs at $DEST"

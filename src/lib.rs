@@ -4,7 +4,7 @@
 //! Ensemble for Deep Neural Networks* (Zhang, Jiang, Shao, Cui; ICDE 2020)
 //! rebuilt from scratch in Rust.
 //!
-//! The workspace is split into four layers, re-exported here:
+//! The workspace is split into five layers, re-exported here:
 //!
 //! * [`tensor`] (`edde-tensor`) — dense `f32` tensors, parallel matmul,
 //!   im2col convolution;
@@ -15,7 +15,10 @@
 //! * [`core`] (`edde-core`) — EDDE itself (Algorithm 1) plus the Single
 //!   Model, Bagging, AdaBoost.M1, AdaBoost.NC, Snapshot, and BANs
 //!   baselines, with the diversity measure (Eq. 2/3/7), β-knowledge
-//!   transfer, and bias/variance analysis.
+//!   transfer, and bias/variance analysis;
+//! * [`serve`] (`edde-serve`) — overload-safe batched serving on a
+//!   frozen ensemble: bounded admission queue, per-request deadlines,
+//!   pressure-tiered load shedding, and atomic bundle hot-swap.
 //!
 //! Long runs are fault tolerant: the trainer rolls back and retries on
 //! divergence ([`core::recovery::RecoveryPolicy`]), checkpoints are
@@ -59,6 +62,7 @@
 pub use edde_core as core;
 pub use edde_data as data;
 pub use edde_nn as nn;
+pub use edde_serve as serve;
 pub use edde_tensor as tensor;
 
 /// One-stop imports for examples and downstream users.
@@ -74,6 +78,7 @@ pub mod prelude {
     pub use edde_core::transfer::{
         beta_probe, select_beta, transfer_partial, BetaProbeConfig, BetaProbePoint,
     };
+    pub use edde_core::{env_usize, BundleError};
     pub use edde_core::{
         epoch_seed, eval_batch, EnsembleMember, EnsembleModel, EpochCheckpoints, ExperimentEnv,
         FaultPlan, FaultyStore, FrozenEnsemble, FrozenMember, LossSpec, MemberProgress,
@@ -91,5 +96,8 @@ pub mod prelude {
     };
     pub use edde_nn::optim::{LrSchedule, Sgd};
     pub use edde_nn::{Mode, Network};
+    pub use edde_serve::{
+        Priority, ServeConfig, ServeCore, ServeError, ServeFaultPlan, SubmitOptions,
+    };
     pub use edde_tensor::Tensor;
 }
