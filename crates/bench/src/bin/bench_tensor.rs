@@ -185,7 +185,115 @@ fn run_suite(iters: usize) -> Vec<(String, f64)> {
         });
         results.push((format!("ensemble_infer_cloned_t{threads}"), ms));
     }
+
+    // -- int8 serving: native quantized members through the same frozen
+    // path. The int8 rows must stay at or below the f32 `ensemble_infer_*`
+    // rows above: the quantized forward trades two f32 gemms for an i8
+    // quantize + i8×i8→i32 gemm + scalar epilogue, and never dequantizes
+    // weights back to f32.
+    let quantized = std::sync::Arc::new(frozen.quantize().unwrap());
+    for threads in [1usize, 8] {
+        set_num_threads(threads);
+        let ms = time_min_ms(iters, || {
+            black_box(quantized.soft_targets(black_box(&feats)).unwrap());
+        });
+        eprintln!(
+            "  ensemble_infer_int8_t{threads}: {:.0} samples/s",
+            512.0 * 1e3 / ms
+        );
+        results.push((format!("ensemble_infer_int8_t{threads}"), ms));
+    }
     set_num_threads(8);
+
+    // -- bundle codec chains: encode/decode wall time and wire size for
+    // the 4×(64→256→10) ensemble above. `eeb1-f32` is the legacy
+    // uncompressed writer; the other rows are EEB2 with each preset
+    // chain. Decode goes through the real load path (builder + import
+    // for float chains, native int8 members for the quantized chain).
+    {
+        use edde_core::BundleCodec;
+        let build = |_: &str, _: usize| -> edde_core::Result<edde_nn::Network> {
+            let mut r = StdRng::seed_from_u64(0);
+            Ok(edde_nn::models::mlp(&[64, 256, 10], 0.0, &mut r))
+        };
+        let chains: [(&str, Option<BundleCodec>); 4] = [
+            ("eeb1-f32", None),
+            ("f32", Some(BundleCodec::f32())),
+            ("f16", Some(BundleCodec::f16())),
+            ("int8", Some(BundleCodec::int8())),
+        ];
+        for (tag, codec) in chains {
+            let encode = || match &codec {
+                None => frozen.encode_v1().unwrap(),
+                Some(c) => frozen.encode_with(c).unwrap(),
+            };
+            let payload = encode();
+            results.push((format!("bundle_bytes_{tag}"), payload.len() as f64));
+            let ms = time_min_ms(iters, || {
+                black_box(encode());
+            });
+            results.push((format!("bundle_encode_ms_{tag}"), ms));
+            let ms = time_min_ms(iters, || {
+                black_box(
+                    edde_core::FrozenEnsemble::decode(black_box(payload.clone()), &build).unwrap(),
+                );
+            });
+            eprintln!("  bundle {tag}: {} bytes, decode {ms:.2} ms", payload.len());
+            results.push((format!("bundle_decode_ms_{tag}"), ms));
+        }
+    }
+
+    // -- table2-style precision sweep: lineup accuracy across codec
+    // chains. One trained ensemble, re-read through each bundle chain, so
+    // the deltas isolate what the codec costs the vote — the int8 row
+    // executes natively through the quantized gemm, not dequantized. The
+    // acceptance bar is an int8 delta within 1 accuracy point of f32.
+    {
+        use edde_core::BundleCodec;
+        use edde_data::synth::{gaussian_blobs, GaussianBlobsConfig};
+        let data = gaussian_blobs(
+            &GaussianBlobsConfig {
+                classes: 4,
+                dim: 16,
+                train_per_class: 200,
+                test_per_class: 300,
+                spread: 2.4,
+            },
+            7,
+        );
+        let factory: edde_core::ModelFactory =
+            std::sync::Arc::new(|r| Ok(edde_nn::models::mlp(&[16, 64, 4], 0.0, r)));
+        let env = edde_core::ExperimentEnv::new(
+            data,
+            factory,
+            edde_core::Trainer {
+                batch_size: 16,
+                weight_decay: 0.0,
+                ..edde_core::Trainer::default()
+            },
+            0.1,
+            7,
+        );
+        let run = edde_core::methods::Bagging::new(4, 4).run(&env).unwrap();
+        let frozen = run.model.freeze();
+        let acc_f32 = f64::from(frozen.accuracy(&env.data.test).unwrap()) * 100.0;
+        eprintln!("  table2_mlp_acc_f32: {acc_f32:.2}%");
+        results.push(("table2_mlp_acc_f32_pct".into(), acc_f32));
+        let build = |_: &str, _: usize| -> edde_core::Result<edde_nn::Network> {
+            let mut r = StdRng::seed_from_u64(0);
+            Ok(edde_nn::models::mlp(&[16, 64, 4], 0.0, &mut r))
+        };
+        for (tag, codec) in [("f16", BundleCodec::f16()), ("int8", BundleCodec::int8())] {
+            let payload = frozen.encode_with(&codec).unwrap();
+            let rt = edde_core::FrozenEnsemble::decode(payload, &build).unwrap();
+            let acc = f64::from(rt.accuracy(&env.data.test).unwrap()) * 100.0;
+            eprintln!(
+                "  table2_mlp_acc_{tag}: {acc:.2}% (delta {:.2} pt)",
+                acc_f32 - acc
+            );
+            results.push((format!("table2_mlp_acc_{tag}_delta_pt"), acc_f32 - acc));
+        }
+    }
 
     // -- independent-member training: sequential vs concurrent members --
     // Same 8-thread budget both ways; the sequential run spends it inside

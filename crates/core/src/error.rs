@@ -1,6 +1,7 @@
 //! Error type for ensemble training.
 
 use edde_nn::NnError;
+use edde_tensor::codec::CodecError;
 use edde_tensor::TensorError;
 use std::fmt;
 
@@ -55,9 +56,41 @@ pub enum BundleError {
         /// Class count actually produced.
         got: usize,
     },
+    /// A hot-swap candidate's member count (and therefore its `α` weight
+    /// vector length) differs from the live serving configuration —
+    /// rejected before any member state is decoded.
+    MemberCountMismatch {
+        /// Member count the live configuration requires.
+        expected: usize,
+        /// Member count the candidate carries.
+        got: usize,
+    },
+    /// A tensor payload failed its codec chain on decode (bit-flip inside
+    /// a compressed stream, truncated stage header, unknown stage id, an
+    /// unusable int8 scale, ...). `stage` names the stage that rejected
+    /// it; `error` is the precise typed cause.
+    Codec {
+        /// Name of the tensor whose payload was rejected.
+        tensor: String,
+        /// Codec stage that rejected the payload.
+        stage: &'static str,
+        /// The underlying codec rejection.
+        error: CodecError,
+    },
     /// A member payload failed to decode (bad UTF-8, malformed tensor
     /// block, ...).
     Payload(String),
+}
+
+impl BundleError {
+    /// Wraps a codec rejection for `tensor` with its stage recorded.
+    pub fn codec(tensor: impl Into<String>, error: CodecError) -> Self {
+        BundleError::Codec {
+            tensor: tensor.into(),
+            stage: error.stage(),
+            error,
+        }
+    }
 }
 
 impl fmt::Display for BundleError {
@@ -74,6 +107,15 @@ impl fmt::Display for BundleError {
                 f,
                 "arch mismatch for {arch:?}: expected {expected} classes, got {got}"
             ),
+            BundleError::MemberCountMismatch { expected, got } => write!(
+                f,
+                "member count mismatch: live configuration has {expected} members, candidate has {got}"
+            ),
+            BundleError::Codec {
+                tensor,
+                stage,
+                error,
+            } => write!(f, "codec rejection in {stage} stage for {tensor:?}: {error}"),
             BundleError::Payload(msg) => write!(f, "bad payload: {msg}"),
         }
     }

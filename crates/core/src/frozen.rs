@@ -6,36 +6,99 @@
 //! [`Network::forward`] pass through a per-thread [`InferCtx`], and
 //! [`FrozenEnsemble`] is the `Arc`-shared serving form of a trained
 //! ensemble: members, ensemble weights `α_t`, and labels, with Eq. 16
-//! soft voting fanned out over the worker pool.
+//! soft voting fanned out over the worker pool. A member is either a
+//! float [`Network`] or a natively-quantized [`QuantizedMlp`] — int8
+//! bundles serve on the integer kernel without dequantizing to f32.
 //!
 //! Results are bit-identical to the mutable training-stack path at every
 //! thread count and on every SIMD backend: member passes are independent,
 //! and the α-weighted reduction runs serially in member order.
 //!
-//! A frozen ensemble also round-trips through a CRC-sealed `EEB1` bundle
-//! ([`FrozenEnsemble::save_bundle`]/[`FrozenEnsemble::load_bundle`]), so a
-//! finished [`crate::runstate::RunSession`] can be frozen from its
-//! checkpoint store ([`FrozenEnsemble::freeze_run`]) and served without
-//! any trainer code — the loader needs only an architecture builder.
+//! A frozen ensemble also round-trips through a CRC-sealed bundle
+//! ([`FrozenEnsemble::save_bundle`]/[`FrozenEnsemble::load_bundle`]).
+//! The current format is `EEB2`: each tensor travels through a
+//! self-describing [`edde_tensor::codec`] chain (f32, f16, or symmetric
+//! int8, optionally compressed), selected per bundle with a
+//! [`BundleCodec`] via [`FrozenEnsemble::save_bundle_with`]. Legacy
+//! `EEB1` bundles still load bit-identically; both formats share the
+//! 12-byte `magic/version/member-count` header, so
+//! [`FrozenEnsemble::peek_member_count`] can vet a hot-swap candidate
+//! before any member state is decoded.
 
 use crate::error::{BundleError, EnsembleError, Result};
+use crate::quant::{QuantizedDense, QuantizedMlp};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use edde_data::Dataset;
 use edde_nn::checkpoint::{self, CheckpointStore};
 use edde_nn::infer::{with_thread_ctx, InferCtx};
 use edde_nn::metrics::accuracy;
 use edde_nn::Network;
+use edde_tensor::codec as tcodec;
+use edde_tensor::codec::{CodecChain, DecodedTensor};
 use edde_tensor::ops::softmax_rows_in_place;
 use edde_tensor::parallel::parallel_map;
 use edde_tensor::Tensor;
 use std::sync::Arc;
 
-/// Bundle payload magic (the payload is additionally sealed in an `EDC2`
-/// checksummed frame, like the `EDM2` run manifest).
-const BUNDLE_MAGIC: &[u8; 4] = b"EEB1";
+/// Legacy bundle payload magic (raw `EDT1` member blobs).
+const BUNDLE_MAGIC_V1: &[u8; 4] = b"EEB1";
+
+/// Current bundle payload magic (per-tensor codec chains). The payload is
+/// additionally sealed in an `EDC2` checksummed frame, like the `EDM2`
+/// run manifest.
+const BUNDLE_MAGIC: &[u8; 4] = b"EEB2";
+
+/// Version accepted under the `EEB1` magic.
+const BUNDLE_VERSION_V1: u32 = 1;
 
 /// Current bundle format version.
-const BUNDLE_VERSION: u32 = 1;
+const BUNDLE_VERSION: u32 = 2;
+
+/// Upper bound on a stored tensor's rank — corruption guard, comfortably
+/// above anything the layer zoo produces.
+const MAX_ENTRY_RANK: usize = 8;
+
+/// The shared batching envelope behind every soft-target path: score
+/// `features` in batches of [`crate::env::eval_batch`] rows through
+/// `forward`, divide logits by `tau`, softmax. Batching never affects
+/// results; all scratch comes from `ctx`.
+fn batched_soft_targets(
+    forward: &mut dyn FnMut(&Tensor, &mut InferCtx) -> Result<Tensor>,
+    k: usize,
+    features: &Tensor,
+    tau: f32,
+    ctx: &mut InferCtx,
+) -> Result<Tensor> {
+    let dims = features.dims().to_vec();
+    let n = dims[0];
+    let row: usize = dims[1..].iter().product();
+    let batch = crate::env::eval_batch();
+    let mut out = Tensor::zeros(&[n, k]);
+    let mut start = 0usize;
+    while start < n {
+        let end = (start + batch).min(n);
+        let mut bdims = dims.clone();
+        bdims[0] = end - start;
+        let mut chunk = ctx.alloc(&bdims);
+        chunk
+            .data_mut()
+            .copy_from_slice(&features.data()[start * row..end * row]);
+        let mut logits = forward(&chunk, ctx)?;
+        ctx.recycle(chunk);
+        // z/1.0 == z bitwise, so skipping the scale at tau = 1 keeps the
+        // temperature path and the plain path on identical arithmetic.
+        if tau != 1.0 {
+            for z in logits.data_mut() {
+                *z /= tau;
+            }
+        }
+        softmax_rows_in_place(&mut logits)?;
+        out.data_mut()[start * k..end * k].copy_from_slice(logits.data());
+        ctx.recycle(logits);
+        start = end;
+    }
+    Ok(out)
+}
 
 /// Batched eval-mode softmax of one network at temperature `tau`, on the
 /// pure forward path.
@@ -52,36 +115,13 @@ pub fn network_soft_targets_tau(
     tau: f32,
     ctx: &mut InferCtx,
 ) -> Result<Tensor> {
-    let dims = features.dims().to_vec();
-    let n = dims[0];
-    let row: usize = dims[1..].iter().product();
-    let k = net.num_classes();
-    let batch = crate::env::eval_batch();
-    let mut out = Tensor::zeros(&[n, k]);
-    let mut start = 0usize;
-    while start < n {
-        let end = (start + batch).min(n);
-        let mut bdims = dims.clone();
-        bdims[0] = end - start;
-        let mut chunk = ctx.alloc(&bdims);
-        chunk
-            .data_mut()
-            .copy_from_slice(&features.data()[start * row..end * row]);
-        let mut logits = net.forward(&chunk, ctx)?;
-        ctx.recycle(chunk);
-        // z/1.0 == z bitwise, so skipping the scale at tau = 1 keeps the
-        // temperature path and the plain path on identical arithmetic.
-        if tau != 1.0 {
-            for z in logits.data_mut() {
-                *z /= tau;
-            }
-        }
-        softmax_rows_in_place(&mut logits)?;
-        out.data_mut()[start * k..end * k].copy_from_slice(logits.data());
-        ctx.recycle(logits);
-        start = end;
-    }
-    Ok(out)
+    batched_soft_targets(
+        &mut |chunk, ctx| Ok(net.forward(chunk, ctx)?),
+        net.num_classes(),
+        features,
+        tau,
+        ctx,
+    )
 }
 
 /// Every member's soft-target matrix, fanned out over the worker pool with
@@ -126,27 +166,75 @@ pub(crate) fn weighted_soft_vote(
     alpha_weighted_average(fan_out_soft_targets(nets, features), alphas)
 }
 
+/// The serving form of one member: float, or natively int8.
+#[derive(Clone)]
+enum MemberNet {
+    F32(Arc<Network>),
+    Int8(Arc<QuantizedMlp>),
+}
+
 /// One frozen base model with its ensemble weight `α_t`.
 #[derive(Clone)]
 pub struct FrozenMember {
-    network: Arc<Network>,
+    net: MemberNet,
     alpha: f32,
     label: String,
 }
 
 impl FrozenMember {
-    /// Wraps an already-shared network.
+    /// Wraps an already-shared float network.
     pub fn new(network: Arc<Network>, alpha: f32, label: impl Into<String>) -> Self {
         FrozenMember {
-            network,
+            net: MemberNet::F32(network),
             alpha,
             label: label.into(),
         }
     }
 
-    /// The member network.
-    pub fn network(&self) -> &Network {
-        &self.network
+    /// Wraps an already-shared quantized member.
+    pub fn new_quantized(q: Arc<QuantizedMlp>, alpha: f32, label: impl Into<String>) -> Self {
+        FrozenMember {
+            net: MemberNet::Int8(q),
+            alpha,
+            label: label.into(),
+        }
+    }
+
+    /// The float network, or `None` for a quantized member.
+    pub fn network(&self) -> Option<&Network> {
+        match &self.net {
+            MemberNet::F32(net) => Some(net),
+            MemberNet::Int8(_) => None,
+        }
+    }
+
+    /// The quantized form, or `None` for a float member.
+    pub fn quantized(&self) -> Option<&QuantizedMlp> {
+        match &self.net {
+            MemberNet::F32(_) => None,
+            MemberNet::Int8(q) => Some(q),
+        }
+    }
+
+    /// True when the member serves natively in int8.
+    pub fn is_quantized(&self) -> bool {
+        matches!(self.net, MemberNet::Int8(_))
+    }
+
+    /// Architecture tag, e.g. `"mlp-3"`.
+    pub fn arch(&self) -> &str {
+        match &self.net {
+            MemberNet::F32(net) => net.arch(),
+            MemberNet::Int8(q) => q.arch(),
+        }
+    }
+
+    /// Output class count.
+    pub fn num_classes(&self) -> usize {
+        match &self.net {
+            MemberNet::F32(net) => net.num_classes(),
+            MemberNet::Int8(q) => q.num_classes(),
+        }
     }
 
     /// Ensemble weight `α_t`.
@@ -158,6 +246,27 @@ impl FrozenMember {
     pub fn label(&self) -> &str {
         &self.label
     }
+
+    /// This member's batched soft targets at temperature `tau` — the same
+    /// envelope as [`network_soft_targets_tau`], on the float or the
+    /// native int8 forward depending on the member's form.
+    pub fn soft_targets_tau(
+        &self,
+        features: &Tensor,
+        tau: f32,
+        ctx: &mut InferCtx,
+    ) -> Result<Tensor> {
+        match &self.net {
+            MemberNet::F32(net) => network_soft_targets_tau(net, features, tau, ctx),
+            MemberNet::Int8(q) => batched_soft_targets(
+                &mut |chunk, ctx| q.forward(chunk, ctx),
+                q.num_classes(),
+                features,
+                tau,
+                ctx,
+            ),
+        }
+    }
 }
 
 impl std::fmt::Debug for FrozenMember {
@@ -165,8 +274,62 @@ impl std::fmt::Debug for FrozenMember {
         f.debug_struct("FrozenMember")
             .field("label", &self.label)
             .field("alpha", &self.alpha)
-            .field("arch", &self.network.arch())
+            .field("arch", &self.arch())
+            .field("quantized", &self.is_quantized())
             .finish_non_exhaustive()
+    }
+}
+
+/// Per-bundle codec selection for [`FrozenEnsemble::save_bundle_with`]:
+/// one [`CodecChain`] for weight matrices (rank ≥ 2) and one for vectors
+/// (biases and other rank ≤ 1 state, which are tiny and precision-
+/// sensitive, so the presets keep them exact f32).
+#[derive(Debug, Clone)]
+pub struct BundleCodec {
+    /// Chain applied to rank ≥ 2 tensors (the weight matrices).
+    pub weights: CodecChain,
+    /// Chain applied to rank ≤ 1 tensors (biases, running statistics).
+    pub vectors: CodecChain,
+}
+
+impl BundleCodec {
+    /// Exact f32 everywhere, no compression — the default.
+    pub fn f32() -> Self {
+        BundleCodec {
+            weights: CodecChain::f32(),
+            vectors: CodecChain::f32(),
+        }
+    }
+
+    /// Half-precision weights with delta+bitpack and LZ compression;
+    /// vectors stay exact f32.
+    pub fn f16() -> Self {
+        BundleCodec {
+            weights: CodecChain::f16(),
+            vectors: CodecChain::f32(),
+        }
+    }
+
+    /// Symmetric int8 weights with delta+bitpack and LZ compression;
+    /// vectors stay exact f32. Bundles written this way load back as
+    /// natively-quantized members.
+    pub fn int8() -> Self {
+        BundleCodec {
+            weights: CodecChain::int8(),
+            vectors: CodecChain::f32(),
+        }
+    }
+
+    /// Short tag of the weights chain, e.g. `"int8+dbp+lz"` — used in
+    /// bench rows and logs.
+    pub fn tag(&self) -> String {
+        self.weights.tag()
+    }
+}
+
+impl Default for BundleCodec {
+    fn default() -> Self {
+        BundleCodec::f32()
     }
 }
 
@@ -194,9 +357,15 @@ impl FrozenEnsemble {
         }
     }
 
-    /// Adds a member.
+    /// Adds a float member.
     pub fn push(&mut self, network: Arc<Network>, alpha: f32, label: impl Into<String>) {
         self.members.push(FrozenMember::new(network, alpha, label));
+    }
+
+    /// Adds a natively-quantized member.
+    pub fn push_quantized(&mut self, q: Arc<QuantizedMlp>, alpha: f32, label: impl Into<String>) {
+        self.members
+            .push(FrozenMember::new_quantized(q, alpha, label));
     }
 
     /// Number of members.
@@ -219,7 +388,7 @@ impl FrozenEnsemble {
     /// α-reduce requires identical output shapes), so this is the live
     /// serving configuration a hot-swap candidate must match.
     pub fn num_classes(&self) -> Option<usize> {
-        self.members.first().map(|m| m.network.num_classes())
+        self.members.first().map(|m| m.num_classes())
     }
 
     /// `(arch tag, class count)` per member, in member order — a cheap
@@ -227,23 +396,50 @@ impl FrozenEnsemble {
     pub fn arch_signature(&self) -> Vec<(String, usize)> {
         self.members
             .iter()
-            .map(|m| (m.network.arch().to_string(), m.network.num_classes()))
+            .map(|m| (m.arch().to_string(), m.num_classes()))
             .collect()
     }
 
+    /// A quantized copy of the ensemble: every float member converted to
+    /// its native int8 serving form (already-quantized members carry over
+    /// unchanged), with `α_t` and labels preserved.
+    pub fn quantize(&self) -> Result<FrozenEnsemble> {
+        let mut out = FrozenEnsemble::new();
+        for m in &self.members {
+            match &m.net {
+                MemberNet::F32(net) => out.push_quantized(
+                    Arc::new(QuantizedMlp::from_network(net)?),
+                    m.alpha,
+                    m.label.clone(),
+                ),
+                MemberNet::Int8(_) => out.members.push(m.clone()),
+            }
+        }
+        Ok(out)
+    }
+
     /// Validates `candidate` as a hot-swap replacement for `self`: it must
-    /// be non-empty and agree on the output class count (callers' request
-    /// and response shapes must keep working across the swap). Returns the
-    /// typed [`BundleError::ArchMismatch`] describing the first offending
-    /// member, so a rejected candidate can be reported without touching
-    /// the live ensemble.
+    /// be non-empty, carry the same member count (the live `α` vector and
+    /// per-member routing assume it), and agree on the output class count
+    /// (callers' request and response shapes must keep working across the
+    /// swap). Each rejection is a distinct typed error
+    /// ([`BundleError::MemberCountMismatch`], [`BundleError::ArchMismatch`])
+    /// so a rejected candidate can be reported without touching the live
+    /// ensemble. An empty live ensemble accepts any non-empty candidate.
     pub fn validate_swap(&self, candidate: &FrozenEnsemble) -> Result<()> {
         if candidate.is_empty() {
             return Err(EnsembleError::EmptyEnsemble);
         }
+        if !self.is_empty() && self.len() != candidate.len() {
+            return Err(BundleError::MemberCountMismatch {
+                expected: self.len(),
+                got: candidate.len(),
+            }
+            .into());
+        }
         match (self.num_classes(), candidate.num_classes()) {
             (Some(expected), Some(got)) if expected != got => {
-                let arch = candidate.members[0].network.arch().to_string();
+                let arch = candidate.members[0].arch().to_string();
                 Err(BundleError::ArchMismatch {
                     arch,
                     expected,
@@ -279,12 +475,12 @@ impl FrozenEnsemble {
         if prefix == 0 || prefix > self.members.len() {
             return Err(EnsembleError::EmptyEnsemble);
         }
-        let nets: Vec<&Network> = self.members[..prefix]
-            .iter()
-            .map(|m| m.network.as_ref())
-            .collect();
-        let alphas: Vec<f32> = self.members[..prefix].iter().map(|m| m.alpha).collect();
-        weighted_soft_vote(&nets, &alphas, features)
+        let members = &self.members[..prefix];
+        let alphas: Vec<f32> = members.iter().map(|m| m.alpha).collect();
+        let probs = parallel_map(members, |_, m| {
+            with_thread_ctx(|ctx| m.soft_targets_tau(features, 1.0, ctx))
+        });
+        alpha_weighted_average(probs, &alphas)
     }
 
     /// Ensemble soft target `H_T(x)` over all members.
@@ -317,9 +513,7 @@ impl FrozenEnsemble {
         }
         let m = self.members.len();
         let accs = parallel_map(&self.members, |_, member| -> Result<f32> {
-            let probs = with_thread_ctx(|ctx| {
-                network_soft_targets_tau(member.network(), data.features(), 1.0, ctx)
-            })?;
+            let probs = with_thread_ctx(|ctx| member.soft_targets_tau(data.features(), 1.0, ctx))?;
             Ok(accuracy(&probs, data.labels())?)
         });
         let mut total = 0.0f32;
@@ -331,15 +525,27 @@ impl FrozenEnsemble {
 
     /// Each member's soft-target matrix on `features`.
     pub fn member_soft_targets(&self, features: &Tensor) -> Result<Vec<Tensor>> {
-        let nets: Vec<&Network> = self.members.iter().map(|m| m.network.as_ref()).collect();
-        fan_out_soft_targets(&nets, features).into_iter().collect()
+        parallel_map(&self.members, |_, m| {
+            with_thread_ctx(|ctx| m.soft_targets_tau(features, 1.0, ctx))
+        })
+        .into_iter()
+        .collect()
     }
 
-    /// Serializes the ensemble into an unsealed `EEB1` payload: per member,
-    /// label, `α_t`, architecture tag, class count, and the full
-    /// parameter-and-buffer state ([`Network::export_state`] via the same
-    /// wire format checkpoints use).
+    /// Serializes the ensemble into an unsealed `EEB2` payload with the
+    /// exact-f32 codec (no compression) — the infallible default.
     pub fn encode(&self) -> Bytes {
+        self.encode_with(&BundleCodec::f32())
+            .expect("f32 codec chain cannot reject finite or non-finite input")
+    }
+
+    /// Serializes the ensemble into an unsealed `EEB2` payload: per
+    /// member, label, `α_t`, architecture tag, class count, and one
+    /// self-describing codec-chain stream per state tensor. Quantized
+    /// members always write their weights as the int8 they already hold
+    /// (byte-exact, only `codec`'s compression stages apply); float
+    /// members go through `codec`'s full chains.
+    pub fn encode_with(&self, codec: &BundleCodec) -> Result<Bytes> {
         let mut buf = BytesMut::new();
         buf.put_slice(BUNDLE_MAGIC);
         buf.put_u32_le(BUNDLE_VERSION);
@@ -347,82 +553,128 @@ impl FrozenEnsemble {
         for m in &self.members {
             put_str(&mut buf, &m.label);
             buf.put_f32_le(m.alpha);
-            put_str(&mut buf, m.network.arch());
-            buf.put_u32_le(m.network.num_classes() as u32);
-            let blob = edde_tensor::serialize::encode_params(&m.network.export_state());
+            put_str(&mut buf, m.arch());
+            buf.put_u32_le(m.num_classes() as u32);
+            match &m.net {
+                MemberNet::F32(net) => encode_entries_f32(net, codec, &mut buf)?,
+                MemberNet::Int8(q) => encode_entries_q8(q, codec, &mut buf)?,
+            }
+        }
+        Ok(buf.freeze())
+    }
+
+    /// Serializes the ensemble into the legacy `EEB1` payload (raw `EDT1`
+    /// member blobs) — byte-identical to what pre-`EEB2` writers
+    /// produced, kept for fixtures and downgrade paths. Quantized members
+    /// have no f32 state to write, so they are rejected.
+    pub fn encode_v1(&self) -> Result<Bytes> {
+        let mut buf = BytesMut::new();
+        buf.put_slice(BUNDLE_MAGIC_V1);
+        buf.put_u32_le(BUNDLE_VERSION_V1);
+        buf.put_u32_le(self.members.len() as u32);
+        for m in &self.members {
+            let MemberNet::F32(net) = &m.net else {
+                return Err(EnsembleError::BadConfig(format!(
+                    "member {:?} is quantized and has no EEB1 form",
+                    m.label
+                )));
+            };
+            put_str(&mut buf, &m.label);
+            buf.put_f32_le(m.alpha);
+            put_str(&mut buf, net.arch());
+            buf.put_u32_le(net.num_classes() as u32);
+            let blob = edde_tensor::serialize::encode_params(&net.export_state());
             buf.put_u64_le(blob.len() as u64);
             buf.put_slice(&blob);
         }
-        buf.freeze()
+        Ok(buf.freeze())
     }
 
-    /// Deserializes an `EEB1` payload. `build` constructs a fresh network
-    /// for an `(arch, num_classes)` pair — the one piece of model code a
-    /// serving process needs; everything else comes from the bundle.
+    /// Reads only the shared 12-byte header of an unsealed payload and
+    /// returns the member count — enough for a serving process to reject
+    /// a structurally incompatible hot-swap candidate before spending any
+    /// decode work on member state. Accepts both `EEB1` and `EEB2`.
+    pub fn peek_member_count(payload: &[u8]) -> Result<usize> {
+        if payload.len() < 12 {
+            return Err(BundleError::Truncated("header").into());
+        }
+        let magic: [u8; 4] = payload[0..4].try_into().expect("4-byte slice");
+        let version = u32::from_le_bytes(payload[4..8].try_into().expect("4-byte slice"));
+        match (&magic, version) {
+            (BUNDLE_MAGIC_V1, BUNDLE_VERSION_V1) | (BUNDLE_MAGIC, BUNDLE_VERSION) => {
+                Ok(u32::from_le_bytes(payload[8..12].try_into().expect("4-byte slice")) as usize)
+            }
+            (BUNDLE_MAGIC_V1, v) | (BUNDLE_MAGIC, v) => {
+                Err(BundleError::UnsupportedVersion(v).into())
+            }
+            _ => Err(BundleError::BadMagic(magic).into()),
+        }
+    }
+
+    /// Deserializes a bundle payload (`EEB2`, or legacy `EEB1`). `build`
+    /// constructs a fresh network for an `(arch, num_classes)` pair — the
+    /// one piece of model code a serving process needs; everything else
+    /// comes from the bundle. An `EEB2` member whose weight matrices are
+    /// all int8 loads as a natively-quantized member without calling
+    /// `build` at all.
     ///
     /// Every rejection path returns a distinct [`BundleError`] variant
     /// (wrapped in [`EnsembleError::Bundle`]): wrong magic, unsupported
-    /// version, truncation at any field, a malformed member payload, or a
-    /// builder whose network does not match the recorded class count.
+    /// version, truncation at any field, a codec-chain rejection
+    /// ([`BundleError::Codec`] with the offending tensor and stage), a
+    /// malformed member payload, or a builder whose network does not
+    /// match the recorded class count.
     pub fn decode(mut buf: Bytes, build: &dyn Fn(&str, usize) -> Result<Network>) -> Result<Self> {
         if buf.remaining() < 12 {
             return Err(BundleError::Truncated("header").into());
         }
         let mut magic = [0u8; 4];
         buf.copy_to_slice(&mut magic);
-        if &magic != BUNDLE_MAGIC {
-            return Err(BundleError::BadMagic(magic).into());
-        }
         let version = buf.get_u32_le();
-        if version != BUNDLE_VERSION {
-            return Err(BundleError::UnsupportedVersion(version).into());
-        }
+        let v2 = match (&magic, version) {
+            (BUNDLE_MAGIC_V1, BUNDLE_VERSION_V1) => false,
+            (BUNDLE_MAGIC, BUNDLE_VERSION) => true,
+            (BUNDLE_MAGIC_V1, v) | (BUNDLE_MAGIC, v) => {
+                return Err(BundleError::UnsupportedVersion(v).into())
+            }
+            _ => return Err(BundleError::BadMagic(magic).into()),
+        };
         let count = buf.get_u32_le() as usize;
         let mut frozen = FrozenEnsemble::new();
         for _ in 0..count {
-            let label = get_str(&mut buf, "member label")?;
-            if buf.remaining() < 4 {
-                return Err(BundleError::Truncated("member weight").into());
+            if v2 {
+                decode_member_v2(&mut buf, build, &mut frozen)?;
+            } else {
+                decode_member_v1(&mut buf, build, &mut frozen)?;
             }
-            let alpha = buf.get_f32_le();
-            let arch = get_str(&mut buf, "member arch tag")?;
-            if buf.remaining() < 12 {
-                return Err(BundleError::Truncated("member header").into());
-            }
-            let num_classes = buf.get_u32_le() as usize;
-            let blob_len = buf.get_u64_le() as usize;
-            if buf.remaining() < blob_len {
-                return Err(BundleError::Truncated("member state").into());
-            }
-            let blob = buf.slice(..blob_len);
-            buf = buf.slice(blob_len..);
-            let state = edde_tensor::serialize::decode_params(blob)
-                .map_err(|e| BundleError::Payload(format!("member state: {e}")))?;
-            let mut net = build(&arch, num_classes)?;
-            if net.num_classes() != num_classes {
-                return Err(BundleError::ArchMismatch {
-                    arch,
-                    expected: num_classes,
-                    got: net.num_classes(),
-                }
-                .into());
-            }
-            net.import_state(&state)?;
-            frozen.push(Arc::new(net), alpha, label);
         }
         Ok(frozen)
     }
 
-    /// Writes the ensemble into a store under `key`, sealed in a
-    /// checksummed `EDC2` frame — a torn or bit-flipped bundle is rejected
-    /// on load rather than served.
+    /// Writes the ensemble into a store under `key` with the default
+    /// exact-f32 codec, sealed in a checksummed `EDC2` frame — a torn or
+    /// bit-flipped bundle is rejected on load rather than served.
     pub fn save_bundle(&self, store: &dyn CheckpointStore, key: &str) -> Result<()> {
         store.put(key, &checkpoint::seal(&self.encode()))?;
         Ok(())
     }
 
+    /// Like [`FrozenEnsemble::save_bundle`], but with an explicit
+    /// [`BundleCodec`] — e.g. [`BundleCodec::int8`] for a compressed
+    /// quantized bundle that loads back onto the native int8 kernels.
+    pub fn save_bundle_with(
+        &self,
+        store: &dyn CheckpointStore,
+        key: &str,
+        codec: &BundleCodec,
+    ) -> Result<()> {
+        store.put(key, &checkpoint::seal(&self.encode_with(codec)?))?;
+        Ok(())
+    }
+
     /// Loads a sealed bundle previously written by
-    /// [`FrozenEnsemble::save_bundle`], verifying the frame checksum.
+    /// [`FrozenEnsemble::save_bundle`] (either format version), verifying
+    /// the frame checksum.
     pub fn load_bundle(
         store: &dyn CheckpointStore,
         key: &str,
@@ -431,6 +683,251 @@ impl FrozenEnsemble {
         let payload = checkpoint::unseal(store.get(key)?)?;
         Self::decode(payload, build)
     }
+}
+
+/// Writes a float member's state as `EEB2` codec-chain entries.
+fn encode_entries_f32(net: &Network, codec: &BundleCodec, buf: &mut BytesMut) -> Result<()> {
+    let state = net.export_state();
+    buf.put_u32_le(state.len() as u32);
+    for (name, t) in &state {
+        let chain = if t.dims().len() >= 2 {
+            &codec.weights
+        } else {
+            &codec.vectors
+        };
+        let coded =
+            tcodec::encode(t.data(), chain).map_err(|e| BundleError::codec(name.clone(), e))?;
+        put_entry_header(buf, name, t.dims(), coded.len());
+        buf.put_slice(&coded);
+    }
+    Ok(())
+}
+
+/// Writes a quantized member's state as `EEB2` entries: the int8 weights
+/// pass through byte-exactly (only the weights chain's compression stages
+/// apply — re-quantizing already-quantized values would compound error),
+/// biases go through the vectors chain.
+fn encode_entries_q8(q: &QuantizedMlp, codec: &BundleCodec, buf: &mut BytesMut) -> Result<()> {
+    buf.put_u32_le((q.layers().len() * 2) as u32);
+    for (i, layer) in q.layers().iter().enumerate() {
+        let wname = format!("fc{i}.weight");
+        let coded = tcodec::encode_q8(layer.weight_q(), layer.weight_scale(), &codec.weights.bytes)
+            .map_err(|e| BundleError::codec(wname.clone(), e))?;
+        put_entry_header(
+            buf,
+            &wname,
+            &[layer.in_features(), layer.out_features()],
+            coded.len(),
+        );
+        buf.put_slice(&coded);
+        let bname = format!("fc{i}.bias");
+        let coded = tcodec::encode(layer.bias(), &codec.vectors)
+            .map_err(|e| BundleError::codec(bname.clone(), e))?;
+        put_entry_header(buf, &bname, &[layer.out_features()], coded.len());
+        buf.put_slice(&coded);
+    }
+    Ok(())
+}
+
+fn put_entry_header(buf: &mut BytesMut, name: &str, dims: &[usize], coded_len: usize) {
+    put_str(buf, name);
+    buf.put_u32_le(dims.len() as u32);
+    for &d in dims {
+        buf.put_u64_le(d as u64);
+    }
+    buf.put_u64_le(coded_len as u64);
+}
+
+/// Decodes one legacy `EEB1` member (raw `EDT1` blob) into `frozen` —
+/// byte-identical semantics to the original v1 reader.
+fn decode_member_v1(
+    buf: &mut Bytes,
+    build: &dyn Fn(&str, usize) -> Result<Network>,
+    frozen: &mut FrozenEnsemble,
+) -> Result<()> {
+    let label = get_str(buf, "member label")?;
+    if buf.remaining() < 4 {
+        return Err(BundleError::Truncated("member weight").into());
+    }
+    let alpha = buf.get_f32_le();
+    let arch = get_str(buf, "member arch tag")?;
+    if buf.remaining() < 12 {
+        return Err(BundleError::Truncated("member header").into());
+    }
+    let num_classes = buf.get_u32_le() as usize;
+    let blob_len = buf.get_u64_le() as usize;
+    if buf.remaining() < blob_len {
+        return Err(BundleError::Truncated("member state").into());
+    }
+    let blob = buf.slice(..blob_len);
+    *buf = buf.slice(blob_len..);
+    let state = edde_tensor::serialize::decode_params(blob)
+        .map_err(|e| BundleError::Payload(format!("member state: {e}")))?;
+    let mut net = build(&arch, num_classes)?;
+    if net.num_classes() != num_classes {
+        return Err(BundleError::ArchMismatch {
+            arch,
+            expected: num_classes,
+            got: net.num_classes(),
+        }
+        .into());
+    }
+    net.import_state(&state)?;
+    frozen.push(Arc::new(net), alpha, label);
+    Ok(())
+}
+
+/// Decodes one `EEB2` member into `frozen`, choosing the native int8 form
+/// when every weight matrix arrived quantized.
+fn decode_member_v2(
+    buf: &mut Bytes,
+    build: &dyn Fn(&str, usize) -> Result<Network>,
+    frozen: &mut FrozenEnsemble,
+) -> Result<()> {
+    let label = get_str(buf, "member label")?;
+    if buf.remaining() < 4 {
+        return Err(BundleError::Truncated("member weight").into());
+    }
+    let alpha = buf.get_f32_le();
+    let arch = get_str(buf, "member arch tag")?;
+    if buf.remaining() < 8 {
+        return Err(BundleError::Truncated("member header").into());
+    }
+    let num_classes = buf.get_u32_le() as usize;
+    let entry_count = buf.get_u32_le() as usize;
+    let mut entries: Vec<(String, Vec<usize>, DecodedTensor)> = Vec::with_capacity(entry_count);
+    for _ in 0..entry_count {
+        let name = get_str(buf, "entry name")?;
+        if buf.remaining() < 4 {
+            return Err(BundleError::Truncated("entry rank").into());
+        }
+        let rank = buf.get_u32_le() as usize;
+        if rank > MAX_ENTRY_RANK {
+            return Err(BundleError::Payload(format!(
+                "entry {name:?}: rank {rank} exceeds the format limit"
+            ))
+            .into());
+        }
+        if buf.remaining() < rank * 8 {
+            return Err(BundleError::Truncated("entry dims").into());
+        }
+        let dims: Vec<usize> = (0..rank).map(|_| buf.get_u64_le() as usize).collect();
+        if buf.remaining() < 8 {
+            return Err(BundleError::Truncated("entry length").into());
+        }
+        let coded_len = buf.get_u64_le() as usize;
+        if buf.remaining() < coded_len {
+            return Err(BundleError::Truncated("entry payload").into());
+        }
+        let coded = buf.slice(..coded_len);
+        *buf = buf.slice(coded_len..);
+        let decoded = tcodec::decode(&coded).map_err(|e| BundleError::codec(name.clone(), e))?;
+        let expect: usize = dims.iter().product();
+        if decoded.len() != expect {
+            return Err(BundleError::Payload(format!(
+                "entry {name:?}: {} decoded values for dims {dims:?}",
+                decoded.len()
+            ))
+            .into());
+        }
+        entries.push((name, dims, decoded));
+    }
+    let has_matrix = entries.iter().any(|(_, d, _)| d.len() >= 2);
+    let all_matrices_int8 = entries
+        .iter()
+        .filter(|(_, d, _)| d.len() >= 2)
+        .all(|(_, _, v)| matches!(v, DecodedTensor::Int8 { .. }));
+    if arch.starts_with("mlp-") && has_matrix && all_matrices_int8 {
+        let q = quantized_from_entries(&arch, num_classes, entries)?;
+        frozen.push_quantized(Arc::new(q), alpha, label);
+    } else {
+        let mut state = Vec::with_capacity(entries.len());
+        for (name, dims, decoded) in entries {
+            state.push((name, Tensor::from_vec(decoded.into_f32(), &dims)?));
+        }
+        let mut net = build(&arch, num_classes)?;
+        if net.num_classes() != num_classes {
+            return Err(BundleError::ArchMismatch {
+                arch,
+                expected: num_classes,
+                got: net.num_classes(),
+            }
+            .into());
+        }
+        net.import_state(&state)?;
+        frozen.push(Arc::new(net), alpha, label);
+    }
+    Ok(())
+}
+
+/// Assembles a natively-quantized MLP from decoded `EEB2` entries: the
+/// `fc{i}.weight` (int8) / `fc{i}.bias` sequence, every entry accounted
+/// for.
+fn quantized_from_entries(
+    arch: &str,
+    num_classes: usize,
+    entries: Vec<(String, Vec<usize>, DecodedTensor)>,
+) -> Result<QuantizedMlp> {
+    let total = entries.len();
+    let mut entries: Vec<Option<(String, Vec<usize>, DecodedTensor)>> =
+        entries.into_iter().map(Some).collect();
+    let mut take = |name: &str| -> Option<(Vec<usize>, DecodedTensor)> {
+        entries
+            .iter_mut()
+            .find(|e| matches!(e, Some((n, _, _)) if n == name))
+            .and_then(|e| e.take())
+            .map(|(_, d, v)| (d, v))
+    };
+    let mut layers = Vec::new();
+    let mut used = 0usize;
+    let mut i = 0usize;
+    loop {
+        let wname = format!("fc{i}.weight");
+        let Some((wdims, wval)) = take(&wname) else {
+            break;
+        };
+        let bname = format!("fc{i}.bias");
+        let Some((bdims, bval)) = take(&bname) else {
+            return Err(BundleError::Payload(format!("quantized member missing {bname:?}")).into());
+        };
+        used += 2;
+        if wdims.len() != 2 || bdims.len() != 1 || bdims[0] != wdims[1] {
+            return Err(BundleError::Payload(format!(
+                "quantized member {wname:?}/{bname:?} shapes do not chain"
+            ))
+            .into());
+        }
+        let DecodedTensor::Int8 { q, scale } = wval else {
+            return Err(
+                BundleError::Payload(format!("quantized member {wname:?} is not int8")).into(),
+            );
+        };
+        layers.push(QuantizedDense::new(
+            q,
+            scale,
+            bval.into_f32(),
+            wdims[0],
+            wdims[1],
+        )?);
+        i += 1;
+    }
+    if used != total {
+        return Err(BundleError::Payload(format!(
+            "quantized member has {} entries outside the fc{{i}} sequence",
+            total - used
+        ))
+        .into());
+    }
+    let qm = QuantizedMlp::from_parts(arch, layers)?;
+    if qm.num_classes() != num_classes {
+        return Err(BundleError::ArchMismatch {
+            arch: arch.to_string(),
+            expected: num_classes,
+            got: qm.num_classes(),
+        }
+        .into());
+    }
+    Ok(qm)
 }
 
 fn put_str(buf: &mut BytesMut, s: &str) {
@@ -483,9 +980,10 @@ mod tests {
             assert!((s - 1.0).abs() < 1e-5);
         }
         let first = f.soft_targets_prefix(&x, 1).unwrap();
-        let solo =
-            with_thread_ctx(|ctx| network_soft_targets_tau(f.members()[0].network(), &x, 1.0, ctx))
-                .unwrap();
+        let solo = with_thread_ctx(|ctx| {
+            network_soft_targets_tau(f.members()[0].network().unwrap(), &x, 1.0, ctx)
+        })
+        .unwrap();
         // same weighted-reduce arithmetic the vote applies to one member
         assert_eq!(first.data(), solo.map(|v| (v * 1.5) / 1.5).data());
         assert_eq!(f.predict(&x).unwrap().len(), 5);
@@ -515,6 +1013,103 @@ mod tests {
             back.soft_targets(&x).unwrap().data(),
             f.soft_targets(&x).unwrap().data()
         );
+    }
+
+    #[test]
+    fn legacy_eeb1_payload_round_trips_bit_exactly() {
+        let f = frozen_pair();
+        let payload = f.encode_v1().unwrap();
+        assert_eq!(&payload[0..4], b"EEB1");
+        let back = FrozenEnsemble::decode(payload.clone(), &|_, _| Ok(member(99))).unwrap();
+        let x = Tensor::ones(&[3, 4]);
+        assert_eq!(
+            back.soft_targets(&x).unwrap().data(),
+            f.soft_targets(&x).unwrap().data()
+        );
+        // a v1 re-encode of the decoded ensemble reproduces the bytes
+        assert_eq!(back.encode_v1().unwrap(), payload);
+    }
+
+    #[test]
+    fn int8_bundle_loads_natively_quantized_and_is_much_smaller() {
+        // big enough that tensor payloads dominate the fixed headers
+        let mut f = FrozenEnsemble::new();
+        for seed in [1u64, 2] {
+            let mut r = StdRng::seed_from_u64(seed);
+            f.push(
+                Arc::new(mlp(&[32, 48, 3], 0.0, &mut r)),
+                1.0,
+                format!("m{seed}"),
+            );
+        }
+        let store = MemStore::new();
+        f.save_bundle_with(&store, "q", &BundleCodec::int8())
+            .unwrap();
+        f.save_bundle(&store, "f").unwrap();
+        let qlen = store.get("q").unwrap().len();
+        let flen = store.get("f").unwrap().len();
+        assert!(
+            (qlen as f64) < (flen as f64) / 3.0,
+            "int8 bundle {qlen}B vs f32 {flen}B"
+        );
+        // build must never be called: the member loads in native int8 form
+        let back = FrozenEnsemble::load_bundle(&store, "q", &|_, _| {
+            panic!("native quantized load must not build a float network")
+        })
+        .unwrap();
+        assert!(back.members().iter().all(|m| m.is_quantized()));
+        assert_eq!(back.num_classes(), Some(3));
+        let x = Tensor::ones(&[4, 32]);
+        let qt = back.soft_targets(&x).unwrap();
+        let ft = f.soft_targets(&x).unwrap();
+        for (a, b) in qt.data().iter().zip(ft.data()) {
+            assert!((a - b).abs() < 0.05, "quantized {a} vs float {b}");
+        }
+        // and a quantized ensemble re-saves byte-stably
+        let store2 = MemStore::new();
+        back.save_bundle_with(&store2, "q", &BundleCodec::int8())
+            .unwrap();
+        assert_eq!(store2.get("q").unwrap(), store.get("q").unwrap());
+    }
+
+    #[test]
+    fn f16_bundle_round_trips_within_half_precision() {
+        let f = frozen_pair();
+        let store = MemStore::new();
+        f.save_bundle_with(&store, "h", &BundleCodec::f16())
+            .unwrap();
+        let back = FrozenEnsemble::load_bundle(&store, "h", &|_, _| Ok(member(99))).unwrap();
+        assert!(back.members().iter().all(|m| !m.is_quantized()));
+        let x = Tensor::ones(&[4, 4]);
+        let ht = back.soft_targets(&x).unwrap();
+        let ft = f.soft_targets(&x).unwrap();
+        for (a, b) in ht.data().iter().zip(ft.data()) {
+            assert!((a - b).abs() < 5e-3, "f16 {a} vs f32 {b}");
+        }
+    }
+
+    #[test]
+    fn quantize_preserves_structure_and_alphas() {
+        let f = frozen_pair();
+        let q = f.quantize().unwrap();
+        assert_eq!(q.len(), 2);
+        assert!(q.members().iter().all(|m| m.is_quantized()));
+        assert_eq!(q.members()[0].alpha(), 1.5);
+        assert_eq!(q.members()[1].label(), "b");
+        assert_eq!(q.arch_signature(), f.arch_signature());
+        // idempotent: quantizing again carries members over untouched
+        assert_eq!(q.quantize().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn peek_member_count_reads_both_formats() {
+        let f = frozen_pair();
+        assert_eq!(FrozenEnsemble::peek_member_count(&f.encode()).unwrap(), 2);
+        assert_eq!(
+            FrozenEnsemble::peek_member_count(&f.encode_v1().unwrap()).unwrap(),
+            2
+        );
+        assert!(FrozenEnsemble::peek_member_count(&[0u8; 5]).is_err());
     }
 
     #[test]
@@ -548,5 +1143,26 @@ mod tests {
         })
         .unwrap_err();
         assert!(err.to_string().contains("classes"), "{err}");
+    }
+
+    #[test]
+    fn validate_swap_rejects_member_count_changes_before_decode_work() {
+        let live = frozen_pair();
+        let mut bigger = frozen_pair();
+        bigger.push(Arc::new(member(3)), 1.0, "c");
+        let err = live.validate_swap(&bigger).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                EnsembleError::Bundle(BundleError::MemberCountMismatch {
+                    expected: 2,
+                    got: 3
+                })
+            ),
+            "{err}"
+        );
+        // an empty live config accepts any non-empty candidate
+        assert!(FrozenEnsemble::new().validate_swap(&bigger).is_ok());
+        assert!(live.validate_swap(&frozen_pair()).is_ok());
     }
 }

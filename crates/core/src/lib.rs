@@ -45,6 +45,7 @@ pub mod error;
 pub mod evaluate;
 pub mod frozen;
 pub mod methods;
+pub mod quant;
 pub mod recovery;
 pub mod report;
 pub mod runstate;
@@ -54,11 +55,12 @@ pub mod transfer;
 pub use ensemble::{EnsembleMember, EnsembleModel};
 pub use env::{env_usize, eval_batch, ExperimentEnv, ModelFactory};
 pub use error::{BundleError, EnsembleError, Result};
-pub use frozen::{network_soft_targets_tau, FrozenEnsemble, FrozenMember};
+pub use frozen::{network_soft_targets_tau, BundleCodec, FrozenEnsemble, FrozenMember};
 pub use methods::{
     train_members_in_order, AdaBoostM1, AdaBoostNc, Bagging, Bans, Edde, EnsembleMethod, Ncl,
     RunResult, SingleModel, Snapshot, TracePoint,
 };
+pub use quant::{QuantizedDense, QuantizedMlp};
 pub use recovery::{FaultPlan, FaultyStore, RecoveryPolicy};
 pub use runstate::{
     epoch_seed, MemberProgress, MemberRecord, RunManifest, RunProtocol, RunSession,

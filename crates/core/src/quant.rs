@@ -1,0 +1,339 @@
+//! Quantized serving form of an MLP member: int8 weights served natively.
+//!
+//! An `EEB2` bundle written with the int8 codec chain stores each dense
+//! weight matrix as symmetric int8 plus one f32 scale. Loading it back
+//! through a float [`edde_nn::Network`] would dequantize every matrix to
+//! f32 and run the float gemm — paying the full f32 memory and bandwidth
+//! cost that quantization was meant to remove. A [`QuantizedMlp`] instead
+//! keeps the int8 weights exactly as stored and runs the integer kernel
+//! ([`edde_tensor::simd::gemm_i8_i32`]) with a single f32 rescale per
+//! layer, so quantized bundles serve without ever materializing f32
+//! weights.
+//!
+//! Activations are quantized per forward call with a per-tensor symmetric
+//! scale (`amax / 127`), staged through the [`edde_nn::infer::InferCtx`]
+//! typed pools so steady-state inference stays allocation-free. The
+//! integer accumulation is exact, so results are bit-identical across
+//! SIMD backends — the only float arithmetic is the per-layer
+//! `acc · (a_scale · w_scale) + bias` epilogue.
+
+use crate::error::{BundleError, EnsembleError, Result};
+use edde_nn::infer::InferCtx;
+use edde_nn::Network;
+use edde_tensor::codec;
+use edde_tensor::simd;
+use edde_tensor::Tensor;
+
+/// One dense layer in quantized form: row-major `[in, out]` int8 weights
+/// with a single symmetric scale, plus an f32 bias.
+#[derive(Debug, Clone)]
+pub struct QuantizedDense {
+    w_q: Vec<i8>,
+    w_scale: f32,
+    bias: Vec<f32>,
+    in_features: usize,
+    out_features: usize,
+}
+
+impl QuantizedDense {
+    /// Wraps already-quantized weights, validating shapes and the scale.
+    pub fn new(
+        w_q: Vec<i8>,
+        w_scale: f32,
+        bias: Vec<f32>,
+        in_features: usize,
+        out_features: usize,
+    ) -> Result<Self> {
+        if in_features == 0 || out_features == 0 {
+            return Err(EnsembleError::BadConfig(
+                "quantized dense layer needs non-zero feature counts".into(),
+            ));
+        }
+        if w_q.len() != in_features * out_features {
+            return Err(EnsembleError::BadConfig(format!(
+                "quantized weight length {} does not match [{in_features}, {out_features}]",
+                w_q.len()
+            )));
+        }
+        if bias.len() != out_features {
+            return Err(EnsembleError::BadConfig(format!(
+                "quantized bias length {} does not match {out_features} outputs",
+                bias.len()
+            )));
+        }
+        if !(w_scale.is_finite() && w_scale > 0.0) {
+            return Err(EnsembleError::BadConfig(format!(
+                "quantized weight scale {w_scale} is not a positive finite value"
+            )));
+        }
+        Ok(QuantizedDense {
+            w_q,
+            w_scale,
+            bias,
+            in_features,
+            out_features,
+        })
+    }
+
+    /// Input width.
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Output width.
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+
+    /// The int8 weight matrix, row-major `[in, out]`.
+    pub fn weight_q(&self) -> &[i8] {
+        &self.w_q
+    }
+
+    /// Symmetric dequantization scale for the weights.
+    pub fn weight_scale(&self) -> f32 {
+        self.w_scale
+    }
+
+    /// The f32 bias vector.
+    pub fn bias(&self) -> &[f32] {
+        &self.bias
+    }
+}
+
+/// An MLP whose dense weights live natively in int8 — the serving form a
+/// quantized `EEB2` bundle loads into without dequantizing to f32.
+#[derive(Debug, Clone)]
+pub struct QuantizedMlp {
+    layers: Vec<QuantizedDense>,
+    arch: String,
+    num_classes: usize,
+}
+
+impl QuantizedMlp {
+    /// Assembles a quantized MLP from per-layer parts, validating that the
+    /// layer widths chain.
+    pub fn from_parts(arch: impl Into<String>, layers: Vec<QuantizedDense>) -> Result<Self> {
+        let arch = arch.into();
+        if layers.is_empty() {
+            return Err(EnsembleError::BadConfig(format!(
+                "quantized mlp {arch:?} has no layers"
+            )));
+        }
+        for w in layers.windows(2) {
+            if w[0].out_features != w[1].in_features {
+                return Err(EnsembleError::BadConfig(format!(
+                    "quantized mlp {arch:?} layer widths do not chain: {} -> {}",
+                    w[0].out_features, w[1].in_features
+                )));
+            }
+        }
+        let num_classes = layers.last().expect("non-empty").out_features;
+        Ok(QuantizedMlp {
+            layers,
+            arch,
+            num_classes,
+        })
+    }
+
+    /// Quantizes a trained float MLP for native int8 serving. Only `mlp-*`
+    /// architectures have this form — their state is exactly the
+    /// `fc{i}.weight` / `fc{i}.bias` sequence the per-layer kernel needs.
+    pub fn from_network(net: &Network) -> Result<Self> {
+        let arch = net.arch().to_string();
+        if !arch.starts_with("mlp-") {
+            return Err(EnsembleError::BadConfig(format!(
+                "only mlp-* architectures have a quantized serving form, got {arch:?}"
+            )));
+        }
+        let state = net.export_state();
+        let mut layers = Vec::new();
+        let mut i = 0usize;
+        loop {
+            let wname = format!("fc{i}.weight");
+            let Some((_, w)) = state.iter().find(|(n, _)| *n == wname) else {
+                break;
+            };
+            let bname = format!("fc{i}.bias");
+            let (_, b) = state
+                .iter()
+                .find(|(n, _)| *n == bname)
+                .ok_or_else(|| EnsembleError::BadConfig(format!("{bname} missing from state")))?;
+            if w.dims().len() != 2 || b.dims().len() != 1 {
+                return Err(EnsembleError::BadConfig(format!(
+                    "{wname} / {bname} have unexpected ranks"
+                )));
+            }
+            let (q, scale) =
+                codec::quantize_symmetric(w.data()).map_err(|e| BundleError::codec(wname, e))?;
+            layers.push(QuantizedDense::new(
+                q,
+                scale,
+                b.data().to_vec(),
+                w.dims()[0],
+                w.dims()[1],
+            )?);
+            i += 1;
+        }
+        let qm = QuantizedMlp::from_parts(arch, layers)?;
+        if qm.num_classes != net.num_classes() {
+            return Err(EnsembleError::BadConfig(format!(
+                "quantized mlp ends in {} outputs but the network reports {} classes",
+                qm.num_classes,
+                net.num_classes()
+            )));
+        }
+        Ok(qm)
+    }
+
+    /// Architecture tag carried over from the float network (`"mlp-3"`).
+    pub fn arch(&self) -> &str {
+        &self.arch
+    }
+
+    /// Output class count.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// The quantized layers, input to output.
+    pub fn layers(&self) -> &[QuantizedDense] {
+        &self.layers
+    }
+
+    /// Batched logits for `input` (`[n, in_features]`, trailing dims
+    /// flattened). Each layer quantizes its activations symmetrically,
+    /// runs the exact int8×int8→i32 gemm, and rescales once in f32; ReLU
+    /// between layers matches the float MLP. All staging comes from `ctx`,
+    /// so steady-state passes allocate nothing fresh.
+    pub fn forward(&self, input: &Tensor, ctx: &mut InferCtx) -> Result<Tensor> {
+        let dims = input.dims();
+        if dims.is_empty() {
+            return Err(EnsembleError::DataMismatch(
+                "quantized forward needs a batched input".into(),
+            ));
+        }
+        let n = dims[0];
+        let row: usize = dims[1..].iter().product();
+        let first_in = self.layers[0].in_features;
+        if row != first_in {
+            return Err(EnsembleError::DataMismatch(format!(
+                "input rows have {row} features, quantized mlp expects {first_in}"
+            )));
+        }
+        let mut cur: Option<Tensor> = None;
+        for (idx, layer) in self.layers.iter().enumerate() {
+            let x: &[f32] = match &cur {
+                Some(t) => t.data(),
+                None => input.data(),
+            };
+            let amax = simd::abs_max_finite(x).ok_or_else(|| {
+                EnsembleError::Diverged("non-finite activation in quantized forward".into())
+            })?;
+            let a_scale = if amax > 0.0 { amax / 127.0 } else { 1.0 };
+            let mut qa = ctx.alloc_i8(x.len());
+            simd::quantize_i8(x, a_scale.recip(), &mut qa);
+            let out = layer.out_features;
+            let mut acc = ctx.alloc_i32(n * out);
+            acc.fill(0);
+            simd::gemm_i8_i32(&mut acc, &qa, &layer.w_q, n, layer.in_features, out);
+            let mut y = ctx.alloc(&[n, out]);
+            let scale = a_scale * layer.w_scale;
+            let relu = idx + 1 < self.layers.len();
+            let yd = y.data_mut();
+            for (yrow, arow) in yd.chunks_exact_mut(out).zip(acc.chunks_exact(out)) {
+                for ((v, &a), &b) in yrow.iter_mut().zip(arow).zip(&layer.bias) {
+                    let t = a as f32 * scale + b;
+                    *v = if relu && t < 0.0 { 0.0 } else { t };
+                }
+            }
+            ctx.recycle_i8(qa);
+            ctx.recycle_i32(acc);
+            if let Some(t) = cur.take() {
+                ctx.recycle(t);
+            }
+            cur = Some(y);
+        }
+        Ok(cur.expect("at least one layer"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edde_nn::models::mlp;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn net(seed: u64) -> Network {
+        let mut r = StdRng::seed_from_u64(seed);
+        mlp(&[6, 10, 4], 0.0, &mut r)
+    }
+
+    #[test]
+    fn quantized_forward_tracks_the_float_network() {
+        let net = net(7);
+        let q = QuantizedMlp::from_network(&net).unwrap();
+        assert_eq!(q.arch(), net.arch());
+        assert_eq!(q.num_classes(), 4);
+        assert_eq!(q.layers().len(), 2);
+        let mut ctx = InferCtx::new();
+        let x = Tensor::from_vec(
+            (0..5 * 6)
+                .map(|i| ((i * 13 % 11) as f32 - 5.0) * 0.3)
+                .collect(),
+            &[5, 6],
+        )
+        .unwrap();
+        let yq = q.forward(&x, &mut ctx).unwrap();
+        let yf = net.forward(&x, &mut ctx).unwrap();
+        assert_eq!(yq.dims(), yf.dims());
+        // per-tensor int8 on weights and activations: close, not exact
+        let scale: f32 = yf.data().iter().fold(1.0f32, |m, v| m.max(v.abs()));
+        for (a, b) in yq.data().iter().zip(yf.data()) {
+            assert!((a - b).abs() <= 0.08 * scale, "quantized {a} vs float {b}");
+        }
+    }
+
+    #[test]
+    fn quantized_forward_is_steady_state_allocation_free() {
+        let q = QuantizedMlp::from_network(&net(3)).unwrap();
+        let mut ctx = InferCtx::new();
+        let x = Tensor::ones(&[4, 6]);
+        for _ in 0..2 {
+            let y = q.forward(&x, &mut ctx).unwrap();
+            ctx.recycle(y);
+        }
+        let warm = ctx.fresh_allocs();
+        for _ in 0..5 {
+            let y = q.forward(&x, &mut ctx).unwrap();
+            ctx.recycle(y);
+        }
+        assert_eq!(ctx.fresh_allocs(), warm);
+    }
+
+    #[test]
+    fn bad_shapes_and_scales_are_rejected() {
+        assert!(QuantizedDense::new(vec![0i8; 6], 0.1, vec![0.0; 3], 2, 3).is_ok());
+        assert!(QuantizedDense::new(vec![0i8; 5], 0.1, vec![0.0; 3], 2, 3).is_err());
+        assert!(QuantizedDense::new(vec![0i8; 6], 0.0, vec![0.0; 3], 2, 3).is_err());
+        assert!(QuantizedDense::new(vec![0i8; 6], f32::NAN, vec![0.0; 3], 2, 3).is_err());
+        assert!(QuantizedDense::new(vec![0i8; 6], 0.1, vec![0.0; 2], 2, 3).is_err());
+        let a = QuantizedDense::new(vec![0i8; 6], 0.1, vec![0.0; 3], 2, 3).unwrap();
+        let b = QuantizedDense::new(vec![0i8; 8], 0.1, vec![0.0; 2], 4, 2).unwrap();
+        // 3 outputs cannot feed a 4-input layer
+        assert!(QuantizedMlp::from_parts("mlp-2", vec![a, b]).is_err());
+        assert!(QuantizedMlp::from_parts("mlp-0", vec![]).is_err());
+    }
+
+    #[test]
+    fn input_width_mismatch_is_a_data_error() {
+        let q = QuantizedMlp::from_network(&net(1)).unwrap();
+        let mut ctx = InferCtx::new();
+        let bad = Tensor::ones(&[2, 5]);
+        assert!(matches!(
+            q.forward(&bad, &mut ctx),
+            Err(EnsembleError::DataMismatch(_))
+        ));
+    }
+}

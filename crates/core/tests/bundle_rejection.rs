@@ -1,13 +1,19 @@
-//! `EEB1` bundle rejection matrix: every way a serving bundle can be bad
-//! on load maps to a distinct typed error, so hot-swap infrastructure can
-//! react to the cause instead of string-matching. A valid frame with a
-//! bad payload is a [`BundleError`]; a torn frame never reaches the
-//! payload parser — the CRC seal rejects it first.
+//! Bundle rejection matrix: every way a serving bundle (`EEB2`, or
+//! legacy `EEB1`) can be bad on load maps to a distinct typed error, so
+//! hot-swap infrastructure can react to the cause instead of
+//! string-matching. A valid frame with a bad payload is a
+//! [`BundleError`]; a torn frame never reaches the payload parser — the
+//! CRC seal rejects it first. Damage *inside* a per-tensor codec stream
+//! (bit-flips in compressed bytes, truncated stage headers, unknown
+//! stage ids, unusable int8 scales) surfaces as
+//! [`BundleError::Codec`] naming the tensor and the stage that refused
+//! it — never a panic.
 
-use edde_core::{BundleError, EnsembleError, FrozenEnsemble, Result};
+use edde_core::{BundleCodec, BundleError, EnsembleError, FrozenEnsemble, Result};
 use edde_nn::checkpoint::{self, CheckpointStore, MemStore};
 use edde_nn::models::mlp;
 use edde_nn::Network;
+use edde_tensor::codec::{CodecError, STAGE_INT8};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::Arc;
@@ -36,13 +42,47 @@ fn load_sealed(payload: &[u8], build: &dyn Fn(&str, usize) -> Result<Network>) -
     FrozenEnsemble::load_bundle(&store, "bundle", build).unwrap_err()
 }
 
+/// Walks an `EEB2` payload to the first member's first entry and returns
+/// `(coded_len_field_offset, stream_start, stream_end)` — the codec
+/// stream the per-stage corruption tests operate on.
+fn first_entry_stream(payload: &[u8]) -> (usize, usize, usize) {
+    let u32at = |o: usize| u32::from_le_bytes(payload[o..o + 4].try_into().unwrap()) as usize;
+    let u64at = |o: usize| u64::from_le_bytes(payload[o..o + 8].try_into().unwrap()) as usize;
+    assert_eq!(&payload[0..4], b"EEB2");
+    let mut o = 12; // magic + version + member count
+    o += 4 + u32at(o); // member label
+    o += 4; // alpha
+    o += 4 + u32at(o); // arch tag
+    o += 8; // num_classes + entry count
+    o += 4 + u32at(o); // entry name
+    let rank = u32at(o);
+    o += 4 + 8 * rank;
+    let len_off = o;
+    let coded_len = u64at(o);
+    (len_off, len_off + 8, len_off + 8 + coded_len)
+}
+
+/// An int8+compressed payload whose first entry is an int8 weight stream
+/// (stage layout: `count=3; int8 hdr (scale at +7..+11); dbp hdr; lz
+/// hdr; payload_len; payload`).
+fn int8_payload() -> Vec<u8> {
+    let payload = ensemble()
+        .encode_with(&BundleCodec::int8())
+        .unwrap()
+        .to_vec();
+    let (_, start, _) = first_entry_stream(&payload);
+    let id = u16::from_le_bytes(payload[start + 1..start + 3].try_into().unwrap());
+    assert_eq!(id, STAGE_INT8, "first entry must be an int8 weight matrix");
+    payload
+}
+
 #[test]
 fn wrong_magic_is_a_typed_bad_magic() {
     let mut payload = ensemble().encode().to_vec();
     payload[0] = b'X';
     match load_sealed(&payload, &build_ok) {
         EnsembleError::Bundle(BundleError::BadMagic(magic)) => {
-            assert_eq!(&magic, b"XEB1");
+            assert_eq!(&magic, b"XEB2");
         }
         other => panic!("expected BadMagic, got {other:?}"),
     }
@@ -54,6 +94,14 @@ fn stale_version_is_a_typed_unsupported_version() {
     payload[4..8].copy_from_slice(&99u32.to_le_bytes());
     match load_sealed(&payload, &build_ok) {
         EnsembleError::Bundle(BundleError::UnsupportedVersion(v)) => assert_eq!(v, 99),
+        other => panic!("expected UnsupportedVersion, got {other:?}"),
+    }
+    // ... including a v1 payload claiming a version this reader never
+    // shipped under that magic
+    let mut v1 = ensemble().encode_v1().unwrap().to_vec();
+    v1[4..8].copy_from_slice(&7u32.to_le_bytes());
+    match load_sealed(&v1, &build_ok) {
+        EnsembleError::Bundle(BundleError::UnsupportedVersion(v)) => assert_eq!(v, 7),
         other => panic!("expected UnsupportedVersion, got {other:?}"),
     }
 }
@@ -100,17 +148,104 @@ fn torn_frame_is_rejected_by_the_seal_not_the_parser() {
 }
 
 #[test]
+fn bit_flip_inside_a_compressed_payload_is_a_typed_codec_rejection() {
+    let mut payload = int8_payload();
+    let (_, start, _) = first_entry_stream(&payload);
+    // First byte of the LZ payload (after the 39-byte stage headers and
+    // the 8-byte payload length): a control byte, so the flip scrambles
+    // the match/literal framing rather than one weight value.
+    payload[start + 47] ^= 0x55;
+    match load_sealed(&payload, &build_ok) {
+        EnsembleError::Bundle(BundleError::Codec { tensor, error, .. }) => {
+            assert_eq!(tensor, "fc0.weight");
+            // the scrambled framing trips either the consistency check or
+            // the end-of-stream bound — both typed, never a panic
+            assert!(
+                matches!(error, CodecError::Corrupt { .. } | CodecError::Truncated(_)),
+                "expected Corrupt/Truncated, got {error:?}"
+            );
+        }
+        other => panic!("expected Codec rejection, got {other:?}"),
+    }
+}
+
+#[test]
+fn truncated_stage_header_is_a_typed_codec_rejection() {
+    let payload = int8_payload();
+    let (len_off, start, end) = first_entry_stream(&payload);
+    // Rebuild the bundle with the first stream cut to 2 bytes: the stage
+    // count reads fine, the first stage id cannot.
+    let mut hacked = Vec::new();
+    hacked.extend_from_slice(&payload[..len_off]);
+    hacked.extend_from_slice(&2u64.to_le_bytes());
+    hacked.extend_from_slice(&payload[start..start + 2]);
+    hacked.extend_from_slice(&payload[end..]);
+    match load_sealed(&hacked, &build_ok) {
+        EnsembleError::Bundle(BundleError::Codec { tensor, error, .. }) => {
+            assert_eq!(tensor, "fc0.weight");
+            assert!(
+                matches!(error, CodecError::Truncated(_)),
+                "expected Truncated, got {error:?}"
+            );
+        }
+        other => panic!("expected Codec rejection, got {other:?}"),
+    }
+}
+
+#[test]
+fn unknown_codec_id_is_a_typed_codec_rejection() {
+    let mut payload = int8_payload();
+    let (_, start, _) = first_entry_stream(&payload);
+    payload[start + 1..start + 3].copy_from_slice(&0x7777u16.to_le_bytes());
+    match load_sealed(&payload, &build_ok) {
+        EnsembleError::Bundle(BundleError::Codec { stage, error, .. }) => {
+            assert_eq!(stage, "header");
+            assert_eq!(error, CodecError::UnknownId(0x7777));
+        }
+        other => panic!("expected Codec rejection, got {other:?}"),
+    }
+}
+
+#[test]
+fn zero_or_nan_int8_scale_is_a_typed_codec_rejection() {
+    for bad in [0.0f32, -1.0, f32::NAN, f32::INFINITY] {
+        let mut payload = int8_payload();
+        let (_, start, _) = first_entry_stream(&payload);
+        // int8 stage params: the f32 scale at stream offset +7..+11.
+        payload[start + 7..start + 11].copy_from_slice(&bad.to_le_bytes());
+        match load_sealed(&payload, &build_ok) {
+            EnsembleError::Bundle(BundleError::Codec { stage, error, .. }) => {
+                assert_eq!(stage, "int8", "scale {bad}");
+                assert!(
+                    matches!(error, CodecError::BadScale(_)),
+                    "scale {bad}: expected BadScale, got {error:?}"
+                );
+            }
+            other => panic!("scale {bad}: expected Codec rejection, got {other:?}"),
+        }
+    }
+}
+
+#[test]
 fn rejection_causes_are_mutually_distinct() {
     let payload = ensemble().encode();
     let mut bad_magic = payload.to_vec();
     bad_magic[0] = b'X';
     let mut bad_version = payload.to_vec();
-    bad_version[4..8].copy_from_slice(&2u32.to_le_bytes());
+    bad_version[4..8].copy_from_slice(&7u32.to_le_bytes());
+    let q = int8_payload();
+    let (_, start, _) = first_entry_stream(&q);
+    let mut unknown_id = q.clone();
+    unknown_id[start + 1..start + 3].copy_from_slice(&0x7777u16.to_le_bytes());
+    let mut zero_scale = q.clone();
+    zero_scale[start + 7..start + 11].copy_from_slice(&0.0f32.to_le_bytes());
     let errors = [
         load_sealed(&bad_magic, &build_ok),
         load_sealed(&bad_version, &build_ok),
         load_sealed(&payload[..payload.len() - 1], &build_ok),
         load_sealed(&payload, &|_, _| Ok(member(0, 2))),
+        load_sealed(&unknown_id, &build_ok),
+        load_sealed(&zero_scale, &build_ok),
     ];
     for (i, a) in errors.iter().enumerate() {
         assert!(matches!(a, EnsembleError::Bundle(_)), "{a:?}");
@@ -121,13 +256,25 @@ fn rejection_causes_are_mutually_distinct() {
 }
 
 #[test]
-fn validate_swap_rejects_class_count_changes_and_empty_candidates() {
+fn validate_swap_rejects_structural_changes_and_empty_candidates() {
     let live = ensemble();
     let err = live.validate_swap(&FrozenEnsemble::new()).unwrap_err();
     assert_eq!(err, EnsembleError::EmptyEnsemble);
 
+    // wrong member count: rejected before the class-count comparison
+    let mut fewer = FrozenEnsemble::new();
+    fewer.push(Arc::new(member(5, 3)), 1.0, "c");
+    match live.validate_swap(&fewer).unwrap_err() {
+        EnsembleError::Bundle(BundleError::MemberCountMismatch { expected, got }) => {
+            assert_eq!((expected, got), (2, 1));
+        }
+        other => panic!("expected MemberCountMismatch, got {other:?}"),
+    }
+
+    // right member count, wrong class count
     let mut narrower = FrozenEnsemble::new();
     narrower.push(Arc::new(member(5, 2)), 1.0, "c");
+    narrower.push(Arc::new(member(6, 2)), 1.0, "d");
     match live.validate_swap(&narrower).unwrap_err() {
         EnsembleError::Bundle(BundleError::ArchMismatch { expected, got, .. }) => {
             assert_eq!((expected, got), (3, 2));
@@ -137,7 +284,7 @@ fn validate_swap_rejects_class_count_changes_and_empty_candidates() {
 
     // compatible candidate passes; empty live accepts anything non-empty
     assert!(live.validate_swap(&ensemble()).is_ok());
-    assert!(FrozenEnsemble::new().validate_swap(&narrower).is_ok());
+    assert!(FrozenEnsemble::new().validate_swap(&fewer).is_ok());
     assert_eq!(live.num_classes(), Some(3));
     assert_eq!(live.arch_signature().len(), 2);
 }

@@ -1,0 +1,117 @@
+//! Legacy `EEB1` compatibility: the checked-in fixture written by a v1
+//! writer must keep loading bit-identically forever, even as the current
+//! writer moved to `EEB2`.
+//!
+//! The fixture ensemble is fully deterministic — every parameter is
+//! overwritten with a closed-form fill, so regeneration does not depend
+//! on any RNG implementation. To regenerate after an intentional format
+//! change (there should never be one for v1):
+//!
+//! ```text
+//! cargo test -p edde-core --test eeb1_compat -- --ignored regenerate
+//! ```
+
+use edde_core::{FrozenEnsemble, Result};
+use edde_nn::checkpoint::{self, CheckpointStore, MemStore};
+use edde_nn::models::mlp;
+use edde_nn::Network;
+use edde_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn fixture_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/two_member_mlp.eeb1")
+}
+
+/// A 4→8→3 MLP whose every parameter is a deterministic closed-form
+/// value — no RNG anywhere, so the fixture is reproducible from source.
+fn deterministic_member(tag: u64) -> Network {
+    let mut r = StdRng::seed_from_u64(0);
+    let mut net = mlp(&[4, 8, 3], 0.0, &mut r);
+    let state: Vec<(String, Tensor)> = net
+        .export_state()
+        .iter()
+        .enumerate()
+        .map(|(ei, (name, t))| {
+            let fill: Vec<f32> = (0..t.data().len())
+                .map(|j| {
+                    let k = (tag * 131 + ei as u64 * 37 + j as u64 * 11) % 19;
+                    (k as f32 - 9.0) * 0.1
+                })
+                .collect();
+            (name.clone(), Tensor::from_vec(fill, t.dims()).unwrap())
+        })
+        .collect();
+    net.import_state(&state).unwrap();
+    net
+}
+
+fn fixture_ensemble() -> FrozenEnsemble {
+    let mut f = FrozenEnsemble::new();
+    f.push(Arc::new(deterministic_member(1)), 1.25, "legacy-a");
+    f.push(Arc::new(deterministic_member(2)), 0.75, "legacy-b");
+    f
+}
+
+fn build(_: &str, _: usize) -> Result<Network> {
+    let mut r = StdRng::seed_from_u64(99);
+    Ok(mlp(&[4, 8, 3], 0.0, &mut r))
+}
+
+#[test]
+fn checked_in_eeb1_fixture_loads_bit_identically() {
+    let sealed = std::fs::read(fixture_path())
+        .expect("fixture missing: run the ignored `regenerate` test once");
+    let store = MemStore::new();
+    store.put("bundle", &sealed).unwrap();
+
+    let loaded = FrozenEnsemble::load_bundle(&store, "bundle", &build).unwrap();
+    assert_eq!(loaded.len(), 2);
+    assert_eq!(loaded.members()[0].label(), "legacy-a");
+    assert_eq!(loaded.members()[0].alpha(), 1.25);
+    assert_eq!(loaded.members()[1].label(), "legacy-b");
+    assert_eq!(loaded.members()[1].alpha(), 0.75);
+    assert!(loaded.members().iter().all(|m| !m.is_quantized()));
+
+    // the loaded ensemble reproduces the deterministic reference bit for
+    // bit on a probe batch
+    let reference = fixture_ensemble();
+    let x = Tensor::from_vec(
+        (0..6 * 4).map(|i| ((i % 7) as f32 - 3.0) * 0.5).collect(),
+        &[6, 4],
+    )
+    .unwrap();
+    assert_eq!(
+        loaded.soft_targets(&x).unwrap().data(),
+        reference.soft_targets(&x).unwrap().data()
+    );
+
+    // a v1 re-encode of the loaded ensemble reproduces the fixture
+    // payload byte for byte — nothing was lost or renormalized in flight
+    let payload = checkpoint::unseal(bytes::Bytes::from(sealed)).unwrap();
+    assert_eq!(&payload[0..4], b"EEB1");
+    assert_eq!(loaded.encode_v1().unwrap(), payload);
+
+    // the shared 12-byte header peeks without decoding members
+    assert_eq!(FrozenEnsemble::peek_member_count(&payload).unwrap(), 2);
+}
+
+#[test]
+fn current_writer_matches_the_fixture_writer_byte_for_byte() {
+    // guards the v1 writer itself: if encode_v1 drifts, the fixture test
+    // above would "fail" for the wrong reason
+    let sealed = std::fs::read(fixture_path())
+        .expect("fixture missing: run the ignored `regenerate` test once");
+    let payload = checkpoint::unseal(bytes::Bytes::from(sealed)).unwrap();
+    assert_eq!(fixture_ensemble().encode_v1().unwrap(), payload);
+}
+
+#[test]
+#[ignore = "writes the checked-in fixture; run once after an intentional v1 format change"]
+fn regenerate() {
+    let sealed = checkpoint::seal(&fixture_ensemble().encode_v1().unwrap());
+    std::fs::write(fixture_path(), &sealed).unwrap();
+    eprintln!("wrote {} bytes to {:?}", sealed.len(), fixture_path());
+}

@@ -20,7 +20,7 @@
 //! ensemble members out over the worker pool.
 
 use crate::param::Mode;
-use edde_tensor::scratch::BufferPool;
+use edde_tensor::scratch::{BufferPool, TypedPool};
 use edde_tensor::Tensor;
 use std::cell::RefCell;
 
@@ -29,6 +29,8 @@ use std::cell::RefCell;
 pub struct InferCtx {
     mode: Mode,
     pool: BufferPool,
+    qi8: TypedPool<i8>,
+    qi32: TypedPool<i32>,
     streams: u64,
 }
 
@@ -46,6 +48,8 @@ impl InferCtx {
         InferCtx {
             mode,
             pool: BufferPool::new(),
+            qi8: TypedPool::new(),
+            qi32: TypedPool::new(),
             streams: 0,
         }
     }
@@ -75,10 +79,33 @@ impl InferCtx {
         self.pool.give(t.into_vec());
     }
 
-    /// Number of `alloc` calls that had to touch the heap. Constant across
-    /// repeated identical passes once the pool is warm.
+    /// An `i8` staging buffer (quantized activations) with unspecified
+    /// contents, from the context's typed free list.
+    pub fn alloc_i8(&mut self, len: usize) -> Vec<i8> {
+        self.qi8.take(len)
+    }
+
+    /// Returns an `i8` staging buffer for reuse.
+    pub fn recycle_i8(&mut self, buf: Vec<i8>) {
+        self.qi8.give(buf);
+    }
+
+    /// An `i32` accumulator buffer (quantized gemm output) with
+    /// unspecified contents.
+    pub fn alloc_i32(&mut self, len: usize) -> Vec<i32> {
+        self.qi32.take(len)
+    }
+
+    /// Returns an `i32` accumulator buffer for reuse.
+    pub fn recycle_i32(&mut self, buf: Vec<i32>) {
+        self.qi32.give(buf);
+    }
+
+    /// Number of `alloc`/`alloc_i8`/`alloc_i32` calls that had to touch
+    /// the heap. Constant across repeated identical passes once the pools
+    /// are warm.
     pub fn fresh_allocs(&self) -> usize {
-        self.pool.misses()
+        self.pool.misses() + self.qi8.misses() + self.qi32.misses()
     }
 
     /// A dropout randomness stream for one layer application, derived from
@@ -166,6 +193,25 @@ mod tests {
                 let t = ctx.alloc(dims);
                 ctx.recycle(t);
             }
+        }
+        assert_eq!(ctx.fresh_allocs(), warm);
+    }
+
+    #[test]
+    fn quant_staging_is_allocation_free_in_steady_state() {
+        let mut ctx = InferCtx::new();
+        for _ in 0..2 {
+            let q = ctx.alloc_i8(256);
+            let acc = ctx.alloc_i32(64);
+            ctx.recycle_i8(q);
+            ctx.recycle_i32(acc);
+        }
+        let warm = ctx.fresh_allocs();
+        for _ in 0..5 {
+            let q = ctx.alloc_i8(256);
+            let acc = ctx.alloc_i32(64);
+            ctx.recycle_i8(q);
+            ctx.recycle_i32(acc);
         }
         assert_eq!(ctx.fresh_allocs(), warm);
     }

@@ -450,22 +450,52 @@ impl ServeCore {
         })
     }
 
-    /// Loads a CRC-sealed `EEB1` bundle from `store` and hot-swaps it in.
-    /// A torn, corrupt, stale-versioned, or arch-incompatible bundle is
-    /// rejected with [`ServeError::SwapRejected`] carrying the typed
-    /// cause; serving continues on the current ensemble uninterrupted.
+    /// Loads a CRC-sealed bundle (`EEB2`, or legacy `EEB1`) from `store`
+    /// and hot-swaps it in. A torn, corrupt, stale-versioned, codec-
+    /// rejected, or arch-incompatible bundle is rejected with
+    /// [`ServeError::SwapRejected`] carrying the typed cause; serving
+    /// continues on the current ensemble uninterrupted.
+    ///
+    /// Structural incompatibility is caught *before* any member state is
+    /// decoded: the bundle header's member count
+    /// ([`FrozenEnsemble::peek_member_count`]) is checked against the
+    /// live configuration first, so a wrong-shaped candidate costs a
+    /// 12-byte peek rather than a full decompress-and-dequantize pass.
     pub fn swap_bundle(
         &self,
         store: &dyn CheckpointStore,
         key: &str,
         build: &dyn Fn(&str, usize) -> edde_core::Result<Network>,
     ) -> Result<SwapReport, ServeError> {
-        let candidate = match FrozenEnsemble::load_bundle(store, key, build) {
-            Ok(candidate) => candidate,
-            Err(e) => {
-                self.shared.state.lock().unwrap().stats.swaps_rejected += 1;
-                return Err(ServeError::SwapRejected(e));
+        let reject = |e: edde_core::EnsembleError| {
+            self.shared.state.lock().unwrap().stats.swaps_rejected += 1;
+            Err(ServeError::SwapRejected(e))
+        };
+        let payload = match store
+            .get(key)
+            .and_then(edde_nn::checkpoint::unseal)
+            .map_err(edde_core::EnsembleError::from)
+        {
+            Ok(payload) => payload,
+            Err(e) => return reject(e),
+        };
+        let live = self.shared.state.lock().unwrap().ensemble.len();
+        match FrozenEnsemble::peek_member_count(&payload) {
+            Ok(got) if live > 0 && got != live => {
+                return reject(
+                    edde_core::BundleError::MemberCountMismatch {
+                        expected: live,
+                        got,
+                    }
+                    .into(),
+                )
             }
+            Ok(_) => {}
+            Err(e) => return reject(e),
+        }
+        let candidate = match FrozenEnsemble::decode(payload, build) {
+            Ok(candidate) => candidate,
+            Err(e) => return reject(e),
         };
         self.swap_in(candidate)
     }

@@ -119,7 +119,7 @@ fn rejected_candidates_leave_the_serving_pointer_untouched() {
         other => panic!("expected EmptyEnsemble rejection, got {other:?}"),
     }
     // A live candidate with the wrong class count is refused.
-    match core.swap_in(frozen(&[5], 2)) {
+    match core.swap_in(frozen(&[5, 6], 2)) {
         Err(ServeError::SwapRejected(EnsembleError::Bundle(BundleError::ArchMismatch {
             expected,
             got,

@@ -1,0 +1,113 @@
+//! Pre-decode swap validation: a candidate whose member count (and hence
+//! its α vector length) differs from the live configuration is rejected
+//! from the bundle header alone — no member state is decompressed,
+//! dequantized, or built — and the live ensemble keeps serving.
+
+use edde_core::{BundleCodec, BundleError, EnsembleError, FrozenEnsemble};
+use edde_nn::checkpoint::MemStore;
+use edde_nn::models::mlp;
+use edde_nn::Network;
+use edde_serve::{ServeConfig, ServeCore, ServeError, ServeFaultPlan, SubmitOptions, TestClock};
+use edde_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+fn member(seed: u64) -> Network {
+    let mut r = StdRng::seed_from_u64(seed);
+    mlp(&[4, 8, 3], 0.0, &mut r)
+}
+
+fn frozen(seeds: &[u64]) -> FrozenEnsemble {
+    let mut f = FrozenEnsemble::new();
+    for (i, &s) in seeds.iter().enumerate() {
+        f.push(Arc::new(member(s)), 1.0, format!("m{i}"));
+    }
+    f
+}
+
+fn core_with(seeds: &[u64]) -> ServeCore {
+    ServeCore::with_parts(
+        frozen(seeds),
+        ServeConfig::manual(),
+        Arc::new(TestClock::new()),
+        ServeFaultPlan::new(),
+    )
+}
+
+#[test]
+fn member_count_mismatch_is_rejected_before_any_member_decode() {
+    let core = core_with(&[1, 2]);
+    let store = MemStore::new();
+    frozen(&[3, 4, 5]).save_bundle(&store, "three").unwrap();
+    frozen(&[6]).save_bundle(&store, "one").unwrap();
+
+    // The builder panicking proves the rejection came from the header
+    // peek: member decode for an f32 bundle cannot proceed without it.
+    let build = |_: &str, _: usize| -> edde_core::Result<Network> {
+        panic!("member count must be rejected before any member is decoded")
+    };
+    for (key, got) in [("three", 3), ("one", 1)] {
+        match core.swap_bundle(&store, key, &build) {
+            Err(ServeError::SwapRejected(EnsembleError::Bundle(
+                BundleError::MemberCountMismatch { expected, got: g },
+            ))) => assert_eq!((expected, g), (2, got), "{key}"),
+            other => panic!("expected MemberCountMismatch for {key}, got {other:?}"),
+        }
+    }
+    let stats = core.stats();
+    assert_eq!(stats.swaps, 0);
+    assert_eq!(stats.swaps_rejected, 2);
+
+    // The live pair keeps serving bit-identically at epoch 0.
+    let x = Tensor::ones(&[2, 4]);
+    let h = core.submit(x.clone(), SubmitOptions::new()).unwrap();
+    core.step();
+    let p = h.wait().unwrap();
+    assert_eq!(p.epoch, 0);
+    assert_eq!(
+        p.soft_targets.data(),
+        frozen(&[1, 2]).soft_targets(&x).unwrap().data()
+    );
+}
+
+#[test]
+fn direct_swap_in_also_checks_member_count() {
+    let core = core_with(&[1, 2]);
+    match core.swap_in(frozen(&[7, 8, 9])) {
+        Err(ServeError::SwapRejected(EnsembleError::Bundle(
+            BundleError::MemberCountMismatch {
+                expected: 2,
+                got: 3,
+            },
+        ))) => {}
+        other => panic!("expected MemberCountMismatch, got {other:?}"),
+    }
+    assert_eq!(core.stats().swaps_rejected, 1);
+}
+
+#[test]
+fn matching_quantized_candidate_swaps_in_cleanly() {
+    let core = core_with(&[1, 2]);
+    let store = MemStore::new();
+    frozen(&[3, 4])
+        .save_bundle_with(&store, "q", &BundleCodec::int8())
+        .unwrap();
+    let build = |_: &str, _: usize| -> edde_core::Result<Network> {
+        panic!("a fully int8 bundle loads natively, without a builder")
+    };
+    let report = core.swap_bundle(&store, "q", &build).unwrap();
+    assert_eq!(report.new_epoch, 1);
+    assert_eq!(core.stats().swaps, 1);
+
+    // The quantized bundle serves through the same submit/step path.
+    let x = Tensor::ones(&[2, 4]);
+    let h = core.submit(x.clone(), SubmitOptions::new()).unwrap();
+    core.step();
+    let p = h.wait().unwrap();
+    assert_eq!(p.epoch, 1);
+    let float = frozen(&[3, 4]).soft_targets(&x).unwrap();
+    for (a, b) in p.soft_targets.data().iter().zip(float.data()) {
+        assert!((a - b).abs() < 0.05, "quantized {a} vs float {b}");
+    }
+}

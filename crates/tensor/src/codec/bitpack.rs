@@ -1,0 +1,219 @@
+//! Delta + zigzag bit-packing, from scratch.
+//!
+//! The stream is split into blocks of [`BLOCK`] bytes. Each block is coded
+//! in one of two modes, whichever packs narrower:
+//!
+//! * **raw-zigzag** — every byte, interpreted as `i8`, is zigzag-mapped so
+//!   small-magnitude values (the bulk of a quantized weight stream) become
+//!   small unsigned codes;
+//! * **delta-zigzag** — the wrapping difference to the previous byte is
+//!   zigzag-mapped instead, which wins on smooth streams (biases, f16
+//!   exponent bytes).
+//!
+//! Codes are packed LSB-first at the block's maximum bit width. One header
+//! byte per block records `mode << 7 | width`; width 0 means every code in
+//! the block is zero and no payload bytes follow. The decoder only needs
+//! the original byte count (recorded in the stage params by the chain
+//! layer) to reconstruct the block structure exactly.
+
+use super::CodecError;
+
+/// Bytes per block; one header byte of overhead each.
+pub(crate) const BLOCK: usize = 128;
+
+fn zigzag(v: i8) -> u8 {
+    let w = i32::from(v);
+    ((w << 1) ^ (w >> 7)) as u8
+}
+
+fn unzigzag(z: u8) -> i8 {
+    let w = i32::from(z);
+    ((w >> 1) ^ -(w & 1)) as i8
+}
+
+fn width_of(max_code: u8) -> u32 {
+    8 - u32::from(max_code).leading_zeros().saturating_sub(24)
+}
+
+/// Compresses `raw`; always succeeds (worst case ~0.8% expansion from the
+/// per-block headers).
+pub(crate) fn compress(raw: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(raw.len() + raw.len() / BLOCK + 2);
+    let mut prev = 0u8;
+    for block in raw.chunks(BLOCK) {
+        let mut raw_codes = [0u8; BLOCK];
+        let mut delta_codes = [0u8; BLOCK];
+        let (mut raw_max, mut delta_max) = (0u8, 0u8);
+        let mut p = prev;
+        for (i, &b) in block.iter().enumerate() {
+            let rz = zigzag(b as i8);
+            let dz = zigzag(b.wrapping_sub(p) as i8);
+            raw_codes[i] = rz;
+            delta_codes[i] = dz;
+            raw_max = raw_max.max(rz);
+            delta_max = delta_max.max(dz);
+            p = b;
+        }
+        let (raw_w, delta_w) = (width_of(raw_max), width_of(delta_max));
+        let (mode, width, codes) = if delta_w < raw_w {
+            (1u8, delta_w, &delta_codes[..block.len()])
+        } else {
+            (0u8, raw_w, &raw_codes[..block.len()])
+        };
+        out.push((mode << 7) | width as u8);
+        pack(codes, width, &mut out);
+        prev = *block.last().expect("chunks are non-empty");
+    }
+    out
+}
+
+/// LSB-first bit packing at `width` bits per code.
+fn pack(codes: &[u8], width: u32, out: &mut Vec<u8>) {
+    if width == 0 {
+        return;
+    }
+    let mut acc = 0u32;
+    let mut nbits = 0u32;
+    for &c in codes {
+        acc |= u32::from(c) << nbits;
+        nbits += width;
+        while nbits >= 8 {
+            out.push((acc & 0xff) as u8);
+            acc >>= 8;
+            nbits -= 8;
+        }
+    }
+    if nbits > 0 {
+        out.push((acc & 0xff) as u8);
+    }
+}
+
+/// Decompresses into exactly `raw_len` bytes, rejecting malformed streams
+/// with a typed error.
+pub(crate) fn decompress(data: &[u8], raw_len: usize) -> Result<Vec<u8>, CodecError> {
+    let corrupt = |detail: String| CodecError::Corrupt {
+        stage: "delta-bitpack",
+        detail,
+    };
+    let mut out = Vec::with_capacity(raw_len);
+    let mut pos = 0usize;
+    let mut prev = 0u8;
+    while out.len() < raw_len {
+        let count = BLOCK.min(raw_len - out.len());
+        let header = *data
+            .get(pos)
+            .ok_or(CodecError::Truncated("delta-bitpack"))?;
+        pos += 1;
+        let mode = header >> 7;
+        let width = u32::from(header & 0x7f);
+        if width > 8 {
+            return Err(corrupt(format!("bit width {width} exceeds 8")));
+        }
+        let nbytes = (count * width as usize).div_ceil(8);
+        let packed = data
+            .get(pos..pos + nbytes)
+            .ok_or(CodecError::Truncated("delta-bitpack"))?;
+        pos += nbytes;
+        let mask = if width == 0 { 0 } else { (1u32 << width) - 1 };
+        let mut acc = 0u32;
+        let mut nbits = 0u32;
+        let mut read = 0usize;
+        for _ in 0..count {
+            while nbits < width {
+                acc |= u32::from(packed[read]) << nbits;
+                read += 1;
+                nbits += 8;
+            }
+            let code = (acc & mask) as u8;
+            acc >>= width;
+            nbits -= width;
+            let v = unzigzag(code);
+            let b = if mode == 1 {
+                prev.wrapping_add(v as u8)
+            } else {
+                v as u8
+            };
+            out.push(b);
+            prev = b;
+        }
+    }
+    if pos != data.len() {
+        return Err(corrupt(format!(
+            "{} trailing bytes after the final block",
+            data.len() - pos
+        )));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(raw: &[u8]) {
+        let packed = compress(raw);
+        assert_eq!(decompress(&packed, raw.len()).unwrap(), raw);
+    }
+
+    #[test]
+    fn byte_exact_on_varied_streams() {
+        round_trip(&[]);
+        round_trip(&[0]);
+        round_trip(&[0xff; 300]);
+        round_trip(&(0..=255u8).collect::<Vec<_>>());
+        let ramp: Vec<u8> = (0..1000).map(|i| (i / 4) as u8).collect();
+        round_trip(&ramp);
+        let noisy: Vec<u8> = (0..777).map(|i| ((i * 37) % 251) as u8).collect();
+        round_trip(&noisy);
+    }
+
+    #[test]
+    fn small_magnitude_int8_streams_shrink() {
+        // Quantized-weight-like stream: i8 values within ±15.
+        let q: Vec<u8> = (0..4096)
+            .map(|i| (((i * 29) % 31) - 15) as i8 as u8)
+            .collect();
+        let packed = compress(&q);
+        assert!(
+            packed.len() < q.len() * 3 / 4,
+            "expected <75% of {}, got {}",
+            q.len(),
+            packed.len()
+        );
+        assert_eq!(decompress(&packed, q.len()).unwrap(), q);
+    }
+
+    #[test]
+    fn smooth_streams_choose_delta() {
+        let ramp: Vec<u8> = (0..512).map(|i| (i / 2) as u8).collect();
+        let packed = compress(&ramp);
+        assert!(packed.len() < ramp.len() / 2);
+        assert_eq!(decompress(&packed, ramp.len()).unwrap(), ramp);
+    }
+
+    #[test]
+    fn malformed_streams_are_typed_errors() {
+        let packed = compress(&[5u8; 200]);
+        // Truncation at every cut.
+        for cut in 0..packed.len() {
+            assert!(decompress(&packed[..cut], 200).is_err(), "cut {cut}");
+        }
+        // Impossible width.
+        let mut bad = packed.clone();
+        bad[0] = 0x09; // mode 0, width 9
+        assert!(matches!(
+            decompress(&bad, 200),
+            Err(CodecError::Corrupt {
+                stage: "delta-bitpack",
+                ..
+            })
+        ));
+        // Trailing garbage.
+        let mut long = packed;
+        long.push(0);
+        assert!(matches!(
+            decompress(&long, 200),
+            Err(CodecError::Corrupt { .. })
+        ));
+    }
+}

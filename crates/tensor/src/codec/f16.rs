@@ -1,0 +1,152 @@
+//! IEEE 754 binary16 conversions, from scratch.
+//!
+//! The f16 array stage stores each value as its binary16 bit pattern.
+//! Conversion down rounds to nearest-even (the IEEE default), handles
+//! subnormals on both sides, preserves signed zero, maps overflow to ±∞,
+//! and keeps NaN a NaN. Conversion up is exact (every binary16 value is
+//! representable in binary32), so an f16 chain round-trips any value that
+//! was already half-precision bit-exactly.
+
+/// Converts `f32` to its binary16 bit pattern, round-to-nearest-even.
+pub fn f32_to_f16_bits(value: f32) -> u16 {
+    let bits = value.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let exp32 = ((bits >> 23) & 0xff) as i32;
+    let mant = bits & 0x007f_ffff;
+
+    if exp32 == 0xff {
+        // Infinity or NaN; keep a nonzero mantissa so NaN stays NaN.
+        return if mant == 0 {
+            sign | 0x7c00
+        } else {
+            sign | 0x7e00
+        };
+    }
+
+    // Rebias to binary16's exponent.
+    let exp = exp32 - 127 + 15;
+    if exp >= 0x1f {
+        return sign | 0x7c00; // overflow → ±∞
+    }
+    if exp <= 0 {
+        // Subnormal half (or zero). The significand with its implicit bit
+        // is a 24-bit integer M; the half subnormal is M >> (14 − exp),
+        // rounded to nearest-even.
+        if exp < -10 {
+            return sign; // underflows past the smallest subnormal
+        }
+        let m = mant | 0x0080_0000;
+        let shift = (14 - exp) as u32;
+        let v = m >> shift;
+        let rem = m & ((1u32 << shift) - 1);
+        let half = 1u32 << (shift - 1);
+        let round_up = rem > half || (rem == half && (v & 1) == 1);
+        return sign | (v + u32::from(round_up)) as u16;
+    }
+
+    // Normal: drop 13 mantissa bits with round-to-nearest-even. A carry
+    // out of the mantissa rolls into the exponent (and can round to ∞),
+    // which is exactly the IEEE behaviour.
+    let v = ((exp as u32) << 10) | (mant >> 13);
+    let rem = mant & 0x1fff;
+    let round_up = rem > 0x1000 || (rem == 0x1000 && (v & 1) == 1);
+    sign | (v + u32::from(round_up)) as u16
+}
+
+/// Converts a binary16 bit pattern to `f32` (exact).
+pub fn f16_bits_to_f32(h: u16) -> f32 {
+    let sign = u32::from(h & 0x8000) << 16;
+    let exp = (h >> 10) & 0x1f;
+    let mant = u32::from(h & 0x3ff);
+    let bits = match exp {
+        0 => {
+            if mant == 0 {
+                sign // ±0
+            } else {
+                // Subnormal: normalize by shifting the leading bit into
+                // the implicit-one position.
+                let mut m = mant << 13;
+                let mut e = 113u32; // binary32 biased exponent of 2^-14
+                while m & 0x0080_0000 == 0 {
+                    m <<= 1;
+                    e -= 1;
+                }
+                sign | (e << 23) | (m & 0x007f_ffff)
+            }
+        }
+        0x1f => sign | 0x7f80_0000 | (mant << 13), // ±∞ / NaN
+        _ => sign | ((u32::from(exp) + 112) << 23) | (mant << 13),
+    };
+    f32::from_bits(bits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_values_round_trip() {
+        for &x in &[
+            0.0f32, -0.0, 1.0, -1.0, 0.5, 2.0, 65504.0, -65504.0, 0.25, 1024.0,
+        ] {
+            let back = f16_bits_to_f32(f32_to_f16_bits(x));
+            assert_eq!(back.to_bits(), x.to_bits(), "{x}");
+        }
+    }
+
+    #[test]
+    fn specials_are_preserved() {
+        assert_eq!(f32_to_f16_bits(f32::INFINITY), 0x7c00);
+        assert_eq!(f32_to_f16_bits(f32::NEG_INFINITY), 0xfc00);
+        assert!(f16_bits_to_f32(f32_to_f16_bits(f32::NAN)).is_nan());
+        // Overflow saturates to infinity.
+        assert_eq!(f32_to_f16_bits(1.0e6), 0x7c00);
+        assert_eq!(f32_to_f16_bits(-1.0e6), 0xfc00);
+        // Signed zero survives.
+        assert_eq!(f32_to_f16_bits(-0.0), 0x8000);
+        assert_eq!(f16_bits_to_f32(0x8000).to_bits(), (-0.0f32).to_bits());
+    }
+
+    #[test]
+    fn subnormals_and_underflow() {
+        // Smallest half subnormal: 2^-24.
+        let tiny = 2.0f32.powi(-24);
+        assert_eq!(f32_to_f16_bits(tiny), 0x0001);
+        assert_eq!(f16_bits_to_f32(0x0001), tiny);
+        // Largest half subnormal.
+        let max_sub = f16_bits_to_f32(0x03ff);
+        assert_eq!(f32_to_f16_bits(max_sub), 0x03ff);
+        // Half of the smallest subnormal rounds to even (zero).
+        assert_eq!(f32_to_f16_bits(2.0f32.powi(-25)), 0x0000);
+        // Just above that rounds up to the smallest subnormal.
+        assert_eq!(f32_to_f16_bits(2.0f32.powi(-25) * 1.5), 0x0001);
+        // f32 denormals collapse to zero without panicking.
+        assert_eq!(f32_to_f16_bits(f32::MIN_POSITIVE / 2.0), 0x0000);
+    }
+
+    #[test]
+    fn rounding_is_nearest_even() {
+        // 1 + 2^-11 sits exactly between 1.0 and the next half; ties to
+        // even keep 1.0.
+        let tie = f32::from_bits(0x3f80_1000);
+        assert_eq!(f32_to_f16_bits(tie), 0x3c00);
+        // The next representable f32 above the tie rounds up.
+        let above = f32::from_bits(0x3f80_1001);
+        assert_eq!(f32_to_f16_bits(above), 0x3c01);
+        // 1 + 3·2^-11: tie between 0x3c01 and 0x3c02 → even (0x3c02).
+        let tie2 = f32::from_bits(0x3f80_3000);
+        assert_eq!(f32_to_f16_bits(tie2), 0x3c02);
+    }
+
+    #[test]
+    fn every_half_pattern_round_trips_through_f32() {
+        for h in 0..=u16::MAX {
+            let x = f16_bits_to_f32(h);
+            if x.is_nan() {
+                assert!(f16_bits_to_f32(f32_to_f16_bits(x)).is_nan());
+            } else {
+                assert_eq!(f32_to_f16_bits(x), h, "pattern {h:#06x}");
+            }
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! LZSS-style byte compressor, from scratch.
+//!
+//! Token stream: a control byte `T` either introduces a literal run
+//! (`T < 0x80`: the next `T + 1` bytes are copied verbatim) or a match
+//! (`T ≥ 0x80`: copy `(T & 0x7f) + MIN_MATCH` bytes from `distance` bytes
+//! back, where `distance` is the following little-endian `u16`). Matches
+//! may overlap their own output (RLE-style), which the byte-by-byte copy
+//! in [`decompress`] handles naturally.
+//!
+//! The compressor is greedy with a single-probe hash table over 4-byte
+//! prefixes — small, deterministic, and fast enough for bundle encoding;
+//! correctness never depends on match quality because every input can
+//! fall back to literal runs.
+
+use super::CodecError;
+
+/// Shortest encodable match; shorter repeats go out as literals.
+const MIN_MATCH: usize = 4;
+/// Longest encodable match (`0x7f + MIN_MATCH`).
+const MAX_MATCH: usize = 0x7f + MIN_MATCH;
+/// Longest literal run one control byte can introduce.
+const MAX_LITERAL: usize = 0x80;
+/// Match window (maximum back-reference distance).
+const WINDOW: usize = u16::MAX as usize;
+
+const HASH_BITS: u32 = 15;
+
+fn hash4(bytes: &[u8]) -> usize {
+    let v = u32::from_le_bytes(bytes[..4].try_into().expect("4 bytes"));
+    (v.wrapping_mul(2654435761) >> (32 - HASH_BITS)) as usize
+}
+
+/// Flushes `raw[start..end]` as literal runs.
+fn flush_literals(raw: &[u8], start: usize, end: usize, out: &mut Vec<u8>) {
+    let mut s = start;
+    while s < end {
+        let run = (end - s).min(MAX_LITERAL);
+        out.push((run - 1) as u8);
+        out.extend_from_slice(&raw[s..s + run]);
+        s += run;
+    }
+}
+
+/// Compresses `raw`; always succeeds (worst case one control byte per 128
+/// literals, ~0.8% expansion).
+pub(crate) fn compress(raw: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(raw.len() / 2 + 16);
+    let mut head = vec![usize::MAX; 1 << HASH_BITS];
+    let mut i = 0usize;
+    let mut lit_start = 0usize;
+    while i + MIN_MATCH <= raw.len() {
+        let h = hash4(&raw[i..]);
+        let cand = head[h];
+        head[h] = i;
+        let mut len = 0usize;
+        if cand != usize::MAX && i - cand <= WINDOW {
+            let max_len = (raw.len() - i).min(MAX_MATCH);
+            while len < max_len && raw[cand + len] == raw[i + len] {
+                len += 1;
+            }
+        }
+        if len >= MIN_MATCH {
+            flush_literals(raw, lit_start, i, &mut out);
+            out.push(0x80 | (len - MIN_MATCH) as u8);
+            out.extend_from_slice(&((i - cand) as u16).to_le_bytes());
+            // Index the positions the match skipped so later references
+            // can land inside it.
+            let stop = (i + len).min(raw.len().saturating_sub(MIN_MATCH - 1));
+            for j in (i + 1)..stop {
+                head[hash4(&raw[j..])] = j;
+            }
+            i += len;
+            lit_start = i;
+        } else {
+            i += 1;
+        }
+    }
+    flush_literals(raw, lit_start, raw.len(), &mut out);
+    out
+}
+
+/// Decompresses into exactly `raw_len` bytes, rejecting malformed streams
+/// with a typed error.
+pub(crate) fn decompress(data: &[u8], raw_len: usize) -> Result<Vec<u8>, CodecError> {
+    let corrupt = |detail: String| CodecError::Corrupt {
+        stage: "lz",
+        detail,
+    };
+    let mut out: Vec<u8> = Vec::with_capacity(raw_len);
+    let mut pos = 0usize;
+    while pos < data.len() {
+        let ctrl = data[pos];
+        pos += 1;
+        if ctrl < 0x80 {
+            let run = ctrl as usize + 1;
+            let lits = data
+                .get(pos..pos + run)
+                .ok_or(CodecError::Truncated("lz"))?;
+            pos += run;
+            if out.len() + run > raw_len {
+                return Err(corrupt(format!(
+                    "literal run overflows declared length {raw_len}"
+                )));
+            }
+            out.extend_from_slice(lits);
+        } else {
+            let len = (ctrl & 0x7f) as usize + MIN_MATCH;
+            let d = data.get(pos..pos + 2).ok_or(CodecError::Truncated("lz"))?;
+            pos += 2;
+            let dist = u16::from_le_bytes([d[0], d[1]]) as usize;
+            if dist == 0 || dist > out.len() {
+                return Err(corrupt(format!(
+                    "back-reference distance {dist} outside the {} bytes produced",
+                    out.len()
+                )));
+            }
+            if out.len() + len > raw_len {
+                return Err(corrupt(format!(
+                    "match overflows declared length {raw_len}"
+                )));
+            }
+            // Byte-by-byte copy: matches may overlap their own output.
+            let start = out.len() - dist;
+            for j in 0..len {
+                let b = out[start + j];
+                out.push(b);
+            }
+        }
+    }
+    if out.len() != raw_len {
+        return Err(corrupt(format!(
+            "stream produced {} bytes, header declared {raw_len}",
+            out.len()
+        )));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(raw: &[u8]) {
+        let packed = compress(raw);
+        assert_eq!(decompress(&packed, raw.len()).unwrap(), raw);
+    }
+
+    #[test]
+    fn byte_exact_on_varied_streams() {
+        round_trip(&[]);
+        round_trip(b"a");
+        round_trip(b"abcabcabcabcabcabc");
+        round_trip(&[0u8; 10_000]);
+        round_trip(&(0..=255u8).cycle().take(2000).collect::<Vec<_>>());
+        let noisy: Vec<u8> = (0..3000)
+            .map(|i| ((i * 2654435761u64) >> 7) as u8)
+            .collect();
+        round_trip(&noisy);
+        // Long literal tails around the MAX_LITERAL boundary.
+        for n in [127, 128, 129, 255, 256, 257] {
+            let lits: Vec<u8> = (0..n).map(|i| (i * 7 % 253) as u8).collect();
+            round_trip(&lits);
+        }
+    }
+
+    #[test]
+    fn repetitive_streams_shrink_well() {
+        let repeated: Vec<u8> = b"weights-and-biases-".repeat(200).to_vec();
+        let packed = compress(&repeated);
+        assert!(
+            packed.len() < repeated.len() / 5,
+            "expected <20% of {}, got {}",
+            repeated.len(),
+            packed.len()
+        );
+        round_trip(&repeated);
+    }
+
+    #[test]
+    fn overlapping_matches_reconstruct() {
+        // RLE-style: a run of one byte back-references itself.
+        let mut v = vec![7u8; 500];
+        v.extend_from_slice(b"tail");
+        round_trip(&v);
+    }
+
+    #[test]
+    fn malformed_streams_are_typed_errors() {
+        let packed = compress(&b"abcabcabcabcabcabc-the-quick-brown-fox".repeat(8));
+        for cut in 0..packed.len() {
+            // A strict prefix either truncates a token or under-produces.
+            assert!(
+                decompress(&packed[..cut], 38 * 8).is_err(),
+                "cut {cut} should not decode"
+            );
+        }
+        // Bad distance: match token before any output exists.
+        let bad = [0x80u8, 0x01, 0x00]; // len-4 match, distance 1
+        assert!(matches!(
+            decompress(&bad, 4),
+            Err(CodecError::Corrupt { stage: "lz", .. })
+        ));
+        // Zero distance.
+        let zero = [0x00u8, b'x', 0x80, 0x00, 0x00];
+        assert!(matches!(
+            decompress(&zero, 5),
+            Err(CodecError::Corrupt { stage: "lz", .. })
+        ));
+        // Over-production vs the declared length.
+        let over = [0x03u8, 1, 2, 3, 4];
+        assert!(decompress(&over, 2).is_err());
+    }
+}

@@ -1,0 +1,571 @@
+//! Self-describing codec chains for tensor payloads.
+//!
+//! A chain is one **array stage** (f32 → bytes) followed by zero or more
+//! **byte stages** (bytes → bytes), in the zarrs layering style: the array
+//! stage decides the numeric representation on the wire, the byte stages
+//! compress it. Every stage writes an `id + params` header, so a decoder
+//! needs **no out-of-band configuration** — [`decode`] reconstructs the
+//! values from the stream alone.
+//!
+//! Array stages:
+//!
+//! * [`ArrayStage::F32`] — identity little-endian `f32` (lossless);
+//! * [`ArrayStage::F16`] — IEEE 754 binary16 with round-to-nearest-even
+//!   ([`f16`], from scratch — no half-float dependency);
+//! * [`ArrayStage::Int8`] — per-tensor symmetric int8: `scale = max|x|/127`
+//!   recorded in the stage params, `q = clamp(round(x/scale), ±127)`.
+//!
+//! Byte stages:
+//!
+//! * [`ByteStage::DeltaBitpack`] — per-block zigzag (optionally delta)
+//!   bit-packing ([`bitpack`]), tuned for int8 weight streams;
+//! * [`ByteStage::Lz`] — an LZSS-style byte compressor ([`lz`]) with a
+//!   64 KiB window, byte-exact on every input.
+//!
+//! Decoding a quantized stream can stop at the integer representation
+//! ([`DecodedTensor::Int8`]) so serving keeps weights in int8 natively;
+//! [`DecodedTensor::into_f32`] dequantizes when f32 is required.
+//!
+//! # Wire format
+//!
+//! ```text
+//! u8   stage count (1 + byte stages, ≤ MAX_STAGES)
+//! per stage, in encode order:
+//!   u16 id (LE)      — see STAGE_* constants
+//!   u32 params len   — 0, or 4 (int8 scale), or 8 (pre-compression length)
+//!   params bytes
+//! u64  payload len (LE)
+//! payload
+//! ```
+//!
+//! Every malformed input maps to a typed [`CodecError`] — never a panic —
+//! and [`CodecError::stage`] names the stage that rejected it, which the
+//! bundle layer surfaces as `BundleError::Codec { stage, .. }`.
+
+pub mod bitpack;
+pub mod f16;
+pub mod lz;
+
+use std::fmt;
+
+/// Stage id: identity little-endian f32.
+pub const STAGE_F32: u16 = 0x0001;
+/// Stage id: IEEE binary16.
+pub const STAGE_F16: u16 = 0x0002;
+/// Stage id: per-tensor symmetric int8 (params = f32 LE scale).
+pub const STAGE_INT8: u16 = 0x0003;
+/// Stage id: delta + zigzag bit-packing (params = u64 LE raw length).
+pub const STAGE_DELTA_BITPACK: u16 = 0x0010;
+/// Stage id: LZSS byte compressor (params = u64 LE raw length).
+pub const STAGE_LZ: u16 = 0x0011;
+
+/// Upper bound on stages per chain; a header claiming more is corrupt.
+const MAX_STAGES: usize = 8;
+
+/// Decompression output must stay within this expansion factor of its
+/// input — a corrupt length header cannot demand an absurd allocation.
+const MAX_EXPANSION: usize = 256;
+
+/// Why a codec stream was rejected. Each failure mode is a distinct
+/// variant so callers (the bundle rejection matrix, operators' logs) can
+/// react to the cause instead of string-matching.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CodecError {
+    /// A stage header carried an id this build does not implement.
+    UnknownId(u16),
+    /// The stream ended before the named part could be read.
+    Truncated(&'static str),
+    /// An int8 stage carried an unusable scale (zero, negative, NaN, or
+    /// infinite) — encoding non-finite data or a corrupted params field.
+    BadScale(f32),
+    /// A stage's payload failed to decode (bit-flip, impossible length,
+    /// bad back-reference, ...).
+    Corrupt {
+        /// Stage that rejected the payload.
+        stage: &'static str,
+        /// What exactly was wrong.
+        detail: String,
+    },
+}
+
+impl CodecError {
+    /// The stage that rejected the stream, for typed bundle errors.
+    pub fn stage(&self) -> &'static str {
+        match self {
+            CodecError::UnknownId(_) => "header",
+            CodecError::Truncated(what) => what,
+            CodecError::BadScale(_) => "int8",
+            CodecError::Corrupt { stage, .. } => stage,
+        }
+    }
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::UnknownId(id) => write!(f, "unknown codec stage id {id:#06x}"),
+            CodecError::Truncated(what) => write!(f, "codec stream truncated at {what}"),
+            CodecError::BadScale(s) => write!(f, "unusable int8 scale {s}"),
+            CodecError::Corrupt { stage, detail } => {
+                write!(f, "corrupt {stage} payload: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// The numeric representation a chain puts on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArrayStage {
+    /// Lossless little-endian f32.
+    F32,
+    /// IEEE binary16, round-to-nearest-even.
+    F16,
+    /// Per-tensor symmetric int8 with recorded scale.
+    Int8,
+}
+
+/// A bytes → bytes compression stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ByteStage {
+    /// Per-block zigzag/delta bit-packing.
+    DeltaBitpack,
+    /// LZSS byte compression.
+    Lz,
+}
+
+/// One array stage plus an ordered list of byte stages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodecChain {
+    /// Numeric representation stage.
+    pub array: ArrayStage,
+    /// Compression stages, applied in order after the array stage.
+    pub bytes: Vec<ByteStage>,
+}
+
+impl CodecChain {
+    /// Identity chain: f32 on the wire, no compression.
+    pub fn f32() -> Self {
+        CodecChain {
+            array: ArrayStage::F32,
+            bytes: Vec::new(),
+        }
+    }
+
+    /// Half-precision plus both compression stages.
+    pub fn f16() -> Self {
+        CodecChain {
+            array: ArrayStage::F16,
+            bytes: vec![ByteStage::DeltaBitpack, ByteStage::Lz],
+        }
+    }
+
+    /// Symmetric int8 plus both compression stages.
+    pub fn int8() -> Self {
+        CodecChain {
+            array: ArrayStage::Int8,
+            bytes: vec![ByteStage::DeltaBitpack, ByteStage::Lz],
+        }
+    }
+
+    /// Short tag for benchmark labels, e.g. `"int8+dbp+lz"`.
+    pub fn tag(&self) -> String {
+        let mut t = match self.array {
+            ArrayStage::F32 => "f32".to_string(),
+            ArrayStage::F16 => "f16".to_string(),
+            ArrayStage::Int8 => "int8".to_string(),
+        };
+        for b in &self.bytes {
+            t.push_str(match b {
+                ByteStage::DeltaBitpack => "+dbp",
+                ByteStage::Lz => "+lz",
+            });
+        }
+        t
+    }
+}
+
+/// A decoded tensor payload: either dequantized values or the native
+/// integer representation of an int8 stream, so quantized serving never
+/// round-trips through f32.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DecodedTensor {
+    /// Values from an f32 or f16 chain.
+    F32(Vec<f32>),
+    /// Values from an int8 chain, kept quantized.
+    Int8 {
+        /// Quantized values in `[-127, 127]`.
+        q: Vec<i8>,
+        /// Dequantization scale (`x ≈ q · scale`), finite and positive.
+        scale: f32,
+    },
+}
+
+impl DecodedTensor {
+    /// Element count.
+    pub fn len(&self) -> usize {
+        match self {
+            DecodedTensor::F32(v) => v.len(),
+            DecodedTensor::Int8 { q, .. } => q.len(),
+        }
+    }
+
+    /// True when the payload held no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Dequantizes (or passes through) to f32.
+    pub fn into_f32(self) -> Vec<f32> {
+        match self {
+            DecodedTensor::F32(v) => v,
+            DecodedTensor::Int8 { q, scale } => dequantize_symmetric(&q, scale),
+        }
+    }
+}
+
+/// Per-tensor symmetric quantization: `scale = max|x| / 127` (1.0 for an
+/// all-zero tensor), `q = clamp(round(x / scale), -127, 127)`. Returns
+/// [`CodecError::BadScale`] if any value is non-finite — a scale derived
+/// from NaN or ∞ could never dequantize.
+pub fn quantize_symmetric(data: &[f32]) -> Result<(Vec<i8>, f32), CodecError> {
+    let mut amax = 0.0f32;
+    for &x in data {
+        if !x.is_finite() {
+            return Err(CodecError::BadScale(x));
+        }
+        amax = amax.max(x.abs());
+    }
+    // A denormal amax could underflow `amax / 127` to zero; clamping to
+    // the smallest normal keeps `x / scale` finite and within ±127.
+    let mut scale = if amax == 0.0 {
+        1.0
+    } else {
+        (amax / 127.0).max(f32::MIN_POSITIVE)
+    };
+    // Near f32::MAX the division rounds up just enough that `127 · scale`
+    // overflows; one-ulp steps down keep every dequantized value finite.
+    while !(scale * 127.0).is_finite() {
+        scale = f32::from_bits(scale.to_bits() - 1);
+    }
+    let q = data
+        .iter()
+        .map(|&x| (x / scale).round().clamp(-127.0, 127.0) as i8)
+        .collect();
+    Ok((q, scale))
+}
+
+/// Inverse of [`quantize_symmetric`]: `x = q · scale`.
+pub fn dequantize_symmetric(q: &[i8], scale: f32) -> Vec<f32> {
+    q.iter().map(|&v| f32::from(v) * scale).collect()
+}
+
+/// Encodes `data` through `chain` into a self-describing stream.
+///
+/// Only the int8 array stage can fail (non-finite input); the f32/f16
+/// stages and both byte stages accept every input.
+pub fn encode(data: &[f32], chain: &CodecChain) -> Result<Vec<u8>, CodecError> {
+    let (payload, array_header) = match chain.array {
+        ArrayStage::F32 => {
+            let mut raw = Vec::with_capacity(data.len() * 4);
+            for &x in data {
+                raw.extend_from_slice(&x.to_le_bytes());
+            }
+            (raw, StageHeader::new(STAGE_F32, Vec::new()))
+        }
+        ArrayStage::F16 => {
+            let mut raw = Vec::with_capacity(data.len() * 2);
+            for &x in data {
+                raw.extend_from_slice(&f16::f32_to_f16_bits(x).to_le_bytes());
+            }
+            (raw, StageHeader::new(STAGE_F16, Vec::new()))
+        }
+        ArrayStage::Int8 => {
+            let (q, scale) = quantize_symmetric(data)?;
+            let raw = q.iter().map(|&v| v as u8).collect();
+            (
+                raw,
+                StageHeader::new(STAGE_INT8, scale.to_le_bytes().to_vec()),
+            )
+        }
+    };
+    Ok(assemble(payload, array_header, &chain.bytes))
+}
+
+/// Encodes an **already-quantized** tensor (int8 values + scale) without
+/// re-quantizing, so a natively quantized member round-trips bit-exactly
+/// through its bundle.
+pub fn encode_q8(q: &[i8], scale: f32, byte_stages: &[ByteStage]) -> Result<Vec<u8>, CodecError> {
+    if !(scale.is_finite() && scale > 0.0) {
+        return Err(CodecError::BadScale(scale));
+    }
+    let raw: Vec<u8> = q.iter().map(|&v| v as u8).collect();
+    let header = StageHeader::new(STAGE_INT8, scale.to_le_bytes().to_vec());
+    Ok(assemble(raw, header, byte_stages))
+}
+
+struct StageHeader {
+    id: u16,
+    params: Vec<u8>,
+}
+
+impl StageHeader {
+    fn new(id: u16, params: Vec<u8>) -> Self {
+        StageHeader { id, params }
+    }
+
+    fn write(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.id.to_le_bytes());
+        out.extend_from_slice(&(self.params.len() as u32).to_le_bytes());
+        out.extend_from_slice(&self.params);
+    }
+}
+
+/// Runs the byte stages over `payload` and lays the full stream out.
+fn assemble(mut payload: Vec<u8>, array_header: StageHeader, byte_stages: &[ByteStage]) -> Vec<u8> {
+    let mut headers = vec![array_header];
+    for stage in byte_stages {
+        let raw_len = payload.len() as u64;
+        let (id, packed) = match stage {
+            ByteStage::DeltaBitpack => (STAGE_DELTA_BITPACK, bitpack::compress(&payload)),
+            ByteStage::Lz => (STAGE_LZ, lz::compress(&payload)),
+        };
+        headers.push(StageHeader::new(id, raw_len.to_le_bytes().to_vec()));
+        payload = packed;
+    }
+    let mut out = Vec::with_capacity(payload.len() + 16 * headers.len() + 16);
+    out.push(headers.len() as u8);
+    for h in &headers {
+        h.write(&mut out);
+    }
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Decodes a self-describing stream produced by [`encode`] /
+/// [`encode_q8`], keeping int8 payloads quantized.
+pub fn decode(stream: &[u8]) -> Result<DecodedTensor, CodecError> {
+    let mut cur = Cursor {
+        buf: stream,
+        pos: 0,
+    };
+    let count = cur.take(1, "stage header")?[0] as usize;
+    if count == 0 || count > MAX_STAGES {
+        return Err(CodecError::Corrupt {
+            stage: "header",
+            detail: format!("stage count {count} out of range 1..={MAX_STAGES}"),
+        });
+    }
+    let mut stages = Vec::with_capacity(count);
+    for _ in 0..count {
+        let id_bytes = cur.take(2, "stage header")?;
+        let id = u16::from_le_bytes([id_bytes[0], id_bytes[1]]);
+        let len_bytes = cur.take(4, "stage header")?;
+        let params_len = u32::from_le_bytes(len_bytes.try_into().expect("4 bytes")) as usize;
+        if params_len > 16 {
+            return Err(CodecError::Corrupt {
+                stage: "header",
+                detail: format!("stage {id:#06x} params length {params_len} exceeds 16"),
+            });
+        }
+        let params = cur.take(params_len, "stage header")?.to_vec();
+        stages.push((id, params));
+    }
+    let len_bytes = cur.take(8, "payload")?;
+    let payload_len = u64::from_le_bytes(len_bytes.try_into().expect("8 bytes")) as usize;
+    let mut payload = cur.take(payload_len, "payload")?.to_vec();
+
+    // Undo the byte stages in reverse order; stages[0] stays for the
+    // array decode.
+    for (id, params) in stages[1..].iter().rev() {
+        let raw_len = byte_stage_raw_len(*id, params, payload.len())?;
+        payload = match *id {
+            STAGE_DELTA_BITPACK => bitpack::decompress(&payload, raw_len)?,
+            STAGE_LZ => lz::decompress(&payload, raw_len)?,
+            other => return Err(CodecError::UnknownId(other)),
+        };
+    }
+
+    let (id, params) = &stages[0];
+    match *id {
+        STAGE_F32 => {
+            if payload.len() % 4 != 0 {
+                return Err(CodecError::Corrupt {
+                    stage: "f32",
+                    detail: format!("payload length {} not a multiple of 4", payload.len()),
+                });
+            }
+            let vals = payload
+                .chunks_exact(4)
+                .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes")))
+                .collect();
+            Ok(DecodedTensor::F32(vals))
+        }
+        STAGE_F16 => {
+            if payload.len() % 2 != 0 {
+                return Err(CodecError::Corrupt {
+                    stage: "f16",
+                    detail: format!("payload length {} not a multiple of 2", payload.len()),
+                });
+            }
+            let vals = payload
+                .chunks_exact(2)
+                .map(|c| f16::f16_bits_to_f32(u16::from_le_bytes([c[0], c[1]])))
+                .collect();
+            Ok(DecodedTensor::F32(vals))
+        }
+        STAGE_INT8 => {
+            if params.len() != 4 {
+                return Err(CodecError::Truncated("int8 params"));
+            }
+            let scale = f32::from_le_bytes(params.as_slice().try_into().expect("4 bytes"));
+            if !(scale.is_finite() && scale > 0.0) {
+                return Err(CodecError::BadScale(scale));
+            }
+            let q = payload.iter().map(|&b| b as i8).collect();
+            Ok(DecodedTensor::Int8 { q, scale })
+        }
+        other => Err(CodecError::UnknownId(other)),
+    }
+}
+
+/// Decodes and always dequantizes to f32.
+pub fn decode_f32(stream: &[u8]) -> Result<Vec<f32>, CodecError> {
+    Ok(decode(stream)?.into_f32())
+}
+
+/// Validates a byte stage's recorded pre-compression length against the
+/// sanity expansion bound.
+fn byte_stage_raw_len(id: u16, params: &[u8], in_len: usize) -> Result<usize, CodecError> {
+    let stage = match id {
+        STAGE_DELTA_BITPACK => "delta-bitpack",
+        STAGE_LZ => "lz",
+        other => return Err(CodecError::UnknownId(other)),
+    };
+    if params.len() != 8 {
+        return Err(CodecError::Truncated("stage header"));
+    }
+    let raw_len = u64::from_le_bytes(params.try_into().expect("8 bytes"));
+    let cap = (in_len.saturating_mul(MAX_EXPANSION)).saturating_add(1024) as u64;
+    if raw_len > cap {
+        return Err(CodecError::Corrupt {
+            stage,
+            detail: format!("claimed raw length {raw_len} exceeds plausible bound {cap}"),
+        });
+    }
+    Ok(raw_len as usize)
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], CodecError> {
+        if self.buf.len() - self.pos < n {
+            return Err(CodecError::Truncated(what));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(n: usize) -> Vec<f32> {
+        (0..n)
+            .map(|i| ((i * 37 % 19) as f32 - 9.0) * 0.37)
+            .collect()
+    }
+
+    #[test]
+    fn f32_chain_is_bit_exact() {
+        for chain in [
+            CodecChain::f32(),
+            CodecChain {
+                array: ArrayStage::F32,
+                bytes: vec![ByteStage::DeltaBitpack, ByteStage::Lz],
+            },
+        ] {
+            let data = sample(97);
+            let stream = encode(&data, &chain).unwrap();
+            assert_eq!(decode_f32(&stream).unwrap(), data, "{}", chain.tag());
+        }
+    }
+
+    #[test]
+    fn int8_round_trip_stays_quantized_and_bounded() {
+        let data = sample(64);
+        let stream = encode(&data, &CodecChain::int8()).unwrap();
+        match decode(&stream).unwrap() {
+            DecodedTensor::Int8 { q, scale } => {
+                assert_eq!(q.len(), data.len());
+                for (&x, &qi) in data.iter().zip(&q) {
+                    assert!((x - f32::from(qi) * scale).abs() <= scale * 0.5 + 1e-12);
+                }
+            }
+            other => panic!("expected Int8, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn prequantized_round_trip_is_bit_exact() {
+        let q: Vec<i8> = (0..100).map(|i| ((i * 7) % 255) as u8 as i8).collect();
+        let stream = encode_q8(&q, 0.125, &[ByteStage::DeltaBitpack, ByteStage::Lz]).unwrap();
+        match decode(&stream).unwrap() {
+            DecodedTensor::Int8 { q: back, scale } => {
+                assert_eq!(back, q);
+                assert_eq!(scale, 0.125);
+            }
+            other => panic!("expected Int8, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_streams_are_typed_errors() {
+        let data = sample(32);
+        let stream = encode(&data, &CodecChain::int8()).unwrap();
+        // Unknown stage id.
+        let mut bad_id = stream.clone();
+        bad_id[1] = 0x7f;
+        assert!(matches!(decode(&bad_id), Err(CodecError::UnknownId(_))));
+        // Truncated at every cut never panics.
+        for cut in 0..stream.len() {
+            assert!(decode(&stream[..cut]).is_err(), "cut {cut}");
+        }
+        // Zero / NaN scale.
+        let mut zero_scale = stream.clone();
+        zero_scale[7..11].copy_from_slice(&0.0f32.to_le_bytes());
+        assert!(matches!(
+            decode(&zero_scale),
+            Err(CodecError::BadScale(s)) if s == 0.0
+        ));
+        let mut nan_scale = stream;
+        nan_scale[7..11].copy_from_slice(&f32::NAN.to_le_bytes());
+        assert!(matches!(
+            decode(&nan_scale),
+            Err(CodecError::BadScale(s)) if s.is_nan()
+        ));
+    }
+
+    #[test]
+    fn non_finite_input_is_rejected_at_encode() {
+        let err = encode(&[1.0, f32::NAN], &CodecChain::int8()).unwrap_err();
+        assert!(matches!(err, CodecError::BadScale(_)));
+        assert_eq!(err.stage(), "int8");
+    }
+
+    #[test]
+    fn empty_tensor_round_trips() {
+        for chain in [CodecChain::f32(), CodecChain::f16(), CodecChain::int8()] {
+            let stream = encode(&[], &chain).unwrap();
+            assert_eq!(decode(&stream).unwrap().len(), 0, "{}", chain.tag());
+        }
+    }
+}

@@ -15,7 +15,11 @@
 //! * max/avg pooling with backward index maps ([`ops::pool`]);
 //! * reductions, softmax, and argmax ([`ops::reduce`]);
 //! * seeded random fills (uniform, normal via Box–Muller) ([`rng`]);
-//! * a compact binary serialization format ([`serialize`]).
+//! * a compact binary serialization format ([`serialize`]);
+//! * self-describing codec chains (f16 / symmetric int8 array stages,
+//!   delta+bitpack and LZ byte stages) for compressed weight payloads
+//!   ([`codec`]), with an int8×int8→i32 gemm behind the same SIMD
+//!   dispatch ([`simd::gemm_i8_i32`]).
 //!
 //! Everything is deterministic given a seed, which the ensemble experiments
 //! rely on for reproducibility.
@@ -29,6 +33,7 @@
 //! assert_eq!(c.data(), a.data());
 //! ```
 
+pub mod codec;
 pub mod crc32;
 pub mod error;
 pub mod ops;

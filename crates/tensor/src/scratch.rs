@@ -186,6 +186,75 @@ impl BufferPool {
     }
 }
 
+/// A [`BufferPool`]-style owned free list for non-`f32` element types —
+/// the staging source for quantized inference (`i8` activation buffers,
+/// `i32` accumulators). Same contract: contents unspecified on `take`,
+/// every returned buffer retained, [`TypedPool::misses`] is zero in
+/// steady state.
+#[derive(Debug)]
+pub struct TypedPool<T> {
+    free: Vec<Vec<T>>,
+    misses: usize,
+}
+
+impl<T> Default for TypedPool<T> {
+    fn default() -> Self {
+        TypedPool {
+            free: Vec::new(),
+            misses: 0,
+        }
+    }
+}
+
+impl<T: Copy + Default> TypedPool<T> {
+    /// An empty pool.
+    pub fn new() -> Self {
+        TypedPool::default()
+    }
+
+    /// Hands out a buffer of exactly `len` elements with unspecified
+    /// contents.
+    pub fn take(&mut self, len: usize) -> Vec<T> {
+        let best = self
+            .free
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| b.capacity() >= len)
+            .min_by_key(|(_, b)| b.capacity())
+            .map(|(i, _)| i);
+        let mut buf = match best {
+            Some(i) => self.free.swap_remove(i),
+            None => {
+                self.misses += 1;
+                match self
+                    .free
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|(_, b)| b.capacity())
+                    .map(|(i, _)| i)
+                {
+                    Some(i) => self.free.swap_remove(i),
+                    None => Vec::new(),
+                }
+            }
+        };
+        buf.resize(len, T::default());
+        buf
+    }
+
+    /// Returns a buffer to the pool for reuse.
+    pub fn give(&mut self, buf: Vec<T>) {
+        if buf.capacity() > 0 {
+            self.free.push(buf);
+        }
+    }
+
+    /// Takes that had to allocate (or grow) — zero in steady state.
+    pub fn misses(&self) -> usize {
+        self.misses
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -233,6 +302,20 @@ mod tests {
         assert_eq!(b.len(), 128);
         assert_eq!(pool.hits(), 1);
         assert_eq!(pool.misses(), 1);
+    }
+
+    #[test]
+    fn typed_pool_reuses_and_counts_misses() {
+        let mut pool: TypedPool<i32> = TypedPool::new();
+        let a = pool.take(64);
+        assert_eq!(pool.misses(), 1);
+        pool.give(a);
+        for _ in 0..3 {
+            let b = pool.take(32);
+            assert_eq!(b.len(), 32);
+            pool.give(b);
+        }
+        assert_eq!(pool.misses(), 1, "steady state allocates nothing");
     }
 
     #[test]

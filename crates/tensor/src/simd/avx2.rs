@@ -457,3 +457,165 @@ pub(crate) unsafe fn sum_sq(xs: &[f32]) -> f32 {
     }
     total
 }
+
+/// Output rows per int8 gemm tile: 4 rows × 16 columns is 8 i32
+/// accumulators + 2 interleaved `B` vectors + 1 `A` pair broadcast.
+const MR_I8: usize = 4;
+
+/// `MR_ACT × 16` tile of `C += A·B` for int8 operands: `k` is consumed in
+/// pairs through `vpmaddwd` (two 16×16→32 products summed per lane —
+/// exact integer arithmetic, so the result is bit-identical to the scalar
+/// triple loop by construction).
+///
+/// `unpacklo/hi_epi16` interleave within 128-bit lanes, so the
+/// accumulators hold columns `[0..4, 8..12]` / `[4..8, 12..16]`;
+/// `permute2x128` restores contiguous order at store time.
+#[target_feature(enable = "avx2")]
+unsafe fn tile_i8_w16<const MR_ACT: usize>(
+    c: &mut [i32],
+    panel: &[i32],
+    b: &[i8],
+    k: usize,
+    n: usize,
+    ib: usize,
+    jb: usize,
+) {
+    let cp = c.as_mut_ptr();
+    let bp = b.as_ptr();
+    let pp = panel.as_ptr();
+    let mut acc_lo = [_mm256_setzero_si256(); MR_ACT];
+    let mut acc_hi = [_mm256_setzero_si256(); MR_ACT];
+    let mut l = 0;
+    let mut p = 0;
+    while l + 2 <= k {
+        let b0 = _mm256_cvtepi8_epi16(_mm_loadu_si128(bp.add(l * n + jb) as *const __m128i));
+        let b1 = _mm256_cvtepi8_epi16(_mm_loadu_si128(bp.add((l + 1) * n + jb) as *const __m128i));
+        let lo = _mm256_unpacklo_epi16(b0, b1);
+        let hi = _mm256_unpackhi_epi16(b0, b1);
+        for r in 0..MR_ACT {
+            let av = _mm256_set1_epi32(*pp.add(p + r));
+            acc_lo[r] = _mm256_add_epi32(acc_lo[r], _mm256_madd_epi16(lo, av));
+            acc_hi[r] = _mm256_add_epi32(acc_hi[r], _mm256_madd_epi16(hi, av));
+        }
+        p += MR_ACT;
+        l += 2;
+    }
+    if l < k {
+        // Odd k: the panel already padded the last pair with a zero.
+        let b0 = _mm256_cvtepi8_epi16(_mm_loadu_si128(bp.add(l * n + jb) as *const __m128i));
+        let zero = _mm256_setzero_si256();
+        let lo = _mm256_unpacklo_epi16(b0, zero);
+        let hi = _mm256_unpackhi_epi16(b0, zero);
+        for r in 0..MR_ACT {
+            let av = _mm256_set1_epi32(*pp.add(p + r));
+            acc_lo[r] = _mm256_add_epi32(acc_lo[r], _mm256_madd_epi16(lo, av));
+            acc_hi[r] = _mm256_add_epi32(acc_hi[r], _mm256_madd_epi16(hi, av));
+        }
+    }
+    for r in 0..MR_ACT {
+        let dst0 = cp.add((ib + r) * n + jb) as *mut __m256i;
+        let dst1 = cp.add((ib + r) * n + jb + 8) as *mut __m256i;
+        let c0 = _mm256_permute2x128_si256(acc_lo[r], acc_hi[r], 0x20);
+        let c1 = _mm256_permute2x128_si256(acc_lo[r], acc_hi[r], 0x31);
+        _mm256_storeu_si256(dst0, _mm256_add_epi32(_mm256_loadu_si256(dst0), c0));
+        _mm256_storeu_si256(dst1, _mm256_add_epi32(_mm256_loadu_si256(dst1), c1));
+    }
+}
+
+/// Packs `MR_ACT` rows of `A` into pair-major broadcastable `i32`s:
+/// `panel[p · MR_ACT + r]` holds rows `ib+r`'s sign-extended `k` pair
+/// `(a[2p+1] << 16) | a[2p]`, so the tile's inner loop is one
+/// `vpbroadcastd` from memory instead of two byte loads plus a shift/or
+/// per row — the packing cost is amortized over all `n/16` column tiles.
+#[target_feature(enable = "avx2")]
+unsafe fn pack_a_i8<const MR_ACT: usize>(panel: &mut Vec<i32>, a: &[i8], k: usize, ib: usize) {
+    panel.clear();
+    let ap = a.as_ptr();
+    let mut l = 0;
+    while l + 2 <= k {
+        for r in 0..MR_ACT {
+            let a0 = *ap.add((ib + r) * k + l) as i16 as u16 as u32;
+            let a1 = *ap.add((ib + r) * k + l + 1) as i16 as u16 as u32;
+            panel.push(((a1 << 16) | a0) as i32);
+        }
+        l += 2;
+    }
+    if l < k {
+        for r in 0..MR_ACT {
+            panel.push((*ap.add((ib + r) * k + l) as i16 as u16 as u32) as i32);
+        }
+    }
+}
+
+/// `C += A·B` for int8 operands with i32 accumulation: 16-wide vector
+/// column bands fed from a packed `A` panel, and a transposed vector
+/// dot-product path for the trailing `n mod 16` columns (still exact —
+/// same bits either way, integer arithmetic is order-independent).
+#[target_feature(enable = "avx2")]
+pub(crate) unsafe fn gemm_i8_i32(c: &mut [i32], a: &[i8], b: &[i8], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(c.len(), m * n);
+    debug_assert!(a.len() >= m * k);
+    debug_assert_eq!(b.len(), k * n);
+    let nb = n & !15;
+    let mut panel: Vec<i32> = Vec::with_capacity(k.div_ceil(2) * MR_I8);
+    let mut ib = 0;
+    while ib < m {
+        let rows = (m - ib).min(MR_I8);
+        match rows {
+            4 => pack_a_i8::<4>(&mut panel, a, k, ib),
+            3 => pack_a_i8::<3>(&mut panel, a, k, ib),
+            2 => pack_a_i8::<2>(&mut panel, a, k, ib),
+            _ => pack_a_i8::<1>(&mut panel, a, k, ib),
+        }
+        let mut jb = 0;
+        while jb < nb {
+            match rows {
+                4 => tile_i8_w16::<4>(c, &panel, b, k, n, ib, jb),
+                3 => tile_i8_w16::<3>(c, &panel, b, k, n, ib, jb),
+                2 => tile_i8_w16::<2>(c, &panel, b, k, n, ib, jb),
+                _ => tile_i8_w16::<1>(c, &panel, b, k, n, ib, jb),
+            }
+            jb += 16;
+        }
+        ib += rows;
+    }
+    if nb < n {
+        // Narrow tail: transpose the remaining columns once so each
+        // output is a contiguous i8·i8 dot product, vectorized 16 `k`
+        // values per `vpmaddwd`.
+        let w = n - nb;
+        let mut bt = vec![0i8; w * k];
+        for l in 0..k {
+            for j in 0..w {
+                *bt.get_unchecked_mut(j * k + l) = *b.get_unchecked(l * n + nb + j);
+            }
+        }
+        let k16 = k & !15;
+        let ap = a.as_ptr();
+        for i in 0..m {
+            let arow = ap.add(i * k);
+            for j in 0..w {
+                let brow = bt.as_ptr().add(j * k);
+                let mut acc = _mm256_setzero_si256();
+                let mut l = 0;
+                while l < k16 {
+                    let av = _mm256_cvtepi8_epi16(_mm_loadu_si128(arow.add(l) as *const __m128i));
+                    let bv = _mm256_cvtepi8_epi16(_mm_loadu_si128(brow.add(l) as *const __m128i));
+                    acc = _mm256_add_epi32(acc, _mm256_madd_epi16(av, bv));
+                    l += 16;
+                }
+                let s = _mm_add_epi32(
+                    _mm256_castsi256_si128(acc),
+                    _mm256_extracti128_si256(acc, 1),
+                );
+                let s = _mm_add_epi32(s, _mm_shuffle_epi32(s, 0x4E));
+                let s = _mm_add_epi32(s, _mm_shuffle_epi32(s, 0xB1));
+                let mut total = _mm_cvtsi128_si32(s);
+                for l in k16..k {
+                    total += i32::from(*arow.add(l)) * i32::from(*brow.add(l));
+                }
+                *c.get_unchecked_mut(i * n + nb + j) += total;
+            }
+        }
+    }
+}

@@ -154,6 +154,86 @@ pub(crate) fn gemm_atb_bands(
     scalar::gemm_atb_bands(c, a, b, m, k, n, kb0, rows)
 }
 
+/// `C += A·B` with int8 operands and i32 accumulation: `A[m,k]`, `B[k,n]`
+/// row-major `i8`, `C[m,n]` `i32` — the quantized serving kernel. The
+/// caller rescales `C` by `scale_a · scale_b` afterwards. Integer
+/// accumulation is exact, so the backends are bit-identical by
+/// construction (the AVX2 path pairs `k` through `vpmaddwd`; products of
+/// values in ±127 cannot overflow its 16-bit lanes).
+///
+/// # Panics
+///
+/// Panics if a slice is shorter than its `m`/`k`/`n` shape implies.
+pub fn gemm_i8_i32(c: &mut [i32], a: &[i8], b: &[i8], m: usize, k: usize, n: usize) {
+    assert_eq!(c.len(), m * n, "gemm_i8_i32 output length");
+    assert!(a.len() >= m * k, "gemm_i8_i32 lhs length");
+    assert_eq!(b.len(), k * n, "gemm_i8_i32 rhs length");
+    #[cfg(target_arch = "x86_64")]
+    if backend() == Backend::Avx2 {
+        // SAFETY: as in `gemm_ab_bands`.
+        unsafe { avx2::gemm_i8_i32(c, a, b, m, k, n) };
+        return;
+    }
+    scalar::gemm_i8_i32(c, a, b, m, k, n)
+}
+
+/// Largest absolute value in `xs`, or `None` if any element is
+/// non-finite. Plain element-wise Rust with 8 independent lanes, so the
+/// autovectorizer emits `vmaxps`/`vandps` and the result is identical on
+/// every backend (`max` of finite values is order-independent; NaN and
+/// ±∞ are caught by the guard accumulator, which only a non-finite input
+/// can poison).
+pub fn abs_max_finite(xs: &[f32]) -> Option<f32> {
+    let mut maxes = [0.0f32; 8];
+    let mut guard = [0.0f32; 8];
+    let mut it = xs.chunks_exact(8);
+    for chunk in &mut it {
+        for i in 0..8 {
+            let a = chunk[i].abs();
+            if a > maxes[i] {
+                maxes[i] = a;
+            }
+            guard[i] += chunk[i] * 0.0;
+        }
+    }
+    let mut amax = 0.0f32;
+    let mut g = 0.0f32;
+    for i in 0..8 {
+        if maxes[i] > amax {
+            amax = maxes[i];
+        }
+        g += guard[i];
+    }
+    for &v in it.remainder() {
+        let a = v.abs();
+        if a > amax {
+            amax = a;
+        }
+        g += v * 0.0;
+    }
+    if g == 0.0 {
+        Some(amax)
+    } else {
+        None
+    }
+}
+
+/// Symmetric int8 activation quantization: `out[i] =
+/// round_ties_even(xs[i] · inv_scale)` clamped to ±127. Multiplication by
+/// the reciprocal (not division) and a branch-free clamp keep the loop
+/// autovectorizable; the rounding is element-wise, so every backend
+/// produces the same bytes.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn quantize_i8(xs: &[f32], inv_scale: f32, out: &mut [i8]) {
+    assert_eq!(xs.len(), out.len(), "quantize_i8 length mismatch");
+    for (q, &v) in out.iter_mut().zip(xs) {
+        *q = (v * inv_scale).round_ties_even().clamp(-127.0, 127.0) as i8;
+    }
+}
+
 /// In-place `xs[i] += alpha * ys[i]` (unfused rounding — the SGD update).
 ///
 /// # Panics
@@ -343,6 +423,54 @@ mod tests {
             let jb_s = scalar::gemm_atb_bands(&mut d_s, &at, &bt, m, k, n, 0, k);
             assert_eq!(jb_a, jb_s, "atb band cover ({m},{k},{n})");
             assert_eq!(bits(&d_a), bits(&d_s), "atb ({m},{k},{n})");
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn avx2_int8_gemm_matches_scalar_exactly() {
+        if !cpu_supported() {
+            return;
+        }
+        // Shapes straddle the 16-wide band, the 4-row tiles, odd k, and
+        // scalar tail columns.
+        for &(m, k, n) in &[
+            (1usize, 1usize, 1usize),
+            (4, 2, 16),
+            (5, 3, 17),
+            (6, 7, 16),
+            (13, 9, 23),
+            (9, 11, 40),
+            (3, 128, 33),
+        ] {
+            let a: Vec<i8> = (0..m * k).map(|i| ((i * 37) % 255) as u8 as i8).collect();
+            let b: Vec<i8> = (0..k * n)
+                .map(|i| ((i * 91 + 3) % 255) as u8 as i8)
+                .collect();
+            let mut c_a: Vec<i32> = (0..m * n).map(|i| i as i32 - 7).collect();
+            let mut c_s = c_a.clone();
+            // SAFETY: guarded by cpu_supported() above.
+            unsafe { avx2::gemm_i8_i32(&mut c_a, &a, &b, m, k, n) };
+            scalar::gemm_i8_i32(&mut c_s, &a, &b, m, k, n);
+            assert_eq!(c_a, c_s, "({m},{k},{n})");
+        }
+    }
+
+    #[test]
+    fn int8_gemm_matches_reference() {
+        // ±127 extremes and zero against a naive i64 reference.
+        let (m, k, n) = (3usize, 5usize, 6usize);
+        let a: Vec<i8> = vec![127, -127, 0, 1, -1, 64, -64, 127, -127, 2, 3, -3, 5, -5, 7];
+        let b: Vec<i8> = (0..k * n).map(|i| (((i * 53) % 255) as u8) as i8).collect();
+        let mut c = vec![0i32; m * n];
+        gemm_i8_i32(&mut c, &a, &b, m, k, n);
+        for i in 0..m {
+            for j in 0..n {
+                let expect: i64 = (0..k)
+                    .map(|l| i64::from(a[i * k + l]) * i64::from(b[l * n + j]))
+                    .sum();
+                assert_eq!(i64::from(c[i * n + j]), expect, "({i},{j})");
+            }
         }
     }
 

@@ -302,3 +302,23 @@ pub(crate) fn sum_sq(xs: &[f32]) -> f32 {
     }
     total
 }
+
+/// `C += A·B` for int8 operands with i32 accumulation: `A[m,k]`, `B[k,n]`
+/// row-major i8, `C[m,n]` i32. Integer arithmetic is exact, so any
+/// summation order gives the same bits — this triple loop is the
+/// reference the AVX2 kernel must (and trivially does) match.
+pub(crate) fn gemm_i8_i32(c: &mut [i32], a: &[i8], b: &[i8], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(c.len(), m * n);
+    debug_assert!(a.len() >= m * k);
+    debug_assert_eq!(b.len(), k * n);
+    for i in 0..m {
+        let crow = &mut c[i * n..(i + 1) * n];
+        for l in 0..k {
+            let av = i32::from(a[i * k + l]);
+            let brow = &b[l * n..(l + 1) * n];
+            for (cv, &bv) in crow.iter_mut().zip(brow) {
+                *cv += av * i32::from(bv);
+            }
+        }
+    }
+}
