@@ -50,6 +50,36 @@ fn time_min_ms(iters: usize, mut f: impl FnMut()) -> f64 {
     best
 }
 
+/// Min-of-N for durability-bound store writes: every iteration gets a
+/// fresh `FsStore` directory (checkpoints write new epoch keys, not over
+/// old ones — and rename-over-existing costs extra journal work), and
+/// dirty pages from the previous iteration are drained (`sync`) before
+/// the clock starts so a durable barrier pays for its own writes, not an
+/// inherited backlog.
+fn time_fresh_store_ms(
+    dir: &std::path::Path,
+    label: &str,
+    iters: usize,
+    f: impl Fn(&edde_nn::checkpoint::FsStore),
+) -> f64 {
+    let mut best = f64::INFINITY;
+    for i in 0..iters {
+        let store = edde_nn::checkpoint::FsStore::open(dir.join(format!("{label}-{i}"))).unwrap();
+        let _ = std::process::Command::new("sync").status();
+        // Let the journal finish checkpointing the drained transactions;
+        // a barrier issued right after `sync` returns still queues behind
+        // them.
+        std::thread::sleep(std::time::Duration::from_millis(200));
+        let t0 = Instant::now();
+        f(&store);
+        let dt = t0.elapsed().as_secs_f64() * 1e3;
+        if dt < best {
+            best = dt;
+        }
+    }
+    best
+}
+
 fn training_step(net: &mut Network, opt: &mut Sgd, x: &Tensor, labels: &[usize]) {
     let ce = CrossEntropy::new();
     net.zero_grad();
@@ -374,6 +404,7 @@ fn run_suite(iters: usize) -> Vec<(String, f64)> {
                         member: 0,
                         fingerprint: 0,
                         every: 1,
+                        sharded: false,
                     })
                     .observe(&mut observer)
                     .run(&mut net, edde_core::TrainRng::PerEpoch { seed: 0xBEEF })
@@ -388,6 +419,121 @@ fn run_suite(iters: usize) -> Vec<(String, f64)> {
         ));
     }
     let _ = std::fs::remove_dir_all(&dir);
+
+    // -- sharded bundle storage: group-commit writes + lazy loading --
+    // The write comparison is durability-bound, not compute-bound: the
+    // whole-blob baseline is what a training session does today — one
+    // durable (fsynced) store write per member, so 32 journal barriers —
+    // while the sharded path writes every chunk and index with relaxed
+    // durability and commits the whole bundle with a single durable root
+    // record. On ext4 (data=ordered) that one fsync still pays the data
+    // writeback of every relaxed chunk, so the win is the ~31 saved
+    // journal barriers — which is why each timed iteration writes to a
+    // fresh key space after draining writeback (`sync`): rewriting keys
+    // in a dirty page cache measures the backlog, not the save. The
+    // t1/t8 rows additionally show the chunk-sealing fan-out, which only
+    // helps when real cores back the pool, so the speedup row compares
+    // the baseline against the best sharded config on this host.
+    {
+        const SHARD_MEMBERS: u64 = 32;
+        let mut frozen = edde_core::FrozenEnsemble::new();
+        for s in 0..SHARD_MEMBERS {
+            let mut r = StdRng::seed_from_u64(s);
+            frozen.push(
+                std::sync::Arc::new(edde_nn::models::mlp(&[64, 64, 10], 0.0, &mut r)),
+                1.0,
+                format!("m{s}"),
+            );
+        }
+        let dir = std::env::temp_dir().join(format!("edde-bench-shard-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        // The durability rows are min-of-N over a shared, bursty virtio
+        // disk: any single iteration can absorb a neighbor's journal
+        // commit, so give the min more draws than the compute-bound rows
+        // need (each draw is cheap — one ~0.6 MB save).
+        let shard_iters = iters.clamp(8, 12);
+
+        // Baseline: one durable per-member write (32 fsyncs).
+        let blob_ms = time_fresh_store_ms(&dir, "blob", shard_iters, |store| {
+            for (t, m) in frozen.members().iter().enumerate() {
+                edde_nn::checkpoint::save_to_store(
+                    store,
+                    &format!("member-{t}"),
+                    m.network().unwrap(),
+                )
+                .unwrap();
+            }
+        });
+        results.push(("sharded_save_whole_blob_ms".into(), blob_ms));
+
+        // Sharded group commit: relaxed chunk/index puts + 1 durable root.
+        let codec = edde_core::BundleCodec::f32();
+        set_num_threads(1);
+        let t1_ms = time_fresh_store_ms(&dir, "t1", shard_iters, |store| {
+            frozen
+                .save_bundle_sharded_with(store, "root", &codec, false)
+                .unwrap();
+        });
+        results.push(("sharded_save_t1_ms".into(), t1_ms));
+        set_num_threads(8);
+        let t8_ms = time_fresh_store_ms(&dir, "t8", shard_iters, |store| {
+            frozen
+                .save_bundle_sharded_with(store, "root", &codec, true)
+                .unwrap();
+        });
+        results.push(("sharded_save_t8_ms".into(), t8_ms));
+        let best_ms = t1_ms.min(t8_ms);
+        results.push(("sharded_save_speedup".into(), blob_ms / best_ms));
+        eprintln!(
+            "  sharded_save: whole-blob {blob_ms:.3} ms, sharded t1 {t1_ms:.3} ms, \
+             t8 {t8_ms:.3} ms ({:.2}x)",
+            blob_ms / best_ms
+        );
+
+        // Lazy loading: open (root + indexes only), first single-member
+        // predict, and the full materialization an eager load pays.
+        let bundle_dir = dir.join("bundle");
+        let store = edde_nn::checkpoint::FsStore::open(&bundle_dir).unwrap();
+        set_num_threads(1);
+        frozen
+            .save_bundle_sharded_with(&store, "root", &codec, false)
+            .unwrap();
+        let build: edde_core::NetworkBuilder = std::sync::Arc::new(|_: &str, _: usize| {
+            let mut r = StdRng::seed_from_u64(0);
+            Ok(edde_nn::models::mlp(&[64, 64, 10], 0.0, &mut r))
+        });
+        let store = std::sync::Arc::new(store);
+        let open_ms = time_min_ms(shard_iters, || {
+            black_box(
+                edde_core::FrozenEnsemble::open_sharded(store.clone(), "root", build.clone())
+                    .unwrap(),
+            );
+        });
+        results.push(("sharded_open_ms".into(), open_ms));
+        let x = Tensor::ones(&[1, 64]);
+        let mut resident = 0usize;
+        let first_ms = time_min_ms(shard_iters, || {
+            let sharded =
+                edde_core::FrozenEnsemble::open_sharded(store.clone(), "root", build.clone())
+                    .unwrap();
+            black_box(sharded.soft_targets_prefix(&x, 1).unwrap());
+            resident = sharded.resident_members();
+        });
+        results.push(("sharded_first_predict_ms".into(), first_ms));
+        results.push(("sharded_resident_members".into(), resident as f64));
+        let full_ms = time_min_ms(shard_iters, || {
+            let sharded =
+                edde_core::FrozenEnsemble::open_sharded(store.clone(), "root", build.clone())
+                    .unwrap();
+            black_box(sharded.materialize().unwrap());
+        });
+        results.push(("sharded_load_full_ms".into(), full_ms));
+        eprintln!(
+            "  sharded_load: open {open_ms:.3} ms, first predict {first_ms:.3} ms \
+             ({resident}/{SHARD_MEMBERS} resident), full {full_ms:.3} ms"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
 
     // -- serving core: closed-loop latency + open-loop overload sweep --
     // Closed loop: a fixed client fleet, one outstanding request each, so

@@ -7,30 +7,11 @@ use edde_nn::Network;
 use rand::rngs::StdRng;
 use std::sync::Arc;
 
-/// Reads a positive integer tuning knob from the environment, falling back
-/// to `default` when the variable is unset. A value that is present but
-/// unusable — not an integer, or zero, which every `EDDE_*` knob (batch
-/// sizes, queue depths, worker counts) treats as nonsensical — is rejected
-/// with a one-line warning on stderr naming the variable, the offending
-/// value, and the fallback, so a typo in a deployment script degrades to
-/// documented defaults instead of silently misconfiguring the process.
-///
-/// Shared by [`eval_batch`] and every `EDDE_SERVE_*` knob in `edde-serve`,
-/// so all knobs reject garbage the same way.
-pub fn env_usize(var: &str, default: usize) -> usize {
-    match std::env::var(var) {
-        Err(_) => default,
-        Ok(raw) => {
-            match raw.trim().parse::<usize>() {
-                Ok(n) if n > 0 => n,
-                _ => {
-                    eprintln!("warning: ignoring {var}={raw:?} (want a positive integer); using {default}");
-                    default
-                }
-            }
-        }
-    }
-}
+// The positive-integer knob parser lives in `edde_tensor::env` (the lowest
+// crate in the stack) so `edde_nn::chunkstore`'s `EDDE_CHUNK_BYTES` and the
+// serving knobs here share one implementation; re-exported under its
+// historical path.
+pub use edde_tensor::env::env_usize;
 
 /// Row-batch size used by every batched evaluation pass (soft targets,
 /// accuracy scoring). Read from `EDDE_EVAL_BATCH` on each call so tests can

@@ -80,6 +80,11 @@ pub enum BundleError {
     /// A member payload failed to decode (bad UTF-8, malformed tensor
     /// block, ...).
     Payload(String),
+    /// A sharded bundle failed at the chunk-store layer — a missing,
+    /// torn, or corrupt chunk, or an index record inconsistent with its
+    /// chunk grid. The inner [`ChunkError`](edde_nn::chunkstore::ChunkError)
+    /// names the precise cause and the offending key.
+    Chunk(edde_nn::chunkstore::ChunkError),
 }
 
 impl BundleError {
@@ -117,6 +122,7 @@ impl fmt::Display for BundleError {
                 error,
             } => write!(f, "codec rejection in {stage} stage for {tensor:?}: {error}"),
             BundleError::Payload(msg) => write!(f, "bad payload: {msg}"),
+            BundleError::Chunk(e) => write!(f, "chunk store rejection: {e}"),
         }
     }
 }
@@ -126,6 +132,18 @@ impl std::error::Error for BundleError {}
 impl From<BundleError> for EnsembleError {
     fn from(e: BundleError) -> Self {
         EnsembleError::Bundle(e)
+    }
+}
+
+impl From<edde_nn::chunkstore::ChunkError> for BundleError {
+    fn from(e: edde_nn::chunkstore::ChunkError) -> Self {
+        BundleError::Chunk(e)
+    }
+}
+
+impl From<edde_nn::chunkstore::ChunkError> for EnsembleError {
+    fn from(e: edde_nn::chunkstore::ChunkError) -> Self {
+        EnsembleError::Bundle(BundleError::Chunk(e))
     }
 }
 

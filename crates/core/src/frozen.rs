@@ -357,6 +357,12 @@ impl FrozenEnsemble {
         }
     }
 
+    /// Assembles an ensemble from already-built members (the sharded
+    /// loader's materialization path).
+    pub(crate) fn from_members(members: Vec<FrozenMember>) -> Self {
+        FrozenEnsemble { members }
+    }
+
     /// Adds a float member.
     pub fn push(&mut self, network: Arc<Network>, alpha: f32, label: impl Into<String>) {
         self.members.push(FrozenMember::new(network, alpha, label));
@@ -555,9 +561,11 @@ impl FrozenEnsemble {
             buf.put_f32_le(m.alpha);
             put_str(&mut buf, m.arch());
             buf.put_u32_le(m.num_classes() as u32);
-            match &m.net {
-                MemberNet::F32(net) => encode_entries_f32(net, codec, &mut buf)?,
-                MemberNet::Int8(q) => encode_entries_q8(q, codec, &mut buf)?,
+            let entries = member_coded_entries(m, codec)?;
+            buf.put_u32_le(entries.len() as u32);
+            for (name, dims, coded) in &entries {
+                put_entry_header(&mut buf, name, dims, coded.len());
+                buf.put_slice(coded);
             }
         }
         Ok(buf.freeze())
@@ -685,48 +693,55 @@ impl FrozenEnsemble {
     }
 }
 
-/// Writes a float member's state as `EEB2` codec-chain entries.
-fn encode_entries_f32(net: &Network, codec: &BundleCodec, buf: &mut BytesMut) -> Result<()> {
-    let state = net.export_state();
-    buf.put_u32_le(state.len() as u32);
-    for (name, t) in &state {
-        let chain = if t.dims().len() >= 2 {
-            &codec.weights
-        } else {
-            &codec.vectors
-        };
-        let coded =
-            tcodec::encode(t.data(), chain).map_err(|e| BundleError::codec(name.clone(), e))?;
-        put_entry_header(buf, name, t.dims(), coded.len());
-        buf.put_slice(&coded);
-    }
-    Ok(())
-}
+/// One tensor's serialized form: `(name, dims, coded byte stream)`.
+pub(crate) type CodedEntry = (String, Vec<usize>, Vec<u8>);
 
-/// Writes a quantized member's state as `EEB2` entries: the int8 weights
-/// pass through byte-exactly (only the weights chain's compression stages
-/// apply — re-quantizing already-quantized values would compound error),
-/// biases go through the vectors chain.
-fn encode_entries_q8(q: &QuantizedMlp, codec: &BundleCodec, buf: &mut BytesMut) -> Result<()> {
-    buf.put_u32_le((q.layers().len() * 2) as u32);
-    for (i, layer) in q.layers().iter().enumerate() {
-        let wname = format!("fc{i}.weight");
-        let coded = tcodec::encode_q8(layer.weight_q(), layer.weight_scale(), &codec.weights.bytes)
-            .map_err(|e| BundleError::codec(wname.clone(), e))?;
-        put_entry_header(
-            buf,
-            &wname,
-            &[layer.in_features(), layer.out_features()],
-            coded.len(),
-        );
-        buf.put_slice(&coded);
-        let bname = format!("fc{i}.bias");
-        let coded = tcodec::encode(layer.bias(), &codec.vectors)
-            .map_err(|e| BundleError::codec(bname.clone(), e))?;
-        put_entry_header(buf, &bname, &[layer.out_features()], coded.len());
-        buf.put_slice(&coded);
+/// One member's state as `(name, dims, coded stream)` entries — the
+/// member-granular payload both the whole-blob `EEB2` writer and the
+/// sharded writer serialize, so the two paths carry byte-identical
+/// per-tensor streams by construction. Float members go through `codec`'s
+/// full chains (weights chain for rank ≥ 2, vectors chain otherwise);
+/// quantized members pass their int8 weights through byte-exactly (only
+/// the weights chain's compression stages apply — re-quantizing
+/// already-quantized values would compound error), biases through the
+/// vectors chain.
+pub(crate) fn member_coded_entries(
+    m: &FrozenMember,
+    codec: &BundleCodec,
+) -> Result<Vec<CodedEntry>> {
+    let mut entries = Vec::new();
+    match &m.net {
+        MemberNet::F32(net) => {
+            for (name, t) in net.export_state() {
+                let chain = if t.dims().len() >= 2 {
+                    &codec.weights
+                } else {
+                    &codec.vectors
+                };
+                let coded = tcodec::encode(t.data(), chain)
+                    .map_err(|e| BundleError::codec(name.clone(), e))?;
+                entries.push((name, t.dims().to_vec(), coded));
+            }
+        }
+        MemberNet::Int8(q) => {
+            for (i, layer) in q.layers().iter().enumerate() {
+                let wname = format!("fc{i}.weight");
+                let coded =
+                    tcodec::encode_q8(layer.weight_q(), layer.weight_scale(), &codec.weights.bytes)
+                        .map_err(|e| BundleError::codec(wname.clone(), e))?;
+                entries.push((
+                    wname,
+                    vec![layer.in_features(), layer.out_features()],
+                    coded,
+                ));
+                let bname = format!("fc{i}.bias");
+                let coded = tcodec::encode(layer.bias(), &codec.vectors)
+                    .map_err(|e| BundleError::codec(bname.clone(), e))?;
+                entries.push((bname, vec![layer.out_features()], coded));
+            }
+        }
     }
-    Ok(())
+    Ok(entries)
 }
 
 fn put_entry_header(buf: &mut BytesMut, name: &str, dims: &[usize], coded_len: usize) {
@@ -795,7 +810,7 @@ fn decode_member_v2(
     }
     let num_classes = buf.get_u32_le() as usize;
     let entry_count = buf.get_u32_le() as usize;
-    let mut entries: Vec<(String, Vec<usize>, DecodedTensor)> = Vec::with_capacity(entry_count);
+    let mut entries: Vec<CodedEntry> = Vec::with_capacity(entry_count);
     for _ in 0..entry_count {
         let name = get_str(buf, "entry name")?;
         if buf.remaining() < 4 {
@@ -821,6 +836,30 @@ fn decode_member_v2(
         }
         let coded = buf.slice(..coded_len);
         *buf = buf.slice(coded_len..);
+        entries.push((name, dims, coded.to_vec()));
+    }
+    let member = member_from_coded_entries(label, alpha, &arch, num_classes, entries, build)?;
+    frozen.members.push(member);
+    Ok(())
+}
+
+/// Assembles one member from its `(name, dims, coded stream)` entries —
+/// the decode-side twin of [`member_coded_entries`], shared by the `EEB2`
+/// reader and the sharded lazy loader. Runs every stream through its
+/// self-describing codec chain, validates element counts against dims,
+/// and chooses the native int8 form when every weight matrix arrived
+/// quantized.
+pub(crate) fn member_from_coded_entries(
+    label: String,
+    alpha: f32,
+    arch: &str,
+    num_classes: usize,
+    coded_entries: Vec<CodedEntry>,
+    build: &dyn Fn(&str, usize) -> Result<Network>,
+) -> Result<FrozenMember> {
+    let mut entries: Vec<(String, Vec<usize>, DecodedTensor)> =
+        Vec::with_capacity(coded_entries.len());
+    for (name, dims, coded) in coded_entries {
         let decoded = tcodec::decode(&coded).map_err(|e| BundleError::codec(name.clone(), e))?;
         let expect: usize = dims.iter().product();
         if decoded.len() != expect {
@@ -838,26 +877,25 @@ fn decode_member_v2(
         .filter(|(_, d, _)| d.len() >= 2)
         .all(|(_, _, v)| matches!(v, DecodedTensor::Int8 { .. }));
     if arch.starts_with("mlp-") && has_matrix && all_matrices_int8 {
-        let q = quantized_from_entries(&arch, num_classes, entries)?;
-        frozen.push_quantized(Arc::new(q), alpha, label);
+        let q = quantized_from_entries(arch, num_classes, entries)?;
+        Ok(FrozenMember::new_quantized(Arc::new(q), alpha, label))
     } else {
         let mut state = Vec::with_capacity(entries.len());
         for (name, dims, decoded) in entries {
             state.push((name, Tensor::from_vec(decoded.into_f32(), &dims)?));
         }
-        let mut net = build(&arch, num_classes)?;
+        let mut net = build(arch, num_classes)?;
         if net.num_classes() != num_classes {
             return Err(BundleError::ArchMismatch {
-                arch,
+                arch: arch.to_string(),
                 expected: num_classes,
                 got: net.num_classes(),
             }
             .into());
         }
         net.import_state(&state)?;
-        frozen.push(Arc::new(net), alpha, label);
+        Ok(FrozenMember::new(Arc::new(net), alpha, label))
     }
-    Ok(())
 }
 
 /// Assembles a natively-quantized MLP from decoded `EEB2` entries: the
@@ -930,12 +968,12 @@ fn quantized_from_entries(
     Ok(qm)
 }
 
-fn put_str(buf: &mut BytesMut, s: &str) {
+pub(crate) fn put_str(buf: &mut BytesMut, s: &str) {
     buf.put_u32_le(s.len() as u32);
     buf.put_slice(s.as_bytes());
 }
 
-fn get_str(buf: &mut Bytes, what: &'static str) -> Result<String> {
+pub(crate) fn get_str(buf: &mut Bytes, what: &'static str) -> Result<String> {
     if buf.remaining() < 4 {
         return Err(BundleError::Truncated(what).into());
     }

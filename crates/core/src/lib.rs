@@ -49,6 +49,7 @@ pub mod quant;
 pub mod recovery;
 pub mod report;
 pub mod runstate;
+pub mod sharded;
 pub mod trainer;
 pub mod transfer;
 
@@ -65,6 +66,7 @@ pub use recovery::{FaultPlan, FaultyStore, RecoveryPolicy};
 pub use runstate::{
     epoch_seed, MemberProgress, MemberRecord, RunManifest, RunProtocol, RunSession,
 };
+pub use sharded::{NetworkBuilder, ShardedEnsemble};
 pub use trainer::{
     EpochCheckpoints, LossSpec, TrainEvent, TrainLoop, TrainObserver, TrainRng, TrainStats, Trainer,
 };

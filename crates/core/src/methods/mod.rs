@@ -31,11 +31,9 @@ use edde_data::Dataset;
 use edde_nn::checkpoint::CheckpointStore;
 use edde_nn::optim::LrSchedule;
 use edde_nn::Network;
-use edde_tensor::parallel::run_chunks;
+use edde_tensor::parallel::ordered_commit;
 use edde_tensor::Tensor;
 use rand::rngs::StdRng;
-use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::{Condvar, Mutex};
 
 /// One point of an ensemble-accuracy-versus-budget trace (Fig. 7).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -106,7 +104,7 @@ pub trait EnsembleMethod {
         store: &dyn edde_nn::checkpoint::CheckpointStore,
     ) -> Result<RunResult> {
         let _ = (env, store);
-        Err(crate::error::EnsembleError::Checkpoint(format!(
+        Err(EnsembleError::Checkpoint(format!(
             "{} does not support resumable runs",
             self.name()
         )))
@@ -196,34 +194,14 @@ pub(crate) fn train_member(
                     member,
                     fingerprint: p.fingerprint,
                     every: 1,
+                    // Opt-in knob: sharded (chunked) progress records.
+                    // Resume auto-detects the format, so flipping the
+                    // knob between runs of the same session is safe.
+                    sharded: crate::env::env_usize("EDDE_SHARDED_CKPT", 0) != 0,
                 });
             }
             tl.run(net, TrainRng::PerEpoch { seed })
         }
-    }
-}
-
-/// Shared state of one in-order-commit parallel member run: the commit
-/// cursor plus the committer itself, so commits run under the same lock
-/// that orders them.
-struct Gate<C> {
-    /// Next member index allowed to commit.
-    next: usize,
-    /// Set on the first failure (error or panic); everyone still in
-    /// flight drains out without committing.
-    failed: bool,
-    /// The earliest-member error observed, reported to the caller.
-    error: Option<(usize, EnsembleError)>,
-    commit: C,
-}
-
-/// Records a failure, keeping the earliest member's error so the reported
-/// error does not depend on scheduling.
-fn record_failure<C>(g: &mut Gate<C>, t: usize, e: EnsembleError) {
-    g.failed = true;
-    match &g.error {
-        Some((et, _)) if *et <= t => {}
-        _ => g.error = Some((t, e)),
     }
 }
 
@@ -234,84 +212,30 @@ fn record_failure<C>(g: &mut Gate<C>, t: usize, e: EnsembleError) {
 /// value)` mutates the shared run state (ensemble, trace, checkpoint
 /// session) and is always invoked in ascending member order, exactly as a
 /// sequential loop would. With `parallel` set, members train concurrently
-/// on the tensor worker pool ([`run_chunks`]); because every tensor op is
-/// bit-identical across thread counts and commits are serialized in
-/// order, the produced run state is bit-identical to the sequential path.
+/// on the tensor worker pool; because every tensor op is bit-identical
+/// across thread counts and commits are serialized in order, the produced
+/// run state is bit-identical to the sequential path.
 ///
 /// On failure the earliest failing member's error is returned and no
 /// later member is committed, matching sequential error reporting.
 /// Members already committed stay committed (a resumable session keeps
 /// its completed prefix).
+///
+/// This is the member-granular face of the general in-order commit gate
+/// ([`edde_tensor::parallel::ordered_commit`]), which chunked checkpoint
+/// writes (`edde_nn::chunkstore`) also run on.
 pub fn train_members_in_order<T, F, C>(
     first: usize,
     last: usize,
     parallel: bool,
     train: F,
-    mut commit: C,
+    commit: C,
 ) -> Result<()>
 where
     F: Fn(usize) -> Result<T> + Sync,
     C: FnMut(usize, T) -> Result<()> + Send,
 {
-    if !parallel || last.saturating_sub(first) <= 1 {
-        for t in first..last {
-            commit(t, train(t)?)?;
-        }
-        return Ok(());
-    }
-    let gate = Mutex::new(Gate {
-        next: first,
-        failed: false,
-        error: None,
-        commit,
-    });
-    let cv = Condvar::new();
-    let lock_gate = || gate.lock().unwrap_or_else(|e| e.into_inner());
-    run_chunks(last - first, |c| {
-        let t = first + c;
-        if lock_gate().failed {
-            return;
-        }
-        // Panics (in train or commit) must mark the gate failed and wake
-        // all waiters before propagating, or threads blocked on the
-        // condvar would never be notified again.
-        let value = match catch_unwind(AssertUnwindSafe(|| train(t))) {
-            Ok(Ok(v)) => v,
-            Ok(Err(e)) => {
-                record_failure(&mut lock_gate(), t, e);
-                cv.notify_all();
-                return;
-            }
-            Err(payload) => {
-                lock_gate().failed = true;
-                cv.notify_all();
-                resume_unwind(payload);
-            }
-        };
-        let mut g = lock_gate();
-        while !g.failed && g.next != t {
-            g = cv.wait(g).unwrap_or_else(|e| e.into_inner());
-        }
-        if g.failed {
-            return;
-        }
-        match catch_unwind(AssertUnwindSafe(|| (g.commit)(t, value))) {
-            Ok(Ok(())) => g.next = t + 1,
-            Ok(Err(e)) => record_failure(&mut g, t, e),
-            Err(payload) => {
-                g.failed = true;
-                drop(g);
-                cv.notify_all();
-                resume_unwind(payload);
-            }
-        }
-        drop(g);
-        cv.notify_all();
-    });
-    match gate.into_inner().unwrap_or_else(|e| e.into_inner()).error {
-        Some((_, e)) => Err(e),
-        None => Ok(()),
-    }
+    ordered_commit(first, last, parallel, train, commit)
 }
 
 /// Evaluation-mode softmax at temperature `tau` — the τ-softened teacher
@@ -351,6 +275,7 @@ pub(crate) fn clamped_half_log_odds(pos: f64, neg: f64) -> f32 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Mutex;
 
     /// Serializes tests that set the global thread override; the single-CPU
     /// default would otherwise run every "parallel" gate test inline.

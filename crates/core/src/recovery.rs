@@ -79,12 +79,19 @@ struct FaultPlanInner {
     nan_loss_at_step: Option<u64>,
     /// Fail the n-th (0-based) `put` on a [`FaultyStore`].
     fail_put: Option<u64>,
+    /// Fail the n-th (0-based) read (`get` or `get_range`) on a
+    /// [`FaultyStore`].
+    fail_get: Option<u64>,
     /// Monotonic count of optimizer steps observed so far. Never reset on
     /// rollback, so an injected fault fires exactly once even though the
     /// trainer replays the epoch that contained it.
     steps: AtomicU64,
     /// Monotonic count of store writes observed so far.
     puts: AtomicU64,
+    /// Monotonic count of store reads observed so far (`get` and
+    /// `get_range` share the counter, so a fault lands on the n-th read
+    /// whichever access path issues it).
+    gets: AtomicU64,
 }
 
 /// A deterministic fault-injection plan shared between a test and the
@@ -123,11 +130,29 @@ impl FaultPlan {
         self.inner.nan_loss_at_step == Some(step)
     }
 
+    /// A plan that fails the `n`-th (0-based) read — `get` or `get_range`
+    /// — on a [`FaultyStore`].
+    pub fn fail_get(n: u64) -> Self {
+        FaultPlan {
+            inner: Arc::new(FaultPlanInner {
+                fail_get: Some(n),
+                ..Default::default()
+            }),
+        }
+    }
+
     /// Called by [`FaultyStore`] once per write; returns `true` when this
     /// write must fail.
     pub fn fail_this_put(&self) -> bool {
         let put = self.inner.puts.fetch_add(1, Ordering::Relaxed);
         self.inner.fail_put == Some(put)
+    }
+
+    /// Called by [`FaultyStore`] once per read; returns `true` when this
+    /// read must fail.
+    pub fn fail_this_get(&self) -> bool {
+        let get = self.inner.gets.fetch_add(1, Ordering::Relaxed);
+        self.inner.fail_get == Some(get)
     }
 
     /// Optimizer steps observed so far (for test assertions).
@@ -136,15 +161,18 @@ impl FaultPlan {
     }
 }
 
-/// A [`CheckpointStore`] wrapper that fails writes according to a
-/// [`FaultPlan`] — the injectable-I/O half of the fault harness.
+/// A [`CheckpointStore`] wrapper that fails writes and reads according to
+/// a [`FaultPlan`] — the injectable-I/O half of the fault harness. Fault
+/// injection covers `put` (and `put_relaxed`, which defaults through it)
+/// plus both read paths, `get` and `get_range`, on one shared read
+/// counter.
 pub struct FaultyStore<S> {
     inner: S,
     plan: FaultPlan,
 }
 
 impl<S: CheckpointStore> FaultyStore<S> {
-    /// Wraps `inner`, failing the writes selected by `plan`.
+    /// Wraps `inner`, failing the accesses selected by `plan`.
     pub fn new(inner: S, plan: FaultPlan) -> Self {
         FaultyStore { inner, plan }
     }
@@ -166,7 +194,21 @@ impl<S: CheckpointStore> CheckpointStore for FaultyStore<S> {
     }
 
     fn get(&self, key: &str) -> NnResult<bytes::Bytes> {
+        if self.plan.fail_this_get() {
+            return Err(edde_nn::NnError::Io(format!(
+                "injected read failure for key {key:?}"
+            )));
+        }
         self.inner.get(key)
+    }
+
+    fn get_range(&self, key: &str, offset: usize, len: usize) -> NnResult<bytes::Bytes> {
+        if self.plan.fail_this_get() {
+            return Err(edde_nn::NnError::Io(format!(
+                "injected read failure for range {offset}+{len} of key {key:?}"
+            )));
+        }
+        self.inner.get_range(key, offset, len)
     }
 
     fn contains(&self, key: &str) -> bool {
@@ -223,6 +265,16 @@ mod tests {
         let other = plan.clone();
         assert!(!plan.corrupt_this_step());
         assert!(other.corrupt_this_step()); // sees step 1 via the shared count
+    }
+
+    #[test]
+    fn faulty_store_fails_selected_read_on_either_path() {
+        let store = FaultyStore::new(MemStore::new(), FaultPlan::fail_get(1));
+        store.put("a", b"0123456789").unwrap();
+        assert_eq!(&store.get("a").unwrap()[..], b"0123456789"); // read 0
+        let err = store.get_range("a", 2, 3).unwrap_err(); // read 1: injected
+        assert!(err.to_string().contains("injected"), "{err}");
+        assert_eq!(&store.get_range("a", 2, 3).unwrap()[..], b"234");
     }
 
     #[test]

@@ -591,10 +591,21 @@ impl<'a> RunSession<'a> {
     /// so its epoch-boundary record (left by a crash between the epoch
     /// write and the manifest update, or by a write-failure abort) can
     /// never be resumed again. Progress for members at or past the commit
-    /// frontier is live in-flight state and survives. GC failures are
+    /// frontier is live in-flight state and survives.
+    ///
+    /// Sharded progress records extend the same rule to chunk granularity:
+    /// a chunk key `member-{t}-chunk-{part}-{chunk}` survives only when
+    /// member `t` is at or past the commit frontier **and** the progress
+    /// record at `t`'s progress key decodes to an `EDS1` index that
+    /// actually references that `(part, chunk)` slot. Everything else — a
+    /// completed member's chunks, chunks from a killed write whose index
+    /// never landed, chunks beyond a shrunk index's grid, and stray
+    /// `member-{t}-index` records (sharded *bundles* belong in their own
+    /// store, not a session store) — is swept. GC failures are
     /// deliberately ignored — a leftover orphan is harmless, refusing to
     /// resume over one is not.
     fn collect_garbage(&self) {
+        use edde_nn::chunkstore::{self, ChunkIndex};
         let referenced: std::collections::HashSet<&str> = self
             .manifest
             .members
@@ -605,6 +616,10 @@ impl<'a> RunSession<'a> {
         let Ok(keys) = self.store.keys() else {
             return;
         };
+        // Per-member decode of the live sharded index (None = whole-blob
+        // record, torn record, or no record), computed once per member.
+        let mut indexes: std::collections::HashMap<usize, Option<ChunkIndex>> =
+            std::collections::HashMap::new();
         for key in keys {
             if !key.starts_with("member-") || referenced.contains(key.as_str()) {
                 continue;
@@ -612,6 +627,24 @@ impl<'a> RunSession<'a> {
             if let Some(t) = progress_key_member(&key) {
                 if t >= completed {
                     continue; // live in-flight progress
+                }
+            }
+            if let Some((t, part, chunk)) = chunkstore::parse_chunk_key(&key) {
+                if t >= completed {
+                    let index = indexes.entry(t).or_insert_with(|| {
+                        checkpoint::get_sealed(self.store, &Self::progress_key(t))
+                            .ok()
+                            .filter(|p| p.len() >= 4 && &p[..4] == chunkstore::INDEX_MAGIC)
+                            .and_then(|p| ChunkIndex::decode(p).ok())
+                    });
+                    let live = index.as_ref().is_some_and(|ix| {
+                        ix.parts
+                            .get(part)
+                            .is_some_and(|pm| (chunk as u64) < u64::from(pm.chunks))
+                    });
+                    if live {
+                        continue; // referenced by the in-flight index
+                    }
                 }
             }
             let _ = self.store.remove(&key);

@@ -1,0 +1,513 @@
+//! Sharded serving bundles: chunked storage plus lazy member loading.
+//!
+//! A whole-blob `EEB2` bundle is one sealed value — simple, but a serving
+//! process pays for every member up front (full read, full CRC, full
+//! decode) even when it only needs one, and a writer pays one durable
+//! store round-trip per member. The *sharded* form stores the same
+//! member payloads through [`edde_nn::chunkstore`]: a grid of fixed-size
+//! chunks per member (each the `EDC2`-sealed slice of a per-tensor codec
+//! stream) and one `ESR1` **root record** under the bundle key itself,
+//! which embeds every member's `EDS1` index record:
+//!
+//! ```text
+//! ESR1 root record (sealed in an EDC2 frame):
+//!   magic        : b"ESR1"
+//!   version      : u32 LE (currently 1)
+//!   member count : u32 LE
+//!   chunk_bytes  : u64 LE
+//!   codec tag    : u32 LE length + utf-8 bytes (e.g. "int8+dbp+lz")
+//!   per member   : u64 LE length + EDS1 index record bytes (unsealed —
+//!                  the root's own frame covers them)
+//! ```
+//!
+//! The root is written **last** and is the only durable put — the group
+//! commit. Until it lands, the bundle key does not resolve and a crashed
+//! write leaves only orphaned chunks for garbage collection; after it
+//! lands, every chunk it transitively references is already in the store.
+//!
+//! Embedding the indexes (rather than giving each member an index key of
+//! its own, as the trainer's per-member progress records do) cuts the
+//! store round-trips on both sides: a bundle write is *chunks + one
+//! root* — with small parts inlined into their index, one value per
+//! weight matrix — and opening a bundle is a single read.
+//!
+//! Because the sharded writer chunks the *same* per-tensor coded streams
+//! ([`crate::frozen::member_coded_entries`]) the `EEB2` writer serializes,
+//! a sharded bundle round-trips bit-identically to its whole-blob twin —
+//! including int8 members, which are quantized once per tensor, never
+//! per chunk.
+//!
+//! [`FrozenEnsemble::open_sharded`] reads only the root and the index
+//! records: enough to validate a hot-swap candidate's member count,
+//! classes, and architectures without touching any chunk. The returned
+//! [`ShardedEnsemble`] decodes a member's chunks on first use and caches
+//! the member behind a `OnceLock` — serving a prediction with the first
+//! `k` members costs exactly `k` members' worth of chunk reads.
+
+use crate::error::{BundleError, EnsembleError, Result};
+use crate::frozen::{
+    alpha_weighted_average, get_str, member_coded_entries, member_from_coded_entries, put_str,
+    BundleCodec, FrozenEnsemble, FrozenMember,
+};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use edde_nn::checkpoint::{self, CheckpointStore};
+use edde_nn::chunkstore::{self, ChunkIndex};
+use edde_nn::infer::with_thread_ctx;
+use edde_nn::Network;
+use edde_tensor::parallel::parallel_map;
+use edde_tensor::Tensor;
+use std::sync::{Arc, OnceLock};
+
+/// Sharded-bundle root record magic.
+const SHARD_MAGIC: &[u8; 4] = b"ESR1";
+
+/// Current root record version.
+const SHARD_VERSION: u32 = 1;
+
+/// Builder signature shared with [`FrozenEnsemble::load_bundle`], in the
+/// shareable form the lazy loader holds on to.
+pub type NetworkBuilder = Arc<dyn Fn(&str, usize) -> Result<Network> + Send + Sync>;
+
+/// The root record of a sharded bundle, embedded member indexes included.
+#[derive(Debug, Clone, PartialEq)]
+struct ShardRoot {
+    chunk_bytes: u64,
+    codec_tag: String,
+    indexes: Vec<ChunkIndex>,
+}
+
+impl ShardRoot {
+    fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        buf.put_slice(SHARD_MAGIC);
+        buf.put_u32_le(SHARD_VERSION);
+        buf.put_u32_le(self.indexes.len() as u32);
+        buf.put_u64_le(self.chunk_bytes);
+        put_str(&mut buf, &self.codec_tag);
+        for index in &self.indexes {
+            let blob = index.encode();
+            buf.put_u64_le(blob.len() as u64);
+            buf.put_slice(&blob);
+        }
+        buf.freeze()
+    }
+
+    fn decode(mut buf: Bytes) -> Result<Self> {
+        if buf.remaining() < 4 + 4 + 4 + 8 {
+            return Err(BundleError::Truncated("shard root header").into());
+        }
+        let mut magic = [0u8; 4];
+        buf.copy_to_slice(&mut magic);
+        if &magic != SHARD_MAGIC {
+            return Err(BundleError::BadMagic(magic).into());
+        }
+        let version = buf.get_u32_le();
+        if version != SHARD_VERSION {
+            return Err(BundleError::UnsupportedVersion(version).into());
+        }
+        let member_count = buf.get_u32_le() as usize;
+        let chunk_bytes = buf.get_u64_le();
+        if chunk_bytes == 0 {
+            return Err(BundleError::Payload("shard root: zero chunk size".into()).into());
+        }
+        let codec_tag = get_str(&mut buf, "shard root codec tag")?;
+        let mut indexes = Vec::with_capacity(member_count.min(1024));
+        for t in 0..member_count {
+            if buf.remaining() < 8 {
+                return Err(BundleError::Truncated("shard root index list").into());
+            }
+            let len = buf.get_u64_le() as usize;
+            if buf.remaining() < len {
+                return Err(BundleError::Truncated("shard root index blob").into());
+            }
+            let blob = buf.slice(..len);
+            buf.advance(len);
+            let index = ChunkIndex::decode(blob).map_err(BundleError::Chunk)?;
+            if index.member != t {
+                return Err(BundleError::Payload(format!(
+                    "shard root: index {t} names member {}",
+                    index.member
+                ))
+                .into());
+            }
+            if index.chunk_bytes != chunk_bytes {
+                return Err(BundleError::Payload(format!(
+                    "member {t}: index chunk size {} disagrees with root {chunk_bytes}",
+                    index.chunk_bytes
+                ))
+                .into());
+            }
+            indexes.push(index);
+        }
+        Ok(ShardRoot {
+            chunk_bytes,
+            codec_tag,
+            indexes,
+        })
+    }
+}
+
+/// The per-member header a sharded bundle stores in its index record's
+/// meta blob — everything [`FrozenEnsemble::decode`] reads before the
+/// entry list.
+#[derive(Debug, Clone, PartialEq)]
+struct MemberMeta {
+    label: String,
+    alpha: f32,
+    arch: String,
+    num_classes: usize,
+}
+
+impl MemberMeta {
+    fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        put_str(&mut buf, &self.label);
+        buf.put_f32_le(self.alpha);
+        put_str(&mut buf, &self.arch);
+        buf.put_u32_le(self.num_classes as u32);
+        buf.freeze()
+    }
+
+    fn decode(mut buf: Bytes) -> Result<Self> {
+        let label = get_str(&mut buf, "sharded member label")?;
+        if buf.remaining() < 4 {
+            return Err(BundleError::Truncated("sharded member weight").into());
+        }
+        let alpha = buf.get_f32_le();
+        let arch = get_str(&mut buf, "sharded member arch tag")?;
+        if buf.remaining() < 4 {
+            return Err(BundleError::Truncated("sharded member header").into());
+        }
+        let num_classes = buf.get_u32_le() as usize;
+        Ok(MemberMeta {
+            label,
+            alpha,
+            arch,
+            num_classes,
+        })
+    }
+}
+
+impl FrozenEnsemble {
+    /// Writes the ensemble as a sharded bundle under `key` with the
+    /// default exact-f32 codec. See
+    /// [`FrozenEnsemble::save_bundle_sharded_with`].
+    pub fn save_bundle_sharded(&self, store: &dyn CheckpointStore, key: &str) -> Result<()> {
+        self.save_bundle_sharded_with(store, key, &BundleCodec::f32(), true)
+    }
+
+    /// Writes the ensemble as a sharded bundle: per member, a chunk grid
+    /// (relaxed-durability puts, chunk sealing fanned over the worker
+    /// pool when `parallel` is set), then one durable `ESR1` root record
+    /// under `key` embedding every member's `EDS1` index — the group
+    /// commit. One fsync per bundle instead of one per member; a crash
+    /// before the root leaves no readable bundle, only garbage. Parts no
+    /// larger than [`chunkstore::inline_threshold`] travel inside their
+    /// index record, so a typical member costs one store value per weight
+    /// matrix rather than one per tensor.
+    ///
+    /// The per-tensor coded streams are the same bytes the whole-blob
+    /// `EEB2` writer serializes, so loading the sharded bundle yields
+    /// bit-identical members to [`FrozenEnsemble::load_bundle`] on the
+    /// whole-blob twin. Chunk size comes from `EDDE_CHUNK_BYTES`
+    /// (default 64 KiB) and is recorded in the root and every index.
+    ///
+    /// Sharded bundles should live in a store (directory) of their own:
+    /// their chunk keys share the `member-*` namespace a training
+    /// session's garbage collector sweeps.
+    pub fn save_bundle_sharded_with(
+        &self,
+        store: &dyn CheckpointStore,
+        key: &str,
+        codec: &BundleCodec,
+        parallel: bool,
+    ) -> Result<()> {
+        let cb = chunkstore::chunk_bytes();
+        let mut indexes = Vec::with_capacity(self.len());
+        for (t, m) in self.members().iter().enumerate() {
+            let meta = MemberMeta {
+                label: m.label().to_string(),
+                alpha: m.alpha(),
+                arch: m.arch().to_string(),
+                num_classes: m.num_classes(),
+            };
+            let entries = member_coded_entries(m, codec)?;
+            indexes.push(chunkstore::write_chunks_only(
+                store,
+                t,
+                &meta.encode(),
+                &entries,
+                parallel,
+                cb,
+            )?);
+        }
+        let root = ShardRoot {
+            chunk_bytes: cb as u64,
+            codec_tag: codec.tag(),
+            indexes,
+        };
+        store.put(key, &checkpoint::seal(&root.encode()))?;
+        Ok(())
+    }
+
+    /// Opens a sharded bundle for lazy serving with a single store read:
+    /// the `ESR1` root under `key` carries every member's `EDS1` index —
+    /// *no chunk is touched*. The returned [`ShardedEnsemble`] knows
+    /// every member's label, `α`, architecture, class count, and chunk
+    /// layout, and decodes a member's chunks only when that member first
+    /// serves.
+    pub fn open_sharded(
+        store: Arc<dyn CheckpointStore>,
+        key: &str,
+        build: NetworkBuilder,
+    ) -> Result<ShardedEnsemble> {
+        let root = ShardRoot::decode(checkpoint::unseal(store.get(key)?)?)?;
+        let mut metas = Vec::with_capacity(root.indexes.len());
+        for index in &root.indexes {
+            metas.push(MemberMeta::decode(index.meta.clone())?);
+        }
+        let cells = (0..root.indexes.len()).map(|_| OnceLock::new()).collect();
+        Ok(ShardedEnsemble {
+            store,
+            build,
+            codec_tag: root.codec_tag,
+            indexes: root.indexes,
+            metas,
+            cells,
+        })
+    }
+}
+
+/// A sharded bundle opened for serving: structural metadata for every
+/// member, chunk decode deferred to first use. Cheap to open, cheap to
+/// validate, and pay-per-member to serve — `&self` everywhere, so one
+/// instance (or an `Arc`) serves concurrent callers.
+pub struct ShardedEnsemble {
+    store: Arc<dyn CheckpointStore>,
+    build: NetworkBuilder,
+    codec_tag: String,
+    indexes: Vec<ChunkIndex>,
+    metas: Vec<MemberMeta>,
+    cells: Vec<OnceLock<FrozenMember>>,
+}
+
+impl std::fmt::Debug for ShardedEnsemble {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedEnsemble")
+            .field("members", &self.metas.len())
+            .field("resident", &self.resident_members())
+            .field("codec", &self.codec_tag)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ShardedEnsemble {
+    /// Number of members (from the root record; none need be resident).
+    pub fn len(&self) -> usize {
+        self.metas.len()
+    }
+
+    /// True when the bundle has no members.
+    pub fn is_empty(&self) -> bool {
+        self.metas.is_empty()
+    }
+
+    /// Codec tag the bundle was written with, e.g. `"int8+dbp+lz"`.
+    pub fn codec_tag(&self) -> &str {
+        &self.codec_tag
+    }
+
+    /// Output class count shared by the members, or `None` when empty —
+    /// from index metadata alone.
+    pub fn num_classes(&self) -> Option<usize> {
+        self.metas.first().map(|m| m.num_classes)
+    }
+
+    /// `(arch tag, class count)` per member from index metadata alone —
+    /// the same structural fingerprint
+    /// [`FrozenEnsemble::arch_signature`] computes from decoded members.
+    pub fn arch_signature(&self) -> Vec<(String, usize)> {
+        self.metas
+            .iter()
+            .map(|m| (m.arch.clone(), m.num_classes))
+            .collect()
+    }
+
+    /// How many members are currently materialized (chunks decoded and
+    /// cached). Freshly opened bundles report 0; serving with the first
+    /// `k` members raises it to exactly `k`.
+    pub fn resident_members(&self) -> usize {
+        self.cells.iter().filter(|c| c.get().is_some()).count()
+    }
+
+    /// Member `t`, decoding its chunks on first use. Subsequent calls
+    /// return the cached member; a failed decode is *not* cached, so a
+    /// repaired store heals on retry.
+    pub fn member(&self, t: usize) -> Result<&FrozenMember> {
+        let cell = self.cells.get(t).ok_or(EnsembleError::EmptyEnsemble)?;
+        if let Some(m) = cell.get() {
+            return Ok(m);
+        }
+        let decoded = self.decode_member(t)?;
+        // Another thread may have raced us here; both decoded the same
+        // bytes, so either value is correct.
+        let _ = cell.set(decoded);
+        Ok(cell.get().expect("cell was just initialized"))
+    }
+
+    /// Decodes member `t` from its chunk grid — the entry streams are
+    /// byte-identical to the whole-blob bundle's, so this yields the
+    /// same member bits `EEB2` decode would.
+    fn decode_member(&self, t: usize) -> Result<FrozenMember> {
+        let index = &self.indexes[t];
+        let meta = &self.metas[t];
+        let mut entries = Vec::with_capacity(index.parts.len());
+        for (p, part) in index.parts.iter().enumerate() {
+            let stream =
+                chunkstore::read_part(self.store.as_ref(), index, p).map_err(BundleError::from)?;
+            entries.push((part.name.clone(), part.dims.clone(), stream));
+        }
+        member_from_coded_entries(
+            meta.label.clone(),
+            meta.alpha,
+            &meta.arch,
+            meta.num_classes,
+            entries,
+            &*self.build,
+        )
+    }
+
+    /// Ensemble soft targets using the first `prefix` members — only
+    /// those members are materialized. Voting semantics are identical to
+    /// [`FrozenEnsemble::soft_targets_prefix`]: pool-parallel member
+    /// passes, serial α-reduce in member order, bit-identical at every
+    /// thread count.
+    pub fn soft_targets_prefix(&self, features: &Tensor, prefix: usize) -> Result<Tensor> {
+        if prefix == 0 || prefix > self.len() {
+            return Err(EnsembleError::EmptyEnsemble);
+        }
+        let members: Vec<&FrozenMember> =
+            (0..prefix).map(|t| self.member(t)).collect::<Result<_>>()?;
+        let alphas: Vec<f32> = members.iter().map(|m| m.alpha()).collect();
+        let probs = parallel_map(&members, |_, m| {
+            with_thread_ctx(|ctx| m.soft_targets_tau(features, 1.0, ctx))
+        });
+        alpha_weighted_average(probs, &alphas)
+    }
+
+    /// Ensemble soft targets over all members (materializes all of them).
+    pub fn soft_targets(&self, features: &Tensor) -> Result<Tensor> {
+        self.soft_targets_prefix(features, self.len())
+    }
+
+    /// Hard predictions of the full ensemble.
+    pub fn predict(&self, features: &Tensor) -> Result<Vec<usize>> {
+        let probs = self.soft_targets(features)?;
+        Ok(edde_tensor::ops::argmax_rows(&probs)?)
+    }
+
+    /// Materializes every member and returns the eager serving form —
+    /// what a hot-swap installs after index-level validation passes.
+    pub fn materialize(&self) -> Result<FrozenEnsemble> {
+        let members: Vec<FrozenMember> = (0..self.len())
+            .map(|t| self.member(t).cloned())
+            .collect::<Result<_>>()?;
+        Ok(FrozenEnsemble::from_members(members))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edde_nn::checkpoint::MemStore;
+    use edde_nn::models::mlp;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn build() -> NetworkBuilder {
+        Arc::new(|arch: &str, num_classes: usize| {
+            let mut r = StdRng::seed_from_u64(0);
+            match arch {
+                "mlp-2" => Ok(mlp(&[4, 8, num_classes], 0.0, &mut r)),
+                other => Err(EnsembleError::BadConfig(format!("unknown arch {other:?}"))),
+            }
+        })
+    }
+
+    fn sample() -> FrozenEnsemble {
+        let mut f = FrozenEnsemble::new();
+        for seed in 0..3u64 {
+            let mut r = StdRng::seed_from_u64(seed + 1);
+            f.push(
+                Arc::new(mlp(&[4, 8, 3], 0.0, &mut r)),
+                1.0 + seed as f32,
+                format!("m{seed}"),
+            );
+        }
+        f
+    }
+
+    #[test]
+    fn sharded_round_trip_matches_whole_blob_bitwise() {
+        let f = sample();
+        let store = MemStore::new();
+        f.save_bundle(&store, "blob").unwrap();
+        f.save_bundle_sharded(&store, "root").unwrap();
+        let whole = FrozenEnsemble::load_bundle(&store, "blob", &|a, n| build()(a, n)).unwrap();
+        let sharded = FrozenEnsemble::open_sharded(Arc::new(store), "root", build()).unwrap();
+        assert_eq!(sharded.resident_members(), 0);
+        let lazy = sharded.materialize().unwrap();
+        assert_eq!(sharded.resident_members(), 3);
+        let x = Tensor::ones(&[6, 4]);
+        let a = whole.soft_targets(&x).unwrap();
+        let b = lazy.soft_targets(&x).unwrap();
+        assert_eq!(a.data(), b.data());
+        for (wm, lm) in whole.members().iter().zip(lazy.members()) {
+            assert_eq!(wm.label(), lm.label());
+            assert_eq!(wm.alpha(), lm.alpha());
+            let ws = wm.network().unwrap().export_state();
+            let ls = lm.network().unwrap().export_state();
+            assert_eq!(ws.len(), ls.len());
+            for ((wn, wt), (ln, lt)) in ws.iter().zip(&ls) {
+                assert_eq!(wn, ln);
+                assert_eq!(wt.data(), lt.data(), "tensor {wn} differs");
+            }
+        }
+    }
+
+    #[test]
+    fn lazy_prefix_decodes_only_what_it_serves() {
+        let f = sample();
+        let store = MemStore::new();
+        f.save_bundle_sharded(&store, "root").unwrap();
+        let sharded = FrozenEnsemble::open_sharded(Arc::new(store), "root", build()).unwrap();
+        assert_eq!(sharded.resident_members(), 0);
+        let x = Tensor::ones(&[2, 4]);
+        let p1 = sharded.soft_targets_prefix(&x, 1).unwrap();
+        assert_eq!(sharded.resident_members(), 1);
+        let full = sharded.soft_targets(&x).unwrap();
+        assert_eq!(sharded.resident_members(), 3);
+        assert_eq!(p1.dims(), full.dims());
+        // prefix-1 vote is just member 0's softmax; full vote differs
+        assert_ne!(p1.data(), full.data());
+    }
+
+    #[test]
+    fn open_sharded_validates_the_root_record() {
+        let f = sample();
+        let store = Arc::new(MemStore::new());
+        f.save_bundle_sharded(store.as_ref(), "root").unwrap();
+        // small members travel entirely inside the root's embedded
+        // indexes: the bundle is chunk-free and survives with root alone
+        let sharded = FrozenEnsemble::open_sharded(store.clone(), "root", build()).unwrap();
+        assert_eq!(sharded.len(), 3);
+        assert!(sharded.materialize().is_ok());
+        // torn root: the EDC2 frame catches any truncation
+        let sealed = store.get("root").unwrap();
+        store.put("root", &sealed[..sealed.len() / 2]).unwrap();
+        assert!(FrozenEnsemble::open_sharded(store.clone(), "root", build()).is_err());
+        // missing root
+        store.remove("root").unwrap();
+        assert!(FrozenEnsemble::open_sharded(store, "root", build()).is_err());
+    }
+}

@@ -238,6 +238,16 @@ pub struct EpochCheckpoints<'a> {
     pub fingerprint: u64,
     /// Write cadence in epochs (1 = every epoch boundary).
     pub every: usize,
+    /// Persist progress through the chunk store
+    /// ([`edde_nn::chunkstore`]) instead of one whole-blob record: model
+    /// tensors become exact-f32 codec streams split into sealed chunks
+    /// (chunk sealing fans over the worker pool), with the `EDS1` index
+    /// record — carrying the progress header and optimizer state —
+    /// written under [`EpochCheckpoints::key`]. Resume auto-detects the
+    /// format from the record's magic, so flipping this between runs is
+    /// safe; a torn or missing chunk restarts the member at epoch 0,
+    /// exactly like a torn whole-blob record.
+    pub sharded: bool,
 }
 
 const CE_LOSS: &LossSpec<'static> = &LossSpec::CrossEntropy;
@@ -361,7 +371,7 @@ impl<'a> TrainLoop<'a> {
                 // refused instead — that is operator error, not data loss.
                 let decoded = checkpoint::get_sealed(c.store, &c.key)
                     .map_err(EnsembleError::from)
-                    .and_then(MemberProgress::decode);
+                    .and_then(|payload| decode_progress_record(c.store, payload));
                 if let Ok(progress) = decoded {
                     progress.validate_binding(c.member, c.fingerprint, seed, self.epochs)?;
                     net.import_state(&progress.net_state)?;
@@ -391,23 +401,52 @@ impl<'a> TrainLoop<'a> {
             };
             if persist_now {
                 let c = self.checkpoints.as_ref().expect("persist_now");
-                let payload = runstate::encode_progress(&ProgressParts {
-                    member: c.member,
-                    fingerprint: c.fingerprint,
-                    rng_seed: rng.root_seed().expect("PerEpoch enforced"),
-                    total_epochs: self.epochs,
-                    epochs_done: epoch,
-                    rollbacks,
-                    retries_left,
-                    lr_scale,
-                    final_loss,
-                    net_state: boundary_state.as_deref().expect("captured above"),
-                    opt_state: &opt.export_state(),
-                });
-                // Relaxed durability: a crash losing this write only costs
-                // resuming one boundary earlier, which is not worth an
-                // fsync per epoch.
-                checkpoint::put_sealed_relaxed(c.store, &c.key, &payload)?;
+                let state = boundary_state.as_deref().expect("captured above");
+                // Relaxed durability either way: a crash losing this write
+                // only costs resuming one boundary earlier, which is not
+                // worth an fsync per epoch.
+                if c.sharded {
+                    let header = runstate::encode_progress(&ProgressParts {
+                        member: c.member,
+                        fingerprint: c.fingerprint,
+                        rng_seed: rng.root_seed().expect("PerEpoch enforced"),
+                        total_epochs: self.epochs,
+                        epochs_done: epoch,
+                        rollbacks,
+                        retries_left,
+                        lr_scale,
+                        final_loss,
+                        net_state: &[],
+                        opt_state: &opt.export_state(),
+                    });
+                    let chain = edde_tensor::codec::CodecChain::f32();
+                    let parts: Vec<(String, Vec<usize>, Vec<u8>)> = state
+                        .iter()
+                        .map(|(name, t)| {
+                            let coded = edde_tensor::codec::encode(t.data(), &chain)
+                                .map_err(|e| crate::error::BundleError::codec(name.clone(), e))?;
+                            Ok((name.clone(), t.dims().to_vec(), coded))
+                        })
+                        .collect::<Result<_>>()?;
+                    edde_nn::chunkstore::write_member_chunks(
+                        c.store, c.member, &c.key, &header, &parts, true,
+                    )?;
+                } else {
+                    let payload = runstate::encode_progress(&ProgressParts {
+                        member: c.member,
+                        fingerprint: c.fingerprint,
+                        rng_seed: rng.root_seed().expect("PerEpoch enforced"),
+                        total_epochs: self.epochs,
+                        epochs_done: epoch,
+                        rollbacks,
+                        retries_left,
+                        lr_scale,
+                        final_loss,
+                        net_state: state,
+                        opt_state: &opt.export_state(),
+                    });
+                    checkpoint::put_sealed_relaxed(c.store, &c.key, &payload)?;
+                }
                 for obs in self.observers.iter_mut() {
                     obs.on_event(TrainEvent::CheckpointWritten {
                         epochs_done: epoch,
@@ -491,6 +530,33 @@ impl<'a> TrainLoop<'a> {
             rollbacks,
         })
     }
+}
+
+/// Decodes a progress record in either persisted form, dispatching on the
+/// unsealed payload's magic: a whole-blob `EDP1` record decodes directly;
+/// an `EDS1` index record pulls the progress header from its meta blob and
+/// reassembles the model state from the chunk grid. Any chunk-level
+/// failure surfaces as an error, which the resume path treats like a torn
+/// record (restart at epoch 0).
+fn decode_progress_record(
+    store: &dyn CheckpointStore,
+    payload: bytes::Bytes,
+) -> Result<MemberProgress> {
+    use edde_nn::chunkstore::{self, ChunkIndex, INDEX_MAGIC};
+    if payload.len() < 4 || &payload[..4] != INDEX_MAGIC {
+        return MemberProgress::decode(payload);
+    }
+    let index = ChunkIndex::decode(payload).map_err(EnsembleError::from)?;
+    let mut progress = MemberProgress::decode(index.meta.clone())?;
+    let mut state = Vec::with_capacity(index.parts.len());
+    for (p, part) in index.parts.iter().enumerate() {
+        let stream = chunkstore::read_part(store, &index, p).map_err(EnsembleError::from)?;
+        let vals = edde_tensor::codec::decode_f32(&stream)
+            .map_err(|e| crate::error::BundleError::codec(part.name.clone(), e))?;
+        state.push((part.name.clone(), Tensor::from_vec(vals, &part.dims)?));
+    }
+    progress.net_state = state;
+    Ok(progress)
 }
 
 impl Trainer {
@@ -986,6 +1052,7 @@ mod tests {
                 member: 0,
                 fingerprint: 99,
                 every: 1,
+                sharded: false,
             })
             .run(&mut net, TrainRng::PerEpoch { seed: 42 })
             .unwrap();
@@ -1036,6 +1103,7 @@ mod tests {
             member: 0,
             fingerprint: 7,
             every: 1,
+            sharded: false,
         };
         let dying = Trainer {
             recovery: RecoveryPolicy::disabled(),
@@ -1078,6 +1146,7 @@ mod tests {
                 member: 0,
                 fingerprint: 1,
                 every: 1,
+                sharded: false,
             })
             .run(&mut net, TrainRng::Threaded(&mut rng))
             .unwrap_err();
@@ -1098,6 +1167,7 @@ mod tests {
                 member: 0,
                 fingerprint: 1,
                 every: 0,
+                sharded: false,
             })
             .run(&mut net, TrainRng::PerEpoch { seed: 1 })
             .unwrap_err();
@@ -1136,6 +1206,7 @@ mod tests {
                 member: 0,
                 fingerprint: 3,
                 every: 1,
+                sharded: false,
             })
             .run(&mut net, TrainRng::PerEpoch { seed: 9 })
             .unwrap();
@@ -1172,6 +1243,7 @@ mod tests {
                 member: 0,
                 fingerprint: 6,
                 every: 1,
+                sharded: false,
             })
             .run(&mut net, TrainRng::PerEpoch { seed: 42 })
             .unwrap_err();

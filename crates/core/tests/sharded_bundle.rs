@@ -1,0 +1,510 @@
+//! Integration tests for chunked (sharded) bundle storage: bit-identity
+//! against the whole-blob `EEB2` path on both codecs, the torn-chunk
+//! rejection matrix surfacing typed [`ChunkError`]s through
+//! [`BundleError`], lazy residency, chunk-granular session GC, and
+//! kill/resume of sharded trainer checkpoints — including the
+//! resume-after-GC interplay that makes in-flight chunk grids
+//! load-bearing.
+
+use edde_core::methods::{Bagging, EnsembleMethod};
+use edde_core::runstate::{MemberRecord, RunSession};
+use edde_core::{
+    BundleCodec, BundleError, EnsembleError, EpochCheckpoints, ExperimentEnv, FaultPlan,
+    FrozenEnsemble, ModelFactory, NetworkBuilder, RecoveryPolicy, TrainLoop, TrainRng, Trainer,
+};
+use edde_data::synth::{gaussian_blobs, GaussianBlobsConfig};
+use edde_nn::checkpoint::{self, CheckpointStore, MemStore};
+use edde_nn::chunkstore::{self, ChunkError};
+use edde_nn::models::mlp;
+use edde_nn::optim::LrSchedule;
+use edde_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+fn build() -> NetworkBuilder {
+    Arc::new(|arch: &str, num_classes: usize| {
+        let mut r = StdRng::seed_from_u64(0);
+        match arch {
+            "mlp-2" => Ok(mlp(&[40, 40, num_classes], 0.0, &mut r)),
+            other => Err(EnsembleError::BadConfig(format!("unknown arch {other:?}"))),
+        }
+    })
+}
+
+fn sample() -> FrozenEnsemble {
+    let mut f = FrozenEnsemble::new();
+    for seed in 0..3u64 {
+        let mut r = StdRng::seed_from_u64(seed + 10);
+        f.push(
+            Arc::new(mlp(&[40, 40, 3], 0.0, &mut r)),
+            1.0 + seed as f32 * 0.25,
+            format!("m{seed}"),
+        );
+    }
+    f
+}
+
+fn bits(t: &Tensor) -> Vec<u32> {
+    t.data().iter().map(|v| v.to_bits()).collect()
+}
+
+/// Unwraps the typed chunk rejection out of an ensemble-level error.
+fn chunk_cause(err: EnsembleError) -> ChunkError {
+    match err {
+        EnsembleError::Bundle(BundleError::Chunk(e)) => e,
+        other => panic!("expected a chunk-store rejection, got {other:?}"),
+    }
+}
+
+#[test]
+fn sharded_round_trip_is_bit_identical_to_whole_blob() {
+    // The sharded writer chunks the same per-tensor coded streams the
+    // whole-blob writer serializes, so both forms must decode to the same
+    // member bits — for the exact-f32 codec and for int8, where a
+    // per-chunk re-quantization would diverge.
+    let x = Tensor::ones(&[5, 40]);
+    for codec in [BundleCodec::f32(), BundleCodec::int8()] {
+        let f = sample();
+        let store = Arc::new(MemStore::new());
+        f.save_bundle_with(store.as_ref(), "blob", &codec).unwrap();
+        f.save_bundle_sharded_with(store.as_ref(), "root", &codec, true)
+            .unwrap();
+        let whole =
+            FrozenEnsemble::load_bundle(store.as_ref(), "blob", &|a, n| build()(a, n)).unwrap();
+        let sharded = FrozenEnsemble::open_sharded(store.clone(), "root", build()).unwrap();
+        let tag = codec.tag();
+        assert_eq!(sharded.codec_tag(), tag, "{tag}");
+        assert_eq!(sharded.arch_signature(), whole.arch_signature(), "{tag}");
+        let lazy = sharded.materialize().unwrap();
+        assert_eq!(
+            bits(&whole.soft_targets(&x).unwrap()),
+            bits(&lazy.soft_targets(&x).unwrap()),
+            "codec {tag}: sharded vote diverged from whole-blob"
+        );
+        for (wm, lm) in whole.members().iter().zip(lazy.members()) {
+            assert_eq!(wm.label(), lm.label(), "{tag}");
+            assert_eq!(wm.alpha().to_bits(), lm.alpha().to_bits(), "{tag}");
+        }
+        // The f32 codec round-trips raw parameters; compare them bitwise.
+        if tag == BundleCodec::f32().tag() {
+            for (wm, lm) in whole.members().iter().zip(lazy.members()) {
+                let ws = wm.network().unwrap().export_state();
+                let ls = lm.network().unwrap().export_state();
+                assert_eq!(ws.len(), ls.len());
+                for ((wn, wt), (ln, lt)) in ws.iter().zip(&ls) {
+                    assert_eq!(wn, ln);
+                    assert_eq!(bits(wt), bits(lt), "tensor {wn} differs");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn lazy_open_defers_chunk_decode_until_first_predict() {
+    let f = sample();
+    let store = Arc::new(MemStore::new());
+    f.save_bundle_sharded(store.as_ref(), "root").unwrap();
+    let sharded = FrozenEnsemble::open_sharded(store.clone(), "root", build()).unwrap();
+    // Opening reads only the root record: structural metadata is
+    // available with zero members resident.
+    assert_eq!(sharded.resident_members(), 0);
+    assert_eq!(sharded.len(), 3);
+    assert_eq!(sharded.num_classes(), Some(3));
+    let x = Tensor::ones(&[4, 40]);
+    let first = sharded.predict(&x).unwrap();
+    assert_eq!(sharded.resident_members(), 3, "predict serves all members");
+    assert_eq!(sharded.predict(&x).unwrap(), first);
+    // The cached members answer identically to an eager load.
+    let eager = FrozenEnsemble::load_bundle(store.as_ref(), "root", &|a, n| build()(a, n));
+    assert!(eager.is_err(), "a root record is not a whole-blob bundle");
+    assert_eq!(f.predict(&x).unwrap(), first);
+}
+
+/// Rewrites member `m`'s `EDS1` index inside the sealed `ESR1` root — the
+/// embedded-index analogue of corrupting a standalone index record.
+fn patch_root_index(
+    store: &MemStore,
+    key: &str,
+    m: usize,
+    patch: impl Fn(&mut chunkstore::ChunkIndex),
+) {
+    let root = checkpoint::unseal(store.get(key).unwrap()).unwrap();
+    // ESR1 header: magic, version, member count, chunk size, codec tag.
+    let mut off = 4 + 4;
+    let members = u32::from_le_bytes(root[off..off + 4].try_into().unwrap()) as usize;
+    off += 4 + 8;
+    let tag_len = u32::from_le_bytes(root[off..off + 4].try_into().unwrap()) as usize;
+    off += 4 + tag_len;
+    let mut out = root[..off].to_vec();
+    for t in 0..members {
+        let len = u64::from_le_bytes(root[off..off + 8].try_into().unwrap()) as usize;
+        off += 8;
+        let blob = root.slice(off..off + len);
+        off += len;
+        let blob = if t == m {
+            let mut ix = chunkstore::ChunkIndex::decode(blob).unwrap();
+            patch(&mut ix);
+            ix.encode()
+        } else {
+            blob
+        };
+        out.extend_from_slice(&(blob.len() as u64).to_le_bytes());
+        out.extend_from_slice(&blob);
+    }
+    store.put(key, &checkpoint::seal(&out)).unwrap();
+}
+
+#[test]
+fn torn_chunks_surface_typed_bundle_errors_and_heal_on_repair() {
+    let f = sample();
+    let store = Arc::new(MemStore::new());
+    f.save_bundle_sharded(store.as_ref(), "root").unwrap();
+    // Part 0 is fc0.weight — 40x40 f32s, well past the inline threshold,
+    // so its chunk grid really is on the store.
+    let victim = chunkstore::chunk_key(1, 0, 0);
+    let good_chunk = store.get(&victim).unwrap();
+    let good_root = store.get("root").unwrap();
+
+    // Missing chunk: open succeeds (the root record is intact),
+    // materializing the damaged member is the typed failure.
+    store.remove(&victim).unwrap();
+    let sharded = FrozenEnsemble::open_sharded(store.clone(), "root", build()).unwrap();
+    match chunk_cause(sharded.materialize().unwrap_err()) {
+        ChunkError::MissingChunk { key } => assert_eq!(key, victim),
+        other => panic!("expected MissingChunk, got {other:?}"),
+    }
+    // A failed decode is not cached: repairing the store heals the same
+    // open handle without reopening.
+    store.put(&victim, &good_chunk).unwrap();
+    sharded.materialize().unwrap();
+    assert_eq!(sharded.resident_members(), 3);
+
+    // Truncated chunk (torn write).
+    store
+        .put(&victim, &good_chunk[..good_chunk.len() - 7])
+        .unwrap();
+    let sharded = FrozenEnsemble::open_sharded(store.clone(), "root", build()).unwrap();
+    match chunk_cause(sharded.materialize().unwrap_err()) {
+        ChunkError::TruncatedChunk { key, .. } => assert_eq!(key, victim),
+        other => panic!("expected TruncatedChunk, got {other:?}"),
+    }
+
+    // Bit flip inside the frame (in-place corruption).
+    let mut flipped = good_chunk.to_vec();
+    let last = flipped.len() - 1;
+    flipped[last] ^= 0x04;
+    store.put(&victim, &flipped).unwrap();
+    let sharded = FrozenEnsemble::open_sharded(store.clone(), "root", build()).unwrap();
+    match chunk_cause(sharded.materialize().unwrap_err()) {
+        ChunkError::CorruptChunk { key, .. } => assert_eq!(key, victim),
+        other => panic!("expected CorruptChunk, got {other:?}"),
+    }
+    store.put(&victim, &good_chunk).unwrap();
+
+    // Index whose stated chunk count disagrees with its own layout: the
+    // indexes ride inside the sealed root, and the mismatch is rejected
+    // while the root decodes — before any chunk is read.
+    patch_root_index(store.as_ref(), "root", 1, |ix| ix.parts[0].chunks += 1);
+    match chunk_cause(FrozenEnsemble::open_sharded(store.clone(), "root", build()).unwrap_err()) {
+        ChunkError::CountMismatch { expected, got, .. } => assert_eq!(got, expected + 1),
+        other => panic!("expected CountMismatch, got {other:?}"),
+    }
+
+    // Torn root record — half a group commit: no readable bundle at all.
+    store
+        .put("root", &good_root[..good_root.len() / 2])
+        .unwrap();
+    FrozenEnsemble::open_sharded(store.clone(), "root", build()).unwrap_err();
+
+    // Full repair: the bundle serves again.
+    store.put("root", &good_root).unwrap();
+    FrozenEnsemble::open_sharded(store, "root", build())
+        .unwrap()
+        .materialize()
+        .unwrap();
+}
+
+#[test]
+fn session_gc_is_chunk_granular() {
+    let store = MemStore::new();
+    let mut r = StdRng::seed_from_u64(6);
+    let mut net = mlp(&[4, 8, 2], 0.0, &mut r);
+    let mut sess = RunSession::open(&store, "EDDE", 7).unwrap();
+    sess.record_member(
+        MemberRecord {
+            label: "edde-1".into(),
+            alpha: 1.0,
+            seed: 0,
+            net_key: String::new(),
+            cumulative_epochs: 1,
+            test_accuracy: 0.5,
+            weights: vec![],
+        },
+        &mut net,
+    )
+    .unwrap();
+    drop(sess);
+
+    // Member 1 is in flight: a sharded progress record (EDS1 index under
+    // the progress key) describing one 6000-byte part in 1024-byte chunks.
+    let part: Vec<u8> = (0..6000u32).map(|i| (i % 113) as u8).collect();
+    chunkstore::write_member_chunks_with(
+        &store,
+        1,
+        &RunSession::progress_key(1),
+        b"progress header",
+        &[("w".to_string(), vec![1500], part)],
+        false,
+        1024,
+    )
+    .unwrap();
+    // Garbage the sweep must collect: chunks of the *committed* member 0,
+    // chunks beyond the live index's grid (a shrunk or re-chunked write),
+    // chunks of a part the index does not know, chunks of a member with
+    // no progress record at all, and stray sharded-bundle index keys
+    // (sharded bundles belong in their own store).
+    store
+        .put(&chunkstore::chunk_key(0, 0, 0), b"stale")
+        .unwrap();
+    store
+        .put(&chunkstore::chunk_key(1, 0, 6), b"beyond")
+        .unwrap();
+    store
+        .put(&chunkstore::chunk_key(1, 1, 0), b"no part")
+        .unwrap();
+    store
+        .put(&chunkstore::chunk_key(2, 0, 0), b"no index")
+        .unwrap();
+    store.put(&chunkstore::index_key(0), b"stray").unwrap();
+    store.put(&chunkstore::index_key(1), b"stray").unwrap();
+
+    let sess = RunSession::open(&store, "EDDE", 7).unwrap();
+    assert_eq!(sess.completed(), 1);
+    for c in 0..6 {
+        assert!(
+            store.contains(&chunkstore::chunk_key(1, 0, c)),
+            "live in-flight chunk {c} must survive GC"
+        );
+    }
+    assert!(
+        store.contains(&RunSession::progress_key(1)),
+        "in-flight sharded progress record must survive"
+    );
+    for (key, why) in [
+        (chunkstore::chunk_key(0, 0, 0), "committed member's chunk"),
+        (
+            chunkstore::chunk_key(1, 0, 6),
+            "chunk beyond the index grid",
+        ),
+        (chunkstore::chunk_key(1, 1, 0), "chunk of an unknown part"),
+        (chunkstore::chunk_key(2, 0, 0), "chunk with no index"),
+        (chunkstore::index_key(0), "stray index key"),
+        (chunkstore::index_key(1), "stray index key"),
+    ] {
+        assert!(!store.contains(&key), "{why} ({key}) must be swept");
+    }
+}
+
+#[test]
+fn sharded_trainer_checkpoint_resumes_bitwise() {
+    // Kill a sharded-checkpointed member mid-epoch; the progress record on
+    // the store is an EDS1 index plus a chunk grid. Resuming — even with a
+    // loop configured for whole-blob records, since resume auto-detects
+    // the format from the magic — must match the uninterrupted run bit
+    // for bit.
+    let cfg = GaussianBlobsConfig {
+        classes: 3,
+        dim: 6,
+        train_per_class: 40,
+        test_per_class: 20,
+        spread: 0.6,
+    };
+    let train = gaussian_blobs(&cfg, 11).train;
+    let schedule = LrSchedule::paper_step(0.1, 4);
+    let seed = 77u64;
+    let fresh_net = || mlp(&[6, 172, 3], 0.0, &mut StdRng::seed_from_u64(123));
+    let clean = Trainer {
+        batch_size: 16,
+        weight_decay: 0.0,
+        ..Trainer::default()
+    };
+
+    let mut reference_net = fresh_net();
+    TrainLoop::new(&clean, &train, &schedule, 4)
+        .run(&mut reference_net, TrainRng::PerEpoch { seed })
+        .unwrap();
+    let reference = reference_net.export_state();
+
+    let store = MemStore::new();
+    let checkpoints = |sharded: bool| EpochCheckpoints {
+        store: &store,
+        key: "member-0-progress".into(),
+        member: 0,
+        fingerprint: 7,
+        every: 1,
+        sharded,
+    };
+    let dying = Trainer {
+        recovery: RecoveryPolicy::disabled(),
+        fault: Some(FaultPlan::nan_loss_at_step(20)),
+        ..clean.clone()
+    };
+    let mut net = fresh_net();
+    TrainLoop::new(&dying, &train, &schedule, 4)
+        .checkpoint(checkpoints(true))
+        .run(&mut net, TrainRng::PerEpoch { seed })
+        .unwrap_err();
+
+    // The record really is sharded: EDS1 magic, chunks beside it.
+    let payload = checkpoint::get_sealed(&store, "member-0-progress").unwrap();
+    assert_eq!(&payload[..4], chunkstore::INDEX_MAGIC);
+    assert!(store.contains(&chunkstore::chunk_key(0, 0, 0)));
+
+    let mut resumed_net = mlp(&[6, 172, 3], 0.0, &mut StdRng::seed_from_u64(999));
+    TrainLoop::new(&clean, &train, &schedule, 4)
+        .checkpoint(checkpoints(false)) // auto-detect reads the EDS1 record
+        .run(&mut resumed_net, TrainRng::PerEpoch { seed })
+        .unwrap();
+    assert_eq!(resumed_net.export_state(), reference);
+}
+
+#[test]
+fn torn_sharded_progress_restarts_the_member_from_scratch() {
+    // A chunk lost from an in-flight sharded record must degrade exactly
+    // like a torn whole-blob record: the member restarts at epoch 0 and
+    // still matches a no-checkpoint run bit for bit.
+    let cfg = GaussianBlobsConfig {
+        classes: 3,
+        dim: 6,
+        train_per_class: 40,
+        test_per_class: 20,
+        spread: 0.6,
+    };
+    let train = gaussian_blobs(&cfg, 11).train;
+    let schedule = LrSchedule::Constant { base: 0.05 };
+    let trainer = Trainer {
+        batch_size: 16,
+        weight_decay: 0.0,
+        ..Trainer::default()
+    };
+    let fresh_net = || mlp(&[6, 172, 3], 0.0, &mut StdRng::seed_from_u64(31));
+    let mut reference_net = fresh_net();
+    TrainLoop::new(&trainer, &train, &schedule, 2)
+        .run(&mut reference_net, TrainRng::PerEpoch { seed: 9 })
+        .unwrap();
+
+    let store = MemStore::new();
+    let checkpoints = || EpochCheckpoints {
+        store: &store,
+        key: "member-0-progress".into(),
+        member: 0,
+        fingerprint: 3,
+        every: 1,
+        sharded: true,
+    };
+    let dying = Trainer {
+        recovery: RecoveryPolicy::disabled(),
+        fault: Some(FaultPlan::nan_loss_at_step(10)),
+        ..trainer.clone()
+    };
+    let mut net = fresh_net();
+    TrainLoop::new(&dying, &train, &schedule, 2)
+        .checkpoint(checkpoints())
+        .run(&mut net, TrainRng::PerEpoch { seed: 9 })
+        .unwrap_err();
+    // Lose one chunk of the in-flight grid — the reassembly fails its
+    // layout check, and resume treats the record as torn.
+    let victim = chunkstore::chunk_key(0, 0, 0);
+    assert!(store.contains(&victim));
+    store.remove(&victim).unwrap();
+
+    let mut resumed_net = fresh_net();
+    TrainLoop::new(&trainer, &train, &schedule, 2)
+        .checkpoint(checkpoints())
+        .run(&mut resumed_net, TrainRng::PerEpoch { seed: 9 })
+        .unwrap();
+    assert_eq!(resumed_net.export_state(), reference_net.export_state());
+}
+
+/// Serializes the env-knob test against anything else that might read the
+/// process environment mid-flight.
+fn env_guard() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[test]
+fn sharded_checkpoints_survive_session_gc_on_resume() {
+    // End to end through the EDDE_SHARDED_CKPT knob: kill a Bagging run
+    // inside member 1 with sharded epoch checkpoints, then resume with
+    // the knob *off*. RunSession::open runs its garbage collection before
+    // the trainer reads the progress record, so this pins the GC rule
+    // that in-flight chunk grids are load-bearing: if the sweep collected
+    // them, the resume would silently restart member 1 and diverge.
+    let _g = env_guard();
+    let data = gaussian_blobs(
+        &GaussianBlobsConfig {
+            classes: 3,
+            dim: 6,
+            train_per_class: 30,
+            test_per_class: 15,
+            spread: 0.8,
+        },
+        71,
+    );
+    let factory: ModelFactory = Arc::new(|r| Ok(mlp(&[6, 172, 3], 0.0, r)));
+    let env = ExperimentEnv::new(
+        data,
+        factory,
+        Trainer {
+            batch_size: 16,
+            weight_decay: 0.0,
+            ..Trainer::default()
+        },
+        0.1,
+        71,
+    );
+    let x = env.data.test.features().clone();
+    let probs = |run: &mut edde_core::methods::RunResult| -> Vec<Vec<u32>> {
+        run.model
+            .member_soft_targets(&x)
+            .unwrap()
+            .iter()
+            .map(bits)
+            .collect()
+    };
+
+    // Reference: uninterrupted, whole-blob checkpoints (knob unset).
+    std::env::remove_var("EDDE_SHARDED_CKPT");
+    let full_store = MemStore::new();
+    let mut full = Bagging::new(2, 3).run_resumable(&env, &full_store).unwrap();
+    let reference = probs(&mut full);
+
+    // Killed run with sharded checkpoints: member 0 commits, member 1
+    // dies inside epoch 1 (step 26 of 6-step epochs) leaving an EDS1
+    // progress record plus its chunk grid.
+    std::env::set_var("EDDE_SHARDED_CKPT", "1");
+    let store = MemStore::new();
+    let mut dying_env = env.clone();
+    dying_env.trainer.recovery = RecoveryPolicy::disabled();
+    dying_env.trainer.fault = Some(FaultPlan::nan_loss_at_step(26));
+    Bagging::new(2, 3)
+        .run_resumable(&dying_env, &store)
+        .unwrap_err();
+    std::env::remove_var("EDDE_SHARDED_CKPT");
+    let payload = checkpoint::get_sealed(&store, "member-1-progress").unwrap();
+    assert_eq!(
+        &payload[..4],
+        chunkstore::INDEX_MAGIC,
+        "the knob must route epoch checkpoints through the chunk store"
+    );
+    assert!(store.contains(&chunkstore::chunk_key(1, 0, 0)));
+
+    // Resume with the knob off: GC keeps the in-flight grid, auto-detect
+    // reads it, and the final ensemble matches bit for bit.
+    let mut resumed = Bagging::new(2, 3).run_resumable(&env, &store).unwrap();
+    assert_eq!(probs(&mut resumed), reference);
+    assert_eq!(resumed.trace, full.trace);
+}

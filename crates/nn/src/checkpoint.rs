@@ -73,42 +73,114 @@ pub fn seal(payload: &[u8]) -> Bytes {
     buf.freeze()
 }
 
-/// Unwraps a v2 frame, verifying length and checksum. Returns the payload.
-pub fn unseal(mut bytes: Bytes) -> Result<Bytes> {
+/// Why an `EDC2` frame was rejected by [`unseal_checked`]. Truncation and
+/// corruption are distinct variants so chunked-storage readers
+/// (`crate::chunkstore`) can report a torn chunk differently from a
+/// bit-flipped one; [`unseal`] flattens every variant into
+/// [`NnError::Corrupt`] with the same message it has always produced.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FrameError {
+    /// The value is shorter than the fixed frame header.
+    TooShort {
+        /// Bytes actually present.
+        got: usize,
+    },
+    /// The frame does not start with the `EDC2` magic.
+    BadMagic([u8; 4]),
+    /// The frame magic is right but the version is not understood.
+    UnsupportedVersion(u32),
+    /// The header's payload length disagrees with the bytes present —
+    /// a torn (truncated or padded) write.
+    LengthMismatch {
+        /// Payload length the header states.
+        stated: u64,
+        /// Payload bytes actually present.
+        got: u64,
+    },
+    /// The payload CRC does not match the header — a bit flip.
+    ChecksumMismatch {
+        /// CRC the header carries.
+        stored: u32,
+        /// CRC computed over the payload.
+        computed: u32,
+    },
+}
+
+impl FrameError {
+    /// True for the variants a torn (incomplete) write produces, as
+    /// opposed to in-place corruption of a complete frame.
+    pub fn is_truncation(&self) -> bool {
+        matches!(
+            self,
+            FrameError::TooShort { .. } | FrameError::LengthMismatch { .. }
+        )
+    }
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::TooShort { got } => write!(f, "frame too short: {got} bytes"),
+            FrameError::BadMagic(magic) => {
+                write!(f, "bad magic {magic:?}, expected {V2_MAGIC:?}")
+            }
+            FrameError::UnsupportedVersion(v) => {
+                write!(f, "unsupported checkpoint version {v}")
+            }
+            FrameError::LengthMismatch { stated, got } => {
+                write!(
+                    f,
+                    "frame length {stated} does not match remaining {got} bytes"
+                )
+            }
+            FrameError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "checksum mismatch: stored {stored:#010x}, computed {computed:#010x}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// [`unseal`] with the rejection reason kept as a typed [`FrameError`]
+/// instead of a formatted message.
+pub fn unseal_checked(mut bytes: Bytes) -> std::result::Result<Bytes, FrameError> {
     if bytes.remaining() < V2_HEADER {
-        return Err(NnError::Corrupt(format!(
-            "frame too short: {} bytes",
-            bytes.remaining()
-        )));
+        return Err(FrameError::TooShort {
+            got: bytes.remaining(),
+        });
     }
     let mut magic = [0u8; 4];
     bytes.copy_to_slice(&mut magic);
     if &magic != V2_MAGIC {
-        return Err(NnError::Corrupt(format!(
-            "bad magic {magic:?}, expected {V2_MAGIC:?}"
-        )));
+        return Err(FrameError::BadMagic(magic));
     }
     let version = bytes.get_u32_le();
     if version != V2_VERSION {
-        return Err(NnError::Corrupt(format!(
-            "unsupported checkpoint version {version}"
-        )));
+        return Err(FrameError::UnsupportedVersion(version));
     }
     let expect_crc = bytes.get_u32_le();
     let len = bytes.get_u64_le();
     if len != bytes.remaining() as u64 {
-        return Err(NnError::Corrupt(format!(
-            "frame length {len} does not match remaining {} bytes",
-            bytes.remaining()
-        )));
+        return Err(FrameError::LengthMismatch {
+            stated: len,
+            got: bytes.remaining() as u64,
+        });
     }
     let actual = crc32(&bytes);
     if actual != expect_crc {
-        return Err(NnError::Corrupt(format!(
-            "checksum mismatch: stored {expect_crc:#010x}, computed {actual:#010x}"
-        )));
+        return Err(FrameError::ChecksumMismatch {
+            stored: expect_crc,
+            computed: actual,
+        });
     }
     Ok(bytes)
+}
+
+/// Unwraps a v2 frame, verifying length and checksum. Returns the payload.
+pub fn unseal(bytes: Bytes) -> Result<Bytes> {
+    unseal_checked(bytes).map_err(|e| NnError::Corrupt(e.to_string()))
 }
 
 /// Writes `bytes` to `path` atomically: temp file in the same directory,
@@ -185,6 +257,28 @@ pub trait CheckpointStore: Send + Sync {
     }
     /// Retrieves the value stored under `key`.
     fn get(&self, key: &str) -> Result<Bytes>;
+    /// Retrieves `len` bytes of the value under `key`, starting at byte
+    /// `offset`. A range extending past the end of the value is an error
+    /// (`NnError::Io`), never a short read — callers use this to peek
+    /// fixed-size headers and individual chunks, where a short result
+    /// would silently masquerade as truncation of the value itself.
+    ///
+    /// The default implementation fetches the whole value and slices it;
+    /// backends with random access ([`FsStore`]) override it to read only
+    /// the requested window.
+    fn get_range(&self, key: &str, offset: usize, len: usize) -> Result<Bytes> {
+        let bytes = self.get(key)?;
+        let end = offset
+            .checked_add(len)
+            .filter(|&end| end <= bytes.len())
+            .ok_or_else(|| {
+                NnError::Io(format!(
+                    "range {offset}+{len} out of bounds for {key:?} ({} bytes)",
+                    bytes.len()
+                ))
+            })?;
+        Ok(bytes.slice(offset..end))
+    }
     /// Whether `key` currently has a value.
     fn contains(&self, key: &str) -> bool;
     /// Removes `key` if present (no error when absent).
@@ -239,6 +333,22 @@ impl CheckpointStore for FsStore {
         let bytes = fs::read(&path)
             .map_err(|e| NnError::Io(format!("cannot read {}: {e}", path.display())))?;
         Ok(Bytes::from(bytes))
+    }
+
+    fn get_range(&self, key: &str, offset: usize, len: usize) -> Result<Bytes> {
+        use std::io::{Read, Seek, SeekFrom};
+        let path = self.path_for(key)?;
+        let io = |e: std::io::Error| {
+            NnError::Io(format!(
+                "cannot read range {offset}+{len} of {}: {e}",
+                path.display()
+            ))
+        };
+        let mut f = fs::File::open(&path).map_err(io)?;
+        f.seek(SeekFrom::Start(offset as u64)).map_err(io)?;
+        let mut out = vec![0u8; len];
+        f.read_exact(&mut out).map_err(io)?;
+        Ok(Bytes::from(out))
     }
 
     fn contains(&self, key: &str) -> bool {

@@ -1,0 +1,753 @@
+//! Chunked, shardable storage under the [`CheckpointStore`] trait.
+//!
+//! A *sharded* member artifact is stored as many small values instead of
+//! one opaque blob: each state tensor's coded byte stream (the same
+//! per-tensor [`edde_tensor::codec`] stream a whole-blob `EEB2` bundle
+//! carries) is split into fixed-size chunks, each chunk independently
+//! sealed in the checksummed `EDC2` frame, and a small per-member **index
+//! record** (`EDS1`) describes the whole layout: tensor names, ranks,
+//! dims, coded lengths, and chunk counts, plus an opaque caller-defined
+//! metadata blob.
+//!
+//! ```text
+//! EDS1 index record (sealed in an EDC2 frame by the writer):
+//!   magic       : b"EDS1"
+//!   version     : u32 LE (currently 1)
+//!   member      : u64 LE
+//!   chunk_bytes : u64 LE  (chunk size this member was written with)
+//!   meta        : u64 LE length + bytes (caller-defined, opaque here)
+//!   part count  : u32 LE
+//!   per part    : name (u32 LE length + utf-8 bytes)
+//!                 rank u32 LE, dims u64 LE × rank
+//!                 coded_len u64 LE, chunk_count u32 LE
+//!                 storage u8 (0 = chunked, 1 = inline)
+//!                 if inline: coded_len payload bytes
+//! ```
+//!
+//! Small parts (coded stream at most [`inline_threshold`] bytes, 1/16 of
+//! the chunk size) are stored *inline* in the index record instead of as
+//! chunk values of their own. A member's parts are dominated by a few
+//! large weight matrices plus many tiny vectors (biases, scales); giving
+//! each vector its own store value costs a metadata round-trip per part,
+//! which on file-backed stores is the same order as the durable barrier
+//! the group commit saves. Inlining folds them into the one index write.
+//!
+//! Chunks are addressed by a deterministic key encoding
+//! ([`chunk_key`]): `member-{m}-chunk-{part:05}-{chunk:08}`. The
+//! zero-padding makes lexicographic key order equal numeric `(part,
+//! chunk)` order within a member, so a plain sorted directory listing
+//! reads back in write order.
+//!
+//! # Durability contract
+//!
+//! [`write_member_chunks`] writes every chunk and the index with *relaxed*
+//! durability ([`CheckpointStore::put_relaxed`]) — the caller commits the
+//! whole group with one durable record written last (a bundle root, a run
+//! manifest). This is group commit: one fsync per logical checkpoint
+//! instead of one per member, which is where the sharded path's write
+//! speedup comes from on fsync-bound stores. A crash before the commit
+//! record leaves orphaned chunks that the next session's garbage
+//! collection sweeps; a torn chunk is caught by its own CRC frame on
+//! read. Chunk puts go through the in-order commit gate
+//! ([`edde_tensor::parallel::ordered_commit`]): sealing fans out over the
+//! worker pool while store writes happen in ascending `(part, chunk)`
+//! order, so fault-injection schedules and partial-write states are
+//! deterministic.
+
+use crate::checkpoint::{seal, unseal_checked, CheckpointStore};
+use crate::error::{NnError, Result};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use edde_tensor::env::env_usize;
+use edde_tensor::parallel::ordered_commit;
+
+/// Magic prefix of an `EDS1` index record payload.
+pub const INDEX_MAGIC: &[u8; 4] = b"EDS1";
+
+/// Current index record format version.
+pub const INDEX_VERSION: u32 = 1;
+
+/// Upper bound on a stored part's rank — corruption guard, matching the
+/// bundle format's limit.
+const MAX_PART_RANK: usize = 8;
+
+/// Default chunk size in bytes.
+pub const DEFAULT_CHUNK_BYTES: usize = 64 * 1024;
+
+/// The chunk size sharded writes use: `EDDE_CHUNK_BYTES` (any positive
+/// integer), defaulting to 64 KiB. Read per write so tests can vary it;
+/// every index record carries the value it was written with, so readers
+/// never consult the environment.
+pub fn chunk_bytes() -> usize {
+    env_usize("EDDE_CHUNK_BYTES", DEFAULT_CHUNK_BYTES)
+}
+
+/// Store key of chunk `chunk` of part `part` of member `member`. The
+/// fixed-width zero padding makes lexicographic order equal numeric
+/// `(part, chunk)` order for parts below 10^5 and chunks below 10^8
+/// (a single part would have to exceed 6 TiB at the default chunk size
+/// to overflow the chunk field).
+pub fn chunk_key(member: usize, part: usize, chunk: usize) -> String {
+    format!("member-{member}-chunk-{part:05}-{chunk:08}")
+}
+
+/// Store key of member `member`'s sharded-bundle index record.
+pub fn index_key(member: usize) -> String {
+    format!("member-{member}-index")
+}
+
+/// Parses a key produced by [`chunk_key`] back into `(member, part,
+/// chunk)`; `None` for any other key shape.
+pub fn parse_chunk_key(key: &str) -> Option<(usize, usize, usize)> {
+    let rest = key.strip_prefix("member-")?;
+    let (member, rest) = rest.split_once("-chunk-")?;
+    let (part, chunk) = rest.split_once('-')?;
+    if member.is_empty() || part.len() != 5 || chunk.len() != 8 {
+        return None;
+    }
+    Some((
+        member.parse().ok()?,
+        part.parse().ok()?,
+        chunk.parse().ok()?,
+    ))
+}
+
+/// Parses a key produced by [`index_key`] back into the member index;
+/// `None` for any other key shape.
+pub fn parse_index_key(key: &str) -> Option<usize> {
+    key.strip_prefix("member-")?
+        .strip_suffix("-index")?
+        .parse()
+        .ok()
+}
+
+/// Chunks a part of `coded_len` bytes occupies at `chunk_bytes` per chunk.
+/// Zero-length parts occupy zero chunks.
+pub fn part_chunk_count(coded_len: u64, chunk_bytes: u64) -> u32 {
+    coded_len.div_ceil(chunk_bytes.max(1)) as u32
+}
+
+/// Largest coded stream stored inline in the index record instead of as
+/// its own chunk value: 1/16 of the chunk size (4 KiB at the default
+/// 64 KiB chunks).
+pub fn inline_threshold(chunk_bytes: usize) -> usize {
+    chunk_bytes / 16
+}
+
+/// Why a sharded read was rejected. Every failure mode of the torn-chunk
+/// matrix is a distinct variant, so callers (swap validation, resume
+/// logic, operators' logs) react to the cause rather than string-matching.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ChunkError {
+    /// A chunk the index record references is absent from the store —
+    /// an interrupted write or an over-eager cleanup.
+    MissingChunk {
+        /// The absent chunk's store key.
+        key: String,
+    },
+    /// A chunk's sealed frame ended early — a torn (partial) write.
+    TruncatedChunk {
+        /// The torn chunk's store key.
+        key: String,
+        /// Frame-level rejection detail.
+        detail: String,
+    },
+    /// A chunk failed its CRC or framing on read — in-place corruption.
+    CorruptChunk {
+        /// The corrupt chunk's store key.
+        key: String,
+        /// Frame-level rejection detail.
+        detail: String,
+    },
+    /// An index record's stated chunk count disagrees with its own coded
+    /// length and chunk size — the index and the chunk grid describe
+    /// different layouts.
+    CountMismatch {
+        /// Name of the offending part.
+        part: String,
+        /// Chunk count implied by `coded_len` and `chunk_bytes`.
+        expected: u32,
+        /// Chunk count the index states.
+        got: u32,
+    },
+    /// The index record itself is missing, torn, or malformed.
+    Index {
+        /// What was wrong with it.
+        detail: String,
+    },
+    /// The storage backend failed (I/O error other than a missing key).
+    Store {
+        /// The key being read.
+        key: String,
+        /// Backend error detail.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for ChunkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChunkError::MissingChunk { key } => write!(f, "missing chunk {key:?}"),
+            ChunkError::TruncatedChunk { key, detail } => {
+                write!(f, "truncated chunk {key:?}: {detail}")
+            }
+            ChunkError::CorruptChunk { key, detail } => {
+                write!(f, "corrupt chunk {key:?}: {detail}")
+            }
+            ChunkError::CountMismatch {
+                part,
+                expected,
+                got,
+            } => write!(
+                f,
+                "chunk count mismatch for part {part:?}: index states {got}, layout implies {expected}"
+            ),
+            ChunkError::Index { detail } => write!(f, "bad index record: {detail}"),
+            ChunkError::Store { key, detail } => write!(f, "store error at {key:?}: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ChunkError {}
+
+impl From<ChunkError> for NnError {
+    fn from(e: ChunkError) -> Self {
+        match e {
+            ChunkError::Store { key, detail } => {
+                NnError::Io(format!("store error at {key:?}: {detail}"))
+            }
+            other => NnError::Corrupt(other.to_string()),
+        }
+    }
+}
+
+/// Layout of one part (state tensor) inside a sharded member.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartMeta {
+    /// Tensor name (e.g. `"fc0.weight"`).
+    pub name: String,
+    /// Tensor dims.
+    pub dims: Vec<usize>,
+    /// Length of the part's coded byte stream.
+    pub coded_len: u64,
+    /// Chunks the stream is split into (0 for inline parts).
+    pub chunks: u32,
+    /// The coded stream itself, for parts small enough to live in the
+    /// index record ([`inline_threshold`]); `None` for chunked parts.
+    pub inline: Option<Bytes>,
+}
+
+/// A member's `EDS1` index record: the complete description of its chunk
+/// grid plus an opaque caller-defined metadata blob (bundle writers store
+/// label/α/arch/class-count/codec there; the trainer stores its progress
+/// header).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChunkIndex {
+    /// Member index the chunks belong to (names the chunk keys).
+    pub member: usize,
+    /// Chunk size this member was written with.
+    pub chunk_bytes: u64,
+    /// Caller-defined metadata blob.
+    pub meta: Bytes,
+    /// Per-part layout, in write order.
+    pub parts: Vec<PartMeta>,
+}
+
+impl ChunkIndex {
+    /// Serializes the index record (unsealed; writers seal it in an
+    /// `EDC2` frame).
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        buf.put_slice(INDEX_MAGIC);
+        buf.put_u32_le(INDEX_VERSION);
+        buf.put_u64_le(self.member as u64);
+        buf.put_u64_le(self.chunk_bytes);
+        buf.put_u64_le(self.meta.len() as u64);
+        buf.put_slice(&self.meta);
+        buf.put_u32_le(self.parts.len() as u32);
+        for p in &self.parts {
+            buf.put_u32_le(p.name.len() as u32);
+            buf.put_slice(p.name.as_bytes());
+            buf.put_u32_le(p.dims.len() as u32);
+            for &d in &p.dims {
+                buf.put_u64_le(d as u64);
+            }
+            buf.put_u64_le(p.coded_len);
+            buf.put_u32_le(p.chunks);
+            match &p.inline {
+                Some(payload) => {
+                    buf.put_u8(1);
+                    buf.put_slice(payload);
+                }
+                None => buf.put_u8(0),
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Deserializes an (already unsealed) index payload, validating magic,
+    /// version, field bounds, and that every part's stated chunk count
+    /// matches the layout its `coded_len` and `chunk_bytes` imply
+    /// ([`ChunkError::CountMismatch`] otherwise).
+    pub fn decode(mut buf: Bytes) -> std::result::Result<Self, ChunkError> {
+        let index = |detail: String| ChunkError::Index { detail };
+        let need = |buf: &Bytes, n: usize, what: &str| {
+            if buf.remaining() < n {
+                Err(index(format!("truncated {what}")))
+            } else {
+                Ok(())
+            }
+        };
+        need(&buf, 4 + 4 + 8 + 8 + 8, "header")?;
+        let mut magic = [0u8; 4];
+        buf.copy_to_slice(&mut magic);
+        if &magic != INDEX_MAGIC {
+            return Err(index(format!("bad magic {magic:?}")));
+        }
+        let version = buf.get_u32_le();
+        if version != INDEX_VERSION {
+            return Err(index(format!("unsupported index version {version}")));
+        }
+        let member = buf.get_u64_le() as usize;
+        let chunk_bytes = buf.get_u64_le();
+        if chunk_bytes == 0 {
+            return Err(index("zero chunk size".into()));
+        }
+        let meta_len = buf.get_u64_le() as usize;
+        need(&buf, meta_len, "meta blob")?;
+        let meta = buf.slice(..meta_len);
+        buf.advance(meta_len);
+        need(&buf, 4, "part count")?;
+        let count = buf.get_u32_le() as usize;
+        let mut parts = Vec::with_capacity(count.min(1024));
+        for _ in 0..count {
+            need(&buf, 4, "part name length")?;
+            let name_len = buf.get_u32_le() as usize;
+            need(&buf, name_len, "part name")?;
+            let mut raw = vec![0u8; name_len];
+            buf.copy_to_slice(&mut raw);
+            let name =
+                String::from_utf8(raw).map_err(|e| index(format!("part name not utf-8: {e}")))?;
+            need(&buf, 4, "part rank")?;
+            let rank = buf.get_u32_le() as usize;
+            if rank > MAX_PART_RANK {
+                return Err(index(format!(
+                    "part {name:?}: rank {rank} exceeds the format limit"
+                )));
+            }
+            need(&buf, rank * 8 + 8 + 4 + 1, "part layout")?;
+            let dims: Vec<usize> = (0..rank).map(|_| buf.get_u64_le() as usize).collect();
+            let coded_len = buf.get_u64_le();
+            let chunks = buf.get_u32_le();
+            let inline = match buf.get_u8() {
+                0 => None,
+                1 => {
+                    need(&buf, coded_len as usize, "inline part payload")?;
+                    let payload = buf.slice(..coded_len as usize);
+                    buf.advance(coded_len as usize);
+                    Some(payload)
+                }
+                other => {
+                    return Err(index(format!(
+                        "part {name:?}: unknown storage mode {other}"
+                    )));
+                }
+            };
+            let expected = if inline.is_some() {
+                0
+            } else {
+                part_chunk_count(coded_len, chunk_bytes)
+            };
+            if chunks != expected {
+                return Err(ChunkError::CountMismatch {
+                    part: name,
+                    expected,
+                    got: chunks,
+                });
+            }
+            parts.push(PartMeta {
+                name,
+                dims,
+                coded_len,
+                chunks,
+                inline,
+            });
+        }
+        Ok(ChunkIndex {
+            member,
+            chunk_bytes,
+            meta,
+            parts,
+        })
+    }
+}
+
+/// Writes one member's parts as a chunk grid plus an `EDS1` index record
+/// under `index_key` — all with relaxed durability (see the module docs
+/// for the group-commit contract; the caller's final durable record
+/// commits the group).
+///
+/// `parts` is `(name, dims, coded stream)` per state tensor — the coded
+/// stream is chunked *as bytes*, so reassembly is byte-identical to the
+/// whole-blob stream regardless of chunk size. Chunk sealing fans out
+/// over the worker pool when `parallel` is set; store puts always happen
+/// in ascending `(part, chunk)` order (then the index, last) through the
+/// in-order commit gate, so the store's partial states under a crash or
+/// injected fault are deterministic.
+pub fn write_member_chunks(
+    store: &dyn CheckpointStore,
+    member: usize,
+    index_key: &str,
+    meta: &[u8],
+    parts: &[(String, Vec<usize>, Vec<u8>)],
+    parallel: bool,
+) -> Result<ChunkIndex> {
+    write_member_chunks_with(
+        store,
+        member,
+        index_key,
+        meta,
+        parts,
+        parallel,
+        chunk_bytes(),
+    )
+}
+
+/// [`write_member_chunks`] with an explicit chunk size instead of the
+/// `EDDE_CHUNK_BYTES` knob — for tests and benchmarks, where the
+/// environment is process-global and racy.
+#[allow(clippy::too_many_arguments)]
+pub fn write_member_chunks_with(
+    store: &dyn CheckpointStore,
+    member: usize,
+    index_key: &str,
+    meta: &[u8],
+    parts: &[(String, Vec<usize>, Vec<u8>)],
+    parallel: bool,
+    cb: usize,
+) -> Result<ChunkIndex> {
+    let index = write_chunks_only(store, member, meta, parts, parallel, cb)?;
+    store.put_relaxed(index_key, &seal(&index.encode()))?;
+    Ok(index)
+}
+
+/// Writes a member's chunk grid and returns its index record *without*
+/// storing the record — for callers that embed the index in their own
+/// commit record (the sharded bundle root) instead of giving it a store
+/// key of its own. Parts no larger than [`inline_threshold`] are folded
+/// into the returned index and emit no chunks at all.
+pub fn write_chunks_only(
+    store: &dyn CheckpointStore,
+    member: usize,
+    meta: &[u8],
+    parts: &[(String, Vec<usize>, Vec<u8>)],
+    parallel: bool,
+    cb: usize,
+) -> Result<ChunkIndex> {
+    let cb = cb.max(1);
+    let inline_max = inline_threshold(cb);
+    let index = ChunkIndex {
+        member,
+        chunk_bytes: cb as u64,
+        meta: Bytes::copy_from_slice(meta),
+        parts: parts
+            .iter()
+            .map(|(name, dims, stream)| {
+                let inline = (stream.len() <= inline_max).then(|| Bytes::copy_from_slice(stream));
+                PartMeta {
+                    name: name.clone(),
+                    dims: dims.clone(),
+                    coded_len: stream.len() as u64,
+                    chunks: if inline.is_some() {
+                        0
+                    } else {
+                        part_chunk_count(stream.len() as u64, cb as u64)
+                    },
+                    inline,
+                }
+            })
+            .collect(),
+    };
+    let mut jobs: Vec<(String, &[u8])> = Vec::new();
+    for (p, (_, _, stream)) in parts.iter().enumerate() {
+        if index.parts[p].inline.is_some() {
+            continue;
+        }
+        for (c, piece) in stream.chunks(cb).enumerate() {
+            jobs.push((chunk_key(member, p, c), piece));
+        }
+    }
+    ordered_commit(
+        0,
+        jobs.len(),
+        parallel,
+        |i| Ok::<Bytes, NnError>(seal(jobs[i].1)),
+        |i, sealed| store.put_relaxed(&jobs[i].0, &sealed),
+    )?;
+    Ok(index)
+}
+
+/// Reads and reassembles one part's coded byte stream from its chunk
+/// grid, verifying every chunk's frame. Each failure mode is a distinct
+/// [`ChunkError`]; the reassembled stream is byte-identical to what the
+/// writer chunked.
+pub fn read_part(
+    store: &dyn CheckpointStore,
+    index: &ChunkIndex,
+    part: usize,
+) -> std::result::Result<Vec<u8>, ChunkError> {
+    let meta = index.parts.get(part).ok_or_else(|| ChunkError::Index {
+        detail: format!("part {part} out of range ({} parts)", index.parts.len()),
+    })?;
+    if let Some(payload) = &meta.inline {
+        return Ok(payload.to_vec());
+    }
+    let mut out = Vec::with_capacity(meta.coded_len as usize);
+    for c in 0..meta.chunks {
+        let key = chunk_key(index.member, part, c as usize);
+        if !store.contains(&key) {
+            return Err(ChunkError::MissingChunk { key });
+        }
+        let raw = store.get(&key).map_err(|e| ChunkError::Store {
+            key: key.clone(),
+            detail: e.to_string(),
+        })?;
+        let payload = unseal_checked(raw).map_err(|e| {
+            if e.is_truncation() {
+                ChunkError::TruncatedChunk {
+                    key: key.clone(),
+                    detail: e.to_string(),
+                }
+            } else {
+                ChunkError::CorruptChunk {
+                    key: key.clone(),
+                    detail: e.to_string(),
+                }
+            }
+        })?;
+        let expected = if u64::from(c + 1) * index.chunk_bytes <= meta.coded_len {
+            index.chunk_bytes
+        } else {
+            meta.coded_len - u64::from(c) * index.chunk_bytes
+        };
+        if payload.len() as u64 != expected {
+            return Err(ChunkError::CorruptChunk {
+                key,
+                detail: format!(
+                    "chunk holds {} bytes, layout expects {expected}",
+                    payload.len()
+                ),
+            });
+        }
+        out.extend_from_slice(&payload);
+    }
+    Ok(out)
+}
+
+/// Reads and decodes a sealed `EDS1` index record from `key`. A missing,
+/// torn, or malformed record is [`ChunkError::Index`] (with a
+/// [`ChunkError::CountMismatch`] escalation from
+/// [`ChunkIndex::decode`]'s layout check).
+pub fn read_index(
+    store: &dyn CheckpointStore,
+    key: &str,
+) -> std::result::Result<ChunkIndex, ChunkError> {
+    if !store.contains(key) {
+        return Err(ChunkError::Index {
+            detail: format!("no index record at {key:?}"),
+        });
+    }
+    let raw = store.get(key).map_err(|e| ChunkError::Store {
+        key: key.to_string(),
+        detail: e.to_string(),
+    })?;
+    let payload = unseal_checked(raw).map_err(|e| ChunkError::Index {
+        detail: format!("index frame at {key:?}: {e}"),
+    })?;
+    ChunkIndex::decode(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checkpoint::MemStore;
+
+    fn sample_parts() -> Vec<(String, Vec<usize>, Vec<u8>)> {
+        vec![
+            (
+                "fc0.weight".into(),
+                vec![32, 64],
+                (0..200_000u32).map(|i| (i % 251) as u8).collect(),
+            ),
+            ("fc0.bias".into(), vec![64], vec![7u8; 64 * 4]),
+            ("empty".into(), vec![0], Vec::new()),
+        ]
+    }
+
+    #[test]
+    fn chunk_keys_round_trip_and_order_lexicographically() {
+        for &(m, p, c) in &[(0, 0, 0), (7, 3, 12), (123, 99_999, 99_999_999)] {
+            assert_eq!(parse_chunk_key(&chunk_key(m, p, c)), Some((m, p, c)));
+        }
+        assert_eq!(parse_index_key(&index_key(42)), Some(42));
+        // lexicographic == numeric within a member
+        let mut keys: Vec<String> = Vec::new();
+        for p in [0usize, 1, 9, 10, 100] {
+            for c in [0usize, 1, 9, 10, 99, 1000] {
+                keys.push(chunk_key(3, p, c));
+            }
+        }
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+        // non-chunk shapes parse to None
+        for k in [
+            "member-3-progress",
+            "member-3-index",
+            "member-3-chunk-1-2",
+            "member--chunk-00000-00000000",
+            "manifest",
+        ] {
+            assert_eq!(parse_chunk_key(k), None, "{k}");
+        }
+        assert_eq!(parse_index_key("member-3-progress"), None);
+    }
+
+    #[test]
+    fn write_then_read_reassembles_byte_identically() {
+        let store = MemStore::new();
+        let parts = sample_parts();
+        let index =
+            write_member_chunks_with(&store, 2, "member-2-index", b"hello", &parts, true, 4096)
+                .expect("write");
+        assert_eq!(index.chunk_bytes, 4096);
+        assert_eq!(&index.meta[..], b"hello");
+        assert_eq!(index.parts.len(), 3);
+        assert_eq!(index.parts[0].chunks, 200_000u64.div_ceil(4096) as u32);
+        assert!(index.parts[0].inline.is_none());
+        // the 256-byte bias sits exactly at the inline threshold (4096/16)
+        assert!(index.parts[1].inline.is_some());
+        assert_eq!(index.parts[1].chunks, 0);
+        assert!(!store.contains(&chunk_key(2, 1, 0)));
+        assert_eq!(index.parts[2].chunks, 0);
+        let read_back = read_index(&store, "member-2-index").expect("index");
+        assert_eq!(read_back, index);
+        for (p, (_, _, stream)) in parts.iter().enumerate() {
+            assert_eq!(&read_part(&store, &index, p).expect("part"), stream);
+        }
+    }
+
+    #[test]
+    fn torn_chunk_matrix_yields_distinct_typed_errors() {
+        let store = MemStore::new();
+        let parts = sample_parts();
+        let index = write_member_chunks_with(&store, 0, "member-0-index", b"", &parts, false, 1024)
+            .expect("write");
+
+        // missing chunk
+        let victim = chunk_key(0, 0, 3);
+        let saved = store.get(&victim).unwrap();
+        store.remove(&victim).unwrap();
+        assert!(matches!(
+            read_part(&store, &index, 0),
+            Err(ChunkError::MissingChunk { key }) if key == victim
+        ));
+        store.put(&victim, &saved).unwrap();
+
+        // truncation (torn write)
+        store.put(&victim, &saved[..saved.len() - 9]).unwrap();
+        assert!(matches!(
+            read_part(&store, &index, 0),
+            Err(ChunkError::TruncatedChunk { key, .. }) if key == victim
+        ));
+
+        // bit flip
+        let mut flipped = saved.to_vec();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0x10;
+        store.put(&victim, &flipped).unwrap();
+        assert!(matches!(
+            read_part(&store, &index, 0),
+            Err(ChunkError::CorruptChunk { key, .. }) if key == victim
+        ));
+        store.put(&victim, &saved).unwrap();
+
+        // index/chunk count mismatch (crafted index record)
+        let mut bad = index.clone();
+        bad.parts[0].chunks += 1;
+        assert!(matches!(
+            ChunkIndex::decode(bad.encode()),
+            Err(ChunkError::CountMismatch { expected, got, .. })
+                if got == expected + 1
+        ));
+
+        // torn index record
+        let sealed_index = store.get("member-0-index").unwrap();
+        store
+            .put("member-0-index", &sealed_index[..sealed_index.len() / 2])
+            .unwrap();
+        assert!(matches!(
+            read_index(&store, "member-0-index"),
+            Err(ChunkError::Index { .. })
+        ));
+        store.remove("member-0-index").unwrap();
+        assert!(matches!(
+            read_index(&store, "member-0-index"),
+            Err(ChunkError::Index { .. })
+        ));
+    }
+
+    #[test]
+    fn index_round_trips_through_wire_format() {
+        let index = ChunkIndex {
+            member: 9,
+            chunk_bytes: 512,
+            meta: Bytes::copy_from_slice(b"\x01\x02"),
+            parts: vec![
+                PartMeta {
+                    name: "conv1.weight".into(),
+                    dims: vec![8, 3, 3, 3],
+                    coded_len: 5000,
+                    chunks: part_chunk_count(5000, 512),
+                    inline: None,
+                },
+                PartMeta {
+                    name: "conv1.bias".into(),
+                    dims: vec![8],
+                    coded_len: 32,
+                    chunks: 0,
+                    inline: Some(Bytes::copy_from_slice(&[9u8; 32])),
+                },
+            ],
+        };
+        assert_eq!(ChunkIndex::decode(index.encode()).unwrap(), index);
+    }
+
+    #[test]
+    fn inline_parts_reassemble_and_validate() {
+        let store = MemStore::new();
+        let parts = vec![
+            ("w".to_string(), vec![4, 4], vec![3u8; 64]),
+            ("b".to_string(), vec![4], vec![5u8; 16]),
+        ];
+        // chunk size 1024 → inline threshold 64: both parts fit inline,
+        // so the store holds no chunk values at all.
+        let index = write_member_chunks_with(&store, 5, "member-5-index", b"", &parts, false, 1024)
+            .expect("write");
+        assert!(index.parts.iter().all(|p| p.inline.is_some()));
+        assert!(!store.contains(&chunk_key(5, 0, 0)));
+        for (p, (_, _, stream)) in parts.iter().enumerate() {
+            assert_eq!(&read_part(&store, &index, p).expect("part"), stream);
+        }
+        // an inline part claiming chunks is a layout contradiction
+        let mut bad = index.clone();
+        bad.parts[0].chunks = 1;
+        assert!(matches!(
+            ChunkIndex::decode(bad.encode()),
+            Err(ChunkError::CountMismatch {
+                expected: 0,
+                got: 1,
+                ..
+            })
+        ));
+    }
+}

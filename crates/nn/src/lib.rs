@@ -34,6 +34,7 @@
 
 pub mod blocks;
 pub mod checkpoint;
+pub mod chunkstore;
 pub mod error;
 pub mod infer;
 pub mod layer;

@@ -1,0 +1,96 @@
+//! Property tests for the chunk-store key encoding: round-trip fidelity,
+//! collision-freedom across distinct addresses, and lexicographic order
+//! matching numeric `(part, chunk)` order — the invariant that lets a
+//! sorted directory listing read a member back in write order.
+//!
+//! Each property also has a plain unit-test twin below, because the
+//! offline verification harness stubs the proptest macros to no-ops.
+
+use edde_nn::chunkstore::{chunk_key, index_key, parse_chunk_key, parse_index_key};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn chunk_key_round_trips(m in 0usize..10_000, p in 0usize..99_999, c in 0usize..99_999_999) {
+        prop_assert_eq!(parse_chunk_key(&chunk_key(m, p, c)), Some((m, p, c)));
+    }
+
+    #[test]
+    fn distinct_addresses_never_collide(
+        a in (0usize..50, 0usize..50, 0usize..50),
+        b in (0usize..50, 0usize..50, 0usize..50),
+    ) {
+        if a != b {
+            prop_assert_ne!(chunk_key(a.0, a.1, a.2), chunk_key(b.0, b.1, b.2));
+        }
+    }
+
+    #[test]
+    fn chunk_and_index_namespaces_are_disjoint(m in 0usize..10_000, p in 0usize..99_999, c in 0usize..99_999_999) {
+        let ck = chunk_key(m, p, c);
+        prop_assert_eq!(parse_index_key(&ck), None);
+        prop_assert_eq!(parse_chunk_key(&index_key(m)), None);
+    }
+
+    #[test]
+    fn lexicographic_order_is_numeric_order_within_a_member(
+        m in 0usize..100,
+        a in (0usize..99_999, 0usize..99_999_999),
+        b in (0usize..99_999, 0usize..99_999_999),
+    ) {
+        let (ka, kb) = (chunk_key(m, a.0, a.1), chunk_key(m, b.0, b.1));
+        prop_assert_eq!(ka.cmp(&kb), a.cmp(&b));
+    }
+}
+
+#[test]
+fn round_trip_and_parse_rejections() {
+    for &(m, p, c) in &[
+        (0usize, 0usize, 0usize),
+        (7, 3, 12),
+        (9_999, 99_999, 99_999_999),
+    ] {
+        assert_eq!(parse_chunk_key(&chunk_key(m, p, c)), Some((m, p, c)));
+    }
+    assert_eq!(parse_index_key(&index_key(7)), Some(7));
+    for bad in [
+        "member-3-progress",
+        "member-3-index",
+        "member-3-chunk-1-2",   // unpadded fields
+        "member-3-chunk-00001", // missing chunk field
+        "member-x-chunk-00000-00000000",
+        "manifest",
+        "",
+    ] {
+        assert_eq!(parse_chunk_key(bad), None, "{bad:?}");
+    }
+    assert_eq!(parse_index_key("member-3-progress"), None);
+    assert_eq!(parse_index_key("member--index"), None);
+}
+
+#[test]
+fn sorted_keys_enumerate_in_write_order() {
+    let mut written = Vec::new();
+    for p in [0usize, 1, 2, 9, 10, 11, 99, 100] {
+        for c in [0usize, 1, 9, 10, 99, 100, 999, 1000] {
+            written.push(chunk_key(5, p, c));
+        }
+    }
+    let mut sorted = written.clone();
+    sorted.sort();
+    assert_eq!(written, sorted);
+}
+
+#[test]
+fn distinct_addresses_differ_unit() {
+    let mut seen = std::collections::HashSet::new();
+    for m in 0..4 {
+        for p in 0..6 {
+            for c in 0..6 {
+                assert!(seen.insert(chunk_key(m, p, c)), "collision at {m}/{p}/{c}");
+            }
+        }
+    }
+}

@@ -471,6 +471,31 @@ impl ServeCore {
             self.shared.state.lock().unwrap().stats.swaps_rejected += 1;
             Err(ServeError::SwapRejected(e))
         };
+        // Cheap structural pre-check on a 32-byte range read: the `EDC2`
+        // frame header (20 bytes) followed by the bundle header (12
+        // bytes, with the member count last). A wrong-shaped candidate
+        // is rejected on the count alone without transferring the blob.
+        // Any irregularity (short file, odd magic, range-read failure)
+        // falls through to the full read, so rejection reasons stay
+        // precise and the CRC is always verified before a real swap.
+        let live = self.shared.state.lock().unwrap().ensemble.len();
+        if live > 0 {
+            if let Ok(head) = store.get_range(key, 0, 32) {
+                if head.len() == 32 && &head[..4] == edde_nn::checkpoint::V2_MAGIC {
+                    if let Ok(got) = FrozenEnsemble::peek_member_count(&head[20..32]) {
+                        if got != live {
+                            return reject(
+                                edde_core::BundleError::MemberCountMismatch {
+                                    expected: live,
+                                    got,
+                                }
+                                .into(),
+                            );
+                        }
+                    }
+                }
+            }
+        }
         let payload = match store
             .get(key)
             .and_then(edde_nn::checkpoint::unseal)
@@ -495,6 +520,66 @@ impl ServeCore {
         }
         let candidate = match FrozenEnsemble::decode(payload, build) {
             Ok(candidate) => candidate,
+            Err(e) => return reject(e),
+        };
+        self.swap_in(candidate)
+    }
+
+    /// Opens a sharded bundle (`ESR1` root + per-member `EDS1` index
+    /// records) from `store` and hot-swaps it in. Structural validation
+    /// — member count and output class count against the live
+    /// configuration — runs on the root and index records *alone*: a
+    /// wrong-shaped candidate is rejected before a single chunk is read
+    /// or decoded. Only a structurally compatible candidate pays the
+    /// chunk decode (and any chunk-level corruption then rejects with
+    /// the precise [`edde_core::BundleError::Chunk`] cause). A rejected
+    /// candidate leaves the live ensemble serving, untouched.
+    pub fn swap_sharded(
+        &self,
+        store: Arc<dyn CheckpointStore>,
+        key: &str,
+        build: edde_core::NetworkBuilder,
+    ) -> Result<SwapReport, ServeError> {
+        let reject = |e: edde_core::EnsembleError| {
+            self.shared.state.lock().unwrap().stats.swaps_rejected += 1;
+            Err(ServeError::SwapRejected(e))
+        };
+        let sharded = match FrozenEnsemble::open_sharded(store, key, build) {
+            Ok(s) => s,
+            Err(e) => return reject(e),
+        };
+        let (live_len, live_classes) = {
+            let st = self.shared.state.lock().unwrap();
+            (st.ensemble.len(), st.ensemble.num_classes())
+        };
+        if live_len > 0 && sharded.len() != live_len {
+            return reject(
+                edde_core::BundleError::MemberCountMismatch {
+                    expected: live_len,
+                    got: sharded.len(),
+                }
+                .into(),
+            );
+        }
+        if let (Some(expected), Some(got)) = (live_classes, sharded.num_classes()) {
+            if expected != got {
+                let arch = sharded
+                    .arch_signature()
+                    .first()
+                    .map(|(a, _)| a.clone())
+                    .unwrap_or_default();
+                return reject(
+                    edde_core::BundleError::ArchMismatch {
+                        arch,
+                        expected,
+                        got,
+                    }
+                    .into(),
+                );
+            }
+        }
+        let candidate = match sharded.materialize() {
+            Ok(c) => c,
             Err(e) => return reject(e),
         };
         self.swap_in(candidate)

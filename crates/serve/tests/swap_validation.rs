@@ -3,8 +3,11 @@
 //! from the bundle header alone — no member state is decompressed,
 //! dequantized, or built — and the live ensemble keeps serving.
 
-use edde_core::{BundleCodec, BundleError, EnsembleError, FrozenEnsemble};
-use edde_nn::checkpoint::MemStore;
+use edde_core::{
+    BundleCodec, BundleError, EnsembleError, FaultPlan, FaultyStore, FrozenEnsemble, NetworkBuilder,
+};
+use edde_nn::checkpoint::{CheckpointStore, MemStore};
+use edde_nn::chunkstore::{self, ChunkError};
 use edde_nn::models::mlp;
 use edde_nn::Network;
 use edde_serve::{ServeConfig, ServeCore, ServeError, ServeFaultPlan, SubmitOptions, TestClock};
@@ -15,7 +18,7 @@ use std::sync::Arc;
 
 fn member(seed: u64) -> Network {
     let mut r = StdRng::seed_from_u64(seed);
-    mlp(&[4, 8, 3], 0.0, &mut r)
+    mlp(&[40, 40, 3], 0.0, &mut r)
 }
 
 fn frozen(seeds: &[u64]) -> FrozenEnsemble {
@@ -60,7 +63,7 @@ fn member_count_mismatch_is_rejected_before_any_member_decode() {
     assert_eq!(stats.swaps_rejected, 2);
 
     // The live pair keeps serving bit-identically at epoch 0.
-    let x = Tensor::ones(&[2, 4]);
+    let x = Tensor::ones(&[2, 40]);
     let h = core.submit(x.clone(), SubmitOptions::new()).unwrap();
     core.step();
     let p = h.wait().unwrap();
@@ -101,7 +104,7 @@ fn matching_quantized_candidate_swaps_in_cleanly() {
     assert_eq!(core.stats().swaps, 1);
 
     // The quantized bundle serves through the same submit/step path.
-    let x = Tensor::ones(&[2, 4]);
+    let x = Tensor::ones(&[2, 40]);
     let h = core.submit(x.clone(), SubmitOptions::new()).unwrap();
     core.step();
     let p = h.wait().unwrap();
@@ -110,4 +113,133 @@ fn matching_quantized_candidate_swaps_in_cleanly() {
     for (a, b) in p.soft_targets.data().iter().zip(float.data()) {
         assert!((a - b).abs() < 0.05, "quantized {a} vs float {b}");
     }
+}
+
+#[test]
+fn whole_blob_count_mismatch_costs_one_range_read() {
+    // Pin the get_range fast path: with a store that fails its *second*
+    // read, a wrong-count candidate must still be rejected with the typed
+    // mismatch — proving the rejection came from the single 32-byte range
+    // peek, never reaching the full-blob get.
+    let core = core_with(&[1, 2]);
+    let inner = MemStore::new();
+    frozen(&[3, 4, 5]).save_bundle(&inner, "three").unwrap();
+    let store = FaultyStore::new(inner, FaultPlan::fail_get(1));
+    let build = |_: &str, _: usize| -> edde_core::Result<Network> {
+        panic!("rejected candidates must not be decoded")
+    };
+    match core.swap_bundle(&store, "three", &build) {
+        Err(ServeError::SwapRejected(EnsembleError::Bundle(
+            BundleError::MemberCountMismatch {
+                expected: 2,
+                got: 3,
+            },
+        ))) => {}
+        other => panic!("expected MemberCountMismatch from the peek, got {other:?}"),
+    }
+    assert_eq!(core.stats().swaps_rejected, 1);
+}
+
+fn sharded_build(classes: usize) -> NetworkBuilder {
+    Arc::new(move |arch: &str, num_classes: usize| match arch {
+        "mlp-2" => {
+            let mut r = StdRng::seed_from_u64(0);
+            Ok(mlp(&[40, 40, num_classes], 0.0, &mut r))
+        }
+        other => Err(EnsembleError::BadConfig(format!(
+            "unknown arch {other:?} ({classes} classes live)"
+        ))),
+    })
+}
+
+#[test]
+fn sharded_swap_validates_from_index_records_alone() {
+    let core = core_with(&[1, 2]);
+    let x = Tensor::ones(&[2, 40]);
+    let live = frozen(&[1, 2]).soft_targets(&x).unwrap();
+
+    // A panicking builder proves every rejection below happened on the
+    // root record (and the member indexes embedded in it) alone — no
+    // chunk was decoded into a member.
+    let no_decode: NetworkBuilder =
+        Arc::new(|_, _| panic!("structural rejection must precede chunk decode"));
+
+    // Wrong member count.
+    let store = Arc::new(MemStore::new());
+    frozen(&[3, 4, 5])
+        .save_bundle_sharded(store.as_ref(), "root")
+        .unwrap();
+    match core.swap_sharded(store, "root", no_decode.clone()) {
+        Err(ServeError::SwapRejected(EnsembleError::Bundle(
+            BundleError::MemberCountMismatch {
+                expected: 2,
+                got: 3,
+            },
+        ))) => {}
+        other => panic!("expected MemberCountMismatch, got {other:?}"),
+    }
+
+    // Wrong output class count (right member count).
+    let mut wide = FrozenEnsemble::new();
+    for seed in [7u64, 8] {
+        let mut r = StdRng::seed_from_u64(seed);
+        wide.push(Arc::new(mlp(&[40, 40, 5], 0.0, &mut r)), 1.0, "w");
+    }
+    let store = Arc::new(MemStore::new());
+    wide.save_bundle_sharded(store.as_ref(), "root").unwrap();
+    match core.swap_sharded(store, "root", no_decode) {
+        Err(ServeError::SwapRejected(EnsembleError::Bundle(BundleError::ArchMismatch {
+            expected: 3,
+            got: 5,
+            ..
+        }))) => {}
+        other => panic!("expected ArchMismatch, got {other:?}"),
+    }
+
+    // A structurally valid candidate with a missing chunk: rejected with
+    // the precise chunk-level cause, only at materialization time.
+    let store = Arc::new(MemStore::new());
+    frozen(&[3, 4])
+        .save_bundle_sharded(store.as_ref(), "root")
+        .unwrap();
+    store.remove(&chunkstore::chunk_key(0, 0, 0)).unwrap();
+    match core.swap_sharded(store, "root", sharded_build(3)) {
+        Err(ServeError::SwapRejected(EnsembleError::Bundle(BundleError::Chunk(
+            ChunkError::MissingChunk { .. },
+        )))) => {}
+        other => panic!("expected Chunk(MissingChunk), got {other:?}"),
+    }
+
+    // Every rejection counted; the live pair keeps serving, bit for bit.
+    let stats = core.stats();
+    assert_eq!(stats.swaps, 0);
+    assert_eq!(stats.swaps_rejected, 3);
+    let h = core.submit(x.clone(), SubmitOptions::new()).unwrap();
+    core.step();
+    let p = h.wait().unwrap();
+    assert_eq!(p.epoch, 0);
+    assert_eq!(p.soft_targets.data(), live.data());
+}
+
+#[test]
+fn matching_sharded_candidate_swaps_in_and_serves() {
+    let core = core_with(&[1, 2]);
+    let store = Arc::new(MemStore::new());
+    frozen(&[3, 4])
+        .save_bundle_sharded(store.as_ref(), "root")
+        .unwrap();
+    let report = core.swap_sharded(store, "root", sharded_build(3)).unwrap();
+    assert_eq!(report.new_epoch, 1);
+    let stats = core.stats();
+    assert_eq!((stats.swaps, stats.swaps_rejected), (1, 0));
+
+    let x = Tensor::ones(&[2, 40]);
+    let h = core.submit(x.clone(), SubmitOptions::new()).unwrap();
+    core.step();
+    let p = h.wait().unwrap();
+    assert_eq!(p.epoch, 1);
+    assert_eq!(
+        p.soft_targets.data(),
+        frozen(&[3, 4]).soft_targets(&x).unwrap().data()
+    );
 }

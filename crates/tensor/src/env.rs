@@ -1,0 +1,46 @@
+//! Environment-variable tuning knobs shared across the stack.
+
+/// Reads a positive integer tuning knob from the environment, falling back
+/// to `default` when the variable is unset. A value that is present but
+/// unusable — not an integer, or zero, which every `EDDE_*` knob (batch
+/// sizes, queue depths, worker counts, chunk sizes) treats as nonsensical —
+/// is rejected with a one-line warning on stderr naming the variable, the
+/// offending value, and the fallback, so a typo in a deployment script
+/// degrades to documented defaults instead of silently misconfiguring the
+/// process.
+///
+/// Shared by `edde_core::eval_batch`, every `EDDE_SERVE_*` knob in
+/// `edde-serve`, and `edde_nn::chunkstore`'s `EDDE_CHUNK_BYTES`, so all
+/// knobs reject garbage the same way.
+pub fn env_usize(var: &str, default: usize) -> usize {
+    match std::env::var(var) {
+        Err(_) => default,
+        Ok(raw) => {
+            match raw.trim().parse::<usize>() {
+                Ok(n) if n > 0 => n,
+                _ => {
+                    eprintln!("warning: ignoring {var}={raw:?} (want a positive integer); using {default}");
+                    default
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_usize_rejects_zero_and_garbage() {
+        // dedicated variable names: env vars are process-global and tests
+        // run concurrently, so each case owns its own variable
+        assert_eq!(env_usize("EDDE_TENSOR_KNOB_UNSET", 7), 7);
+        std::env::set_var("EDDE_TENSOR_KNOB_ZERO", "0");
+        assert_eq!(env_usize("EDDE_TENSOR_KNOB_ZERO", 7), 7);
+        std::env::set_var("EDDE_TENSOR_KNOB_GARBAGE", "fast");
+        assert_eq!(env_usize("EDDE_TENSOR_KNOB_GARBAGE", 7), 7);
+        std::env::set_var("EDDE_TENSOR_KNOB_OK", " 12 ");
+        assert_eq!(env_usize("EDDE_TENSOR_KNOB_OK", 7), 12);
+    }
+}

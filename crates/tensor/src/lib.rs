@@ -35,6 +35,7 @@
 
 pub mod codec;
 pub mod crc32;
+pub mod env;
 pub mod error;
 pub mod ops;
 pub mod parallel;

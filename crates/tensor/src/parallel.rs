@@ -26,7 +26,7 @@
 //! its worker, trading op-level for member-level parallelism — which
 //! scales better, since members synchronize only at their commit points.
 
-use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
 
@@ -426,6 +426,117 @@ where
         .collect()
 }
 
+/// Shared state of one in-order-commit parallel run: the commit cursor
+/// plus the committer itself, so commits run under the same lock that
+/// orders them.
+struct CommitGate<C, E> {
+    /// Next index allowed to commit.
+    next: usize,
+    /// Set on the first failure (error or panic); everyone still in
+    /// flight drains out without committing.
+    failed: bool,
+    /// The earliest-index error observed, reported to the caller.
+    error: Option<(usize, E)>,
+    commit: C,
+}
+
+/// Records a failure, keeping the earliest index's error so the reported
+/// error does not depend on scheduling.
+fn record_gate_failure<C, E>(g: &mut CommitGate<C, E>, i: usize, e: E) {
+    g.failed = true;
+    match &g.error {
+        Some((ei, _)) if *ei <= i => {}
+        _ => g.error = Some((i, e)),
+    }
+}
+
+/// Produces values for `first..last` in parallel and commits each in index
+/// order — the in-order commit gate behind parallel member training and
+/// chunked checkpoint writes.
+///
+/// `produce(i)` must be a pure function of `i`; `commit(i, value)` mutates
+/// shared state (an ensemble under construction, a store being written)
+/// and is always invoked in ascending index order, exactly as a sequential
+/// loop would. With `parallel` set, production fans out over the worker
+/// pool ([`run_chunks`]); because commits are serialized in order, the
+/// observable effect sequence is identical to the sequential path.
+///
+/// On failure the earliest failing index's error is returned and no later
+/// index is committed, matching sequential error reporting. Indices
+/// already committed stay committed.
+pub fn ordered_commit<T, E, F, C>(
+    first: usize,
+    last: usize,
+    parallel: bool,
+    produce: F,
+    mut commit: C,
+) -> Result<(), E>
+where
+    E: Send,
+    F: Fn(usize) -> Result<T, E> + Sync,
+    C: FnMut(usize, T) -> Result<(), E> + Send,
+{
+    if !parallel || last.saturating_sub(first) <= 1 {
+        for i in first..last {
+            commit(i, produce(i)?)?;
+        }
+        return Ok(());
+    }
+    let gate = Mutex::new(CommitGate {
+        next: first,
+        failed: false,
+        error: None,
+        commit,
+    });
+    let cv = Condvar::new();
+    let lock_gate = || gate.lock().unwrap_or_else(|e| e.into_inner());
+    run_chunks(last - first, |c| {
+        let i = first + c;
+        if lock_gate().failed {
+            return;
+        }
+        // Panics (in produce or commit) must mark the gate failed and wake
+        // all waiters before propagating, or threads blocked on the
+        // condvar would never be notified again.
+        let value = match catch_unwind(AssertUnwindSafe(|| produce(i))) {
+            Ok(Ok(v)) => v,
+            Ok(Err(e)) => {
+                record_gate_failure(&mut lock_gate(), i, e);
+                cv.notify_all();
+                return;
+            }
+            Err(payload) => {
+                lock_gate().failed = true;
+                cv.notify_all();
+                resume_unwind(payload);
+            }
+        };
+        let mut g = lock_gate();
+        while !g.failed && g.next != i {
+            g = cv.wait(g).unwrap_or_else(|e| e.into_inner());
+        }
+        if g.failed {
+            return;
+        }
+        match catch_unwind(AssertUnwindSafe(|| (g.commit)(i, value))) {
+            Ok(Ok(())) => g.next = i + 1,
+            Ok(Err(e)) => record_gate_failure(&mut g, i, e),
+            Err(payload) => {
+                g.failed = true;
+                drop(g);
+                cv.notify_all();
+                resume_unwind(payload);
+            }
+        }
+        drop(g);
+        cv.notify_all();
+    });
+    match gate.into_inner().unwrap_or_else(|e| e.into_inner()).error {
+        Some((_, e)) => Err(e),
+        None => Ok(()),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -557,6 +668,54 @@ mod tests {
         // The previous mode is restored: this dispatch may use the pool.
         assert!(!IN_WORKER.with(|w| w.get()));
         set_num_threads(0);
+    }
+
+    #[test]
+    fn ordered_commit_commits_in_index_order() {
+        let _g = override_guard();
+        set_num_threads(4);
+        let mut committed = Vec::new();
+        let result: Result<(), ()> = ordered_commit(
+            0,
+            6,
+            true,
+            |i| {
+                // Earlier indices take longer, so later ones finish first
+                // and must wait their turn at the gate.
+                std::thread::sleep(std::time::Duration::from_millis(3 * (6 - i) as u64));
+                Ok(i * 10)
+            },
+            |i, v| {
+                committed.push((i, v));
+                Ok(())
+            },
+        );
+        set_num_threads(0);
+        assert!(result.is_ok());
+        assert_eq!(committed, (0..6).map(|i| (i, i * 10)).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn ordered_commit_reports_earliest_error_and_stops_committing() {
+        let _g = override_guard();
+        set_num_threads(4);
+        let mut committed = Vec::new();
+        let result: Result<(), usize> = ordered_commit(
+            0,
+            8,
+            true,
+            |i| if i == 3 || i == 5 { Err(i) } else { Ok(i) },
+            |i, _| {
+                committed.push(i);
+                Ok(())
+            },
+        );
+        set_num_threads(0);
+        assert_eq!(result, Err(3), "earliest failing index wins");
+        assert!(
+            committed.iter().all(|&i| i < 3),
+            "no index at or past the failure commits: {committed:?}"
+        );
     }
 
     #[test]
