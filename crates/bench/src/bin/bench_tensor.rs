@@ -544,8 +544,72 @@ fn run_suite(iters: usize) -> Vec<(String, f64)> {
     set_num_threads(8);
     serve_suite(iters, &mut results);
 
+    // -- streaming evaluation: fixed-memory folds over an unbounded
+    // drifted stream. Rows: throughput of the one-pass stream_evaluate
+    // reducer, the fixed-buffer peak-RSS proxy (resident bytes per scored
+    // batch, independent of stream length), and disagreement-AUROC of the
+    // frozen lineup on an unseen-families drift stream.
+    stream_suite(iters, &mut results);
+
     set_num_threads(0);
     results
+}
+
+fn stream_suite(iters: usize, results: &mut Vec<(String, f64)>) {
+    use edde_core::methods::Edde;
+    use edde_core::stream::{disagreement_auroc, stream_evaluate};
+    use edde_core::{ExperimentEnv, ModelFactory, Trainer};
+    use edde_data::stream::GaussianStream;
+    use edde_data::synth::{gaussian_blobs, DriftSpec, GaussianBlobsConfig};
+
+    let cfg = GaussianBlobsConfig {
+        classes: 8,
+        dim: 16,
+        train_per_class: 20,
+        test_per_class: 1,
+        spread: 0.8,
+    };
+    // A briefly trained EDDE lineup: random members disagree everywhere,
+    // which collapses the AUROC row to chance — the detection signal only
+    // exists once members agree on the training distribution.
+    let factory: ModelFactory =
+        std::sync::Arc::new(|r| Ok(edde_nn::models::mlp(&[16, 64, 8], 0.0, r)));
+    let e = ExperimentEnv::new(
+        gaussian_blobs(&cfg, 11),
+        factory,
+        Trainer {
+            batch_size: 16,
+            weight_decay: 0.0,
+            ..Trainer::default()
+        },
+        0.1,
+        11,
+    );
+    let f = Edde::new(4, 3, 2, 0.4, 0.5)
+        .run(&e)
+        .expect("edde lineup")
+        .model
+        .freeze();
+    let samples = if iters < 20 { 4_000 } else { 20_000 };
+
+    let t0 = Instant::now();
+    let mut src = GaussianStream::new(&cfg, 11, samples, 256);
+    let report = stream_evaluate(&f, &mut src).expect("stream evaluate");
+    let wall = t0.elapsed().as_secs_f64();
+    let rows_per_s = report.rows as f64 / wall;
+    let peak_kb = report.peak_batch_bytes as f64 / 1024.0;
+    eprintln!(
+        "  stream_eval: {:.0} rows/s, peak {:.1} KiB over {} rows",
+        rows_per_s, peak_kb, report.rows
+    );
+    results.push(("stream_eval_rows_per_s".into(), rows_per_s));
+    results.push(("stream_eval_peak_kib".into(), peak_kb));
+
+    let mut neg = GaussianStream::new(&cfg, 11, samples, 256);
+    let mut pos = GaussianStream::with_drift(&cfg, 11, samples, 256, DriftSpec::UnseenFamilies);
+    let auroc = disagreement_auroc(&f, &mut neg, &mut pos).expect("disagreement auroc");
+    eprintln!("  stream_ood: disagreement AUROC {auroc:.4} (unseen families)");
+    results.push(("stream_ood_auroc".into(), f64::from(auroc)));
 }
 
 fn serve_frozen() -> edde_core::FrozenEnsemble {

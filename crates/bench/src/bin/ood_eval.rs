@@ -1,0 +1,149 @@
+//! OOD / drift detection by ensemble disagreement, evaluated streaming.
+//!
+//! Trains Single Model, Bagging, and EDDE on the Gaussian-blobs task,
+//! then scores **unbounded drifted streams** ([`GaussianStream`]) against
+//! an in-distribution stream using the per-sample disagreement score
+//! (α-weighted variance of member votes — the Eq. 2 diversity quantity
+//! read per sample). Detection quality is reported as AUROC per drift
+//! family, computed in fixed memory (binned ranks); the peak resident
+//! evaluation bytes per method are reported alongside, and are `O(batch)`
+//! no matter how long the streams run.
+//!
+//! Drift families:
+//!
+//! * `unseen-families` — class centers redrawn from a salted seed the
+//!   ensemble never trained on;
+//! * `corrupted-pixels` — training-distribution rows with dead-pixel and
+//!   additive-noise corruption at `EDDE_DRIFT_SEVERITY_PCT`% severity.
+//!
+//! Usage: `ood_eval [--quick]` (`--quick` shrinks budgets for CI).
+
+use edde_core::methods::{Bagging, Edde, EnsembleMethod, SingleModel};
+use edde_core::report::Table;
+use edde_core::stream::{stream_disagreement, AurocAccumulator, MemberScorer};
+use edde_core::{ExperimentEnv, ModelFactory, Result, Trainer};
+use edde_data::stream::{stream_batch, GaussianStream};
+use edde_data::synth::{gaussian_blobs, DriftSpec, GaussianBlobsConfig};
+use edde_nn::models::mlp;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The training task: big enough that members specialize, small enough
+/// that the full lineup trains in seconds.
+fn blob_config() -> GaussianBlobsConfig {
+    GaussianBlobsConfig {
+        classes: 4,
+        dim: 8,
+        train_per_class: 40,
+        test_per_class: 20,
+        spread: 0.8,
+    }
+}
+
+const DATA_SEED: u64 = 71;
+
+fn env() -> ExperimentEnv {
+    let data = gaussian_blobs(&blob_config(), DATA_SEED);
+    let factory: ModelFactory = Arc::new(|r| Ok(mlp(&[8, 24, 4], 0.0, r)));
+    ExperimentEnv::new(
+        data,
+        factory,
+        Trainer {
+            batch_size: 16,
+            weight_decay: 0.0,
+            ..Trainer::default()
+        },
+        0.1,
+        DATA_SEED,
+    )
+}
+
+fn methods(quick: bool) -> Vec<Box<dyn EnsembleMethod>> {
+    let (members, epochs, later) = if quick { (4, 6, 4) } else { (5, 10, 8) };
+    // γ = 0.4: the diversity-driven loss is the disagreement signal OOD
+    // detection reads, so the detector wants it turned up relative to the
+    // accuracy-tuned table runs; β = 0.5 keeps the transferred stack
+    // shallow enough that members differ off-distribution.
+    vec![
+        Box::new(SingleModel::new(epochs)),
+        Box::new(Bagging::new(members, epochs)),
+        Box::new(Edde::new(members, epochs, later, 0.4, 0.5)),
+    ]
+}
+
+/// Scores one method against one drift family: streams fresh
+/// in-distribution samples as negatives and the drifted stream as
+/// positives through [`stream_disagreement`], then reads the AUROC off
+/// the fixed-size accumulator.
+fn family_auroc(scorer: &dyn MemberScorer, samples: usize, spec: DriftSpec) -> Result<FamilyScore> {
+    let cfg = blob_config();
+    let batch = stream_batch();
+    // Negatives draw from the training distribution but are *fresh*
+    // samples (salted sample seed inside the stream), not the test split.
+    let mut neg = GaussianStream::new(&cfg, DATA_SEED, samples, batch);
+    let mut pos = GaussianStream::with_drift(&cfg, DATA_SEED, samples, batch, spec);
+    let mut auroc = AurocAccumulator::new();
+    let started = Instant::now();
+    let neg_report = stream_disagreement(scorer, &mut neg, |s| auroc.add_negatives(s))?;
+    let pos_report = stream_disagreement(scorer, &mut pos, |s| auroc.add_positives(s))?;
+    let elapsed = started.elapsed().as_secs_f64();
+    Ok(FamilyScore {
+        auroc: auroc.auroc()?,
+        mean_in: neg_report.mean_score,
+        mean_drift: pos_report.mean_score,
+        peak_bytes: neg_report.peak_batch_bytes.max(pos_report.peak_batch_bytes),
+        rows_per_sec: (neg_report.rows + pos_report.rows) as f64 / elapsed.max(1e-9),
+    })
+}
+
+struct FamilyScore {
+    auroc: f32,
+    mean_in: f32,
+    mean_drift: f32,
+    peak_bytes: usize,
+    rows_per_sec: f64,
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let samples = if quick { 1_000 } else { 4_000 };
+    let families = [DriftSpec::UnseenFamilies, DriftSpec::corruption_from_env()];
+    let e = env();
+    println!("== OOD detection by ensemble disagreement (streaming) ==\n");
+    println!("negatives: {samples} fresh in-distribution rows; positives: {samples} drifted rows");
+    println!(
+        "stream batch: {} rows (EDDE_STREAM_BATCH)\n",
+        stream_batch()
+    );
+    let mut table = Table::new(&[
+        "Method",
+        "Drift family",
+        "AUROC",
+        "Mean score (ID)",
+        "Mean score (drift)",
+        "Peak eval mem",
+        "Rows/s",
+    ]);
+    for method in methods(quick) {
+        let run = method.run(&e).expect("training run");
+        for spec in families {
+            let score = family_auroc(&run.model, samples, spec).expect("disagreement scoring");
+            table.add_row(&[
+                method.name(),
+                spec.label().to_string(),
+                format!("{:.4}", score.auroc),
+                format!("{:.4}", score.mean_in),
+                format!("{:.4}", score.mean_drift),
+                format!("{:.1} KiB", score.peak_bytes as f64 / 1024.0),
+                format!("{:.0}", score.rows_per_sec),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+    println!(
+        "AUROC = probability a drifted row outscores an in-distribution row \
+         (0.5 = blind, 1.0 = perfect). Peak eval mem is the fixed-buffer \
+         resident bound per scored batch: features + member soft targets + \
+         scores — independent of stream length."
+    );
+}

@@ -14,6 +14,7 @@
 
 use crate::ensemble::EnsembleModel;
 use crate::error::{EnsembleError, Result};
+use edde_data::stream::DatasetStream;
 use edde_data::Dataset;
 
 /// A point on the bias–variance plane of Figure 1.
@@ -26,55 +27,18 @@ pub struct BiasVariance {
 }
 
 /// Computes the bias/variance point of a trained ensemble on `data`.
+///
+/// This is the streaming reducer ([`crate::stream::StreamBiasVariance`])
+/// fed by a sequential [`DatasetStream`]: one `f64` accumulator per member
+/// for each of bias and variance, summed in row order and finalized in
+/// member order, so evaluation memory is `O(eval_batch)` and the result is
+/// identical for any batch split.
 pub fn bias_variance(model: &EnsembleModel, data: &Dataset) -> Result<BiasVariance> {
-    let t = model.len();
-    if t == 0 {
+    if model.is_empty() {
         return Err(EnsembleError::EmptyEnsemble);
     }
-    let member_probs = model.member_soft_targets(data.features())?;
-    let (n, k) = (data.len(), data.num_classes());
-    if n == 0 {
-        return Err(EnsembleError::DataMismatch("empty evaluation set".into()));
-    }
-    // mean member soft target per sample
-    let mut mean = vec![0.0f32; n * k];
-    for probs in &member_probs {
-        for (m, &p) in mean.iter_mut().zip(probs.data().iter()) {
-            *m += p;
-        }
-    }
-    for m in &mut mean {
-        *m /= t as f32;
-    }
-
-    let half_sqrt2 = std::f32::consts::FRAC_1_SQRT_2;
-    let mut bias_total = 0.0f64;
-    let mut var_total = 0.0f64;
-    for probs in &member_probs {
-        for i in 0..n {
-            let row = &probs.data()[i * k..(i + 1) * k];
-            let y = data.labels()[i];
-            // ‖h_t(x) − y‖₂ with one-hot y
-            let mut d_bias = 0.0f32;
-            for (c, &p) in row.iter().enumerate() {
-                let target = if c == y { 1.0 } else { 0.0 };
-                d_bias += (p - target) * (p - target);
-            }
-            bias_total += f64::from(half_sqrt2 * d_bias.sqrt());
-            // ‖h_t(x) − h̄(x)‖₂
-            let mrow = &mean[i * k..(i + 1) * k];
-            let mut d_var = 0.0f32;
-            for (&p, &m) in row.iter().zip(mrow.iter()) {
-                d_var += (p - m) * (p - m);
-            }
-            var_total += f64::from(half_sqrt2 * d_var.sqrt());
-        }
-    }
-    let denom = (t * n) as f64;
-    Ok(BiasVariance {
-        bias: (bias_total / denom) as f32,
-        variance: (var_total / denom) as f32,
-    })
+    let mut src = DatasetStream::sequential(data, crate::env::eval_batch());
+    crate::stream::stream_bias_variance(model, &mut src)
 }
 
 #[cfg(test)]

@@ -10,11 +10,10 @@
 
 use crate::error::{EnsembleError, Result};
 use crate::frozen::{self, FrozenEnsemble};
+use edde_data::stream::DatasetStream;
 use edde_data::Dataset;
 use edde_nn::infer::with_thread_ctx;
-use edde_nn::metrics::accuracy;
 use edde_nn::Network;
-use edde_tensor::parallel::parallel_map;
 use edde_tensor::Tensor;
 use std::sync::Arc;
 
@@ -113,35 +112,27 @@ impl EnsembleModel {
         Ok(edde_tensor::ops::argmax_rows(&probs)?)
     }
 
-    /// Ensemble test accuracy.
+    /// Ensemble test accuracy. Like the frozen path, this is the streaming
+    /// accuracy reducer fed by a sequential
+    /// [`edde_data::stream::DatasetStream`] — one fold implementation for
+    /// the mutable, frozen, and streaming entry points, `O(eval_batch)`
+    /// memory regardless of `data.len()`.
     pub fn accuracy(&self, data: &Dataset) -> Result<f32> {
-        let probs = self.soft_targets(data.features())?;
-        Ok(accuracy(&probs, data.labels())?)
+        self.accuracy_prefix(data, self.members.len())
     }
 
     /// Ensemble accuracy using only the first `prefix` members — the
     /// quantity Fig. 7 plots against cumulative training epochs.
     pub fn accuracy_prefix(&self, data: &Dataset, prefix: usize) -> Result<f32> {
-        let probs = self.soft_targets_prefix(data.features(), prefix)?;
-        Ok(accuracy(&probs, data.labels())?)
+        let mut src = DatasetStream::sequential(data, crate::env::eval_batch());
+        crate::stream::stream_accuracy_prefix(self, &mut src, prefix)
     }
 
     /// Mean *individual* member accuracy — the "Average accuracy" column of
     /// Tables IV and VI.
     pub fn average_member_accuracy(&self, data: &Dataset) -> Result<f32> {
-        if self.members.is_empty() {
-            return Err(EnsembleError::EmptyEnsemble);
-        }
-        let m = self.members.len();
-        let accs = parallel_map(&self.members, |_, member| -> Result<f32> {
-            let probs = Self::network_soft_targets(&member.network, data.features())?;
-            Ok(accuracy(&probs, data.labels())?)
-        });
-        let mut total = 0.0f32;
-        for a in accs {
-            total += a?;
-        }
-        Ok(total / m as f32)
+        let mut src = DatasetStream::sequential(data, crate::env::eval_batch());
+        crate::stream::stream_average_member_accuracy(self, &mut src)
     }
 
     /// Each member's soft-target matrix on `features` — the raw input to the

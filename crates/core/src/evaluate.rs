@@ -1,10 +1,11 @@
 //! Experiment-level evaluation: per-method summaries (Tables II–VI rows)
 //! built from trained ensembles.
 
-use crate::diversity::model_diversity;
 use crate::ensemble::EnsembleModel;
 use crate::error::Result;
 use crate::methods::RunResult;
+use crate::stream::stream_evaluate;
+use edde_data::stream::{BatchSource, DatasetStream};
 use edde_data::Dataset;
 
 /// One row of the paper's comparison tables.
@@ -27,27 +28,36 @@ pub struct MethodSummary {
     pub diversity: Option<f32>,
 }
 
-/// Builds a summary row for a completed run.
+/// Builds a summary row for a completed run: one fixed-memory pass over a
+/// sequential [`DatasetStream`] of `test`, bit-identical to evaluating the
+/// materialized dataset (the historical behaviour of this function).
 pub fn summarize(
     name: impl Into<String>,
     run: &RunResult,
     test: &Dataset,
 ) -> Result<MethodSummary> {
-    let ensemble_accuracy = run.model.accuracy(test)?;
-    let average_accuracy = run.model.average_member_accuracy(test)?;
-    let diversity = if run.model.len() >= 2 {
-        Some(model_diversity(&run.model, test.features())?)
-    } else {
-        None
-    };
+    let mut src = DatasetStream::sequential(test, crate::env::eval_batch());
+    summarize_stream(name, run, &mut src)
+}
+
+/// Builds a summary row from any [`BatchSource`] — each statistic
+/// (ensemble accuracy, average member accuracy, Eq. 7 diversity) folds per
+/// batch, so the stream may be longer than memory. One member pass per
+/// batch feeds every fold.
+pub fn summarize_stream(
+    name: impl Into<String>,
+    run: &RunResult,
+    src: &mut dyn BatchSource,
+) -> Result<MethodSummary> {
+    let report = stream_evaluate(&run.model, src)?;
     Ok(MethodSummary {
         name: name.into(),
         total_epochs: run.total_epochs,
         members: run.model.len(),
-        ensemble_accuracy,
-        average_accuracy,
-        increased_accuracy: ensemble_accuracy - average_accuracy,
-        diversity,
+        ensemble_accuracy: report.accuracy,
+        average_accuracy: report.average_member_accuracy,
+        increased_accuracy: report.accuracy - report.average_member_accuracy,
+        diversity: report.diversity,
     })
 }
 

@@ -28,10 +28,10 @@
 use crate::error::{BundleError, EnsembleError, Result};
 use crate::quant::{QuantizedDense, QuantizedMlp};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
+use edde_data::stream::DatasetStream;
 use edde_data::Dataset;
 use edde_nn::checkpoint::{self, CheckpointStore};
 use edde_nn::infer::{with_thread_ctx, InferCtx};
-use edde_nn::metrics::accuracy;
 use edde_nn::Network;
 use edde_tensor::codec as tcodec;
 use edde_tensor::codec::{CodecChain, DecodedTensor};
@@ -133,14 +133,17 @@ pub(crate) fn fan_out_soft_targets(nets: &[&Network], features: &Tensor) -> Vec<
     })
 }
 
-/// The serial tail of Eq. 16: α-weighted average of member soft targets,
-/// renormalized by `Σα`. Fixed summation order (member order) keeps the
-/// result bit-identical at every thread count.
-pub(crate) fn alpha_weighted_average(probs: Vec<Result<Tensor>>, alphas: &[f32]) -> Result<Tensor> {
+/// The serial tail of Eq. 16 over borrowed member matrices: α-weighted
+/// average of member soft targets, renormalized by `Σα`. Fixed summation
+/// order (member order) keeps the result bit-identical at every thread
+/// count; element-wise arithmetic keeps it bit-identical for any row
+/// batching. This is the one vote reduce — the materialized path and the
+/// streaming reducers ([`crate::stream`]) both run on it.
+pub(crate) fn alpha_weighted_average_of(probs: &[Tensor], alphas: &[f32]) -> Result<Tensor> {
     let mut acc: Option<Tensor> = None;
     let mut alpha_sum = 0.0f32;
-    for (p, &alpha) in probs.into_iter().zip(alphas) {
-        let weighted = p?.map(|v| v * alpha);
+    for (p, &alpha) in probs.iter().zip(alphas) {
+        let weighted = p.map(|v| v * alpha);
         alpha_sum += alpha;
         acc = Some(match acc {
             None => weighted,
@@ -154,6 +157,12 @@ pub(crate) fn alpha_weighted_average(probs: Vec<Result<Tensor>>, alphas: &[f32])
         ));
     }
     Ok(acc.map(|v| v / alpha_sum))
+}
+
+/// [`alpha_weighted_average_of`] over fallible member passes.
+pub(crate) fn alpha_weighted_average(probs: Vec<Result<Tensor>>, alphas: &[f32]) -> Result<Tensor> {
+    let probs: Vec<Tensor> = probs.into_iter().collect::<Result<_>>()?;
+    alpha_weighted_average_of(&probs, alphas)
 }
 
 /// Pool-parallel member passes plus the serial α-reduce — the full Eq. 16
@@ -500,33 +509,24 @@ impl FrozenEnsemble {
         Ok(edde_tensor::ops::argmax_rows(&probs)?)
     }
 
-    /// Ensemble test accuracy.
+    /// Ensemble test accuracy. Shares one fold implementation with the
+    /// mutable path and the streaming path: a [`crate::stream`] accuracy
+    /// reducer fed by a sequential [`edde_data::stream::DatasetStream`],
+    /// so memory stays `O(eval_batch)` regardless of `data.len()`.
     pub fn accuracy(&self, data: &Dataset) -> Result<f32> {
-        let probs = self.soft_targets(data.features())?;
-        Ok(accuracy(&probs, data.labels())?)
+        self.accuracy_prefix(data, self.len())
     }
 
     /// Ensemble accuracy using only the first `prefix` members.
     pub fn accuracy_prefix(&self, data: &Dataset, prefix: usize) -> Result<f32> {
-        let probs = self.soft_targets_prefix(data.features(), prefix)?;
-        Ok(accuracy(&probs, data.labels())?)
+        let mut src = DatasetStream::sequential(data, crate::env::eval_batch());
+        crate::stream::stream_accuracy_prefix(self, &mut src, prefix)
     }
 
     /// Mean *individual* member accuracy.
     pub fn average_member_accuracy(&self, data: &Dataset) -> Result<f32> {
-        if self.members.is_empty() {
-            return Err(EnsembleError::EmptyEnsemble);
-        }
-        let m = self.members.len();
-        let accs = parallel_map(&self.members, |_, member| -> Result<f32> {
-            let probs = with_thread_ctx(|ctx| member.soft_targets_tau(data.features(), 1.0, ctx))?;
-            Ok(accuracy(&probs, data.labels())?)
-        });
-        let mut total = 0.0f32;
-        for a in accs {
-            total += a?;
-        }
-        Ok(total / m as f32)
+        let mut src = DatasetStream::sequential(data, crate::env::eval_batch());
+        crate::stream::stream_average_member_accuracy(self, &mut src)
     }
 
     /// Each member's soft-target matrix on `features`.

@@ -36,6 +36,15 @@
 //! [`diversity`] is the paper's soft-target diversity measure (Eq. 2/3/7),
 //! [`bias_variance`] the bias/variance analysis behind Figure 1, and
 //! [`evaluate`] the accuracy-versus-budget traces behind Figure 7.
+//!
+//! Every evaluation statistic is a **streaming reducer** ([`stream`]):
+//! the materialized entry points feed the reducers from a sequential
+//! [`edde_data::stream::DatasetStream`], so evaluation memory is bounded
+//! by one batch, and any [`edde_data::stream::BatchSource`] — including
+//! unbounded drifted streams — can be scored with the identical fold.
+//! [`stream::disagreement_scores`] turns the Eq. 2 diversity quantity
+//! into a per-sample OOD score, with [`stream::AurocAccumulator`]
+//! computing detection AUROC in fixed memory.
 
 pub mod bias_variance;
 pub mod diversity;
@@ -50,6 +59,7 @@ pub mod recovery;
 pub mod report;
 pub mod runstate;
 pub mod sharded;
+pub mod stream;
 pub mod trainer;
 pub mod transfer;
 
@@ -67,6 +77,12 @@ pub use runstate::{
     epoch_seed, MemberProgress, MemberRecord, RunManifest, RunProtocol, RunSession,
 };
 pub use sharded::{NetworkBuilder, ShardedEnsemble};
+pub use stream::{
+    disagreement_auroc, disagreement_scores, network_stream_accuracy, stream_accuracy,
+    stream_accuracy_prefix, stream_average_member_accuracy, stream_bias_variance, stream_diversity,
+    stream_evaluate, AurocAccumulator, DisagreementReport, MemberScorer, StreamAccuracy,
+    StreamBiasVariance, StreamDiversity, StreamEvalReport,
+};
 pub use trainer::{
     EpochCheckpoints, LossSpec, TrainEvent, TrainLoop, TrainObserver, TrainRng, TrainStats, Trainer,
 };

@@ -1,0 +1,900 @@
+//! Streaming evaluation: every eval statistic as a fixed-memory fold.
+//!
+//! The historical eval stack demanded a fully materialized [`Dataset`]
+//! (and a fully materialized `[N, k]` soft-target matrix per member).
+//! This module re-expresses each consumer as a **streaming reducer** over
+//! an [`edde_data::stream::BatchSource`]: per-batch member passes feed
+//! per-batch folds, so evaluation memory is bounded by one batch no
+//! matter how long the stream runs.
+//!
+//! ## Bit-identity contract
+//!
+//! A streamed statistic equals its in-memory twin **bitwise**, for any
+//! batch split, on every SIMD backend, at every thread count:
+//!
+//! * member passes are row-independent (pinned since the frozen engine
+//!   landed), so a row's soft target does not depend on which batch
+//!   carried it;
+//! * the ensemble vote is the same serial α-reduce in member order,
+//!   applied per batch — element-wise arithmetic, split-invariant;
+//! * accuracy folds integer correct/total counts;
+//! * diversity (Eq. 2/7) and bias/variance (Eq. 13) keep one `f64`
+//!   accumulator **per pair / per member**, each of which sums its
+//!   per-row terms in row order — the same addition order regardless of
+//!   where batch boundaries fall — and finalizes in pair/member order.
+//!
+//! The in-memory entry points ([`crate::FrozenEnsemble::accuracy`],
+//! [`crate::EnsembleModel::accuracy`], [`crate::bias_variance::bias_variance`],
+//! the β-probe's fold accuracies) are themselves thin wrappers over these
+//! reducers fed by a [`DatasetStream`] — one fold implementation, two
+//! feeding modes.
+//!
+//! ## Disagreement scoring
+//!
+//! [`disagreement_scores`] restates the Eq. 2 quantity as a per-sample
+//! novelty score: the α-weighted mean member distance from the ensemble
+//! vote, `√2/2 · Σ_t ᾱ_t ‖h_t(x) − H(x)‖₂` with `ᾱ = α/Σα`, in `[0, 1]`.
+//! In-distribution inputs land where members agree (low score); drifted
+//! inputs revive the disagreement the diversity objective trained in.
+//! [`AurocAccumulator`] turns two scored streams into an AUROC in fixed
+//! memory (binned ranks, 1024 bins).
+
+use crate::bias_variance::BiasVariance;
+use crate::ensemble::EnsembleModel;
+use crate::error::{EnsembleError, Result};
+use crate::frozen::{self, FrozenEnsemble};
+use crate::sharded::ShardedEnsemble;
+use edde_data::stream::BatchSource;
+use edde_nn::infer::with_thread_ctx;
+use edde_nn::Network;
+use edde_tensor::ops::argmax_rows;
+use edde_tensor::parallel::parallel_map;
+use edde_tensor::simd::sq_l2_dist;
+use edde_tensor::Tensor;
+
+/// An ensemble evaluated member-by-member on feature batches — the one
+/// interface the streaming reducers score through. Implemented by
+/// [`EnsembleModel`] (mutable training stack), [`FrozenEnsemble`]
+/// (serving stack), and [`ShardedEnsemble`] (lazy serving stack, members
+/// materialize on first use).
+pub trait MemberScorer {
+    /// Number of members.
+    fn member_count(&self) -> usize;
+
+    /// Ensemble weights `α_t`, in member order.
+    fn member_alphas(&self) -> Vec<f32>;
+
+    /// Soft targets of the first `prefix` members on one feature batch,
+    /// in member order — the identical member pass the in-memory
+    /// `soft_targets_prefix` runs (pool-parallel, per-thread contexts).
+    fn member_soft_targets_prefix(&self, features: &Tensor, prefix: usize) -> Result<Vec<Tensor>>;
+}
+
+impl MemberScorer for EnsembleModel {
+    fn member_count(&self) -> usize {
+        self.len()
+    }
+
+    fn member_alphas(&self) -> Vec<f32> {
+        self.members().iter().map(|m| m.alpha).collect()
+    }
+
+    fn member_soft_targets_prefix(&self, features: &Tensor, prefix: usize) -> Result<Vec<Tensor>> {
+        let nets: Vec<&Network> = self.members()[..prefix]
+            .iter()
+            .map(|m| &m.network)
+            .collect();
+        frozen::fan_out_soft_targets(&nets, features)
+            .into_iter()
+            .collect()
+    }
+}
+
+impl MemberScorer for FrozenEnsemble {
+    fn member_count(&self) -> usize {
+        self.len()
+    }
+
+    fn member_alphas(&self) -> Vec<f32> {
+        self.members().iter().map(|m| m.alpha()).collect()
+    }
+
+    fn member_soft_targets_prefix(&self, features: &Tensor, prefix: usize) -> Result<Vec<Tensor>> {
+        parallel_map(&self.members()[..prefix], |_, m| {
+            with_thread_ctx(|ctx| m.soft_targets_tau(features, 1.0, ctx))
+        })
+        .into_iter()
+        .collect()
+    }
+}
+
+impl MemberScorer for ShardedEnsemble {
+    fn member_count(&self) -> usize {
+        self.len()
+    }
+
+    fn member_alphas(&self) -> Vec<f32> {
+        // Materializes the metadata path only: alphas live in the root's
+        // member metadata, but the trait wants the serving values, which
+        // sit on the (possibly lazily decoded) members. Decode on demand.
+        (0..self.len())
+            .map(|t| self.member(t).map(|m| m.alpha()).unwrap_or(0.0))
+            .collect()
+    }
+
+    fn member_soft_targets_prefix(&self, features: &Tensor, prefix: usize) -> Result<Vec<Tensor>> {
+        // Materialize exactly the prefix on first use — evaluating a lazy
+        // sharded bundle streams while members decode incrementally.
+        let members: Vec<&frozen::FrozenMember> =
+            (0..prefix).map(|t| self.member(t)).collect::<Result<_>>()?;
+        parallel_map(&members, |_, m| {
+            with_thread_ctx(|ctx| m.soft_targets_tau(features, 1.0, ctx))
+        })
+        .into_iter()
+        .collect()
+    }
+}
+
+/// Streaming ensemble accuracy: integer correct/total counts, so any
+/// batch split yields the exact ratio the materialized path computes.
+#[derive(Debug, Clone, Default)]
+pub struct StreamAccuracy {
+    correct: usize,
+    total: usize,
+}
+
+impl StreamAccuracy {
+    /// An empty fold.
+    pub fn new() -> Self {
+        StreamAccuracy::default()
+    }
+
+    /// Folds one batch of ensemble soft targets against its labels.
+    pub fn fold(&mut self, probs: &Tensor, labels: &[usize]) -> Result<()> {
+        let preds = argmax_rows(probs)?;
+        if preds.len() != labels.len() {
+            return Err(EnsembleError::DataMismatch(format!(
+                "{} predictions vs {} labels",
+                preds.len(),
+                labels.len()
+            )));
+        }
+        self.correct += preds.iter().zip(labels).filter(|(p, y)| p == y).count();
+        self.total += labels.len();
+        Ok(())
+    }
+
+    /// Rows folded so far.
+    pub fn rows(&self) -> usize {
+        self.total
+    }
+
+    /// The accuracy; errors on an empty stream.
+    pub fn finish(&self) -> Result<f32> {
+        if self.total == 0 {
+            return Err(EnsembleError::DataMismatch("empty evaluation set".into()));
+        }
+        Ok(self.correct as f32 / self.total as f32)
+    }
+}
+
+/// Streaming Eq. 7 ensemble diversity: one `f64` distance accumulator per
+/// unordered member pair, summed in row order — the identical addition
+/// order [`crate::diversity::ensemble_diversity`] uses, so the fold is
+/// bit-identical for any batch split.
+#[derive(Debug, Clone)]
+pub struct StreamDiversity {
+    members: usize,
+    /// Pair totals in `(i, j)` lexicographic order, `i < j`.
+    totals: Vec<f64>,
+    rows: usize,
+}
+
+impl StreamDiversity {
+    /// An empty fold over a `members`-strong ensemble.
+    pub fn new(members: usize) -> Self {
+        StreamDiversity {
+            members,
+            totals: vec![0.0; members.saturating_sub(1) * members / 2],
+            rows: 0,
+        }
+    }
+
+    /// Folds one batch of per-member soft targets (member order).
+    pub fn fold(&mut self, member_probs: &[Tensor]) -> Result<()> {
+        if member_probs.len() != self.members {
+            return Err(EnsembleError::DataMismatch(format!(
+                "{} member matrices for a {}-member fold",
+                member_probs.len(),
+                self.members
+            )));
+        }
+        if self.members < 2 {
+            return Ok(());
+        }
+        let dims = member_probs[0].dims();
+        let (b, k) = (dims[0], dims[1]);
+        let mut pair = 0usize;
+        for i in 0..self.members {
+            for j in (i + 1)..self.members {
+                let (a, bm) = (member_probs[i].data(), member_probs[j].data());
+                let total = &mut self.totals[pair];
+                for r in 0..b {
+                    let ra = &a[r * k..(r + 1) * k];
+                    let rb = &bm[r * k..(r + 1) * k];
+                    *total += f64::from(sq_l2_dist(ra, rb).sqrt());
+                }
+                pair += 1;
+            }
+        }
+        self.rows += b;
+        Ok(())
+    }
+
+    /// Eq. 7 over everything folded; errors on `< 2` members or an empty
+    /// stream.
+    pub fn finish(&self) -> Result<f32> {
+        if self.members < 2 {
+            return Err(EnsembleError::BadConfig(
+                "ensemble diversity needs at least two members".into(),
+            ));
+        }
+        if self.rows == 0 {
+            return Err(EnsembleError::DataMismatch(
+                "diversity over zero samples".into(),
+            ));
+        }
+        let mut total = 0.0f64;
+        for pair_total in &self.totals {
+            let pair = (std::f64::consts::FRAC_1_SQRT_2 * pair_total / self.rows as f64) as f32;
+            total += f64::from(pair);
+        }
+        let t = self.members;
+        Ok((2.0 * total / (t * (t - 1)) as f64) as f32)
+    }
+}
+
+/// Streaming bias/variance (Eq. 13 / Figure 1): one `f64` accumulator per
+/// member for each of bias and variance, summed in row order and
+/// finalized in member order — batch-split invariant by construction.
+#[derive(Debug, Clone)]
+pub struct StreamBiasVariance {
+    bias: Vec<f64>,
+    var: Vec<f64>,
+    rows: usize,
+    /// Batch-local mean scratch, reused across folds.
+    mean: Vec<f32>,
+}
+
+impl StreamBiasVariance {
+    /// An empty fold over a `members`-strong ensemble.
+    pub fn new(members: usize) -> Self {
+        StreamBiasVariance {
+            bias: vec![0.0; members],
+            var: vec![0.0; members],
+            rows: 0,
+            mean: Vec::new(),
+        }
+    }
+
+    /// Folds one batch of per-member soft targets and its labels.
+    pub fn fold(&mut self, member_probs: &[Tensor], labels: &[usize]) -> Result<()> {
+        let t = self.bias.len();
+        if member_probs.len() != t {
+            return Err(EnsembleError::DataMismatch(format!(
+                "{} member matrices for a {}-member fold",
+                member_probs.len(),
+                t
+            )));
+        }
+        let dims = member_probs[0].dims();
+        let (b, k) = (dims[0], dims[1]);
+        // unweighted mean member soft target per sample — member-order f32
+        // sums then /t, the exact arithmetic of the materialized path
+        self.mean.clear();
+        self.mean.resize(b * k, 0.0);
+        for probs in member_probs {
+            for (m, &p) in self.mean.iter_mut().zip(probs.data()) {
+                *m += p;
+            }
+        }
+        for m in &mut self.mean {
+            *m /= t as f32;
+        }
+        let half_sqrt2 = std::f32::consts::FRAC_1_SQRT_2;
+        for (ti, probs) in member_probs.iter().enumerate() {
+            let (bias_acc, var_acc) = (&mut self.bias[ti], &mut self.var[ti]);
+            for (i, &y) in labels.iter().enumerate().take(b) {
+                let row = &probs.data()[i * k..(i + 1) * k];
+                let mut d_bias = 0.0f32;
+                for (c, &p) in row.iter().enumerate() {
+                    let target = if c == y { 1.0 } else { 0.0 };
+                    d_bias += (p - target) * (p - target);
+                }
+                *bias_acc += f64::from(half_sqrt2 * d_bias.sqrt());
+                let mrow = &self.mean[i * k..(i + 1) * k];
+                let mut d_var = 0.0f32;
+                for (&p, &m) in row.iter().zip(mrow.iter()) {
+                    d_var += (p - m) * (p - m);
+                }
+                *var_acc += f64::from(half_sqrt2 * d_var.sqrt());
+            }
+        }
+        self.rows += b;
+        Ok(())
+    }
+
+    /// The bias/variance point; errors on an empty ensemble or stream.
+    pub fn finish(&self) -> Result<BiasVariance> {
+        let t = self.bias.len();
+        if t == 0 {
+            return Err(EnsembleError::EmptyEnsemble);
+        }
+        if self.rows == 0 {
+            return Err(EnsembleError::DataMismatch("empty evaluation set".into()));
+        }
+        let (mut bias_total, mut var_total) = (0.0f64, 0.0f64);
+        for ti in 0..t {
+            bias_total += self.bias[ti];
+            var_total += self.var[ti];
+        }
+        let denom = (t * self.rows) as f64;
+        Ok(BiasVariance {
+            bias: (bias_total / denom) as f32,
+            variance: (var_total / denom) as f32,
+        })
+    }
+}
+
+/// Per-sample disagreement scores for one batch: the Eq. 2 quantity
+/// restated as an α-weighted variance of votes,
+///
+/// ```text
+/// score(x) = √2/2 · Σ_t ᾱ_t ‖h_t(x) − H(x)‖₂,   ᾱ_t = α_t / Σα
+/// ```
+///
+/// where `H(x)` is the ensemble's α-weighted soft vote. The score lies in
+/// `[0, 1]`: 0 when every member votes identically, approaching 1 when
+/// members place full confidence on pairwise different classes.
+pub fn disagreement_scores(member_probs: &[Tensor], alphas: &[f32]) -> Result<Vec<f32>> {
+    let t = member_probs.len();
+    if t == 0 {
+        return Err(EnsembleError::EmptyEnsemble);
+    }
+    if alphas.len() != t {
+        return Err(EnsembleError::DataMismatch(format!(
+            "{} alphas for {t} members",
+            alphas.len()
+        )));
+    }
+    let alpha_sum: f32 = alphas.iter().sum();
+    if alpha_sum <= 0.0 {
+        return Err(EnsembleError::BadConfig(
+            "member weights sum to zero".into(),
+        ));
+    }
+    let dims = member_probs[0].dims();
+    let (b, k) = (dims[0], dims[1]);
+    // H(x): α-weighted vote, renormalized — same arithmetic as Eq. 16
+    let mut vote = vec![0.0f32; b * k];
+    for (probs, &alpha) in member_probs.iter().zip(alphas) {
+        for (v, &p) in vote.iter_mut().zip(probs.data()) {
+            *v += p * alpha;
+        }
+    }
+    for v in &mut vote {
+        *v /= alpha_sum;
+    }
+    let half_sqrt2 = std::f32::consts::FRAC_1_SQRT_2;
+    let mut scores = vec![0.0f32; b];
+    for (probs, &alpha) in member_probs.iter().zip(alphas) {
+        let weight = alpha / alpha_sum;
+        for (i, score) in scores.iter_mut().enumerate() {
+            let row = &probs.data()[i * k..(i + 1) * k];
+            let vrow = &vote[i * k..(i + 1) * k];
+            *score += weight * half_sqrt2 * sq_l2_dist(row, vrow).sqrt();
+        }
+    }
+    Ok(scores)
+}
+
+/// Fixed-memory AUROC: scores in `[0, 1]` are binned (1024 bins) and the
+/// rank statistic is computed from the two histograms, counting
+/// within-bin collisions as ties (½ credit). Memory is constant no
+/// matter how many scores stream through.
+#[derive(Debug, Clone)]
+pub struct AurocAccumulator {
+    neg: Vec<u64>,
+    pos: Vec<u64>,
+}
+
+const AUROC_BINS: usize = 1024;
+
+impl AurocAccumulator {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        AurocAccumulator {
+            neg: vec![0; AUROC_BINS],
+            pos: vec![0; AUROC_BINS],
+        }
+    }
+
+    fn bin(score: f32) -> usize {
+        ((score.clamp(0.0, 1.0) * AUROC_BINS as f32) as usize).min(AUROC_BINS - 1)
+    }
+
+    /// Records scores from the negative (in-distribution) class.
+    pub fn add_negatives(&mut self, scores: &[f32]) {
+        for &s in scores {
+            self.neg[Self::bin(s)] += 1;
+        }
+    }
+
+    /// Records scores from the positive (drifted / OOD) class.
+    pub fn add_positives(&mut self, scores: &[f32]) {
+        for &s in scores {
+            self.pos[Self::bin(s)] += 1;
+        }
+    }
+
+    /// The area under the ROC curve: the probability a positive outscores
+    /// a negative (ties count ½). Errors unless both classes are present.
+    pub fn auroc(&self) -> Result<f32> {
+        let n: u64 = self.neg.iter().sum();
+        let p: u64 = self.pos.iter().sum();
+        if n == 0 || p == 0 {
+            return Err(EnsembleError::DataMismatch(
+                "AUROC needs scores from both classes".into(),
+            ));
+        }
+        let mut neg_below = 0u64;
+        let mut won = 0.0f64;
+        for bin in 0..AUROC_BINS {
+            won += self.pos[bin] as f64 * (neg_below as f64 + 0.5 * self.neg[bin] as f64);
+            neg_below += self.neg[bin];
+        }
+        Ok((won / (n as f64 * p as f64)) as f32)
+    }
+}
+
+impl Default for AurocAccumulator {
+    fn default() -> Self {
+        AurocAccumulator::new()
+    }
+}
+
+/// Everything one fixed-memory pass over a stream produces.
+#[derive(Debug, Clone)]
+pub struct StreamEvalReport {
+    /// Rows consumed.
+    pub rows: usize,
+    /// Batches consumed.
+    pub batches: usize,
+    /// Ensemble accuracy (Eq. 16 vote).
+    pub accuracy: f32,
+    /// Mean individual member accuracy.
+    pub average_member_accuracy: f32,
+    /// Eq. 7 diversity (`None` for single-member ensembles).
+    pub diversity: Option<f32>,
+    /// The Figure 1 bias/variance point.
+    pub bias_variance: BiasVariance,
+    /// Peak resident evaluation bytes across batches — the fixed-buffer
+    /// RSS proxy: features + per-member soft targets + the vote, for the
+    /// largest batch seen. Independent of stream length.
+    pub peak_batch_bytes: usize,
+}
+
+/// Resident bytes for one scored batch: the feature tensor, every
+/// member's soft-target matrix, and the ensemble vote.
+fn batch_resident_bytes(features: &Tensor, member_probs: &[Tensor], vote: &Tensor) -> usize {
+    let f = features.data().len();
+    let m: usize = member_probs.iter().map(|p| p.data().len()).sum();
+    (f + m + vote.data().len()) * std::mem::size_of::<f32>()
+}
+
+/// One fixed-memory pass computing every Table/Figure statistic at once:
+/// ensemble accuracy, average member accuracy, Eq. 7 diversity, and the
+/// bias/variance point, plus the peak resident byte count. Each batch is
+/// scored once (one member pass feeds all four folds) and recycled back
+/// to the source.
+pub fn stream_evaluate(
+    scorer: &dyn MemberScorer,
+    src: &mut dyn BatchSource,
+) -> Result<StreamEvalReport> {
+    let t = scorer.member_count();
+    if t == 0 {
+        return Err(EnsembleError::EmptyEnsemble);
+    }
+    let alphas = scorer.member_alphas();
+    let mut acc = StreamAccuracy::new();
+    let mut member_correct = vec![0usize; t];
+    let mut div = StreamDiversity::new(t);
+    let mut bv = StreamBiasVariance::new(t);
+    let mut batches = 0usize;
+    let mut peak = 0usize;
+    while let Some(batch) = src.next_batch() {
+        let probs = scorer.member_soft_targets_prefix(&batch.features, t)?;
+        let vote = frozen::alpha_weighted_average_of(&probs, &alphas)?;
+        peak = peak.max(batch_resident_bytes(&batch.features, &probs, &vote));
+        acc.fold(&vote, &batch.labels)?;
+        for (ti, p) in probs.iter().enumerate() {
+            let preds = argmax_rows(p)?;
+            member_correct[ti] += preds
+                .iter()
+                .zip(&batch.labels)
+                .filter(|(pr, y)| pr == y)
+                .count();
+        }
+        if t >= 2 {
+            div.fold(&probs)?;
+        }
+        bv.fold(&probs, &batch.labels)?;
+        batches += 1;
+        src.recycle(batch);
+    }
+    let rows = acc.rows();
+    let accuracy = acc.finish()?;
+    // identical fold order to the materialized average_member_accuracy:
+    // per-member ratio first, then an f32 sum in member order
+    let mut avg_total = 0.0f32;
+    for &correct in &member_correct {
+        avg_total += correct as f32 / rows as f32;
+    }
+    Ok(StreamEvalReport {
+        rows,
+        batches,
+        accuracy,
+        average_member_accuracy: avg_total / t as f32,
+        diversity: if t >= 2 { Some(div.finish()?) } else { None },
+        bias_variance: bv.finish()?,
+        peak_batch_bytes: peak,
+    })
+}
+
+/// Streaming ensemble accuracy over the first `prefix` members — the one
+/// fold implementation behind both the frozen and mutable accuracy paths.
+pub fn stream_accuracy_prefix(
+    scorer: &dyn MemberScorer,
+    src: &mut dyn BatchSource,
+    prefix: usize,
+) -> Result<f32> {
+    if prefix == 0 || prefix > scorer.member_count() {
+        return Err(EnsembleError::EmptyEnsemble);
+    }
+    let alphas = &scorer.member_alphas()[..prefix];
+    let mut acc = StreamAccuracy::new();
+    while let Some(batch) = src.next_batch() {
+        let probs = scorer.member_soft_targets_prefix(&batch.features, prefix)?;
+        let vote = frozen::alpha_weighted_average_of(&probs, alphas)?;
+        acc.fold(&vote, &batch.labels)?;
+        src.recycle(batch);
+    }
+    acc.finish()
+}
+
+/// Streaming full-ensemble accuracy.
+pub fn stream_accuracy(scorer: &dyn MemberScorer, src: &mut dyn BatchSource) -> Result<f32> {
+    stream_accuracy_prefix(scorer, src, scorer.member_count())
+}
+
+/// Streaming mean *individual* member accuracy (the "Average accuracy"
+/// column of Tables IV/VI): per-member integer correct counts fold per
+/// batch; the finish computes each member's exact ratio, then the same
+/// member-order f32 sum the materialized path used.
+pub fn stream_average_member_accuracy(
+    scorer: &dyn MemberScorer,
+    src: &mut dyn BatchSource,
+) -> Result<f32> {
+    let t = scorer.member_count();
+    if t == 0 {
+        return Err(EnsembleError::EmptyEnsemble);
+    }
+    let mut member_correct = vec![0usize; t];
+    let mut rows = 0usize;
+    while let Some(batch) = src.next_batch() {
+        let probs = scorer.member_soft_targets_prefix(&batch.features, t)?;
+        for (ti, p) in probs.iter().enumerate() {
+            let preds = argmax_rows(p)?;
+            member_correct[ti] += preds
+                .iter()
+                .zip(&batch.labels)
+                .filter(|(pr, y)| pr == y)
+                .count();
+        }
+        rows += batch.labels.len();
+        src.recycle(batch);
+    }
+    if rows == 0 {
+        return Err(EnsembleError::DataMismatch("empty evaluation set".into()));
+    }
+    let mut total = 0.0f32;
+    for &correct in &member_correct {
+        total += correct as f32 / rows as f32;
+    }
+    Ok(total / t as f32)
+}
+
+/// Streaming Eq. 7 ensemble diversity.
+pub fn stream_diversity(scorer: &dyn MemberScorer, src: &mut dyn BatchSource) -> Result<f32> {
+    let t = scorer.member_count();
+    let mut div = StreamDiversity::new(t);
+    while let Some(batch) = src.next_batch() {
+        let probs = scorer.member_soft_targets_prefix(&batch.features, t)?;
+        div.fold(&probs)?;
+        src.recycle(batch);
+    }
+    div.finish()
+}
+
+/// Streaming bias/variance (the Figure 1 point).
+pub fn stream_bias_variance(
+    scorer: &dyn MemberScorer,
+    src: &mut dyn BatchSource,
+) -> Result<BiasVariance> {
+    let t = scorer.member_count();
+    if t == 0 {
+        return Err(EnsembleError::EmptyEnsemble);
+    }
+    let mut bv = StreamBiasVariance::new(t);
+    while let Some(batch) = src.next_batch() {
+        let probs = scorer.member_soft_targets_prefix(&batch.features, t)?;
+        bv.fold(&probs, &batch.labels)?;
+        src.recycle(batch);
+    }
+    bv.finish()
+}
+
+/// Streaming single-network accuracy — the fold the β-probe's seen/unseen
+/// fold accuracies run on.
+pub fn network_stream_accuracy(net: &Network, src: &mut dyn BatchSource) -> Result<f32> {
+    let mut acc = StreamAccuracy::new();
+    while let Some(batch) = src.next_batch() {
+        let probs = with_thread_ctx(|ctx| {
+            frozen::network_soft_targets_tau(net, &batch.features, 1.0, ctx)
+        })?;
+        acc.fold(&probs, &batch.labels)?;
+        src.recycle(batch);
+    }
+    acc.finish()
+}
+
+/// Report of one disagreement-scored pass over a stream.
+#[derive(Debug, Clone)]
+pub struct DisagreementReport {
+    /// Rows scored.
+    pub rows: usize,
+    /// Mean disagreement score.
+    pub mean_score: f32,
+    /// Peak resident evaluation bytes (fixed-buffer RSS proxy).
+    pub peak_batch_bytes: usize,
+}
+
+/// Streams a source through the ensemble, feeding per-sample disagreement
+/// scores into `sink` (e.g. one side of an [`AurocAccumulator`]).
+pub fn stream_disagreement(
+    scorer: &dyn MemberScorer,
+    src: &mut dyn BatchSource,
+    mut sink: impl FnMut(&[f32]),
+) -> Result<DisagreementReport> {
+    let t = scorer.member_count();
+    if t == 0 {
+        return Err(EnsembleError::EmptyEnsemble);
+    }
+    let alphas = scorer.member_alphas();
+    let mut rows = 0usize;
+    let mut total = 0.0f64;
+    let mut peak = 0usize;
+    while let Some(batch) = src.next_batch() {
+        let probs = scorer.member_soft_targets_prefix(&batch.features, t)?;
+        let scores = disagreement_scores(&probs, &alphas)?;
+        let probs_bytes: usize = probs.iter().map(|p| p.data().len()).sum();
+        peak = peak.max(
+            (batch.features.data().len() + probs_bytes + scores.len()) * std::mem::size_of::<f32>(),
+        );
+        for &s in &scores {
+            total += f64::from(s);
+        }
+        rows += scores.len();
+        sink(&scores);
+        src.recycle(batch);
+    }
+    if rows == 0 {
+        return Err(EnsembleError::DataMismatch("empty evaluation set".into()));
+    }
+    Ok(DisagreementReport {
+        rows,
+        mean_score: (total / rows as f64) as f32,
+        peak_batch_bytes: peak,
+    })
+}
+
+/// Convenience: AUROC of disagreement-based OOD detection — streams the
+/// in-distribution source as negatives and the drifted source as
+/// positives, in fixed memory end to end.
+pub fn disagreement_auroc(
+    scorer: &dyn MemberScorer,
+    in_dist: &mut dyn BatchSource,
+    drifted: &mut dyn BatchSource,
+) -> Result<f32> {
+    let mut auroc = AurocAccumulator::new();
+    stream_disagreement(scorer, in_dist, |s| auroc.add_negatives(s))?;
+    stream_disagreement(scorer, drifted, |s| auroc.add_positives(s))?;
+    auroc.auroc()
+}
+
+impl FrozenEnsemble {
+    /// Streaming ensemble accuracy over a [`BatchSource`] — the serving-
+    /// shaped twin of [`FrozenEnsemble::accuracy`], same fold, fixed
+    /// memory.
+    pub fn accuracy_stream(&self, src: &mut dyn BatchSource) -> Result<f32> {
+        stream_accuracy(self, src)
+    }
+}
+
+impl ShardedEnsemble {
+    /// Streaming ensemble accuracy over a [`BatchSource`]. Members decode
+    /// lazily on the first batch — a sharded bundle can be evaluated
+    /// while it materializes.
+    pub fn accuracy_stream(&self, src: &mut dyn BatchSource) -> Result<f32> {
+        stream_accuracy(self, src)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edde_data::stream::DatasetStream;
+    use edde_data::Dataset;
+    use edde_nn::models::mlp;
+    use edde_tensor::rng::rand_uniform;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn dataset(n: usize) -> Dataset {
+        let mut r = StdRng::seed_from_u64(3);
+        let features = rand_uniform(&[n, 5], -1.0, 1.0, &mut r);
+        let labels = (0..n).map(|i| i % 3).collect();
+        Dataset::new(features, labels, 3).unwrap()
+    }
+
+    fn ensemble() -> EnsembleModel {
+        let mut ens = EnsembleModel::new();
+        for (i, alpha) in [(1u64, 1.2f32), (2, 0.7), (3, 1.9)] {
+            let mut r = StdRng::seed_from_u64(i);
+            ens.push(mlp(&[5, 12, 3], 0.0, &mut r), alpha, format!("m{i}"));
+        }
+        ens
+    }
+
+    #[test]
+    fn stream_accuracy_matches_materialized_for_any_batch() {
+        let ens = ensemble();
+        let data = dataset(41);
+        let reference = {
+            let probs = ens.soft_targets(data.features()).unwrap();
+            edde_nn::metrics::accuracy(&probs, data.labels()).unwrap()
+        };
+        for batch in [1usize, 7, 41, 100] {
+            let mut src = DatasetStream::sequential(&data, batch);
+            let got = stream_accuracy(&ens, &mut src).unwrap();
+            assert_eq!(got.to_bits(), reference.to_bits(), "batch={batch}");
+        }
+    }
+
+    #[test]
+    fn stream_diversity_matches_materialized_for_any_batch() {
+        let ens = ensemble();
+        let data = dataset(29);
+        let reference = crate::diversity::model_diversity(&ens, data.features()).unwrap();
+        for batch in [1usize, 4, 29, 64] {
+            let mut src = DatasetStream::sequential(&data, batch);
+            let got = stream_diversity(&ens, &mut src).unwrap();
+            assert_eq!(got.to_bits(), reference.to_bits(), "batch={batch}");
+        }
+    }
+
+    #[test]
+    fn stream_bias_variance_is_batch_split_invariant() {
+        let ens = ensemble();
+        let data = dataset(33);
+        let mut whole = DatasetStream::sequential(&data, usize::MAX >> 1);
+        let reference = stream_bias_variance(&ens, &mut whole).unwrap();
+        for batch in [1usize, 5, 16] {
+            let mut src = DatasetStream::sequential(&data, batch);
+            let got = stream_bias_variance(&ens, &mut src).unwrap();
+            assert_eq!(
+                got.bias.to_bits(),
+                reference.bias.to_bits(),
+                "batch={batch}"
+            );
+            assert_eq!(
+                got.variance.to_bits(),
+                reference.variance.to_bits(),
+                "batch={batch}"
+            );
+        }
+    }
+
+    #[test]
+    fn disagreement_is_zero_for_identical_members_and_positive_otherwise() {
+        let mut same = EnsembleModel::new();
+        let mut r = StdRng::seed_from_u64(1);
+        let net = mlp(&[5, 12, 3], 0.0, &mut r);
+        same.push(net.clone(), 1.0, "a");
+        same.push(net, 2.0, "b");
+        let data = dataset(10);
+        let probs = same.member_soft_targets(data.features()).unwrap();
+        // (1·p + 2·p)/3 rounds within an ulp of p, so allow fp residue
+        let scores = disagreement_scores(&probs, &[1.0, 2.0]).unwrap();
+        assert!(scores.iter().all(|&s| s < 1e-6), "{scores:?}");
+
+        let ens = ensemble();
+        let probs = ens.member_soft_targets(data.features()).unwrap();
+        let alphas = ens.member_alphas();
+        let scores = disagreement_scores(&probs, &alphas).unwrap();
+        assert!(scores.iter().all(|&s| (0.0..=1.0).contains(&s)));
+        assert!(scores.iter().any(|&s| s > 0.0));
+    }
+
+    #[test]
+    fn auroc_accumulator_orders_separated_and_overlapping_classes() {
+        let mut a = AurocAccumulator::new();
+        a.add_negatives(&[0.1, 0.2, 0.15]);
+        a.add_positives(&[0.8, 0.9, 0.85]);
+        assert!((a.auroc().unwrap() - 1.0).abs() < 1e-6);
+
+        let mut b = AurocAccumulator::new();
+        b.add_negatives(&[0.5; 10]);
+        b.add_positives(&[0.5; 10]);
+        assert!((b.auroc().unwrap() - 0.5).abs() < 1e-6);
+
+        let mut c = AurocAccumulator::new();
+        c.add_negatives(&[0.9]);
+        c.add_positives(&[0.1]);
+        assert!(c.auroc().unwrap() < 0.1);
+
+        assert!(AurocAccumulator::new().auroc().is_err());
+    }
+
+    #[test]
+    fn stream_evaluate_reports_every_statistic_in_one_pass() {
+        let ens = ensemble();
+        let data = dataset(37);
+        let mut src = DatasetStream::sequential(&data, 8);
+        let report = stream_evaluate(&ens, &mut src).unwrap();
+        assert_eq!(report.rows, 37);
+        assert_eq!(report.batches, 5);
+        assert_eq!(
+            report.accuracy.to_bits(),
+            ens.accuracy(&data).unwrap().to_bits()
+        );
+        assert_eq!(
+            report.average_member_accuracy.to_bits(),
+            ens.average_member_accuracy(&data).unwrap().to_bits()
+        );
+        assert_eq!(
+            report.diversity.unwrap().to_bits(),
+            crate::diversity::model_diversity(&ens, data.features())
+                .unwrap()
+                .to_bits()
+        );
+        let bv = crate::bias_variance::bias_variance(&ens, &data).unwrap();
+        assert_eq!(report.bias_variance.bias.to_bits(), bv.bias.to_bits());
+        assert!(report.peak_batch_bytes > 0);
+    }
+
+    #[test]
+    fn empty_stream_and_empty_ensemble_error() {
+        let data = dataset(4);
+        let empty = EnsembleModel::new();
+        let mut src = DatasetStream::sequential(&data, 2);
+        assert!(matches!(
+            stream_evaluate(&empty, &mut src),
+            Err(EnsembleError::EmptyEnsemble)
+        ));
+        let ens = ensemble();
+        let mut drained = DatasetStream::sequential(&data, 2);
+        while drained.next_batch().is_some() {}
+        assert!(stream_accuracy(&ens, &mut drained).is_err());
+    }
+}

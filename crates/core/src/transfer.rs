@@ -2,12 +2,10 @@
 //! teacher network's parameters into a freshly initialized student, and
 //! select β adaptively with the seen-fold/unseen-fold probe of Fig. 4/5.
 
-use crate::ensemble::EnsembleModel;
 use crate::error::{EnsembleError, Result};
 use crate::trainer::{LossSpec, Trainer};
 use edde_data::kfold::BetaSplit;
 use edde_data::Dataset;
-use edde_nn::metrics::accuracy;
 use edde_nn::optim::LrSchedule;
 use edde_nn::Network;
 use edde_tensor::Tensor;
@@ -257,8 +255,8 @@ pub fn select_beta(points: &[BetaProbePoint], gap_threshold: f32) -> Result<f32>
 }
 
 fn dataset_accuracy(net: &Network, data: &Dataset) -> Result<f32> {
-    let probs = EnsembleModel::network_soft_targets(net, data.features())?;
-    Ok(accuracy(&probs, data.labels())?)
+    let mut src = edde_data::stream::DatasetStream::sequential(data, crate::env::eval_batch());
+    crate::stream::network_stream_accuracy(net, &mut src)
 }
 
 #[cfg(test)]

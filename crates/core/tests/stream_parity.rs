@@ -1,0 +1,286 @@
+//! The streaming evaluation contract: every streamed statistic is
+//! bit-identical to its materialized twin — on both SIMD backends, at 1
+//! and 8 threads, for any `EDDE_EVAL_BATCH`/`EDDE_STREAM_BATCH` setting —
+//! streams reset deterministically under per-epoch seeds, and evaluation
+//! memory is `O(batch)` no matter how long the stream runs.
+
+use edde_core::methods::{Bagging, Edde, EnsembleMethod, SingleModel};
+use edde_core::runstate::epoch_seed;
+use edde_core::stream::{stream_accuracy, stream_evaluate};
+use edde_core::{EnsembleModel, ExperimentEnv, ModelFactory, Trainer};
+use edde_data::stream::{BatchSource, DatasetStream, GaussianStream};
+use edde_data::synth::{gaussian_blobs, DriftSpec, GaussianBlobsConfig};
+use edde_data::Dataset;
+use edde_nn::models::mlp;
+use edde_tensor::parallel::set_num_threads;
+use edde_tensor::simd::set_force_scalar;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Serializes tests that touch process-global state (thread override,
+/// SIMD backend override, eval/stream batch env knobs).
+fn global_guard() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn blob_config() -> GaussianBlobsConfig {
+    GaussianBlobsConfig {
+        classes: 3,
+        dim: 6,
+        train_per_class: 20,
+        test_per_class: 13,
+        spread: 0.7,
+    }
+}
+
+fn env() -> ExperimentEnv {
+    let data = gaussian_blobs(&blob_config(), 91);
+    let factory: ModelFactory = Arc::new(|r| Ok(mlp(&[6, 12, 3], 0.0, r)));
+    ExperimentEnv::new(
+        data,
+        factory,
+        Trainer {
+            batch_size: 16,
+            weight_decay: 0.0,
+            ..Trainer::default()
+        },
+        0.1,
+        91,
+    )
+}
+
+/// A short table-II-style lineup: single model, Bagging, EDDE — trained
+/// just enough that member outputs genuinely differ.
+fn lineup() -> Vec<(String, EnsembleModel)> {
+    let e = env();
+    let methods: Vec<Box<dyn EnsembleMethod>> = vec![
+        Box::new(SingleModel::new(2)),
+        Box::new(Bagging::new(3, 2)),
+        Box::new(Edde::new(3, 2, 2, 0.1, 0.7)),
+    ];
+    methods
+        .into_iter()
+        .map(|m| (m.name(), m.run(&e).expect("lineup run").model))
+        .collect()
+}
+
+#[test]
+fn streamed_statistics_match_materialized_across_backends_and_threads() {
+    let _g = global_guard();
+    let e = env();
+    let test = &e.data.test;
+    for (name, model) in lineup() {
+        // reference bits at default settings
+        set_force_scalar(false);
+        set_num_threads(0);
+        let ref_acc = model.accuracy(test).unwrap();
+        let ref_avg = model.average_member_accuracy(test).unwrap();
+        let ref_bv = edde_core::bias_variance::bias_variance(&model, test).unwrap();
+        let ref_div = (model.len() >= 2)
+            .then(|| edde_core::diversity::model_diversity(&model, test.features()).unwrap());
+        for scalar in [false, true] {
+            set_force_scalar(scalar);
+            for threads in [1usize, 8] {
+                set_num_threads(threads);
+                for batch in [1usize, 7, 256] {
+                    let tag = format!("{name} scalar={scalar} threads={threads} batch={batch}");
+                    let mut src = DatasetStream::sequential(test, batch);
+                    let report = stream_evaluate(&model, &mut src).unwrap();
+                    assert_eq!(report.accuracy.to_bits(), ref_acc.to_bits(), "acc {tag}");
+                    assert_eq!(
+                        report.average_member_accuracy.to_bits(),
+                        ref_avg.to_bits(),
+                        "avg {tag}"
+                    );
+                    assert_eq!(
+                        report.bias_variance.bias.to_bits(),
+                        ref_bv.bias.to_bits(),
+                        "bias {tag}"
+                    );
+                    assert_eq!(
+                        report.bias_variance.variance.to_bits(),
+                        ref_bv.variance.to_bits(),
+                        "variance {tag}"
+                    );
+                    assert_eq!(
+                        report.diversity.map(f32::to_bits),
+                        ref_div.map(f32::to_bits),
+                        "diversity {tag}"
+                    );
+                }
+            }
+        }
+        set_force_scalar(false);
+        set_num_threads(0);
+    }
+}
+
+#[test]
+fn frozen_and_sharded_streams_match_the_mutable_fold() {
+    let _g = global_guard();
+    let e = env();
+    let test = &e.data.test;
+    let model = Bagging::new(3, 2).run(&e).unwrap().model;
+    let reference = model.accuracy(test).unwrap();
+
+    let frozen = model.freeze();
+    let mut src = DatasetStream::sequential(test, 7);
+    assert_eq!(
+        frozen.accuracy_stream(&mut src).unwrap().to_bits(),
+        reference.to_bits()
+    );
+
+    // a sharded bundle evaluates lazily: members materialize on first use
+    let store: Arc<dyn edde_nn::checkpoint::CheckpointStore> =
+        Arc::new(edde_nn::checkpoint::MemStore::new());
+    frozen
+        .save_bundle_sharded(store.as_ref(), "lineup")
+        .unwrap();
+    let classes = test.num_classes();
+    let sharded = edde_core::FrozenEnsemble::open_sharded(
+        store,
+        "lineup",
+        Arc::new(move |_arch: &str, _c: usize| {
+            let mut r = StdRng::seed_from_u64(0);
+            Ok(mlp(&[6, 12, classes], 0.0, &mut r))
+        }),
+    )
+    .unwrap();
+    assert_eq!(sharded.resident_members(), 0, "lazy bundle starts empty");
+    let mut src = DatasetStream::sequential(test, 7);
+    assert_eq!(
+        sharded.accuracy_stream(&mut src).unwrap().to_bits(),
+        reference.to_bits()
+    );
+    assert_eq!(
+        sharded.resident_members(),
+        frozen.len(),
+        "streaming eval materialized every member"
+    );
+}
+
+#[test]
+fn eval_batch_knob_never_changes_streamed_bits() {
+    let _g = global_guard();
+    let e = env();
+    let test = &e.data.test;
+    let model = Edde::new(3, 2, 2, 0.1, 0.7).run(&e).unwrap().model;
+    std::env::remove_var("EDDE_EVAL_BATCH");
+    let reference = model.accuracy(test).unwrap();
+    for setting in ["1", "3", "64", "1024"] {
+        std::env::set_var("EDDE_EVAL_BATCH", setting);
+        assert_eq!(
+            model.accuracy(test).unwrap().to_bits(),
+            reference.to_bits(),
+            "EDDE_EVAL_BATCH={setting}"
+        );
+    }
+    std::env::remove_var("EDDE_EVAL_BATCH");
+}
+
+#[test]
+fn stream_resets_replay_bit_identically_under_epoch_seeds() {
+    let data = gaussian_blobs(&blob_config(), 5).train;
+    let root = 0xFEED_u64;
+    for epoch in [0usize, 1, 7] {
+        let seed = epoch_seed(root, epoch);
+        let mut src = DatasetStream::shuffled(&data, 8, seed);
+        let first: Vec<Vec<usize>> = drain_indices(&mut src);
+        src.reset();
+        let replay: Vec<Vec<usize>> = drain_indices(&mut src);
+        assert_eq!(first, replay, "epoch {epoch} reset must replay exactly");
+        // a fresh stream under the same epoch seed sees the same order
+        let mut fresh = DatasetStream::shuffled(&data, 8, seed);
+        assert_eq!(first, drain_indices(&mut fresh));
+    }
+    // distinct epochs shuffle differently
+    let mut a = DatasetStream::shuffled(&data, 8, epoch_seed(root, 0));
+    let mut b = DatasetStream::shuffled(&data, 8, epoch_seed(root, 1));
+    assert_ne!(drain_indices(&mut a), drain_indices(&mut b));
+}
+
+fn drain_indices(src: &mut DatasetStream) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    while let Some(batch) = src.next_batch() {
+        out.push(batch.indices.clone());
+        src.recycle(batch);
+    }
+    out
+}
+
+#[test]
+fn steady_state_streaming_performs_no_fresh_allocations() {
+    let e = env();
+    let model = Bagging::new(2, 1).run(&e).unwrap().model;
+    let data = &e.data.test;
+    let mut src = DatasetStream::sequential(data, 8);
+    // warmup epoch populates the gather pools
+    stream_accuracy(&model, &mut src).unwrap();
+    let after_warmup = src.fresh_allocs();
+    for _ in 0..3 {
+        src.reset();
+        stream_accuracy(&model, &mut src).unwrap();
+    }
+    assert_eq!(
+        src.fresh_allocs(),
+        after_warmup,
+        "recycled epochs must reuse every gather buffer"
+    );
+}
+
+#[test]
+fn eval_memory_is_bounded_by_batch_not_stream_length() {
+    let e = env();
+    let model = Bagging::new(2, 1).run(&e).unwrap().model;
+    let cfg = blob_config();
+    let peak_of = |samples: usize| {
+        let mut src = GaussianStream::new(&cfg, 17, samples, 64);
+        stream_evaluate(&model, &mut src).unwrap().peak_batch_bytes
+    };
+    let short = peak_of(1_000);
+    let long = peak_of(100_000);
+    assert_eq!(
+        short, long,
+        "peak resident eval bytes must not grow with stream length"
+    );
+    // and the bound is what one batch costs: features + member probs + vote
+    let classes = cfg.classes;
+    let expected =
+        (64 * cfg.dim + model.len() * 64 * classes + 64 * classes) * std::mem::size_of::<f32>();
+    assert_eq!(long, expected);
+}
+
+#[test]
+fn drifted_streams_score_higher_disagreement_than_in_distribution() {
+    let e = env();
+    let model = Edde::new(3, 3, 2, 0.4, 0.5).run(&e).unwrap().model;
+    let cfg = blob_config();
+    let mut neg = GaussianStream::new(&cfg, 91, 1_500, 128);
+    let mut pos = GaussianStream::with_drift(&cfg, 91, 1_500, 128, DriftSpec::UnseenFamilies);
+    let auroc = edde_core::stream::disagreement_auroc(&model, &mut neg, &mut pos).unwrap();
+    assert!(
+        auroc > 0.6,
+        "unseen-family drift should be detectable, got AUROC {auroc}"
+    );
+}
+
+#[test]
+fn batcher_stream_epoch_matches_materialized_epoch() {
+    let data: Dataset = gaussian_blobs(&blob_config(), 23).train;
+    let batcher = edde_data::Batcher::new(8);
+    let seed = epoch_seed(7, 3);
+    let materialized = batcher.epoch(&data, &mut StdRng::seed_from_u64(seed));
+    let mut src = batcher.stream_epoch(&data, seed);
+    let mut streamed = Vec::new();
+    while let Some(batch) = src.next_batch() {
+        streamed.push(batch);
+    }
+    assert_eq!(materialized.len(), streamed.len());
+    for (m, s) in materialized.iter().zip(&streamed) {
+        assert_eq!(m.indices, s.indices);
+        assert_eq!(m.labels, s.labels);
+        assert_eq!(m.features.data(), s.features.data());
+    }
+}

@@ -24,8 +24,10 @@ pub mod dataset;
 pub mod encode;
 pub mod kfold;
 pub mod sampler;
+pub mod stream;
 pub mod synth;
 
 pub use batcher::Batcher;
 pub use dataset::{Dataset, TrainTest};
 pub use kfold::KFold;
+pub use stream::{stream_batch, BatchSource, DatasetStream, GaussianStream};

@@ -1,0 +1,555 @@
+//! Pull-based batch streams: evaluation without a materialized dataset.
+//!
+//! Every evaluation consumer in the stack historically demanded a whole
+//! [`Dataset`] in memory. A [`BatchSource`] inverts that: it is a
+//! pull-based, resettable iterator of [`Batch`]es with a **known class
+//! count but unknown (possibly unbounded) length**, which is the shape
+//! batches arrive in under the serving path. Downstream reducers fold
+//! per-batch statistics, so evaluation memory is bounded by one batch —
+//! `O(batch)` regardless of how long the stream runs.
+//!
+//! Two sources ship here:
+//!
+//! * [`DatasetStream`] — the lazy streaming twin of [`Batcher::epoch`] /
+//!   [`Batcher::sequential`]: it never materializes the epoch, gathering
+//!   each batch's rows on demand through the same scratch-arena plumbing
+//!   (`BufferPool` / `TypedPool`) the inference context uses, so a
+//!   caller that returns batches via [`BatchSource::recycle`] runs with
+//!   zero steady-state allocations after warmup
+//!   ([`DatasetStream::fresh_allocs`] stops growing).
+//! * [`GaussianStream`] — an unbounded synthetic source that synthesizes
+//!   each batch from a per-batch derived seed (the `epoch_seed` idiom),
+//!   optionally under a [`DriftSpec`]. Its total length is a parameter,
+//!   not a buffer: streaming 100k samples holds the same memory as
+//!   streaming 100.
+//!
+//! Batch boundaries never affect reduced results — member passes are
+//! row-independent and the reducers accumulate in row order — so a
+//! streamed evaluation is bit-identical to the in-memory path.
+
+use crate::batcher::{Batch, Batcher};
+use crate::dataset::Dataset;
+use crate::synth::{DriftSpec, GaussianBlobsConfig};
+use edde_tensor::env::env_usize;
+use edde_tensor::rng::{normal_deviate, permutation};
+use edde_tensor::scratch::{BufferPool, TypedPool};
+use edde_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Default row count per streamed batch, read from `EDDE_STREAM_BATCH` on
+/// each call so tests can vary it; defaults to 256 and rejects zero or
+/// non-numeric values with a warning (see [`env_usize`]). Like
+/// `EDDE_EVAL_BATCH`, the value never affects results — only the memory
+/// high-water mark and throughput.
+pub fn stream_batch() -> usize {
+    env_usize("EDDE_STREAM_BATCH", 256)
+}
+
+/// A pull-based, resettable source of evaluation batches.
+///
+/// The contract:
+///
+/// * `num_classes` is known up front (reducers size their state from it);
+/// * the length is **not** — callers must pull until `next_batch` returns
+///   `None`, and may never assume the stream fits in memory;
+/// * `reset` rewinds to the beginning and the replayed batch sequence is
+///   **deterministic**: two passes over the same source yield identical
+///   batches (shuffled sources re-derive their order from a stored seed,
+///   the per-epoch RNG-seed idiom);
+/// * `recycle` optionally returns a finished batch's buffers to the
+///   source so the next gather is allocation-free; sources that do not
+///   pool simply drop the batch.
+pub trait BatchSource {
+    /// Number of label classes every batch draws from.
+    fn num_classes(&self) -> usize;
+
+    /// The next batch, or `None` once the stream is exhausted.
+    fn next_batch(&mut self) -> Option<Batch>;
+
+    /// Rewinds to the beginning; the replayed sequence is bit-identical.
+    fn reset(&mut self);
+
+    /// Returns a finished batch's buffers for reuse (optional).
+    fn recycle(&mut self, batch: Batch) {
+        drop(batch);
+    }
+
+    /// Pool misses since construction — zero growth in steady state for
+    /// pooling sources. Non-pooling sources report 0.
+    fn fresh_allocs(&self) -> usize {
+        0
+    }
+}
+
+/// How a [`DatasetStream`] orders its samples.
+#[derive(Debug, Clone)]
+enum StreamOrder {
+    /// `0..n` in order — deterministic evaluation passes.
+    Sequential,
+    /// A fresh permutation derived from the stored seed on every reset —
+    /// the streaming twin of one shuffled [`Batcher::epoch`].
+    Shuffled { seed: u64 },
+}
+
+/// The lazy streaming twin of [`Batcher::epoch`]: batches over a borrowed
+/// [`Dataset`], gathered one batch at a time.
+///
+/// Unlike [`Batcher::epoch`], which clones every feature row into its
+/// `Vec<Batch>` up front, this source holds only the index order (one
+/// `usize` per sample) plus pooled gather buffers — the epoch itself is
+/// never materialized. Feature rows are copied into a buffer taken from
+/// an owned [`BufferPool`] (labels and indices from a [`TypedPool`]), and
+/// [`BatchSource::recycle`] returns them, so steady-state iteration
+/// performs no fresh allocations ([`DatasetStream::fresh_allocs`] is what
+/// the zero-allocation tests pin).
+#[derive(Debug)]
+pub struct DatasetStream<'a> {
+    data: &'a Dataset,
+    batch: usize,
+    order: StreamOrder,
+    /// Sample order for the current pass (`None` = sequential, implicit).
+    perm: Option<Vec<usize>>,
+    pos: usize,
+    feat_pool: BufferPool,
+    label_pool: TypedPool<usize>,
+}
+
+impl<'a> DatasetStream<'a> {
+    /// A sequential stream (samples in dataset order) — the streaming
+    /// twin of [`Batcher::sequential`].
+    pub fn sequential(data: &'a Dataset, batch: usize) -> Self {
+        assert!(batch > 0, "batch size must be positive");
+        DatasetStream {
+            data,
+            batch,
+            order: StreamOrder::Sequential,
+            perm: None,
+            pos: 0,
+            feat_pool: BufferPool::new(),
+            label_pool: TypedPool::new(),
+        }
+    }
+
+    /// A shuffled stream whose permutation is derived from `seed` — the
+    /// streaming twin of one [`Batcher::epoch`] call with
+    /// `StdRng::seed_from_u64(seed)`. Resetting re-derives the *same*
+    /// permutation, so replays are deterministic; feed a fresh
+    /// `epoch_seed` per epoch for independent shuffles.
+    pub fn shuffled(data: &'a Dataset, batch: usize, seed: u64) -> Self {
+        assert!(batch > 0, "batch size must be positive");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let perm = permutation(data.len(), &mut rng);
+        DatasetStream {
+            data,
+            batch,
+            order: StreamOrder::Shuffled { seed },
+            perm: Some(perm),
+            pos: 0,
+            feat_pool: BufferPool::new(),
+            label_pool: TypedPool::new(),
+        }
+    }
+
+    /// Rows gathered per batch.
+    pub fn batch_size(&self) -> usize {
+        self.batch
+    }
+}
+
+impl BatchSource for DatasetStream<'_> {
+    fn num_classes(&self) -> usize {
+        self.data.num_classes()
+    }
+
+    fn next_batch(&mut self) -> Option<Batch> {
+        let n = self.data.len();
+        if self.pos >= n {
+            return None;
+        }
+        let end = (self.pos + self.batch).min(n);
+        let rows = end - self.pos;
+        let row: usize = self.data.sample_dims().iter().product();
+        let src = self.data.features().data();
+
+        let mut feat = self.feat_pool.take(rows * row);
+        let mut labels = self.label_pool.take(rows);
+        let mut indices = self.label_pool.take(rows);
+        for (slot, pos) in (self.pos..end).enumerate() {
+            let idx = match &self.perm {
+                Some(p) => p[pos],
+                None => pos,
+            };
+            feat[slot * row..(slot + 1) * row].copy_from_slice(&src[idx * row..(idx + 1) * row]);
+            labels[slot] = self.data.labels()[idx];
+            indices[slot] = idx;
+        }
+        let mut dims = Vec::with_capacity(1 + self.data.sample_dims().len());
+        dims.push(rows);
+        dims.extend_from_slice(self.data.sample_dims());
+        let features = Tensor::from_vec(feat, &dims).expect("gather preserves row shape");
+        self.pos = end;
+        Some(Batch {
+            features,
+            labels,
+            indices,
+        })
+    }
+
+    fn reset(&mut self) {
+        self.pos = 0;
+        if let StreamOrder::Shuffled { seed } = self.order {
+            // Re-derive, don't cache: the contract is that the order is a
+            // pure function of the seed, so replays are bit-identical even
+            // if the cached permutation were dropped to save memory.
+            let mut rng = StdRng::seed_from_u64(seed);
+            self.perm = Some(permutation(self.data.len(), &mut rng));
+        }
+    }
+
+    fn recycle(&mut self, batch: Batch) {
+        self.feat_pool.give(batch.features.into_vec());
+        self.label_pool.give(batch.labels);
+        self.label_pool.give(batch.indices);
+    }
+
+    fn fresh_allocs(&self) -> usize {
+        self.feat_pool.misses() + self.label_pool.misses()
+    }
+}
+
+impl Batcher {
+    /// The lazy streaming twin of [`Batcher::sequential`]: identical
+    /// batches, but gathered one at a time instead of materialized.
+    pub fn stream<'a>(&self, data: &'a Dataset) -> DatasetStream<'a> {
+        DatasetStream::sequential(data, self.batch_size())
+    }
+
+    /// The lazy streaming twin of [`Batcher::epoch`]: yields exactly the
+    /// batches `epoch(data, &mut StdRng::seed_from_u64(seed))` would,
+    /// without materializing the epoch. Derive `seed` per epoch (e.g.
+    /// `edde_core::epoch_seed`) for independent shuffles that remain
+    /// individually replayable.
+    pub fn stream_epoch<'a>(&self, data: &'a Dataset, seed: u64) -> DatasetStream<'a> {
+        DatasetStream::shuffled(data, self.batch_size(), seed)
+    }
+}
+
+/// Splitmix64 finalizer — derives batch `b`'s generation seed from the
+/// stream's root seed, so every batch is an independent pure function of
+/// `(seed, b)` and resets replay bit-identically.
+fn batch_seed(root: u64, b: usize) -> u64 {
+    let mut z = root
+        ^ 0x5EED_BA7C_0000_0001u64.rotate_left(23)
+        ^ (b as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// An unbounded-style synthetic Gaussian-blob source: class centers are
+/// drawn once (exactly like [`crate::synth::gaussian_blobs`] draws them),
+/// then each batch is synthesized on demand from a per-batch derived
+/// seed. Total length is a plain count — a 100k-sample stream holds the
+/// same memory as a 100-sample one, which is what the `O(batch)` eval
+/// memory assertions stream through.
+///
+/// An optional [`DriftSpec`] shifts the generated distribution (unseen
+/// center families, corrupted features) for OOD workloads; labels keep
+/// the in-distribution class count so drifted batches score through the
+/// same ensemble.
+#[derive(Debug)]
+pub struct GaussianStream {
+    centers: Vec<Vec<f32>>,
+    dim: usize,
+    classes: usize,
+    spread: f32,
+    samples: usize,
+    batch: usize,
+    seed: u64,
+    drift: DriftSpec,
+    pos: usize,
+    feat_pool: BufferPool,
+    label_pool: TypedPool<usize>,
+}
+
+impl GaussianStream {
+    /// A stream of `samples` rows in batches of `batch`, drawing class
+    /// centers exactly as [`crate::synth::gaussian_blobs`] would for
+    /// `(config, seed)` — so the stream is distributionally the same task.
+    pub fn new(config: &GaussianBlobsConfig, seed: u64, samples: usize, batch: usize) -> Self {
+        Self::with_drift(config, seed, samples, batch, DriftSpec::InDistribution)
+    }
+
+    /// Like [`GaussianStream::new`] but generating under `drift`.
+    pub fn with_drift(
+        config: &GaussianBlobsConfig,
+        seed: u64,
+        samples: usize,
+        batch: usize,
+        drift: DriftSpec,
+    ) -> Self {
+        assert!(config.classes >= 2, "need at least two classes");
+        assert!(batch > 0, "batch size must be positive");
+        let center_seed = match drift {
+            // Unseen families: the centers come from a salted stream the
+            // trained ensemble has never seen.
+            DriftSpec::UnseenFamilies => crate::synth::drift_seed(seed),
+            _ => seed,
+        };
+        let mut rng = StdRng::seed_from_u64(center_seed);
+        let centers: Vec<Vec<f32>> = (0..config.classes)
+            .map(|_| {
+                (0..config.dim)
+                    .map(|_| 2.0 * normal_deviate(&mut rng))
+                    .collect()
+            })
+            .collect();
+        GaussianStream {
+            centers,
+            dim: config.dim,
+            classes: config.classes,
+            spread: config.spread,
+            samples,
+            batch,
+            seed,
+            drift,
+            pos: 0,
+            feat_pool: BufferPool::new(),
+            label_pool: TypedPool::new(),
+        }
+    }
+
+    /// Total samples the stream will yield before `None`.
+    pub fn len(&self) -> usize {
+        self.samples
+    }
+
+    /// True when the stream yields no samples at all.
+    pub fn is_empty(&self) -> bool {
+        self.samples == 0
+    }
+}
+
+impl BatchSource for GaussianStream {
+    fn num_classes(&self) -> usize {
+        self.classes
+    }
+
+    fn next_batch(&mut self) -> Option<Batch> {
+        if self.pos >= self.samples {
+            return None;
+        }
+        let end = (self.pos + self.batch).min(self.samples);
+        let rows = end - self.pos;
+        let b = self.pos / self.batch;
+        let mut rng = StdRng::seed_from_u64(batch_seed(self.seed, b));
+
+        let mut feat = self.feat_pool.take(rows * self.dim);
+        let mut labels = self.label_pool.take(rows);
+        let mut indices = self.label_pool.take(rows);
+        for (slot, i) in (self.pos..end).enumerate() {
+            let class = i % self.classes;
+            let center = &self.centers[class];
+            for d in 0..self.dim {
+                feat[slot * self.dim + d] = center[d] + self.spread * normal_deviate(&mut rng);
+            }
+            if let DriftSpec::FeatureCorruption { severity } = self.drift {
+                crate::synth::corrupt_row(
+                    &mut feat[slot * self.dim..(slot + 1) * self.dim],
+                    severity,
+                    &mut rng,
+                );
+            }
+            labels[slot] = class;
+            indices[slot] = i;
+        }
+        let features =
+            Tensor::from_vec(feat, &[rows, self.dim]).expect("generator fills exact shape");
+        self.pos = end;
+        Some(Batch {
+            features,
+            labels,
+            indices,
+        })
+    }
+
+    fn reset(&mut self) {
+        self.pos = 0;
+    }
+
+    fn recycle(&mut self, batch: Batch) {
+        self.feat_pool.give(batch.features.into_vec());
+        self.label_pool.give(batch.labels);
+        self.label_pool.give(batch.indices);
+    }
+
+    fn fresh_allocs(&self) -> usize {
+        self.feat_pool.misses() + self.label_pool.misses()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn toy(n: usize) -> Dataset {
+        let features = Tensor::from_vec((0..n * 2).map(|v| v as f32).collect(), &[n, 2]).unwrap();
+        let labels = (0..n).map(|i| i % 3).collect();
+        Dataset::new(features, labels, 3).unwrap()
+    }
+
+    fn drain(src: &mut impl BatchSource) -> Vec<Batch> {
+        let mut out = Vec::new();
+        while let Some(b) = src.next_batch() {
+            out.push(b);
+        }
+        out
+    }
+
+    #[test]
+    fn sequential_stream_matches_materialized_batches() {
+        let d = toy(10);
+        let batcher = Batcher::new(3);
+        let eager = batcher.sequential(&d);
+        let mut stream = batcher.stream(&d);
+        let lazy = drain(&mut stream);
+        assert_eq!(eager.len(), lazy.len());
+        for (a, b) in eager.iter().zip(lazy.iter()) {
+            assert_eq!(a.features.data(), b.features.data());
+            assert_eq!(a.labels, b.labels);
+            assert_eq!(a.indices, b.indices);
+        }
+    }
+
+    #[test]
+    fn shuffled_stream_matches_epoch_under_same_seed() {
+        let d = toy(11);
+        let batcher = Batcher::new(4);
+        let eager = batcher.epoch(&d, &mut StdRng::seed_from_u64(99));
+        let mut stream = batcher.stream_epoch(&d, 99);
+        let lazy = drain(&mut stream);
+        assert_eq!(eager.len(), lazy.len());
+        for (a, b) in eager.iter().zip(lazy.iter()) {
+            assert_eq!(a.features.data(), b.features.data());
+            assert_eq!(a.indices, b.indices);
+        }
+    }
+
+    #[test]
+    fn reset_replays_bit_identically() {
+        let d = toy(9);
+        let mut stream = DatasetStream::shuffled(&d, 2, 7);
+        let first: Vec<Vec<usize>> = drain(&mut stream)
+            .iter()
+            .map(|b| b.indices.clone())
+            .collect();
+        stream.reset();
+        let second: Vec<Vec<usize>> = drain(&mut stream)
+            .iter()
+            .map(|b| b.indices.clone())
+            .collect();
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn different_seeds_shuffle_differently() {
+        let d = toy(32);
+        let order = |seed: u64| -> Vec<usize> {
+            let mut s = DatasetStream::shuffled(&d, 8, seed);
+            drain(&mut s)
+                .iter()
+                .flat_map(|b| b.indices.clone())
+                .collect()
+        };
+        assert_ne!(order(1), order(2));
+    }
+
+    #[test]
+    fn recycled_iteration_is_allocation_free_after_warmup() {
+        let d = toy(64);
+        let mut stream = DatasetStream::sequential(&d, 8);
+        // warmup pass grows the pools to their high-water sizes
+        while let Some(b) = stream.next_batch() {
+            stream.recycle(b);
+        }
+        let after_warmup = stream.fresh_allocs();
+        for _ in 0..3 {
+            stream.reset();
+            while let Some(b) = stream.next_batch() {
+                stream.recycle(b);
+            }
+        }
+        assert_eq!(
+            stream.fresh_allocs(),
+            after_warmup,
+            "steady-state gathers must come entirely from the pools"
+        );
+    }
+
+    #[test]
+    fn gaussian_stream_is_deterministic_and_fixed_memory() {
+        let cfg = GaussianBlobsConfig::default();
+        let mut a = GaussianStream::new(&cfg, 5, 100, 16);
+        let mut b = GaussianStream::new(&cfg, 5, 100, 16);
+        let ba = drain(&mut a);
+        let bb = drain(&mut b);
+        assert_eq!(ba.len(), bb.len());
+        assert_eq!(ba.len(), 7); // ceil(100/16)
+        for (x, y) in ba.iter().zip(bb.iter()) {
+            assert_eq!(x.features.data(), y.features.data());
+            assert_eq!(x.labels, y.labels);
+        }
+        // reset replays the identical stream
+        a.reset();
+        let again = drain(&mut a);
+        assert_eq!(again[3].features.data(), ba[3].features.data());
+    }
+
+    #[test]
+    fn gaussian_stream_length_does_not_change_allocations() {
+        let cfg = GaussianBlobsConfig::default();
+        let allocs = |samples: usize| {
+            let mut s = GaussianStream::new(&cfg, 3, samples, 32);
+            while let Some(b) = s.next_batch() {
+                s.recycle(b);
+            }
+            s.fresh_allocs()
+        };
+        assert_eq!(allocs(320), allocs(3200));
+    }
+
+    #[test]
+    fn unseen_family_drift_moves_the_centers() {
+        let cfg = GaussianBlobsConfig {
+            spread: 0.0,
+            ..Default::default()
+        };
+        let mut id = GaussianStream::new(&cfg, 4, 8, 8);
+        let mut ood = GaussianStream::with_drift(&cfg, 4, 8, 8, DriftSpec::UnseenFamilies);
+        let a = id.next_batch().unwrap();
+        let b = ood.next_batch().unwrap();
+        assert_eq!(a.labels, b.labels);
+        assert_ne!(a.features.data(), b.features.data());
+    }
+
+    #[test]
+    fn stream_batch_knob_defaults_and_rejects_junk() {
+        std::env::remove_var("EDDE_STREAM_BATCH");
+        assert_eq!(stream_batch(), 256);
+        std::env::set_var("EDDE_STREAM_BATCH", "0");
+        assert_eq!(stream_batch(), 256);
+        std::env::set_var("EDDE_STREAM_BATCH", "64");
+        assert_eq!(stream_batch(), 64);
+        std::env::remove_var("EDDE_STREAM_BATCH");
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size")]
+    fn zero_batch_stream_panics() {
+        let d = toy(4);
+        DatasetStream::sequential(&d, 0);
+    }
+}

@@ -1,0 +1,288 @@
+//! Distribution-shifted variants of the synthetic generators.
+//!
+//! OOD detection needs test-time inputs the ensemble was *not* trained
+//! on, while keeping the tensor shapes and class count of the
+//! in-distribution task so the same frozen ensemble can score them. A
+//! [`DriftSpec`] names one shift family:
+//!
+//! * **Unseen families** — the class-defining parameters (Gaussian blob
+//!   centers, image texture prototypes) are redrawn from a salted seed
+//!   stream, so every "class" is a family the ensemble has never seen;
+//! * **Corrupted pixels** — in-distribution samples whose feature values
+//!   are degraded: a severity-scaled fraction of positions is replaced
+//!   with uniform noise (dead/hot pixels) and the rest get additive
+//!   Gaussian noise;
+//! * **Vocab drift** — SynthIMDB token sequences whose background tokens
+//!   are remapped (with some probability) into the rare tail of the
+//!   vocabulary, shifting the word distribution without leaving the
+//!   embedding range.
+//!
+//! Default severities come from the shared warn-and-fallback knob parser
+//! ([`env_usize`]): `EDDE_DRIFT_SEVERITY_PCT` (corruption severity as a
+//! percentage, default 50) and `EDDE_DRIFT_VOCAB_PCT` (background-token
+//! remap probability as a percentage, default 30).
+
+use crate::dataset::Dataset;
+use crate::synth::{
+    gaussian_blobs, GaussianBlobsConfig, SynthImages, SynthImagesConfig, SynthText, SynthTextConfig,
+};
+use edde_tensor::env::env_usize;
+use edde_tensor::rng::normal_deviate;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// One drift family applied to a synthetic source. See the module docs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DriftSpec {
+    /// No shift — the in-distribution control.
+    InDistribution,
+    /// Class-defining parameters redrawn from a salted seed stream.
+    UnseenFamilies,
+    /// Severity-scaled pixel/feature corruption, `severity` in `[0, 1]`.
+    FeatureCorruption {
+        /// Corruption strength: the dead-pixel probability is
+        /// `0.3 · severity` and the additive noise σ is `0.5 · severity`.
+        severity: f32,
+    },
+    /// Background tokens remapped to the rare vocabulary tail with
+    /// probability `fraction`.
+    VocabDrift {
+        /// Per-token remap probability in `[0, 1]`.
+        fraction: f32,
+    },
+}
+
+impl DriftSpec {
+    /// Corruption at the `EDDE_DRIFT_SEVERITY_PCT` severity (default 50%).
+    pub fn corruption_from_env() -> Self {
+        DriftSpec::FeatureCorruption {
+            severity: env_usize("EDDE_DRIFT_SEVERITY_PCT", 50).min(100) as f32 / 100.0,
+        }
+    }
+
+    /// Vocab drift at the `EDDE_DRIFT_VOCAB_PCT` fraction (default 30%).
+    pub fn vocab_from_env() -> Self {
+        DriftSpec::VocabDrift {
+            fraction: env_usize("EDDE_DRIFT_VOCAB_PCT", 30).min(100) as f32 / 100.0,
+        }
+    }
+
+    /// A short display name for tables and bench rows.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DriftSpec::InDistribution => "in-distribution",
+            DriftSpec::UnseenFamilies => "unseen-families",
+            DriftSpec::FeatureCorruption { .. } => "corrupted-pixels",
+            DriftSpec::VocabDrift { .. } => "vocab-drift",
+        }
+    }
+}
+
+/// Derives the salted seed unseen-family variants draw from: drifted
+/// generation must be deterministic under the run seed yet disjoint from
+/// every stream the in-distribution generator consumed.
+pub fn drift_seed(seed: u64) -> u64 {
+    let mut z = seed ^ 0xD21F_7ED0_0000_0001u64.rotate_left(29);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Corrupts one feature row in place: each position is replaced by
+/// uniform noise in `[-1.5, 1.5]` with probability `0.3 · severity`
+/// (dead/hot pixels), otherwise perturbed by Gaussian noise with
+/// σ = `0.5 · severity`.
+pub fn corrupt_row(row: &mut [f32], severity: f32, rng: &mut StdRng) {
+    let dead_p = 0.3 * severity;
+    let sigma = 0.5 * severity;
+    for v in row {
+        if rng.random::<f32>() < dead_p {
+            *v = -1.5 + 3.0 * rng.random::<f32>();
+        } else {
+            *v += sigma * normal_deviate(rng);
+        }
+    }
+}
+
+/// Applies [`corrupt_row`] to every sample of a dataset copy.
+fn corrupt_dataset(data: &Dataset, severity: f32, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(drift_seed(seed));
+    let row: usize = data.sample_dims().iter().product();
+    let mut features = data.features().clone();
+    for i in 0..data.len() {
+        corrupt_row(
+            &mut features.data_mut()[i * row..(i + 1) * row],
+            severity,
+            &mut rng,
+        );
+    }
+    Dataset::new(features, data.labels().to_vec(), data.num_classes())
+        .expect("corruption preserves shapes")
+}
+
+/// A drifted evaluation set for the Gaussian-blob task: test-split-sized,
+/// same shapes and class count as `gaussian_blobs(config, seed).test`.
+pub fn drifted_gaussians(config: &GaussianBlobsConfig, seed: u64, spec: DriftSpec) -> Dataset {
+    match spec {
+        DriftSpec::InDistribution => gaussian_blobs(config, seed).test,
+        DriftSpec::UnseenFamilies => gaussian_blobs(config, drift_seed(seed)).test,
+        DriftSpec::FeatureCorruption { severity } => {
+            corrupt_dataset(&gaussian_blobs(config, seed).test, severity, seed)
+        }
+        DriftSpec::VocabDrift { .. } => {
+            panic!("vocab drift applies to token sequences, not tabular features")
+        }
+    }
+}
+
+/// A drifted evaluation set for the SynthCIFAR task. Unseen families
+/// regenerate every class prototype (base color, texture, blob) from the
+/// salted stream — whole texture families the ensemble never trained on.
+pub fn drifted_images(config: &SynthImagesConfig, seed: u64, spec: DriftSpec) -> Dataset {
+    match spec {
+        DriftSpec::InDistribution => SynthImages::generate(config, seed).test,
+        DriftSpec::UnseenFamilies => SynthImages::generate(config, drift_seed(seed)).test,
+        DriftSpec::FeatureCorruption { severity } => {
+            corrupt_dataset(&SynthImages::generate(config, seed).test, severity, seed)
+        }
+        DriftSpec::VocabDrift { .. } => {
+            panic!("vocab drift applies to token sequences, not images")
+        }
+    }
+}
+
+/// A drifted evaluation set for the SynthIMDB task. Vocab drift remaps
+/// each *background* token (markers keep their sentiment signal) into the
+/// rare upper half of the vocabulary with the given probability — a word-
+/// distribution shift that stays inside the embedding range.
+pub fn drifted_text(config: &SynthTextConfig, seed: u64, spec: DriftSpec) -> Dataset {
+    match spec {
+        DriftSpec::InDistribution => SynthText::generate(config, seed).test,
+        DriftSpec::VocabDrift { fraction } => {
+            let data = SynthText::generate(config, seed).test;
+            let mut rng = StdRng::seed_from_u64(drift_seed(seed));
+            let background_start = 1 + config.classes * config.markers_per_class;
+            let tail_start = background_start + (config.vocab - background_start) / 2;
+            let mut features = data.features().clone();
+            for v in features.data_mut() {
+                let token = *v as usize;
+                if token >= background_start && rng.random::<f32>() < fraction {
+                    *v = rng.random_range(tail_start..config.vocab) as f32;
+                }
+            }
+            Dataset::new(features, data.labels().to_vec(), data.num_classes())
+                .expect("remap preserves shapes")
+        }
+        DriftSpec::UnseenFamilies | DriftSpec::FeatureCorruption { .. } => {
+            panic!("unsupported drift family for token sequences: {spec:?}")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drifted_sets_are_deterministic_and_shaped_like_the_control() {
+        let cfg = GaussianBlobsConfig::default();
+        for spec in [
+            DriftSpec::InDistribution,
+            DriftSpec::UnseenFamilies,
+            DriftSpec::FeatureCorruption { severity: 0.5 },
+        ] {
+            let a = drifted_gaussians(&cfg, 11, spec);
+            let b = drifted_gaussians(&cfg, 11, spec);
+            assert_eq!(a.features(), b.features(), "{spec:?}");
+            assert_eq!(a.len(), cfg.test_per_class * cfg.classes);
+            assert_eq!(a.num_classes(), cfg.classes);
+        }
+    }
+
+    #[test]
+    fn unseen_families_differ_from_the_control() {
+        let cfg = GaussianBlobsConfig::default();
+        let id = drifted_gaussians(&cfg, 3, DriftSpec::InDistribution);
+        let ood = drifted_gaussians(&cfg, 3, DriftSpec::UnseenFamilies);
+        assert_ne!(id.features(), ood.features());
+        let img_cfg = SynthImagesConfig::tiny(3);
+        let id = drifted_images(&img_cfg, 3, DriftSpec::InDistribution);
+        let ood = drifted_images(&img_cfg, 3, DriftSpec::UnseenFamilies);
+        assert_ne!(id.features(), ood.features());
+    }
+
+    #[test]
+    fn corruption_perturbs_but_zero_severity_is_identity_noise() {
+        let cfg = SynthImagesConfig::tiny(2);
+        let id = drifted_images(&cfg, 7, DriftSpec::InDistribution);
+        let hard = drifted_images(&cfg, 7, DriftSpec::FeatureCorruption { severity: 0.8 });
+        assert_ne!(id.features(), hard.features());
+        // corrupted values stay in the generator's clamp-adjacent range
+        assert!(hard.features().data().iter().all(|v| v.is_finite()));
+        // mean absolute perturbation grows with severity
+        let mad = |a: &Dataset, b: &Dataset| -> f32 {
+            a.features()
+                .data()
+                .iter()
+                .zip(b.features().data())
+                .map(|(x, y)| (x - y).abs())
+                .sum::<f32>()
+                / a.features().data().len() as f32
+        };
+        let soft = drifted_images(&cfg, 7, DriftSpec::FeatureCorruption { severity: 0.1 });
+        assert!(mad(&id, &hard) > mad(&id, &soft));
+    }
+
+    #[test]
+    fn vocab_drift_stays_in_range_and_spares_markers() {
+        let cfg = SynthTextConfig::tiny();
+        let id = drifted_text(&cfg, 9, DriftSpec::InDistribution);
+        let ood = drifted_text(&cfg, 9, DriftSpec::VocabDrift { fraction: 0.9 });
+        assert_ne!(id.features(), ood.features());
+        let background_start = 1 + cfg.classes * cfg.markers_per_class;
+        for (&a, &b) in id.features().data().iter().zip(ood.features().data()) {
+            let (ta, tb) = (a as usize, b as usize);
+            assert!(tb < cfg.vocab, "token out of vocab: {tb}");
+            if ta < background_start {
+                // PAD and markers are never remapped
+                assert_eq!(ta, tb);
+            }
+        }
+    }
+
+    #[test]
+    fn env_knobs_warn_and_fall_back() {
+        std::env::remove_var("EDDE_DRIFT_SEVERITY_PCT");
+        assert_eq!(
+            DriftSpec::corruption_from_env(),
+            DriftSpec::FeatureCorruption { severity: 0.5 }
+        );
+        std::env::set_var("EDDE_DRIFT_SEVERITY_PCT", "junk");
+        assert_eq!(
+            DriftSpec::corruption_from_env(),
+            DriftSpec::FeatureCorruption { severity: 0.5 }
+        );
+        std::env::set_var("EDDE_DRIFT_SEVERITY_PCT", "80");
+        assert_eq!(
+            DriftSpec::corruption_from_env(),
+            DriftSpec::FeatureCorruption { severity: 0.8 }
+        );
+        std::env::remove_var("EDDE_DRIFT_SEVERITY_PCT");
+        std::env::remove_var("EDDE_DRIFT_VOCAB_PCT");
+        assert_eq!(
+            DriftSpec::vocab_from_env(),
+            DriftSpec::VocabDrift { fraction: 0.3 }
+        );
+        std::env::remove_var("EDDE_DRIFT_VOCAB_PCT");
+    }
+
+    #[test]
+    #[should_panic(expected = "vocab drift")]
+    fn vocab_drift_rejects_tabular_features() {
+        drifted_gaussians(
+            &GaussianBlobsConfig::default(),
+            0,
+            DriftSpec::VocabDrift { fraction: 0.5 },
+        );
+    }
+}

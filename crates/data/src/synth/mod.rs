@@ -6,10 +6,14 @@
 //! | IMDB / MR | [`SynthText`] | binary token-sequence sentiment with distributional class signal |
 //! | (unit tests / demos) | [`gaussian_blobs`] | linearly-separable-ish tabular clusters |
 
+mod drift;
 mod gaussians;
 mod images;
 mod text;
 
+pub use drift::{
+    corrupt_row, drift_seed, drifted_gaussians, drifted_images, drifted_text, DriftSpec,
+};
 pub use gaussians::{gaussian_blobs, GaussianBlobsConfig};
 pub use images::{SynthImages, SynthImagesConfig};
 pub use text::{SynthText, SynthTextConfig};

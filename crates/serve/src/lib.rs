@@ -56,6 +56,7 @@ pub mod config;
 pub mod engine;
 pub mod error;
 pub mod fault;
+pub mod stream;
 
 pub use clock::{Clock, MonotonicClock, TestClock};
 pub use config::ServeConfig;
@@ -65,3 +66,4 @@ pub use engine::{
 };
 pub use error::{DeadlineStage, Priority, ServeError};
 pub use fault::ServeFaultPlan;
+pub use stream::StreamReport;

@@ -1,0 +1,96 @@
+//! Stream-fed evaluation through the serving core.
+//!
+//! [`ServeCore::serve_stream`] pulls batches from any
+//! [`edde_data::stream::BatchSource`] and pushes them through the normal
+//! admission → coalesce → predict pipeline, folding accuracy in fixed
+//! memory. Because every batch rides the same swap-aware path as live
+//! traffic, a lazily-sharded bundle can be *evaluated while it
+//! materializes*, and a hot-swap mid-stream simply means later batches
+//! score on the new epoch — the report records the epoch span it saw.
+
+use crate::engine::{ServeCore, SubmitOptions};
+use crate::error::ServeError;
+use edde_core::EnsembleError;
+use edde_data::stream::BatchSource;
+
+/// What one streamed evaluation pass through the core produced.
+#[derive(Debug, Clone)]
+pub struct StreamReport {
+    /// Rows scored.
+    pub rows: usize,
+    /// Stream batches submitted.
+    pub batches: usize,
+    /// Fraction of rows whose served argmax matched the stream label.
+    pub accuracy: f32,
+    /// Peak resident bytes per scored batch (features + served soft
+    /// targets) — independent of stream length.
+    pub peak_batch_bytes: usize,
+    /// Bundle epoch of the first scored batch.
+    pub first_epoch: u64,
+    /// Bundle epoch of the last scored batch (differs from
+    /// `first_epoch` when a hot-swap landed mid-stream).
+    pub last_epoch: u64,
+}
+
+impl ServeCore {
+    /// Streams `src` through the serving pipeline, scoring each served
+    /// prediction against the stream's labels. Works in both drain
+    /// modes: with workers the handles resolve in the background; in
+    /// manual mode ([`crate::ServeConfig::manual`]) this method pumps
+    /// [`ServeCore::step`] itself, so the pass is deterministic.
+    ///
+    /// Memory is `O(one batch)`: exactly one request is in flight at a
+    /// time, and each batch is dropped once its prediction is folded.
+    pub fn serve_stream(
+        &self,
+        src: &mut dyn BatchSource,
+        opts: &SubmitOptions,
+    ) -> Result<StreamReport, ServeError> {
+        let mut correct = 0usize;
+        let mut rows = 0usize;
+        let mut batches = 0usize;
+        let mut peak = 0usize;
+        let mut first_epoch = None;
+        let mut last_epoch = 0u64;
+        while let Some(batch) = src.next_batch() {
+            let feat_len = batch.features.data().len();
+            let labels = batch.labels;
+            let handle = self.submit(batch.features, opts.clone())?;
+            // Pump + poll resolves the handle in every drain mode: in
+            // manual mode `step` is the only pump; with workers the poll
+            // usually wins before `step` finds anything queued.
+            let prediction = loop {
+                if let Some(result) = handle.try_take() {
+                    break result?;
+                }
+                self.step();
+            };
+            correct += prediction
+                .classes
+                .iter()
+                .zip(&labels)
+                .filter(|(p, y)| p == y)
+                .count();
+            rows += labels.len();
+            peak = peak.max(
+                (feat_len + prediction.soft_targets.data().len()) * std::mem::size_of::<f32>(),
+            );
+            first_epoch.get_or_insert(prediction.epoch);
+            last_epoch = prediction.epoch;
+            batches += 1;
+        }
+        if rows == 0 {
+            return Err(ServeError::Predict(EnsembleError::DataMismatch(
+                "empty evaluation stream".into(),
+            )));
+        }
+        Ok(StreamReport {
+            rows,
+            batches,
+            accuracy: correct as f32 / rows as f32,
+            peak_batch_bytes: peak,
+            first_epoch: first_epoch.unwrap_or(0),
+            last_epoch,
+        })
+    }
+}

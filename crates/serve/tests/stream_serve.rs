@@ -1,0 +1,125 @@
+//! Stream-fed evaluation through the serving core: accuracy parity with
+//! the offline fold, determinism in manual mode, worker-mode operation,
+//! and hot-swap visibility mid-stream via the report's epoch span.
+
+use edde_core::stream::stream_accuracy;
+use edde_core::FrozenEnsemble;
+use edde_data::stream::{DatasetStream, GaussianStream};
+use edde_data::synth::{gaussian_blobs, GaussianBlobsConfig};
+use edde_nn::models::mlp;
+use edde_nn::Network;
+use edde_serve::{ServeConfig, ServeCore, SubmitOptions};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn member(seed: u64) -> Network {
+    let mut r = StdRng::seed_from_u64(seed);
+    mlp(&[6, 12, 3], 0.0, &mut r)
+}
+
+fn frozen(seeds: &[u64]) -> FrozenEnsemble {
+    let mut f = FrozenEnsemble::new();
+    for (i, &s) in seeds.iter().enumerate() {
+        f.push(Arc::new(member(s)), 1.0 + i as f32 * 0.5, format!("m{i}"));
+    }
+    f
+}
+
+fn blob_config() -> GaussianBlobsConfig {
+    GaussianBlobsConfig {
+        classes: 3,
+        dim: 6,
+        train_per_class: 10,
+        test_per_class: 17,
+        spread: 0.7,
+    }
+}
+
+#[test]
+fn served_stream_accuracy_matches_the_offline_fold() {
+    let ensemble = frozen(&[1, 2, 3]);
+    let test = gaussian_blobs(&blob_config(), 3).test;
+    let mut offline_src = DatasetStream::sequential(&test, 5);
+    let offline = stream_accuracy(&ensemble, &mut offline_src).unwrap();
+
+    let core = ServeCore::new(frozen(&[1, 2, 3]), ServeConfig::manual());
+    let mut src = DatasetStream::sequential(&test, 5);
+    let report = core.serve_stream(&mut src, &SubmitOptions::new()).unwrap();
+    assert_eq!(report.rows, test.len());
+    assert_eq!(report.batches, test.len().div_ceil(5));
+    assert_eq!(report.accuracy.to_bits(), offline.to_bits());
+    assert_eq!(report.first_epoch, report.last_epoch);
+    assert!(report.peak_batch_bytes > 0);
+    core.close();
+}
+
+#[test]
+fn served_stream_works_with_background_workers() {
+    let ensemble = frozen(&[4, 5]);
+    let test = gaussian_blobs(&blob_config(), 9).test;
+    let mut offline_src = DatasetStream::sequential(&test, 8);
+    let offline = stream_accuracy(&ensemble, &mut offline_src).unwrap();
+
+    let core = ServeCore::new(
+        frozen(&[4, 5]),
+        ServeConfig {
+            workers: 2,
+            ..ServeConfig::default()
+        },
+    );
+    let mut src = DatasetStream::sequential(&test, 8);
+    let report = core
+        .serve_stream(
+            &mut src,
+            &SubmitOptions::new().with_timeout(Duration::from_secs(30)),
+        )
+        .unwrap();
+    assert_eq!(report.accuracy.to_bits(), offline.to_bits());
+    core.close();
+}
+
+#[test]
+fn hot_swap_mid_stream_is_visible_in_the_epoch_span() {
+    let test = gaussian_blobs(&blob_config(), 21).test;
+    let core = ServeCore::new(frozen(&[1, 2]), ServeConfig::manual());
+
+    // first pass on epoch 0
+    let mut src = DatasetStream::sequential(&test, 17);
+    let before = core.serve_stream(&mut src, &SubmitOptions::new()).unwrap();
+    assert_eq!((before.first_epoch, before.last_epoch), (0, 0));
+
+    core.swap_in(frozen(&[7, 8])).unwrap();
+
+    // second pass scores entirely on the swapped bundle
+    let mut src = DatasetStream::sequential(&test, 17);
+    let after = core.serve_stream(&mut src, &SubmitOptions::new()).unwrap();
+    assert_eq!((after.first_epoch, after.last_epoch), (1, 1));
+    core.close();
+}
+
+#[test]
+fn unbounded_synthetic_streams_serve_in_fixed_memory() {
+    let core = ServeCore::new(frozen(&[1, 2]), ServeConfig::manual());
+    let cfg = blob_config();
+    let peak_of = |samples: usize| {
+        let mut src = GaussianStream::new(&cfg, 13, samples, 32);
+        core.serve_stream(&mut src, &SubmitOptions::new())
+            .unwrap()
+            .peak_batch_bytes
+    };
+    let short = peak_of(320);
+    let long = peak_of(3_200);
+    assert_eq!(short, long, "peak bytes must not grow with stream length");
+    core.close();
+}
+
+#[test]
+fn empty_stream_is_a_typed_error() {
+    let core = ServeCore::new(frozen(&[1]), ServeConfig::manual());
+    let cfg = blob_config();
+    let mut src = GaussianStream::new(&cfg, 13, 0, 32);
+    assert!(core.serve_stream(&mut src, &SubmitOptions::new()).is_err());
+    core.close();
+}
