@@ -104,13 +104,15 @@ fn run_suite(iters: usize) -> Vec<(String, f64)> {
         results.push((format!("matmul_256x256x256_t{threads}"), ms));
     }
     // The same workload with SIMD dispatch forced to the scalar backend —
-    // the delta is the explicit-SIMD contribution in isolation.
+    // the delta is the explicit-SIMD contribution in isolation. The RAII
+    // scope restores automatic dispatch even if the timed closure panics.
     set_num_threads(1);
-    edde_tensor::simd::set_force_scalar(true);
-    let ms = time_min_ms(iters, || {
-        black_box(matmul(black_box(&a), black_box(&b)).unwrap());
-    });
-    edde_tensor::simd::set_force_scalar(false);
+    let ms = {
+        let _scalar = edde_tensor::simd::force_scalar_scope();
+        time_min_ms(iters, || {
+            black_box(matmul(black_box(&a), black_box(&b)).unwrap());
+        })
+    };
     results.push(("matmul_256x256x256_scalar_t1".into(), ms));
     set_num_threads(8);
     let ms = time_min_ms(iters, || {
@@ -405,6 +407,7 @@ fn run_suite(iters: usize) -> Vec<(String, f64)> {
                         fingerprint: 0,
                         every: 1,
                         sharded: false,
+                        config: edde_core::EddeConfig::default(),
                     })
                     .observe(&mut observer)
                     .run(&mut net, edde_core::TrainRng::PerEpoch { seed: 0xBEEF })
@@ -890,8 +893,9 @@ fn main() {
         let line = format!(
             "{{\"schema\": \"edde-bench-tensor-history/v1\", \"unix_time\": {unix_time}, \
              \"commit\": \"{}\", \"label\": \"{label}\", \"host_cpus\": {cpus}, \
-             \"results_ms\": {{{}}}}}\n",
+             \"config\": {}, \"results_ms\": {{{}}}}}\n",
             git_commit(),
+            edde_core::EddeConfig::from_env().to_json(),
             body.join(", ")
         );
         use std::io::Write;

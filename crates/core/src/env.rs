@@ -7,19 +7,23 @@ use edde_nn::Network;
 use rand::rngs::StdRng;
 use std::sync::Arc;
 
-// The positive-integer knob parser lives in `edde_tensor::env` (the lowest
-// crate in the stack) so `edde_nn::chunkstore`'s `EDDE_CHUNK_BYTES` and the
-// serving knobs here share one implementation; re-exported under its
-// historical path.
-pub use edde_tensor::env::env_usize;
+// The warn-and-fallback knob parsers live in `edde_tensor::env` (the
+// `EnvSource` layer of the config resolver, in the lowest crate of the
+// stack) so every `EDDE_*` knob rejects garbage the same way;
+// re-exported under their historical path alongside the resolved config
+// type itself.
+pub use edde_tensor::env::{env_bool, env_f64, env_usize};
+pub use edde_tensor::{EddeConfig, EddeConfigBuilder};
 
 /// Row-batch size used by every batched evaluation pass (soft targets,
-/// accuracy scoring). Read from `EDDE_EVAL_BATCH` on each call so tests can
-/// vary it; defaults to 256, and rejects zero or non-numeric values with a
-/// warning (see [`env_usize`]). Batch size never affects results —
+/// accuracy scoring) — a thin per-call view over
+/// [`EddeConfig::env_eval_batch`] (`EDDE_EVAL_BATCH`, default 256, zero
+/// and garbage rejected with a warning), re-read on each call so tests
+/// can vary it. Hot loops resolve it once at entry and thread the value
+/// through the `_batched` variants. Batch size never affects results —
 /// evaluation is bit-identical for any positive value.
 pub fn eval_batch() -> usize {
-    env_usize("EDDE_EVAL_BATCH", 256)
+    EddeConfig::env_eval_batch()
 }
 
 /// Builds a freshly initialized base network. Every ensemble method calls

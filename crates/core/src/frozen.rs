@@ -59,20 +59,24 @@ const BUNDLE_VERSION: u32 = 2;
 const MAX_ENTRY_RANK: usize = 8;
 
 /// The shared batching envelope behind every soft-target path: score
-/// `features` in batches of [`crate::env::eval_batch`] rows through
-/// `forward`, divide logits by `tau`, softmax. Batching never affects
-/// results; all scratch comes from `ctx`.
+/// `features` in batches of `batch` rows through `forward`, divide
+/// logits by `tau`, softmax. Batching never affects results; all
+/// scratch comes from `ctx`. The batch size is an explicit argument —
+/// callers resolve it once (from an [`crate::EddeConfig`] or the
+/// [`crate::env::eval_batch`] wrapper) instead of per chunk, so steady-
+/// state evaluation performs no environment reads.
 fn batched_soft_targets(
     forward: &mut dyn FnMut(&Tensor, &mut InferCtx) -> Result<Tensor>,
     k: usize,
     features: &Tensor,
     tau: f32,
+    batch: usize,
     ctx: &mut InferCtx,
 ) -> Result<Tensor> {
+    debug_assert!(batch > 0, "eval batch must be positive");
     let dims = features.dims().to_vec();
     let n = dims[0];
     let row: usize = dims[1..].iter().product();
-    let batch = crate::env::eval_batch();
     let mut out = Tensor::zeros(&[n, k]);
     let mut start = 0usize;
     while start < n {
@@ -115,21 +119,37 @@ pub fn network_soft_targets_tau(
     tau: f32,
     ctx: &mut InferCtx,
 ) -> Result<Tensor> {
+    network_soft_targets_tau_batched(net, features, tau, crate::env::eval_batch(), ctx)
+}
+
+/// [`network_soft_targets_tau`] with an explicit row-batch size — the
+/// zero-env-read form for callers that resolved an
+/// [`crate::EddeConfig`] at construction. Bit-identical for any
+/// positive `batch`.
+pub fn network_soft_targets_tau_batched(
+    net: &Network,
+    features: &Tensor,
+    tau: f32,
+    batch: usize,
+    ctx: &mut InferCtx,
+) -> Result<Tensor> {
     batched_soft_targets(
         &mut |chunk, ctx| Ok(net.forward(chunk, ctx)?),
         net.num_classes(),
         features,
         tau,
+        batch,
         ctx,
     )
 }
 
 /// Every member's soft-target matrix, fanned out over the worker pool with
 /// each worker's thread-local context; one result per network, in member
-/// order.
+/// order. The eval batch is resolved once, not per member.
 pub(crate) fn fan_out_soft_targets(nets: &[&Network], features: &Tensor) -> Vec<Result<Tensor>> {
-    parallel_map(nets, |_, net| {
-        with_thread_ctx(|ctx| network_soft_targets_tau(net, features, 1.0, ctx))
+    let batch = crate::env::eval_batch();
+    parallel_map(nets, move |_, net| {
+        with_thread_ctx(|ctx| network_soft_targets_tau_batched(net, features, 1.0, batch, ctx))
     })
 }
 
@@ -265,13 +285,28 @@ impl FrozenMember {
         tau: f32,
         ctx: &mut InferCtx,
     ) -> Result<Tensor> {
+        self.soft_targets_tau_batched(features, tau, crate::env::eval_batch(), ctx)
+    }
+
+    /// [`soft_targets_tau`](Self::soft_targets_tau) with an explicit
+    /// row-batch size — the zero-env-read form for callers holding a
+    /// resolved [`crate::EddeConfig`]. Bit-identical for any positive
+    /// `batch`.
+    pub fn soft_targets_tau_batched(
+        &self,
+        features: &Tensor,
+        tau: f32,
+        batch: usize,
+        ctx: &mut InferCtx,
+    ) -> Result<Tensor> {
         match &self.net {
-            MemberNet::F32(net) => network_soft_targets_tau(net, features, tau, ctx),
+            MemberNet::F32(net) => network_soft_targets_tau_batched(net, features, tau, batch, ctx),
             MemberNet::Int8(q) => batched_soft_targets(
                 &mut |chunk, ctx| q.forward(chunk, ctx),
                 q.num_classes(),
                 features,
                 tau,
+                batch,
                 ctx,
             ),
         }
@@ -487,13 +522,26 @@ impl FrozenEnsemble {
     /// Ensemble soft target `H_t(x)` for every row of `features`, using the
     /// first `prefix` members (pass `self.len()` for the full ensemble).
     pub fn soft_targets_prefix(&self, features: &Tensor, prefix: usize) -> Result<Tensor> {
+        self.soft_targets_prefix_batched(features, prefix, crate::env::eval_batch())
+    }
+
+    /// [`soft_targets_prefix`](Self::soft_targets_prefix) with an
+    /// explicit row-batch size — the zero-env-read form for callers
+    /// holding a resolved [`crate::EddeConfig`] (the serve engine's
+    /// drain loop runs on it). Bit-identical for any positive `batch`.
+    pub fn soft_targets_prefix_batched(
+        &self,
+        features: &Tensor,
+        prefix: usize,
+        batch: usize,
+    ) -> Result<Tensor> {
         if prefix == 0 || prefix > self.members.len() {
             return Err(EnsembleError::EmptyEnsemble);
         }
         let members = &self.members[..prefix];
         let alphas: Vec<f32> = members.iter().map(|m| m.alpha).collect();
-        let probs = parallel_map(members, |_, m| {
-            with_thread_ctx(|ctx| m.soft_targets_tau(features, 1.0, ctx))
+        let probs = parallel_map(members, move |_, m| {
+            with_thread_ctx(|ctx| m.soft_targets_tau_batched(features, 1.0, batch, ctx))
         });
         alpha_weighted_average(probs, &alphas)
     }
@@ -501,6 +549,12 @@ impl FrozenEnsemble {
     /// Ensemble soft target `H_T(x)` over all members.
     pub fn soft_targets(&self, features: &Tensor) -> Result<Tensor> {
         self.soft_targets_prefix(features, self.members.len())
+    }
+
+    /// [`soft_targets`](Self::soft_targets) with an explicit row-batch
+    /// size — see [`soft_targets_prefix_batched`](Self::soft_targets_prefix_batched).
+    pub fn soft_targets_batched(&self, features: &Tensor, batch: usize) -> Result<Tensor> {
+        self.soft_targets_prefix_batched(features, self.members.len(), batch)
     }
 
     /// Hard predictions of the full ensemble.

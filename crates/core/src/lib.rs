@@ -64,7 +64,10 @@ pub mod trainer;
 pub mod transfer;
 
 pub use ensemble::{EnsembleMember, EnsembleModel};
-pub use env::{env_usize, eval_batch, ExperimentEnv, ModelFactory};
+pub use env::{
+    env_bool, env_f64, env_usize, eval_batch, EddeConfig, EddeConfigBuilder, ExperimentEnv,
+    ModelFactory,
+};
 pub use error::{BundleError, EnsembleError, Result};
 pub use frozen::{network_soft_targets_tau, BundleCodec, FrozenEnsemble, FrozenMember};
 pub use methods::{

@@ -188,6 +188,9 @@ pub(crate) fn train_member(
                 .weights(weights)
                 .loss(loss);
             if let Some(p) = persist {
+                // Resolve the knob layer once at checkpoint-setup time; the
+                // per-epoch write path reads only this resolved config.
+                let config = crate::env::EddeConfig::from_env();
                 tl = tl.checkpoint(EpochCheckpoints {
                     store: p.store,
                     key: RunSession::progress_key(member),
@@ -197,7 +200,8 @@ pub(crate) fn train_member(
                     // Opt-in knob: sharded (chunked) progress records.
                     // Resume auto-detects the format, so flipping the
                     // knob between runs of the same session is safe.
-                    sharded: crate::env::env_usize("EDDE_SHARDED_CKPT", 0) != 0,
+                    sharded: config.sharded_ckpt,
+                    config,
                 });
             }
             tl.run(net, TrainRng::PerEpoch { seed })

@@ -120,6 +120,13 @@ pub struct RunManifest {
     pub protocol: RunProtocol,
     /// Completed members, in training order.
     pub members: Vec<MemberRecord>,
+    /// Canonical [`crate::env::EddeConfig::snapshot`] of the knob layer at the time the
+    /// run was started — provenance only. It is deliberately *not* part of
+    /// the configuration fingerprint: knobs never affect results (batching
+    /// and backend selection are bit-identical), so resuming under
+    /// different knob settings is legal. Empty for manifests written
+    /// before the runtime-config layer existed.
+    pub config_snapshot: String,
 }
 
 fn put_str(buf: &mut BytesMut, s: &str) {
@@ -167,6 +174,7 @@ impl RunManifest {
                 buf.put_f32_le(w);
             }
         }
+        put_str(&mut buf, &self.config_snapshot);
         buf.freeze()
     }
 
@@ -227,11 +235,20 @@ impl RunManifest {
                 weights,
             });
         }
+        // Optional trailing config snapshot. Payloads written before the
+        // runtime-config layer end exactly at the members block — on both
+        // the `EDM1` and `EDM2` paths — and decode to an empty snapshot.
+        let config_snapshot = if buf.remaining() > 0 {
+            get_str(&mut buf)?
+        } else {
+            String::new()
+        };
         Ok(RunManifest {
             method,
             fingerprint,
             protocol,
             members,
+            config_snapshot,
         })
     }
 }
@@ -572,6 +589,8 @@ impl<'a> RunSession<'a> {
                 fingerprint,
                 protocol: RunProtocol::PerEpoch,
                 members: Vec::new(),
+                // Provenance: the resolved knob layer at run start.
+                config_snapshot: crate::env::EddeConfig::from_env().snapshot(),
             }
         };
         let session = RunSession { store, manifest };
@@ -736,6 +755,7 @@ fn progress_key_member(key: &str) -> Option<usize> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::env::EddeConfig;
     use edde_nn::checkpoint::MemStore;
     use edde_nn::models::mlp;
     use edde_nn::Mode;
@@ -766,6 +786,7 @@ mod tests {
                     weights: vec![],
                 },
             ],
+            config_snapshot: EddeConfig::default().snapshot(),
         }
     }
 
@@ -795,6 +816,20 @@ mod tests {
         assert_eq!(back.protocol, RunProtocol::Legacy);
         assert_eq!(back.method, m.method);
         assert_eq!(back.members, m.members);
+        assert_eq!(back.config_snapshot, m.config_snapshot);
+    }
+
+    #[test]
+    fn pre_snapshot_manifest_decodes_with_empty_snapshot() {
+        // Manifests written before the runtime-config layer end right
+        // after the members block; the trailing snapshot is optional.
+        let m = sample_manifest();
+        let v2 = m.encode();
+        let tail = 4 + m.config_snapshot.len();
+        let old = v2.slice(0..v2.len() - tail);
+        let back = RunManifest::decode(old).unwrap();
+        assert_eq!(back.members, m.members);
+        assert_eq!(back.config_snapshot, "");
     }
 
     #[test]

@@ -67,7 +67,22 @@ pub trait MemberScorer {
     /// Soft targets of the first `prefix` members on one feature batch,
     /// in member order — the identical member pass the in-memory
     /// `soft_targets_prefix` runs (pool-parallel, per-thread contexts).
-    fn member_soft_targets_prefix(&self, features: &Tensor, prefix: usize) -> Result<Vec<Tensor>>;
+    /// Resolves the eval batch from the environment per call; the
+    /// reducer driver loops use the `_batched` form instead, with the
+    /// batch resolved once at entry.
+    fn member_soft_targets_prefix(&self, features: &Tensor, prefix: usize) -> Result<Vec<Tensor>> {
+        self.member_soft_targets_prefix_batched(features, prefix, crate::env::eval_batch())
+    }
+
+    /// [`member_soft_targets_prefix`](Self::member_soft_targets_prefix)
+    /// with an explicit inner row-batch size (bit-identical for any
+    /// positive value) — the zero-env-read form.
+    fn member_soft_targets_prefix_batched(
+        &self,
+        features: &Tensor,
+        prefix: usize,
+        batch: usize,
+    ) -> Result<Vec<Tensor>>;
 }
 
 impl MemberScorer for EnsembleModel {
@@ -79,14 +94,23 @@ impl MemberScorer for EnsembleModel {
         self.members().iter().map(|m| m.alpha).collect()
     }
 
-    fn member_soft_targets_prefix(&self, features: &Tensor, prefix: usize) -> Result<Vec<Tensor>> {
+    fn member_soft_targets_prefix_batched(
+        &self,
+        features: &Tensor,
+        prefix: usize,
+        batch: usize,
+    ) -> Result<Vec<Tensor>> {
         let nets: Vec<&Network> = self.members()[..prefix]
             .iter()
             .map(|m| &m.network)
             .collect();
-        frozen::fan_out_soft_targets(&nets, features)
-            .into_iter()
-            .collect()
+        parallel_map(&nets, move |_, net| {
+            with_thread_ctx(|ctx| {
+                frozen::network_soft_targets_tau_batched(net, features, 1.0, batch, ctx)
+            })
+        })
+        .into_iter()
+        .collect()
     }
 }
 
@@ -99,9 +123,14 @@ impl MemberScorer for FrozenEnsemble {
         self.members().iter().map(|m| m.alpha()).collect()
     }
 
-    fn member_soft_targets_prefix(&self, features: &Tensor, prefix: usize) -> Result<Vec<Tensor>> {
-        parallel_map(&self.members()[..prefix], |_, m| {
-            with_thread_ctx(|ctx| m.soft_targets_tau(features, 1.0, ctx))
+    fn member_soft_targets_prefix_batched(
+        &self,
+        features: &Tensor,
+        prefix: usize,
+        batch: usize,
+    ) -> Result<Vec<Tensor>> {
+        parallel_map(&self.members()[..prefix], move |_, m| {
+            with_thread_ctx(|ctx| m.soft_targets_tau_batched(features, 1.0, batch, ctx))
         })
         .into_iter()
         .collect()
@@ -122,13 +151,18 @@ impl MemberScorer for ShardedEnsemble {
             .collect()
     }
 
-    fn member_soft_targets_prefix(&self, features: &Tensor, prefix: usize) -> Result<Vec<Tensor>> {
+    fn member_soft_targets_prefix_batched(
+        &self,
+        features: &Tensor,
+        prefix: usize,
+        batch: usize,
+    ) -> Result<Vec<Tensor>> {
         // Materialize exactly the prefix on first use — evaluating a lazy
         // sharded bundle streams while members decode incrementally.
         let members: Vec<&frozen::FrozenMember> =
             (0..prefix).map(|t| self.member(t)).collect::<Result<_>>()?;
-        parallel_map(&members, |_, m| {
-            with_thread_ctx(|ctx| m.soft_targets_tau(features, 1.0, ctx))
+        parallel_map(&members, move |_, m| {
+            with_thread_ctx(|ctx| m.soft_targets_tau_batched(features, 1.0, batch, ctx))
         })
         .into_iter()
         .collect()
@@ -506,6 +540,7 @@ pub fn stream_evaluate(
         return Err(EnsembleError::EmptyEnsemble);
     }
     let alphas = scorer.member_alphas();
+    let eval_batch = crate::env::eval_batch();
     let mut acc = StreamAccuracy::new();
     let mut member_correct = vec![0usize; t];
     let mut div = StreamDiversity::new(t);
@@ -513,7 +548,7 @@ pub fn stream_evaluate(
     let mut batches = 0usize;
     let mut peak = 0usize;
     while let Some(batch) = src.next_batch() {
-        let probs = scorer.member_soft_targets_prefix(&batch.features, t)?;
+        let probs = scorer.member_soft_targets_prefix_batched(&batch.features, t, eval_batch)?;
         let vote = frozen::alpha_weighted_average_of(&probs, &alphas)?;
         peak = peak.max(batch_resident_bytes(&batch.features, &probs, &vote));
         acc.fold(&vote, &batch.labels)?;
@@ -562,9 +597,11 @@ pub fn stream_accuracy_prefix(
         return Err(EnsembleError::EmptyEnsemble);
     }
     let alphas = &scorer.member_alphas()[..prefix];
+    let eval_batch = crate::env::eval_batch();
     let mut acc = StreamAccuracy::new();
     while let Some(batch) = src.next_batch() {
-        let probs = scorer.member_soft_targets_prefix(&batch.features, prefix)?;
+        let probs =
+            scorer.member_soft_targets_prefix_batched(&batch.features, prefix, eval_batch)?;
         let vote = frozen::alpha_weighted_average_of(&probs, alphas)?;
         acc.fold(&vote, &batch.labels)?;
         src.recycle(batch);
@@ -589,10 +626,11 @@ pub fn stream_average_member_accuracy(
     if t == 0 {
         return Err(EnsembleError::EmptyEnsemble);
     }
+    let eval_batch = crate::env::eval_batch();
     let mut member_correct = vec![0usize; t];
     let mut rows = 0usize;
     while let Some(batch) = src.next_batch() {
-        let probs = scorer.member_soft_targets_prefix(&batch.features, t)?;
+        let probs = scorer.member_soft_targets_prefix_batched(&batch.features, t, eval_batch)?;
         for (ti, p) in probs.iter().enumerate() {
             let preds = argmax_rows(p)?;
             member_correct[ti] += preds
@@ -617,9 +655,10 @@ pub fn stream_average_member_accuracy(
 /// Streaming Eq. 7 ensemble diversity.
 pub fn stream_diversity(scorer: &dyn MemberScorer, src: &mut dyn BatchSource) -> Result<f32> {
     let t = scorer.member_count();
+    let eval_batch = crate::env::eval_batch();
     let mut div = StreamDiversity::new(t);
     while let Some(batch) = src.next_batch() {
-        let probs = scorer.member_soft_targets_prefix(&batch.features, t)?;
+        let probs = scorer.member_soft_targets_prefix_batched(&batch.features, t, eval_batch)?;
         div.fold(&probs)?;
         src.recycle(batch);
     }
@@ -635,9 +674,10 @@ pub fn stream_bias_variance(
     if t == 0 {
         return Err(EnsembleError::EmptyEnsemble);
     }
+    let eval_batch = crate::env::eval_batch();
     let mut bv = StreamBiasVariance::new(t);
     while let Some(batch) = src.next_batch() {
-        let probs = scorer.member_soft_targets_prefix(&batch.features, t)?;
+        let probs = scorer.member_soft_targets_prefix_batched(&batch.features, t, eval_batch)?;
         bv.fold(&probs, &batch.labels)?;
         src.recycle(batch);
     }
@@ -647,10 +687,11 @@ pub fn stream_bias_variance(
 /// Streaming single-network accuracy — the fold the β-probe's seen/unseen
 /// fold accuracies run on.
 pub fn network_stream_accuracy(net: &Network, src: &mut dyn BatchSource) -> Result<f32> {
+    let eval_batch = crate::env::eval_batch();
     let mut acc = StreamAccuracy::new();
     while let Some(batch) = src.next_batch() {
         let probs = with_thread_ctx(|ctx| {
-            frozen::network_soft_targets_tau(net, &batch.features, 1.0, ctx)
+            frozen::network_soft_targets_tau_batched(net, &batch.features, 1.0, eval_batch, ctx)
         })?;
         acc.fold(&probs, &batch.labels)?;
         src.recycle(batch);
@@ -681,11 +722,12 @@ pub fn stream_disagreement(
         return Err(EnsembleError::EmptyEnsemble);
     }
     let alphas = scorer.member_alphas();
+    let eval_batch = crate::env::eval_batch();
     let mut rows = 0usize;
     let mut total = 0.0f64;
     let mut peak = 0usize;
     while let Some(batch) = src.next_batch() {
-        let probs = scorer.member_soft_targets_prefix(&batch.features, t)?;
+        let probs = scorer.member_soft_targets_prefix_batched(&batch.features, t, eval_batch)?;
         let scores = disagreement_scores(&probs, &alphas)?;
         let probs_bytes: usize = probs.iter().map(|p| p.data().len()).sum();
         peak = peak.max(

@@ -23,6 +23,7 @@
 //! Observers never see a partially applied epoch: a diverged epoch's
 //! effects are rolled back before `RolledBack` is emitted.
 
+use crate::env::EddeConfig;
 use crate::error::{EnsembleError, Result};
 use crate::recovery::{FaultPlan, RecoveryPolicy};
 use crate::runstate::{self, MemberProgress, ProgressParts};
@@ -248,6 +249,10 @@ pub struct EpochCheckpoints<'a> {
     /// safe; a torn or missing chunk restarts the member at epoch 0,
     /// exactly like a torn whole-blob record.
     pub sharded: bool,
+    /// Runtime configuration, resolved once at construction. Sharded
+    /// writes use its `chunk_bytes` on every epoch boundary instead of
+    /// re-reading `EDDE_CHUNK_BYTES` per write.
+    pub config: EddeConfig,
 }
 
 const CE_LOSS: &LossSpec<'static> = &LossSpec::CrossEntropy;
@@ -428,8 +433,14 @@ impl<'a> TrainLoop<'a> {
                             Ok((name.clone(), t.dims().to_vec(), coded))
                         })
                         .collect::<Result<_>>()?;
-                    edde_nn::chunkstore::write_member_chunks(
-                        c.store, c.member, &c.key, &header, &parts, true,
+                    edde_nn::chunkstore::write_member_chunks_with(
+                        c.store,
+                        c.member,
+                        &c.key,
+                        &header,
+                        &parts,
+                        true,
+                        c.config.chunk_bytes,
                     )?;
                 } else {
                     let payload = runstate::encode_progress(&ProgressParts {
@@ -1053,6 +1064,7 @@ mod tests {
                 fingerprint: 99,
                 every: 1,
                 sharded: false,
+                config: EddeConfig::default(),
             })
             .run(&mut net, TrainRng::PerEpoch { seed: 42 })
             .unwrap();
@@ -1104,6 +1116,7 @@ mod tests {
             fingerprint: 7,
             every: 1,
             sharded: false,
+            config: EddeConfig::default(),
         };
         let dying = Trainer {
             recovery: RecoveryPolicy::disabled(),
@@ -1147,6 +1160,7 @@ mod tests {
                 fingerprint: 1,
                 every: 1,
                 sharded: false,
+                config: EddeConfig::default(),
             })
             .run(&mut net, TrainRng::Threaded(&mut rng))
             .unwrap_err();
@@ -1168,6 +1182,7 @@ mod tests {
                 fingerprint: 1,
                 every: 0,
                 sharded: false,
+                config: EddeConfig::default(),
             })
             .run(&mut net, TrainRng::PerEpoch { seed: 1 })
             .unwrap_err();
@@ -1207,6 +1222,7 @@ mod tests {
                 fingerprint: 3,
                 every: 1,
                 sharded: false,
+                config: EddeConfig::default(),
             })
             .run(&mut net, TrainRng::PerEpoch { seed: 9 })
             .unwrap();
@@ -1244,6 +1260,7 @@ mod tests {
                 fingerprint: 6,
                 every: 1,
                 sharded: false,
+                config: EddeConfig::default(),
             })
             .run(&mut net, TrainRng::PerEpoch { seed: 42 })
             .unwrap_err();

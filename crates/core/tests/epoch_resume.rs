@@ -21,11 +21,13 @@ fn global_guard() -> MutexGuard<'static, ()> {
     LOCK.lock().unwrap_or_else(|e| e.into_inner())
 }
 
+/// Restores the thread count even if the test panics. Backend forcing
+/// uses the RAII [`edde_tensor::simd::force_scalar_scope`], which
+/// unwinds on its own.
 struct RestoreGlobals;
 impl Drop for RestoreGlobals {
     fn drop(&mut self) {
         set_num_threads(0);
-        edde_tensor::simd::set_force_scalar(false);
     }
 }
 
@@ -146,7 +148,7 @@ fn forced_scalar_backend_resumes_bitwise() {
     let _g = global_guard();
     let _restore = RestoreGlobals;
     set_num_threads(1);
-    edde_tensor::simd::set_force_scalar(true);
+    let _scope = edde_tensor::simd::force_scalar_scope();
     let env = blob_env(73);
     let x = env.data.test.features().clone();
     let full_store = MemStore::new();

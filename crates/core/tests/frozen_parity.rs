@@ -14,7 +14,7 @@ use edde_nn::models::mlp;
 use edde_nn::{Mode, Network};
 use edde_tensor::parallel::set_num_threads;
 use edde_tensor::rng::rand_uniform;
-use edde_tensor::simd::set_force_scalar;
+use edde_tensor::simd::force_scalar_scope;
 use edde_tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -62,7 +62,9 @@ fn frozen_matches_mutable_across_threads_and_backends() {
     let x = features(37);
     let mut reference: Option<(Vec<f32>, Vec<f32>, Vec<usize>)> = None;
     for scalar in [false, true] {
-        set_force_scalar(scalar);
+        // RAII scope: unwinds on panic, so no later test inherits a
+        // forced backend.
+        let _scope = scalar.then(force_scalar_scope);
         for threads in [1usize, 8] {
             set_num_threads(threads);
             let soft = ens.soft_targets(&x).unwrap();
@@ -96,7 +98,6 @@ fn frozen_matches_mutable_across_threads_and_backends() {
         }
     }
     set_num_threads(0);
-    set_force_scalar(false);
 }
 
 #[test]

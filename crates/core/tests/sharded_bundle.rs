@@ -9,8 +9,9 @@
 use edde_core::methods::{Bagging, EnsembleMethod};
 use edde_core::runstate::{MemberRecord, RunSession};
 use edde_core::{
-    BundleCodec, BundleError, EnsembleError, EpochCheckpoints, ExperimentEnv, FaultPlan,
-    FrozenEnsemble, ModelFactory, NetworkBuilder, RecoveryPolicy, TrainLoop, TrainRng, Trainer,
+    BundleCodec, BundleError, EddeConfig, EnsembleError, EpochCheckpoints, ExperimentEnv,
+    FaultPlan, FrozenEnsemble, ModelFactory, NetworkBuilder, RecoveryPolicy, TrainLoop, TrainRng,
+    Trainer,
 };
 use edde_data::synth::{gaussian_blobs, GaussianBlobsConfig};
 use edde_nn::checkpoint::{self, CheckpointStore, MemStore};
@@ -345,6 +346,7 @@ fn sharded_trainer_checkpoint_resumes_bitwise() {
         fingerprint: 7,
         every: 1,
         sharded,
+        config: EddeConfig::default(),
     };
     let dying = Trainer {
         recovery: RecoveryPolicy::disabled(),
@@ -403,6 +405,7 @@ fn torn_sharded_progress_restarts_the_member_from_scratch() {
         fingerprint: 3,
         every: 1,
         sharded: true,
+        config: EddeConfig::default(),
     };
     let dying = Trainer {
         recovery: RecoveryPolicy::disabled(),

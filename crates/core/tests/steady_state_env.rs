@@ -1,0 +1,77 @@
+//! Steady-state evaluation performs **zero** environment lookups.
+//!
+//! Every `EDDE_*` read funnels through `edde_tensor::env::env_lookup`,
+//! which counts calls. After one warm-up pass has resolved the config
+//! and initialized the thread's inference scratch, the batched hot path
+//! must never touch the environment again — knobs are read at
+//! construction, not per batch. The whole check runs inline-dispatched
+//! on one thread so lazily-initialized worker state cannot smear the
+//! counter, and this file holds exactly one test so no sibling test in
+//! the same process races the global counter.
+
+use edde_core::{stream_evaluate, EddeConfig, FrozenEnsemble};
+use edde_data::stream::DatasetStream;
+use edde_data::synth::{gaussian_blobs, GaussianBlobsConfig};
+use edde_nn::models::mlp;
+use edde_tensor::env::env_read_count;
+use edde_tensor::parallel::with_inline_dispatch;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+#[test]
+fn steady_state_evaluation_reads_no_environment() {
+    let data = gaussian_blobs(
+        &GaussianBlobsConfig {
+            classes: 3,
+            dim: 6,
+            train_per_class: 4,
+            test_per_class: 80,
+            spread: 0.6,
+        },
+        5,
+    )
+    .test;
+    let mut frozen = FrozenEnsemble::new();
+    for seed in 0..3u64 {
+        let net = mlp(&[6, 16, 3], 0.0, &mut StdRng::seed_from_u64(seed));
+        frozen.push(Arc::new(net), 1.0, format!("m{seed}"));
+    }
+    let config = EddeConfig::from_env();
+
+    with_inline_dispatch(|| {
+        // Warm-up: resolves the config once and builds this thread's
+        // inference scratch context (whose construction may read env).
+        frozen
+            .soft_targets_batched(data.features(), config.eval_batch)
+            .unwrap();
+
+        // Hot loop: knobs were read at construction, never per batch.
+        let before = env_read_count();
+        for _ in 0..25 {
+            frozen
+                .soft_targets_batched(data.features(), config.eval_batch)
+                .unwrap();
+        }
+        assert_eq!(
+            env_read_count() - before,
+            0,
+            "batched evaluation hot path touched the environment"
+        );
+
+        // The streaming reducers resolve their knobs once at entry, so
+        // the lookup count per call is a constant — the same whether the
+        // stream yields 2 batches (rows/120) or 30 batches (rows/8).
+        let reads_for = |stream_rows: usize| {
+            let mut src = DatasetStream::sequential(&data, stream_rows);
+            let before = env_read_count();
+            stream_evaluate(&frozen, &mut src).unwrap();
+            env_read_count() - before
+        };
+        assert_eq!(
+            reads_for(120),
+            reads_for(8),
+            "stream_evaluate's env lookups scale with batch count"
+        );
+    });
+}

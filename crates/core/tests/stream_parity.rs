@@ -13,7 +13,7 @@ use edde_data::synth::{gaussian_blobs, DriftSpec, GaussianBlobsConfig};
 use edde_data::Dataset;
 use edde_nn::models::mlp;
 use edde_tensor::parallel::set_num_threads;
-use edde_tensor::simd::set_force_scalar;
+use edde_tensor::simd::force_scalar_scope;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::{Arc, Mutex, MutexGuard};
@@ -73,7 +73,6 @@ fn streamed_statistics_match_materialized_across_backends_and_threads() {
     let test = &e.data.test;
     for (name, model) in lineup() {
         // reference bits at default settings
-        set_force_scalar(false);
         set_num_threads(0);
         let ref_acc = model.accuracy(test).unwrap();
         let ref_avg = model.average_member_accuracy(test).unwrap();
@@ -81,7 +80,9 @@ fn streamed_statistics_match_materialized_across_backends_and_threads() {
         let ref_div = (model.len() >= 2)
             .then(|| edde_core::diversity::model_diversity(&model, test.features()).unwrap());
         for scalar in [false, true] {
-            set_force_scalar(scalar);
+            // RAII scope: unwinds on panic, so no later test inherits a
+            // forced backend.
+            let _scope = scalar.then(force_scalar_scope);
             for threads in [1usize, 8] {
                 set_num_threads(threads);
                 for batch in [1usize, 7, 256] {
@@ -112,7 +113,6 @@ fn streamed_statistics_match_materialized_across_backends_and_threads() {
                 }
             }
         }
-        set_force_scalar(false);
         set_num_threads(0);
     }
 }

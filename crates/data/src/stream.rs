@@ -30,20 +30,21 @@
 use crate::batcher::{Batch, Batcher};
 use crate::dataset::Dataset;
 use crate::synth::{DriftSpec, GaussianBlobsConfig};
-use edde_tensor::env::env_usize;
 use edde_tensor::rng::{normal_deviate, permutation};
 use edde_tensor::scratch::{BufferPool, TypedPool};
-use edde_tensor::Tensor;
+use edde_tensor::{EddeConfig, Tensor};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-/// Default row count per streamed batch, read from `EDDE_STREAM_BATCH` on
-/// each call so tests can vary it; defaults to 256 and rejects zero or
-/// non-numeric values with a warning (see [`env_usize`]). Like
+/// Default row count per streamed batch — a thin per-call view over
+/// [`EddeConfig::env_stream_batch`] (`EDDE_STREAM_BATCH`, default 256,
+/// zero and garbage rejected with a warning), re-read on each call so
+/// tests can vary it. Long-lived readers should resolve an
+/// [`EddeConfig`] once and use its `stream_batch` field. Like
 /// `EDDE_EVAL_BATCH`, the value never affects results — only the memory
 /// high-water mark and throughput.
 pub fn stream_batch() -> usize {
-    env_usize("EDDE_STREAM_BATCH", 256)
+    EddeConfig::env_stream_batch()
 }
 
 /// A pull-based, resettable source of evaluation batches.

@@ -17,17 +17,19 @@
 //!   vocabulary, shifting the word distribution without leaving the
 //!   embedding range.
 //!
-//! Default severities come from the shared warn-and-fallback knob parser
-//! ([`env_usize`]): `EDDE_DRIFT_SEVERITY_PCT` (corruption severity as a
-//! percentage, default 50) and `EDDE_DRIFT_VOCAB_PCT` (background-token
-//! remap probability as a percentage, default 30).
+//! Default severities come from the shared warn-and-fallback knob
+//! family via [`EddeConfig`]: `EDDE_DRIFT_SEVERITY_PCT` (corruption
+//! severity as a percentage, default 50) and `EDDE_DRIFT_VOCAB_PCT`
+//! (background-token remap probability as a percentage, default 30).
+//! Both parse as floats (`edde_tensor::env::env_f64`), so fractional
+//! percentages like `62.5` are legal.
 
 use crate::dataset::Dataset;
 use crate::synth::{
     gaussian_blobs, GaussianBlobsConfig, SynthImages, SynthImagesConfig, SynthText, SynthTextConfig,
 };
-use edde_tensor::env::env_usize;
 use edde_tensor::rng::normal_deviate;
+use edde_tensor::EddeConfig;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
@@ -55,15 +57,33 @@ pub enum DriftSpec {
 impl DriftSpec {
     /// Corruption at the `EDDE_DRIFT_SEVERITY_PCT` severity (default 50%).
     pub fn corruption_from_env() -> Self {
+        Self::corruption_from_config(&EddeConfig {
+            drift_severity_pct: EddeConfig::env_drift_severity_pct(),
+            ..EddeConfig::default()
+        })
+    }
+
+    /// Corruption at the config's [`EddeConfig::drift_severity_pct`],
+    /// clamped to 100%.
+    pub fn corruption_from_config(config: &EddeConfig) -> Self {
         DriftSpec::FeatureCorruption {
-            severity: env_usize("EDDE_DRIFT_SEVERITY_PCT", 50).min(100) as f32 / 100.0,
+            severity: (config.drift_severity_pct.min(100.0) / 100.0) as f32,
         }
     }
 
     /// Vocab drift at the `EDDE_DRIFT_VOCAB_PCT` fraction (default 30%).
     pub fn vocab_from_env() -> Self {
+        Self::vocab_from_config(&EddeConfig {
+            drift_vocab_pct: EddeConfig::env_drift_vocab_pct(),
+            ..EddeConfig::default()
+        })
+    }
+
+    /// Vocab drift at the config's [`EddeConfig::drift_vocab_pct`],
+    /// clamped to 100%.
+    pub fn vocab_from_config(config: &EddeConfig) -> Self {
         DriftSpec::VocabDrift {
-            fraction: env_usize("EDDE_DRIFT_VOCAB_PCT", 30).min(100) as f32 / 100.0,
+            fraction: (config.drift_vocab_pct.min(100.0) / 100.0) as f32,
         }
     }
 
@@ -274,6 +294,42 @@ mod tests {
             DriftSpec::VocabDrift { fraction: 0.3 }
         );
         std::env::remove_var("EDDE_DRIFT_VOCAB_PCT");
+
+        // Fractional/negative/overflow cases share the same variable, so
+        // they live in this test rather than racing it from another.
+        std::env::set_var("EDDE_DRIFT_SEVERITY_PCT", "62.5");
+        assert_eq!(
+            DriftSpec::corruption_from_env(),
+            DriftSpec::FeatureCorruption { severity: 0.625 }
+        );
+        std::env::set_var("EDDE_DRIFT_SEVERITY_PCT", "-20");
+        assert_eq!(
+            DriftSpec::corruption_from_env(),
+            DriftSpec::FeatureCorruption { severity: 0.5 }
+        );
+        std::env::set_var("EDDE_DRIFT_SEVERITY_PCT", "500");
+        assert_eq!(
+            DriftSpec::corruption_from_env(),
+            DriftSpec::FeatureCorruption { severity: 1.0 },
+            "over-100 percentages clamp"
+        );
+        std::env::remove_var("EDDE_DRIFT_SEVERITY_PCT");
+    }
+
+    #[test]
+    fn drift_specs_resolve_from_an_explicit_config() {
+        let cfg = EddeConfig::builder()
+            .drift_severity_pct(12.5)
+            .drift_vocab_pct(75.0)
+            .resolve();
+        assert_eq!(
+            DriftSpec::corruption_from_config(&cfg),
+            DriftSpec::FeatureCorruption { severity: 0.125 }
+        );
+        assert_eq!(
+            DriftSpec::vocab_from_config(&cfg),
+            DriftSpec::VocabDrift { fraction: 0.75 }
+        );
     }
 
     #[test]

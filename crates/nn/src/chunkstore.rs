@@ -57,8 +57,8 @@
 use crate::checkpoint::{seal, unseal_checked, CheckpointStore};
 use crate::error::{NnError, Result};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use edde_tensor::env::env_usize;
 use edde_tensor::parallel::ordered_commit;
+use edde_tensor::EddeConfig;
 
 /// Magic prefix of an `EDS1` index record payload.
 pub const INDEX_MAGIC: &[u8; 4] = b"EDS1";
@@ -71,14 +71,17 @@ pub const INDEX_VERSION: u32 = 1;
 const MAX_PART_RANK: usize = 8;
 
 /// Default chunk size in bytes.
-pub const DEFAULT_CHUNK_BYTES: usize = 64 * 1024;
+pub const DEFAULT_CHUNK_BYTES: usize = edde_tensor::config::DEFAULT_CHUNK_BYTES;
 
 /// The chunk size sharded writes use: `EDDE_CHUNK_BYTES` (any positive
-/// integer), defaulting to 64 KiB. Read per write so tests can vary it;
-/// every index record carries the value it was written with, so readers
-/// never consult the environment.
+/// integer), defaulting to 64 KiB — a thin per-call view over
+/// [`EddeConfig::env_chunk_bytes`], so tests can vary the variable
+/// between writes. Long-lived writers should resolve an [`EddeConfig`]
+/// once and call [`write_member_chunks_with`] instead; every index
+/// record carries the value it was written with, so readers never
+/// consult the environment.
 pub fn chunk_bytes() -> usize {
-    env_usize("EDDE_CHUNK_BYTES", DEFAULT_CHUNK_BYTES)
+    EddeConfig::env_chunk_bytes()
 }
 
 /// Store key of chunk `chunk` of part `part` of member `member`. The

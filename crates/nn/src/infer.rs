@@ -21,7 +21,7 @@
 
 use crate::param::Mode;
 use edde_tensor::scratch::{BufferPool, TypedPool};
-use edde_tensor::Tensor;
+use edde_tensor::{EddeConfig, Tensor};
 use std::cell::RefCell;
 
 /// Per-pass state for [`crate::layer::Layer::forward`].
@@ -52,6 +52,20 @@ impl InferCtx {
             qi32: TypedPool::new(),
             streams: 0,
         }
+    }
+
+    /// An evaluation-mode context sized from `config`: each of the
+    /// context's pools retains at most [`EddeConfig::pool_retain`]
+    /// buffers (`EDDE_POOL_RETAIN`, default 32 — comfortably above any
+    /// single pass's live-buffer count, so steady state stays
+    /// allocation-free while idle memory on a long-lived server is
+    /// bounded). The config is consulted only here, at construction.
+    pub fn from_config(config: &EddeConfig) -> Self {
+        let mut ctx = InferCtx::new();
+        ctx.pool.set_retain_limit(config.pool_retain);
+        ctx.qi8.set_retain_limit(config.pool_retain);
+        ctx.qi32.set_retain_limit(config.pool_retain);
+        ctx
     }
 
     /// The forward mode layers should honour.
@@ -153,7 +167,10 @@ impl DropoutStream {
 }
 
 thread_local! {
-    static THREAD_CTX: RefCell<InferCtx> = RefCell::new(InferCtx::new());
+    // Sized from the environment once per thread, at first use — the
+    // per-call entry points never re-read it.
+    static THREAD_CTX: RefCell<InferCtx> =
+        RefCell::new(InferCtx::from_config(&EddeConfig::from_env()));
 }
 
 /// Runs `f` with this thread's shared evaluation-mode context. Worker

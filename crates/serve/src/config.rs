@@ -1,6 +1,6 @@
 //! Serving-core configuration.
 
-use edde_core::env_usize;
+use edde_core::EddeConfig;
 use std::time::Duration;
 
 /// Tuning knobs for a [`crate::ServeCore`]. [`ServeConfig::from_env`]
@@ -59,19 +59,27 @@ impl Default for ServeConfig {
 }
 
 impl ServeConfig {
-    /// Reads `EDDE_SERVE_QUEUE`, `EDDE_EVAL_BATCH`,
-    /// `EDDE_SERVE_BATCH_DEADLINE_US`, and `EDDE_SERVE_WORKERS`, with
-    /// the defaults above for anything unset or invalid.
-    pub fn from_env() -> Self {
+    /// Serving view of a resolved [`EddeConfig`]: `serve_queue`,
+    /// `eval_batch` (serving batches line up with the evaluation chunking
+    /// the kernels are tuned for), `serve_batch_deadline_us`, and
+    /// `serve_workers`. Two cores built from two different configs in one
+    /// process stay independently tuned — nothing here is global.
+    pub fn from_config(config: &EddeConfig) -> Self {
         ServeConfig {
-            queue_capacity: env_usize("EDDE_SERVE_QUEUE", 256),
-            max_batch_rows: edde_core::eval_batch(),
-            batch_deadline: Duration::from_micros(
-                env_usize("EDDE_SERVE_BATCH_DEADLINE_US", 2000) as u64
-            ),
-            workers: env_usize("EDDE_SERVE_WORKERS", 1),
+            queue_capacity: config.serve_queue,
+            max_batch_rows: config.eval_batch,
+            batch_deadline: Duration::from_micros(config.serve_batch_deadline_us as u64),
+            workers: config.serve_workers,
             ..ServeConfig::default()
         }
+    }
+
+    /// Reads `EDDE_SERVE_QUEUE`, `EDDE_EVAL_BATCH`,
+    /// `EDDE_SERVE_BATCH_DEADLINE_US`, and `EDDE_SERVE_WORKERS`, with
+    /// the defaults above for anything unset or invalid — i.e.
+    /// [`ServeConfig::from_config`] over [`EddeConfig::from_env`].
+    pub fn from_env() -> Self {
+        ServeConfig::from_config(&EddeConfig::from_env())
     }
 
     /// Manual-drain configuration for deterministic tests: no worker
@@ -99,6 +107,24 @@ mod tests {
         let cfg = ServeConfig::from_env();
         assert_eq!(cfg.queue_capacity, 8);
         std::env::remove_var("EDDE_SERVE_QUEUE");
+    }
+
+    #[test]
+    fn from_config_maps_the_serving_knobs() {
+        let cfg = ServeConfig::from_config(
+            &EddeConfig::builder()
+                .serve_queue(9)
+                .eval_batch(5)
+                .serve_batch_deadline_us(123)
+                .serve_workers(3)
+                .resolve(),
+        );
+        assert_eq!(cfg.queue_capacity, 9);
+        assert_eq!(cfg.max_batch_rows, 5);
+        assert_eq!(cfg.batch_deadline, Duration::from_micros(123));
+        assert_eq!(cfg.workers, 3);
+        // untouched knobs keep the documented defaults
+        assert_eq!(cfg.pressure_batch_cut, 0.5);
     }
 
     #[test]

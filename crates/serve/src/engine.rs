@@ -654,10 +654,14 @@ impl InflightBatch {
         // Serve workers beyond the first run their member passes inline:
         // caller-level parallelism replaces pool fan-out, so concurrent
         // batches don't contend for the worker pool.
+        // Zero env lookups on the hot path: the evaluation batch size is
+        // the core's resolved `max_batch_rows`, read from this core's own
+        // config rather than the process environment.
+        let eval_batch = shared.config.max_batch_rows;
         let result = if shared.config.workers > 1 {
-            with_inline_dispatch(|| execute(&ensemble, &requests, rows))
+            with_inline_dispatch(|| execute(&ensemble, &requests, rows, eval_batch))
         } else {
-            execute(&ensemble, &requests, rows)
+            execute(&ensemble, &requests, rows, eval_batch)
         };
         drop(ensemble); // drain signal: release before resolving callers
         let completed_at = shared.clock.now();
@@ -702,6 +706,7 @@ fn execute(
     ensemble: &FrozenEnsemble,
     requests: &[Pending],
     rows: usize,
+    eval_batch: usize,
 ) -> edde_core::Result<(Tensor, Vec<usize>)> {
     let concat_storage;
     let features: &Tensor = if requests.len() == 1 {
@@ -719,7 +724,7 @@ fn execute(
         concat_storage = out;
         &concat_storage
     };
-    let soft = ensemble.soft_targets(features)?;
+    let soft = ensemble.soft_targets_batched(features, eval_batch)?;
     let classes = edde_tensor::ops::argmax_rows(&soft)?;
     Ok((soft, classes))
 }

@@ -1,0 +1,181 @@
+//! Two differently-configured serving cores in one process.
+//!
+//! The runtime-config layer is per-core, not process-global: each
+//! [`ServeCore`] carries its own resolved [`ServeConfig`] (built here
+//! from explicit [`EddeConfig`] values, never the environment), so two
+//! tenants with different queue bounds and batch shapes coexist without
+//! cross-talk — one tenant's overload does not shed the other's
+//! traffic, and each core batches to its own `max_batch_rows`.
+
+use edde_core::{EddeConfig, FrozenEnsemble};
+use edde_nn::models::mlp;
+use edde_nn::Network;
+use edde_serve::{
+    Priority, ServeConfig, ServeCore, ServeError, ServeFaultPlan, StepOutcome, SubmitOptions,
+    TestClock,
+};
+use edde_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn member(seed: u64) -> Network {
+    let mut r = StdRng::seed_from_u64(seed);
+    mlp(&[4, 8, 3], 0.0, &mut r)
+}
+
+fn frozen(seeds: &[u64]) -> FrozenEnsemble {
+    let mut f = FrozenEnsemble::new();
+    for (i, &s) in seeds.iter().enumerate() {
+        f.push(Arc::new(member(s)), 1.0 + i as f32 * 0.5, format!("m{i}"));
+    }
+    f
+}
+
+fn features(rows: usize, tag: u64) -> Tensor {
+    let mut t = Tensor::zeros(&[rows, 4]);
+    for (i, v) in t.data_mut().iter_mut().enumerate() {
+        *v = ((tag * 31 + i as u64) % 17) as f32 * 0.25 - 2.0;
+    }
+    t
+}
+
+/// A manual-drain core tuned by an explicit [`EddeConfig`] — the
+/// config-to-core path every tenant uses, minus worker threads so the
+/// test drains deterministically.
+fn tenant_core(config: &EddeConfig) -> ServeCore {
+    let serve_config = ServeConfig {
+        workers: 0,
+        batch_deadline: Duration::ZERO,
+        ..ServeConfig::from_config(config)
+    };
+    ServeCore::with_parts(
+        frozen(&[1, 2]),
+        serve_config,
+        Arc::new(TestClock::new()),
+        ServeFaultPlan::new(),
+    )
+}
+
+#[test]
+fn two_cores_keep_independent_queue_bounds_and_batch_shapes() {
+    // Tenant A: tiny queue, tiny batches. Tenant B: roomy on both axes.
+    let a = tenant_core(&EddeConfig::builder().serve_queue(2).eval_batch(2).resolve());
+    let b = tenant_core(
+        &EddeConfig::builder()
+            .serve_queue(8)
+            .eval_batch(100)
+            .resolve(),
+    );
+
+    // Fill A to capacity; its third submit is shed at admission...
+    for tag in 0..2 {
+        a.submit(features(1, tag), SubmitOptions::new()).unwrap();
+    }
+    match a.submit(features(1, 9), SubmitOptions::new()) {
+        Err(ServeError::Overloaded { depth, capacity }) => assert_eq!((depth, capacity), (2, 2)),
+        other => panic!("expected Overloaded on tenant A, got {other:?}"),
+    }
+    // ...while B, in the same process at the same moment, keeps admitting.
+    let mut b_handles = Vec::new();
+    for tag in 0..6 {
+        b_handles.push(b.submit(features(1, tag), SubmitOptions::new()).unwrap());
+    }
+
+    // A batches to its own max_batch_rows=2; one step serves both rows.
+    match a.step() {
+        StepOutcome::Served { requests, rows } => assert_eq!((requests, rows), (2, 2)),
+        other => panic!("expected tenant A to serve 2, got {other:?}"),
+    }
+    // B coalesces all six pending rows into one batch (its limit is 100).
+    match b.step() {
+        StepOutcome::Served { requests, rows } => assert_eq!((requests, rows), (6, 6)),
+        other => panic!("expected tenant B to serve 6, got {other:?}"),
+    }
+
+    // Neither core saw the other's traffic.
+    let (sa, sb) = (a.stats(), b.stats());
+    assert_eq!(sa.admitted, 2);
+    assert_eq!(sa.served_requests, 2);
+    assert_eq!(sb.admitted, 6);
+    assert_eq!(sb.served_requests, 6);
+    assert_eq!(sb.expired_in_queue + sb.failed + sb.closed_unserved, 0);
+
+    // And the differently-batched tenants still agree bit-for-bit with
+    // the reference ensemble (batch shape never affects results).
+    let reference = frozen(&[1, 2]);
+    for (tag, h) in b_handles.into_iter().enumerate() {
+        let p = h.wait().unwrap();
+        let expect = reference.soft_targets(&features(1, tag as u64)).unwrap();
+        assert_eq!(p.soft_targets.data(), expect.data(), "tenant B tag {tag}");
+    }
+}
+
+#[test]
+fn concurrent_tenants_do_not_cross_talk_under_load() {
+    // Drive both tenants from threads while each core's own drain runs in
+    // a third and fourth thread. Different queue bounds, different batch
+    // shapes, shared process — per-request results must still match the
+    // reference ensemble exactly, and each core's accounting must close
+    // over its own traffic only.
+    let a = Arc::new(tenant_core(
+        &EddeConfig::builder()
+            .serve_queue(64)
+            .eval_batch(3)
+            .resolve(),
+    ));
+    let b = Arc::new(tenant_core(
+        &EddeConfig::builder()
+            .serve_queue(64)
+            .eval_batch(32)
+            .resolve(),
+    ));
+    let reference = frozen(&[1, 2]);
+    let per_tenant = 40usize;
+
+    std::thread::scope(|s| {
+        for core in [&a, &b] {
+            let core = Arc::clone(core);
+            s.spawn(move || {
+                for _ in 0..2000 {
+                    if matches!(core.step(), StepOutcome::Idle) {
+                        std::thread::yield_now();
+                    }
+                }
+            });
+        }
+        let submit = |core: &Arc<ServeCore>, salt: u64| {
+            let core = Arc::clone(core);
+            s.spawn(move || {
+                let mut handles = Vec::new();
+                for tag in 0..per_tenant as u64 {
+                    let opts = SubmitOptions::new().with_priority(Priority::High);
+                    handles.push((tag, core.submit(features(2, salt + tag), opts).unwrap()));
+                }
+                handles
+                    .into_iter()
+                    .map(|(tag, h)| (tag, h.wait().unwrap()))
+                    .collect::<Vec<_>>()
+            })
+        };
+        let ja = submit(&a, 1000);
+        let jb = submit(&b, 2000);
+        for (salt, done) in [(1000u64, ja.join().unwrap()), (2000, jb.join().unwrap())] {
+            for (tag, p) in done {
+                let expect = reference.soft_targets(&features(2, salt + tag)).unwrap();
+                assert_eq!(
+                    p.soft_targets.data(),
+                    expect.data(),
+                    "salt {salt} tag {tag}"
+                );
+            }
+        }
+    });
+
+    for (name, stats) in [("A", a.stats()), ("B", b.stats())] {
+        assert_eq!(stats.admitted, per_tenant as u64, "tenant {name}");
+        assert_eq!(stats.served_requests, per_tenant as u64, "tenant {name}");
+        assert_eq!(stats.depth, 0, "tenant {name}");
+    }
+}

@@ -1,0 +1,69 @@
+//! Steady-state serving performs **zero** environment lookups.
+//!
+//! A [`ServeCore`] resolves its [`ServeConfig`] once at construction;
+//! from then on admission, batching, and execution read only that
+//! resolved state. The submit→drain loop below runs after a warm-up
+//! pass and must not move the global `env_lookup` counter at all. Run
+//! inline-dispatched on one thread (so lazily-built worker scratch
+//! cannot smear the counter), with a single test in this file so no
+//! sibling races the process-global count.
+
+use edde_core::{EddeConfig, FrozenEnsemble};
+use edde_nn::models::mlp;
+use edde_serve::{ServeConfig, ServeCore, ServeFaultPlan, StepOutcome, SubmitOptions, TestClock};
+use edde_tensor::env::env_read_count;
+use edde_tensor::parallel::with_inline_dispatch;
+use edde_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn features(tag: u64) -> Tensor {
+    let mut t = Tensor::zeros(&[2, 4]);
+    for (i, v) in t.data_mut().iter_mut().enumerate() {
+        *v = ((tag * 31 + i as u64) % 17) as f32 * 0.25 - 2.0;
+    }
+    t
+}
+
+#[test]
+fn steady_state_serving_reads_no_environment() {
+    let mut frozen = FrozenEnsemble::new();
+    for seed in 0..2u64 {
+        let net = mlp(&[4, 8, 3], 0.0, &mut StdRng::seed_from_u64(seed));
+        frozen.push(Arc::new(net), 1.0, format!("m{seed}"));
+    }
+    // Resolve the knob layer once, up front — the only point at which
+    // the environment may be consulted.
+    let config = ServeConfig {
+        workers: 0, // manual drain: the test thread is the worker
+        batch_deadline: Duration::ZERO,
+        ..ServeConfig::from_config(&EddeConfig::from_env())
+    };
+    let core = ServeCore::with_parts(
+        frozen,
+        config,
+        Arc::new(TestClock::new()),
+        ServeFaultPlan::new(),
+    );
+
+    with_inline_dispatch(|| {
+        // Warm-up: first batch builds this thread's inference scratch.
+        let h = core.submit(features(0), SubmitOptions::new()).unwrap();
+        assert!(matches!(core.step(), StepOutcome::Served { .. }));
+        h.wait().unwrap();
+
+        let before = env_read_count();
+        for tag in 1..60u64 {
+            let h = core.submit(features(tag), SubmitOptions::new()).unwrap();
+            assert!(matches!(core.step(), StepOutcome::Served { .. }));
+            h.wait().unwrap();
+        }
+        assert_eq!(
+            env_read_count() - before,
+            0,
+            "serving hot path touched the environment"
+        );
+    });
+}

@@ -1,0 +1,515 @@
+//! `EddeConfig` — the unified runtime configuration for the whole stack.
+//!
+//! Every `EDDE_*` tuning knob in the workspace resolves through this one
+//! type, in three layers: **builder override > environment > compiled
+//! default**. Resolution happens once — at [`EddeConfig::from_env`] or
+//! [`EddeConfigBuilder::resolve`] — and the resulting value is a plain
+//! `Clone`-able struct that long-lived objects (`TrainLoop` checkpoints,
+//! `RunSession`, `ServeCore`, stream reducers) carry by value, so hot
+//! paths never touch the environment after construction.
+//!
+//! The environment leg uses the warn-and-fallback parser family in
+//! [`crate::env`] (the `EnvSource` layer): garbage values degrade to the
+//! compiled default with a stderr warning, never a panic.
+//!
+//! A resolved config serializes to a canonical single-line snapshot
+//! ([`EddeConfig::snapshot`], round-tripped by
+//! [`EddeConfig::from_snapshot`]) that run manifests and bench history
+//! rows embed, so every recorded result carries the exact configuration
+//! that produced it. None of these knobs affect computed bits — they
+//! steer batching, chunking, and scheduling only — which is why the
+//! snapshot is recorded alongside results rather than folded into the
+//! run fingerprint.
+
+use crate::env::{env_bool, env_f64, env_lookup, env_usize};
+use crate::simd::ScalarGuard;
+
+/// Compiled default for `EDDE_EVAL_BATCH`.
+pub const DEFAULT_EVAL_BATCH: usize = 256;
+/// Compiled default for `EDDE_STREAM_BATCH`.
+pub const DEFAULT_STREAM_BATCH: usize = 256;
+/// Compiled default for `EDDE_CHUNK_BYTES`.
+pub const DEFAULT_CHUNK_BYTES: usize = 64 * 1024;
+/// Compiled default for `EDDE_POOL_RETAIN`.
+pub const DEFAULT_POOL_RETAIN: usize = 32;
+/// Compiled default for `EDDE_SERVE_QUEUE`.
+pub const DEFAULT_SERVE_QUEUE: usize = 256;
+/// Compiled default for `EDDE_SERVE_BATCH_DEADLINE_US`.
+pub const DEFAULT_SERVE_BATCH_DEADLINE_US: usize = 2000;
+/// Compiled default for `EDDE_SERVE_WORKERS`.
+pub const DEFAULT_SERVE_WORKERS: usize = 1;
+/// Compiled default for `EDDE_DRIFT_SEVERITY_PCT`.
+pub const DEFAULT_DRIFT_SEVERITY_PCT: f64 = 50.0;
+/// Compiled default for `EDDE_DRIFT_VOCAB_PCT`.
+pub const DEFAULT_DRIFT_VOCAB_PCT: f64 = 30.0;
+
+/// The resolved runtime configuration: one field per `EDDE_*` knob,
+/// grouped by owning layer. See the README knob table for the full
+/// variable ↔ field ↔ default mapping.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EddeConfig {
+    // -- edde_core ---------------------------------------------------
+    /// `EDDE_EVAL_BATCH`: rows per forward pass in batched evaluation.
+    pub eval_batch: usize,
+    /// `EDDE_SHARDED_CKPT`: write per-epoch checkpoints as chunk shards.
+    pub sharded_ckpt: bool,
+    // -- edde_data ---------------------------------------------------
+    /// `EDDE_STREAM_BATCH`: rows per batch in dataset streams.
+    pub stream_batch: usize,
+    /// `EDDE_DRIFT_SEVERITY_PCT`: feature-corruption severity, percent.
+    pub drift_severity_pct: f64,
+    /// `EDDE_DRIFT_VOCAB_PCT`: vocabulary-drift fraction, percent.
+    pub drift_vocab_pct: f64,
+    // -- edde_nn -----------------------------------------------------
+    /// `EDDE_CHUNK_BYTES`: payload bytes per chunk in the chunk store.
+    pub chunk_bytes: usize,
+    /// `EDDE_POOL_RETAIN`: buffers retained per `InferCtx` pool.
+    pub pool_retain: usize,
+    // -- edde_serve --------------------------------------------------
+    /// `EDDE_SERVE_QUEUE`: bounded submission-queue capacity.
+    pub serve_queue: usize,
+    /// `EDDE_SERVE_BATCH_DEADLINE_US`: micro-batch coalescing window, µs.
+    pub serve_batch_deadline_us: usize,
+    /// `EDDE_SERVE_WORKERS`: drain threads per `ServeCore`.
+    pub serve_workers: usize,
+    // -- edde_tensor -------------------------------------------------
+    /// `EDDE_SIMD`: force the scalar backend (`scalar`/`off`/`0`).
+    pub force_scalar: bool,
+}
+
+impl Default for EddeConfig {
+    /// The compiled defaults, ignoring the environment entirely.
+    fn default() -> Self {
+        EddeConfig {
+            eval_batch: DEFAULT_EVAL_BATCH,
+            sharded_ckpt: false,
+            stream_batch: DEFAULT_STREAM_BATCH,
+            drift_severity_pct: DEFAULT_DRIFT_SEVERITY_PCT,
+            drift_vocab_pct: DEFAULT_DRIFT_VOCAB_PCT,
+            chunk_bytes: DEFAULT_CHUNK_BYTES,
+            pool_retain: DEFAULT_POOL_RETAIN,
+            serve_queue: DEFAULT_SERVE_QUEUE,
+            serve_batch_deadline_us: DEFAULT_SERVE_BATCH_DEADLINE_US,
+            serve_workers: DEFAULT_SERVE_WORKERS,
+            force_scalar: false,
+        }
+    }
+}
+
+impl EddeConfig {
+    /// Resolves every knob as *environment > default*. This is the
+    /// process-default configuration the free-function wrappers
+    /// (`eval_batch()`, `chunk_bytes()`, …) are thin views over.
+    pub fn from_env() -> Self {
+        EddeConfig {
+            eval_batch: Self::env_eval_batch(),
+            sharded_ckpt: Self::env_sharded_ckpt(),
+            stream_batch: Self::env_stream_batch(),
+            drift_severity_pct: Self::env_drift_severity_pct(),
+            drift_vocab_pct: Self::env_drift_vocab_pct(),
+            chunk_bytes: Self::env_chunk_bytes(),
+            pool_retain: Self::env_pool_retain(),
+            serve_queue: Self::env_serve_queue(),
+            serve_batch_deadline_us: Self::env_serve_batch_deadline_us(),
+            serve_workers: Self::env_serve_workers(),
+            force_scalar: Self::env_force_scalar(),
+        }
+    }
+
+    /// A builder for explicit per-field overrides on top of
+    /// environment/default resolution.
+    pub fn builder() -> EddeConfigBuilder {
+        EddeConfigBuilder::default()
+    }
+
+    // Per-knob environment resolvers. These are the single source of
+    // truth for each knob's variable name and default; the free-function
+    // wrappers call them directly so a wrapper call costs exactly one
+    // environment lookup instead of resolving the whole config.
+
+    /// `EDDE_EVAL_BATCH` > [`DEFAULT_EVAL_BATCH`].
+    pub fn env_eval_batch() -> usize {
+        env_usize("EDDE_EVAL_BATCH", DEFAULT_EVAL_BATCH)
+    }
+
+    /// `EDDE_SHARDED_CKPT` > `false`.
+    pub fn env_sharded_ckpt() -> bool {
+        env_bool("EDDE_SHARDED_CKPT", false)
+    }
+
+    /// `EDDE_STREAM_BATCH` > [`DEFAULT_STREAM_BATCH`].
+    pub fn env_stream_batch() -> usize {
+        env_usize("EDDE_STREAM_BATCH", DEFAULT_STREAM_BATCH)
+    }
+
+    /// `EDDE_DRIFT_SEVERITY_PCT` > [`DEFAULT_DRIFT_SEVERITY_PCT`].
+    pub fn env_drift_severity_pct() -> f64 {
+        env_f64("EDDE_DRIFT_SEVERITY_PCT", DEFAULT_DRIFT_SEVERITY_PCT)
+    }
+
+    /// `EDDE_DRIFT_VOCAB_PCT` > [`DEFAULT_DRIFT_VOCAB_PCT`].
+    pub fn env_drift_vocab_pct() -> f64 {
+        env_f64("EDDE_DRIFT_VOCAB_PCT", DEFAULT_DRIFT_VOCAB_PCT)
+    }
+
+    /// `EDDE_CHUNK_BYTES` > [`DEFAULT_CHUNK_BYTES`].
+    pub fn env_chunk_bytes() -> usize {
+        env_usize("EDDE_CHUNK_BYTES", DEFAULT_CHUNK_BYTES)
+    }
+
+    /// `EDDE_POOL_RETAIN` > [`DEFAULT_POOL_RETAIN`].
+    pub fn env_pool_retain() -> usize {
+        env_usize("EDDE_POOL_RETAIN", DEFAULT_POOL_RETAIN)
+    }
+
+    /// `EDDE_SERVE_QUEUE` > [`DEFAULT_SERVE_QUEUE`].
+    pub fn env_serve_queue() -> usize {
+        env_usize("EDDE_SERVE_QUEUE", DEFAULT_SERVE_QUEUE)
+    }
+
+    /// `EDDE_SERVE_BATCH_DEADLINE_US` > [`DEFAULT_SERVE_BATCH_DEADLINE_US`].
+    pub fn env_serve_batch_deadline_us() -> usize {
+        env_usize(
+            "EDDE_SERVE_BATCH_DEADLINE_US",
+            DEFAULT_SERVE_BATCH_DEADLINE_US,
+        )
+    }
+
+    /// `EDDE_SERVE_WORKERS` > [`DEFAULT_SERVE_WORKERS`].
+    pub fn env_serve_workers() -> usize {
+        env_usize("EDDE_SERVE_WORKERS", DEFAULT_SERVE_WORKERS)
+    }
+
+    /// `EDDE_SIMD=scalar|off|0` forces the scalar backend. Unlike the
+    /// numeric knobs this is an exact-match sentinel, not a parsed value:
+    /// any other setting (or unset) leaves backend selection automatic.
+    pub fn env_force_scalar() -> bool {
+        matches!(
+            env_lookup("EDDE_SIMD").as_deref(),
+            Some("scalar") | Some("off") | Some("0")
+        )
+    }
+
+    /// When this config forces the scalar backend, enters a scalar scope
+    /// and returns its RAII guard; otherwise `None`. Lets a config-driven
+    /// harness apply its SIMD choice without touching the process-global
+    /// override (see [`crate::simd::force_scalar_scope`]).
+    pub fn scalar_guard(&self) -> Option<ScalarGuard> {
+        self.force_scalar.then(crate::simd::force_scalar_scope)
+    }
+
+    /// Canonical single-line `key=value` snapshot of the resolved
+    /// config, suitable for embedding in run manifests and bench
+    /// history rows. Keys are emitted in a fixed order; floats print in
+    /// shortest round-trip form, so equal configs snapshot identically.
+    pub fn snapshot(&self) -> String {
+        format!(
+            "eval_batch={} stream_batch={} chunk_bytes={} pool_retain={} serve_queue={} \
+             serve_batch_deadline_us={} serve_workers={} drift_severity_pct={} \
+             drift_vocab_pct={} sharded_ckpt={} simd={}",
+            self.eval_batch,
+            self.stream_batch,
+            self.chunk_bytes,
+            self.pool_retain,
+            self.serve_queue,
+            self.serve_batch_deadline_us,
+            self.serve_workers,
+            self.drift_severity_pct,
+            self.drift_vocab_pct,
+            self.sharded_ckpt,
+            if self.force_scalar { "scalar" } else { "auto" },
+        )
+    }
+
+    /// Parses a [`snapshot`](Self::snapshot) line back into a config.
+    /// Unknown keys are ignored (a newer writer may add knobs); a
+    /// malformed token or unparseable value yields `None`. Missing keys
+    /// keep their compiled defaults, so older snapshots stay readable.
+    pub fn from_snapshot(text: &str) -> Option<Self> {
+        let mut cfg = EddeConfig::default();
+        for token in text.split_whitespace() {
+            let (key, value) = token.split_once('=')?;
+            match key {
+                "eval_batch" => cfg.eval_batch = value.parse().ok()?,
+                "stream_batch" => cfg.stream_batch = value.parse().ok()?,
+                "chunk_bytes" => cfg.chunk_bytes = value.parse().ok()?,
+                "pool_retain" => cfg.pool_retain = value.parse().ok()?,
+                "serve_queue" => cfg.serve_queue = value.parse().ok()?,
+                "serve_batch_deadline_us" => cfg.serve_batch_deadline_us = value.parse().ok()?,
+                "serve_workers" => cfg.serve_workers = value.parse().ok()?,
+                "drift_severity_pct" => cfg.drift_severity_pct = value.parse().ok()?,
+                "drift_vocab_pct" => cfg.drift_vocab_pct = value.parse().ok()?,
+                "sharded_ckpt" => cfg.sharded_ckpt = value.parse().ok()?,
+                "simd" => {
+                    cfg.force_scalar = match value {
+                        "scalar" => true,
+                        "auto" => false,
+                        _ => return None,
+                    }
+                }
+                _ => {}
+            }
+        }
+        Some(cfg)
+    }
+
+    /// The snapshot as a JSON object (hand-written, like every other
+    /// serializer in this workspace) for `BENCH_history.jsonl` rows.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"eval_batch\": {}, \"stream_batch\": {}, \"chunk_bytes\": {}, \
+             \"pool_retain\": {}, \"serve_queue\": {}, \"serve_batch_deadline_us\": {}, \
+             \"serve_workers\": {}, \"drift_severity_pct\": {}, \
+             \"drift_vocab_pct\": {}, \"sharded_ckpt\": {}, \"simd\": \"{}\"}}",
+            self.eval_batch,
+            self.stream_batch,
+            self.chunk_bytes,
+            self.pool_retain,
+            self.serve_queue,
+            self.serve_batch_deadline_us,
+            self.serve_workers,
+            self.drift_severity_pct,
+            self.drift_vocab_pct,
+            self.sharded_ckpt,
+            if self.force_scalar { "scalar" } else { "auto" },
+        )
+    }
+}
+
+/// Builder for [`EddeConfig`]: any field left unset resolves from the
+/// environment, then the compiled default — so a builder with no
+/// overrides resolves identically to [`EddeConfig::from_env`].
+#[derive(Debug, Clone, Default)]
+pub struct EddeConfigBuilder {
+    eval_batch: Option<usize>,
+    sharded_ckpt: Option<bool>,
+    stream_batch: Option<usize>,
+    drift_severity_pct: Option<f64>,
+    drift_vocab_pct: Option<f64>,
+    chunk_bytes: Option<usize>,
+    pool_retain: Option<usize>,
+    serve_queue: Option<usize>,
+    serve_batch_deadline_us: Option<usize>,
+    serve_workers: Option<usize>,
+    force_scalar: Option<bool>,
+}
+
+impl EddeConfigBuilder {
+    /// Overrides `EDDE_EVAL_BATCH`. Panics on zero — the knob family
+    /// treats zero as nonsensical, and an explicit override should fail
+    /// loudly where an env typo only warns.
+    pub fn eval_batch(mut self, n: usize) -> Self {
+        assert!(n > 0, "eval_batch must be positive");
+        self.eval_batch = Some(n);
+        self
+    }
+
+    /// Overrides `EDDE_SHARDED_CKPT`.
+    pub fn sharded_ckpt(mut self, on: bool) -> Self {
+        self.sharded_ckpt = Some(on);
+        self
+    }
+
+    /// Overrides `EDDE_STREAM_BATCH`. Panics on zero.
+    pub fn stream_batch(mut self, n: usize) -> Self {
+        assert!(n > 0, "stream_batch must be positive");
+        self.stream_batch = Some(n);
+        self
+    }
+
+    /// Overrides `EDDE_DRIFT_SEVERITY_PCT`. Panics unless positive finite.
+    pub fn drift_severity_pct(mut self, pct: f64) -> Self {
+        assert!(
+            pct > 0.0 && pct.is_finite(),
+            "drift_severity_pct must be positive and finite"
+        );
+        self.drift_severity_pct = Some(pct);
+        self
+    }
+
+    /// Overrides `EDDE_DRIFT_VOCAB_PCT`. Panics unless positive finite.
+    pub fn drift_vocab_pct(mut self, pct: f64) -> Self {
+        assert!(
+            pct > 0.0 && pct.is_finite(),
+            "drift_vocab_pct must be positive and finite"
+        );
+        self.drift_vocab_pct = Some(pct);
+        self
+    }
+
+    /// Overrides `EDDE_CHUNK_BYTES`. Panics on zero.
+    pub fn chunk_bytes(mut self, n: usize) -> Self {
+        assert!(n > 0, "chunk_bytes must be positive");
+        self.chunk_bytes = Some(n);
+        self
+    }
+
+    /// Overrides `EDDE_POOL_RETAIN`. Panics on zero.
+    pub fn pool_retain(mut self, n: usize) -> Self {
+        assert!(n > 0, "pool_retain must be positive");
+        self.pool_retain = Some(n);
+        self
+    }
+
+    /// Overrides `EDDE_SERVE_QUEUE`. Panics on zero.
+    pub fn serve_queue(mut self, n: usize) -> Self {
+        assert!(n > 0, "serve_queue must be positive");
+        self.serve_queue = Some(n);
+        self
+    }
+
+    /// Overrides `EDDE_SERVE_BATCH_DEADLINE_US`.
+    pub fn serve_batch_deadline_us(mut self, us: usize) -> Self {
+        self.serve_batch_deadline_us = Some(us);
+        self
+    }
+
+    /// Overrides `EDDE_SERVE_WORKERS`. Panics on zero.
+    pub fn serve_workers(mut self, n: usize) -> Self {
+        assert!(n > 0, "serve_workers must be positive");
+        self.serve_workers = Some(n);
+        self
+    }
+
+    /// Overrides `EDDE_SIMD`: `true` forces the scalar backend, `false`
+    /// pins automatic selection even if the variable is set.
+    pub fn force_scalar(mut self, on: bool) -> Self {
+        self.force_scalar = Some(on);
+        self
+    }
+
+    /// Resolves *builder override > environment > default* per field.
+    /// Only fields left unset touch the environment.
+    pub fn resolve(self) -> EddeConfig {
+        EddeConfig {
+            eval_batch: self.eval_batch.unwrap_or_else(EddeConfig::env_eval_batch),
+            sharded_ckpt: self
+                .sharded_ckpt
+                .unwrap_or_else(EddeConfig::env_sharded_ckpt),
+            stream_batch: self
+                .stream_batch
+                .unwrap_or_else(EddeConfig::env_stream_batch),
+            drift_severity_pct: self
+                .drift_severity_pct
+                .unwrap_or_else(EddeConfig::env_drift_severity_pct),
+            drift_vocab_pct: self
+                .drift_vocab_pct
+                .unwrap_or_else(EddeConfig::env_drift_vocab_pct),
+            chunk_bytes: self.chunk_bytes.unwrap_or_else(EddeConfig::env_chunk_bytes),
+            pool_retain: self.pool_retain.unwrap_or_else(EddeConfig::env_pool_retain),
+            serve_queue: self.serve_queue.unwrap_or_else(EddeConfig::env_serve_queue),
+            serve_batch_deadline_us: self
+                .serve_batch_deadline_us
+                .unwrap_or_else(EddeConfig::env_serve_batch_deadline_us),
+            serve_workers: self
+                .serve_workers
+                .unwrap_or_else(EddeConfig::env_serve_workers),
+            force_scalar: self
+                .force_scalar
+                .unwrap_or_else(EddeConfig::env_force_scalar),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_documented_knob_table() {
+        let c = EddeConfig::default();
+        assert_eq!(c.eval_batch, 256);
+        assert_eq!(c.stream_batch, 256);
+        assert_eq!(c.chunk_bytes, 64 * 1024);
+        assert_eq!(c.pool_retain, 32);
+        assert_eq!(c.serve_queue, 256);
+        assert_eq!(c.serve_batch_deadline_us, 2000);
+        assert_eq!(c.serve_workers, 1);
+        assert_eq!(c.drift_severity_pct, 50.0);
+        assert_eq!(c.drift_vocab_pct, 30.0);
+        assert!(!c.sharded_ckpt);
+        assert!(!c.force_scalar);
+    }
+
+    #[test]
+    fn builder_override_beats_env_beats_default() {
+        // Dedicated variable not shared with other tests: precedence is
+        // observable per knob, and eval_batch's env leg is exercised via
+        // EDDE_EVAL_BATCH in the integration suite; here we pin the
+        // builder layer winning over a set variable.
+        std::env::set_var("EDDE_STREAM_BATCH", "99");
+        let from_env = EddeConfig::builder().resolve();
+        assert_eq!(from_env.stream_batch, 99, "env beats default");
+        let overridden = EddeConfig::builder().stream_batch(7).resolve();
+        assert_eq!(overridden.stream_batch, 7, "builder beats env");
+        std::env::remove_var("EDDE_STREAM_BATCH");
+        let fallback = EddeConfig::builder().resolve();
+        assert_eq!(
+            fallback.stream_batch, DEFAULT_STREAM_BATCH,
+            "default when unset"
+        );
+    }
+
+    #[test]
+    fn snapshot_round_trips_exactly() {
+        let c = EddeConfig::builder()
+            .eval_batch(3)
+            .stream_batch(17)
+            .chunk_bytes(4096)
+            .pool_retain(5)
+            .serve_queue(8)
+            .serve_batch_deadline_us(0)
+            .serve_workers(2)
+            .drift_severity_pct(62.5)
+            .drift_vocab_pct(12.25)
+            .sharded_ckpt(true)
+            .force_scalar(true)
+            .resolve();
+        let snap = c.snapshot();
+        assert_eq!(EddeConfig::from_snapshot(&snap), Some(c));
+    }
+
+    #[test]
+    fn default_snapshot_is_canonical_and_round_trips() {
+        let c = EddeConfig::default();
+        assert_eq!(
+            c.snapshot(),
+            "eval_batch=256 stream_batch=256 chunk_bytes=65536 pool_retain=32 \
+             serve_queue=256 serve_batch_deadline_us=2000 serve_workers=1 \
+             drift_severity_pct=50 drift_vocab_pct=30 sharded_ckpt=false simd=auto"
+        );
+        assert_eq!(EddeConfig::from_snapshot(&c.snapshot()), Some(c));
+    }
+
+    #[test]
+    fn from_snapshot_ignores_unknown_keys_and_rejects_malformed() {
+        let with_extra = "eval_batch=5 future_knob=1 simd=auto";
+        let cfg = EddeConfig::from_snapshot(with_extra).unwrap();
+        assert_eq!(cfg.eval_batch, 5);
+        assert_eq!(cfg.stream_batch, DEFAULT_STREAM_BATCH);
+        assert!(EddeConfig::from_snapshot("eval_batch").is_none());
+        assert!(EddeConfig::from_snapshot("eval_batch=banana").is_none());
+        assert!(EddeConfig::from_snapshot("simd=sometimes").is_none());
+    }
+
+    #[test]
+    fn to_json_is_well_formed() {
+        let j = EddeConfig::default().to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"eval_batch\": 256"));
+        assert!(j.contains("\"drift_severity_pct\": 50"));
+        assert!(j.contains("\"simd\": \"auto\""));
+    }
+
+    #[test]
+    fn scalar_guard_scopes_the_backend() {
+        let auto = EddeConfig::default();
+        assert!(auto.scalar_guard().is_none());
+        let forced = EddeConfig::builder().force_scalar(true).resolve();
+        {
+            let guard = forced.scalar_guard();
+            assert!(guard.is_some());
+            assert_eq!(crate::simd::backend_name(), "scalar");
+        }
+    }
+}

@@ -1,21 +1,59 @@
-//! Environment-variable tuning knobs shared across the stack.
+//! The `EnvSource` layer: every environment-variable tuning knob in the
+//! stack is read through this module, and nowhere else.
+//!
+//! [`crate::config::EddeConfig`] resolves knobs as *builder override >
+//! environment > default*; the environment leg of that resolution is the
+//! parser family below ([`env_usize`], [`env_f64`], [`env_bool`]), all of
+//! which share the same warn-and-fallback contract: a variable that is
+//! present but unusable is rejected with a one-line stderr warning naming
+//! the variable, the offending value, and the fallback, so a typo in a
+//! deployment script degrades to documented defaults instead of silently
+//! misconfiguring the process.
+//!
+//! Every lookup funnels through [`env_lookup`], the single
+//! `std::env::var` call site for `EDDE_*` knobs in the workspace. It
+//! increments a process-wide counter ([`env_read_count`]) that the
+//! steady-state tests use to assert the hot paths (batched eval, the
+//! serve drain loop) perform **zero** environment reads once their
+//! owning objects are constructed.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide count of environment lookups made through this layer.
+static ENV_READS: AtomicU64 = AtomicU64::new(0);
+
+/// Reads `var` from the process environment. This is the only
+/// `std::env::var` call site for `EDDE_*` knobs — every parser below and
+/// the `EDDE_SIMD` backend probe go through it — so [`env_read_count`]
+/// observes every knob read in the process.
+///
+/// Returns `None` when the variable is unset or not valid unicode.
+pub fn env_lookup(var: &str) -> Option<String> {
+    ENV_READS.fetch_add(1, Ordering::Relaxed);
+    std::env::var(var).ok()
+}
+
+/// The number of environment lookups performed through [`env_lookup`]
+/// since the process started. Hot-path tests snapshot this before and
+/// after a steady-state loop and assert the delta is zero — knobs must
+/// be resolved once at construction, never per call.
+pub fn env_read_count() -> u64 {
+    ENV_READS.load(Ordering::Relaxed)
+}
 
 /// Reads a positive integer tuning knob from the environment, falling back
 /// to `default` when the variable is unset. A value that is present but
 /// unusable — not an integer, or zero, which every `EDDE_*` knob (batch
 /// sizes, queue depths, worker counts, chunk sizes) treats as nonsensical —
-/// is rejected with a one-line warning on stderr naming the variable, the
-/// offending value, and the fallback, so a typo in a deployment script
-/// degrades to documented defaults instead of silently misconfiguring the
-/// process.
+/// is rejected with a one-line warning on stderr.
 ///
 /// Shared by `edde_core::eval_batch`, every `EDDE_SERVE_*` knob in
 /// `edde-serve`, and `edde_nn::chunkstore`'s `EDDE_CHUNK_BYTES`, so all
 /// knobs reject garbage the same way.
 pub fn env_usize(var: &str, default: usize) -> usize {
-    match std::env::var(var) {
-        Err(_) => default,
-        Ok(raw) => {
+    match env_lookup(var) {
+        None => default,
+        Some(raw) => {
             match raw.trim().parse::<usize>() {
                 Ok(n) if n > 0 => n,
                 _ => {
@@ -24,6 +62,42 @@ pub fn env_usize(var: &str, default: usize) -> usize {
                 }
             }
         }
+    }
+}
+
+/// Reads a positive finite float tuning knob from the environment with the
+/// same warn-and-fallback contract as [`env_usize`]: unset falls back
+/// silently; garbage, zero, negative, NaN, and infinities are rejected
+/// with a warning. Used by the `EDDE_DRIFT_*` percentage knobs, which are
+/// meaningless at or below zero.
+pub fn env_f64(var: &str, default: f64) -> f64 {
+    match env_lookup(var) {
+        None => default,
+        Some(raw) => match raw.trim().parse::<f64>() {
+            Ok(x) if x > 0.0 && x.is_finite() => x,
+            _ => {
+                eprintln!("warning: ignoring {var}={raw:?} (want a positive finite number); using {default}");
+                default
+            }
+        },
+    }
+}
+
+/// Reads a boolean tuning knob from the environment with the same
+/// warn-and-fallback contract as [`env_usize`]. Accepts (trimmed,
+/// case-insensitive) `1`/`true`/`yes`/`on` and `0`/`false`/`no`/`off`;
+/// anything else present is rejected with a warning.
+pub fn env_bool(var: &str, default: bool) -> bool {
+    match env_lookup(var) {
+        None => default,
+        Some(raw) => match raw.trim().to_ascii_lowercase().as_str() {
+            "1" | "true" | "yes" | "on" => true,
+            "0" | "false" | "no" | "off" => false,
+            _ => {
+                eprintln!("warning: ignoring {var}={raw:?} (want a boolean: 1/0, true/false, yes/no, on/off); using {default}");
+                default
+            }
+        },
     }
 }
 
@@ -42,5 +116,61 @@ mod tests {
         assert_eq!(env_usize("EDDE_TENSOR_KNOB_GARBAGE", 7), 7);
         std::env::set_var("EDDE_TENSOR_KNOB_OK", " 12 ");
         assert_eq!(env_usize("EDDE_TENSOR_KNOB_OK", 7), 12);
+    }
+
+    #[test]
+    fn env_usize_rejects_negative_and_whitespace_only() {
+        std::env::set_var("EDDE_TENSOR_KNOB_NEG", "-3");
+        assert_eq!(env_usize("EDDE_TENSOR_KNOB_NEG", 7), 7);
+        std::env::set_var("EDDE_TENSOR_KNOB_WS", "   ");
+        assert_eq!(env_usize("EDDE_TENSOR_KNOB_WS", 7), 7);
+    }
+
+    #[test]
+    fn env_f64_rejects_zero_garbage_negative_whitespace() {
+        assert_eq!(env_f64("EDDE_TENSOR_F64_UNSET", 0.5), 0.5);
+        std::env::set_var("EDDE_TENSOR_F64_ZERO", "0");
+        assert_eq!(env_f64("EDDE_TENSOR_F64_ZERO", 0.5), 0.5);
+        std::env::set_var("EDDE_TENSOR_F64_GARBAGE", "half");
+        assert_eq!(env_f64("EDDE_TENSOR_F64_GARBAGE", 0.5), 0.5);
+        std::env::set_var("EDDE_TENSOR_F64_NEG", "-1.5");
+        assert_eq!(env_f64("EDDE_TENSOR_F64_NEG", 0.5), 0.5);
+        std::env::set_var("EDDE_TENSOR_F64_WS", "  ");
+        assert_eq!(env_f64("EDDE_TENSOR_F64_WS", 0.5), 0.5);
+        std::env::set_var("EDDE_TENSOR_F64_NAN", "NaN");
+        assert_eq!(env_f64("EDDE_TENSOR_F64_NAN", 0.5), 0.5);
+        std::env::set_var("EDDE_TENSOR_F64_INF", "inf");
+        assert_eq!(env_f64("EDDE_TENSOR_F64_INF", 0.5), 0.5);
+        std::env::set_var("EDDE_TENSOR_F64_OK", " 62.5 ");
+        assert_eq!(env_f64("EDDE_TENSOR_F64_OK", 0.5), 62.5);
+    }
+
+    #[test]
+    fn env_bool_accepts_spellings_and_rejects_garbage() {
+        assert!(env_bool("EDDE_TENSOR_BOOL_UNSET", true));
+        assert!(!env_bool("EDDE_TENSOR_BOOL_UNSET", false));
+        std::env::set_var("EDDE_TENSOR_BOOL_ONE", "1");
+        assert!(env_bool("EDDE_TENSOR_BOOL_ONE", false));
+        std::env::set_var("EDDE_TENSOR_BOOL_TRUE", " True ");
+        assert!(env_bool("EDDE_TENSOR_BOOL_TRUE", false));
+        std::env::set_var("EDDE_TENSOR_BOOL_ON", "on");
+        assert!(env_bool("EDDE_TENSOR_BOOL_ON", false));
+        std::env::set_var("EDDE_TENSOR_BOOL_ZERO", "0");
+        assert!(!env_bool("EDDE_TENSOR_BOOL_ZERO", true));
+        std::env::set_var("EDDE_TENSOR_BOOL_OFF", "OFF");
+        assert!(!env_bool("EDDE_TENSOR_BOOL_OFF", true));
+        std::env::set_var("EDDE_TENSOR_BOOL_GARBAGE", "maybe");
+        assert!(env_bool("EDDE_TENSOR_BOOL_GARBAGE", true));
+        assert!(!env_bool("EDDE_TENSOR_BOOL_GARBAGE", false));
+        std::env::set_var("EDDE_TENSOR_BOOL_WS", "  ");
+        assert!(env_bool("EDDE_TENSOR_BOOL_WS", true));
+    }
+
+    #[test]
+    fn env_lookup_increments_the_read_counter() {
+        let before = env_read_count();
+        let _ = env_lookup("EDDE_TENSOR_COUNTER_PROBE");
+        let _ = env_usize("EDDE_TENSOR_COUNTER_PROBE", 1);
+        assert!(env_read_count() >= before + 2);
     }
 }

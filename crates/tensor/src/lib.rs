@@ -34,6 +34,7 @@
 //! ```
 
 pub mod codec;
+pub mod config;
 pub mod crc32;
 pub mod env;
 pub mod error;
@@ -46,6 +47,7 @@ pub mod shape;
 pub mod simd;
 pub mod tensor;
 
+pub use config::{EddeConfig, EddeConfigBuilder};
 pub use error::{Result, TensorError};
 pub use shape::Shape;
 pub use tensor::Tensor;

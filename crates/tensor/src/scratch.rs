@@ -112,17 +112,43 @@ pub fn take_zeroed(len: usize) -> ScratchBuf {
 /// steady-state-allocation tests pin.
 ///
 /// Contents are **unspecified** on acquisition, exactly like [`take`].
-#[derive(Debug, Default)]
+///
+/// By default retention is unbounded; [`BufferPool::set_retain_limit`]
+/// caps the free list (`EDDE_POOL_RETAIN` via the inference context),
+/// bounding worst-case idle memory on a long-lived serving process at
+/// the cost of re-allocating if a pass ever holds more live buffers than
+/// the cap.
+#[derive(Debug)]
 pub struct BufferPool {
     free: Vec<Vec<f32>>,
     hits: usize,
     misses: usize,
+    retain: usize,
+}
+
+impl Default for BufferPool {
+    fn default() -> Self {
+        BufferPool {
+            free: Vec::new(),
+            hits: 0,
+            misses: 0,
+            retain: usize::MAX,
+        }
+    }
 }
 
 impl BufferPool {
-    /// An empty pool.
+    /// An empty pool with unbounded retention.
     pub fn new() -> Self {
         BufferPool::default()
+    }
+
+    /// Caps the free list at `limit` buffers: when a `give` would exceed
+    /// it, the smallest retained buffer is dropped (keeping the largest
+    /// allocations, which are the expensive ones to rebuild).
+    pub fn set_retain_limit(&mut self, limit: usize) {
+        self.retain = limit.max(1);
+        shrink_to_retain(&mut self.free, self.retain);
     }
 
     /// Hands out a buffer of exactly `len` elements with unspecified
@@ -165,6 +191,7 @@ impl BufferPool {
     pub fn give(&mut self, buf: Vec<f32>) {
         if buf.capacity() > 0 {
             self.free.push(buf);
+            shrink_to_retain(&mut self.free, self.retain);
         }
     }
 
@@ -195,6 +222,7 @@ impl BufferPool {
 pub struct TypedPool<T> {
     free: Vec<Vec<T>>,
     misses: usize,
+    retain: usize,
 }
 
 impl<T> Default for TypedPool<T> {
@@ -202,14 +230,21 @@ impl<T> Default for TypedPool<T> {
         TypedPool {
             free: Vec::new(),
             misses: 0,
+            retain: usize::MAX,
         }
     }
 }
 
 impl<T: Copy + Default> TypedPool<T> {
-    /// An empty pool.
+    /// An empty pool with unbounded retention.
     pub fn new() -> Self {
         TypedPool::default()
+    }
+
+    /// Caps the free list like [`BufferPool::set_retain_limit`].
+    pub fn set_retain_limit(&mut self, limit: usize) {
+        self.retain = limit.max(1);
+        shrink_to_retain(&mut self.free, self.retain);
     }
 
     /// Hands out a buffer of exactly `len` elements with unspecified
@@ -246,12 +281,22 @@ impl<T: Copy + Default> TypedPool<T> {
     pub fn give(&mut self, buf: Vec<T>) {
         if buf.capacity() > 0 {
             self.free.push(buf);
+            shrink_to_retain(&mut self.free, self.retain);
         }
     }
 
     /// Takes that had to allocate (or grow) — zero in steady state.
     pub fn misses(&self) -> usize {
         self.misses
+    }
+}
+
+/// Evicts smallest-capacity buffers until at most `retain` remain.
+fn shrink_to_retain<T>(free: &mut Vec<Vec<T>>, retain: usize) {
+    while free.len() > retain {
+        if let Some((idx, _)) = free.iter().enumerate().min_by_key(|(_, b)| b.capacity()) {
+            free.swap_remove(idx);
+        }
     }
 }
 
@@ -335,5 +380,32 @@ mod tests {
             }
         }
         assert_eq!(pool.misses(), warm_misses);
+    }
+
+    #[test]
+    fn retain_limit_evicts_smallest_and_keeps_largest() {
+        let mut pool = BufferPool::new();
+        pool.set_retain_limit(2);
+        for &len in &[16usize, 512, 64, 256] {
+            let b = pool.take(len);
+            pool.give(b);
+        }
+        // Only the two largest allocations survive: a 256-element take
+        // must hit, a 16-element take also hits (served by a big buffer).
+        let before = pool.misses();
+        let b = pool.take(256);
+        assert_eq!(pool.misses(), before, "largest buffers were retained");
+        pool.give(b);
+
+        let mut typed: TypedPool<i8> = TypedPool::new();
+        typed.set_retain_limit(1);
+        let a = typed.take(128);
+        let b = typed.take(8);
+        typed.give(a);
+        typed.give(b); // evicts the smaller of the two
+        let before = typed.misses();
+        let c = typed.take(128);
+        assert_eq!(typed.misses(), before, "the 128-capacity buffer survived");
+        typed.give(c);
     }
 }

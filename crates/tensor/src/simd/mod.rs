@@ -38,7 +38,7 @@
 //! `-C target-cpu=native` build made bit patterns a per-build property,
 //! while runtime dispatch pins them to the instruction sequences above.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
 #[cfg(target_arch = "x86_64")]
@@ -57,12 +57,16 @@ pub enum Backend {
 /// Programmatic scalar override (tests, benchmarks, builders).
 static FORCE_SCALAR: AtomicBool = AtomicBool::new(false);
 
-/// `EDDE_SIMD` env override, read once at first dispatch.
+/// Live [`ScalarGuard`] count — any open scope forces the scalar path.
+static SCALAR_SCOPES: AtomicUsize = AtomicUsize::new(0);
+
+/// `EDDE_SIMD` env override, read once at first dispatch (through the
+/// counted `EnvSource` layer, so the one-time read is observable).
 fn env_forces_scalar() -> bool {
     static ENV: OnceLock<bool> = OnceLock::new();
     *ENV.get_or_init(|| {
         matches!(
-            std::env::var("EDDE_SIMD").ok().as_deref(),
+            crate::env::env_lookup("EDDE_SIMD").as_deref(),
             Some("scalar") | Some("off") | Some("0")
         )
     })
@@ -88,7 +92,11 @@ fn cpu_supported() -> bool {
 /// The backend ops dispatch to right now. The env var override is
 /// standing (explicit user intent); [`set_force_scalar`] layers on top.
 pub fn backend() -> Backend {
-    if cpu_supported() && !env_forces_scalar() && !FORCE_SCALAR.load(Ordering::Relaxed) {
+    if cpu_supported()
+        && !env_forces_scalar()
+        && !FORCE_SCALAR.load(Ordering::Relaxed)
+        && SCALAR_SCOPES.load(Ordering::Relaxed) == 0
+    {
         Backend::Avx2
     } else {
         Backend::Scalar
@@ -100,8 +108,38 @@ pub fn backend() -> Backend {
 /// only speed — so tests comparing the paths need no process isolation.
 /// Cannot re-enable SIMD past an `EDDE_SIMD=scalar` env override or on a
 /// CPU without AVX2+FMA.
+///
+/// This flag is process-global: releasing it releases every caller's
+/// override at once, so code that only needs the scalar path for a
+/// bounded region should prefer [`force_scalar_scope`], whose guards
+/// nest and cannot clobber each other.
 pub fn set_force_scalar(force: bool) {
     FORCE_SCALAR.store(force, Ordering::Relaxed);
+}
+
+/// RAII scope for the scalar backend: the backend stays scalar while any
+/// guard is alive and reverts automatically when the last one drops.
+/// Obtained from [`force_scalar_scope`] or
+/// [`crate::config::EddeConfig::scalar_guard`].
+///
+/// Unlike [`set_force_scalar`]'s single boolean, scopes *count*: two
+/// concurrent tests (or two configured harnesses in one process) each
+/// holding a guard cannot race a shared flag back off while the other
+/// still needs it.
+#[must_use = "the scalar override ends when the guard drops"]
+#[derive(Debug)]
+pub struct ScalarGuard(());
+
+impl Drop for ScalarGuard {
+    fn drop(&mut self) {
+        SCALAR_SCOPES.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Enters a scalar-backend scope; see [`ScalarGuard`].
+pub fn force_scalar_scope() -> ScalarGuard {
+    SCALAR_SCOPES.fetch_add(1, Ordering::Relaxed);
+    ScalarGuard(())
 }
 
 /// Human-readable active backend, for logs and benchmark labels.
@@ -483,5 +521,20 @@ mod tests {
     fn backend_name_is_consistent() {
         let name = backend_name();
         assert!(name == "avx2+fma" || name == "scalar");
+    }
+
+    #[test]
+    fn scalar_scopes_nest() {
+        let outer = force_scalar_scope();
+        assert_eq!(backend(), Backend::Scalar);
+        {
+            let _inner = force_scalar_scope();
+            assert_eq!(backend(), Backend::Scalar);
+        }
+        // Dropping the inner guard must not release the outer scope.
+        assert_eq!(backend(), Backend::Scalar);
+        drop(outer);
+        // No assertion on the released backend: the host may lack AVX2,
+        // EDDE_SIMD may force scalar, and parallel tests may hold scopes.
     }
 }

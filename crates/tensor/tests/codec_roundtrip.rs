@@ -32,22 +32,16 @@ fn global_guard() -> MutexGuard<'static, ()> {
     LOCK.lock().unwrap_or_else(|e| e.into_inner())
 }
 
-struct RestoreBackend;
-impl Drop for RestoreBackend {
-    fn drop(&mut self) {
-        simd::set_force_scalar(false);
-    }
-}
-
 /// Runs `f` on the native backend and again with the scalar fallback
-/// forced, asserting both produce identical results.
+/// forced (via the RAII scope, which unwinds even on panic), asserting
+/// both produce identical results.
 fn on_both_backends<T: PartialEq + std::fmt::Debug>(f: impl Fn() -> T) -> T {
     let _g = global_guard();
-    let _restore = RestoreBackend;
-    simd::set_force_scalar(false);
     let native = f();
-    simd::set_force_scalar(true);
-    let scalar = f();
+    let scalar = {
+        let _scope = simd::force_scalar_scope();
+        f()
+    };
     assert_eq!(native, scalar, "codec output differs across SIMD backends");
     native
 }

@@ -27,11 +27,12 @@ fn global_guard() -> MutexGuard<'static, ()> {
     LOCK.lock().unwrap_or_else(|e| e.into_inner())
 }
 
-/// Restores backend dispatch and thread count even if the test panics.
+/// Restores the thread count even if the test panics. Backend forcing
+/// needs no twin: [`simd::force_scalar_scope`] is RAII and unwinds on
+/// its own.
 struct RestoreGlobals;
 impl Drop for RestoreGlobals {
     fn drop(&mut self) {
-        simd::set_force_scalar(false);
         set_num_threads(0);
     }
 }
@@ -47,7 +48,7 @@ fn assert_invariant<T: PartialEq + std::fmt::Debug>(label: &str, f: impl Fn() ->
     let _restore = RestoreGlobals;
     let mut reference: Option<T> = None;
     for force_scalar in [false, true] {
-        simd::set_force_scalar(force_scalar);
+        let _scope = force_scalar.then(simd::force_scalar_scope);
         for threads in [1usize, 8] {
             set_num_threads(threads);
             let out = f();
@@ -65,11 +66,11 @@ fn assert_invariant<T: PartialEq + std::fmt::Debug>(label: &str, f: impl Fn() ->
 #[test]
 fn forcing_scalar_changes_the_backend() {
     let _g = global_guard();
-    let _restore = RestoreGlobals;
-    simd::set_force_scalar(true);
-    assert_eq!(simd::backend(), Backend::Scalar);
-    assert_eq!(simd::backend_name(), "scalar");
-    simd::set_force_scalar(false);
+    {
+        let _scope = simd::force_scalar_scope();
+        assert_eq!(simd::backend(), Backend::Scalar);
+        assert_eq!(simd::backend_name(), "scalar");
+    }
     // Whatever the host supports, the name and enum must agree.
     match simd::backend() {
         Backend::Avx2 => assert_eq!(simd::backend_name(), "avx2+fma"),

@@ -46,7 +46,9 @@ else
 fi
 
 echo "== build (release) =="
-"${CARGO[@]}" build --release
+# --workspace: the root package alone would skip the edde-bench binaries,
+# leaving stale release drivers in target/release/.
+"${CARGO[@]}" build --release --workspace
 
 echo "== tests =="
 "${CARGO[@]}" test -q --workspace "${SKIP_ARGS[@]}"

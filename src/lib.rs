@@ -78,13 +78,13 @@ pub mod prelude {
     pub use edde_core::transfer::{
         beta_probe, select_beta, transfer_partial, BetaProbeConfig, BetaProbePoint,
     };
-    pub use edde_core::{env_usize, BundleCodec, BundleError};
+    pub use edde_core::{env_bool, env_f64, env_usize, BundleCodec, BundleError};
     pub use edde_core::{
-        epoch_seed, eval_batch, EnsembleMember, EnsembleModel, EpochCheckpoints, ExperimentEnv,
-        FaultPlan, FaultyStore, FrozenEnsemble, FrozenMember, LossSpec, MemberProgress,
-        MemberRecord, ModelFactory, NetworkBuilder, RecoveryPolicy, RunManifest, RunProtocol,
-        RunSession, ShardedEnsemble, TrainEvent, TrainLoop, TrainObserver, TrainRng, TrainStats,
-        Trainer,
+        epoch_seed, eval_batch, EddeConfig, EddeConfigBuilder, EnsembleMember, EnsembleModel,
+        EpochCheckpoints, ExperimentEnv, FaultPlan, FaultyStore, FrozenEnsemble, FrozenMember,
+        LossSpec, MemberProgress, MemberRecord, ModelFactory, NetworkBuilder, RecoveryPolicy,
+        RunManifest, RunProtocol, RunSession, ShardedEnsemble, TrainEvent, TrainLoop,
+        TrainObserver, TrainRng, TrainStats, Trainer,
     };
     pub use edde_data::synth::{
         gaussian_blobs, GaussianBlobsConfig, SynthImages, SynthImagesConfig, SynthText,
